@@ -1,0 +1,74 @@
+//! Ablation: the paper's one-transition-per-activation synchronization
+//! rule. We sweep the software activation period relative to the hardware
+//! clock and measure how long the motor trajectory takes to complete in
+//! *simulated* time — showing that the protocols keep the system correct
+//! at any ratio (coherence) while activation rate trades simulation work
+//! for reaction latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosma_cosim::CosimConfig;
+use cosma_motor::{build_cosim, MotorConfig};
+use cosma_sim::Duration;
+
+fn bench_sync(c: &mut Criterion) {
+    let cfg = MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() };
+    let mut group = c.benchmark_group("ablation_sync");
+    for ratio in [1u64, 2, 8] {
+        let ccfg = CosimConfig {
+            hw_cycle: Duration::from_ns(100),
+            sw_cycle: Duration::from_ns(100 * ratio),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sw_activation_ratio", ratio),
+            &ccfg,
+            |b, &ccfg| {
+                b.iter_batched(
+                    || build_cosim(&cfg, ccfg).expect("assembles"),
+                    |mut sys| {
+                        let done =
+                            sys.run_to_completion(Duration::from_us(100), 400).expect("runs");
+                        assert!(done, "must complete at any activation ratio");
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    // Print the simulated-time table (correctness at any ratio + latency
+    // cost of slower activation).
+    println!("\nsw-activation ablation (simulated time to trajectory completion):");
+    println!("{:>8} {:>16} {:>14} {:>12}", "ratio", "sw activations", "sim time (us)", "events ok");
+    for ratio in [1u64, 2, 4, 8, 16] {
+        let ccfg = CosimConfig {
+            hw_cycle: Duration::from_ns(100),
+            sw_cycle: Duration::from_ns(100 * ratio),
+        };
+        let mut sys = build_cosim(&cfg, ccfg).expect("assembles");
+        let mut elapsed_us = 0u64;
+        let done = loop {
+            sys.cosim.run_for(Duration::from_us(20)).expect("runs");
+            elapsed_us += 20;
+            if sys.cosim.module_status(sys.distribution).state == "Done" {
+                break true;
+            }
+            if elapsed_us > 4000 {
+                break false;
+            }
+        };
+        let acts = sys.cosim.module_status(sys.distribution).activations;
+        let sends = sys.cosim.trace_log().with_label("send_pos").count();
+        println!(
+            "{ratio:>8} {acts:>16} {elapsed_us:>14} {:>12}",
+            if done && sends == cfg.segments as usize { "YES" } else { "NO" }
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sync
+}
+criterion_main!(benches);

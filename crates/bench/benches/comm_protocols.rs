@@ -1,0 +1,97 @@
+//! Communication-scheme comparison: activations per delivered message and
+//! wall-clock throughput of the library's units — the quantitative face
+//! of the paper's "wide range of communication schemes".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosma_comm::{
+    handshake_unit, shared_reg_unit, CallerId, FifoChannel, Mailbox, StandaloneUnit,
+};
+use cosma_core::{Type, Value};
+
+/// Pushes `n` messages through a unit with a `put`-like and a `get`-like
+/// service, returning the number of activations used.
+fn transfer(unit: &mut StandaloneUnit, put: &str, get: &str, n: i64) -> u64 {
+    let p = CallerId(1);
+    let c = CallerId(2);
+    let mut sent = 0;
+    let mut recv = 0;
+    let mut activations = 0;
+    while recv < n {
+        activations += 1;
+        if sent < n && unit.call(p, put, &[Value::Int(sent)]).expect("put").done {
+            sent += 1;
+        }
+        if unit.call(c, get, &[]).expect("get").done {
+            recv += 1;
+        }
+        unit.step().expect("step");
+        assert!(activations < 100_000, "transfer stuck");
+    }
+    activations
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_protocols");
+    const N: i64 = 100;
+
+    group.bench_function(BenchmarkId::new("handshake", N), |b| {
+        b.iter_batched(
+            || StandaloneUnit::from_spec(handshake_unit("hs", Type::INT16)),
+            |mut u| transfer(&mut u, "put", "get", N),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    for cap in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("fifo", cap), |b| {
+            b.iter_batched(
+                || StandaloneUnit::from_native(Box::new(FifoChannel::new("q", cap))),
+                |mut u| transfer(&mut u, "put", "get", N),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.bench_function(BenchmarkId::new("mailbox", 4), |b| {
+        b.iter_batched(
+            || StandaloneUnit::from_native(Box::new(Mailbox::new("mb", 4))),
+            |mut u| transfer(&mut u, "send_a", "recv_b", N),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function(BenchmarkId::new("shared_reg", N), |b| {
+        // Lock/write/read/unlock round trips.
+        b.iter_batched(
+            || StandaloneUnit::from_spec(shared_reg_unit("mem", Type::INT16)),
+            |mut u| {
+                let a = CallerId(1);
+                for i in 0..N {
+                    assert!(u.call(a, "acquire", &[]).unwrap().done);
+                    assert!(u.call(a, "write", &[Value::Int(i)]).unwrap().done);
+                    assert!(u.call(a, "read", &[]).unwrap().done);
+                    assert!(u.call(a, "release", &[]).unwrap().done);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    // Print the per-message activation cost table once (shape data for
+    // EXPERIMENTS.md).
+    let mut hs = StandaloneUnit::from_spec(handshake_unit("hs", Type::INT16));
+    let a_hs = transfer(&mut hs, "put", "get", N);
+    let mut f4 = StandaloneUnit::from_native(Box::new(FifoChannel::new("q", 4)));
+    let a_f4 = transfer(&mut f4, "put", "get", N);
+    let mut mb = StandaloneUnit::from_native(Box::new(Mailbox::new("mb", 4)));
+    let a_mb = transfer(&mut mb, "send_a", "recv_b", N);
+    println!("\nactivations per message (N = {N}):");
+    println!("  handshake  {:.2}", a_hs as f64 / N as f64);
+    println!("  fifo(4)    {:.2}", a_f4 as f64 / N as f64);
+    println!("  mailbox(4) {:.2}", a_mb as f64 / N as f64);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Co-simulation backplane throughput: module activations per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosma_comm::handshake_unit;
+use cosma_core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
+use cosma_cosim::{Cosim, CosimConfig};
+use cosma_sim::Duration;
+
+fn ping_pong_cosim(pairs: usize) -> Cosim {
+    let mut cosim = Cosim::new(CosimConfig::default());
+    for k in 0..pairs {
+        let link = cosim.add_fsm_unit(&format!("link{k}"), handshake_unit("hs", Type::INT16));
+        let mut p = ModuleBuilder::new(format!("p{k}"), ModuleKind::Software);
+        let done = p.var("D", Type::Bool, Value::Bool(false));
+        let b = p.binding("chan", "hs");
+        let s = p.state("S");
+        p.actions(
+            s,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: "put".into(),
+                args: vec![Expr::int(1)],
+                done: Some(done),
+                result: None,
+            })],
+        );
+        p.transition(s, None, s);
+        p.initial(s);
+        cosim.add_module(&p.build().expect("ok"), &[("chan", link)]).expect("added");
+
+        let mut q = ModuleBuilder::new(format!("c{k}"), ModuleKind::Hardware);
+        let done = q.var("D", Type::Bool, Value::Bool(false));
+        let got = q.var("G", Type::INT16, Value::Int(0));
+        let b = q.binding("chan", "hs");
+        let s = q.state("S");
+        q.actions(
+            s,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(got),
+            })],
+        );
+        q.transition(s, None, s);
+        q.initial(s);
+        cosim.add_module(&q.build().expect("ok"), &[("chan", link)]).expect("added");
+    }
+    cosim
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim_step");
+    for pairs in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("ping_pong_pairs", pairs), &pairs, |b, &n| {
+            b.iter_batched(
+                || ping_pong_cosim(n),
+                |mut cosim| cosim.run_for(Duration::from_us(50)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cosim
+}
+criterion_main!(benches);

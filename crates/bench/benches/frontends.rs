@@ -1,0 +1,120 @@
+//! Front-end throughput: parse + elaborate the paper's module sources.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cosma_core::ModuleKind;
+
+const C_SRC: &str = r#"
+typedef enum { Start, SetupControlCall, Step, MotorPositionCall, Next, ReadStateCall, NextStep } DIST_STATES;
+DIST_STATES NextState = Start;
+int POSITION = 0;
+int MOTORSTATE = 0;
+int DISTRIBUTION()
+{
+    switch (NextState) {
+    case Start:            { POSITION = 0; NextState = SetupControlCall; } break;
+    case SetupControlCall: { if (SetupControl()) { NextState = Step; } } break;
+    case Step:             { POSITION = POSITION + 25; NextState = MotorPositionCall; } break;
+    case MotorPositionCall:{ if (MotorPosition(POSITION)) { NextState = Next; } } break;
+    case Next:             { NextState = ReadStateCall; } break;
+    case ReadStateCall:
+    { if (ReadMotorState()) { MOTORSTATE = ReadMotorState_RESULT(); NextState = NextStep; } } break;
+    case NextStep:         { if (POSITION < 100) { NextState = Step; } } break;
+    default:               { NextState = Start; }
+    }
+    return 1;
+}
+"#;
+
+const VHDL_SRC: &str = r#"
+entity SPEED_CONTROL is
+  port ( PULSE : out std_logic );
+end entity;
+architecture fsm of SPEED_CONTROL is
+  type POS_STATES is (SETUP, WAITPOS, SERVE);
+  signal RESIDUAL : integer := 0;
+  signal TARGET   : integer := 0;
+begin
+  POSITION : process
+    variable NEXT_STATE : POS_STATES := SETUP;
+    variable P : integer := 0;
+  begin
+    case NEXT_STATE is
+      when SETUP =>
+        ReadMotorConstraints;
+        if READMOTORCONSTRAINTS_DONE then NEXT_STATE := WAITPOS; end if;
+      when WAITPOS =>
+        ReadMotorPosition;
+        if READMOTORPOSITION_DONE then
+          P := READMOTORPOSITION_RESULT;
+          TARGET <= P;
+          NEXT_STATE := SERVE;
+        end if;
+      when SERVE =>
+        ReturnMotorState(RESIDUAL);
+        if RETURNMOTORSTATE_DONE then NEXT_STATE := WAITPOS; end if;
+      when others => NEXT_STATE := SETUP;
+    end case;
+    wait for CYCLE;
+  end process;
+  TIMER : process
+  begin
+    if RESIDUAL > 0 then
+      SendMotorPulses(1);
+      PULSE <= '1';
+    else
+      PULSE <= '0';
+    end if;
+    wait for CYCLE;
+  end process;
+end architecture;
+"#;
+
+fn bench_frontends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontends");
+    let c_opts = cosma_cfront::ElabOptions {
+        bindings: vec![cosma_cfront::ServiceBinding::new(
+            "Distribution_Interface",
+            "swhw_link",
+            &["SetupControl", "MotorPosition", "ReadMotorState"],
+        )],
+    };
+    group.bench_function("c_parse", |b| {
+        b.iter(|| cosma_cfront::parse(C_SRC).expect("parses"));
+    });
+    group.bench_function("c_parse_elaborate", |b| {
+        b.iter(|| {
+            cosma_cfront::compile_module(C_SRC, "DISTRIBUTION", ModuleKind::Software, &c_opts)
+                .expect("elaborates")
+        });
+    });
+    let v_opts = cosma_vhdl::ElabOptions {
+        bindings: vec![
+            cosma_vhdl::ServiceBinding::new(
+                "Control_Interface",
+                "swhw_link",
+                &["READMOTORCONSTRAINTS", "READMOTORPOSITION", "RETURNMOTORSTATE"],
+            ),
+            cosma_vhdl::ServiceBinding::new(
+                "Motor_Interface",
+                "motor_link",
+                &["READSAMPLEDDATA", "SENDMOTORPULSES"],
+            ),
+        ],
+    };
+    group.bench_function("vhdl_parse", |b| {
+        b.iter(|| cosma_vhdl::parse(VHDL_SRC).expect("parses"));
+    });
+    group.bench_function("vhdl_parse_elaborate", |b| {
+        b.iter(|| {
+            cosma_vhdl::compile_entity(VHDL_SRC, "SPEED_CONTROL", &v_opts).expect("elaborates")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_frontends
+}
+criterion_main!(benches);

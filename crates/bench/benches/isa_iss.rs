@@ -1,0 +1,67 @@
+//! MC16 instruction-set simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cosma_isa::{assemble, Cpu, NullBus};
+
+fn bench_iss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isa_iss");
+
+    // A pure-ALU loop.
+    let alu = assemble(
+        "LDI r0, 0\nLDI r1, 1000\nloop: ADD r0, r1\nXOR r0, r1\nADDI r1, -1\nCMPI r1, 0\nJNZ loop\nHLT\n",
+    )
+    .expect("assembles");
+    group.bench_function("alu_loop_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut cpu = Cpu::new();
+                cpu.load_image(&alu);
+                cpu
+            },
+            |mut cpu| cpu.run(&mut NullBus, 1_000_000).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    // A memory-heavy loop.
+    let mem = assemble(
+        "LDI r2, 0x4000\nLDI r1, 500\nloop: LD r0, [0x4000]\nADDI r0, 1\nST [0x4000], r0\nADDI r1, -1\nCMPI r1, 0\nJNZ loop\nHLT\n",
+    )
+    .expect("assembles");
+    group.bench_function("mem_loop_500", |b| {
+        b.iter_batched(
+            || {
+                let mut cpu = Cpu::new();
+                cpu.load_image(&mem);
+                cpu
+            },
+            |mut cpu| cpu.run(&mut NullBus, 1_000_000).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    // Port-I/O polling (the synthesized communication pattern).
+    let io = assemble(
+        "LDI r1, 300\nloop: IN r0, 0x300\nOUT 0x301, r0\nADDI r1, -1\nCMPI r1, 0\nJNZ loop\nHLT\n",
+    )
+    .expect("assembles");
+    group.bench_function("io_loop_300", |b| {
+        b.iter_batched(
+            || {
+                let mut cpu = Cpu::new();
+                cpu.load_image(&io);
+                cpu
+            },
+            |mut cpu| cpu.run(&mut NullBus, 1_000_000).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_iss
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end motor-controller runs: wall-clock cost of completing the
+//! trajectory under co-simulation vs on the synthesized board.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cosma_board::BoardConfig;
+use cosma_cosim::CosimConfig;
+use cosma_motor::{build_board, build_cosim, MotorConfig};
+use cosma_sim::Duration;
+use cosma_synth::Encoding;
+
+fn bench_motor(c: &mut Criterion) {
+    let cfg = MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() };
+    let mut group = c.benchmark_group("motor_e2e");
+
+    group.bench_function("cosim_trajectory", |b| {
+        b.iter_batched(
+            || build_cosim(&cfg, CosimConfig::default()).expect("assembles"),
+            |mut sys| {
+                let done =
+                    sys.run_to_completion(Duration::from_us(100), 300).expect("runs");
+                assert!(done);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("board_trajectory", |b| {
+        b.iter_batched(
+            || build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("assembles"),
+            |mut sys| {
+                let done = sys.run_to_completion(1_000_000, 400).expect("runs");
+                assert!(done);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("board_assembly_only", |b| {
+        b.iter(|| build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("assembles"));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_motor
+}
+criterion_main!(benches);

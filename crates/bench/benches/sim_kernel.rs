@@ -1,0 +1,76 @@
+//! Discrete-event kernel throughput: events/second as the design scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosma_core::{Type, Value};
+use cosma_sim::{Duration, FnProcess, Simulator, Wait};
+
+/// Builds a simulator with `n` clocked counter processes on one clock.
+fn build(n: usize) -> Simulator {
+    let mut sim = Simulator::new();
+    let clk = sim.add_bit("CLK");
+    sim.add_clock("gen", clk, Duration::from_ns(100));
+    for i in 0..n {
+        let q = sim.add_signal(format!("Q{i}"), Type::INT16, Value::Int(0));
+        sim.add_process(
+            format!("ctr{i}"),
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(q);
+                    ctx.drive(q, Value::Int(v + 1));
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+    }
+    sim
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("counters", n), &n, |b, &n| {
+            b.iter_batched(
+                || build(n),
+                |mut sim| sim.run_for(Duration::from_us(100)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    // Delta-cycle chains: combinational depth inside one instant.
+    for depth in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("delta_chain", depth), &depth, |b, &depth| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new();
+                    let sigs: Vec<_> =
+                        (0..=depth).map(|i| sim.add_bit(format!("S{i}"))).collect();
+                    for i in 0..depth {
+                        let a = sigs[i];
+                        let z = sigs[i + 1];
+                        sim.add_process(
+                            format!("inv{i}"),
+                            FnProcess::new(move |ctx| {
+                                let v = ctx.read_bit(a);
+                                ctx.drive(z, Value::Bit(!v));
+                                Wait::Event(vec![a])
+                            }),
+                        );
+                    }
+                    let head = sigs[0];
+                    sim.add_clock("gen", head, Duration::from_ns(100));
+                    sim
+                },
+                |mut sim| sim.run_for(Duration::from_us(10)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Co-synthesis runtimes and the state-encoding ablation (area/speed
+//! trade-off across binary, one-hot and gray encodings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosma_motor::{
+    core_module, distribution_module, motor_link_unit, position_module, swhw_link_unit,
+    timer_module, MotorConfig,
+};
+use cosma_synth::{compile_sw, flatten_module, synthesize_hw, Encoding, IoMap};
+use std::collections::HashMap;
+
+fn units() -> HashMap<String, std::sync::Arc<cosma_core::comm::CommUnitSpec>> {
+    let mut m = HashMap::new();
+    m.insert("swhw".to_string(), swhw_link_unit());
+    m.insert("mlink".to_string(), motor_link_unit());
+    m
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let cfg = MotorConfig::default();
+    let mut group = c.benchmark_group("synthesis");
+
+    group.bench_function("flatten_distribution", |b| {
+        let m = distribution_module(&cfg);
+        let u = units();
+        b.iter(|| flatten_module(&m, &u).expect("flattens"));
+    });
+    group.bench_function("hw_synth_position", |b| {
+        let flat = flatten_module(&position_module(&cfg), &units()).expect("flattens");
+        b.iter(|| synthesize_hw(&flat, Encoding::Binary).expect("synthesizes"));
+    });
+    group.bench_function("sw_synth_distribution", |b| {
+        let flat = flatten_module(&distribution_module(&cfg), &units()).expect("flattens");
+        let io = IoMap::for_module(0x300, &flat);
+        b.iter(|| compile_sw(&flat, &io).expect("compiles"));
+    });
+    for enc in Encoding::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("encoding_sweep_timer", enc.to_string()),
+            &enc,
+            |b, &enc| {
+                let flat = flatten_module(&timer_module(&cfg), &units()).expect("flattens");
+                b.iter(|| synthesize_hw(&flat, enc).expect("synthesizes"));
+            },
+        );
+    }
+    group.finish();
+
+    // Print the encoding ablation table (area/depth/fmax per encoding).
+    println!("\nencoding ablation (Speed Control units, flattened):");
+    println!(
+        "{:<14} {:>9} {:>7} {:>6} {:>7} {:>9}",
+        "module", "encoding", "LUTs", "FFs", "depth", "fmax"
+    );
+    for module in [position_module(&cfg), core_module(), timer_module(&cfg)] {
+        let flat = flatten_module(&module, &units()).expect("flattens");
+        for enc in Encoding::ALL {
+            let (_, r) = synthesize_hw(&flat, enc).expect("synthesizes");
+            println!(
+                "{:<14} {:>9} {:>7} {:>6} {:>7} {:>7.1}MHz",
+                r.module,
+                enc.to_string(),
+                r.tech.luts,
+                r.tech.ffs,
+                r.tech.depth,
+                r.tech.fmax_mhz
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 5 — the partitioned HW/SW system with its communication units.
+//!
+//! Shows the system inventory (which module talks through which unit) and
+//! measures per-service traffic through the SW/HW and HW/HW units during
+//! a co-simulated run — the communication structure of the partitioned
+//! Adaptive Motor Controller.
+
+use cosma_cosim::CosimConfig;
+use cosma_motor::{
+    build_cosim, core_module, distribution_module, motor_link_unit, position_module,
+    swhw_link_unit, timer_module, MotorConfig,
+};
+use cosma_sim::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MotorConfig::default();
+    println!("=== Figure 5: partitioned system and its communication units ===\n");
+
+    println!("system inventory:");
+    for m in [distribution_module(&cfg), position_module(&cfg), core_module(), timer_module(&cfg)]
+    {
+        let binds: Vec<String> = m
+            .bindings()
+            .iter()
+            .map(|b| format!("{} -> {}", b.name(), b.unit_type()))
+            .collect();
+        println!(
+            "  {:<14} ({:<8}) {} states, uses [{}]",
+            m.name(),
+            format!("{}", m.kind()),
+            m.fsm().state_count(),
+            binds.join(", ")
+        );
+    }
+    for u in [swhw_link_unit(), motor_link_unit()] {
+        let svcs: Vec<&str> = u.services().iter().map(|s| s.name()).collect();
+        println!("  unit {:<12} wires: {}, services: [{}]", u.name(), u.wires().len(),
+            svcs.join(", "));
+    }
+
+    let mut sys = build_cosim(&cfg, CosimConfig::default())?;
+    let done = sys.run_to_completion(Duration::from_us(100), 300)?;
+    println!("\nco-simulated run complete: {done}");
+
+    for unit in ["swhw", "mlink"] {
+        let stats = sys.cosim.unit_stats(unit).expect("unit exists");
+        println!("\nunit `{unit}` service traffic:");
+        println!("{:>22} {:>10} {:>12} {:>10}", "service", "calls", "completions", "util%");
+        let mut names: Vec<&String> = stats.services.keys().collect();
+        names.sort();
+        for name in names {
+            let s = stats.services[name];
+            let util = if s.calls > 0 {
+                100.0 * s.completions as f64 / s.calls as f64
+            } else {
+                0.0
+            };
+            println!("{name:>22} {:>10} {:>12} {util:>9.1}%", s.calls, s.completions);
+        }
+        println!("{:>22} {:>10}", "controller steps", stats.controller_steps);
+    }
+    println!(
+        "\nsub-systems never touch each other's wires — all interaction is\n\
+         procedure calls on the two communication units (Fig. 5's structure)"
+    );
+    Ok(())
+}

@@ -1,0 +1,3 @@
+//! Shared helpers for the COSMA experiment harnesses live in the
+//! binaries themselves; this library crate only anchors the bench
+//! targets.

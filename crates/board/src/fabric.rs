@@ -1,0 +1,270 @@
+//! The FPGA fabric: synthesized netlists clocked against the wire bank.
+//!
+//! Each fabric tick is one FPGA clock cycle: every netlist samples the
+//! bank, evaluates, and drives back the wires whose write-enable outputs
+//! are asserted. All netlists see the same pre-tick bank state and writes
+//! are applied together afterwards — the same two-phase discipline as the
+//! co-simulation kernel, so execution order cannot change results.
+
+use crate::wire_bank::{SlotId, WireBank};
+use cosma_synth::{Netlist, NetlistSim};
+use std::fmt;
+
+struct Instance {
+    name: String,
+    sim: NetlistSim,
+    /// Bank slot per netlist input (by input index); `None` = unconnected
+    /// (reads 0).
+    input_slots: Vec<Option<SlotId>>,
+    /// `(out node name base, value node, we node, slot)` per driven wire.
+    drives: Vec<(String, cosma_synth::NodeId, cosma_synth::NodeId, SlotId)>,
+}
+
+/// The fabric hosting synthesized hardware.
+#[derive(Default)]
+pub struct Fabric {
+    instances: Vec<Instance>,
+    ticks: u64,
+    /// Write conflicts observed (two instances driving one wire in the
+    /// same tick).
+    pub conflicts: u64,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("instances", &self.instances.len())
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places a synthesized netlist into the fabric, connecting its
+    /// inputs and `__out`/`__we` output pairs to like-named bank slots.
+    /// Missing slots are created with the input/port widths.
+    pub fn place(&mut self, netlist: &Netlist, bank: &mut WireBank) {
+        let sim = netlist.simulator();
+        let input_slots: Vec<Option<SlotId>> = netlist
+            .inputs()
+            .iter()
+            .map(|(name, width)| Some(bank.add(name, *width, 0)))
+            .collect();
+        let mut drives = vec![];
+        for (oname, node) in netlist.outputs() {
+            if let Some(base) = oname.strip_suffix("__out") {
+                let we_name = format!("{base}__we");
+                if let Some(we_node) = netlist.output(&we_name) {
+                    let width = netlist.width(*node);
+                    let slot = bank.add(base, width, 0);
+                    drives.push((base.to_string(), *node, we_node, slot));
+                }
+            }
+        }
+        self.instances.push(Instance {
+            name: netlist.name().to_string(),
+            sim,
+            input_slots,
+            drives,
+        });
+    }
+
+    /// One FPGA clock cycle.
+    pub fn tick(&mut self, bank: &mut WireBank) {
+        let mut pending: Vec<(SlotId, u64)> = vec![];
+        for inst in &mut self.instances {
+            let inputs: Vec<u64> = inst
+                .input_slots
+                .iter()
+                .map(|s| s.map(|id| bank.read(id)).unwrap_or(0))
+                .collect();
+            inst.sim.step(&inputs);
+            for (_, value_node, we_node, slot) in &inst.drives {
+                if inst.sim.node_value(*we_node) & 1 == 1 {
+                    pending.push((*slot, inst.sim.node_value(*value_node)));
+                }
+            }
+        }
+        // Two-phase commit; detect multi-driver conflicts.
+        pending.sort_by_key(|(s, _)| s.0);
+        for w in pending.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                self.conflicts += 1;
+            }
+        }
+        for (slot, v) in pending {
+            bank.write(slot, v);
+        }
+        self.ticks += 1;
+    }
+
+    /// Number of placed netlists.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total fabric clock cycles.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Aggregate technology report over all placed instances.
+    #[must_use]
+    pub fn tech_report(&self) -> cosma_synth::TechReport {
+        let mut luts = 0;
+        let mut ffs = 0;
+        let mut clbs = 0;
+        let mut depth = 0;
+        let mut crit: f64 = 0.0;
+        for inst in &self.instances {
+            let r = inst.sim.netlist().tech_report();
+            luts += r.luts;
+            ffs += r.ffs;
+            clbs += r.clbs;
+            depth = depth.max(r.depth);
+            crit = crit.max(r.crit_ns);
+        }
+        cosma_synth::TechReport {
+            luts,
+            ffs,
+            clbs,
+            depth,
+            crit_ns: crit,
+            fmax_mhz: if crit > 0.0 { 1000.0 / crit } else { 500.0 },
+        }
+    }
+
+    /// Names of placed instances.
+    pub fn instance_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.instances.iter().map(|i| i.name.as_str())
+    }
+
+    /// Register value inside a placed instance (debug/observability).
+    #[must_use]
+    pub fn reg_value(&self, instance: &str, reg: &str) -> Option<u64> {
+        let inst = self.instances.iter().find(|i| i.name == instance)?;
+        let r = inst.sim.netlist().find_reg(reg)?;
+        Some(inst.sim.reg_value(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_synth::{Netlist, Op};
+
+    /// A netlist that increments the bank wire `N` every cycle.
+    fn incrementer() -> Netlist {
+        let mut n = Netlist::new("inc");
+        let (_, cur) = n.input("N", 16);
+        let one = n.constant(1, 16);
+        let next = n.bin(Op::Add, cur, one);
+        let we = n.constant(1, 1);
+        n.mark_output("N__out", next);
+        n.mark_output("N__we", we);
+        n
+    }
+
+    #[test]
+    fn placed_netlist_drives_bank() {
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&incrementer(), &mut bank);
+        assert_eq!(fabric.instance_count(), 1);
+        for _ in 0..5 {
+            fabric.tick(&mut bank);
+        }
+        assert_eq!(bank.read_named("N"), Some(5));
+        assert_eq!(fabric.ticks(), 5);
+    }
+
+    #[test]
+    fn conditional_write_enable_respected() {
+        // Drives only when EN is set.
+        let mut n = Netlist::new("cond");
+        let (_, en) = n.input("EN", 1);
+        let (_, x) = n.input("X", 8);
+        let one = n.constant(1, 8);
+        let next = n.bin(Op::Add, x, one);
+        n.mark_output("X__out", next);
+        n.mark_output("X__we", en);
+
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&n, &mut bank);
+        fabric.tick(&mut bank);
+        assert_eq!(bank.read_named("X"), Some(0), "EN low: no write");
+        bank.write_named("EN", 1);
+        fabric.tick(&mut bank);
+        assert_eq!(bank.read_named("X"), Some(1));
+    }
+
+    #[test]
+    fn instances_share_wires_two_phase() {
+        // Two incrementers of the same wire in one tick: both read the
+        // same pre-tick value, so the result is +1 (and a conflict is
+        // *not* flagged because both drive the same value).
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&incrementer(), &mut bank);
+        fabric.place(&incrementer(), &mut bank);
+        fabric.tick(&mut bank);
+        assert_eq!(bank.read_named("N"), Some(1));
+        assert_eq!(fabric.conflicts, 0);
+    }
+
+    #[test]
+    fn conflicting_drivers_counted() {
+        let mut a = Netlist::new("a");
+        let c5 = a.constant(5, 8);
+        let we = a.constant(1, 1);
+        a.mark_output("W__out", c5);
+        a.mark_output("W__we", we);
+        let mut b = Netlist::new("b");
+        let c9 = b.constant(9, 8);
+        let we = b.constant(1, 1);
+        b.mark_output("W__out", c9);
+        b.mark_output("W__we", we);
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&a, &mut bank);
+        fabric.place(&b, &mut bank);
+        fabric.tick(&mut bank);
+        assert_eq!(fabric.conflicts, 1);
+    }
+
+    #[test]
+    fn aggregate_tech_report() {
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&incrementer(), &mut bank);
+        fabric.place(&incrementer(), &mut bank);
+        let single = incrementer().tech_report();
+        let agg = fabric.tech_report();
+        assert_eq!(agg.luts, 2 * single.luts);
+        assert!(fabric.instance_names().count() == 2);
+    }
+
+    #[test]
+    fn reg_observability() {
+        let mut n = Netlist::new("regs");
+        let r = n.reg("STATE", 4, 3);
+        let cur = n.read_reg(r);
+        n.set_reg_next(r, cur);
+        let mut bank = WireBank::new();
+        let mut fabric = Fabric::new();
+        fabric.place(&n, &mut bank);
+        fabric.tick(&mut bank);
+        assert_eq!(fabric.reg_value("regs", "STATE"), Some(3));
+        assert_eq!(fabric.reg_value("regs", "NOPE"), None);
+        assert_eq!(fabric.reg_value("nope", "STATE"), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # cosma-board — target platform models
+//!
+//! Executable models of the architectures the paper maps systems onto:
+//!
+//! * [`Board`] — the Figure 8 prototype: MC16 CPU(s) running synthesized
+//!   programs, a 10 MHz extension bus with wait states, an FPGA
+//!   [`Fabric`] executing synthesized netlists over a shared
+//!   [`WireBank`], and pluggable [`Peripheral`]s (the motor). Supports
+//!   multiple CPUs for the multiprocessor target.
+//! * [`IpcPlatform`] — the software-only target where communication
+//!   procedures expand to OS IPC: modules run in-process over native
+//!   units.
+//!
+//! Both platforms produce [`cosma_cosim::TraceLog`]s, so a co-synthesis
+//! run is directly comparable with the co-simulation of the same
+//! description — the paper's coherence property, measured.
+
+#![warn(missing_docs)]
+
+mod board;
+mod fabric;
+mod ipc;
+mod wire_bank;
+
+pub use board::{Board, BoardConfig, BoardError, BusStats, CpuId, Peripheral};
+pub use fabric::Fabric;
+pub use ipc::{IpcError, IpcModuleId, IpcPlatform, IpcUnitId};
+pub use wire_bank::{SlotId, WireBank};

@@ -1,0 +1,215 @@
+//! The wire bank: the register file at the FPGA's bus interface.
+//!
+//! Co-synthesis surfaces every communication-unit wire as a named slot
+//! here. The CPU reaches slots through `IN`/`OUT` at mapped addresses;
+//! synthesized netlists read them as inputs and drive them through their
+//! write-enable outputs; peripherals (the motor model) sample and poke
+//! them directly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a wire slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub(crate) usize);
+
+/// A named register file of bus-visible wires.
+#[derive(Debug, Clone, Default)]
+pub struct WireBank {
+    slots: Vec<Slot>,
+    by_name: HashMap<String, SlotId>,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    name: String,
+    width: u32,
+    value: u64,
+    writes: u64,
+}
+
+impl WireBank {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a wire slot; re-declaring a name returns the existing
+    /// slot (widths must agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name exists with a different width.
+    pub fn add(&mut self, name: &str, width: u32, init: u64) -> SlotId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.slots[id.0].width, width,
+                "wire {name} redeclared with different width"
+            );
+            return id;
+        }
+        let id = SlotId(self.slots.len());
+        self.slots.push(Slot {
+            name: name.to_string(),
+            width,
+            value: init & mask(width),
+            writes: 0,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Finds a slot by name.
+    #[must_use]
+    pub fn index(&self, name: &str) -> Option<SlotId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reads a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this bank.
+    #[must_use]
+    pub fn read(&self, id: SlotId) -> u64 {
+        self.slots[id.0].value
+    }
+
+    /// Writes a slot (masked to its width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this bank.
+    pub fn write(&mut self, id: SlotId, value: u64) {
+        let slot = &mut self.slots[id.0];
+        slot.value = value & mask(slot.width);
+        slot.writes += 1;
+    }
+
+    /// Reads by name.
+    #[must_use]
+    pub fn read_named(&self, name: &str) -> Option<u64> {
+        self.index(name).map(|id| self.read(id))
+    }
+
+    /// Writes by name; returns `false` if the name is unknown.
+    pub fn write_named(&mut self, name: &str, value: u64) -> bool {
+        match self.index(name) {
+            Some(id) => {
+                self.write(id, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Lifetime write count of a slot.
+    #[must_use]
+    pub fn write_count(&self, id: SlotId) -> u64 {
+        self.slots[id.0].writes
+    }
+
+    /// Slot name.
+    #[must_use]
+    pub fn name(&self, id: SlotId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Slot width.
+    #[must_use]
+    pub fn width(&self, id: SlotId) -> u32 {
+        self.slots[id.0].width
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the bank is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.slots.iter().map(|s| (s.name.as_str(), s.value))
+    }
+}
+
+impl fmt::Display for WireBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.slots {
+            writeln!(f, "{} = {:#x} ({} bits)", s.name, s.value, s.width)?;
+        }
+        Ok(())
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_read_write() {
+        let mut bank = WireBank::new();
+        let a = bank.add("link_DATA", 16, 0);
+        let b = bank.add("link_B_FULL", 1, 0);
+        assert_ne!(a, b);
+        bank.write(a, 0x1234);
+        assert_eq!(bank.read(a), 0x1234);
+        bank.write(b, 3);
+        assert_eq!(bank.read(b), 1, "masked to width");
+        assert_eq!(bank.write_count(b), 1);
+        assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn redeclare_same_width_is_idempotent() {
+        let mut bank = WireBank::new();
+        let a = bank.add("X", 8, 5);
+        let b = bank.add("X", 8, 9);
+        assert_eq!(a, b);
+        assert_eq!(bank.read(a), 5, "original init kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "different width")]
+    fn redeclare_other_width_panics() {
+        let mut bank = WireBank::new();
+        bank.add("X", 8, 0);
+        bank.add("X", 16, 0);
+    }
+
+    #[test]
+    fn named_access() {
+        let mut bank = WireBank::new();
+        bank.add("Y", 4, 2);
+        assert_eq!(bank.read_named("Y"), Some(2));
+        assert!(bank.write_named("Y", 7));
+        assert_eq!(bank.read_named("Y"), Some(7));
+        assert!(!bank.write_named("Z", 1));
+        assert_eq!(bank.read_named("Z"), None);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut bank = WireBank::new();
+        bank.add("A", 1, 1);
+        bank.add("B", 1, 0);
+        let pairs: Vec<_> = bank.iter().collect();
+        assert_eq!(pairs, vec![("A", 1), ("B", 0)]);
+        assert!(!bank.is_empty());
+    }
+}

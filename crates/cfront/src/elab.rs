@@ -1,0 +1,443 @@
+//! Elaboration: C subset AST → unified IR module.
+//!
+//! The translation keeps the paper's execution model intact: the C
+//! function is a `switch` over an enum-typed state variable, executed once
+//! per activation. We keep the state variable as a real module variable —
+//! the case body (including `NextState = X;` assignments) becomes the FSM
+//! state's *actions*, and for every variant `X` assigned in the body we
+//! add a transition guarded by `NextState == X`. Guards are evaluated
+//! after actions, so the FSM's current state always mirrors the variable,
+//! and arbitrary C control flow (nested ifs, service calls in conditions)
+//! lowers exactly.
+//!
+//! Communication procedure calls (`SetupControl()`, `MotorPosition(p)`)
+//! become [`cosma_core::ServiceCall`] statements writing hidden
+//! `__done_<svc>` flags; call expressions read those flags, and
+//! `<SVC>_RESULT()` reads the hidden `__res_<svc>` register.
+
+use crate::ast::{CDecl, CExpr, CStmt, CType, CUnit, SwitchArm};
+use cosma_core::ids::{BindingId, VarId};
+use cosma_core::{
+    EnumType, EnumValue, Expr, Module, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declares that a set of service names is reachable through a named
+/// interface binding of a given unit type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBinding {
+    /// Binding (interface) name, e.g. `"Distribution_Interface"`.
+    pub binding: String,
+    /// Communication-unit type name the binding expects.
+    pub unit_type: String,
+    /// Services reachable through this binding.
+    pub services: Vec<String>,
+}
+
+impl ServiceBinding {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(binding: &str, unit_type: &str, services: &[&str]) -> Self {
+        ServiceBinding {
+            binding: binding.to_string(),
+            unit_type: unit_type.to_string(),
+            services: services.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+}
+
+/// Elaboration options.
+#[derive(Debug, Clone, Default)]
+pub struct ElabOptions {
+    /// Interface bindings available to the module.
+    pub bindings: Vec<ServiceBinding>,
+}
+
+/// Elaboration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ElabError> {
+    Err(ElabError { message: message.into() })
+}
+
+struct Elab {
+    builder: ModuleBuilder,
+    enums: HashMap<String, Arc<EnumType>>,
+    /// variant name -> (enum, index)
+    variants: HashMap<String, (Arc<EnumType>, u32)>,
+    vars: HashMap<String, VarId>,
+    var_tys: HashMap<String, Type>,
+    /// service name -> (binding id, hidden done var, hidden result var)
+    services: HashMap<String, (BindingId, VarId, VarId)>,
+}
+
+impl Elab {
+    fn const_value(&self, e: &CExpr) -> Result<Value, ElabError> {
+        match e {
+            CExpr::Int(i) => Ok(Value::Int(*i)),
+            CExpr::Ident(name) => match self.variants.get(name) {
+                Some((ty, idx)) => Ok(Value::Enum(
+                    EnumValue::from_index(ty.clone(), *idx)
+                        .expect("variant index from the same table"),
+                )),
+                None => err(format!("initializer {name} is not a constant")),
+            },
+            CExpr::Unary("-", inner) => match self.const_value(inner)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                other => err(format!("cannot negate {other}")),
+            },
+            other => err(format!("unsupported constant initializer {other:?}")),
+        }
+    }
+
+    fn lower_expr(&self, e: &CExpr, acts: &mut Vec<Stmt>) -> Result<Expr, ElabError> {
+        Ok(match e {
+            CExpr::Int(i) => Expr::int(*i),
+            CExpr::Ident(name) => {
+                if let Some(&v) = self.vars.get(name) {
+                    Expr::var(v)
+                } else if let Some((ty, idx)) = self.variants.get(name) {
+                    Expr::Const(Value::Enum(
+                        EnumValue::from_index(ty.clone(), *idx)
+                            .expect("variant index from the same table"),
+                    ))
+                } else {
+                    return err(format!("unknown identifier {name}"));
+                }
+            }
+            CExpr::Call(name, args) => {
+                // <SVC>_RESULT() reads the hidden result register.
+                if let Some(svc) = name.strip_suffix("_RESULT") {
+                    if let Some((_, _, res)) = self.lookup_service(svc) {
+                        if !args.is_empty() {
+                            return err(format!("{name} takes no arguments"));
+                        }
+                        return Ok(Expr::var(res));
+                    }
+                }
+                let Some((binding, done, res)) = self.lookup_service(name) else {
+                    return err(format!(
+                        "call to unknown service {name} (bindings offer: {})",
+                        self.services.keys().cloned().collect::<Vec<_>>().join(", ")
+                    ));
+                };
+                let mut ir_args = Vec::with_capacity(args.len());
+                for a in args {
+                    ir_args.push(self.lower_expr(a, acts)?);
+                }
+                acts.push(Stmt::Call(ServiceCall {
+                    binding,
+                    service: name.clone(),
+                    args: ir_args,
+                    done: Some(done),
+                    result: Some(res),
+                }));
+                Expr::var(done)
+            }
+            CExpr::Unary(op, inner) => {
+                let e = self.lower_expr(inner, acts)?;
+                match *op {
+                    "-" => e.neg(),
+                    "!" | "~" => e.not(),
+                    other => return err(format!("unsupported unary operator {other}")),
+                }
+            }
+            CExpr::Binary(op, a, b) => {
+                let a = self.lower_expr(a, acts)?;
+                let b = self.lower_expr(b, acts)?;
+                match *op {
+                    "+" => a.add(b),
+                    "-" => a.sub(b),
+                    "*" => a.mul(b),
+                    "/" => a.div(b),
+                    "%" => Expr::Binary(cosma_core::BinOp::Rem, Box::new(a), Box::new(b)),
+                    "==" => self.lower_eq(a, b),
+                    "!=" => self.lower_eq(a, b).not(),
+                    "<" => a.lt(b),
+                    "<=" => a.le(b),
+                    ">" => a.gt(b),
+                    ">=" => a.ge(b),
+                    "&&" | "&" => a.and(b),
+                    "||" | "|" => a.or(b),
+                    "^" => Expr::Binary(cosma_core::BinOp::Xor, Box::new(a), Box::new(b)),
+                    "<<" => Expr::Binary(cosma_core::BinOp::Shl, Box::new(a), Box::new(b)),
+                    ">>" => Expr::Binary(cosma_core::BinOp::Shr, Box::new(a), Box::new(b)),
+                    other => return err(format!("unsupported binary operator {other}")),
+                }
+            }
+        })
+    }
+
+    /// Equality with the C-ism that service done flags (`bool`) compare
+    /// against 0/1 integer literals.
+    fn lower_eq(&self, a: Expr, b: Expr) -> Expr {
+        match (&a, &b) {
+            (Expr::Var(_), Expr::Const(Value::Int(0))) => return a.not(),
+            (Expr::Var(_), Expr::Const(Value::Int(1))) => return a,
+            _ => {}
+        }
+        a.eq(b)
+    }
+
+    fn lookup_service(&self, name: &str) -> Option<(BindingId, VarId, VarId)> {
+        self.services.get(name).copied()
+    }
+
+    /// Lowers a statement list into IR actions, recording every state
+    /// variable target assigned (for transition generation).
+    fn lower_stmts(
+        &self,
+        stmts: &[CStmt],
+        state_var: &str,
+        targets: &mut Vec<String>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), ElabError> {
+        for s in stmts {
+            match s {
+                CStmt::Assign(name, rhs) => {
+                    if name == state_var {
+                        if let CExpr::Ident(variant) = rhs {
+                            if !targets.contains(variant) {
+                                targets.push(variant.clone());
+                            }
+                        } else {
+                            return err("state variable must be assigned a state name");
+                        }
+                    }
+                    let Some(&v) = self.vars.get(name) else {
+                        return err(format!("assignment to undeclared variable {name}"));
+                    };
+                    let mut acts = vec![];
+                    let e = self.lower_expr(rhs, &mut acts)?;
+                    out.append(&mut acts);
+                    out.push(Stmt::assign(v, e));
+                }
+                CStmt::Expr(e) => {
+                    let mut acts = vec![];
+                    let _ = self.lower_expr(e, &mut acts)?;
+                    out.append(&mut acts);
+                }
+                CStmt::If(cond, then_b, else_b) => {
+                    let mut acts = vec![];
+                    let c = self.lower_expr(cond, &mut acts)?;
+                    out.append(&mut acts);
+                    let mut t = vec![];
+                    self.lower_stmts(then_b, state_var, targets, &mut t)?;
+                    let mut e = vec![];
+                    self.lower_stmts(else_b, state_var, targets, &mut e)?;
+                    out.push(Stmt::if_else(c, t, e));
+                }
+                CStmt::Block(b) => self.lower_stmts(b, state_var, targets, out)?,
+                CStmt::Break | CStmt::Return(_) => {}
+                CStmt::Switch(_, _) => {
+                    return err("nested switch statements are not supported");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Elaborates one function of a parsed unit into an IR module.
+///
+/// The function must follow the paper's module shape: a `switch` over an
+/// enum-typed global state variable (optionally preceded/followed by plain
+/// statements executed every activation).
+///
+/// # Errors
+///
+/// Returns [`ElabError`] when the source falls outside the supported
+/// subset (see module docs) or references unknown identifiers/services.
+pub fn elaborate(
+    unit: &CUnit,
+    function: &str,
+    kind: ModuleKind,
+    opts: &ElabOptions,
+) -> Result<Module, ElabError> {
+    let Some(CDecl::Function { body, .. }) = unit.function(function) else {
+        return err(format!("no function named {function}"));
+    };
+    let mut builder = ModuleBuilder::new(function.to_lowercase(), kind);
+
+    // Pass 1: enums.
+    let mut enums = HashMap::new();
+    let mut variants: HashMap<String, (Arc<EnumType>, u32)> = HashMap::new();
+    for d in &unit.decls {
+        if let CDecl::EnumDef { name, variants: vs } = d {
+            let ty = EnumType::new(name.clone(), vs.clone());
+            for (i, v) in vs.iter().enumerate() {
+                variants.insert(v.clone(), (ty.clone(), i as u32));
+            }
+            enums.insert(name.clone(), ty);
+        }
+    }
+
+    // Pass 2: bindings and hidden service variables.
+    let mut services = HashMap::new();
+    for sb in &opts.bindings {
+        let bid = builder.binding(sb.binding.clone(), sb.unit_type.clone());
+        for svc in &sb.services {
+            let done = builder.var(format!("__done_{svc}"), Type::Bool, Value::Bool(false));
+            let res = builder.var(format!("__res_{svc}"), Type::INT16, Value::Int(0));
+            services.insert(svc.clone(), (bid, done, res));
+        }
+    }
+
+    // Pass 3: globals.
+    let mut elab = Elab {
+        builder,
+        enums,
+        variants,
+        vars: HashMap::new(),
+        var_tys: HashMap::new(),
+        services,
+    };
+    for d in &unit.decls {
+        if let CDecl::Global { ty, name, init } = d {
+            let ir_ty = match ty {
+                CType::Int => Type::INT16,
+                CType::Named(n) => match elab.enums.get(n) {
+                    Some(e) => Type::Enum(e.clone()),
+                    None => return err(format!("unknown type {n}")),
+                },
+                CType::Void => return err(format!("variable {name} cannot be void")),
+            };
+            let init_v = match init {
+                Some(e) => elab.const_value(e)?,
+                None => ir_ty.default_value(),
+            };
+            if !ir_ty.admits(&init_v) {
+                return err(format!("initializer for {name} has the wrong type"));
+            }
+            let id = elab.builder.var(name.clone(), ir_ty.clone(), init_v);
+            elab.vars.insert(name.clone(), id);
+            elab.var_tys.insert(name.clone(), ir_ty);
+        }
+    }
+
+    // Pass 4: find the switch and the prologue/epilogue.
+    let mut prologue: Vec<&CStmt> = vec![];
+    let mut epilogue: Vec<&CStmt> = vec![];
+    let mut the_switch: Option<(&CExpr, &[SwitchArm])> = None;
+    for s in body {
+        match s {
+            CStmt::Switch(scrutinee, arms) => {
+                if the_switch.is_some() {
+                    return err("module function must contain exactly one switch");
+                }
+                the_switch = Some((scrutinee, arms));
+            }
+            CStmt::Return(_) => {}
+            other => {
+                if the_switch.is_none() {
+                    prologue.push(other);
+                } else {
+                    epilogue.push(other);
+                }
+            }
+        }
+    }
+    let Some((scrutinee, arms)) = the_switch else {
+        return err("module function must contain a switch over its state variable");
+    };
+    let CExpr::Ident(state_var) = scrutinee else {
+        return err("switch scrutinee must be the state variable");
+    };
+    let Some(Type::Enum(state_enum)) = elab.var_tys.get(state_var).cloned() else {
+        return err(format!("state variable {state_var} must be an enum-typed global"));
+    };
+    let state_var_id = elab.vars[state_var];
+
+    // Pass 5: create one FSM state per enum variant; fill from arms.
+    let mut arm_map: HashMap<&str, &SwitchArm> = HashMap::new();
+    let mut default_arm: Option<&SwitchArm> = None;
+    for arm in arms {
+        match &arm.label {
+            Some(l) => {
+                if state_enum.index_of(l).is_none() {
+                    return err(format!("case label {l} is not a variant of {}", state_enum.name()));
+                }
+                arm_map.insert(l.as_str(), arm);
+            }
+            None => default_arm = Some(arm),
+        }
+    }
+    let state_ids: Vec<_> =
+        state_enum.variants().iter().map(|v| elab.builder.state(v.clone())).collect();
+    let variants_owned: Vec<String> = state_enum.variants().to_vec();
+    for (vi, vname) in variants_owned.iter().enumerate() {
+        let sid = state_ids[vi];
+        let body: &[CStmt] = match arm_map.get(vname.as_str()) {
+            Some(arm) => &arm.body,
+            None => default_arm.map(|a| &a.body[..]).unwrap_or(&[]),
+        };
+        let mut actions = vec![];
+        let mut targets = vec![];
+        // Prologue runs every activation, before the case body.
+        for p in &prologue {
+            elab.lower_stmts(std::slice::from_ref(*p), state_var, &mut targets, &mut actions)?;
+        }
+        elab.lower_stmts(body, state_var, &mut targets, &mut actions)?;
+        for e in &epilogue {
+            elab.lower_stmts(std::slice::from_ref(*e), state_var, &mut targets, &mut actions)?;
+        }
+        elab.builder.actions(sid, actions);
+        for target in targets {
+            let Some(tidx) = state_enum.index_of(&target) else {
+                return err(format!("state target {target} is not a variant"));
+            };
+            let guard = Expr::var(state_var_id).eq(Expr::Const(Value::Enum(
+                EnumValue::from_index(state_enum.clone(), tidx).expect("valid index"),
+            )));
+            elab.builder.transition(sid, Some(guard), state_ids[tidx as usize]);
+        }
+    }
+    // Initial state = the state variable's initial value.
+    let init_idx = unit
+        .decls
+        .iter()
+        .find_map(|d| match d {
+            CDecl::Global { name, init, .. } if name == state_var => Some(init.clone()),
+            _ => None,
+        })
+        .flatten()
+        .map(|e| elab.const_value(&e))
+        .transpose()?
+        .map(|v| match v {
+            Value::Enum(ev) => Ok(ev.index() as usize),
+            other => err::<usize>(format!("state variable initializer {other} is not a state")),
+        })
+        .transpose()?
+        .unwrap_or(0);
+    elab.builder.initial(state_ids[init_idx]);
+    elab.builder.build().map_err(|e| ElabError { message: e.to_string() })
+}
+
+/// Parses and elaborates in one step.
+///
+/// # Errors
+///
+/// Propagates parse errors (as [`ElabError`]) and elaboration errors.
+pub fn compile_module(
+    src: &str,
+    function: &str,
+    kind: ModuleKind,
+    opts: &ElabOptions,
+) -> Result<Module, ElabError> {
+    let unit = crate::parser::parse(src).map_err(|e| ElabError { message: e.to_string() })?;
+    elaborate(&unit, function, kind, opts)
+}

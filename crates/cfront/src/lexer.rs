@@ -1,0 +1,229 @@
+//! Tokenizer for the C subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator, e.g. `"=="`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "+", "-", "*", "/", "%", "<", ">",
+    "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", ":", ".", "?",
+];
+
+/// Tokenizes C-subset source.
+///
+/// Skips `//` and `/* */` comments and preprocessor lines (`#...`).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on characters outside the subset.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = vec![];
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Preprocessor lines are ignored wholesale.
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Spanned { tok: Tok::Ident(bytes[start..i].iter().collect()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                radix = 16;
+                i += 2;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let digits = if radix == 16 { &text[2..] } else { &text[..] };
+            let v = i64::from_str_radix(digits, radix)
+                .map_err(|_| LexError { line, ch: c })?;
+            out.push(Spanned { tok: Tok::Int(v), line });
+            continue;
+        }
+        // Character literal like '1' used in bit comparisons maps to an
+        // integer 0/1 token for convenience.
+        if c == '\'' && i + 2 < bytes.len() && bytes[i + 2] == '\'' {
+            let v = match bytes[i + 1] {
+                '0' => 0,
+                '1' => 1,
+                other => return Err(LexError { line, ch: other }),
+            };
+            out.push(Spanned { tok: Tok::Int(v), line });
+            i += 3;
+            continue;
+        }
+        let mut matched = false;
+        for p in PUNCTS {
+            if bytes[i..].starts_with(&p.chars().collect::<Vec<_>>()[..]) {
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError { line, ch: c });
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            toks("x = 0x1F + 2;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(31),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        assert_eq!(
+            toks("// c1\n#include <x.h>\n/* c2\nc3 */ y"),
+            vec![Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("a == b != c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_become_ints() {
+        assert_eq!(toks("'1' '0'"), vec![Tok::Int(1), Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let e = lex("a @ b").unwrap_err();
+        assert_eq!(e.ch, '@');
+        assert!(e.to_string().contains('@'));
+    }
+}

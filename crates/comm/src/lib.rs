@@ -1,0 +1,29 @@
+//! # cosma-comm — the communication-unit library
+//!
+//! The paper's central abstraction made concrete: communication units with
+//! controllers and access procedures, in two flavours:
+//!
+//! * **FSM units** ([`library`](crate)) — fully described in the IR,
+//!   executable over plain wires or kernel signals, renderable into every
+//!   view (HW VHDL / SW simulation C / SW synthesis C per target) and
+//!   synthesizable. [`handshake_unit`] *is* the paper's Figure 2/3
+//!   channel.
+//! * **Native units** — models of existing communication platforms (UNIX
+//!   IPC mailboxes, OS FIFOs, lock-guarded shared memory) whose internals
+//!   are not synthesized, only their access procedures retargeted.
+//!
+//! [`FsmUnitRuntime`] executes FSM units with one protocol session per
+//! caller (each module links "its own copy" of the procedure, as in the
+//! paper), and [`StandaloneUnit`] gives both flavours one interface.
+
+#![warn(missing_docs)]
+
+mod library;
+mod native;
+mod runtime;
+mod standalone;
+
+pub use library::{handshake_unit, register_bank_unit, shared_reg_unit};
+pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
+pub use runtime::{CallerId, FsmUnitRuntime, LocalWires, ServiceStats, UnitStats, WireStore};
+pub use standalone::StandaloneUnit;

@@ -1,0 +1,511 @@
+//! Native communication units: platform-provided channels.
+//!
+//! The paper notes that a communication unit "may correspond to an
+//! existing communication platform" whose internals are not synthesized —
+//! only its access procedures are swapped per target (e.g. UNIX IPC
+//! message queues on a software-only platform). Native units model those:
+//! their behaviour is Rust code rather than an FSM, but they expose the
+//! same call interface as [`crate::FsmUnitRuntime`].
+
+use crate::runtime::{CallerId, ServiceStats, UnitStats};
+use cosma_core::{EvalError, ServiceOutcome, Type, Value};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Description of a native service (for system validation and docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeServiceDesc {
+    /// Service name.
+    pub name: String,
+    /// Number of arguments.
+    pub arity: usize,
+    /// Return type, if any.
+    pub returns: Option<Type>,
+}
+
+/// A communication unit implemented natively (an "existing platform").
+pub trait NativeUnit: fmt::Debug + Send {
+    /// Unit type name.
+    fn name(&self) -> &str;
+
+    /// Offered services.
+    fn services(&self) -> Vec<NativeServiceDesc>;
+
+    /// One activation of a service. Must follow the same convention as
+    /// FSM services: return `done=false` to make the caller retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Service`] for unknown services or bad
+    /// arguments.
+    fn call(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError>;
+
+    /// Background activity per co-simulation cycle (defaults to none).
+    fn step(&mut self) {}
+
+    /// Call statistics.
+    fn stats(&self) -> &UnitStats;
+}
+
+fn bump(stats: &mut UnitStats, service: &str, done: bool) {
+    let s: &mut ServiceStats = stats.services.entry(service.to_string()).or_default();
+    s.calls += 1;
+    if done {
+        s.completions += 1;
+    }
+}
+
+/// A bounded FIFO channel: `put(v)` completes when space is available,
+/// `get() -> v` when data is available. Models an OS pipe / message
+/// queue.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_comm::{FifoChannel, NativeUnit, CallerId};
+/// use cosma_core::Value;
+///
+/// let mut ch = FifoChannel::new("pipe", 2);
+/// assert!(ch.call(CallerId(1), "put", &[Value::Int(1)])?.done);
+/// assert!(ch.call(CallerId(1), "put", &[Value::Int(2)])?.done);
+/// assert!(!ch.call(CallerId(1), "put", &[Value::Int(3)])?.done, "full");
+/// let got = ch.call(CallerId(2), "get", &[])?;
+/// assert_eq!(got.result, Some(Value::Int(1)));
+/// # Ok::<(), cosma_core::EvalError>(())
+/// ```
+#[derive(Debug)]
+pub struct FifoChannel {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<Value>,
+    stats: UnitStats,
+    /// Rejected puts (channel full) — failure-injection observability.
+    pub rejected_puts: u64,
+    /// High-water mark of queue occupancy.
+    pub high_water: usize,
+}
+
+impl FifoChannel {
+    /// Creates a channel with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        FifoChannel {
+            name: name.into(),
+            capacity,
+            queue: VecDeque::new(),
+            stats: UnitStats::default(),
+            rejected_puts: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the channel is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl NativeUnit for FifoChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn services(&self) -> Vec<NativeServiceDesc> {
+        vec![
+            NativeServiceDesc { name: "put".into(), arity: 1, returns: None },
+            NativeServiceDesc { name: "get".into(), arity: 0, returns: Some(Type::INT16) },
+        ]
+    }
+
+    fn call(
+        &mut self,
+        _caller: CallerId,
+        service: &str,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        match service {
+            "put" => {
+                let [v] = args else {
+                    return Err(EvalError::Service("put expects 1 argument".into()));
+                };
+                if self.queue.len() < self.capacity {
+                    self.queue.push_back(v.clone());
+                    self.high_water = self.high_water.max(self.queue.len());
+                    bump(&mut self.stats, "put", true);
+                    Ok(ServiceOutcome::done())
+                } else {
+                    self.rejected_puts += 1;
+                    bump(&mut self.stats, "put", false);
+                    Ok(ServiceOutcome::pending())
+                }
+            }
+            "get" => {
+                if !args.is_empty() {
+                    return Err(EvalError::Service("get expects no arguments".into()));
+                }
+                match self.queue.pop_front() {
+                    Some(v) => {
+                        bump(&mut self.stats, "get", true);
+                        Ok(ServiceOutcome::done_with(v))
+                    }
+                    None => {
+                        bump(&mut self.stats, "get", false);
+                        Ok(ServiceOutcome::pending())
+                    }
+                }
+            }
+            other => {
+                Err(EvalError::Service(format!("fifo {} has no service {other}", self.name)))
+            }
+        }
+    }
+
+    fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+}
+
+/// A bidirectional mailbox: two FIFO directions, `send_a`/`recv_a` for
+/// the A side and `send_b`/`recv_b` for the B side. Models a UNIX IPC
+/// message-queue pair between two processes.
+#[derive(Debug)]
+pub struct Mailbox {
+    name: String,
+    a_to_b: VecDeque<Value>,
+    b_to_a: VecDeque<Value>,
+    capacity: usize,
+    stats: UnitStats,
+}
+
+impl Mailbox {
+    /// Creates a mailbox with per-direction capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be nonzero");
+        Mailbox {
+            name: name.into(),
+            a_to_b: VecDeque::new(),
+            b_to_a: VecDeque::new(),
+            capacity,
+            stats: UnitStats::default(),
+        }
+    }
+
+    /// Messages waiting toward B.
+    #[must_use]
+    pub fn pending_to_b(&self) -> usize {
+        self.a_to_b.len()
+    }
+
+    /// Messages waiting toward A.
+    #[must_use]
+    pub fn pending_to_a(&self) -> usize {
+        self.b_to_a.len()
+    }
+}
+
+impl NativeUnit for Mailbox {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn services(&self) -> Vec<NativeServiceDesc> {
+        vec![
+            NativeServiceDesc { name: "send_a".into(), arity: 1, returns: None },
+            NativeServiceDesc { name: "recv_a".into(), arity: 0, returns: Some(Type::INT16) },
+            NativeServiceDesc { name: "send_b".into(), arity: 1, returns: None },
+            NativeServiceDesc { name: "recv_b".into(), arity: 0, returns: Some(Type::INT16) },
+        ]
+    }
+
+    fn call(
+        &mut self,
+        _caller: CallerId,
+        service: &str,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        let (queue, is_send) = match service {
+            "send_a" => (&mut self.a_to_b, true),
+            "recv_b" => (&mut self.a_to_b, false),
+            "send_b" => (&mut self.b_to_a, true),
+            "recv_a" => (&mut self.b_to_a, false),
+            other => {
+                return Err(EvalError::Service(format!(
+                    "mailbox {} has no service {other}",
+                    self.name
+                )))
+            }
+        };
+        if is_send {
+            let [v] = args else {
+                return Err(EvalError::Service(format!("{service} expects 1 argument")));
+            };
+            if queue.len() < self.capacity {
+                queue.push_back(v.clone());
+                bump(&mut self.stats, service, true);
+                Ok(ServiceOutcome::done())
+            } else {
+                bump(&mut self.stats, service, false);
+                Ok(ServiceOutcome::pending())
+            }
+        } else {
+            if !args.is_empty() {
+                return Err(EvalError::Service(format!("{service} expects no arguments")));
+            }
+            match queue.pop_front() {
+                Some(v) => {
+                    bump(&mut self.stats, service, true);
+                    Ok(ServiceOutcome::done_with(v))
+                }
+                None => {
+                    bump(&mut self.stats, service, false);
+                    Ok(ServiceOutcome::pending())
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+}
+
+/// A lock-guarded shared memory with addressed `load(addr)` /
+/// `store(addr, v)` plus `acquire()` / `release()`.
+#[derive(Debug)]
+pub struct SharedMemory {
+    name: String,
+    cells: Vec<Value>,
+    holder: Option<CallerId>,
+    stats: UnitStats,
+    /// Accesses performed without holding the lock (race detector).
+    pub unlocked_accesses: u64,
+}
+
+impl SharedMemory {
+    /// Creates a memory of `size` 16-bit words, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, size: usize) -> Self {
+        assert!(size > 0, "shared memory size must be nonzero");
+        SharedMemory {
+            name: name.into(),
+            cells: vec![Value::Int(0); size],
+            holder: None,
+            stats: UnitStats::default(),
+            unlocked_accesses: 0,
+        }
+    }
+
+    fn addr_of(&self, v: &Value) -> Result<usize, EvalError> {
+        let a = v.as_int().map_err(|e| EvalError::Service(e.to_string()))?;
+        if a < 0 || a as usize >= self.cells.len() {
+            return Err(EvalError::Service(format!(
+                "address {a} out of range (size {})",
+                self.cells.len()
+            )));
+        }
+        Ok(a as usize)
+    }
+}
+
+impl NativeUnit for SharedMemory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn services(&self) -> Vec<NativeServiceDesc> {
+        vec![
+            NativeServiceDesc { name: "acquire".into(), arity: 0, returns: None },
+            NativeServiceDesc { name: "release".into(), arity: 0, returns: None },
+            NativeServiceDesc { name: "load".into(), arity: 1, returns: Some(Type::INT16) },
+            NativeServiceDesc { name: "store".into(), arity: 2, returns: None },
+        ]
+    }
+
+    fn call(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        match service {
+            "acquire" => match self.holder {
+                None => {
+                    self.holder = Some(caller);
+                    bump(&mut self.stats, service, true);
+                    Ok(ServiceOutcome::done())
+                }
+                Some(h) if h == caller => {
+                    bump(&mut self.stats, service, true);
+                    Ok(ServiceOutcome::done())
+                }
+                Some(_) => {
+                    bump(&mut self.stats, service, false);
+                    Ok(ServiceOutcome::pending())
+                }
+            },
+            "release" => {
+                if self.holder == Some(caller) {
+                    self.holder = None;
+                }
+                bump(&mut self.stats, service, true);
+                Ok(ServiceOutcome::done())
+            }
+            "load" => {
+                let [addr] = args else {
+                    return Err(EvalError::Service("load expects 1 argument".into()));
+                };
+                if self.holder != Some(caller) {
+                    self.unlocked_accesses += 1;
+                }
+                let a = self.addr_of(addr)?;
+                bump(&mut self.stats, service, true);
+                Ok(ServiceOutcome::done_with(self.cells[a].clone()))
+            }
+            "store" => {
+                let [addr, v] = args else {
+                    return Err(EvalError::Service("store expects 2 arguments".into()));
+                };
+                if self.holder != Some(caller) {
+                    self.unlocked_accesses += 1;
+                }
+                let a = self.addr_of(addr)?;
+                self.cells[a] = v.clone();
+                bump(&mut self.stats, service, true);
+                Ok(ServiceOutcome::done())
+            }
+            other => Err(EvalError::Service(format!(
+                "shared memory {} has no service {other}",
+                self.name
+            ))),
+        }
+    }
+
+    fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order_and_bounds() {
+        let mut ch = FifoChannel::new("q", 3);
+        for i in 0..3 {
+            assert!(ch.call(CallerId(0), "put", &[Value::Int(i)]).unwrap().done);
+        }
+        assert!(!ch.call(CallerId(0), "put", &[Value::Int(99)]).unwrap().done);
+        assert_eq!(ch.rejected_puts, 1);
+        assert_eq!(ch.high_water, 3);
+        for i in 0..3 {
+            let g = ch.call(CallerId(1), "get", &[]).unwrap();
+            assert_eq!(g.result, Some(Value::Int(i)));
+        }
+        assert!(!ch.call(CallerId(1), "get", &[]).unwrap().done);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn fifo_bad_calls_are_errors() {
+        let mut ch = FifoChannel::new("q", 1);
+        assert!(ch.call(CallerId(0), "nope", &[]).is_err());
+        assert!(ch.call(CallerId(0), "put", &[]).is_err());
+        assert!(ch.call(CallerId(0), "get", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_fifo_panics() {
+        let _ = FifoChannel::new("q", 0);
+    }
+
+    #[test]
+    fn mailbox_directions_are_independent() {
+        let mut mb = Mailbox::new("ipc", 4);
+        assert!(mb.call(CallerId(1), "send_a", &[Value::Int(10)]).unwrap().done);
+        assert!(mb.call(CallerId(2), "send_b", &[Value::Int(20)]).unwrap().done);
+        assert_eq!(mb.pending_to_b(), 1);
+        assert_eq!(mb.pending_to_a(), 1);
+        let at_b = mb.call(CallerId(2), "recv_b", &[]).unwrap();
+        assert_eq!(at_b.result, Some(Value::Int(10)));
+        let at_a = mb.call(CallerId(1), "recv_a", &[]).unwrap();
+        assert_eq!(at_a.result, Some(Value::Int(20)));
+        assert!(!mb.call(CallerId(1), "recv_a", &[]).unwrap().done);
+    }
+
+    #[test]
+    fn shared_memory_lock_and_addressing() {
+        let mut sm = SharedMemory::new("mem", 8);
+        let a = CallerId(1);
+        let b = CallerId(2);
+        assert!(sm.call(a, "acquire", &[]).unwrap().done);
+        assert!(sm.call(a, "acquire", &[]).unwrap().done, "reentrant for holder");
+        assert!(!sm.call(b, "acquire", &[]).unwrap().done);
+        assert!(sm.call(a, "store", &[Value::Int(3), Value::Int(42)]).unwrap().done);
+        let v = sm.call(a, "load", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.result, Some(Value::Int(42)));
+        assert_eq!(sm.unlocked_accesses, 0);
+        assert!(sm.call(a, "release", &[]).unwrap().done);
+        assert!(sm.call(b, "acquire", &[]).unwrap().done);
+    }
+
+    #[test]
+    fn shared_memory_detects_unlocked_access() {
+        let mut sm = SharedMemory::new("mem", 4);
+        assert!(sm.call(CallerId(9), "store", &[Value::Int(0), Value::Int(1)]).unwrap().done);
+        assert_eq!(sm.unlocked_accesses, 1);
+    }
+
+    #[test]
+    fn shared_memory_address_bounds() {
+        let mut sm = SharedMemory::new("mem", 4);
+        assert!(sm.call(CallerId(0), "load", &[Value::Int(4)]).is_err());
+        assert!(sm.call(CallerId(0), "load", &[Value::Int(-1)]).is_err());
+    }
+
+    #[test]
+    fn release_by_non_holder_is_harmless() {
+        let mut sm = SharedMemory::new("mem", 4);
+        assert!(sm.call(CallerId(1), "acquire", &[]).unwrap().done);
+        assert!(sm.call(CallerId(2), "release", &[]).unwrap().done);
+        // CallerId(1) still holds it.
+        assert!(!sm.call(CallerId(2), "acquire", &[]).unwrap().done);
+    }
+
+    #[test]
+    fn service_descriptions() {
+        let ch = FifoChannel::new("q", 1);
+        let svcs = ch.services();
+        assert_eq!(svcs.len(), 2);
+        assert_eq!(svcs[0].name, "put");
+        assert_eq!(svcs[0].arity, 1);
+        assert_eq!(svcs[1].returns, Some(Type::INT16));
+    }
+}

@@ -1,0 +1,382 @@
+//! Runtime execution of FSM-described communication units.
+//!
+//! A [`FsmUnitRuntime`] holds the live state of one unit instance: the
+//! controller's executor and variables, plus one *session* (protocol FSM
+//! executor + locals) per calling module and service — mirroring the
+//! paper's model where every module links its own copy of each access
+//! procedure with its own `static NEXTSTATE`.
+//!
+//! Wire state is externalized behind [`WireStore`], so the same runtime
+//! drives plain in-memory wires (standalone use, tests) or delta-cycle
+//! kernel signals (co-simulation).
+
+use cosma_core::comm::{CommUnitSpec, SERVICE_DONE_VAR, SERVICE_RESULT_VAR};
+use cosma_core::ids::{PortId, VarId};
+use cosma_core::{Env, EvalError, FsmExec, ReadEnv, ServiceCall, ServiceOutcome, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a calling module (or test harness) so each caller gets its
+/// own protocol session per service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallerId(pub u64);
+
+/// External wire state of a unit instance.
+pub trait WireStore {
+    /// Reads a wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown wire ids.
+    fn read_wire(&self, w: PortId) -> Result<Value, EvalError>;
+
+    /// Writes a wire. Implementations decide whether the write is
+    /// immediate (standalone) or delta-delayed (kernel signals).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown wire ids.
+    fn write_wire(&mut self, w: PortId, v: Value) -> Result<(), EvalError>;
+}
+
+/// Plain in-memory wires initialized from a unit spec; writes are
+/// immediate.
+#[derive(Debug, Clone)]
+pub struct LocalWires {
+    values: Vec<Value>,
+}
+
+impl LocalWires {
+    /// Creates wire storage matching `spec`'s wire table.
+    #[must_use]
+    pub fn new(spec: &CommUnitSpec) -> Self {
+        LocalWires { values: spec.wires().iter().map(|w| w.init().clone()).collect() }
+    }
+
+    /// Direct wire access for assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn value(&self, w: PortId) -> &Value {
+        &self.values[w.index()]
+    }
+}
+
+impl WireStore for LocalWires {
+    fn read_wire(&self, w: PortId) -> Result<Value, EvalError> {
+        self.values.get(w.index()).cloned().ok_or(EvalError::NoSuchPort(w))
+    }
+    fn write_wire(&mut self, w: PortId, v: Value) -> Result<(), EvalError> {
+        match self.values.get_mut(w.index()) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
+}
+
+/// Live state of one service session: protocol executor + locals.
+#[derive(Debug, Clone)]
+struct Session {
+    exec: FsmExec,
+    locals: Vec<Value>,
+}
+
+/// Per-service call statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Activations (each returns done or pending).
+    pub calls: u64,
+    /// Completed protocol runs.
+    pub completions: u64,
+}
+
+/// Statistics of a unit instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Per-service stats, keyed by service name.
+    pub services: HashMap<String, ServiceStats>,
+    /// Controller activations.
+    pub controller_steps: u64,
+}
+
+/// Environment adapter: locals as vars, wires as ports, call args as args.
+struct SessionEnv<'a> {
+    locals: &'a mut Vec<Value>,
+    local_tys: Vec<cosma_core::Type>,
+    wires: &'a mut dyn WireStore,
+    args: &'a [Value],
+}
+
+impl ReadEnv for SessionEnv<'_> {
+    fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+        self.locals.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+    }
+    fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+        self.wires.read_wire(p)
+    }
+    fn read_arg(&self, i: u32) -> Result<Value, EvalError> {
+        self.args.get(i as usize).cloned().ok_or(EvalError::NoSuchArg(i))
+    }
+}
+
+impl Env for SessionEnv<'_> {
+    fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
+        let ty = self.local_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        let slot = self.locals.get_mut(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        *slot = ty.clamp(value);
+        Ok(())
+    }
+    fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
+        self.wires.write_wire(p, value)
+    }
+    fn call_service(
+        &mut self,
+        call: &ServiceCall,
+        _args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        Err(EvalError::Service(format!("nested service call to {}", call.service)))
+    }
+}
+
+/// Executes an FSM-described communication unit instance.
+///
+/// # Examples
+///
+/// Drive the library handshake through a full put/get exchange:
+///
+/// ```
+/// use cosma_comm::{handshake_unit, FsmUnitRuntime, LocalWires, CallerId};
+/// use cosma_core::{Type, Value};
+///
+/// let spec = handshake_unit("hs", Type::INT16);
+/// let mut unit = FsmUnitRuntime::new(spec.clone());
+/// let mut wires = LocalWires::new(&spec);
+/// let producer = CallerId(1);
+/// let consumer = CallerId(2);
+///
+/// // Run producer, consumer and controller until the exchange completes.
+/// let mut got = None;
+/// for _ in 0..20 {
+///     unit.call(producer, "put", &[Value::Int(42)], &mut wires)?;
+///     let g = unit.call(consumer, "get", &[], &mut wires)?;
+///     if g.done { got = g.result; break; }
+///     unit.step_controller(&mut wires)?;
+/// }
+/// assert_eq!(got, Some(Value::Int(42)));
+/// # Ok::<(), cosma_core::EvalError>(())
+/// ```
+pub struct FsmUnitRuntime {
+    spec: Arc<CommUnitSpec>,
+    controller: Option<(FsmExec, Vec<Value>)>,
+    sessions: HashMap<(CallerId, String), Session>,
+    stats: UnitStats,
+}
+
+impl fmt::Debug for FsmUnitRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FsmUnitRuntime")
+            .field("spec", &self.spec.name())
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FsmUnitRuntime {
+    /// Creates the runtime for a unit spec.
+    #[must_use]
+    pub fn new(spec: Arc<CommUnitSpec>) -> Self {
+        let controller = spec.controller().map(|c| {
+            (FsmExec::new(&c.fsm), c.vars.iter().map(|v| v.init().clone()).collect())
+        });
+        FsmUnitRuntime { spec, controller, sessions: HashMap::new(), stats: UnitStats::default() }
+    }
+
+    /// The unit spec.
+    #[must_use]
+    pub fn spec(&self) -> &Arc<CommUnitSpec> {
+        &self.spec
+    }
+
+    /// Activates one step of `service` on behalf of `caller`.
+    ///
+    /// Returns `done = true` exactly once per completed protocol run; the
+    /// session then resets for the next transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Service`] for unknown services or arity
+    /// mismatches, and propagates expression-evaluation errors.
+    pub fn call(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        args: &[Value],
+        wires: &mut dyn WireStore,
+    ) -> Result<ServiceOutcome, EvalError> {
+        let Some(svc) = self.spec.service(service) else {
+            return Err(EvalError::Service(format!(
+                "unit {} has no service {service}",
+                self.spec.name()
+            )));
+        };
+        if svc.args().len() != args.len() {
+            return Err(EvalError::Service(format!(
+                "service {service} expects {} argument(s), got {}",
+                svc.args().len(),
+                args.len()
+            )));
+        }
+        let key = (caller, service.to_string());
+        let session = self.sessions.entry(key).or_insert_with(|| Session {
+            exec: FsmExec::new(svc.fsm()),
+            locals: svc.locals().iter().map(|v| v.init().clone()).collect(),
+        });
+        let local_tys: Vec<_> = svc.locals().iter().map(|v| v.ty().clone()).collect();
+        let mut env = SessionEnv { locals: &mut session.locals, local_tys, wires, args };
+        session.exec.step(svc.fsm(), &mut env)?;
+        let stats = self.stats.services.entry(service.to_string()).or_default();
+        stats.calls += 1;
+        let done = session.locals[SERVICE_DONE_VAR.index()]
+            .truthy()
+            .ok_or(EvalError::UnknownCondition)?;
+        if done {
+            stats.completions += 1;
+            let result = svc
+                .returns()
+                .map(|_| session.locals[SERVICE_RESULT_VAR.index()].clone());
+            // Reset the session for the next transaction.
+            session.exec = FsmExec::new(svc.fsm());
+            session.locals = svc.locals().iter().map(|v| v.init().clone()).collect();
+            Ok(ServiceOutcome { done: true, result })
+        } else {
+            Ok(ServiceOutcome::pending())
+        }
+    }
+
+    /// Runs one controller activation (no-op for controller-less units).
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors from the controller FSM.
+    pub fn step_controller(&mut self, wires: &mut dyn WireStore) -> Result<(), EvalError> {
+        let Some(ctrl_spec) = self.spec.controller() else {
+            return Ok(());
+        };
+        let (exec, vars) = self.controller.as_mut().expect("controller state exists");
+        let local_tys: Vec<_> = ctrl_spec.vars.iter().map(|v| v.ty().clone()).collect();
+        let mut env = SessionEnv { locals: vars, local_tys, wires, args: &[] };
+        exec.step(&ctrl_spec.fsm, &mut env)?;
+        self.stats.controller_steps += 1;
+        Ok(())
+    }
+
+    /// Call/completion statistics.
+    #[must_use]
+    pub fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+
+    /// Current controller state name, if a controller exists (useful in
+    /// traces and the Fig. 2 harness).
+    #[must_use]
+    pub fn controller_state(&self) -> Option<&str> {
+        let ctrl = self.spec.controller()?;
+        let (exec, _) = self.controller.as_ref()?;
+        Some(ctrl.fsm.state(exec.current()).name())
+    }
+
+    /// Drops a caller's session for a service (e.g. on module reset).
+    pub fn reset_session(&mut self, caller: CallerId, service: &str) {
+        self.sessions.remove(&(caller, service.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::handshake_unit;
+    use cosma_core::Type;
+
+    #[test]
+    fn unknown_service_is_error() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let err = unit.call(CallerId(0), "bogus", &[], &mut wires).unwrap_err();
+        assert!(err.to_string().contains("no service"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let err = unit.call(CallerId(0), "put", &[], &mut wires).unwrap_err();
+        assert!(err.to_string().contains("argument"));
+    }
+
+    #[test]
+    fn sessions_are_per_caller() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        // Two producers start puts; their protocol FSMs advance
+        // independently (each has its own NEXTSTATE).
+        unit.call(CallerId(1), "put", &[Value::Int(1)], &mut wires).unwrap();
+        unit.call(CallerId(2), "put", &[Value::Int(2)], &mut wires).unwrap();
+        assert_eq!(unit.stats().services["put"].calls, 2);
+        assert_eq!(unit.stats().services["put"].completions, 0);
+        assert_eq!(unit.sessions.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_completions() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let p = CallerId(1);
+        let c = CallerId(2);
+        let mut puts = 0;
+        let mut gets = 0;
+        for _ in 0..60 {
+            if unit.call(p, "put", &[Value::Int(9)], &mut wires).unwrap().done {
+                puts += 1;
+            }
+            if unit.call(c, "get", &[], &mut wires).unwrap().done {
+                gets += 1;
+            }
+            unit.step_controller(&mut wires).unwrap();
+            if puts >= 2 && gets >= 2 {
+                break;
+            }
+        }
+        assert!(puts >= 2, "two puts should complete, got {puts}");
+        assert!(gets >= 2, "two gets should complete, got {gets}");
+        assert_eq!(unit.stats().services["put"].completions, puts);
+        assert!(unit.stats().controller_steps > 0);
+    }
+
+    #[test]
+    fn reset_session_restarts_protocol() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let p = CallerId(1);
+        unit.call(p, "put", &[Value::Int(1)], &mut wires).unwrap();
+        unit.reset_session(p, "put");
+        assert_eq!(unit.sessions.len(), 0);
+    }
+
+    #[test]
+    fn controller_state_visible() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let unit = FsmUnitRuntime::new(spec);
+        assert_eq!(unit.controller_state(), Some("IDLE"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Four-valued logic bit, modelled on the subset of IEEE 1164 `std_logic`
+//! that the paper's VHDL descriptions use.
+//!
+//! The co-simulation kernel and the synthesized netlists both operate on
+//! [`Bit`] values so that `'X'` (unknown) propagation during reset and `'Z'`
+//! (high impedance) on shared buses behave the same in both flows.
+
+use std::fmt;
+
+/// A four-valued logic level: `0`, `1`, unknown (`X`) or high-impedance (`Z`).
+///
+/// # Examples
+///
+/// ```
+/// use cosma_core::Bit;
+///
+/// assert_eq!(Bit::One & Bit::Zero, Bit::Zero);
+/// assert_eq!(Bit::One & Bit::X, Bit::X);
+/// assert_eq!(Bit::from(true), Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Bit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    X,
+    /// High impedance (undriven bus).
+    Z,
+}
+
+impl Bit {
+    /// All four levels, in declaration order.
+    pub const ALL: [Bit; 4] = [Bit::Zero, Bit::One, Bit::X, Bit::Z];
+
+    /// Returns `true` if the bit is a defined logic level (`0` or `1`).
+    ///
+    /// ```
+    /// use cosma_core::Bit;
+    /// assert!(Bit::One.is_defined());
+    /// assert!(!Bit::X.is_defined());
+    /// ```
+    #[must_use]
+    pub fn is_defined(self) -> bool {
+        matches!(self, Bit::Zero | Bit::One)
+    }
+
+    /// Converts a defined level to `bool`; `X`/`Z` yield `None`.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X | Bit::Z => None,
+        }
+    }
+
+    /// Logical negation. `X` and `Z` both negate to `X` (as in `std_logic`).
+    #[allow(clippy::should_implement_trait)] // also provided via `std::ops::Not`
+    #[must_use]
+    pub fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X | Bit::Z => Bit::X,
+        }
+    }
+
+    /// Two-driver bus resolution, following the `std_logic` resolution
+    /// table restricted to our four levels: `Z` is dominated by everything,
+    /// conflicting strong drivers yield `X`.
+    ///
+    /// ```
+    /// use cosma_core::Bit;
+    /// assert_eq!(Bit::Z.resolve(Bit::One), Bit::One);
+    /// assert_eq!(Bit::Zero.resolve(Bit::One), Bit::X);
+    /// assert_eq!(Bit::Z.resolve(Bit::Z), Bit::Z);
+    /// ```
+    #[must_use]
+    pub fn resolve(self, other: Bit) -> Bit {
+        match (self, other) {
+            (Bit::Z, b) | (b, Bit::Z) => b,
+            (a, b) if a == b => a,
+            _ => Bit::X,
+        }
+    }
+
+    /// Character representation (`'0'`, `'1'`, `'X'`, `'Z'`).
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::X => 'X',
+            Bit::Z => 'Z',
+        }
+    }
+
+    /// Parses a character into a bit. Accepts lower- and upper-case
+    /// `x`/`z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitError`] for any other character.
+    pub fn from_char(c: char) -> Result<Bit, ParseBitError> {
+        match c {
+            '0' => Ok(Bit::Zero),
+            '1' => Ok(Bit::One),
+            'x' | 'X' => Ok(Bit::X),
+            'z' | 'Z' => Ok(Bit::Z),
+            other => Err(ParseBitError(other)),
+        }
+    }
+}
+
+/// Error returned by [`Bit::from_char`] for characters outside `01XZxz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBitError(pub char);
+
+impl fmt::Display for ParseBitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid logic level character {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBitError {}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl std::ops::BitAnd for Bit {
+    type Output = Bit;
+    fn bitand(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::Zero, _) | (_, Bit::Zero) => Bit::Zero,
+            (Bit::One, Bit::One) => Bit::One,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl std::ops::BitOr for Bit {
+    type Output = Bit;
+    fn bitor(self, rhs: Bit) -> Bit {
+        match (self, rhs) {
+            (Bit::One, _) | (_, Bit::One) => Bit::One,
+            (Bit::Zero, Bit::Zero) => Bit::Zero,
+            _ => Bit::X,
+        }
+    }
+}
+
+impl std::ops::BitXor for Bit {
+    type Output = Bit;
+    fn bitxor(self, rhs: Bit) -> Bit {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Bit::from(a ^ b),
+            _ => Bit::X,
+        }
+    }
+}
+
+impl std::ops::Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        Bit::not(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Bit::Zero & Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::Zero & Bit::One, Bit::Zero);
+        assert_eq!(Bit::One & Bit::One, Bit::One);
+        // Zero dominates unknowns.
+        assert_eq!(Bit::Zero & Bit::X, Bit::Zero);
+        assert_eq!(Bit::Zero & Bit::Z, Bit::Zero);
+        assert_eq!(Bit::One & Bit::X, Bit::X);
+        assert_eq!(Bit::X & Bit::X, Bit::X);
+        assert_eq!(Bit::Z & Bit::One, Bit::X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Bit::One | Bit::X, Bit::One);
+        assert_eq!(Bit::Zero | Bit::X, Bit::X);
+        assert_eq!(Bit::Zero | Bit::Zero, Bit::Zero);
+        assert_eq!(Bit::One | Bit::One, Bit::One);
+    }
+
+    #[test]
+    fn xor_unknown_poisons() {
+        assert_eq!(Bit::One ^ Bit::One, Bit::Zero);
+        assert_eq!(Bit::One ^ Bit::Zero, Bit::One);
+        assert_eq!(Bit::One ^ Bit::X, Bit::X);
+        assert_eq!(Bit::Z ^ Bit::Zero, Bit::X);
+    }
+
+    #[test]
+    fn not_maps_unknowns_to_x() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+        assert_eq!(!Bit::X, Bit::X);
+        assert_eq!(!Bit::Z, Bit::X);
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        for a in Bit::ALL {
+            for b in Bit::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a), "resolve({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_z_is_identity() {
+        for a in Bit::ALL {
+            assert_eq!(Bit::Z.resolve(a), a);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in Bit::ALL {
+            assert_eq!(Bit::from_char(b.to_char()), Ok(b));
+        }
+        assert!(Bit::from_char('q').is_err());
+        let err = Bit::from_char('q').unwrap_err();
+        assert!(err.to_string().contains('q'));
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert_eq!(Bit::One.to_bool(), Some(true));
+        assert_eq!(Bit::Z.to_bool(), None);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+}

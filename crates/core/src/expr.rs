@@ -1,0 +1,608 @@
+//! Expressions of the unified IR and their evaluation.
+//!
+//! Expressions are shared by module FSMs, communication-unit controllers
+//! and service protocol FSMs. They are deliberately side-effect free; all
+//! state changes go through [`crate::stmt::Stmt`].
+
+use crate::bit::Bit;
+use crate::ids::{PortId, VarId};
+use crate::value::{Value, ValueError};
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation of integers.
+    Neg,
+    /// Bitwise/logical not: bits via 4-valued `not`, bools via `!`,
+    /// integers via bitwise complement.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (trapping on division by zero).
+    Div,
+    /// Integer remainder (trapping on division by zero).
+    Rem,
+    /// Bitwise/logical and (bits, bools, integers).
+    And,
+    /// Bitwise/logical or.
+    Or,
+    /// Bitwise/logical xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Equality (any two values of the same kind).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (integers).
+    Lt,
+    /// Less-or-equal (integers).
+    Le,
+    /// Greater-than (integers).
+    Gt,
+    /// Greater-or-equal (integers).
+    Ge,
+    /// Minimum of two integers (used by datapath synthesis).
+    Min,
+    /// Maximum of two integers.
+    Max,
+}
+
+impl BinOp {
+    /// Whether the operator produces a boolean result.
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// An IR expression tree.
+///
+/// # Examples
+///
+/// Build `(count + 1) < limit` over two variables:
+///
+/// ```
+/// use cosma_core::{Expr, BinOp};
+/// use cosma_core::ids::VarId;
+///
+/// let count = VarId::new(0);
+/// let limit = VarId::new(1);
+/// let e = Expr::var(count).add(Expr::int(1)).lt(Expr::var(limit));
+/// assert!(matches!(e, Expr::Binary(BinOp::Lt, _, _)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Const(Value),
+    /// A module/unit variable read.
+    Var(VarId),
+    /// A port or internal-wire read.
+    Port(PortId),
+    /// A service formal argument (position in the call's argument list).
+    Arg(u32),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/... are the expression-builder DSL
+impl Expr {
+    /// Integer literal.
+    #[must_use]
+    pub fn int(i: i64) -> Expr {
+        Expr::Const(Value::Int(i))
+    }
+
+    /// Bit literal.
+    #[must_use]
+    pub fn bit(b: Bit) -> Expr {
+        Expr::Const(Value::Bit(b))
+    }
+
+    /// Boolean literal.
+    #[must_use]
+    pub fn bool(b: bool) -> Expr {
+        Expr::Const(Value::Bool(b))
+    }
+
+    /// Variable read.
+    #[must_use]
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Port read.
+    #[must_use]
+    pub fn port(p: PortId) -> Expr {
+        Expr::Port(p)
+    }
+
+    /// Service argument read.
+    #[must_use]
+    pub fn arg(i: u32) -> Expr {
+        Expr::Arg(i)
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    #[must_use]
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    #[must_use]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`.
+    #[must_use]
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    /// `self == rhs`.
+    #[must_use]
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    /// `self != rhs`.
+    #[must_use]
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+
+    /// `self < rhs`.
+    #[must_use]
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`.
+    #[must_use]
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs`.
+    #[must_use]
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`.
+    #[must_use]
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    /// Logical/bitwise `self & rhs`.
+    #[must_use]
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// Logical/bitwise `self | rhs`.
+    #[must_use]
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// Negation (`!self` / `-self` depending on operand kind).
+    #[must_use]
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// Arithmetic negation.
+    #[must_use]
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// Evaluates the expression against an environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on type mismatches, division by zero, or
+    /// out-of-range variable/port/argument references.
+    pub fn eval(&self, env: &dyn ReadEnv) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(v) => env.read_var(*v),
+            Expr::Port(p) => env.read_port(*p),
+            Expr::Arg(i) => env.read_arg(*i),
+            Expr::Unary(op, e) => eval_unary(*op, e.eval(env)?),
+            Expr::Binary(op, a, b) => eval_binary(*op, a.eval(env)?, b.eval(env)?),
+        }
+    }
+
+    /// Visits every variable read in the expression.
+    pub fn for_each_var(&self, f: &mut impl FnMut(VarId)) {
+        match self {
+            Expr::Var(v) => f(*v),
+            Expr::Unary(_, e) => e.for_each_var(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_var(f);
+                b.for_each_var(f);
+            }
+            Expr::Const(_) | Expr::Port(_) | Expr::Arg(_) => {}
+        }
+    }
+
+    /// Visits every port read in the expression.
+    pub fn for_each_port(&self, f: &mut impl FnMut(PortId)) {
+        match self {
+            Expr::Port(p) => f(*p),
+            Expr::Unary(_, e) => e.for_each_port(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_port(f);
+                b.for_each_port(f);
+            }
+            Expr::Const(_) | Expr::Var(_) | Expr::Arg(_) => {}
+        }
+    }
+
+    /// Maximum argument index referenced, if any (for arity checks).
+    #[must_use]
+    pub fn max_arg(&self) -> Option<u32> {
+        match self {
+            Expr::Arg(i) => Some(*i),
+            Expr::Unary(_, e) => e.max_arg(),
+            Expr::Binary(_, a, b) => a.max_arg().into_iter().chain(b.max_arg()).max(),
+            Expr::Const(_) | Expr::Var(_) | Expr::Port(_) => None,
+        }
+    }
+}
+
+/// Integer expression arithmetic is 16-bit two's-complement — the unified
+/// model's native integer width — so the interpreter, the synthesized
+/// netlists and the MC16 programs agree operation-for-operation.
+fn wrap16(i: i64) -> i64 {
+    i as i16 as i64
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Result<Value, EvalError> {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(wrap16(i.wrapping_neg()))),
+        (UnOp::Not, Value::Bit(b)) => Ok(Value::Bit(!b)),
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnOp::Not, Value::Int(i)) => Ok(Value::Int(!i)),
+        (op, v) => Err(EvalError::BadOperand { op: format!("{op:?}"), operand: format!("{v}") }),
+    }
+}
+
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    // Equality works across all same-kind values.
+    if matches!(op, Eq | Ne) {
+        let same = match (&a, &b) {
+            (Value::Bit(x), Value::Bit(y)) => x == y,
+            (Value::Bool(x), Value::Bool(y)) => x == y,
+            (Value::Int(x), Value::Int(y)) => x == y,
+            (Value::Enum(x), Value::Enum(y)) => x == y,
+            _ => {
+                return Err(EvalError::BadOperand {
+                    op: format!("{op:?}"),
+                    operand: format!("{a} vs {b}"),
+                })
+            }
+        };
+        return Ok(Value::Bool(if op == Eq { same } else { !same }));
+    }
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let (x, y) = (*x, *y);
+            let v = match op {
+                Add => Value::Int(wrap16(x.wrapping_add(y))),
+                Sub => Value::Int(wrap16(x.wrapping_sub(y))),
+                Mul => Value::Int(wrap16(x.wrapping_mul(y))),
+                Div => {
+                    if y == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    Value::Int(wrap16(x.wrapping_div(y)))
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    Value::Int(wrap16(x.wrapping_rem(y)))
+                }
+                And => Value::Int(x & y),
+                Or => Value::Int(x | y),
+                Xor => Value::Int(x ^ y),
+                Shl => Value::Int(wrap16(x.wrapping_shl(y as u32 & 63))),
+                Shr => Value::Int(x.wrapping_shr(y as u32 & 63)),
+                Lt => Value::Bool(x < y),
+                Le => Value::Bool(x <= y),
+                Gt => Value::Bool(x > y),
+                Ge => Value::Bool(x >= y),
+                Min => Value::Int(x.min(y)),
+                Max => Value::Int(x.max(y)),
+                Eq | Ne => unreachable!("handled above"),
+            };
+            Ok(v)
+        }
+        (Value::Bit(x), Value::Bit(y)) => {
+            let v = match op {
+                And => Value::Bit(*x & *y),
+                Or => Value::Bit(*x | *y),
+                Xor => Value::Bit(*x ^ *y),
+                _ => {
+                    return Err(EvalError::BadOperand {
+                        op: format!("{op:?}"),
+                        operand: format!("{a} vs {b}"),
+                    })
+                }
+            };
+            Ok(v)
+        }
+        (Value::Bool(x), Value::Bool(y)) => {
+            let v = match op {
+                And => Value::Bool(*x && *y),
+                Or => Value::Bool(*x || *y),
+                Xor => Value::Bool(*x ^ *y),
+                _ => {
+                    return Err(EvalError::BadOperand {
+                        op: format!("{op:?}"),
+                        operand: format!("{a} vs {b}"),
+                    })
+                }
+            };
+            Ok(v)
+        }
+        _ => Err(EvalError::BadOperand { op: format!("{op:?}"), operand: format!("{a} vs {b}") }),
+    }
+}
+
+/// Read access to the evaluation environment: variables, ports and service
+/// arguments. Implemented by the interpreter contexts in `cosma-cosim`, by
+/// the synthesis-time constant folder, and by test fixtures.
+pub trait ReadEnv {
+    /// Reads a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the id is unknown in this environment.
+    fn read_var(&self, v: VarId) -> Result<Value, EvalError>;
+
+    /// Reads a port or wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the id is unknown in this environment.
+    fn read_port(&self, p: PortId) -> Result<Value, EvalError>;
+
+    /// Reads a service call argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when evaluated outside a service activation or the
+    /// index is out of range.
+    fn read_arg(&self, index: u32) -> Result<Value, EvalError> {
+        Err(EvalError::NoSuchArg(index))
+    }
+}
+
+/// Errors raised while evaluating expressions or executing statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Reference to a variable the environment does not know.
+    NoSuchVar(VarId),
+    /// Reference to a port the environment does not know.
+    NoSuchPort(PortId),
+    /// Reference to a missing service argument.
+    NoSuchArg(u32),
+    /// Operator applied to an operand of the wrong kind.
+    BadOperand {
+        /// Operator name.
+        op: String,
+        /// Operand display.
+        operand: String,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A guard evaluated to an unknown (`X`/`Z`) condition.
+    UnknownCondition,
+    /// Value-level error (enum variants, conversions).
+    Value(ValueError),
+    /// A service call failed (unbound unit, unknown service, arity).
+    Service(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NoSuchVar(v) => write!(f, "no such variable {v:?}"),
+            EvalError::NoSuchPort(p) => write!(f, "no such port {p:?}"),
+            EvalError::NoSuchArg(i) => write!(f, "no such service argument #{i}"),
+            EvalError::BadOperand { op, operand } => {
+                write!(f, "operator {op} not applicable to {operand}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::UnknownCondition => write!(f, "condition evaluated to X/Z"),
+            EvalError::Value(e) => write!(f, "{e}"),
+            EvalError::Service(msg) => write!(f, "service call failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> Self {
+        EvalError::Value(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedEnv {
+        vars: Vec<Value>,
+        ports: Vec<Value>,
+        args: Vec<Value>,
+    }
+
+    impl ReadEnv for FixedEnv {
+        fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+            self.vars.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+        }
+        fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+            self.ports.get(p.index()).cloned().ok_or(EvalError::NoSuchPort(p))
+        }
+        fn read_arg(&self, i: u32) -> Result<Value, EvalError> {
+            self.args.get(i as usize).cloned().ok_or(EvalError::NoSuchArg(i))
+        }
+    }
+
+    fn env() -> FixedEnv {
+        FixedEnv {
+            vars: vec![Value::Int(10), Value::Int(3)],
+            ports: vec![Value::Bit(Bit::One)],
+            args: vec![Value::Int(300)],
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::var(VarId::new(0)).add(Expr::var(VarId::new(1))).mul(Expr::int(2));
+        assert_eq!(e.eval(&env()).unwrap(), Value::Int(26));
+        let d = Expr::var(VarId::new(0)).div(Expr::int(3));
+        assert_eq!(d.eval(&env()).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::int(1).div(Expr::int(0));
+        assert_eq!(e.eval(&env()).unwrap_err(), EvalError::DivisionByZero);
+        let e = Expr::Binary(BinOp::Rem, Box::new(Expr::int(1)), Box::new(Expr::int(0)));
+        assert_eq!(e.eval(&env()).unwrap_err(), EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn comparisons() {
+        let e = Expr::var(VarId::new(0)).gt(Expr::var(VarId::new(1)));
+        assert_eq!(e.eval(&env()).unwrap(), Value::Bool(true));
+        let e = Expr::int(5).le(Expr::int(5));
+        assert_eq!(e.eval(&env()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn bit_equality_against_literal() {
+        // The Fig. 3 idiom: B_FULL = '1'.
+        let e = Expr::port(PortId::new(0)).eq(Expr::bit(Bit::One));
+        assert_eq!(e.eval(&env()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn mixed_kind_comparison_is_error() {
+        let e = Expr::int(1).eq(Expr::bit(Bit::One));
+        assert!(e.eval(&env()).is_err());
+    }
+
+    #[test]
+    fn args_read_through() {
+        let e = Expr::arg(0).add(Expr::int(1));
+        assert_eq!(e.eval(&env()).unwrap(), Value::Int(301));
+        let e = Expr::arg(7);
+        assert_eq!(e.eval(&env()).unwrap_err(), EvalError::NoSuchArg(7));
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(Expr::int(5).neg().eval(&env()).unwrap(), Value::Int(-5));
+        assert_eq!(Expr::bool(true).not().eval(&env()).unwrap(), Value::Bool(false));
+        assert_eq!(Expr::bit(Bit::Zero).not().eval(&env()).unwrap(), Value::Bit(Bit::One));
+        assert_eq!(Expr::int(0).not().eval(&env()).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn logic_on_bools_and_bits() {
+        let t = Expr::bool(true);
+        let f = Expr::bool(false);
+        assert_eq!(t.clone().and(f.clone()).eval(&env()).unwrap(), Value::Bool(false));
+        assert_eq!(t.or(f).eval(&env()).unwrap(), Value::Bool(true));
+        let one = Expr::bit(Bit::One);
+        let x = Expr::bit(Bit::X);
+        assert_eq!(one.and(x).eval(&env()).unwrap(), Value::Bit(Bit::X));
+    }
+
+    #[test]
+    fn shifts_and_bitwise_ints() {
+        assert_eq!(
+            Expr::Binary(BinOp::Shl, Box::new(Expr::int(1)), Box::new(Expr::int(4)))
+                .eval(&env())
+                .unwrap(),
+            Value::Int(16)
+        );
+        assert_eq!(
+            Expr::Binary(BinOp::Xor, Box::new(Expr::int(0b1100)), Box::new(Expr::int(0b1010)))
+                .eval(&env())
+                .unwrap(),
+            Value::Int(0b0110)
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(
+            Expr::Binary(BinOp::Min, Box::new(Expr::int(3)), Box::new(Expr::int(9)))
+                .eval(&env())
+                .unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Expr::Binary(BinOp::Max, Box::new(Expr::int(3)), Box::new(Expr::int(9)))
+                .eval(&env())
+                .unwrap(),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn visitors_collect_reads() {
+        let e = Expr::var(VarId::new(0))
+            .add(Expr::var(VarId::new(1)))
+            .lt(Expr::port(PortId::new(0)).eq(Expr::bit(Bit::One)).not());
+        let mut vars = vec![];
+        e.for_each_var(&mut |v| vars.push(v.index()));
+        assert_eq!(vars, vec![0, 1]);
+        let mut ports = vec![];
+        e.for_each_port(&mut |p| ports.push(p.index()));
+        assert_eq!(ports, vec![0]);
+    }
+
+    #[test]
+    fn max_arg_detection() {
+        assert_eq!(Expr::int(1).max_arg(), None);
+        assert_eq!(Expr::arg(2).add(Expr::arg(5)).max_arg(), Some(5));
+    }
+}

@@ -1,0 +1,377 @@
+//! Finite state machines — the unifying executable model of the paper.
+//!
+//! Both C software modules (Fig. 6) and VHDL hardware processes (Fig. 7)
+//! elaborate to the same [`Fsm`] structure, as do communication-unit
+//! controllers and access procedures (Fig. 3). One *activation* of an FSM
+//! executes the current state's actions and then at most one transition —
+//! exactly the paper's "each time a software component is activated ...
+//! only one transition is executed".
+
+use crate::expr::Expr;
+use crate::ids::StateId;
+use crate::stmt::Stmt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A guarded transition between states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Guard expression; `None` means unconditional. Guards are evaluated
+    /// *after* the state's actions, so a guard may test a flag the actions
+    /// just wrote (the service-call `DONE` idiom).
+    pub guard: Option<Expr>,
+    /// Statements executed when the transition is taken.
+    pub actions: Vec<Stmt>,
+    /// Destination state.
+    pub target: StateId,
+}
+
+/// A state: named, with entry actions and an ordered transition list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    name: String,
+    /// Actions executed on every activation in which this state is
+    /// current.
+    pub actions: Vec<Stmt>,
+    /// Transitions, tried in order; the first enabled one is taken.
+    pub transitions: Vec<Transition>,
+}
+
+impl State {
+    /// The state's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A finite state machine over some environment of variables and ports.
+///
+/// Build one with [`FsmBuilder`]:
+///
+/// ```
+/// use cosma_core::{FsmBuilder, Expr, Stmt};
+/// use cosma_core::ids::VarId;
+///
+/// let mut b = FsmBuilder::new();
+/// let idle = b.state("IDLE");
+/// let run = b.state("RUN");
+/// b.actions(idle, vec![Stmt::assign(VarId::new(0), Expr::int(0))]);
+/// b.transition(idle, Some(Expr::var(VarId::new(1)).gt(Expr::int(0))), run);
+/// b.transition(run, None, idle);
+/// b.initial(idle);
+/// let fsm = b.build()?;
+/// assert_eq!(fsm.state_count(), 2);
+/// # Ok::<(), cosma_core::FsmBuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fsm {
+    states: Vec<State>,
+    initial: StateId,
+}
+
+impl Fsm {
+    /// The initial state.
+    #[must_use]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Looks up a state by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this FSM. Ids obtained from the
+    /// owning [`FsmBuilder`] are always valid.
+    #[must_use]
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// All states in id order.
+    #[must_use]
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// All state ids in order.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u32).map(StateId::new)
+    }
+
+    /// Finds a state id by name.
+    #[must_use]
+    pub fn find_state(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(|i| StateId::new(i as u32))
+    }
+
+    /// States reachable from the initial state by following transitions.
+    #[must_use]
+    pub fn reachable_states(&self) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![self.initial];
+        seen[self.initial.index()] = true;
+        let mut order = vec![];
+        while let Some(s) = stack.pop() {
+            order.push(s);
+            for t in &self.states[s.index()].transitions {
+                if !seen[t.target.index()] {
+                    seen[t.target.index()] = true;
+                    stack.push(t.target);
+                }
+            }
+        }
+        order.sort();
+        order
+    }
+
+    /// Total number of transitions across all states.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// Visits every statement in the FSM (state actions and transition
+    /// actions).
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        for s in &self.states {
+            for a in &s.actions {
+                f(a);
+            }
+            for t in &s.transitions {
+                for a in &t.actions {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Visits every guard expression in the FSM.
+    pub fn for_each_guard(&self, f: &mut impl FnMut(&Expr)) {
+        for s in &self.states {
+            for t in &s.transitions {
+                if let Some(g) = &t.guard {
+                    f(g);
+                }
+            }
+        }
+    }
+}
+
+/// Incremental builder for [`Fsm`].
+#[derive(Debug, Default)]
+pub struct FsmBuilder {
+    states: Vec<State>,
+    by_name: HashMap<String, StateId>,
+    initial: Option<StateId>,
+}
+
+impl FsmBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a state, returning its id. Calling twice with the same
+    /// name returns the existing id, so forward references are easy:
+    /// declare all states first, then fill them in.
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = StateId::new(self.states.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.states.push(State { name, actions: vec![], transitions: vec![] });
+        id
+    }
+
+    /// Appends entry actions to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not created by this builder.
+    pub fn actions(&mut self, state: StateId, mut stmts: Vec<Stmt>) -> &mut Self {
+        self.states[state.index()].actions.append(&mut stmts);
+        self
+    }
+
+    /// Adds a guarded transition (guard `None` = unconditional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` was not created by this builder.
+    pub fn transition(&mut self, from: StateId, guard: Option<Expr>, target: StateId) -> &mut Self {
+        self.transition_with(from, guard, vec![], target)
+    }
+
+    /// Adds a transition that also executes actions when taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` was not created by this builder.
+    pub fn transition_with(
+        &mut self,
+        from: StateId,
+        guard: Option<Expr>,
+        actions: Vec<Stmt>,
+        target: StateId,
+    ) -> &mut Self {
+        self.states[from.index()].transitions.push(Transition { guard, actions, target });
+        self
+    }
+
+    /// Sets the initial state.
+    pub fn initial(&mut self, state: StateId) -> &mut Self {
+        self.initial = Some(state);
+        self
+    }
+
+    /// Number of states declared so far.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Finalizes the FSM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmBuildError`] if no states were declared, no initial
+    /// state was set, or a state has an unconditional transition that is
+    /// not its last (later transitions would be dead).
+    pub fn build(self) -> Result<Fsm, FsmBuildError> {
+        if self.states.is_empty() {
+            return Err(FsmBuildError::Empty);
+        }
+        let initial = self.initial.ok_or(FsmBuildError::NoInitial)?;
+        for s in &self.states {
+            if let Some(pos) = s.transitions.iter().position(|t| t.guard.is_none()) {
+                if pos + 1 != s.transitions.len() {
+                    return Err(FsmBuildError::DeadTransitions { state: s.name.clone() });
+                }
+            }
+        }
+        Ok(Fsm { states: self.states, initial })
+    }
+}
+
+/// Errors from [`FsmBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmBuildError {
+    /// No states were declared.
+    Empty,
+    /// No initial state was set.
+    NoInitial,
+    /// An unconditional transition shadows later transitions.
+    DeadTransitions {
+        /// State whose transition list is unreachable past the
+        /// unconditional entry.
+        state: String,
+    },
+}
+
+impl fmt::Display for FsmBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmBuildError::Empty => write!(f, "fsm has no states"),
+            FsmBuildError::NoInitial => write!(f, "fsm has no initial state"),
+            FsmBuildError::DeadTransitions { state } => {
+                write!(f, "state {state} has transitions after an unconditional one")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsmBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = FsmBuilder::new();
+        let a = b.state("A");
+        let c = b.state("C");
+        assert_eq!(b.state("A"), a, "re-declaring returns the same id");
+        b.transition(a, Some(Expr::var(VarId::new(0)).gt(Expr::int(0))), c);
+        b.transition(a, None, a);
+        b.transition(c, None, a);
+        b.initial(a);
+        let fsm = b.build().unwrap();
+        assert_eq!(fsm.state_count(), 2);
+        assert_eq!(fsm.transition_count(), 3);
+        assert_eq!(fsm.initial(), a);
+        assert_eq!(fsm.find_state("C"), Some(c));
+        assert_eq!(fsm.find_state("Z"), None);
+        assert_eq!(fsm.state(a).name(), "A");
+    }
+
+    #[test]
+    fn empty_fsm_rejected() {
+        assert_eq!(FsmBuilder::new().build().unwrap_err(), FsmBuildError::Empty);
+    }
+
+    #[test]
+    fn missing_initial_rejected() {
+        let mut b = FsmBuilder::new();
+        b.state("A");
+        assert_eq!(b.build().unwrap_err(), FsmBuildError::NoInitial);
+    }
+
+    #[test]
+    fn dead_transitions_rejected() {
+        let mut b = FsmBuilder::new();
+        let a = b.state("A");
+        let c = b.state("B");
+        b.transition(a, None, c);
+        b.transition(a, Some(Expr::bool(true)), c);
+        b.initial(a);
+        match b.build().unwrap_err() {
+            FsmBuildError::DeadTransitions { state } => assert_eq!(state, "A"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconditional_last_is_fine() {
+        let mut b = FsmBuilder::new();
+        let a = b.state("A");
+        let c = b.state("B");
+        b.transition(a, Some(Expr::bool(false)), c);
+        b.transition(a, None, c);
+        b.initial(a);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn reachability() {
+        let mut b = FsmBuilder::new();
+        let a = b.state("A");
+        let c = b.state("B");
+        let orphan = b.state("ORPHAN");
+        b.transition(a, None, c);
+        b.transition(orphan, None, a);
+        b.initial(a);
+        let fsm = b.build().unwrap();
+        let reach = fsm.reachable_states();
+        assert!(reach.contains(&a));
+        assert!(reach.contains(&c));
+        assert!(!reach.contains(&orphan));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FsmBuildError::Empty.to_string().contains("no states"));
+        assert!(FsmBuildError::NoInitial.to_string().contains("initial"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Index-based identifiers used throughout the IR.
+//!
+//! Each id is a newtype over a `u32` index into the owning entity's table
+//! (a module's variable table, port table, etc.). Newtypes keep the id
+//! spaces statically distinct: a [`VarId`] cannot be used where a
+//! [`PortId`] is expected.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index, as `usize` for table lookups.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw index.
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a variable within its owning module, controller or
+    /// service.
+    VarId,
+    "v"
+);
+define_id!(
+    /// Identifies a port of a module, or an internal wire of a
+    /// communication unit.
+    PortId,
+    "p"
+);
+define_id!(
+    /// Identifies an FSM state within its owning FSM.
+    StateId,
+    "s"
+);
+define_id!(
+    /// Identifies an interface binding (a module's declared use of a
+    /// communication unit).
+    BindingId,
+    "b"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        let v = VarId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.raw(), 7);
+        assert_eq!(usize::from(v), 7);
+    }
+
+    #[test]
+    fn debug_and_display_tags() {
+        assert_eq!(format!("{:?}", VarId::new(3)), "v3");
+        assert_eq!(format!("{}", PortId::new(0)), "p0");
+        assert_eq!(format!("{}", StateId::new(12)), "s12");
+        assert_eq!(format!("{:?}", BindingId::new(1)), "b1");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(StateId::new(1) < StateId::new(2));
+    }
+}

@@ -1,0 +1,249 @@
+//! Human-readable dumps of IR entities, used by the experiment harnesses
+//! and for debugging front-end elaboration.
+
+use crate::comm::CommUnitSpec;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::fsm::Fsm;
+use crate::module::Module;
+use crate::stmt::Stmt;
+use crate::system::System;
+use std::fmt::Write as _;
+
+/// Pretty-prints an expression with ids left symbolic (`v0`, `p1`, `a2`).
+#[must_use]
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => v.to_string(),
+        Expr::Var(v) => format!("{v}"),
+        Expr::Port(p) => format!("{p}"),
+        Expr::Arg(i) => format!("a{i}"),
+        Expr::Unary(UnOp::Neg, e) => format!("-({})", expr_to_string(e)),
+        Expr::Unary(UnOp::Not, e) => format!("!({})", expr_to_string(e)),
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Min => "min",
+                BinOp::Max => "max",
+            };
+            format!("({} {} {})", expr_to_string(a), sym, expr_to_string(b))
+        }
+    }
+}
+
+fn stmt_lines(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{pad}{v} := {}", expr_to_string(e));
+        }
+        Stmt::Drive(p, e) => {
+            let _ = writeln!(out, "{pad}{p} <= {}", expr_to_string(e));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{pad}if {} {{", expr_to_string(cond));
+            for t in then_body {
+                stmt_lines(t, indent + 1, out);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for t in else_body {
+                    stmt_lines(t, indent + 1, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Call(c) => {
+            let args: Vec<String> = c.args.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{pad}call {}.{}({})", c.binding, c.service, args.join(", "));
+        }
+        Stmt::Trace(label, args) => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            let _ = writeln!(out, "{pad}trace {label}({})", args.join(", "));
+        }
+    }
+}
+
+/// Pretty-prints an FSM.
+#[must_use]
+pub fn fsm_to_string(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fsm ({} states, initial {})", fsm.state_count(), {
+        fsm.state(fsm.initial()).name()
+    });
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        let _ = writeln!(out, "  state {}:", st.name());
+        for a in &st.actions {
+            stmt_lines(a, 2, &mut out);
+        }
+        for t in &st.transitions {
+            match &t.guard {
+                Some(g) => {
+                    let _ = writeln!(
+                        out,
+                        "    when {} -> {}",
+                        expr_to_string(g),
+                        fsm.state(t.target).name()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    always -> {}", fsm.state(t.target).name());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pretty-prints a module header + FSM.
+#[must_use]
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {} ({})", m.name(), m.kind());
+    for p in m.ports() {
+        let _ = writeln!(out, "  port {} : {} {}", p.name(), p.dir(), p.ty());
+    }
+    for v in m.vars() {
+        let _ = writeln!(out, "  var {} : {} := {}", v.name(), v.ty(), v.init());
+    }
+    for b in m.bindings() {
+        let _ = writeln!(out, "  uses {} : {}", b.name(), b.unit_type());
+    }
+    out.push_str(&fsm_to_string(m.fsm()));
+    out
+}
+
+/// Pretty-prints a communication-unit spec.
+#[must_use]
+pub fn unit_to_string(u: &CommUnitSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "unit {}", u.name());
+    for w in u.wires() {
+        let _ = writeln!(out, "  wire {} : {} := {}", w.name(), w.ty(), w.init());
+    }
+    if u.controller().is_some() {
+        let _ = writeln!(out, "  controller:");
+    }
+    for s in u.services() {
+        let args: Vec<String> =
+            s.args().iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let ret = s.returns().map(|t| format!(" -> {t}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  service {}({}){} [{} states]",
+            s.name(),
+            args.join(", "),
+            ret,
+            s.fsm().state_count()
+        );
+    }
+    out
+}
+
+/// Pretty-prints a full system inventory.
+#[must_use]
+pub fn system_to_string(sys: &System) -> String {
+    let mut out = format!("{sys}");
+    for m in sys.modules() {
+        out.push('\n');
+        out.push_str(&module_to_string(m));
+    }
+    for u in sys.units() {
+        out.push('\n');
+        out.push_str(&unit_to_string(u.spec()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+    use crate::FsmBuilder;
+
+    #[test]
+    fn expr_pretty() {
+        let e = Expr::var(VarId::new(0)).add(Expr::int(1)).lt(Expr::int(10));
+        assert_eq!(expr_to_string(&e), "((v0 + 1) < 10)");
+        assert_eq!(expr_to_string(&Expr::arg(2).neg()), "-(a2)");
+    }
+
+    #[test]
+    fn module_unit_and_system_printers() {
+        use crate::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+        use crate::{ModuleBuilder, ModuleKind, PortDir, SystemBuilder, Type, Value};
+
+        let mut ub = CommUnitBuilder::new("link");
+        let w = ub.wire("FLAG", Type::Bit, Value::Bit(crate::Bit::Zero));
+        let mut svc = ServiceSpecBuilder::new("ping");
+        svc.arg("N", Type::INT16);
+        let st = svc.state("S");
+        svc.actions(st, vec![
+            Stmt::drive(w, Expr::bit(crate::Bit::One)),
+            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+        ]);
+        svc.transition(st, None, st);
+        svc.initial(st);
+        ub.service(svc.build().unwrap());
+        let unit = ub.build().unwrap();
+        let unit_text = unit_to_string(&unit);
+        assert!(unit_text.contains("wire FLAG : bit"), "{unit_text}");
+        assert!(unit_text.contains("service ping(N: int16) [1 states]"), "{unit_text}");
+
+        let mut mb = ModuleBuilder::new("m", ModuleKind::Software);
+        let d = mb.var("D", Type::Bool, Value::Bool(false));
+        let b = mb.binding("iface", "link");
+        let s0 = mb.state("GO");
+        mb.actions(s0, vec![Stmt::Call(crate::ServiceCall {
+            binding: b, service: "ping".into(), args: vec![Expr::int(1)],
+            done: Some(d), result: None,
+        })]);
+        mb.transition(s0, None, s0);
+        mb.initial(s0);
+        let m = mb.build().unwrap();
+        let m_text = module_to_string(&m);
+        assert!(m_text.contains("module m (software)"), "{m_text}");
+        assert!(m_text.contains("uses iface : link"), "{m_text}");
+        assert!(m_text.contains("call b0.ping(1)"), "{m_text}");
+
+        let mut sb = SystemBuilder::new("sys");
+        let mr = sb.module(m);
+        let ur = sb.unit("the_link", unit);
+        sb.bind(mr, "iface", ur).unwrap();
+        let sys = sb.build().unwrap();
+        let s_text = system_to_string(&sys);
+        assert!(s_text.contains("system sys"), "{s_text}");
+        assert!(s_text.contains("unit the_link : link"), "{s_text}");
+    }
+
+    #[test]
+    fn fsm_pretty_includes_states_and_guards() {
+        let mut b = FsmBuilder::new();
+        let a = b.state("A");
+        let z = b.state("Z");
+        b.actions(a, vec![Stmt::assign(VarId::new(0), Expr::int(1))]);
+        b.transition(a, Some(Expr::var(VarId::new(0)).gt(Expr::int(0))), z);
+        b.transition(z, None, a);
+        b.initial(a);
+        let fsm = b.build().unwrap();
+        let text = fsm_to_string(&fsm);
+        assert!(text.contains("state A:"), "{text}");
+        assert!(text.contains("when ((v0 > 0)) -> Z") || text.contains("when (v0 > 0) -> Z"), "{text}");
+        assert!(text.contains("always -> A"), "{text}");
+    }
+}

@@ -1,0 +1,443 @@
+//! C emission: the SW simulation view and the SW synthesis views.
+//!
+//! Port accesses are the only thing that differs between the C views
+//! (compare Figures 3a and 3b of the paper — the FSM skeleton is
+//! identical):
+//!
+//! | view | read | write |
+//! |---|---|---|
+//! | simulation | `cliGetPortValue(map(P))` | `cliOutput(map(P), e)` |
+//! | synthesis, PC-AT bus | `inport(map(P))` | `outport(map(P), e)` |
+//! | synthesis, UNIX IPC | `ipc_read(chan(P))` | `ipc_write(chan(P), e)` |
+//! | synthesis, microcode | `mc_read(P)` | `mc_write(P, e)` |
+
+use super::{Indent, RenderCtx};
+use crate::comm::{CommUnitSpec, ServiceSpec};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::fsm::Fsm;
+use crate::module::Module;
+use crate::stmt::Stmt;
+use crate::value::{Type, Value};
+use crate::view::{SwTarget, View};
+use std::fmt::Write as _;
+
+/// Returns the C expression reading a port in the given view.
+fn port_read(view: View, name: &str, ty: Option<&Type>) -> String {
+    let raw = match view {
+        View::SwSim => format!("cliGetPortValue(map({name}))"),
+        View::SwSynth(SwTarget::PcAtBus) => format!("inport(map({name}))"),
+        View::SwSynth(SwTarget::UnixIpc) => format!("ipc_read(chan({name}))"),
+        View::SwSynth(SwTarget::Microcode) => format!("mc_read({name})"),
+        View::Hw => unreachable!("C renderer called with HW view"),
+    };
+    match ty {
+        Some(Type::Bit) => format!("ToBIT({raw})"),
+        Some(Type::Int { .. }) => format!("ToINTEGER({raw})"),
+        _ => raw,
+    }
+}
+
+/// Returns the C statement driving a port in the given view.
+fn port_write(view: View, name: &str, ty: Option<&Type>, value: &str) -> String {
+    let converted = match ty {
+        Some(Type::Bit) => format!("FromBIT({value})"),
+        Some(Type::Int { .. }) => format!("FromINTEGER({value})"),
+        _ => value.to_string(),
+    };
+    match view {
+        View::SwSim => format!("cliOutput(map({name}), {converted});"),
+        View::SwSynth(SwTarget::PcAtBus) => format!("outport(map({name}), {converted});"),
+        View::SwSynth(SwTarget::UnixIpc) => format!("ipc_write(chan({name}), {converted});"),
+        View::SwSynth(SwTarget::Microcode) => format!("mc_write({name}, {converted});"),
+        View::Hw => unreachable!("C renderer called with HW view"),
+    }
+}
+
+fn value_c(v: &Value) -> String {
+    match v {
+        Value::Bit(b) => format!("BIT_{}", b.to_char()),
+        Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Enum(e) => e.variant().to_string(),
+    }
+}
+
+fn binop_c(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Min | BinOp::Max => unreachable!("min/max rendered as calls"),
+    }
+}
+
+fn expr_c(e: &Expr, ctx: &RenderCtx<'_>, view: View) -> String {
+    match e {
+        Expr::Const(v) => value_c(v),
+        Expr::Var(v) => ctx.var_name(*v).to_string(),
+        Expr::Port(p) => port_read(view, ctx.port_name(*p), ctx.port_ty(*p)),
+        Expr::Arg(i) => ctx.arg_name(*i).to_string(),
+        Expr::Unary(UnOp::Neg, e) => format!("-({})", expr_c(e, ctx, view)),
+        Expr::Unary(UnOp::Not, e) => format!("!({})", expr_c(e, ctx, view)),
+        Expr::Binary(BinOp::Min, a, b) => {
+            format!("MIN({}, {})", expr_c(a, ctx, view), expr_c(b, ctx, view))
+        }
+        Expr::Binary(BinOp::Max, a, b) => {
+            format!("MAX({}, {})", expr_c(a, ctx, view), expr_c(b, ctx, view))
+        }
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", expr_c(a, ctx, view), binop_c(*op), expr_c(b, ctx, view))
+        }
+    }
+}
+
+fn stmt_c(s: &Stmt, ctx: &RenderCtx<'_>, view: View, out: &mut String, ind: usize) {
+    match s {
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{}{} = {};", Indent(ind), ctx.var_name(*v), expr_c(e, ctx, view));
+        }
+        Stmt::Drive(p, e) => {
+            let _ = writeln!(
+                out,
+                "{}{}",
+                Indent(ind),
+                port_write(view, ctx.port_name(*p), ctx.port_ty(*p), &expr_c(e, ctx, view))
+            );
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{}if ({}) {{", Indent(ind), expr_c(cond, ctx, view));
+            for t in then_body {
+                stmt_c(t, ctx, view, out, ind + 1);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{}}}", Indent(ind));
+            } else {
+                let _ = writeln!(out, "{}}} else {{", Indent(ind));
+                for t in else_body {
+                    stmt_c(t, ctx, view, out, ind + 1);
+                }
+                let _ = writeln!(out, "{}}}", Indent(ind));
+            }
+        }
+        Stmt::Call(c) => {
+            let args: Vec<String> = c.args.iter().map(|a| expr_c(a, ctx, view)).collect();
+            let target = match (c.done, c.result) {
+                (Some(d), _) => ctx.var_name(d).to_string(),
+                (None, _) => "(void)".to_string(),
+            };
+            let call = format!("{}({})", c.service.to_uppercase(), args.join(", "));
+            if c.done.is_some() {
+                let _ = writeln!(out, "{}{} = {};", Indent(ind), target, call);
+            } else {
+                let _ = writeln!(out, "{}{};", Indent(ind), call);
+            }
+            if let Some(r) = c.result {
+                let _ = writeln!(
+                    out,
+                    "{}if ({}) {} = {}_RESULT();",
+                    Indent(ind),
+                    target,
+                    ctx.var_name(r),
+                    c.service.to_uppercase()
+                );
+            }
+        }
+        Stmt::Trace(label, _) => {
+            let _ = writeln!(out, "{}/* trace: {label} */", Indent(ind));
+        }
+    }
+}
+
+/// Emits the FSM body as a `switch` over the `NEXTSTATE` variable, in the
+/// exact shape of the paper's Figure 3 C code.
+fn fsm_switch_c(fsm: &Fsm, ctx: &RenderCtx<'_>, view: View, state_var: &str, out: &mut String) {
+    let _ = writeln!(out, "  switch ({state_var}) {{");
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        let _ = writeln!(out, "    case {}: {{", st.name());
+        for a in &st.actions {
+            stmt_c(a, ctx, view, out, 3);
+        }
+        for t in &st.transitions {
+            match &t.guard {
+                Some(g) => {
+                    let _ = writeln!(out, "      if ({}) {{", expr_c(g, ctx, view));
+                    for a in &t.actions {
+                        stmt_c(a, ctx, view, out, 4);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "        {state_var} = {}; break;",
+                        fsm.state(t.target).name()
+                    );
+                    let _ = writeln!(out, "      }}");
+                }
+                None => {
+                    for a in &t.actions {
+                        stmt_c(a, ctx, view, out, 3);
+                    }
+                    let _ =
+                        writeln!(out, "      {state_var} = {}; break;", fsm.state(t.target).name());
+                }
+            }
+        }
+        let _ = writeln!(out, "    }} break;");
+    }
+    let _ = writeln!(
+        out,
+        "    default: {{ {state_var} = {}; break; }}",
+        fsm.state(fsm.initial()).name()
+    );
+    let _ = writeln!(out, "  }}");
+}
+
+fn c_type(ty: &Type) -> &'static str {
+    match ty {
+        Type::Bit => "BIT",
+        Type::Bool => "int",
+        Type::Int { .. } => "int",
+        Type::Enum(_) => "int",
+    }
+}
+
+/// Renders an access procedure (service) as a C function in the given
+/// software view — the machinery behind Figures 3a/3b.
+///
+/// The function follows the paper's calling convention: invoke once per
+/// activation; it returns 1 (`DONE`) when the protocol completed and 0
+/// otherwise, resetting its internal `NEXTSTATE` to the initial state on
+/// completion.
+#[must_use]
+pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec, view: View) -> String {
+    assert!(view != View::Hw, "use render::vhdl for the HW view");
+    let ctx = RenderCtx::for_service(unit, svc);
+    let fsm = svc.fsm();
+    let upper = svc.name().to_uppercase();
+    let mut out = String::new();
+    let _ = writeln!(out, "/* {} view of access procedure {} (unit {}) */", view, upper, unit.name());
+    let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
+    let _ = writeln!(out, "typedef enum {{ {} }} {}_STATETABLE;", state_names.join(", "), upper);
+    let init_name = fsm.state(fsm.initial()).name();
+    let _ = writeln!(out, "static {upper}_STATETABLE NEXTSTATE = {init_name};");
+    // Persistent protocol locals (beyond DONE, which is per-call).
+    for local in svc.locals().iter().skip(1) {
+        let _ = writeln!(
+            out,
+            "static {} {} = {};",
+            c_type(local.ty()),
+            local.name(),
+            value_c(local.init())
+        );
+    }
+    let params: Vec<String> =
+        svc.args().iter().map(|(n, t)| format!("{} {}", c_type(t), n)).collect();
+    let _ = writeln!(out, "int {upper}({})", params.join(", "));
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  int DONE = 0;");
+    fsm_switch_c(fsm, &ctx, view, "NEXTSTATE", &mut out);
+    let _ = writeln!(out, "  if (DONE) {{ NEXTSTATE = {init_name}; }}");
+    let _ = writeln!(out, "  return DONE;");
+    let _ = writeln!(out, "}}");
+    if let Some(ret) = svc.returns() {
+        let _ = writeln!(out, "{} {upper}_RESULT(void) {{ return RESULT; }}", c_type(ret));
+    }
+    out
+}
+
+/// Renders a whole software module as a C function in the paper's
+/// Figure 6b shape: a `switch`-based FSM executing one transition per
+/// activation, returning `DONE`.
+#[must_use]
+pub fn render_module(module: &Module, view: View) -> String {
+    assert!(view != View::Hw, "use render::vhdl for the HW view");
+    let ctx = RenderCtx::for_module(module);
+    let fsm = module.fsm();
+    let upper = module.name().to_uppercase();
+    let mut out = String::new();
+    let _ = writeln!(out, "/* {} view of {} module {} */", view, module.kind(), upper);
+    let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
+    let _ = writeln!(out, "typedef enum {{ {} }} {}_STATETABLE;", state_names.join(", "), upper);
+    let init_name = fsm.state(fsm.initial()).name();
+    let _ = writeln!(out, "static {upper}_STATETABLE NextState = {init_name};");
+    for v in module.vars() {
+        let _ =
+            writeln!(out, "static {} {} = {};", c_type(v.ty()), v.name(), value_c(v.init()));
+    }
+    let _ = writeln!(out, "int {upper}(void)");
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  int DONE = 1;");
+    fsm_switch_c(fsm, &ctx, view, "NextState", &mut out);
+    let _ = writeln!(out, "  return DONE;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Bit;
+    use crate::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+    use crate::module::{ModuleBuilder, ModuleKind};
+    use std::sync::Arc;
+
+    /// Builds the paper's Figure 3 `put` handshake protocol.
+    fn fig3_unit() -> Arc<CommUnitSpec> {
+        let mut u = CommUnitBuilder::new("hs");
+        let b_full = u.wire("B_FULL", Type::Bit, Value::Bit(Bit::Zero));
+        let datain = u.wire("DATAIN", Type::INT16, Value::Int(0));
+        let mut s = ServiceSpecBuilder::new("put");
+        s.arg("REQUEST", Type::INT16);
+        let init = s.state("INIT");
+        let wait = s.state("WAIT_B_FULL");
+        let rdy = s.state("DATA_RDY");
+        let idle = s.state("IDLE");
+        s.transition(init, Some(Expr::port(b_full).eq(Expr::bit(Bit::One))), wait);
+        s.transition_with(init, None, vec![Stmt::drive(datain, Expr::arg(0))], rdy);
+        s.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))), init);
+        s.transition(rdy, None, idle);
+        s.actions(idle, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
+        s.transition(idle, None, init);
+        s.initial(init);
+        u.service(s.build().unwrap());
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn sim_view_uses_cli_interface() {
+        let unit = fig3_unit();
+        let text = render_service(&unit, unit.service("put").unwrap(), View::SwSim);
+        assert!(text.contains("cliGetPortValue(map(B_FULL))"), "{text}");
+        assert!(text.contains("cliOutput(map(DATAIN), FromINTEGER(REQUEST))"), "{text}");
+        assert!(text.contains("case INIT"), "{text}");
+        assert!(text.contains("case WAIT_B_FULL"), "{text}");
+        assert!(text.contains("int PUT(int REQUEST)"), "{text}");
+        assert!(text.contains("return DONE;"), "{text}");
+    }
+
+    #[test]
+    fn pcat_view_uses_inport_outport() {
+        let unit = fig3_unit();
+        let text =
+            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::PcAtBus));
+        assert!(text.contains("inport(map(B_FULL))"), "{text}");
+        assert!(text.contains("outport(map(DATAIN), FromINTEGER(REQUEST))"), "{text}");
+        assert!(!text.contains("cliOutput"), "{text}");
+    }
+
+    #[test]
+    fn ipc_view_uses_ipc_calls() {
+        let unit = fig3_unit();
+        let text =
+            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::UnixIpc));
+        assert!(text.contains("ipc_read(chan(B_FULL))"), "{text}");
+        assert!(text.contains("ipc_write(chan(DATAIN)"), "{text}");
+    }
+
+    #[test]
+    fn microcode_view_uses_mc_calls() {
+        let unit = fig3_unit();
+        let text =
+            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::Microcode));
+        assert!(text.contains("mc_read(B_FULL)"), "{text}");
+        assert!(text.contains("mc_write(DATAIN"), "{text}");
+    }
+
+    #[test]
+    fn bit_comparisons_use_tobit() {
+        let unit = fig3_unit();
+        let text = render_service(&unit, unit.service("put").unwrap(), View::SwSim);
+        assert!(text.contains("(ToBIT(cliGetPortValue(map(B_FULL))) == BIT_1)"), "{text}");
+    }
+
+    #[test]
+    fn views_share_the_fsm_skeleton() {
+        // The FSM skeleton (states, transitions order) must be identical
+        // across views — only port accesses differ.
+        let unit = fig3_unit();
+        let svc = unit.service("put").unwrap();
+        let sim = render_service(&unit, svc, View::SwSim);
+        let syn = render_service(&unit, svc, View::SwSynth(SwTarget::PcAtBus));
+        let skeleton = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("case") || l.contains("NEXTSTATE ="))
+                .map(str::trim)
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(skeleton(&sim), skeleton(&syn));
+    }
+
+    #[test]
+    fn service_with_result_emits_result_accessor() {
+        let mut u = CommUnitBuilder::new("hs");
+        let data = u.wire("DATA", Type::INT16, Value::Int(0));
+        let mut s = ServiceSpecBuilder::new("get");
+        let r = s.returns(Type::INT16);
+        let st = s.state("READ");
+        s.actions(
+            st,
+            vec![
+                Stmt::assign(r, Expr::port(data)),
+                Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+            ],
+        );
+        s.transition(st, None, st);
+        s.initial(st);
+        u.service(s.build().unwrap());
+        let unit = u.build().unwrap();
+        let text = render_service(&unit, unit.service("get").unwrap(), View::SwSim);
+        assert!(text.contains("int GET_RESULT(void)"), "{text}");
+        assert!(text.contains("static int RESULT = 0;"), "{text}");
+    }
+
+    #[test]
+    fn module_renders_fig6_shape() {
+        let mut mb = ModuleBuilder::new("distribution", ModuleKind::Software);
+        let done = mb.var("CTL_DONE", Type::Bool, Value::Bool(false));
+        let b = mb.binding("Distribution_Interface", "swhw_link");
+        let start = mb.state("Start");
+        let setup = mb.state("SetupControlCall");
+        let step = mb.state("Step");
+        mb.transition(start, None, setup);
+        mb.actions(
+            setup,
+            vec![Stmt::Call(crate::stmt::ServiceCall {
+                binding: b,
+                service: "SetupControl".into(),
+                args: vec![],
+                done: Some(done),
+                result: None,
+            })],
+        );
+        mb.transition(setup, Some(Expr::var(done)), step);
+        mb.transition(step, None, start);
+        mb.initial(start);
+        let m = mb.build().unwrap();
+        let text = render_module(&m, View::SwSim);
+        assert!(text.contains("int DISTRIBUTION(void)"), "{text}");
+        assert!(text.contains("case SetupControlCall"), "{text}");
+        assert!(text.contains("CTL_DONE = SETUPCONTROL();"), "{text}");
+        assert!(text.contains("if (CTL_DONE)"), "{text}");
+        assert!(text.contains("int DONE = 1;"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "HW view")]
+    fn hw_view_panics_in_c_renderer() {
+        let unit = fig3_unit();
+        let _ = render_service(&unit, unit.service("put").unwrap(), View::Hw);
+    }
+}

@@ -1,0 +1,75 @@
+//! Code generators turning IR into the paper's concrete view languages.
+//!
+//! * [`c`] — the two C flavours: the SW *simulation* view (Fig. 3b) and
+//!   the SW *synthesis* views per target (Fig. 3a).
+//! * [`vhdl`] — the hardware view (Fig. 3c) and full module emission.
+//!
+//! The generated text is a faithful artifact of the flow (it is what the
+//! paper would hand to `cc` or to a VHDL synthesis tool); behavioural
+//! equivalence between views is guaranteed upstream, because every view is
+//! rendered from the same protocol FSM.
+
+pub mod c;
+pub mod vhdl;
+
+use crate::value::Type;
+
+/// Name/type tables needed to print expressions: resolves the IR's
+/// index-based ids back to source-level names.
+pub(crate) struct RenderCtx<'a> {
+    /// Variable names by `VarId` index.
+    pub vars: Vec<&'a str>,
+    /// Port/wire names and types by `PortId` index.
+    pub ports: Vec<(&'a str, &'a Type)>,
+    /// Formal argument names by index.
+    pub args: Vec<&'a str>,
+}
+
+impl<'a> RenderCtx<'a> {
+    pub(crate) fn for_service(
+        unit: &'a crate::comm::CommUnitSpec,
+        svc: &'a crate::comm::ServiceSpec,
+    ) -> Self {
+        RenderCtx {
+            vars: svc.locals().iter().map(|v| v.name()).collect(),
+            ports: unit.wires().iter().map(|w| (w.name(), w.ty())).collect(),
+            args: svc.args().iter().map(|(n, _)| n.as_str()).collect(),
+        }
+    }
+
+    pub(crate) fn for_module(m: &'a crate::module::Module) -> Self {
+        RenderCtx {
+            vars: m.vars().iter().map(|v| v.name()).collect(),
+            ports: m.ports().iter().map(|p| (p.name(), p.ty())).collect(),
+            args: vec![],
+        }
+    }
+
+    pub(crate) fn var_name(&self, v: crate::ids::VarId) -> &'a str {
+        self.vars.get(v.index()).copied().unwrap_or("?VAR?")
+    }
+
+    pub(crate) fn port_name(&self, p: crate::ids::PortId) -> &'a str {
+        self.ports.get(p.index()).map(|(n, _)| *n).unwrap_or("?PORT?")
+    }
+
+    pub(crate) fn port_ty(&self, p: crate::ids::PortId) -> Option<&'a Type> {
+        self.ports.get(p.index()).map(|(_, t)| *t)
+    }
+
+    pub(crate) fn arg_name(&self, i: u32) -> &'a str {
+        self.args.get(i as usize).copied().unwrap_or("?ARG?")
+    }
+}
+
+/// Simple indentation helper shared by both emitters.
+pub(crate) struct Indent(pub usize);
+
+impl std::fmt::Display for Indent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for _ in 0..self.0 {
+            write!(f, "  ")?;
+        }
+        Ok(())
+    }
+}

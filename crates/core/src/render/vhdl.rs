@@ -1,0 +1,328 @@
+//! VHDL emission: the hardware view of access procedures (Fig. 3c) and
+//! full module emission (entity + architecture) for the synthesis flow.
+
+use super::{Indent, RenderCtx};
+use crate::comm::{CommUnitSpec, ServiceSpec};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::fsm::Fsm;
+use crate::module::{Module, PortDir};
+use crate::stmt::Stmt;
+use crate::value::{Type, Value};
+use std::fmt::Write as _;
+
+fn vhdl_type(ty: &Type) -> String {
+    match ty {
+        Type::Bit => "std_logic".to_string(),
+        Type::Bool => "boolean".to_string(),
+        Type::Int { .. } => "integer".to_string(),
+        Type::Enum(e) => e.name().to_string(),
+    }
+}
+
+fn value_vhdl(v: &Value) -> String {
+    match v {
+        Value::Bit(b) => format!("'{}'", b.to_char()),
+        Value::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Enum(e) => e.variant().to_string(),
+    }
+}
+
+fn binop_vhdl(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "mod",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "sll",
+        BinOp::Shr => "srl",
+        BinOp::Eq => "=",
+        BinOp::Ne => "/=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Min | BinOp::Max => unreachable!("min/max rendered as calls"),
+    }
+}
+
+fn expr_vhdl(e: &Expr, ctx: &RenderCtx<'_>) -> String {
+    match e {
+        Expr::Const(v) => value_vhdl(v),
+        Expr::Var(v) => ctx.var_name(*v).to_string(),
+        Expr::Port(p) => ctx.port_name(*p).to_string(),
+        Expr::Arg(i) => ctx.arg_name(*i).to_string(),
+        Expr::Unary(UnOp::Neg, e) => format!("-({})", expr_vhdl(e, ctx)),
+        Expr::Unary(UnOp::Not, e) => format!("not ({})", expr_vhdl(e, ctx)),
+        Expr::Binary(BinOp::Min, a, b) => {
+            format!("minimum({}, {})", expr_vhdl(a, ctx), expr_vhdl(b, ctx))
+        }
+        Expr::Binary(BinOp::Max, a, b) => {
+            format!("maximum({}, {})", expr_vhdl(a, ctx), expr_vhdl(b, ctx))
+        }
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", expr_vhdl(a, ctx), binop_vhdl(*op), expr_vhdl(b, ctx))
+        }
+    }
+}
+
+fn stmt_vhdl(s: &Stmt, ctx: &RenderCtx<'_>, out: &mut String, ind: usize) {
+    match s {
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{}{} := {};", Indent(ind), ctx.var_name(*v), expr_vhdl(e, ctx));
+        }
+        Stmt::Drive(p, e) => {
+            let _ = writeln!(out, "{}{} <= {};", Indent(ind), ctx.port_name(*p), expr_vhdl(e, ctx));
+        }
+        Stmt::If { cond, then_body, else_body } => {
+            let _ = writeln!(out, "{}if {} then", Indent(ind), expr_vhdl(cond, ctx));
+            for t in then_body {
+                stmt_vhdl(t, ctx, out, ind + 1);
+            }
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{}else", Indent(ind));
+                for t in else_body {
+                    stmt_vhdl(t, ctx, out, ind + 1);
+                }
+            }
+            let _ = writeln!(out, "{}end if;", Indent(ind));
+        }
+        Stmt::Call(c) => {
+            // In VHDL, access procedures are called directly; DONE is an
+            // out parameter by convention.
+            let mut args: Vec<String> = c.args.iter().map(|a| expr_vhdl(a, ctx)).collect();
+            if let Some(d) = c.done {
+                args.push(ctx.var_name(d).to_string());
+            }
+            if let Some(r) = c.result {
+                args.push(ctx.var_name(r).to_string());
+            }
+            let _ = writeln!(out, "{}{}({});", Indent(ind), c.service.to_uppercase(), args.join(", "));
+        }
+        Stmt::Trace(label, _) => {
+            let _ = writeln!(out, "{}-- trace: {label}", Indent(ind));
+        }
+    }
+}
+
+/// Emits the FSM as a VHDL `case` over `NEXT_STATE`.
+fn fsm_case_vhdl(fsm: &Fsm, ctx: &RenderCtx<'_>, out: &mut String, ind: usize) {
+    let _ = writeln!(out, "{}case NEXT_STATE is", Indent(ind));
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        let _ = writeln!(out, "{}when {} =>", Indent(ind + 1), st.name());
+        for a in &st.actions {
+            stmt_vhdl(a, ctx, out, ind + 2);
+        }
+        for t in &st.transitions {
+            match &t.guard {
+                Some(g) => {
+                    let _ = writeln!(out, "{}if {} then", Indent(ind + 2), expr_vhdl(g, ctx));
+                    for a in &t.actions {
+                        stmt_vhdl(a, ctx, out, ind + 3);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}NEXT_STATE := {};",
+                        Indent(ind + 3),
+                        fsm.state(t.target).name()
+                    );
+                    let _ = writeln!(out, "{}end if;", Indent(ind + 2));
+                }
+                None => {
+                    for a in &t.actions {
+                        stmt_vhdl(a, ctx, out, ind + 2);
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}NEXT_STATE := {};",
+                        Indent(ind + 2),
+                        fsm.state(t.target).name()
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}when others => NEXT_STATE := {};",
+        Indent(ind + 1),
+        fsm.state(fsm.initial()).name()
+    );
+    let _ = writeln!(out, "{}end case;", Indent(ind));
+}
+
+/// Renders an access procedure as a VHDL procedure — the HW view used for
+/// both co-simulation and hardware synthesis (Figure 3c).
+#[must_use]
+pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec) -> String {
+    let ctx = RenderCtx::for_service(unit, svc);
+    let fsm = svc.fsm();
+    let upper = svc.name().to_uppercase();
+    let mut out = String::new();
+    let _ = writeln!(out, "-- HW view of access procedure {} (unit {})", upper, unit.name());
+    let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
+    let _ = writeln!(out, "type {upper}_STATETABLE is ({});", state_names.join(", "));
+    let mut params: Vec<String> =
+        svc.args().iter().map(|(n, t)| format!("{} : in {}", n, vhdl_type(t))).collect();
+    params.push("DONE : out boolean".to_string());
+    if let Some(ret) = svc.returns() {
+        params.push(format!("RESULT : out {}", vhdl_type(ret)));
+    }
+    let _ = writeln!(out, "procedure {upper}({}) is", params.join("; "));
+    for local in svc.locals().iter().skip(1 + usize::from(svc.returns().is_some())) {
+        let _ = writeln!(
+            out,
+            "  variable {} : {} := {};",
+            local.name(),
+            vhdl_type(local.ty()),
+            value_vhdl(local.init())
+        );
+    }
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  DONE := false;");
+    fsm_case_vhdl(fsm, &ctx, &mut out, 1);
+    let init_name = fsm.state(fsm.initial()).name();
+    let _ = writeln!(out, "  if DONE then NEXT_STATE := {init_name}; end if;");
+    let _ = writeln!(out, "end procedure;");
+    out
+}
+
+/// Renders a hardware module as a VHDL entity + single-process
+/// architecture in the Figure 7 style.
+#[must_use]
+pub fn render_module(module: &Module) -> String {
+    let ctx = RenderCtx::for_module(module);
+    let fsm = module.fsm();
+    let name = module.name().to_uppercase();
+    let mut out = String::new();
+    let _ = writeln!(out, "-- HW view of {} module {}", module.kind(), name);
+    let _ = writeln!(out, "entity {name} is");
+    if !module.ports().is_empty() {
+        let _ = writeln!(out, "  port (");
+        let n = module.ports().len();
+        for (i, p) in module.ports().iter().enumerate() {
+            let dir = match p.dir() {
+                PortDir::In => "in",
+                PortDir::Out => "out",
+                PortDir::InOut => "inout",
+            };
+            let sep = if i + 1 == n { "" } else { ";" };
+            let _ = writeln!(out, "    {} : {} {}{}", p.name(), dir, vhdl_type(p.ty()), sep);
+        }
+        let _ = writeln!(out, "  );");
+    }
+    let _ = writeln!(out, "end entity;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "architecture fsm of {name} is");
+    let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
+    let _ = writeln!(out, "  type STATETABLE is ({});", state_names.join(", "));
+    let _ = writeln!(out, "begin");
+    let _ = writeln!(out, "  main : process");
+    let init_name = fsm.state(fsm.initial()).name();
+    let _ = writeln!(out, "    variable NEXT_STATE : STATETABLE := {init_name};");
+    for v in module.vars() {
+        let _ = writeln!(
+            out,
+            "    variable {} : {} := {};",
+            v.name(),
+            vhdl_type(v.ty()),
+            value_vhdl(v.init())
+        );
+    }
+    let _ = writeln!(out, "  begin");
+    fsm_case_vhdl(fsm, &ctx, &mut out, 2);
+    let _ = writeln!(out, "    wait for CYCLE;");
+    let _ = writeln!(out, "  end process;");
+    let _ = writeln!(out, "end architecture;");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Bit;
+    use crate::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+    use crate::module::{ModuleBuilder, ModuleKind};
+    use std::sync::Arc;
+
+    fn fig3_unit() -> Arc<CommUnitSpec> {
+        let mut u = CommUnitBuilder::new("hs");
+        let b_full = u.wire("B_FULL", Type::Bit, Value::Bit(Bit::Zero));
+        let datain = u.wire("DATAIN", Type::INT16, Value::Int(0));
+        let mut s = ServiceSpecBuilder::new("put");
+        s.arg("REQUEST", Type::INT16);
+        let init = s.state("INIT");
+        let wait = s.state("WAIT_B_FULL");
+        let rdy = s.state("DATA_RDY");
+        s.transition(init, Some(Expr::port(b_full).eq(Expr::bit(Bit::One))), wait);
+        s.transition_with(init, None, vec![Stmt::drive(datain, Expr::arg(0))], rdy);
+        s.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))), init);
+        s.actions(rdy, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
+        s.transition(rdy, None, init);
+        s.initial(init);
+        u.service(s.build().unwrap());
+        u.build().unwrap()
+    }
+
+    #[test]
+    fn hw_view_is_a_vhdl_procedure() {
+        let unit = fig3_unit();
+        let text = render_service(&unit, unit.service("put").unwrap());
+        assert!(text.contains("procedure PUT(REQUEST : in integer; DONE : out boolean) is"), "{text}");
+        assert!(text.contains("case NEXT_STATE is"), "{text}");
+        assert!(text.contains("when INIT =>"), "{text}");
+        assert!(text.contains("if (B_FULL = '1') then"), "{text}");
+        assert!(text.contains("DATAIN <= REQUEST;"), "{text}");
+        assert!(text.contains("NEXT_STATE := WAIT_B_FULL;"), "{text}");
+        assert!(text.contains("end procedure;"), "{text}");
+    }
+
+    #[test]
+    fn state_type_declared() {
+        let unit = fig3_unit();
+        let text = render_service(&unit, unit.service("put").unwrap());
+        assert!(text.contains("type PUT_STATETABLE is (INIT, WAIT_B_FULL, DATA_RDY);"), "{text}");
+    }
+
+    #[test]
+    fn module_entity_ports() {
+        let mut mb = ModuleBuilder::new("speed_control", ModuleKind::Hardware);
+        mb.port("CLK", PortDir::In, Type::Bit);
+        mb.port("PULSE", PortDir::Out, Type::Bit);
+        let v = mb.var("RESIDUAL", Type::INT16, Value::Int(0));
+        let s = mb.state("RUN");
+        mb.actions(s, vec![Stmt::assign(v, Expr::var(v).add(Expr::int(1)))]);
+        mb.transition(s, None, s);
+        mb.initial(s);
+        let m = mb.build().unwrap();
+        let text = render_module(&m);
+        assert!(text.contains("entity SPEED_CONTROL is"), "{text}");
+        assert!(text.contains("CLK : in std_logic;"), "{text}");
+        assert!(text.contains("PULSE : out std_logic"), "{text}");
+        assert!(text.contains("architecture fsm of SPEED_CONTROL"), "{text}");
+        assert!(text.contains("variable RESIDUAL : integer := 0;"), "{text}");
+        assert!(text.contains("when others => NEXT_STATE := RUN;"), "{text}");
+    }
+
+    #[test]
+    fn bool_and_enum_types_map() {
+        assert_eq!(vhdl_type(&Type::Bool), "boolean");
+        assert_eq!(vhdl_type(&Type::Bit), "std_logic");
+        assert_eq!(vhdl_type(&Type::INT16), "integer");
+        let e = crate::value::EnumType::new("MODE", vec!["A".into(), "B".into()]);
+        assert_eq!(vhdl_type(&Type::Enum(e)), "MODE");
+    }
+
+    #[test]
+    fn operators_map_to_vhdl() {
+        assert_eq!(binop_vhdl(BinOp::Ne), "/=");
+        assert_eq!(binop_vhdl(BinOp::Rem), "mod");
+        assert_eq!(binop_vhdl(BinOp::And), "and");
+        assert_eq!(binop_vhdl(BinOp::Shl), "sll");
+    }
+}

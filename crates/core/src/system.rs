@@ -1,0 +1,453 @@
+//! System assembly: modules + communication-unit instances + bindings.
+//!
+//! A [`System`] is the complete unified description that both the
+//! co-simulation engine (`cosma-cosim`) and the co-synthesis flow
+//! (`cosma-synth`, `cosma-board`) consume unchanged — the property the
+//! paper calls *coherence*.
+
+use crate::comm::CommUnitSpec;
+use crate::ids::BindingId;
+use crate::module::Module;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named instance of a communication-unit type within a system.
+#[derive(Debug, Clone)]
+pub struct UnitInstance {
+    name: String,
+    spec: Arc<CommUnitSpec>,
+}
+
+impl UnitInstance {
+    /// Instance name (e.g. `"swhw_link"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The unit type.
+    #[must_use]
+    pub fn spec(&self) -> &Arc<CommUnitSpec> {
+        &self.spec
+    }
+}
+
+/// Opaque handle to a module added to a [`SystemBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleRef(pub(crate) usize);
+
+impl ModuleRef {
+    /// Index into [`System::modules`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a unit instance added to a [`SystemBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitRef(pub(crate) usize);
+
+impl UnitRef {
+    /// Index into [`System::units`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A complete system description.
+#[derive(Debug, Clone)]
+pub struct System {
+    name: String,
+    modules: Vec<Module>,
+    units: Vec<UnitInstance>,
+    binds: HashMap<(usize, BindingId), usize>,
+}
+
+impl System {
+    /// System name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All modules.
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// All unit instances.
+    #[must_use]
+    pub fn units(&self) -> &[UnitInstance] {
+        &self.units
+    }
+
+    /// A module by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference came from a different builder.
+    #[must_use]
+    pub fn module(&self, r: ModuleRef) -> &Module {
+        &self.modules[r.0]
+    }
+
+    /// Finds a module by name.
+    #[must_use]
+    pub fn find_module(&self, name: &str) -> Option<ModuleRef> {
+        self.modules.iter().position(|m| m.name() == name).map(ModuleRef)
+    }
+
+    /// Finds a unit instance by name.
+    #[must_use]
+    pub fn find_unit(&self, name: &str) -> Option<UnitRef> {
+        self.units.iter().position(|u| u.name() == name).map(UnitRef)
+    }
+
+    /// The unit instance a module's binding is attached to.
+    #[must_use]
+    pub fn unit_for(&self, module_index: usize, binding: BindingId) -> Option<&UnitInstance> {
+        self.binds.get(&(module_index, binding)).map(|&ui| &self.units[ui])
+    }
+
+    /// The unit-instance *index* a module's binding is attached to.
+    #[must_use]
+    pub fn unit_index_for(&self, module_index: usize, binding: BindingId) -> Option<usize> {
+        self.binds.get(&(module_index, binding)).copied()
+    }
+
+    /// Iterates over `(module index, binding id, unit index)` attachments.
+    pub fn bindings(&self) -> impl Iterator<Item = (usize, BindingId, usize)> + '_ {
+        self.binds.iter().map(|(&(m, b), &u)| (m, b, u))
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "system {}", self.name)?;
+        for m in &self.modules {
+            writeln!(f, "  module {} ({})", m.name(), m.kind())?;
+        }
+        for u in &self.units {
+            writeln!(f, "  unit {} : {}", u.name(), u.spec().name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use cosma_core::{SystemBuilder, ModuleBuilder, ModuleKind};
+/// use cosma_core::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+/// use cosma_core::{Expr, Stmt, Type, Value};
+///
+/// // A unit offering a trivial `ping` service.
+/// let mut ub = CommUnitBuilder::new("link");
+/// let mut svc = ServiceSpecBuilder::new("ping");
+/// let st = svc.state("S");
+/// svc.actions(st, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
+/// svc.transition(st, None, st);
+/// svc.initial(st);
+/// ub.service(svc.build()?);
+/// let unit = ub.build()?;
+///
+/// // A module calling it.
+/// let mut mb = ModuleBuilder::new("caller", ModuleKind::Software);
+/// let done = mb.var("D", Type::Bool, Value::Bool(false));
+/// let b = mb.binding("iface", "link");
+/// let s = mb.state("S");
+/// mb.actions(s, vec![Stmt::Call(cosma_core::ServiceCall {
+///     binding: b, service: "ping".into(), args: vec![],
+///     done: Some(done), result: None,
+/// })]);
+/// mb.transition(s, None, s);
+/// mb.initial(s);
+///
+/// let mut sys = SystemBuilder::new("demo");
+/// let m = sys.module(mb.build()?);
+/// let u = sys.unit("the_link", unit);
+/// sys.bind(m, "iface", u)?;
+/// let system = sys.build()?;
+/// assert_eq!(system.modules().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    name: String,
+    modules: Vec<Module>,
+    units: Vec<UnitInstance>,
+    binds: HashMap<(usize, BindingId), usize>,
+    errors: Vec<String>,
+}
+
+impl SystemBuilder {
+    /// Starts a system.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a module.
+    pub fn module(&mut self, m: Module) -> ModuleRef {
+        self.modules.push(m);
+        ModuleRef(self.modules.len() - 1)
+    }
+
+    /// Adds a unit instance.
+    pub fn unit(&mut self, name: impl Into<String>, spec: Arc<CommUnitSpec>) -> UnitRef {
+        self.units.push(UnitInstance { name: name.into(), spec });
+        UnitRef(self.units.len() - 1)
+    }
+
+    /// Attaches a module's named interface binding to a unit instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemBuildError::UnknownBinding`] if the module declares
+    /// no binding with that name, or [`SystemBuildError::AlreadyBound`]
+    /// when the binding was attached before.
+    pub fn bind(
+        &mut self,
+        module: ModuleRef,
+        binding_name: &str,
+        unit: UnitRef,
+    ) -> Result<(), SystemBuildError> {
+        let m = &self.modules[module.0];
+        let Some(bid) = m.binding_id(binding_name) else {
+            return Err(SystemBuildError::UnknownBinding {
+                module: m.name().to_string(),
+                binding: binding_name.to_string(),
+            });
+        };
+        if self.binds.insert((module.0, bid), unit.0).is_some() {
+            return Err(SystemBuildError::AlreadyBound {
+                module: m.name().to_string(),
+                binding: binding_name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Finalizes and validates the system (see
+    /// [`crate::validate::check_system`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemBuildError::Invalid`] when cross-checks fail (an
+    /// unbound binding, a call to a missing service, an arity mismatch...).
+    pub fn build(self) -> Result<System, SystemBuildError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(SystemBuildError::Invalid { detail: e });
+        }
+        let sys = System {
+            name: self.name,
+            modules: self.modules,
+            units: self.units,
+            binds: self.binds,
+        };
+        crate::validate::check_system(&sys)
+            .map_err(|detail| SystemBuildError::Invalid { detail })?;
+        Ok(sys)
+    }
+}
+
+/// Errors from [`SystemBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemBuildError {
+    /// `bind` named a binding the module does not declare.
+    UnknownBinding {
+        /// Module name.
+        module: String,
+        /// Binding name.
+        binding: String,
+    },
+    /// `bind` called twice for the same binding.
+    AlreadyBound {
+        /// Module name.
+        module: String,
+        /// Binding name.
+        binding: String,
+    },
+    /// Validation failure.
+    Invalid {
+        /// Violation description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SystemBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemBuildError::UnknownBinding { module, binding } => {
+                write!(f, "module {module} declares no binding named {binding}")
+            }
+            SystemBuildError::AlreadyBound { module, binding } => {
+                write!(f, "module {module} binding {binding} bound twice")
+            }
+            SystemBuildError::Invalid { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+    use crate::module::{ModuleBuilder, ModuleKind};
+    use crate::stmt::ServiceCall;
+    use crate::value::{Type, Value};
+    use crate::{Expr, Stmt};
+
+    fn ping_unit() -> Arc<CommUnitSpec> {
+        let mut ub = CommUnitBuilder::new("link");
+        let mut svc = ServiceSpecBuilder::new("ping");
+        let st = svc.state("S");
+        svc.actions(st, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
+        svc.transition(st, None, st);
+        svc.initial(st);
+        ub.service(svc.build().unwrap());
+        ub.build().unwrap()
+    }
+
+    fn caller_module(service: &str, nargs: usize) -> Module {
+        let mut mb = ModuleBuilder::new("caller", ModuleKind::Software);
+        let done = mb.var("D", Type::Bool, Value::Bool(false));
+        let b = mb.binding("iface", "link");
+        let s = mb.state("S");
+        mb.actions(
+            s,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: service.into(),
+                args: (0..nargs).map(|i| Expr::int(i as i64)).collect(),
+                done: Some(done),
+                result: None,
+            })],
+        );
+        mb.transition(s, None, s);
+        mb.initial(s);
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn assembly_happy_path() {
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("ping", 0));
+        let u = sys.unit("the_link", ping_unit());
+        sys.bind(m, "iface", u).unwrap();
+        let system = sys.build().unwrap();
+        assert_eq!(system.name(), "demo");
+        assert!(system.find_module("caller").is_some());
+        assert!(system.find_unit("the_link").is_some());
+        assert!(system.unit_for(0, BindingId::new(0)).is_some());
+        assert_eq!(system.bindings().count(), 1);
+        let shown = system.to_string();
+        assert!(shown.contains("module caller (software)"));
+        assert!(shown.contains("unit the_link : link"));
+    }
+
+    #[test]
+    fn unbound_binding_rejected() {
+        let mut sys = SystemBuilder::new("demo");
+        sys.module(caller_module("ping", 0));
+        sys.unit("the_link", ping_unit());
+        // no bind()
+        let err = sys.build().unwrap_err();
+        assert!(err.to_string().contains("not attached"), "{err}");
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("bogus", 0));
+        let u = sys.unit("the_link", ping_unit());
+        sys.bind(m, "iface", u).unwrap();
+        let err = sys.build().unwrap_err();
+        assert!(err.to_string().contains("no service bogus"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("ping", 2));
+        let u = sys.unit("the_link", ping_unit());
+        sys.bind(m, "iface", u).unwrap();
+        let err = sys.build().unwrap_err();
+        assert!(err.to_string().contains("argument"), "{err}");
+    }
+
+    #[test]
+    fn wrong_unit_type_rejected() {
+        let mut ub = CommUnitBuilder::new("other_type");
+        let mut svc = ServiceSpecBuilder::new("ping");
+        let st = svc.state("S");
+        svc.transition(st, None, st);
+        svc.initial(st);
+        ub.service(svc.build().unwrap());
+        let other = ub.build().unwrap();
+
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("ping", 0));
+        let u = sys.unit("the_link", other);
+        sys.bind(m, "iface", u).unwrap();
+        let err = sys.build().unwrap_err();
+        assert!(err.to_string().contains("expects unit type link"), "{err}");
+    }
+
+    #[test]
+    fn unknown_binding_name() {
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("ping", 0));
+        let u = sys.unit("the_link", ping_unit());
+        let err = sys.bind(m, "nope", u).unwrap_err();
+        assert!(matches!(err, SystemBuildError::UnknownBinding { .. }));
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let mut sys = SystemBuilder::new("demo");
+        let m = sys.module(caller_module("ping", 0));
+        let u = sys.unit("the_link", ping_unit());
+        sys.bind(m, "iface", u).unwrap();
+        let err = sys.bind(m, "iface", u).unwrap_err();
+        assert!(matches!(err, SystemBuildError::AlreadyBound { .. }));
+    }
+
+    #[test]
+    fn result_expectation_mismatch_rejected() {
+        // `ping` returns nothing, but caller stores a result.
+        let mut mb = ModuleBuilder::new("caller", ModuleKind::Software);
+        let done = mb.var("D", Type::Bool, Value::Bool(false));
+        let res = mb.var("R", Type::INT16, Value::Int(0));
+        let b = mb.binding("iface", "link");
+        let s = mb.state("S");
+        mb.actions(
+            s,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: "ping".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(res),
+            })],
+        );
+        mb.transition(s, None, s);
+        mb.initial(s);
+        let m = mb.build().unwrap();
+
+        let mut sys = SystemBuilder::new("demo");
+        let mr = sys.module(m);
+        let u = sys.unit("the_link", ping_unit());
+        sys.bind(mr, "iface", u).unwrap();
+        let err = sys.build().unwrap_err();
+        assert!(err.to_string().contains("returns nothing"), "{err}");
+    }
+}

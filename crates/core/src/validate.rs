@@ -1,0 +1,300 @@
+//! Structural validation passes over modules, communication units and
+//! systems.
+//!
+//! These checks run automatically inside the builders' `build()` methods;
+//! they catch dangling ids, arity mismatches and direction violations
+//! before anything reaches the simulator or the synthesizer.
+
+use crate::comm::CommUnitSpec;
+use crate::expr::Expr;
+use crate::module::{Module, PortDir};
+use crate::stmt::Stmt;
+use crate::system::System;
+
+/// Checks a module's FSM against its declarations.
+///
+/// # Errors
+///
+/// Returns a human-readable violation description: dangling variable /
+/// port / binding references, `Expr::Arg` used outside a service, drives
+/// of input ports, or call `done`/`result` targets out of range.
+pub fn check_module(m: &Module) -> Result<(), String> {
+    let nvars = m.vars().len();
+    let nports = m.ports().len();
+    let nbind = m.bindings().len();
+    let mut err: Option<String> = None;
+    let check_expr = |e: &Expr, err: &mut Option<String>| {
+        e.for_each_var(&mut |v| {
+            if v.index() >= nvars && err.is_none() {
+                *err = Some(format!("expression reads undeclared variable {v}"));
+            }
+        });
+        e.for_each_port(&mut |p| {
+            if p.index() >= nports && err.is_none() {
+                *err = Some(format!("expression reads undeclared port {p}"));
+            }
+        });
+        if e.max_arg().is_some() && err.is_none() {
+            *err = Some("module FSM uses Expr::Arg outside a service".to_string());
+        }
+    };
+
+    let check_stmt = |s: &Stmt, err: &mut Option<String>| {
+        s.for_each_expr(&mut |e| check_expr(e, err));
+        s.for_each_written_var(&mut |v| {
+            if v.index() >= nvars && err.is_none() {
+                *err = Some(format!("statement writes undeclared variable {v}"));
+            }
+        });
+        s.for_each_driven_port(&mut |p| {
+            if err.is_none() {
+                if p.index() >= nports {
+                    *err = Some(format!("statement drives undeclared port {p}"));
+                } else if m.port(p).dir() == PortDir::In {
+                    *err = Some(format!("statement drives input port {}", m.port(p).name()));
+                }
+            }
+        });
+        s.for_each_call(&mut |c| {
+            if err.is_none() && c.binding.index() >= nbind {
+                *err = Some(format!("call to service {} via undeclared binding", c.service));
+            }
+        });
+    };
+
+    m.fsm().for_each_stmt(&mut |s| check_stmt(s, &mut err));
+    m.fsm().for_each_guard(&mut |g| check_expr(g, &mut err));
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Checks a communication unit: every service and the controller must
+/// reference only declared wires / locals / arguments, and services may
+/// not themselves call services.
+///
+/// # Errors
+///
+/// Returns a human-readable violation description.
+pub fn check_unit(u: &CommUnitSpec) -> Result<(), String> {
+    let nwires = u.wires().len();
+    for svc in u.services() {
+        let nlocals = svc.locals().len();
+        let nargs = svc.args().len() as u32;
+        check_fsm_refs(
+            svc.fsm(),
+            &format!("service {}", svc.name()),
+            nlocals,
+            nwires,
+            Some(nargs),
+            false,
+        )?;
+    }
+    if let Some(ctrl) = u.controller() {
+        check_fsm_refs(&ctrl.fsm, "controller", ctrl.vars.len(), nwires, None, false)?;
+    }
+    Ok(())
+}
+
+/// Shared reference-checking walk for service/controller FSMs.
+fn check_fsm_refs(
+    fsm: &crate::fsm::Fsm,
+    what: &str,
+    nvars: usize,
+    nports: usize,
+    nargs: Option<u32>,
+    allow_calls: bool,
+) -> Result<(), String> {
+    let mut err: Option<String> = None;
+    let check_expr = |e: &Expr, err: &mut Option<String>| {
+        e.for_each_var(&mut |v| {
+            if v.index() >= nvars && err.is_none() {
+                *err = Some(format!("{what}: reads undeclared local {v}"));
+            }
+        });
+        e.for_each_port(&mut |p| {
+            if p.index() >= nports && err.is_none() {
+                *err = Some(format!("{what}: reads undeclared wire {p}"));
+            }
+        });
+        if let Some(maxa) = e.max_arg() {
+            match nargs {
+                Some(n) if maxa < n => {}
+                Some(n) => {
+                    if err.is_none() {
+                        *err = Some(format!("{what}: argument #{maxa} out of range (arity {n})"));
+                    }
+                }
+                None => {
+                    if err.is_none() {
+                        *err = Some(format!("{what}: controller cannot use arguments"));
+                    }
+                }
+            }
+        }
+    };
+    let visit = |s: &Stmt, err: &mut Option<String>| {
+        s.for_each_expr(&mut |e| check_expr(e, err));
+        s.for_each_written_var(&mut |v| {
+            if v.index() >= nvars && err.is_none() {
+                *err = Some(format!("{what}: writes undeclared local {v}"));
+            }
+        });
+        s.for_each_driven_port(&mut |p| {
+            if p.index() >= nports && err.is_none() {
+                *err = Some(format!("{what}: drives undeclared wire {p}"));
+            }
+        });
+        if !allow_calls {
+            s.for_each_call(&mut |c| {
+                if err.is_none() {
+                    *err = Some(format!("{what}: nested service call to {} not allowed", c.service));
+                }
+            });
+        }
+    };
+    fsm.for_each_stmt(&mut |s| visit(s, &mut err));
+    fsm.for_each_guard(&mut |g| check_expr(g, &mut err));
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Cross-checks a fully assembled system: every interface binding of every
+/// module must be attached to a unit instance whose spec offers every
+/// service the module calls, with matching arity and result expectations.
+///
+/// # Errors
+///
+/// Returns a human-readable violation description.
+pub fn check_system(sys: &System) -> Result<(), String> {
+    for (mi, module) in sys.modules().iter().enumerate() {
+        for (bi, binding) in module.bindings().iter().enumerate() {
+            let Some(unit) = sys.unit_for(mi, crate::ids::BindingId::new(bi as u32)) else {
+                return Err(format!(
+                    "module {} binding {} is not attached to any unit instance",
+                    module.name(),
+                    binding.name()
+                ));
+            };
+            if unit.spec().name() != binding.unit_type() {
+                return Err(format!(
+                    "module {} binding {} expects unit type {}, got {}",
+                    module.name(),
+                    binding.name(),
+                    binding.unit_type(),
+                    unit.spec().name()
+                ));
+            }
+        }
+        let mut err: Option<String> = None;
+        module.fsm().for_each_stmt(&mut |s| {
+            s.for_each_call(&mut |c| {
+                if err.is_some() {
+                    return;
+                }
+                let Some(unit) = sys.unit_for(mi, c.binding) else {
+                    err = Some(format!(
+                        "module {}: call through unbound binding {}",
+                        module.name(),
+                        c.binding
+                    ));
+                    return;
+                };
+                let Some(svc) = unit.spec().service(&c.service) else {
+                    err = Some(format!(
+                        "module {}: unit {} has no service {}",
+                        module.name(),
+                        unit.spec().name(),
+                        c.service
+                    ));
+                    return;
+                };
+                if svc.args().len() != c.args.len() {
+                    err = Some(format!(
+                        "module {}: service {} expects {} argument(s), called with {}",
+                        module.name(),
+                        c.service,
+                        svc.args().len(),
+                        c.args.len()
+                    ));
+                    return;
+                }
+                if c.result.is_some() && svc.returns().is_none() {
+                    err = Some(format!(
+                        "module {}: service {} returns nothing but caller expects a result",
+                        module.name(),
+                        c.service
+                    ));
+                }
+            });
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    // `check_module` and `check_unit` are exercised through the builder
+    // tests in `module.rs` and `comm.rs`; `check_system` through
+    // `system.rs`. Here we pin down a few direct edge cases.
+    use crate::comm::{CommUnitBuilder, ServiceSpecBuilder};
+    use crate::module::{ModuleBuilder, ModuleKind, PortDir};
+    use crate::value::{Type, Value};
+    use crate::{Expr, Stmt};
+
+    #[test]
+    fn module_arg_use_rejected() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let v = b.var("X", Type::INT16, Value::Int(0));
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::assign(v, Expr::arg(0))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("Arg"), "{err}");
+    }
+
+    #[test]
+    fn module_driving_input_rejected() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Hardware);
+        let p = b.port("IN_PIN", PortDir::In, Type::Bit);
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::drive(p, Expr::bit(crate::Bit::One))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("input port"), "{err}");
+    }
+
+    #[test]
+    fn controller_arg_use_rejected() {
+        let mut u = CommUnitBuilder::new("u");
+        u.wire("W", Type::Bit, Value::Bit(crate::Bit::Zero));
+        let mut fb = crate::FsmBuilder::new();
+        let s = fb.state("S");
+        fb.transition(s, Some(Expr::arg(0).eq(Expr::int(1))), s);
+        fb.initial(s);
+        u.controller(vec![], fb.build().unwrap());
+        let err = u.build().unwrap_err();
+        assert!(err.to_string().contains("controller"), "{err}");
+    }
+
+    #[test]
+    fn guard_reference_checked() {
+        let mut u = CommUnitBuilder::new("u");
+        let mut svc = ServiceSpecBuilder::new("s");
+        let st = svc.state("S");
+        // Guard reads wire 5, never declared.
+        svc.transition(st, Some(Expr::port(crate::ids::PortId::new(5))), st);
+        svc.initial(st);
+        u.service(svc.build().unwrap());
+        let err = u.build().unwrap_err();
+        assert!(err.to_string().contains("wire"), "{err}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The multi-view mechanism: one protocol FSM, many renderings.
+//!
+//! The paper's Figure 3 shows the same `PUT` access procedure in three
+//! views: a SW synthesis view (C over `inport`/`outport`), a SW simulation
+//! view (C over the simulator's C-language interface) and a HW view
+//! (VHDL). In COSMA the single source of truth is the service's protocol
+//! FSM ([`crate::comm::ServiceSpec`]); views are *renderings* of that FSM,
+//! so their behavioural equivalence holds by construction and the
+//! co-simulation/co-synthesis **coherence** problem disappears.
+
+use crate::comm::{CommUnitSpec, ServiceSpec};
+use crate::module::Module;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Software synthesis targets — each yields a different SW synthesis view
+/// of the same procedure, as in the stacked views of Figure 3a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SwTarget {
+    /// Memory-mapped I/O over a PC-AT style bus: calls become
+    /// `inport`/`outport` accesses to physical addresses.
+    PcAtBus,
+    /// Software-only platform: calls become operating-system IPC
+    /// primitives (the paper's "Inter Process Communication of UNIX").
+    UnixIpc,
+    /// Embedded software on a micro-coded controller: calls become
+    /// micro-code routine invocations.
+    Microcode,
+}
+
+impl SwTarget {
+    /// All supported targets.
+    pub const ALL: [SwTarget; 3] = [SwTarget::PcAtBus, SwTarget::UnixIpc, SwTarget::Microcode];
+}
+
+impl fmt::Display for SwTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwTarget::PcAtBus => write!(f, "pc-at-bus"),
+            SwTarget::UnixIpc => write!(f, "unix-ipc"),
+            SwTarget::Microcode => write!(f, "microcode"),
+        }
+    }
+}
+
+/// A view of a communication procedure or module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum View {
+    /// Hardware view: VHDL, used both for co-simulation and hardware
+    /// synthesis.
+    Hw,
+    /// Software simulation view: C over the VHDL simulator's C-language
+    /// interface (`cliGetPortValue` / `cliOutput`).
+    SwSim,
+    /// Software synthesis view for a concrete target architecture.
+    SwSynth(SwTarget),
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            View::Hw => write!(f, "hw"),
+            View::SwSim => write!(f, "sw-sim"),
+            View::SwSynth(t) => write!(f, "sw-synth({t})"),
+        }
+    }
+}
+
+/// All rendered views of one access procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceViews {
+    /// VHDL procedure text (Fig. 3c).
+    pub hw_vhdl: String,
+    /// C simulation-view text (Fig. 3b).
+    pub sw_sim: String,
+    /// C synthesis-view text per target (Fig. 3a's stack).
+    pub sw_synth: BTreeMap<SwTarget, String>,
+}
+
+impl ServiceViews {
+    /// Fetches the text of a given view, if rendered.
+    #[must_use]
+    pub fn view(&self, v: View) -> Option<&str> {
+        match v {
+            View::Hw => Some(&self.hw_vhdl),
+            View::SwSim => Some(&self.sw_sim),
+            View::SwSynth(t) => self.sw_synth.get(&t).map(String::as_str),
+        }
+    }
+}
+
+/// Renders every view of a service: one VHDL view, one SW simulation view
+/// and one SW synthesis view per requested target.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_core::view::{render_service_views, SwTarget, View};
+/// # use cosma_core::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
+/// # use cosma_core::{Expr, Stmt, Type, Value, Bit};
+/// # let mut u = CommUnitBuilder::new("link");
+/// # let w = u.wire("FLAG", Type::Bit, Value::Bit(Bit::Zero));
+/// # let mut s = ServiceSpecBuilder::new("ping");
+/// # let st = s.state("GO");
+/// # s.actions(st, vec![Stmt::drive(w, Expr::bit(Bit::One)),
+/// #                    Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
+/// # s.transition(st, None, st);
+/// # s.initial(st);
+/// # u.service(s.build()?);
+/// # let unit = u.build()?;
+/// let views = render_service_views(&unit, unit.service("ping").unwrap(),
+///                                  &[SwTarget::PcAtBus]);
+/// assert!(views.sw_sim.contains("cliOutput"));
+/// assert!(views.sw_synth[&SwTarget::PcAtBus].contains("outport"));
+/// assert!(views.hw_vhdl.contains("procedure PING"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn render_service_views(
+    unit: &CommUnitSpec,
+    svc: &ServiceSpec,
+    targets: &[SwTarget],
+) -> ServiceViews {
+    let hw_vhdl = crate::render::vhdl::render_service(unit, svc);
+    let sw_sim = crate::render::c::render_service(unit, svc, View::SwSim);
+    let sw_synth = targets
+        .iter()
+        .map(|&t| (t, crate::render::c::render_service(unit, svc, View::SwSynth(t))))
+        .collect();
+    ServiceViews { hw_vhdl, sw_sim, sw_synth }
+}
+
+/// Renders a module in the view appropriate for its kind: VHDL for
+/// hardware modules, C for software modules (simulation or synthesis
+/// flavour depending on `view`).
+#[must_use]
+pub fn render_module(module: &Module, view: View) -> String {
+    match view {
+        View::Hw => crate::render::vhdl::render_module(module),
+        View::SwSim | View::SwSynth(_) => crate::render::c::render_module(module, view),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(View::Hw.to_string(), "hw");
+        assert_eq!(View::SwSim.to_string(), "sw-sim");
+        assert_eq!(View::SwSynth(SwTarget::PcAtBus).to_string(), "sw-synth(pc-at-bus)");
+        assert_eq!(SwTarget::UnixIpc.to_string(), "unix-ipc");
+    }
+
+    #[test]
+    fn all_targets_enumerated() {
+        assert_eq!(SwTarget::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Back-annotation — the paper's stated future work ("developing tools
+//! for evaluation and back-annotation with the results of co-synthesis
+//! tools").
+//!
+//! A co-simulation runs on nominal activation clocks; the synthesized
+//! prototype has real timing (instruction counts, bus wait states).
+//! Because both flows emit the same labelled event sequence,
+//! [`back_annotate`] can compare the two timelines and derive corrected
+//! activation periods, after which a re-run of the co-simulation predicts
+//! prototype timing instead of just functionality.
+
+use crate::trace::TraceLog;
+use cosma_sim::Duration;
+use std::fmt;
+
+/// Timing comparison for one event label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelTiming {
+    /// Event label.
+    pub label: String,
+    /// Events considered (the smaller of the two logs' counts).
+    pub events: usize,
+    /// Duration between the first and last event in the reference
+    /// (co-simulation) log, femtoseconds.
+    pub reference_fs: u64,
+    /// Same span in the measured (co-synthesis) log.
+    pub measured_fs: u64,
+    /// measured / reference — how much slower (>1) or faster (<1) the
+    /// prototype is than the nominal co-simulation.
+    pub scale: f64,
+}
+
+/// The result of a back-annotation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackAnnotation {
+    /// Per-label timing comparisons.
+    pub labels: Vec<LabelTiming>,
+    /// Geometric-mean timing scale across labels.
+    pub scale: f64,
+    /// The software activation period to use for a timing-accurate
+    /// co-simulation re-run.
+    pub annotated_sw_cycle: Duration,
+}
+
+impl BackAnnotation {
+    /// The timing of one label, if present.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<&LabelTiming> {
+        self.labels.iter().find(|l| l.label == name)
+    }
+}
+
+impl fmt::Display for BackAnnotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "back-annotation (scale {:.3}):", self.scale)?;
+        for l in &self.labels {
+            writeln!(
+                f,
+                "  {:<14} {:>4} events: {:>10} fs (sim) vs {:>10} fs (board) -> x{:.3}",
+                l.label, l.events, l.reference_fs, l.measured_fs, l.scale
+            )?;
+        }
+        write!(f, "  annotated sw cycle: {}", self.annotated_sw_cycle)
+    }
+}
+
+fn span_fs(log: &TraceLog, label: &str, n: usize) -> u64 {
+    let times: Vec<u64> = log.with_label(label).take(n).map(|e| e.at).collect();
+    match (times.first(), times.last()) {
+        (Some(a), Some(b)) if b > a => b - a,
+        _ => 0,
+    }
+}
+
+/// Compares a co-simulation trace (run at `nominal_sw_cycle`) against a
+/// co-synthesis trace and derives corrected timing.
+///
+/// Labels with fewer than two events in either log are skipped. Returns
+/// `None` if no label yields a usable comparison.
+#[must_use]
+pub fn back_annotate(
+    reference: &TraceLog,
+    measured: &TraceLog,
+    labels: &[&str],
+    nominal_sw_cycle: Duration,
+) -> Option<BackAnnotation> {
+    let mut rows = vec![];
+    for &label in labels {
+        let n = reference
+            .with_label(label)
+            .count()
+            .min(measured.with_label(label).count());
+        if n < 2 {
+            continue;
+        }
+        let reference_fs = span_fs(reference, label, n);
+        let measured_fs = span_fs(measured, label, n);
+        if reference_fs == 0 || measured_fs == 0 {
+            continue;
+        }
+        rows.push(LabelTiming {
+            label: label.to_string(),
+            events: n,
+            reference_fs,
+            measured_fs,
+            scale: measured_fs as f64 / reference_fs as f64,
+        });
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let scale = (rows.iter().map(|r| r.scale.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let annotated =
+        Duration::from_fs((nominal_sw_cycle.as_fs() as f64 * scale).round().max(1.0) as u64);
+    Some(BackAnnotation { labels: rows, scale, annotated_sw_cycle: annotated })
+}
+
+/// Prediction quality of a (possibly annotated) co-simulation against the
+/// measured prototype: mean absolute relative error of per-label spans.
+#[must_use]
+pub fn timing_error(reference: &TraceLog, measured: &TraceLog, labels: &[&str]) -> Option<f64> {
+    let mut errs = vec![];
+    for &label in labels {
+        let n = reference
+            .with_label(label)
+            .count()
+            .min(measured.with_label(label).count());
+        if n < 2 {
+            continue;
+        }
+        let r = span_fs(reference, label, n) as f64;
+        let m = span_fs(measured, label, n) as f64;
+        if r > 0.0 && m > 0.0 {
+            errs.push(((r - m) / m).abs());
+        }
+    }
+    if errs.is_empty() {
+        None
+    } else {
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_core::Value;
+
+    fn log_with(times: &[u64], label: &str) -> TraceLog {
+        let mut l = TraceLog::new();
+        for &t in times {
+            l.record(t, "m", label, vec![Value::Int(0)]);
+        }
+        l
+    }
+
+    #[test]
+    fn derives_scale_from_spans() {
+        // Reference events 0..100, measured 0..300: prototype is 3x
+        // slower.
+        let r = log_with(&[0, 50, 100], "tick");
+        let m = log_with(&[0, 150, 300], "tick");
+        let ann = back_annotate(&r, &m, &["tick"], Duration::from_ns(100)).expect("annotates");
+        assert!((ann.scale - 3.0).abs() < 1e-9);
+        assert_eq!(ann.annotated_sw_cycle, Duration::from_ns(300));
+        assert_eq!(ann.label("tick").unwrap().events, 3);
+    }
+
+    #[test]
+    fn geometric_mean_over_labels() {
+        let mut r = log_with(&[0, 100], "a");
+        let mut m = log_with(&[0, 200], "a"); // x2
+        for (t, log) in [(0u64, &mut r), (0, &mut m)] {
+            let _ = t;
+            let _ = log;
+        }
+        for t in [0u64, 100] {
+            r.record(t, "m", "b", vec![]);
+        }
+        for t in [0u64, 800] {
+            m.record(t, "m", "b", vec![]);
+        }
+        let ann = back_annotate(&r, &m, &["a", "b"], Duration::from_ns(100)).unwrap();
+        // sqrt(2 * 8) = 4.
+        assert!((ann.scale - 4.0).abs() < 1e-9, "{}", ann.scale);
+    }
+
+    #[test]
+    fn sparse_labels_skipped() {
+        let r = log_with(&[0], "once");
+        let m = log_with(&[0], "once");
+        assert!(back_annotate(&r, &m, &["once"], Duration::from_ns(100)).is_none());
+    }
+
+    #[test]
+    fn timing_error_measures_mismatch() {
+        let r = log_with(&[0, 100], "t");
+        let m = log_with(&[0, 200], "t");
+        let e = timing_error(&r, &m, &["t"]).unwrap();
+        assert!((e - 0.5).abs() < 1e-9); // |100-200|/200
+        let perfect = timing_error(&m, &m, &["t"]).unwrap();
+        assert!(perfect.abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders() {
+        let r = log_with(&[0, 100], "t");
+        let m = log_with(&[0, 250], "t");
+        let ann = back_annotate(&r, &m, &["t"], Duration::from_ns(100)).unwrap();
+        let text = ann.to_string();
+        assert!(text.contains("back-annotation"));
+        assert!(text.contains('t'));
+    }
+}

@@ -1,0 +1,878 @@
+//! The co-simulation backplane: modules, communication units and clocks
+//! assembled over the discrete-event kernel.
+//!
+//! * Hardware modules activate on each rising edge of the HW clock;
+//!   software modules on each rising edge of the SW activation clock.
+//!   Every activation executes exactly one FSM transition — the paper's
+//!   synchronization rule.
+//! * FSM communication units live on kernel signals (one per wire); their
+//!   controllers are clocked processes. Service calls from modules step
+//!   the caller's protocol session against those signals — the runtime
+//!   equivalent of linking the SW *simulation* view (Fig. 3b).
+//! * Native units (platform models) are stepped once per HW cycle.
+
+use crate::trace::TraceLog;
+use cosma_comm::{CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore};
+use cosma_core::comm::CommUnitSpec;
+use cosma_core::ids::{PortId, VarId};
+use cosma_core::{
+    Env, EvalError, Fsm, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type,
+    Value,
+};
+use cosma_sim::{Duration, FnProcess, ProcCtx, SignalId, SimError, SimTime, Simulator, Wait};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Clocking configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CosimConfig {
+    /// Hardware cycle (default 100 ns — the paper's 10 MHz bus clock).
+    pub hw_cycle: Duration,
+    /// Software activation period (default equal to the hardware cycle,
+    /// giving the paper's precise HW/SW synchronization).
+    pub sw_cycle: Duration,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        let c = Duration::from_freq_hz(10_000_000);
+        CosimConfig { hw_cycle: c, sw_cycle: c }
+    }
+}
+
+/// Identifies a communication-unit instance in the backplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnitId(usize);
+
+/// Identifies a module instance in the backplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CosimModuleId(usize);
+
+/// Live status of a module, readable while the simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleStatus {
+    /// Current FSM state name.
+    pub state: String,
+    /// Activations performed.
+    pub activations: u64,
+}
+
+struct FsmUnitEntry {
+    name: String,
+    runtime: FsmUnitRuntime,
+    wires: Vec<SignalId>,
+}
+
+struct Registry {
+    fsm: Vec<FsmUnitEntry>,
+    native: Vec<(String, Box<dyn NativeUnit>)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Handle {
+    Fsm(usize),
+    Native(usize),
+}
+
+/// Bridges a unit's wire table onto kernel signals through the running
+/// process context.
+struct CtxWires<'a, 'b> {
+    ctx: &'a mut ProcCtx<'b>,
+    map: &'a [SignalId],
+}
+
+impl WireStore for CtxWires<'_, '_> {
+    fn read_wire(&self, w: PortId) -> Result<Value, EvalError> {
+        match self.map.get(w.index()) {
+            Some(&sig) => Ok(self.ctx.read(sig).clone()),
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
+    fn write_wire(&mut self, w: PortId, v: Value) -> Result<(), EvalError> {
+        match self.map.get(w.index()) {
+            Some(&sig) => {
+                self.ctx.drive(sig, v);
+                Ok(())
+            }
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
+}
+
+/// The execution environment a module activation sees: ports are kernel
+/// signals, variables are module-local, service calls go to the registry.
+struct CosimEnv<'a, 'b> {
+    ctx: &'a mut ProcCtx<'b>,
+    ports: &'a [SignalId],
+    vars: &'a mut [Value],
+    var_tys: &'a [Type],
+    registry: &'a RefCell<Registry>,
+    bindings: &'a [Handle],
+    caller: CallerId,
+    trace: &'a RefCell<TraceLog>,
+    source: &'a str,
+}
+
+impl ReadEnv for CosimEnv<'_, '_> {
+    fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+        self.vars.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+    }
+    fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+        match self.ports.get(p.index()) {
+            Some(&sig) => Ok(self.ctx.read(sig).clone()),
+            None => Err(EvalError::NoSuchPort(p)),
+        }
+    }
+}
+
+impl Env for CosimEnv<'_, '_> {
+    fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
+        let ty = self.var_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        let slot = self.vars.get_mut(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        *slot = ty.clamp(value);
+        Ok(())
+    }
+    fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
+        match self.ports.get(p.index()) {
+            Some(&sig) => {
+                self.ctx.drive(sig, value);
+                Ok(())
+            }
+            None => Err(EvalError::NoSuchPort(p)),
+        }
+    }
+    fn call_service(
+        &mut self,
+        call: &ServiceCall,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        let Some(&handle) = self.bindings.get(call.binding.index()) else {
+            return Err(EvalError::Service(format!(
+                "module {} has no unit attached to binding {}",
+                self.source, call.binding
+            )));
+        };
+        let mut reg = self.registry.borrow_mut();
+        match handle {
+            Handle::Fsm(i) => {
+                let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
+                let mut ws = CtxWires { ctx: self.ctx, map: wires };
+                runtime.call(self.caller, &call.service, args, &mut ws)
+            }
+            Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args),
+        }
+    }
+    fn trace(&mut self, label: &str, values: &[Value]) {
+        self.trace.borrow_mut().record(
+            self.ctx.now().as_fs(),
+            self.source,
+            label,
+            values.to_vec(),
+        );
+    }
+}
+
+/// Errors from backplane assembly and runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CosimError {
+    /// Kernel-level error.
+    Sim(SimError),
+    /// A module or controller hit an evaluation error.
+    Runtime(String),
+    /// Assembly-time error (duplicate names, unresolved bindings...).
+    Setup(String),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Sim(e) => write!(f, "{e}"),
+            CosimError::Runtime(m) | CosimError::Setup(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+impl From<SimError> for CosimError {
+    fn from(e: SimError) -> Self {
+        CosimError::Sim(e)
+    }
+}
+
+/// Per-module bookkeeping: name, live status, live variables, and the
+/// module description itself.
+type ModuleSlot = (String, Rc<RefCell<ModuleStatus>>, Rc<RefCell<Vec<Value>>>, Module);
+
+/// The co-simulation backplane.
+///
+/// # Examples
+///
+/// A software producer and a hardware consumer exchanging one value over
+/// the library handshake unit:
+///
+/// ```
+/// use cosma_cosim::{Cosim, CosimConfig};
+/// use cosma_comm::handshake_unit;
+/// use cosma_core::{ModuleBuilder, ModuleKind, Type, Value, Expr, Stmt, ServiceCall};
+/// use cosma_sim::Duration;
+///
+/// let mut cosim = Cosim::new(CosimConfig::default());
+/// let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+///
+/// let mut p = ModuleBuilder::new("producer", ModuleKind::Software);
+/// let done = p.var("D", Type::Bool, Value::Bool(false));
+/// let b = p.binding("iface", "hs");
+/// let s_put = p.state("PUT");
+/// let s_end = p.state("END");
+/// p.actions(s_put, vec![Stmt::Call(ServiceCall {
+///     binding: b, service: "put".into(), args: vec![Expr::int(42)],
+///     done: Some(done), result: None,
+/// })]);
+/// p.transition(s_put, Some(Expr::var(done)), s_end);
+/// p.transition(s_end, None, s_end);
+/// p.initial(s_put);
+///
+/// let mut c = ModuleBuilder::new("consumer", ModuleKind::Hardware);
+/// let got = c.var("GOT", Type::INT16, Value::Int(0));
+/// let cdone = c.var("D", Type::Bool, Value::Bool(false));
+/// let cb = c.binding("iface", "hs");
+/// let s_get = c.state("GET");
+/// let s_end2 = c.state("END");
+/// c.actions(s_get, vec![Stmt::Call(ServiceCall {
+///     binding: cb, service: "get".into(), args: vec![],
+///     done: Some(cdone), result: Some(got),
+/// })]);
+/// c.transition(s_get, Some(Expr::var(cdone)), s_end2);
+/// c.transition(s_end2, None, s_end2);
+/// c.initial(s_get);
+///
+/// let pm = cosim.add_module(&p.build()?, &[("iface", link)])?;
+/// let cm = cosim.add_module(&c.build()?, &[("iface", link)])?;
+/// cosim.run_for(Duration::from_us(10))?;
+/// assert_eq!(cosim.module_status(cm).state, "END");
+/// assert_eq!(cosim.module_var(cm, "GOT"), Some(Value::Int(42)));
+/// # let _ = pm;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Cosim {
+    sim: Simulator,
+    registry: Rc<RefCell<Registry>>,
+    handles: Vec<Handle>,
+    unit_names: HashMap<String, UnitId>,
+    error: Rc<RefCell<Option<String>>>,
+    trace: Rc<RefCell<TraceLog>>,
+    hw_clk: SignalId,
+    sw_clk: SignalId,
+    modules: Vec<ModuleSlot>,
+}
+
+impl fmt::Debug for Cosim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cosim")
+            .field("modules", &self.modules.len())
+            .field("units", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cosim {
+    /// Creates a backplane with HW and SW activation clocks.
+    #[must_use]
+    pub fn new(config: CosimConfig) -> Self {
+        let mut sim = Simulator::new();
+        let hw_clk = sim.add_bit("HW_CLK");
+        let sw_clk = sim.add_bit("SW_CLK");
+        sim.add_clock("hw_clkgen", hw_clk, config.hw_cycle);
+        sim.add_clock("sw_clkgen", sw_clk, config.sw_cycle);
+        Cosim {
+            sim,
+            registry: Rc::new(RefCell::new(Registry { fsm: vec![], native: vec![] })),
+            handles: vec![],
+            unit_names: HashMap::new(),
+            error: Rc::new(RefCell::new(None)),
+            trace: Rc::new(RefCell::new(TraceLog::new())),
+            hw_clk,
+            sw_clk,
+            modules: vec![],
+        }
+    }
+
+    /// The underlying kernel (for signal pokes, VCD, stats).
+    #[must_use]
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable kernel access.
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The hardware clock signal.
+    #[must_use]
+    pub fn hw_clk(&self) -> SignalId {
+        self.hw_clk
+    }
+
+    /// The software activation clock signal.
+    #[must_use]
+    pub fn sw_clk(&self) -> SignalId {
+        self.sw_clk
+    }
+
+    /// Instantiates an FSM communication unit: one kernel signal per wire
+    /// (`<name>.<WIRE>`), plus a clocked controller process.
+    pub fn add_fsm_unit(&mut self, name: &str, spec: Arc<CommUnitSpec>) -> UnitId {
+        let wires: Vec<SignalId> = spec
+            .wires()
+            .iter()
+            .map(|w| {
+                self.sim.add_signal(format!("{name}.{}", w.name()), w.ty().clone(), w.init().clone())
+            })
+            .collect();
+        let has_controller = spec.controller().is_some();
+        let runtime = FsmUnitRuntime::new(spec);
+        let idx = {
+            let mut reg = self.registry.borrow_mut();
+            reg.fsm.push(FsmUnitEntry { name: name.to_string(), runtime, wires: wires.clone() });
+            reg.fsm.len() - 1
+        };
+        if has_controller {
+            let registry = Rc::clone(&self.registry);
+            let error = Rc::clone(&self.error);
+            let clk = self.hw_clk;
+            self.sim.add_process(
+                format!("{name}.controller"),
+                FnProcess::new(move |ctx| {
+                    if error.borrow().is_some() {
+                        return Wait::Forever;
+                    }
+                    if ctx.rose(clk) {
+                        let mut reg = registry.borrow_mut();
+                        let FsmUnitEntry { name, runtime, wires } = &mut reg.fsm[idx];
+                        let mut ws = CtxWires { ctx, map: wires };
+                        if let Err(e) = runtime.step_controller(&mut ws) {
+                            *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
+                            return Wait::Forever;
+                        }
+                    }
+                    Wait::Event(vec![clk])
+                }),
+            );
+        }
+        let id = UnitId(self.handles.len());
+        self.handles.push(Handle::Fsm(idx));
+        self.unit_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Installs a native (platform) unit, stepped once per HW cycle.
+    pub fn add_native_unit(&mut self, name: &str, unit: Box<dyn NativeUnit>) -> UnitId {
+        let idx = {
+            let mut reg = self.registry.borrow_mut();
+            reg.native.push((name.to_string(), unit));
+            reg.native.len() - 1
+        };
+        let registry = Rc::clone(&self.registry);
+        let clk = self.hw_clk;
+        self.sim.add_process(
+            format!("{name}.step"),
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    registry.borrow_mut().native[idx].1.step();
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+        let id = UnitId(self.handles.len());
+        self.handles.push(Handle::Native(idx));
+        self.unit_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a unit by instance name.
+    #[must_use]
+    pub fn unit(&self, name: &str) -> Option<UnitId> {
+        self.unit_names.get(name).copied()
+    }
+
+    /// Adds a module whose ports get fresh kernel signals named
+    /// `<module>.<PORT>`. `bindings` maps binding names to unit ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if a binding name is unknown or left
+    /// unbound.
+    pub fn add_module(
+        &mut self,
+        module: &Module,
+        bindings: &[(&str, UnitId)],
+    ) -> Result<CosimModuleId, CosimError> {
+        let ports: Vec<SignalId> = module
+            .ports()
+            .iter()
+            .map(|p| {
+                self.sim.add_signal(
+                    format!("{}.{}", module.name(), p.name()),
+                    p.ty().clone(),
+                    p.ty().default_value(),
+                )
+            })
+            .collect();
+        self.add_module_with_ports(module, bindings, ports)
+    }
+
+    /// Adds a module with an explicit port→signal map (used to share nets
+    /// between the processes of one VHDL entity). `ports[i]` carries the
+    /// signal for the module's `PortId(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] on arity mismatch or unresolved
+    /// bindings.
+    pub fn add_module_with_ports(
+        &mut self,
+        module: &Module,
+        bindings: &[(&str, UnitId)],
+        ports: Vec<SignalId>,
+    ) -> Result<CosimModuleId, CosimError> {
+        if ports.len() != module.ports().len() {
+            return Err(CosimError::Setup(format!(
+                "module {}: {} signals provided for {} ports",
+                module.name(),
+                ports.len(),
+                module.ports().len()
+            )));
+        }
+        let mut handle_by_binding: Vec<Option<Handle>> = vec![None; module.bindings().len()];
+        for (bname, uid) in bindings {
+            let Some(bid) = module.binding_id(bname) else {
+                return Err(CosimError::Setup(format!(
+                    "module {} has no binding named {bname}",
+                    module.name()
+                )));
+            };
+            handle_by_binding[bid.index()] = Some(self.handles[uid.0]);
+        }
+        let mut resolved = Vec::with_capacity(handle_by_binding.len());
+        for (i, h) in handle_by_binding.into_iter().enumerate() {
+            match h {
+                Some(h) => resolved.push(h),
+                None => {
+                    return Err(CosimError::Setup(format!(
+                        "module {}: binding {} left unbound",
+                        module.name(),
+                        module.bindings()[i].name()
+                    )))
+                }
+            }
+        }
+
+        let caller = CallerId(self.modules.len() as u64);
+        let clk = match module.kind() {
+            ModuleKind::Hardware => self.hw_clk,
+            ModuleKind::Software => self.sw_clk,
+        };
+        let fsm: Fsm = module.fsm().clone();
+        let vars: Vec<Value> = module.vars().iter().map(|v| v.init().clone()).collect();
+        let var_tys: Vec<Type> = module.vars().iter().map(|v| v.ty().clone()).collect();
+        let status = Rc::new(RefCell::new(ModuleStatus {
+            state: fsm.state(fsm.initial()).name().to_string(),
+            activations: 0,
+        }));
+        let vars_cell = Rc::new(RefCell::new(vars));
+        let id = CosimModuleId(self.modules.len());
+        self.modules.push((
+            module.name().to_string(),
+            Rc::clone(&status),
+            Rc::clone(&vars_cell),
+            module.clone(),
+        ));
+
+        let registry = Rc::clone(&self.registry);
+        let error = Rc::clone(&self.error);
+        let trace = Rc::clone(&self.trace);
+        let mname = module.name().to_string();
+        let mut exec = FsmExec::new(&fsm);
+        self.sim.add_process(
+            mname.clone(),
+            FnProcess::new(move |ctx| {
+                if error.borrow().is_some() {
+                    return Wait::Forever;
+                }
+                if ctx.rose(clk) {
+                    let mut vars = vars_cell.borrow_mut();
+                    let mut env = CosimEnv {
+                        ctx,
+                        ports: &ports,
+                        vars: &mut vars,
+                        var_tys: &var_tys,
+                        registry: &registry,
+                        bindings: &resolved,
+                        caller,
+                        trace: &trace,
+                        source: &mname,
+                    };
+                    match exec.step(&fsm, &mut env) {
+                        Ok(_) => {
+                            let mut st = status.borrow_mut();
+                            st.state = fsm.state(exec.current()).name().to_string();
+                            st.activations += 1;
+                        }
+                        Err(e) => {
+                            *error.borrow_mut() = Some(format!("module {mname}: {e}"));
+                            return Wait::Forever;
+                        }
+                    }
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+        Ok(id)
+    }
+
+    /// Assembles a validated [`cosma_core::System`]: every unit instance
+    /// and module is added, with bindings resolved as declared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] on assembly problems.
+    pub fn add_system(&mut self, sys: &cosma_core::System) -> Result<Vec<CosimModuleId>, CosimError> {
+        let unit_ids: Vec<UnitId> = sys
+            .units()
+            .iter()
+            .map(|u| self.add_fsm_unit(u.name(), u.spec().clone()))
+            .collect();
+        let mut module_ids = vec![];
+        for (mi, module) in sys.modules().iter().enumerate() {
+            let mut binds: Vec<(&str, UnitId)> = vec![];
+            for (bi, b) in module.bindings().iter().enumerate() {
+                let Some(ui) = sys.unit_index_for(mi, cosma_core::ids::BindingId::new(bi as u32))
+                else {
+                    return Err(CosimError::Setup(format!(
+                        "system {}: module {} binding {} unbound",
+                        sys.name(),
+                        module.name(),
+                        b.name()
+                    )));
+                };
+                binds.push((b.name(), unit_ids[ui]));
+            }
+            module_ids.push(self.add_module(module, &binds)?);
+        }
+        Ok(module_ids)
+    }
+
+    /// Runs the co-simulation for a span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Runtime`] if any module or controller hit an
+    /// evaluation error, or [`CosimError::Sim`] on kernel errors.
+    pub fn run_for(&mut self, d: Duration) -> Result<(), CosimError> {
+        self.sim.run_for(d)?;
+        if let Some(msg) = self.error.borrow().clone() {
+            return Err(CosimError::Runtime(msg));
+        }
+        Ok(())
+    }
+
+    /// Runs until an absolute deadline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cosim::run_for`].
+    pub fn run_until(&mut self, t: SimTime) -> Result<(), CosimError> {
+        self.sim.run_until(t)?;
+        if let Some(msg) = self.error.borrow().clone() {
+            return Err(CosimError::Runtime(msg));
+        }
+        Ok(())
+    }
+
+    /// Live status of a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this backplane.
+    #[must_use]
+    pub fn module_status(&self, id: CosimModuleId) -> ModuleStatus {
+        self.modules[id.0].1.borrow().clone()
+    }
+
+    /// Finds a module id by name.
+    #[must_use]
+    pub fn find_module(&self, name: &str) -> Option<CosimModuleId> {
+        self.modules.iter().position(|(n, _, _, _)| n == name).map(CosimModuleId)
+    }
+
+    /// Current value of a module variable, by name.
+    #[must_use]
+    pub fn module_var(&self, id: CosimModuleId, var: &str) -> Option<Value> {
+        let (_, _, vars, module) = &self.modules[id.0];
+        let vid = module.var_id(var)?;
+        vars.borrow().get(vid.index()).cloned()
+    }
+
+    /// Statistics of a unit instance.
+    #[must_use]
+    pub fn unit_stats(&self, name: &str) -> Option<UnitStats> {
+        let id = self.unit_names.get(name)?;
+        let reg = self.registry.borrow();
+        match self.handles[id.0] {
+            Handle::Fsm(i) => Some(reg.fsm[i].runtime.stats().clone()),
+            Handle::Native(i) => Some(reg.native[i].1.stats().clone()),
+        }
+    }
+
+    /// Snapshot of the trace log.
+    #[must_use]
+    pub fn trace_log(&self) -> TraceLog {
+        self.trace.borrow().clone()
+    }
+
+    /// Appends an external event to the trace log (used by testbench
+    /// processes).
+    pub fn trace_handle(&self) -> Rc<RefCell<TraceLog>> {
+        Rc::clone(&self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_comm::{handshake_unit, FifoChannel};
+    use cosma_core::{Expr, ModuleBuilder, Stmt};
+
+    fn producer(values: &[i64]) -> Module {
+        let mut p = ModuleBuilder::new("producer", ModuleKind::Software);
+        let done = p.var("D", Type::Bool, Value::Bool(false));
+        let idx = p.var("I", Type::INT16, Value::Int(0));
+        let b = p.binding("iface", "hs");
+        let put = p.state("PUT");
+        let end = p.state("END");
+        // Send values[I] until I == len; the helper requires an
+        // arithmetic progression so the argument is base + I * step.
+        let step = if values.len() > 1 { values[1] - values[0] } else { 0 };
+        let arg = Expr::int(values[0]).add(Expr::var(idx).mul(Expr::int(step)));
+        p.actions(
+            put,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: "put".into(),
+                args: vec![arg],
+                done: Some(done),
+                result: None,
+            })],
+        );
+        p.transition_with(
+            put,
+            Some(Expr::var(done).and(Expr::var(idx).ge(Expr::int(values.len() as i64 - 1)))),
+            vec![],
+            end,
+        );
+        p.transition_with(
+            put,
+            Some(Expr::var(done)),
+            vec![Stmt::assign(idx, Expr::var(idx).add(Expr::int(1)))],
+            put,
+        );
+        p.transition(end, None, end);
+        p.initial(put);
+        p.build().unwrap()
+    }
+
+    fn consumer(n: usize) -> Module {
+        let mut c = ModuleBuilder::new("consumer", ModuleKind::Hardware);
+        let done = c.var("D", Type::Bool, Value::Bool(false));
+        let got = c.var("GOT", Type::INT16, Value::Int(0));
+        let sum = c.var("SUM", Type::INT16, Value::Int(0));
+        let count = c.var("N", Type::INT16, Value::Int(0));
+        let b = c.binding("iface", "hs");
+        let get = c.state("GET");
+        let end = c.state("END");
+        c.actions(
+            get,
+            vec![Stmt::Call(ServiceCall {
+                binding: b,
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(got),
+            })],
+        );
+        c.transition_with(
+            get,
+            Some(Expr::var(done).and(Expr::var(count).ge(Expr::int(n as i64 - 1)))),
+            vec![
+                Stmt::assign(sum, Expr::var(sum).add(Expr::var(got))),
+                Stmt::Trace("recv".into(), vec![Expr::var(got)]),
+            ],
+            end,
+        );
+        c.transition_with(
+            get,
+            Some(Expr::var(done)),
+            vec![
+                Stmt::assign(sum, Expr::var(sum).add(Expr::var(got))),
+                Stmt::assign(count, Expr::var(count).add(Expr::int(1))),
+                Stmt::Trace("recv".into(), vec![Expr::var(got)]),
+            ],
+            get,
+        );
+        c.transition(end, None, end);
+        c.initial(get);
+        c.build().unwrap()
+    }
+
+    #[test]
+    fn sw_to_hw_exchange_over_handshake() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+        let p = producer(&[10, 20, 30]);
+        let c = consumer(3);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(50)).unwrap();
+        assert_eq!(cosim.module_status(cid).state, "END");
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(60)));
+        // Trace captured all three receptions in order.
+        let log = cosim.trace_log();
+        let recvs: Vec<i64> = log
+            .with_label("recv")
+            .map(|e| e.values[0].as_int().unwrap())
+            .collect();
+        assert_eq!(recvs, vec![10, 20, 30]);
+        // Stats flowed through.
+        let stats = cosim.unit_stats("link").unwrap();
+        assert_eq!(stats.services["put"].completions, 3);
+        assert_eq!(stats.services["get"].completions, 3);
+        assert!(stats.controller_steps > 0);
+    }
+
+    #[test]
+    fn native_unit_in_backplane() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_native_unit("fifo", Box::new(FifoChannel::new("fifo", 8)));
+        let p = producer(&[5, 6]);
+        let c = consumer(2);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(20)).unwrap();
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn one_activation_per_sw_cycle() {
+        // A 3-state chain takes exactly 3 SW cycles to reach END.
+        let mut b = ModuleBuilder::new("chain", ModuleKind::Software);
+        let s1 = b.state("S1");
+        let s2 = b.state("S2");
+        let s3 = b.state("S3");
+        b.transition(s1, None, s2);
+        b.transition(s2, None, s3);
+        b.transition(s3, None, s3);
+        b.initial(s1);
+        let m = b.build().unwrap();
+        let mut cosim = Cosim::new(CosimConfig {
+            hw_cycle: Duration::from_ns(100),
+            sw_cycle: Duration::from_ns(100),
+        });
+        let id = cosim.add_module(&m, &[]).unwrap();
+        // Edges at 0, 100, 200: exactly 3 activations by t=250.
+        cosim.run_for(Duration::from_ns(250)).unwrap();
+        let st = cosim.module_status(id);
+        assert_eq!(st.activations, 3);
+        assert_eq!(st.state, "S3");
+    }
+
+    #[test]
+    fn sw_slower_than_hw() {
+        let mut b = ModuleBuilder::new("swm", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let sw = b.build().unwrap();
+        let mut b = ModuleBuilder::new("hwm", ModuleKind::Hardware);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let hw = b.build().unwrap();
+        let mut cosim = Cosim::new(CosimConfig {
+            hw_cycle: Duration::from_ns(100),
+            sw_cycle: Duration::from_ns(400),
+        });
+        let swid = cosim.add_module(&sw, &[]).unwrap();
+        let hwid = cosim.add_module(&hw, &[]).unwrap();
+        cosim.run_for(Duration::from_us(4)).unwrap();
+        let sw_act = cosim.module_status(swid).activations;
+        let hw_act = cosim.module_status(hwid).activations;
+        assert!(hw_act >= 3 * sw_act, "hw {hw_act} vs sw {sw_act}");
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        let mut b = ModuleBuilder::new("crash", ModuleKind::Software);
+        let x = b.var("X", Type::INT16, Value::Int(1));
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::assign(x, Expr::var(x).div(Expr::int(0)))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_module(&m, &[]).unwrap();
+        let err = cosim.run_for(Duration::from_us(1)).unwrap_err();
+        assert!(matches!(err, CosimError::Runtime(_)));
+        assert!(err.to_string().contains("crash"));
+    }
+
+    #[test]
+    fn unbound_binding_rejected() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        b.binding("iface", "hs");
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let err = cosim.add_module(&m, &[]).unwrap_err();
+        assert!(matches!(err, CosimError::Setup(_)));
+    }
+
+    #[test]
+    fn add_system_end_to_end() {
+        use cosma_core::SystemBuilder;
+        let mut sysb = SystemBuilder::new("demo");
+        let pm = sysb.module(producer(&[1, 2]));
+        let cm = sysb.module(consumer(2));
+        let u = sysb.unit("link", handshake_unit("hs", Type::INT16));
+        sysb.bind(pm, "iface", u).unwrap();
+        sysb.bind(cm, "iface", u).unwrap();
+        let sys = sysb.build().unwrap();
+
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let ids = cosim.add_system(&sys).unwrap();
+        cosim.run_for(Duration::from_us(40)).unwrap();
+        assert_eq!(cosim.module_var(ids[1], "SUM"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn module_port_signals_created() {
+        let mut b = ModuleBuilder::new("pm", ModuleKind::Hardware);
+        let port = b.port("LED", cosma_core::PortDir::Out, Type::Bit);
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::drive(port, Expr::bit(cosma_core::Bit::One))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_module(&m, &[]).unwrap();
+        cosim.run_for(Duration::from_us(1)).unwrap();
+        let sig = cosim.sim().find_signal("pm.LED").expect("signal exists");
+        assert_eq!(cosim.sim().value(sig), &Value::Bit(cosma_core::Bit::One));
+    }
+}

@@ -1,0 +1,23 @@
+//! # cosma-cosim — the co-simulation backplane
+//!
+//! Joint simulation of hardware and software over the discrete-event
+//! kernel, following the paper's model:
+//!
+//! * the same module descriptions used for co-synthesis run here
+//!   unchanged (coherence by construction),
+//! * software modules are activated once per SW cycle and execute exactly
+//!   one transition (precise HW/SW synchronization),
+//! * all inter-module interaction goes through communication units whose
+//!   wires are kernel signals,
+//! * every `Stmt::Trace` lands in a [`TraceLog`] that can be compared
+//!   event-for-event against a co-synthesis (board-level) run.
+
+#![warn(missing_docs)]
+
+mod annotate;
+mod backplane;
+mod trace;
+
+pub use annotate::{back_annotate, timing_error, BackAnnotation, LabelTiming};
+pub use backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, ModuleStatus, UnitId};
+pub use trace::{TraceComparison, TraceEntry, TraceLog};

@@ -1,0 +1,228 @@
+//! Trace capture and comparison — the instrument behind the paper's
+//! *coherence* claim: co-simulation and co-synthesis runs of the same
+//! description must produce the same externally visible event sequence.
+
+use cosma_core::Value;
+use std::fmt;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Timestamp in femtoseconds (simulation) or cycles (board runs);
+    /// ignored by sequence comparison.
+    pub at: u64,
+    /// Emitting module or component.
+    pub source: String,
+    /// Event label.
+    pub label: String,
+    /// Event payload.
+    pub values: Vec<Value>,
+}
+
+/// An ordered event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        at: u64,
+        source: impl Into<String>,
+        label: impl Into<String>,
+        values: Vec<Value>,
+    ) {
+        self.entries.push(TraceEntry {
+            at,
+            source: source.into(),
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// All entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries with a given label.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.entries.iter().filter(move |e| e.label == label)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compares two logs as *sequences of (label, values)*, ignoring
+    /// timestamps and sources (a simulation timeline and a board cycle
+    /// count are incomparable). Returns a report with the first
+    /// divergence, if any.
+    #[must_use]
+    pub fn compare(&self, other: &TraceLog) -> TraceComparison {
+        let n = self.entries.len().min(other.entries.len());
+        for i in 0..n {
+            let a = &self.entries[i];
+            let b = &other.entries[i];
+            if a.label != b.label || a.values != b.values {
+                return TraceComparison {
+                    matched: i,
+                    left_len: self.entries.len(),
+                    right_len: other.entries.len(),
+                    divergence: Some((a.clone(), b.clone())),
+                };
+            }
+        }
+        TraceComparison {
+            matched: n,
+            left_len: self.entries.len(),
+            right_len: other.entries.len(),
+            divergence: None,
+        }
+    }
+
+    /// Restricts the log to entries whose label passes the filter
+    /// (e.g. only motor-visible events).
+    #[must_use]
+    pub fn filtered(&self, mut keep: impl FnMut(&TraceEntry) -> bool) -> TraceLog {
+        TraceLog { entries: self.entries.iter().filter(|e| keep(e)).cloned().collect() }
+    }
+}
+
+/// Result of [`TraceLog::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceComparison {
+    /// Number of leading entries that matched.
+    pub matched: usize,
+    /// Length of the left log.
+    pub left_len: usize,
+    /// Length of the right log.
+    pub right_len: usize,
+    /// First mismatching pair, if any.
+    pub divergence: Option<(TraceEntry, TraceEntry)>,
+}
+
+impl TraceComparison {
+    /// Whether the logs are identical as sequences (same length, no
+    /// divergence).
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        self.divergence.is_none() && self.left_len == self.right_len
+    }
+
+    /// Fraction of the longer log that matched, in [0, 1].
+    #[must_use]
+    pub fn match_rate(&self) -> f64 {
+        let denom = self.left_len.max(self.right_len);
+        if denom == 0 {
+            1.0
+        } else {
+            self.matched as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_match() {
+            write!(f, "traces match ({} events)", self.matched)
+        } else {
+            write!(
+                f,
+                "traces diverge after {} events (lengths {} vs {})",
+                self.matched, self.left_len, self.right_len
+            )?;
+            if let Some((a, b)) = &self.divergence {
+                write!(f, ": {}({:?}) vs {}({:?})", a.label, a.values, b.label, b.values)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(pairs: &[(&str, i64)]) -> TraceLog {
+        let mut l = TraceLog::new();
+        for (i, (label, v)) in pairs.iter().enumerate() {
+            l.record(i as u64, "m", *label, vec![Value::Int(*v)]);
+        }
+        l
+    }
+
+    #[test]
+    fn identical_logs_match() {
+        let a = log(&[("pulse", 1), ("pulse", 2)]);
+        let b = log(&[("pulse", 1), ("pulse", 2)]);
+        let c = a.compare(&b);
+        assert!(c.is_match());
+        assert_eq!(c.match_rate(), 1.0);
+        assert!(c.to_string().contains("match"));
+    }
+
+    #[test]
+    fn timestamps_ignored() {
+        let mut a = TraceLog::new();
+        a.record(5, "sim", "pulse", vec![Value::Int(1)]);
+        let mut b = TraceLog::new();
+        b.record(99, "board", "pulse", vec![Value::Int(1)]);
+        assert!(a.compare(&b).is_match());
+    }
+
+    #[test]
+    fn divergence_reported() {
+        let a = log(&[("pulse", 1), ("pulse", 2)]);
+        let b = log(&[("pulse", 1), ("pulse", 3)]);
+        let c = a.compare(&b);
+        assert!(!c.is_match());
+        assert_eq!(c.matched, 1);
+        assert!(c.match_rate() < 1.0);
+        assert!(c.to_string().contains("diverge"));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = log(&[("pulse", 1)]);
+        let b = log(&[("pulse", 1), ("pulse", 2)]);
+        let c = a.compare(&b);
+        assert!(!c.is_match());
+        assert!(c.divergence.is_none());
+        assert_eq!(c.matched, 1);
+        assert_eq!(c.match_rate(), 0.5);
+    }
+
+    #[test]
+    fn filter_and_label_queries() {
+        let a = log(&[("pulse", 1), ("pos", 2), ("pulse", 3)]);
+        assert_eq!(a.with_label("pulse").count(), 2);
+        let only = a.filtered(|e| e.label == "pos");
+        assert_eq!(only.len(), 1);
+        assert!(!only.is_empty());
+    }
+
+    #[test]
+    fn empty_logs_match() {
+        let c = TraceLog::new().compare(&TraceLog::new());
+        assert!(c.is_match());
+        assert_eq!(c.match_rate(), 1.0);
+    }
+}

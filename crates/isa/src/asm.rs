@@ -1,0 +1,576 @@
+//! Two-pass MC16 assembler.
+//!
+//! Accepts a conventional assembly dialect:
+//!
+//! ```text
+//!         ORG  0x0000        ; load origin / entry point
+//! COUNT:  EQU  5             ; symbolic constant
+//!         LDI  r1, COUNT
+//! loop:   ADDI r1, -1        ; negative immediates are two's complement
+//!         CMPI r1, 0
+//!         JNZ  loop
+//!         HLT
+//! buffer: WORD 0, 1, 2       ; data words
+//! ```
+//!
+//! Comments start with `;` or `//`. Labels are case-sensitive; mnemonics
+//! and registers are case-insensitive.
+
+use crate::instr::{Instr, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled memory image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    words: Vec<(u16, u16)>,
+    entry: u16,
+    labels: HashMap<String, u16>,
+}
+
+impl Image {
+    /// `(address, word)` pairs to load.
+    pub fn words(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        self.words.iter().copied()
+    }
+
+    /// Entry point (the first `ORG`, or 0).
+    #[must_use]
+    pub fn entry(&self) -> u16 {
+        self.entry
+    }
+
+    /// Number of words in the image.
+    #[must_use]
+    pub fn len_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Resolved address of a label.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<u16> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// Assembly errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// A not-yet-resolved address operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Num(u16),
+    Label(String),
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// Fully resolved instruction.
+    Ready(Instr),
+    /// Instruction whose immediate word references a label/constant.
+    Pending {
+        build: fn(Reg, Reg, u16) -> Instr,
+        rd: Reg,
+        rs: Reg,
+        operand: Operand,
+        line: usize,
+    },
+    Data(Vec<Operand>, usize),
+}
+
+impl Item {
+    fn size(&self) -> u16 {
+        match self {
+            Item::Ready(i) => i.size(),
+            Item::Pending { .. } => 2,
+            Item::Data(ws, _) => ws.len() as u16,
+        }
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.to_ascii_lowercase();
+    if let Some(n) = t.strip_prefix('r') {
+        if let Ok(n) = n.parse::<u8>() {
+            if n < 8 {
+                return Ok(Reg(n));
+            }
+        }
+    }
+    Err(err(line, format!("expected register r0..r7, got {tok:?}")))
+}
+
+fn parse_num(tok: &str, line: usize) -> Result<u16, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v: Result<i64, _> = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        i64::from_str_radix(h, 16)
+    } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        i64::from_str_radix(b, 2)
+    } else {
+        t.parse()
+    };
+    match v {
+        Ok(v) => {
+            let v = if neg { -v } else { v };
+            if !(-32768..=65535).contains(&v) {
+                return Err(err(line, format!("number {v} out of 16-bit range")));
+            }
+            Ok(v as u16)
+        }
+        Err(_) => Err(err(line, format!("invalid number {tok:?}"))),
+    }
+}
+
+fn parse_operand(tok: &str, consts: &HashMap<String, u16>, line: usize) -> Result<Operand, AsmError> {
+    let t = tok.trim();
+    if t.is_empty() {
+        return Err(err(line, "missing operand"));
+    }
+    if let Some(&v) = consts.get(t) {
+        return Ok(Operand::Num(v));
+    }
+    let first = t.chars().next().expect("nonempty");
+    if first.is_ascii_digit() || first == '-' {
+        Ok(Operand::Num(parse_num(t, line)?))
+    } else {
+        Ok(Operand::Label(t.to_string()))
+    }
+}
+
+/// Assembles MC16 source text.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on syntax errors, unknown
+/// mnemonics, bad registers, range errors or undefined/duplicate labels.
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let mut items: Vec<(u16, Item)> = vec![];
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut consts: HashMap<String, u16> = HashMap::new();
+    let mut pc: u16 = 0;
+    let mut entry: Option<u16> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find(';') {
+            line = &line[..p];
+        }
+        if let Some(p) = line.find("//") {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            // EQU lines look like "NAME: EQU v"? No — EQU uses no colon.
+            if labels.insert(name.to_string(), pc).is_some() {
+                return Err(err(line_no, format!("duplicate label {name}")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, args) = match rest.find(char::is_whitespace) {
+            Some(p) => (&rest[..p], rest[p..].trim()),
+            None => (rest, ""),
+        };
+        let mn = mnemonic.trim_start_matches('.').to_ascii_uppercase();
+        let argv: Vec<&str> =
+            if args.is_empty() { vec![] } else { args.split(',').map(str::trim).collect() };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if argv.len() == n {
+                Ok(())
+            } else {
+                Err(err(line_no, format!("{mn} expects {n} operand(s), got {}", argv.len())))
+            }
+        };
+
+        let item: Option<Item> = match mn.as_str() {
+            "ORG" => {
+                need(1)?;
+                pc = parse_num(argv[0], line_no)?;
+                if entry.is_none() {
+                    entry = Some(pc);
+                }
+                None
+            }
+            "EQU" => {
+                need(2)?;
+                let v = parse_num(argv[1], line_no)?;
+                consts.insert(argv[0].to_string(), v);
+                None
+            }
+            "WORD" => {
+                if argv.is_empty() {
+                    return Err(err(line_no, "WORD expects at least one value"));
+                }
+                let ws = argv
+                    .iter()
+                    .map(|a| parse_operand(a, &consts, line_no))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(Item::Data(ws, line_no))
+            }
+            "NOP" => Some(Item::Ready(Instr::Nop)),
+            "HLT" | "HALT" => Some(Item::Ready(Instr::Halt)),
+            "RET" => Some(Item::Ready(Instr::Ret)),
+            "MOV" => {
+                need(2)?;
+                Some(Item::Ready(Instr::Mov(
+                    parse_reg(argv[0], line_no)?,
+                    parse_reg(argv[1], line_no)?,
+                )))
+            }
+            "LDI" | "ADDI" | "CMPI" => {
+                need(2)?;
+                let rd = parse_reg(argv[0], line_no)?;
+                let op = parse_operand(argv[1], &consts, line_no)?;
+                let build: fn(Reg, Reg, u16) -> Instr = match mn.as_str() {
+                    "LDI" => |rd, _, i| Instr::Ldi(rd, i),
+                    "ADDI" => |rd, _, i| Instr::Addi(rd, i),
+                    _ => |rd, _, i| Instr::Cmpi(rd, i),
+                };
+                match op {
+                    Operand::Num(i) => Some(Item::Ready(build(rd, Reg(0), i))),
+                    operand => {
+                        Some(Item::Pending { build, rd, rs: Reg(0), operand, line: line_no })
+                    }
+                }
+            }
+            "LD" => {
+                need(2)?;
+                let rd = parse_reg(argv[0], line_no)?;
+                let a = argv[1];
+                let inner = a
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(line_no, "LD expects [addr] or [reg]"))?
+                    .trim();
+                if inner.to_ascii_lowercase().starts_with('r')
+                    && parse_reg(inner, line_no).is_ok()
+                {
+                    Some(Item::Ready(Instr::LdInd(rd, parse_reg(inner, line_no)?)))
+                } else {
+                    match parse_operand(inner, &consts, line_no)? {
+                        Operand::Num(a) => Some(Item::Ready(Instr::Ld(rd, a))),
+                        operand => Some(Item::Pending {
+                            build: |rd, _, a| Instr::Ld(rd, a),
+                            rd,
+                            rs: Reg(0),
+                            operand,
+                            line: line_no,
+                        }),
+                    }
+                }
+            }
+            "ST" => {
+                need(2)?;
+                let inner = argv[0]
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(line_no, "ST expects [addr] or [reg] destination"))?
+                    .trim();
+                let rs = parse_reg(argv[1], line_no)?;
+                if inner.to_ascii_lowercase().starts_with('r')
+                    && parse_reg(inner, line_no).is_ok()
+                {
+                    Some(Item::Ready(Instr::StInd(parse_reg(inner, line_no)?, rs)))
+                } else {
+                    match parse_operand(inner, &consts, line_no)? {
+                        Operand::Num(a) => Some(Item::Ready(Instr::St(a, rs))),
+                        operand => Some(Item::Pending {
+                            build: |_, rs, a| Instr::St(a, rs),
+                            rd: Reg(0),
+                            rs,
+                            operand,
+                            line: line_no,
+                        }),
+                    }
+                }
+            }
+            "IN" => {
+                need(2)?;
+                let rd = parse_reg(argv[0], line_no)?;
+                match parse_operand(argv[1], &consts, line_no)? {
+                    Operand::Num(p) => Some(Item::Ready(Instr::In(rd, p))),
+                    operand => Some(Item::Pending {
+                        build: |rd, _, p| Instr::In(rd, p),
+                        rd,
+                        rs: Reg(0),
+                        operand,
+                        line: line_no,
+                    }),
+                }
+            }
+            "OUT" => {
+                need(2)?;
+                let rs = parse_reg(argv[1], line_no)?;
+                match parse_operand(argv[0], &consts, line_no)? {
+                    Operand::Num(p) => Some(Item::Ready(Instr::Out(p, rs))),
+                    operand => Some(Item::Pending {
+                        build: |_, rs, p| Instr::Out(p, rs),
+                        rd: Reg(0),
+                        rs,
+                        operand,
+                        line: line_no,
+                    }),
+                }
+            }
+            "ADD" | "SUB" | "AND" | "OR" | "XOR" | "MUL" | "DIV" | "REM" | "CMP" => {
+                need(2)?;
+                let rd = parse_reg(argv[0], line_no)?;
+                let rs = parse_reg(argv[1], line_no)?;
+                Some(Item::Ready(match mn.as_str() {
+                    "ADD" => Instr::Add(rd, rs),
+                    "SUB" => Instr::Sub(rd, rs),
+                    "AND" => Instr::And(rd, rs),
+                    "OR" => Instr::Or(rd, rs),
+                    "XOR" => Instr::Xor(rd, rs),
+                    "MUL" => Instr::Mul(rd, rs),
+                    "DIV" => Instr::Div(rd, rs),
+                    "REM" => Instr::Rem(rd, rs),
+                    _ => Instr::Cmp(rd, rs),
+                }))
+            }
+            "SHL" | "SAR" | "NEG" | "NOT" | "PUSH" | "POP" => {
+                need(1)?;
+                let r = parse_reg(argv[0], line_no)?;
+                Some(Item::Ready(match mn.as_str() {
+                    "SHL" => Instr::Shl(r),
+                    "SAR" => Instr::Sar(r),
+                    "NEG" => Instr::Neg(r),
+                    "NOT" => Instr::Not(r),
+                    "PUSH" => Instr::Push(r),
+                    _ => Instr::Pop(r),
+                }))
+            }
+            "JMP" | "JZ" | "JNZ" | "JN" | "JNN" | "JC" | "JNC" | "CALL" => {
+                need(1)?;
+                let build: fn(Reg, Reg, u16) -> Instr = match mn.as_str() {
+                    "JMP" => |_, _, a| Instr::Jmp(a),
+                    "JZ" => |_, _, a| Instr::Jz(a),
+                    "JNZ" => |_, _, a| Instr::Jnz(a),
+                    "JN" => |_, _, a| Instr::Jn(a),
+                    "JNN" => |_, _, a| Instr::Jnn(a),
+                    "JC" => |_, _, a| Instr::Jc(a),
+                    "JNC" => |_, _, a| Instr::Jnc(a),
+                    _ => |_, _, a| Instr::Call(a),
+                };
+                match parse_operand(argv[0], &consts, line_no)? {
+                    Operand::Num(a) => Some(Item::Ready(build(Reg(0), Reg(0), a))),
+                    operand => {
+                        Some(Item::Pending { build, rd: Reg(0), rs: Reg(0), operand, line: line_no })
+                    }
+                }
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic {other}"))),
+        };
+        if let Some(item) = item {
+            let size = item.size();
+            items.push((pc, item));
+            pc = pc.wrapping_add(size);
+        }
+    }
+
+    // Pass 2: resolve labels and emit words.
+    let resolve = |operand: &Operand, line: usize| -> Result<u16, AsmError> {
+        match operand {
+            Operand::Num(v) => Ok(*v),
+            Operand::Label(name) => labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label {name}"))),
+        }
+    };
+    let mut words = vec![];
+    for (addr, item) in &items {
+        match item {
+            Item::Ready(i) => emit(&mut words, *addr, *i),
+            Item::Pending { build, rd, rs, operand, line } => {
+                let v = resolve(operand, *line)?;
+                emit(&mut words, *addr, build(*rd, *rs, v));
+            }
+            Item::Data(ws, line) => {
+                for (k, w) in ws.iter().enumerate() {
+                    words.push((addr.wrapping_add(k as u16), resolve(w, *line)?));
+                }
+            }
+        }
+    }
+    Ok(Image { words, entry: entry.unwrap_or(0), labels })
+}
+
+fn emit(words: &mut Vec<(u16, u16)>, addr: u16, i: Instr) {
+    let (w, imm) = i.encode();
+    words.push((addr, w));
+    if let Some(imm) = imm {
+        words.push((addr.wrapping_add(1), imm));
+    }
+}
+
+/// Disassembles a memory image into `(address, instruction)` pairs,
+/// stopping at the first decode failure or after `max` instructions.
+#[must_use]
+pub fn disassemble(mem: &[u16], start: u16, max: usize) -> Vec<(u16, Instr)> {
+    let mut out = vec![];
+    let mut pc = start;
+    for _ in 0..max {
+        let word = match mem.get(pc as usize) {
+            Some(w) => *w,
+            None => break,
+        };
+        let imm = mem.get(pc.wrapping_add(1) as usize).copied().unwrap_or(0);
+        match Instr::decode(word, imm) {
+            Ok(i) => {
+                let size = i.size();
+                out.push((pc, i));
+                if i == Instr::Halt {
+                    break;
+                }
+                pc = pc.wrapping_add(size);
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_forward_and_back() {
+        let img = assemble(
+            "start: LDI r0, 1\nJMP end\nmid: NOP\nend: JMP start\n",
+        )
+        .unwrap();
+        assert_eq!(img.label("start"), Some(0));
+        assert_eq!(img.label("mid"), Some(4));
+        assert_eq!(img.label("end"), Some(5));
+    }
+
+    #[test]
+    fn org_sets_entry_and_addresses() {
+        let img = assemble("ORG 0x100\nstart: NOP\nHLT\n").unwrap();
+        assert_eq!(img.entry(), 0x100);
+        assert_eq!(img.label("start"), Some(0x100));
+        let words: Vec<_> = img.words().collect();
+        assert_eq!(words[0].0, 0x100);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let img = assemble("EQU PORT, 0x300\nIN r0, PORT\nHLT\n").unwrap();
+        let words: Vec<_> = img.words().collect();
+        assert_eq!(words[1].1, 0x300, "immediate word carries the constant");
+    }
+
+    #[test]
+    fn word_directive_with_labels() {
+        let img = assemble("JMP code\ntable: WORD 1, 2, 3\ncode: HLT\n").unwrap();
+        assert_eq!(img.label("table"), Some(2));
+        let words: Vec<_> = img.words().collect();
+        assert_eq!(words[1].1, 5, "jump target resolves past the data");
+        assert_eq!(&words[2..5], &[(2, 1), (3, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn negative_immediates_wrap() {
+        let img = assemble("LDI r0, -1\nHLT\n").unwrap();
+        let words: Vec<_> = img.words().collect();
+        assert_eq!(words[1].1, 0xFFFF);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let img = assemble("NOP ; trailing\n// full line\nHLT\n").unwrap();
+        assert_eq!(img.len_words(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("NOP\nBOGUS r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("BOGUS"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: NOP\na: NOP\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble("JMP nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("MOV r9, r0\n").is_err());
+        assert!(assemble("MOV x1, r0\n").is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let e = assemble("ADD r0\n").unwrap_err();
+        assert!(e.message.contains("expects 2"));
+    }
+
+    #[test]
+    fn disassembler_round_trips() {
+        let src = "LDI r0, 7\nADD r0, r1\nOUT 0x300, r0\nHLT\n";
+        let img = assemble(src).unwrap();
+        let mut mem = vec![0u16; 64];
+        for (a, w) in img.words() {
+            mem[a as usize] = w;
+        }
+        let listing = disassemble(&mem, 0, 10);
+        assert_eq!(listing.len(), 4);
+        assert_eq!(listing[0].1, Instr::Ldi(Reg(0), 7));
+        assert_eq!(listing[3].1, Instr::Halt);
+    }
+
+    #[test]
+    fn binary_literals() {
+        let img = assemble("LDI r0, 0b1010\nHLT\n").unwrap();
+        let words: Vec<_> = img.words().collect();
+        assert_eq!(words[1].1, 10);
+    }
+
+    #[test]
+    fn out_of_range_number_rejected() {
+        assert!(assemble("LDI r0, 70000\n").is_err());
+        assert!(assemble("LDI r0, -40000\n").is_err());
+    }
+}

@@ -1,0 +1,589 @@
+//! The MC16 instruction-set simulator: cycle-counting, with port I/O
+//! delegated to a pluggable bus.
+
+use crate::instr::{DecodeError, Instr, Reg};
+use std::fmt;
+
+/// Number of memory words (64 Ki x 16 bit).
+pub const MEM_WORDS: usize = 1 << 16;
+
+/// Where the stack pointer starts (grows downward).
+pub const STACK_TOP: u16 = 0xFF00;
+
+/// Port I/O bus attached to the CPU. Returns the value (for reads) and
+/// the number of *extra* wait cycles the transaction consumed — this is
+/// how the 10 MHz PC-AT extension bus's latency reaches the software
+/// timeline.
+pub trait PortBus {
+    /// A bus read transaction (`IN`).
+    fn port_in(&mut self, port: u16) -> (u16, u32);
+    /// A bus write transaction (`OUT`).
+    fn port_out(&mut self, port: u16, value: u16) -> u32;
+}
+
+/// A bus with nothing attached: reads return 0, no wait states.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullBus;
+
+impl PortBus for NullBus {
+    fn port_in(&mut self, _port: u16) -> (u16, u32) {
+        (0, 0)
+    }
+    fn port_out(&mut self, _port: u16, _value: u16) -> u32 {
+        0
+    }
+}
+
+/// CPU condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Result was zero.
+    pub z: bool,
+    /// Result was negative (bit 15 set).
+    pub n: bool,
+    /// Unsigned carry / borrow out.
+    pub c: bool,
+}
+
+/// Execution faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Undecodable instruction.
+    Decode {
+        /// Faulting program counter.
+        pc: u16,
+        /// Underlying decode error.
+        source: DecodeError,
+    },
+    /// Integer division by zero.
+    DivisionByZero {
+        /// Faulting program counter.
+        pc: u16,
+    },
+    /// Stack pointer underflowed/overflowed its region.
+    StackFault {
+        /// Faulting program counter.
+        pc: u16,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Decode { pc, source } => write!(f, "at {pc:#06x}: {source}"),
+            CpuError::DivisionByZero { pc } => write!(f, "at {pc:#06x}: division by zero"),
+            CpuError::StackFault { pc } => write!(f, "at {pc:#06x}: stack fault"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CpuError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Cycles consumed (base + bus wait states).
+    pub cycles: u32,
+    /// Whether the CPU halted on this step.
+    pub halted: bool,
+}
+
+/// The MC16 processor state.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_isa::{Cpu, NullBus, assemble};
+///
+/// let img = assemble("
+///     LDI r0, 2
+///     LDI r1, 3
+///     MUL r0, r1
+///     HLT
+/// ")?;
+/// let mut cpu = Cpu::new();
+/// cpu.load_image(&img);
+/// let mut bus = NullBus;
+/// cpu.run(&mut bus, 1_000)?;
+/// assert_eq!(cpu.reg(0), 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Cpu {
+    regs: [u16; 8],
+    pc: u16,
+    sp: u16,
+    flags: Flags,
+    halted: bool,
+    mem: Vec<u16>,
+    /// Total cycles executed.
+    cycles: u64,
+    /// Total instructions retired.
+    retired: u64,
+}
+
+impl fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cpu")
+            .field("pc", &self.pc)
+            .field("regs", &self.regs)
+            .field("halted", &self.halted)
+            .field("cycles", &self.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// A reset CPU with zeroed memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Cpu {
+            regs: [0; 8],
+            pc: 0,
+            sp: STACK_TOP,
+            flags: Flags::default(),
+            halted: false,
+            mem: vec![0; MEM_WORDS],
+            cycles: 0,
+            retired: 0,
+        }
+    }
+
+    /// Loads a memory image (from the assembler) at its origin and resets
+    /// the program counter to the image entry point.
+    pub fn load_image(&mut self, image: &crate::asm::Image) {
+        for (addr, word) in image.words() {
+            self.mem[addr as usize] = word;
+        }
+        self.pc = image.entry();
+    }
+
+    /// Register value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 7`.
+    #[must_use]
+    pub fn reg(&self, r: u8) -> u16 {
+        self.regs[r as usize]
+    }
+
+    /// Sets a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 7`.
+    pub fn set_reg(&mut self, r: u8, v: u16) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Memory word.
+    #[must_use]
+    pub fn mem(&self, addr: u16) -> u16 {
+        self.mem[addr as usize]
+    }
+
+    /// Writes a memory word.
+    pub fn set_mem(&mut self, addr: u16, v: u16) {
+        self.mem[addr as usize] = v;
+    }
+
+    /// Program counter.
+    #[must_use]
+    pub fn pc(&self) -> u16 {
+        self.pc
+    }
+
+    /// Whether the CPU has executed `HLT`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total cycles executed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions retired.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Condition flags.
+    #[must_use]
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    fn set_zn(&mut self, v: u16) {
+        self.flags.z = v == 0;
+        self.flags.n = v & 0x8000 != 0;
+    }
+
+    /// Executes one instruction against the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on decode faults, division by zero or stack
+    /// faults. A halted CPU returns 1-cycle no-op steps.
+    pub fn step(&mut self, bus: &mut dyn PortBus) -> Result<StepInfo, CpuError> {
+        if self.halted {
+            return Ok(StepInfo { cycles: 1, halted: true });
+        }
+        let pc0 = self.pc;
+        let word = self.mem[self.pc as usize];
+        let imm = self.mem[self.pc.wrapping_add(1) as usize];
+        let instr =
+            Instr::decode(word, imm).map_err(|source| CpuError::Decode { pc: pc0, source })?;
+        self.pc = self.pc.wrapping_add(instr.size());
+        let mut cycles = instr.cycles();
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => self.halted = true,
+            Instr::Ldi(rd, i) => {
+                self.regs[rd.0 as usize] = i;
+                self.set_zn(i);
+            }
+            Instr::Mov(rd, rs) => {
+                let v = self.regs[rs.0 as usize];
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Ld(rd, a) => {
+                let v = self.mem[a as usize];
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::LdInd(rd, rs) => {
+                let v = self.mem[self.regs[rs.0 as usize] as usize];
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::St(a, rs) => self.mem[a as usize] = self.regs[rs.0 as usize],
+            Instr::StInd(rd, rs) => {
+                self.mem[self.regs[rd.0 as usize] as usize] = self.regs[rs.0 as usize];
+            }
+            Instr::In(rd, p) => {
+                let (v, wait) = bus.port_in(p);
+                cycles += wait;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Out(p, rs) => {
+                cycles += bus.port_out(p, self.regs[rs.0 as usize]);
+            }
+            Instr::Add(rd, rs) => self.alu(rd, rs, |a, b| a.overflowing_add(b)),
+            Instr::Sub(rd, rs) => self.alu(rd, rs, |a, b| a.overflowing_sub(b)),
+            Instr::And(rd, rs) => self.alu(rd, rs, |a, b| (a & b, false)),
+            Instr::Or(rd, rs) => self.alu(rd, rs, |a, b| (a | b, false)),
+            Instr::Xor(rd, rs) => self.alu(rd, rs, |a, b| (a ^ b, false)),
+            Instr::Addi(rd, i) => {
+                let (v, c) = self.regs[rd.0 as usize].overflowing_add(i);
+                self.regs[rd.0 as usize] = v;
+                self.flags.c = c;
+                self.set_zn(v);
+            }
+            Instr::Mul(rd, rs) => self.alu(rd, rs, |a, b| (a.wrapping_mul(b), false)),
+            Instr::Div(rd, rs) => {
+                let b = self.regs[rs.0 as usize] as i16;
+                if b == 0 {
+                    return Err(CpuError::DivisionByZero { pc: pc0 });
+                }
+                let a = self.regs[rd.0 as usize] as i16;
+                let v = a.wrapping_div(b) as u16;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Rem(rd, rs) => {
+                let b = self.regs[rs.0 as usize] as i16;
+                if b == 0 {
+                    return Err(CpuError::DivisionByZero { pc: pc0 });
+                }
+                let a = self.regs[rd.0 as usize] as i16;
+                let v = a.wrapping_rem(b) as u16;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Shl(rd) => {
+                let v = self.regs[rd.0 as usize];
+                self.flags.c = v & 0x8000 != 0;
+                let v = v << 1;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Sar(rd) => {
+                let v = self.regs[rd.0 as usize] as i16;
+                self.flags.c = v & 1 != 0;
+                let v = (v >> 1) as u16;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Neg(rd) => {
+                let v = (self.regs[rd.0 as usize] as i16).wrapping_neg() as u16;
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Not(rd) => {
+                let v = !self.regs[rd.0 as usize];
+                self.regs[rd.0 as usize] = v;
+                self.set_zn(v);
+            }
+            Instr::Cmp(rd, rs) => {
+                let (v, c) =
+                    self.regs[rd.0 as usize].overflowing_sub(self.regs[rs.0 as usize]);
+                self.flags.c = c;
+                self.set_zn(v);
+            }
+            Instr::Cmpi(rd, i) => {
+                let (v, c) = self.regs[rd.0 as usize].overflowing_sub(i);
+                self.flags.c = c;
+                self.set_zn(v);
+            }
+            Instr::Jmp(a) => self.pc = a,
+            Instr::Jz(a) => {
+                if self.flags.z {
+                    self.pc = a;
+                }
+            }
+            Instr::Jnz(a) => {
+                if !self.flags.z {
+                    self.pc = a;
+                }
+            }
+            Instr::Jn(a) => {
+                if self.flags.n {
+                    self.pc = a;
+                }
+            }
+            Instr::Jnn(a) => {
+                if !self.flags.n {
+                    self.pc = a;
+                }
+            }
+            Instr::Jc(a) => {
+                if self.flags.c {
+                    self.pc = a;
+                }
+            }
+            Instr::Jnc(a) => {
+                if !self.flags.c {
+                    self.pc = a;
+                }
+            }
+            Instr::Push(rs) => {
+                self.sp = self.sp.wrapping_sub(1);
+                if self.sp == u16::MAX {
+                    return Err(CpuError::StackFault { pc: pc0 });
+                }
+                self.mem[self.sp as usize] = self.regs[rs.0 as usize];
+            }
+            Instr::Pop(rd) => {
+                if self.sp >= STACK_TOP {
+                    return Err(CpuError::StackFault { pc: pc0 });
+                }
+                self.regs[rd.0 as usize] = self.mem[self.sp as usize];
+                self.sp = self.sp.wrapping_add(1);
+            }
+            Instr::Call(a) => {
+                self.sp = self.sp.wrapping_sub(1);
+                if self.sp == u16::MAX {
+                    return Err(CpuError::StackFault { pc: pc0 });
+                }
+                self.mem[self.sp as usize] = self.pc;
+                self.pc = a;
+            }
+            Instr::Ret => {
+                if self.sp >= STACK_TOP {
+                    return Err(CpuError::StackFault { pc: pc0 });
+                }
+                self.pc = self.mem[self.sp as usize];
+                self.sp = self.sp.wrapping_add(1);
+            }
+        }
+        self.cycles += u64::from(cycles);
+        self.retired += 1;
+        Ok(StepInfo { cycles, halted: self.halted })
+    }
+
+    fn alu(&mut self, rd: Reg, rs: Reg, f: impl Fn(u16, u16) -> (u16, bool)) {
+        let (v, c) = f(self.regs[rd.0 as usize], self.regs[rs.0 as usize]);
+        self.regs[rd.0 as usize] = v;
+        self.flags.c = c;
+        self.set_zn(v);
+    }
+
+    /// Runs until halt or until `max_cycles` have elapsed; returns the
+    /// cycles actually consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] faults.
+    pub fn run(&mut self, bus: &mut dyn PortBus, max_cycles: u64) -> Result<u64, CpuError> {
+        let start = self.cycles;
+        while !self.halted && self.cycles - start < max_cycles {
+            self.step(bus)?;
+        }
+        Ok(self.cycles - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_prog(src: &str) -> Cpu {
+        let img = assemble(src).expect("assembles");
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let mut bus = NullBus;
+        cpu.run(&mut bus, 100_000).expect("runs");
+        assert!(cpu.is_halted(), "program must halt");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let cpu = run_prog(
+            "LDI r0, 10\nLDI r1, 3\nSUB r0, r1\nHLT\n",
+        );
+        assert_eq!(cpu.reg(0), 7);
+    }
+
+    #[test]
+    fn signed_division() {
+        let cpu = run_prog("LDI r0, 65526\nLDI r1, 3\nDIV r0, r1\nHLT\n"); // -10 / 3
+        assert_eq!(cpu.reg(0) as i16, -3);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let img = assemble("LDI r0, 1\nLDI r1, 0\nDIV r0, r1\nHLT\n").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let err = cpu.run(&mut NullBus, 1000).unwrap_err();
+        assert!(matches!(err, CpuError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn loop_with_counter() {
+        // Sum 1..=5 into r0.
+        let cpu = run_prog(
+            "LDI r0, 0\nLDI r1, 5\nloop: ADD r0, r1\nADDI r1, 65535\nCMPI r1, 0\nJNZ loop\nHLT\n",
+        );
+        assert_eq!(cpu.reg(0), 15);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let cpu = run_prog("LDI r0, 1234\nST [0x2000], r0\nLD r1, [0x2000]\nHLT\n");
+        assert_eq!(cpu.reg(1), 1234);
+    }
+
+    #[test]
+    fn indirect_addressing() {
+        let cpu = run_prog(
+            "LDI r0, 0x2000\nLDI r1, 77\nST [r0], r1\nLD r2, [r0]\nHLT\n",
+        );
+        assert_eq!(cpu.reg(2), 77);
+    }
+
+    #[test]
+    fn call_ret_stack() {
+        let cpu = run_prog(
+            "LDI r0, 1\nCALL fn\nADDI r0, 100\nHLT\nfn: ADDI r0, 10\nRET\n",
+        );
+        assert_eq!(cpu.reg(0), 111);
+    }
+
+    #[test]
+    fn push_pop() {
+        let cpu = run_prog("LDI r0, 5\nPUSH r0\nLDI r0, 9\nPOP r1\nHLT\n");
+        assert_eq!(cpu.reg(1), 5);
+        assert_eq!(cpu.reg(0), 9);
+    }
+
+    #[test]
+    fn stack_underflow_faults() {
+        let img = assemble("POP r0\nHLT\n").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let err = cpu.run(&mut NullBus, 100).unwrap_err();
+        assert!(matches!(err, CpuError::StackFault { .. }));
+    }
+
+    #[test]
+    fn port_io_reaches_bus() {
+        struct Recorder {
+            wrote: Vec<(u16, u16)>,
+        }
+        impl PortBus for Recorder {
+            fn port_in(&mut self, port: u16) -> (u16, u32) {
+                (port.wrapping_add(1), 3)
+            }
+            fn port_out(&mut self, port: u16, value: u16) -> u32 {
+                self.wrote.push((port, value));
+                2
+            }
+        }
+        let img = assemble("IN r0, 0x300\nOUT 0x301, r0\nHLT\n").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let mut bus = Recorder { wrote: vec![] };
+        cpu.run(&mut bus, 1000).unwrap();
+        assert_eq!(cpu.reg(0), 0x301);
+        assert_eq!(bus.wrote, vec![(0x301, 0x301)]);
+        // 4 (IN base) + 3 (wait) + 4 (OUT base) + 2 (wait) + 1 (HLT).
+        assert_eq!(cpu.cycles(), 14);
+    }
+
+    #[test]
+    fn conditional_jumps() {
+        let cpu = run_prog(
+            "LDI r0, 5\nCMPI r0, 5\nJZ eq\nLDI r1, 0\nHLT\neq: LDI r1, 1\nHLT\n",
+        );
+        assert_eq!(cpu.reg(1), 1);
+    }
+
+    #[test]
+    fn negative_flag_jump() {
+        let cpu = run_prog(
+            "LDI r0, 3\nLDI r1, 5\nSUB r0, r1\nJN neg\nLDI r2, 0\nHLT\nneg: LDI r2, 1\nHLT\n",
+        );
+        assert_eq!(cpu.reg(2), 1);
+    }
+
+    #[test]
+    fn halted_cpu_idles() {
+        let mut cpu = Cpu::new();
+        let img = assemble("HLT\n").unwrap();
+        cpu.load_image(&img);
+        cpu.run(&mut NullBus, 10).unwrap();
+        let before = cpu.retired();
+        cpu.step(&mut NullBus).unwrap();
+        assert_eq!(cpu.retired(), before, "halted steps retire nothing");
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let cpu = run_prog("NOP\nNOP\nHLT\n");
+        assert_eq!(cpu.cycles(), 3);
+        assert_eq!(cpu.retired(), 3);
+    }
+}

@@ -1,0 +1,419 @@
+//! The MC16 instruction set: a small 16-bit register machine with port
+//! I/O, standing in for the paper's 386 PC-AT host processor.
+//!
+//! Instructions are one or two 16-bit words: `[opcode:8 | rd:4 | rs:4]`
+//! plus an optional immediate/address word. Port I/O (`IN`/`OUT`) is the
+//! code path the paper's SW synthesis view compiles to (`inport` /
+//! `outport` at physical addresses).
+
+use std::fmt;
+
+/// A register index (`r0`..`r7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates and wraps a register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    #[must_use]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 8, "MC16 has registers r0..r7");
+        Reg(n)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One MC16 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the processor.
+    Halt,
+    /// `rd := imm`.
+    Ldi(Reg, u16),
+    /// `rd := rs`.
+    Mov(Reg, Reg),
+    /// `rd := mem[addr]`.
+    Ld(Reg, u16),
+    /// `rd := mem[rs]`.
+    LdInd(Reg, Reg),
+    /// `mem[addr] := rs`.
+    St(u16, Reg),
+    /// `mem[rd] := rs`.
+    StInd(Reg, Reg),
+    /// `rd := io[port]` — a bus read transaction.
+    In(Reg, u16),
+    /// `io[port] := rs` — a bus write transaction.
+    Out(u16, Reg),
+    /// `rd := rd + rs` (sets Z/N/C flags).
+    Add(Reg, Reg),
+    /// `rd := rd - rs`.
+    Sub(Reg, Reg),
+    /// `rd := rd & rs`.
+    And(Reg, Reg),
+    /// `rd := rd | rs`.
+    Or(Reg, Reg),
+    /// `rd := rd ^ rs`.
+    Xor(Reg, Reg),
+    /// `rd := rd + imm`.
+    Addi(Reg, u16),
+    /// `rd := rd * rs` (low 16 bits).
+    Mul(Reg, Reg),
+    /// `rd := rd / rs` signed; traps on division by zero.
+    Div(Reg, Reg),
+    /// `rd := rd % rs` signed; traps on division by zero.
+    Rem(Reg, Reg),
+    /// Logical shift left by one.
+    Shl(Reg),
+    /// Arithmetic shift right by one.
+    Sar(Reg),
+    /// `rd := -rd`.
+    Neg(Reg),
+    /// `rd := !rd` (bitwise complement).
+    Not(Reg),
+    /// Compare `rd - rs`, set flags only.
+    Cmp(Reg, Reg),
+    /// Compare `rd - imm`, set flags only.
+    Cmpi(Reg, u16),
+    /// Unconditional jump.
+    Jmp(u16),
+    /// Jump if zero flag.
+    Jz(u16),
+    /// Jump if not zero.
+    Jnz(u16),
+    /// Jump if negative flag.
+    Jn(u16),
+    /// Jump if not negative (>= 0).
+    Jnn(u16),
+    /// Jump if carry (unsigned borrow) set.
+    Jc(u16),
+    /// Jump if carry clear.
+    Jnc(u16),
+    /// Push register on the stack.
+    Push(Reg),
+    /// Pop from the stack.
+    Pop(Reg),
+    /// Call subroutine (pushes return address).
+    Call(u16),
+    /// Return from subroutine.
+    Ret,
+}
+
+impl Instr {
+    /// Size in memory words (1 or 2).
+    #[must_use]
+    pub fn size(&self) -> u16 {
+        match self {
+            Instr::Nop
+            | Instr::Halt
+            | Instr::Mov(_, _)
+            | Instr::LdInd(_, _)
+            | Instr::StInd(_, _)
+            | Instr::Add(_, _)
+            | Instr::Sub(_, _)
+            | Instr::And(_, _)
+            | Instr::Or(_, _)
+            | Instr::Xor(_, _)
+            | Instr::Mul(_, _)
+            | Instr::Div(_, _)
+            | Instr::Rem(_, _)
+            | Instr::Shl(_)
+            | Instr::Sar(_)
+            | Instr::Neg(_)
+            | Instr::Not(_)
+            | Instr::Cmp(_, _)
+            | Instr::Push(_)
+            | Instr::Pop(_)
+            | Instr::Ret => 1,
+            _ => 2,
+        }
+    }
+
+    /// Base cycle cost (bus wait states are added by the platform).
+    #[must_use]
+    pub fn cycles(&self) -> u32 {
+        match self {
+            Instr::Nop | Instr::Halt => 1,
+            Instr::Mov(_, _)
+            | Instr::Add(_, _)
+            | Instr::Sub(_, _)
+            | Instr::And(_, _)
+            | Instr::Or(_, _)
+            | Instr::Xor(_, _)
+            | Instr::Shl(_)
+            | Instr::Sar(_)
+            | Instr::Neg(_)
+            | Instr::Not(_)
+            | Instr::Cmp(_, _) => 1,
+            Instr::Ldi(_, _) | Instr::Addi(_, _) | Instr::Cmpi(_, _) => 2,
+            Instr::Jmp(_)
+            | Instr::Jz(_)
+            | Instr::Jnz(_)
+            | Instr::Jn(_)
+            | Instr::Jnn(_)
+            | Instr::Jc(_)
+            | Instr::Jnc(_) => 2,
+            Instr::Ld(_, _) | Instr::St(_, _) | Instr::LdInd(_, _) | Instr::StInd(_, _) => 3,
+            Instr::Push(_) | Instr::Pop(_) => 3,
+            Instr::In(_, _) | Instr::Out(_, _) => 4,
+            Instr::Call(_) | Instr::Ret => 4,
+            Instr::Mul(_, _) => 8,
+            Instr::Div(_, _) | Instr::Rem(_, _) => 16,
+        }
+    }
+
+    /// Encodes to one or two memory words.
+    #[must_use]
+    pub fn encode(&self) -> (u16, Option<u16>) {
+        fn w(op: u8, rd: u8, rs: u8) -> u16 {
+            (u16::from(op) << 8) | (u16::from(rd) << 4) | u16::from(rs)
+        }
+        match *self {
+            Instr::Nop => (w(0x00, 0, 0), None),
+            Instr::Halt => (w(0x01, 0, 0), None),
+            Instr::Ldi(rd, imm) => (w(0x02, rd.0, 0), Some(imm)),
+            Instr::Mov(rd, rs) => (w(0x03, rd.0, rs.0), None),
+            Instr::Ld(rd, a) => (w(0x04, rd.0, 0), Some(a)),
+            Instr::LdInd(rd, rs) => (w(0x05, rd.0, rs.0), None),
+            Instr::St(a, rs) => (w(0x06, 0, rs.0), Some(a)),
+            Instr::StInd(rd, rs) => (w(0x07, rd.0, rs.0), None),
+            Instr::In(rd, p) => (w(0x08, rd.0, 0), Some(p)),
+            Instr::Out(p, rs) => (w(0x09, 0, rs.0), Some(p)),
+            Instr::Add(rd, rs) => (w(0x0A, rd.0, rs.0), None),
+            Instr::Sub(rd, rs) => (w(0x0B, rd.0, rs.0), None),
+            Instr::And(rd, rs) => (w(0x0C, rd.0, rs.0), None),
+            Instr::Or(rd, rs) => (w(0x0D, rd.0, rs.0), None),
+            Instr::Xor(rd, rs) => (w(0x0E, rd.0, rs.0), None),
+            Instr::Addi(rd, imm) => (w(0x0F, rd.0, 0), Some(imm)),
+            Instr::Mul(rd, rs) => (w(0x10, rd.0, rs.0), None),
+            Instr::Div(rd, rs) => (w(0x11, rd.0, rs.0), None),
+            Instr::Rem(rd, rs) => (w(0x12, rd.0, rs.0), None),
+            Instr::Shl(rd) => (w(0x13, rd.0, 0), None),
+            Instr::Sar(rd) => (w(0x14, rd.0, 0), None),
+            Instr::Neg(rd) => (w(0x15, rd.0, 0), None),
+            Instr::Not(rd) => (w(0x16, rd.0, 0), None),
+            Instr::Cmp(rd, rs) => (w(0x17, rd.0, rs.0), None),
+            Instr::Cmpi(rd, imm) => (w(0x18, rd.0, 0), Some(imm)),
+            Instr::Jmp(a) => (w(0x19, 0, 0), Some(a)),
+            Instr::Jz(a) => (w(0x1A, 0, 0), Some(a)),
+            Instr::Jnz(a) => (w(0x1B, 0, 0), Some(a)),
+            Instr::Jn(a) => (w(0x1C, 0, 0), Some(a)),
+            Instr::Jnn(a) => (w(0x1D, 0, 0), Some(a)),
+            Instr::Push(rs) => (w(0x1E, 0, rs.0), None),
+            Instr::Pop(rd) => (w(0x1F, rd.0, 0), None),
+            Instr::Call(a) => (w(0x20, 0, 0), Some(a)),
+            Instr::Ret => (w(0x21, 0, 0), None),
+            Instr::Jc(a) => (w(0x22, 0, 0), Some(a)),
+            Instr::Jnc(a) => (w(0x23, 0, 0), Some(a)),
+        }
+    }
+
+    /// Decodes an instruction from its first word and (lazily fetched)
+    /// immediate word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unknown opcodes.
+    pub fn decode(word: u16, imm: u16) -> Result<Instr, DecodeError> {
+        let op = (word >> 8) as u8;
+        let rd = Reg(((word >> 4) & 0xF) as u8 & 7);
+        let rs = Reg((word & 0xF) as u8 & 7);
+        Ok(match op {
+            0x00 => Instr::Nop,
+            0x01 => Instr::Halt,
+            0x02 => Instr::Ldi(rd, imm),
+            0x03 => Instr::Mov(rd, rs),
+            0x04 => Instr::Ld(rd, imm),
+            0x05 => Instr::LdInd(rd, rs),
+            0x06 => Instr::St(imm, rs),
+            0x07 => Instr::StInd(rd, rs),
+            0x08 => Instr::In(rd, imm),
+            0x09 => Instr::Out(imm, rs),
+            0x0A => Instr::Add(rd, rs),
+            0x0B => Instr::Sub(rd, rs),
+            0x0C => Instr::And(rd, rs),
+            0x0D => Instr::Or(rd, rs),
+            0x0E => Instr::Xor(rd, rs),
+            0x0F => Instr::Addi(rd, imm),
+            0x10 => Instr::Mul(rd, rs),
+            0x11 => Instr::Div(rd, rs),
+            0x12 => Instr::Rem(rd, rs),
+            0x13 => Instr::Shl(rd),
+            0x14 => Instr::Sar(rd),
+            0x15 => Instr::Neg(rd),
+            0x16 => Instr::Not(rd),
+            0x17 => Instr::Cmp(rd, rs),
+            0x18 => Instr::Cmpi(rd, imm),
+            0x19 => Instr::Jmp(imm),
+            0x1A => Instr::Jz(imm),
+            0x1B => Instr::Jnz(imm),
+            0x1C => Instr::Jn(imm),
+            0x1D => Instr::Jnn(imm),
+            0x1E => Instr::Push(rs),
+            0x1F => Instr::Pop(rd),
+            0x20 => Instr::Call(imm),
+            0x21 => Instr::Ret,
+            0x22 => Instr::Jc(imm),
+            0x23 => Instr::Jnc(imm),
+            other => return Err(DecodeError { opcode: other }),
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "NOP"),
+            Instr::Halt => write!(f, "HLT"),
+            Instr::Ldi(rd, i) => write!(f, "LDI {rd}, {i}"),
+            Instr::Mov(rd, rs) => write!(f, "MOV {rd}, {rs}"),
+            Instr::Ld(rd, a) => write!(f, "LD {rd}, [{a:#06x}]"),
+            Instr::LdInd(rd, rs) => write!(f, "LD {rd}, [{rs}]"),
+            Instr::St(a, rs) => write!(f, "ST [{a:#06x}], {rs}"),
+            Instr::StInd(rd, rs) => write!(f, "ST [{rd}], {rs}"),
+            Instr::In(rd, p) => write!(f, "IN {rd}, {p:#06x}"),
+            Instr::Out(p, rs) => write!(f, "OUT {p:#06x}, {rs}"),
+            Instr::Add(rd, rs) => write!(f, "ADD {rd}, {rs}"),
+            Instr::Sub(rd, rs) => write!(f, "SUB {rd}, {rs}"),
+            Instr::And(rd, rs) => write!(f, "AND {rd}, {rs}"),
+            Instr::Or(rd, rs) => write!(f, "OR {rd}, {rs}"),
+            Instr::Xor(rd, rs) => write!(f, "XOR {rd}, {rs}"),
+            Instr::Addi(rd, i) => write!(f, "ADDI {rd}, {i}"),
+            Instr::Mul(rd, rs) => write!(f, "MUL {rd}, {rs}"),
+            Instr::Div(rd, rs) => write!(f, "DIV {rd}, {rs}"),
+            Instr::Rem(rd, rs) => write!(f, "REM {rd}, {rs}"),
+            Instr::Shl(rd) => write!(f, "SHL {rd}"),
+            Instr::Sar(rd) => write!(f, "SAR {rd}"),
+            Instr::Neg(rd) => write!(f, "NEG {rd}"),
+            Instr::Not(rd) => write!(f, "NOT {rd}"),
+            Instr::Cmp(rd, rs) => write!(f, "CMP {rd}, {rs}"),
+            Instr::Cmpi(rd, i) => write!(f, "CMPI {rd}, {i}"),
+            Instr::Jmp(a) => write!(f, "JMP {a:#06x}"),
+            Instr::Jz(a) => write!(f, "JZ {a:#06x}"),
+            Instr::Jnz(a) => write!(f, "JNZ {a:#06x}"),
+            Instr::Jn(a) => write!(f, "JN {a:#06x}"),
+            Instr::Jnn(a) => write!(f, "JNN {a:#06x}"),
+            Instr::Jc(a) => write!(f, "JC {a:#06x}"),
+            Instr::Jnc(a) => write!(f, "JNC {a:#06x}"),
+            Instr::Push(rs) => write!(f, "PUSH {rs}"),
+            Instr::Pop(rd) => write!(f, "POP {rd}"),
+            Instr::Call(a) => write!(f, "CALL {a:#06x}"),
+            Instr::Ret => write!(f, "RET"),
+        }
+    }
+}
+
+/// Unknown opcode during decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending opcode byte.
+    pub opcode: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown MC16 opcode {:#04x}", self.opcode)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instrs() -> Vec<Instr> {
+        let r1 = Reg(1);
+        let r2 = Reg(2);
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Ldi(r1, 300),
+            Instr::Mov(r1, r2),
+            Instr::Ld(r1, 0x100),
+            Instr::LdInd(r1, r2),
+            Instr::St(0x100, r2),
+            Instr::StInd(r1, r2),
+            Instr::In(r1, 0x300),
+            Instr::Out(0x300, r2),
+            Instr::Add(r1, r2),
+            Instr::Sub(r1, r2),
+            Instr::And(r1, r2),
+            Instr::Or(r1, r2),
+            Instr::Xor(r1, r2),
+            Instr::Addi(r1, 5),
+            Instr::Mul(r1, r2),
+            Instr::Div(r1, r2),
+            Instr::Rem(r1, r2),
+            Instr::Shl(r1),
+            Instr::Sar(r1),
+            Instr::Neg(r1),
+            Instr::Not(r1),
+            Instr::Cmp(r1, r2),
+            Instr::Cmpi(r1, 7),
+            Instr::Jmp(10),
+            Instr::Jz(10),
+            Instr::Jnz(10),
+            Instr::Jn(10),
+            Instr::Jnn(10),
+            Instr::Jc(10),
+            Instr::Jnc(10),
+            Instr::Push(r2),
+            Instr::Pop(r1),
+            Instr::Call(20),
+            Instr::Ret,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in all_instrs() {
+            let (w, imm) = i.encode();
+            let decoded = Instr::decode(w, imm.unwrap_or(0)).unwrap();
+            assert_eq!(decoded, i, "round-trip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn sizes_match_immediates() {
+        for i in all_instrs() {
+            let (_, imm) = i.encode();
+            assert_eq!(i.size(), if imm.is_some() { 2 } else { 1 }, "{i}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let err = Instr::decode(0xFF00, 0).unwrap_err();
+        assert_eq!(err.opcode, 0xFF);
+        assert!(err.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn io_costs_more_than_alu() {
+        assert!(Instr::In(Reg(0), 0).cycles() > Instr::Add(Reg(0), Reg(1)).cycles());
+        assert!(Instr::Div(Reg(0), Reg(1)).cycles() > Instr::Mul(Reg(0), Reg(1)).cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "r0..r7")]
+    fn bad_register_panics() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::Ldi(Reg(3), 42).to_string(), "LDI r3, 42");
+        assert_eq!(Instr::In(Reg(1), 0x300).to_string(), "IN r1, 0x0300");
+        assert_eq!(Instr::Halt.to_string(), "HLT");
+    }
+}

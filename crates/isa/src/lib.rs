@@ -1,0 +1,44 @@
+//! # cosma-isa — the MC16 processor
+//!
+//! A 16-bit register machine with port I/O, its assembler, disassembler
+//! and a cycle-counting instruction-set simulator.
+//!
+//! MC16 substitutes for the 386 PC-AT host of the paper's prototype
+//! (Figure 8): what matters for the reproduction is that synthesized
+//! software runs on a *real* sequential processor whose only window to the
+//! hardware is `IN`/`OUT` port transactions over a timed bus — the exact
+//! code path of the paper's SW synthesis view (`inport`/`outport` at
+//! physical addresses, 0x300 in the prototype).
+//!
+//! ## Example
+//!
+//! ```
+//! use cosma_isa::{assemble, Cpu, NullBus};
+//!
+//! let img = assemble("
+//!     EQU  PORT, 0x300
+//!     LDI  r0, 0
+//!     LDI  r1, 10
+//! loop:
+//!     ADD  r0, r1
+//!     ADDI r1, -1
+//!     CMPI r1, 0
+//!     JNZ  loop
+//!     HLT
+//! ")?;
+//! let mut cpu = Cpu::new();
+//! cpu.load_image(&img);
+//! cpu.run(&mut NullBus, 10_000)?;
+//! assert_eq!(cpu.reg(0), 55);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+mod cpu;
+mod instr;
+
+pub use asm::{assemble, disassemble, AsmError, Image};
+pub use cpu::{Cpu, CpuError, Flags, NullBus, PortBus, StepInfo, MEM_WORDS, STACK_TOP};
+pub use instr::{DecodeError, Instr, Reg};

@@ -1,0 +1,187 @@
+//! Motor adapters: bind the plant model to each platform's wire world.
+//!
+//! Both adapters implement the same contract at the `motor_link` unit's
+//! wires — consume a pulse batch per strobe/ack handshake, execute motion
+//! at the speed limit, continuously drive the sampled coordinate — and
+//! both record identical `pulse` trace events, which is what makes
+//! co-simulation and board runs comparable.
+
+use crate::plant::MotorModel;
+use cosma_board::{Peripheral, WireBank};
+use cosma_cosim::TraceLog;
+use cosma_core::{Bit, Value};
+use cosma_sim::{ProcCtx, Process, SignalId, Wait};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a motor axis, so harnesses can inspect the plant
+/// while an adapter owns the interaction.
+pub type SharedMotor = Rc<RefCell<MotorModel>>;
+
+/// Creates a shared motor axis.
+#[must_use]
+pub fn shared_motor(max_steps_per_tick: i64) -> SharedMotor {
+    Rc::new(RefCell::new(MotorModel::new(max_steps_per_tick)))
+}
+
+/// The co-simulation adapter: a kernel process clocked on the HW clock,
+/// attached to the `motor_link` unit instance's wire signals.
+pub struct MotorCosim {
+    motor: SharedMotor,
+    clk: SignalId,
+    cmd: SignalId,
+    strobe: SignalId,
+    ack: SignalId,
+    sampled: SignalId,
+    trace: Rc<RefCell<TraceLog>>,
+}
+
+impl std::fmt::Debug for MotorCosim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MotorCosim")
+    }
+}
+
+impl MotorCosim {
+    /// Creates the adapter over the given signals (typically found by
+    /// name: `<instance>.PULSE_CMD` etc.).
+    #[must_use]
+    pub fn new(
+        motor: SharedMotor,
+        clk: SignalId,
+        cmd: SignalId,
+        strobe: SignalId,
+        ack: SignalId,
+        sampled: SignalId,
+        trace: Rc<RefCell<TraceLog>>,
+    ) -> Self {
+        MotorCosim { motor, clk, cmd, strobe, ack, sampled, trace }
+    }
+}
+
+impl Process for MotorCosim {
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
+        if ctx.rose(self.clk) {
+            let strobe = ctx.read_bit(self.strobe);
+            let ack = ctx.read_bit(self.ack);
+            let mut motor = self.motor.borrow_mut();
+            if strobe == Bit::One && ack == Bit::Zero {
+                let n = ctx.read_int(self.cmd);
+                motor.command_pulses(n);
+                ctx.drive(self.ack, Value::Bit(Bit::One));
+                self.trace.borrow_mut().record(
+                    ctx.now().as_fs(),
+                    "motor",
+                    "pulse",
+                    vec![Value::Int(n)],
+                );
+            } else if strobe == Bit::Zero && ack == Bit::One {
+                ctx.drive(self.ack, Value::Bit(Bit::Zero));
+            }
+            motor.tick();
+            ctx.drive(self.sampled, Value::Int(motor.sampled()));
+        }
+        Wait::Event(vec![self.clk])
+    }
+}
+
+/// The board adapter: a fabric peripheral over wire-bank slots named
+/// `<instance>_PULSE_CMD`, `<instance>_PULSE_STROBE`,
+/// `<instance>_PULSE_ACK` and `<instance>_SAMPLED_POS`.
+pub struct MotorPeripheral {
+    motor: SharedMotor,
+    prefix: String,
+}
+
+impl std::fmt::Debug for MotorPeripheral {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MotorPeripheral({})", self.prefix)
+    }
+}
+
+impl MotorPeripheral {
+    /// Creates the peripheral for the given unit-instance prefix (e.g.
+    /// `"mlink"`).
+    #[must_use]
+    pub fn new(motor: SharedMotor, prefix: impl Into<String>) -> Self {
+        MotorPeripheral { motor, prefix: prefix.into() }
+    }
+}
+
+impl Peripheral for MotorPeripheral {
+    fn tick(&mut self, bank: &mut WireBank, trace: &mut TraceLog, now_fs: u64) {
+        let name = |w: &str| format!("{}_{w}", self.prefix);
+        let strobe = bank.read_named(&name("PULSE_STROBE")).unwrap_or(0) & 1;
+        let ack = bank.read_named(&name("PULSE_ACK")).unwrap_or(0) & 1;
+        let mut motor = self.motor.borrow_mut();
+        if strobe == 1 && ack == 0 {
+            let raw = bank.read_named(&name("PULSE_CMD")).unwrap_or(0);
+            let n = i64::from(raw as u16 as i16);
+            motor.command_pulses(n);
+            bank.write_named(&name("PULSE_ACK"), 1);
+            trace.record(now_fs, "motor", "pulse", vec![Value::Int(n)]);
+        } else if strobe == 0 && ack == 1 {
+            bank.write_named(&name("PULSE_ACK"), 0);
+        }
+        motor.tick();
+        bank.write_named(&name("SAMPLED_POS"), motor.sampled() as u64 & 0xFFFF);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peripheral_handshake_and_sampling() {
+        let motor = shared_motor(2);
+        let mut p = MotorPeripheral::new(motor.clone(), "mlink");
+        let mut bank = WireBank::new();
+        bank.add("mlink_PULSE_CMD", 16, 0);
+        bank.add("mlink_PULSE_STROBE", 1, 0);
+        bank.add("mlink_PULSE_ACK", 1, 0);
+        bank.add("mlink_SAMPLED_POS", 16, 0);
+        let mut trace = TraceLog::new();
+
+        // Present a batch of 3 with strobe.
+        bank.write_named("mlink_PULSE_CMD", 3);
+        bank.write_named("mlink_PULSE_STROBE", 1);
+        p.tick(&mut bank, &mut trace, 0);
+        assert_eq!(bank.read_named("mlink_PULSE_ACK"), Some(1));
+        assert_eq!(trace.with_label("pulse").count(), 1);
+        // Strobe held: no double consumption.
+        p.tick(&mut bank, &mut trace, 1);
+        assert_eq!(trace.with_label("pulse").count(), 1);
+        // Drop strobe: ack clears; motion completes over ticks.
+        bank.write_named("mlink_PULSE_STROBE", 0);
+        p.tick(&mut bank, &mut trace, 2);
+        assert_eq!(bank.read_named("mlink_PULSE_ACK"), Some(0));
+        for t in 3..6 {
+            p.tick(&mut bank, &mut trace, t);
+        }
+        assert_eq!(motor.borrow().position(), 3);
+        assert_eq!(bank.read_named("mlink_SAMPLED_POS"), Some(3));
+    }
+
+    #[test]
+    fn peripheral_negative_pulses() {
+        let motor = shared_motor(5);
+        let mut p = MotorPeripheral::new(motor.clone(), "mlink");
+        let mut bank = WireBank::new();
+        bank.add("mlink_PULSE_CMD", 16, 0);
+        bank.add("mlink_PULSE_STROBE", 1, 0);
+        bank.add("mlink_PULSE_ACK", 1, 0);
+        bank.add("mlink_SAMPLED_POS", 16, 0);
+        let mut trace = TraceLog::new();
+        bank.write_named("mlink_PULSE_CMD", (-4i16 as u16).into());
+        bank.write_named("mlink_PULSE_STROBE", 1);
+        p.tick(&mut bank, &mut trace, 0);
+        p.tick(&mut bank, &mut trace, 1);
+        assert_eq!(motor.borrow().position(), -4);
+        assert_eq!(
+            bank.read_named("mlink_SAMPLED_POS"),
+            Some((-4i16 as u16).into()),
+            "two's complement on the wire"
+        );
+    }
+}

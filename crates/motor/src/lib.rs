@@ -1,0 +1,40 @@
+//! # cosma-motor — the Adaptive Motor Controller
+//!
+//! The paper's case study (Figures 4–8): a software *Distribution*
+//! subsystem segments a travel trajectory and hands position bundles to a
+//! hardware *Speed Control* subsystem (three parallel units: Position,
+//! Core, Timer), which drives a motor through pulse trains.
+//!
+//! All inter-subsystem interaction goes through two communication units —
+//! [`swhw_link_unit`] (SW/HW) and [`motor_link_unit`] (HW/HW) — so the
+//! identical module descriptions assemble for co-simulation
+//! ([`build_cosim`]) and co-synthesis onto the PC-AT + FPGA board
+//! ([`build_board`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cosma_motor::{build_cosim, MotorConfig};
+//! use cosma_cosim::CosimConfig;
+//! use cosma_sim::Duration;
+//!
+//! let cfg = MotorConfig { segments: 2, ..MotorConfig::default() };
+//! let mut sys = build_cosim(&cfg, CosimConfig::default())?;
+//! sys.run_to_completion(Duration::from_us(100), 100)?;
+//! assert_eq!(sys.motor.borrow().position(), cfg.total_distance());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod adapters;
+mod assembly;
+mod modules;
+mod plant;
+mod units;
+
+pub use adapters::{shared_motor, MotorCosim, MotorPeripheral, SharedMotor};
+pub use assembly::{build_board, build_cosim, BoardMotorSystem, CosimMotorSystem};
+pub use modules::{core_module, distribution_module, position_module, timer_module, MotorConfig};
+pub use plant::MotorModel;
+pub use units::{motor_link_unit, swhw_link_unit};

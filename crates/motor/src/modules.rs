@@ -1,0 +1,324 @@
+//! The Adaptive Motor Controller's behavioural modules.
+//!
+//! * [`distribution_module`] — the software Distribution subsystem
+//!   (Figure 6): segments the travel distance and hands position bundles
+//!   to the Speed Control side, one per completed motion.
+//! * [`position_module`], [`core_module`], [`timer_module`] — the three
+//!   parallel units of the hardware Speed Control subsystem (Figure 7),
+//!   communicating through the shared signals `SC_TARGET`, `SC_RESIDUAL`
+//!   and `SC_SAMPLED`.
+
+use cosma_core::{
+    BinOp, Expr, Module, ModuleBuilder, ModuleKind, PortDir, ServiceCall, Stmt, Type, Value,
+};
+
+/// Parameters of the controller and its plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotorConfig {
+    /// Number of travel segments (the paper's "bundles of data").
+    pub segments: i64,
+    /// Length of each segment in position counts.
+    pub segment_len: i64,
+    /// Largest pulse batch per Motor_Interface handshake.
+    pub max_pulse: i64,
+    /// Timer cool-down cycles between batches (lets the sampled
+    /// coordinate catch up; prevents overshoot oscillation).
+    pub cooldown: i64,
+    /// Position-unit settle cycles after posting a new target.
+    pub wait_start: i64,
+    /// Motor speed limit in steps per control tick.
+    pub motor_speed: i64,
+    /// Position tolerance for declaring a segment reached.
+    pub tolerance: i64,
+}
+
+impl Default for MotorConfig {
+    fn default() -> Self {
+        MotorConfig {
+            segments: 4,
+            segment_len: 25,
+            max_pulse: 2,
+            cooldown: 8,
+            wait_start: 6,
+            motor_speed: 2,
+            tolerance: 0,
+        }
+    }
+}
+
+impl MotorConfig {
+    /// Total travel distance.
+    #[must_use]
+    pub fn total_distance(&self) -> i64 {
+        self.segments * self.segment_len
+    }
+}
+
+fn call(
+    binding: cosma_core::ids::BindingId,
+    service: &str,
+    args: Vec<Expr>,
+    done: cosma_core::ids::VarId,
+    result: Option<cosma_core::ids::VarId>,
+) -> Stmt {
+    Stmt::Call(ServiceCall { binding, service: service.into(), args, done: Some(done), result })
+}
+
+/// Builds the software Distribution subsystem (Figure 6b).
+///
+/// Binding: `swhw` (unit type `swhw_link`). Traces: `send_pos` for each
+/// segment target posted, `motor_state` for each returned motor state and
+/// `done` once the trajectory completes.
+#[must_use]
+pub fn distribution_module(cfg: &MotorConfig) -> Module {
+    let mut b = ModuleBuilder::new("distribution", ModuleKind::Software);
+    let position = b.var("POSITION", Type::INT16, Value::Int(0));
+    let motorstate = b.var("MOTORSTATE", Type::INT16, Value::Int(0));
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let swhw = b.binding("swhw", "swhw_link");
+
+    let start = b.state("Start");
+    let setup = b.state("SetupControlCall");
+    let step = b.state("Step");
+    let motor_pos = b.state("MotorPositionCall");
+    let next = b.state("Next");
+    let read_state = b.state("ReadStateCall");
+    let next_step = b.state("NextStep");
+    let done_st = b.state("Done");
+
+    // Start: LoadMotorConstraints.
+    b.actions(start, vec![Stmt::assign(position, Expr::int(0))]);
+    b.transition(start, None, setup);
+    // SetupControlCall: post the motion constraints (total distance).
+    b.actions(
+        setup,
+        vec![call(swhw, "SetupControl", vec![Expr::int(cfg.total_distance())], done, None)],
+    );
+    b.transition(setup, Some(Expr::var(done)), step);
+    // Step: PositionDefinition — next segment target.
+    b.actions(
+        step,
+        vec![
+            Stmt::assign(position, Expr::var(position).add(Expr::int(cfg.segment_len))),
+            Stmt::Trace("send_pos".into(), vec![Expr::var(position)]),
+        ],
+    );
+    b.transition(step, None, motor_pos);
+    // MotorPositionCall.
+    b.actions(motor_pos, vec![call(swhw, "MotorPosition", vec![Expr::var(position)], done, None)]);
+    b.transition(motor_pos, Some(Expr::var(done)), next);
+    // Next.
+    b.transition(next, None, read_state);
+    // ReadStateCall: wait for the Speed Control side to confirm arrival.
+    b.actions(read_state, vec![call(swhw, "ReadMotorState", vec![], done, Some(motorstate))]);
+    b.transition_with(
+        read_state,
+        Some(Expr::var(done)),
+        vec![Stmt::Trace("motor_state".into(), vec![Expr::var(motorstate)])],
+        next_step,
+    );
+    // NextStep: more segments?
+    b.transition(
+        next_step,
+        Some(Expr::var(position).lt(Expr::int(cfg.total_distance()))),
+        step,
+    );
+    b.transition_with(
+        next_step,
+        None,
+        vec![Stmt::Trace("done".into(), vec![Expr::var(position)])],
+        done_st,
+    );
+    b.transition(done_st, None, done_st);
+    b.initial(start);
+    b.build().expect("distribution module is well-formed")
+}
+
+/// Builds the Position unit of the Speed Control subsystem.
+///
+/// Ports (shared Speed Control signals): `SC_TARGET` (out),
+/// `SC_RESIDUAL` (in), `SC_SAMPLED` (in). Binding: `swhw`.
+#[must_use]
+pub fn position_module(cfg: &MotorConfig) -> Module {
+    let mut b = ModuleBuilder::new("sc_position", ModuleKind::Hardware);
+    let target = b.port("SC_TARGET", PortDir::Out, Type::INT16);
+    let residual = b.port("SC_RESIDUAL", PortDir::In, Type::INT16);
+    let sampled = b.port("SC_SAMPLED", PortDir::In, Type::INT16);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let p = b.var("P", Type::INT16, Value::Int(0));
+    let maxpos = b.var("MAXPOS", Type::INT16, Value::Int(0));
+    let settle = b.var("W", Type::INT16, Value::Int(0));
+    let swhw = b.binding("swhw", "swhw_link");
+
+    let setup = b.state("SETUP");
+    let waitpos = b.state("WAITPOS");
+    let wait_start = b.state("WAIT_START");
+    let moving = b.state("MOVING");
+    let serve = b.state("SERVE");
+
+    b.actions(setup, vec![call(swhw, "ReadMotorConstraints", vec![], done, Some(maxpos))]);
+    b.transition(setup, Some(Expr::var(done)), waitpos);
+
+    b.actions(waitpos, vec![call(swhw, "ReadMotorPosition", vec![], done, Some(p))]);
+    b.transition_with(
+        waitpos,
+        Some(Expr::var(done)),
+        vec![
+            Stmt::drive(target, Expr::var(p)),
+            Stmt::assign(settle, Expr::int(cfg.wait_start)),
+        ],
+        wait_start,
+    );
+
+    b.actions(wait_start, vec![Stmt::assign(settle, Expr::var(settle).sub(Expr::int(1)))]);
+    b.transition(wait_start, Some(Expr::var(settle).le(Expr::int(0))), moving);
+
+    // MOVING: endposition check — |residual| <= tolerance.
+    let tol = cfg.tolerance;
+    b.transition(
+        moving,
+        Some(
+            Expr::port(residual)
+                .le(Expr::int(tol))
+                .and(Expr::port(residual).ge(Expr::int(-tol))),
+        ),
+        serve,
+    );
+
+    b.actions(serve, vec![call(swhw, "ReturnMotorState", vec![Expr::port(sampled)], done, None)]);
+    b.transition(serve, Some(Expr::var(done)), waitpos);
+    b.initial(setup);
+    b.build().expect("position module is well-formed")
+}
+
+/// Builds the Core unit: samples the motor coordinate each cycle and
+/// computes the residual position.
+///
+/// Ports: `SC_TARGET` (in), `SC_RESIDUAL` (out), `SC_SAMPLED` (out).
+/// Binding: `mlink`.
+#[must_use]
+pub fn core_module() -> Module {
+    let mut b = ModuleBuilder::new("sc_core", ModuleKind::Hardware);
+    let target = b.port("SC_TARGET", PortDir::In, Type::INT16);
+    let residual = b.port("SC_RESIDUAL", PortDir::Out, Type::INT16);
+    let sampled_out = b.port("SC_SAMPLED", PortDir::Out, Type::INT16);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let s = b.var("S", Type::INT16, Value::Int(0));
+    let mlink = b.binding("mlink", "motor_link");
+
+    let run = b.state("RUN");
+    b.actions(
+        run,
+        vec![
+            call(mlink, "ReadSampledData", vec![], done, Some(s)),
+            Stmt::if_then(
+                Expr::var(done),
+                vec![
+                    Stmt::drive(sampled_out, Expr::var(s)),
+                    Stmt::drive(residual, Expr::port(target).sub(Expr::var(s))),
+                ],
+            ),
+        ],
+    );
+    b.transition(run, None, run);
+    b.initial(run);
+    b.build().expect("core module is well-formed")
+}
+
+/// Builds the Timer unit: converts the residual into bounded pulse
+/// batches over the Motor_Interface handshake, with a cool-down so the
+/// sampled coordinate catches up between batches.
+///
+/// Ports: `SC_RESIDUAL` (in). Binding: `mlink`.
+#[must_use]
+pub fn timer_module(cfg: &MotorConfig) -> Module {
+    let mut b = ModuleBuilder::new("sc_timer", ModuleKind::Hardware);
+    let residual = b.port("SC_RESIDUAL", PortDir::In, Type::INT16);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let pls = b.var("PLS", Type::INT16, Value::Int(0));
+    let cool = b.var("C", Type::INT16, Value::Int(0));
+    let mlink = b.binding("mlink", "motor_link");
+
+    let idle = b.state("IDLE");
+    let sending = b.state("SENDING");
+    let cooldown = b.state("COOLDOWN");
+
+    // IDLE: compute the clamped batch when residual is nonzero.
+    let clamped = Expr::Binary(
+        BinOp::Min,
+        Box::new(Expr::Binary(
+            BinOp::Max,
+            Box::new(Expr::port(residual)),
+            Box::new(Expr::int(-cfg.max_pulse)),
+        )),
+        Box::new(Expr::int(cfg.max_pulse)),
+    );
+    b.transition_with(
+        idle,
+        Some(Expr::port(residual).ne(Expr::int(0))),
+        vec![Stmt::assign(pls, clamped)],
+        sending,
+    );
+
+    b.actions(sending, vec![call(mlink, "SendMotorPulses", vec![Expr::var(pls)], done, None)]);
+    b.transition_with(
+        sending,
+        Some(Expr::var(done)),
+        vec![Stmt::assign(cool, Expr::int(cfg.cooldown))],
+        cooldown,
+    );
+
+    b.actions(cooldown, vec![Stmt::assign(cool, Expr::var(cool).sub(Expr::int(1)))]);
+    b.transition(cooldown, Some(Expr::var(cool).le(Expr::int(0))), idle);
+    b.initial(idle);
+    b.build().expect("timer module is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modules_have_expected_shapes() {
+        let cfg = MotorConfig::default();
+        let d = distribution_module(&cfg);
+        assert_eq!(d.kind(), ModuleKind::Software);
+        assert_eq!(d.fsm().state_count(), 8);
+        assert!(d.fsm().find_state("MotorPositionCall").is_some());
+        assert_eq!(d.bindings().len(), 1);
+
+        let p = position_module(&cfg);
+        assert_eq!(p.kind(), ModuleKind::Hardware);
+        assert_eq!(p.fsm().state_count(), 5);
+        assert_eq!(p.ports().len(), 3);
+
+        let c = core_module();
+        assert_eq!(c.fsm().state_count(), 1);
+        assert_eq!(c.ports().len(), 3);
+
+        let t = timer_module(&cfg);
+        assert_eq!(t.fsm().state_count(), 3);
+        assert_eq!(t.ports().len(), 1);
+    }
+
+    #[test]
+    fn config_totals() {
+        let cfg = MotorConfig { segments: 3, segment_len: 10, ..MotorConfig::default() };
+        assert_eq!(cfg.total_distance(), 30);
+    }
+
+    #[test]
+    fn modules_render_to_views() {
+        // Fig. 6 shape: the distribution module renders to switch-based C.
+        let cfg = MotorConfig::default();
+        let d = distribution_module(&cfg);
+        let c_text = cosma_core::render_module(&d, cosma_core::View::SwSim);
+        assert!(c_text.contains("case SetupControlCall"), "{c_text}");
+        assert!(c_text.contains("int DISTRIBUTION(void)"), "{c_text}");
+        // Fig. 7 shape: hardware units render to VHDL.
+        let p = position_module(&cfg);
+        let vhdl = cosma_core::render_module(&p, cosma_core::View::Hw);
+        assert!(vhdl.contains("entity SC_POSITION"), "{vhdl}");
+        assert!(vhdl.contains("case NEXT_STATE is"), "{vhdl}");
+    }
+}

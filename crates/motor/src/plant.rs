@@ -1,0 +1,185 @@
+//! The motor plant: a deterministic stepper-style DC motor model.
+//!
+//! The paper's physical motor receives pulse trains and exposes sampled
+//! coordinates. We model exactly that contract: commanded pulses queue in
+//! a backlog, each control tick executes at most `max_steps_per_tick` of
+//! them (the motor's speed limit), and the sampled position is the
+//! quantized shaft coordinate. Determinism matters — the coherence claim
+//! compares co-simulation against board execution event-for-event.
+
+use std::fmt;
+
+/// A single motion axis.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_motor::MotorModel;
+///
+/// let mut m = MotorModel::new(2); // at most 2 steps per tick
+/// m.command_pulses(5);
+/// assert_eq!(m.tick(), 2);
+/// assert_eq!(m.tick(), 2);
+/// assert_eq!(m.tick(), 1);
+/// assert_eq!(m.position(), 5);
+/// assert_eq!(m.tick(), 0, "backlog drained");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotorModel {
+    position: i64,
+    backlog: i64,
+    max_steps_per_tick: i64,
+    total_steps: u64,
+    ticks: u64,
+    moving_ticks: u64,
+}
+
+impl MotorModel {
+    /// Creates an axis able to execute `max_steps_per_tick` steps per
+    /// control tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps_per_tick` is zero.
+    #[must_use]
+    pub fn new(max_steps_per_tick: i64) -> Self {
+        assert!(max_steps_per_tick > 0, "motor speed limit must be positive");
+        MotorModel {
+            position: 0,
+            backlog: 0,
+            max_steps_per_tick,
+            total_steps: 0,
+            ticks: 0,
+            moving_ticks: 0,
+        }
+    }
+
+    /// Queues signed pulses (positive = forward).
+    pub fn command_pulses(&mut self, n: i64) {
+        self.backlog += n;
+    }
+
+    /// One control tick: executes up to the speed limit from the backlog;
+    /// returns the signed steps actually taken.
+    pub fn tick(&mut self) -> i64 {
+        self.ticks += 1;
+        let steps = self.backlog.clamp(-self.max_steps_per_tick, self.max_steps_per_tick);
+        self.backlog -= steps;
+        self.position += steps;
+        self.total_steps += steps.unsigned_abs();
+        if steps != 0 {
+            self.moving_ticks += 1;
+        }
+        steps
+    }
+
+    /// Current shaft position (counts).
+    #[must_use]
+    pub fn position(&self) -> i64 {
+        self.position
+    }
+
+    /// Sampled coordinate, as the sensor reports it (16-bit saturating).
+    #[must_use]
+    pub fn sampled(&self) -> i64 {
+        self.position.clamp(i64::from(i16::MIN), i64::from(i16::MAX))
+    }
+
+    /// Pulses queued but not yet executed.
+    #[must_use]
+    pub fn backlog(&self) -> i64 {
+        self.backlog
+    }
+
+    /// Whether the axis has pending motion.
+    #[must_use]
+    pub fn is_moving(&self) -> bool {
+        self.backlog != 0
+    }
+
+    /// Total |steps| executed.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Control ticks elapsed.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks during which the motor actually moved (continuity metric:
+    /// the paper's controller exists to avoid discontinuous operation).
+    #[must_use]
+    pub fn moving_ticks(&self) -> u64 {
+        self.moving_ticks
+    }
+}
+
+impl fmt::Display for MotorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pos={} backlog={} steps={}", self.position, self.backlog, self.total_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlog_executes_at_speed_limit() {
+        let mut m = MotorModel::new(3);
+        m.command_pulses(10);
+        let steps: Vec<i64> = (0..5).map(|_| m.tick()).collect();
+        assert_eq!(steps, vec![3, 3, 3, 1, 0]);
+        assert_eq!(m.position(), 10);
+        assert_eq!(m.total_steps(), 10);
+    }
+
+    #[test]
+    fn reverse_motion() {
+        let mut m = MotorModel::new(2);
+        m.command_pulses(-5);
+        while m.is_moving() {
+            m.tick();
+        }
+        assert_eq!(m.position(), -5);
+        assert_eq!(m.total_steps(), 5);
+    }
+
+    #[test]
+    fn mixed_commands_cancel() {
+        let mut m = MotorModel::new(10);
+        m.command_pulses(4);
+        m.command_pulses(-4);
+        assert_eq!(m.tick(), 0);
+        assert_eq!(m.position(), 0);
+    }
+
+    #[test]
+    fn sampled_saturates_to_sensor_range() {
+        let mut m = MotorModel::new(1_000_000);
+        m.command_pulses(100_000);
+        m.tick();
+        assert_eq!(m.position(), 100_000);
+        assert_eq!(m.sampled(), i64::from(i16::MAX));
+    }
+
+    #[test]
+    fn moving_ticks_counts_motion_only() {
+        let mut m = MotorModel::new(1);
+        m.command_pulses(2);
+        m.tick();
+        m.tick();
+        m.tick(); // idle
+        assert_eq!(m.ticks(), 3);
+        assert_eq!(m.moving_ticks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_limit_panics() {
+        let _ = MotorModel::new(0);
+    }
+}

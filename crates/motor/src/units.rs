@@ -1,0 +1,228 @@
+//! The Adaptive Motor Controller's two communication units (Figure 5).
+//!
+//! * [`swhw_link_unit`] — the SW/HW unit between Distribution and Speed
+//!   Control, offering the Distribution_Interface access procedures
+//!   (`SetupControl`, `MotorPosition`, `ReadMotorState`) and the
+//!   Control_Interface procedures (`ReadMotorConstraints`,
+//!   `ReadMotorPosition`, `ReturnMotorState`). Implemented as three
+//!   flag-guarded mailboxes over shared wires.
+//! * [`motor_link_unit`] — the HW/HW unit between Speed Control and the
+//!   motor (`SendMotorPulses`, `ReadSampledData`), a strobe/ack pulse
+//!   channel plus a continuously sampled coordinate wire.
+
+use cosma_core::comm::{
+    CommUnitBuilder, CommUnitSpec, ServiceSpecBuilder, SERVICE_DONE_VAR, SERVICE_RESULT_VAR,
+};
+use cosma_core::{Bit, Expr, Stmt, Type, Value};
+use std::sync::Arc;
+
+/// Builds a one-slot mailbox `put`-style service: completes when the flag
+/// is clear, latching data and raising the flag.
+fn mailbox_put(
+    name: &str,
+    data: cosma_core::ids::PortId,
+    flag: cosma_core::ids::PortId,
+) -> ServiceSpecBuilder {
+    let mut s = ServiceSpecBuilder::new(name);
+    s.arg("VAL", Type::INT16);
+    let st = s.state("TRY");
+    s.transition_with(
+        st,
+        Some(Expr::port(flag).eq(Expr::bit(Bit::Zero))),
+        vec![
+            Stmt::drive(data, Expr::arg(0)),
+            Stmt::drive(flag, Expr::bit(Bit::One)),
+            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+        ],
+        st,
+    );
+    s.initial(st);
+    s
+}
+
+/// Builds the matching `get`-style service: completes when the flag is
+/// set, reading data and clearing the flag.
+fn mailbox_get(
+    name: &str,
+    data: cosma_core::ids::PortId,
+    flag: cosma_core::ids::PortId,
+) -> ServiceSpecBuilder {
+    let mut s = ServiceSpecBuilder::new(name);
+    s.returns(Type::INT16);
+    let st = s.state("TRY");
+    s.transition_with(
+        st,
+        Some(Expr::port(flag).eq(Expr::bit(Bit::One))),
+        vec![
+            Stmt::assign(SERVICE_RESULT_VAR, Expr::port(data)),
+            Stmt::drive(flag, Expr::bit(Bit::Zero)),
+            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+        ],
+        st,
+    );
+    s.initial(st);
+    s
+}
+
+/// The SW/HW communication unit of Figure 5.
+///
+/// Wires: `CTL_REG`/`CTL_FULL` (constraints mailbox, SW→HW),
+/// `POS_REG`/`POS_FULL` (position mailbox, SW→HW) and
+/// `STATE_REG`/`STATE_FULL` (motor-state mailbox, HW→SW).
+#[must_use]
+pub fn swhw_link_unit() -> Arc<CommUnitSpec> {
+    let mut u = CommUnitBuilder::new("swhw_link");
+    let ctl_reg = u.wire("CTL_REG", Type::INT16, Value::Int(0));
+    let ctl_full = u.wire("CTL_FULL", Type::Bit, Value::Bit(Bit::Zero));
+    let pos_reg = u.wire("POS_REG", Type::INT16, Value::Int(0));
+    let pos_full = u.wire("POS_FULL", Type::Bit, Value::Bit(Bit::Zero));
+    let state_reg = u.wire("STATE_REG", Type::INT16, Value::Int(0));
+    let state_full = u.wire("STATE_FULL", Type::Bit, Value::Bit(Bit::Zero));
+
+    // Distribution_Interface (software side).
+    u.service(mailbox_put("SetupControl", ctl_reg, ctl_full).build().expect("valid"));
+    u.service(mailbox_put("MotorPosition", pos_reg, pos_full).build().expect("valid"));
+    u.service(mailbox_get("ReadMotorState", state_reg, state_full).build().expect("valid"));
+    // Control_Interface (hardware side).
+    u.service(mailbox_get("ReadMotorConstraints", ctl_reg, ctl_full).build().expect("valid"));
+    u.service(mailbox_get("ReadMotorPosition", pos_reg, pos_full).build().expect("valid"));
+    u.service(mailbox_put("ReturnMotorState", state_reg, state_full).build().expect("valid"));
+    u.build().expect("swhw link unit is well-formed")
+}
+
+/// The HW/HW communication unit driving the motor (Figure 5's
+/// Motor_Interface).
+///
+/// Wires: `PULSE_CMD` (signed pulse batch), `PULSE_STROBE`/`PULSE_ACK`
+/// (handshake with the motor's power stage), `SAMPLED_POS` (the sensor
+/// coordinate, continuously driven by the motor adapter).
+#[must_use]
+pub fn motor_link_unit() -> Arc<CommUnitSpec> {
+    let mut u = CommUnitBuilder::new("motor_link");
+    let cmd = u.wire("PULSE_CMD", Type::INT16, Value::Int(0));
+    let strobe = u.wire("PULSE_STROBE", Type::Bit, Value::Bit(Bit::Zero));
+    let ack = u.wire("PULSE_ACK", Type::Bit, Value::Bit(Bit::Zero));
+    let sampled = u.wire("SAMPLED_POS", Type::INT16, Value::Int(0));
+
+    // SendMotorPulses(n): strobe/ack 4-phase handshake.
+    let mut send = ServiceSpecBuilder::new("SendMotorPulses");
+    send.arg("N", Type::INT16);
+    let init = send.state("INIT");
+    let wait_ack = send.state("WAIT_ACK");
+    send.transition_with(
+        init,
+        Some(Expr::port(ack).eq(Expr::bit(Bit::Zero))),
+        vec![Stmt::drive(cmd, Expr::arg(0)), Stmt::drive(strobe, Expr::bit(Bit::One))],
+        wait_ack,
+    );
+    send.transition_with(
+        wait_ack,
+        Some(Expr::port(ack).eq(Expr::bit(Bit::One))),
+        vec![
+            Stmt::drive(strobe, Expr::bit(Bit::Zero)),
+            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+        ],
+        init,
+    );
+    send.initial(init);
+    u.service(send.build().expect("valid"));
+
+    // ReadSampledData() -> coordinate: single-activation sample.
+    let mut read = ServiceSpecBuilder::new("ReadSampledData");
+    read.returns(Type::INT16);
+    let st = read.state("SAMPLE");
+    read.actions(
+        st,
+        vec![
+            Stmt::assign(SERVICE_RESULT_VAR, Expr::port(sampled)),
+            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+        ],
+    );
+    read.transition(st, None, st);
+    read.initial(st);
+    u.service(read.build().expect("valid"));
+
+    u.build().expect("motor link unit is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_comm::{CallerId, FsmUnitRuntime, LocalWires, WireStore};
+
+    #[test]
+    fn swhw_mailboxes_hand_off_in_order() {
+        let spec = swhw_link_unit();
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let sw = CallerId(1);
+        let hw = CallerId(2);
+
+        // HW read stalls until SW writes.
+        assert!(!unit.call(hw, "ReadMotorPosition", &[], &mut wires).unwrap().done);
+        assert!(unit.call(sw, "MotorPosition", &[Value::Int(25)], &mut wires).unwrap().done);
+        // Second SW write stalls (mailbox full).
+        assert!(!unit.call(sw, "MotorPosition", &[Value::Int(50)], &mut wires).unwrap().done);
+        let got = unit.call(hw, "ReadMotorPosition", &[], &mut wires).unwrap();
+        assert!(got.done);
+        assert_eq!(got.result, Some(Value::Int(25)));
+        // Now the second write proceeds.
+        assert!(unit.call(sw, "MotorPosition", &[Value::Int(50)], &mut wires).unwrap().done);
+    }
+
+    #[test]
+    fn state_mailbox_flows_hw_to_sw() {
+        let spec = swhw_link_unit();
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let sw = CallerId(1);
+        let hw = CallerId(2);
+        assert!(!unit.call(sw, "ReadMotorState", &[], &mut wires).unwrap().done);
+        assert!(unit.call(hw, "ReturnMotorState", &[Value::Int(99)], &mut wires).unwrap().done);
+        let got = unit.call(sw, "ReadMotorState", &[], &mut wires).unwrap();
+        assert_eq!(got.result, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn motor_link_handshake_shape() {
+        let spec = motor_link_unit();
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let hw = CallerId(1);
+        // First activation: presents pulses, raises strobe, not done.
+        assert!(!unit.call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires).unwrap().done);
+        let strobe = spec.wire_id("PULSE_STROBE").unwrap();
+        let cmd = spec.wire_id("PULSE_CMD").unwrap();
+        assert_eq!(wires.value(strobe), &Value::Bit(Bit::One));
+        assert_eq!(wires.value(cmd), &Value::Int(3));
+        // Motor acks.
+        let ack = spec.wire_id("PULSE_ACK").unwrap();
+        wires.write_wire(ack, Value::Bit(Bit::One)).unwrap();
+        assert!(unit.call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires).unwrap().done);
+        assert_eq!(wires.value(strobe), &Value::Bit(Bit::Zero));
+    }
+
+    #[test]
+    fn sampled_data_read_is_single_step() {
+        let spec = motor_link_unit();
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let pos = spec.wire_id("SAMPLED_POS").unwrap();
+        wires.write_wire(pos, Value::Int(-17)).unwrap();
+        let got = unit.call(CallerId(1), "ReadSampledData", &[], &mut wires).unwrap();
+        assert!(got.done);
+        assert_eq!(got.result, Some(Value::Int(-17)));
+    }
+
+    #[test]
+    fn units_render_in_all_views() {
+        for spec in [swhw_link_unit(), motor_link_unit()] {
+            for svc in spec.services() {
+                let views =
+                    cosma_core::render_service_views(&spec, svc, &cosma_core::SwTarget::ALL);
+                assert!(views.hw_vhdl.contains("procedure"));
+                assert!(views.sw_sim.contains("cli"));
+            }
+        }
+    }
+}

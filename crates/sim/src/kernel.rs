@@ -1,0 +1,917 @@
+//! The discrete-event kernel with VHDL semantics.
+//!
+//! Two-phase delta cycles: processes never see their own drives until the
+//! next delta, signal updates that change a value produce *events*, events
+//! wake sensitive processes, and simulated time only advances when the
+//! current instant is quiescent. This mirrors the semantics of the
+//! commercial VHDL simulator the paper's co-simulation environment was
+//! built on.
+
+use crate::signal::{Signal, SignalId, SignalInfo};
+use crate::time::{Duration, SimTime};
+use crate::vcd::VcdRecorder;
+use cosma_core::{Bit, Type, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifies a process within a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// What a process waits for after returning from a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wait {
+    /// Resume when any listed signal has an event (`wait on a, b;`).
+    Event(Vec<SignalId>),
+    /// Resume after a span (`wait for 10 ns;`).
+    Timeout(Duration),
+    /// Resume on event or after the span, whichever first.
+    EventOrTimeout(Vec<SignalId>, Duration),
+    /// Never resume (`wait;`).
+    Forever,
+}
+
+/// A simulation process. The kernel calls [`run`](Process::run) at
+/// elaboration (time zero) and then whenever the returned [`Wait`]
+/// condition is met.
+pub trait Process {
+    /// Executes until the next wait point; reads and drives signals
+    /// through `ctx`.
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait;
+}
+
+/// Wraps a closure as a [`Process`].
+///
+/// # Examples
+///
+/// ```
+/// use cosma_sim::{FnProcess, Wait, Simulator, Duration};
+/// use cosma_core::{Type, Value, Bit};
+///
+/// let mut sim = Simulator::new();
+/// let led = sim.add_signal("LED", Type::Bit, Value::Bit(Bit::Zero));
+/// sim.add_process("driver", FnProcess::new(move |ctx| {
+///     ctx.drive(led, Value::Bit(Bit::One));
+///     Wait::Forever
+/// }));
+/// sim.run_for(Duration::from_ns(1))?;
+/// assert_eq!(sim.value(led), &Value::Bit(Bit::One));
+/// # Ok::<(), cosma_sim::SimError>(())
+/// ```
+pub struct FnProcess<F>(F);
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> Wait> FnProcess<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        FnProcess(f)
+    }
+}
+
+impl<F> fmt::Debug for FnProcess<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnProcess")
+    }
+}
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> Wait> Process for FnProcess<F> {
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
+        (self.0)(ctx)
+    }
+}
+
+/// A free-running clock generator toggling a bit signal.
+#[derive(Debug)]
+pub struct ClockProcess {
+    signal: SignalId,
+    half_period: Duration,
+}
+
+impl ClockProcess {
+    /// Creates a clock driving `signal` with the given full `period`.
+    #[must_use]
+    pub fn new(signal: SignalId, period: Duration) -> Self {
+        ClockProcess { signal, half_period: period.halved() }
+    }
+}
+
+impl Process for ClockProcess {
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
+        let cur = ctx.read(self.signal).clone();
+        let next = match cur {
+            Value::Bit(Bit::One) => Bit::Zero,
+            _ => Bit::One,
+        };
+        ctx.drive(self.signal, Value::Bit(next));
+        Wait::Timeout(self.half_period)
+    }
+}
+
+struct ProcSlot {
+    name: String,
+    body: Option<Box<dyn Process>>,
+    sensitivity: Vec<SignalId>,
+    wake_at: Option<SimTime>,
+    runs: u64,
+}
+
+/// Execution context passed to processes: read signals, schedule drives,
+/// query time and events.
+#[derive(Debug)]
+pub struct ProcCtx<'a> {
+    signals: &'a [Signal],
+    now: SimTime,
+    delta: u32,
+    /// Drives scheduled by the running process: (signal, value, delay).
+    drives: Vec<(SignalId, Value, Duration)>,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Current signal value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this simulator.
+    #[must_use]
+    pub fn read(&self, s: SignalId) -> &Value {
+        &self.signals[s.index()].value
+    }
+
+    /// Current value as a [`Bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is not bit-typed.
+    #[must_use]
+    pub fn read_bit(&self, s: SignalId) -> Bit {
+        match self.read(s) {
+            Value::Bit(b) => *b,
+            other => panic!("signal {} is not a bit: {other:?}", self.signals[s.index()].name),
+        }
+    }
+
+    /// Current value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is not integer-typed.
+    #[must_use]
+    pub fn read_int(&self, s: SignalId) -> i64 {
+        match self.read(s) {
+            Value::Int(i) => *i,
+            other => panic!("signal {} is not an int: {other:?}", self.signals[s.index()].name),
+        }
+    }
+
+    /// Schedules a drive for the next delta cycle (`sig <= v;`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value's kind does not match the signal's type — a
+    /// wiring bug equivalent to a VHDL type error.
+    pub fn drive(&mut self, s: SignalId, v: Value) {
+        self.drive_after(s, v, Duration::ZERO);
+    }
+
+    /// Schedules a drive after a delay (`sig <= v after d;`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch (see [`ProcCtx::drive`]).
+    pub fn drive_after(&mut self, s: SignalId, v: Value, d: Duration) {
+        let sig = &self.signals[s.index()];
+        let v = sig.ty.clamp(v);
+        assert!(
+            sig.ty.admits(&v),
+            "drive of signal {} ({}) with incompatible value {v:?}",
+            sig.name,
+            sig.ty
+        );
+        self.drives.push((s, v, d));
+    }
+
+    /// Whether the signal had an event in the delta that woke this run.
+    #[must_use]
+    pub fn event(&self, s: SignalId) -> bool {
+        self.signals[s.index()].event_now
+    }
+
+    /// Rising-edge detector: event in this delta and the new value is
+    /// `'1'`.
+    #[must_use]
+    pub fn rose(&self, s: SignalId) -> bool {
+        self.event(s) && matches!(self.signals[s.index()].value, Value::Bit(Bit::One))
+    }
+
+    /// Falling-edge detector.
+    #[must_use]
+    pub fn fell(&self, s: SignalId) -> bool {
+        self.event(s) && matches!(self.signals[s.index()].value, Value::Bit(Bit::Zero))
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Delta-cycle index within the current instant.
+    #[must_use]
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+}
+
+/// Errors from simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The delta-cycle loop at one instant exceeded the configured bound
+    /// (combinational oscillation).
+    DeltaOverflow {
+        /// Instant at which the oscillation occurred.
+        time: SimTime,
+        /// The configured bound.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaOverflow { time, limit } => {
+                write!(f, "delta-cycle oscillation at {time} (more than {limit} deltas)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Aggregate kernel statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Total process activations.
+    pub process_runs: u64,
+    /// Total signal events.
+    pub events: u64,
+    /// Total delta cycles executed.
+    pub deltas: u64,
+    /// Distinct simulated instants visited.
+    pub instants: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// A 10 MHz clock observed for one microsecond:
+///
+/// ```
+/// use cosma_sim::{Simulator, ClockProcess, Duration};
+/// use cosma_core::{Type, Value, Bit};
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_signal("CLK", Type::Bit, Value::Bit(Bit::Zero));
+/// let period = Duration::from_freq_hz(10_000_000);
+/// sim.add_clock("CLKGEN", clk, period);
+/// sim.run_for(Duration::from_ns(999))?;
+/// assert_eq!(sim.signal_info(clk).event_count, 20); // edges at 0,50,...,950 ns
+/// # Ok::<(), cosma_sim::SimError>(())
+/// ```
+pub struct Simulator {
+    signals: Vec<Signal>,
+    processes: Vec<ProcSlot>,
+    /// Drives awaiting the next delta at the current instant.
+    delta_drives: Vec<(SignalId, Value)>,
+    /// Drives scheduled for future instants.
+    timed_drives: BTreeMap<SimTime, Vec<(SignalId, Value)>>,
+    /// Processes waiting on timeouts.
+    timer_queue: BTreeMap<SimTime, Vec<ProcessId>>,
+    now: SimTime,
+    initialized: bool,
+    max_deltas: u32,
+    stats: SimStats,
+    /// Signals with `event_now` set, to be cleared before the next delta.
+    fresh_events: Vec<SignalId>,
+    vcd: Option<VcdRecorder>,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("signals", &self.signals.len())
+            .field("processes", &self.processes.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator {
+            signals: vec![],
+            processes: vec![],
+            delta_drives: vec![],
+            timed_drives: BTreeMap::new(),
+            timer_queue: BTreeMap::new(),
+            now: SimTime::ZERO,
+            initialized: false,
+            max_deltas: 1000,
+            stats: SimStats::default(),
+            fresh_events: vec![],
+            vcd: None,
+        }
+    }
+
+    /// Sets the delta-cycle oscillation bound (default 1000).
+    pub fn set_max_deltas(&mut self, limit: u32) {
+        self.max_deltas = limit.max(1);
+    }
+
+    /// Declares a signal.
+    pub fn add_signal(&mut self, name: impl Into<String>, ty: Type, init: Value) -> SignalId {
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(Signal::new(name.into(), ty, init));
+        id
+    }
+
+    /// Declares a bit signal initialized to `'0'`.
+    pub fn add_bit(&mut self, name: impl Into<String>) -> SignalId {
+        self.add_signal(name, Type::Bit, Value::Bit(Bit::Zero))
+    }
+
+    /// Registers a process.
+    pub fn add_process(&mut self, name: impl Into<String>, p: impl Process + 'static) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(ProcSlot {
+            name: name.into(),
+            body: Some(Box::new(p)),
+            sensitivity: vec![],
+            wake_at: None,
+            runs: 0,
+        });
+        id
+    }
+
+    /// Convenience: registers a [`ClockProcess`].
+    pub fn add_clock(&mut self, name: impl Into<String>, signal: SignalId, period: Duration) -> ProcessId {
+        self.add_process(name, ClockProcess::new(signal, period))
+    }
+
+    /// Enables VCD recording of all currently declared signals.
+    pub fn record_vcd(&mut self) {
+        let mut rec = VcdRecorder::new();
+        for (i, s) in self.signals.iter().enumerate() {
+            rec.declare(SignalId(i as u32), &s.name, &s.ty, &s.value);
+        }
+        self.vcd = Some(rec);
+    }
+
+    /// Finishes VCD recording and returns the file contents, if recording
+    /// was enabled.
+    pub fn take_vcd(&mut self) -> Option<String> {
+        self.vcd.take().map(|r| r.finish(self.now))
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel statistics.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this simulator.
+    #[must_use]
+    pub fn value(&self, s: SignalId) -> &Value {
+        &self.signals[s.index()].value
+    }
+
+    /// Read-only snapshot of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this simulator.
+    #[must_use]
+    pub fn signal_info(&self, s: SignalId) -> SignalInfo {
+        let sig = &self.signals[s.index()];
+        SignalInfo {
+            name: sig.name.clone(),
+            ty: sig.ty.clone(),
+            value: sig.value.clone(),
+            last_event: sig.last_event,
+            event_count: sig.event_count,
+        }
+    }
+
+    /// Number of activations of a process so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this simulator.
+    #[must_use]
+    pub fn process_runs(&self, p: ProcessId) -> u64 {
+        self.processes[p.index()].runs
+    }
+
+    /// Looks up a signal id by name.
+    #[must_use]
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.signals.iter().position(|s| s.name == name).map(|i| SignalId(i as u32))
+    }
+
+    /// Injects a value onto a signal from outside any process (testbench
+    /// poke); takes effect at the next delta of the current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch.
+    pub fn poke(&mut self, s: SignalId, v: Value) {
+        let sig = &self.signals[s.index()];
+        let v = sig.ty.clamp(v);
+        assert!(sig.ty.admits(&v), "poke of {} with incompatible {v:?}", sig.name);
+        self.delta_drives.push((s, v));
+    }
+
+    /// Runs until `deadline` (inclusive of activity at the deadline
+    /// instant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaOverflow`] on combinational oscillation.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        if !self.initialized {
+            self.initialize()?;
+        }
+        // Settle any externally poked activity at the current instant.
+        self.settle(vec![])?;
+        while let Some(t) = self.next_instant() {
+            if t > deadline {
+                break;
+            }
+            self.now = t;
+            self.stats.instants += 1;
+            let woken = self.begin_instant();
+            self.settle(woken)?;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        Ok(())
+    }
+
+    /// Runs for a span from the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaOverflow`] on combinational oscillation.
+    pub fn run_for(&mut self, d: Duration) -> Result<(), SimError> {
+        let deadline = self.now.saturating_add(d);
+        self.run_until(deadline)
+    }
+
+    /// The next instant with scheduled activity, if any.
+    #[must_use]
+    pub fn next_instant(&self) -> Option<SimTime> {
+        let a = self.timed_drives.keys().next().copied();
+        let b = self.timer_queue.keys().next().copied();
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    /// Elaboration: every process runs once at time zero.
+    fn initialize(&mut self) -> Result<(), SimError> {
+        self.initialized = true;
+        let all: Vec<ProcessId> = (0..self.processes.len() as u32).map(ProcessId).collect();
+        self.run_processes(&all);
+        self.settle(vec![])
+    }
+
+    /// At a new instant: move due timed drives into the delta queue and
+    /// collect timer-woken processes.
+    fn begin_instant(&mut self) -> Vec<ProcessId> {
+        let mut due_drives = vec![];
+        while let Some(&t) = self.timed_drives.keys().next() {
+            if t > self.now {
+                break;
+            }
+            due_drives.extend(self.timed_drives.remove(&t).unwrap());
+        }
+        self.delta_drives.extend(due_drives);
+        let mut woken = vec![];
+        while let Some(&t) = self.timer_queue.keys().next() {
+            if t > self.now {
+                break;
+            }
+            woken.extend(self.timer_queue.remove(&t).unwrap());
+        }
+        for &p in &woken {
+            self.processes[p.index()].wake_at = None;
+        }
+        woken
+    }
+
+    /// Delta loop at the current instant until quiescent.
+    fn settle(&mut self, mut woken: Vec<ProcessId>) -> Result<(), SimError> {
+        let mut delta: u32 = 0;
+        loop {
+            // Clear last delta's event marks.
+            for s in self.fresh_events.drain(..) {
+                self.signals[s.index()].event_now = false;
+            }
+            // Apply pending drives; last writer wins within a delta
+            // (sequential overwrite, like a VHDL driver updated twice).
+            let drives = std::mem::take(&mut self.delta_drives);
+            let mut event_set: BTreeSet<SignalId> = BTreeSet::new();
+            for (sid, v) in drives {
+                let sig = &mut self.signals[sid.index()];
+                if sig.value != v {
+                    sig.prev = sig.value.clone();
+                    sig.value = v.clone();
+                    sig.event_now = true;
+                    sig.last_event = Some(self.now);
+                    sig.event_count += 1;
+                    event_set.insert(sid);
+                    if let Some(vcd) = &mut self.vcd {
+                        vcd.change(self.now, sid, &sig.value);
+                    }
+                }
+            }
+            self.stats.events += event_set.len() as u64;
+            self.fresh_events.extend(event_set.iter().copied());
+
+            // Wake processes sensitive to these events.
+            let mut to_run: BTreeSet<ProcessId> = woken.drain(..).collect();
+            if !event_set.is_empty() {
+                for (i, p) in self.processes.iter().enumerate() {
+                    if p.body.is_some() && p.sensitivity.iter().any(|s| event_set.contains(s)) {
+                        to_run.insert(ProcessId(i as u32));
+                    }
+                }
+            }
+            if to_run.is_empty() {
+                return Ok(());
+            }
+            // Cancel timeouts of processes woken by events.
+            let run_list: Vec<ProcessId> = to_run.into_iter().collect();
+            for &p in &run_list {
+                if let Some(t) = self.processes[p.index()].wake_at.take() {
+                    if let Some(q) = self.timer_queue.get_mut(&t) {
+                        q.retain(|&x| x != p);
+                        if q.is_empty() {
+                            self.timer_queue.remove(&t);
+                        }
+                    }
+                }
+            }
+            self.stats.deltas += 1;
+            delta += 1;
+            if delta > self.max_deltas {
+                return Err(SimError::DeltaOverflow { time: self.now, limit: self.max_deltas });
+            }
+            self.run_processes_delta(&run_list, delta);
+        }
+    }
+
+    fn run_processes(&mut self, list: &[ProcessId]) {
+        self.run_processes_delta(list, 0);
+    }
+
+    fn run_processes_delta(&mut self, list: &[ProcessId], delta: u32) {
+        for &pid in list {
+            let mut body = match self.processes[pid.index()].body.take() {
+                Some(b) => b,
+                None => continue,
+            };
+            let mut ctx =
+                ProcCtx { signals: &self.signals, now: self.now, delta, drives: vec![] };
+            let wait = body.run(&mut ctx);
+            let drives = ctx.drives;
+            self.processes[pid.index()].runs += 1;
+            self.stats.process_runs += 1;
+            for (sid, v, d) in drives {
+                if d == Duration::ZERO {
+                    self.delta_drives.push((sid, v));
+                } else {
+                    self.timed_drives.entry(self.now + d).or_default().push((sid, v));
+                }
+            }
+            let slot = &mut self.processes[pid.index()];
+            slot.sensitivity.clear();
+            match wait {
+                Wait::Event(sigs) => slot.sensitivity = sigs,
+                Wait::Timeout(d) => {
+                    let at = self.now + d;
+                    slot.wake_at = Some(at);
+                    self.timer_queue.entry(at).or_default().push(pid);
+                }
+                Wait::EventOrTimeout(sigs, d) => {
+                    slot.sensitivity = sigs;
+                    let at = self.now + d;
+                    slot.wake_at = Some(at);
+                    self.timer_queue.entry(at).or_default().push(pid);
+                }
+                Wait::Forever => {}
+            }
+            self.processes[pid.index()].body = Some(body);
+        }
+    }
+
+    /// Name of a process (for reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this simulator.
+    #[must_use]
+    pub fn process_name(&self, p: ProcessId) -> &str {
+        &self.processes[p.index()].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_toggles_at_period() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(100));
+        sim.run_for(Duration::from_ns(249)).unwrap();
+        // t=0: ->1 (init), t=50: ->0, t=100: ->1, t=150: ->0, t=200: ->1.
+        let info = sim.signal_info(clk);
+        assert_eq!(info.event_count, 5);
+        assert_eq!(info.value, Value::Bit(Bit::One));
+    }
+
+    #[test]
+    fn delta_cycle_two_phase_semantics() {
+        // A process that swaps two signals must observe the *old* values:
+        // after one exchange a=old_b and b=old_a simultaneously.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("A", Type::INT16, Value::Int(1));
+        let b = sim.add_signal("B", Type::INT16, Value::Int(2));
+        let go = sim.add_bit("GO");
+        sim.add_process(
+            "swap",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(go) {
+                    let va = ctx.read(a).clone();
+                    let vb = ctx.read(b).clone();
+                    ctx.drive(a, vb);
+                    ctx.drive(b, va);
+                }
+                Wait::Event(vec![go])
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        sim.poke(go, Value::Bit(Bit::One));
+        sim.run_for(Duration::from_ns(1)).unwrap();
+        assert_eq!(sim.value(a), &Value::Int(2));
+        assert_eq!(sim.value(b), &Value::Int(1));
+    }
+
+    #[test]
+    fn chained_deltas_converge_in_same_instant() {
+        // inverter chain: x -> y -> z, all at time 0 via deltas.
+        let mut sim = Simulator::new();
+        let x = sim.add_bit("X");
+        let y = sim.add_bit("Y");
+        let z = sim.add_bit("Z");
+        sim.add_process(
+            "inv1",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_bit(x);
+                ctx.drive(y, Value::Bit(!v));
+                Wait::Event(vec![x])
+            }),
+        );
+        sim.add_process(
+            "inv2",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_bit(y);
+                ctx.drive(z, Value::Bit(!v));
+                Wait::Event(vec![y])
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert_eq!(sim.value(y), &Value::Bit(Bit::One));
+        assert_eq!(sim.value(z), &Value::Bit(Bit::Zero));
+        assert_eq!(sim.now(), SimTime::ZERO, "all settled without advancing time");
+        sim.poke(x, Value::Bit(Bit::One));
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert_eq!(sim.value(y), &Value::Bit(Bit::Zero));
+        assert_eq!(sim.value(z), &Value::Bit(Bit::One));
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        let mut sim = Simulator::new();
+        let x = sim.add_bit("X");
+        sim.add_process(
+            "ringosc",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_bit(x);
+                ctx.drive(x, Value::Bit(!v));
+                Wait::Event(vec![x])
+            }),
+        );
+        sim.set_max_deltas(50);
+        let err = sim.run_until(SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, SimError::DeltaOverflow { limit: 50, .. }));
+        assert!(err.to_string().contains("oscillation"));
+    }
+
+    #[test]
+    fn drive_after_schedules_in_future() {
+        let mut sim = Simulator::new();
+        let d = sim.add_signal("D", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "pulse",
+            FnProcess::new(move |ctx| {
+                ctx.drive_after(d, Value::Int(7), Duration::from_ns(30));
+                Wait::Forever
+            }),
+        );
+        sim.run_until(SimTime::from_ns(29)).unwrap();
+        assert_eq!(sim.value(d), &Value::Int(0));
+        sim.run_until(SimTime::from_ns(30)).unwrap();
+        assert_eq!(sim.value(d), &Value::Int(7));
+        assert_eq!(sim.signal_info(d).last_event, Some(SimTime::from_ns(30)));
+    }
+
+    #[test]
+    fn timeout_wakes_process() {
+        let mut sim = Simulator::new();
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "ticker",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_int(n);
+                ctx.drive(n, Value::Int(v + 1));
+                Wait::Timeout(Duration::from_ns(10))
+            }),
+        );
+        sim.run_until(SimTime::from_ns(45)).unwrap();
+        // Runs at 0,10,20,30,40 -> N goes to 5.
+        assert_eq!(sim.value(n), &Value::Int(5));
+    }
+
+    #[test]
+    fn event_cancels_timeout() {
+        let mut sim = Simulator::new();
+        let kick = sim.add_bit("KICK");
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "waiter",
+            FnProcess::new(move |ctx| {
+                if ctx.event(kick) || ctx.now() > SimTime::ZERO {
+                    let v = ctx.read_int(n);
+                    ctx.drive(n, Value::Int(v + 1));
+                }
+                Wait::EventOrTimeout(vec![kick], Duration::from_ns(100))
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        sim.poke(kick, Value::Bit(Bit::One));
+        sim.run_until(SimTime::from_ns(10)).unwrap();
+        assert_eq!(sim.value(n), &Value::Int(1), "woken by event");
+        // The 100ns timeout from the first wait must have been cancelled;
+        // next wake is at ~100ns after the event wake (time 0) -> at 100.
+        sim.run_until(SimTime::from_ns(120)).unwrap();
+        assert_eq!(sim.value(n), &Value::Int(2), "woken once more by timeout");
+    }
+
+    #[test]
+    fn no_event_when_same_value_driven() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("S", Type::INT16, Value::Int(5));
+        sim.run_until(SimTime::ZERO).unwrap();
+        sim.poke(s, Value::Int(5));
+        sim.run_for(Duration::from_ns(1)).unwrap();
+        assert_eq!(sim.signal_info(s).event_count, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        sim.run_for(Duration::from_ns(100)).unwrap();
+        let st = sim.stats();
+        assert!(st.process_runs >= 20);
+        assert!(st.events >= 20);
+        assert!(st.deltas >= 20);
+        assert!(st.instants >= 20);
+    }
+
+    #[test]
+    fn find_signal_by_name() {
+        let mut sim = Simulator::new();
+        let a = sim.add_bit("ALPHA");
+        assert_eq!(sim.find_signal("ALPHA"), Some(a));
+        assert_eq!(sim.find_signal("BETA"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn type_mismatch_poke_panics() {
+        let mut sim = Simulator::new();
+        let s = sim.add_bit("S");
+        sim.poke(s, Value::Int(3));
+    }
+
+    #[test]
+    fn deterministic_process_order() {
+        // Two processes drive the same signal in the same delta; the later
+        // process id wins (document the deterministic rule).
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("S", Type::INT16, Value::Int(0));
+        let go = sim.add_bit("GO");
+        sim.add_process(
+            "p1",
+            FnProcess::new(move |ctx| {
+                if ctx.event(go) {
+                    ctx.drive(s, Value::Int(1));
+                }
+                Wait::Event(vec![go])
+            }),
+        );
+        sim.add_process(
+            "p2",
+            FnProcess::new(move |ctx| {
+                if ctx.event(go) {
+                    ctx.drive(s, Value::Int(2));
+                }
+                Wait::Event(vec![go])
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        sim.poke(go, Value::Bit(Bit::One));
+        sim.run_for(Duration::from_ns(1)).unwrap();
+        assert_eq!(sim.value(s), &Value::Int(2));
+    }
+
+    #[test]
+    fn forever_wait_never_resumes() {
+        let mut sim = Simulator::new();
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "once",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_int(n);
+                ctx.drive(n, Value::Int(v + 1));
+                Wait::Forever
+            }),
+        );
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        sim.run_for(Duration::from_ns(200)).unwrap();
+        assert_eq!(sim.value(n), &Value::Int(1), "ran exactly once at elaboration");
+    }
+
+    #[test]
+    fn run_until_is_resumable() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        sim.run_until(SimTime::from_ns(20)).unwrap();
+        let c1 = sim.signal_info(clk).event_count;
+        sim.run_until(SimTime::from_ns(40)).unwrap();
+        let c2 = sim.signal_info(clk).event_count;
+        assert!(c2 > c1);
+        assert_eq!(sim.now(), SimTime::from_ns(40));
+    }
+}

@@ -1,0 +1,47 @@
+//! # cosma-sim — discrete-event simulation kernel
+//!
+//! A VHDL-semantics event-driven simulator: femtosecond time, two-phase
+//! delta cycles, processes with `wait on` / `wait for` / `wait until`
+//! semantics, and a VCD trace writer.
+//!
+//! This crate substitutes for the commercial VHDL simulator (Synopsys VSS)
+//! the paper's co-simulation environment was built on. The co-simulation
+//! backplane (`cosma-cosim`) instantiates hardware modules and
+//! communication units as [`Process`]es over [`Simulator`] signals.
+//!
+//! ## Example
+//!
+//! ```
+//! use cosma_sim::{Simulator, FnProcess, Wait, Duration};
+//! use cosma_core::{Type, Value, Bit};
+//!
+//! let mut sim = Simulator::new();
+//! let clk = sim.add_bit("CLK");
+//! let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+//! sim.add_clock("clkgen", clk, Duration::from_ns(100));
+//! // A counter clocked on the rising edge.
+//! sim.add_process("counter", FnProcess::new(move |ctx| {
+//!     if ctx.rose(clk) {
+//!         let v = ctx.read_int(q);
+//!         ctx.drive(q, Value::Int(v + 1));
+//!     }
+//!     Wait::Event(vec![clk])
+//! }));
+//! sim.run_for(Duration::from_ns(1000))?;
+//! assert!(matches!(sim.value(q), Value::Int(n) if *n >= 9));
+//! # Ok::<(), cosma_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod kernel;
+mod signal;
+mod time;
+mod vcd;
+
+pub use kernel::{
+    ClockProcess, FnProcess, ProcCtx, Process, ProcessId, SimError, SimStats, Simulator, Wait,
+};
+pub use signal::{SignalId, SignalInfo};
+pub use time::{Duration, SimTime};
+pub use vcd::VcdRecorder;

@@ -1,0 +1,264 @@
+//! Simulation time, in femtoseconds like VHDL's finest resolution.
+//!
+//! [`SimTime`] is an absolute instant; [`Duration`] is a relative span.
+//! Keeping them as distinct newtypes prevents the classic
+//! absolute/relative mix-up in scheduling code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A relative span of simulated time.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_sim::Duration;
+/// assert_eq!(Duration::from_ns(1), Duration::from_ps(1000));
+/// assert_eq!(Duration::from_ns(3).as_fs(), 3_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From femtoseconds.
+    #[must_use]
+    pub const fn from_fs(fs: u64) -> Self {
+        Duration(fs)
+    }
+
+    /// From picoseconds.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps * 1_000)
+    }
+
+    /// From nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000_000)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000_000)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000_000_000)
+    }
+
+    /// The span in femtoseconds.
+    #[must_use]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole nanoseconds (truncating).
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The period of a clock of the given frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[must_use]
+    pub fn from_freq_hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be nonzero");
+        Duration(1_000_000_000_000_000 / hz)
+    }
+
+    /// Integer-scaled span.
+    #[must_use]
+    pub const fn times(self, n: u64) -> Self {
+        Duration(self.0 * n)
+    }
+
+    /// Halved span (clock half-periods).
+    #[must_use]
+    pub const fn halved(self) -> Self {
+        Duration(self.0 / 2)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_fs(self.0, f)
+    }
+}
+
+/// An absolute instant of simulated time (femtoseconds since start).
+///
+/// # Examples
+///
+/// ```
+/// use cosma_sim::{SimTime, Duration};
+/// let t = SimTime::ZERO + Duration::from_ns(5);
+/// assert_eq!(t.as_fs(), 5_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Maximum representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From raw femtoseconds.
+    #[must_use]
+    pub const fn from_fs(fs: u64) -> Self {
+        SimTime(fs)
+    }
+
+    /// From nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000_000)
+    }
+
+    /// Femtoseconds since start.
+    #[must_use]
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since start (truncating).
+    #[must_use]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.checked_sub(earlier.0).expect("`earlier` is after `self`"))
+    }
+
+    /// Saturating addition of a span.
+    #[must_use]
+    pub const fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        format_fs(self.0, f)
+    }
+}
+
+fn format_fs(fs: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if fs == 0 {
+        write!(f, "0")
+    } else if fs.is_multiple_of(1_000_000_000_000) {
+        write!(f, "{}ms", fs / 1_000_000_000_000)
+    } else if fs.is_multiple_of(1_000_000_000) {
+        write!(f, "{}us", fs / 1_000_000_000)
+    } else if fs.is_multiple_of(1_000_000) {
+        write!(f, "{}ns", fs / 1_000_000)
+    } else if fs.is_multiple_of(1_000) {
+        write!(f, "{}ps", fs / 1_000)
+    } else {
+        write!(f, "{fs}fs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_ns(1).as_fs(), 1_000_000);
+        assert_eq!(Duration::from_us(1).as_fs(), 1_000_000_000);
+        assert_eq!(Duration::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_ns(10).as_ns(), 10);
+    }
+
+    #[test]
+    fn clock_period_from_frequency() {
+        // 10 MHz (the paper's PC-AT bus clock) -> 100 ns period.
+        let p = Duration::from_freq_hz(10_000_000);
+        assert_eq!(p, Duration::from_ns(100));
+        assert_eq!(p.halved(), Duration::from_ns(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_frequency_panics() {
+        let _ = Duration::from_freq_hz(0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_ns(3) + Duration::from_ns(4);
+        assert_eq!(t, SimTime::from_ns(7));
+        assert_eq!(t.since(SimTime::from_ns(2)), Duration::from_ns(5));
+        assert_eq!(Duration::from_ns(5) - Duration::from_ns(2), Duration::from_ns(3));
+        let mut u = SimTime::ZERO;
+        u += Duration::from_ns(1);
+        assert_eq!(u, SimTime::from_ns(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "after")]
+    fn since_panics_when_backwards() {
+        let _ = SimTime::from_ns(1).since(SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn display_picks_best_unit() {
+        assert_eq!(SimTime::from_ns(100).to_string(), "100ns");
+        assert_eq!(Duration::from_ps(5).to_string(), "5ps");
+        assert_eq!(Duration::from_us(2).to_string(), "2us");
+        assert_eq!(Duration::from_fs(7).to_string(), "7fs");
+        assert_eq!(SimTime::ZERO.to_string(), "0");
+        assert_eq!(Duration::from_ms(1).to_string(), "1ms");
+    }
+
+    #[test]
+    fn times_scales() {
+        assert_eq!(Duration::from_ns(100).times(3), Duration::from_ns(300));
+    }
+}

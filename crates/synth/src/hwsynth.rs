@@ -1,0 +1,586 @@
+//! Hardware synthesis: FSMD module → executable RTL netlist.
+//!
+//! The classic FSMD lowering: a state register (in the chosen
+//! [`Encoding`]), one register per module variable, symbolic execution of
+//! each state's actions into dataflow, per-state next values muxed by the
+//! state decode, and priority-encoded transition logic for the next-state
+//! register.
+//!
+//! Written module ports become `(value, write-enable)` output pairs so the
+//! surrounding fabric (the board's wire bank) can merge multiple drivers;
+//! port reads observe the module's own same-cycle write (matching the
+//! interpreter's immediate-write semantics).
+
+use crate::encoding::Encoding;
+use crate::flatten::SynthError;
+use crate::netlist::{Netlist, NodeId, Op, RegId};
+use cosma_core::{BinOp, Expr, Module, Stmt, UnOp, Value};
+use std::fmt;
+
+/// Summary of one hardware synthesis run.
+#[derive(Debug, Clone)]
+pub struct HwSynthReport {
+    /// Module name.
+    pub module: String,
+    /// Number of FSM states.
+    pub states: usize,
+    /// Chosen state encoding.
+    pub encoding: Encoding,
+    /// State register width.
+    pub state_bits: u32,
+    /// Technology estimate.
+    pub tech: crate::netlist::TechReport,
+}
+
+impl fmt::Display for HwSynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} states ({} encoding, {} bits) -> {}",
+            self.module, self.states, self.encoding, self.state_bits, self.tech
+        )
+    }
+}
+
+fn value_width(v: &Value) -> u32 {
+    match v {
+        Value::Bit(_) | Value::Bool(_) => 1,
+        Value::Int(_) => 16,
+        Value::Enum(e) => e.ty().encoding_width(),
+    }
+}
+
+struct Synth<'a> {
+    nl: Netlist,
+    module: &'a Module,
+    port_inputs: Vec<NodeId>,
+}
+
+#[derive(Clone)]
+struct SymState {
+    vars: Vec<NodeId>,
+    /// Per port: (value, write-enable) once written this cycle.
+    writes: Vec<Option<(NodeId, NodeId)>>,
+}
+
+impl Synth<'_> {
+    /// Normalizes a word to a 1-bit condition (`!= 0`, the interpreter's
+    /// truthiness for integers).
+    #[allow(clippy::wrong_self_convention)] // builds nodes, so needs &mut
+    fn to_bool(&mut self, n: NodeId) -> NodeId {
+        let z = self.nl.constant(0, self.nl.width(n));
+        let eq0 = self.nl.bin(Op::Eq, n, z);
+        self.nl.not(eq0)
+    }
+
+    fn lower_expr(&mut self, e: &Expr, sym: &SymState) -> Result<NodeId, SynthError> {
+        Ok(match e {
+            Expr::Const(v) => {
+                let w = value_width(v);
+                self.nl.constant(v.to_bus_word(w), w)
+            }
+            Expr::Var(v) => sym.vars[v.index()],
+            Expr::Port(p) => match sym.writes[p.index()] {
+                // Reads observe the module's own same-cycle write.
+                Some((val, we)) => {
+                    let input = self.port_inputs[p.index()];
+                    self.nl.mux(we, val, input)
+                }
+                None => self.port_inputs[p.index()],
+            },
+            Expr::Arg(i) => {
+                return Err(SynthError::Unsupported {
+                    detail: format!("module {}: Expr::Arg({i}) after flattening", self.module.name()),
+                })
+            }
+            Expr::Unary(UnOp::Neg, a) => {
+                let an = self.lower_expr(a, sym)?;
+                self.nl.neg(an)
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                let an = self.lower_expr(a, sym)?;
+                self.nl.not(an)
+            }
+            Expr::Binary(op, a, b) => {
+                let an = self.lower_expr(a, sym)?;
+                let bn = self.lower_expr(b, sym)?;
+                match op {
+                    BinOp::Add => self.nl.bin(Op::Add, an, bn),
+                    BinOp::Sub => self.nl.bin(Op::Sub, an, bn),
+                    BinOp::Mul => self.nl.bin(Op::Mul, an, bn),
+                    BinOp::Div => self.nl.bin(Op::Div, an, bn),
+                    BinOp::Rem => self.nl.bin(Op::Rem, an, bn),
+                    BinOp::And => self.nl.bin(Op::And, an, bn),
+                    BinOp::Or => self.nl.bin(Op::Or, an, bn),
+                    BinOp::Xor => self.nl.bin(Op::Xor, an, bn),
+                    BinOp::Shl => self.nl.bin(Op::Shl, an, bn),
+                    BinOp::Shr => self.nl.bin(Op::Shr, an, bn),
+                    BinOp::Eq => self.nl.bin(Op::Eq, an, bn),
+                    BinOp::Ne => {
+                        let eq = self.nl.bin(Op::Eq, an, bn);
+                        self.nl.not(eq)
+                    }
+                    BinOp::Lt => self.nl.bin(Op::Lt, an, bn),
+                    BinOp::Le => self.nl.bin(Op::Le, an, bn),
+                    BinOp::Gt => self.nl.bin(Op::Lt, bn, an),
+                    BinOp::Ge => self.nl.bin(Op::Le, bn, an),
+                    BinOp::Min => self.nl.bin(Op::Min, an, bn),
+                    BinOp::Max => self.nl.bin(Op::Max, an, bn),
+                }
+            }
+        })
+    }
+
+    fn guard_bit(&mut self, e: &Expr, sym: &SymState) -> Result<NodeId, SynthError> {
+        let n = self.lower_expr(e, sym)?;
+        // Comparison results and bool variables are 1-bit already; wider
+        // integers get normalized to the interpreter's truthiness.
+        Ok(if self.nl.width(n) == 1 { n } else { self.to_bool(n) })
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, sym: &mut SymState) -> Result<(), SynthError> {
+        match s {
+            Stmt::Assign(v, e) => {
+                let n = self.lower_expr(e, sym)?;
+                let w = self.module.vars()[v.index()].ty().bit_width();
+                sym.vars[v.index()] = self.nl.resize(n, w);
+                Ok(())
+            }
+            Stmt::Drive(p, e) => {
+                let n = self.lower_expr(e, sym)?;
+                let w = self.module.ports()[p.index()].ty().bit_width();
+                let n = self.nl.resize(n, w);
+                let one = self.nl.constant(1, 1);
+                sym.writes[p.index()] = Some((n, one));
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                let c = self.guard_bit(cond, sym)?;
+                let mut then_sym = sym.clone();
+                for t in then_body {
+                    self.exec_stmt(t, &mut then_sym)?;
+                }
+                let mut else_sym = sym.clone();
+                for t in else_body {
+                    self.exec_stmt(t, &mut else_sym)?;
+                }
+                // Merge.
+                for i in 0..sym.vars.len() {
+                    if then_sym.vars[i] != else_sym.vars[i] {
+                        sym.vars[i] = self.nl.mux(c, then_sym.vars[i], else_sym.vars[i]);
+                    } else {
+                        sym.vars[i] = then_sym.vars[i];
+                    }
+                }
+                for i in 0..sym.writes.len() {
+                    sym.writes[i] = match (then_sym.writes[i], else_sym.writes[i]) {
+                        (None, None) => None,
+                        (Some((tv, twe)), None) => {
+                            let zero = self.nl.constant(0, 1);
+                            let we = self.nl.mux(c, twe, zero);
+                            Some((tv, we))
+                        }
+                        (None, Some((ev, ewe))) => {
+                            let zero = self.nl.constant(0, 1);
+                            let we = self.nl.mux(c, zero, ewe);
+                            Some((ev, we))
+                        }
+                        (Some((tv, twe)), Some((ev, ewe))) => {
+                            let v = self.nl.mux(c, tv, ev);
+                            let we = self.nl.mux(c, twe, ewe);
+                            Some((v, we))
+                        }
+                    };
+                }
+                Ok(())
+            }
+            Stmt::Trace(_, _) => Ok(()), // erased by synthesis
+            Stmt::Call(c) => Err(SynthError::Unsupported {
+                detail: format!(
+                    "module {}: service call to {} survived flattening",
+                    self.module.name(),
+                    c.service
+                ),
+            }),
+        }
+    }
+}
+
+/// Synthesizes a flattened (call-free) module into an executable netlist.
+///
+/// Netlist interface:
+///
+/// * one input per module port, named like the port (reads sample the
+///   external wire at cycle start),
+/// * per written port: outputs `<PORT>__out` and `<PORT>__we`,
+/// * output `STATE` exposing the encoded state register.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Unsupported`] if the module still contains
+/// service calls or uses `Expr::Arg`.
+pub fn synthesize_hw(
+    module: &Module,
+    encoding: Encoding,
+) -> Result<(Netlist, HwSynthReport), SynthError> {
+    let fsm = module.fsm();
+    let n_states = fsm.state_count();
+    let state_bits = encoding.width(n_states);
+
+    let mut nl = Netlist::new(module.name().to_string());
+    let state_reg = nl.reg(
+        "STATE",
+        state_bits,
+        encoding.encode(fsm.initial().index(), n_states),
+    );
+    let state_read = nl.read_reg(state_reg);
+    nl.mark_output("STATE", state_read);
+
+    let var_regs: Vec<RegId> = module
+        .vars()
+        .iter()
+        .map(|v| {
+            nl.reg(v.name().to_string(), v.ty().bit_width(), v.init().to_bus_word(v.ty().bit_width()))
+        })
+        .collect();
+    let port_inputs: Vec<NodeId> = module
+        .ports()
+        .iter()
+        .map(|p| nl.input(p.name().to_string(), p.ty().bit_width()).1)
+        .collect();
+    let base_var_reads: Vec<NodeId> = var_regs.iter().map(|&r| nl.read_reg(r)).collect();
+
+    let mut synth = Synth { nl, module, port_inputs };
+
+    // Per-state symbolic results.
+    let mut per_state: Vec<(SymState, NodeId)> = Vec::with_capacity(n_states);
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        let mut sym = SymState {
+            vars: base_var_reads.clone(),
+            writes: vec![None; module.ports().len()],
+        };
+        for a in &st.actions {
+            synth.exec_stmt(a, &mut sym)?;
+        }
+        // Next state: priority chain, default = stay.
+        let stay = synth
+            .nl
+            .constant(encoding.encode(sid.index(), n_states), state_bits);
+        let mut next_state = stay;
+        // Transition actions modify vars/ports only on the taken branch;
+        // fold from last to first so the first transition has priority.
+        let mut trans_syms: Vec<(Option<NodeId>, SymState, usize)> = vec![];
+        for t in &st.transitions {
+            let guard = match &t.guard {
+                Some(g) => Some(synth.guard_bit(g, &sym)?),
+                None => None,
+            };
+            let mut tsym = sym.clone();
+            for a in &t.actions {
+                synth.exec_stmt(a, &mut tsym)?;
+            }
+            trans_syms.push((guard, tsym, t.target.index()));
+        }
+        let mut acc_sym = sym.clone();
+        for (guard, tsym, target) in trans_syms.into_iter().rev() {
+            let tcode = synth.nl.constant(encoding.encode(target, n_states), state_bits);
+            match guard {
+                None => {
+                    next_state = tcode;
+                    acc_sym = tsym;
+                }
+                Some(g) => {
+                    next_state = synth.nl.mux(g, tcode, next_state);
+                    // Merge var values / writes under the guard.
+                    for i in 0..acc_sym.vars.len() {
+                        if tsym.vars[i] != acc_sym.vars[i] {
+                            acc_sym.vars[i] = synth.nl.mux(g, tsym.vars[i], acc_sym.vars[i]);
+                        }
+                    }
+                    for i in 0..acc_sym.writes.len() {
+                        acc_sym.writes[i] = match (tsym.writes[i], acc_sym.writes[i]) {
+                            (None, prev) => prev,
+                            (Some((tv, twe)), None) => {
+                                let zero = synth.nl.constant(0, 1);
+                                let we = synth.nl.mux(g, twe, zero);
+                                Some((tv, we))
+                            }
+                            (Some((tv, twe)), Some((pv, pwe))) => {
+                                let v = synth.nl.mux(g, tv, pv);
+                                let we = synth.nl.mux(g, twe, pwe);
+                                Some((v, we))
+                            }
+                        };
+                    }
+                }
+            }
+        }
+        per_state.push((acc_sym, next_state));
+    }
+
+    // Global muxing by state decode.
+    let state_is: Vec<NodeId> = (0..n_states)
+        .map(|k| {
+            let code = synth.nl.constant(encoding.encode(k, n_states), state_bits);
+            synth.nl.bin(Op::Eq, state_read, code)
+        })
+        .collect();
+
+    // Next state register.
+    let mut next_state_global = state_read;
+    for (k, (_, ns)) in per_state.iter().enumerate() {
+        next_state_global = synth.nl.mux(state_is[k], *ns, next_state_global);
+    }
+    synth.nl.set_reg_next(state_reg, next_state_global);
+
+    // Variable registers.
+    for (vi, &reg) in var_regs.iter().enumerate() {
+        let mut acc = base_var_reads[vi];
+        for (k, (sym, _)) in per_state.iter().enumerate() {
+            if sym.vars[vi] != base_var_reads[vi] {
+                acc = synth.nl.mux(state_is[k], sym.vars[vi], acc);
+            }
+        }
+        synth.nl.set_reg_next(reg, acc);
+    }
+
+    // Port outputs.
+    for (pi, port) in module.ports().iter().enumerate() {
+        let written_anywhere = per_state.iter().any(|(sym, _)| sym.writes[pi].is_some());
+        if !written_anywhere {
+            continue;
+        }
+        let mut val_acc = synth.port_inputs[pi];
+        let mut we_acc = synth.nl.constant(0, 1);
+        for (k, (sym, _)) in per_state.iter().enumerate() {
+            if let Some((v, we)) = sym.writes[pi] {
+                val_acc = synth.nl.mux(state_is[k], v, val_acc);
+                we_acc = synth.nl.mux(state_is[k], we, we_acc);
+            }
+        }
+        synth.nl.mark_output(format!("{}__out", port.name()), val_acc);
+        synth.nl.mark_output(format!("{}__we", port.name()), we_acc);
+    }
+
+    let nl = synth.nl;
+    let tech = nl.tech_report();
+    let report = HwSynthReport {
+        module: module.name().to_string(),
+        states: n_states,
+        encoding,
+        state_bits,
+        tech,
+    };
+    Ok((nl, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_core::{FsmExec, MapEnv, ModuleBuilder, ModuleKind, PortDir, Type};
+
+    /// Builds a module computing a saturating up/down counter with an
+    /// enable input — exercises ifs, comparisons and port I/O.
+    fn updown() -> Module {
+        let mut b = ModuleBuilder::new("updown", ModuleKind::Hardware);
+        let en = b.port("EN", PortDir::In, Type::Bit);
+        let up = b.port("UP", PortDir::In, Type::Bit);
+        let out = b.port("COUNT_OUT", PortDir::Out, Type::INT16);
+        let count = b.var("COUNT", Type::INT16, Value::Int(0));
+        let run = b.state("RUN");
+        b.actions(
+            run,
+            vec![Stmt::if_then(
+                Expr::port(en).eq(Expr::bit(cosma_core::Bit::One)),
+                vec![Stmt::if_else(
+                    Expr::port(up).eq(Expr::bit(cosma_core::Bit::One)),
+                    vec![Stmt::assign(
+                        count,
+                        Expr::Binary(
+                            BinOp::Min,
+                            Box::new(Expr::var(count).add(Expr::int(1))),
+                            Box::new(Expr::int(100)),
+                        ),
+                    )],
+                    vec![Stmt::assign(
+                        count,
+                        Expr::Binary(
+                            BinOp::Max,
+                            Box::new(Expr::var(count).sub(Expr::int(1))),
+                            Box::new(Expr::int(-5)),
+                        ),
+                    )],
+                )],
+            ), Stmt::drive(out, Expr::var(count))],
+        );
+        b.transition(run, None, run);
+        b.initial(run);
+        b.build().unwrap()
+    }
+
+    /// Runs a module both through the interpreter and the synthesized
+    /// netlist with identical per-cycle inputs and compares all variable
+    /// values every cycle.
+    fn assert_equiv(module: &Module, encoding: Encoding, inputs: &[Vec<Value>], cycles: usize) {
+        let (nl, _) = synthesize_hw(module, encoding).unwrap();
+        let mut sim = nl.simulator();
+        let mut env = MapEnv::new();
+        for p in module.ports() {
+            env.add_port(p.ty().clone(), p.ty().default_value());
+        }
+        for v in module.vars() {
+            env.add_var(v.ty().clone(), v.init().clone());
+        }
+        let mut exec = FsmExec::new(module.fsm());
+        for cyc in 0..cycles {
+            let cycle_inputs: Vec<Value> = inputs
+                .get(cyc % inputs.len().max(1))
+                .cloned()
+                .unwrap_or_default();
+            // Feed interpreter ports.
+            for (pi, v) in cycle_inputs.iter().enumerate() {
+                env.set_port(cosma_core::ids::PortId::new(pi as u32), v.clone());
+            }
+            exec.step(module.fsm(), &mut env).unwrap();
+            // Feed netlist inputs (same order as ports).
+            let words: Vec<u64> = cycle_inputs
+                .iter()
+                .zip(module.ports())
+                .map(|(v, p)| v.to_bus_word(p.ty().bit_width()))
+                .collect();
+            sim.step(&words);
+            for (vi, var) in module.vars().iter().enumerate() {
+                let reg = nl.find_reg(var.name()).unwrap();
+                let expected = env
+                    .var(cosma_core::ids::VarId::new(vi as u32))
+                    .to_bus_word(var.ty().bit_width());
+                assert_eq!(
+                    sim.reg_value(reg),
+                    expected,
+                    "cycle {cyc}, var {} ({encoding})",
+                    var.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn updown_equivalent_across_encodings() {
+        let module = updown();
+        let one = Value::Bit(cosma_core::Bit::One);
+        let zero = Value::Bit(cosma_core::Bit::Zero);
+        let inputs: Vec<Vec<Value>> = vec![
+            vec![one.clone(), one.clone(), Value::Int(0)],
+            vec![one.clone(), zero.clone(), Value::Int(0)],
+            vec![zero.clone(), one.clone(), Value::Int(0)],
+            vec![one.clone(), one.clone(), Value::Int(0)],
+        ];
+        for enc in Encoding::ALL {
+            assert_equiv(&module, enc, &inputs, 40);
+        }
+    }
+
+    /// Multi-state FSM with guarded transitions: a tiny traffic light.
+    fn traffic() -> Module {
+        let mut b = ModuleBuilder::new("traffic", ModuleKind::Hardware);
+        let req = b.port("REQ", PortDir::In, Type::Bit);
+        let t = b.var("T", Type::INT16, Value::Int(0));
+        let green = b.state("GREEN");
+        let yellow = b.state("YELLOW");
+        let red = b.state("RED");
+        b.actions(green, vec![Stmt::assign(t, Expr::var(t).add(Expr::int(1)))]);
+        b.transition(
+            green,
+            Some(Expr::port(req).eq(Expr::bit(cosma_core::Bit::One)).and(Expr::var(t).ge(Expr::int(3)))),
+            yellow,
+        );
+        b.actions(yellow, vec![Stmt::assign(t, Expr::int(0))]);
+        b.transition(yellow, None, red);
+        b.actions(red, vec![Stmt::assign(t, Expr::var(t).add(Expr::int(1)))]);
+        b.transition(red, Some(Expr::var(t).ge(Expr::int(2))), green);
+        b.initial(green);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn traffic_state_sequence_matches() {
+        let module = traffic();
+        for enc in Encoding::ALL {
+            let (nl, report) = synthesize_hw(&module, enc).unwrap();
+            assert_eq!(report.states, 3);
+            let mut sim = nl.simulator();
+            let mut env = MapEnv::new();
+            let req_port = cosma_core::ids::PortId::new(0);
+            env.add_port(Type::Bit, Value::Bit(cosma_core::Bit::One));
+            env.add_var(Type::INT16, Value::Int(0));
+            let mut exec = FsmExec::new(module.fsm());
+            env.set_port(req_port, Value::Bit(cosma_core::Bit::One));
+            let state_reg = nl.find_reg("STATE").unwrap();
+            for cyc in 0..30 {
+                exec.step(module.fsm(), &mut env).unwrap();
+                sim.step(&[1]);
+                let expect_code = enc.encode(exec.current().index(), 3);
+                assert_eq!(
+                    sim.reg_value(state_reg),
+                    expect_code,
+                    "cycle {cyc} encoding {enc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn port_outputs_carry_write_enables() {
+        let module = updown();
+        let (nl, _) = synthesize_hw(&module, Encoding::Binary).unwrap();
+        assert!(nl.output("COUNT_OUT__out").is_some());
+        assert!(nl.output("COUNT_OUT__we").is_some());
+        assert!(nl.output("EN__out").is_none(), "unwritten ports have no outputs");
+        let mut sim = nl.simulator();
+        sim.step(&[1, 1, 0]);
+        assert_eq!(sim.output_value("COUNT_OUT__we"), Some(1));
+    }
+
+    #[test]
+    fn encoding_ablation_changes_area() {
+        let module = traffic();
+        let (_, bin) = synthesize_hw(&module, Encoding::Binary).unwrap();
+        let (_, onehot) = synthesize_hw(&module, Encoding::OneHot).unwrap();
+        assert_eq!(bin.state_bits, 2);
+        assert_eq!(onehot.state_bits, 3);
+        assert!(onehot.tech.ffs > bin.tech.ffs);
+    }
+
+    #[test]
+    fn unflattened_module_rejected() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Hardware);
+        let bid = b.binding("iface", "hs");
+        let s = b.state("S");
+        b.actions(
+            s,
+            vec![Stmt::Call(cosma_core::ServiceCall {
+                binding: bid,
+                service: "put".into(),
+                args: vec![],
+                done: None,
+                result: None,
+            })],
+        );
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let err = synthesize_hw(&m, Encoding::Binary).unwrap_err();
+        assert!(matches!(err, SynthError::Unsupported { .. }));
+        assert!(err.to_string().contains("flattening"));
+    }
+
+    #[test]
+    fn report_displays() {
+        let (_, report) = synthesize_hw(&traffic(), Encoding::Gray).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("traffic"));
+        assert!(text.contains("gray"));
+        assert!(text.contains("LUTs"));
+    }
+}

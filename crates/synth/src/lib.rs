@@ -1,0 +1,41 @@
+//! # cosma-synth — co-synthesis
+//!
+//! Maps the unified model onto a target architecture, reproducing the
+//! paper's co-synthesis flow:
+//!
+//! 1. **Interface synthesis** ([`flatten_module`]) — each communication
+//!    procedure call is replaced by the *view* matching the target: the
+//!    protocol FSM is inlined and the unit's wires surface as module
+//!    ports. [`controller_module`] does the same for unit controllers.
+//! 2. **Hardware synthesis** ([`synthesize_hw`]) — flattened hardware
+//!    modules become executable RTL netlists ([`Netlist`]) with state
+//!    [`Encoding`] options and an XC4000-style 4-LUT area/timing estimate
+//!    ([`TechReport`]).
+//! 3. **Software synthesis** ([`compile_sw`]) — flattened software modules
+//!    compile to MC16 programs whose port reads/writes are `IN`/`OUT` bus
+//!    transactions at [`IoMap`] addresses (the paper's `inport`/`outport`
+//!    at 0x300).
+//!
+//! Because both outputs execute (netlist simulation, MC16 ISS), the
+//! co-synthesis results can be compared event-for-event with
+//! co-simulation — the paper's *coherence* property as a measurement.
+
+#![warn(missing_docs)]
+
+mod emit;
+mod encoding;
+mod flatten;
+mod hwsynth;
+mod netlist;
+mod swsynth;
+mod system;
+
+pub use emit::netlist_to_vhdl;
+pub use encoding::Encoding;
+pub use flatten::{
+    controller_module, flatten_module, flatten_module_bound, FlattenBinding, SynthError,
+};
+pub use hwsynth::{synthesize_hw, HwSynthReport};
+pub use netlist::{InputId, Netlist, NetlistSim, Node, NodeId, Op, RegId, TechReport};
+pub use swsynth::{compile_sw, IoMap, SwProgram, TRACE_PORT_BASE, TRACE_SLOTS, VAR_BASE};
+pub use system::{synthesize_system, SystemSynthesis};

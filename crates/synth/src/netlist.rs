@@ -1,0 +1,729 @@
+//! Executable word-level RTL netlists.
+//!
+//! Hardware synthesis lowers an FSMD module to a [`Netlist`]: a DAG of
+//! word-level combinational nodes feeding clocked registers. The netlist
+//! is *executable* (cycle-accurate evaluation) so the co-synthesized
+//! hardware can run on the board model and be checked against the
+//! interpreted FSM — coherence as a measurement, not an assumption.
+//!
+//! A technology model ([`TechReport`]) estimates 4-LUT count, flip-flops,
+//! logic depth and fmax in the spirit of the paper's Xilinx XC4000 target.
+
+use std::fmt;
+
+/// Identifies a combinational node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegId(u32);
+
+impl RegId {
+    /// Raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a primary input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputId(u32);
+
+impl InputId {
+    /// Raw index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Word-level combinational operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Addition (wrapping at width).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (low bits).
+    Mul,
+    /// Signed division; division by zero yields 0 (documented hardware
+    /// convention).
+    Div,
+    /// Signed remainder; by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift by a constant amount (free wiring).
+    Shl,
+    /// Arithmetic right shift by a constant amount.
+    Shr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Signed less-than (1-bit result).
+    Lt,
+    /// Signed less-or-equal (1-bit result).
+    Le,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+/// A combinational node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Constant word.
+    Const(u64),
+    /// Primary input.
+    Input(InputId),
+    /// Current value of a register.
+    ReadReg(RegId),
+    /// Bitwise complement (width-masked). For 1-bit nodes this is logical
+    /// not.
+    Not(NodeId),
+    /// Arithmetic negation.
+    Neg(NodeId),
+    /// Binary operation.
+    Bin(Op, NodeId, NodeId),
+    /// 2:1 multiplexer: `sel ? t : f` (sel must be 1-bit).
+    Mux(NodeId, NodeId, NodeId),
+    /// Width adaptation (zero-extend or truncate to the node's width);
+    /// free wiring in the fabric.
+    Resize(NodeId),
+}
+
+#[derive(Debug, Clone)]
+struct NodeDef {
+    node: Node,
+    width: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RegDef {
+    name: String,
+    width: u32,
+    init: u64,
+    next: Option<NodeId>,
+}
+
+/// An executable RTL netlist.
+///
+/// # Examples
+///
+/// A 4-bit counter:
+///
+/// ```
+/// use cosma_synth::{Netlist, Op};
+///
+/// let mut n = Netlist::new("counter");
+/// let r = n.reg("COUNT", 4, 0);
+/// let cur = n.read_reg(r);
+/// let one = n.constant(1, 4);
+/// let next = n.bin(Op::Add, cur, one);
+/// n.set_reg_next(r, next);
+/// n.mark_output("COUNT", cur);
+///
+/// let mut sim = n.simulator();
+/// for _ in 0..5 { sim.step(&[]); }
+/// assert_eq!(sim.reg_value(r), 5);
+/// for _ in 0..11 { sim.step(&[]); }
+/// assert_eq!(sim.reg_value(r), 0, "wraps at width");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<NodeDef>,
+    regs: Vec<RegDef>,
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), nodes: vec![], regs: vec![], inputs: vec![], outputs: vec![] }
+    }
+
+    /// Netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn push(&mut self, node: Node, width: u32) -> NodeId {
+        assert!((1..=64).contains(&width), "node width must be 1..=64");
+        self.nodes.push(NodeDef { node, width });
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: u64, width: u32) -> NodeId {
+        self.push(Node::Const(value & mask(width)), width)
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> (InputId, NodeId) {
+        let id = InputId(self.inputs.len() as u32);
+        self.inputs.push((name.into(), width));
+        let node = self.push(Node::Input(id), width);
+        (id, node)
+    }
+
+    /// Declares a register.
+    pub fn reg(&mut self, name: impl Into<String>, width: u32, init: u64) -> RegId {
+        let id = RegId(self.regs.len() as u32);
+        self.regs.push(RegDef { name: name.into(), width, init: init & mask(width), next: None });
+        id
+    }
+
+    /// Node reading a register's current value.
+    pub fn read_reg(&mut self, r: RegId) -> NodeId {
+        let width = self.regs[r.index()].width;
+        self.push(Node::ReadReg(r), width)
+    }
+
+    /// Sets a register's next-value node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths mismatch.
+    pub fn set_reg_next(&mut self, r: RegId, next: NodeId) {
+        assert_eq!(
+            self.regs[r.index()].width,
+            self.nodes[next.index()].width,
+            "register {} next-value width mismatch",
+            self.regs[r.index()].name
+        );
+        self.regs[r.index()].next = Some(next);
+    }
+
+    /// Bitwise not.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let w = self.nodes[a.index()].width;
+        self.push(Node::Not(a), w)
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let w = self.nodes[a.index()].width;
+        self.push(Node::Neg(a), w)
+    }
+
+    /// Binary operation; result width is the max operand width, or 1 for
+    /// comparisons.
+    pub fn bin(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        let wa = self.nodes[a.index()].width;
+        let wb = self.nodes[b.index()].width;
+        let w = match op {
+            Op::Eq | Op::Lt | Op::Le => 1,
+            _ => wa.max(wb),
+        };
+        self.push(Node::Bin(op, a, b), w)
+    }
+
+    /// 2:1 mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is not 1-bit wide.
+    pub fn mux(&mut self, sel: NodeId, t: NodeId, f: NodeId) -> NodeId {
+        assert_eq!(self.nodes[sel.index()].width, 1, "mux select must be 1-bit");
+        let w = self.nodes[t.index()].width.max(self.nodes[f.index()].width);
+        self.push(Node::Mux(sel, t, f), w)
+    }
+
+    /// Width adaptation: returns a node carrying `a` zero-extended or
+    /// truncated to `width` (identity if already that width).
+    pub fn resize(&mut self, a: NodeId, width: u32) -> NodeId {
+        if self.nodes[a.index()].width == width {
+            a
+        } else {
+            self.push(Node::Resize(a), width)
+        }
+    }
+
+    /// Marks a node as a named output.
+    pub fn mark_output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Width of a node in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    #[must_use]
+    pub fn width(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].width
+    }
+
+    /// Number of combinational nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Declared inputs `(name, width)`.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, u32)] {
+        &self.inputs
+    }
+
+    /// Declared outputs `(name, node)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Finds an output node by name.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+    }
+
+    /// Finds a register by name.
+    #[must_use]
+    pub fn find_reg(&self, name: &str) -> Option<RegId> {
+        self.regs.iter().position(|r| r.name == name).map(|i| RegId(i as u32))
+    }
+
+    /// Finds an input index by name.
+    #[must_use]
+    pub fn find_input(&self, name: &str) -> Option<InputId> {
+        self.inputs.iter().position(|(n, _)| n == name).map(|i| InputId(i as u32))
+    }
+
+    /// All nodes with their widths, in id (topological) order — for
+    /// text emitters.
+    #[must_use]
+    pub fn dump_nodes(&self) -> Vec<(Node, u32)> {
+        self.nodes.iter().map(|d| (d.node.clone(), d.width)).collect()
+    }
+
+    /// All registers as `(name, width, init)` — for text emitters.
+    #[must_use]
+    pub fn dump_regs(&self) -> Vec<(String, u32, u64)> {
+        self.regs.iter().map(|r| (r.name.clone(), r.width, r.init)).collect()
+    }
+
+    /// Next-value node of a register, by name.
+    #[must_use]
+    pub fn reg_next_of(&self, name: &str) -> Option<NodeId> {
+        self.regs.iter().find(|r| r.name == name).and_then(|r| r.next)
+    }
+
+    /// Creates a cycle-accurate simulator for this netlist (the netlist
+    /// is cloned so the simulator is self-contained and storable).
+    #[must_use]
+    pub fn simulator(&self) -> NetlistSim {
+        NetlistSim {
+            reg_values: self.regs.iter().map(|r| r.init).collect(),
+            node_values: vec![0; self.nodes.len()],
+            cycles: 0,
+            netlist: self.clone(),
+        }
+    }
+
+    /// Technology-maps the netlist onto 4-LUT logic and reports
+    /// area/depth/fmax estimates (XC4000-style model; see [`TechReport`]).
+    #[must_use]
+    pub fn tech_report(&self) -> TechReport {
+        let mut luts = 0u64;
+        let mut depth = vec![0u32; self.nodes.len()];
+        let mut max_depth = 0u32;
+        for (i, def) in self.nodes.iter().enumerate() {
+            let w = def.width as u64;
+            let (cost, levels, deps): (u64, u32, Vec<NodeId>) = match &def.node {
+                Node::Const(_) | Node::Input(_) | Node::ReadReg(_) => (0, 0, vec![]),
+                Node::Resize(a) => (0, 0, vec![*a]),
+                Node::Not(a) => (w, 1, vec![*a]),
+                Node::Neg(a) => (w, 1 + def.width.div_ceil(8), vec![*a]),
+                Node::Mux(s, t, f) => (w, 1, vec![*s, *t, *f]),
+                Node::Bin(op, a, b) => {
+                    let (c, l) = match op {
+                        Op::And | Op::Or | Op::Xor => (w, 1),
+                        Op::Add | Op::Sub => (w, 1 + def.width.div_ceil(8)),
+                        Op::Min | Op::Max => (2 * w, 2 + def.width.div_ceil(8)),
+                        Op::Mul => (w * w / 2, 2 * log2_ceil(def.width.max(2))),
+                        Op::Div | Op::Rem => (w * w, 3 * log2_ceil(def.width.max(2))),
+                        Op::Eq => (w / 3 + 1, log2_ceil(def.width.max(2))),
+                        Op::Lt | Op::Le => {
+                            let wa = self.nodes[a.index()].width as u64;
+                            (wa, 1 + self.nodes[a.index()].width.div_ceil(8))
+                        }
+                        Op::Shl | Op::Shr => (0, 0),
+                    };
+                    (c, l, vec![*a, *b])
+                }
+            };
+            luts += cost;
+            let in_depth = deps.iter().map(|d| depth[d.index()]).max().unwrap_or(0);
+            depth[i] = in_depth + levels;
+            max_depth = max_depth.max(depth[i]);
+        }
+        let ffs: u64 = self.regs.iter().map(|r| u64::from(r.width)).sum();
+        // XC4000 CLB: two 4-LUTs + two FFs per CLB.
+        let clbs = (luts / 2).max(ffs / 2).max(1);
+        // Delay model: 1.5 ns per LUT level + 2 ns clock-to-out/setup.
+        let crit_ns = 2.0 + 1.5 * f64::from(max_depth);
+        let fmax_mhz = 1000.0 / crit_ns;
+        TechReport { luts, ffs, clbs, depth: max_depth, crit_ns, fmax_mhz }
+    }
+}
+
+/// Technology-mapping estimate (4-LUT fabric, XC4000-style CLBs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechReport {
+    /// Estimated 4-input LUTs.
+    pub luts: u64,
+    /// Flip-flops (total register bits).
+    pub ffs: u64,
+    /// Estimated CLBs (2 LUTs + 2 FFs each).
+    pub clbs: u64,
+    /// Combinational depth in LUT levels.
+    pub depth: u32,
+    /// Critical path estimate in nanoseconds.
+    pub crit_ns: f64,
+    /// Maximum clock frequency estimate in MHz.
+    pub fmax_mhz: f64,
+}
+
+impl fmt::Display for TechReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} CLBs, depth {}, {:.1} ns ({:.1} MHz)",
+            self.luts, self.ffs, self.clbs, self.depth, self.crit_ns, self.fmax_mhz
+        )
+    }
+}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn sign_extend(v: u64, width: u32) -> i64 {
+    if width >= 64 {
+        return v as i64;
+    }
+    let sign = 1u64 << (width - 1);
+    if v & sign != 0 {
+        (v | !mask(width)) as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Cycle-accurate evaluation state for a [`Netlist`], owning its netlist.
+#[derive(Debug, Clone)]
+pub struct NetlistSim {
+    netlist: Netlist,
+    reg_values: Vec<u64>,
+    node_values: Vec<u64>,
+    cycles: u64,
+}
+
+impl NetlistSim {
+    /// The simulated netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Evaluates one clock cycle with the given input values (by input
+    /// declaration order; missing inputs read 0).
+    pub fn step(&mut self, inputs: &[u64]) {
+        let nl = &self.netlist;
+        for (i, def) in nl.nodes.iter().enumerate() {
+            let w = def.width;
+            let v = match &def.node {
+                Node::Const(c) => *c,
+                Node::Input(id) => {
+                    inputs.get(id.index()).copied().unwrap_or(0) & mask(nl.inputs[id.index()].1)
+                }
+                Node::ReadReg(r) => self.reg_values[r.index()],
+                Node::Resize(a) => self.node_values[a.index()],
+                Node::Not(a) => !self.node_values[a.index()],
+                Node::Neg(a) => (self.node_values[a.index()] as i64).wrapping_neg() as u64,
+                Node::Mux(s, t, f) => {
+                    if self.node_values[s.index()] & 1 == 1 {
+                        self.node_values[t.index()]
+                    } else {
+                        self.node_values[f.index()]
+                    }
+                }
+                Node::Bin(op, a, b) => {
+                    let wa = nl.nodes[a.index()].width;
+                    let wb = nl.nodes[b.index()].width;
+                    let ua = self.node_values[a.index()];
+                    let ub = self.node_values[b.index()];
+                    let sa = sign_extend(ua, wa);
+                    let sb = sign_extend(ub, wb);
+                    match op {
+                        Op::Add => (sa.wrapping_add(sb)) as u64,
+                        Op::Sub => (sa.wrapping_sub(sb)) as u64,
+                        Op::Mul => (sa.wrapping_mul(sb)) as u64,
+                        Op::Div => {
+                            if sb == 0 {
+                                0
+                            } else {
+                                sa.wrapping_div(sb) as u64
+                            }
+                        }
+                        Op::Rem => {
+                            if sb == 0 {
+                                0
+                            } else {
+                                sa.wrapping_rem(sb) as u64
+                            }
+                        }
+                        Op::And => ua & ub,
+                        Op::Or => ua | ub,
+                        Op::Xor => ua ^ ub,
+                        Op::Shl => ua.wrapping_shl(ub as u32 & 63),
+                        Op::Shr => (sa >> (ub as u32 & 63)) as u64,
+                        Op::Eq => u64::from(ua == ub),
+                        Op::Lt => u64::from(sa < sb),
+                        Op::Le => u64::from(sa <= sb),
+                        Op::Min => sa.min(sb) as u64,
+                        Op::Max => sa.max(sb) as u64,
+                    }
+                }
+            };
+            self.node_values[i] = v & mask(w);
+        }
+        // Clock edge: registers load next values simultaneously.
+        for (i, reg) in nl.regs.iter().enumerate() {
+            if let Some(next) = reg.next {
+                self.reg_values[i] = self.node_values[next.index()] & mask(reg.width);
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Current register value.
+    #[must_use]
+    pub fn reg_value(&self, r: RegId) -> u64 {
+        self.reg_values[r.index()]
+    }
+
+    /// Value a node computed during the last [`step`](NetlistSim::step).
+    #[must_use]
+    pub fn node_value(&self, n: NodeId) -> u64 {
+        self.node_values[n.index()]
+    }
+
+    /// Value of a named output after the last step.
+    #[must_use]
+    pub fn output_value(&self, name: &str) -> Option<u64> {
+        self.netlist.output(name).map(|n| self.node_value(n))
+    }
+
+    /// Forces a register value (reset/test).
+    pub fn set_reg(&mut self, r: RegId, v: u64) {
+        let w = self.netlist.regs[r.index()].width;
+        self.reg_values[r.index()] = v & mask(w);
+    }
+
+    /// Cycles executed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+fn log2_ceil(x: u32) -> u32 {
+    32 - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_wraps() {
+        let mut n = Netlist::new("ctr");
+        let r = n.reg("C", 3, 0);
+        let cur = n.read_reg(r);
+        let one = n.constant(1, 3);
+        let next = n.bin(Op::Add, cur, one);
+        n.set_reg_next(r, next);
+        let mut sim = n.simulator();
+        for _ in 0..10 {
+            sim.step(&[]);
+        }
+        assert_eq!(sim.reg_value(r), 2); // 10 mod 8
+        assert_eq!(sim.cycles(), 10);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new("mux");
+        let (_, sel) = n.input("SEL", 1);
+        let a = n.constant(5, 8);
+        let b = n.constant(9, 8);
+        let m = n.mux(sel, a, b);
+        n.mark_output("Y", m);
+        let mut sim = n.simulator();
+        sim.step(&[0]);
+        assert_eq!(sim.output_value("Y"), Some(9));
+        sim.step(&[1]);
+        assert_eq!(sim.output_value("Y"), Some(5));
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let mut n = Netlist::new("cmp");
+        let (_, x) = n.input("X", 16);
+        let zero = n.constant(0, 16);
+        let lt = n.bin(Op::Lt, x, zero);
+        n.mark_output("NEG", lt);
+        let mut sim = n.simulator();
+        sim.step(&[0xFFFF]); // -1
+        assert_eq!(sim.output_value("NEG"), Some(1));
+        sim.step(&[5]);
+        assert_eq!(sim.output_value("NEG"), Some(0));
+    }
+
+    #[test]
+    fn signed_arithmetic_wraps_at_width() {
+        let mut n = Netlist::new("arith");
+        let (_, x) = n.input("X", 16);
+        let (_, y) = n.input("Y", 16);
+        let s = n.bin(Op::Sub, x, y);
+        let d = n.bin(Op::Div, x, y);
+        n.mark_output("S", s);
+        n.mark_output("D", d);
+        let mut sim = n.simulator();
+        sim.step(&[3, 5]);
+        assert_eq!(sim.output_value("S"), Some(0xFFFE)); // -2 in 16 bits
+        assert_eq!(sim.output_value("D"), Some(0));
+        sim.step(&[0xFFF6, 3]); // -10 / 3 = -3
+        assert_eq!(sim.output_value("D"), Some(0xFFFD));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut n = Netlist::new("div0");
+        let (_, x) = n.input("X", 16);
+        let zero = n.constant(0, 16);
+        let d = n.bin(Op::Div, x, zero);
+        let r = n.bin(Op::Rem, x, zero);
+        n.mark_output("D", d);
+        n.mark_output("R", r);
+        let mut sim = n.simulator();
+        sim.step(&[7]);
+        assert_eq!(sim.output_value("D"), Some(0));
+        assert_eq!(sim.output_value("R"), Some(0));
+    }
+
+    #[test]
+    fn registers_update_simultaneously() {
+        // Swap: a <= b, b <= a each cycle.
+        let mut n = Netlist::new("swap");
+        let ra = n.reg("A", 8, 1);
+        let rb = n.reg("B", 8, 2);
+        let va = n.read_reg(ra);
+        let vb = n.read_reg(rb);
+        n.set_reg_next(ra, vb);
+        n.set_reg_next(rb, va);
+        let mut sim = n.simulator();
+        sim.step(&[]);
+        assert_eq!((sim.reg_value(ra), sim.reg_value(rb)), (2, 1));
+        sim.step(&[]);
+        assert_eq!((sim.reg_value(ra), sim.reg_value(rb)), (1, 2));
+    }
+
+    #[test]
+    fn tech_report_scales_with_logic() {
+        let mut small = Netlist::new("small");
+        let (_, a) = small.input("A", 8);
+        let (_, b) = small.input("B", 8);
+        let x = small.bin(Op::And, a, b);
+        small.mark_output("X", x);
+
+        let mut big = Netlist::new("big");
+        let (_, a) = big.input("A", 16);
+        let (_, b) = big.input("B", 16);
+        let m = big.bin(Op::Mul, a, b);
+        let s = big.bin(Op::Add, m, a);
+        let r = big.reg("ACC", 16, 0);
+        big.set_reg_next(r, s);
+
+        let rs = small.tech_report();
+        let rb = big.tech_report();
+        assert!(rb.luts > rs.luts);
+        assert!(rb.depth > rs.depth);
+        assert!(rb.fmax_mhz < rs.fmax_mhz);
+        assert_eq!(rb.ffs, 16);
+        assert!(rb.to_string().contains("LUTs"));
+    }
+
+    #[test]
+    fn shifts_are_free_wiring() {
+        let mut n = Netlist::new("shift");
+        let (_, a) = n.input("A", 16);
+        let k = n.constant(2, 16);
+        let s = n.bin(Op::Shl, a, k);
+        n.mark_output("S", s);
+        let report = n.tech_report();
+        assert_eq!(report.luts, 0);
+        let mut sim = n.simulator();
+        sim.step(&[3]);
+        assert_eq!(sim.output_value("S"), Some(12));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut n = Netlist::new("names");
+        let r = n.reg("STATE", 4, 2);
+        let (i, _) = n.input("GO", 1);
+        assert_eq!(n.find_reg("STATE"), Some(r));
+        assert_eq!(n.find_input("GO"), Some(i));
+        assert_eq!(n.find_reg("NOPE"), None);
+        let sim = n.simulator();
+        assert_eq!(sim.reg_value(r), 2, "init value");
+    }
+
+    #[test]
+    #[should_panic(expected = "mux select")]
+    fn wide_mux_select_panics() {
+        let mut n = Netlist::new("bad");
+        let a = n.constant(1, 8);
+        let _ = n.mux(a, a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn reg_width_mismatch_panics() {
+        let mut n = Netlist::new("bad");
+        let r = n.reg("R", 8, 0);
+        let c = n.constant(1, 4);
+        n.set_reg_next(r, c);
+    }
+}

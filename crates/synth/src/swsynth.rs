@@ -1,0 +1,726 @@
+//! Software synthesis: flattened module → MC16 program.
+//!
+//! This is the paper's SW synthesis view made executable: every port
+//! access of the flattened module becomes an `IN`/`OUT` bus transaction at
+//! a physical address from the memory map (the prototype used address
+//! 0x300 on the PC-AT extension bus). `Stmt::Trace` compiles to writes
+//! into a dedicated trace-port window so board runs produce the same
+//! event log as co-simulation — the coherence measurement hook.
+
+use crate::flatten::SynthError;
+use cosma_core::{BinOp, Expr, Module, Stmt, UnOp, Value};
+use cosma_isa::{assemble, Image};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// First address of the trace-port window.
+pub const TRACE_PORT_BASE: u16 = 0xFE00;
+/// Maximum values per trace event (slots per label).
+pub const TRACE_SLOTS: u16 = 8;
+/// Base address of the variable segment in CPU memory.
+pub const VAR_BASE: u16 = 0x4000;
+
+/// I/O address map: module port name → bus address.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_synth::IoMap;
+///
+/// let mut map = IoMap::new(0x300);
+/// let a = map.add("iface_DATA");
+/// let b = map.add("iface_B_FULL");
+/// assert_eq!((a, b), (0x300, 0x301));
+/// assert_eq!(map.addr("iface_DATA"), Some(0x300));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoMap {
+    base: u16,
+    entries: Vec<(String, u16)>,
+}
+
+impl IoMap {
+    /// Creates a map allocating from `base` upward.
+    #[must_use]
+    pub fn new(base: u16) -> Self {
+        IoMap { base, entries: vec![] }
+    }
+
+    /// Allocates the next address for `name` (or returns the existing
+    /// one).
+    pub fn add(&mut self, name: &str) -> u16 {
+        if let Some(a) = self.addr(name) {
+            return a;
+        }
+        let addr = self.base + self.entries.len() as u16;
+        self.entries.push((name.to_string(), addr));
+        addr
+    }
+
+    /// Allocates addresses for every port of a module, in port order.
+    #[must_use]
+    pub fn for_module(base: u16, module: &Module) -> Self {
+        let mut map = IoMap::new(base);
+        for p in module.ports() {
+            map.add(p.name());
+        }
+        map
+    }
+
+    /// Address of a name.
+    #[must_use]
+    pub fn addr(&self, name: &str) -> Option<u16> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
+    }
+
+    /// Name mapped at an address.
+    #[must_use]
+    pub fn name_at(&self, addr: u16) -> Option<&str> {
+        self.entries.iter().find(|(_, a)| *a == addr).map(|(n, _)| n.as_str())
+    }
+
+    /// All `(name, address)` entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, u16)] {
+        &self.entries
+    }
+
+    /// Base address.
+    #[must_use]
+    pub fn base(&self) -> u16 {
+        self.base
+    }
+}
+
+/// A compiled software module.
+#[derive(Debug, Clone)]
+pub struct SwProgram {
+    /// Generated assembly listing.
+    pub asm: String,
+    /// Assembled memory image.
+    pub image: Image,
+    /// Variable name → memory address.
+    pub var_addrs: HashMap<String, u16>,
+    /// Address of the FSM state word.
+    pub state_addr: u16,
+    /// The I/O map used for port accesses.
+    pub io: IoMap,
+    /// Trace labels in port-window order, with their arities.
+    pub trace_labels: Vec<(String, usize)>,
+    /// Port names and bit widths, in module port order.
+    pub port_widths: Vec<(String, u32)>,
+}
+
+impl fmt::Display for SwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SwProgram ({} words, {} vars)", self.image.len_words(), self.var_addrs.len())
+    }
+}
+
+struct CodeGen<'a> {
+    module: &'a Module,
+    io: &'a IoMap,
+    out: String,
+    label_counter: u32,
+    trace_labels: Vec<(String, usize)>,
+}
+
+impl CodeGen<'_> {
+    fn fresh(&mut self, stem: &str) -> String {
+        self.label_counter += 1;
+        format!("L{}_{}", self.label_counter, stem)
+    }
+
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "        {text}");
+    }
+
+    fn label(&mut self, l: &str) {
+        let _ = writeln!(self.out, "{l}:");
+    }
+
+    fn var_addr(&self, v: cosma_core::ids::VarId) -> u16 {
+        VAR_BASE + v.raw() as u16
+    }
+
+    fn port_addr(&self, p: cosma_core::ids::PortId) -> Result<u16, SynthError> {
+        let name = self.module.ports()[p.index()].name();
+        self.io.addr(name).ok_or_else(|| SynthError::Unsupported {
+            detail: format!("port {name} missing from the I/O map"),
+        })
+    }
+
+    fn const_word(v: &Value) -> Result<u16, SynthError> {
+        match v {
+            Value::Int(i) => Ok(*i as u16),
+            Value::Bool(b) => Ok(u16::from(*b)),
+            Value::Bit(b) => match b.to_bool() {
+                Some(x) => Ok(u16::from(x)),
+                None => Err(SynthError::Unsupported {
+                    detail: "X/Z literal in software code".to_string(),
+                }),
+            },
+            Value::Enum(e) => Ok(e.index() as u16),
+        }
+    }
+
+    /// Whether an expression is boolean-valued (so `Not` means logical
+    /// negation rather than bitwise complement, matching the
+    /// interpreter's typed semantics).
+    fn is_boolish(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Const(Value::Bool(_)) | Expr::Const(Value::Bit(_)) => true,
+            Expr::Const(_) => false,
+            Expr::Var(v) => matches!(
+                self.module.vars()[v.index()].ty(),
+                cosma_core::Type::Bool | cosma_core::Type::Bit
+            ),
+            Expr::Port(p) => matches!(
+                self.module.ports()[p.index()].ty(),
+                cosma_core::Type::Bool | cosma_core::Type::Bit
+            ),
+            Expr::Arg(_) => false,
+            Expr::Unary(UnOp::Not, a) => self.is_boolish(a),
+            Expr::Unary(_, _) => false,
+            Expr::Binary(op, a, b) => {
+                op.is_comparison()
+                    || (matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+                        && self.is_boolish(a)
+                        && self.is_boolish(b))
+            }
+        }
+    }
+
+    /// Emits code leaving the expression value in r0 (clobbers r1, r2 and
+    /// the stack).
+    fn expr(&mut self, e: &Expr) -> Result<(), SynthError> {
+        match e {
+            Expr::Const(v) => {
+                let w = Self::const_word(v)?;
+                self.line(&format!("LDI r0, {w}"));
+            }
+            Expr::Var(v) => {
+                let a = self.var_addr(*v);
+                self.line(&format!("LD r0, [{a:#06x}]"));
+            }
+            Expr::Port(p) => {
+                let a = self.port_addr(*p)?;
+                self.line(&format!("IN r0, {a:#06x}"));
+            }
+            Expr::Arg(i) => {
+                return Err(SynthError::Unsupported {
+                    detail: format!("Expr::Arg({i}) in software code after flattening"),
+                })
+            }
+            Expr::Unary(UnOp::Neg, a) => {
+                self.expr(a)?;
+                self.line("NEG r0");
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                self.expr(a)?;
+                if self.is_boolish(a) {
+                    // Logical not over truthiness (guard semantics).
+                    let lt = self.fresh("true");
+                    let le = self.fresh("end");
+                    self.line("CMPI r0, 0");
+                    self.line(&format!("JZ {lt}"));
+                    self.line("LDI r0, 0");
+                    self.line(&format!("JMP {le}"));
+                    self.label(&lt);
+                    self.line("LDI r0, 1");
+                    self.label(&le);
+                } else {
+                    // Bitwise complement (the interpreter's behaviour on
+                    // integers).
+                    self.line("NOT r0");
+                }
+            }
+            Expr::Binary(BinOp::Shl | BinOp::Shr, a, b) => {
+                let Expr::Const(Value::Int(k)) = &**b else {
+                    return Err(SynthError::Unsupported {
+                        detail: "non-constant shift amount".to_string(),
+                    });
+                };
+                self.expr(a)?;
+                let op = if matches!(e, Expr::Binary(BinOp::Shl, _, _)) { "SHL" } else { "SAR" };
+                for _ in 0..(*k).clamp(0, 16) {
+                    self.line(&format!("{op} r0"));
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(a)?;
+                self.line("PUSH r0");
+                self.expr(b)?;
+                self.line("MOV r1, r0");
+                self.line("POP r0");
+                self.binop(*op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// r0 := r0 <op> r1.
+    fn binop(&mut self, op: BinOp) -> Result<(), SynthError> {
+        match op {
+            BinOp::Add => self.line("ADD r0, r1"),
+            BinOp::Sub => self.line("SUB r0, r1"),
+            BinOp::Mul => self.line("MUL r0, r1"),
+            BinOp::Div => self.line("DIV r0, r1"),
+            BinOp::Rem => self.line("REM r0, r1"),
+            BinOp::And => self.line("AND r0, r1"),
+            BinOp::Or => self.line("OR r0, r1"),
+            BinOp::Xor => self.line("XOR r0, r1"),
+            BinOp::Eq | BinOp::Ne => {
+                let lt = self.fresh("true");
+                let le = self.fresh("end");
+                self.line("CMP r0, r1");
+                self.line(&format!("{} {lt}", if op == BinOp::Eq { "JZ" } else { "JNZ" }));
+                self.line("LDI r0, 0");
+                self.line(&format!("JMP {le}"));
+                self.label(&lt);
+                self.line("LDI r0, 1");
+                self.label(&le);
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                // Signed comparison via the bias trick: flip the sign bit
+                // of both operands, then unsigned compare (carry = below).
+                let lt = self.fresh("true");
+                let le = self.fresh("end");
+                self.line("LDI r2, 0x8000");
+                self.line("XOR r0, r2");
+                self.line("XOR r1, r2");
+                match op {
+                    BinOp::Lt => {
+                        self.line("CMP r0, r1");
+                        self.line(&format!("JC {lt}"));
+                    }
+                    BinOp::Gt => {
+                        self.line("CMP r1, r0");
+                        self.line(&format!("JC {lt}"));
+                    }
+                    BinOp::Le => {
+                        self.line("CMP r0, r1");
+                        self.line(&format!("JC {lt}"));
+                        self.line(&format!("JZ {lt}"));
+                    }
+                    BinOp::Ge => {
+                        self.line("CMP r1, r0");
+                        self.line(&format!("JC {lt}"));
+                        self.line(&format!("JZ {lt}"));
+                    }
+                    _ => unreachable!(),
+                }
+                self.line("LDI r0, 0");
+                self.line(&format!("JMP {le}"));
+                self.label(&lt);
+                self.line("LDI r0, 1");
+                self.label(&le);
+            }
+            BinOp::Min | BinOp::Max => {
+                let keep = self.fresh("keep");
+                self.line("PUSH r0");
+                self.line("PUSH r1");
+                self.line("LDI r2, 0x8000");
+                self.line("XOR r0, r2");
+                self.line("XOR r1, r2");
+                self.line("CMP r0, r1");
+                self.line("POP r1");
+                self.line("POP r0");
+                if op == BinOp::Min {
+                    self.line(&format!("JC {keep}")); // r0 < r1: keep r0
+                } else {
+                    self.line(&format!("JNC {keep}")); // r0 >= r1: keep r0
+                }
+                self.line("MOV r0, r1");
+                self.label(&keep);
+            }
+            BinOp::Shl | BinOp::Shr => unreachable!("handled in expr"),
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SynthError> {
+        match s {
+            Stmt::Assign(v, e) => {
+                self.expr(e)?;
+                let a = self.var_addr(*v);
+                self.line(&format!("ST [{a:#06x}], r0"));
+            }
+            Stmt::Drive(p, e) => {
+                self.expr(e)?;
+                let a = self.port_addr(*p)?;
+                self.line(&format!("OUT {a:#06x}, r0"));
+            }
+            Stmt::If { cond, then_body, else_body } => {
+                self.expr(cond)?;
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.line("CMPI r0, 0");
+                self.line(&format!("JZ {lelse}"));
+                for t in then_body {
+                    self.stmt(t)?;
+                }
+                self.line(&format!("JMP {lend}"));
+                self.label(&lelse);
+                for t in else_body {
+                    self.stmt(t)?;
+                }
+                self.label(&lend);
+            }
+            Stmt::Trace(label, values) => {
+                let idx = match self.trace_labels.iter().position(|(l, _)| l == label) {
+                    Some(i) => i,
+                    None => {
+                        self.trace_labels.push((label.clone(), values.len()));
+                        self.trace_labels.len() - 1
+                    }
+                };
+                if values.len() > TRACE_SLOTS as usize {
+                    return Err(SynthError::Unsupported {
+                        detail: format!("trace {label} has more than {TRACE_SLOTS} values"),
+                    });
+                }
+                for (j, v) in values.iter().enumerate() {
+                    self.expr(v)?;
+                    let addr = TRACE_PORT_BASE + idx as u16 * TRACE_SLOTS + j as u16;
+                    self.line(&format!("OUT {addr:#06x}, r0"));
+                }
+            }
+            Stmt::Call(c) => {
+                return Err(SynthError::Unsupported {
+                    detail: format!("service call to {} survived flattening", c.service),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles a flattened (call-free) software module to an MC16 program.
+///
+/// Program shape: an endless dispatch loop over the FSM state word (the
+/// synthesized system free-runs; synchronization comes from the inlined
+/// communication protocols, exactly as on the paper's prototype).
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if the module still contains calls, a port is
+/// missing from the I/O map, or a construct is outside the compilable
+/// subset (non-constant shifts, X/Z literals).
+pub fn compile_sw(module: &Module, io: &IoMap) -> Result<SwProgram, SynthError> {
+    let fsm = module.fsm();
+    let mut var_addrs = HashMap::new();
+    for (i, v) in module.vars().iter().enumerate() {
+        var_addrs.insert(v.name().to_string(), VAR_BASE + i as u16);
+    }
+    let state_addr = VAR_BASE + module.vars().len() as u16;
+
+    let mut cg = CodeGen { module, io, out: String::new(), label_counter: 0, trace_labels: vec![] };
+    let _ = writeln!(cg.out, "; MC16 program synthesized from module {}", module.name());
+    cg.line("ORG 0");
+    // Initialize variables and the state word.
+    for (i, v) in module.vars().iter().enumerate() {
+        let w = CodeGen::const_word(v.init())?;
+        if w != 0 {
+            cg.line(&format!("LDI r0, {w}"));
+            cg.line(&format!("ST [{:#06x}], r0", VAR_BASE + i as u16));
+        }
+    }
+    let init_idx = fsm.initial().raw() as u16;
+    if init_idx != 0 {
+        cg.line(&format!("LDI r0, {init_idx}"));
+        cg.line(&format!("ST [{state_addr:#06x}], r0"));
+    }
+    cg.label("main");
+    cg.line(&format!("LD r0, [{state_addr:#06x}]"));
+    for sid in fsm.state_ids() {
+        cg.line(&format!("CMPI r0, {}", sid.raw()));
+        cg.line(&format!("JZ st_{}", sid.raw()));
+    }
+    cg.line("JMP main");
+    for sid in fsm.state_ids() {
+        let st = fsm.state(sid);
+        cg.label(&format!("st_{}", sid.raw()));
+        for a in &st.actions {
+            cg.stmt(a)?;
+        }
+        for t in &st.transitions {
+            let skip = cg.fresh("skip");
+            if let Some(g) = &t.guard {
+                cg.expr(g)?;
+                cg.line("CMPI r0, 0");
+                cg.line(&format!("JZ {skip}"));
+            }
+            for a in &t.actions {
+                cg.stmt(a)?;
+            }
+            cg.line(&format!("LDI r0, {}", t.target.raw()));
+            cg.line(&format!("ST [{state_addr:#06x}], r0"));
+            cg.line("JMP main");
+            if t.guard.is_some() {
+                cg.label(&skip);
+            }
+        }
+        cg.line("JMP main");
+    }
+    let asm = cg.out;
+    let image = assemble(&asm).map_err(|e| SynthError::Unsupported {
+        detail: format!("internal codegen error: {e}"),
+    })?;
+    Ok(SwProgram {
+        asm,
+        image,
+        var_addrs,
+        state_addr,
+        io: io.clone(),
+        trace_labels: cg.trace_labels,
+        port_widths: module
+            .ports()
+            .iter()
+            .map(|p| (p.name().to_string(), p.ty().bit_width()))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosma_core::{ModuleBuilder, ModuleKind, PortDir, Type};
+    use cosma_isa::{Cpu, PortBus};
+
+    /// Runs a compiled program for a bounded number of instructions
+    /// against a bus.
+    fn run(prog: &SwProgram, bus: &mut dyn PortBus, max_instrs: u64) -> Cpu {
+        let mut cpu = Cpu::new();
+        cpu.load_image(&prog.image);
+        for _ in 0..max_instrs {
+            cpu.step(bus).expect("program runs cleanly");
+        }
+        cpu
+    }
+
+    #[test]
+    fn counter_compiles_and_counts() {
+        let mut b = ModuleBuilder::new("ctr", ModuleKind::Software);
+        let n = b.var("N", Type::INT16, Value::Int(0));
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::assign(n, Expr::var(n).add(Expr::int(1)))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
+        let mut bus = cosma_isa::NullBus;
+        let cpu = run(&prog, &mut bus, 2000);
+        let addr = prog.var_addrs["N"];
+        assert!(cpu.mem(addr) > 10, "counter advanced: {}", cpu.mem(addr));
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_interpreter() {
+        // Compute a handful of signed operations and leave results in
+        // variables; compare against the interpreter.
+        let cases: Vec<(&str, Expr)> = vec![
+            ("LT", Expr::int(-5).lt(Expr::int(3))),
+            ("GT", Expr::int(-5).gt(Expr::int(3))),
+            ("LE", Expr::int(3).le(Expr::int(3))),
+            ("GE", Expr::int(-7).ge(Expr::int(-7))),
+            ("EQ", Expr::int(4).eq(Expr::int(4))),
+            ("NE", Expr::int(4).ne(Expr::int(4))),
+            ("MIN", Expr::Binary(BinOp::Min, Box::new(Expr::int(-5)), Box::new(Expr::int(3)))),
+            ("MAX", Expr::Binary(BinOp::Max, Box::new(Expr::int(-5)), Box::new(Expr::int(3)))),
+            ("DIV", Expr::int(-10).div(Expr::int(3))),
+            (
+                "REM",
+                Expr::Binary(BinOp::Rem, Box::new(Expr::int(-10)), Box::new(Expr::int(3))),
+            ),
+            ("NEG", Expr::int(5).neg()),
+            ("NOT", Expr::int(0).not()),
+            (
+                "SHL",
+                Expr::Binary(BinOp::Shl, Box::new(Expr::int(3)), Box::new(Expr::int(2))),
+            ),
+            (
+                "SHR",
+                Expr::Binary(BinOp::Shr, Box::new(Expr::int(-8)), Box::new(Expr::int(1))),
+            ),
+        ];
+        let mut b = ModuleBuilder::new("ops", ModuleKind::Software);
+        let vars: Vec<_> = cases
+            .iter()
+            .map(|(name, _)| b.var((*name).to_string(), Type::INT16, Value::Int(0)))
+            .collect();
+        let s0 = b.state("S0");
+        let s1 = b.state("S1");
+        let actions: Vec<Stmt> = cases
+            .iter()
+            .zip(&vars)
+            .map(|((_, e), v)| Stmt::assign(*v, e.clone()))
+            .collect();
+        b.actions(s0, actions);
+        b.transition(s0, None, s1);
+        b.transition(s1, None, s1);
+        b.initial(s0);
+        let m = b.build().unwrap();
+
+        // Interpreter reference.
+        let mut env = cosma_core::MapEnv::new();
+        for v in m.vars() {
+            env.add_var(v.ty().clone(), v.init().clone());
+        }
+        let mut exec = cosma_core::FsmExec::new(m.fsm());
+        exec.step(m.fsm(), &mut env).unwrap();
+
+        let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
+        let mut bus = cosma_isa::NullBus;
+        let cpu = run(&prog, &mut bus, 5000);
+        for (i, (name, _)) in cases.iter().enumerate() {
+            let expect = env.var(vars[i]).clone();
+            let expect_word = expect.to_bus_word(16) as u16;
+            let got = cpu.mem(prog.var_addrs[*name]);
+            assert_eq!(got, expect_word, "case {name}: got {got:#06x} want {expect_word:#06x}");
+        }
+    }
+
+    #[test]
+    fn port_io_uses_mapped_addresses() {
+        struct WireBus {
+            b_full: u16,
+            written: Vec<(u16, u16)>,
+        }
+        impl PortBus for WireBus {
+            fn port_in(&mut self, port: u16) -> (u16, u32) {
+                if port == 0x301 {
+                    (self.b_full, 2)
+                } else {
+                    (0, 2)
+                }
+            }
+            fn port_out(&mut self, port: u16, value: u16) -> u32 {
+                self.written.push((port, value));
+                2
+            }
+        }
+
+        let mut b = ModuleBuilder::new("io", ModuleKind::Software);
+        let data = b.port("DATA", PortDir::Out, Type::INT16);
+        let b_full = b.port("B_FULL", PortDir::In, Type::Bit);
+        let wait = b.state("WAIT");
+        let send = b.state("SEND");
+        let end = b.state("END");
+        b.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(cosma_core::Bit::Zero))), send);
+        b.actions(send, vec![Stmt::drive(data, Expr::int(99))]);
+        b.transition(send, None, end);
+        b.transition(end, None, end);
+        b.initial(wait);
+        let m = b.build().unwrap();
+        let mut io = IoMap::new(0x300);
+        io.add("DATA");
+        io.add("B_FULL");
+        let prog = compile_sw(&m, &io).unwrap();
+        // Busy while B_FULL=1, proceeds when it drops.
+        let mut bus = WireBus { b_full: 1, written: vec![] };
+        let mut cpu = Cpu::new();
+        cpu.load_image(&prog.image);
+        for _ in 0..200 {
+            cpu.step(&mut bus).unwrap();
+        }
+        assert!(bus.written.is_empty(), "stalled while full");
+        bus.b_full = 0;
+        for _ in 0..200 {
+            cpu.step(&mut bus).unwrap();
+        }
+        assert_eq!(bus.written, vec![(0x300, 99)]);
+    }
+
+    #[test]
+    fn trace_compiles_to_trace_ports() {
+        let mut b = ModuleBuilder::new("tr", ModuleKind::Software);
+        let n = b.var("N", Type::INT16, Value::Int(0));
+        let s = b.state("S");
+        let e = b.state("E");
+        b.actions(
+            s,
+            vec![
+                Stmt::assign(n, Expr::int(42)),
+                Stmt::Trace("pos".into(), vec![Expr::var(n), Expr::int(7)]),
+            ],
+        );
+        b.transition(s, None, e);
+        b.transition(e, None, e);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
+        assert_eq!(prog.trace_labels, vec![("pos".to_string(), 2)]);
+
+        struct Rec(Vec<(u16, u16)>);
+        impl PortBus for Rec {
+            fn port_in(&mut self, _: u16) -> (u16, u32) {
+                (0, 0)
+            }
+            fn port_out(&mut self, port: u16, value: u16) -> u32 {
+                self.0.push((port, value));
+                0
+            }
+        }
+        let mut bus = Rec(vec![]);
+        let mut cpu = Cpu::new();
+        cpu.load_image(&prog.image);
+        for _ in 0..100 {
+            cpu.step(&mut bus).unwrap();
+        }
+        assert_eq!(&bus.0[..2], &[(TRACE_PORT_BASE, 42), (TRACE_PORT_BASE + 1, 7)]);
+    }
+
+    #[test]
+    fn initial_state_respected() {
+        let mut b = ModuleBuilder::new("init", ModuleKind::Software);
+        let n = b.var("N", Type::INT16, Value::Int(0));
+        let a = b.state("A");
+        let z = b.state("Z");
+        b.actions(a, vec![Stmt::assign(n, Expr::int(1))]);
+        b.transition(a, None, a);
+        b.actions(z, vec![Stmt::assign(n, Expr::int(2))]);
+        b.transition(z, None, z);
+        b.initial(z);
+        let m = b.build().unwrap();
+        let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
+        let mut bus = cosma_isa::NullBus;
+        let cpu = run(&prog, &mut bus, 500);
+        assert_eq!(cpu.mem(prog.var_addrs["N"]), 2);
+    }
+
+    #[test]
+    fn unflattened_module_rejected() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let bid = b.binding("iface", "hs");
+        let s = b.state("S");
+        b.actions(
+            s,
+            vec![Stmt::Call(cosma_core::ServiceCall {
+                binding: bid,
+                service: "put".into(),
+                args: vec![],
+                done: None,
+                result: None,
+            })],
+        );
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+        let err = compile_sw(&m, &IoMap::new(0x300)).unwrap_err();
+        assert!(err.to_string().contains("flattening"));
+    }
+
+    #[test]
+    fn iomap_lookup() {
+        let mut io = IoMap::new(0x300);
+        io.add("A");
+        io.add("B");
+        io.add("A");
+        assert_eq!(io.entries().len(), 2, "re-adding is idempotent");
+        assert_eq!(io.name_at(0x301), Some("B"));
+        assert_eq!(io.addr("C"), None);
+        assert_eq!(io.base(), 0x300);
+    }
+}

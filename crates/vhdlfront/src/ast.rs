@@ -1,0 +1,114 @@
+//! Abstract syntax tree for the VHDL subset.
+
+/// A VHDL type mark in the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VType {
+    /// `std_logic` (also accepts `bit`).
+    StdLogic,
+    /// `integer`.
+    Integer,
+    /// `boolean`.
+    Boolean,
+    /// An enumeration type declared in the architecture.
+    Named(String),
+}
+
+/// A VHDL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Character literal (`'0'`, `'1'`, `'X'`, `'Z'`).
+    Char(char),
+    /// `true`/`false`.
+    Bool(bool),
+    /// Identifier (signal, variable, enum literal, or `<SVC>_DONE` /
+    /// `<SVC>_RESULT` service accessors).
+    Ident(String),
+    /// Unary op: `not`, `-`.
+    Unary(&'static str, Box<VExpr>),
+    /// Binary op.
+    Binary(&'static str, Box<VExpr>, Box<VExpr>),
+}
+
+/// A sequential statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VStmt {
+    /// `target := expr;` (variable assignment).
+    VarAssign(String, VExpr),
+    /// `target <= expr;` (signal assignment).
+    SigAssign(String, VExpr),
+    /// `if .. then .. {elsif ..} [else ..] end if;`
+    If {
+        /// `(condition, body)` per branch, first is the `if`.
+        arms: Vec<(VExpr, Vec<VStmt>)>,
+        /// `else` body.
+        else_body: Vec<VStmt>,
+    },
+    /// `case expr is when X => .. end case;`
+    Case {
+        /// Scrutinee (a variable name).
+        scrutinee: String,
+        /// `(label, body)`; label `None` = `when others`.
+        arms: Vec<(Option<String>, Vec<VStmt>)>,
+    },
+    /// Procedure (communication service) call: `Name;` or `Name(args);`
+    Call(String, Vec<VExpr>),
+    /// `wait for <ident>;` / `wait;` — process activation boundary.
+    Wait,
+    /// `null;`
+    Null,
+}
+
+/// A process inside an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VProcess {
+    /// Label (`POSITION : process ...`), or a generated name.
+    pub name: String,
+    /// Declared variables: `(name, type, initializer)`.
+    pub vars: Vec<(String, VType, Option<VExpr>)>,
+    /// Body statements.
+    pub body: Vec<VStmt>,
+}
+
+/// A port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VPort {
+    /// Port name.
+    pub name: String,
+    /// `in` / `out` / `inout`.
+    pub dir: String,
+    /// Port type.
+    pub ty: VType,
+}
+
+/// An entity + architecture pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VEntity {
+    /// Entity name.
+    pub name: String,
+    /// Entity ports.
+    pub ports: Vec<VPort>,
+    /// Enum type declarations `(name, variants)`.
+    pub enums: Vec<(String, Vec<String>)>,
+    /// Architecture signals: `(name, type, initializer)`.
+    pub signals: Vec<(String, VType, Option<VExpr>)>,
+    /// Processes.
+    pub processes: Vec<VProcess>,
+}
+
+/// A parsed design file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VDesign {
+    /// Entities in declaration order.
+    pub entities: Vec<VEntity>,
+}
+
+impl VDesign {
+    /// Finds an entity by (case-insensitive) name.
+    #[must_use]
+    pub fn entity(&self, name: &str) -> Option<&VEntity> {
+        let upper = name.to_uppercase();
+        self.entities.iter().find(|e| e.name == upper)
+    }
+}

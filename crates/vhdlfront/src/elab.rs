@@ -1,0 +1,536 @@
+//! Elaboration: VHDL subset AST → unified IR.
+//!
+//! Each process of an architecture becomes one IR [`Module`] (hardware
+//! kind). Architecture signals become *nets* shared by the processes: the
+//! co-simulation backplane allocates one kernel signal per net and binds
+//! every process module's like-named port to it — exactly VHDL's
+//! signal semantics under our one-activation-per-cycle execution.
+//!
+//! A process whose body is a `case` over an enum variable elaborates with
+//! the same state-variable translation as the C front-end; other processes
+//! become single-state FSMs whose statements run every activation.
+
+use crate::ast::{VDesign, VEntity, VExpr, VProcess, VStmt, VType};
+use cosma_core::ids::{BindingId, VarId};
+use cosma_core::{
+    Bit, EnumType, EnumValue, Expr, Module, ModuleBuilder, ModuleKind, PortDir, ServiceCall, Stmt,
+    Type, Value,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declares that a set of service names is reachable through a named
+/// interface binding of a given unit type (VHDL side — e.g. the paper's
+/// `Motor_Interface`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceBinding {
+    /// Binding name.
+    pub binding: String,
+    /// Expected unit type.
+    pub unit_type: String,
+    /// Service names (matched case-insensitively against VHDL calls).
+    pub services: Vec<String>,
+}
+
+impl ServiceBinding {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(binding: &str, unit_type: &str, services: &[&str]) -> Self {
+        ServiceBinding {
+            binding: binding.to_string(),
+            unit_type: unit_type.to_string(),
+            services: services.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+}
+
+/// Elaboration options.
+#[derive(Debug, Clone, Default)]
+pub struct ElabOptions {
+    /// Interface bindings available to every process of the entity.
+    pub bindings: Vec<ServiceBinding>,
+}
+
+/// Elaboration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ElabError> {
+    Err(ElabError { message: message.into() })
+}
+
+/// A net of the elaborated entity: an architecture signal or entity port,
+/// to be realized as one kernel signal shared by the process modules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Net name (upper case, as in the source).
+    pub name: String,
+    /// IR type.
+    pub ty: Type,
+    /// Initial value.
+    pub init: Value,
+    /// Direction at the entity boundary (`None` for internal signals).
+    pub dir: Option<PortDir>,
+}
+
+/// An elaborated entity: one module per process plus the shared nets.
+#[derive(Debug, Clone)]
+pub struct HwEntity {
+    /// Entity name (upper case).
+    pub name: String,
+    /// All nets: entity ports first, then architecture signals.
+    pub nets: Vec<NetSpec>,
+    /// One hardware module per process. Every module's port table lists
+    /// all nets in the same order, so like-named ports share net indexes.
+    pub modules: Vec<Module>,
+}
+
+impl HwEntity {
+    /// Finds a net index by name.
+    #[must_use]
+    pub fn net_index(&self, name: &str) -> Option<usize> {
+        let upper = name.to_uppercase();
+        self.nets.iter().position(|n| n.name == upper)
+    }
+}
+
+fn vtype_to_ir(ty: &VType, enums: &HashMap<String, Arc<EnumType>>) -> Result<Type, ElabError> {
+    Ok(match ty {
+        VType::StdLogic => Type::Bit,
+        VType::Integer => Type::INT16,
+        VType::Boolean => Type::Bool,
+        VType::Named(n) => match enums.get(n) {
+            Some(e) => Type::Enum(e.clone()),
+            None => return err(format!("unknown type {n}")),
+        },
+    })
+}
+
+fn const_value(
+    e: &VExpr,
+    enums: &HashMap<String, (Arc<EnumType>, u32)>,
+) -> Result<Value, ElabError> {
+    Ok(match e {
+        VExpr::Int(i) => Value::Int(*i),
+        VExpr::Bool(b) => Value::Bool(*b),
+        VExpr::Char(c) => Value::Bit(
+            Bit::from_char(*c).map_err(|e| ElabError { message: e.to_string() })?,
+        ),
+        VExpr::Ident(name) => match enums.get(name) {
+            Some((ty, idx)) => Value::Enum(
+                EnumValue::from_index(ty.clone(), *idx).expect("index from same table"),
+            ),
+            None => return err(format!("initializer {name} is not a constant")),
+        },
+        VExpr::Unary("-", inner) => match const_value(inner, enums)? {
+            Value::Int(i) => Value::Int(-i),
+            other => return err(format!("cannot negate {other}")),
+        },
+        other => return err(format!("unsupported constant initializer {other:?}")),
+    })
+}
+
+struct ProcElab<'a> {
+    vars: HashMap<String, VarId>,
+    ports: HashMap<String, cosma_core::ids::PortId>,
+    variants: &'a HashMap<String, (Arc<EnumType>, u32)>,
+    services: HashMap<String, (BindingId, VarId, VarId)>,
+}
+
+impl ProcElab<'_> {
+    fn lower_expr(&self, e: &VExpr) -> Result<Expr, ElabError> {
+        Ok(match e {
+            VExpr::Int(i) => Expr::int(*i),
+            VExpr::Bool(b) => Expr::bool(*b),
+            VExpr::Char(c) => Expr::bit(
+                Bit::from_char(*c).map_err(|e| ElabError { message: e.to_string() })?,
+            ),
+            VExpr::Ident(name) => {
+                if let Some(&v) = self.vars.get(name) {
+                    Expr::var(v)
+                } else if let Some(&p) = self.ports.get(name) {
+                    Expr::port(p)
+                } else if let Some((ty, idx)) = self.variants.get(name) {
+                    Expr::Const(Value::Enum(
+                        EnumValue::from_index(ty.clone(), *idx).expect("same table"),
+                    ))
+                } else if let Some(rest) = name.strip_suffix("_DONE") {
+                    match self.services.get(rest) {
+                        Some((_, done, _)) => Expr::var(*done),
+                        None => return err(format!("unknown service in {name}")),
+                    }
+                } else if let Some(rest) = name.strip_suffix("_RESULT") {
+                    match self.services.get(rest) {
+                        Some((_, _, res)) => Expr::var(*res),
+                        None => return err(format!("unknown service in {name}")),
+                    }
+                } else {
+                    return err(format!("unknown identifier {name}"));
+                }
+            }
+            VExpr::Unary("not", inner) => self.lower_expr(inner)?.not(),
+            VExpr::Unary("-", inner) => self.lower_expr(inner)?.neg(),
+            VExpr::Unary(op, _) => return err(format!("unsupported unary {op}")),
+            VExpr::Binary(op, a, b) => {
+                let a = self.lower_expr(a)?;
+                let b = self.lower_expr(b)?;
+                match *op {
+                    "+" => a.add(b),
+                    "-" => a.sub(b),
+                    "*" => a.mul(b),
+                    "/" => a.div(b),
+                    "mod" => Expr::Binary(cosma_core::BinOp::Rem, Box::new(a), Box::new(b)),
+                    "=" => a.eq(b),
+                    "/=" => a.ne(b),
+                    "<" => a.lt(b),
+                    "<=" => a.le(b),
+                    ">" => a.gt(b),
+                    ">=" => a.ge(b),
+                    "and" => a.and(b),
+                    "or" => a.or(b),
+                    "xor" => Expr::Binary(cosma_core::BinOp::Xor, Box::new(a), Box::new(b)),
+                    other => return err(format!("unsupported operator {other}")),
+                }
+            }
+        })
+    }
+
+    fn lower_stmts(
+        &self,
+        stmts: &[VStmt],
+        state_var: Option<&str>,
+        targets: &mut Vec<String>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), ElabError> {
+        for s in stmts {
+            match s {
+                VStmt::Null | VStmt::Wait => {}
+                VStmt::VarAssign(name, rhs) => {
+                    if Some(name.as_str()) == state_var {
+                        if let VExpr::Ident(variant) = rhs {
+                            if !targets.contains(variant) {
+                                targets.push(variant.clone());
+                            }
+                        } else {
+                            return err("state variable must be assigned a state name");
+                        }
+                    }
+                    let Some(&v) = self.vars.get(name) else {
+                        return err(format!("assignment to undeclared variable {name}"));
+                    };
+                    let e = self.lower_expr(rhs)?;
+                    out.push(Stmt::assign(v, e));
+                }
+                VStmt::SigAssign(name, rhs) => {
+                    let Some(&p) = self.ports.get(name) else {
+                        return err(format!("signal assignment to unknown signal {name}"));
+                    };
+                    let e = self.lower_expr(rhs)?;
+                    out.push(Stmt::drive(p, e));
+                }
+                VStmt::If { arms, else_body } => {
+                    // Build nested if/else from the elsif chain.
+                    let mut lowered_else = vec![];
+                    self.lower_stmts(else_body, state_var, targets, &mut lowered_else)?;
+                    let mut acc = lowered_else;
+                    for (cond, body) in arms.iter().rev() {
+                        let c = self.lower_expr(cond)?;
+                        let mut b = vec![];
+                        self.lower_stmts(body, state_var, targets, &mut b)?;
+                        acc = vec![Stmt::if_else(c, b, acc)];
+                    }
+                    out.append(&mut acc);
+                }
+                VStmt::Call(name, args) => {
+                    let Some((binding, done, res)) = self.services.get(name).copied() else {
+                        return err(format!(
+                            "call to unknown service {name} (bindings offer: {})",
+                            self.services.keys().cloned().collect::<Vec<_>>().join(", ")
+                        ));
+                    };
+                    let mut ir_args = Vec::with_capacity(args.len());
+                    for a in args {
+                        ir_args.push(self.lower_expr(a)?);
+                    }
+                    out.push(Stmt::Call(ServiceCall {
+                        binding,
+                        service: name.clone(),
+                        args: ir_args,
+                        done: Some(done),
+                        result: Some(res),
+                    }));
+                }
+                VStmt::Case { .. } => {
+                    return err("nested case statements are not supported");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Elaborates one entity (all its processes) into IR modules + nets.
+///
+/// # Errors
+///
+/// Returns [`ElabError`] when the source uses features outside the subset
+/// or references unknown identifiers/services.
+pub fn elaborate_entity(entity: &VEntity, opts: &ElabOptions) -> Result<HwEntity, ElabError> {
+    // Enum tables.
+    let mut enums: HashMap<String, Arc<EnumType>> = HashMap::new();
+    let mut variants: HashMap<String, (Arc<EnumType>, u32)> = HashMap::new();
+    for (name, vs) in &entity.enums {
+        let ty = EnumType::new(name.clone(), vs.clone());
+        for (i, v) in vs.iter().enumerate() {
+            variants.insert(v.clone(), (ty.clone(), i as u32));
+        }
+        enums.insert(name.clone(), ty);
+    }
+
+    // Nets: entity ports then architecture signals.
+    let mut nets = vec![];
+    for p in &entity.ports {
+        let ty = vtype_to_ir(&p.ty, &enums)?;
+        let dir = match p.dir.as_str() {
+            "IN" => PortDir::In,
+            "OUT" => PortDir::Out,
+            _ => PortDir::InOut,
+        };
+        nets.push(NetSpec { name: p.name.clone(), init: ty.default_value(), ty, dir: Some(dir) });
+    }
+    for (name, ty, init) in &entity.signals {
+        let ty = vtype_to_ir(ty, &enums)?;
+        let init = match init {
+            Some(e) => const_value(e, &variants)?,
+            None => ty.default_value(),
+        };
+        if !ty.admits(&init) {
+            return err(format!("initializer for signal {name} has the wrong type"));
+        }
+        nets.push(NetSpec { name: name.clone(), ty, init, dir: None });
+    }
+
+    let mut modules = vec![];
+    for proc in &entity.processes {
+        modules.push(elaborate_process(entity, proc, &nets, &enums, &variants, opts)?);
+    }
+    Ok(HwEntity { name: entity.name.clone(), nets, modules })
+}
+
+fn elaborate_process(
+    entity: &VEntity,
+    proc: &VProcess,
+    nets: &[NetSpec],
+    enums: &HashMap<String, Arc<EnumType>>,
+    variants: &HashMap<String, (Arc<EnumType>, u32)>,
+    opts: &ElabOptions,
+) -> Result<Module, ElabError> {
+    let mut builder =
+        ModuleBuilder::new(format!("{}_{}", entity.name, proc.name).to_lowercase(), ModuleKind::Hardware);
+
+    // Which nets does this process write?
+    let mut written: Vec<String> = vec![];
+    collect_sig_writes(&proc.body, &mut written);
+
+    // Ports: all nets, direction per usage (entity-port direction is kept
+    // unless the process writes an internal signal).
+    let mut ports = HashMap::new();
+    for n in nets {
+        let dir = match n.dir {
+            Some(d) => d,
+            None => {
+                if written.contains(&n.name) {
+                    PortDir::Out
+                } else {
+                    PortDir::In
+                }
+            }
+        };
+        let id = builder.port(n.name.clone(), dir, n.ty.clone());
+        ports.insert(n.name.clone(), id);
+    }
+
+    // Bindings + hidden service variables.
+    let mut services = HashMap::new();
+    for sb in &opts.bindings {
+        let bid = builder.binding(sb.binding.clone(), sb.unit_type.clone());
+        for svc in &sb.services {
+            let upper = svc.to_uppercase();
+            let done = builder.var(format!("__done_{upper}"), Type::Bool, Value::Bool(false));
+            let res = builder.var(format!("__res_{upper}"), Type::INT16, Value::Int(0));
+            services.insert(upper, (bid, done, res));
+        }
+    }
+
+    // Process variables.
+    let mut vars = HashMap::new();
+    let mut state_candidate: Option<(String, Arc<EnumType>, usize)> = None;
+    for (name, ty, init) in &proc.vars {
+        let ir_ty = vtype_to_ir(ty, enums)?;
+        let init_v = match init {
+            Some(e) => const_value(e, variants)?,
+            None => ir_ty.default_value(),
+        };
+        if !ir_ty.admits(&init_v) {
+            return err(format!("initializer for variable {name} has the wrong type"));
+        }
+        if let (Type::Enum(e), Value::Enum(ev)) = (&ir_ty, &init_v) {
+            state_candidate =
+                Some((name.clone(), e.clone(), ev.index() as usize));
+        }
+        let id = builder.var(name.clone(), ir_ty, init_v);
+        vars.insert(name.clone(), id);
+    }
+
+    let elab = ProcElab { vars, ports, variants, services };
+
+    // Find a case over an enum variable.
+    let mut prologue: Vec<&VStmt> = vec![];
+    let mut epilogue: Vec<&VStmt> = vec![];
+    type CaseArms = [(Option<String>, Vec<VStmt>)];
+    let mut the_case: Option<(&String, &CaseArms)> = None;
+    for s in &proc.body {
+        match s {
+            VStmt::Case { scrutinee, arms } => {
+                if the_case.is_some() {
+                    return err("process must contain at most one top-level case");
+                }
+                the_case = Some((scrutinee, arms));
+            }
+            VStmt::Wait => {}
+            other => {
+                if the_case.is_none() {
+                    prologue.push(other);
+                } else {
+                    epilogue.push(other);
+                }
+            }
+        }
+    }
+
+    if let Some((scrutinee, arms)) = the_case {
+        let Some((sv_name, state_enum, init_idx)) = state_candidate
+            .filter(|(n, _, _)| n == scrutinee)
+            .or_else(|| {
+                // The state variable may not be the last enum declared;
+                // find it by name.
+                proc.vars.iter().find_map(|(n, ty, init)| {
+                    if n != scrutinee {
+                        return None;
+                    }
+                    let VType::Named(tn) = ty else { return None };
+                    let e = enums.get(tn)?;
+                    let idx = match init {
+                        Some(VExpr::Ident(v)) => e.index_of(v)? as usize,
+                        _ => 0,
+                    };
+                    Some((n.clone(), e.clone(), idx))
+                })
+            })
+        else {
+            return err(format!("case scrutinee {scrutinee} must be an enum-typed variable"));
+        };
+        let state_var_id = elab.vars[&sv_name];
+        let mut arm_map: HashMap<&str, &Vec<VStmt>> = HashMap::new();
+        let mut default_arm: Option<&Vec<VStmt>> = None;
+        for (label, body) in arms {
+            match label {
+                Some(l) => {
+                    if state_enum.index_of(l).is_none() {
+                        return err(format!("case label {l} is not a variant of {}", state_enum.name()));
+                    }
+                    arm_map.insert(l.as_str(), body);
+                }
+                None => default_arm = Some(body),
+            }
+        }
+        let state_ids: Vec<_> =
+            state_enum.variants().iter().map(|v| builder.state(v.clone())).collect();
+        for (vi, vname) in state_enum.variants().iter().enumerate() {
+            let sid = state_ids[vi];
+            let body: &[VStmt] = match arm_map.get(vname.as_str()) {
+                Some(b) => b,
+                None => default_arm.map(|b| &b[..]).unwrap_or(&[]),
+            };
+            let mut actions = vec![];
+            let mut targets = vec![];
+            for p in &prologue {
+                elab.lower_stmts(std::slice::from_ref(*p), Some(&sv_name), &mut targets, &mut actions)?;
+            }
+            elab.lower_stmts(body, Some(&sv_name), &mut targets, &mut actions)?;
+            for e in &epilogue {
+                elab.lower_stmts(std::slice::from_ref(*e), Some(&sv_name), &mut targets, &mut actions)?;
+            }
+            builder.actions(sid, actions);
+            for target in targets {
+                let Some(tidx) = state_enum.index_of(&target) else {
+                    return err(format!("state target {target} is not a variant"));
+                };
+                let guard = Expr::var(state_var_id).eq(Expr::Const(Value::Enum(
+                    EnumValue::from_index(state_enum.clone(), tidx).expect("valid"),
+                )));
+                builder.transition(sid, Some(guard), state_ids[tidx as usize]);
+            }
+        }
+        builder.initial(state_ids[init_idx]);
+    } else {
+        // Straight-line process: one state, all statements every cycle.
+        let sid = builder.state("BODY");
+        let mut actions = vec![];
+        let mut targets = vec![];
+        elab.lower_stmts(&proc.body, None, &mut targets, &mut actions)?;
+        builder.actions(sid, actions);
+        builder.transition(sid, None, sid);
+        builder.initial(sid);
+    }
+    builder.build().map_err(|e| ElabError { message: e.to_string() })
+}
+
+fn collect_sig_writes(stmts: &[VStmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            VStmt::SigAssign(name, _) if !out.contains(name) => {
+                out.push(name.clone());
+            }
+            VStmt::SigAssign(_, _) => {}
+            VStmt::If { arms, else_body } => {
+                for (_, b) in arms {
+                    collect_sig_writes(b, out);
+                }
+                collect_sig_writes(else_body, out);
+            }
+            VStmt::Case { arms, .. } => {
+                for (_, b) in arms {
+                    collect_sig_writes(b, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses and elaborates a single-entity design in one step.
+///
+/// # Errors
+///
+/// Propagates parse errors (as [`ElabError`]) and elaboration errors.
+pub fn compile_entity(src: &str, entity: &str, opts: &ElabOptions) -> Result<HwEntity, ElabError> {
+    let design: VDesign =
+        crate::parser::parse(src).map_err(|e| ElabError { message: e.to_string() })?;
+    let Some(e) = design.entity(entity) else {
+        return err(format!("no entity named {entity}"));
+    };
+    elaborate_entity(e, opts)
+}

@@ -1,0 +1,203 @@
+//! Tokenizer for the VHDL subset. VHDL is case-insensitive; identifiers
+//! are normalized to upper case.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword, upper-cased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Character literal `'0'`, `'1'`, `'X'`, `'Z'`.
+    Char(char),
+    /// Punctuation/operator, e.g. `"<="`, `":="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Char(c) => write!(f, "'{c}'"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] =
+    &["<=", ">=", ":=", "/=", "=>", "=", "<", ">", "(", ")", ";", ":", ",", "+", "-", "*", "/", "'", "."];
+
+/// Tokenizes VHDL-subset source. `--` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on characters outside the subset.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = vec![];
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '-' && i + 1 < chars.len() && chars[i + 1] == '-' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect::<String>().to_uppercase();
+            out.push(Spanned { tok: Tok::Ident(word), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let v = text.parse().map_err(|_| LexError { line, ch: c })?;
+            out.push(Spanned { tok: Tok::Int(v), line });
+            continue;
+        }
+        if c == '\'' && i + 2 < chars.len() && chars[i + 2] == '\'' {
+            out.push(Spanned { tok: Tok::Char(chars[i + 1].to_ascii_uppercase()), line });
+            i += 3;
+            continue;
+        }
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if chars[i..].starts_with(&pc) {
+                out.push(Spanned { tok: Tok::Punct(p), line });
+                i += pc.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError { line, ch: c });
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_uppercased() {
+        assert_eq!(
+            toks("entity Speed_Control is"),
+            vec![
+                Tok::Ident("ENTITY".into()),
+                Tok::Ident("SPEED_CONTROL".into()),
+                Tok::Ident("IS".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn signal_assign_vs_le() {
+        assert_eq!(
+            toks("a <= b; c := 1;"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Punct("<="),
+                Tok::Ident("B".into()),
+                Tok::Punct(";"),
+                Tok::Ident("C".into()),
+                Tok::Punct(":="),
+                Tok::Int(1),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(toks("'1' 'z'"), vec![Tok::Char('1'), Tok::Char('Z'), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a -- comment\nb"), vec![
+            Tok::Ident("A".into()),
+            Tok::Ident("B".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn ne_operator() {
+        assert_eq!(toks("a /= b"), vec![
+            Tok::Ident("A".into()),
+            Tok::Punct("/="),
+            Tok::Ident("B".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn arrow_in_case() {
+        assert_eq!(toks("when INIT =>"), vec![
+            Tok::Ident("WHEN".into()),
+            Tok::Ident("INIT".into()),
+            Tok::Punct("=>"),
+            Tok::Eof
+        ]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Quickstart: one description, simulated and rendered in every view.
+//!
+//! Builds the paper's Figure 2 scenario — a Host and a Server joined by a
+//! communication unit offering `put`/`get` — co-simulates the exchange,
+//! and prints the Figure 3 views of the `put` access procedure.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cosma::comm::handshake_unit;
+use cosma::core::{
+    Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, SwTarget, Type, Value,
+};
+use cosma::cosim::{Cosim, CosimConfig};
+use cosma::sim::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the communication unit (Figure 2) -----------------------------
+    let link = handshake_unit("hs", Type::INT16);
+
+    // --- the HOST: sends 3 values through put ---------------------------
+    let mut host = ModuleBuilder::new("host", ModuleKind::Software);
+    let done = host.var("D", Type::Bool, Value::Bool(false));
+    let i = host.var("I", Type::INT16, Value::Int(0));
+    let b = host.binding("iface", "hs");
+    let put = host.state("PUT");
+    let end = host.state("END");
+    host.actions(
+        put,
+        vec![Stmt::Call(ServiceCall {
+            binding: b,
+            service: "put".into(),
+            args: vec![Expr::int(100).add(Expr::var(i))],
+            done: Some(done),
+            result: None,
+        })],
+    );
+    host.transition_with(put, Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(2)))), vec![], end);
+    host.transition_with(
+        put,
+        Some(Expr::var(done)),
+        vec![Stmt::assign(i, Expr::var(i).add(Expr::int(1)))],
+        put,
+    );
+    host.transition(end, None, end);
+    host.initial(put);
+    let host = host.build()?;
+
+    // --- the SERVER: receives and accumulates ---------------------------
+    let mut server = ModuleBuilder::new("server", ModuleKind::Hardware);
+    let sdone = server.var("D", Type::Bool, Value::Bool(false));
+    let got = server.var("GOT", Type::INT16, Value::Int(0));
+    let sum = server.var("SUM", Type::INT16, Value::Int(0));
+    let sb = server.binding("iface", "hs");
+    let get = server.state("GET");
+    server.actions(
+        get,
+        vec![Stmt::Call(ServiceCall {
+            binding: sb,
+            service: "get".into(),
+            args: vec![],
+            done: Some(sdone),
+            result: Some(got),
+        })],
+    );
+    server.transition_with(
+        get,
+        Some(Expr::var(sdone)),
+        vec![
+            Stmt::assign(sum, Expr::var(sum).add(Expr::var(got))),
+            Stmt::Trace("recv".into(), vec![Expr::var(got)]),
+        ],
+        get,
+    );
+    server.initial(get);
+    let server = server.build()?;
+
+    // --- co-simulate -----------------------------------------------------
+    let mut cosim = Cosim::new(CosimConfig::default());
+    let unit = cosim.add_fsm_unit("link", link.clone());
+    cosim.add_module(&host, &[("iface", unit)])?;
+    let server_id = cosim.add_module(&server, &[("iface", unit)])?;
+    cosim.run_for(Duration::from_us(30))?;
+
+    println!("== co-simulation ==");
+    println!("server SUM = {:?}", cosim.module_var(server_id, "SUM"));
+    for e in cosim.trace_log().entries() {
+        println!("  trace @{}fs {}: {} {:?}", e.at, e.source, e.label, e.values);
+    }
+    let stats = cosim.unit_stats("link").expect("unit exists");
+    println!(
+        "link: {} put completions, {} get completions, {} controller steps",
+        stats.services["put"].completions,
+        stats.services["get"].completions,
+        stats.controller_steps
+    );
+
+    // --- the multi-view library (Figure 3) -------------------------------
+    let views = cosma::core::render_service_views(
+        &link,
+        link.service("put").expect("put exists"),
+        &SwTarget::ALL,
+    );
+    println!("\n== SW simulation view of put (Fig. 3b) ==\n{}", views.sw_sim);
+    println!("== SW synthesis view for the PC-AT bus (Fig. 3a) ==\n{}", views.sw_synth[&SwTarget::PcAtBus]);
+    println!("== HW view (Fig. 3c) ==\n{}", views.hw_vhdl);
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Property-based tests over the core invariants.
+
+use cosma::comm::{CallerId, FifoChannel, NativeUnit};
+use cosma::core::{
+    Expr, FsmExec, MapEnv, ModuleBuilder, ModuleKind, PortDir, Stmt, Type, Value,
+};
+use cosma::isa::{disassemble, Instr, Reg};
+use cosma::synth::{synthesize_hw, Encoding};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// FIFO: never loses, duplicates or reorders messages.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fifo_preserves_message_stream(
+        ops in proptest::collection::vec(any::<bool>(), 1..200),
+        values in proptest::collection::vec(-3000i64..3000, 1..200),
+        cap in 1usize..16,
+    ) {
+        let mut fifo = FifoChannel::new("q", cap);
+        let mut sent = vec![];
+        let mut received = vec![];
+        let mut vi = 0;
+        for &is_put in &ops {
+            if is_put {
+                let v = values[vi % values.len()];
+                vi += 1;
+                if fifo.call(CallerId(0), "put", &[Value::Int(v)]).unwrap().done {
+                    sent.push(v);
+                }
+            } else if let Some(Value::Int(v)) =
+                fifo.call(CallerId(1), "get", &[]).unwrap().result
+            {
+                received.push(v);
+            }
+        }
+        // Drain what remains.
+        while let Some(Value::Int(v)) = fifo.call(CallerId(1), "get", &[]).unwrap().result {
+            received.push(v);
+        }
+        prop_assert_eq!(sent, received);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Assembler: encode/decode round trip over arbitrary instruction mixes.
+// ---------------------------------------------------------------------
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = || (0u8..8).prop_map(Reg);
+    prop_oneof![
+        Just(Instr::Nop),
+        (r(), any::<u16>()).prop_map(|(rd, i)| Instr::Ldi(rd, i)),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Mov(rd, rs)),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Add(rd, rs)),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Sub(rd, rs)),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Mul(rd, rs)),
+        (r(), any::<u16>()).prop_map(|(rd, i)| Instr::Cmpi(rd, i)),
+        (r(), any::<u16>()).prop_map(|(rd, a)| Instr::Ld(rd, a)),
+        (any::<u16>(), r()).prop_map(|(a, rs)| Instr::St(a, rs)),
+        (r(), any::<u16>()).prop_map(|(rd, p)| Instr::In(rd, p)),
+        (any::<u16>(), r()).prop_map(|(p, rs)| Instr::Out(p, rs)),
+        any::<u16>().prop_map(Instr::Jmp),
+        any::<u16>().prop_map(Instr::Jz),
+        any::<u16>().prop_map(Instr::Jc),
+        r().prop_map(Instr::Push),
+        r().prop_map(Instr::Pop),
+        any::<u16>().prop_map(Instr::Call),
+        Just(Instr::Ret),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn instruction_stream_round_trips(instrs in proptest::collection::vec(arb_instr(), 1..60)) {
+        // Lay the instructions into memory and disassemble them back.
+        let mut mem = vec![0u16; 4096];
+        let mut addr = 0u16;
+        let mut expect = vec![];
+        for i in &instrs {
+            let (w, imm) = i.encode();
+            mem[addr as usize] = w;
+            expect.push((addr, *i));
+            addr += 1;
+            if let Some(imm) = imm {
+                mem[addr as usize] = imm;
+                addr += 1;
+            }
+        }
+        mem[addr as usize] = Instr::Halt.encode().0;
+        expect.push((addr, Instr::Halt));
+        let got = disassemble(&mem, 0, expect.len() + 4);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// State encodings: bijective for every scheme and size.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn encodings_bijective(n in 1usize..40) {
+        for enc in Encoding::ALL {
+            if enc == Encoding::OneHot && n > 40 {
+                continue;
+            }
+            let codes: Vec<u64> = (0..n).map(|i| enc.encode(i, n)).collect();
+            let mut dedup = codes.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), n, "{} duplicates codes", enc);
+            for (i, c) in codes.iter().enumerate() {
+                prop_assert_eq!(enc.decode(*c, n), Some(i));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hardware synthesis: random straight-line datapaths match the
+// interpreter on random inputs.
+// ---------------------------------------------------------------------
+
+/// A small generator of safe expressions over two input ports and a
+/// variable (no division; shifts by constants only).
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-200i64..200).prop_map(Expr::int),
+        Just(Expr::port(cosma::core::ids::PortId::new(0))),
+        Just(Expr::port(cosma::core::ids::PortId::new(1))),
+        Just(Expr::var(cosma::core::ids::VarId::new(0))),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        (inner.clone(), inner, 0u8..8)
+            .prop_map(|(a, b, op)| match op {
+                0 => a.add(b),
+                1 => a.sub(b),
+                2 => a.mul(b),
+                3 => Expr::Binary(cosma::core::BinOp::Min, Box::new(a), Box::new(b)),
+                4 => Expr::Binary(cosma::core::BinOp::Max, Box::new(a), Box::new(b)),
+                5 => Expr::Binary(cosma::core::BinOp::Xor, Box::new(a), Box::new(b)),
+                6 => Expr::Binary(cosma::core::BinOp::And, Box::new(a), Box::new(b)),
+                _ => Expr::Binary(cosma::core::BinOp::Or, Box::new(a), Box::new(b)),
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_datapaths_synthesize_equivalently(
+        e in arb_expr(3),
+        inputs in proptest::collection::vec((-500i64..500, -500i64..500), 1..12),
+    ) {
+        let mut b = ModuleBuilder::new("dp", ModuleKind::Hardware);
+        let _x = b.port("X", PortDir::In, Type::INT16);
+        let _y = b.port("Y", PortDir::In, Type::INT16);
+        let acc = b.var("ACC", Type::INT16, Value::Int(0));
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::assign(acc, e)]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let m = b.build().unwrap();
+
+        let (nl, _) = synthesize_hw(&m, Encoding::Binary).unwrap();
+        let mut sim = nl.simulator();
+        let mut env = MapEnv::new();
+        env.add_port(Type::INT16, Value::Int(0));
+        env.add_port(Type::INT16, Value::Int(0));
+        env.add_var(Type::INT16, Value::Int(0));
+        let mut exec = FsmExec::new(m.fsm());
+        let reg = nl.find_reg("ACC").unwrap();
+        for (x, y) in inputs {
+            env.set_port(cosma::core::ids::PortId::new(0), Value::Int(x));
+            env.set_port(cosma::core::ids::PortId::new(1), Value::Int(y));
+            exec.step(m.fsm(), &mut env).unwrap();
+            sim.step(&[x as u64 & 0xFFFF, y as u64 & 0xFFFF]);
+            let expect = env.var(acc).to_bus_word(16);
+            prop_assert_eq!(sim.reg_value(reg), expect, "inputs ({}, {})", x, y);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Motor plant: position always equals executed step sum; backlog drains.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn motor_position_is_step_integral(
+        cmds in proptest::collection::vec(-50i64..50, 1..60),
+        speed in 1i64..10,
+    ) {
+        let mut m = cosma::motor::MotorModel::new(speed);
+        let mut executed = 0i64;
+        for c in &cmds {
+            m.command_pulses(*c);
+            let s = m.tick();
+            prop_assert!(s.abs() <= speed);
+            executed += s;
+            prop_assert_eq!(m.position(), executed);
+        }
+        // Drain: eventually the backlog empties and position equals the
+        // total commanded sum.
+        let total: i64 = cmds.iter().sum();
+        for _ in 0..10_000 {
+            if !m.is_moving() {
+                break;
+            }
+            m.tick();
+        }
+        prop_assert!(!m.is_moving());
+        prop_assert_eq!(m.position(), total);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value layer: bus-word round trips.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn int16_bus_round_trip(v in -32768i64..32767) {
+        let w = Value::Int(v).to_bus_word(16);
+        let back = Value::from_bus_word(&Type::INT16, w).unwrap();
+        prop_assert_eq!(back, Value::Int(v));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handshake protocol: robust to ARBITRARY interleaving of producer,
+// consumer and controller activations (the paper's speed-mismatch
+// problem). No loss, duplication or reorder under random schedules.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn handshake_robust_to_any_schedule(
+        schedule in proptest::collection::vec(0u8..3, 50..600),
+    ) {
+        use cosma::comm::{handshake_unit, FsmUnitRuntime, LocalWires};
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = cosma::comm::LocalWires::new(&spec);
+        let _ = &wires as &LocalWires;
+        let producer = CallerId(1);
+        let consumer = CallerId(2);
+        let mut next = 0i64;
+        let mut sent: Vec<i64> = vec![];
+        let mut received: Vec<i64> = vec![];
+        for &who in &schedule {
+            match who {
+                0 => {
+                    if unit
+                        .call(producer, "put", &[Value::Int(next)], &mut wires)
+                        .unwrap()
+                        .done
+                    {
+                        sent.push(next);
+                        next += 1;
+                    }
+                }
+                1 => {
+                    if let Some(Value::Int(v)) =
+                        unit.call(consumer, "get", &[], &mut wires).unwrap().result
+                    {
+                        received.push(v);
+                    }
+                }
+                _ => unit.step_controller(&mut wires).unwrap(),
+            }
+        }
+        // Everything received was sent, in order, with no duplicates; at
+        // most one message can still be in flight.
+        prop_assert!(received.len() <= sent.len() + 1,
+            "received {} vs sent {}", received.len(), sent.len());
+        let n = received.len().min(sent.len());
+        prop_assert_eq!(&received[..n], &sent[..n]);
+        for (i, v) in received.iter().enumerate() {
+            prop_assert_eq!(*v, i as i64, "stream must be dense and ordered");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel determinism: the same design produces identical signal values
+// regardless of when we slice the run into run_for chunks.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn kernel_run_slicing_is_transparent(
+        chunks in proptest::collection::vec(1u64..40, 1..20),
+    ) {
+        use cosma::sim::{Simulator, FnProcess, Wait, Duration};
+        fn build() -> (Simulator, cosma::sim::SignalId) {
+            let mut sim = Simulator::new();
+            let clk = sim.add_bit("CLK");
+            sim.add_clock("gen", clk, Duration::from_ns(10));
+            let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+            sim.add_process(
+                "ctr",
+                FnProcess::new(move |ctx| {
+                    if ctx.rose(clk) {
+                        let v = ctx.read_int(q);
+                        ctx.drive(q, Value::Int(v * 3 + 1));
+                    }
+                    Wait::Event(vec![clk])
+                }),
+            );
+            (sim, q)
+        }
+        let total: u64 = chunks.iter().sum();
+        let (mut a, qa) = build();
+        a.run_for(Duration::from_ns(total)).unwrap();
+        let (mut b, qb) = build();
+        for c in &chunks {
+            b.run_for(Duration::from_ns(*c)).unwrap();
+        }
+        prop_assert_eq!(a.value(qa), b.value(qb));
+        prop_assert_eq!(a.now(), b.now());
+    }
+}
