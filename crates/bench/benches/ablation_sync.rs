@@ -5,13 +5,17 @@
 //! at any ratio (coherence) while activation rate trades simulation work
 //! for reaction latency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosma_cosim::CosimConfig;
 use cosma_motor::{build_cosim, MotorConfig};
 use cosma_sim::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sync(c: &mut Criterion) {
-    let cfg = MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() };
+    let cfg = MotorConfig {
+        segments: 2,
+        segment_len: 10,
+        ..MotorConfig::default()
+    };
     let mut group = c.benchmark_group("ablation_sync");
     for ratio in [1u64, 2, 8] {
         let ccfg = CosimConfig {
@@ -25,8 +29,9 @@ fn bench_sync(c: &mut Criterion) {
                 b.iter_batched(
                     || build_cosim(&cfg, ccfg).expect("assembles"),
                     |mut sys| {
-                        let done =
-                            sys.run_to_completion(Duration::from_us(100), 400).expect("runs");
+                        let done = sys
+                            .run_to_completion(Duration::from_us(100), 400)
+                            .expect("runs");
                         assert!(done, "must complete at any activation ratio");
                     },
                     criterion::BatchSize::SmallInput,
@@ -39,7 +44,10 @@ fn bench_sync(c: &mut Criterion) {
     // Print the simulated-time table (correctness at any ratio + latency
     // cost of slower activation).
     println!("\nsw-activation ablation (simulated time to trajectory completion):");
-    println!("{:>8} {:>16} {:>14} {:>12}", "ratio", "sw activations", "sim time (us)", "events ok");
+    println!(
+        "{:>8} {:>16} {:>14} {:>12}",
+        "ratio", "sw activations", "sim time (us)", "events ok"
+    );
     for ratio in [1u64, 2, 4, 8, 16] {
         let ccfg = CosimConfig {
             hw_cycle: Duration::from_ns(100),
@@ -61,7 +69,11 @@ fn bench_sync(c: &mut Criterion) {
         let sends = sys.cosim.trace_log().with_label("send_pos").count();
         println!(
             "{ratio:>8} {acts:>16} {elapsed_us:>14} {:>12}",
-            if done && sends == cfg.segments as usize { "YES" } else { "NO" }
+            if done && sends == cfg.segments as usize {
+                "YES"
+            } else {
+                "NO"
+            }
         );
     }
 }

@@ -2,11 +2,9 @@
 //! wall-clock throughput of the library's units — the quantitative face
 //! of the paper's "wide range of communication schemes".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cosma_comm::{
-    handshake_unit, shared_reg_unit, CallerId, FifoChannel, Mailbox, StandaloneUnit,
-};
+use cosma_comm::{handshake_unit, shared_reg_unit, CallerId, FifoChannel, Mailbox, StandaloneUnit};
 use cosma_core::{Type, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Pushes `n` messages through a unit with a `put`-like and a `get`-like
 /// service, returning the number of activations used.

@@ -1,10 +1,10 @@
 //! Co-simulation backplane throughput: module activations per second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosma_comm::handshake_unit;
 use cosma_core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_cosim::{Cosim, CosimConfig};
 use cosma_sim::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn ping_pong_cosim(pairs: usize) -> Cosim {
     let mut cosim = Cosim::new(CosimConfig::default());
@@ -26,7 +26,9 @@ fn ping_pong_cosim(pairs: usize) -> Cosim {
         );
         p.transition(s, None, s);
         p.initial(s);
-        cosim.add_module(&p.build().expect("ok"), &[("chan", link)]).expect("added");
+        cosim
+            .add_module(&p.build().expect("ok"), &[("chan", link)])
+            .expect("added");
 
         let mut q = ModuleBuilder::new(format!("c{k}"), ModuleKind::Hardware);
         let done = q.var("D", Type::Bool, Value::Bool(false));
@@ -45,7 +47,19 @@ fn ping_pong_cosim(pairs: usize) -> Cosim {
         );
         q.transition(s, None, s);
         q.initial(s);
-        cosim.add_module(&q.build().expect("ok"), &[("chan", link)]).expect("added");
+        cosim
+            .add_module(&q.build().expect("ok"), &[("chan", link)])
+            .expect("added");
+    }
+    cosim
+}
+
+/// Units instantiated but never called: with controller gating their
+/// clocked steps are skipped once the protocol proves itself idle.
+fn idle_units_cosim(units: usize) -> Cosim {
+    let mut cosim = Cosim::new(CosimConfig::default());
+    for k in 0..units {
+        cosim.add_fsm_unit(&format!("quiet{k}"), handshake_unit("hs", Type::INT16));
     }
     cosim
 }
@@ -53,9 +67,22 @@ fn ping_pong_cosim(pairs: usize) -> Cosim {
 fn bench_cosim(c: &mut Criterion) {
     let mut group = c.benchmark_group("cosim_step");
     for pairs in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("ping_pong_pairs", pairs), &pairs, |b, &n| {
+        group.bench_with_input(
+            BenchmarkId::new("ping_pong_pairs", pairs),
+            &pairs,
+            |b, &n| {
+                b.iter_batched(
+                    || ping_pong_cosim(n),
+                    |mut cosim| cosim.run_for(Duration::from_us(50)).expect("runs"),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    for units in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("idle_units", units), &units, |b, &n| {
             b.iter_batched(
-                || ping_pong_cosim(n),
+                || idle_units_cosim(n),
                 |mut cosim| cosim.run_for(Duration::from_us(50)).expect("runs"),
                 criterion::BatchSize::SmallInput,
             );

@@ -1,7 +1,7 @@
 //! Front-end throughput: parse + elaborate the paper's module sources.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cosma_core::ModuleKind;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 const C_SRC: &str = r#"
 typedef enum { Start, SetupControlCall, Step, MotorPositionCall, Next, ReadStateCall, NextStep } DIST_STATES;
@@ -92,7 +92,11 @@ fn bench_frontends(c: &mut Criterion) {
             cosma_vhdl::ServiceBinding::new(
                 "Control_Interface",
                 "swhw_link",
-                &["READMOTORCONSTRAINTS", "READMOTORPOSITION", "RETURNMOTORSTATE"],
+                &[
+                    "READMOTORCONSTRAINTS",
+                    "READMOTORPOSITION",
+                    "RETURNMOTORSTATE",
+                ],
             ),
             cosma_vhdl::ServiceBinding::new(
                 "Motor_Interface",

@@ -1,7 +1,7 @@
 //! MC16 instruction-set simulator throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cosma_isa::{assemble, Cpu, NullBus};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_iss(c: &mut Criterion) {
     let mut group = c.benchmark_group("isa_iss");

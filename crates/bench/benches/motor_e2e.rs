@@ -1,23 +1,28 @@
 //! End-to-end motor-controller runs: wall-clock cost of completing the
 //! trajectory under co-simulation vs on the synthesized board.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cosma_board::BoardConfig;
 use cosma_cosim::CosimConfig;
 use cosma_motor::{build_board, build_cosim, MotorConfig};
 use cosma_sim::Duration;
 use cosma_synth::Encoding;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_motor(c: &mut Criterion) {
-    let cfg = MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() };
+    let cfg = MotorConfig {
+        segments: 2,
+        segment_len: 10,
+        ..MotorConfig::default()
+    };
     let mut group = c.benchmark_group("motor_e2e");
 
     group.bench_function("cosim_trajectory", |b| {
         b.iter_batched(
             || build_cosim(&cfg, CosimConfig::default()).expect("assembles"),
             |mut sys| {
-                let done =
-                    sys.run_to_completion(Duration::from_us(100), 300).expect("runs");
+                let done = sys
+                    .run_to_completion(Duration::from_us(100), 300)
+                    .expect("runs");
                 assert!(done);
             },
             criterion::BatchSize::SmallInput,
@@ -28,6 +33,26 @@ fn bench_motor(c: &mut Criterion) {
             || build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("assembles"),
             |mut sys| {
                 let done = sys.run_to_completion(1_000_000, 400).expect("runs");
+                assert!(done);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    // A longer trajectory stressing the rewritten scheduling core: more
+    // segments means more handshake traffic through the gated unit
+    // controllers and more timer-heap churn from the activation clocks.
+    let deep = MotorConfig {
+        segments: 8,
+        segment_len: 10,
+        ..MotorConfig::default()
+    };
+    group.bench_function("cosim_trajectory_deep", |b| {
+        b.iter_batched(
+            || build_cosim(&deep, CosimConfig::default()).expect("assembles"),
+            |mut sys| {
+                let done = sys
+                    .run_to_completion(Duration::from_us(100), 1200)
+                    .expect("runs");
                 assert!(done);
             },
             criterion::BatchSize::SmallInput,

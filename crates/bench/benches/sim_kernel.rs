@@ -1,8 +1,8 @@
 //! Discrete-event kernel throughput: events/second as the design scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosma_core::{Type, Value};
 use cosma_sim::{Duration, FnProcess, Simulator, Wait};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a simulator with `n` clocked counter processes on one clock.
 fn build(n: usize) -> Simulator {
@@ -36,34 +36,133 @@ fn bench_kernel(c: &mut Criterion) {
             );
         });
     }
-    // Delta-cycle chains: combinational depth inside one instant.
-    for depth in [8usize, 64] {
-        group.bench_with_input(BenchmarkId::new("delta_chain", depth), &depth, |b, &depth| {
+    // Sparse wakeups: many processes, one active signal. The inverted
+    // sensitivity index makes per-delta cost proportional to the active
+    // signal's watchers, not the process count.
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("sparse_wakeup", n), &n, |b, &n| {
             b.iter_batched(
                 || {
                     let mut sim = Simulator::new();
-                    let sigs: Vec<_> =
-                        (0..=depth).map(|i| sim.add_bit(format!("S{i}"))).collect();
-                    for i in 0..depth {
-                        let a = sigs[i];
-                        let z = sigs[i + 1];
+                    let clk = sim.add_bit("CLK");
+                    sim.add_clock("gen", clk, Duration::from_ns(100));
+                    let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+                    sim.add_process(
+                        "ctr",
+                        FnProcess::new(move |ctx| {
+                            if ctx.rose(clk) {
+                                let v = ctx.read_int(q);
+                                ctx.drive(q, Value::Int(v + 1));
+                            }
+                            Wait::Event(vec![clk])
+                        }),
+                    );
+                    for i in 0..n {
+                        let quiet = sim.add_bit(format!("QUIET{i}"));
                         sim.add_process(
-                            format!("inv{i}"),
+                            format!("idle{i}"),
+                            FnProcess::new(move |_ctx| Wait::Event(vec![quiet])),
+                        );
+                    }
+                    sim
+                },
+                |mut sim| sim.run_for(Duration::from_us(100)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    // Ablation: the identical sparse workload on the pre-index full-scan
+    // reference kernel (the seed's scheduling core), for before/after
+    // comparison in the same harness.
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("sparse_wakeup_fullscan_ref", n),
+            &n,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        use cosma_sim::reference::RefSimulator;
+                        let mut sim = RefSimulator::new();
+                        let clk = sim.add_bit("CLK");
+                        sim.add_clock(clk, Duration::from_ns(100));
+                        let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+                        sim.add_process(FnProcess::new(move |ctx| {
+                            if ctx.rose(clk) {
+                                let v = ctx.read_int(q);
+                                ctx.drive(q, Value::Int(v + 1));
+                            }
+                            Wait::Event(vec![clk])
+                        }));
+                        for i in 0..n {
+                            let quiet = sim.add_bit(format!("QUIET{i}"));
+                            sim.add_process(FnProcess::new(move |_ctx| Wait::Event(vec![quiet])));
+                        }
+                        sim
+                    },
+                    |mut sim| sim.run_for(Duration::from_us(100)).expect("runs"),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    // Timer storms: many independent `wait for` processes exercising the
+    // heap-based timer queue with lazy cancellation.
+    for n in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("timer_storm", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new();
+                    for i in 0..n {
+                        let t = sim.add_signal(format!("T{i}"), Type::INT16, Value::Int(0));
+                        let period = Duration::from_ns(7 + (i as u64 % 13) * 3);
+                        sim.add_process(
+                            format!("tick{i}"),
                             FnProcess::new(move |ctx| {
-                                let v = ctx.read_bit(a);
-                                ctx.drive(z, Value::Bit(!v));
-                                Wait::Event(vec![a])
+                                let v = ctx.read_int(t);
+                                ctx.drive(t, Value::Int(v + 1));
+                                Wait::Timeout(period)
                             }),
                         );
                     }
-                    let head = sigs[0];
-                    sim.add_clock("gen", head, Duration::from_ns(100));
                     sim
                 },
                 |mut sim| sim.run_for(Duration::from_us(10)).expect("runs"),
                 criterion::BatchSize::SmallInput,
             );
         });
+    }
+    // Delta-cycle chains: combinational depth inside one instant.
+    for depth in [8usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("delta_chain", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        let mut sim = Simulator::new();
+                        let sigs: Vec<_> =
+                            (0..=depth).map(|i| sim.add_bit(format!("S{i}"))).collect();
+                        for i in 0..depth {
+                            let a = sigs[i];
+                            let z = sigs[i + 1];
+                            sim.add_process(
+                                format!("inv{i}"),
+                                FnProcess::new(move |ctx| {
+                                    let v = ctx.read_bit(a);
+                                    ctx.drive(z, Value::Bit(!v));
+                                    Wait::Event(vec![a])
+                                }),
+                            );
+                        }
+                        let head = sigs[0];
+                        sim.add_clock("gen", head, Duration::from_ns(100));
+                        sim
+                    },
+                    |mut sim| sim.run_for(Duration::from_us(10)).expect("runs"),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }

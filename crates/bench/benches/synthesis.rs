@@ -1,12 +1,12 @@
 //! Co-synthesis runtimes and the state-encoding ablation (area/speed
 //! trade-off across binary, one-hot and gray encodings).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cosma_motor::{
     core_module, distribution_module, motor_link_unit, position_module, swhw_link_unit,
     timer_module, MotorConfig,
 };
 use cosma_synth::{compile_sw, flatten_module, synthesize_hw, Encoding, IoMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
 
 fn units() -> HashMap<String, std::sync::Arc<cosma_core::comm::CommUnitSpec>> {

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
         sw_cycle = ann.annotated_sw_cycle;
-        let annotated_cfg = CosimConfig { sw_cycle, ..nominal };
+        let annotated_cfg = CosimConfig {
+            sw_cycle,
+            ..nominal
+        };
         cs2 = build_cosim(&cfg, annotated_cfg)?;
         assert!(cs2.run_to_completion(Duration::from_us(500), 800)?);
         last_log = cs2.cosim.trace_log();
@@ -64,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nback-annotation {} the timing prediction (functionality unchanged: \
          both runs complete the trajectory)",
-        if after < before { "improves" } else { "does not improve" }
+        if after < before {
+            "improves"
+        } else {
+            "does not improve"
+        }
     );
     // Functionality must be unaffected by the annotation.
     for label in LABELS {

@@ -16,11 +16,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = vec![];
     for (name, cfg) in [
         ("default (4x25)", MotorConfig::default()),
-        ("short (2x10)", MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() }),
-        ("long (6x15)", MotorConfig { segments: 6, segment_len: 15, ..MotorConfig::default() }),
+        (
+            "short (2x10)",
+            MotorConfig {
+                segments: 2,
+                segment_len: 10,
+                ..MotorConfig::default()
+            },
+        ),
+        (
+            "long (6x15)",
+            MotorConfig {
+                segments: 6,
+                segment_len: 15,
+                ..MotorConfig::default()
+            },
+        ),
         (
             "fast motor",
-            MotorConfig { motor_speed: 5, max_pulse: 4, ..MotorConfig::default() },
+            MotorConfig {
+                motor_speed: 5,
+                max_pulse: 4,
+                ..MotorConfig::default()
+            },
         ),
     ] {
         let mut cs = build_cosim(&cfg, CosimConfig::default())?;
@@ -58,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nclaim C1 ({}) — the same description produces the same behaviour\n\
          under joint simulation and on the synthesized prototype",
-        if overall { "REPRODUCED" } else { "NOT reproduced" }
+        if overall {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

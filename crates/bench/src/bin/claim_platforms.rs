@@ -31,7 +31,12 @@ fn producer(service: &str) -> Module {
             result: None,
         })],
     );
-    p.transition_with(put, Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(N - 1)))), vec![], end);
+    p.transition_with(
+        put,
+        Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(N - 1)))),
+        vec![],
+        end,
+    );
     p.transition_with(
         put,
         Some(Expr::var(done)),
@@ -94,18 +99,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cosim.add_module(&producer("put"), &[("chan", link)])?;
         let cid = cosim.add_module(&consumer("get"), &[("chan", link)])?;
         cosim.run_for(Duration::from_us(80))?;
-        let sum = cosim.module_var(cid, "SUM").and_then(|v| v.as_int().ok()).unwrap_or(-1);
+        let sum = cosim
+            .module_var(cid, "SUM")
+            .and_then(|v| v.as_int().ok())
+            .unwrap_or(-1);
         results.push(("co-simulation / FSM handshake unit".into(), sum));
     }
 
     // 2a. Software-only platform over an OS FIFO.
     {
         let mut ipc = IpcPlatform::new();
-        let ch = ipc.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new("pipe", 4))));
+        let ch = ipc.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new(
+            "pipe", 4,
+        ))));
         ipc.add_module(&producer("put"), &[("chan", ch)])?;
         let cid = ipc.add_module(&consumer("get"), &[("chan", ch)])?;
         ipc.run(100)?;
-        let sum = ipc.module_var(cid, "SUM").and_then(|v| v.as_int().ok()).unwrap_or(-1);
+        let sum = ipc
+            .module_var(cid, "SUM")
+            .and_then(|v| v.as_int().ok())
+            .unwrap_or(-1);
         results.push(("software-only / UNIX-IPC FIFO".into(), sum));
     }
 
@@ -117,7 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ipc.add_module(&producer("send_a"), &[("chan", mb)])?;
         let cid = ipc.add_module(&consumer("recv_b"), &[("chan", mb)])?;
         ipc.run(100)?;
-        let sum = ipc.module_var(cid, "SUM").and_then(|v| v.as_int().ok()).unwrap_or(-1);
+        let sum = ipc
+            .module_var(cid, "SUM")
+            .and_then(|v| v.as_int().ok())
+            .unwrap_or(-1);
         results.push(("software-only / UNIX-IPC mailbox".into(), sum));
     }
 

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  average gap: {avg_gap:.2} us, worst gap: {max_gap:.2} us");
     println!(
         "  deadline {PULSE_DEADLINE_US:.1} us -> {} (margin {:.1}%)",
-        if max_gap <= PULSE_DEADLINE_US { "MET" } else { "MISSED" },
+        if max_gap <= PULSE_DEADLINE_US {
+            "MET"
+        } else {
+            "MISSED"
+        },
         100.0 * (PULSE_DEADLINE_US - max_gap) / PULSE_DEADLINE_US
     );
 
@@ -61,13 +65,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  deadline {TURNAROUND_DEADLINE_MS:.1} ms -> {} (worst {worst_ta:.3} ms, margin {:.1}%)",
-        if worst_ta <= TURNAROUND_DEADLINE_MS { "MET" } else { "MISSED" },
+        if worst_ta <= TURNAROUND_DEADLINE_MS {
+            "MET"
+        } else {
+            "MISSED"
+        },
         100.0 * (TURNAROUND_DEADLINE_MS - worst_ta) / TURNAROUND_DEADLINE_MS
     );
 
     // Bus headroom: how much of the CPU's time went to bus waits.
     let stats = sys.board.bus_stats(sys.cpu);
-    let bus_cycles = (stats.reads + stats.writes) * u64::from(BoardConfig::default().bus_wait_cycles + 4);
+    let bus_cycles =
+        (stats.reads + stats.writes) * u64::from(BoardConfig::default().bus_wait_cycles + 4);
     let total_cycles = sys.board.cpu_cycles(sys.cpu);
     println!(
         "\nbus occupancy: {} transactions, ~{:.1}% of {} CPU cycles",

@@ -69,8 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bindings: vec![cosma_cfront::ServiceBinding::new("iface", "hs", &["put"])],
         },
     )?;
-    println!("  C  -> module `{}`: {} states, {} vars", sender.name(),
-        sender.fsm().state_count(), sender.vars().len());
+    println!(
+        "  C  -> module `{}`: {} states, {} vars",
+        sender.name(),
+        sender.fsm().state_count(),
+        sender.vars().len()
+    );
     let hw = cosma_vhdl::compile_entity(
         VHDL_SRC,
         "SINK",
@@ -78,8 +82,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bindings: vec![cosma_vhdl::ServiceBinding::new("iface", "hs", &["GET"])],
         },
     )?;
-    println!("  VHDL -> entity `{}`: {} process(es), {} net(s)", hw.name,
-        hw.modules.len(), hw.nets.len());
+    println!(
+        "  VHDL -> entity `{}`: {} process(es), {} net(s)",
+        hw.name,
+        hw.modules.len(),
+        hw.nets.len()
+    );
     let unit = handshake_unit("hs", Type::INT16);
     println!(
         "  communication unit `{}` from the library: {} wires, {} services, controller: yes",
@@ -96,16 +104,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nets: Vec<_> = hw
         .nets
         .iter()
-        .map(|n| cosim.sim_mut().add_signal(format!("SINK.{}", n.name), n.ty.clone(), n.init.clone()))
+        .map(|n| {
+            cosim
+                .sim_mut()
+                .add_signal(format!("SINK.{}", n.name), n.ty.clone(), n.init.clone())
+        })
         .collect();
     for m in &hw.modules {
         cosim.add_module_with_ports(m, &[("iface", link)], nets.clone())?;
     }
     cosim.run_for(Duration::from_us(60))?;
     let total_sig = cosim.sim().find_signal("SINK.TOTAL").expect("net exists");
-    println!("  SINK.TOTAL after run: {:?} (expect 3+9+27+81 = 120)", cosim.sim().value(total_sig));
+    println!(
+        "  SINK.TOTAL after run: {:?} (expect 3+9+27+81 = 120)",
+        cosim.sim().value(total_sig)
+    );
     let ks = cosim.sim().stats();
-    println!("  kernel: {} process runs, {} events, {} deltas", ks.process_runs, ks.events, ks.deltas);
+    println!(
+        "  kernel: {} process runs, {} events, {} deltas",
+        ks.process_runs, ks.events, ks.deltas
+    );
 
     // Stage 3: co-synthesis — same descriptions, views swapped.
     println!("\n[stage 3] co-synthesis (same description, target views)");

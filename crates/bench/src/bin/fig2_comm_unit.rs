@@ -16,11 +16,15 @@ fn main() {
         println!("  wire {:<8} : {}", w.name(), w.ty());
     }
     for s in spec.services() {
-        let args: Vec<String> =
-            s.args().iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let args: Vec<String> = s.args().iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let ret = s.returns().map(|t| format!(" -> {t}")).unwrap_or_default();
-        println!("  service {}({}){} [{} protocol states]", s.name(), args.join(", "), ret,
-            s.fsm().state_count());
+        println!(
+            "  service {}({}){} [{} protocol states]",
+            s.name(),
+            args.join(", "),
+            ret,
+            s.fsm().state_count()
+        );
     }
 
     let mut unit = FsmUnitRuntime::new(spec.clone());
@@ -29,7 +33,10 @@ fn main() {
     let server = CallerId(2);
 
     println!("\nactivation ledger (HOST puts 5 messages, SERVER gets them):");
-    println!("{:>5} {:>12} {:>12} {:>14}", "step", "host", "server", "controller");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14}",
+        "step", "host", "server", "controller"
+    );
     let mut to_send = vec![10i64, 20, 30, 40, 50];
     let mut received = vec![];
     let mut step = 0;
@@ -37,7 +44,9 @@ fn main() {
         step += 1;
         let host_evt = if !to_send.is_empty() {
             let v = to_send[0];
-            let out = unit.call(host, "put", &[Value::Int(v)], &mut wires).expect("put");
+            let out = unit
+                .call(host, "put", &[Value::Int(v)], &mut wires)
+                .expect("put");
             if out.done {
                 to_send.remove(0);
                 format!("put({v})=DONE")

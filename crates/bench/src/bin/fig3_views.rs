@@ -46,7 +46,10 @@ fn main() {
     assert!(views.sw_synth[&SwTarget::PcAtBus].contains("inport"));
     assert!(views.sw_synth[&SwTarget::UnixIpc].contains("ipc_read"));
     assert!(views.sw_synth[&SwTarget::Microcode].contains("mc_read"));
-    assert!(views.view(View::Hw).expect("hw view").contains("procedure PUT"));
+    assert!(views
+        .view(View::Hw)
+        .expect("hw view")
+        .contains("procedure PUT"));
     assert!(all_equal, "C views must share one FSM skeleton");
     println!("\nall views derive from one protocol FSM — equivalence by construction");
 }

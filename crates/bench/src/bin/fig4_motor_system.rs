@@ -12,13 +12,23 @@ use cosma_sim::Duration;
 fn run_axis(name: &str, cfg: &MotorConfig) -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = build_cosim(cfg, CosimConfig::default())?;
     let done = sys.run_to_completion(Duration::from_us(100), 300)?;
-    println!("\n--- axis {name}: {} segments x {} counts ---", cfg.segments, cfg.segment_len);
-    println!("completed: {done}, final position: {}", sys.motor.borrow().position());
+    println!(
+        "\n--- axis {name}: {} segments x {} counts ---",
+        cfg.segments, cfg.segment_len
+    );
+    println!(
+        "completed: {done}, final position: {}",
+        sys.motor.borrow().position()
+    );
     let log = sys.cosim.trace_log();
-    let sent: Vec<i64> =
-        log.with_label("send_pos").map(|e| e.values[0].as_int().unwrap()).collect();
-    let reached: Vec<i64> =
-        log.with_label("motor_state").map(|e| e.values[0].as_int().unwrap()).collect();
+    let sent: Vec<i64> = log
+        .with_label("send_pos")
+        .map(|e| e.values[0].as_int().unwrap())
+        .collect();
+    let reached: Vec<i64> = log
+        .with_label("motor_state")
+        .map(|e| e.values[0].as_int().unwrap())
+        .collect();
     println!("{:>8} {:>10} {:>10}", "segment", "target", "reached");
     for (k, (t, r)) in sent.iter().zip(&reached).enumerate() {
         println!("{:>8} {:>10} {:>10}", k + 1, t, r);
@@ -40,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Y axis: a different trajectory shape (more, shorter segments).
     run_axis(
         "Y",
-        &MotorConfig { segments: 6, segment_len: 10, ..MotorConfig::default() },
+        &MotorConfig {
+            segments: 6,
+            segment_len: 10,
+            ..MotorConfig::default()
+        },
     )?;
     println!("\nboth axes converge segment-by-segment — continuous 2-D movement");
     Ok(())

@@ -17,8 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Figure 5: partitioned system and its communication units ===\n");
 
     println!("system inventory:");
-    for m in [distribution_module(&cfg), position_module(&cfg), core_module(), timer_module(&cfg)]
-    {
+    for m in [
+        distribution_module(&cfg),
+        position_module(&cfg),
+        core_module(),
+        timer_module(&cfg),
+    ] {
         let binds: Vec<String> = m
             .bindings()
             .iter()
@@ -34,8 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for u in [swhw_link_unit(), motor_link_unit()] {
         let svcs: Vec<&str> = u.services().iter().map(|s| s.name()).collect();
-        println!("  unit {:<12} wires: {}, services: [{}]", u.name(), u.wires().len(),
-            svcs.join(", "));
+        println!(
+            "  unit {:<12} wires: {}, services: [{}]",
+            u.name(),
+            u.wires().len(),
+            svcs.join(", ")
+        );
     }
 
     let mut sys = build_cosim(&cfg, CosimConfig::default())?;
@@ -45,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for unit in ["swhw", "mlink"] {
         let stats = sys.cosim.unit_stats(unit).expect("unit exists");
         println!("\nunit `{unit}` service traffic:");
-        println!("{:>22} {:>10} {:>12} {:>10}", "service", "calls", "completions", "util%");
+        println!(
+            "{:>22} {:>10} {:>12} {:>10}",
+            "service", "calls", "completions", "util%"
+        );
         let mut names: Vec<&String> = stats.services.keys().collect();
         names.sort();
         for name in names {
@@ -55,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 0.0
             };
-            println!("{name:>22} {:>10} {:>12} {util:>9.1}%", s.calls, s.completions);
+            println!(
+                "{name:>22} {:>10} {:>12} {util:>9.1}%",
+                s.calls, s.completions
+            );
         }
         println!("{:>22} {:>10}", "controller steps", stats.controller_steps);
     }

@@ -94,7 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &["SetupControl", "MotorPosition", "ReadMotorState"],
         )],
     };
-    let module = compile_module(DISTRIBUTION_SRC, "DISTRIBUTION", ModuleKind::Software, &opts)?;
+    let module = compile_module(
+        DISTRIBUTION_SRC,
+        "DISTRIBUTION",
+        ModuleKind::Software,
+        &opts,
+    )?;
     println!(
         "elaborated: {} states, {} variables, binding `{}`",
         module.fsm().state_count(),
@@ -116,7 +121,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pos = module.var_id("POSITION").expect("var exists");
 
     println!("\nactivation trace (one transition per activation):");
-    println!("{:>5} {:>20} -> {:<20} {:>9}", "act", "from", "to", "POSITION");
+    println!(
+        "{:>5} {:>20} -> {:<20} {:>9}",
+        "act", "from", "to", "POSITION"
+    );
     for act in 1..=60 {
         let from = fsm.state(exec.current()).name().to_string();
         exec.step(fsm, &mut env)?;
@@ -131,7 +139,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
     }
-    println!("\nservice call sequence (first 12): {:?}", &env.calls[..env.calls.len().min(12)]);
+    println!(
+        "\nservice call sequence (first 12): {:?}",
+        &env.calls[..env.calls.len().min(12)]
+    );
     println!("total service calls: {}", env.calls.len());
 
     // Render the module back to C — the same shape as the figure.

@@ -93,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ServiceBinding::new(
                 "Control_Interface",
                 "swhw_link",
-                &["READMOTORCONSTRAINTS", "READMOTORPOSITION", "RETURNMOTORSTATE"],
+                &[
+                    "READMOTORCONSTRAINTS",
+                    "READMOTORPOSITION",
+                    "RETURNMOTORSTATE",
+                ],
             ),
             ServiceBinding::new(
                 "Motor_Interface",
@@ -116,7 +120,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nets: Vec<_> = hw
         .nets
         .iter()
-        .map(|n| cosim.sim_mut().add_signal(format!("SC.{}", n.name), n.ty.clone(), n.init.clone()))
+        .map(|n| {
+            cosim
+                .sim_mut()
+                .add_signal(format!("SC.{}", n.name), n.ty.clone(), n.init.clone())
+        })
         .collect();
     let mut ids = vec![];
     for m in &hw.modules {
@@ -137,7 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sig(&cosim, "SAMPLED_POS"),
         cosim.trace_handle(),
     );
-    cosim.sim_mut().add_process("motor", adapter);
+    adapter.attach(cosim.sim_mut());
 
     // Testbench: poke the SW-side mailboxes directly (constraints, then a
     // target position of 30).
@@ -146,17 +154,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pos_reg = cosim.sim().find_signal("swhw.POS_REG").unwrap();
     let pos_full = cosim.sim().find_signal("swhw.POS_FULL").unwrap();
     cosim.sim_mut().poke(ctl_reg, cosma_core::Value::Int(100));
-    cosim.sim_mut().poke(ctl_full, cosma_core::Value::Bit(cosma_core::Bit::One));
+    cosim
+        .sim_mut()
+        .poke(ctl_full, cosma_core::Value::Bit(cosma_core::Bit::One));
     cosim.run_for(Duration::from_us(2))?;
     cosim.sim_mut().poke(pos_reg, cosma_core::Value::Int(30));
-    cosim.sim_mut().poke(pos_full, cosma_core::Value::Bit(cosma_core::Bit::One));
+    cosim
+        .sim_mut()
+        .poke(pos_full, cosma_core::Value::Bit(cosma_core::Bit::One));
     cosim.run_for(Duration::from_us(60))?;
 
     println!("\nafter the run:");
-    println!("  motor position: {} (target 30)", motor.borrow().position());
+    println!(
+        "  motor position: {} (target 30)",
+        motor.borrow().position()
+    );
     for (m, id) in hw.modules.iter().zip(&ids) {
         let st = cosim.module_status(*id);
-        println!("  {} in state {} after {} activations", m.name(), st.state, st.activations);
+        println!(
+            "  {} in state {} after {} activations",
+            m.name(),
+            st.state,
+            st.activations
+        );
     }
     let pulses: Vec<i64> = cosim
         .trace_log()

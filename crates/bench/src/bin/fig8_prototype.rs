@@ -25,8 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sys = build_board(&cfg, bcfg, Encoding::Binary)?;
 
     println!("\nsoftware part (Distribution on the CPU):");
-    println!("  image: {} words ({} bytes of EPROM)", sys.program.image.len_words(),
-        sys.program.image.len_words() * 2);
+    println!(
+        "  image: {} words ({} bytes of EPROM)",
+        sys.program.image.len_words(),
+        sys.program.image.len_words() * 2
+    );
     println!("  bus window at {:#05x}:", sys.program.io.base());
     for (name, addr) in sys.program.io.entries() {
         println!("    {addr:#06x}  {name}");
@@ -44,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &sys.reports {
         println!(
             "  {:<14} {:>7} {:>6} {:>6} {:>6} {:>7} {:>7.1}MHz",
-            r.module, r.states, r.tech.luts, r.tech.ffs, r.tech.clbs, r.tech.depth,
-            r.tech.fmax_mhz
+            r.module, r.states, r.tech.luts, r.tech.ffs, r.tech.clbs, r.tech.depth, r.tech.fmax_mhz
         );
         luts += r.tech.luts;
         ffs += r.tech.ffs;
@@ -66,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let done = sys.run_to_completion(1_000_000, 400)?;
     let elapsed_ms = sys.board.now_fs() as f64 / 1e12;
     println!("  trajectory complete: {done} after {elapsed_ms:.2} ms of board time");
-    println!("  motor position: {} / {}", sys.motor.borrow().position(), cfg.total_distance());
+    println!(
+        "  motor position: {} / {}",
+        sys.motor.borrow().position(),
+        cfg.total_distance()
+    );
     let stats = sys.board.bus_stats(sys.cpu);
     println!(
         "  cpu: {} cycles; bus: {} reads, {} writes, {} unmapped",

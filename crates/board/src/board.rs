@@ -9,8 +9,8 @@
 
 use crate::fabric::Fabric;
 use crate::wire_bank::{SlotId, WireBank};
-use cosma_cosim::TraceLog;
 use cosma_core::Value;
+use cosma_cosim::TraceLog;
 use cosma_isa::{Cpu, CpuError, PortBus};
 use cosma_synth::{SwProgram, TRACE_PORT_BASE, TRACE_SLOTS};
 use std::collections::HashMap;
@@ -139,9 +139,13 @@ impl PortBus for BusAdapter<'_> {
                     pend[slot] = u64::from(value);
                 }
                 if slot + 1 == *arity {
-                    let values: Vec<Value> =
-                        pend.iter().take(*arity).map(|&w| Value::Int((w as u16) as i16 as i64)).collect();
-                    self.trace.record(self.now_fs, self.source, label.clone(), values);
+                    let values: Vec<Value> = pend
+                        .iter()
+                        .take(*arity)
+                        .map(|&w| Value::Int((w as u16) as i16 as i64))
+                        .collect();
+                    self.trace
+                        .record(self.now_fs, self.source, label.clone(), values);
                 }
             }
             return 0; // trace ports live off-bus (debug port, no wait)
@@ -230,8 +234,11 @@ impl Board {
     /// Installs a compiled program on a new CPU. Bank slots for all its
     /// mapped ports are created (widths from the program's port table).
     pub fn add_cpu(&mut self, name: &str, program: &SwProgram) -> CpuId {
-        let widths: HashMap<&str, u32> =
-            program.port_widths.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+        let widths: HashMap<&str, u32> = program
+            .port_widths
+            .iter()
+            .map(|(n, w)| (n.as_str(), *w))
+            .collect();
         let mut io_slots = HashMap::new();
         for (pname, addr) in program.io.entries() {
             let width = widths.get(pname.as_str()).copied().unwrap_or(16);
@@ -240,8 +247,11 @@ impl Board {
         }
         let mut cpu = Cpu::new();
         cpu.load_image(&program.image);
-        let pending_trace =
-            program.trace_labels.iter().map(|(_, arity)| vec![0u64; *arity]).collect();
+        let pending_trace = program
+            .trace_labels
+            .iter()
+            .map(|(_, arity)| vec![0u64; *arity])
+            .collect();
         let id = CpuId(self.cpus.len());
         self.cpus.push(CpuSlot {
             name: name.to_string(),
@@ -306,7 +316,13 @@ impl Board {
                 self.fabric_time_fs += self.fpga_period_fs;
             } else {
                 let (i, _) = next_cpu.expect("cpu event chosen");
-                let Board { bank, cpus, trace, config, .. } = self;
+                let Board {
+                    bank,
+                    cpus,
+                    trace,
+                    config,
+                    ..
+                } = self;
                 let slot = &mut cpus[i];
                 let mut bus = BusAdapter {
                     bank,
@@ -337,6 +353,18 @@ impl Board {
     /// Same as [`Board::run_for_fs`].
     pub fn run_for_ns(&mut self, ns: u64) -> Result<(), BoardError> {
         self.run_for_fs(ns * 1_000_000)
+    }
+
+    /// Whether anything on the board can still change state: a CPU that
+    /// has not halted, or clocked hardware (netlists / peripherals) in
+    /// the fabric. The board-side counterpart of the kernel's
+    /// `pending_activity`, used by run-to-completion loops to stop
+    /// polling a dead system.
+    #[must_use]
+    pub fn pending_activity(&self) -> bool {
+        self.cpus.iter().any(|c| !c.cpu.is_halted())
+            || self.fabric.instance_count() > 0
+            || !self.peripherals.is_empty()
     }
 
     /// Current board time in femtoseconds.
@@ -399,12 +427,18 @@ mod tests {
         let end = b.state("END");
         b.actions(
             s1,
-            vec![Stmt::drive(w, Expr::int(5)), Stmt::Trace("w".into(), vec![Expr::int(5)])],
+            vec![
+                Stmt::drive(w, Expr::int(5)),
+                Stmt::Trace("w".into(), vec![Expr::int(5)]),
+            ],
         );
         b.transition(s1, None, s2);
         b.actions(
             s2,
-            vec![Stmt::drive(w, Expr::int(6)), Stmt::Trace("w".into(), vec![Expr::int(6)])],
+            vec![
+                Stmt::drive(w, Expr::int(6)),
+                Stmt::Trace("w".into(), vec![Expr::int(6)]),
+            ],
         );
         b.transition(s2, None, end);
         b.transition(end, None, end);
@@ -422,8 +456,10 @@ mod tests {
         board.run_for_ns(100_000).unwrap();
         assert_eq!(board.bank().read_named("W"), Some(6));
         let log = board.trace_log();
-        let ws: Vec<i64> =
-            log.with_label("w").map(|e| e.values[0].as_int().unwrap()).collect();
+        let ws: Vec<i64> = log
+            .with_label("w")
+            .map(|e| e.values[0].as_int().unwrap())
+            .collect();
         assert_eq!(ws, vec![5, 6]);
         let stats = board.bus_stats(cpu);
         assert!(stats.writes >= 2);
@@ -439,7 +475,11 @@ mod tests {
         let done = b.port("DONE_FLAG", PortDir::Out, Type::INT16);
         let wait = b.state("WAIT");
         let fin = b.state("FIN");
-        b.transition(wait, Some(Expr::port(ready).eq(Expr::bit(cosma_core::Bit::One))), fin);
+        b.transition(
+            wait,
+            Some(Expr::port(ready).eq(Expr::bit(cosma_core::Bit::One))),
+            fin,
+        );
         b.actions(fin, vec![Stmt::drive(done, Expr::int(1))]);
         b.transition(fin, None, fin);
         b.initial(wait);
@@ -474,10 +514,16 @@ mod tests {
         let m = writer_module();
         let io = IoMap::for_module(0x300, &m);
         let prog = compile_sw(&m, &io).unwrap();
-        let mut fast = Board::new(BoardConfig { bus_wait_cycles: 0, ..BoardConfig::default() });
+        let mut fast = Board::new(BoardConfig {
+            bus_wait_cycles: 0,
+            ..BoardConfig::default()
+        });
         let fcpu = fast.add_cpu("w", &prog);
         fast.run_for_ns(20_000).unwrap();
-        let mut slow = Board::new(BoardConfig { bus_wait_cycles: 20, ..BoardConfig::default() });
+        let mut slow = Board::new(BoardConfig {
+            bus_wait_cycles: 20,
+            ..BoardConfig::default()
+        });
         let scpu = slow.add_cpu("w", &prog);
         slow.run_for_ns(20_000).unwrap();
         // Same wall-clock budget, more cycles burnt on waits -> fewer

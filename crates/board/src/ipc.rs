@@ -9,11 +9,11 @@
 //! here demonstrates the paper's multi-platform claim.
 
 use cosma_comm::{CallerId, StandaloneUnit};
-use cosma_cosim::TraceLog;
 use cosma_core::ids::{PortId, VarId};
 use cosma_core::{
     Env, EvalError, FsmExec, Module, ReadEnv, ServiceCall, ServiceOutcome, Type, Value,
 };
+use cosma_cosim::TraceLog;
 use std::fmt;
 
 /// Identifies a module on the platform.
@@ -70,10 +70,16 @@ struct IpcEnv<'a> {
 
 impl ReadEnv for IpcEnv<'_> {
     fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
-        self.vars.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+        self.vars
+            .get(v.index())
+            .cloned()
+            .ok_or(EvalError::NoSuchVar(v))
     }
     fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
-        self.ports.get(p.index()).cloned().ok_or(EvalError::NoSuchPort(p))
+        self.ports
+            .get(p.index())
+            .cloned()
+            .ok_or(EvalError::NoSuchPort(p))
     }
 }
 
@@ -84,7 +90,10 @@ impl Env for IpcEnv<'_> {
         Ok(())
     }
     fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
-        let ty = self.port_tys.get(p.index()).ok_or(EvalError::NoSuchPort(p))?;
+        let ty = self
+            .port_tys
+            .get(p.index())
+            .ok_or(EvalError::NoSuchPort(p))?;
         self.ports[p.index()] = ty.clamp(value);
         Ok(())
     }
@@ -93,14 +102,16 @@ impl Env for IpcEnv<'_> {
         call: &ServiceCall,
         args: &[Value],
     ) -> Result<ServiceOutcome, EvalError> {
-        let ui = *self.bindings.get(call.binding.index()).ok_or_else(|| {
-            EvalError::Service(format!("binding {} unbound", call.binding))
-        })?;
+        let ui = *self
+            .bindings
+            .get(call.binding.index())
+            .ok_or_else(|| EvalError::Service(format!("binding {} unbound", call.binding)))?;
         let caller = CallerId(self.caller_base * 256 + call.binding.raw() as u64);
         self.units[ui].call(caller, &call.service, args)
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
-        self.trace.record(self.now, self.source, label, values.to_vec());
+        self.trace
+            .record(self.now, self.source, label, values.to_vec());
     }
 }
 
@@ -137,7 +148,12 @@ impl IpcPlatform {
     /// Creates an empty platform.
     #[must_use]
     pub fn new() -> Self {
-        IpcPlatform { modules: vec![], units: vec![], trace: TraceLog::new(), steps: 0 }
+        IpcPlatform {
+            modules: vec![],
+            units: vec![],
+            trace: TraceLog::new(),
+            steps: 0,
+        }
     }
 
     /// Installs a communication unit (typically a native mailbox/FIFO;
@@ -180,7 +196,11 @@ impl IpcPlatform {
             exec: FsmExec::new(module.fsm()),
             vars: module.vars().iter().map(|v| v.init().clone()).collect(),
             var_tys: module.vars().iter().map(|v| v.ty().clone()).collect(),
-            ports: module.ports().iter().map(|p| p.ty().default_value()).collect(),
+            ports: module
+                .ports()
+                .iter()
+                .map(|p| p.ty().default_value())
+                .collect(),
             port_tys: module.ports().iter().map(|p| p.ty().clone()).collect(),
             bindings: resolved,
             module: module.clone(),
@@ -214,7 +234,8 @@ impl IpcPlatform {
                 .map_err(|e| IpcError::Runtime(format!("module {}: {e}", m.name)))?;
         }
         for u in &mut self.units {
-            u.step().map_err(|e| IpcError::Runtime(format!("unit {}: {e}", u.name())))?;
+            u.step()
+                .map_err(|e| IpcError::Runtime(format!("unit {}: {e}", u.name())))?;
         }
         Ok(())
     }
@@ -347,10 +368,15 @@ mod tests {
     #[test]
     fn fifo_pipeline_runs() {
         let mut plat = IpcPlatform::new();
-        let ch =
-            plat.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new("pipe", 4))));
-        let p = plat.add_module(&producer("put", 4), &[("chan", ch)]).unwrap();
-        let c = plat.add_module(&consumer("get", 4), &[("chan", ch)]).unwrap();
+        let ch = plat.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new(
+            "pipe", 4,
+        ))));
+        let p = plat
+            .add_module(&producer("put", 4), &[("chan", ch)])
+            .unwrap();
+        let c = plat
+            .add_module(&consumer("get", 4), &[("chan", ch)])
+            .unwrap();
         plat.run(50).unwrap();
         assert_eq!(plat.module_state(p), "END");
         assert_eq!(plat.module_state(c), "END");
@@ -448,9 +474,11 @@ mod tests {
     #[test]
     fn unknown_service_is_runtime_error() {
         let mut plat = IpcPlatform::new();
-        let ch =
-            plat.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new("pipe", 1))));
-        plat.add_module(&producer("bogus", 1), &[("chan", ch)]).unwrap();
+        let ch = plat.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new(
+            "pipe", 1,
+        ))));
+        plat.add_module(&producer("bogus", 1), &[("chan", ch)])
+            .unwrap();
         let err = plat.run(5).unwrap_err();
         assert!(matches!(err, IpcError::Runtime(_)));
         assert!(err.to_string().contains("bogus"));

@@ -98,9 +98,9 @@ impl CUnit {
     /// Finds a function by name.
     #[must_use]
     pub fn function(&self, name: &str) -> Option<&CDecl> {
-        self.decls.iter().find(
-            |d| matches!(d, CDecl::Function { name: n, .. } if n == name),
-        )
+        self.decls
+            .iter()
+            .find(|d| matches!(d, CDecl::Function { name: n, .. } if n == name))
     }
 
     /// Names of all defined functions.

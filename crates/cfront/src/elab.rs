@@ -71,7 +71,9 @@ impl fmt::Display for ElabError {
 impl std::error::Error for ElabError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ElabError> {
-    Err(ElabError { message: message.into() })
+    Err(ElabError {
+        message: message.into(),
+    })
 }
 
 struct Elab {
@@ -358,7 +360,9 @@ pub fn elaborate(
         return err("switch scrutinee must be the state variable");
     };
     let Some(Type::Enum(state_enum)) = elab.var_tys.get(state_var).cloned() else {
-        return err(format!("state variable {state_var} must be an enum-typed global"));
+        return err(format!(
+            "state variable {state_var} must be an enum-typed global"
+        ));
     };
     let state_var_id = elab.vars[state_var];
 
@@ -369,15 +373,21 @@ pub fn elaborate(
         match &arm.label {
             Some(l) => {
                 if state_enum.index_of(l).is_none() {
-                    return err(format!("case label {l} is not a variant of {}", state_enum.name()));
+                    return err(format!(
+                        "case label {l} is not a variant of {}",
+                        state_enum.name()
+                    ));
                 }
                 arm_map.insert(l.as_str(), arm);
             }
             None => default_arm = Some(arm),
         }
     }
-    let state_ids: Vec<_> =
-        state_enum.variants().iter().map(|v| elab.builder.state(v.clone())).collect();
+    let state_ids: Vec<_> = state_enum
+        .variants()
+        .iter()
+        .map(|v| elab.builder.state(v.clone()))
+        .collect();
     let variants_owned: Vec<String> = state_enum.variants().to_vec();
     for (vi, vname) in variants_owned.iter().enumerate() {
         let sid = state_ids[vi];
@@ -389,11 +399,21 @@ pub fn elaborate(
         let mut targets = vec![];
         // Prologue runs every activation, before the case body.
         for p in &prologue {
-            elab.lower_stmts(std::slice::from_ref(*p), state_var, &mut targets, &mut actions)?;
+            elab.lower_stmts(
+                std::slice::from_ref(*p),
+                state_var,
+                &mut targets,
+                &mut actions,
+            )?;
         }
         elab.lower_stmts(body, state_var, &mut targets, &mut actions)?;
         for e in &epilogue {
-            elab.lower_stmts(std::slice::from_ref(*e), state_var, &mut targets, &mut actions)?;
+            elab.lower_stmts(
+                std::slice::from_ref(*e),
+                state_var,
+                &mut targets,
+                &mut actions,
+            )?;
         }
         elab.builder.actions(sid, actions);
         for target in targets {
@@ -403,7 +423,8 @@ pub fn elaborate(
             let guard = Expr::var(state_var_id).eq(Expr::Const(Value::Enum(
                 EnumValue::from_index(state_enum.clone(), tidx).expect("valid index"),
             )));
-            elab.builder.transition(sid, Some(guard), state_ids[tidx as usize]);
+            elab.builder
+                .transition(sid, Some(guard), state_ids[tidx as usize]);
         }
     }
     // Initial state = the state variable's initial value.
@@ -424,7 +445,9 @@ pub fn elaborate(
         .transpose()?
         .unwrap_or(0);
     elab.builder.initial(state_ids[init_idx]);
-    elab.builder.build().map_err(|e| ElabError { message: e.to_string() })
+    elab.builder.build().map_err(|e| ElabError {
+        message: e.to_string(),
+    })
 }
 
 /// Parses and elaborates in one step.
@@ -438,6 +461,8 @@ pub fn compile_module(
     kind: ModuleKind,
     opts: &ElabOptions,
 ) -> Result<Module, ElabError> {
-    let unit = crate::parser::parse(src).map_err(|e| ElabError { message: e.to_string() })?;
+    let unit = crate::parser::parse(src).map_err(|e| ElabError {
+        message: e.to_string(),
+    })?;
     elaborate(&unit, function, kind, opts)
 }

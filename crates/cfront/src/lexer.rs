@@ -53,8 +53,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "+", "-", "*", "/", "%", "<", ">",
-    "=", "!", "~", "&", "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", ":", ".", "?",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "+", "-", "*", "/", "%", "<", ">", "=",
+    "!", "~", "&", "|", "^", "(", ")", "{", "}", "[", "]", ";", ",", ":", ".", "?",
 ];
 
 /// Tokenizes C-subset source.
@@ -109,7 +109,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                 i += 1;
             }
-            out.push(Spanned { tok: Tok::Ident(bytes[start..i].iter().collect()), line });
+            out.push(Spanned {
+                tok: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -124,9 +127,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             let text: String = bytes[start..i].iter().collect();
             let digits = if radix == 16 { &text[2..] } else { &text[..] };
-            let v = i64::from_str_radix(digits, radix)
-                .map_err(|_| LexError { line, ch: c })?;
-            out.push(Spanned { tok: Tok::Int(v), line });
+            let v = i64::from_str_radix(digits, radix).map_err(|_| LexError { line, ch: c })?;
+            out.push(Spanned {
+                tok: Tok::Int(v),
+                line,
+            });
             continue;
         }
         // Character literal like '1' used in bit comparisons maps to an
@@ -137,14 +142,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 '1' => 1,
                 other => return Err(LexError { line, ch: other }),
             };
-            out.push(Spanned { tok: Tok::Int(v), line });
+            out.push(Spanned {
+                tok: Tok::Int(v),
+                line,
+            });
             i += 3;
             continue;
         }
         let mut matched = false;
         for p in PUNCTS {
             if bytes[i..].starts_with(&p.chars().collect::<Vec<_>>()[..]) {
-                out.push(Spanned { tok: Tok::Punct(p), line });
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
                 matched = true;
                 break;
@@ -154,7 +165,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             return Err(LexError { line, ch: c });
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

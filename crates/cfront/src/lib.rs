@@ -206,7 +206,10 @@ int DISTRIBUTION()
         // Second call completes -> Step.
         exec.step(fsm, &mut env).unwrap();
         assert_eq!(fsm.state(exec.current()).name(), "Step");
-        assert_eq!(env.log.iter().filter(|(s, _)| s == "SetupControl").count(), 2);
+        assert_eq!(
+            env.log.iter().filter(|(s, _)| s == "SetupControl").count(),
+            2
+        );
     }
 
     #[test]
@@ -254,24 +257,24 @@ typedef enum { A } ST;
 ST S = A;
 int F() { switch (S) { case A: { if (Mystery()) { S = A; } } break; } return 1; }
 "#;
-        let e = compile_module(src, "F", ModuleKind::Software, &ElabOptions::default())
-            .unwrap_err();
+        let e =
+            compile_module(src, "F", ModuleKind::Software, &ElabOptions::default()).unwrap_err();
         assert!(e.to_string().contains("Mystery"), "{e}");
     }
 
     #[test]
     fn missing_switch_reported() {
         let src = "int F() { return 1; }\n";
-        let e = compile_module(src, "F", ModuleKind::Software, &ElabOptions::default())
-            .unwrap_err();
+        let e =
+            compile_module(src, "F", ModuleKind::Software, &ElabOptions::default()).unwrap_err();
         assert!(e.to_string().contains("switch"), "{e}");
     }
 
     #[test]
     fn non_enum_state_var_reported() {
         let src = "int S = 0;\nint F() { switch (S) { case A: { } break; } return 1; }\n";
-        let e = compile_module(src, "F", ModuleKind::Software, &ElabOptions::default())
-            .unwrap_err();
+        let e =
+            compile_module(src, "F", ModuleKind::Software, &ElabOptions::default()).unwrap_err();
         assert!(e.to_string().contains("enum"), "{e}");
     }
 
@@ -282,8 +285,8 @@ typedef enum { A } ST;
 ST S = A;
 int F() { switch (S) { case B: { } break; } return 1; }
 "#;
-        let e = compile_module(src, "F", ModuleKind::Software, &ElabOptions::default())
-            .unwrap_err();
+        let e =
+            compile_module(src, "F", ModuleKind::Software, &ElabOptions::default()).unwrap_err();
         assert!(e.to_string().contains('B'), "{e}");
     }
 

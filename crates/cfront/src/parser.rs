@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.to_string() }
+        ParseError {
+            line: e.line,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
@@ -178,9 +184,18 @@ impl Parser {
                     self.bump();
                 }
                 let body = self.parse_block()?;
-                unit.decls.push(CDecl::Function { ret: ty, name, params, body });
+                unit.decls.push(CDecl::Function {
+                    ret: ty,
+                    name,
+                    params,
+                    body,
+                });
             } else {
-                let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+                let init = if self.eat_punct("=") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
                 self.expect_punct(";")?;
                 unit.decls.push(CDecl::Global { ty, name, init });
             }
@@ -221,8 +236,11 @@ impl Parser {
             let cond = self.parse_expr()?;
             self.expect_punct(")")?;
             let then_body = self.parse_stmt_as_block()?;
-            let else_body =
-                if self.eat_kw("else") { self.parse_stmt_as_block()? } else { vec![] };
+            let else_body = if self.eat_kw("else") {
+                self.parse_stmt_as_block()?
+            } else {
+                vec![]
+            };
             return Ok(CStmt::If(cond, then_body, else_body));
         }
         if self.eat_kw("switch") {
@@ -377,7 +395,11 @@ impl Parser {
 /// errors.
 pub fn parse(src: &str) -> Result<CUnit, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, typedefs: HashSet::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        typedefs: HashSet::new(),
+    };
     p.parse_unit()
 }
 
@@ -400,7 +422,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &unit.decls[1] {
-            CDecl::Global { ty: CType::Named(t), name, init } => {
+            CDecl::Global {
+                ty: CType::Named(t),
+                name,
+                init,
+            } => {
                 assert_eq!(t, "STATETABLE");
                 assert_eq!(name, "NEXTSTATE");
                 assert_eq!(init, &Some(CExpr::Ident("INIT".into())));
@@ -436,10 +462,7 @@ mod tests {
 
     #[test]
     fn service_call_in_condition() {
-        let unit = parse(
-            "int F() { if (SetupControl()) { x = 1; } return 0; }\n",
-        )
-        .unwrap();
+        let unit = parse("int F() { if (SetupControl()) { x = 1; } return 0; }\n").unwrap();
         match unit.function("F").unwrap() {
             CDecl::Function { body, .. } => match &body[0] {
                 CStmt::If(CExpr::Call(name, args), then_b, else_b) => {

@@ -61,7 +61,10 @@ pub fn handshake_unit(name: &str, data_ty: Type) -> Arc<CommUnitSpec> {
                 .eq(Expr::bit(Bit::Zero))
                 .and(Expr::port(b_full).eq(Expr::bit(Bit::Zero))),
         ),
-        vec![Stmt::drive(data, Expr::arg(0)), Stmt::drive(req, Expr::bit(Bit::One))],
+        vec![
+            Stmt::drive(data, Expr::arg(0)),
+            Stmt::drive(req, Expr::bit(Bit::One)),
+        ],
         p_wait,
     );
     // ACK is a level held by the controller until REQ drops, so a slow
@@ -107,7 +110,10 @@ pub fn handshake_unit(name: &str, data_ty: Type) -> Arc<CommUnitSpec> {
                 .eq(Expr::bit(Bit::One))
                 .and(Expr::port(b_full).eq(Expr::bit(Bit::Zero))),
         ),
-        vec![Stmt::drive(b_full, Expr::bit(Bit::One)), Stmt::drive(ack, Expr::bit(Bit::One))],
+        vec![
+            Stmt::drive(b_full, Expr::bit(Bit::One)),
+            Stmt::drive(ack, Expr::bit(Bit::One)),
+        ],
         c_acked,
     );
     ctrl.transition_with(
@@ -221,7 +227,10 @@ pub fn register_bank_unit(name: &str, regs: &[(&str, Type)]) -> Arc<CommUnitSpec
         let s1 = put.state("PULSE");
         put.actions(
             s0,
-            vec![Stmt::drive(*data, Expr::arg(0)), Stmt::drive(*strobe, Expr::bit(Bit::One))],
+            vec![
+                Stmt::drive(*data, Expr::arg(0)),
+                Stmt::drive(*strobe, Expr::bit(Bit::One)),
+            ],
         );
         put.transition(s0, None, s1);
         put.actions(
@@ -303,7 +312,11 @@ mod tests {
         // First put completes (no consumer yet).
         let mut first_done = false;
         for _ in 0..10 {
-            if unit.call(p, "put", &[Value::Int(1)], &mut wires).unwrap().done {
+            if unit
+                .call(p, "put", &[Value::Int(1)], &mut wires)
+                .unwrap()
+                .done
+            {
                 first_done = true;
                 break;
             }
@@ -330,7 +343,10 @@ mod tests {
         let mut received = vec![];
         for _ in 0..400 {
             if sent < inputs.len()
-                && unit.call(p, "put", &[Value::Int(inputs[sent])], &mut wires).unwrap().done
+                && unit
+                    .call(p, "put", &[Value::Int(inputs[sent])], &mut wires)
+                    .unwrap()
+                    .done
             {
                 sent += 1;
             }
@@ -358,7 +374,11 @@ mod tests {
         for _ in 0..5 {
             assert!(!unit.call(b, "acquire", &[], &mut wires).unwrap().done);
         }
-        assert!(unit.call(a, "write", &[Value::Int(7)], &mut wires).unwrap().done);
+        assert!(
+            unit.call(a, "write", &[Value::Int(7)], &mut wires)
+                .unwrap()
+                .done
+        );
         assert!(unit.call(a, "release", &[], &mut wires).unwrap().done);
         assert!(unit.call(b, "acquire", &[], &mut wires).unwrap().done);
         let r = unit.call(b, "read", &[], &mut wires).unwrap();
@@ -372,11 +392,24 @@ mod tests {
         let mut wires = LocalWires::new(&spec);
         let sw = CallerId(1);
         // put_POS takes two activations (write+pulse, then strobe clear).
-        assert!(!unit.call(sw, "put_POS", &[Value::Int(55)], &mut wires).unwrap().done);
+        assert!(
+            !unit
+                .call(sw, "put_POS", &[Value::Int(55)], &mut wires)
+                .unwrap()
+                .done
+        );
         let strobe = spec.wire_id("STROBE_POS").unwrap();
         assert_eq!(wires.value(strobe), &Value::Bit(Bit::One), "strobe pulsed");
-        assert!(unit.call(sw, "put_POS", &[Value::Int(55)], &mut wires).unwrap().done);
-        assert_eq!(wires.value(strobe), &Value::Bit(Bit::Zero), "strobe cleared");
+        assert!(
+            unit.call(sw, "put_POS", &[Value::Int(55)], &mut wires)
+                .unwrap()
+                .done
+        );
+        assert_eq!(
+            wires.value(strobe),
+            &Value::Bit(Bit::Zero),
+            "strobe cleared"
+        );
         let g = unit.call(sw, "get_POS", &[], &mut wires).unwrap();
         assert_eq!(g.result, Some(Value::Int(55)));
         // Registers are independent.
@@ -394,11 +427,8 @@ mod tests {
             register_bank_unit("bank", &[("A", Type::INT16)]),
         ] {
             for svc in spec.services() {
-                let views = cosma_core::render_service_views(
-                    &spec,
-                    svc,
-                    &cosma_core::SwTarget::ALL,
-                );
+                let views =
+                    cosma_core::render_service_views(&spec, svc, &cosma_core::SwTarget::ALL);
                 assert!(!views.hw_vhdl.is_empty());
                 assert!(!views.sw_sim.is_empty());
                 assert_eq!(views.sw_synth.len(), 3);

@@ -129,8 +129,16 @@ impl NativeUnit for FifoChannel {
 
     fn services(&self) -> Vec<NativeServiceDesc> {
         vec![
-            NativeServiceDesc { name: "put".into(), arity: 1, returns: None },
-            NativeServiceDesc { name: "get".into(), arity: 0, returns: Some(Type::INT16) },
+            NativeServiceDesc {
+                name: "put".into(),
+                arity: 1,
+                returns: None,
+            },
+            NativeServiceDesc {
+                name: "get".into(),
+                arity: 0,
+                returns: Some(Type::INT16),
+            },
         ]
     }
 
@@ -171,9 +179,10 @@ impl NativeUnit for FifoChannel {
                     }
                 }
             }
-            other => {
-                Err(EvalError::Service(format!("fifo {} has no service {other}", self.name)))
-            }
+            other => Err(EvalError::Service(format!(
+                "fifo {} has no service {other}",
+                self.name
+            ))),
         }
     }
 
@@ -232,10 +241,26 @@ impl NativeUnit for Mailbox {
 
     fn services(&self) -> Vec<NativeServiceDesc> {
         vec![
-            NativeServiceDesc { name: "send_a".into(), arity: 1, returns: None },
-            NativeServiceDesc { name: "recv_a".into(), arity: 0, returns: Some(Type::INT16) },
-            NativeServiceDesc { name: "send_b".into(), arity: 1, returns: None },
-            NativeServiceDesc { name: "recv_b".into(), arity: 0, returns: Some(Type::INT16) },
+            NativeServiceDesc {
+                name: "send_a".into(),
+                arity: 1,
+                returns: None,
+            },
+            NativeServiceDesc {
+                name: "recv_a".into(),
+                arity: 0,
+                returns: Some(Type::INT16),
+            },
+            NativeServiceDesc {
+                name: "send_b".into(),
+                arity: 1,
+                returns: None,
+            },
+            NativeServiceDesc {
+                name: "recv_b".into(),
+                arity: 0,
+                returns: Some(Type::INT16),
+            },
         ]
     }
 
@@ -271,7 +296,9 @@ impl NativeUnit for Mailbox {
             }
         } else {
             if !args.is_empty() {
-                return Err(EvalError::Service(format!("{service} expects no arguments")));
+                return Err(EvalError::Service(format!(
+                    "{service} expects no arguments"
+                )));
             }
             match queue.pop_front() {
                 Some(v) => {
@@ -340,10 +367,26 @@ impl NativeUnit for SharedMemory {
 
     fn services(&self) -> Vec<NativeServiceDesc> {
         vec![
-            NativeServiceDesc { name: "acquire".into(), arity: 0, returns: None },
-            NativeServiceDesc { name: "release".into(), arity: 0, returns: None },
-            NativeServiceDesc { name: "load".into(), arity: 1, returns: Some(Type::INT16) },
-            NativeServiceDesc { name: "store".into(), arity: 2, returns: None },
+            NativeServiceDesc {
+                name: "acquire".into(),
+                arity: 0,
+                returns: None,
+            },
+            NativeServiceDesc {
+                name: "release".into(),
+                arity: 0,
+                returns: None,
+            },
+            NativeServiceDesc {
+                name: "load".into(),
+                arity: 1,
+                returns: Some(Type::INT16),
+            },
+            NativeServiceDesc {
+                name: "store".into(),
+                arity: 2,
+                returns: None,
+            },
         ]
     }
 
@@ -449,8 +492,16 @@ mod tests {
     #[test]
     fn mailbox_directions_are_independent() {
         let mut mb = Mailbox::new("ipc", 4);
-        assert!(mb.call(CallerId(1), "send_a", &[Value::Int(10)]).unwrap().done);
-        assert!(mb.call(CallerId(2), "send_b", &[Value::Int(20)]).unwrap().done);
+        assert!(
+            mb.call(CallerId(1), "send_a", &[Value::Int(10)])
+                .unwrap()
+                .done
+        );
+        assert!(
+            mb.call(CallerId(2), "send_b", &[Value::Int(20)])
+                .unwrap()
+                .done
+        );
         assert_eq!(mb.pending_to_b(), 1);
         assert_eq!(mb.pending_to_a(), 1);
         let at_b = mb.call(CallerId(2), "recv_b", &[]).unwrap();
@@ -466,9 +517,16 @@ mod tests {
         let a = CallerId(1);
         let b = CallerId(2);
         assert!(sm.call(a, "acquire", &[]).unwrap().done);
-        assert!(sm.call(a, "acquire", &[]).unwrap().done, "reentrant for holder");
+        assert!(
+            sm.call(a, "acquire", &[]).unwrap().done,
+            "reentrant for holder"
+        );
         assert!(!sm.call(b, "acquire", &[]).unwrap().done);
-        assert!(sm.call(a, "store", &[Value::Int(3), Value::Int(42)]).unwrap().done);
+        assert!(
+            sm.call(a, "store", &[Value::Int(3), Value::Int(42)])
+                .unwrap()
+                .done
+        );
         let v = sm.call(a, "load", &[Value::Int(3)]).unwrap();
         assert_eq!(v.result, Some(Value::Int(42)));
         assert_eq!(sm.unlocked_accesses, 0);
@@ -479,7 +537,11 @@ mod tests {
     #[test]
     fn shared_memory_detects_unlocked_access() {
         let mut sm = SharedMemory::new("mem", 4);
-        assert!(sm.call(CallerId(9), "store", &[Value::Int(0), Value::Int(1)]).unwrap().done);
+        assert!(
+            sm.call(CallerId(9), "store", &[Value::Int(0), Value::Int(1)])
+                .unwrap()
+                .done
+        );
         assert_eq!(sm.unlocked_accesses, 1);
     }
 

@@ -9,7 +9,10 @@ use std::fmt;
 use std::sync::Arc;
 
 enum Inner {
-    Fsm { runtime: FsmUnitRuntime, wires: LocalWires },
+    Fsm {
+        runtime: FsmUnitRuntime,
+        wires: LocalWires,
+    },
     Native(Box<dyn NativeUnit>),
 }
 
@@ -52,14 +55,20 @@ impl StandaloneUnit {
         let wires = LocalWires::new(&spec);
         StandaloneUnit {
             name: spec.name().to_string(),
-            inner: Inner::Fsm { runtime: FsmUnitRuntime::new(spec), wires },
+            inner: Inner::Fsm {
+                runtime: FsmUnitRuntime::new(spec),
+                wires,
+            },
         }
     }
 
     /// Wraps a native unit.
     #[must_use]
     pub fn from_native(unit: Box<dyn NativeUnit>) -> Self {
-        StandaloneUnit { name: unit.name().to_string(), inner: Inner::Native(unit) }
+        StandaloneUnit {
+            name: unit.name().to_string(),
+            inner: Inner::Native(unit),
+        }
     }
 
     /// Unit name.
@@ -148,9 +157,7 @@ impl StandaloneUnit {
                     .ok_or_else(|| EvalError::Service(format!("no wire {name}")))?;
                 wires.read_wire(id)
             }
-            Inner::Native(_) => {
-                Err(EvalError::Service("native units have no wires".to_string()))
-            }
+            Inner::Native(_) => Err(EvalError::Service("native units have no wires".to_string())),
         }
     }
 }

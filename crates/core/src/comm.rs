@@ -173,7 +173,11 @@ impl ServiceSpecBuilder {
     /// result register must be local 1).
     pub fn returns(&mut self, ty: Type) -> VarId {
         assert!(self.returns.is_none(), "returns() called twice");
-        assert_eq!(self.locals.len(), 1, "returns() must be declared before other locals");
+        assert_eq!(
+            self.locals.len(),
+            1,
+            "returns() must be declared before other locals"
+        );
         let init = ty.default_value();
         self.returns = Some(ty.clone());
         self.locals.push(Variable::new("RESULT", ty, init));
@@ -229,10 +233,10 @@ impl ServiceSpecBuilder {
     ///
     /// Returns [`CommBuildError`] if the protocol FSM fails to build.
     pub fn build(self) -> Result<ServiceSpec, CommBuildError> {
-        let fsm = self
-            .fsm
-            .build()
-            .map_err(|e| CommBuildError::Fsm { item: format!("service {}", self.name), source: e })?;
+        let fsm = self.fsm.build().map_err(|e| CommBuildError::Fsm {
+            item: format!("service {}", self.name),
+            source: e,
+        })?;
         Ok(ServiceSpec {
             name: self.name,
             args: self.args,
@@ -287,16 +291,20 @@ impl CommUnitSpec {
     /// case-insensitive (VHDL callers upper-case procedure names).
     #[must_use]
     pub fn service(&self, name: &str) -> Option<&ServiceSpec> {
-        self.services
-            .iter()
-            .find(|s| s.name == name)
-            .or_else(|| self.services.iter().find(|s| s.name.eq_ignore_ascii_case(name)))
+        self.services.iter().find(|s| s.name == name).or_else(|| {
+            self.services
+                .iter()
+                .find(|s| s.name.eq_ignore_ascii_case(name))
+        })
     }
 
     /// Finds a wire id by name.
     #[must_use]
     pub fn wire_id(&self, name: &str) -> Option<PortId> {
-        self.wires.iter().position(|w| w.name == name).map(|i| PortId::new(i as u32))
+        self.wires
+            .iter()
+            .position(|w| w.name == name)
+            .map(|i| PortId::new(i as u32))
     }
 }
 
@@ -351,7 +359,8 @@ impl CommUnitBuilder {
     /// Adds a service.
     pub fn service(&mut self, svc: ServiceSpec) -> &mut Self {
         if self.services.iter().any(|s| s.name == svc.name) {
-            self.duplicate.get_or_insert(format!("service {}", svc.name));
+            self.duplicate
+                .get_or_insert(format!("service {}", svc.name));
         }
         self.services.push(svc);
         self
@@ -366,7 +375,10 @@ impl CommUnitBuilder {
     /// range (see [`crate::validate`]).
     pub fn build(self) -> Result<Arc<CommUnitSpec>, CommBuildError> {
         if let Some(dup) = self.duplicate {
-            return Err(CommBuildError::Duplicate { unit: self.name, item: dup });
+            return Err(CommBuildError::Duplicate {
+                unit: self.name,
+                item: dup,
+            });
         }
         let spec = CommUnitSpec {
             name: self.name,
@@ -374,8 +386,10 @@ impl CommUnitBuilder {
             controller: self.controller,
             services: self.services,
         };
-        crate::validate::check_unit(&spec)
-            .map_err(|detail| CommBuildError::Invalid { unit: spec.name.clone(), detail })?;
+        crate::validate::check_unit(&spec).map_err(|detail| CommBuildError::Invalid {
+            unit: spec.name.clone(),
+            detail,
+        })?;
         Ok(Arc::new(spec))
     }
 }
@@ -565,7 +579,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CommBuildError::Duplicate { unit: "u".into(), item: "wire A".into() };
+        let e = CommBuildError::Duplicate {
+            unit: "u".into(),
+            item: "wire A".into(),
+        };
         assert!(e.to_string().contains("duplicate wire A"));
     }
 }

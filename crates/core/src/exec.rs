@@ -25,19 +25,28 @@ impl ServiceOutcome {
     /// A still-in-progress outcome.
     #[must_use]
     pub fn pending() -> Self {
-        ServiceOutcome { done: false, result: None }
+        ServiceOutcome {
+            done: false,
+            result: None,
+        }
     }
 
     /// A completed outcome without a return value.
     #[must_use]
     pub fn done() -> Self {
-        ServiceOutcome { done: true, result: None }
+        ServiceOutcome {
+            done: true,
+            result: None,
+        }
     }
 
     /// A completed outcome carrying a return value.
     #[must_use]
     pub fn done_with(v: Value) -> Self {
-        ServiceOutcome { done: true, result: Some(v) }
+        ServiceOutcome {
+            done: true,
+            result: Some(v),
+        }
     }
 }
 
@@ -67,8 +76,11 @@ pub trait Env: ReadEnv {
     ///
     /// Returns [`EvalError::Service`] when the binding or service is
     /// unknown, or the arity mismatches.
-    fn call_service(&mut self, call: &ServiceCall, args: &[Value])
-        -> Result<ServiceOutcome, EvalError>;
+    fn call_service(
+        &mut self,
+        call: &ServiceCall,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError>;
 
     /// Receives a diagnostic trace record. Default: ignored.
     fn trace(&mut self, _label: &str, _values: &[Value]) {}
@@ -125,7 +137,10 @@ impl FsmExec {
     /// Creates an executor positioned at the FSM's initial state.
     #[must_use]
     pub fn new(fsm: &Fsm) -> Self {
-        FsmExec { current: fsm.initial(), steps: 0 }
+        FsmExec {
+            current: fsm.initial(),
+            steps: 0,
+        }
     }
 
     /// The current state.
@@ -177,7 +192,12 @@ impl FsmExec {
         }
         self.current = to;
         self.steps += 1;
-        Ok(StepReport { from, to, transitioned, service_calls: calls })
+        Ok(StepReport {
+            from,
+            to,
+            transitioned,
+            service_calls: calls,
+        })
     }
 
     /// Runs activations until `predicate` returns `true` or `max_steps`
@@ -200,7 +220,11 @@ impl FsmExec {
             }
             self.step(fsm, env)?;
         }
-        Ok(if predicate(self, env) { Some(max_steps) } else { None })
+        Ok(if predicate(self, env) {
+            Some(max_steps)
+        } else {
+            None
+        })
     }
 }
 
@@ -219,8 +243,15 @@ pub fn exec_stmt(stmt: &Stmt, env: &mut dyn Env, calls: &mut u32) -> Result<(), 
             let value = e.eval(env)?;
             env.drive_port(*p, value)
         }
-        Stmt::If { cond, then_body, else_body } => {
-            let c = cond.eval(env)?.truthy().ok_or(EvalError::UnknownCondition)?;
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let c = cond
+                .eval(env)?
+                .truthy()
+                .ok_or(EvalError::UnknownCondition)?;
             let body = if c { then_body } else { else_body };
             for s in body {
                 exec_stmt(s, env, calls)?;
@@ -341,24 +372,39 @@ impl MapEnv {
 
 impl ReadEnv for MapEnv {
     fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
-        self.vars.get(v.index()).map(|(_, v)| v.clone()).ok_or(EvalError::NoSuchVar(v))
+        self.vars
+            .get(v.index())
+            .map(|(_, v)| v.clone())
+            .ok_or(EvalError::NoSuchVar(v))
     }
     fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
-        self.ports.get(p.index()).map(|(_, v)| v.clone()).ok_or(EvalError::NoSuchPort(p))
+        self.ports
+            .get(p.index())
+            .map(|(_, v)| v.clone())
+            .ok_or(EvalError::NoSuchPort(p))
     }
     fn read_arg(&self, i: u32) -> Result<Value, EvalError> {
-        self.args.get(i as usize).cloned().ok_or(EvalError::NoSuchArg(i))
+        self.args
+            .get(i as usize)
+            .cloned()
+            .ok_or(EvalError::NoSuchArg(i))
     }
 }
 
 impl Env for MapEnv {
     fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
-        let slot = self.vars.get_mut(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        let slot = self
+            .vars
+            .get_mut(v.index())
+            .ok_or(EvalError::NoSuchVar(v))?;
         slot.1 = slot.0.clamp(value);
         Ok(())
     }
     fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
-        let slot = self.ports.get_mut(p.index()).ok_or(EvalError::NoSuchPort(p))?;
+        let slot = self
+            .ports
+            .get_mut(p.index())
+            .ok_or(EvalError::NoSuchPort(p))?;
         slot.1 = slot.0.clamp(value);
         Ok(())
     }
@@ -367,7 +413,10 @@ impl Env for MapEnv {
         call: &ServiceCall,
         _args: &[Value],
     ) -> Result<ServiceOutcome, EvalError> {
-        Err(EvalError::Service(format!("MapEnv has no bound units (call to {})", call.service)))
+        Err(EvalError::Service(format!(
+            "MapEnv has no bound units (call to {})",
+            call.service
+        )))
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
         self.traces.push((label.to_string(), values.to_vec()));
@@ -416,7 +465,11 @@ mod tests {
         let data_rdy = b.state("DATA_RDY");
         let idle = b.state("IDLE");
         // INIT: if B_FULL='1' -> WAIT_B_FULL else drive data, -> DATA_RDY
-        b.transition(init, Some(Expr::port(b_full).eq(Expr::bit(Bit::One))), wait_b_full);
+        b.transition(
+            init,
+            Some(Expr::port(b_full).eq(Expr::bit(Bit::One))),
+            wait_b_full,
+        );
         b.transition_with(
             init,
             None,
@@ -424,7 +477,11 @@ mod tests {
             data_rdy,
         );
         // WAIT_B_FULL: if B_FULL='0' -> INIT
-        b.transition(wait_b_full, Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))), init);
+        b.transition(
+            wait_b_full,
+            Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))),
+            init,
+        );
         // DATA_RDY -> IDLE (simplified tail of the protocol)
         b.transition(data_rdy, None, idle);
         b.actions(idle, vec![Stmt::assign(done, Expr::bool(true))]);
@@ -438,7 +495,11 @@ mod tests {
         exec.step(&fsm, &mut env).unwrap();
         assert_eq!(fsm.state(exec.current()).name(), "WAIT_B_FULL");
         exec.step(&fsm, &mut env).unwrap();
-        assert_eq!(fsm.state(exec.current()).name(), "WAIT_B_FULL", "stays while full");
+        assert_eq!(
+            fsm.state(exec.current()).name(),
+            "WAIT_B_FULL",
+            "stays while full"
+        );
         // Buffer drains.
         env.set_port(b_full, Value::Bit(Bit::Zero));
         exec.step(&fsm, &mut env).unwrap(); // -> INIT
@@ -510,7 +571,10 @@ mod tests {
         b.initial(a);
         let fsm = b.build().unwrap();
         let mut exec = FsmExec::new(&fsm);
-        assert_eq!(exec.step(&fsm, &mut env).unwrap_err(), EvalError::UnknownCondition);
+        assert_eq!(
+            exec.step(&fsm, &mut env).unwrap_err(),
+            EvalError::UnknownCondition
+        );
     }
 
     #[test]
@@ -568,7 +632,12 @@ mod tests {
         let mut env = MapEnv::new();
         let x = env.add_var(Type::INT16, Value::Int(9));
         let mut calls = 0;
-        exec_stmt(&Stmt::Trace("pos".into(), vec![Expr::var(x)]), &mut env, &mut calls).unwrap();
+        exec_stmt(
+            &Stmt::Trace("pos".into(), vec![Expr::var(x)]),
+            &mut env,
+            &mut calls,
+        )
+        .unwrap();
         assert_eq!(env.traces(), &[("pos".to_string(), vec![Value::Int(9)])]);
     }
 
@@ -592,7 +661,10 @@ mod tests {
 
     #[test]
     fn eval_const_folds() {
-        assert_eq!(eval_const(&Expr::int(2).add(Expr::int(3))).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval_const(&Expr::int(2).add(Expr::int(3))).unwrap(),
+            Value::Int(5)
+        );
         assert!(eval_const(&Expr::var(VarId::new(0))).is_err());
     }
 

@@ -64,7 +64,10 @@ impl BinOp {
     /// Whether the operator produces a boolean result.
     #[must_use]
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -293,7 +296,10 @@ fn eval_unary(op: UnOp, v: Value) -> Result<Value, EvalError> {
         (UnOp::Not, Value::Bit(b)) => Ok(Value::Bit(!b)),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
         (UnOp::Not, Value::Int(i)) => Ok(Value::Int(!i)),
-        (op, v) => Err(EvalError::BadOperand { op: format!("{op:?}"), operand: format!("{v}") }),
+        (op, v) => Err(EvalError::BadOperand {
+            op: format!("{op:?}"),
+            operand: format!("{v}"),
+        }),
     }
 }
 
@@ -377,7 +383,10 @@ fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
             };
             Ok(v)
         }
-        _ => Err(EvalError::BadOperand { op: format!("{op:?}"), operand: format!("{a} vs {b}") }),
+        _ => Err(EvalError::BadOperand {
+            op: format!("{op:?}"),
+            operand: format!("{a} vs {b}"),
+        }),
     }
 }
 
@@ -473,13 +482,22 @@ mod tests {
 
     impl ReadEnv for FixedEnv {
         fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
-            self.vars.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+            self.vars
+                .get(v.index())
+                .cloned()
+                .ok_or(EvalError::NoSuchVar(v))
         }
         fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
-            self.ports.get(p.index()).cloned().ok_or(EvalError::NoSuchPort(p))
+            self.ports
+                .get(p.index())
+                .cloned()
+                .ok_or(EvalError::NoSuchPort(p))
         }
         fn read_arg(&self, i: u32) -> Result<Value, EvalError> {
-            self.args.get(i as usize).cloned().ok_or(EvalError::NoSuchArg(i))
+            self.args
+                .get(i as usize)
+                .cloned()
+                .ok_or(EvalError::NoSuchArg(i))
         }
     }
 
@@ -493,7 +511,9 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = Expr::var(VarId::new(0)).add(Expr::var(VarId::new(1))).mul(Expr::int(2));
+        let e = Expr::var(VarId::new(0))
+            .add(Expr::var(VarId::new(1)))
+            .mul(Expr::int(2));
         assert_eq!(e.eval(&env()).unwrap(), Value::Int(26));
         let d = Expr::var(VarId::new(0)).div(Expr::int(3));
         assert_eq!(d.eval(&env()).unwrap(), Value::Int(3));
@@ -539,8 +559,14 @@ mod tests {
     #[test]
     fn unary_ops() {
         assert_eq!(Expr::int(5).neg().eval(&env()).unwrap(), Value::Int(-5));
-        assert_eq!(Expr::bool(true).not().eval(&env()).unwrap(), Value::Bool(false));
-        assert_eq!(Expr::bit(Bit::Zero).not().eval(&env()).unwrap(), Value::Bit(Bit::One));
+        assert_eq!(
+            Expr::bool(true).not().eval(&env()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::bit(Bit::Zero).not().eval(&env()).unwrap(),
+            Value::Bit(Bit::One)
+        );
         assert_eq!(Expr::int(0).not().eval(&env()).unwrap(), Value::Int(-1));
     }
 
@@ -548,7 +574,10 @@ mod tests {
     fn logic_on_bools_and_bits() {
         let t = Expr::bool(true);
         let f = Expr::bool(false);
-        assert_eq!(t.clone().and(f.clone()).eval(&env()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            t.clone().and(f.clone()).eval(&env()).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(t.or(f).eval(&env()).unwrap(), Value::Bool(true));
         let one = Expr::bit(Bit::One);
         let x = Expr::bit(Bit::X);
@@ -564,9 +593,13 @@ mod tests {
             Value::Int(16)
         );
         assert_eq!(
-            Expr::Binary(BinOp::Xor, Box::new(Expr::int(0b1100)), Box::new(Expr::int(0b1010)))
-                .eval(&env())
-                .unwrap(),
+            Expr::Binary(
+                BinOp::Xor,
+                Box::new(Expr::int(0b1100)),
+                Box::new(Expr::int(0b1010))
+            )
+            .eval(&env())
+            .unwrap(),
             Value::Int(0b0110)
         );
     }

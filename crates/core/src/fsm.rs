@@ -108,7 +108,10 @@ impl Fsm {
     /// Finds a state id by name.
     #[must_use]
     pub fn find_state(&self, name: &str) -> Option<StateId> {
-        self.states.iter().position(|s| s.name == name).map(|i| StateId::new(i as u32))
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StateId::new(i as u32))
     }
 
     /// States reachable from the initial state by following transitions.
@@ -189,7 +192,11 @@ impl FsmBuilder {
         }
         let id = StateId::new(self.states.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.states.push(State { name, actions: vec![], transitions: vec![] });
+        self.states.push(State {
+            name,
+            actions: vec![],
+            transitions: vec![],
+        });
         id
     }
 
@@ -224,7 +231,11 @@ impl FsmBuilder {
         actions: Vec<Stmt>,
         target: StateId,
     ) -> &mut Self {
-        self.states[from.index()].transitions.push(Transition { guard, actions, target });
+        self.states[from.index()].transitions.push(Transition {
+            guard,
+            actions,
+            target,
+        });
         self
     }
 
@@ -255,11 +266,16 @@ impl FsmBuilder {
         for s in &self.states {
             if let Some(pos) = s.transitions.iter().position(|t| t.guard.is_none()) {
                 if pos + 1 != s.transitions.len() {
-                    return Err(FsmBuildError::DeadTransitions { state: s.name.clone() });
+                    return Err(FsmBuildError::DeadTransitions {
+                        state: s.name.clone(),
+                    });
                 }
             }
         }
-        Ok(Fsm { states: self.states, initial })
+        Ok(Fsm {
+            states: self.states,
+            initial,
+        })
     }
 }
 
@@ -284,7 +300,10 @@ impl fmt::Display for FsmBuildError {
             FsmBuildError::Empty => write!(f, "fsm has no states"),
             FsmBuildError::NoInitial => write!(f, "fsm has no initial state"),
             FsmBuildError::DeadTransitions { state } => {
-                write!(f, "state {state} has transitions after an unconditional one")
+                write!(
+                    f,
+                    "state {state} has transitions after an unconditional one"
+                )
             }
         }
     }

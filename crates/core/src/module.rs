@@ -96,7 +96,11 @@ impl Variable {
     /// Creates a variable description.
     #[must_use]
     pub fn new(name: impl Into<String>, ty: Type, init: Value) -> Self {
-        Variable { name: name.into(), ty, init }
+        Variable {
+            name: name.into(),
+            ty,
+            init,
+        }
     }
 
     /// Variable name.
@@ -192,19 +196,28 @@ impl Module {
     /// Looks up a port id by name.
     #[must_use]
     pub fn port_id(&self, name: &str) -> Option<PortId> {
-        self.ports.iter().position(|p| p.name == name).map(|i| PortId::new(i as u32))
+        self.ports
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PortId::new(i as u32))
     }
 
     /// Looks up a variable id by name.
     #[must_use]
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|v| v.name == name).map(|i| VarId::new(i as u32))
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId::new(i as u32))
     }
 
     /// Looks up a binding id by name.
     #[must_use]
     pub fn binding_id(&self, name: &str) -> Option<BindingId> {
-        self.bindings.iter().position(|b| b.name == name).map(|i| BindingId::new(i as u32))
+        self.bindings
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BindingId::new(i as u32))
     }
 
     /// A port by id.
@@ -326,7 +339,10 @@ impl ModuleBuilder {
         if self.binding_names.insert(name.clone(), id).is_some() {
             self.duplicate.get_or_insert(format!("binding {name}"));
         }
-        self.bindings.push(InterfaceBinding { name, unit_type: unit_type.into() });
+        self.bindings.push(InterfaceBinding {
+            name,
+            unit_type: unit_type.into(),
+        });
         id
     }
 
@@ -374,12 +390,15 @@ impl ModuleBuilder {
     /// FSM's expressions and statements.
     pub fn build(self) -> Result<Module, ModuleBuildError> {
         if let Some(dup) = self.duplicate {
-            return Err(ModuleBuildError::Duplicate { module: self.name, item: dup });
+            return Err(ModuleBuildError::Duplicate {
+                module: self.name,
+                item: dup,
+            });
         }
-        let fsm = self
-            .fsm
-            .build()
-            .map_err(|e| ModuleBuildError::Fsm { module: self.name.clone(), source: e })?;
+        let fsm = self.fsm.build().map_err(|e| ModuleBuildError::Fsm {
+            module: self.name.clone(),
+            source: e,
+        })?;
         let module = Module {
             name: self.name,
             kind: self.kind,
@@ -388,8 +407,10 @@ impl ModuleBuilder {
             bindings: self.bindings,
             fsm,
         };
-        crate::validate::check_module(&module)
-            .map_err(|detail| ModuleBuildError::Invalid { module: module.name.clone(), detail })?;
+        crate::validate::check_module(&module).map_err(|detail| ModuleBuildError::Invalid {
+            module: module.name.clone(),
+            detail,
+        })?;
         Ok(module)
     }
 }
@@ -522,7 +543,11 @@ mod tests {
     fn dangling_port_reference_rejected() {
         let mut b = ModuleBuilder::new("m", ModuleKind::Hardware);
         let s = b.state("S");
-        b.transition(s, Some(Expr::port(PortId::new(3)).eq(Expr::bit(Bit::One))), s);
+        b.transition(
+            s,
+            Some(Expr::port(PortId::new(3)).eq(Expr::bit(Bit::One))),
+            s,
+        );
         b.initial(s);
         assert!(matches!(b.build(), Err(ModuleBuildError::Invalid { .. })));
     }

@@ -54,7 +54,11 @@ fn stmt_lines(s: &Stmt, indent: usize, out: &mut String) {
         Stmt::Drive(p, e) => {
             let _ = writeln!(out, "{pad}{p} <= {}", expr_to_string(e));
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{pad}if {} {{", expr_to_string(cond));
             for t in then_body {
                 stmt_lines(t, indent + 1, out);
@@ -69,7 +73,13 @@ fn stmt_lines(s: &Stmt, indent: usize, out: &mut String) {
         }
         Stmt::Call(c) => {
             let args: Vec<String> = c.args.iter().map(expr_to_string).collect();
-            let _ = writeln!(out, "{pad}call {}.{}({})", c.binding, c.service, args.join(", "));
+            let _ = writeln!(
+                out,
+                "{pad}call {}.{}({})",
+                c.binding,
+                c.service,
+                args.join(", ")
+            );
         }
         Stmt::Trace(label, args) => {
             let args: Vec<String> = args.iter().map(expr_to_string).collect();
@@ -140,8 +150,7 @@ pub fn unit_to_string(u: &CommUnitSpec) -> String {
         let _ = writeln!(out, "  controller:");
     }
     for s in u.services() {
-        let args: Vec<String> =
-            s.args().iter().map(|(n, t)| format!("{n}: {t}")).collect();
+        let args: Vec<String> = s.args().iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let ret = s.returns().map(|t| format!(" -> {t}")).unwrap_or_default();
         let _ = writeln!(
             out,
@@ -186,33 +195,45 @@ mod tests {
     #[test]
     fn module_unit_and_system_printers() {
         use crate::comm::{CommUnitBuilder, ServiceSpecBuilder, SERVICE_DONE_VAR};
-        use crate::{ModuleBuilder, ModuleKind, PortDir, SystemBuilder, Type, Value};
+        use crate::{ModuleBuilder, ModuleKind, SystemBuilder, Type, Value};
 
         let mut ub = CommUnitBuilder::new("link");
         let w = ub.wire("FLAG", Type::Bit, Value::Bit(crate::Bit::Zero));
         let mut svc = ServiceSpecBuilder::new("ping");
         svc.arg("N", Type::INT16);
         let st = svc.state("S");
-        svc.actions(st, vec![
-            Stmt::drive(w, Expr::bit(crate::Bit::One)),
-            Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
-        ]);
+        svc.actions(
+            st,
+            vec![
+                Stmt::drive(w, Expr::bit(crate::Bit::One)),
+                Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true)),
+            ],
+        );
         svc.transition(st, None, st);
         svc.initial(st);
         ub.service(svc.build().unwrap());
         let unit = ub.build().unwrap();
         let unit_text = unit_to_string(&unit);
         assert!(unit_text.contains("wire FLAG : bit"), "{unit_text}");
-        assert!(unit_text.contains("service ping(N: int16) [1 states]"), "{unit_text}");
+        assert!(
+            unit_text.contains("service ping(N: int16) [1 states]"),
+            "{unit_text}"
+        );
 
         let mut mb = ModuleBuilder::new("m", ModuleKind::Software);
         let d = mb.var("D", Type::Bool, Value::Bool(false));
         let b = mb.binding("iface", "link");
         let s0 = mb.state("GO");
-        mb.actions(s0, vec![Stmt::Call(crate::ServiceCall {
-            binding: b, service: "ping".into(), args: vec![Expr::int(1)],
-            done: Some(d), result: None,
-        })]);
+        mb.actions(
+            s0,
+            vec![Stmt::Call(crate::ServiceCall {
+                binding: b,
+                service: "ping".into(),
+                args: vec![Expr::int(1)],
+                done: Some(d),
+                result: None,
+            })],
+        );
         mb.transition(s0, None, s0);
         mb.initial(s0);
         let m = mb.build().unwrap();
@@ -243,7 +264,10 @@ mod tests {
         let fsm = b.build().unwrap();
         let text = fsm_to_string(&fsm);
         assert!(text.contains("state A:"), "{text}");
-        assert!(text.contains("when ((v0 > 0)) -> Z") || text.contains("when (v0 > 0) -> Z"), "{text}");
+        assert!(
+            text.contains("when ((v0 > 0)) -> Z") || text.contains("when (v0 > 0) -> Z"),
+            "{text}"
+        );
         assert!(text.contains("always -> A"), "{text}");
     }
 }

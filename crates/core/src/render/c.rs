@@ -99,7 +99,12 @@ fn expr_c(e: &Expr, ctx: &RenderCtx<'_>, view: View) -> String {
             format!("MAX({}, {})", expr_c(a, ctx, view), expr_c(b, ctx, view))
         }
         Expr::Binary(op, a, b) => {
-            format!("({} {} {})", expr_c(a, ctx, view), binop_c(*op), expr_c(b, ctx, view))
+            format!(
+                "({} {} {})",
+                expr_c(a, ctx, view),
+                binop_c(*op),
+                expr_c(b, ctx, view)
+            )
         }
     }
 }
@@ -107,17 +112,32 @@ fn expr_c(e: &Expr, ctx: &RenderCtx<'_>, view: View) -> String {
 fn stmt_c(s: &Stmt, ctx: &RenderCtx<'_>, view: View, out: &mut String, ind: usize) {
     match s {
         Stmt::Assign(v, e) => {
-            let _ = writeln!(out, "{}{} = {};", Indent(ind), ctx.var_name(*v), expr_c(e, ctx, view));
+            let _ = writeln!(
+                out,
+                "{}{} = {};",
+                Indent(ind),
+                ctx.var_name(*v),
+                expr_c(e, ctx, view)
+            );
         }
         Stmt::Drive(p, e) => {
             let _ = writeln!(
                 out,
                 "{}{}",
                 Indent(ind),
-                port_write(view, ctx.port_name(*p), ctx.port_ty(*p), &expr_c(e, ctx, view))
+                port_write(
+                    view,
+                    ctx.port_name(*p),
+                    ctx.port_ty(*p),
+                    &expr_c(e, ctx, view)
+                )
             );
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{}if ({}) {{", Indent(ind), expr_c(cond, ctx, view));
             for t in then_body {
                 stmt_c(t, ctx, view, out, ind + 1);
@@ -189,8 +209,11 @@ fn fsm_switch_c(fsm: &Fsm, ctx: &RenderCtx<'_>, view: View, state_var: &str, out
                     for a in &t.actions {
                         stmt_c(a, ctx, view, out, 3);
                     }
-                    let _ =
-                        writeln!(out, "      {state_var} = {}; break;", fsm.state(t.target).name());
+                    let _ = writeln!(
+                        out,
+                        "      {state_var} = {}; break;",
+                        fsm.state(t.target).name()
+                    );
                 }
             }
         }
@@ -227,9 +250,20 @@ pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec, view: View) -> Str
     let fsm = svc.fsm();
     let upper = svc.name().to_uppercase();
     let mut out = String::new();
-    let _ = writeln!(out, "/* {} view of access procedure {} (unit {}) */", view, upper, unit.name());
+    let _ = writeln!(
+        out,
+        "/* {} view of access procedure {} (unit {}) */",
+        view,
+        upper,
+        unit.name()
+    );
     let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
-    let _ = writeln!(out, "typedef enum {{ {} }} {}_STATETABLE;", state_names.join(", "), upper);
+    let _ = writeln!(
+        out,
+        "typedef enum {{ {} }} {}_STATETABLE;",
+        state_names.join(", "),
+        upper
+    );
     let init_name = fsm.state(fsm.initial()).name();
     let _ = writeln!(out, "static {upper}_STATETABLE NEXTSTATE = {init_name};");
     // Persistent protocol locals (beyond DONE, which is per-call).
@@ -242,8 +276,11 @@ pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec, view: View) -> Str
             value_c(local.init())
         );
     }
-    let params: Vec<String> =
-        svc.args().iter().map(|(n, t)| format!("{} {}", c_type(t), n)).collect();
+    let params: Vec<String> = svc
+        .args()
+        .iter()
+        .map(|(n, t)| format!("{} {}", c_type(t), n))
+        .collect();
     let _ = writeln!(out, "int {upper}({})", params.join(", "));
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  int DONE = 0;");
@@ -252,7 +289,11 @@ pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec, view: View) -> Str
     let _ = writeln!(out, "  return DONE;");
     let _ = writeln!(out, "}}");
     if let Some(ret) = svc.returns() {
-        let _ = writeln!(out, "{} {upper}_RESULT(void) {{ return RESULT; }}", c_type(ret));
+        let _ = writeln!(
+            out,
+            "{} {upper}_RESULT(void) {{ return RESULT; }}",
+            c_type(ret)
+        );
     }
     out
 }
@@ -267,14 +308,30 @@ pub fn render_module(module: &Module, view: View) -> String {
     let fsm = module.fsm();
     let upper = module.name().to_uppercase();
     let mut out = String::new();
-    let _ = writeln!(out, "/* {} view of {} module {} */", view, module.kind(), upper);
+    let _ = writeln!(
+        out,
+        "/* {} view of {} module {} */",
+        view,
+        module.kind(),
+        upper
+    );
     let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
-    let _ = writeln!(out, "typedef enum {{ {} }} {}_STATETABLE;", state_names.join(", "), upper);
+    let _ = writeln!(
+        out,
+        "typedef enum {{ {} }} {}_STATETABLE;",
+        state_names.join(", "),
+        upper
+    );
     let init_name = fsm.state(fsm.initial()).name();
     let _ = writeln!(out, "static {upper}_STATETABLE NextState = {init_name};");
     for v in module.vars() {
-        let _ =
-            writeln!(out, "static {} {} = {};", c_type(v.ty()), v.name(), value_c(v.init()));
+        let _ = writeln!(
+            out,
+            "static {} {} = {};",
+            c_type(v.ty()),
+            v.name(),
+            value_c(v.init())
+        );
     }
     let _ = writeln!(out, "int {upper}(void)");
     let _ = writeln!(out, "{{");
@@ -306,7 +363,11 @@ mod tests {
         let idle = s.state("IDLE");
         s.transition(init, Some(Expr::port(b_full).eq(Expr::bit(Bit::One))), wait);
         s.transition_with(init, None, vec![Stmt::drive(datain, Expr::arg(0))], rdy);
-        s.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))), init);
+        s.transition(
+            wait,
+            Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))),
+            init,
+        );
         s.transition(rdy, None, idle);
         s.actions(idle, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
         s.transition(idle, None, init);
@@ -320,7 +381,10 @@ mod tests {
         let unit = fig3_unit();
         let text = render_service(&unit, unit.service("put").unwrap(), View::SwSim);
         assert!(text.contains("cliGetPortValue(map(B_FULL))"), "{text}");
-        assert!(text.contains("cliOutput(map(DATAIN), FromINTEGER(REQUEST))"), "{text}");
+        assert!(
+            text.contains("cliOutput(map(DATAIN), FromINTEGER(REQUEST))"),
+            "{text}"
+        );
         assert!(text.contains("case INIT"), "{text}");
         assert!(text.contains("case WAIT_B_FULL"), "{text}");
         assert!(text.contains("int PUT(int REQUEST)"), "{text}");
@@ -330,18 +394,27 @@ mod tests {
     #[test]
     fn pcat_view_uses_inport_outport() {
         let unit = fig3_unit();
-        let text =
-            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::PcAtBus));
+        let text = render_service(
+            &unit,
+            unit.service("put").unwrap(),
+            View::SwSynth(SwTarget::PcAtBus),
+        );
         assert!(text.contains("inport(map(B_FULL))"), "{text}");
-        assert!(text.contains("outport(map(DATAIN), FromINTEGER(REQUEST))"), "{text}");
+        assert!(
+            text.contains("outport(map(DATAIN), FromINTEGER(REQUEST))"),
+            "{text}"
+        );
         assert!(!text.contains("cliOutput"), "{text}");
     }
 
     #[test]
     fn ipc_view_uses_ipc_calls() {
         let unit = fig3_unit();
-        let text =
-            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::UnixIpc));
+        let text = render_service(
+            &unit,
+            unit.service("put").unwrap(),
+            View::SwSynth(SwTarget::UnixIpc),
+        );
         assert!(text.contains("ipc_read(chan(B_FULL))"), "{text}");
         assert!(text.contains("ipc_write(chan(DATAIN)"), "{text}");
     }
@@ -349,8 +422,11 @@ mod tests {
     #[test]
     fn microcode_view_uses_mc_calls() {
         let unit = fig3_unit();
-        let text =
-            render_service(&unit, unit.service("put").unwrap(), View::SwSynth(SwTarget::Microcode));
+        let text = render_service(
+            &unit,
+            unit.service("put").unwrap(),
+            View::SwSynth(SwTarget::Microcode),
+        );
         assert!(text.contains("mc_read(B_FULL)"), "{text}");
         assert!(text.contains("mc_write(DATAIN"), "{text}");
     }
@@ -359,7 +435,10 @@ mod tests {
     fn bit_comparisons_use_tobit() {
         let unit = fig3_unit();
         let text = render_service(&unit, unit.service("put").unwrap(), View::SwSim);
-        assert!(text.contains("(ToBIT(cliGetPortValue(map(B_FULL))) == BIT_1)"), "{text}");
+        assert!(
+            text.contains("(ToBIT(cliGetPortValue(map(B_FULL))) == BIT_1)"),
+            "{text}"
+        );
     }
 
     #[test]

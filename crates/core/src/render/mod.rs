@@ -50,7 +50,10 @@ impl<'a> RenderCtx<'a> {
     }
 
     pub(crate) fn port_name(&self, p: crate::ids::PortId) -> &'a str {
-        self.ports.get(p.index()).map(|(n, _)| *n).unwrap_or("?PORT?")
+        self.ports
+            .get(p.index())
+            .map(|(n, _)| *n)
+            .unwrap_or("?PORT?")
     }
 
     pub(crate) fn port_ty(&self, p: crate::ids::PortId) -> Option<&'a Type> {

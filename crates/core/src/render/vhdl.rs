@@ -65,7 +65,12 @@ fn expr_vhdl(e: &Expr, ctx: &RenderCtx<'_>) -> String {
             format!("maximum({}, {})", expr_vhdl(a, ctx), expr_vhdl(b, ctx))
         }
         Expr::Binary(op, a, b) => {
-            format!("({} {} {})", expr_vhdl(a, ctx), binop_vhdl(*op), expr_vhdl(b, ctx))
+            format!(
+                "({} {} {})",
+                expr_vhdl(a, ctx),
+                binop_vhdl(*op),
+                expr_vhdl(b, ctx)
+            )
         }
     }
 }
@@ -73,12 +78,28 @@ fn expr_vhdl(e: &Expr, ctx: &RenderCtx<'_>) -> String {
 fn stmt_vhdl(s: &Stmt, ctx: &RenderCtx<'_>, out: &mut String, ind: usize) {
     match s {
         Stmt::Assign(v, e) => {
-            let _ = writeln!(out, "{}{} := {};", Indent(ind), ctx.var_name(*v), expr_vhdl(e, ctx));
+            let _ = writeln!(
+                out,
+                "{}{} := {};",
+                Indent(ind),
+                ctx.var_name(*v),
+                expr_vhdl(e, ctx)
+            );
         }
         Stmt::Drive(p, e) => {
-            let _ = writeln!(out, "{}{} <= {};", Indent(ind), ctx.port_name(*p), expr_vhdl(e, ctx));
+            let _ = writeln!(
+                out,
+                "{}{} <= {};",
+                Indent(ind),
+                ctx.port_name(*p),
+                expr_vhdl(e, ctx)
+            );
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let _ = writeln!(out, "{}if {} then", Indent(ind), expr_vhdl(cond, ctx));
             for t in then_body {
                 stmt_vhdl(t, ctx, out, ind + 1);
@@ -101,7 +122,13 @@ fn stmt_vhdl(s: &Stmt, ctx: &RenderCtx<'_>, out: &mut String, ind: usize) {
             if let Some(r) = c.result {
                 args.push(ctx.var_name(r).to_string());
             }
-            let _ = writeln!(out, "{}{}({});", Indent(ind), c.service.to_uppercase(), args.join(", "));
+            let _ = writeln!(
+                out,
+                "{}{}({});",
+                Indent(ind),
+                c.service.to_uppercase(),
+                args.join(", ")
+            );
         }
         Stmt::Trace(label, _) => {
             let _ = writeln!(out, "{}-- trace: {label}", Indent(ind));
@@ -164,17 +191,33 @@ pub fn render_service(unit: &CommUnitSpec, svc: &ServiceSpec) -> String {
     let fsm = svc.fsm();
     let upper = svc.name().to_uppercase();
     let mut out = String::new();
-    let _ = writeln!(out, "-- HW view of access procedure {} (unit {})", upper, unit.name());
+    let _ = writeln!(
+        out,
+        "-- HW view of access procedure {} (unit {})",
+        upper,
+        unit.name()
+    );
     let state_names: Vec<&str> = fsm.states().iter().map(|s| s.name()).collect();
-    let _ = writeln!(out, "type {upper}_STATETABLE is ({});", state_names.join(", "));
-    let mut params: Vec<String> =
-        svc.args().iter().map(|(n, t)| format!("{} : in {}", n, vhdl_type(t))).collect();
+    let _ = writeln!(
+        out,
+        "type {upper}_STATETABLE is ({});",
+        state_names.join(", ")
+    );
+    let mut params: Vec<String> = svc
+        .args()
+        .iter()
+        .map(|(n, t)| format!("{} : in {}", n, vhdl_type(t)))
+        .collect();
     params.push("DONE : out boolean".to_string());
     if let Some(ret) = svc.returns() {
         params.push(format!("RESULT : out {}", vhdl_type(ret)));
     }
     let _ = writeln!(out, "procedure {upper}({}) is", params.join("; "));
-    for local in svc.locals().iter().skip(1 + usize::from(svc.returns().is_some())) {
+    for local in svc
+        .locals()
+        .iter()
+        .skip(1 + usize::from(svc.returns().is_some()))
+    {
         let _ = writeln!(
             out,
             "  variable {} : {} := {};",
@@ -212,7 +255,14 @@ pub fn render_module(module: &Module) -> String {
                 PortDir::InOut => "inout",
             };
             let sep = if i + 1 == n { "" } else { ";" };
-            let _ = writeln!(out, "    {} : {} {}{}", p.name(), dir, vhdl_type(p.ty()), sep);
+            let _ = writeln!(
+                out,
+                "    {} : {} {}{}",
+                p.name(),
+                dir,
+                vhdl_type(p.ty()),
+                sep
+            );
         }
         let _ = writeln!(out, "  );");
     }
@@ -261,7 +311,11 @@ mod tests {
         let rdy = s.state("DATA_RDY");
         s.transition(init, Some(Expr::port(b_full).eq(Expr::bit(Bit::One))), wait);
         s.transition_with(init, None, vec![Stmt::drive(datain, Expr::arg(0))], rdy);
-        s.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))), init);
+        s.transition(
+            wait,
+            Some(Expr::port(b_full).eq(Expr::bit(Bit::Zero))),
+            init,
+        );
         s.actions(rdy, vec![Stmt::assign(SERVICE_DONE_VAR, Expr::bool(true))]);
         s.transition(rdy, None, init);
         s.initial(init);
@@ -273,7 +327,10 @@ mod tests {
     fn hw_view_is_a_vhdl_procedure() {
         let unit = fig3_unit();
         let text = render_service(&unit, unit.service("put").unwrap());
-        assert!(text.contains("procedure PUT(REQUEST : in integer; DONE : out boolean) is"), "{text}");
+        assert!(
+            text.contains("procedure PUT(REQUEST : in integer; DONE : out boolean) is"),
+            "{text}"
+        );
         assert!(text.contains("case NEXT_STATE is"), "{text}");
         assert!(text.contains("when INIT =>"), "{text}");
         assert!(text.contains("if (B_FULL = '1') then"), "{text}");
@@ -286,7 +343,10 @@ mod tests {
     fn state_type_declared() {
         let unit = fig3_unit();
         let text = render_service(&unit, unit.service("put").unwrap());
-        assert!(text.contains("type PUT_STATETABLE is (INIT, WAIT_B_FULL, DATA_RDY);"), "{text}");
+        assert!(
+            text.contains("type PUT_STATETABLE is (INIT, WAIT_B_FULL, DATA_RDY);"),
+            "{text}"
+        );
     }
 
     #[test]

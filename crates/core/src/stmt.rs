@@ -69,13 +69,21 @@ impl Stmt {
     /// Builds an `if` with no else branch.
     #[must_use]
     pub fn if_then(cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body: vec![] }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body: vec![],
+        }
     }
 
     /// Builds an `if`/`else`.
     #[must_use]
     pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        }
     }
 
     /// Visits every variable *written* by this statement (recursively).
@@ -83,7 +91,11 @@ impl Stmt {
         match self {
             Stmt::Assign(v, _) => f(*v),
             Stmt::Drive(_, _) | Stmt::Trace(_, _) => {}
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.iter().chain(else_body) {
                     s.for_each_written_var(f);
                 }
@@ -104,7 +116,11 @@ impl Stmt {
         match self {
             Stmt::Drive(p, _) => f(*p),
             Stmt::Assign(_, _) | Stmt::Trace(_, _) | Stmt::Call(_) => {}
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.iter().chain(else_body) {
                     s.for_each_driven_port(f);
                 }
@@ -117,7 +133,11 @@ impl Stmt {
     pub fn for_each_expr(&self, f: &mut impl FnMut(&Expr)) {
         match self {
             Stmt::Assign(_, e) | Stmt::Drive(_, e) => f(e),
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 f(cond);
                 for s in then_body.iter().chain(else_body) {
                     s.for_each_expr(f);
@@ -140,7 +160,11 @@ impl Stmt {
     pub fn for_each_call(&self, f: &mut impl FnMut(&ServiceCall)) {
         match self {
             Stmt::Call(c) => f(c),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.iter().chain(else_body) {
                     s.for_each_call(f);
                 }

@@ -98,19 +98,27 @@ impl System {
     /// Finds a module by name.
     #[must_use]
     pub fn find_module(&self, name: &str) -> Option<ModuleRef> {
-        self.modules.iter().position(|m| m.name() == name).map(ModuleRef)
+        self.modules
+            .iter()
+            .position(|m| m.name() == name)
+            .map(ModuleRef)
     }
 
     /// Finds a unit instance by name.
     #[must_use]
     pub fn find_unit(&self, name: &str) -> Option<UnitRef> {
-        self.units.iter().position(|u| u.name() == name).map(UnitRef)
+        self.units
+            .iter()
+            .position(|u| u.name() == name)
+            .map(UnitRef)
     }
 
     /// The unit instance a module's binding is attached to.
     #[must_use]
     pub fn unit_for(&self, module_index: usize, binding: BindingId) -> Option<&UnitInstance> {
-        self.binds.get(&(module_index, binding)).map(|&ui| &self.units[ui])
+        self.binds
+            .get(&(module_index, binding))
+            .map(|&ui| &self.units[ui])
     }
 
     /// The unit-instance *index* a module's binding is attached to.
@@ -190,7 +198,10 @@ impl SystemBuilder {
     /// Starts a system.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        SystemBuilder { name: name.into(), ..Default::default() }
+        SystemBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a module.
@@ -201,7 +212,10 @@ impl SystemBuilder {
 
     /// Adds a unit instance.
     pub fn unit(&mut self, name: impl Into<String>, spec: Arc<CommUnitSpec>) -> UnitRef {
-        self.units.push(UnitInstance { name: name.into(), spec });
+        self.units.push(UnitInstance {
+            name: name.into(),
+            spec,
+        });
         UnitRef(self.units.len() - 1)
     }
 

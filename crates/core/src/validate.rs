@@ -57,7 +57,10 @@ pub fn check_module(m: &Module) -> Result<(), String> {
         });
         s.for_each_call(&mut |c| {
             if err.is_none() && c.binding.index() >= nbind {
-                *err = Some(format!("call to service {} via undeclared binding", c.service));
+                *err = Some(format!(
+                    "call to service {} via undeclared binding",
+                    c.service
+                ));
             }
         });
     };
@@ -92,7 +95,14 @@ pub fn check_unit(u: &CommUnitSpec) -> Result<(), String> {
         )?;
     }
     if let Some(ctrl) = u.controller() {
-        check_fsm_refs(&ctrl.fsm, "controller", ctrl.vars.len(), nwires, None, false)?;
+        check_fsm_refs(
+            &ctrl.fsm,
+            "controller",
+            ctrl.vars.len(),
+            nwires,
+            None,
+            false,
+        )?;
     }
     Ok(())
 }
@@ -149,7 +159,10 @@ fn check_fsm_refs(
         if !allow_calls {
             s.for_each_call(&mut |c| {
                 if err.is_none() {
-                    *err = Some(format!("{what}: nested service call to {} not allowed", c.service));
+                    *err = Some(format!(
+                        "{what}: nested service call to {} not allowed",
+                        c.service
+                    ));
                 }
             });
         }

@@ -28,8 +28,14 @@ impl EnumType {
     /// values and cannot initialize a variable.
     #[must_use]
     pub fn new(name: impl Into<String>, variants: Vec<String>) -> Arc<Self> {
-        assert!(!variants.is_empty(), "enum type must have at least one variant");
-        Arc::new(EnumType { name: name.into(), variants })
+        assert!(
+            !variants.is_empty(),
+            "enum type must have at least one variant"
+        );
+        Arc::new(EnumType {
+            name: name.into(),
+            variants,
+        })
     }
 
     /// The type's declared name.
@@ -47,7 +53,10 @@ impl EnumType {
     /// Index of a variant by name.
     #[must_use]
     pub fn index_of(&self, variant: &str) -> Option<u32> {
-        self.variants.iter().position(|v| v == variant).map(|i| i as u32)
+        self.variants
+            .iter()
+            .position(|v| v == variant)
+            .map(|i| i as u32)
     }
 
     /// Number of bits needed to encode the enum in binary.
@@ -97,10 +106,16 @@ impl Type {
     }
 
     /// The canonical 16-bit signed integer used by the paper's examples.
-    pub const INT16: Type = Type::Int { width: 16, signed: true };
+    pub const INT16: Type = Type::Int {
+        width: 16,
+        signed: true,
+    };
 
     /// Unsigned 16-bit integer (bus words).
-    pub const UINT16: Type = Type::Int { width: 16, signed: false };
+    pub const UINT16: Type = Type::Int {
+        width: 16,
+        signed: false,
+    };
 
     /// Bit width occupied by this type when synthesized to hardware.
     #[must_use]
@@ -120,7 +135,10 @@ impl Type {
             Type::Bit => Value::Bit(Bit::Zero),
             Type::Bool => Value::Bool(false),
             Type::Int { .. } => Value::Int(0),
-            Type::Enum(e) => Value::Enum(EnumValue { ty: e.clone(), index: 0 }),
+            Type::Enum(e) => Value::Enum(EnumValue {
+                ty: e.clone(),
+                index: 0,
+            }),
         }
     }
 
@@ -143,9 +161,7 @@ impl Type {
             (Type::Bit, Value::Bit(_))
             | (Type::Bool, Value::Bool(_))
             | (Type::Int { .. }, Value::Int(_)) => true,
-            (Type::Enum(e), Value::Enum(ev)) => {
-                Arc::ptr_eq(e, &ev.ty) || **e == *ev.ty
-            }
+            (Type::Enum(e), Value::Enum(ev)) => Arc::ptr_eq(e, &ev.ty) || **e == *ev.ty,
             _ => false,
         }
     }
@@ -156,8 +172,14 @@ impl fmt::Display for Type {
         match self {
             Type::Bit => write!(f, "bit"),
             Type::Bool => write!(f, "bool"),
-            Type::Int { width, signed: true } => write!(f, "int{width}"),
-            Type::Int { width, signed: false } => write!(f, "uint{width}"),
+            Type::Int {
+                width,
+                signed: true,
+            } => write!(f, "int{width}"),
+            Type::Int {
+                width,
+                signed: false,
+            } => write!(f, "uint{width}"),
             Type::Enum(e) => write!(f, "enum {}", e.name()),
         }
     }
@@ -165,7 +187,11 @@ impl fmt::Display for Type {
 
 /// Wraps `i` into the representable range of a `width`-bit integer.
 fn clamp_int(i: i64, width: u32, signed: bool) -> i64 {
-    let mask: u64 = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask: u64 = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let raw = (i as u64) & mask;
     if signed {
         let sign_bit = 1u64 << (width - 1);
@@ -317,7 +343,11 @@ impl Value {
     /// booleans to 0/1, enums to their index.
     #[must_use]
     pub fn to_bus_word(&self, width: u32) -> u64 {
-        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let raw = match self {
             Value::Bit(b) => u64::from(*b == Bit::One),
             Value::Bool(b) => u64::from(*b),
@@ -405,7 +435,10 @@ pub enum ValueError {
 
 impl ValueError {
     fn type_mismatch(expected: &str, found: &Value) -> Self {
-        ValueError::TypeMismatch { expected: expected.to_string(), found: format!("{found:?}") }
+        ValueError::TypeMismatch {
+            expected: expected.to_string(),
+            found: format!("{found:?}"),
+        }
     }
 }
 
@@ -431,7 +464,12 @@ mod tests {
     fn state_table() -> Arc<EnumType> {
         EnumType::new(
             "STATETABLE",
-            vec!["INIT".into(), "WAIT_B_FULL".into(), "DATA_RDY".into(), "IDLE".into()],
+            vec![
+                "INIT".into(),
+                "WAIT_B_FULL".into(),
+                "DATA_RDY".into(),
+                "IDLE".into(),
+            ],
         )
     }
 

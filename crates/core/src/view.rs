@@ -125,9 +125,18 @@ pub fn render_service_views(
     let sw_sim = crate::render::c::render_service(unit, svc, View::SwSim);
     let sw_synth = targets
         .iter()
-        .map(|&t| (t, crate::render::c::render_service(unit, svc, View::SwSynth(t))))
+        .map(|&t| {
+            (
+                t,
+                crate::render::c::render_service(unit, svc, View::SwSynth(t)),
+            )
+        })
         .collect();
-    ServiceViews { hw_vhdl, sw_sim, sw_synth }
+    ServiceViews {
+        hw_vhdl,
+        sw_sim,
+        sw_synth,
+    }
 }
 
 /// Renders a module in the view appropriate for its kind: VHDL for
@@ -149,7 +158,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(View::Hw.to_string(), "hw");
         assert_eq!(View::SwSim.to_string(), "sw-sim");
-        assert_eq!(View::SwSynth(SwTarget::PcAtBus).to_string(), "sw-synth(pc-at-bus)");
+        assert_eq!(
+            View::SwSynth(SwTarget::PcAtBus).to_string(),
+            "sw-synth(pc-at-bus)"
+        );
         assert_eq!(SwTarget::UnixIpc.to_string(), "unix-ipc");
     }
 

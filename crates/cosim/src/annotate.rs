@@ -112,7 +112,11 @@ pub fn back_annotate(
     let scale = (rows.iter().map(|r| r.scale.ln()).sum::<f64>() / rows.len() as f64).exp();
     let annotated =
         Duration::from_fs((nominal_sw_cycle.as_fs() as f64 * scale).round().max(1.0) as u64);
-    Some(BackAnnotation { labels: rows, scale, annotated_sw_cycle: annotated })
+    Some(BackAnnotation {
+        labels: rows,
+        scale,
+        annotated_sw_cycle: annotated,
+    })
 }
 
 /// Prediction quality of a (possibly annotated) co-simulation against the

@@ -19,8 +19,10 @@ use cosma_core::{
     Env, EvalError, Fsm, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type,
     Value,
 };
-use cosma_sim::{Duration, FnProcess, ProcCtx, SignalId, SimError, SimTime, Simulator, Wait};
-use std::cell::RefCell;
+use cosma_sim::{
+    ClockControl, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimTime, Simulator, Wait,
+};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -39,7 +41,10 @@ pub struct CosimConfig {
 impl Default for CosimConfig {
     fn default() -> Self {
         let c = Duration::from_freq_hz(10_000_000);
-        CosimConfig { hw_cycle: c, sw_cycle: c }
+        CosimConfig {
+            hw_cycle: c,
+            sw_cycle: c,
+        }
     }
 }
 
@@ -118,7 +123,10 @@ struct CosimEnv<'a, 'b> {
 
 impl ReadEnv for CosimEnv<'_, '_> {
     fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
-        self.vars.get(v.index()).cloned().ok_or(EvalError::NoSuchVar(v))
+        self.vars
+            .get(v.index())
+            .cloned()
+            .ok_or(EvalError::NoSuchVar(v))
     }
     fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
         match self.ports.get(p.index()) {
@@ -131,7 +139,10 @@ impl ReadEnv for CosimEnv<'_, '_> {
 impl Env for CosimEnv<'_, '_> {
     fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
         let ty = self.var_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
-        let slot = self.vars.get_mut(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        let slot = self
+            .vars
+            .get_mut(v.index())
+            .ok_or(EvalError::NoSuchVar(v))?;
         *slot = ty.clamp(value);
         Ok(())
     }
@@ -159,19 +170,19 @@ impl Env for CosimEnv<'_, '_> {
         match handle {
             Handle::Fsm(i) => {
                 let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
-                let mut ws = CtxWires { ctx: self.ctx, map: wires };
+                let mut ws = CtxWires {
+                    ctx: self.ctx,
+                    map: wires,
+                };
                 runtime.call(self.caller, &call.service, args, &mut ws)
             }
             Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args),
         }
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
-        self.trace.borrow_mut().record(
-            self.ctx.now().as_fs(),
-            self.source,
-            label,
-            values.to_vec(),
-        );
+        self.trace
+            .borrow_mut()
+            .record(self.ctx.now().as_fs(), self.source, label, values.to_vec());
     }
 }
 
@@ -205,7 +216,12 @@ impl From<SimError> for CosimError {
 
 /// Per-module bookkeeping: name, live status, live variables, and the
 /// module description itself.
-type ModuleSlot = (String, Rc<RefCell<ModuleStatus>>, Rc<RefCell<Vec<Value>>>, Module);
+type ModuleSlot = (
+    String,
+    Rc<RefCell<ModuleStatus>>,
+    Rc<RefCell<Vec<Value>>>,
+    Module,
+);
 
 /// The co-simulation backplane.
 ///
@@ -268,6 +284,12 @@ pub struct Cosim {
     hw_clk: SignalId,
     sw_clk: SignalId,
     modules: Vec<ModuleSlot>,
+    /// Number of clocked bodies (module activations, unit controllers,
+    /// native steps) still registered. The activation clock generators
+    /// park forever when it reaches zero, so a backplane whose clocked
+    /// work has all halted actually goes quiescent
+    /// ([`Cosim::run_to_quiescence`]).
+    live_clocked: Rc<Cell<u32>>,
 }
 
 impl fmt::Debug for Cosim {
@@ -286,11 +308,36 @@ impl Cosim {
         let mut sim = Simulator::new();
         let hw_clk = sim.add_bit("HW_CLK");
         let sw_clk = sim.add_bit("SW_CLK");
-        sim.add_clock("hw_clkgen", hw_clk, config.hw_cycle);
-        sim.add_clock("sw_clkgen", sw_clk, config.sw_cycle);
+        let live_clocked = Rc::new(Cell::new(0u32));
+        for (name, clk, period) in [
+            ("hw_clkgen", hw_clk, config.hw_cycle),
+            ("sw_clkgen", sw_clk, config.sw_cycle),
+        ] {
+            // Like Simulator::add_clock, but the generator parks once no
+            // clocked body is left to activate.
+            let live = Rc::clone(&live_clocked);
+            let half = period.halved();
+            sim.add_process(
+                name,
+                FnProcess::new(move |ctx| {
+                    if live.get() == 0 {
+                        return Wait::Forever;
+                    }
+                    let next = match ctx.read(clk) {
+                        cosma_core::Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
+                        _ => cosma_core::Bit::One,
+                    };
+                    ctx.drive(clk, cosma_core::Value::Bit(next));
+                    Wait::Timeout(half)
+                }),
+            );
+        }
         Cosim {
             sim,
-            registry: Rc::new(RefCell::new(Registry { fsm: vec![], native: vec![] })),
+            registry: Rc::new(RefCell::new(Registry {
+                fsm: vec![],
+                native: vec![],
+            })),
             handles: vec![],
             unit_names: HashMap::new(),
             error: Rc::new(RefCell::new(None)),
@@ -298,6 +345,7 @@ impl Cosim {
             hw_clk,
             sw_clk,
             modules: vec![],
+            live_clocked,
         }
     }
 
@@ -331,37 +379,65 @@ impl Cosim {
             .wires()
             .iter()
             .map(|w| {
-                self.sim.add_signal(format!("{name}.{}", w.name()), w.ty().clone(), w.init().clone())
+                self.sim.add_signal(
+                    format!("{name}.{}", w.name()),
+                    w.ty().clone(),
+                    w.init().clone(),
+                )
             })
             .collect();
         let has_controller = spec.controller().is_some();
         let runtime = FsmUnitRuntime::new(spec);
         let idx = {
             let mut reg = self.registry.borrow_mut();
-            reg.fsm.push(FsmUnitEntry { name: name.to_string(), runtime, wires: wires.clone() });
+            reg.fsm.push(FsmUnitEntry {
+                name: name.to_string(),
+                runtime,
+                wires: wires.clone(),
+            });
             reg.fsm.len() - 1
         };
         if has_controller {
             let registry = Rc::clone(&self.registry);
             let error = Rc::clone(&self.error);
             let clk = self.hw_clk;
-            self.sim.add_process(
+            // The kernel's monotone per-signal event counts tell the
+            // controller whether any of its wires changed since its last
+            // activation; provably idle controllers are then skipped
+            // (see FsmUnitRuntime::step_controller_if_active).
+            let watched = wires.clone();
+            let mut seen_events: Vec<u64> = vec![0; watched.len()];
+            let live = Rc::clone(&self.live_clocked);
+            live.set(live.get() + 1);
+            self.sim.add_clocked(
                 format!("{name}.controller"),
-                FnProcess::new(move |ctx| {
+                clk,
+                Edge::Rising,
+                move |ctx| {
                     if error.borrow().is_some() {
-                        return Wait::Forever;
+                        live.set(live.get() - 1);
+                        return ClockControl::Halt;
                     }
-                    if ctx.rose(clk) {
-                        let mut reg = registry.borrow_mut();
-                        let FsmUnitEntry { name, runtime, wires } = &mut reg.fsm[idx];
-                        let mut ws = CtxWires { ctx, map: wires };
-                        if let Err(e) = runtime.step_controller(&mut ws) {
-                            *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
-                            return Wait::Forever;
-                        }
+                    let mut inputs_changed = false;
+                    for (sig, seen) in watched.iter().zip(seen_events.iter_mut()) {
+                        let n = ctx.event_count(*sig);
+                        inputs_changed |= n != *seen;
+                        *seen = n;
                     }
-                    Wait::Event(vec![clk])
-                }),
+                    let mut reg = registry.borrow_mut();
+                    let FsmUnitEntry {
+                        name,
+                        runtime,
+                        wires,
+                    } = &mut reg.fsm[idx];
+                    let mut ws = CtxWires { ctx, map: wires };
+                    if let Err(e) = runtime.step_controller_if_active(&mut ws, inputs_changed) {
+                        *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
+                        live.set(live.get() - 1);
+                        return ClockControl::Halt;
+                    }
+                    ClockControl::Continue
+                },
             );
         }
         let id = UnitId(self.handles.len());
@@ -379,15 +455,12 @@ impl Cosim {
         };
         let registry = Rc::clone(&self.registry);
         let clk = self.hw_clk;
-        self.sim.add_process(
-            format!("{name}.step"),
-            FnProcess::new(move |ctx| {
-                if ctx.rose(clk) {
-                    registry.borrow_mut().native[idx].1.step();
-                }
-                Wait::Event(vec![clk])
-            }),
-        );
+        self.live_clocked.set(self.live_clocked.get() + 1);
+        self.sim
+            .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |_ctx| {
+                registry.borrow_mut().native[idx].1.step();
+                ClockControl::Continue
+            });
         let id = UnitId(self.handles.len());
         self.handles.push(Handle::Native(idx));
         self.unit_names.insert(name.to_string(), id);
@@ -498,40 +571,40 @@ impl Cosim {
         let trace = Rc::clone(&self.trace);
         let mname = module.name().to_string();
         let mut exec = FsmExec::new(&fsm);
-        self.sim.add_process(
-            mname.clone(),
-            FnProcess::new(move |ctx| {
+        let live = Rc::clone(&self.live_clocked);
+        live.set(live.get() + 1);
+        self.sim
+            .add_clocked(mname.clone(), clk, Edge::Rising, move |ctx| {
                 if error.borrow().is_some() {
-                    return Wait::Forever;
+                    live.set(live.get() - 1);
+                    return ClockControl::Halt;
                 }
-                if ctx.rose(clk) {
-                    let mut vars = vars_cell.borrow_mut();
-                    let mut env = CosimEnv {
-                        ctx,
-                        ports: &ports,
-                        vars: &mut vars,
-                        var_tys: &var_tys,
-                        registry: &registry,
-                        bindings: &resolved,
-                        caller,
-                        trace: &trace,
-                        source: &mname,
-                    };
-                    match exec.step(&fsm, &mut env) {
-                        Ok(_) => {
-                            let mut st = status.borrow_mut();
-                            st.state = fsm.state(exec.current()).name().to_string();
-                            st.activations += 1;
-                        }
-                        Err(e) => {
-                            *error.borrow_mut() = Some(format!("module {mname}: {e}"));
-                            return Wait::Forever;
-                        }
+                let mut vars = vars_cell.borrow_mut();
+                let mut env = CosimEnv {
+                    ctx,
+                    ports: &ports,
+                    vars: &mut vars,
+                    var_tys: &var_tys,
+                    registry: &registry,
+                    bindings: &resolved,
+                    caller,
+                    trace: &trace,
+                    source: &mname,
+                };
+                match exec.step(&fsm, &mut env) {
+                    Ok(_) => {
+                        let mut st = status.borrow_mut();
+                        st.state = fsm.state(exec.current()).name().to_string();
+                        st.activations += 1;
+                        ClockControl::Continue
+                    }
+                    Err(e) => {
+                        *error.borrow_mut() = Some(format!("module {mname}: {e}"));
+                        live.set(live.get() - 1);
+                        ClockControl::Halt
                     }
                 }
-                Wait::Event(vec![clk])
-            }),
-        );
+            });
         Ok(id)
     }
 
@@ -541,7 +614,10 @@ impl Cosim {
     /// # Errors
     ///
     /// Returns [`CosimError::Setup`] on assembly problems.
-    pub fn add_system(&mut self, sys: &cosma_core::System) -> Result<Vec<CosimModuleId>, CosimError> {
+    pub fn add_system(
+        &mut self,
+        sys: &cosma_core::System,
+    ) -> Result<Vec<CosimModuleId>, CosimError> {
         let unit_ids: Vec<UnitId> = sys
             .units()
             .iter()
@@ -594,6 +670,36 @@ impl Cosim {
         Ok(())
     }
 
+    /// Whether any kernel activity is still scheduled
+    /// ([`Simulator::pending_activity`]). Once false, further runs can
+    /// never change a signal: the backplane is quiescent for good (all
+    /// processes halted or waiting forever).
+    #[must_use]
+    pub fn pending_activity(&self) -> bool {
+        self.sim.pending_activity()
+    }
+
+    /// Run-to-quiescence: advances until `limit` or until the kernel has
+    /// nothing scheduled, whichever comes first. Returns `true` when
+    /// quiescence was reached — the final state is then the system's
+    /// forever state, and harness loops (e.g.
+    /// `run_to_completion`-style chunked polling) can stop early.
+    ///
+    /// The activation clock generators park once every
+    /// backplane-registered clocked body (module, unit controller,
+    /// native step) has halted, so an empty or fully-halted backplane
+    /// really does quiesce. Processes registered directly through
+    /// [`Cosim::sim_mut`] are not counted: they see clock edges only
+    /// while at least one backplane body keeps the clocks alive.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cosim::run_for`].
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> Result<bool, CosimError> {
+        self.run_until(limit)?;
+        Ok(!self.sim.pending_activity())
+    }
+
     /// Live status of a module.
     ///
     /// # Panics
@@ -607,7 +713,10 @@ impl Cosim {
     /// Finds a module id by name.
     #[must_use]
     pub fn find_module(&self, name: &str) -> Option<CosimModuleId> {
-        self.modules.iter().position(|(n, _, _, _)| n == name).map(CosimModuleId)
+        self.modules
+            .iter()
+            .position(|(n, _, _, _)| n == name)
+            .map(CosimModuleId)
     }
 
     /// Current value of a module variable, by name.
@@ -657,7 +766,11 @@ mod tests {
         let end = p.state("END");
         // Send values[I] until I == len; the helper requires an
         // arithmetic progression so the argument is base + I * step.
-        let step = if values.len() > 1 { values[1] - values[0] } else { 0 };
+        let step = if values.len() > 1 {
+            values[1] - values[0]
+        } else {
+            0
+        };
         let arg = Expr::int(values[0]).add(Expr::var(idx).mul(Expr::int(step)));
         p.actions(
             put,
@@ -752,6 +865,66 @@ mod tests {
         assert_eq!(stats.services["put"].completions, 3);
         assert_eq!(stats.services["get"].completions, 3);
         assert!(stats.controller_steps > 0);
+    }
+
+    #[test]
+    fn idle_controllers_are_gated() {
+        // After the 3-value exchange completes, the link's wires stop
+        // changing and its controller self-loops without writes — from
+        // then on the backplane skips its activations entirely.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+        let p = producer(&[10, 20, 30]);
+        let c = consumer(3);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(200)).unwrap();
+        assert_eq!(cosim.module_status(cid).state, "END");
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(60)));
+        let stats = cosim.unit_stats("link").unwrap();
+        assert_eq!(stats.services["put"].completions, 3);
+        assert!(
+            stats.controller_steps > 0,
+            "the exchange required real steps"
+        );
+        assert!(
+            stats.controller_skips > stats.controller_steps,
+            "a long idle tail must be dominated by skipped activations \
+             (steps {}, skips {})",
+            stats.controller_steps,
+            stats.controller_skips
+        );
+    }
+
+    #[test]
+    fn empty_backplane_quiesces_immediately() {
+        // No clocked bodies: the activation clock generators park at
+        // elaboration, so the kernel truly runs dry.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let quiesced = cosim.run_to_quiescence(SimTime::from_ns(1000)).unwrap();
+        assert!(quiesced, "nothing is clocked, so nothing is pending");
+        assert!(!cosim.pending_activity());
+    }
+
+    #[test]
+    fn populated_backplane_never_quiesces_but_reports_it() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        assert!(cosim.pending_activity(), "elaboration is owed");
+        let quiesced = cosim.run_to_quiescence(SimTime::from_ns(1000)).unwrap();
+        assert!(
+            !quiesced,
+            "a live module keeps the activation clocks running"
+        );
+        assert!(
+            cosim.pending_activity(),
+            "activation clocks keep timers armed"
+        );
+        assert_eq!(cosim.sim().now(), SimTime::from_ns(1000));
     }
 
     #[test]

@@ -102,7 +102,9 @@ impl TraceLog {
     /// (e.g. only motor-visible events).
     #[must_use]
     pub fn filtered(&self, mut keep: impl FnMut(&TraceEntry) -> bool) -> TraceLog {
-        TraceLog { entries: self.entries.iter().filter(|e| keep(e)).cloned().collect() }
+        TraceLog {
+            entries: self.entries.iter().filter(|e| keep(e)).cloned().collect(),
+        }
     }
 }
 
@@ -150,7 +152,11 @@ impl fmt::Display for TraceComparison {
                 self.matched, self.left_len, self.right_len
             )?;
             if let Some((a, b)) = &self.divergence {
-                write!(f, ": {}({:?}) vs {}({:?})", a.label, a.values, b.label, b.values)?;
+                write!(
+                    f,
+                    ": {}({:?}) vs {}({:?})",
+                    a.label, a.values, b.label, b.values
+                )?;
             }
             Ok(())
         }

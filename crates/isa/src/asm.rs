@@ -71,7 +71,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// A not-yet-resolved address operand.
@@ -124,8 +127,7 @@ fn parse_num(tok: &str, line: usize) -> Result<u16, AsmError> {
         Some(rest) => (true, rest),
         None => (false, t),
     };
-    let v: Result<i64, _> = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
-    {
+    let v: Result<i64, _> = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
         i64::from_str_radix(h, 16)
     } else if let Some(b) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
         i64::from_str_radix(b, 2)
@@ -144,7 +146,11 @@ fn parse_num(tok: &str, line: usize) -> Result<u16, AsmError> {
     }
 }
 
-fn parse_operand(tok: &str, consts: &HashMap<String, u16>, line: usize) -> Result<Operand, AsmError> {
+fn parse_operand(
+    tok: &str,
+    consts: &HashMap<String, u16>,
+    line: usize,
+) -> Result<Operand, AsmError> {
     let t = tok.trim();
     if t.is_empty() {
         return Err(err(line, "missing operand"));
@@ -204,13 +210,19 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
             None => (rest, ""),
         };
         let mn = mnemonic.trim_start_matches('.').to_ascii_uppercase();
-        let argv: Vec<&str> =
-            if args.is_empty() { vec![] } else { args.split(',').map(str::trim).collect() };
+        let argv: Vec<&str> = if args.is_empty() {
+            vec![]
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
         let need = |n: usize| -> Result<(), AsmError> {
             if argv.len() == n {
                 Ok(())
             } else {
-                Err(err(line_no, format!("{mn} expects {n} operand(s), got {}", argv.len())))
+                Err(err(
+                    line_no,
+                    format!("{mn} expects {n} operand(s), got {}", argv.len()),
+                ))
             }
         };
 
@@ -260,9 +272,13 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                 };
                 match op {
                     Operand::Num(i) => Some(Item::Ready(build(rd, Reg(0), i))),
-                    operand => {
-                        Some(Item::Pending { build, rd, rs: Reg(0), operand, line: line_no })
-                    }
+                    operand => Some(Item::Pending {
+                        build,
+                        rd,
+                        rs: Reg(0),
+                        operand,
+                        line: line_no,
+                    }),
                 }
             }
             "LD" => {
@@ -274,8 +290,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                     .and_then(|s| s.strip_suffix(']'))
                     .ok_or_else(|| err(line_no, "LD expects [addr] or [reg]"))?
                     .trim();
-                if inner.to_ascii_lowercase().starts_with('r')
-                    && parse_reg(inner, line_no).is_ok()
+                if inner.to_ascii_lowercase().starts_with('r') && parse_reg(inner, line_no).is_ok()
                 {
                     Some(Item::Ready(Instr::LdInd(rd, parse_reg(inner, line_no)?)))
                 } else {
@@ -299,8 +314,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                     .ok_or_else(|| err(line_no, "ST expects [addr] or [reg] destination"))?
                     .trim();
                 let rs = parse_reg(argv[1], line_no)?;
-                if inner.to_ascii_lowercase().starts_with('r')
-                    && parse_reg(inner, line_no).is_ok()
+                if inner.to_ascii_lowercase().starts_with('r') && parse_reg(inner, line_no).is_ok()
                 {
                     Some(Item::Ready(Instr::StInd(parse_reg(inner, line_no)?, rs)))
                 } else {
@@ -386,9 +400,13 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                 };
                 match parse_operand(argv[0], &consts, line_no)? {
                     Operand::Num(a) => Some(Item::Ready(build(Reg(0), Reg(0), a))),
-                    operand => {
-                        Some(Item::Pending { build, rd: Reg(0), rs: Reg(0), operand, line: line_no })
-                    }
+                    operand => Some(Item::Pending {
+                        build,
+                        rd: Reg(0),
+                        rs: Reg(0),
+                        operand,
+                        line: line_no,
+                    }),
                 }
             }
             other => return Err(err(line_no, format!("unknown mnemonic {other}"))),
@@ -414,7 +432,13 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
     for (addr, item) in &items {
         match item {
             Item::Ready(i) => emit(&mut words, *addr, *i),
-            Item::Pending { build, rd, rs, operand, line } => {
+            Item::Pending {
+                build,
+                rd,
+                rs,
+                operand,
+                line,
+            } => {
                 let v = resolve(operand, *line)?;
                 emit(&mut words, *addr, build(*rd, *rs, v));
             }
@@ -425,7 +449,11 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
             }
         }
     }
-    Ok(Image { words, entry: entry.unwrap_or(0), labels })
+    Ok(Image {
+        words,
+        entry: entry.unwrap_or(0),
+        labels,
+    })
 }
 
 fn emit(words: &mut Vec<(u16, u16)>, addr: u16, i: Instr) {
@@ -469,10 +497,7 @@ mod tests {
 
     #[test]
     fn labels_forward_and_back() {
-        let img = assemble(
-            "start: LDI r0, 1\nJMP end\nmid: NOP\nend: JMP start\n",
-        )
-        .unwrap();
+        let img = assemble("start: LDI r0, 1\nJMP end\nmid: NOP\nend: JMP start\n").unwrap();
         assert_eq!(img.label("start"), Some(0));
         assert_eq!(img.label("mid"), Some(4));
         assert_eq!(img.label("end"), Some(5));

@@ -244,7 +244,10 @@ impl Cpu {
     /// faults. A halted CPU returns 1-cycle no-op steps.
     pub fn step(&mut self, bus: &mut dyn PortBus) -> Result<StepInfo, CpuError> {
         if self.halted {
-            return Ok(StepInfo { cycles: 1, halted: true });
+            return Ok(StepInfo {
+                cycles: 1,
+                halted: true,
+            });
         }
         let pc0 = self.pc;
         let word = self.mem[self.pc as usize];
@@ -345,8 +348,7 @@ impl Cpu {
                 self.set_zn(v);
             }
             Instr::Cmp(rd, rs) => {
-                let (v, c) =
-                    self.regs[rd.0 as usize].overflowing_sub(self.regs[rs.0 as usize]);
+                let (v, c) = self.regs[rd.0 as usize].overflowing_sub(self.regs[rs.0 as usize]);
                 self.flags.c = c;
                 self.set_zn(v);
             }
@@ -418,7 +420,10 @@ impl Cpu {
         }
         self.cycles += u64::from(cycles);
         self.retired += 1;
-        Ok(StepInfo { cycles, halted: self.halted })
+        Ok(StepInfo {
+            cycles,
+            halted: self.halted,
+        })
     }
 
     fn alu(&mut self, rd: Reg, rs: Reg, f: impl Fn(u16, u16) -> (u16, bool)) {
@@ -460,9 +465,7 @@ mod tests {
 
     #[test]
     fn arithmetic_basics() {
-        let cpu = run_prog(
-            "LDI r0, 10\nLDI r1, 3\nSUB r0, r1\nHLT\n",
-        );
+        let cpu = run_prog("LDI r0, 10\nLDI r1, 3\nSUB r0, r1\nHLT\n");
         assert_eq!(cpu.reg(0), 7);
     }
 
@@ -498,17 +501,13 @@ mod tests {
 
     #[test]
     fn indirect_addressing() {
-        let cpu = run_prog(
-            "LDI r0, 0x2000\nLDI r1, 77\nST [r0], r1\nLD r2, [r0]\nHLT\n",
-        );
+        let cpu = run_prog("LDI r0, 0x2000\nLDI r1, 77\nST [r0], r1\nLD r2, [r0]\nHLT\n");
         assert_eq!(cpu.reg(2), 77);
     }
 
     #[test]
     fn call_ret_stack() {
-        let cpu = run_prog(
-            "LDI r0, 1\nCALL fn\nADDI r0, 100\nHLT\nfn: ADDI r0, 10\nRET\n",
-        );
+        let cpu = run_prog("LDI r0, 1\nCALL fn\nADDI r0, 100\nHLT\nfn: ADDI r0, 10\nRET\n");
         assert_eq!(cpu.reg(0), 111);
     }
 
@@ -555,9 +554,7 @@ mod tests {
 
     #[test]
     fn conditional_jumps() {
-        let cpu = run_prog(
-            "LDI r0, 5\nCMPI r0, 5\nJZ eq\nLDI r1, 0\nHLT\neq: LDI r1, 1\nHLT\n",
-        );
+        let cpu = run_prog("LDI r0, 5\nCMPI r0, 5\nJZ eq\nLDI r1, 0\nHLT\neq: LDI r1, 1\nHLT\n");
         assert_eq!(cpu.reg(1), 1);
     }
 

@@ -8,9 +8,9 @@
 
 use crate::plant::MotorModel;
 use cosma_board::{Peripheral, WireBank};
-use cosma_cosim::TraceLog;
 use cosma_core::{Bit, Value};
-use cosma_sim::{ProcCtx, Process, SignalId, Wait};
+use cosma_cosim::TraceLog;
+use cosma_sim::{ClockControl, Edge, ProcessId, SignalId, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -24,8 +24,10 @@ pub fn shared_motor(max_steps_per_tick: i64) -> SharedMotor {
     Rc::new(RefCell::new(MotorModel::new(max_steps_per_tick)))
 }
 
-/// The co-simulation adapter: a kernel process clocked on the HW clock,
-/// attached to the `motor_link` unit instance's wire signals.
+/// The co-simulation adapter: a clocked kernel process on the HW clock,
+/// attached to the `motor_link` unit instance's wire signals. Registers
+/// through [`Simulator::add_clocked`], the same activation API the
+/// backplane's own clocked bodies use.
 pub struct MotorCosim {
     motor: SharedMotor,
     clk: SignalId,
@@ -55,33 +57,47 @@ impl MotorCosim {
         sampled: SignalId,
         trace: Rc<RefCell<TraceLog>>,
     ) -> Self {
-        MotorCosim { motor, clk, cmd, strobe, ack, sampled, trace }
+        MotorCosim {
+            motor,
+            clk,
+            cmd,
+            strobe,
+            ack,
+            sampled,
+            trace,
+        }
     }
-}
 
-impl Process for MotorCosim {
-    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
-        if ctx.rose(self.clk) {
-            let strobe = ctx.read_bit(self.strobe);
-            let ack = ctx.read_bit(self.ack);
-            let mut motor = self.motor.borrow_mut();
-            if strobe == Bit::One && ack == Bit::Zero {
-                let n = ctx.read_int(self.cmd);
+    /// Registers the adapter as a rising-edge clocked process named
+    /// `"motor"` and returns its id.
+    pub fn attach(self, sim: &mut Simulator) -> ProcessId {
+        let MotorCosim {
+            motor,
+            clk,
+            cmd,
+            strobe,
+            ack,
+            sampled,
+            trace,
+        } = self;
+        sim.add_clocked("motor", clk, Edge::Rising, move |ctx| {
+            let strobe_v = ctx.read_bit(strobe);
+            let ack_v = ctx.read_bit(ack);
+            let mut motor = motor.borrow_mut();
+            if strobe_v == Bit::One && ack_v == Bit::Zero {
+                let n = ctx.read_int(cmd);
                 motor.command_pulses(n);
-                ctx.drive(self.ack, Value::Bit(Bit::One));
-                self.trace.borrow_mut().record(
-                    ctx.now().as_fs(),
-                    "motor",
-                    "pulse",
-                    vec![Value::Int(n)],
-                );
-            } else if strobe == Bit::Zero && ack == Bit::One {
-                ctx.drive(self.ack, Value::Bit(Bit::Zero));
+                ctx.drive(ack, Value::Bit(Bit::One));
+                trace
+                    .borrow_mut()
+                    .record(ctx.now().as_fs(), "motor", "pulse", vec![Value::Int(n)]);
+            } else if strobe_v == Bit::Zero && ack_v == Bit::One {
+                ctx.drive(ack, Value::Bit(Bit::Zero));
             }
             motor.tick();
-            ctx.drive(self.sampled, Value::Int(motor.sampled()));
-        }
-        Wait::Event(vec![self.clk])
+            ctx.drive(sampled, Value::Int(motor.sampled()));
+            ClockControl::Continue
+        })
     }
 }
 
@@ -104,7 +120,10 @@ impl MotorPeripheral {
     /// `"mlink"`).
     #[must_use]
     pub fn new(motor: SharedMotor, prefix: impl Into<String>) -> Self {
-        MotorPeripheral { motor, prefix: prefix.into() }
+        MotorPeripheral {
+            motor,
+            prefix: prefix.into(),
+        }
     }
 }
 

@@ -13,8 +13,8 @@ use crate::modules::{
 };
 use crate::units::{motor_link_unit, swhw_link_unit};
 use cosma_board::{Board, BoardConfig, CpuId};
-use cosma_cosim::{Cosim, CosimConfig, CosimError, CosimModuleId};
 use cosma_core::{Type, Value};
+use cosma_cosim::{Cosim, CosimConfig, CosimError, CosimModuleId};
 use cosma_sim::Duration;
 use cosma_synth::{
     compile_sw, flatten_module, synthesize_hw, Encoding, HwSynthReport, IoMap, SwProgram,
@@ -61,6 +61,11 @@ impl CosimMotorSystem {
             if self.cosim.module_status(self.distribution).state == "Done" {
                 return Ok(true);
             }
+            // Quiescent kernel: nothing can ever change again, so more
+            // chunks cannot reach Done either.
+            if !self.cosim.pending_activity() {
+                return Ok(false);
+            }
         }
         Ok(false)
     }
@@ -71,21 +76,23 @@ impl CosimMotorSystem {
 /// # Errors
 ///
 /// Returns backplane setup errors.
-pub fn build_cosim(
-    cfg: &MotorConfig,
-    ccfg: CosimConfig,
-) -> Result<CosimMotorSystem, CosimError> {
+pub fn build_cosim(cfg: &MotorConfig, ccfg: CosimConfig) -> Result<CosimMotorSystem, CosimError> {
     let mut cosim = Cosim::new(ccfg);
     let swhw = cosim.add_fsm_unit("swhw", swhw_link_unit());
     let mlink = cosim.add_fsm_unit("mlink", motor_link_unit());
 
     // Shared Speed Control signals.
-    let sc_target = cosim.sim_mut().add_signal("SC_TARGET", Type::INT16, Value::Int(0));
-    let sc_residual = cosim.sim_mut().add_signal("SC_RESIDUAL", Type::INT16, Value::Int(0));
-    let sc_sampled = cosim.sim_mut().add_signal("SC_SAMPLED", Type::INT16, Value::Int(0));
+    let sc_target = cosim
+        .sim_mut()
+        .add_signal("SC_TARGET", Type::INT16, Value::Int(0));
+    let sc_residual = cosim
+        .sim_mut()
+        .add_signal("SC_RESIDUAL", Type::INT16, Value::Int(0));
+    let sc_sampled = cosim
+        .sim_mut()
+        .add_signal("SC_SAMPLED", Type::INT16, Value::Int(0));
 
-    let distribution =
-        cosim.add_module(&distribution_module(cfg), &[("swhw", swhw)])?;
+    let distribution = cosim.add_module(&distribution_module(cfg), &[("swhw", swhw)])?;
     let position = cosim.add_module_with_ports(
         &position_module(cfg),
         &[("swhw", swhw)],
@@ -96,11 +103,8 @@ pub fn build_cosim(
         &[("mlink", mlink)],
         vec![sc_target, sc_residual, sc_sampled],
     )?;
-    let timer = cosim.add_module_with_ports(
-        &timer_module(cfg),
-        &[("mlink", mlink)],
-        vec![sc_residual],
-    )?;
+    let timer =
+        cosim.add_module_with_ports(&timer_module(cfg), &[("mlink", mlink)], vec![sc_residual])?;
 
     // The plant, attached to the motor_link wires.
     let motor = shared_motor(cfg.motor_speed);
@@ -119,9 +123,16 @@ pub fn build_cosim(
         sig("SAMPLED_POS"),
         cosim.trace_handle(),
     );
-    cosim.sim_mut().add_process("motor", adapter);
+    adapter.attach(cosim.sim_mut());
 
-    Ok(CosimMotorSystem { cosim, distribution, position, core, timer, motor })
+    Ok(CosimMotorSystem {
+        cosim,
+        distribution,
+        position,
+        core,
+        timer,
+        motor,
+    })
 }
 
 /// The co-synthesized motor system on the PC-AT + FPGA board.
@@ -167,6 +178,11 @@ impl BoardMotorSystem {
             self.board.run_for_ns(chunk_ns)?;
             if self.is_done() {
                 return Ok(true);
+            }
+            // A board with every CPU halted and no hardware to clock can
+            // never reach Done; stop polling.
+            if !self.board.pending_activity() {
+                return Ok(false);
             }
         }
         Ok(false)
@@ -217,7 +233,14 @@ pub fn build_board(
     let motor = shared_motor(cfg.motor_speed);
     board.attach(Box::new(MotorPeripheral::new(motor.clone(), "mlink")));
 
-    Ok(BoardMotorSystem { board, cpu, program, reports, motor, done_state })
+    Ok(BoardMotorSystem {
+        board,
+        cpu,
+        program,
+        reports,
+        motor,
+        done_state,
+    })
 }
 
 #[cfg(test)]
@@ -240,8 +263,14 @@ mod tests {
         assert!(log.with_label("pulse").count() > 0);
         // The unit saw the expected service traffic.
         let stats = sys.cosim.unit_stats("swhw").unwrap();
-        assert_eq!(stats.services["MotorPosition"].completions, cfg.segments as u64);
-        assert_eq!(stats.services["ReadMotorState"].completions, cfg.segments as u64);
+        assert_eq!(
+            stats.services["MotorPosition"].completions,
+            cfg.segments as u64
+        );
+        assert_eq!(
+            stats.services["ReadMotorState"].completions,
+            cfg.segments as u64
+        );
     }
 
     #[test]

@@ -61,7 +61,13 @@ fn call(
     done: cosma_core::ids::VarId,
     result: Option<cosma_core::ids::VarId>,
 ) -> Stmt {
-    Stmt::Call(ServiceCall { binding, service: service.into(), args, done: Some(done), result })
+    Stmt::Call(ServiceCall {
+        binding,
+        service: service.into(),
+        args,
+        done: Some(done),
+        result,
+    })
 }
 
 /// Builds the software Distribution subsystem (Figure 6b).
@@ -92,29 +98,53 @@ pub fn distribution_module(cfg: &MotorConfig) -> Module {
     // SetupControlCall: post the motion constraints (total distance).
     b.actions(
         setup,
-        vec![call(swhw, "SetupControl", vec![Expr::int(cfg.total_distance())], done, None)],
+        vec![call(
+            swhw,
+            "SetupControl",
+            vec![Expr::int(cfg.total_distance())],
+            done,
+            None,
+        )],
     );
     b.transition(setup, Some(Expr::var(done)), step);
     // Step: PositionDefinition — next segment target.
     b.actions(
         step,
         vec![
-            Stmt::assign(position, Expr::var(position).add(Expr::int(cfg.segment_len))),
+            Stmt::assign(
+                position,
+                Expr::var(position).add(Expr::int(cfg.segment_len)),
+            ),
             Stmt::Trace("send_pos".into(), vec![Expr::var(position)]),
         ],
     );
     b.transition(step, None, motor_pos);
     // MotorPositionCall.
-    b.actions(motor_pos, vec![call(swhw, "MotorPosition", vec![Expr::var(position)], done, None)]);
+    b.actions(
+        motor_pos,
+        vec![call(
+            swhw,
+            "MotorPosition",
+            vec![Expr::var(position)],
+            done,
+            None,
+        )],
+    );
     b.transition(motor_pos, Some(Expr::var(done)), next);
     // Next.
     b.transition(next, None, read_state);
     // ReadStateCall: wait for the Speed Control side to confirm arrival.
-    b.actions(read_state, vec![call(swhw, "ReadMotorState", vec![], done, Some(motorstate))]);
+    b.actions(
+        read_state,
+        vec![call(swhw, "ReadMotorState", vec![], done, Some(motorstate))],
+    );
     b.transition_with(
         read_state,
         Some(Expr::var(done)),
-        vec![Stmt::Trace("motor_state".into(), vec![Expr::var(motorstate)])],
+        vec![Stmt::Trace(
+            "motor_state".into(),
+            vec![Expr::var(motorstate)],
+        )],
         next_step,
     );
     // NextStep: more segments?
@@ -156,10 +186,22 @@ pub fn position_module(cfg: &MotorConfig) -> Module {
     let moving = b.state("MOVING");
     let serve = b.state("SERVE");
 
-    b.actions(setup, vec![call(swhw, "ReadMotorConstraints", vec![], done, Some(maxpos))]);
+    b.actions(
+        setup,
+        vec![call(
+            swhw,
+            "ReadMotorConstraints",
+            vec![],
+            done,
+            Some(maxpos),
+        )],
+    );
     b.transition(setup, Some(Expr::var(done)), waitpos);
 
-    b.actions(waitpos, vec![call(swhw, "ReadMotorPosition", vec![], done, Some(p))]);
+    b.actions(
+        waitpos,
+        vec![call(swhw, "ReadMotorPosition", vec![], done, Some(p))],
+    );
     b.transition_with(
         waitpos,
         Some(Expr::var(done)),
@@ -170,7 +212,10 @@ pub fn position_module(cfg: &MotorConfig) -> Module {
         wait_start,
     );
 
-    b.actions(wait_start, vec![Stmt::assign(settle, Expr::var(settle).sub(Expr::int(1)))]);
+    b.actions(
+        wait_start,
+        vec![Stmt::assign(settle, Expr::var(settle).sub(Expr::int(1)))],
+    );
     b.transition(wait_start, Some(Expr::var(settle).le(Expr::int(0))), moving);
 
     // MOVING: endposition check — |residual| <= tolerance.
@@ -185,7 +230,16 @@ pub fn position_module(cfg: &MotorConfig) -> Module {
         serve,
     );
 
-    b.actions(serve, vec![call(swhw, "ReturnMotorState", vec![Expr::port(sampled)], done, None)]);
+    b.actions(
+        serve,
+        vec![call(
+            swhw,
+            "ReturnMotorState",
+            vec![Expr::port(sampled)],
+            done,
+            None,
+        )],
+    );
     b.transition(serve, Some(Expr::var(done)), waitpos);
     b.initial(setup);
     b.build().expect("position module is well-formed")
@@ -260,7 +314,16 @@ pub fn timer_module(cfg: &MotorConfig) -> Module {
         sending,
     );
 
-    b.actions(sending, vec![call(mlink, "SendMotorPulses", vec![Expr::var(pls)], done, None)]);
+    b.actions(
+        sending,
+        vec![call(
+            mlink,
+            "SendMotorPulses",
+            vec![Expr::var(pls)],
+            done,
+            None,
+        )],
+    );
     b.transition_with(
         sending,
         Some(Expr::var(done)),
@@ -268,7 +331,10 @@ pub fn timer_module(cfg: &MotorConfig) -> Module {
         cooldown,
     );
 
-    b.actions(cooldown, vec![Stmt::assign(cool, Expr::var(cool).sub(Expr::int(1)))]);
+    b.actions(
+        cooldown,
+        vec![Stmt::assign(cool, Expr::var(cool).sub(Expr::int(1)))],
+    );
     b.transition(cooldown, Some(Expr::var(cool).le(Expr::int(0))), idle);
     b.initial(idle);
     b.build().expect("timer module is well-formed")
@@ -303,7 +369,11 @@ mod tests {
 
     #[test]
     fn config_totals() {
-        let cfg = MotorConfig { segments: 3, segment_len: 10, ..MotorConfig::default() };
+        let cfg = MotorConfig {
+            segments: 3,
+            segment_len: 10,
+            ..MotorConfig::default()
+        };
         assert_eq!(cfg.total_distance(), 30);
     }
 

@@ -63,7 +63,9 @@ impl MotorModel {
     /// returns the signed steps actually taken.
     pub fn tick(&mut self) -> i64 {
         self.ticks += 1;
-        let steps = self.backlog.clamp(-self.max_steps_per_tick, self.max_steps_per_tick);
+        let steps = self
+            .backlog
+            .clamp(-self.max_steps_per_tick, self.max_steps_per_tick);
         self.backlog -= steps;
         self.position += steps;
         self.total_steps += steps.unsigned_abs();
@@ -82,7 +84,8 @@ impl MotorModel {
     /// Sampled coordinate, as the sensor reports it (16-bit saturating).
     #[must_use]
     pub fn sampled(&self) -> i64 {
-        self.position.clamp(i64::from(i16::MIN), i64::from(i16::MAX))
+        self.position
+            .clamp(i64::from(i16::MIN), i64::from(i16::MAX))
     }
 
     /// Pulses queued but not yet executed.
@@ -119,7 +122,11 @@ impl MotorModel {
 
 impl fmt::Display for MotorModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pos={} backlog={} steps={}", self.position, self.backlog, self.total_steps)
+        write!(
+            f,
+            "pos={} backlog={} steps={}",
+            self.position, self.backlog, self.total_steps
+        )
     }
 }
 

@@ -80,13 +80,37 @@ pub fn swhw_link_unit() -> Arc<CommUnitSpec> {
     let state_full = u.wire("STATE_FULL", Type::Bit, Value::Bit(Bit::Zero));
 
     // Distribution_Interface (software side).
-    u.service(mailbox_put("SetupControl", ctl_reg, ctl_full).build().expect("valid"));
-    u.service(mailbox_put("MotorPosition", pos_reg, pos_full).build().expect("valid"));
-    u.service(mailbox_get("ReadMotorState", state_reg, state_full).build().expect("valid"));
+    u.service(
+        mailbox_put("SetupControl", ctl_reg, ctl_full)
+            .build()
+            .expect("valid"),
+    );
+    u.service(
+        mailbox_put("MotorPosition", pos_reg, pos_full)
+            .build()
+            .expect("valid"),
+    );
+    u.service(
+        mailbox_get("ReadMotorState", state_reg, state_full)
+            .build()
+            .expect("valid"),
+    );
     // Control_Interface (hardware side).
-    u.service(mailbox_get("ReadMotorConstraints", ctl_reg, ctl_full).build().expect("valid"));
-    u.service(mailbox_get("ReadMotorPosition", pos_reg, pos_full).build().expect("valid"));
-    u.service(mailbox_put("ReturnMotorState", state_reg, state_full).build().expect("valid"));
+    u.service(
+        mailbox_get("ReadMotorConstraints", ctl_reg, ctl_full)
+            .build()
+            .expect("valid"),
+    );
+    u.service(
+        mailbox_get("ReadMotorPosition", pos_reg, pos_full)
+            .build()
+            .expect("valid"),
+    );
+    u.service(
+        mailbox_put("ReturnMotorState", state_reg, state_full)
+            .build()
+            .expect("valid"),
+    );
     u.build().expect("swhw link unit is well-formed")
 }
 
@@ -112,7 +136,10 @@ pub fn motor_link_unit() -> Arc<CommUnitSpec> {
     send.transition_with(
         init,
         Some(Expr::port(ack).eq(Expr::bit(Bit::Zero))),
-        vec![Stmt::drive(cmd, Expr::arg(0)), Stmt::drive(strobe, Expr::bit(Bit::One))],
+        vec![
+            Stmt::drive(cmd, Expr::arg(0)),
+            Stmt::drive(strobe, Expr::bit(Bit::One)),
+        ],
         wait_ack,
     );
     send.transition_with(
@@ -159,15 +186,33 @@ mod tests {
         let hw = CallerId(2);
 
         // HW read stalls until SW writes.
-        assert!(!unit.call(hw, "ReadMotorPosition", &[], &mut wires).unwrap().done);
-        assert!(unit.call(sw, "MotorPosition", &[Value::Int(25)], &mut wires).unwrap().done);
+        assert!(
+            !unit
+                .call(hw, "ReadMotorPosition", &[], &mut wires)
+                .unwrap()
+                .done
+        );
+        assert!(
+            unit.call(sw, "MotorPosition", &[Value::Int(25)], &mut wires)
+                .unwrap()
+                .done
+        );
         // Second SW write stalls (mailbox full).
-        assert!(!unit.call(sw, "MotorPosition", &[Value::Int(50)], &mut wires).unwrap().done);
+        assert!(
+            !unit
+                .call(sw, "MotorPosition", &[Value::Int(50)], &mut wires)
+                .unwrap()
+                .done
+        );
         let got = unit.call(hw, "ReadMotorPosition", &[], &mut wires).unwrap();
         assert!(got.done);
         assert_eq!(got.result, Some(Value::Int(25)));
         // Now the second write proceeds.
-        assert!(unit.call(sw, "MotorPosition", &[Value::Int(50)], &mut wires).unwrap().done);
+        assert!(
+            unit.call(sw, "MotorPosition", &[Value::Int(50)], &mut wires)
+                .unwrap()
+                .done
+        );
     }
 
     #[test]
@@ -177,8 +222,17 @@ mod tests {
         let mut wires = LocalWires::new(&spec);
         let sw = CallerId(1);
         let hw = CallerId(2);
-        assert!(!unit.call(sw, "ReadMotorState", &[], &mut wires).unwrap().done);
-        assert!(unit.call(hw, "ReturnMotorState", &[Value::Int(99)], &mut wires).unwrap().done);
+        assert!(
+            !unit
+                .call(sw, "ReadMotorState", &[], &mut wires)
+                .unwrap()
+                .done
+        );
+        assert!(
+            unit.call(hw, "ReturnMotorState", &[Value::Int(99)], &mut wires)
+                .unwrap()
+                .done
+        );
         let got = unit.call(sw, "ReadMotorState", &[], &mut wires).unwrap();
         assert_eq!(got.result, Some(Value::Int(99)));
     }
@@ -190,7 +244,12 @@ mod tests {
         let mut wires = LocalWires::new(&spec);
         let hw = CallerId(1);
         // First activation: presents pulses, raises strobe, not done.
-        assert!(!unit.call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires).unwrap().done);
+        assert!(
+            !unit
+                .call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires)
+                .unwrap()
+                .done
+        );
         let strobe = spec.wire_id("PULSE_STROBE").unwrap();
         let cmd = spec.wire_id("PULSE_CMD").unwrap();
         assert_eq!(wires.value(strobe), &Value::Bit(Bit::One));
@@ -198,7 +257,11 @@ mod tests {
         // Motor acks.
         let ack = spec.wire_id("PULSE_ACK").unwrap();
         wires.write_wire(ack, Value::Bit(Bit::One)).unwrap();
-        assert!(unit.call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires).unwrap().done);
+        assert!(
+            unit.call(hw, "SendMotorPulses", &[Value::Int(3)], &mut wires)
+                .unwrap()
+                .done
+        );
         assert_eq!(wires.value(strobe), &Value::Bit(Bit::Zero));
     }
 
@@ -209,7 +272,9 @@ mod tests {
         let mut wires = LocalWires::new(&spec);
         let pos = spec.wire_id("SAMPLED_POS").unwrap();
         wires.write_wire(pos, Value::Int(-17)).unwrap();
-        let got = unit.call(CallerId(1), "ReadSampledData", &[], &mut wires).unwrap();
+        let got = unit
+            .call(CallerId(1), "ReadSampledData", &[], &mut wires)
+            .unwrap();
         assert!(got.done);
         assert_eq!(got.result, Some(Value::Int(-17)));
     }

@@ -1,17 +1,63 @@
 //! The discrete-event kernel with VHDL semantics.
 //!
+//! # Semantics
+//!
 //! Two-phase delta cycles: processes never see their own drives until the
 //! next delta, signal updates that change a value produce *events*, events
 //! wake sensitive processes, and simulated time only advances when the
 //! current instant is quiescent. This mirrors the semantics of the
 //! commercial VHDL simulator the paper's co-simulation environment was
-//! built on.
+//! built on. The kernel guarantees, observably:
+//!
+//! * **Two-phase deltas** — a drive scheduled in delta *d* becomes visible
+//!   in delta *d+1*; a process reading a signal it just drove sees the old
+//!   value.
+//! * **Last-writer-wins within a delta** — pending drives are applied in
+//!   schedule order (process-id order within a delta, poke order for
+//!   testbench pokes), so the last scheduled drive determines the settled
+//!   value, exactly like sequential updates of one VHDL driver.
+//! * **Deterministic process ordering** — the processes woken in one delta
+//!   run in ascending [`ProcessId`] order, regardless of how they were
+//!   woken (event or timeout).
+//! * **Timeout cancellation on event wake** — a process in
+//!   [`Wait::EventOrTimeout`] that is woken by an event has its pending
+//!   timeout cancelled before it can fire.
+//!
+//! # Scheduling core
+//!
+//! The kernel never scans the full process table on the hot path:
+//!
+//! * **Inverted sensitivity index** — every signal carries a watcher list
+//!   of `(process, epoch)` entries. A process that changes its wait set
+//!   bumps its epoch, which lazily invalidates its old entries; stale
+//!   entries are dropped when their list is next traversed (or compacted
+//!   when a list becomes mostly stale). Waking the watchers of an event
+//!   therefore costs `O(watchers of signals with events)`, not
+//!   `O(processes)`. Clocked processes that return [`Wait::Same`] (or an
+//!   equal wait set) never touch the index at all.
+//! * **Heap-based time queues** — timed drives (`sig <= v after d`) and
+//!   process timeouts (`wait for d`) live in binary min-heaps keyed by
+//!   `(time, sequence)`, so the next-activity query is an `O(1)`/`O(log
+//!   n)` peek and insertion is `O(log n)`. Cancelled timeouts are removed
+//!   *lazily*: cancellation bumps the process's timer token, and stale
+//!   heap entries are discarded when they surface at the top.
+//! * **Batched drive application** — pending drives are applied in one
+//!   pass with no value clones (the old value is moved into the signal's
+//!   `prev` slot as the new one moves in).
+//!
+//! [`SimStats`] exposes counters for all of this — wakeups by kind, the
+//! scans avoided versus a full-scan kernel, lazily purged queue entries,
+//! and queue high-water marks — so schedulers regressions are measurable.
+//! The pre-index full-scan kernel survives as
+//! [`reference::RefSimulator`](crate::reference::RefSimulator) and the
+//! two are held equivalent by randomized property tests.
 
 use crate::signal::{Signal, SignalId, SignalInfo};
 use crate::time::{Duration, SimTime};
 use crate::vcd::VcdRecorder;
 use cosma_core::{Bit, Type, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Identifies a process within a [`Simulator`].
@@ -43,6 +89,13 @@ pub enum Wait {
     EventOrTimeout(Vec<SignalId>, Duration),
     /// Never resume (`wait;`).
     Forever,
+    /// Keep the previous *event* sensitivity unchanged (the idiom for
+    /// clocked processes: register once, then return `Same` forever).
+    ///
+    /// Timeouts are one-shot and are **not** re-armed by `Same`. A
+    /// process that has never declared a sensitivity and returns `Same`
+    /// waits forever.
+    Same,
 }
 
 /// A simulation process. The kernel calls [`run`](Process::run) at
@@ -52,6 +105,12 @@ pub trait Process {
     /// Executes until the next wait point; reads and drives signals
     /// through `ctx`.
     fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait;
+}
+
+impl<P: Process + ?Sized> Process for Box<P> {
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
+        (**self).run(ctx)
+    }
 }
 
 /// Wraps a closure as a [`Process`].
@@ -93,6 +152,78 @@ impl<F: FnMut(&mut ProcCtx<'_>) -> Wait> Process for FnProcess<F> {
     }
 }
 
+/// Which clock transition activates a [`ClockedProcess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Activate on events where the clock becomes `'1'`.
+    Rising,
+    /// Activate on events where the clock becomes `'0'`.
+    Falling,
+    /// Activate on any event of the clock signal.
+    Any,
+}
+
+/// What a clocked body tells the kernel after an activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockControl {
+    /// Stay registered for the next matching edge.
+    Continue,
+    /// Unregister permanently (the process never runs again).
+    Halt,
+}
+
+/// A process activated on a clock edge, registered through the kernel's
+/// sensitivity API: it declares its clock once and returns
+/// [`Wait::Same`] afterwards, so steady-state activations allocate
+/// nothing and never touch the sensitivity index.
+///
+/// Built by [`Simulator::add_clocked`].
+pub struct ClockedProcess<F> {
+    clk: SignalId,
+    edge: Edge,
+    body: F,
+    registered: bool,
+}
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> ClockControl> ClockedProcess<F> {
+    /// Creates a clocked process around `body`.
+    pub fn new(clk: SignalId, edge: Edge, body: F) -> Self {
+        ClockedProcess {
+            clk,
+            edge,
+            body,
+            registered: false,
+        }
+    }
+}
+
+impl<F> fmt::Debug for ClockedProcess<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClockedProcess({}, {:?})", self.clk, self.edge)
+    }
+}
+
+impl<F: FnMut(&mut ProcCtx<'_>) -> ClockControl> Process for ClockedProcess<F> {
+    fn run(&mut self, ctx: &mut ProcCtx<'_>) -> Wait {
+        let fire = match self.edge {
+            Edge::Rising => ctx.rose(self.clk),
+            Edge::Falling => ctx.fell(self.clk),
+            Edge::Any => ctx.event(self.clk),
+        };
+        if fire {
+            if let ClockControl::Halt = (self.body)(ctx) {
+                return Wait::Forever;
+            }
+        }
+        if self.registered {
+            Wait::Same
+        } else {
+            self.registered = true;
+            Wait::Event(vec![self.clk])
+        }
+    }
+}
+
 /// A free-running clock generator toggling a bit signal.
 #[derive(Debug)]
 pub struct ClockProcess {
@@ -104,7 +235,10 @@ impl ClockProcess {
     /// Creates a clock driving `signal` with the given full `period`.
     #[must_use]
     pub fn new(signal: SignalId, period: Duration) -> Self {
-        ClockProcess { signal, half_period: period.halved() }
+        ClockProcess {
+            signal,
+            half_period: period.halved(),
+        }
     }
 }
 
@@ -120,12 +254,76 @@ impl Process for ClockProcess {
     }
 }
 
+/// One entry in a signal's watcher list. Valid while the watching
+/// process's epoch still equals the recorded one.
+type Watcher = (ProcessId, u64);
+
+/// Per-signal inverted sensitivity index entry.
+#[derive(Debug, Default)]
+struct WatchList {
+    entries: Vec<Watcher>,
+    /// Lower bound on invalidated entries, bumped when a watcher leaves;
+    /// triggers compaction when most of the list is stale.
+    stale: u32,
+}
+
 struct ProcSlot {
     name: String,
     body: Option<Box<dyn Process>>,
+    /// Current event sensitivity (mirrored in the watcher lists).
     sensitivity: Vec<SignalId>,
+    /// Bumped whenever `sensitivity` is replaced; watcher-list entries
+    /// recorded under older epochs are dead. `u64` so it cannot wrap
+    /// into a stale entry's epoch within any realistic run.
+    epoch: u64,
+    /// Pending timeout instant, if armed.
     wake_at: Option<SimTime>,
+    /// Bumped on every timer arm/cancel/fire; timer-heap entries with an
+    /// older token are dead.
+    timer_token: u64,
+    /// Wake-dedup stamp for the current delta.
+    wake_stamp: u64,
     runs: u64,
+}
+
+/// A future drive in the timed-drive heap, ordered by `(at, seq)` so
+/// same-instant drives pop in schedule order (last-writer-wins is
+/// preserved exactly).
+struct TimedDrive {
+    at: SimTime,
+    seq: u64,
+    sig: SignalId,
+    value: Value,
+}
+
+impl PartialEq for TimedDrive {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for TimedDrive {}
+
+impl PartialOrd for TimedDrive {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimedDrive {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A pending timeout in the timer heap. Stale entries (token mismatch)
+/// are discarded lazily when they reach the top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    pid: ProcessId,
+    token: u64,
 }
 
 /// Execution context passed to processes: read signals, schedule drives,
@@ -140,6 +338,21 @@ pub struct ProcCtx<'a> {
 }
 
 impl<'a> ProcCtx<'a> {
+    /// Kernel-internal constructor, shared with the reference kernel.
+    pub(crate) fn new(signals: &'a [Signal], now: SimTime, delta: u32) -> Self {
+        ProcCtx {
+            signals,
+            now,
+            delta,
+            drives: vec![],
+        }
+    }
+
+    /// Consumes the context, yielding the drives the process scheduled.
+    pub(crate) fn into_drives(self) -> Vec<(SignalId, Value, Duration)> {
+        self.drives
+    }
+
     /// Current signal value.
     ///
     /// # Panics
@@ -159,7 +372,10 @@ impl<'a> ProcCtx<'a> {
     pub fn read_bit(&self, s: SignalId) -> Bit {
         match self.read(s) {
             Value::Bit(b) => *b,
-            other => panic!("signal {} is not a bit: {other:?}", self.signals[s.index()].name),
+            other => panic!(
+                "signal {} is not a bit: {other:?}",
+                self.signals[s.index()].name
+            ),
         }
     }
 
@@ -172,7 +388,10 @@ impl<'a> ProcCtx<'a> {
     pub fn read_int(&self, s: SignalId) -> i64 {
         match self.read(s) {
             Value::Int(i) => *i,
-            other => panic!("signal {} is not an int: {other:?}", self.signals[s.index()].name),
+            other => panic!(
+                "signal {} is not an int: {other:?}",
+                self.signals[s.index()].name
+            ),
         }
     }
 
@@ -222,6 +441,15 @@ impl<'a> ProcCtx<'a> {
         self.event(s) && matches!(self.signals[s.index()].value, Value::Bit(Bit::Zero))
     }
 
+    /// Lifetime event count of a signal — a monotone activity serial, so
+    /// a process can detect "changed since I last looked" across deltas
+    /// and instants (used by the backplane to gate idle unit
+    /// controllers).
+    #[must_use]
+    pub fn event_count(&self, s: SignalId) -> u64 {
+        self.signals[s.index()].event_count
+    }
+
     /// Current simulated time.
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -252,7 +480,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::DeltaOverflow { time, limit } => {
-                write!(f, "delta-cycle oscillation at {time} (more than {limit} deltas)")
+                write!(
+                    f,
+                    "delta-cycle oscillation at {time} (more than {limit} deltas)"
+                )
             }
         }
     }
@@ -271,6 +502,23 @@ pub struct SimStats {
     pub deltas: u64,
     /// Distinct simulated instants visited.
     pub instants: u64,
+    /// Processes woken through the inverted sensitivity index.
+    pub event_wakeups: u64,
+    /// Processes woken by an expiring `wait for` timeout.
+    pub timer_wakeups: u64,
+    /// Process inspections a full-scan kernel would have performed that
+    /// the sensitivity index skipped (per event delta: process count
+    /// minus watcher entries traversed).
+    pub scans_avoided: u64,
+    /// Dead watcher-list entries dropped during wake traversal or
+    /// compaction.
+    pub stale_watchers_purged: u64,
+    /// Cancelled timeouts discarded lazily from the timer heap.
+    pub stale_timers_skipped: u64,
+    /// High-water mark of the timer heap.
+    pub timer_queue_peak: u64,
+    /// High-water mark of the timed-drive heap.
+    pub drive_queue_peak: u64,
 }
 
 /// The discrete-event simulator.
@@ -293,13 +541,22 @@ pub struct SimStats {
 /// ```
 pub struct Simulator {
     signals: Vec<Signal>,
+    /// Inverted sensitivity index, parallel to `signals`.
+    watchers: Vec<WatchList>,
     processes: Vec<ProcSlot>,
     /// Drives awaiting the next delta at the current instant.
     delta_drives: Vec<(SignalId, Value)>,
-    /// Drives scheduled for future instants.
-    timed_drives: BTreeMap<SimTime, Vec<(SignalId, Value)>>,
-    /// Processes waiting on timeouts.
-    timer_queue: BTreeMap<SimTime, Vec<ProcessId>>,
+    /// Drives scheduled for future instants (min-heap on `(at, seq)`).
+    drive_heap: BinaryHeap<Reverse<TimedDrive>>,
+    /// Pending `wait for` timeouts (min-heap on `(at, seq)`), with lazy
+    /// cancellation via per-process timer tokens.
+    timer_heap: BinaryHeap<Reverse<TimerEntry>>,
+    /// Monotone sequence for heap tie-breaking (FIFO within an instant).
+    seq: u64,
+    /// Number of *live* (non-cancelled) timer entries.
+    armed_timers: usize,
+    /// Delta-global wake-dedup stamp.
+    stamp: u64,
     now: SimTime,
     initialized: bool,
     max_deltas: u32,
@@ -331,10 +588,14 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             signals: vec![],
+            watchers: vec![],
             processes: vec![],
             delta_drives: vec![],
-            timed_drives: BTreeMap::new(),
-            timer_queue: BTreeMap::new(),
+            drive_heap: BinaryHeap::new(),
+            timer_heap: BinaryHeap::new(),
+            seq: 0,
+            armed_timers: 0,
+            stamp: 0,
             now: SimTime::ZERO,
             initialized: false,
             max_deltas: 1000,
@@ -353,6 +614,7 @@ impl Simulator {
     pub fn add_signal(&mut self, name: impl Into<String>, ty: Type, init: Value) -> SignalId {
         let id = SignalId(self.signals.len() as u32);
         self.signals.push(Signal::new(name.into(), ty, init));
+        self.watchers.push(WatchList::default());
         id
     }
 
@@ -368,14 +630,60 @@ impl Simulator {
             name: name.into(),
             body: Some(Box::new(p)),
             sensitivity: vec![],
+            epoch: 0,
             wake_at: None,
+            timer_token: 0,
+            wake_stamp: 0,
             runs: 0,
         });
         id
     }
 
+    /// Registers a [`ClockedProcess`]: `body` runs on every matching
+    /// `edge` of `clk`. This is the preferred way for upper layers
+    /// (backplane controllers, module activations, platform adapters) to
+    /// register clock sensitivity — the kernel keeps the registration
+    /// alive without per-activation allocation or index churn.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cosma_sim::{Simulator, Duration, Edge, ClockControl};
+    /// use cosma_core::{Type, Value};
+    ///
+    /// let mut sim = Simulator::new();
+    /// let clk = sim.add_bit("CLK");
+    /// let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+    /// sim.add_clock("gen", clk, Duration::from_ns(100));
+    /// sim.add_clocked("counter", clk, Edge::Rising, move |ctx| {
+    ///     let v = ctx.read_int(q);
+    ///     ctx.drive(q, Value::Int(v + 1));
+    ///     ClockControl::Continue
+    /// });
+    /// sim.run_for(Duration::from_ns(999))?;
+    /// assert_eq!(sim.value(q), &Value::Int(10)); // rising edges at 0,100,...,900
+    /// # Ok::<(), cosma_sim::SimError>(())
+    /// ```
+    pub fn add_clocked<F>(
+        &mut self,
+        name: impl Into<String>,
+        clk: SignalId,
+        edge: Edge,
+        body: F,
+    ) -> ProcessId
+    where
+        F: FnMut(&mut ProcCtx<'_>) -> ClockControl + 'static,
+    {
+        self.add_process(name, ClockedProcess::new(clk, edge, body))
+    }
+
     /// Convenience: registers a [`ClockProcess`].
-    pub fn add_clock(&mut self, name: impl Into<String>, signal: SignalId, period: Duration) -> ProcessId {
+    pub fn add_clock(
+        &mut self,
+        name: impl Into<String>,
+        signal: SignalId,
+        period: Duration,
+    ) -> ProcessId {
         self.add_process(name, ClockProcess::new(signal, period))
     }
 
@@ -446,7 +754,10 @@ impl Simulator {
     /// Looks up a signal id by name.
     #[must_use]
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
-        self.signals.iter().position(|s| s.name == name).map(|i| SignalId(i as u32))
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SignalId(i as u32))
     }
 
     /// Injects a value onto a signal from outside any process (testbench
@@ -458,8 +769,27 @@ impl Simulator {
     pub fn poke(&mut self, s: SignalId, v: Value) {
         let sig = &self.signals[s.index()];
         let v = sig.ty.clamp(v);
-        assert!(sig.ty.admits(&v), "poke of {} with incompatible {v:?}", sig.name);
+        assert!(
+            sig.ty.admits(&v),
+            "poke of {} with incompatible {v:?}",
+            sig.name
+        );
         self.delta_drives.push((s, v));
+    }
+
+    /// Whether any activity is scheduled: elaboration still owed to
+    /// registered processes, pending same-instant drives, future timed
+    /// drives, or armed timeouts. `O(1)` and exact (lazily cancelled
+    /// heap entries are not counted).
+    ///
+    /// A `false` answer means further [`Simulator::run_for`] calls can
+    /// never change any signal — used by run-to-quiescence loops.
+    #[must_use]
+    pub fn pending_activity(&self) -> bool {
+        (!self.initialized && !self.processes.is_empty())
+            || !self.delta_drives.is_empty()
+            || !self.drive_heap.is_empty()
+            || self.armed_timers > 0
     }
 
     /// Runs until `deadline` (inclusive of activity at the deadline
@@ -499,11 +829,20 @@ impl Simulator {
         self.run_until(deadline)
     }
 
-    /// The next instant with scheduled activity, if any.
-    #[must_use]
-    pub fn next_instant(&self) -> Option<SimTime> {
-        let a = self.timed_drives.keys().next().copied();
-        let b = self.timer_queue.keys().next().copied();
+    /// The next instant with scheduled activity, if any: an `O(log n)`
+    /// peek that discards lazily cancelled timer entries from the top of
+    /// the heap as a side effect.
+    pub fn next_instant(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(e)) = self.timer_heap.peek() {
+            let slot = &self.processes[e.pid.index()];
+            if slot.timer_token == e.token && slot.wake_at == Some(e.at) {
+                break;
+            }
+            self.timer_heap.pop();
+            self.stats.stale_timers_skipped += 1;
+        }
+        let a = self.drive_heap.peek().map(|Reverse(d)| d.at);
+        let b = self.timer_heap.peek().map(|Reverse(t)| t.at);
         match (a, b) {
             (Some(x), Some(y)) => Some(x.min(y)),
             (x, None) => x,
@@ -515,98 +854,129 @@ impl Simulator {
     fn initialize(&mut self) -> Result<(), SimError> {
         self.initialized = true;
         let all: Vec<ProcessId> = (0..self.processes.len() as u32).map(ProcessId).collect();
-        self.run_processes(&all);
+        self.run_processes_delta(&all, 0);
         self.settle(vec![])
     }
 
     /// At a new instant: move due timed drives into the delta queue and
-    /// collect timer-woken processes.
+    /// collect timer-woken processes in schedule order.
     fn begin_instant(&mut self) -> Vec<ProcessId> {
-        let mut due_drives = vec![];
-        while let Some(&t) = self.timed_drives.keys().next() {
-            if t > self.now {
+        while let Some(Reverse(td)) = self.drive_heap.peek() {
+            if td.at > self.now {
                 break;
             }
-            due_drives.extend(self.timed_drives.remove(&t).unwrap());
+            let Reverse(td) = self.drive_heap.pop().expect("peeked entry exists");
+            self.delta_drives.push((td.sig, td.value));
         }
-        self.delta_drives.extend(due_drives);
         let mut woken = vec![];
-        while let Some(&t) = self.timer_queue.keys().next() {
-            if t > self.now {
+        while let Some(Reverse(te)) = self.timer_heap.peek() {
+            if te.at > self.now {
                 break;
             }
-            woken.extend(self.timer_queue.remove(&t).unwrap());
-        }
-        for &p in &woken {
-            self.processes[p.index()].wake_at = None;
+            let Reverse(te) = self.timer_heap.pop().expect("peeked entry exists");
+            let slot = &mut self.processes[te.pid.index()];
+            if slot.timer_token == te.token && slot.wake_at == Some(te.at) {
+                slot.wake_at = None;
+                slot.timer_token += 1;
+                self.armed_timers -= 1;
+                self.stats.timer_wakeups += 1;
+                woken.push(te.pid);
+            } else {
+                self.stats.stale_timers_skipped += 1;
+            }
         }
         woken
     }
 
-    /// Delta loop at the current instant until quiescent.
-    fn settle(&mut self, mut woken: Vec<ProcessId>) -> Result<(), SimError> {
+    /// Delta loop at the current instant until quiescent. `pending` are
+    /// the timer-woken processes to run in the first delta.
+    fn settle(&mut self, mut pending: Vec<ProcessId>) -> Result<(), SimError> {
         let mut delta: u32 = 0;
         loop {
             // Clear last delta's event marks.
             for s in self.fresh_events.drain(..) {
                 self.signals[s.index()].event_now = false;
             }
-            // Apply pending drives; last writer wins within a delta
-            // (sequential overwrite, like a VHDL driver updated twice).
+            // Apply pending drives in one pass; last writer wins within a
+            // delta (sequential overwrite, like a VHDL driver updated
+            // twice). The old value moves into `prev` — no clones.
             let drives = std::mem::take(&mut self.delta_drives);
-            let mut event_set: BTreeSet<SignalId> = BTreeSet::new();
             for (sid, v) in drives {
                 let sig = &mut self.signals[sid.index()];
                 if sig.value != v {
-                    sig.prev = sig.value.clone();
-                    sig.value = v.clone();
-                    sig.event_now = true;
+                    sig.prev = std::mem::replace(&mut sig.value, v);
                     sig.last_event = Some(self.now);
                     sig.event_count += 1;
-                    event_set.insert(sid);
                     if let Some(vcd) = &mut self.vcd {
                         vcd.change(self.now, sid, &sig.value);
                     }
-                }
-            }
-            self.stats.events += event_set.len() as u64;
-            self.fresh_events.extend(event_set.iter().copied());
-
-            // Wake processes sensitive to these events.
-            let mut to_run: BTreeSet<ProcessId> = woken.drain(..).collect();
-            if !event_set.is_empty() {
-                for (i, p) in self.processes.iter().enumerate() {
-                    if p.body.is_some() && p.sensitivity.iter().any(|s| event_set.contains(s)) {
-                        to_run.insert(ProcessId(i as u32));
+                    if !sig.event_now {
+                        sig.event_now = true;
+                        self.stats.events += 1;
+                        self.fresh_events.push(sid);
                     }
                 }
+            }
+
+            // Wake the watchers of this delta's events through the
+            // inverted index, purging stale entries as we pass.
+            let mut to_run = std::mem::take(&mut pending);
+            if !self.fresh_events.is_empty() {
+                let timer_woken = to_run.len();
+                self.stamp += 1;
+                let stamp = self.stamp;
+                let processes = &mut self.processes;
+                let watchers = &mut self.watchers;
+                for &p in &to_run {
+                    processes[p.index()].wake_stamp = stamp;
+                }
+                let mut inspected = 0u64;
+                for &sid in &self.fresh_events {
+                    let wl = &mut watchers[sid.index()];
+                    let before = wl.entries.len();
+                    wl.entries.retain(|&(pid, epoch)| {
+                        let slot = &mut processes[pid.index()];
+                        if slot.epoch != epoch {
+                            return false;
+                        }
+                        if slot.wake_stamp != stamp {
+                            slot.wake_stamp = stamp;
+                            to_run.push(pid);
+                        }
+                        true
+                    });
+                    inspected += before as u64;
+                    self.stats.stale_watchers_purged += (before - wl.entries.len()) as u64;
+                    wl.stale = 0;
+                }
+                self.stats.event_wakeups += (to_run.len() - timer_woken) as u64;
+                self.stats.scans_avoided += (self.processes.len() as u64).saturating_sub(inspected);
             }
             if to_run.is_empty() {
                 return Ok(());
             }
-            // Cancel timeouts of processes woken by events.
-            let run_list: Vec<ProcessId> = to_run.into_iter().collect();
-            for &p in &run_list {
-                if let Some(t) = self.processes[p.index()].wake_at.take() {
-                    if let Some(q) = self.timer_queue.get_mut(&t) {
-                        q.retain(|&x| x != p);
-                        if q.is_empty() {
-                            self.timer_queue.remove(&t);
-                        }
-                    }
+            // Deterministic activation order: ascending process id, the
+            // same order the reference full-scan kernel produces.
+            to_run.sort_unstable();
+            // Cancel pending timeouts of woken processes (lazy: the heap
+            // entry dies by token, no heap surgery).
+            for &p in &to_run {
+                let slot = &mut self.processes[p.index()];
+                if slot.wake_at.take().is_some() {
+                    slot.timer_token += 1;
+                    self.armed_timers -= 1;
                 }
             }
             self.stats.deltas += 1;
             delta += 1;
             if delta > self.max_deltas {
-                return Err(SimError::DeltaOverflow { time: self.now, limit: self.max_deltas });
+                return Err(SimError::DeltaOverflow {
+                    time: self.now,
+                    limit: self.max_deltas,
+                });
             }
-            self.run_processes_delta(&run_list, delta);
+            self.run_processes_delta(&to_run, delta);
         }
-    }
-
-    fn run_processes(&mut self, list: &[ProcessId]) {
-        self.run_processes_delta(list, 0);
     }
 
     fn run_processes_delta(&mut self, list: &[ProcessId], delta: u32) {
@@ -615,8 +985,12 @@ impl Simulator {
                 Some(b) => b,
                 None => continue,
             };
-            let mut ctx =
-                ProcCtx { signals: &self.signals, now: self.now, delta, drives: vec![] };
+            let mut ctx = ProcCtx {
+                signals: &self.signals,
+                now: self.now,
+                delta,
+                drives: vec![],
+            };
             let wait = body.run(&mut ctx);
             let drives = ctx.drives;
             self.processes[pid.index()].runs += 1;
@@ -625,28 +999,84 @@ impl Simulator {
                 if d == Duration::ZERO {
                     self.delta_drives.push((sid, v));
                 } else {
-                    self.timed_drives.entry(self.now + d).or_default().push((sid, v));
+                    self.seq += 1;
+                    self.drive_heap.push(Reverse(TimedDrive {
+                        at: self.now + d,
+                        seq: self.seq,
+                        sig: sid,
+                        value: v,
+                    }));
+                    self.stats.drive_queue_peak = self
+                        .stats
+                        .drive_queue_peak
+                        .max(self.drive_heap.len() as u64);
                 }
             }
-            let slot = &mut self.processes[pid.index()];
-            slot.sensitivity.clear();
             match wait {
-                Wait::Event(sigs) => slot.sensitivity = sigs,
+                Wait::Event(sigs) => self.set_sensitivity(pid, sigs),
                 Wait::Timeout(d) => {
-                    let at = self.now + d;
-                    slot.wake_at = Some(at);
-                    self.timer_queue.entry(at).or_default().push(pid);
+                    self.set_sensitivity(pid, vec![]);
+                    self.arm_timer(pid, d);
                 }
                 Wait::EventOrTimeout(sigs, d) => {
-                    slot.sensitivity = sigs;
-                    let at = self.now + d;
-                    slot.wake_at = Some(at);
-                    self.timer_queue.entry(at).or_default().push(pid);
+                    self.set_sensitivity(pid, sigs);
+                    self.arm_timer(pid, d);
                 }
-                Wait::Forever => {}
+                Wait::Forever => self.set_sensitivity(pid, vec![]),
+                Wait::Same => {}
             }
             self.processes[pid.index()].body = Some(body);
         }
+    }
+
+    /// Replaces a process's event sensitivity, maintaining the inverted
+    /// index incrementally. Equal wait sets (the clocked-process steady
+    /// state) are a no-op; otherwise old entries are invalidated by an
+    /// epoch bump and mostly-stale lists are compacted.
+    fn set_sensitivity(&mut self, pid: ProcessId, sigs: Vec<SignalId>) {
+        let slot = &mut self.processes[pid.index()];
+        if slot.sensitivity == sigs {
+            return;
+        }
+        let old = std::mem::replace(&mut slot.sensitivity, sigs);
+        slot.epoch += 1;
+        let epoch = slot.epoch;
+        for s in old {
+            let wl = &mut self.watchers[s.index()];
+            wl.stale += 1;
+            if wl.entries.len() >= 16 && wl.stale as usize * 2 >= wl.entries.len() {
+                let processes = &self.processes;
+                let before = wl.entries.len();
+                wl.entries
+                    .retain(|&(p, ep)| processes[p.index()].epoch == ep);
+                self.stats.stale_watchers_purged += (before - wl.entries.len()) as u64;
+                wl.stale = 0;
+            }
+        }
+        let slot = &self.processes[pid.index()];
+        for &s in &slot.sensitivity {
+            self.watchers[s.index()].entries.push((pid, epoch));
+        }
+    }
+
+    /// Arms a one-shot timeout for a process.
+    fn arm_timer(&mut self, pid: ProcessId, d: Duration) {
+        let at = self.now + d;
+        let slot = &mut self.processes[pid.index()];
+        slot.timer_token += 1;
+        slot.wake_at = Some(at);
+        self.seq += 1;
+        self.timer_heap.push(Reverse(TimerEntry {
+            at,
+            seq: self.seq,
+            pid,
+            token: slot.timer_token,
+        }));
+        self.armed_timers += 1;
+        self.stats.timer_queue_peak = self
+            .stats
+            .timer_queue_peak
+            .max(self.timer_heap.len() as u64);
     }
 
     /// Name of a process (for reports).
@@ -729,7 +1159,11 @@ mod tests {
         sim.run_until(SimTime::ZERO).unwrap();
         assert_eq!(sim.value(y), &Value::Bit(Bit::One));
         assert_eq!(sim.value(z), &Value::Bit(Bit::Zero));
-        assert_eq!(sim.now(), SimTime::ZERO, "all settled without advancing time");
+        assert_eq!(
+            sim.now(),
+            SimTime::ZERO,
+            "all settled without advancing time"
+        );
         sim.poke(x, Value::Bit(Bit::One));
         sim.run_until(SimTime::ZERO).unwrap();
         assert_eq!(sim.value(y), &Value::Bit(Bit::Zero));
@@ -812,6 +1246,8 @@ mod tests {
         // next wake is at ~100ns after the event wake (time 0) -> at 100.
         sim.run_until(SimTime::from_ns(120)).unwrap();
         assert_eq!(sim.value(n), &Value::Int(2), "woken once more by timeout");
+        // The cancelled entry was discarded lazily from the heap.
+        assert!(sim.stats().stale_timers_skipped >= 1);
     }
 
     #[test]
@@ -835,6 +1271,11 @@ mod tests {
         assert!(st.events >= 20);
         assert!(st.deltas >= 20);
         assert!(st.instants >= 20);
+        assert!(
+            st.timer_wakeups >= 20,
+            "clock reschedules via the timer heap"
+        );
+        assert!(st.timer_queue_peak >= 1);
     }
 
     #[test]
@@ -899,7 +1340,11 @@ mod tests {
         let clk = sim.add_bit("CLK");
         sim.add_clock("gen", clk, Duration::from_ns(10));
         sim.run_for(Duration::from_ns(200)).unwrap();
-        assert_eq!(sim.value(n), &Value::Int(1), "ran exactly once at elaboration");
+        assert_eq!(
+            sim.value(n),
+            &Value::Int(1),
+            "ran exactly once at elaboration"
+        );
     }
 
     #[test]
@@ -913,5 +1358,234 @@ mod tests {
         let c2 = sim.signal_info(clk).event_count;
         assert!(c2 > c1);
         assert_eq!(sim.now(), SimTime::from_ns(40));
+    }
+
+    // -----------------------------------------------------------------
+    // New scheduler-core invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn wakeup_cost_is_proportional_to_watchers_not_processes() {
+        // 1000 idle processes each watch a private, never-driven signal;
+        // one counter watches the single active clock. Wakeup work per
+        // delta must be O(watchers of the active signal), not O(1001).
+        const IDLE: usize = 1000;
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(100));
+        let q = sim.add_signal("Q", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "ctr",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(q);
+                    ctx.drive(q, Value::Int(v + 1));
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+        let mut idle_ids = vec![];
+        for i in 0..IDLE {
+            let quiet = sim.add_bit(format!("QUIET{i}"));
+            idle_ids.push(sim.add_process(
+                format!("idle{i}"),
+                FnProcess::new(move |_ctx| Wait::Event(vec![quiet])),
+            ));
+        }
+        sim.run_for(Duration::from_us(10)).unwrap();
+        let st = sim.stats();
+        // Clock toggles every 50ns: edges at 0,50,...,10000 inclusive.
+        let clk_events = sim.signal_info(clk).event_count;
+        assert_eq!(clk_events, 201);
+        // Idle processes ran exactly once, at elaboration.
+        for &p in &idle_ids {
+            assert_eq!(sim.process_runs(p), 1);
+        }
+        // Only the counter watches an active signal, so event wakeups
+        // equal the clock's event count — the 1000 idle processes are
+        // never even inspected.
+        assert_eq!(
+            st.event_wakeups, clk_events,
+            "only the counter wakes on events"
+        );
+        // Every event delta carries exactly one signal event here, and a
+        // full-scan kernel would have inspected all 1002 processes in
+        // each; the index inspects at most one watcher instead.
+        assert!(
+            st.scans_avoided >= st.events * (IDLE as u64 + 1),
+            "scans_avoided {} must dwarf the full-scan cost ({} event deltas x {} processes)",
+            st.scans_avoided,
+            st.events,
+            IDLE + 2
+        );
+    }
+
+    #[test]
+    fn wait_same_preserves_sensitivity() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        let mut first = true;
+        sim.add_process(
+            "same",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(n);
+                    ctx.drive(n, Value::Int(v + 1));
+                }
+                if first {
+                    first = false;
+                    Wait::Event(vec![clk])
+                } else {
+                    Wait::Same
+                }
+            }),
+        );
+        sim.run_for(Duration::from_ns(95)).unwrap();
+        // Rising edges at 0,10,...,90 -> 10 increments.
+        assert_eq!(sim.value(n), &Value::Int(10));
+    }
+
+    #[test]
+    fn same_without_prior_sensitivity_waits_forever() {
+        let mut sim = Simulator::new();
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        sim.add_process(
+            "noop",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_int(n);
+                ctx.drive(n, Value::Int(v + 1));
+                Wait::Same
+            }),
+        );
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        sim.run_for(Duration::from_ns(100)).unwrap();
+        assert_eq!(sim.value(n), &Value::Int(1), "elaboration only");
+    }
+
+    #[test]
+    fn clocked_process_runs_per_edge_and_halts() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        let rising = sim.add_clocked("rise", clk, Edge::Rising, move |ctx| {
+            let v = ctx.read_int(n);
+            ctx.drive(n, Value::Int(v + 1));
+            if v + 1 >= 3 {
+                ClockControl::Halt
+            } else {
+                ClockControl::Continue
+            }
+        });
+        let m = sim.add_signal("M", Type::INT16, Value::Int(0));
+        sim.add_clocked("fall", clk, Edge::Falling, move |ctx| {
+            let v = ctx.read_int(m);
+            ctx.drive(m, Value::Int(v + 1));
+            ClockControl::Continue
+        });
+        sim.run_for(Duration::from_ns(200)).unwrap();
+        // Rising counter halted itself after 3 edges.
+        assert_eq!(sim.value(n), &Value::Int(3));
+        // Falling edges at 5,15,...: 20 of them in 200ns.
+        assert_eq!(sim.value(m), &Value::Int(20));
+        // After the halt the rising process stops being activated.
+        let runs_at_halt = sim.process_runs(rising);
+        sim.run_for(Duration::from_ns(200)).unwrap();
+        assert_eq!(sim.process_runs(rising), runs_at_halt);
+    }
+
+    #[test]
+    fn pending_activity_reflects_queues() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("S", Type::INT16, Value::Int(0));
+        sim.add_process("once", FnProcess::new(move |_| Wait::Forever));
+        assert!(
+            sim.pending_activity(),
+            "elaboration is still owed before init"
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert!(!sim.pending_activity(), "quiescent after elaboration");
+        sim.poke(s, Value::Int(1));
+        assert!(sim.pending_activity(), "poke schedules a delta drive");
+        sim.run_for(Duration::from_ns(1)).unwrap();
+        assert!(!sim.pending_activity(), "drained again");
+
+        let mut sim = Simulator::new();
+        let clk = sim.add_bit("CLK");
+        sim.add_clock("gen", clk, Duration::from_ns(10));
+        sim.run_for(Duration::from_ns(25)).unwrap();
+        assert!(
+            sim.pending_activity(),
+            "free-running clock keeps a timer armed"
+        );
+    }
+
+    #[test]
+    fn next_instant_skips_cancelled_timers() {
+        let mut sim = Simulator::new();
+        let kick = sim.add_bit("KICK");
+        sim.add_process(
+            "waiter",
+            FnProcess::new(move |_ctx| Wait::EventOrTimeout(vec![kick], Duration::from_ns(50))),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert_eq!(sim.next_instant(), Some(SimTime::from_ns(50)));
+        // Event wake cancels the 50ns timeout and re-arms at now+50.
+        sim.poke(kick, Value::Bit(Bit::One));
+        sim.run_until(SimTime::from_ns(10)).unwrap();
+        assert_eq!(sim.next_instant(), Some(SimTime::from_ns(50)));
+        sim.run_until(SimTime::from_ns(60)).unwrap();
+        assert_eq!(sim.next_instant(), Some(SimTime::from_ns(100)));
+    }
+
+    #[test]
+    fn rapid_sensitivity_churn_stays_consistent() {
+        // A process alternates its watch set between A and B after every
+        // wake, while pokes land in the pattern A,A,B,B,A,A,... with an
+        // always-changing value. The wake schedule is then fully
+        // deterministic: after elaboration the process watches B, so
+        // exactly the pokes at even i >= 2 hit the watched signal (19 of
+        // 40), and every hit flips the watch set. A kernel that leaks
+        // stale watcher entries (waking the process on a signal it no
+        // longer watches) produces strictly more wakes and fails the
+        // exact counts below.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("A", Type::INT16, Value::Int(-1));
+        let b = sim.add_signal("B", Type::INT16, Value::Int(-1));
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        let mut watch_a = true;
+        let pid = sim.add_process(
+            "flip",
+            FnProcess::new(move |ctx| {
+                if ctx.event(a) || ctx.event(b) {
+                    let v = ctx.read_int(n);
+                    ctx.drive(n, Value::Int(v + 1));
+                }
+                watch_a = !watch_a;
+                if watch_a {
+                    Wait::Event(vec![a])
+                } else {
+                    Wait::Event(vec![b])
+                }
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert_eq!(sim.process_runs(pid), 1, "elaboration only so far");
+        for i in 0..40i64 {
+            let sig = if (i / 2) % 2 == 0 { a } else { b };
+            sim.poke(sig, Value::Int(i));
+            sim.run_for(Duration::from_ns(1)).unwrap();
+        }
+        assert_eq!(sim.value(n), &Value::Int(19), "hits at i = 2, 4, ..., 38");
+        assert_eq!(sim.process_runs(pid), 20, "one elaboration run + 19 wakes");
+        // The churn left stale entries behind and traversal reclaimed
+        // them — the index does not grow without bound.
+        assert!(
+            sim.stats().stale_watchers_purged > 0,
+            "stale watcher entries must be purged during wake traversal"
+        );
     }
 }

@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod kernel;
+pub mod reference;
 mod signal;
 mod time;
 mod vcd;
 
 pub use kernel::{
-    ClockProcess, FnProcess, ProcCtx, Process, ProcessId, SimError, SimStats, Simulator, Wait,
+    ClockControl, ClockProcess, ClockedProcess, Edge, FnProcess, ProcCtx, Process, ProcessId,
+    SimError, SimStats, Simulator, Wait,
 };
 pub use signal::{SignalId, SignalInfo};
 pub use time::{Duration, SimTime};

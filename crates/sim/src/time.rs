@@ -145,7 +145,11 @@ impl SimTime {
     /// Panics if `earlier` is after `self`.
     #[must_use]
     pub fn since(self, earlier: SimTime) -> Duration {
-        Duration(self.0.checked_sub(earlier.0).expect("`earlier` is after `self`"))
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` is after `self`"),
+        )
     }
 
     /// Saturating addition of a span.
@@ -235,7 +239,10 @@ mod tests {
         let t = SimTime::ZERO + Duration::from_ns(3) + Duration::from_ns(4);
         assert_eq!(t, SimTime::from_ns(7));
         assert_eq!(t.since(SimTime::from_ns(2)), Duration::from_ns(5));
-        assert_eq!(Duration::from_ns(5) - Duration::from_ns(2), Duration::from_ns(3));
+        assert_eq!(
+            Duration::from_ns(5) - Duration::from_ns(2),
+            Duration::from_ns(3)
+        );
         let mut u = SimTime::ZERO;
         u += Duration::from_ns(1);
         assert_eq!(u, SimTime::from_ns(1));

@@ -76,8 +76,10 @@ impl VcdRecorder {
         let id = code(idx);
         let width = ty.bit_width();
         // VCD identifiers may not contain whitespace; sanitize the name.
-        let clean: String =
-            name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+        let clean: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
         self.initials.push(render_value(init, width, &id));
         self.decls.push((id, clean, width));
         self.ids.insert(sig, idx);
@@ -185,7 +187,10 @@ mod tests {
         let vcd = sim.take_vcd().expect("recording enabled");
         assert!(vcd.contains("$enddefinitions"));
         // Clock toggles at 0,5,10,...: at least 8 change lines.
-        assert!(vcd.matches("\n1!").count() + vcd.matches("\n0!").count() >= 8, "{vcd}");
+        assert!(
+            vcd.matches("\n1!").count() + vcd.matches("\n0!").count() >= 8,
+            "{vcd}"
+        );
         assert!(sim.take_vcd().is_none(), "take_vcd drains the recorder");
     }
 

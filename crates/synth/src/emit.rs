@@ -49,7 +49,10 @@ fn op_vhdl(op: Op) -> &'static str {
 /// [`Netlist::simulator`].
 #[must_use]
 pub fn netlist_to_vhdl(nl: &Netlist) -> String {
-    let name = nl.name().to_uppercase().replace(|c: char| !c.is_alphanumeric(), "_");
+    let name = nl
+        .name()
+        .to_uppercase()
+        .replace(|c: char| !c.is_alphanumeric(), "_");
     let mut out = String::new();
     let _ = writeln!(out, "-- structural netlist emitted by cosma-synth");
     let _ = writeln!(out, "library ieee;");
@@ -191,14 +194,19 @@ mod tests {
         assert!(text.contains("entity CTR is"), "{text}");
         assert!(text.contains("CLK : in std_logic"), "{text}");
         assert!(text.contains("EN : in std_logic"), "{text}");
-        assert!(text.contains("COUNT_OUT : out std_logic_vector(7 downto 0)"), "{text}");
+        assert!(
+            text.contains("COUNT_OUT : out std_logic_vector(7 downto 0)"),
+            "{text}"
+        );
     }
 
     #[test]
     fn emits_register_process_and_init() {
         let text = netlist_to_vhdl(&counter());
-        assert!(text.contains("signal r_COUNT : std_logic_vector(7 downto 0) := \"00000011\";"),
-            "{text}");
+        assert!(
+            text.contains("signal r_COUNT : std_logic_vector(7 downto 0) := \"00000011\";"),
+            "{text}"
+        );
         assert!(text.contains("rising_edge(CLK)"), "{text}");
         assert!(text.contains("r_COUNT <= "), "{text}");
     }

@@ -52,7 +52,10 @@ impl fmt::Display for SynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SynthError::UnboundBinding { module, binding } => {
-                write!(f, "module {module}: binding {binding} not resolved to a unit")
+                write!(
+                    f,
+                    "module {module}: binding {binding} not resolved to a unit"
+                )
             }
             SynthError::UnknownService { module, service } => {
                 write!(f, "module {module}: unit offers no service {service}")
@@ -86,7 +89,9 @@ fn remap_expr(
         Expr::Arg(i) => args
             .get(*i as usize)
             .cloned()
-            .ok_or_else(|| SynthError::Unsupported { detail: format!("argument #{i} missing") })?,
+            .ok_or_else(|| SynthError::Unsupported {
+                detail: format!("argument #{i} missing"),
+            })?,
         Expr::Unary(op, a) => Expr::Unary(*op, Box::new(remap_expr(a, var_map, port_map, args)?)),
         Expr::Binary(op, a, b) => Expr::Binary(
             *op,
@@ -109,7 +114,11 @@ fn remap_stmt(
         Stmt::Drive(p, e) => {
             Stmt::Drive(port_map[p.index()], remap_expr(e, var_map, port_map, args)?)
         }
-        Stmt::If { cond, then_body, else_body } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => Stmt::If {
             cond: remap_expr(cond, var_map, port_map, args)?,
             then_body: then_body
                 .iter()
@@ -176,7 +185,10 @@ fn inline_service_step(
         let guard = Expr::var(sess_var).eq(Expr::int(i64::from(sid.raw())));
         chain = vec![Stmt::if_else(guard, body, chain)];
     }
-    Ok(chain.into_iter().next().unwrap_or(Stmt::if_then(Expr::bool(false), vec![])))
+    Ok(chain
+        .into_iter()
+        .next()
+        .unwrap_or(Stmt::if_then(Expr::bool(false), vec![])))
 }
 
 /// Flattens a module: every service call is replaced by its inlined
@@ -199,7 +211,13 @@ pub fn flatten_module(
     let bound: HashMap<String, FlattenBinding> = units
         .iter()
         .map(|(k, v)| {
-            (k.clone(), FlattenBinding { spec: v.clone(), prefix: k.clone() })
+            (
+                k.clone(),
+                FlattenBinding {
+                    spec: v.clone(),
+                    prefix: k.clone(),
+                },
+            )
         })
         .collect();
     flatten_module_bound(module, &bound)
@@ -241,7 +259,10 @@ pub fn flatten_module_bound(
     let mut called: Vec<(BindingId, String)> = vec![];
     module.fsm().for_each_stmt(&mut |s| {
         s.for_each_call(&mut |c| {
-            if !called.iter().any(|(b2, s2)| *b2 == c.binding && s2 == &c.service) {
+            if !called
+                .iter()
+                .any(|(b2, s2)| *b2 == c.binding && s2 == &c.service)
+            {
                 called.push((c.binding, c.service.clone()));
             }
         });
@@ -276,10 +297,12 @@ pub fn flatten_module_bound(
             if b2 != bid {
                 continue;
             }
-            let svc = spec.service(sname).ok_or_else(|| SynthError::UnknownService {
-                module: module.name().to_string(),
-                service: sname.clone(),
-            })?;
+            let svc = spec
+                .service(sname)
+                .ok_or_else(|| SynthError::UnknownService {
+                    module: module.name().to_string(),
+                    service: sname.clone(),
+                })?;
             svc.fsm().for_each_stmt(&mut |s| {
                 s.for_each_driven_port(&mut |p| writes[p.index()] = true);
                 s.for_each_expr(&mut |e| e.for_each_port(&mut |p| reads[p.index()] = true));
@@ -324,22 +347,39 @@ pub fn flatten_module_bound(
         let bname = module.binding(*bid).name();
         let prefix = format!("__{bname}_{sname}");
         let init_state = i64::from(svc.fsm().initial().raw());
-        let sess_var = b.var(format!("{prefix}_state"), Type::INT16, Value::Int(init_state));
+        let sess_var = b.var(
+            format!("{prefix}_state"),
+            Type::INT16,
+            Value::Int(init_state),
+        );
         let mut locals = vec![];
         let mut local_inits = vec![];
         for l in svc.locals() {
-            locals.push(b.var(format!("{prefix}_{}", l.name()), l.ty().clone(), l.init().clone()));
+            locals.push(b.var(
+                format!("{prefix}_{}", l.name()),
+                l.ty().clone(),
+                l.init().clone(),
+            ));
             local_inits.push(l.init().clone());
         }
         sessions.insert(
             (*bid, sname.clone()),
-            Session { sess_var, locals, init_state, local_inits },
+            Session {
+                sess_var,
+                locals,
+                init_state,
+                local_inits,
+            },
         );
     }
 
     // Rewrite the FSM.
     let fsm = module.fsm();
-    let state_ids: Vec<_> = fsm.states().iter().map(|s| b.state(s.name().to_string())).collect();
+    let state_ids: Vec<_> = fsm
+        .states()
+        .iter()
+        .map(|s| b.state(s.name().to_string()))
+        .collect();
     let expand_call = |c: &ServiceCall| -> Result<Vec<Stmt>, SynthError> {
         let spec = &unit_of_binding[&c.binding].spec;
         let svc = spec.service(&c.service).expect("checked");
@@ -355,8 +395,10 @@ pub fn flatten_module_bound(
         let mut on_done: Vec<Stmt> = vec![];
         if let Some(r) = c.result {
             if svc.returns().is_some() {
-                on_done
-                    .push(Stmt::assign(r, Expr::var(sess.locals[SERVICE_RESULT_VAR.index()])));
+                on_done.push(Stmt::assign(
+                    r,
+                    Expr::var(sess.locals[SERVICE_RESULT_VAR.index()]),
+                ));
             }
         }
         on_done.push(Stmt::assign(sess.sess_var, Expr::int(sess.init_state)));
@@ -375,7 +417,11 @@ pub fn flatten_module_bound(
         for s in stmts {
             match s {
                 Stmt::Call(c) => out.extend(expand(c)?),
-                Stmt::If { cond, then_body, else_body } => out.push(Stmt::If {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => out.push(Stmt::If {
                     cond: cond.clone(),
                     then_body: rewrite(then_body, expand)?,
                     else_body: rewrite(else_body, expand)?,
@@ -410,10 +456,7 @@ pub fn flatten_module_bound(
 ///
 /// Returns [`SynthError::Unsupported`] if the unit has no controller, or
 /// build errors from the module reconstruction.
-pub fn controller_module(
-    spec: &CommUnitSpec,
-    instance: &str,
-) -> Result<Module, SynthError> {
+pub fn controller_module(spec: &CommUnitSpec, instance: &str) -> Result<Module, SynthError> {
     let Some(ctrl) = spec.controller() else {
         return Err(SynthError::Unsupported {
             detail: format!("unit {} has no controller", spec.name()),
@@ -427,14 +470,22 @@ pub fn controller_module(
         s.for_each_driven_port(&mut |p| writes[p.index()] = true);
     });
     for (i, w) in spec.wires().iter().enumerate() {
-        let dir = if writes[i] { PortDir::InOut } else { PortDir::In };
+        let dir = if writes[i] {
+            PortDir::InOut
+        } else {
+            PortDir::In
+        };
         b.port(format!("{instance}_{}", w.name()), dir, w.ty().clone());
     }
     for v in &ctrl.vars {
         b.var(v.name().to_string(), v.ty().clone(), v.init().clone());
     }
-    let state_ids: Vec<_> =
-        ctrl.fsm.states().iter().map(|s| b.state(s.name().to_string())).collect();
+    let state_ids: Vec<_> = ctrl
+        .fsm
+        .states()
+        .iter()
+        .map(|s| b.state(s.name().to_string()))
+        .collect();
     for (i, sid) in ctrl.fsm.state_ids().enumerate() {
         let st = ctrl.fsm.state(sid);
         b.actions(state_ids[i], st.actions.clone());
@@ -489,7 +540,8 @@ mod tests {
     fn flatten_removes_calls_and_adds_wire_ports() {
         let flat = flatten_module(&put_caller(), &units()).unwrap();
         let mut calls = 0;
-        flat.fsm().for_each_stmt(&mut |s| s.for_each_call(&mut |_| calls += 1));
+        flat.fsm()
+            .for_each_stmt(&mut |s| s.for_each_call(&mut |_| calls += 1));
         assert_eq!(calls, 0, "no calls remain");
         assert!(flat.port_id("iface_DATA").is_some());
         assert!(flat.port_id("iface_B_FULL").is_some());
@@ -535,7 +587,11 @@ mod tests {
         exec.step(fsm, &mut env).unwrap();
         assert_eq!(env.port(data), &Value::Int(77));
         assert_eq!(env.port(req), &Value::Bit(cosma_core::Bit::One));
-        assert_eq!(fsm.state(exec.current()).name(), "PUT", "caller not done yet");
+        assert_eq!(
+            fsm.state(exec.current()).name(),
+            "PUT",
+            "caller not done yet"
+        );
 
         // Controller (simulated by hand) acknowledges.
         env.set_port(ack, Value::Bit(cosma_core::Bit::One));

@@ -90,7 +90,10 @@ impl Synth<'_> {
             },
             Expr::Arg(i) => {
                 return Err(SynthError::Unsupported {
-                    detail: format!("module {}: Expr::Arg({i}) after flattening", self.module.name()),
+                    detail: format!(
+                        "module {}: Expr::Arg({i}) after flattening",
+                        self.module.name()
+                    ),
                 })
             }
             Expr::Unary(UnOp::Neg, a) => {
@@ -135,7 +138,11 @@ impl Synth<'_> {
         let n = self.lower_expr(e, sym)?;
         // Comparison results and bool variables are 1-bit already; wider
         // integers get normalized to the interpreter's truthiness.
-        Ok(if self.nl.width(n) == 1 { n } else { self.to_bool(n) })
+        Ok(if self.nl.width(n) == 1 {
+            n
+        } else {
+            self.to_bool(n)
+        })
     }
 
     fn exec_stmt(&mut self, s: &Stmt, sym: &mut SymState) -> Result<(), SynthError> {
@@ -154,7 +161,11 @@ impl Synth<'_> {
                 sym.writes[p.index()] = Some((n, one));
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.guard_bit(cond, sym)?;
                 let mut then_sym = sym.clone();
                 for t in then_body {
@@ -240,7 +251,11 @@ pub fn synthesize_hw(
         .vars()
         .iter()
         .map(|v| {
-            nl.reg(v.name().to_string(), v.ty().bit_width(), v.init().to_bus_word(v.ty().bit_width()))
+            nl.reg(
+                v.name().to_string(),
+                v.ty().bit_width(),
+                v.init().to_bus_word(v.ty().bit_width()),
+            )
         })
         .collect();
     let port_inputs: Vec<NodeId> = module
@@ -250,7 +265,11 @@ pub fn synthesize_hw(
         .collect();
     let base_var_reads: Vec<NodeId> = var_regs.iter().map(|&r| nl.read_reg(r)).collect();
 
-    let mut synth = Synth { nl, module, port_inputs };
+    let mut synth = Synth {
+        nl,
+        module,
+        port_inputs,
+    };
 
     // Per-state symbolic results.
     let mut per_state: Vec<(SymState, NodeId)> = Vec::with_capacity(n_states);
@@ -284,7 +303,9 @@ pub fn synthesize_hw(
         }
         let mut acc_sym = sym.clone();
         for (guard, tsym, target) in trans_syms.into_iter().rev() {
-            let tcode = synth.nl.constant(encoding.encode(target, n_states), state_bits);
+            let tcode = synth
+                .nl
+                .constant(encoding.encode(target, n_states), state_bits);
             match guard {
                 None => {
                     next_state = tcode;
@@ -359,7 +380,9 @@ pub fn synthesize_hw(
                 we_acc = synth.nl.mux(state_is[k], we, we_acc);
             }
         }
-        synth.nl.mark_output(format!("{}__out", port.name()), val_acc);
+        synth
+            .nl
+            .mark_output(format!("{}__out", port.name()), val_acc);
         synth.nl.mark_output(format!("{}__we", port.name()), we_acc);
     }
 
@@ -391,28 +414,31 @@ mod tests {
         let run = b.state("RUN");
         b.actions(
             run,
-            vec![Stmt::if_then(
-                Expr::port(en).eq(Expr::bit(cosma_core::Bit::One)),
-                vec![Stmt::if_else(
-                    Expr::port(up).eq(Expr::bit(cosma_core::Bit::One)),
-                    vec![Stmt::assign(
-                        count,
-                        Expr::Binary(
-                            BinOp::Min,
-                            Box::new(Expr::var(count).add(Expr::int(1))),
-                            Box::new(Expr::int(100)),
-                        ),
+            vec![
+                Stmt::if_then(
+                    Expr::port(en).eq(Expr::bit(cosma_core::Bit::One)),
+                    vec![Stmt::if_else(
+                        Expr::port(up).eq(Expr::bit(cosma_core::Bit::One)),
+                        vec![Stmt::assign(
+                            count,
+                            Expr::Binary(
+                                BinOp::Min,
+                                Box::new(Expr::var(count).add(Expr::int(1))),
+                                Box::new(Expr::int(100)),
+                            ),
+                        )],
+                        vec![Stmt::assign(
+                            count,
+                            Expr::Binary(
+                                BinOp::Max,
+                                Box::new(Expr::var(count).sub(Expr::int(1))),
+                                Box::new(Expr::int(-5)),
+                            ),
+                        )],
                     )],
-                    vec![Stmt::assign(
-                        count,
-                        Expr::Binary(
-                            BinOp::Max,
-                            Box::new(Expr::var(count).sub(Expr::int(1))),
-                            Box::new(Expr::int(-5)),
-                        ),
-                    )],
-                )],
-            ), Stmt::drive(out, Expr::var(count))],
+                ),
+                Stmt::drive(out, Expr::var(count)),
+            ],
         );
         b.transition(run, None, run);
         b.initial(run);
@@ -492,7 +518,11 @@ mod tests {
         b.actions(green, vec![Stmt::assign(t, Expr::var(t).add(Expr::int(1)))]);
         b.transition(
             green,
-            Some(Expr::port(req).eq(Expr::bit(cosma_core::Bit::One)).and(Expr::var(t).ge(Expr::int(3)))),
+            Some(
+                Expr::port(req)
+                    .eq(Expr::bit(cosma_core::Bit::One))
+                    .and(Expr::var(t).ge(Expr::int(3))),
+            ),
             yellow,
         );
         b.actions(yellow, vec![Stmt::assign(t, Expr::int(0))]);
@@ -536,7 +566,10 @@ mod tests {
         let (nl, _) = synthesize_hw(&module, Encoding::Binary).unwrap();
         assert!(nl.output("COUNT_OUT__out").is_some());
         assert!(nl.output("COUNT_OUT__we").is_some());
-        assert!(nl.output("EN__out").is_none(), "unwritten ports have no outputs");
+        assert!(
+            nl.output("EN__out").is_none(),
+            "unwritten ports have no outputs"
+        );
         let mut sim = nl.simulator();
         sim.step(&[1, 1, 0]);
         assert_eq!(sim.output_value("COUNT_OUT__we"), Some(1));

@@ -156,7 +156,13 @@ impl Netlist {
     /// Creates an empty netlist.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), nodes: vec![], regs: vec![], inputs: vec![], outputs: vec![] }
+        Netlist {
+            name: name.into(),
+            nodes: vec![],
+            regs: vec![],
+            inputs: vec![],
+            outputs: vec![],
+        }
     }
 
     /// Netlist name.
@@ -187,7 +193,12 @@ impl Netlist {
     /// Declares a register.
     pub fn reg(&mut self, name: impl Into<String>, width: u32, init: u64) -> RegId {
         let id = RegId(self.regs.len() as u32);
-        self.regs.push(RegDef { name: name.into(), width, init: init & mask(width), next: None });
+        self.regs.push(RegDef {
+            name: name.into(),
+            width,
+            init: init & mask(width),
+            next: None,
+        });
         id
     }
 
@@ -299,38 +310,56 @@ impl Netlist {
     /// Finds an output node by name.
     #[must_use]
     pub fn output(&self, name: &str) -> Option<NodeId> {
-        self.outputs.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
     }
 
     /// Finds a register by name.
     #[must_use]
     pub fn find_reg(&self, name: &str) -> Option<RegId> {
-        self.regs.iter().position(|r| r.name == name).map(|i| RegId(i as u32))
+        self.regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
     }
 
     /// Finds an input index by name.
     #[must_use]
     pub fn find_input(&self, name: &str) -> Option<InputId> {
-        self.inputs.iter().position(|(n, _)| n == name).map(|i| InputId(i as u32))
+        self.inputs
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| InputId(i as u32))
     }
 
     /// All nodes with their widths, in id (topological) order — for
     /// text emitters.
     #[must_use]
     pub fn dump_nodes(&self) -> Vec<(Node, u32)> {
-        self.nodes.iter().map(|d| (d.node.clone(), d.width)).collect()
+        self.nodes
+            .iter()
+            .map(|d| (d.node.clone(), d.width))
+            .collect()
     }
 
     /// All registers as `(name, width, init)` — for text emitters.
     #[must_use]
     pub fn dump_regs(&self) -> Vec<(String, u32, u64)> {
-        self.regs.iter().map(|r| (r.name.clone(), r.width, r.init)).collect()
+        self.regs
+            .iter()
+            .map(|r| (r.name.clone(), r.width, r.init))
+            .collect()
     }
 
     /// Next-value node of a register, by name.
     #[must_use]
     pub fn reg_next_of(&self, name: &str) -> Option<NodeId> {
-        self.regs.iter().find(|r| r.name == name).and_then(|r| r.next)
+        self.regs
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.next)
     }
 
     /// Creates a cycle-accurate simulator for this netlist (the netlist
@@ -388,7 +417,14 @@ impl Netlist {
         // Delay model: 1.5 ns per LUT level + 2 ns clock-to-out/setup.
         let crit_ns = 2.0 + 1.5 * f64::from(max_depth);
         let fmax_mhz = 1000.0 / crit_ns;
-        TechReport { luts, ffs, clbs, depth: max_depth, crit_ns, fmax_mhz }
+        TechReport {
+            luts,
+            ffs,
+            clbs,
+            depth: max_depth,
+            crit_ns,
+            fmax_mhz,
+        }
     }
 }
 

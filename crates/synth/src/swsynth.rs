@@ -44,7 +44,10 @@ impl IoMap {
     /// Creates a map allocating from `base` upward.
     #[must_use]
     pub fn new(base: u16) -> Self {
-        IoMap { base, entries: vec![] }
+        IoMap {
+            base,
+            entries: vec![],
+        }
     }
 
     /// Allocates the next address for `name` (or returns the existing
@@ -71,13 +74,19 @@ impl IoMap {
     /// Address of a name.
     #[must_use]
     pub fn addr(&self, name: &str) -> Option<u16> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
     }
 
     /// Name mapped at an address.
     #[must_use]
     pub fn name_at(&self, addr: u16) -> Option<&str> {
-        self.entries.iter().find(|(_, a)| *a == addr).map(|(n, _)| n.as_str())
+        self.entries
+            .iter()
+            .find(|(_, a)| *a == addr)
+            .map(|(n, _)| n.as_str())
     }
 
     /// All `(name, address)` entries.
@@ -114,7 +123,12 @@ pub struct SwProgram {
 
 impl fmt::Display for SwProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SwProgram ({} words, {} vars)", self.image.len_words(), self.var_addrs.len())
+        write!(
+            f,
+            "SwProgram ({} words, {} vars)",
+            self.image.len_words(),
+            self.var_addrs.len()
+        )
     }
 }
 
@@ -243,7 +257,11 @@ impl CodeGen<'_> {
                     });
                 };
                 self.expr(a)?;
-                let op = if matches!(e, Expr::Binary(BinOp::Shl, _, _)) { "SHL" } else { "SAR" };
+                let op = if matches!(e, Expr::Binary(BinOp::Shl, _, _)) {
+                    "SHL"
+                } else {
+                    "SAR"
+                };
                 for _ in 0..(*k).clamp(0, 16) {
                     self.line(&format!("{op} r0"));
                 }
@@ -275,7 +293,10 @@ impl CodeGen<'_> {
                 let lt = self.fresh("true");
                 let le = self.fresh("end");
                 self.line("CMP r0, r1");
-                self.line(&format!("{} {lt}", if op == BinOp::Eq { "JZ" } else { "JNZ" }));
+                self.line(&format!(
+                    "{} {lt}",
+                    if op == BinOp::Eq { "JZ" } else { "JNZ" }
+                ));
                 self.line("LDI r0, 0");
                 self.line(&format!("JMP {le}"));
                 self.label(&lt);
@@ -352,7 +373,11 @@ impl CodeGen<'_> {
                 let a = self.port_addr(*p)?;
                 self.line(&format!("OUT {a:#06x}, r0"));
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.expr(cond)?;
                 let lelse = self.fresh("else");
                 let lend = self.fresh("endif");
@@ -416,8 +441,18 @@ pub fn compile_sw(module: &Module, io: &IoMap) -> Result<SwProgram, SynthError> 
     }
     let state_addr = VAR_BASE + module.vars().len() as u16;
 
-    let mut cg = CodeGen { module, io, out: String::new(), label_counter: 0, trace_labels: vec![] };
-    let _ = writeln!(cg.out, "; MC16 program synthesized from module {}", module.name());
+    let mut cg = CodeGen {
+        module,
+        io,
+        out: String::new(),
+        label_counter: 0,
+        trace_labels: vec![],
+    };
+    let _ = writeln!(
+        cg.out,
+        "; MC16 program synthesized from module {}",
+        module.name()
+    );
     cg.line("ORG 0");
     // Initialize variables and the state word.
     for (i, v) in module.vars().iter().enumerate() {
@@ -527,8 +562,14 @@ mod tests {
             ("GE", Expr::int(-7).ge(Expr::int(-7))),
             ("EQ", Expr::int(4).eq(Expr::int(4))),
             ("NE", Expr::int(4).ne(Expr::int(4))),
-            ("MIN", Expr::Binary(BinOp::Min, Box::new(Expr::int(-5)), Box::new(Expr::int(3)))),
-            ("MAX", Expr::Binary(BinOp::Max, Box::new(Expr::int(-5)), Box::new(Expr::int(3)))),
+            (
+                "MIN",
+                Expr::Binary(BinOp::Min, Box::new(Expr::int(-5)), Box::new(Expr::int(3))),
+            ),
+            (
+                "MAX",
+                Expr::Binary(BinOp::Max, Box::new(Expr::int(-5)), Box::new(Expr::int(3))),
+            ),
             ("DIV", Expr::int(-10).div(Expr::int(3))),
             (
                 "REM",
@@ -578,7 +619,10 @@ mod tests {
             let expect = env.var(vars[i]).clone();
             let expect_word = expect.to_bus_word(16) as u16;
             let got = cpu.mem(prog.var_addrs[*name]);
-            assert_eq!(got, expect_word, "case {name}: got {got:#06x} want {expect_word:#06x}");
+            assert_eq!(
+                got, expect_word,
+                "case {name}: got {got:#06x} want {expect_word:#06x}"
+            );
         }
     }
 
@@ -608,7 +652,11 @@ mod tests {
         let wait = b.state("WAIT");
         let send = b.state("SEND");
         let end = b.state("END");
-        b.transition(wait, Some(Expr::port(b_full).eq(Expr::bit(cosma_core::Bit::Zero))), send);
+        b.transition(
+            wait,
+            Some(Expr::port(b_full).eq(Expr::bit(cosma_core::Bit::Zero))),
+            send,
+        );
         b.actions(send, vec![Stmt::drive(data, Expr::int(99))]);
         b.transition(send, None, end);
         b.transition(end, None, end);
@@ -619,7 +667,10 @@ mod tests {
         io.add("B_FULL");
         let prog = compile_sw(&m, &io).unwrap();
         // Busy while B_FULL=1, proceeds when it drops.
-        let mut bus = WireBus { b_full: 1, written: vec![] };
+        let mut bus = WireBus {
+            b_full: 1,
+            written: vec![],
+        };
         let mut cpu = Cpu::new();
         cpu.load_image(&prog.image);
         for _ in 0..200 {
@@ -669,7 +720,10 @@ mod tests {
         for _ in 0..100 {
             cpu.step(&mut bus).unwrap();
         }
-        assert_eq!(&bus.0[..2], &[(TRACE_PORT_BASE, 42), (TRACE_PORT_BASE + 1, 7)]);
+        assert_eq!(
+            &bus.0[..2],
+            &[(TRACE_PORT_BASE, 42), (TRACE_PORT_BASE + 1, 7)]
+        );
     }
 
     #[test]

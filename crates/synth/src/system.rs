@@ -68,9 +68,7 @@ pub fn synthesize_system(
         // Resolve this module's bindings to unit instances.
         let mut bound: HashMap<String, FlattenBinding> = HashMap::new();
         for (bi, b) in module.bindings().iter().enumerate() {
-            let Some(unit) =
-                sys.unit_for(mi, cosma_core::ids::BindingId::new(bi as u32))
-            else {
+            let Some(unit) = sys.unit_for(mi, cosma_core::ids::BindingId::new(bi as u32)) else {
                 return Err(SynthError::UnboundBinding {
                     module: module.name().to_string(),
                     binding: b.name().to_string(),
@@ -78,7 +76,10 @@ pub fn synthesize_system(
             };
             bound.insert(
                 b.name().to_string(),
-                FlattenBinding { spec: unit.spec().clone(), prefix: unit.name().to_string() },
+                FlattenBinding {
+                    spec: unit.spec().clone(),
+                    prefix: unit.name().to_string(),
+                },
             );
         }
         let flat = flatten_module_bound(module, &bound)?;
@@ -108,16 +109,19 @@ pub fn synthesize_system(
         }
     }
 
-    Ok(SystemSynthesis { programs, netlists, reports, io })
+    Ok(SystemSynthesis {
+        programs,
+        netlists,
+        reports,
+        io,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cosma_comm::handshake_unit;
-    use cosma_core::{
-        Expr, ModuleBuilder, ServiceCall, Stmt, SystemBuilder, Type, Value,
-    };
+    use cosma_core::{Expr, ModuleBuilder, ServiceCall, Stmt, SystemBuilder, Type, Value};
 
     fn demo_system() -> System {
         let mut p = ModuleBuilder::new("producer", ModuleKind::Software);

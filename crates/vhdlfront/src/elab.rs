@@ -68,7 +68,9 @@ impl fmt::Display for ElabError {
 impl std::error::Error for ElabError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ElabError> {
-    Err(ElabError { message: message.into() })
+    Err(ElabError {
+        message: message.into(),
+    })
 }
 
 /// A net of the elaborated entity: an architecture signal or entity port,
@@ -125,13 +127,13 @@ fn const_value(
     Ok(match e {
         VExpr::Int(i) => Value::Int(*i),
         VExpr::Bool(b) => Value::Bool(*b),
-        VExpr::Char(c) => Value::Bit(
-            Bit::from_char(*c).map_err(|e| ElabError { message: e.to_string() })?,
-        ),
+        VExpr::Char(c) => Value::Bit(Bit::from_char(*c).map_err(|e| ElabError {
+            message: e.to_string(),
+        })?),
         VExpr::Ident(name) => match enums.get(name) {
-            Some((ty, idx)) => Value::Enum(
-                EnumValue::from_index(ty.clone(), *idx).expect("index from same table"),
-            ),
+            Some((ty, idx)) => {
+                Value::Enum(EnumValue::from_index(ty.clone(), *idx).expect("index from same table"))
+            }
             None => return err(format!("initializer {name} is not a constant")),
         },
         VExpr::Unary("-", inner) => match const_value(inner, enums)? {
@@ -154,9 +156,9 @@ impl ProcElab<'_> {
         Ok(match e {
             VExpr::Int(i) => Expr::int(*i),
             VExpr::Bool(b) => Expr::bool(*b),
-            VExpr::Char(c) => Expr::bit(
-                Bit::from_char(*c).map_err(|e| ElabError { message: e.to_string() })?,
-            ),
+            VExpr::Char(c) => Expr::bit(Bit::from_char(*c).map_err(|e| ElabError {
+                message: e.to_string(),
+            })?),
             VExpr::Ident(name) => {
                 if let Some(&v) = self.vars.get(name) {
                     Expr::var(v)
@@ -308,7 +310,12 @@ pub fn elaborate_entity(entity: &VEntity, opts: &ElabOptions) -> Result<HwEntity
             "OUT" => PortDir::Out,
             _ => PortDir::InOut,
         };
-        nets.push(NetSpec { name: p.name.clone(), init: ty.default_value(), ty, dir: Some(dir) });
+        nets.push(NetSpec {
+            name: p.name.clone(),
+            init: ty.default_value(),
+            ty,
+            dir: Some(dir),
+        });
     }
     for (name, ty, init) in &entity.signals {
         let ty = vtype_to_ir(ty, &enums)?;
@@ -319,14 +326,25 @@ pub fn elaborate_entity(entity: &VEntity, opts: &ElabOptions) -> Result<HwEntity
         if !ty.admits(&init) {
             return err(format!("initializer for signal {name} has the wrong type"));
         }
-        nets.push(NetSpec { name: name.clone(), ty, init, dir: None });
+        nets.push(NetSpec {
+            name: name.clone(),
+            ty,
+            init,
+            dir: None,
+        });
     }
 
     let mut modules = vec![];
     for proc in &entity.processes {
-        modules.push(elaborate_process(entity, proc, &nets, &enums, &variants, opts)?);
+        modules.push(elaborate_process(
+            entity, proc, &nets, &enums, &variants, opts,
+        )?);
     }
-    Ok(HwEntity { name: entity.name.clone(), nets, modules })
+    Ok(HwEntity {
+        name: entity.name.clone(),
+        nets,
+        modules,
+    })
 }
 
 fn elaborate_process(
@@ -337,8 +355,10 @@ fn elaborate_process(
     variants: &HashMap<String, (Arc<EnumType>, u32)>,
     opts: &ElabOptions,
 ) -> Result<Module, ElabError> {
-    let mut builder =
-        ModuleBuilder::new(format!("{}_{}", entity.name, proc.name).to_lowercase(), ModuleKind::Hardware);
+    let mut builder = ModuleBuilder::new(
+        format!("{}_{}", entity.name, proc.name).to_lowercase(),
+        ModuleKind::Hardware,
+    );
 
     // Which nets does this process write?
     let mut written: Vec<String> = vec![];
@@ -384,17 +404,23 @@ fn elaborate_process(
             None => ir_ty.default_value(),
         };
         if !ir_ty.admits(&init_v) {
-            return err(format!("initializer for variable {name} has the wrong type"));
+            return err(format!(
+                "initializer for variable {name} has the wrong type"
+            ));
         }
         if let (Type::Enum(e), Value::Enum(ev)) = (&ir_ty, &init_v) {
-            state_candidate =
-                Some((name.clone(), e.clone(), ev.index() as usize));
+            state_candidate = Some((name.clone(), e.clone(), ev.index() as usize));
         }
         let id = builder.var(name.clone(), ir_ty, init_v);
         vars.insert(name.clone(), id);
     }
 
-    let elab = ProcElab { vars, ports, variants, services };
+    let elab = ProcElab {
+        vars,
+        ports,
+        variants,
+        services,
+    };
 
     // Find a case over an enum variable.
     let mut prologue: Vec<&VStmt> = vec![];
@@ -440,7 +466,9 @@ fn elaborate_process(
                 })
             })
         else {
-            return err(format!("case scrutinee {scrutinee} must be an enum-typed variable"));
+            return err(format!(
+                "case scrutinee {scrutinee} must be an enum-typed variable"
+            ));
         };
         let state_var_id = elab.vars[&sv_name];
         let mut arm_map: HashMap<&str, &Vec<VStmt>> = HashMap::new();
@@ -449,15 +477,21 @@ fn elaborate_process(
             match label {
                 Some(l) => {
                     if state_enum.index_of(l).is_none() {
-                        return err(format!("case label {l} is not a variant of {}", state_enum.name()));
+                        return err(format!(
+                            "case label {l} is not a variant of {}",
+                            state_enum.name()
+                        ));
                     }
                     arm_map.insert(l.as_str(), body);
                 }
                 None => default_arm = Some(body),
             }
         }
-        let state_ids: Vec<_> =
-            state_enum.variants().iter().map(|v| builder.state(v.clone())).collect();
+        let state_ids: Vec<_> = state_enum
+            .variants()
+            .iter()
+            .map(|v| builder.state(v.clone()))
+            .collect();
         for (vi, vname) in state_enum.variants().iter().enumerate() {
             let sid = state_ids[vi];
             let body: &[VStmt] = match arm_map.get(vname.as_str()) {
@@ -467,11 +501,21 @@ fn elaborate_process(
             let mut actions = vec![];
             let mut targets = vec![];
             for p in &prologue {
-                elab.lower_stmts(std::slice::from_ref(*p), Some(&sv_name), &mut targets, &mut actions)?;
+                elab.lower_stmts(
+                    std::slice::from_ref(*p),
+                    Some(&sv_name),
+                    &mut targets,
+                    &mut actions,
+                )?;
             }
             elab.lower_stmts(body, Some(&sv_name), &mut targets, &mut actions)?;
             for e in &epilogue {
-                elab.lower_stmts(std::slice::from_ref(*e), Some(&sv_name), &mut targets, &mut actions)?;
+                elab.lower_stmts(
+                    std::slice::from_ref(*e),
+                    Some(&sv_name),
+                    &mut targets,
+                    &mut actions,
+                )?;
             }
             builder.actions(sid, actions);
             for target in targets {
@@ -495,7 +539,9 @@ fn elaborate_process(
         builder.transition(sid, None, sid);
         builder.initial(sid);
     }
-    builder.build().map_err(|e| ElabError { message: e.to_string() })
+    builder.build().map_err(|e| ElabError {
+        message: e.to_string(),
+    })
 }
 
 fn collect_sig_writes(stmts: &[VStmt], out: &mut Vec<String>) {
@@ -527,8 +573,9 @@ fn collect_sig_writes(stmts: &[VStmt], out: &mut Vec<String>) {
 ///
 /// Propagates parse errors (as [`ElabError`]) and elaboration errors.
 pub fn compile_entity(src: &str, entity: &str, opts: &ElabOptions) -> Result<HwEntity, ElabError> {
-    let design: VDesign =
-        crate::parser::parse(src).map_err(|e| ElabError { message: e.to_string() })?;
+    let design: VDesign = crate::parser::parse(src).map_err(|e| ElabError {
+        message: e.to_string(),
+    })?;
     let Some(e) = design.entity(entity) else {
         return err(format!("no entity named {entity}"));
     };

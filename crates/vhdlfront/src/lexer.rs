@@ -56,8 +56,10 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-const PUNCTS: &[&str] =
-    &["<=", ">=", ":=", "/=", "=>", "=", "<", ">", "(", ")", ";", ":", ",", "+", "-", "*", "/", "'", "."];
+const PUNCTS: &[&str] = &[
+    "<=", ">=", ":=", "/=", "=>", "=", "<", ">", "(", ")", ";", ":", ",", "+", "-", "*", "/", "'",
+    ".",
+];
 
 /// Tokenizes VHDL-subset source. `--` comments are skipped.
 ///
@@ -92,7 +94,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 i += 1;
             }
             let word: String = chars[start..i].iter().collect::<String>().to_uppercase();
-            out.push(Spanned { tok: Tok::Ident(word), line });
+            out.push(Spanned {
+                tok: Tok::Ident(word),
+                line,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -102,11 +107,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             let text: String = chars[start..i].iter().collect();
             let v = text.parse().map_err(|_| LexError { line, ch: c })?;
-            out.push(Spanned { tok: Tok::Int(v), line });
+            out.push(Spanned {
+                tok: Tok::Int(v),
+                line,
+            });
             continue;
         }
         if c == '\'' && i + 2 < chars.len() && chars[i + 2] == '\'' {
-            out.push(Spanned { tok: Tok::Char(chars[i + 1].to_ascii_uppercase()), line });
+            out.push(Spanned {
+                tok: Tok::Char(chars[i + 1].to_ascii_uppercase()),
+                line,
+            });
             i += 3;
             continue;
         }
@@ -114,7 +125,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         for p in PUNCTS {
             let pc: Vec<char> = p.chars().collect();
             if chars[i..].starts_with(&pc) {
-                out.push(Spanned { tok: Tok::Punct(p), line });
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += pc.len();
                 matched = true;
                 break;
@@ -124,7 +138,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             return Err(LexError { line, ch: c });
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -169,35 +186,43 @@ mod tests {
 
     #[test]
     fn char_literals() {
-        assert_eq!(toks("'1' 'z'"), vec![Tok::Char('1'), Tok::Char('Z'), Tok::Eof]);
+        assert_eq!(
+            toks("'1' 'z'"),
+            vec![Tok::Char('1'), Tok::Char('Z'), Tok::Eof]
+        );
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("a -- comment\nb"), vec![
-            Tok::Ident("A".into()),
-            Tok::Ident("B".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a -- comment\nb"),
+            vec![Tok::Ident("A".into()), Tok::Ident("B".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn ne_operator() {
-        assert_eq!(toks("a /= b"), vec![
-            Tok::Ident("A".into()),
-            Tok::Punct("/="),
-            Tok::Ident("B".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a /= b"),
+            vec![
+                Tok::Ident("A".into()),
+                Tok::Punct("/="),
+                Tok::Ident("B".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn arrow_in_case() {
-        assert_eq!(toks("when INIT =>"), vec![
-            Tok::Ident("WHEN".into()),
-            Tok::Ident("INIT".into()),
-            Tok::Punct("=>"),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("when INIT =>"),
+            vec![
+                Tok::Ident("WHEN".into()),
+                Tok::Ident("INIT".into()),
+                Tok::Punct("=>"),
+                Tok::Eof
+            ]
+        );
     }
 }

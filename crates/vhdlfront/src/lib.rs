@@ -123,7 +123,11 @@ end architecture;
                 ServiceBinding::new(
                     "Control_Interface",
                     "swhw_link",
-                    &["READMOTORCONSTRAINTS", "READMOTORPOSITION", "RETURNMOTORSTATE"],
+                    &[
+                        "READMOTORCONSTRAINTS",
+                        "READMOTORPOSITION",
+                        "RETURNMOTORSTATE",
+                    ],
                 ),
                 ServiceBinding::new(
                     "Motor_Interface",
@@ -152,7 +156,11 @@ end architecture;
     #[test]
     fn fsm_process_gets_states() {
         let hw = compile_entity(SPEED_CONTROL, "SPEED_CONTROL", &opts()).unwrap();
-        let pos = hw.modules.iter().find(|m| m.name().ends_with("position")).unwrap();
+        let pos = hw
+            .modules
+            .iter()
+            .find(|m| m.name().ends_with("position"))
+            .unwrap();
         assert_eq!(pos.fsm().state_count(), 3);
         assert!(pos.fsm().find_state("SETUP").is_some());
         assert_eq!(pos.fsm().state(pos.fsm().initial()).name(), "SETUP");
@@ -161,7 +169,11 @@ end architecture;
     #[test]
     fn straightline_process_gets_single_state() {
         let hw = compile_entity(SPEED_CONTROL, "SPEED_CONTROL", &opts()).unwrap();
-        let core = hw.modules.iter().find(|m| m.name().ends_with("core")).unwrap();
+        let core = hw
+            .modules
+            .iter()
+            .find(|m| m.name().ends_with("core"))
+            .unwrap();
         assert_eq!(core.fsm().state_count(), 1);
         assert_eq!(core.fsm().transition_count(), 1);
     }
@@ -169,14 +181,22 @@ end architecture;
     #[test]
     fn signal_directions_per_usage() {
         let hw = compile_entity(SPEED_CONTROL, "SPEED_CONTROL", &opts()).unwrap();
-        let timer = hw.modules.iter().find(|m| m.name().ends_with("timer")).unwrap();
+        let timer = hw
+            .modules
+            .iter()
+            .find(|m| m.name().ends_with("timer"))
+            .unwrap();
         // TIMER writes PULSE (entity out) and reads RESIDUAL.
         let pulse = timer.port_id("PULSE").unwrap();
         assert_eq!(timer.port(pulse).dir(), PortDir::Out);
         let residual = timer.port_id("RESIDUAL").unwrap();
         assert_eq!(timer.port(residual).dir(), PortDir::In);
         // CORE writes RESIDUAL.
-        let core = hw.modules.iter().find(|m| m.name().ends_with("core")).unwrap();
+        let core = hw
+            .modules
+            .iter()
+            .find(|m| m.name().ends_with("core"))
+            .unwrap();
         let residual = core.port_id("RESIDUAL").unwrap();
         assert_eq!(core.port(residual).dir(), PortDir::Out);
     }
@@ -194,7 +214,11 @@ end architecture;
         // The TIMER process (single state) should drive PULSE from
         // RESIDUAL without touching services when RESIDUAL <= 0.
         let hw = compile_entity(SPEED_CONTROL, "SPEED_CONTROL", &opts()).unwrap();
-        let timer = hw.modules.iter().find(|m| m.name().ends_with("timer")).unwrap();
+        let timer = hw
+            .modules
+            .iter()
+            .find(|m| m.name().ends_with("timer"))
+            .unwrap();
         let mut env = MapEnv::new();
         for p in timer.ports() {
             env.add_port(p.ty().clone(), p.ty().default_value());
@@ -233,8 +257,8 @@ end architecture;
 
     #[test]
     fn unknown_entity_reported() {
-        let e = compile_entity("entity E is end entity;", "F", &ElabOptions::default())
-            .unwrap_err();
+        let e =
+            compile_entity("entity E is end entity;", "F", &ElabOptions::default()).unwrap_err();
         assert!(e.to_string().contains('F'), "{e}");
     }
 

@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.to_string() }
+        ParseError {
+            line: e.line,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -55,7 +58,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn is_kw(&self, kw: &str) -> bool {
@@ -73,7 +79,11 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{}`, found {}", kw.to_lowercase(), self.peek())))
+            Err(self.err(format!(
+                "expected `{}`, found {}",
+                kw.to_lowercase(),
+                self.peek()
+            )))
         }
     }
 
@@ -137,7 +147,10 @@ impl Parser {
                 self.parse_architecture(&mut design)?;
                 continue;
             }
-            return Err(self.err(format!("expected entity or architecture, found {}", self.peek())));
+            return Err(self.err(format!(
+                "expected entity or architecture, found {}",
+                self.peek()
+            )));
         }
         Ok(design)
     }
@@ -162,7 +175,11 @@ impl Parser {
                 }
                 let ty = self.parse_type()?;
                 for n in names {
-                    ports.push(VPort { name: n, dir: dir.clone(), ty: ty.clone() });
+                    ports.push(VPort {
+                        name: n,
+                        dir: dir.clone(),
+                        ty: ty.clone(),
+                    });
                 }
                 if self.eat_punct(";") {
                     continue;
@@ -214,7 +231,11 @@ impl Parser {
                 }
                 self.expect_punct(":")?;
                 let ty = self.parse_type()?;
-                let init = if self.eat_punct(":=") { Some(self.parse_expr()?) } else { None };
+                let init = if self.eat_punct(":=") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
                 self.expect_punct(";")?;
                 for n in names {
                     signals.push((n, ty.clone(), init.clone()));
@@ -272,7 +293,11 @@ impl Parser {
             }
             self.expect_punct(":")?;
             let ty = self.parse_type()?;
-            let init = if self.eat_punct(":=") { Some(self.parse_expr()?) } else { None };
+            let init = if self.eat_punct(":=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             for n in names {
                 vars.push((n, ty.clone(), init.clone()));
@@ -466,7 +491,11 @@ impl Parser {
 /// Returns [`ParseError`] on lexical or syntactic errors.
 pub fn parse(src: &str) -> Result<VDesign, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, anon_procs: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        anon_procs: 0,
+    };
     p.parse_design()
 }
 
@@ -548,7 +577,10 @@ end architecture;
         let d = parse(SPEED_CONTROL).unwrap();
         let p = &d.entity("SPEED_CONTROL").unwrap().processes[1];
         assert_eq!(p.body[0], VStmt::Call("SENDMOTORPULSES".into(), vec![]));
-        assert_eq!(p.body[1], VStmt::SigAssign("PULSE".into(), VExpr::Char('1')));
+        assert_eq!(
+            p.body[1],
+            VStmt::SigAssign("PULSE".into(), VExpr::Char('1'))
+        );
         assert_eq!(p.body[2], VStmt::Wait);
     }
 

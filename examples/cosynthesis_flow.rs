@@ -18,15 +18,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[1/3] co-simulation...");
     let mut cs = build_cosim(&cfg, CosimConfig::default())?;
     let ok = cs.run_to_completion(Duration::from_us(100), 200)?;
-    println!("      finished: {ok}, motor at {}", cs.motor.borrow().position());
+    println!(
+        "      finished: {ok}, motor at {}",
+        cs.motor.borrow().position()
+    );
 
     // --- step 2: co-synthesis --------------------------------------------
     println!("[2/3] co-synthesis to the PC-AT + FPGA board...");
     let mut bs = build_board(&cfg, BoardConfig::default(), Encoding::Binary)?;
-    println!("      software: {} image words, {} I/O ports at {:#05x}",
+    println!(
+        "      software: {} image words, {} I/O ports at {:#05x}",
         bs.program.image.len_words(),
         bs.program.io.entries().len(),
-        bs.program.io.base());
+        bs.program.io.base()
+    );
     for r in &bs.reports {
         println!("      hardware: {r}");
     }
@@ -34,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("      total FPGA usage: ~{total} CLBs (XC4000-class)");
 
     let ok = bs.run_to_completion(1_000_000, 400)?;
-    println!("      board run finished: {ok}, motor at {}", bs.motor.borrow().position());
+    println!(
+        "      board run finished: {ok}, motor at {}",
+        bs.motor.borrow().position()
+    );
     println!(
         "      cpu: {} cycles, bus: {:?}",
         bs.board.cpu_cycles(bs.cpu),

@@ -7,8 +7,8 @@
 
 use cosma::cfront;
 use cosma::comm::handshake_unit;
-use cosma::cosim::{Cosim, CosimConfig};
 use cosma::core::{ModuleKind, Type};
+use cosma::cosim::{Cosim, CosimConfig};
 use cosma::sim::Duration;
 use cosma::vhdl;
 
@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bindings: vec![cfront::ServiceBinding::new("iface", "hs", &["put"])],
         },
     )?;
-    println!("C front-end: module `{}` with {} states", sender.name(), sender.fsm().state_count());
+    println!(
+        "C front-end: module `{}` with {} states",
+        sender.name(),
+        sender.fsm().state_count()
+    );
 
     let hw = vhdl::compile_entity(
         VHDL_SRC,
@@ -96,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nets: Vec<_> = hw
         .nets
         .iter()
-        .map(|n| cosim.sim_mut().add_signal(format!("RECEIVER.{}", n.name), n.ty.clone(), n.init.clone()))
+        .map(|n| {
+            cosim
+                .sim_mut()
+                .add_signal(format!("RECEIVER.{}", n.name), n.ty.clone(), n.init.clone())
+        })
         .collect();
     for m in &hw.modules {
         cosim.add_module_with_ports(m, &[("iface", link)], nets.clone())?;
@@ -104,7 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     cosim.run_for(Duration::from_us(40))?;
 
-    let sig = cosim.sim().find_signal("RECEIVER.TOTAL").expect("net exists");
+    let sig = cosim
+        .sim()
+        .find_signal("RECEIVER.TOTAL")
+        .expect("net exists");
     println!("\nsender state: {}", cosim.module_status(sender_id).state);
     println!("receiver TOTAL = {:?}", cosim.sim().value(sig));
     println!("(expected 5 + 10 + 20 = 35)");

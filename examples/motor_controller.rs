@@ -34,15 +34,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nsegment log (trace):");
     let log = sys.cosim.trace_log();
-    let sent: Vec<i64> =
-        log.with_label("send_pos").map(|e| e.values[0].as_int().unwrap()).collect();
-    let states: Vec<i64> =
-        log.with_label("motor_state").map(|e| e.values[0].as_int().unwrap()).collect();
+    let sent: Vec<i64> = log
+        .with_label("send_pos")
+        .map(|e| e.values[0].as_int().unwrap())
+        .collect();
+    let states: Vec<i64> = log
+        .with_label("motor_state")
+        .map(|e| e.values[0].as_int().unwrap())
+        .collect();
     println!("  {:>8} {:>12} {:>12}", "segment", "target", "reached");
     for (k, (t, r)) in sent.iter().zip(&states).enumerate() {
         println!("  {:>8} {:>12} {:>12}", k + 1, t, r);
     }
-    println!("pulse batches consumed by the motor: {}", log.with_label("pulse").count());
+    println!(
+        "pulse batches consumed by the motor: {}",
+        log.with_label("pulse").count()
+    );
 
     println!("\nmodule states at the end:");
     for (name, id) in [
@@ -52,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("timer", sys.timer),
     ] {
         let st = sys.cosim.module_status(id);
-        println!("  {name:<13} {:<12} ({} activations)", st.state, st.activations);
+        println!(
+            "  {name:<13} {:<12} ({} activations)",
+            st.state, st.activations
+        );
     }
 
     let kstats = sys.cosim.sim().stats();

@@ -108,7 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- platform 2: software-only over UNIX-IPC-style FIFO ---------------
     let mut ipc = IpcPlatform::new();
-    let fifo = ipc.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new("pipe", 4))));
+    let fifo = ipc.add_unit(StandaloneUnit::from_native(Box::new(FifoChannel::new(
+        "pipe", 4,
+    ))));
     ipc.add_module(&producer(), &[("chan", fifo)])?;
     let cid2 = ipc.add_module(&consumer(), &[("chan", fifo)])?;
     ipc.run(60)?;

@@ -7,9 +7,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use cosma::comm::handshake_unit;
-use cosma::core::{
-    Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, SwTarget, Type, Value,
-};
+use cosma::core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, SwTarget, Type, Value};
 use cosma::cosim::{Cosim, CosimConfig};
 use cosma::sim::Duration;
 
@@ -34,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result: None,
         })],
     );
-    host.transition_with(put, Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(2)))), vec![], end);
+    host.transition_with(
+        put,
+        Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(2)))),
+        vec![],
+        end,
+    );
     host.transition_with(
         put,
         Some(Expr::var(done)),
@@ -84,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== co-simulation ==");
     println!("server SUM = {:?}", cosim.module_var(server_id, "SUM"));
     for e in cosim.trace_log().entries() {
-        println!("  trace @{}fs {}: {} {:?}", e.at, e.source, e.label, e.values);
+        println!(
+            "  trace @{}fs {}: {} {:?}",
+            e.at, e.source, e.label, e.values
+        );
     }
     let stats = cosim.unit_stats("link").expect("unit exists");
     println!(
@@ -100,8 +106,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         link.service("put").expect("put exists"),
         &SwTarget::ALL,
     );
-    println!("\n== SW simulation view of put (Fig. 3b) ==\n{}", views.sw_sim);
-    println!("== SW synthesis view for the PC-AT bus (Fig. 3a) ==\n{}", views.sw_synth[&SwTarget::PcAtBus]);
+    println!(
+        "\n== SW simulation view of put (Fig. 3b) ==\n{}",
+        views.sw_sim
+    );
+    println!(
+        "== SW synthesis view for the PC-AT bus (Fig. 3a) ==\n{}",
+        views.sw_synth[&SwTarget::PcAtBus]
+    );
     println!("== HW view (Fig. 3c) ==\n{}", views.hw_vhdl);
     Ok(())
 }

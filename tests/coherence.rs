@@ -8,7 +8,11 @@ use cosma::sim::Duration;
 use cosma::synth::Encoding;
 
 fn small_cfg() -> MotorConfig {
-    MotorConfig { segments: 3, segment_len: 15, ..MotorConfig::default() }
+    MotorConfig {
+        segments: 3,
+        segment_len: 15,
+        ..MotorConfig::default()
+    }
 }
 
 #[test]
@@ -16,12 +20,16 @@ fn motor_system_coherent_across_flows() {
     let cfg = small_cfg();
     let mut cs = build_cosim(&cfg, CosimConfig::default()).expect("cosim assembles");
     assert!(
-        cs.run_to_completion(Duration::from_us(100), 200).expect("cosim runs"),
+        cs.run_to_completion(Duration::from_us(100), 200)
+            .expect("cosim runs"),
         "co-simulation completes"
     );
     let mut bs =
         build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("board assembles");
-    assert!(bs.run_to_completion(1_000_000, 400).expect("board runs"), "board completes");
+    assert!(
+        bs.run_to_completion(1_000_000, 400).expect("board runs"),
+        "board completes"
+    );
 
     assert_eq!(cs.motor.borrow().position(), cfg.total_distance());
     assert_eq!(bs.motor.borrow().position(), cfg.total_distance());
@@ -40,11 +48,18 @@ fn motor_system_coherent_across_flows() {
 fn coherence_holds_for_every_encoding() {
     // The hardware state encoding is an implementation choice; behaviour
     // must not depend on it.
-    let cfg = MotorConfig { segments: 2, segment_len: 10, ..MotorConfig::default() };
+    let cfg = MotorConfig {
+        segments: 2,
+        segment_len: 10,
+        ..MotorConfig::default()
+    };
     let mut reference: Option<Vec<i64>> = None;
     for enc in Encoding::ALL {
         let mut bs = build_board(&cfg, BoardConfig::default(), enc).expect("assembles");
-        assert!(bs.run_to_completion(1_000_000, 400).expect("runs"), "completes under {enc}");
+        assert!(
+            bs.run_to_completion(1_000_000, 400).expect("runs"),
+            "completes under {enc}"
+        );
         let pulses: Vec<i64> = bs
             .board
             .trace_log()
@@ -64,17 +79,24 @@ fn cosim_timing_change_preserves_events() {
     // (only its timing) — the protocols synchronize, not the clocks.
     let cfg = small_cfg();
     let mut fast = build_cosim(&cfg, CosimConfig::default()).expect("assembles");
-    assert!(fast.run_to_completion(Duration::from_us(100), 300).expect("runs"));
+    assert!(fast
+        .run_to_completion(Duration::from_us(100), 300)
+        .expect("runs"));
     let slow_cfg = CosimConfig {
         sw_cycle: Duration::from_ns(700),
         ..CosimConfig::default()
     };
     let mut slow = build_cosim(&cfg, slow_cfg).expect("assembles");
-    assert!(slow.run_to_completion(Duration::from_us(100), 300).expect("runs"));
+    assert!(slow
+        .run_to_completion(Duration::from_us(100), 300)
+        .expect("runs"));
     for label in ["send_pos", "motor_state", "done"] {
         let a = fast.cosim.trace_log().filtered(|e| e.label == label);
         let b = slow.cosim.trace_log().filtered(|e| e.label == label);
-        assert!(a.compare(&b).is_match(), "label {label} diverged under clock change");
+        assert!(
+            a.compare(&b).is_match(),
+            "label {label} diverged under clock change"
+        );
     }
 }
 
@@ -85,14 +107,14 @@ fn back_annotation_improves_timing_prediction() {
     let labels = ["send_pos", "motor_state", "pulse"];
     let nominal = CosimConfig::default();
     let mut cs = build_cosim(&cfg, nominal).expect("assembles");
-    assert!(cs.run_to_completion(Duration::from_us(100), 300).expect("runs"));
-    let mut bs =
-        build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("assembles");
+    assert!(cs
+        .run_to_completion(Duration::from_us(100), 300)
+        .expect("runs"));
+    let mut bs = build_board(&cfg, BoardConfig::default(), Encoding::Binary).expect("assembles");
     assert!(bs.run_to_completion(1_000_000, 600).expect("runs"));
     let board_log = bs.board.trace_log();
 
-    let before =
-        timing_error(&cs.cosim.trace_log(), &board_log, &labels).expect("events exist");
+    let before = timing_error(&cs.cosim.trace_log(), &board_log, &labels).expect("events exist");
     // Iterate the annotation to a fixed point.
     let mut sw_cycle = nominal.sw_cycle;
     let mut last_log = cs.cosim.trace_log();
@@ -104,9 +126,17 @@ fn back_annotation_improves_timing_prediction() {
             break;
         }
         sw_cycle = ann.annotated_sw_cycle;
-        let mut rerun = build_cosim(&cfg, CosimConfig { sw_cycle, ..nominal })
-            .expect("assembles");
-        assert!(rerun.run_to_completion(Duration::from_us(500), 600).expect("runs"));
+        let mut rerun = build_cosim(
+            &cfg,
+            CosimConfig {
+                sw_cycle,
+                ..nominal
+            },
+        )
+        .expect("assembles");
+        assert!(rerun
+            .run_to_completion(Duration::from_us(500), 600)
+            .expect("runs"));
         last_log = rerun.cosim.trace_log();
     }
     let after = timing_error(&last_log, &board_log, &labels).expect("events exist");
@@ -118,7 +148,10 @@ fn back_annotation_improves_timing_prediction() {
     for label in labels {
         let a = board_log.filtered(|e| e.label == label);
         let b = last_log.filtered(|e| e.label == label);
-        assert!(a.compare(&b).is_match(), "label {label} diverged under annotation");
+        assert!(
+            a.compare(&b).is_match(),
+            "label {label} diverged under annotation"
+        );
     }
 }
 
@@ -140,7 +173,10 @@ fn synthesized_netlists_emit_structural_vhdl() {
         let (nl, _) = cosma::synth::synthesize_hw(&flat, Encoding::Binary).expect("synthesizes");
         let vhdl = netlist_to_vhdl(&nl);
         assert!(vhdl.contains("entity "), "entity present");
-        assert!(vhdl.contains("rising_edge(CLK)"), "clocked registers present");
+        assert!(
+            vhdl.contains("rising_edge(CLK)"),
+            "clocked registers present"
+        );
         assert!(vhdl.lines().count() > 50, "non-trivial structural body");
     }
     drop(bs);

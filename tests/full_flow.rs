@@ -3,8 +3,8 @@
 
 use cosma::cfront;
 use cosma::comm::handshake_unit;
-use cosma::cosim::{Cosim, CosimConfig};
 use cosma::core::{ModuleKind, Type, Value};
+use cosma::cosim::{Cosim, CosimConfig};
 use cosma::sim::Duration;
 use cosma::vhdl;
 
@@ -83,16 +83,16 @@ fn c_and_vhdl_cosimulate_through_a_unit() {
 
     let mut cosim = Cosim::new(CosimConfig::default());
     let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
-    let sender_id = cosim.add_module(&sender, &[("iface", link)]).expect("sender added");
+    let sender_id = cosim
+        .add_module(&sender, &[("iface", link)])
+        .expect("sender added");
     let nets: Vec<_> = hw
         .nets
         .iter()
         .map(|n| {
-            cosim.sim_mut().add_signal(
-                format!("RECEIVER.{}", n.name),
-                n.ty.clone(),
-                n.init.clone(),
-            )
+            cosim
+                .sim_mut()
+                .add_signal(format!("RECEIVER.{}", n.name), n.ty.clone(), n.init.clone())
         })
         .collect();
     for m in &hw.modules {
@@ -100,12 +100,18 @@ fn c_and_vhdl_cosimulate_through_a_unit() {
             .add_module_with_ports(m, &[("iface", link)], nets.clone())
             .expect("receiver added");
     }
-    cosim.run_for(Duration::from_us(60)).expect("co-simulation runs");
+    cosim
+        .run_for(Duration::from_us(60))
+        .expect("co-simulation runs");
 
     // 7 + 17 + 27 + 37 + 47 = 135.
-    let total = cosim.sim().value(cosim.sim().find_signal("RECEIVER.TOTAL").unwrap());
+    let total = cosim
+        .sim()
+        .value(cosim.sim().find_signal("RECEIVER.TOTAL").unwrap());
     assert_eq!(total, &Value::Int(135));
-    let count = cosim.sim().value(cosim.sim().find_signal("RECEIVER.COUNT").unwrap());
+    let count = cosim
+        .sim()
+        .value(cosim.sim().find_signal("RECEIVER.COUNT").unwrap());
     assert_eq!(count, &Value::Int(5));
     assert_eq!(cosim.module_status(sender_id).state, "Finished");
 

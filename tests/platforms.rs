@@ -25,7 +25,12 @@ fn producer(name: &str, binding_unit: &str, base: i64, n: i64) -> Module {
             result: None,
         })],
     );
-    p.transition_with(put, Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(n - 1)))), vec![], end);
+    p.transition_with(
+        put,
+        Some(Expr::var(done).and(Expr::var(i).ge(Expr::int(n - 1)))),
+        vec![],
+        end,
+    );
     p.transition_with(
         put,
         Some(Expr::var(done)),
@@ -97,12 +102,16 @@ fn dual_processor_board() {
     let cb = flatten_module(&consumer("cons_b", "chan_b", 4), &units_b).expect("flattens");
     let (nl_ca, _) = synthesize_hw(&ca, Encoding::Binary).expect("synthesizes");
     let (nl_cb, _) = synthesize_hw(&cb, Encoding::OneHot).expect("synthesizes");
-    let (nl_ctrl_a, _) =
-        synthesize_hw(&controller_module(&hs, "chan_a").expect("ctrl"), Encoding::Binary)
-            .expect("synthesizes");
-    let (nl_ctrl_b, _) =
-        synthesize_hw(&controller_module(&hs, "chan_b").expect("ctrl"), Encoding::Binary)
-            .expect("synthesizes");
+    let (nl_ctrl_a, _) = synthesize_hw(
+        &controller_module(&hs, "chan_a").expect("ctrl"),
+        Encoding::Binary,
+    )
+    .expect("synthesizes");
+    let (nl_ctrl_b, _) = synthesize_hw(
+        &controller_module(&hs, "chan_b").expect("ctrl"),
+        Encoding::Binary,
+    )
+    .expect("synthesizes");
 
     let mut board = Board::new(BoardConfig::default());
     board.add_cpu("cpu_a", &prog_a);
@@ -112,11 +121,21 @@ fn dual_processor_board() {
     }
     board.run_for_ns(5_000_000).expect("runs");
 
-    let sum_a = board.fabric().reg_value("cons_a", "SUM").map(|w| w as u16 as i16 as i64);
-    let sum_b = board.fabric().reg_value("cons_b", "SUM").map(|w| w as u16 as i16 as i64);
+    let sum_a = board
+        .fabric()
+        .reg_value("cons_a", "SUM")
+        .map(|w| w as u16 as i16 as i64);
+    let sum_b = board
+        .fabric()
+        .reg_value("cons_b", "SUM")
+        .map(|w| w as u16 as i16 as i64);
     assert_eq!(sum_a, Some(100 + 101 + 102));
     assert_eq!(sum_b, Some(500 + 501 + 502 + 503));
-    assert_eq!(board.fabric().conflicts, 0, "independent channels never conflict");
+    assert_eq!(
+        board.fabric().conflicts,
+        0,
+        "independent channels never conflict"
+    );
 }
 
 /// Failure injection: a bus-wait-state storm slows the software but the
@@ -131,18 +150,26 @@ fn wait_state_storm_does_not_break_protocols() {
     let prog = compile_sw(&p, &IoMap::for_module(0x300, &p)).expect("compiles");
     let c = flatten_module(&consumer("cons", "chan", 4), &units).expect("flattens");
     let (nl_c, _) = synthesize_hw(&c, Encoding::Binary).expect("synthesizes");
-    let (nl_ctrl, _) =
-        synthesize_hw(&controller_module(&hs, "chan").expect("ctrl"), Encoding::Binary)
-            .expect("synthesizes");
+    let (nl_ctrl, _) = synthesize_hw(
+        &controller_module(&hs, "chan").expect("ctrl"),
+        Encoding::Binary,
+    )
+    .expect("synthesizes");
 
     // 60 wait cycles per transfer: every bus access costs ~4 us.
-    let cfg = BoardConfig { bus_wait_cycles: 60, ..BoardConfig::default() };
+    let cfg = BoardConfig {
+        bus_wait_cycles: 60,
+        ..BoardConfig::default()
+    };
     let mut board = Board::new(cfg);
     board.add_cpu("prod", &prog);
     board.place_netlist(&nl_c);
     board.place_netlist(&nl_ctrl);
     board.run_for_ns(30_000_000).expect("runs");
-    let sum = board.fabric().reg_value("cons", "SUM").map(|w| w as u16 as i16 as i64);
+    let sum = board
+        .fabric()
+        .reg_value("cons", "SUM")
+        .map(|w| w as u16 as i16 as i64);
     assert_eq!(sum, Some(10 + 11 + 12 + 13));
 }
 
@@ -163,14 +190,22 @@ fn unmapped_bus_access_is_observable() {
     io.add("KNOWN");
     let mut prog = compile_sw(&m, &io).expect("compiles");
     // Append a stray OUT by hand-editing the assembly and reassembling.
-    let patched = prog.asm.replace("OUT 0x0300, r0", "OUT 0x0300, r0\n        OUT 0x0999, r0");
+    let patched = prog
+        .asm
+        .replace("OUT 0x0300, r0", "OUT 0x0300, r0\n        OUT 0x0999, r0");
     assert_ne!(patched, prog.asm, "patch applied");
     prog.image = cosma::isa::assemble(&patched).expect("assembles");
     let mut board = Board::new(BoardConfig::default());
     let cpu = board.add_cpu("stray", &prog);
-    board.run_for_ns(100_000).expect("runs despite stray access");
+    board
+        .run_for_ns(100_000)
+        .expect("runs despite stray access");
     assert!(board.bus_stats(cpu).unmapped > 0);
-    assert_eq!(board.bank().read_named("KNOWN"), Some(1), "mapped traffic unaffected");
+    assert_eq!(
+        board.bank().read_named("KNOWN"),
+        Some(1),
+        "mapped traffic unaffected"
+    );
 }
 
 /// X-propagation in the kernel: an uninitialized (X) control signal makes
@@ -220,7 +255,10 @@ fn system_level_synthesis_runs_on_the_board() {
     let cpus = board.install_synthesis(&synth);
     assert_eq!(cpus.len(), 1);
     board.run_for_ns(4_000_000).expect("runs");
-    let sum = board.fabric().reg_value("consumer", "SUM").map(|w| w as u16 as i16 as i64);
+    let sum = board
+        .fabric()
+        .reg_value("consumer", "SUM")
+        .map(|w| w as u16 as i16 as i64);
     assert_eq!(sum, Some(30 + 31 + 32));
 
     // And the same System object co-simulates unchanged (coherence at the

@@ -1,9 +1,7 @@
 //! Property-based tests over the core invariants.
 
 use cosma::comm::{CallerId, FifoChannel, NativeUnit};
-use cosma::core::{
-    Expr, FsmExec, MapEnv, ModuleBuilder, ModuleKind, PortDir, Stmt, Type, Value,
-};
+use cosma::core::{Expr, FsmExec, MapEnv, ModuleBuilder, ModuleKind, PortDir, Stmt, Type, Value};
 use cosma::isa::{disassemble, Instr, Reg};
 use cosma::synth::{synthesize_hw, Encoding};
 use proptest::prelude::*;
@@ -326,5 +324,236 @@ proptest! {
         }
         prop_assert_eq!(a.value(qa), b.value(qb));
         prop_assert_eq!(a.now(), b.now());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel scheduling core: the production kernel (inverted sensitivity
+// index + heap-based event queues) is observationally equivalent to the
+// full-scan reference kernel on randomized clock/process mixes — same
+// signal traces, same event counts, same delta counts.
+// ---------------------------------------------------------------------
+
+/// A randomized design: free-running clocks, edge counters, delta-cycle
+/// inverter chains, timeout tickers and event-or-timeout waiters.
+#[derive(Debug, Clone)]
+struct KernelMix {
+    /// Clock periods in ns (one clock signal each).
+    clocks: Vec<u64>,
+    /// Counters, each watching `clocks[i % clocks.len()]`.
+    counters: Vec<usize>,
+    /// An inverter chain of this depth rooted at clock 0 (delta cascades).
+    chain: usize,
+    /// `wait for` tickers with these periods in ns.
+    tickers: Vec<u64>,
+    /// `wait on .. for ..` waiters: (clock index, timeout ns).
+    waiters: Vec<(usize, u64)>,
+    /// Total run length in ns.
+    run_ns: u64,
+}
+
+fn arb_kernel_mix() -> impl Strategy<Value = KernelMix> {
+    (
+        proptest::collection::vec(1u64..40, 1..4),
+        proptest::collection::vec(0usize..8, 0..6),
+        0usize..6,
+        proptest::collection::vec(1u64..60, 0..4),
+        proptest::collection::vec((0usize..8, 1u64..80), 0..4),
+        1u64..1200,
+    )
+        .prop_map(
+            |(clocks, counters, chain, tickers, waiters, run_ns)| KernelMix {
+                clocks,
+                counters,
+                chain,
+                tickers,
+                waiters,
+                run_ns,
+            },
+        )
+}
+
+/// Builds the mix on any kernel through closures over the shared
+/// `Process`/`ProcCtx`/`Wait` vocabulary. `add_sig`/`add_proc` abstract
+/// the two kernels' registration calls; returns the observable signals.
+fn build_mix(
+    mix: &KernelMix,
+    mut add_sig: impl FnMut(&str, Type, Value) -> cosma::sim::SignalId,
+    mut add_clock: impl FnMut(cosma::sim::SignalId, cosma::sim::Duration),
+    mut add_proc: impl FnMut(Box<dyn cosma::sim::Process>),
+) -> Vec<cosma::sim::SignalId> {
+    use cosma::sim::{Duration, FnProcess, Wait};
+    let mut observed = vec![];
+    let clk_sigs: Vec<_> = (0..mix.clocks.len())
+        .map(|i| {
+            add_sig(
+                &format!("CLK{i}"),
+                Type::Bit,
+                Value::Bit(cosma::core::Bit::Zero),
+            )
+        })
+        .collect();
+    for (i, &p) in mix.clocks.iter().enumerate() {
+        add_clock(clk_sigs[i], Duration::from_ns(p));
+    }
+    observed.extend(clk_sigs.iter().copied());
+    for (j, &ci) in mix.counters.iter().enumerate() {
+        let clk = clk_sigs[ci % clk_sigs.len()];
+        let q = add_sig(&format!("Q{j}"), Type::INT16, Value::Int(0));
+        observed.push(q);
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(q);
+                    ctx.drive(q, Value::Int(v + 1));
+                }
+                Wait::Event(vec![clk])
+            },
+        )));
+    }
+    let mut prev = clk_sigs[0];
+    for k in 0..mix.chain {
+        let out = add_sig(
+            &format!("INV{k}"),
+            Type::Bit,
+            Value::Bit(cosma::core::Bit::Zero),
+        );
+        observed.push(out);
+        let src = prev;
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                let v = ctx.read_bit(src);
+                ctx.drive(out, Value::Bit(!v));
+                Wait::Event(vec![src])
+            },
+        )));
+        prev = out;
+    }
+    for (k, &p) in mix.tickers.iter().enumerate() {
+        let t = add_sig(&format!("T{k}"), Type::INT16, Value::Int(0));
+        observed.push(t);
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                let v = ctx.read_int(t);
+                ctx.drive(t, Value::Int(v + 1));
+                Wait::Timeout(Duration::from_ns(p))
+            },
+        )));
+    }
+    for (m, &(ci, tmo)) in mix.waiters.iter().enumerate() {
+        let clk = clk_sigs[ci % clk_sigs.len()];
+        let w = add_sig(&format!("W{m}"), Type::INT16, Value::Int(0));
+        observed.push(w);
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                let v = ctx.read_int(w);
+                ctx.drive(w, Value::Int(v + 1));
+                Wait::EventOrTimeout(vec![clk], Duration::from_ns(tmo))
+            },
+        )));
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn kernel_equivalent_to_full_scan_reference(mix in arb_kernel_mix()) {
+        use cosma::sim::reference::RefSimulator;
+        use cosma::sim::{Duration, Simulator};
+
+        let mut fast = Simulator::new();
+        let fast_sigs;
+        {
+            let sim = std::cell::RefCell::new(&mut fast);
+            fast_sigs = build_mix(
+                &mix,
+                |n, ty, v| sim.borrow_mut().add_signal(n, ty, v),
+                |s, p| { sim.borrow_mut().add_clock("clk", s, p); },
+                |p| { sim.borrow_mut().add_process("p", p); },
+            );
+        }
+        let mut oracle = RefSimulator::new();
+        let oracle_sigs;
+        {
+            let sim = std::cell::RefCell::new(&mut oracle);
+            oracle_sigs = build_mix(
+                &mix,
+                |n, ty, v| sim.borrow_mut().add_signal(n, ty, v),
+                |s, p| { sim.borrow_mut().add_clock(s, p); },
+                |p| { sim.borrow_mut().add_process(p); },
+            );
+        }
+        fast.run_for(Duration::from_ns(mix.run_ns)).unwrap();
+        oracle.run_for(Duration::from_ns(mix.run_ns)).unwrap();
+
+        // Identical signal traces: settled value, event count and last
+        // event instant for every observable signal.
+        prop_assert_eq!(fast_sigs.len(), oracle_sigs.len());
+        for (&f, &o) in fast_sigs.iter().zip(&oracle_sigs) {
+            let fi = fast.signal_info(f);
+            let oi = oracle.signal_info(o);
+            prop_assert_eq!(&fi.value, &oi.value, "value of {}", fi.name);
+            prop_assert_eq!(fi.event_count, oi.event_count, "event count of {}", fi.name);
+            prop_assert_eq!(fi.last_event, oi.last_event, "last event of {}", fi.name);
+        }
+        // Identical schedule shape: same activations, events, deltas and
+        // instants, and the same final time.
+        let fs = fast.stats();
+        let os = oracle.stats();
+        prop_assert_eq!(fs.process_runs, os.process_runs);
+        prop_assert_eq!(fs.events, os.events);
+        prop_assert_eq!(fs.deltas, os.deltas);
+        prop_assert_eq!(fs.instants, os.instants);
+        prop_assert_eq!(fast.now(), oracle.now());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn kernel_equivalence_survives_run_slicing(
+        mix in arb_kernel_mix(),
+        chunks in proptest::collection::vec(1u64..120, 1..8),
+    ) {
+        use cosma::sim::reference::RefSimulator;
+        use cosma::sim::{Duration, Simulator};
+
+        let mut fast = Simulator::new();
+        let fast_sigs;
+        {
+            let sim = std::cell::RefCell::new(&mut fast);
+            fast_sigs = build_mix(
+                &mix,
+                |n, ty, v| sim.borrow_mut().add_signal(n, ty, v),
+                |s, p| { sim.borrow_mut().add_clock("clk", s, p); },
+                |p| { sim.borrow_mut().add_process("p", p); },
+            );
+        }
+        let mut oracle = RefSimulator::new();
+        let oracle_sigs;
+        {
+            let sim = std::cell::RefCell::new(&mut oracle);
+            oracle_sigs = build_mix(
+                &mix,
+                |n, ty, v| sim.borrow_mut().add_signal(n, ty, v),
+                |s, p| { sim.borrow_mut().add_clock(s, p); },
+                |p| { sim.borrow_mut().add_process(p); },
+            );
+        }
+        // The production kernel runs in arbitrary slices, the oracle in
+        // one shot over the same total span.
+        for &c in &chunks {
+            fast.run_for(Duration::from_ns(c)).unwrap();
+        }
+        let total: u64 = chunks.iter().sum();
+        oracle.run_for(Duration::from_ns(total)).unwrap();
+        for (&f, &o) in fast_sigs.iter().zip(&oracle_sigs) {
+            let fi = fast.signal_info(f);
+            let oi = oracle.signal_info(o);
+            prop_assert_eq!(&fi.value, &oi.value, "value of {}", fi.name);
+            prop_assert_eq!(fi.event_count, oi.event_count, "event count of {}", fi.name);
+        }
+        prop_assert_eq!(fast.now(), oracle.now());
     }
 }

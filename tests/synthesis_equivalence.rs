@@ -26,7 +26,8 @@ fn assert_netlist_equiv(module: &Module, inputs: &[Vec<Value>], cycles: usize, e
         for (pi, v) in cycle_inputs.iter().enumerate() {
             env.set_port(cosma::core::ids::PortId::new(pi as u32), v.clone());
         }
-        exec.step(module.fsm(), &mut env).expect("interpreter steps");
+        exec.step(module.fsm(), &mut env)
+            .expect("interpreter steps");
         let words: Vec<u64> = cycle_inputs
             .iter()
             .zip(module.ports())
@@ -185,6 +186,9 @@ fn synthesis_reports_are_plausible() {
         assert!(nl.node_count() > 10);
         // The paper's prototype ran the bus at 10 MHz; the synthesized
         // fabric must comfortably close timing at that clock.
-        assert!(report.tech.fmax_mhz > 10.0, "too slow for the 10 MHz fabric: {report}");
+        assert!(
+            report.tech.fmax_mhz > 10.0,
+            "too slow for the 10 MHz fabric: {report}"
+        );
     }
 }
