@@ -2,7 +2,10 @@
 //! wall-clock throughput of the library's units — the quantitative face
 //! of the paper's "wide range of communication schemes".
 
-use cosma_comm::{handshake_unit, shared_reg_unit, CallerId, FifoChannel, Mailbox, StandaloneUnit};
+use cosma_comm::{
+    handshake_unit, shared_reg_unit, BatchedLink, CallerId, FifoChannel, LocalWires, Mailbox,
+    StandaloneUnit,
+};
 use cosma_core::{Type, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -28,9 +31,46 @@ fn transfer(unit: &mut StandaloneUnit, put: &str, get: &str, n: i64) -> u64 {
     activations
 }
 
+/// Pushes `n` messages through a [`BatchedLink`]: producer puts, link
+/// pumps, consumer gets — one wire handshake per batch instead of one
+/// per value. Returns activations used.
+fn transfer_batched(link: &mut BatchedLink, wires: &mut LocalWires, n: i64) -> u64 {
+    let p = CallerId(1);
+    let c = CallerId(2);
+    let mut sent = 0;
+    let mut recv = 0;
+    let mut activations = 0;
+    while recv < n {
+        activations += 1;
+        if sent < n && link.put(p, Value::Int(sent), wires).expect("put").done {
+            sent += 1;
+        }
+        if link.get(c, wires).expect("get").done {
+            recv += 1;
+        }
+        link.pump(wires, false).expect("pump");
+        assert!(activations < 100_000, "batched transfer stuck");
+    }
+    activations
+}
+
 fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("comm_protocols");
     const N: i64 = 100;
+
+    for max_batch in [4usize, 16] {
+        group.bench_function(BenchmarkId::new("batched", max_batch), |b| {
+            b.iter_batched(
+                || {
+                    let link = BatchedLink::new("bus", Type::INT16, max_batch, 256);
+                    let wires = LocalWires::new(link.spec());
+                    (link, wires)
+                },
+                |(mut link, mut wires)| transfer_batched(&mut link, &mut wires, N),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
 
     group.bench_function(BenchmarkId::new("handshake", N), |b| {
         b.iter_batched(
@@ -81,10 +121,21 @@ fn bench_protocols(c: &mut Criterion) {
     let a_f4 = transfer(&mut f4, "put", "get", N);
     let mut mb = StandaloneUnit::from_native(Box::new(Mailbox::new("mb", 4)));
     let a_mb = transfer(&mut mb, "send_a", "recv_b", N);
+    let mut bl = BatchedLink::new("bus", Type::INT16, 16, 256);
+    let mut bw = LocalWires::new(bl.spec());
+    let a_bl = transfer_batched(&mut bl, &mut bw, N);
+    let bs = bl.stats();
     println!("\nactivations per message (N = {N}):");
-    println!("  handshake  {:.2}", a_hs as f64 / N as f64);
-    println!("  fifo(4)    {:.2}", a_f4 as f64 / N as f64);
-    println!("  mailbox(4) {:.2}", a_mb as f64 / N as f64);
+    println!("  handshake    {:.2}", a_hs as f64 / N as f64);
+    println!("  fifo(4)      {:.2}", a_f4 as f64 / N as f64);
+    println!("  mailbox(4)   {:.2}", a_mb as f64 / N as f64);
+    println!(
+        "  batched(16)  {:.2}  ({} values over {} bus transactions, max batch {})",
+        a_bl as f64 / N as f64,
+        bs.batched_values,
+        bs.batches,
+        bs.max_batch_len
+    );
 }
 
 criterion_group! {

@@ -1,8 +1,10 @@
-//! Co-simulation backplane throughput: module activations per second.
+//! Co-simulation backplane throughput: module activations per second,
+//! and the many-unit scaling story (sharded+batched vs per-unit).
 
 use cosma_comm::handshake_unit;
 use cosma_core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
-use cosma_cosim::{Cosim, CosimConfig};
+use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
+use cosma_cosim::{Cosim, CosimConfig, UnitScheduling};
 use cosma_sim::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -84,6 +86,48 @@ fn bench_cosim(c: &mut Criterion) {
             b.iter_batched(
                 || idle_units_cosim(n),
                 |mut cosim| cosim.run_for(Duration::from_us(50)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // The PR 2 headline: an N-unit pipeline carrying a burst of traffic
+    // then idling — the realistic many-unit regime. `per_unit` is the
+    // old stepping path (one clocked process per unit, classic per-value
+    // handshakes); `sharded` adds per-shard activation sets with
+    // dormancy plus batched bus transactions.
+    fn many_units(n: usize, scheduling: UnitScheduling, link: LinkKind) -> Scenario {
+        build_scenario(&ScenarioSpec {
+            units: n,
+            topology: Topology::Pipeline,
+            values_per_link: 4,
+            link,
+            config: CosimConfig::default(),
+            scheduling,
+        })
+        .expect("scenario builds")
+    }
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("many_units_per_unit", n), &n, |b, &n| {
+            b.iter_batched(
+                || many_units(n, UnitScheduling::PerUnit, LinkKind::Handshake),
+                |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("many_units_sharded", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    many_units(
+                        n,
+                        UnitScheduling::Sharded { shard_size: 16 },
+                        LinkKind::Batched {
+                            max_batch: 8,
+                            capacity: 32,
+                        },
+                    )
+                },
+                |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
                 criterion::BatchSize::SmallInput,
             );
         });

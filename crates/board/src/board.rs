@@ -133,8 +133,10 @@ impl PortBus for BusAdapter<'_> {
             let off = port - TRACE_PORT_BASE;
             let label_idx = (off / TRACE_SLOTS) as usize;
             let slot = (off % TRACE_SLOTS) as usize;
-            if let Some((label, arity)) = self.trace_labels.get(label_idx) {
-                let pend = &mut self.pending_trace[label_idx];
+            if let (Some((label, arity)), Some(pend)) = (
+                self.trace_labels.get(label_idx),
+                self.pending_trace.get_mut(label_idx),
+            ) {
                 if slot < pend.len() {
                     pend[slot] = u64::from(value);
                 }
@@ -233,17 +235,44 @@ impl Board {
 
     /// Installs a compiled program on a new CPU. Bank slots for all its
     /// mapped ports are created (widths from the program's port table).
-    pub fn add_cpu(&mut self, name: &str, program: &SwProgram) -> CpuId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::Setup`] for a duplicate CPU name, a wire
+    /// redeclared with a different width, or two ports mapped to the same
+    /// bus address.
+    pub fn add_cpu(&mut self, name: &str, program: &SwProgram) -> Result<CpuId, BoardError> {
+        if self.cpus.iter().any(|c| c.name == name) {
+            return Err(BoardError::Setup(format!("duplicate CPU name {name}")));
+        }
         let widths: HashMap<&str, u32> = program
             .port_widths
             .iter()
             .map(|(n, w)| (n.as_str(), *w))
             .collect();
+        // Validate everything before touching the bank, so a rejected
+        // program leaves the board exactly as it was.
+        let mut seen_addrs = std::collections::HashSet::new();
+        for (pname, addr) in program.io.entries() {
+            let width = widths.get(pname.as_str()).copied().unwrap_or(16);
+            if let Some(existing) = self.bank.index(pname) {
+                if self.bank.width(existing) != width {
+                    return Err(BoardError::Setup(format!(
+                        "cpu {name}: wire {pname} already declared {} bits wide, program wants {width}",
+                        self.bank.width(existing)
+                    )));
+                }
+            }
+            if !seen_addrs.insert(*addr) {
+                return Err(BoardError::Setup(format!(
+                    "cpu {name}: two ports mapped at bus address {addr:#06x}"
+                )));
+            }
+        }
         let mut io_slots = HashMap::new();
         for (pname, addr) in program.io.entries() {
             let width = widths.get(pname.as_str()).copied().unwrap_or(16);
-            let slot = self.bank.add(pname, width, 0);
-            io_slots.insert(*addr, slot);
+            io_slots.insert(*addr, self.bank.add(pname, width, 0));
         }
         let mut cpu = Cpu::new();
         cpu.load_image(&program.image);
@@ -264,22 +293,31 @@ impl Board {
             stats: BusStats::default(),
             var_addrs: program.var_addrs.clone(),
         });
-        id
+        Ok(id)
     }
 
     /// Installs a whole-system synthesis result: one CPU per compiled
     /// program (named after its module) and every netlist in the fabric.
     /// Returns the CPU ids in program order.
-    pub fn install_synthesis(&mut self, synth: &cosma_synth::SystemSynthesis) -> Vec<CpuId> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Board::add_cpu`] setup errors. Programs installed
+    /// before the failing one remain installed (each individual
+    /// `add_cpu` is atomic); no netlists are placed on error.
+    pub fn install_synthesis(
+        &mut self,
+        synth: &cosma_synth::SystemSynthesis,
+    ) -> Result<Vec<CpuId>, BoardError> {
         let ids = synth
             .programs
             .iter()
             .map(|(name, program)| self.add_cpu(name, program))
-            .collect();
+            .collect::<Result<_, _>>()?;
         for nl in &synth.netlists {
             self.place_netlist(nl);
         }
-        ids
+        Ok(ids)
     }
 
     /// Runs the board for a span of femtoseconds.
@@ -300,22 +338,15 @@ impl Board {
                 .min_by_key(|(_, c)| c.time_fs)
                 .map(|(i, c)| (i, c.time_fs));
             let fab_t = self.fabric_time_fs;
-            let (is_fabric, t) = match next_cpu {
-                Some((_, ct)) if ct < fab_t => (false, ct),
-                Some((_, _)) => (true, fab_t),
-                None => (true, fab_t),
+            let cpu_event = match next_cpu {
+                Some((i, ct)) if ct < fab_t => Some((i, ct)),
+                _ => None,
             };
+            let t = cpu_event.map_or(fab_t, |(_, ct)| ct);
             if t >= deadline {
                 break;
             }
-            if is_fabric {
-                self.fabric.tick(&mut self.bank);
-                for p in &mut self.peripherals {
-                    p.tick(&mut self.bank, &mut self.trace, self.fabric_time_fs);
-                }
-                self.fabric_time_fs += self.fpga_period_fs;
-            } else {
-                let (i, _) = next_cpu.expect("cpu event chosen");
+            if let Some((i, _)) = cpu_event {
                 let Board {
                     bank,
                     cpus,
@@ -340,6 +371,12 @@ impl Board {
                     source,
                 })?;
                 slot.time_fs += u64::from(info.cycles) * slot.period_fs;
+            } else {
+                self.fabric.tick(&mut self.bank);
+                for p in &mut self.peripherals {
+                    p.tick(&mut self.bank, &mut self.trace, self.fabric_time_fs);
+                }
+                self.fabric_time_fs += self.fpga_period_fs;
             }
         }
         self.now_fs = deadline;
@@ -452,7 +489,7 @@ mod tests {
         let io = IoMap::for_module(0x300, &m);
         let prog = compile_sw(&m, &io).unwrap();
         let mut board = Board::new(BoardConfig::default());
-        let cpu = board.add_cpu("writer", &prog);
+        let cpu = board.add_cpu("writer", &prog).unwrap();
         board.run_for_ns(100_000).unwrap();
         assert_eq!(board.bank().read_named("W"), Some(6));
         let log = board.trace_log();
@@ -501,7 +538,7 @@ mod tests {
         nl.mark_output("READY__we", we);
 
         let mut board = Board::new(BoardConfig::default());
-        let cpu = board.add_cpu("waiter", &prog);
+        let cpu = board.add_cpu("waiter", &prog).unwrap();
         board.place_netlist(&nl);
         board.run_for_ns(50_000).unwrap(); // 50 us: hundreds of fabric ticks
         assert_eq!(board.bank().read_named("DONE_FLAG"), Some(1));
@@ -518,13 +555,13 @@ mod tests {
             bus_wait_cycles: 0,
             ..BoardConfig::default()
         });
-        let fcpu = fast.add_cpu("w", &prog);
+        let fcpu = fast.add_cpu("w", &prog).unwrap();
         fast.run_for_ns(20_000).unwrap();
         let mut slow = Board::new(BoardConfig {
             bus_wait_cycles: 20,
             ..BoardConfig::default()
         });
-        let scpu = slow.add_cpu("w", &prog);
+        let scpu = slow.add_cpu("w", &prog).unwrap();
         slow.run_for_ns(20_000).unwrap();
         // Same wall-clock budget, more cycles burnt on waits -> fewer
         // instructions retired; both still finish this tiny program, so
@@ -556,6 +593,18 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_cpu_name_is_setup_error() {
+        let m = writer_module();
+        let io = IoMap::for_module(0x300, &m);
+        let prog = compile_sw(&m, &io).unwrap();
+        let mut board = Board::new(BoardConfig::default());
+        board.add_cpu("w", &prog).unwrap();
+        let err = board.add_cpu("w", &prog).unwrap_err();
+        assert!(matches!(err, BoardError::Setup(_)));
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
     fn cpu_fault_surfaces() {
         // A program with a division by zero.
         let mut b = ModuleBuilder::new("crash", ModuleKind::Software);
@@ -567,7 +616,7 @@ mod tests {
         let m = b.build().unwrap();
         let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
         let mut board = Board::new(BoardConfig::default());
-        board.add_cpu("crash", &prog);
+        board.add_cpu("crash", &prog).unwrap();
         let err = board.run_for_ns(10_000).unwrap_err();
         assert!(matches!(err, BoardError::Cpu { .. }));
         assert!(err.to_string().contains("division"));
@@ -586,7 +635,7 @@ mod tests {
         let m = b.build().unwrap();
         let prog = compile_sw(&m, &IoMap::new(0x300)).unwrap();
         let mut board = Board::new(BoardConfig::default());
-        let cpu = board.add_cpu("vars", &prog);
+        let cpu = board.add_cpu("vars", &prog).unwrap();
         board.run_for_ns(50_000).unwrap();
         assert_eq!(board.cpu_var(cpu, "SCORE"), Some(-7));
         assert_eq!(board.cpu_var(cpu, "NOPE"), None);
@@ -618,8 +667,8 @@ mod tests {
         let p1 = compile_sw(&m1, &io1).unwrap();
         let p2 = compile_sw(&m2, &io2).unwrap();
         let mut board = Board::new(BoardConfig::default());
-        board.add_cpu("a", &p1);
-        board.add_cpu("b", &p2);
+        board.add_cpu("a", &p1).unwrap();
+        board.add_cpu("b", &p2).unwrap();
         board.run_for_ns(100_000).unwrap();
         let a = board.bank().read_named("WIRE_A").unwrap();
         let b2 = board.bank().read_named("WIRE_B").unwrap();

@@ -86,7 +86,11 @@ impl ReadEnv for IpcEnv<'_> {
 impl Env for IpcEnv<'_> {
     fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
         let ty = self.var_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
-        self.vars[v.index()] = ty.clamp(value);
+        let slot = self
+            .vars
+            .get_mut(v.index())
+            .ok_or(EvalError::NoSuchVar(v))?;
+        *slot = ty.clamp(value);
         Ok(())
     }
     fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
@@ -94,7 +98,11 @@ impl Env for IpcEnv<'_> {
             .port_tys
             .get(p.index())
             .ok_or(EvalError::NoSuchPort(p))?;
-        self.ports[p.index()] = ty.clamp(value);
+        let slot = self
+            .ports
+            .get_mut(p.index())
+            .ok_or(EvalError::NoSuchPort(p))?;
+        *slot = ty.clamp(value);
         Ok(())
     }
     fn call_service(
@@ -107,7 +115,10 @@ impl Env for IpcEnv<'_> {
             .get(call.binding.index())
             .ok_or_else(|| EvalError::Service(format!("binding {} unbound", call.binding)))?;
         let caller = CallerId(self.caller_base * 256 + call.binding.raw() as u64);
-        self.units[ui].call(caller, &call.service, args)
+        let unit = self.units.get_mut(ui).ok_or_else(|| {
+            EvalError::Service(format!("binding {} resolved to missing unit", call.binding))
+        })?;
+        unit.call(caller, &call.service, args)
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
         self.trace

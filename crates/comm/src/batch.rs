@@ -1,0 +1,396 @@
+//! Batched bus transactions: coalescing per-value protocol transfers
+//! into one wire-level handshake per batch.
+//!
+//! The classic [`handshake_unit`](crate::handshake_unit) pays a full
+//! 4-phase handshake (several clock cycles of wire traffic plus
+//! controller activations) for *every* value. On a backplane with
+//! hundreds of units that per-value cost dominates. A [`BatchedLink`]
+//! instead models a burst-capable bus: producer-side `put` calls append
+//! to a vec-backed payload queue with no wire traffic at all, and the
+//! runtime moves whole batches with a *single* handshake whose `DATA`
+//! wire carries the batch length — one arbitration per burst, exactly
+//! like a bus master issuing a block transfer.
+//!
+//! Wire protocol (see [`batched_handshake_unit`]):
+//!
+//! * `PENDING` — bus-request level, raised when values are queued for
+//!   transport and lowered once the queues drain. Schedulers that park
+//!   idle links (the sharded backplane) watch it to wake up.
+//! * `DATA`/`REQ`/`ACK`/`B_FULL` — the classic handshake, run once per
+//!   batch by the link's internal bus sessions.
+//!
+//! Per-unit statistics record batch counts and sizes
+//! ([`UnitStats::batches`], [`UnitStats::batched_values`],
+//! [`UnitStats::max_batch_len`]).
+
+use crate::library::batched_handshake_unit;
+use crate::runtime::{CallerId, FsmUnitRuntime, UnitStats, WireStore};
+use cosma_core::comm::CommUnitSpec;
+use cosma_core::ids::PortId;
+use cosma_core::{Bit, EvalError, ServiceOutcome, Type, Value};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Internal caller driving the producer side of the wire handshake.
+const BUS_PRODUCER: CallerId = CallerId(u64::MAX);
+/// Internal caller draining the consumer side of the wire handshake.
+const BUS_CONSUMER: CallerId = CallerId(u64::MAX - 1);
+
+/// A burst-capable channel: vec-backed payload queues on both ends of a
+/// single wire-level handshake that is run once per *batch*.
+///
+/// # Examples
+///
+/// Move eight values with one bus transaction:
+///
+/// ```
+/// use cosma_comm::{BatchedLink, CallerId, LocalWires};
+/// use cosma_core::{Type, Value};
+///
+/// let mut link = BatchedLink::new("bus", Type::INT16, 16, 32);
+/// let mut wires = LocalWires::new(link.spec());
+/// let (p, c) = (CallerId(1), CallerId(2));
+/// for i in 0..8 {
+///     assert!(link.put(p, Value::Int(i), &mut wires)?.done);
+/// }
+/// // Pump until the batch crosses the bus (a few activations: the
+/// // handshake runs once, regardless of the batch size).
+/// for _ in 0..10 {
+///     link.pump(&mut wires, false)?;
+/// }
+/// let mut got = vec![];
+/// while let Some(v) = link.get(c, &mut wires)?.result {
+///     got.push(v);
+/// }
+/// assert_eq!(got, (0..8).map(Value::Int).collect::<Vec<_>>());
+/// assert_eq!(link.stats().batches, 1);
+/// assert_eq!(link.stats().batched_values, 8);
+/// # Ok::<(), cosma_core::EvalError>(())
+/// ```
+pub struct BatchedLink {
+    inner: FsmUnitRuntime,
+    data_ty: Type,
+    pending_wire: PortId,
+    /// Most values carried by one bus transaction.
+    max_batch: usize,
+    /// Bound on total occupancy (outgoing + in flight + delivered).
+    capacity: usize,
+    /// Producer-enqueued values not yet on the bus.
+    outgoing: Vec<Value>,
+    /// The batch currently crossing the bus.
+    in_flight: Vec<Value>,
+    /// Values delivered to the consumer side, popped by `get`.
+    delivered: VecDeque<Value>,
+    /// Whether the producer-side wire handshake is in progress.
+    sending: bool,
+    stats: UnitStats,
+}
+
+impl fmt::Debug for BatchedLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BatchedLink")
+            .field("outgoing", &self.outgoing.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("delivered", &self.delivered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchedLink {
+    /// Creates a batched link. `max_batch` bounds one bus transaction
+    /// (capped at `i16::MAX`, the largest length the INT16 `DATA` wire
+    /// can carry without wrapping), `capacity` bounds total occupancy
+    /// (producer backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `capacity` is zero.
+    #[must_use]
+    pub fn new(name: &str, data_ty: Type, max_batch: usize, capacity: usize) -> Self {
+        assert!(max_batch > 0, "batch size must be nonzero");
+        assert!(capacity > 0, "link capacity must be nonzero");
+        let max_batch = max_batch.min(i16::MAX as usize);
+        let spec = batched_handshake_unit(name);
+        let pending_wire = spec
+            .wire_id("PENDING")
+            .expect("batched handshake spec has a PENDING wire");
+        BatchedLink {
+            inner: FsmUnitRuntime::new(spec),
+            data_ty,
+            pending_wire,
+            max_batch,
+            capacity,
+            outgoing: Vec::new(),
+            in_flight: Vec::new(),
+            delivered: VecDeque::new(),
+            sending: false,
+            stats: UnitStats::default(),
+        }
+    }
+
+    /// The wire-level spec (for declaring kernel signals / local wires).
+    #[must_use]
+    pub fn spec(&self) -> &Arc<CommUnitSpec> {
+        self.inner.spec()
+    }
+
+    /// Current total occupancy across all queues.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.outgoing.len() + self.in_flight.len() + self.delivered.len()
+    }
+
+    /// Enqueues one value for transport. Completes immediately unless the
+    /// link is at capacity; raises the `PENDING` bus-request wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-store errors.
+    pub fn put(
+        &mut self,
+        _caller: CallerId,
+        v: Value,
+        wires: &mut dyn WireStore,
+    ) -> Result<ServiceOutcome, EvalError> {
+        let full = self.occupancy() >= self.capacity;
+        let stats = self.stats.services.entry("put".to_string()).or_default();
+        stats.calls += 1;
+        if full {
+            return Ok(ServiceOutcome::pending());
+        }
+        stats.completions += 1;
+        self.outgoing.push(self.data_ty.clamp(v));
+        if wires.read_wire(self.pending_wire)? != Value::Bit(Bit::One) {
+            wires.write_wire(self.pending_wire, Value::Bit(Bit::One))?;
+        }
+        Ok(ServiceOutcome::done())
+    }
+
+    /// Pops one delivered value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` for interface symmetry with FSM
+    /// services.
+    pub fn get(
+        &mut self,
+        _caller: CallerId,
+        _wires: &mut dyn WireStore,
+    ) -> Result<ServiceOutcome, EvalError> {
+        let stats = self.stats.services.entry("get".to_string()).or_default();
+        stats.calls += 1;
+        match self.delivered.pop_front() {
+            Some(v) => {
+                stats.completions += 1;
+                Ok(ServiceOutcome::done_with(v))
+            }
+            None => Ok(ServiceOutcome::pending()),
+        }
+    }
+
+    /// One clock activation of the link's bus machinery: loads a batch
+    /// onto the bus, advances the wire handshake, delivers completed
+    /// batches, steps the controller and manages the `PENDING` line.
+    ///
+    /// Returns whether anything happened (or could happen next cycle) —
+    /// `false` means the link is provably idle and need not be pumped
+    /// again until a wire input changes or `put` raises `PENDING`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol evaluation errors.
+    pub fn pump(
+        &mut self,
+        wires: &mut dyn WireStore,
+        inputs_changed: bool,
+    ) -> Result<bool, EvalError> {
+        let mut active = false;
+        if self.in_flight.is_empty() && !self.outgoing.is_empty() && !self.sending {
+            let take = self.outgoing.len().min(self.max_batch);
+            self.in_flight.extend(self.outgoing.drain(..take));
+            self.sending = true;
+            active = true;
+        }
+        if self.sending {
+            // One wire handshake carries the whole batch; DATA holds the
+            // batch length (fits INT16: max_batch is capped at i16::MAX).
+            let len = self.in_flight.len() as i64;
+            let out = self
+                .inner
+                .call(BUS_PRODUCER, "put", &[Value::Int(len)], wires)?;
+            active = true;
+            if out.done {
+                self.sending = false;
+            }
+        }
+        if !self.in_flight.is_empty() && !self.sending {
+            let out = self.inner.call(BUS_CONSUMER, "get", &[], wires)?;
+            active = true;
+            if out.done {
+                let n = self.in_flight.len() as u64;
+                self.stats.batches += 1;
+                self.stats.batched_values += n;
+                self.stats.max_batch_len = self.stats.max_batch_len.max(n);
+                self.delivered.extend(self.in_flight.drain(..));
+            }
+        }
+        if self.outgoing.is_empty()
+            && self.in_flight.is_empty()
+            && wires.read_wire(self.pending_wire)? == Value::Bit(Bit::One)
+        {
+            wires.write_wire(self.pending_wire, Value::Bit(Bit::Zero))?;
+            active = true;
+        }
+        let stepped = self
+            .inner
+            .step_controller_if_active(wires, inputs_changed || active)?;
+        Ok(active || stepped)
+    }
+
+    /// Merged statistics: batch counters plus the inner controller's
+    /// step/skip counts (the wire-level bus sessions are internal and not
+    /// reported as services).
+    #[must_use]
+    pub fn stats(&self) -> UnitStats {
+        let mut s = self.stats.clone();
+        s.controller_steps = self.inner.stats().controller_steps;
+        s.controller_skips = self.inner.stats().controller_skips;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::LocalWires;
+
+    fn fresh() -> (BatchedLink, LocalWires) {
+        let link = BatchedLink::new("bus", Type::INT16, 8, 64);
+        let wires = LocalWires::new(link.spec());
+        (link, wires)
+    }
+
+    #[test]
+    fn one_handshake_carries_many_values() {
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        for i in 0..5 {
+            assert!(link.put(p, Value::Int(i), &mut wires).unwrap().done);
+        }
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let mut got = vec![];
+        while let Some(v) = link.get(CallerId(2), &mut wires).unwrap().result {
+            got.push(v.as_int().unwrap());
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        let st = link.stats();
+        assert_eq!(st.batches, 1, "five values, one bus transaction");
+        assert_eq!(st.batched_values, 5);
+        assert_eq!(st.max_batch_len, 5);
+    }
+
+    #[test]
+    fn batches_split_at_max_batch() {
+        let mut link = BatchedLink::new("bus", Type::INT16, 3, 64);
+        let mut wires = LocalWires::new(link.spec());
+        let p = CallerId(1);
+        for i in 0..7 {
+            assert!(link.put(p, Value::Int(i), &mut wires).unwrap().done);
+        }
+        for _ in 0..64 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let mut got = vec![];
+        while let Some(v) = link.get(CallerId(2), &mut wires).unwrap().result {
+            got.push(v.as_int().unwrap());
+        }
+        assert_eq!(got, (0..7).collect::<Vec<_>>(), "order preserved");
+        let st = link.stats();
+        assert_eq!(st.batches, 3, "7 values at max_batch 3 -> 3+3+1");
+        assert_eq!(st.batched_values, 7);
+        assert_eq!(st.max_batch_len, 3);
+    }
+
+    #[test]
+    fn capacity_applies_backpressure() {
+        let mut link = BatchedLink::new("bus", Type::INT16, 4, 2);
+        let mut wires = LocalWires::new(link.spec());
+        let p = CallerId(1);
+        assert!(link.put(p, Value::Int(1), &mut wires).unwrap().done);
+        assert!(link.put(p, Value::Int(2), &mut wires).unwrap().done);
+        assert!(
+            !link.put(p, Value::Int(3), &mut wires).unwrap().done,
+            "at capacity"
+        );
+        // Drain one, space frees up.
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert!(link.get(CallerId(2), &mut wires).unwrap().done);
+        assert!(link.put(p, Value::Int(3), &mut wires).unwrap().done);
+    }
+
+    #[test]
+    fn pending_wire_tracks_queue_state() {
+        let (mut link, mut wires) = fresh();
+        let pending = link.spec().wire_id("PENDING").unwrap();
+        assert_eq!(wires.value(pending), &Value::Bit(Bit::Zero));
+        link.put(CallerId(1), Value::Int(9), &mut wires).unwrap();
+        assert_eq!(
+            wires.value(pending),
+            &Value::Bit(Bit::One),
+            "bus request raised"
+        );
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert_eq!(
+            wires.value(pending),
+            &Value::Bit(Bit::Zero),
+            "bus request lowered once the queues drained"
+        );
+        // Delivered-but-unconsumed values need no pumping: the link is idle.
+        assert!(!link.pump(&mut wires, false).unwrap(), "provably idle");
+        assert_eq!(
+            link.get(CallerId(2), &mut wires).unwrap().result,
+            Some(Value::Int(9))
+        );
+    }
+
+    #[test]
+    fn values_clamped_to_data_type() {
+        let (mut link, mut wires) = fresh();
+        link.put(CallerId(1), Value::Int(40_000), &mut wires)
+            .unwrap();
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let got = link.get(CallerId(2), &mut wires).unwrap().result.unwrap();
+        assert_eq!(
+            got,
+            Value::Int(40_000 - 65_536),
+            "wrapped into INT16 range, like every other port/var write"
+        );
+    }
+
+    #[test]
+    fn idle_link_is_stable_until_put() {
+        let (mut link, mut wires) = fresh();
+        // Settle the controller.
+        for _ in 0..4 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert!(!link.pump(&mut wires, false).unwrap(), "idle link");
+        link.put(CallerId(1), Value::Int(1), &mut wires).unwrap();
+        assert!(link.pump(&mut wires, false).unwrap(), "work to do again");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_batch_panics() {
+        let _ = BatchedLink::new("bus", Type::INT16, 0, 4);
+    }
+}

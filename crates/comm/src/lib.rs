@@ -18,12 +18,14 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod library;
 mod native;
 mod runtime;
 mod standalone;
 
-pub use library::{handshake_unit, register_bank_unit, shared_reg_unit};
+pub use batch::BatchedLink;
+pub use library::{batched_handshake_unit, handshake_unit, register_bank_unit, shared_reg_unit};
 pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
 pub use runtime::{CallerId, FsmUnitRuntime, LocalWires, ServiceStats, UnitStats, WireStore};
 pub use standalone::StandaloneUnit;

@@ -41,11 +41,35 @@ use std::sync::Arc;
 /// ```
 #[must_use]
 pub fn handshake_unit(name: &str, data_ty: Type) -> Arc<CommUnitSpec> {
+    build_handshake(name, data_ty, false)
+}
+
+/// Builds the wire-level carrier of a batched bus link: the
+/// [`handshake_unit`] protocol (DATA here carries a *batch length*, not a
+/// payload value) plus a `PENDING` bus-request wire that the batching
+/// runtime raises while values are queued for transport. The extra wire
+/// lets a scheduler that has parked an idle link (the sharded backplane)
+/// learn that a new batch is waiting without polling.
+///
+/// Used by [`BatchedLink`](crate::BatchedLink); rarely instantiated
+/// directly.
+#[must_use]
+pub fn batched_handshake_unit(name: &str) -> Arc<CommUnitSpec> {
+    build_handshake(name, Type::INT16, true)
+}
+
+fn build_handshake(name: &str, data_ty: Type, with_pending: bool) -> Arc<CommUnitSpec> {
     let mut u = CommUnitBuilder::new(name);
     let data = u.wire("DATA", data_ty.clone(), data_ty.default_value());
     let b_full = u.wire("B_FULL", Type::Bit, Value::Bit(Bit::Zero));
     let req = u.wire("REQ", Type::Bit, Value::Bit(Bit::Zero));
     let ack = u.wire("ACK", Type::Bit, Value::Bit(Bit::Zero));
+    if with_pending {
+        // Raised/cleared by the batching runtime, never by the protocol
+        // FSMs; placed last so the classic handshake's wire ids are
+        // unchanged.
+        u.wire("PENDING", Type::Bit, Value::Bit(Bit::Zero));
+    }
 
     // --- put(REQUEST) ---------------------------------------------------
     let mut put = ServiceSpecBuilder::new("put");

@@ -48,6 +48,15 @@ pub trait NativeUnit: fmt::Debug + Send {
     /// Background activity per co-simulation cycle (defaults to none).
     fn step(&mut self) {}
 
+    /// Whether [`NativeUnit::step`] ever does anything. Units that keep
+    /// the default no-op `step` return `false` so schedulers (the sharded
+    /// backplane) can park them instead of stepping them every cycle;
+    /// units with real background activity must return `true` (the
+    /// conservative default).
+    fn needs_step(&self) -> bool {
+        true
+    }
+
     /// Call statistics.
     fn stats(&self) -> &UnitStats;
 }
@@ -125,6 +134,10 @@ impl FifoChannel {
 impl NativeUnit for FifoChannel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn needs_step(&self) -> bool {
+        false // pure call-driven state, no background activity
     }
 
     fn services(&self) -> Vec<NativeServiceDesc> {
@@ -237,6 +250,10 @@ impl Mailbox {
 impl NativeUnit for Mailbox {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn needs_step(&self) -> bool {
+        false // pure call-driven state, no background activity
     }
 
     fn services(&self) -> Vec<NativeServiceDesc> {
@@ -363,6 +380,10 @@ impl SharedMemory {
 impl NativeUnit for SharedMemory {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn needs_step(&self) -> bool {
+        false // pure call-driven state, no background activity
     }
 
     fn services(&self) -> Vec<NativeServiceDesc> {

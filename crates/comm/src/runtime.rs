@@ -112,6 +112,13 @@ pub struct UnitStats {
     /// no-op and no wire input changed since
     /// ([`FsmUnitRuntime::step_controller_if_active`]).
     pub controller_skips: u64,
+    /// Completed bus transactions (batched links only): one wire-level
+    /// handshake per entry, however many values it carried.
+    pub batches: u64,
+    /// Total values carried by completed bus transactions.
+    pub batched_values: u64,
+    /// Largest single bus transaction, in values.
+    pub max_batch_len: u64,
 }
 
 /// Wire-store wrapper counting writes, so a controller step can prove
@@ -307,14 +314,24 @@ impl FsmUnitRuntime {
         session.exec.step(svc.fsm(), &mut env)?;
         let stats = self.stats.services.entry(service.to_string()).or_default();
         stats.calls += 1;
-        let done = session.locals[SERVICE_DONE_VAR.index()]
+        let done = session
+            .locals
+            .get(SERVICE_DONE_VAR.index())
+            .ok_or(EvalError::NoSuchVar(SERVICE_DONE_VAR))?
             .truthy()
             .ok_or(EvalError::UnknownCondition)?;
         if done {
             stats.completions += 1;
-            let result = svc
-                .returns()
-                .map(|_| session.locals[SERVICE_RESULT_VAR.index()].clone());
+            let result = match svc.returns() {
+                Some(_) => Some(
+                    session
+                        .locals
+                        .get(SERVICE_RESULT_VAR.index())
+                        .cloned()
+                        .ok_or(EvalError::NoSuchVar(SERVICE_RESULT_VAR))?,
+                ),
+                None => None,
+            };
             // Reset the session for the next transaction.
             session.exec = FsmExec::new(svc.fsm());
             session.locals = svc.locals().iter().map(|v| v.init().clone()).collect();
@@ -365,7 +382,12 @@ impl FsmUnitRuntime {
             self.ctrl_stable = true;
             return Ok(false);
         };
-        let (exec, vars) = self.controller.as_mut().expect("controller state exists");
+        let (exec, vars) = self.controller.as_mut().ok_or_else(|| {
+            EvalError::Service(format!(
+                "unit {}: controller spec present but no controller state",
+                self.spec.name()
+            ))
+        })?;
         let state_before = exec.current();
         let local_tys: Vec<_> = ctrl_spec.vars.iter().map(|v| v.ty().clone()).collect();
         let mut counting = CountingWires {
@@ -391,6 +413,15 @@ impl FsmUnitRuntime {
     #[must_use]
     pub fn stats(&self) -> &UnitStats {
         &self.stats
+    }
+
+    /// Whether the last controller step was provably a no-op — while
+    /// true, re-stepping with unchanged wire inputs is guaranteed to
+    /// change nothing, so schedulers (the sharded backplane) can park the
+    /// unit entirely until one of its wires has an event.
+    #[must_use]
+    pub fn controller_stable(&self) -> bool {
+        self.ctrl_stable
     }
 
     /// Current controller state name, if a controller exists (useful in

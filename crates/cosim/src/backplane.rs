@@ -5,14 +5,24 @@
 //!   software modules on each rising edge of the SW activation clock.
 //!   Every activation executes exactly one FSM transition — the paper's
 //!   synchronization rule.
-//! * FSM communication units live on kernel signals (one per wire); their
-//!   controllers are clocked processes. Service calls from modules step
-//!   the caller's protocol session against those signals — the runtime
-//!   equivalent of linking the SW *simulation* view (Fig. 3b).
-//! * Native units (platform models) are stepped once per HW cycle.
+//! * FSM communication units live on kernel signals (one per wire).
+//!   Service calls from modules step the caller's protocol session
+//!   against those signals — the runtime equivalent of linking the SW
+//!   *simulation* view (Fig. 3b).
+//! * Unit bookkeeping (controller steps, native steps, batched-link
+//!   pumping) is scheduled per [`UnitScheduling`]: by default units are
+//!   grouped into *shards*, each one kernel process whose activation set
+//!   tracks which members were touched; fully idle shards go dormant and
+//!   cost nothing per clock edge. `UnitScheduling::PerUnit` preserves
+//!   the legacy one-clocked-process-per-unit path.
+//! * Native units with background activity are stepped once per HW
+//!   cycle; purely call-driven ones ([`NativeUnit::needs_step`] =
+//!   `false`) are parked under sharded scheduling.
+//! * Batched bus links ([`Cosim::add_batched_unit`]) coalesce per-value
+//!   transfers into one wire handshake per batch.
 
 use crate::trace::TraceLog;
-use cosma_comm::{CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore};
+use cosma_comm::{BatchedLink, CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::{PortId, VarId};
 use cosma_core::{
@@ -27,6 +37,56 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// How communication-unit bookkeeping (controller steps, native steps,
+/// batched-link pumping) is scheduled on the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitScheduling {
+    /// One clocked kernel process per unit, activated on every HW clock
+    /// edge. The pre-sharding path, kept as an ablation baseline — per
+    /// edge it costs one process wakeup per unit even when every unit is
+    /// provably idle.
+    PerUnit,
+    /// Units grouped into shards of at most `shard_size`; each shard is
+    /// one kernel process with a per-member activation set. A shard whose
+    /// members are all provably stable goes *dormant*: it drops its clock
+    /// sensitivity and waits only on its members' wires through the
+    /// kernel's inverted sensitivity index, so idle shards cost nothing
+    /// per clock edge. Only touched shards step.
+    Sharded {
+        /// Maximum units per shard.
+        shard_size: usize,
+    },
+}
+
+impl Default for UnitScheduling {
+    fn default() -> Self {
+        UnitScheduling::Sharded {
+            shard_size: DEFAULT_SHARD_SIZE,
+        }
+    }
+}
+
+/// Default units per shard.
+pub const DEFAULT_SHARD_SIZE: usize = 16;
+
+/// Aggregate statistics of the sharded unit scheduler (all zero under
+/// [`UnitScheduling::PerUnit`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Shards currently dormant (no clock sensitivity).
+    pub dormant_shards: usize,
+    /// Total shard-process activations.
+    pub shard_runs: u64,
+    /// Member step executions (controller steps, native steps, pumps).
+    pub units_stepped: u64,
+    /// Members skipped at a clock edge because they were provably idle.
+    pub units_skipped: u64,
+    /// Dormant-shard wakeups caused by a member wire event.
+    pub wire_wakeups: u64,
+}
 
 /// Clocking configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,15 +131,59 @@ struct FsmUnitEntry {
     wires: Vec<SignalId>,
 }
 
+struct BatchedUnitEntry {
+    name: String,
+    link: BatchedLink,
+    wires: Vec<SignalId>,
+}
+
 struct Registry {
     fsm: Vec<FsmUnitEntry>,
     native: Vec<(String, Box<dyn NativeUnit>)>,
+    batched: Vec<BatchedUnitEntry>,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Handle {
     Fsm(usize),
     Native(usize),
+    Batched(usize),
+}
+
+/// One unit inside a shard: its registry handle, its kernel wires and the
+/// monotone event counts last observed for them.
+struct ShardMember {
+    handle: Handle,
+    wires: Vec<SignalId>,
+    seen_events: Vec<u64>,
+    /// Whether the member must run on the next rising HW clock edge:
+    /// controllers that are not provably stable, native units with real
+    /// background steps, batched links with queued or in-flight work.
+    needs_clock: bool,
+}
+
+/// Shared state of one shard process.
+struct ShardState {
+    members: Vec<ShardMember>,
+    /// Whether the shard currently holds clock sensitivity.
+    awake: bool,
+    runs: u64,
+    units_stepped: u64,
+    units_skipped: u64,
+    wire_wakeups: u64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            members: vec![],
+            awake: true,
+            runs: 0,
+            units_stepped: 0,
+            units_skipped: 0,
+            wire_wakeups: 0,
+        }
+    }
 }
 
 /// Bridges a unit's wire table onto kernel signals through the running
@@ -177,6 +281,25 @@ impl Env for CosimEnv<'_, '_> {
                 runtime.call(self.caller, &call.service, args, &mut ws)
             }
             Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args),
+            Handle::Batched(i) => {
+                let BatchedUnitEntry { name, link, wires } = &mut reg.batched[i];
+                let mut ws = CtxWires {
+                    ctx: self.ctx,
+                    map: wires,
+                };
+                match (call.service.as_str(), args) {
+                    ("put", [v]) => link.put(self.caller, v.clone(), &mut ws),
+                    ("get", []) => link.get(self.caller, &mut ws),
+                    ("put" | "get", _) => Err(EvalError::Service(format!(
+                        "batched link {name}: service {} called with {} argument(s)",
+                        call.service,
+                        args.len()
+                    ))),
+                    (other, _) => Err(EvalError::Service(format!(
+                        "batched link {name} has no service {other}"
+                    ))),
+                }
+            }
         }
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
@@ -284,6 +407,8 @@ pub struct Cosim {
     hw_clk: SignalId,
     sw_clk: SignalId,
     modules: Vec<ModuleSlot>,
+    scheduling: UnitScheduling,
+    shards: Vec<Rc<RefCell<ShardState>>>,
     /// Number of clocked bodies (module activations, unit controllers,
     /// native steps) still registered. The activation clock generators
     /// park forever when it reaches zero, so a backplane whose clocked
@@ -337,6 +462,7 @@ impl Cosim {
             registry: Rc::new(RefCell::new(Registry {
                 fsm: vec![],
                 native: vec![],
+                batched: vec![],
             })),
             handles: vec![],
             unit_names: HashMap::new(),
@@ -345,8 +471,172 @@ impl Cosim {
             hw_clk,
             sw_clk,
             modules: vec![],
+            scheduling: UnitScheduling::default(),
+            shards: vec![],
             live_clocked,
         }
+    }
+
+    /// Selects the unit-scheduling strategy. Must be called before any
+    /// unit is added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if units were already added.
+    pub fn set_unit_scheduling(&mut self, s: UnitScheduling) -> Result<(), CosimError> {
+        if !self.handles.is_empty() {
+            return Err(CosimError::Setup(
+                "unit scheduling must be chosen before adding units".to_string(),
+            ));
+        }
+        if let UnitScheduling::Sharded { shard_size } = s {
+            if shard_size == 0 {
+                return Err(CosimError::Setup("shard size must be nonzero".to_string()));
+            }
+        }
+        self.scheduling = s;
+        Ok(())
+    }
+
+    /// The active unit-scheduling strategy.
+    #[must_use]
+    pub fn unit_scheduling(&self) -> UnitScheduling {
+        self.scheduling
+    }
+
+    /// Aggregate shard-scheduler statistics (all zero under
+    /// [`UnitScheduling::PerUnit`]).
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        let mut s = ShardStats {
+            shards: self.shards.len(),
+            ..ShardStats::default()
+        };
+        for shard in &self.shards {
+            let st = shard.borrow();
+            if !st.awake {
+                s.dormant_shards += 1;
+            }
+            s.shard_runs += st.runs;
+            s.units_stepped += st.units_stepped;
+            s.units_skipped += st.units_skipped;
+            s.wire_wakeups += st.wire_wakeups;
+        }
+        s
+    }
+
+    /// Adds a member to the open shard, creating a new shard (and its
+    /// kernel process) when the current one is full.
+    fn add_shard_member(&mut self, handle: Handle, wires: Vec<SignalId>) {
+        let shard_size = match self.scheduling {
+            UnitScheduling::Sharded { shard_size } => shard_size.max(1),
+            UnitScheduling::PerUnit => unreachable!("shard members only exist when sharded"),
+        };
+        let state = match self.shards.last() {
+            Some(s) if s.borrow().members.len() < shard_size => Rc::clone(s),
+            _ => {
+                let state = Rc::new(RefCell::new(ShardState::new()));
+                self.register_shard_process(Rc::clone(&state));
+                self.shards.push(Rc::clone(&state));
+                state
+            }
+        };
+        let seen_events = vec![0; wires.len()];
+        state.borrow_mut().members.push(ShardMember {
+            handle,
+            wires,
+            seen_events,
+            needs_clock: true,
+        });
+    }
+
+    /// Registers the kernel process driving one shard: it steps touched
+    /// members on rising HW-clock edges and drops its clock sensitivity
+    /// entirely (waiting only on member wires) while every member is
+    /// provably stable.
+    fn register_shard_process(&mut self, state: Rc<RefCell<ShardState>>) {
+        let registry = Rc::clone(&self.registry);
+        let error = Rc::clone(&self.error);
+        let live = Rc::clone(&self.live_clocked);
+        let clk = self.hw_clk;
+        let name = format!("unit_shard{}", self.shards.len());
+        live.set(live.get() + 1);
+        let mut live_counted = true;
+        let mut registered = false;
+        self.sim.add_process(
+            name,
+            FnProcess::new(move |ctx| {
+                if error.borrow().is_some() {
+                    if live_counted {
+                        live_counted = false;
+                        live.set(live.get() - 1);
+                    }
+                    return Wait::Forever;
+                }
+                let mut st = state.borrow_mut();
+                st.runs += 1;
+                let was_awake = st.awake;
+                // A dormant shard can only be woken by a member wire
+                // event: find the touched members (this delta's events
+                // are still marked) and put them back on the clock.
+                if !was_awake {
+                    st.wire_wakeups += 1;
+                    for m in &mut st.members {
+                        if !m.needs_clock && m.wires.iter().any(|&w| ctx.event(w)) {
+                            m.needs_clock = true;
+                        }
+                    }
+                }
+                if ctx.rose(clk) {
+                    let mut reg = registry.borrow_mut();
+                    let ShardState {
+                        members,
+                        units_stepped,
+                        units_skipped,
+                        ..
+                    } = &mut *st;
+                    for m in members.iter_mut() {
+                        // Monotone per-signal event counts tell each
+                        // member whether any of its wires changed since
+                        // its last step.
+                        let changed = wires_changed(ctx, &m.wires, &mut m.seen_events);
+                        if !m.needs_clock && !changed {
+                            *units_skipped += 1;
+                            continue;
+                        }
+                        *units_stepped += 1;
+                        if let Err(msg) = step_shard_member(&mut reg, m, ctx, changed) {
+                            *error.borrow_mut() = Some(msg);
+                            if live_counted {
+                                live_counted = false;
+                                live.set(live.get() - 1);
+                            }
+                            return Wait::Forever;
+                        }
+                    }
+                }
+                let awake = st.members.iter().any(|m| m.needs_clock);
+                st.awake = awake;
+                if !registered || awake != was_awake {
+                    registered = true;
+                    if awake {
+                        Wait::Event(vec![clk])
+                    } else {
+                        // Dormant: wake only when a member wire has an
+                        // event (the inverted sensitivity index makes
+                        // this free for untouched shards).
+                        Wait::Event(
+                            st.members
+                                .iter()
+                                .flat_map(|m| m.wires.iter().copied())
+                                .collect(),
+                        )
+                    }
+                } else {
+                    Wait::Same
+                }
+            }),
+        );
     }
 
     /// The underlying kernel (for signal pokes, VCD, stats).
@@ -398,47 +688,51 @@ impl Cosim {
             reg.fsm.len() - 1
         };
         if has_controller {
-            let registry = Rc::clone(&self.registry);
-            let error = Rc::clone(&self.error);
-            let clk = self.hw_clk;
-            // The kernel's monotone per-signal event counts tell the
-            // controller whether any of its wires changed since its last
-            // activation; provably idle controllers are then skipped
-            // (see FsmUnitRuntime::step_controller_if_active).
-            let watched = wires.clone();
-            let mut seen_events: Vec<u64> = vec![0; watched.len()];
-            let live = Rc::clone(&self.live_clocked);
-            live.set(live.get() + 1);
-            self.sim.add_clocked(
-                format!("{name}.controller"),
-                clk,
-                Edge::Rising,
-                move |ctx| {
-                    if error.borrow().is_some() {
-                        live.set(live.get() - 1);
-                        return ClockControl::Halt;
-                    }
-                    let mut inputs_changed = false;
-                    for (sig, seen) in watched.iter().zip(seen_events.iter_mut()) {
-                        let n = ctx.event_count(*sig);
-                        inputs_changed |= n != *seen;
-                        *seen = n;
-                    }
-                    let mut reg = registry.borrow_mut();
-                    let FsmUnitEntry {
-                        name,
-                        runtime,
-                        wires,
-                    } = &mut reg.fsm[idx];
-                    let mut ws = CtxWires { ctx, map: wires };
-                    if let Err(e) = runtime.step_controller_if_active(&mut ws, inputs_changed) {
-                        *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
-                        live.set(live.get() - 1);
-                        return ClockControl::Halt;
-                    }
-                    ClockControl::Continue
-                },
-            );
+            match self.scheduling {
+                UnitScheduling::Sharded { .. } => {
+                    self.add_shard_member(Handle::Fsm(idx), wires);
+                }
+                UnitScheduling::PerUnit => {
+                    let registry = Rc::clone(&self.registry);
+                    let error = Rc::clone(&self.error);
+                    let clk = self.hw_clk;
+                    // The kernel's monotone per-signal event counts tell the
+                    // controller whether any of its wires changed since its
+                    // last activation; provably idle controllers are then
+                    // skipped (see FsmUnitRuntime::step_controller_if_active).
+                    let watched = wires;
+                    let mut seen_events: Vec<u64> = vec![0; watched.len()];
+                    let live = Rc::clone(&self.live_clocked);
+                    live.set(live.get() + 1);
+                    self.sim.add_clocked(
+                        format!("{name}.controller"),
+                        clk,
+                        Edge::Rising,
+                        move |ctx| {
+                            if error.borrow().is_some() {
+                                live.set(live.get() - 1);
+                                return ClockControl::Halt;
+                            }
+                            let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
+                            let mut reg = registry.borrow_mut();
+                            let FsmUnitEntry {
+                                name,
+                                runtime,
+                                wires,
+                            } = &mut reg.fsm[idx];
+                            let mut ws = CtxWires { ctx, map: wires };
+                            if let Err(e) =
+                                runtime.step_controller_if_active(&mut ws, inputs_changed)
+                            {
+                                *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
+                                live.set(live.get() - 1);
+                                return ClockControl::Halt;
+                            }
+                            ClockControl::Continue
+                        },
+                    );
+                }
+            }
         }
         let id = UnitId(self.handles.len());
         self.handles.push(Handle::Fsm(idx));
@@ -446,21 +740,115 @@ impl Cosim {
         id
     }
 
-    /// Installs a native (platform) unit, stepped once per HW cycle.
+    /// Installs a batched bus link ([`BatchedLink`]): producer `put`
+    /// calls enqueue into a vec-backed payload queue, whole batches cross
+    /// the unit's wire-level handshake in a *single* bus transaction, and
+    /// consumer `get` calls pop delivered values. Modules bind to it like
+    /// any other unit and call its `put`/`get` services.
+    ///
+    /// `max_batch` bounds one bus transaction; `capacity` bounds total
+    /// link occupancy (producer backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if `max_batch` or `capacity` is
+    /// zero.
+    pub fn add_batched_unit(
+        &mut self,
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+    ) -> Result<UnitId, CosimError> {
+        if max_batch == 0 || capacity == 0 {
+            return Err(CosimError::Setup(format!(
+                "batched link {name}: max_batch and capacity must be nonzero"
+            )));
+        }
+        let link = BatchedLink::new(name, data_ty, max_batch, capacity);
+        let wires: Vec<SignalId> = link
+            .spec()
+            .wires()
+            .iter()
+            .map(|w| {
+                self.sim.add_signal(
+                    format!("{name}.{}", w.name()),
+                    w.ty().clone(),
+                    w.init().clone(),
+                )
+            })
+            .collect();
+        let idx = {
+            let mut reg = self.registry.borrow_mut();
+            reg.batched.push(BatchedUnitEntry {
+                name: name.to_string(),
+                link,
+                wires: wires.clone(),
+            });
+            reg.batched.len() - 1
+        };
+        match self.scheduling {
+            UnitScheduling::Sharded { .. } => {
+                self.add_shard_member(Handle::Batched(idx), wires);
+            }
+            UnitScheduling::PerUnit => {
+                let registry = Rc::clone(&self.registry);
+                let error = Rc::clone(&self.error);
+                let clk = self.hw_clk;
+                let watched = wires;
+                let mut seen_events: Vec<u64> = vec![0; watched.len()];
+                let live = Rc::clone(&self.live_clocked);
+                live.set(live.get() + 1);
+                self.sim
+                    .add_clocked(format!("{name}.pump"), clk, Edge::Rising, move |ctx| {
+                        if error.borrow().is_some() {
+                            live.set(live.get() - 1);
+                            return ClockControl::Halt;
+                        }
+                        let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
+                        let mut reg = registry.borrow_mut();
+                        let BatchedUnitEntry { name, link, wires } = &mut reg.batched[idx];
+                        let mut ws = CtxWires { ctx, map: wires };
+                        if let Err(e) = link.pump(&mut ws, inputs_changed) {
+                            *error.borrow_mut() = Some(format!("batched link {name}: {e}"));
+                            live.set(live.get() - 1);
+                            return ClockControl::Halt;
+                        }
+                        ClockControl::Continue
+                    });
+            }
+        }
+        let id = UnitId(self.handles.len());
+        self.handles.push(Handle::Batched(idx));
+        self.unit_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Installs a native (platform) unit. Units with real background
+    /// activity ([`NativeUnit::needs_step`]) are stepped once per HW
+    /// cycle; purely call-driven units cost nothing per cycle under
+    /// sharded scheduling.
     pub fn add_native_unit(&mut self, name: &str, unit: Box<dyn NativeUnit>) -> UnitId {
         let idx = {
             let mut reg = self.registry.borrow_mut();
             reg.native.push((name.to_string(), unit));
             reg.native.len() - 1
         };
-        let registry = Rc::clone(&self.registry);
-        let clk = self.hw_clk;
-        self.live_clocked.set(self.live_clocked.get() + 1);
-        self.sim
-            .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |_ctx| {
-                registry.borrow_mut().native[idx].1.step();
-                ClockControl::Continue
-            });
+        match self.scheduling {
+            UnitScheduling::Sharded { .. } => {
+                self.add_shard_member(Handle::Native(idx), vec![]);
+            }
+            UnitScheduling::PerUnit => {
+                let registry = Rc::clone(&self.registry);
+                let clk = self.hw_clk;
+                self.live_clocked.set(self.live_clocked.get() + 1);
+                self.sim
+                    .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |_ctx| {
+                        registry.borrow_mut().native[idx].1.step();
+                        ClockControl::Continue
+                    });
+            }
+        }
         let id = UnitId(self.handles.len());
         self.handles.push(Handle::Native(idx));
         self.unit_names.insert(name.to_string(), id);
@@ -735,6 +1123,7 @@ impl Cosim {
         match self.handles[id.0] {
             Handle::Fsm(i) => Some(reg.fsm[i].runtime.stats().clone()),
             Handle::Native(i) => Some(reg.native[i].1.stats().clone()),
+            Handle::Batched(i) => Some(reg.batched[i].link.stats()),
         }
     }
 
@@ -749,6 +1138,58 @@ impl Cosim {
     pub fn trace_handle(&self) -> Rc<RefCell<TraceLog>> {
         Rc::clone(&self.trace)
     }
+}
+
+/// Diffs a wire set's monotone kernel event counts against the last
+/// observation (updating it in place); `true` when any wire changed
+/// since the previous call. This is the activation gate shared by the
+/// per-unit clocked processes and the shard scheduler.
+fn wires_changed(ctx: &ProcCtx<'_>, watched: &[SignalId], seen: &mut [u64]) -> bool {
+    let mut changed = false;
+    for (sig, last) in watched.iter().zip(seen.iter_mut()) {
+        let n = ctx.event_count(*sig);
+        changed |= n != *last;
+        *last = n;
+    }
+    changed
+}
+
+/// One activation of a shard member at a rising clock edge. Updates the
+/// member's `needs_clock` from the post-step stability proof.
+fn step_shard_member(
+    reg: &mut Registry,
+    m: &mut ShardMember,
+    ctx: &mut ProcCtx<'_>,
+    inputs_changed: bool,
+) -> Result<(), String> {
+    match m.handle {
+        Handle::Fsm(i) => {
+            let FsmUnitEntry {
+                name,
+                runtime,
+                wires,
+            } = &mut reg.fsm[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            runtime
+                .step_controller_if_active(&mut ws, inputs_changed)
+                .map_err(|e| format!("unit {name} controller: {e}"))?;
+            m.needs_clock = !runtime.controller_stable();
+        }
+        Handle::Native(i) => {
+            let (_, unit) = &mut reg.native[i];
+            unit.step();
+            m.needs_clock = unit.needs_step();
+        }
+        Handle::Batched(i) => {
+            let BatchedUnitEntry { name, link, wires } = &mut reg.batched[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            let active = link
+                .pump(&mut ws, inputs_changed)
+                .map_err(|e| format!("batched link {name}: {e}"))?;
+            m.needs_clock = active;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -868,11 +1309,13 @@ mod tests {
     }
 
     #[test]
-    fn idle_controllers_are_gated() {
-        // After the 3-value exchange completes, the link's wires stop
-        // changing and its controller self-loops without writes — from
-        // then on the backplane skips its activations entirely.
+    fn idle_controllers_are_gated_per_unit() {
+        // Under the legacy per-unit scheduling: after the 3-value
+        // exchange completes, the link's wires stop changing and its
+        // controller self-loops without writes — from then on the
+        // backplane skips its activations entirely.
         let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.set_unit_scheduling(UnitScheduling::PerUnit).unwrap();
         let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
         let p = producer(&[10, 20, 30]);
         let c = consumer(3);
@@ -893,6 +1336,187 @@ mod tests {
              (steps {}, skips {})",
             stats.controller_steps,
             stats.controller_skips
+        );
+    }
+
+    #[test]
+    fn idle_shards_go_dormant() {
+        // Under sharded scheduling the idle tail is even cheaper: once
+        // the link's controller proves itself stable, its whole shard
+        // drops clock sensitivity. Controller steps stall AND the shard
+        // process itself stops being woken.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+        let p = producer(&[10, 20, 30]);
+        let c = consumer(3);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(20)).unwrap();
+        assert_eq!(cosim.module_status(cid).state, "END");
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(60)));
+        let steps_after_exchange = cosim.unit_stats("link").unwrap().controller_steps;
+        assert!(steps_after_exchange > 0, "the exchange required steps");
+        let shard_runs_after_exchange = cosim.shard_stats().shard_runs;
+
+        // A long idle tail: ~2000 further HW cycles.
+        cosim.run_for(Duration::from_us(200)).unwrap();
+        let stats = cosim.unit_stats("link").unwrap();
+        assert_eq!(
+            stats.controller_steps, steps_after_exchange,
+            "idle controller never steps again"
+        );
+        let shard = cosim.shard_stats();
+        assert_eq!(shard.shards, 1);
+        assert_eq!(shard.dormant_shards, 1, "the shard parked itself");
+        assert_eq!(
+            shard.shard_runs, shard_runs_after_exchange,
+            "a dormant shard is not even woken by clock edges"
+        );
+    }
+
+    #[test]
+    fn batched_unit_in_backplane() {
+        // A producer/consumer pair over a batched bus link: values are
+        // queued per activation but cross the bus in whole batches — far
+        // fewer wire handshakes than values.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_batched_unit("bus", Type::INT16, 16, 64).unwrap();
+        let p = producer(&[10, 20, 30, 40]);
+        let c = consumer(4);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(50)).unwrap();
+        assert_eq!(cosim.module_status(cid).state, "END");
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(100)));
+        let stats = cosim.unit_stats("bus").unwrap();
+        assert_eq!(stats.services["put"].completions, 4);
+        assert_eq!(stats.services["get"].completions, 4);
+        assert_eq!(stats.batched_values, 4);
+        assert!(
+            stats.batches < 4,
+            "4 values must need fewer than 4 bus transactions (got {})",
+            stats.batches
+        );
+        assert!(stats.max_batch_len >= 2);
+    }
+
+    #[test]
+    fn batched_unit_agrees_across_schedulings() {
+        // The same batched topology under per-unit and sharded scheduling
+        // delivers identical values and identical traces.
+        fn run(scheduling: UnitScheduling) -> (Option<Value>, String, Vec<i64>) {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_unit_scheduling(scheduling).unwrap();
+            let link = cosim.add_batched_unit("bus", Type::INT16, 4, 32).unwrap();
+            let p = producer(&[5, 6, 7]);
+            let c = consumer(3);
+            cosim.add_module(&p, &[("iface", link)]).unwrap();
+            let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+            cosim.run_for(Duration::from_us(40)).unwrap();
+            let recvs = cosim
+                .trace_log()
+                .with_label("recv")
+                .map(|e| e.values[0].as_int().unwrap())
+                .collect();
+            (
+                cosim.module_var(cid, "SUM"),
+                cosim.module_status(cid).state,
+                recvs,
+            )
+        }
+        let sharded = run(UnitScheduling::Sharded { shard_size: 16 });
+        let per_unit = run(UnitScheduling::PerUnit);
+        assert_eq!(sharded, per_unit);
+        assert_eq!(sharded.0, Some(Value::Int(18)));
+        assert_eq!(sharded.1, "END");
+        assert_eq!(sharded.2, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn scheduling_locked_after_first_unit() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+        let err = cosim
+            .set_unit_scheduling(UnitScheduling::PerUnit)
+            .unwrap_err();
+        assert!(matches!(err, CosimError::Setup(_)));
+    }
+
+    #[test]
+    fn bad_batched_config_rejected() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        assert!(matches!(
+            cosim.add_batched_unit("b", Type::INT16, 0, 4),
+            Err(CosimError::Setup(_))
+        ));
+        assert!(matches!(
+            cosim.add_batched_unit("b", Type::INT16, 4, 0),
+            Err(CosimError::Setup(_))
+        ));
+    }
+
+    #[test]
+    fn many_idle_units_fill_multiple_dormant_shards() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim
+            .set_unit_scheduling(UnitScheduling::Sharded { shard_size: 8 })
+            .unwrap();
+        for k in 0..20 {
+            cosim.add_fsm_unit(&format!("quiet{k}"), handshake_unit("hs", Type::INT16));
+        }
+        // One live module keeps the clocks running.
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        cosim.run_for(Duration::from_us(100)).unwrap();
+        let shard = cosim.shard_stats();
+        assert_eq!(shard.shards, 3, "20 units at shard size 8");
+        assert_eq!(shard.dormant_shards, 3, "all idle, all parked");
+        // Dormant shards were woken at most a handful of times while the
+        // clock toggled ~2000 times.
+        assert!(
+            shard.shard_runs < 30,
+            "idle shards must not track the clock (runs {})",
+            shard.shard_runs
+        );
+    }
+
+    #[test]
+    fn quiescence_reached_after_last_timer_cancelled() {
+        // Regression: a lazily-cancelled timer (dead heap entry) must not
+        // stall run_to_quiescence. A testbench process holds the only
+        // live timer; an event wake cancels it and the process parks.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let kick = cosim.sim_mut().add_bit("KICK");
+        let mut woken = false;
+        cosim.sim_mut().add_process(
+            "waiter",
+            FnProcess::new(move |ctx| {
+                if ctx.event(kick) {
+                    woken = true;
+                }
+                if woken {
+                    Wait::Forever
+                } else {
+                    Wait::EventOrTimeout(vec![kick], Duration::from_us(500))
+                }
+            }),
+        );
+        cosim.run_until(SimTime::ZERO).unwrap();
+        assert!(cosim.pending_activity(), "the 500us timer is live");
+        cosim.sim_mut().poke(kick, Value::Bit(cosma_core::Bit::One));
+        let quiesced = cosim.run_to_quiescence(SimTime::from_ns(10_000)).unwrap();
+        assert!(
+            quiesced,
+            "dead timer entry at 500us must not report phantom pending work"
+        );
+        assert!(!cosim.pending_activity());
+        assert_eq!(
+            cosim.sim().now(),
+            SimTime::from_ns(10_000),
+            "run advanced to the limit, not to the dead deadline"
         );
     }
 

@@ -16,8 +16,12 @@
 
 mod annotate;
 mod backplane;
+pub mod scenario;
 mod trace;
 
 pub use annotate::{back_annotate, timing_error, BackAnnotation, LabelTiming};
-pub use backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, ModuleStatus, UnitId};
+pub use backplane::{
+    Cosim, CosimConfig, CosimError, CosimModuleId, ModuleStatus, ShardStats, UnitId,
+    UnitScheduling, DEFAULT_SHARD_SIZE,
+};
 pub use trace::{TraceComparison, TraceEntry, TraceLog};

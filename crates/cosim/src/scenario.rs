@@ -1,0 +1,725 @@
+//! Scenario generator: parameterized N-unit backplane topologies.
+//!
+//! Benches and tests need co-simulations with *hundreds* of units, wired
+//! in realistic shapes, without hand-writing hundreds of FSMs. A
+//! [`ScenarioSpec`] describes the shape — link count, [`Topology`],
+//! [`LinkKind`] (classic handshake or batched bus), traffic volume,
+//! clocking and [`UnitScheduling`] — and [`build_scenario`] elaborates it
+//! into a ready-to-run [`Scenario`] whose completion is mechanically
+//! checkable ([`Scenario::verify`]).
+//!
+//! Topologies:
+//!
+//! * **Pipeline** — `N` links in a chain: one producer, `N-1` relays,
+//!   one consumer. Traffic travels as a wave, so most units are idle at
+//!   any instant — the sharded scheduler's best case.
+//! * **Star** — `N` producers each on a private link into one
+//!   round-robin hub consumer.
+//! * **Ring** — `N` links closed into a cycle; a driver module sends
+//!   tokens all the way around through `N-1` forever-relays.
+//! * **Random DAG** — the links are split (deterministically from a
+//!   seed) into independent pipelines of random length: a random DAG
+//!   with in/out degree ≤ 1, modelling uncorrelated traffic across the
+//!   backplane.
+//!
+//! Module kinds alternate between hardware and software so both
+//! activation clocks are exercised.
+
+use crate::backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, UnitId, UnitScheduling};
+use cosma_comm::handshake_unit;
+use cosma_core::{Expr, Module, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
+use cosma_sim::Duration;
+
+/// Wiring shape of a generated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A single producer→relay→…→consumer chain over all links.
+    Pipeline,
+    /// One producer per link, all feeding a round-robin hub.
+    Star,
+    /// Links closed into a cycle; a driver circulates tokens.
+    Ring,
+    /// Independent random-length pipelines (random DAG, degree ≤ 1),
+    /// deterministic in the seed.
+    RandomDag {
+        /// RNG seed for the segment partition.
+        seed: u64,
+    },
+}
+
+/// Communication-unit flavour used for every link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// The classic per-value 4-phase [`handshake_unit`].
+    Handshake,
+    /// A [`cosma_comm::BatchedLink`]: one wire handshake per batch.
+    Batched {
+        /// Values per bus transaction.
+        max_batch: usize,
+        /// Total link occupancy bound.
+        capacity: usize,
+    },
+}
+
+/// Everything needed to elaborate a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Number of communication units (links).
+    pub units: usize,
+    /// Wiring shape.
+    pub topology: Topology,
+    /// Values sent per producer (per link for Star, per segment for
+    /// pipelines, tokens around the Ring).
+    pub values_per_link: usize,
+    /// Link flavour.
+    pub link: LinkKind,
+    /// Backplane clocking.
+    pub config: CosimConfig,
+    /// Unit scheduling strategy.
+    pub scheduling: UnitScheduling,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            units: 16,
+            topology: Topology::Pipeline,
+            values_per_link: 4,
+            link: LinkKind::Handshake,
+            config: CosimConfig::default(),
+            scheduling: UnitScheduling::default(),
+        }
+    }
+}
+
+/// An elaborated scenario: the backplane plus the bookkeeping needed to
+/// check that all traffic arrived.
+pub struct Scenario {
+    /// The assembled backplane, ready to run.
+    pub cosim: Cosim,
+    /// All module ids, in creation order.
+    pub modules: Vec<CosimModuleId>,
+    /// All link unit ids, in creation order.
+    pub links: Vec<UnitId>,
+    /// Terminating checker modules and the SUM each must reach.
+    checkers: Vec<(CosimModuleId, i64)>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("modules", &self.modules.len())
+            .field("links", &self.links.len())
+            .field("checkers", &self.checkers.len())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Whether every terminating checker module has reached `END`.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.checkers
+            .iter()
+            .all(|(id, _)| self.cosim.module_status(*id).state == "END")
+    }
+
+    /// Runs in chunks until every checker terminates or `budget`
+    /// elapses. Returns whether the scenario completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backplane runtime errors.
+    pub fn run_to_completion(&mut self, budget: Duration) -> Result<bool, CosimError> {
+        let chunk = Duration::from_us(5);
+        let deadline = self.cosim.sim().now().saturating_add(budget);
+        while self.cosim.sim().now() < deadline {
+            let next = self.cosim.sim().now().saturating_add(chunk).min(deadline);
+            self.cosim.run_until(next)?;
+            if self.is_complete() {
+                return Ok(true);
+            }
+        }
+        Ok(self.is_complete())
+    }
+
+    /// Checks that every checker reached `END` with the expected
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, (id, expect)) in self.checkers.iter().enumerate() {
+            let status = self.cosim.module_status(*id);
+            if status.state != "END" {
+                return Err(format!(
+                    "checker {i}: stuck in {} after {} activations",
+                    status.state, status.activations
+                ));
+            }
+            let got = self.cosim.module_var(*id, "SUM");
+            if got != Some(Value::Int(*expect)) {
+                return Err(format!("checker {i}: SUM {got:?}, expected {expect}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Alternating module kinds exercise both activation clocks.
+fn kind_for(index: usize) -> ModuleKind {
+    if index.is_multiple_of(2) {
+        ModuleKind::Hardware
+    } else {
+        ModuleKind::Software
+    }
+}
+
+/// A producer sending `base`, `base+1`, …, `base+n-1` on binding `out`.
+fn producer(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
+    let mut b = ModuleBuilder::new(name, kind);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let idx = b.var("I", Type::INT16, Value::Int(0));
+    let out = b.binding("out", "link");
+    let put = b.state("PUT");
+    let end = b.state("END");
+    b.actions(
+        put,
+        vec![Stmt::Call(ServiceCall {
+            binding: out,
+            service: "put".into(),
+            args: vec![Expr::int(base).add(Expr::var(idx))],
+            done: Some(done),
+            result: None,
+        })],
+    );
+    b.transition_with(
+        put,
+        Some(Expr::var(done).and(Expr::var(idx).ge(Expr::int(n as i64 - 1)))),
+        vec![],
+        end,
+    );
+    b.transition_with(
+        put,
+        Some(Expr::var(done)),
+        vec![Stmt::assign(idx, Expr::var(idx).add(Expr::int(1)))],
+        put,
+    );
+    b.transition(end, None, end);
+    b.initial(put);
+    b.build().expect("generated producer is well-formed")
+}
+
+/// A relay forwarding values from binding `in` to binding `out`:
+/// `n` values then `END`, or forever when `n` is `None`.
+fn relay(name: &str, kind: ModuleKind, n: Option<usize>) -> Module {
+    let mut b = ModuleBuilder::new(name, kind);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let val = b.var("V", Type::INT16, Value::Int(0));
+    let cnt = b.var("CNT", Type::INT16, Value::Int(0));
+    let inb = b.binding("in", "link");
+    let outb = b.binding("out", "link");
+    let get = b.state("GET");
+    let put = b.state("PUT");
+    b.actions(
+        get,
+        vec![Stmt::Call(ServiceCall {
+            binding: inb,
+            service: "get".into(),
+            args: vec![],
+            done: Some(done),
+            result: Some(val),
+        })],
+    );
+    b.transition(get, Some(Expr::var(done)), put);
+    b.actions(
+        put,
+        vec![Stmt::Call(ServiceCall {
+            binding: outb,
+            service: "put".into(),
+            args: vec![Expr::var(val)],
+            done: Some(done),
+            result: None,
+        })],
+    );
+    if let Some(n) = n {
+        let end = b.state("END");
+        b.transition_with(
+            put,
+            Some(Expr::var(done).and(Expr::var(cnt).ge(Expr::int(n as i64 - 1)))),
+            vec![],
+            end,
+        );
+        b.transition(end, None, end);
+    }
+    b.transition_with(
+        put,
+        Some(Expr::var(done)),
+        vec![Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1)))],
+        get,
+    );
+    b.initial(get);
+    b.build().expect("generated relay is well-formed")
+}
+
+/// A consumer summing `n` values from binding `in` into `SUM`, then
+/// `END`.
+fn consumer(name: &str, kind: ModuleKind, n: usize) -> Module {
+    let mut b = ModuleBuilder::new(name, kind);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let val = b.var("V", Type::INT16, Value::Int(0));
+    let sum = b.var("SUM", Type::INT16, Value::Int(0));
+    let cnt = b.var("CNT", Type::INT16, Value::Int(0));
+    let inb = b.binding("in", "link");
+    let get = b.state("GET");
+    let end = b.state("END");
+    b.actions(
+        get,
+        vec![Stmt::Call(ServiceCall {
+            binding: inb,
+            service: "get".into(),
+            args: vec![],
+            done: Some(done),
+            result: Some(val),
+        })],
+    );
+    b.transition_with(
+        get,
+        Some(Expr::var(done).and(Expr::var(cnt).ge(Expr::int(n as i64 - 1)))),
+        vec![Stmt::assign(sum, Expr::var(sum).add(Expr::var(val)))],
+        end,
+    );
+    b.transition_with(
+        get,
+        Some(Expr::var(done)),
+        vec![
+            Stmt::assign(sum, Expr::var(sum).add(Expr::var(val))),
+            Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1))),
+        ],
+        get,
+    );
+    b.transition(end, None, end);
+    b.initial(get);
+    b.build().expect("generated consumer is well-formed")
+}
+
+/// The round-robin hub of a Star: cycles over `links` inputs, `rounds`
+/// values from each, summing everything into `SUM`.
+fn hub(name: &str, kind: ModuleKind, links: usize, rounds: usize) -> Module {
+    let mut b = ModuleBuilder::new(name, kind);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let val = b.var("V", Type::INT16, Value::Int(0));
+    let sum = b.var("SUM", Type::INT16, Value::Int(0));
+    let cnt = b.var("CNT", Type::INT16, Value::Int(0));
+    let bindings: Vec<_> = (0..links)
+        .map(|i| b.binding(format!("in{i}"), "link"))
+        .collect();
+    let states: Vec<_> = (0..links).map(|i| b.state(format!("GET{i}"))).collect();
+    let end = b.state("END");
+    let total = (links * rounds) as i64;
+    for i in 0..links {
+        b.actions(
+            states[i],
+            vec![Stmt::Call(ServiceCall {
+                binding: bindings[i],
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(val),
+            })],
+        );
+        b.transition_with(
+            states[i],
+            Some(Expr::var(done).and(Expr::var(cnt).ge(Expr::int(total - 1)))),
+            vec![Stmt::assign(sum, Expr::var(sum).add(Expr::var(val)))],
+            end,
+        );
+        b.transition_with(
+            states[i],
+            Some(Expr::var(done)),
+            vec![
+                Stmt::assign(sum, Expr::var(sum).add(Expr::var(val))),
+                Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1))),
+            ],
+            states[(i + 1) % links],
+        );
+    }
+    b.transition(end, None, end);
+    b.initial(states[0]);
+    b.build().expect("generated hub is well-formed")
+}
+
+/// The Ring driver: sends `n` tokens on `out`, receives each back on
+/// `in`, sums them, then `END`.
+fn ring_driver(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
+    let mut b = ModuleBuilder::new(name, kind);
+    let done = b.var("D", Type::Bool, Value::Bool(false));
+    let val = b.var("V", Type::INT16, Value::Int(0));
+    let sum = b.var("SUM", Type::INT16, Value::Int(0));
+    let cnt = b.var("CNT", Type::INT16, Value::Int(0));
+    let inb = b.binding("in", "link");
+    let outb = b.binding("out", "link");
+    let put = b.state("PUT");
+    let get = b.state("GET");
+    let end = b.state("END");
+    b.actions(
+        put,
+        vec![Stmt::Call(ServiceCall {
+            binding: outb,
+            service: "put".into(),
+            args: vec![Expr::int(base).add(Expr::var(cnt))],
+            done: Some(done),
+            result: None,
+        })],
+    );
+    b.transition(put, Some(Expr::var(done)), get);
+    b.actions(
+        get,
+        vec![Stmt::Call(ServiceCall {
+            binding: inb,
+            service: "get".into(),
+            args: vec![],
+            done: Some(done),
+            result: Some(val),
+        })],
+    );
+    b.transition_with(
+        get,
+        Some(Expr::var(done).and(Expr::var(cnt).ge(Expr::int(n as i64 - 1)))),
+        vec![Stmt::assign(sum, Expr::var(sum).add(Expr::var(val)))],
+        end,
+    );
+    b.transition_with(
+        get,
+        Some(Expr::var(done)),
+        vec![
+            Stmt::assign(sum, Expr::var(sum).add(Expr::var(val))),
+            Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1))),
+        ],
+        put,
+    );
+    b.transition(end, None, end);
+    b.initial(put);
+    b.build().expect("generated ring driver is well-formed")
+}
+
+/// Sum of the arithmetic run `base .. base+n-1`, wrapped like an INT16
+/// accumulator wraps.
+fn run_sum(base: i64, n: usize) -> i64 {
+    let mut sum = 0i64;
+    for i in 0..n as i64 {
+        sum = ((sum + base + i) as i16) as i64;
+    }
+    sum
+}
+
+/// xorshift64: a tiny deterministic RNG for `Topology::RandomDag`.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Elaborates a spec into a runnable scenario. All links are created
+/// before any module, so link/shard process ids precede module process
+/// ids regardless of topology — the per-unit and sharded schedulings
+/// then produce identical traces.
+///
+/// # Errors
+///
+/// Returns [`CosimError::Setup`] for empty specs or invalid link
+/// parameters.
+pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
+    if spec.units == 0 {
+        return Err(CosimError::Setup("scenario needs at least one unit".into()));
+    }
+    if spec.values_per_link == 0 {
+        return Err(CosimError::Setup(
+            "scenario needs at least one value per link".into(),
+        ));
+    }
+    let mut cosim = Cosim::new(spec.config);
+    cosim.set_unit_scheduling(spec.scheduling)?;
+    let links: Vec<UnitId> = (0..spec.units)
+        .map(|i| {
+            let name = format!("link{i}");
+            match spec.link {
+                LinkKind::Handshake => {
+                    Ok(cosim.add_fsm_unit(&name, handshake_unit("hs", Type::INT16)))
+                }
+                LinkKind::Batched {
+                    max_batch,
+                    capacity,
+                } => cosim.add_batched_unit(&name, Type::INT16, max_batch, capacity),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let m = spec.values_per_link;
+    let mut modules = vec![];
+    let mut checkers = vec![];
+    match spec.topology {
+        Topology::Pipeline => {
+            build_segment(&mut cosim, &links, 0, m, &mut modules, &mut checkers)?;
+        }
+        Topology::Star => {
+            for (i, &link) in links.iter().enumerate() {
+                let base = (i as i64 * 7) % 50;
+                let p = producer(&format!("prod{i}"), kind_for(i), base, m);
+                modules.push(cosim.add_module(&p, &[("out", link)])?);
+            }
+            let h = hub("hub", kind_for(links.len()), links.len(), m);
+            let binds: Vec<(String, UnitId)> = links
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (format!("in{i}"), l))
+                .collect();
+            let bind_refs: Vec<(&str, UnitId)> =
+                binds.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+            let hid = cosim.add_module(&h, &bind_refs)?;
+            modules.push(hid);
+            let expect = links.iter().enumerate().fold(0i64, |acc, (i, _)| {
+                let base = (i as i64 * 7) % 50;
+                ((acc + run_sum(base, m)) as i16) as i64
+            });
+            checkers.push((hid, expect));
+        }
+        Topology::Ring => {
+            let n = links.len();
+            let driver = ring_driver("driver", kind_for(0), 3, m);
+            let did = cosim.add_module(&driver, &[("out", links[0]), ("in", links[n - 1])])?;
+            modules.push(did);
+            for i in 1..n {
+                let r = relay(&format!("relay{i}"), kind_for(i), None);
+                modules.push(cosim.add_module(&r, &[("in", links[i - 1]), ("out", links[i])])?);
+            }
+            checkers.push((did, run_sum(3, m)));
+        }
+        Topology::RandomDag { seed } => {
+            let mut rng = XorShift64(seed ^ 0x9E37_79B9_7F4A_7C15);
+            let mut start = 0usize;
+            while start < links.len() {
+                let remaining = links.len() - start;
+                let len = 1 + (rng.next() as usize) % remaining.min(4);
+                build_segment(
+                    &mut cosim,
+                    &links[start..start + len],
+                    start,
+                    m,
+                    &mut modules,
+                    &mut checkers,
+                )?;
+                start += len;
+            }
+        }
+    }
+    Ok(Scenario {
+        cosim,
+        modules,
+        links,
+        checkers,
+    })
+}
+
+/// Builds one producer→relay*→consumer pipeline over `links`; `offset`
+/// decorrelates names and value bases across segments.
+fn build_segment(
+    cosim: &mut Cosim,
+    links: &[UnitId],
+    offset: usize,
+    m: usize,
+    modules: &mut Vec<CosimModuleId>,
+    checkers: &mut Vec<(CosimModuleId, i64)>,
+) -> Result<(), CosimError> {
+    let base = (offset as i64 * 11) % 40;
+    let p = producer(&format!("prod{offset}"), kind_for(offset), base, m);
+    modules.push(cosim.add_module(&p, &[("out", links[0])])?);
+    for (k, pair) in links.windows(2).enumerate() {
+        let r = relay(
+            &format!("relay{offset}_{k}"),
+            kind_for(offset + k + 1),
+            Some(m),
+        );
+        modules.push(cosim.add_module(&r, &[("in", pair[0]), ("out", pair[1])])?);
+    }
+    let c = consumer(&format!("cons{offset}"), kind_for(offset + links.len()), m);
+    let cid = cosim.add_module(&c, &[("in", links[links.len() - 1])])?;
+    modules.push(cid);
+    checkers.push((cid, run_sum(base, m)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(spec: ScenarioSpec, budget_us: u64) {
+        let mut s = build_scenario(&spec).expect("builds");
+        let done = s
+            .run_to_completion(Duration::from_us(budget_us))
+            .expect("runs");
+        assert!(done, "{spec:?} did not complete within {budget_us}us");
+        s.verify().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+    }
+
+    #[test]
+    fn pipeline_completes_both_link_kinds() {
+        for link in [
+            LinkKind::Handshake,
+            LinkKind::Batched {
+                max_batch: 8,
+                capacity: 32,
+            },
+        ] {
+            check(
+                ScenarioSpec {
+                    units: 8,
+                    link,
+                    values_per_link: 3,
+                    ..ScenarioSpec::default()
+                },
+                2_000,
+            );
+        }
+    }
+
+    #[test]
+    fn star_completes() {
+        check(
+            ScenarioSpec {
+                units: 6,
+                topology: Topology::Star,
+                values_per_link: 3,
+                ..ScenarioSpec::default()
+            },
+            2_000,
+        );
+    }
+
+    #[test]
+    fn ring_completes() {
+        check(
+            ScenarioSpec {
+                units: 5,
+                topology: Topology::Ring,
+                values_per_link: 4,
+                ..ScenarioSpec::default()
+            },
+            4_000,
+        );
+    }
+
+    #[test]
+    fn random_dag_completes_and_is_deterministic() {
+        for seed in [1u64, 42, 1234] {
+            check(
+                ScenarioSpec {
+                    units: 10,
+                    topology: Topology::RandomDag { seed },
+                    values_per_link: 2,
+                    ..ScenarioSpec::default()
+                },
+                3_000,
+            );
+        }
+        // Determinism: two builds from the same seed have identical
+        // module counts.
+        let spec = ScenarioSpec {
+            units: 10,
+            topology: Topology::RandomDag { seed: 7 },
+            ..ScenarioSpec::default()
+        };
+        let a = build_scenario(&spec).unwrap();
+        let b = build_scenario(&spec).unwrap();
+        assert_eq!(a.modules.len(), b.modules.len());
+    }
+
+    #[test]
+    fn schedulings_produce_identical_traces() {
+        // The tentpole correctness claim: per-unit and sharded scheduling
+        // are observationally equivalent on every topology and link kind.
+        for topology in [
+            Topology::Pipeline,
+            Topology::Star,
+            Topology::Ring,
+            Topology::RandomDag { seed: 99 },
+        ] {
+            for link in [
+                LinkKind::Handshake,
+                LinkKind::Batched {
+                    max_batch: 4,
+                    capacity: 16,
+                },
+            ] {
+                let mk = |scheduling| ScenarioSpec {
+                    units: 6,
+                    topology,
+                    link,
+                    values_per_link: 2,
+                    scheduling,
+                    ..ScenarioSpec::default()
+                };
+                let mut a = build_scenario(&mk(UnitScheduling::Sharded { shard_size: 4 }))
+                    .expect("sharded builds");
+                let mut b = build_scenario(&mk(UnitScheduling::PerUnit)).expect("per-unit builds");
+                a.cosim
+                    .run_for(Duration::from_us(400))
+                    .expect("sharded runs");
+                b.cosim
+                    .run_for(Duration::from_us(400))
+                    .expect("per-unit runs");
+                for (&ma, &mb) in a.modules.iter().zip(&b.modules) {
+                    assert_eq!(
+                        a.cosim.module_status(ma),
+                        b.cosim.module_status(mb),
+                        "{topology:?}/{link:?}: module status diverged"
+                    );
+                }
+                assert_eq!(
+                    a.cosim.trace_log().entries(),
+                    b.cosim.trace_log().entries(),
+                    "{topology:?}/{link:?}: traces diverged"
+                );
+                a.verify()
+                    .unwrap_or_else(|e| panic!("{topology:?}/{link:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let err = build_scenario(&ScenarioSpec {
+            units: 0,
+            ..ScenarioSpec::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, CosimError::Setup(_)));
+    }
+
+    #[test]
+    fn sharding_pays_off_on_idle_pipelines() {
+        // After a pipeline drains, all shards must be dormant.
+        let mut s = build_scenario(&ScenarioSpec {
+            units: 32,
+            values_per_link: 2,
+            ..ScenarioSpec::default()
+        })
+        .expect("builds");
+        let done = s.run_to_completion(Duration::from_us(4_000)).expect("runs");
+        assert!(done);
+        // A long idle tail.
+        s.cosim.run_for(Duration::from_us(100)).expect("idles");
+        let st = s.cosim.shard_stats();
+        assert_eq!(st.shards, 2, "32 units at default shard size 16");
+        assert_eq!(st.dormant_shards, 2, "drained pipeline parks every shard");
+        assert!(st.units_skipped > 0 || st.units_stepped > 0);
+    }
+}

@@ -60,6 +60,13 @@ pub enum CpuError {
         /// Faulting program counter.
         pc: u16,
     },
+    /// Signed arithmetic overflow: `DIV`/`REM` of `i16::MIN` by `-1`,
+    /// whose true quotient (32768) is unrepresentable. Reported as a
+    /// fault rather than silently wrapping.
+    Overflow {
+        /// Faulting program counter.
+        pc: u16,
+    },
     /// Stack pointer underflowed/overflowed its region.
     StackFault {
         /// Faulting program counter.
@@ -72,6 +79,9 @@ impl fmt::Display for CpuError {
         match self {
             CpuError::Decode { pc, source } => write!(f, "at {pc:#06x}: {source}"),
             CpuError::DivisionByZero { pc } => write!(f, "at {pc:#06x}: division by zero"),
+            CpuError::Overflow { pc } => {
+                write!(f, "at {pc:#06x}: signed overflow in division")
+            }
             CpuError::StackFault { pc } => write!(f, "at {pc:#06x}: stack fault"),
         }
     }
@@ -309,7 +319,9 @@ impl Cpu {
                     return Err(CpuError::DivisionByZero { pc: pc0 });
                 }
                 let a = self.regs[rd.0 as usize] as i16;
-                let v = a.wrapping_div(b) as u16;
+                // i16::MIN / -1 has no representable quotient; checked_div
+                // returns None exactly there (b == 0 was handled above).
+                let v = a.checked_div(b).ok_or(CpuError::Overflow { pc: pc0 })? as u16;
                 self.regs[rd.0 as usize] = v;
                 self.set_zn(v);
             }
@@ -319,7 +331,10 @@ impl Cpu {
                     return Err(CpuError::DivisionByZero { pc: pc0 });
                 }
                 let a = self.regs[rd.0 as usize] as i16;
-                let v = a.wrapping_rem(b) as u16;
+                // Same edge as Div: i16::MIN % -1 overflows the internal
+                // division even though the remainder would be 0; fault for
+                // consistency with Div.
+                let v = a.checked_rem(b).ok_or(CpuError::Overflow { pc: pc0 })? as u16;
                 self.regs[rd.0 as usize] = v;
                 self.set_zn(v);
             }
@@ -482,6 +497,40 @@ mod tests {
         cpu.load_image(&img);
         let err = cpu.run(&mut NullBus, 1000).unwrap_err();
         assert!(matches!(err, CpuError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn div_min_by_minus_one_faults_as_overflow() {
+        // i16::MIN (0x8000) / -1 (0xFFFF): the true quotient 32768 is
+        // unrepresentable; the old wrapping semantics silently returned
+        // i16::MIN again.
+        let img = assemble("LDI r0, 0x8000\nLDI r1, 0xFFFF\nDIV r0, r1\nHLT\n").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let err = cpu.run(&mut NullBus, 1000).unwrap_err();
+        assert!(matches!(err, CpuError::Overflow { .. }), "{err}");
+        assert!(err.to_string().contains("overflow"));
+        assert_eq!(cpu.reg(0), 0x8000, "destination left untouched");
+    }
+
+    #[test]
+    fn rem_min_by_minus_one_faults_as_overflow() {
+        let img = assemble("LDI r0, 0x8000\nLDI r1, 0xFFFF\nREM r0, r1\nHLT\n").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.load_image(&img);
+        let err = cpu.run(&mut NullBus, 1000).unwrap_err();
+        assert!(matches!(err, CpuError::Overflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn div_and_rem_edge_cases_without_overflow() {
+        // MIN / 1 and MIN % 1 are fine; -1 / MIN too.
+        let cpu = run_prog("LDI r0, 0x8000\nLDI r1, 1\nDIV r0, r1\nHLT\n");
+        assert_eq!(cpu.reg(0) as i16, i16::MIN);
+        let cpu = run_prog("LDI r0, 0x8000\nLDI r1, 1\nREM r0, r1\nHLT\n");
+        assert_eq!(cpu.reg(0), 0);
+        let cpu = run_prog("LDI r0, 0xFFFF\nLDI r1, 0x8000\nDIV r0, r1\nHLT\n");
+        assert_eq!(cpu.reg(0), 0);
     }
 
     #[test]

@@ -226,7 +226,9 @@ pub fn build_board(
     }
 
     let mut board = Board::new(bcfg);
-    let cpu = board.add_cpu("distribution", &program);
+    let cpu = board
+        .add_cpu("distribution", &program)
+        .expect("fresh board accepts its first CPU");
     for nl in &netlists {
         board.place_netlist(nl);
     }

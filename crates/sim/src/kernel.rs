@@ -1542,6 +1542,79 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_last_timer_reports_no_phantom_pending_work() {
+        // A process holds the ONLY live timer (EventOrTimeout). An event
+        // wake cancels that timer lazily — the heap entry stays behind —
+        // and the process parks forever. The dead entry must not make
+        // pending_activity report phantom work, and next_instant must
+        // discard it rather than returning a bogus instant.
+        let mut sim = Simulator::new();
+        let kick = sim.add_bit("KICK");
+        let mut woken = false;
+        sim.add_process(
+            "waiter",
+            FnProcess::new(move |ctx| {
+                if ctx.event(kick) {
+                    woken = true;
+                }
+                if woken {
+                    Wait::Forever
+                } else {
+                    Wait::EventOrTimeout(vec![kick], Duration::from_ns(500))
+                }
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert!(sim.pending_activity(), "timer armed");
+        assert_eq!(sim.next_instant(), Some(SimTime::from_ns(500)));
+        sim.poke(kick, Value::Bit(Bit::One));
+        sim.run_for(Duration::from_ns(1)).unwrap();
+        // The 500ns entry is now dead. No live timers, no drives, nothing
+        // pending — even though the heap still holds the stale entry.
+        assert!(
+            !sim.pending_activity(),
+            "a lazily-cancelled timer must not count as pending work"
+        );
+        assert_eq!(
+            sim.next_instant(),
+            None,
+            "next_instant must purge the stale entry, not report it"
+        );
+        assert!(sim.stats().stale_timers_skipped >= 1);
+        // And running past the dead deadline changes nothing.
+        let events_before = sim.stats().events;
+        sim.run_until(SimTime::from_ns(1000)).unwrap();
+        assert_eq!(sim.stats().events, events_before);
+    }
+
+    #[test]
+    fn repeated_cancellations_keep_armed_timer_count_exact() {
+        // Ten event wakes leave ten dead heap entries; the live-timer
+        // count backing pending_activity must stay exact throughout.
+        let mut sim = Simulator::new();
+        let kick = sim.add_bit("KICK");
+        sim.add_process(
+            "rearm",
+            FnProcess::new(move |_ctx| Wait::EventOrTimeout(vec![kick], Duration::from_us(10))),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        for i in 0..10i64 {
+            let v = if i % 2 == 0 { Bit::One } else { Bit::Zero };
+            sim.poke(kick, Value::Bit(v));
+            sim.run_for(Duration::from_ns(1)).unwrap();
+            assert!(
+                sim.pending_activity(),
+                "re-armed timer after wake {i} is live"
+            );
+        }
+        // Only the most recent re-arm is live: next_instant must skip all
+        // dead entries and land on the latest deadline — the last wake
+        // happened at 9ns (just before the final 1ns advance to 10ns).
+        let next = sim.next_instant().expect("one live timer");
+        assert_eq!(next, SimTime::from_ns(9) + Duration::from_us(10));
+    }
+
+    #[test]
     fn rapid_sensitivity_churn_stays_consistent() {
         // A process alternates its watch set between A and B after every
         // wake, while pokes land in the pattern A,A,B,B,A,A,... with an

@@ -114,8 +114,8 @@ fn dual_processor_board() {
     .expect("synthesizes");
 
     let mut board = Board::new(BoardConfig::default());
-    board.add_cpu("cpu_a", &prog_a);
-    board.add_cpu("cpu_b", &prog_b);
+    board.add_cpu("cpu_a", &prog_a).unwrap();
+    board.add_cpu("cpu_b", &prog_b).unwrap();
     for nl in [&nl_ca, &nl_cb, &nl_ctrl_a, &nl_ctrl_b] {
         board.place_netlist(nl);
     }
@@ -162,7 +162,7 @@ fn wait_state_storm_does_not_break_protocols() {
         ..BoardConfig::default()
     };
     let mut board = Board::new(cfg);
-    board.add_cpu("prod", &prog);
+    board.add_cpu("prod", &prog).unwrap();
     board.place_netlist(&nl_c);
     board.place_netlist(&nl_ctrl);
     board.run_for_ns(30_000_000).expect("runs");
@@ -196,7 +196,7 @@ fn unmapped_bus_access_is_observable() {
     assert_ne!(patched, prog.asm, "patch applied");
     prog.image = cosma::isa::assemble(&patched).expect("assembles");
     let mut board = Board::new(BoardConfig::default());
-    let cpu = board.add_cpu("stray", &prog);
+    let cpu = board.add_cpu("stray", &prog).unwrap();
     board
         .run_for_ns(100_000)
         .expect("runs despite stray access");
@@ -252,7 +252,7 @@ fn system_level_synthesis_runs_on_the_board() {
     assert_eq!(synth.netlists.len(), 2, "consumer + controller");
 
     let mut board = Board::new(BoardConfig::default());
-    let cpus = board.install_synthesis(&synth);
+    let cpus = board.install_synthesis(&synth).unwrap();
     assert_eq!(cpus.len(), 1);
     board.run_for_ns(4_000_000).expect("runs");
     let sum = board

@@ -335,7 +335,8 @@ proptest! {
 // ---------------------------------------------------------------------
 
 /// A randomized design: free-running clocks, edge counters, delta-cycle
-/// inverter chains, timeout tickers and event-or-timeout waiters.
+/// inverter chains, timeout tickers, event-or-timeout waiters, clocked
+/// (`Wait::Same`) processes and a batched comm link.
 #[derive(Debug, Clone)]
 struct KernelMix {
     /// Clock periods in ns (one clock signal each).
@@ -348,6 +349,13 @@ struct KernelMix {
     tickers: Vec<u64>,
     /// `wait on .. for ..` waiters: (clock index, timeout ns).
     waiters: Vec<(usize, u64)>,
+    /// Clocked processes registered through [`ClockedProcess`] — the
+    /// `Wait::Same` steady-state path. Each entry picks a clock; parity
+    /// picks the [`Edge`].
+    clocked: Vec<usize>,
+    /// Whether to thread a batched comm link (put/pump/get over kernel
+    /// wire signals) through the design.
+    batched: bool,
     /// Total run length in ns.
     run_ns: u64,
 }
@@ -359,18 +367,43 @@ fn arb_kernel_mix() -> impl Strategy<Value = KernelMix> {
         0usize..6,
         proptest::collection::vec(1u64..60, 0..4),
         proptest::collection::vec((0usize..8, 1u64..80), 0..4),
+        proptest::collection::vec(0usize..8, 0..5),
+        any::<bool>(),
         1u64..1200,
     )
         .prop_map(
-            |(clocks, counters, chain, tickers, waiters, run_ns)| KernelMix {
+            |(clocks, counters, chain, tickers, waiters, clocked, batched, run_ns)| KernelMix {
                 clocks,
                 counters,
                 chain,
                 tickers,
                 waiters,
+                clocked,
+                batched,
                 run_ns,
             },
         )
+}
+
+/// Bridges a [`cosma::comm::WireStore`] onto kernel signals through a
+/// running process context (mirrors the backplane's adapter).
+struct SigWires<'a, 'b> {
+    ctx: &'a mut cosma::sim::ProcCtx<'b>,
+    map: &'a [cosma::sim::SignalId],
+}
+
+impl cosma::comm::WireStore for SigWires<'_, '_> {
+    fn read_wire(&self, w: cosma::core::ids::PortId) -> Result<Value, cosma::core::EvalError> {
+        Ok(self.ctx.read(self.map[w.index()]).clone())
+    }
+    fn write_wire(
+        &mut self,
+        w: cosma::core::ids::PortId,
+        v: Value,
+    ) -> Result<(), cosma::core::EvalError> {
+        self.ctx.drive(self.map[w.index()], v);
+        Ok(())
+    }
 }
 
 /// Builds the mix on any kernel through closures over the shared
@@ -452,6 +485,78 @@ fn build_mix(
             },
         )));
     }
+    // Clocked processes registered through the Wait::Same steady-state
+    // path, on alternating rising/falling edges.
+    for (j, &ci) in mix.clocked.iter().enumerate() {
+        use cosma::sim::{ClockControl, ClockedProcess, Edge};
+        let clk = clk_sigs[ci % clk_sigs.len()];
+        let edge = if j % 2 == 0 {
+            Edge::Rising
+        } else {
+            Edge::Falling
+        };
+        let q = add_sig(&format!("C{j}"), Type::INT16, Value::Int(0));
+        observed.push(q);
+        add_proc(Box::new(ClockedProcess::new(clk, edge, move |ctx| {
+            let v = ctx.read_int(q);
+            ctx.drive(q, Value::Int(v + 1));
+            if v >= 500 {
+                ClockControl::Halt
+            } else {
+                ClockControl::Continue
+            }
+        })));
+    }
+    // A batched comm link driven over kernel wire signals: a clocked
+    // producer/pump/consumer in one deterministic process.
+    if mix.batched {
+        use cosma::comm::{BatchedLink, CallerId};
+        use cosma::sim::{ClockControl, ClockedProcess, Edge};
+        let link = BatchedLink::new("bus", Type::INT16, 4, 16);
+        let wire_sigs: Vec<cosma::sim::SignalId> = link
+            .spec()
+            .wires()
+            .iter()
+            .map(|w| {
+                add_sig(
+                    &format!("bus.{}", w.name()),
+                    w.ty().clone(),
+                    w.init().clone(),
+                )
+            })
+            .collect();
+        observed.extend(wire_sigs.iter().copied());
+        let sum = add_sig("bus.RECV_SUM", Type::INT16, Value::Int(0));
+        observed.push(sum);
+        let clk = clk_sigs[0];
+        let mut link = link;
+        let mut sent = 0i64;
+        let mut acc = 0i64;
+        add_proc(Box::new(ClockedProcess::new(
+            clk,
+            Edge::Rising,
+            move |ctx| {
+                let mut ws = SigWires {
+                    ctx,
+                    map: &wire_sigs,
+                };
+                if sent < 24
+                    && link
+                        .put(CallerId(1), Value::Int(sent), &mut ws)
+                        .expect("put")
+                        .done
+                {
+                    sent += 1;
+                }
+                link.pump(&mut ws, true).expect("pump");
+                if let Some(v) = link.get(CallerId(2), &mut ws).expect("get").result {
+                    acc = (acc + v.as_int().expect("int")) & 0x3FFF;
+                    ctx.drive(sum, Value::Int(acc));
+                }
+                ClockControl::Continue
+            },
+        )));
+    }
     observed
 }
 
@@ -506,6 +611,73 @@ proptest! {
         prop_assert_eq!(fs.deltas, os.deltas);
         prop_assert_eq!(fs.instants, os.instants);
         prop_assert_eq!(fast.now(), oracle.now());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backplane scheduling: sharded unit scheduling (per-shard activation
+// sets, dormancy) is observationally equivalent to the legacy per-unit
+// path on randomized topologies over both link kinds.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn backplane_schedulings_equivalent(
+        units in 2usize..7,
+        topo_sel in 0u8..4,
+        batched in any::<bool>(),
+        values in 1usize..4,
+        seed in any::<u64>(),
+        shard_size in 1usize..6,
+    ) {
+        use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+        use cosma::cosim::UnitScheduling;
+        use cosma::sim::Duration;
+
+        let topology = match topo_sel {
+            0 => Topology::Pipeline,
+            1 => Topology::Star,
+            2 => Topology::Ring,
+            _ => Topology::RandomDag { seed },
+        };
+        let link = if batched {
+            LinkKind::Batched { max_batch: 4, capacity: 16 }
+        } else {
+            LinkKind::Handshake
+        };
+        let mk = |scheduling| ScenarioSpec {
+            units,
+            topology,
+            link,
+            values_per_link: values,
+            scheduling,
+            ..ScenarioSpec::default()
+        };
+        let mut sharded = build_scenario(&mk(UnitScheduling::Sharded { shard_size }))
+            .expect("sharded builds");
+        let mut per_unit = build_scenario(&mk(UnitScheduling::PerUnit))
+            .expect("per-unit builds");
+        sharded.cosim.run_for(Duration::from_us(300)).expect("sharded runs");
+        per_unit.cosim.run_for(Duration::from_us(300)).expect("per-unit runs");
+        for (&a, &b) in sharded.modules.iter().zip(&per_unit.modules) {
+            prop_assert_eq!(
+                sharded.cosim.module_status(a),
+                per_unit.cosim.module_status(b),
+                "module status diverged under {:?}", topology
+            );
+        }
+        let sharded_trace = sharded.cosim.trace_log();
+        let per_unit_trace = per_unit.cosim.trace_log();
+        prop_assert_eq!(
+            sharded_trace.entries(),
+            per_unit_trace.entries(),
+            "traces diverged under {:?}/{:?}", topology, link
+        );
+        // Both must have completed all traffic in the budget.
+        prop_assert!(sharded.is_complete(), "sharded incomplete under {:?}", topology);
+        sharded.verify().map_err(TestCaseError::fail)?;
+        per_unit.verify().map_err(TestCaseError::fail)?;
     }
 }
 
