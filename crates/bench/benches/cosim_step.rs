@@ -4,7 +4,7 @@
 use cosma_comm::handshake_unit;
 use cosma_core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
-use cosma_cosim::{Cosim, CosimConfig, UnitScheduling};
+use cosma_cosim::{Cosim, CosimConfig, SchedulingConfig};
 use cosma_sim::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -91,15 +91,22 @@ fn bench_cosim(c: &mut Criterion) {
         });
     }
 
-    // The PR 2 headline: an N-unit pipeline carrying a burst of traffic
-    // then idling — the realistic many-unit regime. `per_unit` is the
-    // old stepping path (one clocked process per unit, classic per-value
-    // handshakes); `sharded` adds per-shard activation sets with
-    // dormancy plus batched bus transactions.
-    fn many_units(n: usize, scheduling: UnitScheduling, link: LinkKind) -> Scenario {
+    // The many-unit headline: an N-unit pipeline carrying a burst of
+    // traffic then idling — the realistic many-unit regime. `per_unit`
+    // is the PR-2-era baseline (one clocked process per unit AND per
+    // module, stepped every edge, classic per-value handshakes, no
+    // parking); `sharded` adds the unified activation scheduler —
+    // sharded module+unit dispatch, blocked-FSM parking on completion
+    // wires — plus batched bus transactions.
+    fn many_units(
+        n: usize,
+        topology: Topology,
+        scheduling: SchedulingConfig,
+        link: LinkKind,
+    ) -> Scenario {
         build_scenario(&ScenarioSpec {
             units: n,
-            topology: Topology::Pipeline,
+            topology,
             values_per_link: 4,
             link,
             config: CosimConfig::default(),
@@ -110,7 +117,14 @@ fn bench_cosim(c: &mut Criterion) {
     for n in [16usize, 64, 256] {
         group.bench_with_input(BenchmarkId::new("many_units_per_unit", n), &n, |b, &n| {
             b.iter_batched(
-                || many_units(n, UnitScheduling::PerUnit, LinkKind::Handshake),
+                || {
+                    many_units(
+                        n,
+                        Topology::Pipeline,
+                        SchedulingConfig::legacy(),
+                        LinkKind::Handshake,
+                    )
+                },
                 |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
                 criterion::BatchSize::SmallInput,
             );
@@ -120,13 +134,52 @@ fn bench_cosim(c: &mut Criterion) {
                 || {
                     many_units(
                         n,
-                        UnitScheduling::Sharded { shard_size: 16 },
+                        Topology::Pipeline,
+                        SchedulingConfig::sharded(),
                         LinkKind::Batched {
                             max_batch: 8,
                             capacity: 32,
                         },
                     )
                 },
+                |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Mostly-blocked consumers: N links with a consumer each but a
+    // producer only on link 0 — N-1 consumers are service-blocked the
+    // whole run. With parking they cost zero activations; the legacy
+    // path pays one no-op wakeup per consumer per edge.
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("blocked_per_unit", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    many_units(
+                        n,
+                        Topology::Starved,
+                        SchedulingConfig::legacy(),
+                        LinkKind::Handshake,
+                    )
+                },
+                |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_sharded", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    many_units(
+                        n,
+                        Topology::Starved,
+                        SchedulingConfig::sharded(),
+                        LinkKind::Handshake,
+                    )
+                },
+                // Parking itself is asserted by the scenario test
+                // starved_consumers_park_at_zero_activation_cost; the
+                // timed routine matches blocked_per_unit exactly.
                 |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
                 criterion::BatchSize::SmallInput,
             );

@@ -1,0 +1,151 @@
+//! `cosim_bench` — the machine-readable co-simulation benchmark runner.
+//!
+//! Runs the `cosim_step` many-unit scenarios (pipeline and starved
+//! topologies, legacy vs sharded scheduling) and writes per-scenario
+//! timings to `BENCH_cosim.json` as a flat array of
+//! `{scenario, n, ns_per_run, runs}` records, so CI can track the
+//! backplane's performance trajectory across PRs.
+//!
+//! Usage: `cosim_bench [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks the size sweep and sample count for CI smoke runs;
+//! the default sweep matches the criterion bench (N = 16/64/256).
+
+use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
+use cosma_cosim::{CosimConfig, SchedulingConfig};
+use cosma_sim::Duration;
+use std::time::Instant;
+
+struct Record {
+    scenario: &'static str,
+    n: usize,
+    ns_per_run: u128,
+    runs: u32,
+}
+
+fn scenario(
+    n: usize,
+    topology: Topology,
+    scheduling: SchedulingConfig,
+    link: LinkKind,
+) -> Scenario {
+    build_scenario(&ScenarioSpec {
+        units: n,
+        topology,
+        values_per_link: 4,
+        link,
+        config: CosimConfig::default(),
+        scheduling,
+    })
+    .expect("scenario builds")
+}
+
+/// Times `runs` fresh builds of one scenario, excluding setup, and
+/// returns the mean wall-clock nanoseconds per 200 µs simulated run.
+fn measure(name: &'static str, n: usize, runs: u32, build: impl Fn() -> Scenario) -> Record {
+    // Warm-up.
+    let mut s = build();
+    s.cosim.run_for(Duration::from_us(200)).expect("runs");
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..runs {
+        let mut s = build();
+        let start = Instant::now();
+        s.cosim.run_for(Duration::from_us(200)).expect("runs");
+        total += start.elapsed();
+    }
+    let ns_per_run = total.as_nanos() / u128::from(runs.max(1));
+    println!(
+        "{name:<28} N={n:<4} {:>12} ns/run  ({runs} runs)",
+        ns_per_run
+    );
+    Record {
+        scenario: name,
+        n,
+        ns_per_run,
+        runs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_cosim.json", |s| s.as_str());
+    let (sizes, runs): (&[usize], u32) = if quick {
+        (&[16, 64], 2)
+    } else {
+        (&[16, 64, 256], 10)
+    };
+
+    let batched = LinkKind::Batched {
+        max_batch: 8,
+        capacity: 32,
+    };
+    let mut records = vec![];
+    for &n in sizes {
+        records.push(measure("many_units_per_unit", n, runs, || {
+            scenario(
+                n,
+                Topology::Pipeline,
+                SchedulingConfig::legacy(),
+                LinkKind::Handshake,
+            )
+        }));
+        records.push(measure("many_units_sharded", n, runs, || {
+            scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched)
+        }));
+        records.push(measure("blocked_per_unit", n, runs, || {
+            scenario(
+                n,
+                Topology::Starved,
+                SchedulingConfig::legacy(),
+                LinkKind::Handshake,
+            )
+        }));
+        records.push(measure("blocked_sharded", n, runs, || {
+            scenario(
+                n,
+                Topology::Starved,
+                SchedulingConfig::sharded(),
+                LinkKind::Handshake,
+            )
+        }));
+    }
+
+    // Sanity gate for CI: parked consumers must contribute ~zero
+    // activations in the starved scenario.
+    let mut s = scenario(
+        sizes[sizes.len() - 1],
+        Topology::Starved,
+        SchedulingConfig::sharded(),
+        LinkKind::Handshake,
+    );
+    s.cosim.run_for(Duration::from_us(200)).expect("runs");
+    let stats = s.cosim.shard_stats();
+    assert!(
+        stats.members_parked as usize >= s.modules.len() - 3,
+        "starved consumers must park: {stats:?}"
+    );
+    println!(
+        "parking check: {} members parked, {} resumed, {} parked now",
+        stats.members_parked, stats.members_resumed, stats.parked_now
+    );
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"scenario\": \"{}\", \"n\": {}, \"ns_per_run\": {}, \"runs\": {}}}{}\n",
+            r.scenario,
+            r.n,
+            r.ns_per_run,
+            r.runs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(out, json).expect("write benchmark results");
+    println!("wrote {out}");
+}

@@ -69,13 +69,13 @@ impl Env for Stubs {
         call: &ServiceCall,
         args: &[Value],
     ) -> Result<ServiceOutcome, EvalError> {
-        self.calls.push(call.service.clone());
-        if call.service == "MotorPosition" {
+        self.calls.push(call.service.to_string());
+        if &*call.service == "MotorPosition" {
             if let Some(Value::Int(p)) = args.first() {
                 self.last_pos = *p;
             }
         }
-        let n = self.tries.entry(call.service.clone()).or_insert(0);
+        let n = self.tries.entry(call.service.to_string()).or_insert(0);
         *n += 1;
         if n.is_multiple_of(2) {
             Ok(ServiceOutcome::done_with(Value::Int(self.last_pos)))

@@ -143,7 +143,7 @@ impl Elab {
                 }
                 acts.push(Stmt::Call(ServiceCall {
                     binding,
-                    service: name.clone(),
+                    service: name.as_str().into(),
                     args: ir_args,
                     done: Some(done),
                     result: Some(res),

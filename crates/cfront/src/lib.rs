@@ -149,8 +149,8 @@ int DISTRIBUTION()
             call: &ServiceCall,
             args: &[Value],
         ) -> Result<ServiceOutcome, EvalError> {
-            self.log.push((call.service.clone(), args.to_vec()));
-            let n = self.tries.entry(call.service.clone()).or_insert(0);
+            self.log.push((call.service.to_string(), args.to_vec()));
+            let n = self.tries.entry(call.service.to_string()).or_insert(0);
             *n += 1;
             if n.is_multiple_of(2) {
                 Ok(ServiceOutcome::done_with(Value::Int(7)))

@@ -19,9 +19,16 @@
 //! * `DATA`/`REQ`/`ACK`/`B_FULL` — the classic handshake, run once per
 //!   batch by the link's internal bus sessions.
 //!
+//! Batch size is **adaptive**: the link carries a batch *target* in
+//! `1..=max_batch` that doubles while the outgoing queue keeps up with
+//! it (bus-bound traffic, amortize the arbitration) and halves while
+//! the queue runs shallow (light traffic, don't batch latency in) —
+//! `max_batch` is only the hard ceiling.
+//!
 //! Per-unit statistics record batch counts and sizes
 //! ([`UnitStats::batches`], [`UnitStats::batched_values`],
-//! [`UnitStats::max_batch_len`]).
+//! [`UnitStats::max_batch_len`]) plus a power-of-two batch-length
+//! histogram ([`UnitStats::batch_len_hist`]).
 
 use crate::library::batched_handshake_unit;
 use crate::runtime::{CallerId, FsmUnitRuntime, UnitStats, WireStore};
@@ -72,8 +79,14 @@ pub struct BatchedLink {
     inner: FsmUnitRuntime,
     data_ty: Type,
     pending_wire: PortId,
-    /// Most values carried by one bus transaction.
+    /// Hard bound on values per bus transaction.
     max_batch: usize,
+    /// Adaptive batch target in `1..=max_batch`: doubled when the
+    /// outgoing queue is at least this deep at batch-load time (the bus
+    /// is falling behind — amortize more per arbitration), halved when
+    /// the queue is at a quarter or less (light traffic — don't hold
+    /// values back waiting for a big batch).
+    batch_target: usize,
     /// Bound on total occupancy (outgoing + in flight + delivered).
     capacity: usize,
     /// Producer-enqueued values not yet on the bus.
@@ -84,6 +97,9 @@ pub struct BatchedLink {
     delivered: VecDeque<Value>,
     /// Whether the producer-side wire handshake is in progress.
     sending: bool,
+    /// Whether the last `put`/`get` was a provable no-op (pending, no
+    /// state change) — see [`BatchedLink::last_call_stable`].
+    last_call_stable: bool,
     stats: UnitStats,
 }
 
@@ -120,11 +136,13 @@ impl BatchedLink {
             data_ty,
             pending_wire,
             max_batch,
+            batch_target: max_batch,
             capacity,
             outgoing: Vec::new(),
             in_flight: Vec::new(),
             delivered: VecDeque::new(),
             sending: false,
+            last_call_stable: false,
             stats: UnitStats::default(),
         }
     }
@@ -139,6 +157,46 @@ impl BatchedLink {
     #[must_use]
     pub fn occupancy(&self) -> usize {
         self.outgoing.len() + self.in_flight.len() + self.delivered.len()
+    }
+
+    /// The current adaptive batch target (values per bus transaction),
+    /// in `1..=max_batch`. Doubled under backlog, halved under light
+    /// traffic — see [`BatchedLink::pump`].
+    #[must_use]
+    pub fn batch_target(&self) -> usize {
+        self.batch_target
+    }
+
+    /// Whether the last `put`/`get` was a provable no-op (pending
+    /// outcome, nothing mutated). While true, re-calling with unchanged
+    /// link state repeats the no-op, so the caller can be parked.
+    #[must_use]
+    pub fn last_call_stable(&self) -> bool {
+        self.last_call_stable
+    }
+
+    /// The wires whose events can unblock a pending caller of `service`.
+    ///
+    /// * `get` — the inner bus protocol's consumer read-set plus the
+    ///   `PENDING` bus-request wire: delivery always rides on wire-level
+    ///   handshake activity, and `PENDING` rises the moment a producer
+    ///   enqueues, so a parked consumer cannot miss an incoming value.
+    /// * `put` — **empty**: a put blocks only on capacity, and capacity
+    ///   is released by `get` popping the delivered queue, which is not
+    ///   wire-visible. Producers blocked on backpressure must therefore
+    ///   keep polling (schedulers must not park them).
+    #[must_use]
+    pub fn completion_signals(&self, service: &str) -> Vec<PortId> {
+        match service {
+            "get" => {
+                let mut wires = self.inner.completion_signals("get");
+                wires.push(self.pending_wire);
+                wires.sort_unstable();
+                wires.dedup();
+                wires
+            }
+            _ => vec![],
+        }
     }
 
     /// Enqueues one value for transport. Completes immediately unless the
@@ -157,8 +215,15 @@ impl BatchedLink {
         let stats = self.stats.services.entry("put".to_string()).or_default();
         stats.calls += 1;
         if full {
+            // Rejected by backpressure: nothing changed, so the call is
+            // a provable no-op — but note that capacity release is not
+            // wire-visible (`get` pops without wire traffic), which is
+            // why completion_signals("put") is empty and blocked
+            // producers are never parked.
+            self.last_call_stable = true;
             return Ok(ServiceOutcome::pending());
         }
+        self.last_call_stable = false;
         stats.completions += 1;
         self.outgoing.push(self.data_ty.clamp(v));
         if wires.read_wire(self.pending_wire)? != Value::Bit(Bit::One) {
@@ -182,10 +247,17 @@ impl BatchedLink {
         stats.calls += 1;
         match self.delivered.pop_front() {
             Some(v) => {
+                self.last_call_stable = false;
                 stats.completions += 1;
                 Ok(ServiceOutcome::done_with(v))
             }
-            None => Ok(ServiceOutcome::pending()),
+            None => {
+                // Empty: a no-op. Delivery always follows wire-level
+                // handshake activity, so a parked consumer re-armed by
+                // completion_signals("get") cannot miss it.
+                self.last_call_stable = true;
+                Ok(ServiceOutcome::pending())
+            }
         }
     }
 
@@ -207,7 +279,18 @@ impl BatchedLink {
     ) -> Result<bool, EvalError> {
         let mut active = false;
         if self.in_flight.is_empty() && !self.outgoing.is_empty() && !self.sending {
-            let take = self.outgoing.len().min(self.max_batch);
+            // Adapt the batch target to the observed queue depth before
+            // loading: a backlog at least one target deep means the bus
+            // is the bottleneck (amortize more values per arbitration);
+            // a queue at a quarter or less means traffic is light (ship
+            // small batches promptly instead of batching latency in).
+            let depth = self.outgoing.len();
+            if depth >= self.batch_target {
+                self.batch_target = (self.batch_target * 2).min(self.max_batch);
+            } else if depth <= self.batch_target / 4 {
+                self.batch_target = (self.batch_target / 2).max(1);
+            }
+            let take = depth.min(self.batch_target);
             self.in_flight.extend(self.outgoing.drain(..take));
             self.sending = true;
             active = true;
@@ -229,9 +312,7 @@ impl BatchedLink {
             active = true;
             if out.done {
                 let n = self.in_flight.len() as u64;
-                self.stats.batches += 1;
-                self.stats.batched_values += n;
-                self.stats.max_batch_len = self.stats.max_batch_len.max(n);
+                self.stats.record_batch(n);
                 self.delivered.extend(self.in_flight.drain(..));
             }
         }
@@ -392,5 +473,83 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_batch_panics() {
         let _ = BatchedLink::new("bus", Type::INT16, 0, 4);
+    }
+
+    #[test]
+    fn batch_target_adapts_to_queue_depth() {
+        let mut link = BatchedLink::new("bus", Type::INT16, 8, 64);
+        let mut wires = LocalWires::new(link.spec());
+        let p = CallerId(1);
+        assert_eq!(link.batch_target(), 8, "starts at the ceiling");
+        // A single queued value is light traffic: the target halves.
+        link.put(p, Value::Int(0), &mut wires).unwrap();
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert_eq!(link.batch_target(), 4, "halved under light traffic");
+        // A backlog at least one target deep doubles it back (capped).
+        for i in 0..8 {
+            link.put(p, Value::Int(i), &mut wires).unwrap();
+        }
+        for _ in 0..24 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert_eq!(link.batch_target(), 8, "doubled back under backlog");
+        // Hard ceiling holds regardless of pressure.
+        assert!(link.stats().max_batch_len <= 8);
+    }
+
+    #[test]
+    fn batch_length_histogram_buckets_by_power_of_two() {
+        let (mut link, mut wires) = fresh(); // max_batch 8
+        let p = CallerId(1);
+        // First transaction: 5 values (bucket 2: 4..=7).
+        for i in 0..5 {
+            link.put(p, Value::Int(i), &mut wires).unwrap();
+        }
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        // Second transaction: 1 value (bucket 0).
+        link.put(p, Value::Int(9), &mut wires).unwrap();
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let st = link.stats();
+        assert_eq!(st.batches, 2);
+        assert_eq!(st.batch_len_hist, vec![1, 0, 1], "one 1-batch, one 5-batch");
+        assert_eq!(
+            st.batch_len_hist.iter().sum::<u64>(),
+            st.batches,
+            "histogram accounts for every transaction"
+        );
+    }
+
+    #[test]
+    fn completion_signals_name_consumer_wake_wires() {
+        let (link, _) = fresh();
+        let get_wires = link.completion_signals("get");
+        let pending = link.spec().wire_id("PENDING").unwrap();
+        let b_full = link.spec().wire_id("B_FULL").unwrap();
+        assert!(get_wires.contains(&pending), "put raises PENDING");
+        assert!(get_wires.contains(&b_full), "delivery rides on B_FULL");
+        assert!(
+            link.completion_signals("put").is_empty(),
+            "capacity release is not wire-visible: blocked puts must poll"
+        );
+    }
+
+    #[test]
+    fn blocked_get_is_stable_until_delivery() {
+        let (mut link, mut wires) = fresh();
+        assert!(!link.get(CallerId(2), &mut wires).unwrap().done);
+        assert!(link.last_call_stable(), "empty get is a provable no-op");
+        link.put(CallerId(1), Value::Int(4), &mut wires).unwrap();
+        assert!(!link.last_call_stable(), "put mutated the link");
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert!(link.get(CallerId(2), &mut wires).unwrap().done);
+        assert!(!link.last_call_stable(), "a completing get pops state");
     }
 }

@@ -57,6 +57,19 @@ pub trait NativeUnit: fmt::Debug + Send {
         true
     }
 
+    /// The wires whose events can unblock a pending caller of `service`.
+    ///
+    /// Native units have no wire-level protocol — their state changes
+    /// through direct calls from other modules, which produce no kernel
+    /// signal events — so the default is the empty set, which tells
+    /// schedulers a caller blocked on this unit must **not** be parked
+    /// (there is no wire whose event could wake it; it has to keep
+    /// polling). A native unit that does mirror its state onto kernel
+    /// signals can override this to make its callers parkable.
+    fn completion_signals(&self, _service: &str) -> Vec<cosma_core::ids::PortId> {
+        vec![]
+    }
+
     /// Call statistics.
     fn stats(&self) -> &UnitStats;
 }

@@ -119,6 +119,26 @@ pub struct UnitStats {
     pub batched_values: u64,
     /// Largest single bus transaction, in values.
     pub max_batch_len: u64,
+    /// Batch-length distribution in power-of-two buckets: `hist[i]`
+    /// counts completed bus transactions carrying between `2^i` and
+    /// `2^(i+1) - 1` values. Grown on demand; empty until the first
+    /// batch completes.
+    pub batch_len_hist: Vec<u64>,
+}
+
+impl UnitStats {
+    /// Records one completed bus transaction of `len` values into the
+    /// batch counters and the power-of-two length histogram.
+    pub fn record_batch(&mut self, len: u64) {
+        self.batches += 1;
+        self.batched_values += len;
+        self.max_batch_len = self.max_batch_len.max(len);
+        let bucket = (u64::BITS - 1 - len.max(1).leading_zeros()) as usize;
+        if self.batch_len_hist.len() <= bucket {
+            self.batch_len_hist.resize(bucket + 1, 0);
+        }
+        self.batch_len_hist[bucket] += 1;
+    }
 }
 
 /// Wire-store wrapper counting writes, so a controller step can prove
@@ -233,6 +253,12 @@ pub struct FsmUnitRuntime {
     /// unchanged wire inputs must produce the same no-op, so the step
     /// can be skipped.
     ctrl_stable: bool,
+    /// Whether the last [`FsmUnitRuntime::call`] was a provable no-op:
+    /// pending outcome, same session state, no locals written, no wires
+    /// written. While true, re-calling with unchanged wires repeats the
+    /// identical no-op, so the *caller* can be parked until one of the
+    /// service's completion wires events.
+    last_call_stable: bool,
 }
 
 impl fmt::Debug for FsmUnitRuntime {
@@ -260,6 +286,7 @@ impl FsmUnitRuntime {
             sessions: HashMap::new(),
             stats: UnitStats::default(),
             ctrl_stable: false,
+            last_call_stable: false,
         }
     }
 
@@ -304,14 +331,22 @@ impl FsmUnitRuntime {
             locals: svc.locals().iter().map(|v| v.init().clone()).collect(),
         });
         let local_tys: Vec<_> = svc.locals().iter().map(|v| v.ty().clone()).collect();
+        let state_before = session.exec.current();
+        let mut counting = CountingWires {
+            inner: wires,
+            writes: 0,
+        };
         let mut env = SessionEnv {
             locals: &mut session.locals,
             local_tys,
-            wires,
+            wires: &mut counting,
             args,
             var_writes: 0,
         };
         session.exec.step(svc.fsm(), &mut env)?;
+        let var_writes = env.var_writes;
+        self.last_call_stable =
+            counting.writes == 0 && var_writes == 0 && session.exec.current() == state_before;
         let stats = self.stats.services.entry(service.to_string()).or_default();
         stats.calls += 1;
         let done = session
@@ -422,6 +457,32 @@ impl FsmUnitRuntime {
     #[must_use]
     pub fn controller_stable(&self) -> bool {
         self.ctrl_stable
+    }
+
+    /// Whether the last [`FsmUnitRuntime::call`] was a provable no-op
+    /// (pending outcome, session state unchanged, no locals written, no
+    /// wires written). While true, re-calling with unchanged wires is
+    /// guaranteed to repeat the no-op — schedulers can park the blocked
+    /// caller until one of [`FsmUnitRuntime::completion_signals`] events.
+    #[must_use]
+    pub fn last_call_stable(&self) -> bool {
+        self.last_call_stable
+    }
+
+    /// The wires whose events can unblock a caller of `service`: the
+    /// read-set of the service's protocol FSM. A blocked session's next
+    /// step depends only on its locals (frozen while the caller sleeps)
+    /// and these wires, so a parked caller re-armed by any event on them
+    /// observes exactly the behaviour of re-calling every cycle.
+    ///
+    /// Returns an empty set for unknown services (callers must then stay
+    /// awake).
+    #[must_use]
+    pub fn completion_signals(&self, service: &str) -> Vec<PortId> {
+        self.spec
+            .service(service)
+            .map(|svc| svc.fsm().port_reads())
+            .unwrap_or_default()
     }
 
     /// Current controller state name, if a controller exists (useful in
@@ -580,5 +641,42 @@ mod tests {
         let spec = handshake_unit("hs", Type::INT16);
         let unit = FsmUnitRuntime::new(spec);
         assert_eq!(unit.controller_state(), Some("IDLE"));
+    }
+
+    #[test]
+    fn completion_signals_are_the_protocol_read_set() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let unit = FsmUnitRuntime::new(spec.clone());
+        // get blocks on B_FULL and copies DATA: both are in its read-set,
+        // while REQ (producer-side only) is not.
+        let get = unit.completion_signals("get");
+        assert!(get.contains(&spec.wire_id("B_FULL").unwrap()));
+        assert!(get.contains(&spec.wire_id("DATA").unwrap()));
+        assert!(!get.contains(&spec.wire_id("REQ").unwrap()));
+        // put waits on ACK and B_FULL.
+        let put = unit.completion_signals("put");
+        assert!(put.contains(&spec.wire_id("ACK").unwrap()));
+        assert!(put.contains(&spec.wire_id("B_FULL").unwrap()));
+        assert!(unit.completion_signals("bogus").is_empty());
+    }
+
+    #[test]
+    fn blocked_call_is_stable_progressing_call_is_not() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        // get on an empty channel: pending, nothing written, same state —
+        // a provable no-op every time.
+        for _ in 0..3 {
+            let g = unit.call(CallerId(2), "get", &[], &mut wires).unwrap();
+            assert!(!g.done);
+            assert!(unit.last_call_stable(), "blocked get is a no-op");
+        }
+        // put's first activation drives DATA/REQ: pending but NOT stable.
+        let p = unit
+            .call(CallerId(1), "put", &[Value::Int(5)], &mut wires)
+            .unwrap();
+        assert!(!p.done);
+        assert!(!unit.last_call_stable(), "put wrote wires");
     }
 }

@@ -9,11 +9,15 @@ use std::fmt;
 use std::sync::Arc;
 
 enum Inner {
-    Fsm {
-        runtime: FsmUnitRuntime,
-        wires: LocalWires,
-    },
+    // Boxed: the FSM runtime is much larger than the native trait
+    // object, and StandaloneUnit values move around in tests.
+    Fsm(Box<FsmInner>),
     Native(Box<dyn NativeUnit>),
+}
+
+struct FsmInner {
+    runtime: FsmUnitRuntime,
+    wires: LocalWires,
 }
 
 /// One live communication unit, FSM-described or native, with in-process
@@ -55,10 +59,10 @@ impl StandaloneUnit {
         let wires = LocalWires::new(&spec);
         StandaloneUnit {
             name: spec.name().to_string(),
-            inner: Inner::Fsm {
+            inner: Inner::Fsm(Box::new(FsmInner {
                 runtime: FsmUnitRuntime::new(spec),
                 wires,
-            },
+            })),
         }
     }
 
@@ -89,7 +93,7 @@ impl StandaloneUnit {
         args: &[Value],
     ) -> Result<ServiceOutcome, EvalError> {
         match &mut self.inner {
-            Inner::Fsm { runtime, wires } => runtime.call(caller, service, args, wires),
+            Inner::Fsm(f) => f.runtime.call(caller, service, args, &mut f.wires),
             Inner::Native(unit) => unit.call(caller, service, args),
         }
     }
@@ -126,7 +130,7 @@ impl StandaloneUnit {
     /// Propagates controller evaluation errors.
     pub fn step(&mut self) -> Result<(), EvalError> {
         match &mut self.inner {
-            Inner::Fsm { runtime, wires } => runtime.step_controller(wires),
+            Inner::Fsm(f) => f.runtime.step_controller(&mut f.wires),
             Inner::Native(unit) => {
                 unit.step();
                 Ok(())
@@ -138,7 +142,7 @@ impl StandaloneUnit {
     #[must_use]
     pub fn stats(&self) -> UnitStats {
         match &self.inner {
-            Inner::Fsm { runtime, .. } => runtime.stats().clone(),
+            Inner::Fsm(f) => f.runtime.stats().clone(),
             Inner::Native(unit) => unit.stats().clone(),
         }
     }
@@ -150,12 +154,13 @@ impl StandaloneUnit {
     /// Returns an error for native units or unknown wires.
     pub fn wire(&self, name: &str) -> Result<Value, EvalError> {
         match &self.inner {
-            Inner::Fsm { runtime, wires } => {
-                let id = runtime
+            Inner::Fsm(f) => {
+                let id = f
+                    .runtime
                     .spec()
                     .wire_id(name)
                     .ok_or_else(|| EvalError::Service(format!("no wire {name}")))?;
-                wires.read_wire(id)
+                f.wires.read_wire(id)
             }
             Inner::Native(_) => Err(EvalError::Service("native units have no wires".to_string())),
         }

@@ -86,6 +86,33 @@ pub trait Env: ReadEnv {
     fn trace(&mut self, _label: &str, _values: &[Value]) {}
 }
 
+/// A service call that returned [`ServiceOutcome::pending`] during an
+/// activation: the binding and service the FSM is blocked on.
+///
+/// Schedulers use this to *park* a blocked FSM: instead of re-activating
+/// it every cycle just to watch the call spin, they wait on the bound
+/// unit's completion wires and resume the FSM when one of them events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingCall {
+    /// The module binding the call went through.
+    pub binding: crate::ids::BindingId,
+    /// The service name (shared with the call statement — recording a
+    /// pending call is a refcount bump, not an allocation).
+    pub service: std::sync::Arc<str>,
+}
+
+/// Side effects of executing statements ([`exec_stmt`]), accumulated
+/// across one activation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepEffects {
+    /// Number of service-call statements executed.
+    pub service_calls: u32,
+    /// Calls that returned a pending outcome, in execution order (empty
+    /// for activations whose calls all completed — `Vec::new` does not
+    /// allocate, so unblocked activations pay nothing).
+    pub pending: Vec<PendingCall>,
+}
+
 /// Report of a single FSM activation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepReport {
@@ -98,6 +125,9 @@ pub struct StepReport {
     pub transitioned: bool,
     /// Number of service-call statements executed during the activation.
     pub service_calls: u32,
+    /// Service calls left pending by this activation — what the FSM is
+    /// blocked on, if anything.
+    pub pending: Vec<PendingCall>,
 }
 
 /// Execution state of one FSM instance: just the current state, as all
@@ -170,9 +200,9 @@ impl FsmExec {
     pub fn step(&mut self, fsm: &Fsm, env: &mut dyn Env) -> Result<StepReport, EvalError> {
         let from = self.current;
         let state = fsm.state(from);
-        let mut calls = 0;
+        let mut effects = StepEffects::default();
         for stmt in &state.actions {
-            exec_stmt(stmt, env, &mut calls)?;
+            exec_stmt(stmt, env, &mut effects)?;
         }
         let mut to = from;
         let mut transitioned = false;
@@ -183,7 +213,7 @@ impl FsmExec {
             };
             if enabled {
                 for stmt in &t.actions {
-                    exec_stmt(stmt, env, &mut calls)?;
+                    exec_stmt(stmt, env, &mut effects)?;
                 }
                 to = t.target;
                 transitioned = true;
@@ -196,7 +226,8 @@ impl FsmExec {
             from,
             to,
             transitioned,
-            service_calls: calls,
+            service_calls: effects.service_calls,
+            pending: effects.pending,
         })
     }
 
@@ -228,12 +259,17 @@ impl FsmExec {
     }
 }
 
-/// Executes a single statement against the environment.
+/// Executes a single statement against the environment, accumulating
+/// call counts and pending-call records into `effects`.
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors; condition values must be defined.
-pub fn exec_stmt(stmt: &Stmt, env: &mut dyn Env, calls: &mut u32) -> Result<(), EvalError> {
+pub fn exec_stmt(
+    stmt: &Stmt,
+    env: &mut dyn Env,
+    effects: &mut StepEffects,
+) -> Result<(), EvalError> {
     match stmt {
         Stmt::Assign(v, e) => {
             let value = e.eval(env)?;
@@ -254,12 +290,12 @@ pub fn exec_stmt(stmt: &Stmt, env: &mut dyn Env, calls: &mut u32) -> Result<(), 
                 .ok_or(EvalError::UnknownCondition)?;
             let body = if c { then_body } else { else_body };
             for s in body {
-                exec_stmt(s, env, calls)?;
+                exec_stmt(s, env, effects)?;
             }
             Ok(())
         }
         Stmt::Call(call) => {
-            *calls += 1;
+            effects.service_calls += 1;
             let mut args = Vec::with_capacity(call.args.len());
             for a in &call.args {
                 args.push(a.eval(env)?);
@@ -272,6 +308,11 @@ pub fn exec_stmt(stmt: &Stmt, env: &mut dyn Env, calls: &mut u32) -> Result<(), 
                 if let (Some(result_var), Some(v)) = (call.result, outcome.result) {
                     env.write_var(result_var, v)?;
                 }
+            } else {
+                effects.pending.push(PendingCall {
+                    binding: call.binding,
+                    service: call.service.clone(),
+                });
             }
             Ok(())
         }
@@ -631,11 +672,11 @@ mod tests {
     fn trace_statement_records() {
         let mut env = MapEnv::new();
         let x = env.add_var(Type::INT16, Value::Int(9));
-        let mut calls = 0;
+        let mut effects = StepEffects::default();
         exec_stmt(
             &Stmt::Trace("pos".into(), vec![Expr::var(x)]),
             &mut env,
-            &mut calls,
+            &mut effects,
         )
         .unwrap();
         assert_eq!(env.traces(), &[("pos".to_string(), vec![Value::Int(9)])]);
@@ -644,7 +685,7 @@ mod tests {
     #[test]
     fn call_in_map_env_is_error() {
         let mut env = MapEnv::new();
-        let mut calls = 0;
+        let mut effects = StepEffects::default();
         let stmt = Stmt::Call(crate::stmt::ServiceCall {
             binding: crate::ids::BindingId::new(0),
             service: "put".into(),
@@ -653,10 +694,80 @@ mod tests {
             result: None,
         });
         assert!(matches!(
-            exec_stmt(&stmt, &mut env, &mut calls),
+            exec_stmt(&stmt, &mut env, &mut effects),
             Err(EvalError::Service(_))
         ));
-        assert_eq!(calls, 1);
+        assert_eq!(effects.service_calls, 1);
+    }
+
+    #[test]
+    fn pending_calls_are_reported() {
+        // An environment whose service always answers "pending": the
+        // step report must name the blocked binding+service so a
+        // scheduler can park the FSM on the unit's completion wires.
+        struct PendingEnv(MapEnv);
+        impl ReadEnv for PendingEnv {
+            fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+                self.0.read_var(v)
+            }
+            fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+                self.0.read_port(p)
+            }
+        }
+        impl Env for PendingEnv {
+            fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
+                self.0.write_var(v, value)
+            }
+            fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
+                self.0.drive_port(p, value)
+            }
+            fn call_service(
+                &mut self,
+                _call: &ServiceCall,
+                _args: &[Value],
+            ) -> Result<ServiceOutcome, EvalError> {
+                Ok(ServiceOutcome::pending())
+            }
+        }
+
+        let mut env = PendingEnv(MapEnv::new());
+        let done = env.0.add_var(Type::Bool, Value::Bool(false));
+        let mut b = FsmBuilder::new();
+        let get = b.state("GET");
+        let end = b.state("END");
+        b.actions(
+            get,
+            vec![Stmt::Call(crate::stmt::ServiceCall {
+                binding: crate::ids::BindingId::new(3),
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: None,
+            })],
+        );
+        b.transition(get, Some(Expr::var(done)), end);
+        b.initial(get);
+        let fsm = b.build().unwrap();
+        let mut exec = FsmExec::new(&fsm);
+        let r = exec.step(&fsm, &mut env).unwrap();
+        assert!(!r.transitioned);
+        assert_eq!(r.service_calls, 1);
+        assert_eq!(
+            r.pending,
+            vec![PendingCall {
+                binding: crate::ids::BindingId::new(3),
+                service: "get".into(),
+            }]
+        );
+        // A completing activation reports no pending calls.
+        let mut b = FsmBuilder::new();
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let fsm = b.build().unwrap();
+        let mut exec = FsmExec::new(&fsm);
+        let r = exec.step(&fsm, &mut env).unwrap();
+        assert!(r.pending.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! only one transition is executed".
 
 use crate::expr::Expr;
-use crate::ids::StateId;
+use crate::ids::{PortId, StateId};
 use crate::stmt::Stmt;
 use std::collections::HashMap;
 use std::fmt;
@@ -164,6 +164,62 @@ impl Fsm {
                 }
             }
         }
+    }
+
+    /// The FSM's port/wire *read set*: every port read by a guard or by
+    /// an expression inside any statement (recursing into `If` bodies),
+    /// sorted and deduplicated. Drive *targets* are excluded — a wire the
+    /// FSM only writes cannot unblock it.
+    ///
+    /// For a communication-unit service protocol this is exactly the set
+    /// of completion wires: an event on one of them is the only thing
+    /// that can change a blocked session's behaviour, so a scheduler may
+    /// park the caller until then.
+    #[must_use]
+    pub fn port_reads(&self) -> Vec<PortId> {
+        fn walk_stmt(s: &Stmt, f: &mut impl FnMut(PortId)) {
+            match s {
+                Stmt::Assign(_, e) | Stmt::Drive(_, e) => e.for_each_port(f),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    cond.for_each_port(f);
+                    for s in then_body.iter().chain(else_body) {
+                        walk_stmt(s, f);
+                    }
+                }
+                Stmt::Call(call) => {
+                    for a in &call.args {
+                        a.for_each_port(f);
+                    }
+                }
+                Stmt::Trace(_, exprs) => {
+                    for e in exprs {
+                        e.for_each_port(f);
+                    }
+                }
+            }
+        }
+        let mut reads = vec![];
+        let mut push = |p: PortId| reads.push(p);
+        for s in &self.states {
+            for a in &s.actions {
+                walk_stmt(a, &mut push);
+            }
+            for t in &s.transitions {
+                if let Some(g) = &t.guard {
+                    g.for_each_port(&mut push);
+                }
+                for a in &t.actions {
+                    walk_stmt(a, &mut push);
+                }
+            }
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        reads
     }
 }
 

@@ -70,7 +70,10 @@ mod value;
 pub mod view;
 
 pub use bit::{Bit, ParseBitError};
-pub use exec::{eval_const, exec_stmt, Env, FsmExec, MapEnv, ServiceOutcome, StepReport};
+pub use exec::{
+    eval_const, exec_stmt, Env, FsmExec, MapEnv, PendingCall, ServiceOutcome, StepEffects,
+    StepReport,
+};
 pub use expr::{BinOp, EvalError, Expr, ReadEnv, UnOp};
 pub use fsm::{Fsm, FsmBuildError, FsmBuilder, State, Transition};
 pub use module::{

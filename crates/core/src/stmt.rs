@@ -9,14 +9,17 @@
 
 use crate::expr::Expr;
 use crate::ids::{BindingId, PortId, VarId};
+use std::sync::Arc;
 
 /// A call to an access procedure (service) of a communication unit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceCall {
     /// Which of the module's interface bindings the call goes through.
     pub binding: BindingId,
-    /// Service (access procedure) name, e.g. `"put"`.
-    pub service: String,
+    /// Service (access procedure) name, e.g. `"put"`. Shared so that
+    /// per-activation reporting ([`crate::PendingCall`]) is a refcount
+    /// bump, not a heap allocation.
+    pub service: Arc<str>,
     /// Actual arguments, evaluated in the caller's environment.
     pub args: Vec<Expr>,
     /// Variable receiving the completion flag (`true` once the service
@@ -231,6 +234,6 @@ mod tests {
         for s in sample() {
             s.for_each_call(&mut |c| services.push(c.service.clone()));
         }
-        assert_eq!(services, vec!["put".to_string()]);
+        assert_eq!(services, vec![std::sync::Arc::<str>::from("put")]);
     }
 }

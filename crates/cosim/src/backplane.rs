@@ -9,25 +9,33 @@
 //!   Service calls from modules step the caller's protocol session
 //!   against those signals — the runtime equivalent of linking the SW
 //!   *simulation* view (Fig. 3b).
-//! * Unit bookkeeping (controller steps, native steps, batched-link
-//!   pumping) is scheduled per [`UnitScheduling`]: by default units are
-//!   grouped into *shards*, each one kernel process whose activation set
-//!   tracks which members were touched; fully idle shards go dormant and
-//!   cost nothing per clock edge. `UnitScheduling::PerUnit` preserves
-//!   the legacy one-clocked-process-per-unit path.
-//! * Native units with background activity are stepped once per HW
-//!   cycle; purely call-driven ones ([`NativeUnit::needs_step`] =
-//!   `false`) are parked under sharded scheduling.
+//! * All stepping — module activations, unit controller steps, native
+//!   steps, batched-link pumping — is owned by one *activation
+//!   scheduler* ([`SchedulingConfig`]). By default both modules and
+//!   units are grouped into *shards*: each shard is one kernel process
+//!   whose members carry per-member activation state. A member that
+//!   proves itself stable is **parked** — removed from the shard's
+//!   active set and re-armed only by events on its *watch wires* — and
+//!   a shard whose members are all parked goes dormant (drops its clock
+//!   sensitivity entirely), so idle regions of the backplane cost
+//!   nothing per clock edge.
+//! * A module whose FSM is blocked on a pending service call parks on
+//!   the bound unit's **completion wires** (the read-set of the blocked
+//!   protocol): a consumer blocked on `get` against an empty link costs
+//!   zero activations until the producer's `put` lands.
+//! * The legacy one-kernel-process-per-unit and per-module paths
+//!   survive as [`UnitScheduling::PerUnit`] /
+//!   [`ModuleScheduling::PerModule`] for ablation, and parking can be
+//!   disabled wholesale with [`SchedulingConfig::park_blocked`].
 //! * Batched bus links ([`Cosim::add_batched_unit`]) coalesce per-value
-//!   transfers into one wire handshake per batch.
+//!   transfers into one wire handshake per (adaptively sized) batch.
 
 use crate::trace::TraceLog;
 use cosma_comm::{BatchedLink, CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::{PortId, VarId};
 use cosma_core::{
-    Env, EvalError, Fsm, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type,
-    Value,
+    Env, EvalError, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type, Value,
 };
 use cosma_sim::{
     ClockControl, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimTime, Simulator, Wait,
@@ -47,14 +55,17 @@ pub enum UnitScheduling {
     /// edge it costs one process wakeup per unit even when every unit is
     /// provably idle.
     PerUnit,
-    /// Units grouped into shards of at most `shard_size`; each shard is
-    /// one kernel process with a per-member activation set. A shard whose
-    /// members are all provably stable goes *dormant*: it drops its clock
-    /// sensitivity and waits only on its members' wires through the
-    /// kernel's inverted sensitivity index, so idle shards cost nothing
-    /// per clock edge. Only touched shards step.
+    /// Units grouped into shards by **hashed id** (so creation-order
+    /// runs of hot units do not pile into one shard); each shard is one
+    /// kernel process with an active/parked member split. Provably
+    /// stable members are parked out of the active set and re-armed
+    /// through the kernel's inverted sensitivity index when one of
+    /// their wires events, so idle units cost nothing per clock edge —
+    /// even inside a shard kept awake by a hot member.
     Sharded {
-        /// Maximum units per shard.
+        /// Target units per shard (shards are opened so the *average*
+        /// fill is `shard_size`; hashed placement makes individual
+        /// shards vary around it).
         shard_size: usize,
     },
 }
@@ -67,25 +78,132 @@ impl Default for UnitScheduling {
     }
 }
 
-/// Default units per shard.
+/// How module activations are scheduled on the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleScheduling {
+    /// One kernel process per module, activated on every rising edge of
+    /// its kind's activation clock. The classic path, kept for ablation.
+    /// (Parking still applies unless disabled: a blocked module's
+    /// process swaps its clock sensitivity for its watch wires.)
+    PerModule,
+    /// Modules grouped into shards **in creation order** (service calls
+    /// mutate unit state immediately, so the global step order must
+    /// match the per-module path — see the module docs); each shard is
+    /// one kernel process stepping its active members on their clock's
+    /// rising edges. Parked members cost nothing until a watch wire
+    /// events.
+    Sharded {
+        /// Maximum modules per shard.
+        shard_size: usize,
+    },
+}
+
+impl Default for ModuleScheduling {
+    fn default() -> Self {
+        ModuleScheduling::Sharded {
+            shard_size: DEFAULT_SHARD_SIZE,
+        }
+    }
+}
+
+/// The activation scheduler's configuration: how units and modules are
+/// dispatched, and whether provably-stable FSMs are parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulingConfig {
+    /// Unit dispatch (controller steps, native steps, batched pumping).
+    pub units: UnitScheduling,
+    /// Module dispatch (FSM activations).
+    pub modules: ModuleScheduling,
+    /// Whether to park provably-stable FSMs (default `true`). A module
+    /// activation that changed nothing — same state, no effective
+    /// variable writes or port drives, every service call pending *and*
+    /// a provable no-op on the unit side — would repeat identically
+    /// every cycle; with parking on, the module instead sleeps until an
+    /// event on its ports or on the blocked services' completion wires.
+    ///
+    /// Parking is invisible to signal traces, trace logs, final states
+    /// and `ModuleStatus.activations` *across scheduler paths* (sharded
+    /// and per-module park identically). It does suppress the no-op
+    /// activations themselves, so activation counts differ from a
+    /// `park_blocked: false` run while a module is blocked.
+    pub park_blocked: bool,
+}
+
+impl Default for SchedulingConfig {
+    fn default() -> Self {
+        SchedulingConfig::sharded()
+    }
+}
+
+impl SchedulingConfig {
+    /// The default configuration: sharded units, sharded modules,
+    /// parking enabled.
+    #[must_use]
+    pub fn sharded() -> Self {
+        SchedulingConfig {
+            units: UnitScheduling::default(),
+            modules: ModuleScheduling::default(),
+            park_blocked: true,
+        }
+    }
+
+    /// The PR-2-era baseline: one process per unit and per module,
+    /// stepped on every clock edge, no parking. Kept for ablation.
+    #[must_use]
+    pub fn legacy() -> Self {
+        SchedulingConfig {
+            units: UnitScheduling::PerUnit,
+            modules: ModuleScheduling::PerModule,
+            park_blocked: false,
+        }
+    }
+}
+
+/// Default members per shard.
 pub const DEFAULT_SHARD_SIZE: usize = 16;
 
-/// Aggregate statistics of the sharded unit scheduler (all zero under
-/// [`UnitScheduling::PerUnit`]).
+/// Aggregate statistics of the activation scheduler.
+///
+/// Shard counters are zero under the per-unit/per-module paths; the
+/// park/resume counters cover *both* paths (per-module processes park
+/// too, by swapping their clock sensitivity for their watch wires).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Number of shards.
+    /// Number of shards (unit shards + module shards).
     pub shards: usize,
-    /// Shards currently dormant (no clock sensitivity).
+    /// Shards currently dormant (no active member, no clock
+    /// sensitivity).
     pub dormant_shards: usize,
     /// Total shard-process activations.
     pub shard_runs: u64,
-    /// Member step executions (controller steps, native steps, pumps).
+    /// Unit-member step executions (controller steps, native steps,
+    /// pumps).
     pub units_stepped: u64,
-    /// Members skipped at a clock edge because they were provably idle.
+    /// Member steps avoided at a clock edge because the member was
+    /// parked.
     pub units_skipped: u64,
-    /// Dormant-shard wakeups caused by a member wire event.
+    /// Dormant-shard wakeups caused by a member watch-wire event.
     pub wire_wakeups: u64,
+    /// Module activations executed through the scheduler (both paths).
+    pub modules_stepped: u64,
+    /// Park transitions: members (modules or units) removed from their
+    /// scheduler's active set after proving themselves stable.
+    pub members_parked: u64,
+    /// Resume transitions: parked members re-armed by a watch-wire
+    /// event.
+    pub members_resumed: u64,
+    /// Members currently parked (across shards and per-module
+    /// processes).
+    pub parked_now: usize,
+}
+
+/// Park/resume accounting shared by every scheduler path.
+#[derive(Debug, Default)]
+struct ParkCounters {
+    parked: Cell<u64>,
+    resumed: Cell<u64>,
+    parked_now: Cell<usize>,
+    modules_stepped: Cell<u64>,
 }
 
 /// Clocking configuration.
@@ -119,22 +237,32 @@ pub struct CosimModuleId(usize);
 /// Live status of a module, readable while the simulation runs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ModuleStatus {
-    /// Current FSM state name.
+    /// Current FSM state name. When the module halted on an evaluation
+    /// error this is the state whose actions/guards errored.
     pub state: String,
     /// Activations performed.
     pub activations: u64,
+    /// The evaluation error that halted this module, if any. Also
+    /// surfaced globally through [`Cosim::run_for`]'s error result.
+    pub error: Option<String>,
 }
 
 struct FsmUnitEntry {
     name: String,
     runtime: FsmUnitRuntime,
     wires: Vec<SignalId>,
+    /// Per-service completion wires (the blocked protocol's read-set,
+    /// mapped onto kernel signals): the wires whose events can unblock
+    /// a pending caller, precomputed at registration.
+    completion: HashMap<String, Vec<SignalId>>,
 }
 
 struct BatchedUnitEntry {
     name: String,
     link: BatchedLink,
     wires: Vec<SignalId>,
+    /// Per-service completion wires (see [`FsmUnitEntry::completion`]).
+    completion: HashMap<String, Vec<SignalId>>,
 }
 
 struct Registry {
@@ -150,23 +278,57 @@ enum Handle {
     Batched(usize),
 }
 
-/// One unit inside a shard: its registry handle, its kernel wires and the
-/// monotone event counts last observed for them.
+/// Everything the backplane knows about one module instance. Owned by
+/// the shared module table so both scheduler paths (per-module process,
+/// module shard) step modules through the same code.
+struct ModuleEntry {
+    name: String,
+    module: Module,
+    exec: FsmExec,
+    ports: Vec<SignalId>,
+    vars: Vec<Value>,
+    var_tys: Vec<Type>,
+    bindings: Vec<Handle>,
+    caller: CallerId,
+    status: ModuleStatus,
+}
+
+/// What a shard member is: a unit's bookkeeping body or a module's FSM.
+#[derive(Clone, Copy)]
+enum MemberBody {
+    Unit(Handle),
+    Module(usize),
+}
+
+/// One member of a shard: its body, its activation clock, its gating
+/// wires and the wires that re-arm it while parked.
 struct ShardMember {
-    handle: Handle,
+    body: MemberBody,
+    /// The rising edge this member activates on.
+    clk: SignalId,
+    /// Gating wires (unit members only): the unit's kernel wires, whose
+    /// monotone event counts decide whether inputs changed.
     wires: Vec<SignalId>,
+    /// Last observed event counts for `wires`.
     seen_events: Vec<u64>,
-    /// Whether the member must run on the next rising HW clock edge:
-    /// controllers that are not provably stable, native units with real
-    /// background steps, batched links with queued or in-flight work.
-    needs_clock: bool,
+    /// Wires whose events re-arm this member while parked. Fixed for
+    /// units (their own wires); computed at park time for modules
+    /// (ports plus the blocked services' completion wires). Empty means
+    /// the member can never be re-armed (a provably-halted module).
+    watch: Vec<SignalId>,
 }
 
 /// Shared state of one shard process.
 struct ShardState {
     members: Vec<ShardMember>,
-    /// Whether the shard currently holds clock sensitivity.
-    awake: bool,
+    /// Indices of members stepped at clock edges, ascending (module
+    /// step order must match creation order — see the module docs).
+    active: Vec<u32>,
+    /// Indices of parked members, re-armed by watch-wire events.
+    parked: Vec<u32>,
+    /// Whether the kernel sensitivity must be recomputed on the next
+    /// run (membership changed).
+    wait_dirty: bool,
     runs: u64,
     units_stepped: u64,
     units_skipped: u64,
@@ -177,13 +339,30 @@ impl ShardState {
     fn new() -> Self {
         ShardState {
             members: vec![],
-            awake: true,
+            active: vec![],
+            parked: vec![],
+            wait_dirty: true,
             runs: 0,
             units_stepped: 0,
             units_skipped: 0,
             wire_wakeups: 0,
         }
     }
+
+    fn push_member(&mut self, m: ShardMember) {
+        let idx = self.members.len() as u32;
+        self.members.push(m);
+        self.active.push(idx);
+        self.wait_dirty = true;
+    }
+}
+
+/// splitmix64: the hash spreading unit ids over shards.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Bridges a unit's wire table onto kernel signals through the running
@@ -212,7 +391,9 @@ impl WireStore for CtxWires<'_, '_> {
 }
 
 /// The execution environment a module activation sees: ports are kernel
-/// signals, variables are module-local, service calls go to the registry.
+/// signals, variables are module-local, service calls go to the
+/// registry. Alongside execution it accumulates the *stability
+/// evidence* the scheduler needs for its park verdict.
 struct CosimEnv<'a, 'b> {
     ctx: &'a mut ProcCtx<'b>,
     ports: &'a [SignalId],
@@ -223,6 +404,17 @@ struct CosimEnv<'a, 'b> {
     caller: CallerId,
     trace: &'a RefCell<TraceLog>,
     source: &'a str,
+    /// Effective changes this activation: variable writes that changed
+    /// a value, port drives that differ from the signal's current
+    /// value, trace records, completed service calls. Zero means the
+    /// activation was (conservatively) a no-op.
+    changes: u32,
+    /// Whether every pending service call this activation was a
+    /// provable no-op on the unit side *with* non-empty completion
+    /// wires — i.e. safe to wait on wires instead of polling.
+    pending_stable: bool,
+    /// Completion wires of the pending calls (what to watch if parked).
+    pending_watch: Vec<SignalId>,
 }
 
 impl ReadEnv for CosimEnv<'_, '_> {
@@ -247,12 +439,19 @@ impl Env for CosimEnv<'_, '_> {
             .vars
             .get_mut(v.index())
             .ok_or(EvalError::NoSuchVar(v))?;
-        *slot = ty.clamp(value);
+        let value = ty.clamp(value);
+        if *slot != value {
+            self.changes += 1;
+            *slot = value;
+        }
         Ok(())
     }
     fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
         match self.ports.get(p.index()) {
             Some(&sig) => {
+                if self.ctx.read(sig) != &value {
+                    self.changes += 1;
+                }
                 self.ctx.drive(sig, value);
                 Ok(())
             }
@@ -271,38 +470,75 @@ impl Env for CosimEnv<'_, '_> {
             )));
         };
         let mut reg = self.registry.borrow_mut();
-        match handle {
+        let out = match handle {
             Handle::Fsm(i) => {
                 let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
                 let mut ws = CtxWires {
                     ctx: self.ctx,
                     map: wires,
                 };
-                runtime.call(self.caller, &call.service, args, &mut ws)
+                runtime.call(self.caller, &call.service, args, &mut ws)?
             }
-            Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args),
+            Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args)?,
             Handle::Batched(i) => {
-                let BatchedUnitEntry { name, link, wires } = &mut reg.batched[i];
+                let BatchedUnitEntry {
+                    name, link, wires, ..
+                } = &mut reg.batched[i];
                 let mut ws = CtxWires {
                     ctx: self.ctx,
                     map: wires,
                 };
-                match (call.service.as_str(), args) {
-                    ("put", [v]) => link.put(self.caller, v.clone(), &mut ws),
-                    ("get", []) => link.get(self.caller, &mut ws),
-                    ("put" | "get", _) => Err(EvalError::Service(format!(
-                        "batched link {name}: service {} called with {} argument(s)",
-                        call.service,
-                        args.len()
-                    ))),
-                    (other, _) => Err(EvalError::Service(format!(
-                        "batched link {name} has no service {other}"
-                    ))),
+                match (&*call.service, args) {
+                    ("put", [v]) => link.put(self.caller, v.clone(), &mut ws)?,
+                    ("get", []) => link.get(self.caller, &mut ws)?,
+                    ("put" | "get", _) => {
+                        return Err(EvalError::Service(format!(
+                            "batched link {name}: service {} called with {} argument(s)",
+                            call.service,
+                            args.len()
+                        )))
+                    }
+                    (other, _) => {
+                        return Err(EvalError::Service(format!(
+                            "batched link {name} has no service {other}"
+                        )))
+                    }
                 }
             }
+        };
+        if out.done {
+            // A completed call mutated the unit: not a no-op.
+            self.changes += 1;
+        } else {
+            // Pending: parkable only if the unit proves the call was a
+            // no-op AND names wires that can wake the caller.
+            let (stable, comp) = match handle {
+                Handle::Fsm(i) => {
+                    let e = &reg.fsm[i];
+                    (
+                        e.runtime.last_call_stable(),
+                        e.completion.get(&*call.service),
+                    )
+                }
+                Handle::Batched(i) => {
+                    let e = &reg.batched[i];
+                    (e.link.last_call_stable(), e.completion.get(&*call.service))
+                }
+                // Native units change state through direct calls that
+                // produce no wire events: a blocked caller must poll.
+                Handle::Native(_) => (false, None),
+            };
+            match comp {
+                Some(ws) if stable && !ws.is_empty() => {
+                    self.pending_watch.extend_from_slice(ws);
+                }
+                _ => self.pending_stable = false,
+            }
         }
+        Ok(out)
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
+        self.changes += 1;
         self.trace
             .borrow_mut()
             .record(self.ctx.now().as_fs(), self.source, label, values.to_vec());
@@ -337,14 +573,394 @@ impl From<SimError> for CosimError {
     }
 }
 
-/// Per-module bookkeeping: name, live status, live variables, and the
-/// module description itself.
-type ModuleSlot = (
-    String,
-    Rc<RefCell<ModuleStatus>>,
-    Rc<RefCell<Vec<Value>>>,
-    Module,
-);
+/// One module activation through the shared module table. Returns
+/// `Ok(Some(watch))` when the activation proved the module stable and
+/// it should be parked on `watch` (possibly empty: a halted module that
+/// nothing can ever re-arm), `Ok(None)` to stay clocked.
+fn step_module(
+    modules: &RefCell<Vec<ModuleEntry>>,
+    idx: usize,
+    registry: &RefCell<Registry>,
+    trace: &RefCell<TraceLog>,
+    park: &ParkCounters,
+    park_blocked: bool,
+    ctx: &mut ProcCtx<'_>,
+) -> Result<Option<Vec<SignalId>>, String> {
+    let mut modules = modules.borrow_mut();
+    let ModuleEntry {
+        name,
+        module,
+        exec,
+        ports,
+        vars,
+        var_tys,
+        bindings,
+        caller,
+        status,
+    } = &mut modules[idx];
+    let fsm = module.fsm();
+    let mut env = CosimEnv {
+        ctx,
+        ports,
+        vars,
+        var_tys,
+        registry,
+        bindings,
+        caller: *caller,
+        trace,
+        source: name,
+        changes: 0,
+        pending_stable: true,
+        pending_watch: vec![],
+    };
+    match exec.step(fsm, &mut env) {
+        Ok(report) => {
+            let changes = env.changes;
+            let pending_stable = env.pending_stable;
+            let mut watch = env.pending_watch;
+            status.state = fsm.state(exec.current()).name().to_string();
+            status.activations += 1;
+            park.modules_stepped.set(park.modules_stepped.get() + 1);
+            // Park verdict: the activation must be a provable fixed
+            // point. Same state (self-loops included), zero effective
+            // changes, and every service call pending as a unit-side
+            // no-op with completion wires to wait on. Re-running such
+            // an activation with unchanged ports/wires is guaranteed
+            // to repeat it identically, so the module may sleep until
+            // one of its ports or completion wires events.
+            let parkable = park_blocked
+                && report.from == report.to
+                && changes == 0
+                && pending_stable
+                && report.pending.len() == report.service_calls as usize;
+            if parkable {
+                watch.extend_from_slice(ports);
+                watch.sort_unstable();
+                watch.dedup();
+                Ok(Some(watch))
+            } else {
+                Ok(None)
+            }
+        }
+        Err(e) => {
+            // Record the halting state and the error on the module
+            // itself, not just in the backplane's global error slot.
+            let msg = format!("module {name}: {e}");
+            status.state = fsm.state(exec.current()).name().to_string();
+            status.error = Some(msg.clone());
+            Err(msg)
+        }
+    }
+}
+
+/// The single owner of module and unit stepping: shard pools, hashed
+/// unit placement, park accounting. Unified here so modules and units —
+/// the same FSM semantics in the paper's model — share one
+/// activation-gating architecture.
+struct ActivationScheduler {
+    cfg: SchedulingConfig,
+    /// Units ever placed (drives hashed shard assignment).
+    unit_members: usize,
+    unit_shards: Vec<Rc<RefCell<ShardState>>>,
+    module_shards: Vec<Rc<RefCell<ShardState>>>,
+    park: Rc<ParkCounters>,
+}
+
+/// The backplane resources a scheduler registration needs.
+struct SchedCtx<'a> {
+    sim: &'a mut Simulator,
+    registry: &'a Rc<RefCell<Registry>>,
+    modules: &'a Rc<RefCell<Vec<ModuleEntry>>>,
+    error: &'a Rc<RefCell<Option<String>>>,
+    trace: &'a Rc<RefCell<TraceLog>>,
+    live: &'a Rc<Cell<u32>>,
+    hw_clk: SignalId,
+}
+
+impl ActivationScheduler {
+    fn new(cfg: SchedulingConfig) -> Self {
+        ActivationScheduler {
+            cfg,
+            unit_members: 0,
+            unit_shards: vec![],
+            module_shards: vec![],
+            park: Rc::new(ParkCounters::default()),
+        }
+    }
+
+    /// Places a unit member into a shard chosen by hashing its id over
+    /// the shards allowed so far (one more per `shard_size` members).
+    /// A hash landing past the open shards creates the next one, so
+    /// shard count still tracks `members / shard_size` while
+    /// creation-order runs are scattered.
+    fn add_unit_member(&mut self, ctx: SchedCtx<'_>, handle: Handle, wires: Vec<SignalId>) {
+        let shard_size = match self.cfg.units {
+            UnitScheduling::Sharded { shard_size } => shard_size.max(1),
+            UnitScheduling::PerUnit => unreachable!("shard members only exist when sharded"),
+        };
+        let k = self.unit_members;
+        self.unit_members += 1;
+        let allowed = k / shard_size + 1;
+        let hashed = (splitmix64(k as u64) % allowed as u64) as usize;
+        let clk = ctx.hw_clk;
+        let target = if hashed >= self.unit_shards.len() {
+            let state = Rc::new(RefCell::new(ShardState::new()));
+            let label = format!("unit_shard{}", self.unit_shards.len());
+            Self::register_shard_process(
+                ctx,
+                Rc::clone(&state),
+                Rc::clone(&self.park),
+                self.cfg.park_blocked,
+                label,
+            );
+            self.unit_shards.push(state);
+            self.unit_shards.len() - 1
+        } else {
+            hashed
+        };
+        self.unit_shards[target]
+            .borrow_mut()
+            .push_member(ShardMember {
+                body: MemberBody::Unit(handle),
+                clk,
+                seen_events: vec![0; wires.len()],
+                watch: wires.clone(),
+                wires,
+            });
+    }
+
+    /// Places a module member into the open module shard (creation
+    /// order — module service calls mutate unit state immediately, so
+    /// the global step order must match the per-module path).
+    fn add_module_member(&mut self, ctx: SchedCtx<'_>, idx: usize, clk: SignalId) {
+        let shard_size = match self.cfg.modules {
+            ModuleScheduling::Sharded { shard_size } => shard_size.max(1),
+            ModuleScheduling::PerModule => unreachable!("shard members only exist when sharded"),
+        };
+        let state = match self.module_shards.last() {
+            Some(s) if s.borrow().members.len() < shard_size => Rc::clone(s),
+            _ => {
+                let state = Rc::new(RefCell::new(ShardState::new()));
+                let label = format!("module_shard{}", self.module_shards.len());
+                Self::register_shard_process(
+                    ctx,
+                    Rc::clone(&state),
+                    Rc::clone(&self.park),
+                    self.cfg.park_blocked,
+                    label,
+                );
+                self.module_shards.push(Rc::clone(&state));
+                state
+            }
+        };
+        state.borrow_mut().push_member(ShardMember {
+            body: MemberBody::Module(idx),
+            clk,
+            wires: vec![],
+            seen_events: vec![],
+            watch: vec![],
+        });
+    }
+
+    /// Registers the kernel process driving one shard. Each run it
+    /// re-arms parked members whose watch wires evented, steps active
+    /// members on their clock's rising edges (parking the ones that
+    /// prove stable), and re-declares its sensitivity only when
+    /// membership changed: the active members' clocks plus the parked
+    /// members' watch wires — no clocks at all once everyone is parked,
+    /// which is what makes a dormant shard free.
+    fn register_shard_process(
+        ctx: SchedCtx<'_>,
+        state: Rc<RefCell<ShardState>>,
+        park: Rc<ParkCounters>,
+        park_blocked: bool,
+        label: String,
+    ) {
+        let registry = Rc::clone(ctx.registry);
+        let modules = Rc::clone(ctx.modules);
+        let error = Rc::clone(ctx.error);
+        let trace = Rc::clone(ctx.trace);
+        let live = Rc::clone(ctx.live);
+        live.set(live.get() + 1);
+        let mut live_counted = true;
+        ctx.sim.add_process(
+            label,
+            FnProcess::new(move |pctx| {
+                if error.borrow().is_some() {
+                    if live_counted {
+                        live_counted = false;
+                        live.set(live.get() - 1);
+                    }
+                    return Wait::Forever;
+                }
+                let mut st = state.borrow_mut();
+                let st = &mut *st;
+                st.runs += 1;
+                let was_dormant = st.active.is_empty();
+                // Re-arm parked members whose watch wires evented in
+                // this delta.
+                if !st.parked.is_empty() {
+                    let mut resumed_any = false;
+                    let mut i = 0;
+                    while i < st.parked.len() {
+                        let mi = st.parked[i] as usize;
+                        if st.members[mi].watch.iter().any(|&w| pctx.event(w)) {
+                            let idx = st.parked.swap_remove(i);
+                            let pos = st.active.partition_point(|&a| a < idx);
+                            st.active.insert(pos, idx);
+                            park.resumed.set(park.resumed.get() + 1);
+                            park.parked_now.set(park.parked_now.get() - 1);
+                            st.wait_dirty = true;
+                            resumed_any = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if was_dormant && resumed_any {
+                        st.wire_wakeups += 1;
+                    }
+                }
+                // Step active members whose clock rose.
+                let ShardState {
+                    members,
+                    active,
+                    parked,
+                    wait_dirty,
+                    units_stepped,
+                    units_skipped,
+                    ..
+                } = st;
+                let mut edge_seen = false;
+                let mut to_park: Vec<u32> = vec![];
+                for &ai in active.iter() {
+                    let member = &mut members[ai as usize];
+                    if !pctx.rose(member.clk) {
+                        continue;
+                    }
+                    edge_seen = true;
+                    let verdict = match member.body {
+                        MemberBody::Unit(handle) => {
+                            let changed =
+                                wires_changed(pctx, &member.wires, &mut member.seen_events);
+                            *units_stepped += 1;
+                            let mut reg = registry.borrow_mut();
+                            match step_unit_member(&mut reg, handle, pctx, changed) {
+                                Ok(stable) => Ok(stable.then(|| member.wires.clone())),
+                                Err(msg) => Err(msg),
+                            }
+                        }
+                        MemberBody::Module(idx) => {
+                            step_module(&modules, idx, &registry, &trace, &park, park_blocked, pctx)
+                        }
+                    };
+                    match verdict {
+                        Ok(Some(watch)) => {
+                            member.watch = watch;
+                            to_park.push(ai);
+                        }
+                        Ok(None) => {}
+                        Err(msg) => {
+                            *error.borrow_mut() = Some(msg);
+                            if live_counted {
+                                live_counted = false;
+                                live.set(live.get() - 1);
+                            }
+                            return Wait::Forever;
+                        }
+                    }
+                }
+                if edge_seen {
+                    *units_skipped += parked.len() as u64;
+                }
+                if !to_park.is_empty() {
+                    active.retain(|a| !to_park.contains(a));
+                    parked.extend_from_slice(&to_park);
+                    park.parked.set(park.parked.get() + to_park.len() as u64);
+                    park.parked_now.set(park.parked_now.get() + to_park.len());
+                    *wait_dirty = true;
+                }
+                if !st.wait_dirty {
+                    return Wait::Same;
+                }
+                st.wait_dirty = false;
+                let mut sens: Vec<SignalId> = vec![];
+                for &ai in &st.active {
+                    sens.push(st.members[ai as usize].clk);
+                }
+                for &pi in &st.parked {
+                    sens.extend_from_slice(&st.members[pi as usize].watch);
+                }
+                sens.sort_unstable();
+                sens.dedup();
+                Wait::Event(sens)
+            }),
+        );
+    }
+
+    /// Aggregate statistics across both shard pools and the shared park
+    /// counters.
+    fn stats(&self) -> ShardStats {
+        let mut s = ShardStats {
+            shards: self.unit_shards.len() + self.module_shards.len(),
+            modules_stepped: self.park.modules_stepped.get(),
+            members_parked: self.park.parked.get(),
+            members_resumed: self.park.resumed.get(),
+            parked_now: self.park.parked_now.get(),
+            ..ShardStats::default()
+        };
+        for shard in self.unit_shards.iter().chain(&self.module_shards) {
+            let st = shard.borrow();
+            if st.active.is_empty() && !st.members.is_empty() {
+                s.dormant_shards += 1;
+            }
+            s.shard_runs += st.runs;
+            s.units_stepped += st.units_stepped;
+            s.units_skipped += st.units_skipped;
+            s.wire_wakeups += st.wire_wakeups;
+        }
+        s
+    }
+}
+
+/// One activation of a unit shard member at a rising clock edge.
+/// Returns whether the member proved itself stable (parkable).
+fn step_unit_member(
+    reg: &mut Registry,
+    handle: Handle,
+    ctx: &mut ProcCtx<'_>,
+    inputs_changed: bool,
+) -> Result<bool, String> {
+    match handle {
+        Handle::Fsm(i) => {
+            let FsmUnitEntry {
+                name,
+                runtime,
+                wires,
+                ..
+            } = &mut reg.fsm[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            runtime
+                .step_controller_if_active(&mut ws, inputs_changed)
+                .map_err(|e| format!("unit {name} controller: {e}"))?;
+            Ok(runtime.controller_stable())
+        }
+        Handle::Native(i) => {
+            let (_, unit) = &mut reg.native[i];
+            unit.step();
+            Ok(!unit.needs_step())
+        }
+        Handle::Batched(i) => {
+            let BatchedUnitEntry {
+                name, link, wires, ..
+            } = &mut reg.batched[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            let active = link
+                .pump(&mut ws, inputs_changed)
+                .map_err(|e| format!("batched link {name}: {e}"))?;
+            Ok(!active)
+        }
+    }
+}
 
 /// The co-simulation backplane.
 ///
@@ -406,21 +1022,21 @@ pub struct Cosim {
     trace: Rc<RefCell<TraceLog>>,
     hw_clk: SignalId,
     sw_clk: SignalId,
-    modules: Vec<ModuleSlot>,
-    scheduling: UnitScheduling,
-    shards: Vec<Rc<RefCell<ShardState>>>,
+    modules: Rc<RefCell<Vec<ModuleEntry>>>,
+    sched: ActivationScheduler,
     /// Number of clocked bodies (module activations, unit controllers,
     /// native steps) still registered. The activation clock generators
     /// park forever when it reaches zero, so a backplane whose clocked
     /// work has all halted actually goes quiescent
-    /// ([`Cosim::run_to_quiescence`]).
+    /// ([`Cosim::run_to_quiescence`]). Parked bodies stay counted: they
+    /// are asleep, not halted, and may be re-armed by wire events.
     live_clocked: Rc<Cell<u32>>,
 }
 
 impl fmt::Debug for Cosim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cosim")
-            .field("modules", &self.modules.len())
+            .field("modules", &self.modules.borrow().len())
             .field("units", &self.handles.len())
             .finish_non_exhaustive()
     }
@@ -470,15 +1086,37 @@ impl Cosim {
             trace: Rc::new(RefCell::new(TraceLog::new())),
             hw_clk,
             sw_clk,
-            modules: vec![],
-            scheduling: UnitScheduling::default(),
-            shards: vec![],
+            modules: Rc::new(RefCell::new(vec![])),
+            sched: ActivationScheduler::new(SchedulingConfig::sharded()),
             live_clocked,
         }
     }
 
-    /// Selects the unit-scheduling strategy. Must be called before any
-    /// unit is added.
+    /// Selects the full scheduling configuration (unit dispatch, module
+    /// dispatch, parking). Must be called before any unit or module is
+    /// added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if units or modules were already
+    /// added, or a shard size is zero.
+    pub fn set_scheduling(&mut self, cfg: SchedulingConfig) -> Result<(), CosimError> {
+        if !self.handles.is_empty() || !self.modules.borrow().is_empty() {
+            return Err(CosimError::Setup(
+                "scheduling must be chosen before adding units or modules".to_string(),
+            ));
+        }
+        if matches!(cfg.units, UnitScheduling::Sharded { shard_size: 0 })
+            || matches!(cfg.modules, ModuleScheduling::Sharded { shard_size: 0 })
+        {
+            return Err(CosimError::Setup("shard size must be nonzero".to_string()));
+        }
+        self.sched.cfg = cfg;
+        Ok(())
+    }
+
+    /// Selects the unit-scheduling strategy, leaving module scheduling
+    /// and parking unchanged. Must be called before any unit is added.
     ///
     /// # Errors
     ///
@@ -494,149 +1132,43 @@ impl Cosim {
                 return Err(CosimError::Setup("shard size must be nonzero".to_string()));
             }
         }
-        self.scheduling = s;
+        self.sched.cfg.units = s;
         Ok(())
+    }
+
+    /// The active scheduling configuration.
+    #[must_use]
+    pub fn scheduling(&self) -> SchedulingConfig {
+        self.sched.cfg
     }
 
     /// The active unit-scheduling strategy.
     #[must_use]
     pub fn unit_scheduling(&self) -> UnitScheduling {
-        self.scheduling
+        self.sched.cfg.units
     }
 
-    /// Aggregate shard-scheduler statistics (all zero under
-    /// [`UnitScheduling::PerUnit`]).
+    /// Aggregate activation-scheduler statistics (shard counters are
+    /// zero under the per-unit/per-module paths; park counters cover
+    /// both).
     #[must_use]
     pub fn shard_stats(&self) -> ShardStats {
-        let mut s = ShardStats {
-            shards: self.shards.len(),
-            ..ShardStats::default()
-        };
-        for shard in &self.shards {
-            let st = shard.borrow();
-            if !st.awake {
-                s.dormant_shards += 1;
-            }
-            s.shard_runs += st.runs;
-            s.units_stepped += st.units_stepped;
-            s.units_skipped += st.units_skipped;
-            s.wire_wakeups += st.wire_wakeups;
-        }
-        s
+        self.sched.stats()
     }
 
-    /// Adds a member to the open shard, creating a new shard (and its
-    /// kernel process) when the current one is full.
-    fn add_shard_member(&mut self, handle: Handle, wires: Vec<SignalId>) {
-        let shard_size = match self.scheduling {
-            UnitScheduling::Sharded { shard_size } => shard_size.max(1),
-            UnitScheduling::PerUnit => unreachable!("shard members only exist when sharded"),
-        };
-        let state = match self.shards.last() {
-            Some(s) if s.borrow().members.len() < shard_size => Rc::clone(s),
-            _ => {
-                let state = Rc::new(RefCell::new(ShardState::new()));
-                self.register_shard_process(Rc::clone(&state));
-                self.shards.push(Rc::clone(&state));
-                state
-            }
-        };
-        let seen_events = vec![0; wires.len()];
-        state.borrow_mut().members.push(ShardMember {
-            handle,
-            wires,
-            seen_events,
-            needs_clock: true,
-        });
-    }
-
-    /// Registers the kernel process driving one shard: it steps touched
-    /// members on rising HW-clock edges and drops its clock sensitivity
-    /// entirely (waiting only on member wires) while every member is
-    /// provably stable.
-    fn register_shard_process(&mut self, state: Rc<RefCell<ShardState>>) {
-        let registry = Rc::clone(&self.registry);
-        let error = Rc::clone(&self.error);
-        let live = Rc::clone(&self.live_clocked);
-        let clk = self.hw_clk;
-        let name = format!("unit_shard{}", self.shards.len());
-        live.set(live.get() + 1);
-        let mut live_counted = true;
-        let mut registered = false;
-        self.sim.add_process(
-            name,
-            FnProcess::new(move |ctx| {
-                if error.borrow().is_some() {
-                    if live_counted {
-                        live_counted = false;
-                        live.set(live.get() - 1);
-                    }
-                    return Wait::Forever;
-                }
-                let mut st = state.borrow_mut();
-                st.runs += 1;
-                let was_awake = st.awake;
-                // A dormant shard can only be woken by a member wire
-                // event: find the touched members (this delta's events
-                // are still marked) and put them back on the clock.
-                if !was_awake {
-                    st.wire_wakeups += 1;
-                    for m in &mut st.members {
-                        if !m.needs_clock && m.wires.iter().any(|&w| ctx.event(w)) {
-                            m.needs_clock = true;
-                        }
-                    }
-                }
-                if ctx.rose(clk) {
-                    let mut reg = registry.borrow_mut();
-                    let ShardState {
-                        members,
-                        units_stepped,
-                        units_skipped,
-                        ..
-                    } = &mut *st;
-                    for m in members.iter_mut() {
-                        // Monotone per-signal event counts tell each
-                        // member whether any of its wires changed since
-                        // its last step.
-                        let changed = wires_changed(ctx, &m.wires, &mut m.seen_events);
-                        if !m.needs_clock && !changed {
-                            *units_skipped += 1;
-                            continue;
-                        }
-                        *units_stepped += 1;
-                        if let Err(msg) = step_shard_member(&mut reg, m, ctx, changed) {
-                            *error.borrow_mut() = Some(msg);
-                            if live_counted {
-                                live_counted = false;
-                                live.set(live.get() - 1);
-                            }
-                            return Wait::Forever;
-                        }
-                    }
-                }
-                let awake = st.members.iter().any(|m| m.needs_clock);
-                st.awake = awake;
-                if !registered || awake != was_awake {
-                    registered = true;
-                    if awake {
-                        Wait::Event(vec![clk])
-                    } else {
-                        // Dormant: wake only when a member wire has an
-                        // event (the inverted sensitivity index makes
-                        // this free for untouched shards).
-                        Wait::Event(
-                            st.members
-                                .iter()
-                                .flat_map(|m| m.wires.iter().copied())
-                                .collect(),
-                        )
-                    }
-                } else {
-                    Wait::Same
-                }
-            }),
-        );
+    fn sched_ctx(&mut self) -> (&mut ActivationScheduler, SchedCtx<'_>) {
+        (
+            &mut self.sched,
+            SchedCtx {
+                sim: &mut self.sim,
+                registry: &self.registry,
+                modules: &self.modules,
+                error: &self.error,
+                trace: &self.trace,
+                live: &self.live_clocked,
+                hw_clk: self.hw_clk,
+            },
+        )
     }
 
     /// The underlying kernel (for signal pokes, VCD, stats).
@@ -678,19 +1210,38 @@ impl Cosim {
             .collect();
         let has_controller = spec.controller().is_some();
         let runtime = FsmUnitRuntime::new(spec);
+        // Completion wires per service: the blocked protocol's read-set
+        // mapped onto kernel signals (what a parked caller waits on).
+        let completion: HashMap<String, Vec<SignalId>> = runtime
+            .spec()
+            .services()
+            .iter()
+            .map(|svc| {
+                (
+                    svc.name().to_string(),
+                    runtime
+                        .completion_signals(svc.name())
+                        .iter()
+                        .map(|p| wires[p.index()])
+                        .collect(),
+                )
+            })
+            .collect();
         let idx = {
             let mut reg = self.registry.borrow_mut();
             reg.fsm.push(FsmUnitEntry {
                 name: name.to_string(),
                 runtime,
                 wires: wires.clone(),
+                completion,
             });
             reg.fsm.len() - 1
         };
         if has_controller {
-            match self.scheduling {
+            match self.sched.cfg.units {
                 UnitScheduling::Sharded { .. } => {
-                    self.add_shard_member(Handle::Fsm(idx), wires);
+                    let (sched, ctx) = self.sched_ctx();
+                    sched.add_unit_member(ctx, Handle::Fsm(idx), wires);
                 }
                 UnitScheduling::PerUnit => {
                     let registry = Rc::clone(&self.registry);
@@ -719,6 +1270,7 @@ impl Cosim {
                                 name,
                                 runtime,
                                 wires,
+                                ..
                             } = &mut reg.fsm[idx];
                             let mut ws = CtxWires { ctx, map: wires };
                             if let Err(e) =
@@ -744,7 +1296,8 @@ impl Cosim {
     /// calls enqueue into a vec-backed payload queue, whole batches cross
     /// the unit's wire-level handshake in a *single* bus transaction, and
     /// consumer `get` calls pop delivered values. Modules bind to it like
-    /// any other unit and call its `put`/`get` services.
+    /// any other unit and call its `put`/`get` services. Batch size
+    /// adapts to the observed queue depth, up to `max_batch`.
     ///
     /// `max_batch` bounds one bus transaction; `capacity` bounds total
     /// link occupancy (producer backpressure).
@@ -778,18 +1331,32 @@ impl Cosim {
                 )
             })
             .collect();
+        let completion: HashMap<String, Vec<SignalId>> = ["put", "get"]
+            .iter()
+            .map(|svc| {
+                (
+                    (*svc).to_string(),
+                    link.completion_signals(svc)
+                        .iter()
+                        .map(|p| wires[p.index()])
+                        .collect(),
+                )
+            })
+            .collect();
         let idx = {
             let mut reg = self.registry.borrow_mut();
             reg.batched.push(BatchedUnitEntry {
                 name: name.to_string(),
                 link,
                 wires: wires.clone(),
+                completion,
             });
             reg.batched.len() - 1
         };
-        match self.scheduling {
+        match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
-                self.add_shard_member(Handle::Batched(idx), wires);
+                let (sched, ctx) = self.sched_ctx();
+                sched.add_unit_member(ctx, Handle::Batched(idx), wires);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
@@ -807,7 +1374,9 @@ impl Cosim {
                         }
                         let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
                         let mut reg = registry.borrow_mut();
-                        let BatchedUnitEntry { name, link, wires } = &mut reg.batched[idx];
+                        let BatchedUnitEntry {
+                            name, link, wires, ..
+                        } = &mut reg.batched[idx];
                         let mut ws = CtxWires { ctx, map: wires };
                         if let Err(e) = link.pump(&mut ws, inputs_changed) {
                             *error.borrow_mut() = Some(format!("batched link {name}: {e}"));
@@ -834,9 +1403,10 @@ impl Cosim {
             reg.native.push((name.to_string(), unit));
             reg.native.len() - 1
         };
-        match self.scheduling {
+        match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
-                self.add_shard_member(Handle::Native(idx), vec![]);
+                let (sched, ctx) = self.sched_ctx();
+                sched.add_unit_member(ctx, Handle::Native(idx), vec![]);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
@@ -933,67 +1503,118 @@ impl Cosim {
             }
         }
 
-        let caller = CallerId(self.modules.len() as u64);
+        let idx = self.modules.borrow().len();
+        let caller = CallerId(idx as u64);
         let clk = match module.kind() {
             ModuleKind::Hardware => self.hw_clk,
             ModuleKind::Software => self.sw_clk,
         };
-        let fsm: Fsm = module.fsm().clone();
-        let vars: Vec<Value> = module.vars().iter().map(|v| v.init().clone()).collect();
-        let var_tys: Vec<Type> = module.vars().iter().map(|v| v.ty().clone()).collect();
-        let status = Rc::new(RefCell::new(ModuleStatus {
-            state: fsm.state(fsm.initial()).name().to_string(),
+        let exec = FsmExec::new(module.fsm());
+        let status = ModuleStatus {
+            state: module
+                .fsm()
+                .state(module.fsm().initial())
+                .name()
+                .to_string(),
             activations: 0,
-        }));
-        let vars_cell = Rc::new(RefCell::new(vars));
-        let id = CosimModuleId(self.modules.len());
-        self.modules.push((
-            module.name().to_string(),
-            Rc::clone(&status),
-            Rc::clone(&vars_cell),
-            module.clone(),
-        ));
+            error: None,
+        };
+        self.modules.borrow_mut().push(ModuleEntry {
+            name: module.name().to_string(),
+            module: module.clone(),
+            exec,
+            ports,
+            vars: module.vars().iter().map(|v| v.init().clone()).collect(),
+            var_tys: module.vars().iter().map(|v| v.ty().clone()).collect(),
+            bindings: resolved,
+            caller,
+            status,
+        });
+        match self.sched.cfg.modules {
+            ModuleScheduling::Sharded { .. } => {
+                let (sched, ctx) = self.sched_ctx();
+                sched.add_module_member(ctx, idx, clk);
+            }
+            ModuleScheduling::PerModule => self.register_per_module_process(idx, clk),
+        }
+        Ok(CosimModuleId(idx))
+    }
 
+    /// Registers the classic one-process-per-module path. The process
+    /// steps its module on every rising clock edge; when the module
+    /// proves stable it *parks* — swapping its clock sensitivity for
+    /// the module's watch wires — unless parking is disabled.
+    fn register_per_module_process(&mut self, idx: usize, clk: SignalId) {
+        let modules = Rc::clone(&self.modules);
         let registry = Rc::clone(&self.registry);
         let error = Rc::clone(&self.error);
         let trace = Rc::clone(&self.trace);
-        let mname = module.name().to_string();
-        let mut exec = FsmExec::new(&fsm);
         let live = Rc::clone(&self.live_clocked);
+        let park = Rc::clone(&self.sched.park);
+        let park_blocked = self.sched.cfg.park_blocked;
+        let name = modules.borrow()[idx].name.clone();
         live.set(live.get() + 1);
-        self.sim
-            .add_clocked(mname.clone(), clk, Edge::Rising, move |ctx| {
+        let mut live_counted = true;
+        let mut parked = false;
+        let mut watch: Vec<SignalId> = vec![];
+        let mut wait_dirty = true;
+        self.sim.add_process(
+            name,
+            FnProcess::new(move |ctx| {
                 if error.borrow().is_some() {
-                    live.set(live.get() - 1);
-                    return ClockControl::Halt;
-                }
-                let mut vars = vars_cell.borrow_mut();
-                let mut env = CosimEnv {
-                    ctx,
-                    ports: &ports,
-                    vars: &mut vars,
-                    var_tys: &var_tys,
-                    registry: &registry,
-                    bindings: &resolved,
-                    caller,
-                    trace: &trace,
-                    source: &mname,
-                };
-                match exec.step(&fsm, &mut env) {
-                    Ok(_) => {
-                        let mut st = status.borrow_mut();
-                        st.state = fsm.state(exec.current()).name().to_string();
-                        st.activations += 1;
-                        ClockControl::Continue
-                    }
-                    Err(e) => {
-                        *error.borrow_mut() = Some(format!("module {mname}: {e}"));
+                    if live_counted {
+                        live_counted = false;
                         live.set(live.get() - 1);
-                        ClockControl::Halt
+                    }
+                    return Wait::Forever;
+                }
+                if parked {
+                    if watch.iter().any(|&w| ctx.event(w)) {
+                        parked = false;
+                        wait_dirty = true;
+                        park.resumed.set(park.resumed.get() + 1);
+                        park.parked_now.set(park.parked_now.get() - 1);
+                    } else if !wait_dirty {
+                        return Wait::Same;
                     }
                 }
-            });
-        Ok(id)
+                if !parked && ctx.rose(clk) {
+                    match step_module(&modules, idx, &registry, &trace, &park, park_blocked, ctx) {
+                        Ok(Some(w)) => {
+                            parked = true;
+                            watch = w;
+                            wait_dirty = true;
+                            park.parked.set(park.parked.get() + 1);
+                            park.parked_now.set(park.parked_now.get() + 1);
+                        }
+                        Ok(None) => {}
+                        Err(msg) => {
+                            *error.borrow_mut() = Some(msg);
+                            if live_counted {
+                                live_counted = false;
+                                live.set(live.get() - 1);
+                            }
+                            return Wait::Forever;
+                        }
+                    }
+                }
+                if !wait_dirty {
+                    return Wait::Same;
+                }
+                wait_dirty = false;
+                if parked {
+                    if watch.is_empty() {
+                        // A provably-halted module: nothing can ever
+                        // re-arm it.
+                        Wait::Forever
+                    } else {
+                        Wait::Event(watch.clone())
+                    }
+                } else {
+                    Wait::Event(vec![clk])
+                }
+            }),
+        );
     }
 
     /// Assembles a validated [`cosma_core::System`]: every unit instance
@@ -1095,24 +1716,26 @@ impl Cosim {
     /// Panics if the id does not belong to this backplane.
     #[must_use]
     pub fn module_status(&self, id: CosimModuleId) -> ModuleStatus {
-        self.modules[id.0].1.borrow().clone()
+        self.modules.borrow()[id.0].status.clone()
     }
 
     /// Finds a module id by name.
     #[must_use]
     pub fn find_module(&self, name: &str) -> Option<CosimModuleId> {
         self.modules
+            .borrow()
             .iter()
-            .position(|(n, _, _, _)| n == name)
+            .position(|e| e.name == name)
             .map(CosimModuleId)
     }
 
     /// Current value of a module variable, by name.
     #[must_use]
     pub fn module_var(&self, id: CosimModuleId, var: &str) -> Option<Value> {
-        let (_, _, vars, module) = &self.modules[id.0];
-        let vid = module.var_id(var)?;
-        vars.borrow().get(vid.index()).cloned()
+        let modules = self.modules.borrow();
+        let e = &modules[id.0];
+        let vid = e.module.var_id(var)?;
+        e.vars.get(vid.index()).cloned()
     }
 
     /// Statistics of a unit instance.
@@ -1152,44 +1775,6 @@ fn wires_changed(ctx: &ProcCtx<'_>, watched: &[SignalId], seen: &mut [u64]) -> b
         *last = n;
     }
     changed
-}
-
-/// One activation of a shard member at a rising clock edge. Updates the
-/// member's `needs_clock` from the post-step stability proof.
-fn step_shard_member(
-    reg: &mut Registry,
-    m: &mut ShardMember,
-    ctx: &mut ProcCtx<'_>,
-    inputs_changed: bool,
-) -> Result<(), String> {
-    match m.handle {
-        Handle::Fsm(i) => {
-            let FsmUnitEntry {
-                name,
-                runtime,
-                wires,
-            } = &mut reg.fsm[i];
-            let mut ws = CtxWires { ctx, map: wires };
-            runtime
-                .step_controller_if_active(&mut ws, inputs_changed)
-                .map_err(|e| format!("unit {name} controller: {e}"))?;
-            m.needs_clock = !runtime.controller_stable();
-        }
-        Handle::Native(i) => {
-            let (_, unit) = &mut reg.native[i];
-            unit.step();
-            m.needs_clock = unit.needs_step();
-        }
-        Handle::Batched(i) => {
-            let BatchedUnitEntry { name, link, wires } = &mut reg.batched[i];
-            let mut ws = CtxWires { ctx, map: wires };
-            let active = link
-                .pump(&mut ws, inputs_changed)
-                .map_err(|e| format!("batched link {name}: {e}"))?;
-            m.needs_clock = active;
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -1315,7 +1900,13 @@ mod tests {
         // controller self-loops without writes — from then on the
         // backplane skips its activations entirely.
         let mut cosim = Cosim::new(CosimConfig::default());
-        cosim.set_unit_scheduling(UnitScheduling::PerUnit).unwrap();
+        cosim
+            .set_scheduling(SchedulingConfig {
+                units: UnitScheduling::PerUnit,
+                modules: ModuleScheduling::PerModule,
+                park_blocked: false,
+            })
+            .unwrap();
         let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
         let p = producer(&[10, 20, 30]);
         let c = consumer(3);
@@ -1342,9 +1933,10 @@ mod tests {
     #[test]
     fn idle_shards_go_dormant() {
         // Under sharded scheduling the idle tail is even cheaper: once
-        // the link's controller proves itself stable, its whole shard
-        // drops clock sensitivity. Controller steps stall AND the shard
-        // process itself stops being woken.
+        // the link's controller proves itself stable its shard drops
+        // clock sensitivity, and the END-parked modules park their
+        // shard too. Controller steps stall AND the shard processes
+        // stop being woken.
         let mut cosim = Cosim::new(CosimConfig::default());
         let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
         let p = producer(&[10, 20, 30]);
@@ -1366,12 +1958,13 @@ mod tests {
             "idle controller never steps again"
         );
         let shard = cosim.shard_stats();
-        assert_eq!(shard.shards, 1);
-        assert_eq!(shard.dormant_shards, 1, "the shard parked itself");
+        assert_eq!(shard.shards, 2, "one unit shard, one module shard");
+        assert_eq!(shard.dormant_shards, 2, "both parked themselves");
         assert_eq!(
             shard.shard_runs, shard_runs_after_exchange,
             "a dormant shard is not even woken by clock edges"
         );
+        assert_eq!(shard.parked_now, 3, "link + both END modules parked");
     }
 
     #[test]
@@ -1398,15 +1991,20 @@ mod tests {
             stats.batches
         );
         assert!(stats.max_batch_len >= 2);
+        assert_eq!(
+            stats.batch_len_hist.iter().sum::<u64>(),
+            stats.batches,
+            "histogram accounts for every bus transaction"
+        );
     }
 
     #[test]
     fn batched_unit_agrees_across_schedulings() {
-        // The same batched topology under per-unit and sharded scheduling
-        // delivers identical values and identical traces.
-        fn run(scheduling: UnitScheduling) -> (Option<Value>, String, Vec<i64>) {
+        // The same batched topology under the legacy and sharded paths
+        // delivers identical values, states, traces and activations.
+        fn run(scheduling: SchedulingConfig) -> (Option<Value>, ModuleStatus, Vec<i64>) {
             let mut cosim = Cosim::new(CosimConfig::default());
-            cosim.set_unit_scheduling(scheduling).unwrap();
+            cosim.set_scheduling(scheduling).unwrap();
             let link = cosim.add_batched_unit("bus", Type::INT16, 4, 32).unwrap();
             let p = producer(&[5, 6, 7]);
             let c = consumer(3);
@@ -1420,15 +2018,19 @@ mod tests {
                 .collect();
             (
                 cosim.module_var(cid, "SUM"),
-                cosim.module_status(cid).state,
+                cosim.module_status(cid),
                 recvs,
             )
         }
-        let sharded = run(UnitScheduling::Sharded { shard_size: 16 });
-        let per_unit = run(UnitScheduling::PerUnit);
+        let sharded = run(SchedulingConfig::sharded());
+        let per_unit = run(SchedulingConfig {
+            units: UnitScheduling::PerUnit,
+            modules: ModuleScheduling::PerModule,
+            park_blocked: true,
+        });
         assert_eq!(sharded, per_unit);
         assert_eq!(sharded.0, Some(Value::Int(18)));
-        assert_eq!(sharded.1, "END");
+        assert_eq!(sharded.1.state, "END");
         assert_eq!(sharded.2, vec![5, 6, 7]);
     }
 
@@ -1438,6 +2040,20 @@ mod tests {
         cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
         let err = cosim
             .set_unit_scheduling(UnitScheduling::PerUnit)
+            .unwrap_err();
+        assert!(matches!(err, CosimError::Setup(_)));
+    }
+
+    #[test]
+    fn scheduling_locked_after_first_module() {
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        let err = cosim
+            .set_scheduling(SchedulingConfig::legacy())
             .unwrap_err();
         assert!(matches!(err, CosimError::Setup(_)));
     }
@@ -1459,12 +2075,16 @@ mod tests {
     fn many_idle_units_fill_multiple_dormant_shards() {
         let mut cosim = Cosim::new(CosimConfig::default());
         cosim
-            .set_unit_scheduling(UnitScheduling::Sharded { shard_size: 8 })
+            .set_scheduling(SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size: 8 },
+                ..SchedulingConfig::sharded()
+            })
             .unwrap();
         for k in 0..20 {
             cosim.add_fsm_unit(&format!("quiet{k}"), handshake_unit("hs", Type::INT16));
         }
-        // One live module keeps the clocks running.
+        // One live module keeps the clocks running (it halt-parks, but
+        // stays counted as a live clocked body).
         let mut b = ModuleBuilder::new("m", ModuleKind::Software);
         let s = b.state("S");
         b.transition(s, None, s);
@@ -1472,12 +2092,18 @@ mod tests {
         cosim.add_module(&b.build().unwrap(), &[]).unwrap();
         cosim.run_for(Duration::from_us(100)).unwrap();
         let shard = cosim.shard_stats();
-        assert_eq!(shard.shards, 3, "20 units at shard size 8");
-        assert_eq!(shard.dormant_shards, 3, "all idle, all parked");
+        // Hashed placement opens 2-3 unit shards for 20 units at shard
+        // size 8, plus one module shard.
+        assert!(
+            (3..=4).contains(&shard.shards),
+            "expected 2-3 unit shards + 1 module shard, got {}",
+            shard.shards
+        );
+        assert_eq!(shard.dormant_shards, shard.shards, "all idle, all parked");
         // Dormant shards were woken at most a handful of times while the
         // clock toggled ~2000 times.
         assert!(
-            shard.shard_runs < 30,
+            shard.shard_runs < 40,
             "idle shards must not track the clock (runs {})",
             shard.shard_runs
         );
@@ -1589,6 +2215,9 @@ mod tests {
 
     #[test]
     fn sw_slower_than_hw() {
+        // Parking disabled: these bare self-loops would otherwise park
+        // after proving stable, and the activation-rate comparison is
+        // the whole point here.
         let mut b = ModuleBuilder::new("swm", ModuleKind::Software);
         let s = b.state("S");
         b.transition(s, None, s);
@@ -1603,6 +2232,12 @@ mod tests {
             hw_cycle: Duration::from_ns(100),
             sw_cycle: Duration::from_ns(400),
         });
+        cosim
+            .set_scheduling(SchedulingConfig {
+                park_blocked: false,
+                ..SchedulingConfig::sharded()
+            })
+            .unwrap();
         let swid = cosim.add_module(&sw, &[]).unwrap();
         let hwid = cosim.add_module(&hw, &[]).unwrap();
         cosim.run_for(Duration::from_us(4)).unwrap();
@@ -1625,6 +2260,151 @@ mod tests {
         let err = cosim.run_for(Duration::from_us(1)).unwrap_err();
         assert!(matches!(err, CosimError::Runtime(_)));
         assert!(err.to_string().contains("crash"));
+    }
+
+    #[test]
+    fn module_error_recorded_in_status() {
+        // Regression: a module halting on an evaluation error must
+        // record the halting state and the error on its own status, not
+        // just in the backplane's global error slot — and under both
+        // scheduler paths.
+        for cfg in [SchedulingConfig::sharded(), SchedulingConfig::legacy()] {
+            let mut b = ModuleBuilder::new("crash", ModuleKind::Software);
+            let x = b.var("X", Type::INT16, Value::Int(1));
+            let ok = b.state("OK");
+            let boom = b.state("BOOM");
+            b.transition(ok, None, boom);
+            b.actions(boom, vec![Stmt::assign(x, Expr::var(x).div(Expr::int(0)))]);
+            b.transition(boom, None, ok);
+            b.initial(ok);
+            let m = b.build().unwrap();
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let id = cosim.add_module(&m, &[]).unwrap();
+            let err = cosim.run_for(Duration::from_us(1)).unwrap_err();
+            let st = cosim.module_status(id);
+            assert_eq!(st.state, "BOOM", "halting state recorded ({cfg:?})");
+            let msg = st.error.expect("per-module error recorded");
+            assert!(msg.contains("crash"), "error names the module: {msg}");
+            assert_eq!(msg, err.to_string(), "same error surfaced globally");
+            assert_eq!(st.activations, 1, "halting activation not counted");
+        }
+    }
+
+    #[test]
+    fn blocked_consumer_parks_until_first_put() {
+        // The headline regression: a consumer blocked on `get` against
+        // an empty link records ZERO activations from the moment it
+        // proves stable until the producer's first `put` lands.
+        fn delayed_producer(delay: i64, value: i64) -> Module {
+            let mut p = ModuleBuilder::new("latecomer", ModuleKind::Software);
+            let done = p.var("D", Type::Bool, Value::Bool(false));
+            let cnt = p.var("C", Type::INT16, Value::Int(0));
+            let b = p.binding("iface", "hs");
+            let wait = p.state("WAIT");
+            let put = p.state("PUT");
+            let end = p.state("END");
+            p.actions(
+                wait,
+                vec![Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1)))],
+            );
+            p.transition(wait, Some(Expr::var(cnt).ge(Expr::int(delay))), put);
+            p.transition(wait, None, wait);
+            p.actions(
+                put,
+                vec![Stmt::Call(ServiceCall {
+                    binding: b,
+                    service: "put".into(),
+                    args: vec![Expr::int(value)],
+                    done: Some(done),
+                    result: None,
+                })],
+            );
+            p.transition(put, Some(Expr::var(done)), end);
+            p.transition(end, None, end);
+            p.initial(wait);
+            p.build().unwrap()
+        }
+        for cfg in [
+            SchedulingConfig::sharded(),
+            SchedulingConfig {
+                units: UnitScheduling::PerUnit,
+                modules: ModuleScheduling::PerModule,
+                park_blocked: true,
+            },
+        ] {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+            // Producer counts ~400 cycles before its first put.
+            let p = delayed_producer(400, 77);
+            let c = consumer(1);
+            cosim.add_module(&p, &[("iface", link)]).unwrap();
+            let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+            // 10us = ~100 HW cycles: producer still counting.
+            cosim.run_for(Duration::from_us(10)).unwrap();
+            let blocked_at = cosim.module_status(cid).activations;
+            assert!(
+                blocked_at <= 3,
+                "consumer proves stable within a couple of steps, got {blocked_at} ({cfg:?})"
+            );
+            let parked = cosim.shard_stats();
+            assert!(parked.members_parked >= 1, "consumer parked ({cfg:?})");
+            assert!(parked.parked_now >= 1);
+            // Another ~100 cycles of empty link: ZERO further activations.
+            cosim.run_for(Duration::from_us(10)).unwrap();
+            assert_eq!(
+                cosim.module_status(cid).activations,
+                blocked_at,
+                "parked consumer costs zero activations while blocked ({cfg:?})"
+            );
+            // The put lands around cycle 400; the wire events re-arm the
+            // consumer and the exchange completes.
+            cosim.run_for(Duration::from_us(40)).unwrap();
+            let st = cosim.module_status(cid);
+            assert_eq!(st.state, "END", "{cfg:?}");
+            assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(77)));
+            let stats = cosim.shard_stats();
+            assert!(
+                stats.members_resumed >= 1,
+                "completion wires resumed the parked consumer ({cfg:?})"
+            );
+            assert!(
+                st.activations > blocked_at,
+                "real work resumed after the put ({cfg:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn parking_agrees_across_module_schedulings() {
+        // Sharded modules and per-module processes park identically:
+        // same states, same SUMs, same ACTIVATION COUNTS, same traces.
+        fn run(cfg: SchedulingConfig) -> (Vec<ModuleStatus>, Vec<Option<Value>>, usize) {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+            let p = producer(&[3, 4, 5]);
+            let c = consumer(3);
+            let pid = cosim.add_module(&p, &[("iface", link)]).unwrap();
+            let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+            cosim.run_for(Duration::from_us(60)).unwrap();
+            (
+                vec![cosim.module_status(pid), cosim.module_status(cid)],
+                vec![cosim.module_var(cid, "SUM")],
+                cosim.trace_log().entries().len(),
+            )
+        }
+        let sharded = run(SchedulingConfig::sharded());
+        let per_module = run(SchedulingConfig {
+            units: UnitScheduling::Sharded {
+                shard_size: DEFAULT_SHARD_SIZE,
+            },
+            modules: ModuleScheduling::PerModule,
+            park_blocked: true,
+        });
+        assert_eq!(sharded, per_module);
+        assert_eq!(sharded.1[0], Some(Value::Int(12)));
     }
 
     #[test]
@@ -1671,5 +2451,33 @@ mod tests {
         cosim.run_for(Duration::from_us(1)).unwrap();
         let sig = cosim.sim().find_signal("pm.LED").expect("signal exists");
         assert_eq!(cosim.sim().value(sig), &Value::Bit(cosma_core::Bit::One));
+    }
+
+    #[test]
+    fn hashed_unit_placement_is_deterministic() {
+        // Two identical builds place units into identical shards.
+        fn shard_sizes() -> Vec<usize> {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim
+                .set_scheduling(SchedulingConfig {
+                    units: UnitScheduling::Sharded { shard_size: 4 },
+                    ..SchedulingConfig::sharded()
+                })
+                .unwrap();
+            for k in 0..17 {
+                cosim.add_fsm_unit(&format!("u{k}"), handshake_unit("hs", Type::INT16));
+            }
+            cosim
+                .sched
+                .unit_shards
+                .iter()
+                .map(|s| s.borrow().members.len())
+                .collect()
+        }
+        let a = shard_sizes();
+        let b = shard_sizes();
+        assert_eq!(a, b, "hashed placement is deterministic");
+        assert_eq!(a.iter().sum::<usize>(), 17, "every unit placed");
+        assert!(a.len() >= 2, "17 units at shard size 4 open several shards");
     }
 }

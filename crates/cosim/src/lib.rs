@@ -9,6 +9,10 @@
 //!   one transition (precise HW/SW synchronization),
 //! * all inter-module interaction goes through communication units whose
 //!   wires are kernel signals,
+//! * module and unit stepping share one activation-gating architecture
+//!   ([`SchedulingConfig`]): sharded dispatch with provably-stable FSMs
+//!   *parked* on their completion wires, so blocked or finished parts of
+//!   the backplane cost nothing per clock edge,
 //! * every `Stmt::Trace` lands in a [`TraceLog`] that can be compared
 //!   event-for-event against a co-synthesis (board-level) run.
 
@@ -21,7 +25,7 @@ mod trace;
 
 pub use annotate::{back_annotate, timing_error, BackAnnotation, LabelTiming};
 pub use backplane::{
-    Cosim, CosimConfig, CosimError, CosimModuleId, ModuleStatus, ShardStats, UnitId,
-    UnitScheduling, DEFAULT_SHARD_SIZE,
+    Cosim, CosimConfig, CosimError, CosimModuleId, ModuleScheduling, ModuleStatus,
+    SchedulingConfig, ShardStats, UnitId, UnitScheduling, DEFAULT_SHARD_SIZE,
 };
 pub use trace::{TraceComparison, TraceEntry, TraceLog};

@@ -21,11 +21,14 @@
 //!   seed) into independent pipelines of random length: a random DAG
 //!   with in/out degree ≤ 1, modelling uncorrelated traffic across the
 //!   backplane.
+//! * **Starved** — a consumer per link but a producer only on link 0:
+//!   `N-1` consumers block on `get` forever, the activation-parking
+//!   showcase.
 //!
 //! Module kinds alternate between hardware and software so both
 //! activation clocks are exercised.
 
-use crate::backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, UnitId, UnitScheduling};
+use crate::backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, SchedulingConfig, UnitId};
 use cosma_comm::handshake_unit;
 use cosma_core::{Expr, Module, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_sim::Duration;
@@ -45,6 +48,11 @@ pub enum Topology {
         /// RNG seed for the segment partition.
         seed: u64,
     },
+    /// Every link gets a consumer blocked on `get`, but only link 0 has
+    /// a producer: `N-1` consumers stay service-blocked forever. The
+    /// activation scheduler's parking showcase — without it, every
+    /// starved consumer burns one no-op activation per clock edge.
+    Starved,
 }
 
 /// Communication-unit flavour used for every link.
@@ -75,8 +83,9 @@ pub struct ScenarioSpec {
     pub link: LinkKind,
     /// Backplane clocking.
     pub config: CosimConfig,
-    /// Unit scheduling strategy.
-    pub scheduling: UnitScheduling,
+    /// Activation-scheduler configuration (unit dispatch, module
+    /// dispatch, parking).
+    pub scheduling: SchedulingConfig,
 }
 
 impl Default for ScenarioSpec {
@@ -87,7 +96,7 @@ impl Default for ScenarioSpec {
             values_per_link: 4,
             link: LinkKind::Handshake,
             config: CosimConfig::default(),
-            scheduling: UnitScheduling::default(),
+            scheduling: SchedulingConfig::default(),
         }
     }
 }
@@ -447,7 +456,7 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
         ));
     }
     let mut cosim = Cosim::new(spec.config);
-    cosim.set_unit_scheduling(spec.scheduling)?;
+    cosim.set_scheduling(spec.scheduling)?;
     let links: Vec<UnitId> = (0..spec.units)
         .map(|i| {
             let name = format!("link{i}");
@@ -518,6 +527,20 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
                     &mut checkers,
                 )?;
                 start += len;
+            }
+        }
+        Topology::Starved => {
+            // One consumer per link, but traffic only on link 0: the
+            // consumers on links 1..N block on `get` forever.
+            let p = producer("prod0", kind_for(0), 3, m);
+            modules.push(cosim.add_module(&p, &[("out", links[0])])?);
+            for (i, &link) in links.iter().enumerate() {
+                let c = consumer(&format!("cons{i}"), kind_for(i + 1), m);
+                let cid = cosim.add_module(&c, &[("in", link)])?;
+                modules.push(cid);
+                if i == 0 {
+                    checkers.push((cid, run_sum(3, m)));
+                }
             }
         }
     }
@@ -644,13 +667,17 @@ mod tests {
 
     #[test]
     fn schedulings_produce_identical_traces() {
-        // The tentpole correctness claim: per-unit and sharded scheduling
-        // are observationally equivalent on every topology and link kind.
+        // The tentpole correctness claim: sharded and per-unit/
+        // per-module scheduling are observationally equivalent — same
+        // states, SUMs, traces and ACTIVATION COUNTS — on every
+        // topology and link kind, parking included.
+        use crate::backplane::{ModuleScheduling, UnitScheduling};
         for topology in [
             Topology::Pipeline,
             Topology::Star,
             Topology::Ring,
             Topology::RandomDag { seed: 99 },
+            Topology::Starved,
         ] {
             for link in [
                 LinkKind::Handshake,
@@ -667,9 +694,18 @@ mod tests {
                     scheduling,
                     ..ScenarioSpec::default()
                 };
-                let mut a = build_scenario(&mk(UnitScheduling::Sharded { shard_size: 4 }))
-                    .expect("sharded builds");
-                let mut b = build_scenario(&mk(UnitScheduling::PerUnit)).expect("per-unit builds");
+                let mut a = build_scenario(&mk(SchedulingConfig {
+                    units: UnitScheduling::Sharded { shard_size: 4 },
+                    modules: ModuleScheduling::Sharded { shard_size: 4 },
+                    park_blocked: true,
+                }))
+                .expect("sharded builds");
+                let mut b = build_scenario(&mk(SchedulingConfig {
+                    units: UnitScheduling::PerUnit,
+                    modules: ModuleScheduling::PerModule,
+                    park_blocked: true,
+                }))
+                .expect("per-unit builds");
                 a.cosim
                     .run_for(Duration::from_us(400))
                     .expect("sharded runs");
@@ -706,7 +742,9 @@ mod tests {
 
     #[test]
     fn sharding_pays_off_on_idle_pipelines() {
-        // After a pipeline drains, all shards must be dormant.
+        // After a pipeline drains, every shard — unit shards AND module
+        // shards — must be dormant: controllers proved stable, finished
+        // modules halt-parked.
         let mut s = build_scenario(&ScenarioSpec {
             units: 32,
             values_per_link: 2,
@@ -718,8 +756,59 @@ mod tests {
         // A long idle tail.
         s.cosim.run_for(Duration::from_us(100)).expect("idles");
         let st = s.cosim.shard_stats();
-        assert_eq!(st.shards, 2, "32 units at default shard size 16");
-        assert_eq!(st.dormant_shards, 2, "drained pipeline parks every shard");
+        assert!(
+            st.shards >= 4,
+            "32 units + 33 modules at shard size 16 need several shards, got {}",
+            st.shards
+        );
+        assert_eq!(
+            st.dormant_shards, st.shards,
+            "drained pipeline parks every shard"
+        );
         assert!(st.units_skipped > 0 || st.units_stepped > 0);
+        assert_eq!(
+            st.parked_now,
+            32 + 33,
+            "every unit and every module is parked"
+        );
+    }
+
+    #[test]
+    fn starved_consumers_park_at_zero_activation_cost() {
+        // N-1 consumers blocked on get against silent links: they must
+        // prove stable within a couple of activations and then cost
+        // nothing, while link 0's traffic completes normally.
+        let mut s = build_scenario(&ScenarioSpec {
+            units: 8,
+            topology: Topology::Starved,
+            values_per_link: 3,
+            ..ScenarioSpec::default()
+        })
+        .expect("builds");
+        let done = s.run_to_completion(Duration::from_us(2_000)).expect("runs");
+        assert!(done, "link 0 traffic completes");
+        s.verify().expect("checksum holds");
+        let before = s.cosim.shard_stats();
+        assert!(
+            before.members_parked >= 7,
+            "starved consumers parked (got {})",
+            before.members_parked
+        );
+        // Snapshot the starved consumers' activation counts, idle a long
+        // tail, and verify they did not move.
+        let starved: Vec<u64> = s.modules[2..]
+            .iter()
+            .map(|&m| s.cosim.module_status(m).activations)
+            .collect();
+        assert!(
+            starved.iter().all(|&a| a <= 3),
+            "blocked consumers stall within a couple of steps: {starved:?}"
+        );
+        s.cosim.run_for(Duration::from_us(200)).expect("idles");
+        let after: Vec<u64> = s.modules[2..]
+            .iter()
+            .map(|&m| s.cosim.module_status(m).activations)
+            .collect();
+        assert_eq!(starved, after, "parked consumers cost zero activations");
     }
 }

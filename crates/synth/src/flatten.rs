@@ -256,12 +256,12 @@ pub fn flatten_module_bound(
     }
 
     // Which (binding, service) pairs are called?
-    let mut called: Vec<(BindingId, String)> = vec![];
+    let mut called: Vec<(BindingId, std::sync::Arc<str>)> = vec![];
     module.fsm().for_each_stmt(&mut |s| {
         s.for_each_call(&mut |c| {
             if !called
                 .iter()
-                .any(|(b2, s2)| *b2 == c.binding && s2 == &c.service)
+                .any(|(b2, s2)| *b2 == c.binding && *s2 == c.service)
             {
                 called.push((c.binding, c.service.clone()));
             }
@@ -301,7 +301,7 @@ pub fn flatten_module_bound(
                 .service(sname)
                 .ok_or_else(|| SynthError::UnknownService {
                     module: module.name().to_string(),
-                    service: sname.clone(),
+                    service: sname.to_string(),
                 })?;
             svc.fsm().for_each_stmt(&mut |s| {
                 s.for_each_driven_port(&mut |p| writes[p.index()] = true);
@@ -340,7 +340,7 @@ pub fn flatten_module_bound(
         init_state: i64,
         local_inits: Vec<Value>,
     }
-    let mut sessions: HashMap<(BindingId, String), Session> = HashMap::new();
+    let mut sessions: HashMap<(BindingId, std::sync::Arc<str>), Session> = HashMap::new();
     for (bid, sname) in &called {
         let spec = &unit_of_binding[bid].spec;
         let svc = spec.service(sname).expect("checked above");

@@ -268,7 +268,7 @@ impl ProcElab<'_> {
                     }
                     out.push(Stmt::Call(ServiceCall {
                         binding,
-                        service: name.clone(),
+                        service: name.as_str().into(),
                         args: ir_args,
                         done: Some(done),
                         result: Some(res),

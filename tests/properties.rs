@@ -615,9 +615,11 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Backplane scheduling: sharded unit scheduling (per-shard activation
-// sets, dormancy) is observationally equivalent to the legacy per-unit
-// path on randomized topologies over both link kinds.
+// Backplane scheduling: the unified activation scheduler (sharded
+// modules + units, blocked-FSM parking on completion wires) is
+// observationally equivalent to the legacy per-unit/per-module path —
+// same module states, SUMs, traces AND activation counts — on
+// randomized topologies over both link kinds.
 // ---------------------------------------------------------------------
 
 proptest! {
@@ -625,20 +627,22 @@ proptest! {
     #[test]
     fn backplane_schedulings_equivalent(
         units in 2usize..7,
-        topo_sel in 0u8..4,
+        topo_sel in 0u8..5,
         batched in any::<bool>(),
         values in 1usize..4,
         seed in any::<u64>(),
         shard_size in 1usize..6,
+        park in any::<bool>(),
     ) {
         use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
-        use cosma::cosim::UnitScheduling;
+        use cosma::cosim::{ModuleScheduling, SchedulingConfig, UnitScheduling};
         use cosma::sim::Duration;
 
         let topology = match topo_sel {
             0 => Topology::Pipeline,
             1 => Topology::Star,
             2 => Topology::Ring,
+            3 => Topology::Starved,
             _ => Topology::RandomDag { seed },
         };
         let link = if batched {
@@ -654,10 +658,18 @@ proptest! {
             scheduling,
             ..ScenarioSpec::default()
         };
-        let mut sharded = build_scenario(&mk(UnitScheduling::Sharded { shard_size }))
-            .expect("sharded builds");
-        let mut per_unit = build_scenario(&mk(UnitScheduling::PerUnit))
-            .expect("per-unit builds");
+        let mut sharded = build_scenario(&mk(SchedulingConfig {
+            units: UnitScheduling::Sharded { shard_size },
+            modules: ModuleScheduling::Sharded { shard_size },
+            park_blocked: park,
+        }))
+        .expect("sharded builds");
+        let mut per_unit = build_scenario(&mk(SchedulingConfig {
+            units: UnitScheduling::PerUnit,
+            modules: ModuleScheduling::PerModule,
+            park_blocked: park,
+        }))
+        .expect("per-unit builds");
         sharded.cosim.run_for(Duration::from_us(300)).expect("sharded runs");
         per_unit.cosim.run_for(Duration::from_us(300)).expect("per-unit runs");
         for (&a, &b) in sharded.modules.iter().zip(&per_unit.modules) {
@@ -678,6 +690,15 @@ proptest! {
         prop_assert!(sharded.is_complete(), "sharded incomplete under {:?}", topology);
         sharded.verify().map_err(TestCaseError::fail)?;
         per_unit.verify().map_err(TestCaseError::fail)?;
+        // With parking on, a Starved run must actually have parked its
+        // blocked consumers — and left them at near-zero activations.
+        if park && matches!(topology, Topology::Starved) {
+            let stats = sharded.cosim.shard_stats();
+            prop_assert!(
+                stats.members_parked as usize >= units - 1,
+                "starved consumers parked: {:?}", stats
+            );
+        }
     }
 }
 
