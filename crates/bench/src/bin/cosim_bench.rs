@@ -1,10 +1,17 @@
 //! `cosim_bench` — the machine-readable co-simulation benchmark runner.
 //!
 //! Runs the `cosim_step` many-unit scenarios (pipeline and starved
-//! topologies, legacy vs sharded scheduling) and writes per-scenario
-//! timings to `BENCH_cosim.json` as a flat array of
-//! `{scenario, n, ns_per_run, runs}` records, so CI can track the
-//! backplane's performance trajectory across PRs.
+//! topologies, legacy vs sharded scheduling, sequential vs threaded
+//! step phase) and writes per-scenario timings to `BENCH_cosim.json`
+//! as a flat array of `{scenario, n, parallelism, ns_per_run, runs}`
+//! records, so CI can track the backplane's performance trajectory
+//! across PRs.
+//!
+//! The `parallelism` column compares [`Parallelism::Off`] against
+//! `Threads(4)` on the same scenario. NOTE: the threaded step phase
+//! needs real cores to win — on a single-CPU host (CI containers) the
+//! workers time-slice one core and the row documents the overhead
+//! instead. The host's available parallelism is printed alongside.
 //!
 //! Usage: `cosim_bench [--quick] [--out PATH]`
 //!
@@ -12,15 +19,25 @@
 //! the default sweep matches the criterion bench (N = 16/64/256).
 
 use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
-use cosma_cosim::{CosimConfig, SchedulingConfig};
+use cosma_cosim::{CosimConfig, Parallelism, SchedulingConfig};
 use cosma_sim::Duration;
 use std::time::Instant;
 
 struct Record {
     scenario: &'static str,
     n: usize,
+    parallelism: &'static str,
     ns_per_run: u128,
     runs: u32,
+}
+
+fn parallelism_label(cfg: &SchedulingConfig) -> &'static str {
+    match cfg.parallelism {
+        Parallelism::Off => "off",
+        Parallelism::Threads(2) => "threads2",
+        Parallelism::Threads(4) => "threads4",
+        Parallelism::Threads(_) => "threads",
+    }
 }
 
 fn scenario(
@@ -42,7 +59,13 @@ fn scenario(
 
 /// Times `runs` fresh builds of one scenario, excluding setup, and
 /// returns the mean wall-clock nanoseconds per 200 µs simulated run.
-fn measure(name: &'static str, n: usize, runs: u32, build: impl Fn() -> Scenario) -> Record {
+fn measure(
+    name: &'static str,
+    n: usize,
+    parallelism: &'static str,
+    runs: u32,
+    build: impl Fn() -> Scenario,
+) -> Record {
     // Warm-up.
     let mut s = build();
     s.cosim.run_for(Duration::from_us(200)).expect("runs");
@@ -55,12 +78,13 @@ fn measure(name: &'static str, n: usize, runs: u32, build: impl Fn() -> Scenario
     }
     let ns_per_run = total.as_nanos() / u128::from(runs.max(1));
     println!(
-        "{name:<28} N={n:<4} {:>12} ns/run  ({runs} runs)",
+        "{name:<28} N={n:<4} par={parallelism:<8} {:>12} ns/run  ({runs} runs)",
         ns_per_run
     );
     Record {
         scenario: name,
         n,
+        parallelism,
         ns_per_run,
         runs,
     }
@@ -84,9 +108,15 @@ fn main() {
         max_batch: 8,
         capacity: 32,
     };
+    println!(
+        "host available parallelism: {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
     let mut records = vec![];
     for &n in sizes {
-        records.push(measure("many_units_per_unit", n, runs, || {
+        records.push(measure("many_units_per_unit", n, "off", runs, || {
             scenario(
                 n,
                 Topology::Pipeline,
@@ -94,10 +124,30 @@ fn main() {
                 LinkKind::Handshake,
             )
         }));
-        records.push(measure("many_units_sharded", n, runs, || {
+        records.push(measure("many_units_immediate", n, "off", runs, || {
+            scenario(
+                n,
+                Topology::Pipeline,
+                SchedulingConfig::immediate(),
+                batched,
+            )
+        }));
+        records.push(measure("many_units_sharded", n, "off", runs, || {
             scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched)
         }));
-        records.push(measure("blocked_per_unit", n, runs, || {
+        // The threaded step phase on the same scenario. On multi-core
+        // hosts large stepping sets fan out across the persistent
+        // worker pool; on a single-CPU host this row documents the
+        // coordination overhead instead (workers time-slice one core).
+        let threaded = SchedulingConfig::sharded().with_threads(4);
+        records.push(measure(
+            "many_units_sharded",
+            n,
+            parallelism_label(&threaded),
+            runs,
+            move || scenario(n, Topology::Pipeline, threaded, batched),
+        ));
+        records.push(measure("blocked_per_unit", n, "off", runs, || {
             scenario(
                 n,
                 Topology::Starved,
@@ -105,7 +155,7 @@ fn main() {
                 LinkKind::Handshake,
             )
         }));
-        records.push(measure("blocked_sharded", n, runs, || {
+        records.push(measure("blocked_sharded", n, "off", runs, || {
             scenario(
                 n,
                 Topology::Starved,
@@ -137,9 +187,11 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"scenario\": \"{}\", \"n\": {}, \"ns_per_run\": {}, \"runs\": {}}}{}\n",
+            "  {{\"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \
+             \"ns_per_run\": {}, \"runs\": {}}}{}\n",
             r.scenario,
             r.n,
+            r.parallelism,
             r.ns_per_run,
             r.runs,
             if i + 1 < records.len() { "," } else { "" }

@@ -31,10 +31,10 @@
 //! histogram ([`UnitStats::batch_len_hist`]).
 
 use crate::library::batched_handshake_unit;
-use crate::runtime::{CallerId, FsmUnitRuntime, UnitStats, WireStore};
+use crate::runtime::{CallerId, FsmUnitRuntime, PeekedCall, UnitStats, WireStore};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::PortId;
-use cosma_core::{Bit, EvalError, ServiceOutcome, Type, Value};
+use cosma_core::{Bit, DeferredCall, EvalError, ServiceOutcome, Type, Value};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -197,6 +197,129 @@ impl BatchedLink {
             }
             _ => vec![],
         }
+    }
+
+    /// Validates a `put` payload against the link's data type: the value
+    /// kind must match (an `Int` link cannot carry a `Bit`); integer
+    /// widths are clamped like every other port/var write.
+    fn check_payload(&self, v: &Value) -> Result<(), EvalError> {
+        let clamped = self.data_ty.clamp(v.clone());
+        if !self.data_ty.admits(&clamped) {
+            return Err(EvalError::Service(format!(
+                "batched link {}: put of {v:?} does not fit data type {}",
+                self.inner.spec().name(),
+                self.data_ty
+            )));
+        }
+        Ok(())
+    }
+
+    /// Dispatches one service activation by name — the single call entry
+    /// point used by both the immediate-application path and the
+    /// commit-phase replay. A malformed call (unknown service, wrong
+    /// arity, payload of the wrong kind) surfaces as a typed
+    /// [`EvalError::Service`], never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Typed validation errors as above; wire-store errors propagate.
+    pub fn call(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        args: &[Value],
+        wires: &mut dyn WireStore,
+    ) -> Result<ServiceOutcome, EvalError> {
+        match (service, args) {
+            ("put", [v]) => {
+                self.check_payload(v)?;
+                self.put(caller, v.clone(), wires)
+            }
+            ("get", []) => self.get(caller, wires),
+            ("put" | "get", _) => Err(EvalError::Service(format!(
+                "batched link {}: service {service} called with {} argument(s)",
+                self.inner.spec().name(),
+                args.len()
+            ))),
+            (other, _) => Err(EvalError::Service(format!(
+                "batched link {} has no service {other}",
+                self.inner.spec().name()
+            ))),
+        }
+    }
+
+    /// Speculative (read-only) variant of [`BatchedLink::call`]: answers
+    /// the outcome the call would produce against the current committed
+    /// queue state, without mutating anything. Exact while no other
+    /// same-cycle call moves the shared queues — a two-phase scheduler
+    /// validates the answer again at commit time.
+    ///
+    /// # Errors
+    ///
+    /// Same typed validation as [`BatchedLink::call`].
+    pub fn peek_call(&self, service: &str, args: &[Value]) -> Result<PeekedCall, EvalError> {
+        match (service, args) {
+            ("put", [v]) => {
+                self.check_payload(v)?;
+                if self.occupancy() >= self.capacity {
+                    // Rejected by backpressure: a provable no-op.
+                    Ok(PeekedCall {
+                        outcome: ServiceOutcome::pending(),
+                        stable: true,
+                        delta: None,
+                    })
+                } else {
+                    Ok(PeekedCall {
+                        outcome: ServiceOutcome::done(),
+                        stable: false,
+                        delta: None,
+                    })
+                }
+            }
+            ("get", []) => match self.delivered.front() {
+                Some(v) => Ok(PeekedCall {
+                    outcome: ServiceOutcome::done_with(v.clone()),
+                    stable: false,
+                    delta: None,
+                }),
+                None => Ok(PeekedCall {
+                    outcome: ServiceOutcome::pending(),
+                    stable: true,
+                    delta: None,
+                }),
+            },
+            ("put" | "get", _) => Err(EvalError::Service(format!(
+                "batched link {}: service {service} called with {} argument(s)",
+                self.inner.spec().name(),
+                args.len()
+            ))),
+            (other, _) => Err(EvalError::Service(format!(
+                "batched link {} has no service {other}",
+                self.inner.spec().name()
+            ))),
+        }
+    }
+
+    /// Standalone commit entry point of the two-phase model: applies a
+    /// module's buffered call records in order (see
+    /// [`crate::FsmUnitRuntime::apply_calls`] for the ordering contract
+    /// and its relationship to the backplane's validating per-call
+    /// commit, which routes through [`BatchedLink::call`]) and returns
+    /// the actual outcomes for validation.
+    ///
+    /// # Errors
+    ///
+    /// Same typed validation as [`BatchedLink::call`].
+    pub fn apply_calls(
+        &mut self,
+        caller: CallerId,
+        calls: &[DeferredCall],
+        wires: &mut dyn WireStore,
+    ) -> Result<Vec<ServiceOutcome>, EvalError> {
+        calls
+            .iter()
+            .map(|c| self.call(caller, &c.service, &c.args, wires))
+            .collect()
     }
 
     /// Enqueues one value for transport. Completes immediately unless the
@@ -536,6 +659,68 @@ mod tests {
         assert!(
             link.completion_signals("put").is_empty(),
             "capacity release is not wire-visible: blocked puts must poll"
+        );
+    }
+
+    #[test]
+    fn call_dispatch_validates_and_matches_direct_calls() {
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        assert!(
+            link.call(p, "put", &[Value::Int(3)], &mut wires)
+                .unwrap()
+                .done
+        );
+        // Typed errors for malformed calls: unknown service, bad arity,
+        // wrong payload kind — never a panic.
+        assert!(link.call(p, "bogus", &[], &mut wires).is_err());
+        assert!(link.call(p, "put", &[], &mut wires).is_err());
+        assert!(link.call(p, "get", &[Value::Int(1)], &mut wires).is_err());
+        let err = link
+            .call(p, "put", &[Value::Bool(true)], &mut wires)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("does not fit"),
+            "kind mismatch is typed: {err}"
+        );
+    }
+
+    #[test]
+    fn peek_matches_real_call_on_committed_state() {
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        let c = CallerId(2);
+        // Empty link: get peeks pending+stable; put peeks done.
+        assert_eq!(
+            link.peek_call("get", &[]).unwrap(),
+            PeekedCall {
+                outcome: ServiceOutcome::pending(),
+                stable: true,
+                delta: None
+            }
+        );
+        let peek = link.peek_call("put", &[Value::Int(5)]).unwrap();
+        let real = link.put(p, Value::Int(5), &mut wires).unwrap();
+        assert_eq!(peek.outcome, real);
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        // Delivered value: peek names it without popping.
+        let peek = link.peek_call("get", &[]).unwrap();
+        assert_eq!(peek.outcome, ServiceOutcome::done_with(Value::Int(5)));
+        let real = link.get(c, &mut wires).unwrap();
+        assert_eq!(peek.outcome, real);
+        // At capacity: put peeks pending+stable.
+        let mut tight = BatchedLink::new("bus", Type::INT16, 4, 1);
+        let mut tw = LocalWires::new(tight.spec());
+        tight.put(p, Value::Int(1), &mut tw).unwrap();
+        assert_eq!(
+            tight.peek_call("put", &[Value::Int(2)]).unwrap(),
+            PeekedCall {
+                outcome: ServiceOutcome::pending(),
+                stable: true,
+                delta: None
+            }
         );
     }
 

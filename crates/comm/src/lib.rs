@@ -27,5 +27,7 @@ mod standalone;
 pub use batch::BatchedLink;
 pub use library::{batched_handshake_unit, handshake_unit, register_bank_unit, shared_reg_unit};
 pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
-pub use runtime::{CallerId, FsmUnitRuntime, LocalWires, ServiceStats, UnitStats, WireStore};
+pub use runtime::{
+    CallerId, FsmUnitRuntime, LocalWires, PeekedCall, ReadWires, ServiceStats, UnitStats, WireStore,
+};
 pub use standalone::StandaloneUnit;

@@ -24,7 +24,12 @@ pub struct NativeServiceDesc {
 }
 
 /// A communication unit implemented natively (an "existing platform").
-pub trait NativeUnit: fmt::Debug + Send {
+///
+/// `Sync` is required so a two-phase scheduler can share the unit table
+/// read-only across step-phase worker threads (native units are never
+/// *called* from those threads — calls to natives always fall back to
+/// the sequential commit phase — but the table they live in is).
+pub trait NativeUnit: fmt::Debug + Send + Sync {
     /// Unit type name.
     fn name(&self) -> &str;
 
@@ -70,6 +75,28 @@ pub trait NativeUnit: fmt::Debug + Send {
         vec![]
     }
 
+    /// Queue occupancy to mirror onto a kernel signal, if this unit has
+    /// one. A `Some` answer makes the backplane declare an `OCC` signal
+    /// for the unit and drive it after every state change, so callers
+    /// blocked on the unit can *park* on occupancy events instead of
+    /// polling every cycle. `None` (the default) keeps the unit
+    /// wire-invisible and its blocked callers polling.
+    fn occupancy(&self) -> Option<i64> {
+        None
+    }
+
+    /// Whether the most recent [`NativeUnit::call`] was a provable no-op
+    /// (pending outcome, no state change). Mirrors
+    /// [`crate::FsmUnitRuntime::last_call_stable`]: while true, repeating
+    /// the call against unchanged unit state yields the identical no-op,
+    /// so a scheduler may park the blocked caller — provided the unit
+    /// also exposes wake-up wires ([`NativeUnit::occupancy`] or
+    /// [`NativeUnit::completion_signals`]). The conservative default is
+    /// `false` (callers always poll).
+    fn last_call_stable(&self) -> bool {
+        false
+    }
+
     /// Call statistics.
     fn stats(&self) -> &UnitStats;
 }
@@ -106,6 +133,8 @@ pub struct FifoChannel {
     capacity: usize,
     queue: VecDeque<Value>,
     stats: UnitStats,
+    /// Whether the last call was a provable no-op (empty get, full put).
+    stable: bool,
     /// Rejected puts (channel full) — failure-injection observability.
     pub rejected_puts: u64,
     /// High-water mark of queue occupancy.
@@ -126,6 +155,7 @@ impl FifoChannel {
             capacity,
             queue: VecDeque::new(),
             stats: UnitStats::default(),
+            stable: false,
             rejected_puts: 0,
             high_water: 0,
         }
@@ -151,6 +181,17 @@ impl NativeUnit for FifoChannel {
 
     fn needs_step(&self) -> bool {
         false // pure call-driven state, no background activity
+    }
+
+    fn occupancy(&self) -> Option<i64> {
+        // Wire-visible: the backplane mirrors this onto an `OCC` kernel
+        // signal, so callers blocked on an empty get (or a full put) can
+        // park on occupancy events instead of polling.
+        Some(self.queue.len() as i64)
+    }
+
+    fn last_call_stable(&self) -> bool {
+        self.stable
     }
 
     fn services(&self) -> Vec<NativeServiceDesc> {
@@ -182,10 +223,12 @@ impl NativeUnit for FifoChannel {
                 if self.queue.len() < self.capacity {
                     self.queue.push_back(v.clone());
                     self.high_water = self.high_water.max(self.queue.len());
+                    self.stable = false;
                     bump(&mut self.stats, "put", true);
                     Ok(ServiceOutcome::done())
                 } else {
                     self.rejected_puts += 1;
+                    self.stable = true;
                     bump(&mut self.stats, "put", false);
                     Ok(ServiceOutcome::pending())
                 }
@@ -196,10 +239,12 @@ impl NativeUnit for FifoChannel {
                 }
                 match self.queue.pop_front() {
                     Some(v) => {
+                        self.stable = false;
                         bump(&mut self.stats, "get", true);
                         Ok(ServiceOutcome::done_with(v))
                     }
                     None => {
+                        self.stable = true;
                         bump(&mut self.stats, "get", false);
                         Ok(ServiceOutcome::pending())
                     }
@@ -227,6 +272,8 @@ pub struct Mailbox {
     b_to_a: VecDeque<Value>,
     capacity: usize,
     stats: UnitStats,
+    /// Whether the last call was a provable no-op (empty recv, full send).
+    stable: bool,
 }
 
 impl Mailbox {
@@ -244,6 +291,7 @@ impl Mailbox {
             b_to_a: VecDeque::new(),
             capacity,
             stats: UnitStats::default(),
+            stable: false,
         }
     }
 
@@ -267,6 +315,16 @@ impl NativeUnit for Mailbox {
 
     fn needs_step(&self) -> bool {
         false // pure call-driven state, no background activity
+    }
+
+    fn occupancy(&self) -> Option<i64> {
+        // Total queued messages across both directions: any enqueue or
+        // dequeue is then wire-visible, so blocked receivers can park.
+        Some((self.a_to_b.len() + self.b_to_a.len()) as i64)
+    }
+
+    fn last_call_stable(&self) -> bool {
+        self.stable
     }
 
     fn services(&self) -> Vec<NativeServiceDesc> {
@@ -318,9 +376,11 @@ impl NativeUnit for Mailbox {
             };
             if queue.len() < self.capacity {
                 queue.push_back(v.clone());
+                self.stable = false;
                 bump(&mut self.stats, service, true);
                 Ok(ServiceOutcome::done())
             } else {
+                self.stable = true;
                 bump(&mut self.stats, service, false);
                 Ok(ServiceOutcome::pending())
             }
@@ -332,10 +392,12 @@ impl NativeUnit for Mailbox {
             }
             match queue.pop_front() {
                 Some(v) => {
+                    self.stable = false;
                     bump(&mut self.stats, service, true);
                     Ok(ServiceOutcome::done_with(v))
                 }
                 None => {
+                    self.stable = true;
                     bump(&mut self.stats, service, false);
                     Ok(ServiceOutcome::pending())
                 }

@@ -82,6 +82,16 @@ pub trait Env: ReadEnv {
         args: &[Value],
     ) -> Result<ServiceOutcome, EvalError>;
 
+    /// Whether [`exec_stmt`] should record every executed service call as
+    /// a [`DeferredCall`] in [`StepEffects::calls`]. Default `false`:
+    /// immediate-application environments pay nothing for the recording
+    /// machinery. Two-phase (step/commit) schedulers return `true` so the
+    /// activation's call stream — with the outcomes the environment
+    /// answered — can be replayed against the real units at commit time.
+    fn record_calls(&self) -> bool {
+        false
+    }
+
     /// Receives a diagnostic trace record. Default: ignored.
     fn trace(&mut self, _label: &str, _values: &[Value]) {}
 }
@@ -101,6 +111,27 @@ pub struct PendingCall {
     pub service: std::sync::Arc<str>,
 }
 
+/// One service call executed during an activation, recorded (only when
+/// [`Env::record_calls`] is `true`) with its evaluated arguments and the
+/// outcome the environment answered.
+///
+/// This is the delta a two-phase scheduler buffers during its *step*
+/// phase: the step runs against a snapshot and records what it called;
+/// the *commit* phase then replays the records against the real units in
+/// deterministic `(module, call index)` order and validates that the
+/// answered outcomes still hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeferredCall {
+    /// The module binding the call went through.
+    pub binding: crate::ids::BindingId,
+    /// The service name (refcounted share of the call statement's name).
+    pub service: std::sync::Arc<str>,
+    /// The evaluated argument values.
+    pub args: Vec<Value>,
+    /// The outcome the environment answered during the step.
+    pub outcome: ServiceOutcome,
+}
+
 /// Side effects of executing statements ([`exec_stmt`]), accumulated
 /// across one activation.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -111,6 +142,11 @@ pub struct StepEffects {
     /// for activations whose calls all completed — `Vec::new` does not
     /// allocate, so unblocked activations pay nothing).
     pub pending: Vec<PendingCall>,
+    /// Every executed call with its evaluated arguments and answered
+    /// outcome, in execution order — recorded only when
+    /// [`Env::record_calls`] is `true`, empty (and allocation-free)
+    /// otherwise.
+    pub calls: Vec<DeferredCall>,
 }
 
 /// Report of a single FSM activation.
@@ -128,6 +164,9 @@ pub struct StepReport {
     /// Service calls left pending by this activation — what the FSM is
     /// blocked on, if anything.
     pub pending: Vec<PendingCall>,
+    /// The activation's full call stream (see [`StepEffects::calls`]);
+    /// empty unless the environment opted into recording.
+    pub calls: Vec<DeferredCall>,
 }
 
 /// Execution state of one FSM instance: just the current state, as all
@@ -228,6 +267,7 @@ impl FsmExec {
             transitioned,
             service_calls: effects.service_calls,
             pending: effects.pending,
+            calls: effects.calls,
         })
     }
 
@@ -305,13 +345,21 @@ pub fn exec_stmt(
                 env.write_var(done_var, Value::Bool(outcome.done))?;
             }
             if outcome.done {
-                if let (Some(result_var), Some(v)) = (call.result, outcome.result) {
+                if let (Some(result_var), Some(v)) = (call.result, outcome.result.clone()) {
                     env.write_var(result_var, v)?;
                 }
             } else {
                 effects.pending.push(PendingCall {
                     binding: call.binding,
                     service: call.service.clone(),
+                });
+            }
+            if env.record_calls() {
+                effects.calls.push(DeferredCall {
+                    binding: call.binding,
+                    service: call.service.clone(),
+                    args,
+                    outcome,
                 });
             }
             Ok(())
@@ -768,6 +816,72 @@ mod tests {
         let mut exec = FsmExec::new(&fsm);
         let r = exec.step(&fsm, &mut env).unwrap();
         assert!(r.pending.is_empty());
+    }
+
+    #[test]
+    fn calls_recorded_only_on_opt_in() {
+        // An environment that answers every call "done with 7" and can
+        // toggle recording: the call stream must be captured, with
+        // evaluated args and the answered outcome, only when opted in.
+        struct AnsweringEnv {
+            inner: MapEnv,
+            record: bool,
+        }
+        impl ReadEnv for AnsweringEnv {
+            fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+                self.inner.read_var(v)
+            }
+            fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+                self.inner.read_port(p)
+            }
+        }
+        impl Env for AnsweringEnv {
+            fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
+                self.inner.write_var(v, value)
+            }
+            fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
+                self.inner.drive_port(p, value)
+            }
+            fn call_service(
+                &mut self,
+                _call: &ServiceCall,
+                _args: &[Value],
+            ) -> Result<ServiceOutcome, EvalError> {
+                Ok(ServiceOutcome::done_with(Value::Int(7)))
+            }
+            fn record_calls(&self) -> bool {
+                self.record
+            }
+        }
+
+        let stmt = Stmt::Call(crate::stmt::ServiceCall {
+            binding: crate::ids::BindingId::new(1),
+            service: "put".into(),
+            args: vec![Expr::int(2).add(Expr::int(3))],
+            done: None,
+            result: None,
+        });
+        let mut env = AnsweringEnv {
+            inner: MapEnv::new(),
+            record: true,
+        };
+        let mut effects = StepEffects::default();
+        exec_stmt(&stmt, &mut env, &mut effects).unwrap();
+        assert_eq!(
+            effects.calls,
+            vec![DeferredCall {
+                binding: crate::ids::BindingId::new(1),
+                service: "put".into(),
+                args: vec![Value::Int(5)],
+                outcome: ServiceOutcome::done_with(Value::Int(7)),
+            }]
+        );
+        // Without opt-in the stream stays empty (and allocation-free).
+        env.record = false;
+        let mut effects = StepEffects::default();
+        exec_stmt(&stmt, &mut env, &mut effects).unwrap();
+        assert_eq!(effects.service_calls, 1);
+        assert!(effects.calls.is_empty());
     }
 
     #[test]

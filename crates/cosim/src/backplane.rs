@@ -106,8 +106,60 @@ impl Default for ModuleScheduling {
     }
 }
 
+/// How module service calls are applied to the bound units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallApplication {
+    /// Calls mutate unit state the moment the module executes them. The
+    /// classic path: correct only while module steps run in creation
+    /// order, which forces creation-order module placement and fully
+    /// serial stepping. Kept for ablation and as the equivalence oracle.
+    Immediate,
+    /// Two-phase step/commit: during the *step* phase a module
+    /// activation runs against the cycle-start snapshot — service calls
+    /// answer speculative outcomes ([`cosma_comm::FsmUnitRuntime::peek_call`])
+    /// and are buffered as [`cosma_core::DeferredCall`] records together
+    /// with every other effect (variable writes, port drives, traces).
+    /// The *commit* phase then replays all buffered calls against the
+    /// real units in `(module id, call index)` order, validating each
+    /// actual outcome against the speculation; an activation whose
+    /// speculation fails (or that called a wire-invisible native unit)
+    /// is re-executed sequentially inside the commit, which restores
+    /// exact immediate semantics. Step order therefore no longer
+    /// matters, which is what allows hashed module placement and
+    /// multi-threaded stepping ([`Parallelism::Threads`]).
+    Deferred,
+}
+
+/// How many OS threads the deferred step phase fans out over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Step phase runs inline on the kernel thread (default).
+    Off,
+    /// Step phase fans the cycle's module activations out over up to `n`
+    /// scoped worker threads (`std::thread::scope`). Speculation is pure
+    /// (read-only against the snapshot), so threading cannot change
+    /// results — the sequential commit phase is the only mutator.
+    /// Requires [`CallApplication::Deferred`].
+    Threads(usize),
+}
+
+/// How module shard members are placed into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModulePlacement {
+    /// Fill shards in creation order. Mandatory under
+    /// [`CallApplication::Immediate`] (the global step order must match
+    /// the per-module path); supported under `Deferred` for ablation.
+    CreationOrder,
+    /// Hash module ids over the open shards, exactly like unit
+    /// placement, so hot creation-order runs don't pile into one shard.
+    /// Requires [`CallApplication::Deferred`] — the commit phase
+    /// restores the deterministic global order regardless of placement.
+    Hashed,
+}
+
 /// The activation scheduler's configuration: how units and modules are
-/// dispatched, and whether provably-stable FSMs are parked.
+/// dispatched, how service calls are applied, and whether
+/// provably-stable FSMs are parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulingConfig {
     /// Unit dispatch (controller steps, native steps, batched pumping).
@@ -127,6 +179,14 @@ pub struct SchedulingConfig {
     /// activations themselves, so activation counts differ from a
     /// `park_blocked: false` run while a module is blocked.
     pub park_blocked: bool,
+    /// Service-call application: two-phase step/commit (default) or
+    /// immediate (the PR 3 baseline, kept for ablation).
+    pub calls: CallApplication,
+    /// Module shard placement (hashed by default; creation-order fill is
+    /// mandatory under immediate calls).
+    pub placement: ModulePlacement,
+    /// Step-phase threading (deferred calls only; default off).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SchedulingConfig {
@@ -136,14 +196,30 @@ impl Default for SchedulingConfig {
 }
 
 impl SchedulingConfig {
-    /// The default configuration: sharded units, sharded modules,
-    /// parking enabled.
+    /// The default configuration: sharded units, sharded modules placed
+    /// by hashed id, two-phase (deferred) call application, parking
+    /// enabled, no step-phase threading.
     #[must_use]
     pub fn sharded() -> Self {
         SchedulingConfig {
             units: UnitScheduling::default(),
             modules: ModuleScheduling::default(),
             park_blocked: true,
+            calls: CallApplication::Deferred,
+            placement: ModulePlacement::Hashed,
+            parallelism: Parallelism::Off,
+        }
+    }
+
+    /// The PR 3 baseline: sharded units and modules with parking, but
+    /// immediate call application (creation-order module placement,
+    /// serial stepping). The equivalence oracle for the deferred path.
+    #[must_use]
+    pub fn immediate() -> Self {
+        SchedulingConfig {
+            calls: CallApplication::Immediate,
+            placement: ModulePlacement::CreationOrder,
+            ..SchedulingConfig::sharded()
         }
     }
 
@@ -155,7 +231,55 @@ impl SchedulingConfig {
             units: UnitScheduling::PerUnit,
             modules: ModuleScheduling::PerModule,
             park_blocked: false,
+            calls: CallApplication::Immediate,
+            placement: ModulePlacement::CreationOrder,
+            parallelism: Parallelism::Off,
         }
+    }
+
+    /// Returns this configuration with the step phase fanned out over
+    /// `n` worker threads (implies deferred calls stay required).
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.parallelism = Parallelism::Threads(n);
+        self
+    }
+
+    /// Setup-time validation of the configuration's internal
+    /// consistency.
+    fn validate(&self) -> Result<(), CosimError> {
+        if matches!(self.units, UnitScheduling::Sharded { shard_size: 0 })
+            || matches!(self.modules, ModuleScheduling::Sharded { shard_size: 0 })
+        {
+            return Err(CosimError::Setup("shard size must be nonzero".to_string()));
+        }
+        if matches!(self.parallelism, Parallelism::Threads(0)) {
+            return Err(CosimError::Setup(
+                "parallelism: thread count must be nonzero".to_string(),
+            ));
+        }
+        if self.calls == CallApplication::Immediate {
+            if self.placement == ModulePlacement::Hashed {
+                return Err(CosimError::Setup(
+                    "hashed module placement requires deferred call application \
+                     (immediate calls pin the global step order to creation order)"
+                        .to_string(),
+                ));
+            }
+            if self.parallelism != Parallelism::Off {
+                return Err(CosimError::Setup(
+                    "threaded stepping requires deferred call application".to_string(),
+                ));
+            }
+        }
+        if self.calls == CallApplication::Deferred
+            && matches!(self.modules, ModuleScheduling::PerModule)
+        {
+            return Err(CosimError::Setup(
+                "deferred call application requires sharded module scheduling".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -167,7 +291,7 @@ pub const DEFAULT_SHARD_SIZE: usize = 16;
 /// Shard counters are zero under the per-unit/per-module paths; the
 /// park/resume counters cover *both* paths (per-module processes park
 /// too, by swapping their clock sensitivity for their watch wires).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Number of shards (unit shards + module shards).
     pub shards: usize,
@@ -195,6 +319,17 @@ pub struct ShardStats {
     /// Members currently parked (across shards and per-module
     /// processes).
     pub parked_now: usize,
+    /// Deferred calls applied by commit phases
+    /// ([`CallApplication::Deferred`] only).
+    pub commit_calls: u64,
+    /// Activations whose speculation failed validation (or that called a
+    /// wire-invisible native unit) and were re-executed sequentially in
+    /// the commit phase.
+    pub commit_fallbacks: u64,
+    /// Per-worker stepped-activation counts of the threaded step phase;
+    /// empty under [`Parallelism::Off`]. `step_thread_runs[i]` is the
+    /// number of module activations speculated on worker `i`.
+    pub step_thread_runs: Vec<u64>,
 }
 
 /// Park/resume accounting shared by every scheduler path.
@@ -204,6 +339,60 @@ struct ParkCounters {
     resumed: Cell<u64>,
     parked_now: Cell<usize>,
     modules_stepped: Cell<u64>,
+}
+
+/// Clock-edge demand: how many clocked bodies (module activations, unit
+/// controllers, native steps) currently need clock edges. Parked and
+/// halted bodies count zero, so a *fully parked* backplane stops its
+/// activation clock generators entirely — simulated time stops
+/// advancing and [`Cosim::run_to_quiescence`] can return early on
+/// deadlocked or finished systems. A parked body that is re-armed by a
+/// wire event bumps the demand back up and *kicks* the generators awake
+/// through the `CLK_KICK` signal.
+#[derive(Debug)]
+struct ClockDemand {
+    demand: Cell<i64>,
+    kick: SignalId,
+}
+
+impl ClockDemand {
+    /// A new unparked clocked body exists. If the generators had gone
+    /// idle (everything previously registered is parked or halted —
+    /// possible when bodies are added after a run reached quiescence),
+    /// kick them awake so the new body actually sees clock edges.
+    fn register(&self, sim: &mut Simulator) {
+        if self.demand.get() <= 0 {
+            let next = match sim.value(self.kick) {
+                Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
+                _ => cosma_core::Bit::One,
+            };
+            sim.poke(self.kick, Value::Bit(next));
+        }
+        self.demand.set(self.demand.get() + 1);
+    }
+
+    /// `n` bodies parked (or halted): they need no clock edges until
+    /// re-armed.
+    fn park(&self, n: usize) {
+        self.demand.set(self.demand.get() - n as i64);
+    }
+
+    /// `n` parked bodies were re-armed; restart the clock generators if
+    /// they had gone idle. The kick is an ordinary signal toggle:
+    /// generators parked on it wake through the sensitivity index.
+    fn resume(&self, n: usize, ctx: &mut ProcCtx<'_>) {
+        if n == 0 {
+            return;
+        }
+        if self.demand.get() <= 0 {
+            let next = match ctx.read(self.kick) {
+                Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
+                _ => cosma_core::Bit::One,
+            };
+            ctx.drive(self.kick, Value::Bit(next));
+        }
+        self.demand.set(self.demand.get() + n as i64);
+    }
 }
 
 /// Clocking configuration.
@@ -265,10 +454,42 @@ struct BatchedUnitEntry {
     completion: HashMap<String, Vec<SignalId>>,
 }
 
+struct NativeEntry {
+    name: String,
+    unit: Box<dyn NativeUnit>,
+    /// Kernel mirror of the unit's queue occupancy
+    /// ([`NativeUnit::occupancy`]), if the unit exposes one. Driven
+    /// after every call and step, it makes native state changes
+    /// wire-visible so blocked callers can *park* instead of polling.
+    occ: Option<SignalId>,
+    /// The occupancy value most recently *driven* onto the `OCC`
+    /// signal. Drive decisions must compare against this, not the
+    /// committed signal value: within one delta an earlier drive is
+    /// still pending, and comparing against the stale committed value
+    /// would skip the correcting drive — leaving the mirror wrong
+    /// forever and losing a parked caller's wakeup.
+    occ_driven: i64,
+    /// Completion wires for blocked callers: `[occ]` when the unit is
+    /// wire-visible, empty otherwise (callers must poll).
+    completion: Vec<SignalId>,
+}
+
 struct Registry {
     fsm: Vec<FsmUnitEntry>,
-    native: Vec<(String, Box<dyn NativeUnit>)>,
+    native: Vec<NativeEntry>,
     batched: Vec<BatchedUnitEntry>,
+}
+
+/// Mirrors a native unit's occupancy onto its `OCC` kernel signal after
+/// a call or step may have changed it. Same-value drives are deduped by
+/// the kernel (no event), so this is cheap for no-op calls.
+fn sync_native_occ(entry: &mut NativeEntry, ctx: &mut ProcCtx<'_>) {
+    if let (Some(sig), Some(occ)) = (entry.occ, entry.unit.occupancy()) {
+        if entry.occ_driven != occ {
+            entry.occ_driven = occ;
+            ctx.drive(sig, Value::Int(occ));
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -390,6 +611,16 @@ impl WireStore for CtxWires<'_, '_> {
     }
 }
 
+/// Outcome record of a call that was already applied to its unit during
+/// a commit phase, served to a fallback re-execution so the unit is not
+/// mutated twice. See [`step_module`]'s `memo` parameter.
+struct MemoCall {
+    binding: cosma_core::ids::BindingId,
+    service: Arc<str>,
+    result: Result<ServiceOutcome, EvalError>,
+    stable: bool,
+}
+
 /// The execution environment a module activation sees: ports are kernel
 /// signals, variables are module-local, service calls go to the
 /// registry. Alongside execution it accumulates the *stability
@@ -404,6 +635,9 @@ struct CosimEnv<'a, 'b> {
     caller: CallerId,
     trace: &'a RefCell<TraceLog>,
     source: &'a str,
+    /// Already-applied call outcomes to serve before touching the units
+    /// again (commit-phase fallback re-execution; empty otherwise).
+    memo: std::collections::VecDeque<MemoCall>,
     /// Effective changes this activation: variable writes that changed
     /// a value, port drives that differ from the signal's current
     /// value, trace records, completed service calls. Zero means the
@@ -415,6 +649,31 @@ struct CosimEnv<'a, 'b> {
     pending_stable: bool,
     /// Completion wires of the pending calls (what to watch if parked).
     pending_watch: Vec<SignalId>,
+}
+
+impl CosimEnv<'_, '_> {
+    /// Shared post-call bookkeeping: a completed call is an effective
+    /// change; a pending one contributes to the park verdict (parkable
+    /// only if the unit proved the call a no-op AND names completion
+    /// wires that can wake the caller).
+    fn note_outcome(&mut self, handle: Handle, service: &str, done: bool, stable: bool) {
+        if done {
+            self.changes += 1;
+            return;
+        }
+        let reg = self.registry.borrow();
+        let comp = match handle {
+            Handle::Fsm(i) => reg.fsm[i].completion.get(service),
+            Handle::Batched(i) => reg.batched[i].completion.get(service),
+            Handle::Native(i) => Some(&reg.native[i].completion),
+        };
+        match comp {
+            Some(ws) if stable && !ws.is_empty() => {
+                self.pending_watch.extend_from_slice(ws);
+            }
+            _ => self.pending_stable = false,
+        }
+    }
 }
 
 impl ReadEnv for CosimEnv<'_, '_> {
@@ -469,72 +728,59 @@ impl Env for CosimEnv<'_, '_> {
                 self.source, call.binding
             )));
         };
-        let mut reg = self.registry.borrow_mut();
-        let out = match handle {
-            Handle::Fsm(i) => {
-                let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
-                let mut ws = CtxWires {
-                    ctx: self.ctx,
-                    map: wires,
-                };
-                runtime.call(self.caller, &call.service, args, &mut ws)?
+        // Commit-phase fallback: serve the outcomes of calls that were
+        // already applied to the units during validation, in order. The
+        // re-execution is deterministic, so the served stream lines up
+        // with the calls the activation re-issues.
+        if let Some(m) = self.memo.pop_front() {
+            if m.binding != call.binding || m.service != call.service {
+                return Err(EvalError::Service(format!(
+                    "module {}: deferred-call replay diverged (expected {}/{}, got {}/{})",
+                    self.source, m.binding, m.service, call.binding, call.service
+                )));
             }
-            Handle::Native(i) => reg.native[i].1.call(self.caller, &call.service, args)?,
-            Handle::Batched(i) => {
-                let BatchedUnitEntry {
-                    name, link, wires, ..
-                } = &mut reg.batched[i];
-                let mut ws = CtxWires {
-                    ctx: self.ctx,
-                    map: wires,
-                };
-                match (&*call.service, args) {
-                    ("put", [v]) => link.put(self.caller, v.clone(), &mut ws)?,
-                    ("get", []) => link.get(self.caller, &mut ws)?,
-                    ("put" | "get", _) => {
-                        return Err(EvalError::Service(format!(
-                            "batched link {name}: service {} called with {} argument(s)",
-                            call.service,
-                            args.len()
-                        )))
-                    }
-                    (other, _) => {
-                        return Err(EvalError::Service(format!(
-                            "batched link {name} has no service {other}"
-                        )))
-                    }
+            let out = m.result?;
+            self.note_outcome(handle, &call.service, out.done, m.stable);
+            return Ok(out);
+        }
+        let (out, stable) = {
+            let mut reg = self.registry.borrow_mut();
+            match handle {
+                Handle::Fsm(i) => {
+                    let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
+                    let mut ws = CtxWires {
+                        ctx: self.ctx,
+                        map: wires,
+                    };
+                    let out = runtime.call(self.caller, &call.service, args, &mut ws)?;
+                    let stable = runtime.last_call_stable();
+                    (out, stable)
+                }
+                Handle::Native(i) => {
+                    let entry = &mut reg.native[i];
+                    let out = entry
+                        .unit
+                        .call(self.caller, &call.service, args)
+                        .map_err(|e| {
+                            EvalError::Service(format!("native unit {}: {e}", entry.name))
+                        })?;
+                    sync_native_occ(entry, self.ctx);
+                    let stable = entry.unit.last_call_stable();
+                    (out, stable)
+                }
+                Handle::Batched(i) => {
+                    let BatchedUnitEntry { link, wires, .. } = &mut reg.batched[i];
+                    let mut ws = CtxWires {
+                        ctx: self.ctx,
+                        map: wires,
+                    };
+                    let out = link.call(self.caller, &call.service, args, &mut ws)?;
+                    let stable = link.last_call_stable();
+                    (out, stable)
                 }
             }
         };
-        if out.done {
-            // A completed call mutated the unit: not a no-op.
-            self.changes += 1;
-        } else {
-            // Pending: parkable only if the unit proves the call was a
-            // no-op AND names wires that can wake the caller.
-            let (stable, comp) = match handle {
-                Handle::Fsm(i) => {
-                    let e = &reg.fsm[i];
-                    (
-                        e.runtime.last_call_stable(),
-                        e.completion.get(&*call.service),
-                    )
-                }
-                Handle::Batched(i) => {
-                    let e = &reg.batched[i];
-                    (e.link.last_call_stable(), e.completion.get(&*call.service))
-                }
-                // Native units change state through direct calls that
-                // produce no wire events: a blocked caller must poll.
-                Handle::Native(_) => (false, None),
-            };
-            match comp {
-                Some(ws) if stable && !ws.is_empty() => {
-                    self.pending_watch.extend_from_slice(ws);
-                }
-                _ => self.pending_stable = false,
-            }
-        }
+        self.note_outcome(handle, &call.service, out.done, stable);
         Ok(out)
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
@@ -573,10 +819,13 @@ impl From<SimError> for CosimError {
     }
 }
 
-/// One module activation through the shared module table. Returns
+/// One module activation through the shared module table, with service
+/// calls applied immediately (and, during a commit-phase fallback,
+/// already-applied outcomes served from `memo` first). Returns
 /// `Ok(Some(watch))` when the activation proved the module stable and
 /// it should be parked on `watch` (possibly empty: a halted module that
 /// nothing can ever re-arm), `Ok(None)` to stay clocked.
+#[allow(clippy::too_many_arguments)]
 fn step_module(
     modules: &RefCell<Vec<ModuleEntry>>,
     idx: usize,
@@ -585,6 +834,7 @@ fn step_module(
     park: &ParkCounters,
     park_blocked: bool,
     ctx: &mut ProcCtx<'_>,
+    memo: std::collections::VecDeque<MemoCall>,
 ) -> Result<Option<Vec<SignalId>>, String> {
     let mut modules = modules.borrow_mut();
     let ModuleEntry {
@@ -609,6 +859,7 @@ fn step_module(
         caller: *caller,
         trace,
         source: name,
+        memo,
         changes: 0,
         pending_stable: true,
         pending_watch: vec![],
@@ -653,6 +904,577 @@ fn step_module(
     }
 }
 
+/// Read-only wire view over the cycle-start signal snapshot, for
+/// speculative unit peeks. Exact within an activation: kernel drives
+/// are delta-delayed, so the immediate path's protocol steps read the
+/// same snapshot.
+struct SnapWires<'a, 'b> {
+    ctx: &'a ProcCtx<'b>,
+    map: &'a [SignalId],
+}
+
+impl cosma_comm::ReadWires for SnapWires<'_, '_> {
+    fn read_wire(&self, w: PortId) -> Result<Value, EvalError> {
+        match self.map.get(w.index()) {
+            Some(&sig) => Ok(self.ctx.read(sig).clone()),
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
+}
+
+/// Everything one speculative module activation buffered during the
+/// step phase. Nothing in here has touched shared state: the commit
+/// phase installs it wholesale (after validating the speculated call
+/// outcomes against the real units) or discards it and re-executes the
+/// activation sequentially.
+struct SpecResult {
+    /// Post-activation variable values (cloned from the entry, mutated
+    /// locally).
+    vars: Vec<Value>,
+    /// Post-activation executor (current state + step count).
+    exec: FsmExec,
+    /// The activation report, including the recorded call stream.
+    report: cosma_core::StepReport,
+    /// Per-call speculated stability flags, parallel to `report.calls`.
+    call_stables: Vec<bool>,
+    /// Per-call peek results, parallel to `report.calls`: FSM-unit
+    /// peeks carry a session delta the commit can install directly
+    /// instead of re-running the protocol step (`None` for batched and
+    /// native calls).
+    peeks: Vec<Option<cosma_comm::PeekedCall>>,
+    /// Effective-change count (the park verdict input).
+    changes: u32,
+    /// Park verdict inputs, mirroring [`CosimEnv`].
+    pending_stable: bool,
+    pending_watch: Vec<SignalId>,
+    /// Buffered module port drives, in execution order.
+    drives: Vec<(SignalId, Value)>,
+    /// Buffered trace records, in execution order.
+    traces: Vec<(String, Vec<Value>)>,
+    /// The speculation is unusable — it called a wire-invisible native
+    /// unit or hit an evaluation error — and the activation must be
+    /// re-executed sequentially at commit.
+    fallback: bool,
+}
+
+/// The pure (read-only) speculation environment of the step phase.
+/// Variable writes land in a local clone, port drives and traces are
+/// buffered, and service calls answer unit *peeks* while being recorded
+/// for commit-time replay.
+struct SpecEnv<'a, 'b> {
+    ctx: &'a ProcCtx<'b>,
+    ports: &'a [SignalId],
+    vars: Vec<Value>,
+    var_tys: &'a [Type],
+    reg: &'a Registry,
+    bindings: &'a [Handle],
+    caller: CallerId,
+    changes: u32,
+    pending_stable: bool,
+    pending_watch: Vec<SignalId>,
+    call_stables: Vec<bool>,
+    peeks: Vec<Option<cosma_comm::PeekedCall>>,
+    drives: Vec<(SignalId, Value)>,
+    traces: Vec<(String, Vec<Value>)>,
+    fallback: bool,
+}
+
+impl ReadEnv for SpecEnv<'_, '_> {
+    fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
+        self.vars
+            .get(v.index())
+            .cloned()
+            .ok_or(EvalError::NoSuchVar(v))
+    }
+    fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
+        match self.ports.get(p.index()) {
+            Some(&sig) => Ok(self.ctx.read(sig).clone()),
+            None => Err(EvalError::NoSuchPort(p)),
+        }
+    }
+}
+
+impl Env for SpecEnv<'_, '_> {
+    fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
+        let ty = self.var_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
+        let slot = self
+            .vars
+            .get_mut(v.index())
+            .ok_or(EvalError::NoSuchVar(v))?;
+        let value = ty.clamp(value);
+        if *slot != value {
+            self.changes += 1;
+            *slot = value;
+        }
+        Ok(())
+    }
+    fn drive_port(&mut self, p: PortId, value: Value) -> Result<(), EvalError> {
+        match self.ports.get(p.index()) {
+            Some(&sig) => {
+                if self.ctx.read(sig) != &value {
+                    self.changes += 1;
+                }
+                self.drives.push((sig, value));
+                Ok(())
+            }
+            None => Err(EvalError::NoSuchPort(p)),
+        }
+    }
+    fn call_service(
+        &mut self,
+        call: &ServiceCall,
+        args: &[Value],
+    ) -> Result<ServiceOutcome, EvalError> {
+        let Some(&handle) = self.bindings.get(call.binding.index()) else {
+            return Err(EvalError::Service(format!(
+                "no unit attached to binding {}",
+                call.binding
+            )));
+        };
+        let peeked = match handle {
+            Handle::Fsm(i) => {
+                let e = &self.reg.fsm[i];
+                let ws = SnapWires {
+                    ctx: self.ctx,
+                    map: &e.wires,
+                };
+                e.runtime.peek_call(self.caller, &call.service, args, &ws)?
+            }
+            Handle::Batched(i) => self.reg.batched[i].link.peek_call(&call.service, args)?,
+            Handle::Native(_) => {
+                // Native calls cannot be peeked (arbitrary Rust state):
+                // abandon the speculation; the commit phase re-executes
+                // this activation sequentially with real calls.
+                self.fallback = true;
+                self.call_stables.push(false);
+                self.peeks.push(None);
+                return Ok(ServiceOutcome::pending());
+            }
+        };
+        // Park-verdict bookkeeping, mirroring CosimEnv::note_outcome.
+        if peeked.outcome.done {
+            self.changes += 1;
+        } else {
+            let comp = match handle {
+                Handle::Fsm(i) => self.reg.fsm[i].completion.get(&*call.service),
+                Handle::Batched(i) => self.reg.batched[i].completion.get(&*call.service),
+                Handle::Native(_) => unreachable!("natives abandon speculation"),
+            };
+            match comp {
+                Some(ws) if peeked.stable && !ws.is_empty() => {
+                    self.pending_watch.extend_from_slice(ws);
+                }
+                _ => self.pending_stable = false,
+            }
+        }
+        self.call_stables.push(peeked.stable);
+        let outcome = peeked.outcome.clone();
+        self.peeks.push(Some(peeked));
+        Ok(outcome)
+    }
+    fn record_calls(&self) -> bool {
+        true
+    }
+    fn trace(&mut self, label: &str, values: &[Value]) {
+        self.changes += 1;
+        self.traces.push((label.to_string(), values.to_vec()));
+    }
+}
+
+/// Minimum stepping-set size before the driver fans the step phase out
+/// to the worker pool: below this, handing work over costs more than
+/// the speculation itself (a few µs of channel/futex latency), so small
+/// cycles always run inline — with identical results, since the step
+/// phase is pure.
+const STEP_FANOUT_MIN: usize = 64;
+
+/// Everything a step-phase worker needs to speculate a range of the
+/// cycle's stepping set. All fields are shared read-only references —
+/// the pool's blocking protocol guarantees they outlive the parallel
+/// region.
+struct StepJobCtx<'a, 'b> {
+    entries: &'a [ModuleEntry],
+    reg: &'a Registry,
+    snapshot: &'a ProcCtx<'b>,
+    items: &'a [(usize, usize, u32)],
+}
+
+/// One region assignment handed to a pooled worker: a type-erased
+/// pointer to the region's [`StepJobCtx`] plus the item range the
+/// worker owns. The pointer is only dereferenced between receiving the
+/// job and sending the results back, and the driver blocks on those
+/// results before releasing the borrows — the same happens-before
+/// protocol `std::thread::scope` provides, without re-paying thread
+/// spawn/join (~100µs) on every kernel delta.
+struct StepJob {
+    ctx: *const (),
+    lo: usize,
+    hi: usize,
+}
+
+// SAFETY: the raw context pointer is only dereferenced while the
+// issuing driver is blocked in `StepPool::run`, which keeps the
+// referenced borrows alive; `StepJobCtx`'s referents are all `Sync`
+// (machine-checked by `_assert_step_ctx_sync` below, so a future field
+// with interior mutability fails to compile instead of racing).
+unsafe impl Send for StepJob {}
+
+/// Compile-time guard for the `unsafe impl Send for StepJob`: sharing
+/// `&StepJobCtx` across worker threads is only sound while the whole
+/// context is `Sync`.
+fn _assert_step_ctx_sync<'a, 'b>(ctx: &'a StepJobCtx<'a, 'b>) -> &'a (dyn Sync + 'a) {
+    ctx
+}
+
+/// One persistent step-phase worker: parked on its job channel between
+/// parallel regions.
+struct StepWorker {
+    job_tx: std::sync::mpsc::Sender<StepJob>,
+    done_rx: std::sync::mpsc::Receiver<Vec<SpecResult>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The persistent worker pool of the threaded step phase
+/// ([`Parallelism::Threads`]): `n - 1` OS threads spawned once at
+/// driver registration (the kernel thread itself acts as the `n`-th
+/// worker on the first chunk).
+struct StepPool {
+    workers: Vec<StepWorker>,
+}
+
+impl StepPool {
+    fn new(workers: usize) -> Self {
+        let workers = (0..workers)
+            .map(|i| {
+                let (job_tx, job_rx) = std::sync::mpsc::channel::<StepJob>();
+                let (done_tx, done_rx) = std::sync::mpsc::channel::<Vec<SpecResult>>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("cosim-step{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = job_rx.recv() {
+                            // SAFETY: see `StepJob` — the driver is
+                            // blocked in `run` until we answer, so the
+                            // context outlives this dereference.
+                            let ctx = unsafe { &*(job.ctx as *const StepJobCtx<'_, '_>) };
+                            let out: Vec<SpecResult> = ctx.items[job.lo..job.hi]
+                                .iter()
+                                .map(|&(mi, _, _)| {
+                                    speculate(&ctx.entries[mi], ctx.reg, ctx.snapshot)
+                                })
+                                .collect();
+                            if done_tx.send(out).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn step-phase worker");
+                StepWorker {
+                    job_tx,
+                    done_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        StepPool { workers }
+    }
+
+    /// Runs one parallel region: hands each worker its chunk, computes
+    /// the first chunk on the calling (kernel) thread, and blocks until
+    /// every worker answered. Results come back in item order.
+    /// `thread_runs[i]` is bumped by the number of items worker `i`
+    /// stepped (index 0 = the kernel thread).
+    fn run(&self, ctx: &StepJobCtx<'_, '_>, thread_runs: &mut [u64]) -> Vec<SpecResult> {
+        let n = self.workers.len() + 1;
+        let len = ctx.items.len();
+        let chunk = len.div_ceil(n);
+        let erased = ctx as *const StepJobCtx<'_, '_> as *const ();
+        let mut issued = 0;
+        for (i, w) in self.workers.iter().enumerate() {
+            let lo = (i + 1) * chunk;
+            let hi = ((i + 2) * chunk).min(len);
+            if lo >= hi {
+                break;
+            }
+            w.job_tx
+                .send(StepJob {
+                    ctx: erased,
+                    lo,
+                    hi,
+                })
+                .expect("step-phase worker alive");
+            thread_runs[i + 1] += (hi - lo) as u64;
+            issued += 1;
+        }
+        let first = chunk.min(len);
+        thread_runs[0] += first as u64;
+        let mut out: Vec<SpecResult> = ctx.items[..first]
+            .iter()
+            .map(|&(mi, _, _)| speculate(&ctx.entries[mi], ctx.reg, ctx.snapshot))
+            .collect();
+        for w in self.workers.iter().take(issued) {
+            out.extend(w.done_rx.recv().expect("step-phase worker answered"));
+        }
+        out
+    }
+}
+
+impl Drop for StepPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Dropping the sender ends the worker loop.
+            let (dead_tx, _) = std::sync::mpsc::channel();
+            w.job_tx = dead_tx;
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The step phase of one module activation: pure speculation against
+/// the cycle-start snapshot. Thread-safe — takes only shared references
+/// and returns a self-contained [`SpecResult`].
+fn speculate(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>) -> SpecResult {
+    let fsm = entry.module.fsm();
+    let mut exec = entry.exec.clone();
+    let mut env = SpecEnv {
+        ctx,
+        ports: &entry.ports,
+        vars: entry.vars.clone(),
+        var_tys: &entry.var_tys,
+        reg,
+        bindings: &entry.bindings,
+        caller: entry.caller,
+        changes: 0,
+        pending_stable: true,
+        pending_watch: vec![],
+        call_stables: vec![],
+        peeks: vec![],
+        drives: vec![],
+        traces: vec![],
+        fallback: false,
+    };
+    match exec.step(fsm, &mut env) {
+        Ok(report) => SpecResult {
+            vars: env.vars,
+            exec,
+            report,
+            call_stables: env.call_stables,
+            peeks: env.peeks,
+            changes: env.changes,
+            pending_stable: env.pending_stable,
+            pending_watch: env.pending_watch,
+            drives: env.drives,
+            traces: env.traces,
+            fallback: env.fallback,
+        },
+        // A speculative evaluation error may be an artifact of answered
+        // placeholder outcomes; re-execute for real at commit (a genuine
+        // error reproduces deterministically there).
+        Err(_) => SpecResult {
+            vars: vec![],
+            exec: entry.exec.clone(),
+            report: cosma_core::StepReport {
+                from: entry.exec.current(),
+                to: entry.exec.current(),
+                transitioned: false,
+                service_calls: 0,
+                pending: vec![],
+                calls: vec![],
+            },
+            call_stables: vec![],
+            peeks: vec![],
+            changes: 0,
+            pending_stable: false,
+            pending_watch: vec![],
+            drives: vec![],
+            traces: vec![],
+            fallback: true,
+        },
+    }
+}
+
+/// Applies one deferred call to its unit, returning the actual outcome
+/// and the unit's post-call stability verdict.
+fn apply_deferred_call(
+    reg: &mut Registry,
+    handle: Handle,
+    caller: CallerId,
+    dc: &cosma_core::DeferredCall,
+    ctx: &mut ProcCtx<'_>,
+) -> (Result<ServiceOutcome, EvalError>, bool) {
+    match handle {
+        Handle::Fsm(i) => {
+            let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            let r = runtime.call(caller, &dc.service, &dc.args, &mut ws);
+            let stable = runtime.last_call_stable();
+            (r, stable)
+        }
+        Handle::Batched(i) => {
+            let BatchedUnitEntry { link, wires, .. } = &mut reg.batched[i];
+            let mut ws = CtxWires { ctx, map: wires };
+            let r = link.call(caller, &dc.service, &dc.args, &mut ws);
+            let stable = link.last_call_stable();
+            (r, stable)
+        }
+        Handle::Native(i) => {
+            let entry = &mut reg.native[i];
+            let r = entry
+                .unit
+                .call(caller, &dc.service, &dc.args)
+                .map_err(|e| EvalError::Service(format!("native unit {}: {e}", entry.name)));
+            sync_native_occ(entry, ctx);
+            let stable = entry.unit.last_call_stable();
+            (r, stable)
+        }
+    }
+}
+
+/// The commit phase of one module activation. Replays the speculated
+/// call stream against the real units in order, validating every actual
+/// outcome; on full agreement the buffered effects are installed
+/// wholesale, otherwise (or when the speculation was abandoned) the
+/// activation is re-executed sequentially with the already-applied
+/// outcomes memoized — which is exactly the immediate-application
+/// semantics, so the two-phase scheduler is observationally identical
+/// to the immediate one on every workload.
+///
+/// Returns the park verdict like [`step_module`].
+#[allow(clippy::too_many_arguments)]
+fn commit_module(
+    modules: &RefCell<Vec<ModuleEntry>>,
+    idx: usize,
+    spec: SpecResult,
+    registry: &RefCell<Registry>,
+    trace: &RefCell<TraceLog>,
+    park: &ParkCounters,
+    park_blocked: bool,
+    ctx: &mut ProcCtx<'_>,
+    commit_calls: &mut u64,
+    fallbacks: &mut u64,
+) -> Result<Option<Vec<SignalId>>, String> {
+    use std::collections::VecDeque;
+    if spec.fallback {
+        *fallbacks += 1;
+        return step_module(
+            modules,
+            idx,
+            registry,
+            trace,
+            park,
+            park_blocked,
+            ctx,
+            VecDeque::new(),
+        );
+    }
+    // Validate-and-apply: replay the recorded calls against the real
+    // units. Calls are applied one by one so a divergence can hand the
+    // already-applied prefix to the fallback as memoized outcomes.
+    // Divergence record: the index of the first call whose actual
+    // outcome departed from the speculation, plus that call's actual
+    // result. The memo handed to the fallback re-execution is built
+    // lazily from it — validated activations allocate nothing here.
+    let mut diverged: Option<(usize, Result<ServiceOutcome, EvalError>, bool)> = None;
+    {
+        let modules_ref = modules.borrow();
+        let entry = &modules_ref[idx];
+        let mut reg = registry.borrow_mut();
+        let mut peeks = spec.peeks.into_iter();
+        for (k, dc) in spec.report.calls.iter().enumerate() {
+            let Some(&handle) = entry.bindings.get(dc.binding.index()) else {
+                diverged = Some((
+                    k,
+                    Err(EvalError::Service(format!(
+                        "no unit attached to binding {}",
+                        dc.binding
+                    ))),
+                    false,
+                ));
+                break;
+            };
+            *commit_calls += 1;
+            // Fast path: an FSM-unit peek whose session is untouched
+            // since the step phase installs its buffered delta — no
+            // second protocol step, and validation holds by
+            // construction (the peek IS what was speculated).
+            let peek = peeks.next().flatten();
+            if let (Handle::Fsm(i), Some(peeked)) = (handle, peek) {
+                let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
+                let mut ws = CtxWires { ctx, map: wires };
+                if matches!(
+                    runtime.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
+                    Ok(true)
+                ) {
+                    continue;
+                }
+            }
+            let (result, stable) = apply_deferred_call(&mut reg, handle, entry.caller, dc, ctx);
+            let ok = matches!(&result, Ok(out) if *out == dc.outcome)
+                && spec.call_stables.get(k) == Some(&stable);
+            if !ok {
+                diverged = Some((k, result, stable));
+                break;
+            }
+        }
+    }
+    if let Some((k, result, stable)) = diverged {
+        // Reconstruct the applied prefix: calls 0..k matched the
+        // speculation exactly, call k answered `result`.
+        let mut memo: VecDeque<MemoCall> = spec.report.calls[..k]
+            .iter()
+            .enumerate()
+            .map(|(j, dc)| MemoCall {
+                binding: dc.binding,
+                service: dc.service.clone(),
+                result: Ok(dc.outcome.clone()),
+                stable: spec.call_stables[j],
+            })
+            .collect();
+        memo.push_back(MemoCall {
+            binding: spec.report.calls[k].binding,
+            service: spec.report.calls[k].service.clone(),
+            result,
+            stable,
+        });
+        *fallbacks += 1;
+        return step_module(modules, idx, registry, trace, park, park_blocked, ctx, memo);
+    }
+    // Speculation validated: install the buffered effects.
+    let mut modules = modules.borrow_mut();
+    let entry = &mut modules[idx];
+    let fsm = entry.module.fsm();
+    entry.vars = spec.vars;
+    entry.exec = spec.exec;
+    for (sig, v) in spec.drives {
+        ctx.drive(sig, v);
+    }
+    if !spec.traces.is_empty() {
+        let now = ctx.now().as_fs();
+        let mut tlog = trace.borrow_mut();
+        for (label, values) in spec.traces {
+            tlog.record(now, &entry.name, &label, values);
+        }
+    }
+    entry.status.state = fsm.state(entry.exec.current()).name().to_string();
+    entry.status.activations += 1;
+    park.modules_stepped.set(park.modules_stepped.get() + 1);
+    let parkable = park_blocked
+        && spec.report.from == spec.report.to
+        && spec.changes == 0
+        && spec.pending_stable
+        && spec.report.pending.len() == spec.report.service_calls as usize;
+    if parkable {
+        let mut watch = spec.pending_watch;
+        watch.extend_from_slice(&entry.ports);
+        watch.sort_unstable();
+        watch.dedup();
+        Ok(Some(watch))
+    } else {
+        Ok(None)
+    }
+}
+
 /// The single owner of module and unit stepping: shard pools, hashed
 /// unit placement, park accounting. Unified here so modules and units —
 /// the same FSM semantics in the paper's model — share one
@@ -663,7 +1485,52 @@ struct ActivationScheduler {
     unit_members: usize,
     unit_shards: Vec<Rc<RefCell<ShardState>>>,
     module_shards: Vec<Rc<RefCell<ShardState>>>,
+    /// The two-phase module scheduler ([`CallApplication::Deferred`]):
+    /// one kernel process owning every module shard, running all step
+    /// phases before a single commit phase.
+    driver: Option<Rc<RefCell<DriverState>>>,
     park: Rc<ParkCounters>,
+}
+
+/// One member of the two-phase driver: a module, its activation clock,
+/// and the wires that re-arm it while parked.
+struct DriverMember {
+    module: usize,
+    clk: SignalId,
+    watch: Vec<SignalId>,
+}
+
+/// One module shard of the two-phase driver (active/parked split, like
+/// [`ShardState`], but stepped by the shared driver process).
+///
+/// Parked-member wakeups are owned by a per-shard *watcher* kernel
+/// process whose sensitivity covers only this shard's watch wires —
+/// keeping sensitivity churn local to the shard (the driver itself
+/// stays pinned to the two activation clocks), exactly like the
+/// immediate path's per-shard processes.
+struct DriverShard {
+    members: Vec<DriverMember>,
+    active: Vec<u32>,
+    parked: Vec<u32>,
+    /// Toggled by the driver when it parks members of this shard, so
+    /// the watcher re-arms on the new watch set.
+    poke: SignalId,
+    /// Whether the watcher must recompute its sensitivity.
+    watch_dirty: bool,
+}
+
+/// Shared state of the two-phase driver process.
+struct DriverState {
+    shards: Vec<DriverShard>,
+    /// Members ever placed (drives hashed shard assignment).
+    placed: usize,
+    runs: u64,
+    skipped: u64,
+    wire_wakeups: u64,
+    commit_calls: u64,
+    fallbacks: u64,
+    /// Per-worker stepped-activation counts (threaded step phase).
+    thread_runs: Vec<u64>,
 }
 
 /// The backplane resources a scheduler registration needs.
@@ -673,8 +1540,9 @@ struct SchedCtx<'a> {
     modules: &'a Rc<RefCell<Vec<ModuleEntry>>>,
     error: &'a Rc<RefCell<Option<String>>>,
     trace: &'a Rc<RefCell<TraceLog>>,
-    live: &'a Rc<Cell<u32>>,
+    demand: &'a Rc<ClockDemand>,
     hw_clk: SignalId,
+    sw_clk: SignalId,
 }
 
 impl ActivationScheduler {
@@ -684,6 +1552,7 @@ impl ActivationScheduler {
             unit_members: 0,
             unit_shards: vec![],
             module_shards: vec![],
+            driver: None,
             park: Rc::new(ParkCounters::default()),
         }
     }
@@ -703,6 +1572,7 @@ impl ActivationScheduler {
         let allowed = k / shard_size + 1;
         let hashed = (splitmix64(k as u64) % allowed as u64) as usize;
         let clk = ctx.hw_clk;
+        ctx.demand.register(ctx.sim);
         let target = if hashed >= self.unit_shards.len() {
             let state = Rc::new(RefCell::new(ShardState::new()));
             let label = format!("unit_shard{}", self.unit_shards.len());
@@ -730,13 +1600,15 @@ impl ActivationScheduler {
     }
 
     /// Places a module member into the open module shard (creation
-    /// order — module service calls mutate unit state immediately, so
-    /// the global step order must match the per-module path).
+    /// order — under immediate call application, module service calls
+    /// mutate unit state in place, so the global step order must match
+    /// the per-module path).
     fn add_module_member(&mut self, ctx: SchedCtx<'_>, idx: usize, clk: SignalId) {
         let shard_size = match self.cfg.modules {
             ModuleScheduling::Sharded { shard_size } => shard_size.max(1),
             ModuleScheduling::PerModule => unreachable!("shard members only exist when sharded"),
         };
+        ctx.demand.register(ctx.sim);
         let state = match self.module_shards.last() {
             Some(s) if s.borrow().members.len() < shard_size => Rc::clone(s),
             _ => {
@@ -762,6 +1634,334 @@ impl ActivationScheduler {
         });
     }
 
+    /// Places a module into the two-phase driver
+    /// ([`CallApplication::Deferred`]): hashed placement spreads module
+    /// ids over the open shards exactly like unit placement (the commit
+    /// phase restores the deterministic global order, so placement is
+    /// free to balance load); creation-order placement is kept for
+    /// ablation. The driver's single kernel process is registered on
+    /// first use — at the same process-table position the immediate
+    /// path's first module shard would occupy, so the delta-relative
+    /// order against unit shard processes is preserved.
+    fn add_deferred_module(&mut self, mut ctx: SchedCtx<'_>, idx: usize, clk: SignalId) {
+        let shard_size = match self.cfg.modules {
+            ModuleScheduling::Sharded { shard_size } => shard_size.max(1),
+            ModuleScheduling::PerModule => unreachable!("deferred calls require sharded modules"),
+        };
+        ctx.demand.register(ctx.sim);
+        let driver = match &self.driver {
+            Some(d) => Rc::clone(d),
+            None => {
+                let state = Rc::new(RefCell::new(DriverState {
+                    shards: vec![],
+                    placed: 0,
+                    runs: 0,
+                    skipped: 0,
+                    wire_wakeups: 0,
+                    commit_calls: 0,
+                    fallbacks: 0,
+                    thread_runs: vec![],
+                }));
+                Self::register_driver_process(
+                    &mut ctx,
+                    Rc::clone(&state),
+                    Rc::clone(&self.park),
+                    self.cfg.park_blocked,
+                    self.cfg.parallelism,
+                );
+                self.driver = Some(Rc::clone(&state));
+                state
+            }
+        };
+        let mut st = driver.borrow_mut();
+        let k = st.placed;
+        st.placed += 1;
+        let open = st.shards.len();
+        let target = match self.cfg.placement {
+            ModulePlacement::Hashed => {
+                let allowed = k / shard_size + 1;
+                let hashed = (splitmix64(k as u64) % allowed as u64) as usize;
+                if hashed >= open {
+                    open
+                } else {
+                    hashed
+                }
+            }
+            ModulePlacement::CreationOrder => match st.shards.last() {
+                Some(s) if s.members.len() < shard_size => open - 1,
+                _ => open,
+            },
+        };
+        if target == open {
+            drop(st);
+            let poke = ctx.sim.add_bit(format!("MODULE_SHARD{open}_POKE"));
+            Self::register_driver_watcher(
+                &mut ctx,
+                Rc::clone(&driver),
+                open,
+                Rc::clone(&self.park),
+            );
+            st = driver.borrow_mut();
+            st.shards.push(DriverShard {
+                members: vec![],
+                active: vec![],
+                parked: vec![],
+                poke,
+                watch_dirty: false,
+            });
+        }
+        let shard = &mut st.shards[target];
+        let mi = shard.members.len() as u32;
+        shard.members.push(DriverMember {
+            module: idx,
+            clk,
+            watch: vec![],
+        });
+        shard.active.push(mi);
+    }
+
+    /// Registers the per-shard watcher: a kernel process owning the
+    /// shard's parked-member wakeups. Its sensitivity is the shard's
+    /// parked watch wires plus the shard's poke signal (toggled by the
+    /// driver after parking members), so sensitivity churn stays local
+    /// to the shard — the driver itself never re-registers sensitivity.
+    fn register_driver_watcher(
+        ctx: &mut SchedCtx<'_>,
+        state: Rc<RefCell<DriverState>>,
+        shard_idx: usize,
+        park: Rc<ParkCounters>,
+    ) {
+        let error = Rc::clone(ctx.error);
+        let demand = Rc::clone(ctx.demand);
+        let mut registered = false;
+        ctx.sim.add_process(
+            format!("module_shard{shard_idx}_watch"),
+            FnProcess::new(move |pctx| {
+                if error.borrow().is_some() {
+                    return Wait::Forever;
+                }
+                let mut st = state.borrow_mut();
+                let st = &mut *st;
+                let Some(shard) = st.shards.get_mut(shard_idx) else {
+                    return Wait::Same;
+                };
+                if !registered {
+                    // First (elaboration) run: arm on the poke signal so
+                    // the first park can hand over its watch set.
+                    registered = true;
+                    shard.watch_dirty = false;
+                    return Wait::Event(vec![shard.poke]);
+                }
+                let was_dormant = shard.active.is_empty();
+                let mut resumed = 0usize;
+                let mut i = 0;
+                while i < shard.parked.len() {
+                    let mi = shard.parked[i] as usize;
+                    if shard.members[mi].watch.iter().any(|&w| pctx.event(w)) {
+                        let idx = shard.parked.swap_remove(i);
+                        let pos = shard.active.partition_point(|&a| a < idx);
+                        shard.active.insert(pos, idx);
+                        park.resumed.set(park.resumed.get() + 1);
+                        park.parked_now.set(park.parked_now.get() - 1);
+                        shard.watch_dirty = true;
+                        resumed += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if resumed > 0 {
+                    demand.resume(resumed, pctx);
+                    if was_dormant {
+                        st.wire_wakeups += 1;
+                    }
+                }
+                if !shard.watch_dirty {
+                    return Wait::Same;
+                }
+                shard.watch_dirty = false;
+                let mut sens: Vec<SignalId> = vec![shard.poke];
+                for &pi in &shard.parked {
+                    sens.extend_from_slice(&shard.members[pi as usize].watch);
+                }
+                sens.sort_unstable();
+                sens.dedup();
+                Wait::Event(sens)
+            }),
+        );
+    }
+
+    /// Registers the kernel process that owns every deferred module
+    /// shard: on each clock event it runs the **step phase** (pure
+    /// speculation, optionally fanned out over scoped worker threads)
+    /// for every active member whose clock rose, then the single
+    /// **commit phase**, applying all buffered call deltas in
+    /// `(module id, call index)` order — the deterministic order that
+    /// makes hashed placement and threading invisible.
+    ///
+    /// The driver's sensitivity is pinned to the two activation clocks;
+    /// parked-member wakeups belong to the per-shard watcher processes
+    /// ([`ActivationScheduler::register_driver_watcher`]). When every
+    /// clocked body is parked the clock generators themselves stop
+    /// ([`ClockDemand`]), so a fully-parked backplane still costs
+    /// nothing.
+    fn register_driver_process(
+        ctx: &mut SchedCtx<'_>,
+        state: Rc<RefCell<DriverState>>,
+        park: Rc<ParkCounters>,
+        park_blocked: bool,
+        parallelism: Parallelism,
+    ) {
+        let registry = Rc::clone(ctx.registry);
+        let modules = Rc::clone(ctx.modules);
+        let error = Rc::clone(ctx.error);
+        let trace = Rc::clone(ctx.trace);
+        let demand = Rc::clone(ctx.demand);
+        let clocks = vec![ctx.hw_clk, ctx.sw_clk];
+        // Persistent worker pool: n-1 OS threads plus the kernel thread.
+        let pool = match parallelism {
+            Parallelism::Threads(n) if n >= 2 => Some(StepPool::new(n - 1)),
+            _ => None,
+        };
+        let pool_width = match parallelism {
+            Parallelism::Threads(n) => n,
+            Parallelism::Off => 0,
+        };
+        let mut registered = false;
+        let mut halted = false;
+        ctx.sim.add_process(
+            "module_phase_driver",
+            FnProcess::new(move |pctx| {
+                let wait = if registered {
+                    Wait::Same
+                } else {
+                    registered = true;
+                    Wait::Event(clocks.clone())
+                };
+                if error.borrow().is_some() {
+                    if !halted {
+                        halted = true;
+                        let st = state.borrow();
+                        let unparked: usize = st
+                            .shards
+                            .iter()
+                            .map(|s| s.members.len() - s.parked.len())
+                            .sum();
+                        demand.park(unparked);
+                    }
+                    return Wait::Forever;
+                }
+                let mut st = state.borrow_mut();
+                let st = &mut *st;
+                st.runs += 1;
+                // Collect this cycle's stepping set.
+                let mut items: Vec<(usize, usize, u32)> = vec![];
+                let mut parked_skipped = 0u64;
+                for (si, shard) in st.shards.iter().enumerate() {
+                    let mut edge_seen = false;
+                    for &ai in &shard.active {
+                        let m = &shard.members[ai as usize];
+                        if pctx.rose(m.clk) {
+                            edge_seen = true;
+                            items.push((m.module, si, ai));
+                        }
+                    }
+                    if edge_seen {
+                        parked_skipped += shard.parked.len() as u64;
+                    }
+                }
+                st.skipped += parked_skipped;
+                if !items.is_empty() {
+                    // STEP PHASE: pure speculation, snapshot-only reads.
+                    let mut specs: Vec<Option<SpecResult>> = {
+                        let modules_ref = modules.borrow();
+                        let reg_ref = registry.borrow();
+                        let entries: &[ModuleEntry] = &modules_ref;
+                        let reg: &Registry = &reg_ref;
+                        match &pool {
+                            Some(pool) if items.len() >= STEP_FANOUT_MIN => {
+                                if st.thread_runs.len() < pool_width {
+                                    st.thread_runs.resize(pool_width, 0);
+                                }
+                                let job = StepJobCtx {
+                                    entries,
+                                    reg,
+                                    snapshot: &*pctx,
+                                    items: &items,
+                                };
+                                pool.run(&job, &mut st.thread_runs)
+                                    .into_iter()
+                                    .map(Some)
+                                    .collect()
+                            }
+                            _ => items
+                                .iter()
+                                .map(|&(mi, _, _)| Some(speculate(&entries[mi], reg, pctx)))
+                                .collect(),
+                        }
+                    };
+                    // COMMIT PHASE: deterministic creation order.
+                    let mut order: Vec<usize> = (0..items.len()).collect();
+                    order.sort_unstable_by_key(|&i| items[i].0);
+                    let mut to_park: Vec<(usize, u32, Vec<SignalId>)> = vec![];
+                    for &oi in &order {
+                        let (mi, si, ai) = items[oi];
+                        let spec = specs[oi].take().expect("spec consumed once");
+                        match commit_module(
+                            &modules,
+                            mi,
+                            spec,
+                            &registry,
+                            &trace,
+                            &park,
+                            park_blocked,
+                            pctx,
+                            &mut st.commit_calls,
+                            &mut st.fallbacks,
+                        ) {
+                            Ok(Some(watch)) => to_park.push((si, ai, watch)),
+                            Ok(None) => {}
+                            Err(msg) => {
+                                *error.borrow_mut() = Some(msg);
+                                if !halted {
+                                    halted = true;
+                                    let unparked: usize = st
+                                        .shards
+                                        .iter()
+                                        .map(|s| s.members.len() - s.parked.len())
+                                        .sum();
+                                    demand.park(unparked);
+                                }
+                                return Wait::Forever;
+                            }
+                        }
+                    }
+                    if !to_park.is_empty() {
+                        demand.park(to_park.len());
+                        park.parked.set(park.parked.get() + to_park.len() as u64);
+                        park.parked_now.set(park.parked_now.get() + to_park.len());
+                        for (si, ai, watch) in to_park {
+                            let shard = &mut st.shards[si];
+                            shard.members[ai as usize].watch = watch;
+                            shard.active.retain(|&a| a != ai);
+                            shard.parked.push(ai);
+                            // Hand the new watch set to the shard's
+                            // watcher process (event next delta).
+                            if !shard.watch_dirty {
+                                shard.watch_dirty = true;
+                                let next = match pctx.read(shard.poke) {
+                                    Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
+                                    _ => cosma_core::Bit::One,
+                                };
+                                pctx.drive(shard.poke, Value::Bit(next));
+                            }
+                        }
+                    }
+                }
+                wait
+            }),
+        );
+    }
+
     /// Registers the kernel process driving one shard. Each run it
     /// re-arms parked members whose watch wires evented, steps active
     /// members on their clock's rising edges (parking the ones that
@@ -780,16 +1980,16 @@ impl ActivationScheduler {
         let modules = Rc::clone(ctx.modules);
         let error = Rc::clone(ctx.error);
         let trace = Rc::clone(ctx.trace);
-        let live = Rc::clone(ctx.live);
-        live.set(live.get() + 1);
-        let mut live_counted = true;
+        let demand = Rc::clone(ctx.demand);
+        let mut halted = false;
         ctx.sim.add_process(
             label,
             FnProcess::new(move |pctx| {
                 if error.borrow().is_some() {
-                    if live_counted {
-                        live_counted = false;
-                        live.set(live.get() - 1);
+                    if !halted {
+                        halted = true;
+                        let st = state.borrow();
+                        demand.park(st.members.len() - st.parked.len());
                     }
                     return Wait::Forever;
                 }
@@ -800,7 +2000,7 @@ impl ActivationScheduler {
                 // Re-arm parked members whose watch wires evented in
                 // this delta.
                 if !st.parked.is_empty() {
-                    let mut resumed_any = false;
+                    let mut resumed_any = 0usize;
                     let mut i = 0;
                     while i < st.parked.len() {
                         let mi = st.parked[i] as usize;
@@ -811,12 +2011,13 @@ impl ActivationScheduler {
                             park.resumed.set(park.resumed.get() + 1);
                             park.parked_now.set(park.parked_now.get() - 1);
                             st.wait_dirty = true;
-                            resumed_any = true;
+                            resumed_any += 1;
                         } else {
                             i += 1;
                         }
                     }
-                    if was_dormant && resumed_any {
+                    demand.resume(resumed_any, pctx);
+                    if was_dormant && resumed_any > 0 {
                         st.wire_wakeups += 1;
                     }
                 }
@@ -849,9 +2050,16 @@ impl ActivationScheduler {
                                 Err(msg) => Err(msg),
                             }
                         }
-                        MemberBody::Module(idx) => {
-                            step_module(&modules, idx, &registry, &trace, &park, park_blocked, pctx)
-                        }
+                        MemberBody::Module(idx) => step_module(
+                            &modules,
+                            idx,
+                            &registry,
+                            &trace,
+                            &park,
+                            park_blocked,
+                            pctx,
+                            std::collections::VecDeque::new(),
+                        ),
                     };
                     match verdict {
                         Ok(Some(watch)) => {
@@ -861,9 +2069,9 @@ impl ActivationScheduler {
                         Ok(None) => {}
                         Err(msg) => {
                             *error.borrow_mut() = Some(msg);
-                            if live_counted {
-                                live_counted = false;
-                                live.set(live.get() - 1);
+                            if !halted {
+                                halted = true;
+                                demand.park(members.len() - parked.len());
                             }
                             return Wait::Forever;
                         }
@@ -873,6 +2081,7 @@ impl ActivationScheduler {
                     *units_skipped += parked.len() as u64;
                 }
                 if !to_park.is_empty() {
+                    demand.park(to_park.len());
                     active.retain(|a| !to_park.contains(a));
                     parked.extend_from_slice(&to_park);
                     park.parked.set(park.parked.get() + to_park.len() as u64);
@@ -897,8 +2106,8 @@ impl ActivationScheduler {
         );
     }
 
-    /// Aggregate statistics across both shard pools and the shared park
-    /// counters.
+    /// Aggregate statistics across both shard pools, the two-phase
+    /// driver and the shared park counters.
     fn stats(&self) -> ShardStats {
         let mut s = ShardStats {
             shards: self.unit_shards.len() + self.module_shards.len(),
@@ -917,6 +2126,21 @@ impl ActivationScheduler {
             s.units_stepped += st.units_stepped;
             s.units_skipped += st.units_skipped;
             s.wire_wakeups += st.wire_wakeups;
+        }
+        if let Some(driver) = &self.driver {
+            let st = driver.borrow();
+            s.shards += st.shards.len();
+            for shard in &st.shards {
+                if shard.active.is_empty() && !shard.members.is_empty() {
+                    s.dormant_shards += 1;
+                }
+            }
+            s.shard_runs += st.runs;
+            s.units_skipped += st.skipped;
+            s.wire_wakeups += st.wire_wakeups;
+            s.commit_calls = st.commit_calls;
+            s.commit_fallbacks = st.fallbacks;
+            s.step_thread_runs = st.thread_runs.clone();
         }
         s
     }
@@ -945,9 +2169,10 @@ fn step_unit_member(
             Ok(runtime.controller_stable())
         }
         Handle::Native(i) => {
-            let (_, unit) = &mut reg.native[i];
-            unit.step();
-            Ok(!unit.needs_step())
+            let entry = &mut reg.native[i];
+            entry.unit.step();
+            sync_native_occ(entry, ctx);
+            Ok(!entry.unit.needs_step())
         }
         Handle::Batched(i) => {
             let BatchedUnitEntry {
@@ -1024,13 +2249,15 @@ pub struct Cosim {
     sw_clk: SignalId,
     modules: Rc<RefCell<Vec<ModuleEntry>>>,
     sched: ActivationScheduler,
-    /// Number of clocked bodies (module activations, unit controllers,
-    /// native steps) still registered. The activation clock generators
-    /// park forever when it reaches zero, so a backplane whose clocked
-    /// work has all halted actually goes quiescent
-    /// ([`Cosim::run_to_quiescence`]). Parked bodies stay counted: they
-    /// are asleep, not halted, and may be re-armed by wire events.
-    live_clocked: Rc<Cell<u32>>,
+    /// Clock-edge demand of the registered bodies (module activations,
+    /// unit controllers, native steps). The activation clock generators
+    /// idle whenever it reaches zero — on an empty backplane, after
+    /// every body halted, **and while every body is parked** — so a
+    /// deadlocked or finished system truly goes quiescent
+    /// ([`Cosim::run_to_quiescence`]) instead of toggling its activation
+    /// clocks forever. A parked body re-armed by a wire event bumps the
+    /// demand back and kicks the generators awake.
+    demand: Rc<ClockDemand>,
 }
 
 impl fmt::Debug for Cosim {
@@ -1049,20 +2276,26 @@ impl Cosim {
         let mut sim = Simulator::new();
         let hw_clk = sim.add_bit("HW_CLK");
         let sw_clk = sim.add_bit("SW_CLK");
-        let live_clocked = Rc::new(Cell::new(0u32));
+        let kick = sim.add_bit("CLK_KICK");
+        let demand = Rc::new(ClockDemand {
+            demand: Cell::new(0),
+            kick,
+        });
         for (name, clk, period) in [
             ("hw_clkgen", hw_clk, config.hw_cycle),
             ("sw_clkgen", sw_clk, config.sw_cycle),
         ] {
-            // Like Simulator::add_clock, but the generator parks once no
-            // clocked body is left to activate.
-            let live = Rc::clone(&live_clocked);
+            // Like Simulator::add_clock, but the generator idles while
+            // no clocked body demands edges (all halted OR all parked)
+            // and is re-armed through the CLK_KICK signal when a parked
+            // body resumes.
+            let demand = Rc::clone(&demand);
             let half = period.halved();
             sim.add_process(
                 name,
                 FnProcess::new(move |ctx| {
-                    if live.get() == 0 {
-                        return Wait::Forever;
+                    if demand.demand.get() <= 0 {
+                        return Wait::Event(vec![demand.kick]);
                     }
                     let next = match ctx.read(clk) {
                         cosma_core::Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
@@ -1088,7 +2321,7 @@ impl Cosim {
             sw_clk,
             modules: Rc::new(RefCell::new(vec![])),
             sched: ActivationScheduler::new(SchedulingConfig::sharded()),
-            live_clocked,
+            demand,
         }
     }
 
@@ -1106,11 +2339,7 @@ impl Cosim {
                 "scheduling must be chosen before adding units or modules".to_string(),
             ));
         }
-        if matches!(cfg.units, UnitScheduling::Sharded { shard_size: 0 })
-            || matches!(cfg.modules, ModuleScheduling::Sharded { shard_size: 0 })
-        {
-            return Err(CosimError::Setup("shard size must be nonzero".to_string()));
-        }
+        cfg.validate()?;
         self.sched.cfg = cfg;
         Ok(())
     }
@@ -1165,8 +2394,9 @@ impl Cosim {
                 modules: &self.modules,
                 error: &self.error,
                 trace: &self.trace,
-                live: &self.live_clocked,
+                demand: &self.demand,
                 hw_clk: self.hw_clk,
+                sw_clk: self.sw_clk,
             },
         )
     }
@@ -1253,15 +2483,15 @@ impl Cosim {
                     // skipped (see FsmUnitRuntime::step_controller_if_active).
                     let watched = wires;
                     let mut seen_events: Vec<u64> = vec![0; watched.len()];
-                    let live = Rc::clone(&self.live_clocked);
-                    live.set(live.get() + 1);
+                    let demand = Rc::clone(&self.demand);
+                    demand.register(&mut self.sim);
                     self.sim.add_clocked(
                         format!("{name}.controller"),
                         clk,
                         Edge::Rising,
                         move |ctx| {
                             if error.borrow().is_some() {
-                                live.set(live.get() - 1);
+                                demand.park(1);
                                 return ClockControl::Halt;
                             }
                             let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
@@ -1277,7 +2507,7 @@ impl Cosim {
                                 runtime.step_controller_if_active(&mut ws, inputs_changed)
                             {
                                 *error.borrow_mut() = Some(format!("unit {name} controller: {e}"));
-                                live.set(live.get() - 1);
+                                demand.park(1);
                                 return ClockControl::Halt;
                             }
                             ClockControl::Continue
@@ -1364,12 +2594,12 @@ impl Cosim {
                 let clk = self.hw_clk;
                 let watched = wires;
                 let mut seen_events: Vec<u64> = vec![0; watched.len()];
-                let live = Rc::clone(&self.live_clocked);
-                live.set(live.get() + 1);
+                let demand = Rc::clone(&self.demand);
+                demand.register(&mut self.sim);
                 self.sim
                     .add_clocked(format!("{name}.pump"), clk, Edge::Rising, move |ctx| {
                         if error.borrow().is_some() {
-                            live.set(live.get() - 1);
+                            demand.park(1);
                             return ClockControl::Halt;
                         }
                         let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
@@ -1380,7 +2610,7 @@ impl Cosim {
                         let mut ws = CtxWires { ctx, map: wires };
                         if let Err(e) = link.pump(&mut ws, inputs_changed) {
                             *error.borrow_mut() = Some(format!("batched link {name}: {e}"));
-                            live.set(live.get() - 1);
+                            demand.park(1);
                             return ClockControl::Halt;
                         }
                         ClockControl::Continue
@@ -1397,24 +2627,48 @@ impl Cosim {
     /// activity ([`NativeUnit::needs_step`]) are stepped once per HW
     /// cycle; purely call-driven units cost nothing per cycle under
     /// sharded scheduling.
+    ///
+    /// A unit exposing [`NativeUnit::occupancy`] gets a kernel `OCC`
+    /// signal (`<name>.OCC`) mirroring its queue occupancy, driven after
+    /// every call and step. That makes native state changes
+    /// wire-visible: `completion_signals` become non-empty, so a caller
+    /// blocked on the unit (e.g. `get` against an empty FIFO) *parks*
+    /// on occupancy events instead of burning one no-op activation per
+    /// clock edge.
     pub fn add_native_unit(&mut self, name: &str, unit: Box<dyn NativeUnit>) -> UnitId {
+        let occ_init = unit.occupancy();
+        let occ = occ_init.map(|v| {
+            self.sim
+                .add_signal(format!("{name}.OCC"), Type::INT16, Value::Int(v))
+        });
+        let completion: Vec<SignalId> = occ.into_iter().collect();
         let idx = {
             let mut reg = self.registry.borrow_mut();
-            reg.native.push((name.to_string(), unit));
+            reg.native.push(NativeEntry {
+                name: name.to_string(),
+                unit,
+                occ,
+                occ_driven: occ_init.unwrap_or(0),
+                completion: completion.clone(),
+            });
             reg.native.len() - 1
         };
         match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
                 let (sched, ctx) = self.sched_ctx();
-                sched.add_unit_member(ctx, Handle::Native(idx), vec![]);
+                sched.add_unit_member(ctx, Handle::Native(idx), completion);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
                 let clk = self.hw_clk;
-                self.live_clocked.set(self.live_clocked.get() + 1);
+                let demand = Rc::clone(&self.demand);
+                demand.register(&mut self.sim);
                 self.sim
-                    .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |_ctx| {
-                        registry.borrow_mut().native[idx].1.step();
+                    .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |ctx| {
+                        let mut reg = registry.borrow_mut();
+                        let entry = &mut reg.native[idx];
+                        entry.unit.step();
+                        sync_native_occ(entry, ctx);
                         ClockControl::Continue
                     });
             }
@@ -1530,12 +2784,16 @@ impl Cosim {
             caller,
             status,
         });
-        match self.sched.cfg.modules {
-            ModuleScheduling::Sharded { .. } => {
+        match (self.sched.cfg.modules, self.sched.cfg.calls) {
+            (ModuleScheduling::Sharded { .. }, CallApplication::Deferred) => {
+                let (sched, ctx) = self.sched_ctx();
+                sched.add_deferred_module(ctx, idx, clk);
+            }
+            (ModuleScheduling::Sharded { .. }, CallApplication::Immediate) => {
                 let (sched, ctx) = self.sched_ctx();
                 sched.add_module_member(ctx, idx, clk);
             }
-            ModuleScheduling::PerModule => self.register_per_module_process(idx, clk),
+            (ModuleScheduling::PerModule, _) => self.register_per_module_process(idx, clk),
         }
         Ok(CosimModuleId(idx))
     }
@@ -1549,12 +2807,14 @@ impl Cosim {
         let registry = Rc::clone(&self.registry);
         let error = Rc::clone(&self.error);
         let trace = Rc::clone(&self.trace);
-        let live = Rc::clone(&self.live_clocked);
+        let demand = Rc::clone(&self.demand);
         let park = Rc::clone(&self.sched.park);
         let park_blocked = self.sched.cfg.park_blocked;
         let name = modules.borrow()[idx].name.clone();
-        live.set(live.get() + 1);
-        let mut live_counted = true;
+        demand.register(&mut self.sim);
+        // Whether this process currently holds a clock-demand unit
+        // (true while unparked and not halted).
+        let mut counted = true;
         let mut parked = false;
         let mut watch: Vec<SignalId> = vec![];
         let mut wait_dirty = true;
@@ -1562,9 +2822,9 @@ impl Cosim {
             name,
             FnProcess::new(move |ctx| {
                 if error.borrow().is_some() {
-                    if live_counted {
-                        live_counted = false;
-                        live.set(live.get() - 1);
+                    if counted {
+                        counted = false;
+                        demand.park(1);
                     }
                     return Wait::Forever;
                 }
@@ -1574,25 +2834,38 @@ impl Cosim {
                         wait_dirty = true;
                         park.resumed.set(park.resumed.get() + 1);
                         park.parked_now.set(park.parked_now.get() - 1);
+                        demand.resume(1, ctx);
+                        counted = true;
                     } else if !wait_dirty {
                         return Wait::Same;
                     }
                 }
                 if !parked && ctx.rose(clk) {
-                    match step_module(&modules, idx, &registry, &trace, &park, park_blocked, ctx) {
+                    match step_module(
+                        &modules,
+                        idx,
+                        &registry,
+                        &trace,
+                        &park,
+                        park_blocked,
+                        ctx,
+                        std::collections::VecDeque::new(),
+                    ) {
                         Ok(Some(w)) => {
                             parked = true;
                             watch = w;
                             wait_dirty = true;
                             park.parked.set(park.parked.get() + 1);
                             park.parked_now.set(park.parked_now.get() + 1);
+                            demand.park(1);
+                            counted = false;
                         }
                         Ok(None) => {}
                         Err(msg) => {
                             *error.borrow_mut() = Some(msg);
-                            if live_counted {
-                                live_counted = false;
-                                live.set(live.get() - 1);
+                            if counted {
+                                counted = false;
+                                demand.park(1);
                             }
                             return Wait::Forever;
                         }
@@ -1745,7 +3018,7 @@ impl Cosim {
         let reg = self.registry.borrow();
         match self.handles[id.0] {
             Handle::Fsm(i) => Some(reg.fsm[i].runtime.stats().clone()),
-            Handle::Native(i) => Some(reg.native[i].1.stats().clone()),
+            Handle::Native(i) => Some(reg.native[i].unit.stats().clone()),
             Handle::Batched(i) => Some(reg.batched[i].link.stats()),
         }
     }
@@ -1900,13 +3173,7 @@ mod tests {
         // controller self-loops without writes — from then on the
         // backplane skips its activations entirely.
         let mut cosim = Cosim::new(CosimConfig::default());
-        cosim
-            .set_scheduling(SchedulingConfig {
-                units: UnitScheduling::PerUnit,
-                modules: ModuleScheduling::PerModule,
-                park_blocked: false,
-            })
-            .unwrap();
+        cosim.set_scheduling(SchedulingConfig::legacy()).unwrap();
         let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
         let p = producer(&[10, 20, 30]);
         let c = consumer(3);
@@ -2024,9 +3291,8 @@ mod tests {
         }
         let sharded = run(SchedulingConfig::sharded());
         let per_unit = run(SchedulingConfig {
-            units: UnitScheduling::PerUnit,
-            modules: ModuleScheduling::PerModule,
             park_blocked: true,
+            ..SchedulingConfig::legacy()
         });
         assert_eq!(sharded, per_unit);
         assert_eq!(sharded.0, Some(Value::Int(18)));
@@ -2157,18 +3423,47 @@ mod tests {
     }
 
     #[test]
-    fn populated_backplane_never_quiesces_but_reports_it() {
+    fn fully_parked_backplane_quiesces() {
+        // Quiescence for fully-parked backplanes: a bare self-loop
+        // module proves itself stable on its first activation and
+        // parks with no wakeable watch wire — as final as a halt. The
+        // activation clock generators then stop, so the kernel truly
+        // runs dry instead of toggling clocks forever.
         let mut b = ModuleBuilder::new("m", ModuleKind::Software);
         let s = b.state("S");
         b.transition(s, None, s);
         b.initial(s);
         let mut cosim = Cosim::new(CosimConfig::default());
-        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        let id = cosim.add_module(&b.build().unwrap(), &[]).unwrap();
         assert!(cosim.pending_activity(), "elaboration is owed");
+        let quiesced = cosim.run_to_quiescence(SimTime::from_ns(1000)).unwrap();
+        assert!(quiesced, "everything parked: nothing can ever change");
+        assert!(!cosim.pending_activity());
+        assert_eq!(cosim.module_status(id).state, "S");
+        assert_eq!(cosim.shard_stats().parked_now, 1);
+    }
+
+    #[test]
+    fn unparked_backplane_never_quiesces_but_reports_it() {
+        // With parking disabled the same self-loop module re-activates
+        // every cycle forever — the clocks must keep running and
+        // run_to_quiescence must say so.
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim
+            .set_scheduling(SchedulingConfig {
+                park_blocked: false,
+                ..SchedulingConfig::sharded()
+            })
+            .unwrap();
+        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
         let quiesced = cosim.run_to_quiescence(SimTime::from_ns(1000)).unwrap();
         assert!(
             !quiesced,
-            "a live module keeps the activation clocks running"
+            "an unparked module keeps the activation clocks running"
         );
         assert!(
             cosim.pending_activity(),
@@ -2327,10 +3622,10 @@ mod tests {
         }
         for cfg in [
             SchedulingConfig::sharded(),
+            SchedulingConfig::immediate(),
             SchedulingConfig {
-                units: UnitScheduling::PerUnit,
-                modules: ModuleScheduling::PerModule,
                 park_blocked: true,
+                ..SchedulingConfig::legacy()
             },
         ] {
             let mut cosim = Cosim::new(CosimConfig::default());
@@ -2396,14 +3691,17 @@ mod tests {
             )
         }
         let sharded = run(SchedulingConfig::sharded());
+        let immediate = run(SchedulingConfig::immediate());
         let per_module = run(SchedulingConfig {
             units: UnitScheduling::Sharded {
                 shard_size: DEFAULT_SHARD_SIZE,
             },
             modules: ModuleScheduling::PerModule,
             park_blocked: true,
+            ..SchedulingConfig::legacy()
         });
         assert_eq!(sharded, per_module);
+        assert_eq!(sharded, immediate);
         assert_eq!(sharded.1[0], Some(Value::Int(12)));
     }
 
@@ -2451,6 +3749,372 @@ mod tests {
         cosim.run_for(Duration::from_us(1)).unwrap();
         let sig = cosim.sim().find_signal("pm.LED").expect("signal exists");
         assert_eq!(cosim.sim().value(sig), &Value::Bit(cosma_core::Bit::One));
+    }
+
+    #[test]
+    fn blocked_native_caller_parks_and_resumes_on_enqueue() {
+        // Wire-visible native units: the FIFO's queue occupancy is
+        // mirrored onto a kernel OCC signal, so a consumer blocked on
+        // `get` against the empty FIFO parks — ZERO activations while
+        // blocked — and resumes when the producer's enqueue lands.
+        fn delayed_producer(delay: i64, value: i64) -> Module {
+            let mut p = ModuleBuilder::new("latecomer", ModuleKind::Software);
+            let done = p.var("D", Type::Bool, Value::Bool(false));
+            let cnt = p.var("C", Type::INT16, Value::Int(0));
+            let b = p.binding("iface", "fifo");
+            let wait = p.state("WAIT");
+            let put = p.state("PUT");
+            let end = p.state("END");
+            p.actions(
+                wait,
+                vec![Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1)))],
+            );
+            p.transition(wait, Some(Expr::var(cnt).ge(Expr::int(delay))), put);
+            p.transition(wait, None, wait);
+            p.actions(
+                put,
+                vec![Stmt::Call(ServiceCall {
+                    binding: b,
+                    service: "put".into(),
+                    args: vec![Expr::int(value)],
+                    done: Some(done),
+                    result: None,
+                })],
+            );
+            p.transition(put, Some(Expr::var(done)), end);
+            p.transition(end, None, end);
+            p.initial(wait);
+            p.build().unwrap()
+        }
+        for cfg in [SchedulingConfig::sharded(), SchedulingConfig::immediate()] {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let link = cosim.add_native_unit("fifo", Box::new(FifoChannel::new("fifo", 8)));
+            assert!(
+                cosim.sim().find_signal("fifo.OCC").is_some(),
+                "occupancy mirrored onto a kernel signal"
+            );
+            let p = delayed_producer(400, 55);
+            let c = consumer(1);
+            cosim.add_module(&p, &[("iface", link)]).unwrap();
+            let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+            // ~100 HW cycles: producer still counting, consumer blocked.
+            cosim.run_for(Duration::from_us(10)).unwrap();
+            let blocked_at = cosim.module_status(cid).activations;
+            assert!(
+                blocked_at <= 3,
+                "consumer proves stable within a couple of steps, got {blocked_at} ({cfg:?})"
+            );
+            assert!(cosim.shard_stats().members_parked >= 1, "{cfg:?}");
+            // Another ~100 cycles: ZERO further activations while blocked.
+            cosim.run_for(Duration::from_us(10)).unwrap();
+            assert_eq!(
+                cosim.module_status(cid).activations,
+                blocked_at,
+                "parked native caller costs zero activations while blocked ({cfg:?})"
+            );
+            // The enqueue lands around cycle 400; the OCC event re-arms
+            // the consumer and the exchange completes.
+            cosim.run_for(Duration::from_us(40)).unwrap();
+            let st = cosim.module_status(cid);
+            assert_eq!(st.state, "END", "{cfg:?}");
+            assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(55)));
+            assert!(
+                cosim.shard_stats().members_resumed >= 1,
+                "OCC event resumed the parked consumer ({cfg:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn native_occ_mirror_survives_same_delta_churn() {
+        // Regression: the OCC drive decision must compare against the
+        // last *driven* value, not the committed signal value. With a
+        // put and a get landing in the same delta (occupancy 0 -> 1 ->
+        // 0), the committed-value comparison skipped the correcting
+        // drive, left OCC stuck at 1 with an empty queue, and a later
+        // put back to occupancy 1 then produced no event — so a parked
+        // consumer never resumed.
+        fn one_shot_producer(name: &str, value: i64) -> Module {
+            let mut p = ModuleBuilder::new(name, ModuleKind::Software);
+            let done = p.var("D", Type::Bool, Value::Bool(false));
+            let b = p.binding("iface", "fifo");
+            let put = p.state("PUT");
+            let end = p.state("END");
+            p.actions(
+                put,
+                vec![Stmt::Call(ServiceCall {
+                    binding: b,
+                    service: "put".into(),
+                    args: vec![Expr::int(value)],
+                    done: Some(done),
+                    result: None,
+                })],
+            );
+            p.transition(put, Some(Expr::var(done)), end);
+            p.transition(end, None, end);
+            p.initial(put);
+            p.build().unwrap()
+        }
+        fn delayed_producer(name: &str, delay: i64, value: i64) -> Module {
+            let mut p = ModuleBuilder::new(name, ModuleKind::Software);
+            let done = p.var("D", Type::Bool, Value::Bool(false));
+            let cnt = p.var("C", Type::INT16, Value::Int(0));
+            let b = p.binding("iface", "fifo");
+            let wait = p.state("WAIT");
+            let put = p.state("PUT");
+            let end = p.state("END");
+            p.actions(
+                wait,
+                vec![Stmt::assign(cnt, Expr::var(cnt).add(Expr::int(1)))],
+            );
+            p.transition(wait, Some(Expr::var(cnt).ge(Expr::int(delay))), put);
+            p.transition(wait, None, wait);
+            p.actions(
+                put,
+                vec![Stmt::Call(ServiceCall {
+                    binding: b,
+                    service: "put".into(),
+                    args: vec![Expr::int(value)],
+                    done: Some(done),
+                    result: None,
+                })],
+            );
+            p.transition(put, Some(Expr::var(done)), end);
+            p.transition(end, None, end);
+            p.initial(put);
+            p.build().unwrap()
+        }
+        for cfg in [SchedulingConfig::sharded(), SchedulingConfig::immediate()] {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let link = cosim.add_native_unit("fifo", Box::new(FifoChannel::new("fifo", 8)));
+            // Same-cycle put+get: occupancy goes 0 -> 1 -> 0 inside one
+            // delta (producer before consumer in creation order).
+            let p0 = one_shot_producer("p0", 7);
+            let c0 = consumer(1);
+            cosim.add_module(&p0, &[("iface", link)]).unwrap();
+            let c0id = cosim.add_module(&c0, &[("iface", link)]).unwrap();
+            // A second consumer blocks on the now-empty queue and parks
+            // on OCC.
+            let c1 = consumer(1);
+            let c1id = cosim.add_module(&c1, &[("iface", link)]).unwrap();
+            // A late producer re-raises occupancy to exactly 1 — the
+            // stale mirror would produce no event here.
+            let p1 = delayed_producer("p1", 300, 9);
+            cosim.add_module(&p1, &[("iface", link)]).unwrap();
+            cosim.run_for(Duration::from_us(100)).unwrap();
+            assert_eq!(
+                cosim.module_var(c0id, "SUM"),
+                Some(Value::Int(7)),
+                "{cfg:?}"
+            );
+            let st = cosim.module_status(c1id);
+            assert_eq!(st.state, "END", "parked consumer resumed ({cfg:?})");
+            assert_eq!(
+                cosim.module_var(c1id, "SUM"),
+                Some(Value::Int(9)),
+                "{cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bodies_added_after_quiescence_get_clock_edges() {
+        // Regression: registering a clocked body while the generators
+        // are idle (everything parked after run_to_quiescence) must
+        // kick them awake — otherwise the new body never activates.
+        let mut b = ModuleBuilder::new("m", ModuleKind::Software);
+        let s = b.state("S");
+        b.transition(s, None, s);
+        b.initial(s);
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        let quiesced = cosim.run_to_quiescence(SimTime::from_ns(1000)).unwrap();
+        assert!(quiesced, "self-looper parks, clocks stop");
+        // Add a spinner whose activations are observable.
+        let mut b = ModuleBuilder::new("late", ModuleKind::Software);
+        let n = b.var("N", Type::INT16, Value::Int(0));
+        let s = b.state("S");
+        b.actions(s, vec![Stmt::assign(n, Expr::var(n).add(Expr::int(1)))]);
+        b.transition(s, None, s);
+        b.initial(s);
+        let id = cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        cosim.run_for(Duration::from_us(2)).unwrap();
+        let st = cosim.module_status(id);
+        assert!(
+            st.activations > 0,
+            "late-added module must see clock edges (got {})",
+            st.activations
+        );
+    }
+
+    #[test]
+    fn malformed_call_is_typed_module_error_not_panic() {
+        // De-panicked call-application path: a module calling a service
+        // its unit does not offer (or with a payload of the wrong kind)
+        // halts with a typed error in ModuleStatus — identically under
+        // immediate and deferred (fallback) application.
+        fn bad_caller(service: &str, args: Vec<Expr>) -> Module {
+            let mut b = ModuleBuilder::new("badcall", ModuleKind::Software);
+            let done = b.var("D", Type::Bool, Value::Bool(false));
+            let bind = b.binding("iface", "bus");
+            let s = b.state("S");
+            b.actions(
+                s,
+                vec![Stmt::Call(ServiceCall {
+                    binding: bind,
+                    service: service.into(),
+                    args,
+                    done: Some(done),
+                    result: None,
+                })],
+            );
+            b.transition(s, None, s);
+            b.initial(s);
+            b.build().unwrap()
+        }
+        for cfg in [SchedulingConfig::sharded(), SchedulingConfig::immediate()] {
+            for (service, args) in [
+                ("bogus", vec![]),
+                ("put", vec![]),
+                ("put", vec![Expr::bool(true)]),
+            ] {
+                let mut cosim = Cosim::new(CosimConfig::default());
+                cosim.set_scheduling(cfg).unwrap();
+                let link = cosim.add_batched_unit("bus", Type::INT16, 4, 16).unwrap();
+                let m = bad_caller(service, args.clone());
+                let id = cosim.add_module(&m, &[("iface", link)]).unwrap();
+                let err = cosim.run_for(Duration::from_us(1)).unwrap_err();
+                assert!(matches!(err, CosimError::Runtime(_)), "{cfg:?}/{service}");
+                let st = cosim.module_status(id);
+                let msg = st.error.expect("typed error recorded on the module");
+                assert_eq!(msg, err.to_string(), "{cfg:?}/{service}/{args:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_commit_stats_and_hashed_placement() {
+        // The two-phase scheduler reports commit-phase call counts, and
+        // modules spread over several shards under hashed placement.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim
+            .set_scheduling(SchedulingConfig {
+                modules: ModuleScheduling::Sharded { shard_size: 2 },
+                ..SchedulingConfig::sharded()
+            })
+            .unwrap();
+        let link = cosim.add_fsm_unit("link", handshake_unit("hs", Type::INT16));
+        let p = producer(&[1, 2, 3]);
+        let c = consumer(3);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        for k in 0..6 {
+            let mut b = ModuleBuilder::new(format!("idle{k}"), ModuleKind::Software);
+            let s = b.state("S");
+            b.transition(s, None, s);
+            b.initial(s);
+            cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+        }
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+        cosim.run_for(Duration::from_us(50)).unwrap();
+        assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(6)));
+        let st = cosim.shard_stats();
+        assert!(
+            st.commit_calls > 0,
+            "deferred calls were applied in commit phases: {st:?}"
+        );
+        assert_eq!(
+            st.commit_fallbacks, 0,
+            "FSM-unit speculation never needs the fallback: {st:?}"
+        );
+        assert!(
+            cosim.sched.driver.as_ref().unwrap().borrow().shards.len() >= 2,
+            "8 modules at shard size 2 open several driver shards"
+        );
+    }
+
+    #[test]
+    fn threaded_step_phase_matches_and_reports_per_thread_runs() {
+        // Threads(2) vs Off on a backplane whose cycles carry a large
+        // stepping set (parking disabled, many modules — what the
+        // fan-out threshold requires): identical results, and
+        // ShardStats reports the per-worker stepped-activation split.
+        fn run(cfg: SchedulingConfig) -> (Option<Value>, ModuleStatus, Vec<u64>, u64) {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            cosim.set_scheduling(cfg).unwrap();
+            let l0 = cosim.add_fsm_unit("l0", handshake_unit("hs", Type::INT16));
+            let p0 = producer(&[1, 2, 3]);
+            let c0 = consumer(3);
+            cosim.add_module(&p0, &[("iface", l0)]).unwrap();
+            let cid = cosim.add_module(&c0, &[("iface", l0)]).unwrap();
+            // Enough unparked self-loopers to cross STEP_FANOUT_MIN.
+            for k in 0..(2 * STEP_FANOUT_MIN) {
+                let mut b = ModuleBuilder::new(format!("spin{k}"), ModuleKind::Software);
+                let n = b.var("N", Type::INT16, Value::Int(0));
+                let s = b.state("S");
+                b.actions(s, vec![Stmt::assign(n, Expr::var(n).add(Expr::int(1)))]);
+                b.transition(s, None, s);
+                b.initial(s);
+                cosim.add_module(&b.build().unwrap(), &[]).unwrap();
+            }
+            cosim.run_for(Duration::from_us(40)).unwrap();
+            let st = cosim.shard_stats();
+            (
+                cosim.module_var(cid, "SUM"),
+                cosim.module_status(cid),
+                st.step_thread_runs.clone(),
+                st.modules_stepped,
+            )
+        }
+        let threaded = run(SchedulingConfig::sharded().with_threads(2));
+        let sequential = run(SchedulingConfig::sharded());
+        assert_eq!(threaded.0, sequential.0);
+        assert_eq!(threaded.1, sequential.1);
+        assert_eq!(threaded.3, sequential.3, "same activation counts");
+        assert_eq!(threaded.0, Some(Value::Int(6)));
+        assert_eq!(threaded.2.len(), 2, "one kernel-thread slot, one worker");
+        assert!(
+            threaded.2.iter().all(|&r| r > 0),
+            "both workers stepped activations: {:?}",
+            threaded.2
+        );
+        assert!(sequential.2.is_empty(), "no worker runs without threading");
+    }
+
+    #[test]
+    fn invalid_scheduling_configs_rejected() {
+        let mut cosim = Cosim::new(CosimConfig::default());
+        // Hashed placement without deferred calls.
+        assert!(matches!(
+            cosim.set_scheduling(SchedulingConfig {
+                calls: CallApplication::Immediate,
+                ..SchedulingConfig::sharded()
+            }),
+            Err(CosimError::Setup(_))
+        ));
+        // Threading without deferred calls.
+        assert!(matches!(
+            cosim.set_scheduling(SchedulingConfig {
+                parallelism: Parallelism::Threads(2),
+                ..SchedulingConfig::immediate()
+            }),
+            Err(CosimError::Setup(_))
+        ));
+        // Zero threads.
+        assert!(matches!(
+            cosim.set_scheduling(SchedulingConfig::sharded().with_threads(0)),
+            Err(CosimError::Setup(_))
+        ));
+        // Deferred calls on the per-module path.
+        assert!(matches!(
+            cosim.set_scheduling(SchedulingConfig {
+                modules: ModuleScheduling::PerModule,
+                placement: ModulePlacement::CreationOrder,
+                ..SchedulingConfig::sharded()
+            }),
+            Err(CosimError::Setup(_))
+        ));
     }
 
     #[test]

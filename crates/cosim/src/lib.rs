@@ -13,6 +13,13 @@
 //!   ([`SchedulingConfig`]): sharded dispatch with provably-stable FSMs
 //!   *parked* on their completion wires, so blocked or finished parts of
 //!   the backplane cost nothing per clock edge,
+//! * module activations run under a **two-phase step/commit model**
+//!   ([`CallApplication::Deferred`], the default): the step phase is
+//!   pure speculation against the cycle-start snapshot (service calls
+//!   buffered as deltas), the commit phase replays the deltas in
+//!   deterministic `(module, call index)` order — so module shards
+//!   place by hashed id and the step phase can fan out over OS threads
+//!   ([`Parallelism::Threads`]) without changing a single trace,
 //! * every `Stmt::Trace` lands in a [`TraceLog`] that can be compared
 //!   event-for-event against a co-synthesis (board-level) run.
 
@@ -25,7 +32,8 @@ mod trace;
 
 pub use annotate::{back_annotate, timing_error, BackAnnotation, LabelTiming};
 pub use backplane::{
-    Cosim, CosimConfig, CosimError, CosimModuleId, ModuleScheduling, ModuleStatus,
-    SchedulingConfig, ShardStats, UnitId, UnitScheduling, DEFAULT_SHARD_SIZE,
+    CallApplication, Cosim, CosimConfig, CosimError, CosimModuleId, ModulePlacement,
+    ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats, UnitId,
+    UnitScheduling, DEFAULT_SHARD_SIZE,
 };
 pub use trace::{TraceComparison, TraceEntry, TraceLog};

@@ -667,11 +667,13 @@ mod tests {
 
     #[test]
     fn schedulings_produce_identical_traces() {
-        // The tentpole correctness claim: sharded and per-unit/
-        // per-module scheduling are observationally equivalent — same
-        // states, SUMs, traces and ACTIVATION COUNTS — on every
-        // topology and link kind, parking included.
-        use crate::backplane::{ModuleScheduling, UnitScheduling};
+        // The tentpole correctness claim: every scheduler — legacy
+        // per-unit/per-module, PR 3 immediate sharded, and the
+        // two-phase delta-buffered scheduler (sequential and threaded,
+        // hashed and creation-order placement) — is observationally
+        // equivalent: same states, SUMs, traces and ACTIVATION COUNTS,
+        // on every topology and link kind, parking included.
+        use crate::backplane::{ModulePlacement, ModuleScheduling, UnitScheduling};
         for topology in [
             Topology::Pipeline,
             Topology::Star,
@@ -694,40 +696,104 @@ mod tests {
                     scheduling,
                     ..ScenarioSpec::default()
                 };
-                let mut a = build_scenario(&mk(SchedulingConfig {
+                let sharded4 = SchedulingConfig {
                     units: UnitScheduling::Sharded { shard_size: 4 },
                     modules: ModuleScheduling::Sharded { shard_size: 4 },
                     park_blocked: true,
-                }))
-                .expect("sharded builds");
+                    ..SchedulingConfig::sharded()
+                };
                 let mut b = build_scenario(&mk(SchedulingConfig {
                     units: UnitScheduling::PerUnit,
                     modules: ModuleScheduling::PerModule,
                     park_blocked: true,
+                    ..SchedulingConfig::legacy()
                 }))
                 .expect("per-unit builds");
-                a.cosim
-                    .run_for(Duration::from_us(400))
-                    .expect("sharded runs");
                 b.cosim
                     .run_for(Duration::from_us(400))
                     .expect("per-unit runs");
-                for (&ma, &mb) in a.modules.iter().zip(&b.modules) {
+                for (name, cfg) in [
+                    ("deferred_hashed", sharded4),
+                    (
+                        "deferred_creation_order",
+                        SchedulingConfig {
+                            placement: ModulePlacement::CreationOrder,
+                            ..sharded4
+                        },
+                    ),
+                    ("deferred_threads2", sharded4.with_threads(2)),
+                    (
+                        "immediate_sharded",
+                        SchedulingConfig {
+                            units: UnitScheduling::Sharded { shard_size: 4 },
+                            modules: ModuleScheduling::Sharded { shard_size: 4 },
+                            park_blocked: true,
+                            ..SchedulingConfig::immediate()
+                        },
+                    ),
+                ] {
+                    let mut a = build_scenario(&mk(cfg)).expect("scheduler builds");
+                    a.cosim
+                        .run_for(Duration::from_us(400))
+                        .unwrap_or_else(|e| panic!("{name} runs: {e}"));
+                    for (&ma, &mb) in a.modules.iter().zip(&b.modules) {
+                        assert_eq!(
+                            a.cosim.module_status(ma),
+                            b.cosim.module_status(mb),
+                            "{topology:?}/{link:?}/{name}: module status diverged"
+                        );
+                    }
                     assert_eq!(
-                        a.cosim.module_status(ma),
-                        b.cosim.module_status(mb),
-                        "{topology:?}/{link:?}: module status diverged"
+                        a.cosim.trace_log().entries(),
+                        b.cosim.trace_log().entries(),
+                        "{topology:?}/{link:?}/{name}: traces diverged"
                     );
+                    a.verify()
+                        .unwrap_or_else(|e| panic!("{topology:?}/{link:?}/{name}: {e}"));
                 }
-                assert_eq!(
-                    a.cosim.trace_log().entries(),
-                    b.cosim.trace_log().entries(),
-                    "{topology:?}/{link:?}: traces diverged"
-                );
-                a.verify()
-                    .unwrap_or_else(|e| panic!("{topology:?}/{link:?}: {e}"));
             }
         }
+    }
+
+    #[test]
+    fn starved_backplane_reaches_quiescence() {
+        // Quiescence regression on the Starved topology: once link 0's
+        // traffic completes and the N-1 starved consumers are parked on
+        // their silent links, EVERY clocked body is parked — the
+        // activation clocks stop and simulated time stops advancing,
+        // instead of toggling activation clocks forever.
+        use cosma_sim::SimTime;
+        let mut s = build_scenario(&ScenarioSpec {
+            units: 6,
+            topology: Topology::Starved,
+            values_per_link: 3,
+            ..ScenarioSpec::default()
+        })
+        .expect("builds");
+        let quiesced = s
+            .cosim
+            .run_to_quiescence(SimTime::from_ns(2_000_000))
+            .expect("runs");
+        assert!(quiesced, "deadlocked system reaches quiescence early");
+        s.verify().expect("link 0 traffic completed first");
+        assert!(
+            !s.cosim.pending_activity(),
+            "no timers or drives remain: the activation clocks stopped"
+        );
+        assert_eq!(
+            s.cosim.sim_mut().next_instant(),
+            None,
+            "simulated time stops advancing once all consumers are parked"
+        );
+        let stats = s.cosim.shard_stats();
+        assert_eq!(
+            stats.dormant_shards, stats.shards,
+            "every shard parked: {stats:?}"
+        );
+        // Further runs change nothing.
+        let before = s.cosim.sim().stats().events;
+        s.cosim.run_for(Duration::from_us(500)).expect("idles");
+        assert_eq!(s.cosim.sim().stats().events, before);
     }
 
     #[test]

@@ -615,15 +615,17 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Backplane scheduling: the unified activation scheduler (sharded
-// modules + units, blocked-FSM parking on completion wires) is
-// observationally equivalent to the legacy per-unit/per-module path —
-// same module states, SUMs, traces AND activation counts — on
-// randomized topologies over both link kinds.
+// Backplane scheduling: every scheduler configuration — the legacy
+// per-unit/per-module path, the PR 3 immediate sharded scheduler, and
+// the two-phase (delta-buffered) scheduler in all its variants
+// (sequential and threaded step phase, hashed and creation-order module
+// placement) — is observationally equivalent: same module states, SUMs,
+// traces AND activation counts, on randomized topologies over both link
+// kinds.
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(10))]
     #[test]
     fn backplane_schedulings_equivalent(
         units in 2usize..7,
@@ -635,7 +637,10 @@ proptest! {
         park in any::<bool>(),
     ) {
         use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
-        use cosma::cosim::{ModuleScheduling, SchedulingConfig, UnitScheduling};
+        use cosma::cosim::{
+            CallApplication, ModulePlacement, ModuleScheduling, Parallelism, SchedulingConfig,
+            UnitScheduling,
+        };
         use cosma::sim::Duration;
 
         let topology = match topo_sel {
@@ -658,47 +663,90 @@ proptest! {
             scheduling,
             ..ScenarioSpec::default()
         };
-        let mut sharded = build_scenario(&mk(SchedulingConfig {
-            units: UnitScheduling::Sharded { shard_size },
-            modules: ModuleScheduling::Sharded { shard_size },
-            park_blocked: park,
-        }))
-        .expect("sharded builds");
-        let mut per_unit = build_scenario(&mk(SchedulingConfig {
+        let run = |name: &str, scheduling| -> Result<_, TestCaseError> {
+            let mut s = build_scenario(&mk(scheduling))
+                .unwrap_or_else(|e| panic!("{name} builds: {e}"));
+            s.cosim
+                .run_for(Duration::from_us(300))
+                .unwrap_or_else(|e| panic!("{name} runs: {e}"));
+            Ok(s)
+        };
+        let shd = |shard_size| ModuleScheduling::Sharded { shard_size };
+        // The oracle: one process per unit and per module, immediate
+        // calls — the semantics every other configuration must match.
+        let baseline = run("per_unit", SchedulingConfig {
             units: UnitScheduling::PerUnit,
             modules: ModuleScheduling::PerModule,
             park_blocked: park,
-        }))
-        .expect("per-unit builds");
-        sharded.cosim.run_for(Duration::from_us(300)).expect("sharded runs");
-        per_unit.cosim.run_for(Duration::from_us(300)).expect("per-unit runs");
-        for (&a, &b) in sharded.modules.iter().zip(&per_unit.modules) {
+            ..SchedulingConfig::legacy()
+        })?;
+        let variants = [
+            ("immediate_sharded", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                ..SchedulingConfig::immediate()
+            }),
+            ("deferred_hashed", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                ..SchedulingConfig::sharded()
+            }),
+            ("deferred_creation_order", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                placement: ModulePlacement::CreationOrder,
+                ..SchedulingConfig::sharded()
+            }),
+            ("deferred_threads2", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                parallelism: Parallelism::Threads(2),
+                ..SchedulingConfig::sharded()
+            }),
+            ("deferred_threads4", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                parallelism: Parallelism::Threads(4),
+                ..SchedulingConfig::sharded()
+            }),
+        ];
+        for (name, cfg) in variants {
+            prop_assert_eq!(cfg.calls == CallApplication::Immediate,
+                name == "immediate_sharded");
+            let s = run(name, cfg)?;
+            for (&a, &b) in s.modules.iter().zip(&baseline.modules) {
+                prop_assert_eq!(
+                    s.cosim.module_status(a),
+                    baseline.cosim.module_status(b),
+                    "{} vs per_unit: module status diverged under {:?}", name, topology
+                );
+            }
+            let s_trace = s.cosim.trace_log();
+            let baseline_trace = baseline.cosim.trace_log();
             prop_assert_eq!(
-                sharded.cosim.module_status(a),
-                per_unit.cosim.module_status(b),
-                "module status diverged under {:?}", topology
+                s_trace.entries(),
+                baseline_trace.entries(),
+                "{} vs per_unit: traces diverged under {:?}/{:?}", name, topology, link
             );
+            // All variants must have completed all traffic in budget.
+            prop_assert!(s.is_complete(), "{} incomplete under {:?}", name, topology);
+            s.verify().map_err(TestCaseError::fail)?;
+            // With parking on, a Starved run must actually have parked
+            // its blocked consumers.
+            if park && matches!(topology, Topology::Starved) {
+                let stats = s.cosim.shard_stats();
+                prop_assert!(
+                    stats.members_parked as usize >= units - 1,
+                    "{}: starved consumers parked: {:?}", name, stats
+                );
+            }
         }
-        let sharded_trace = sharded.cosim.trace_log();
-        let per_unit_trace = per_unit.cosim.trace_log();
-        prop_assert_eq!(
-            sharded_trace.entries(),
-            per_unit_trace.entries(),
-            "traces diverged under {:?}/{:?}", topology, link
-        );
-        // Both must have completed all traffic in the budget.
-        prop_assert!(sharded.is_complete(), "sharded incomplete under {:?}", topology);
-        sharded.verify().map_err(TestCaseError::fail)?;
-        per_unit.verify().map_err(TestCaseError::fail)?;
-        // With parking on, a Starved run must actually have parked its
-        // blocked consumers — and left them at near-zero activations.
-        if park && matches!(topology, Topology::Starved) {
-            let stats = sharded.cosim.shard_stats();
-            prop_assert!(
-                stats.members_parked as usize >= units - 1,
-                "starved consumers parked: {:?}", stats
-            );
-        }
+        baseline.verify().map_err(TestCaseError::fail)?;
     }
 }
 
