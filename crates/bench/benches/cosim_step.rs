@@ -4,7 +4,7 @@
 use cosma_comm::handshake_unit;
 use cosma_core::{Expr, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
-use cosma_cosim::{Cosim, CosimConfig, SchedulingConfig};
+use cosma_cosim::{BusTiming, Cosim, CosimConfig, SchedulingConfig};
 use cosma_sim::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -139,6 +139,29 @@ fn bench_cosim(c: &mut Criterion) {
                         LinkKind::Batched {
                             max_batch: 8,
                             capacity: 32,
+                            timing: BusTiming::LengthOnly,
+                        },
+                    )
+                },
+                |mut s| s.cosim.run_for(Duration::from_us(200)).expect("runs"),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        // Cycle-accurate payload beats on the same scenario: every
+        // batch additionally occupies the bus for one DATA beat per
+        // value, so this row tracks the cost of timing fidelity
+        // against the length-only fast path above.
+        group.bench_with_input(BenchmarkId::new("payload_beats", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    many_units(
+                        n,
+                        Topology::Pipeline,
+                        SchedulingConfig::sharded(),
+                        LinkKind::Batched {
+                            max_batch: 8,
+                            capacity: 32,
+                            timing: BusTiming::PayloadBeats,
                         },
                     )
                 },
@@ -159,6 +182,7 @@ fn bench_cosim(c: &mut Criterion) {
                         LinkKind::Batched {
                             max_batch: 8,
                             capacity: 32,
+                            timing: BusTiming::LengthOnly,
                         },
                     )
                 },

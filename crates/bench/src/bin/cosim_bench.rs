@@ -2,10 +2,10 @@
 //!
 //! Runs the `cosim_step` many-unit scenarios (pipeline and starved
 //! topologies, legacy vs sharded scheduling, sequential vs threaded
-//! step phase) and writes per-scenario timings to `BENCH_cosim.json`
-//! as a flat array of `{scenario, n, parallelism, ns_per_run, runs}`
-//! records, so CI can track the backplane's performance trajectory
-//! across PRs.
+//! step phase, length-only vs payload-beat bus timing) and writes
+//! per-scenario timings to `BENCH_cosim.json` as a flat array of
+//! `{scenario, n, parallelism, bus_timing, ns_per_run, runs}` records,
+//! so CI can track the backplane's performance trajectory across PRs.
 //!
 //! The `parallelism` column compares [`Parallelism::Off`] against
 //! `Threads(4)` on the same scenario. NOTE: the threaded step phase
@@ -13,13 +13,19 @@
 //! workers time-slice one core and the row documents the overhead
 //! instead. The host's available parallelism is printed alongside.
 //!
+//! The `bus_timing` column tracks the cost of cycle-accurate payload
+//! beats (`payload_beats` rows) against the length-only fast path, and
+//! the `batched_heavy` rows pit the deferred scheduler's `BatchedLink`
+//! queue-op journal against immediate call application on a
+//! batched-heavy workload — the journal must hold parity or better.
+//!
 //! Usage: `cosim_bench [--quick] [--out PATH]`
 //!
 //! `--quick` shrinks the size sweep and sample count for CI smoke runs;
 //! the default sweep matches the criterion bench (N = 16/64/256).
 
 use cosma_cosim::scenario::{build_scenario, LinkKind, Scenario, ScenarioSpec, Topology};
-use cosma_cosim::{CosimConfig, Parallelism, SchedulingConfig};
+use cosma_cosim::{BusTiming, CosimConfig, Parallelism, SchedulingConfig};
 use cosma_sim::Duration;
 use std::time::Instant;
 
@@ -27,8 +33,23 @@ struct Record {
     scenario: &'static str,
     n: usize,
     parallelism: &'static str,
+    bus_timing: &'static str,
     ns_per_run: u128,
     runs: u32,
+}
+
+fn timing_label(link: &LinkKind) -> &'static str {
+    match link {
+        LinkKind::Handshake => "handshake",
+        LinkKind::Batched {
+            timing: BusTiming::LengthOnly,
+            ..
+        } => "length_only",
+        LinkKind::Batched {
+            timing: BusTiming::PayloadBeats,
+            ..
+        } => "payload_beats",
+    }
 }
 
 fn parallelism_label(cfg: &SchedulingConfig) -> &'static str {
@@ -63,6 +84,7 @@ fn measure(
     name: &'static str,
     n: usize,
     parallelism: &'static str,
+    bus_timing: &'static str,
     runs: u32,
     build: impl Fn() -> Scenario,
 ) -> Record {
@@ -78,13 +100,14 @@ fn measure(
     }
     let ns_per_run = total.as_nanos() / u128::from(runs.max(1));
     println!(
-        "{name:<28} N={n:<4} par={parallelism:<8} {:>12} ns/run  ({runs} runs)",
+        "{name:<24} N={n:<4} par={parallelism:<8} bus={bus_timing:<13} {:>12} ns/run  ({runs} runs)",
         ns_per_run
     );
     Record {
         scenario: name,
         n,
         parallelism,
+        bus_timing,
         ns_per_run,
         runs,
     }
@@ -107,6 +130,12 @@ fn main() {
     let batched = LinkKind::Batched {
         max_batch: 8,
         capacity: 32,
+        timing: BusTiming::LengthOnly,
+    };
+    let beats = LinkKind::Batched {
+        max_batch: 8,
+        capacity: 32,
+        timing: BusTiming::PayloadBeats,
     };
     println!(
         "host available parallelism: {}",
@@ -116,25 +145,54 @@ fn main() {
     );
     let mut records = vec![];
     for &n in sizes {
-        records.push(measure("many_units_per_unit", n, "off", runs, || {
-            scenario(
-                n,
-                Topology::Pipeline,
-                SchedulingConfig::legacy(),
-                LinkKind::Handshake,
-            )
-        }));
-        records.push(measure("many_units_immediate", n, "off", runs, || {
-            scenario(
-                n,
-                Topology::Pipeline,
-                SchedulingConfig::immediate(),
-                batched,
-            )
-        }));
-        records.push(measure("many_units_sharded", n, "off", runs, || {
-            scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched)
-        }));
+        records.push(measure(
+            "many_units_per_unit",
+            n,
+            "off",
+            timing_label(&LinkKind::Handshake),
+            runs,
+            || {
+                scenario(
+                    n,
+                    Topology::Pipeline,
+                    SchedulingConfig::legacy(),
+                    LinkKind::Handshake,
+                )
+            },
+        ));
+        records.push(measure(
+            "many_units_immediate",
+            n,
+            "off",
+            timing_label(&batched),
+            runs,
+            || {
+                scenario(
+                    n,
+                    Topology::Pipeline,
+                    SchedulingConfig::immediate(),
+                    batched,
+                )
+            },
+        ));
+        records.push(measure(
+            "many_units_sharded",
+            n,
+            "off",
+            timing_label(&batched),
+            runs,
+            || scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched),
+        ));
+        // Cycle-accurate payload beats on the same scenario: the cost
+        // of timing fidelity, trackable against the length-only row.
+        records.push(measure(
+            "many_units_sharded",
+            n,
+            "off",
+            timing_label(&beats),
+            runs,
+            || scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), beats),
+        ));
         // The threaded step phase on the same scenario. On multi-core
         // hosts large stepping sets fan out across the persistent
         // worker pool; on a single-CPU host this row documents the
@@ -144,25 +202,81 @@ fn main() {
             "many_units_sharded",
             n,
             parallelism_label(&threaded),
+            timing_label(&batched),
             runs,
             move || scenario(n, Topology::Pipeline, threaded, batched),
         ));
-        records.push(measure("blocked_per_unit", n, "off", runs, || {
-            scenario(
-                n,
-                Topology::Starved,
-                SchedulingConfig::legacy(),
-                LinkKind::Handshake,
-            )
-        }));
-        records.push(measure("blocked_sharded", n, "off", runs, || {
-            scenario(
-                n,
-                Topology::Starved,
-                SchedulingConfig::sharded(),
-                LinkKind::Handshake,
-            )
-        }));
+        records.push(measure(
+            "blocked_per_unit",
+            n,
+            "off",
+            timing_label(&LinkKind::Handshake),
+            runs,
+            || {
+                scenario(
+                    n,
+                    Topology::Starved,
+                    SchedulingConfig::legacy(),
+                    LinkKind::Handshake,
+                )
+            },
+        ));
+        records.push(measure(
+            "blocked_sharded",
+            n,
+            "off",
+            timing_label(&LinkKind::Handshake),
+            runs,
+            || {
+                scenario(
+                    n,
+                    Topology::Starved,
+                    SchedulingConfig::sharded(),
+                    LinkKind::Handshake,
+                )
+            },
+        ));
+    }
+
+    // Batched-heavy journal parity: a star of producers funneling a
+    // deep value stream into one hub over batched links — the workload
+    // where commit-phase batched calls dominate. The deferred
+    // scheduler's queue-op journal must hold parity or better against
+    // immediate call application.
+    {
+        let heavy = LinkKind::Batched {
+            max_batch: 16,
+            capacity: 64,
+            timing: BusTiming::LengthOnly,
+        };
+        let n = if quick { 8 } else { 16 };
+        let build = move |scheduling| {
+            build_scenario(&ScenarioSpec {
+                units: n,
+                topology: Topology::Star,
+                values_per_link: 16,
+                link: heavy,
+                config: CosimConfig::default(),
+                scheduling,
+            })
+            .expect("scenario builds")
+        };
+        records.push(measure(
+            "batched_heavy_immediate",
+            n,
+            "off",
+            timing_label(&heavy),
+            runs,
+            move || build(SchedulingConfig::immediate()),
+        ));
+        records.push(measure(
+            "batched_heavy_deferred",
+            n,
+            "off",
+            timing_label(&heavy),
+            runs,
+            move || build(SchedulingConfig::sharded()),
+        ));
     }
 
     // Sanity gate for CI: parked consumers must contribute ~zero
@@ -188,10 +302,11 @@ fn main() {
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
             "  {{\"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \
-             \"ns_per_run\": {}, \"runs\": {}}}{}\n",
+             \"bus_timing\": \"{}\", \"ns_per_run\": {}, \"runs\": {}}}{}\n",
             r.scenario,
             r.n,
             r.parallelism,
+            r.bus_timing,
             r.ns_per_run,
             r.runs,
             if i + 1 < records.len() { "," } else { "" }

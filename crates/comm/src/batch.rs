@@ -20,18 +20,33 @@
 //!   batch by the link's internal bus sessions.
 //!
 //! Batch size is **adaptive**: the link carries a batch *target* in
-//! `1..=max_batch` that doubles while the outgoing queue keeps up with
-//! it (bus-bound traffic, amortize the arbitration) and halves while
-//! the queue runs shallow (light traffic, don't batch latency in) —
-//! `max_batch` is only the hard ceiling.
+//! `1..=max_batch` that starts at 1 (a lone early value is never held
+//! hostage to a large first batch), doubles while the outgoing queue
+//! keeps up with it (bus-bound traffic, amortize the arbitration) and
+//! halves while the queue runs shallow (light traffic, don't batch
+//! latency in) — `max_batch` is only the hard ceiling.
+//!
+//! **Bus timing** is selectable per link ([`BusTiming`]):
+//!
+//! * [`BusTiming::LengthOnly`] (default) — the whole batch crosses in
+//!   the one arbitration handshake; bus occupancy is independent of
+//!   payload size. The co-simulation fast path.
+//! * [`BusTiming::PayloadBeats`] — after the arbitration handshake the
+//!   link streams one wire word per value per cycle on `DATA`, so a
+//!   length-`n` batch occupies the bus for `n` beats and a
+//!   cycle-accurate observer sees every word. Delivered-value semantics
+//!   are bit-identical to `LengthOnly`; only timing differs, which is
+//!   what makes a `PayloadBeats` run usable as the calibration side of
+//!   batch-latency back-annotation (`cosma_cosim::annotate_batch_latency`).
 //!
 //! Per-unit statistics record batch counts and sizes
 //! ([`UnitStats::batches`], [`UnitStats::batched_values`],
-//! [`UnitStats::max_batch_len`]) plus a power-of-two batch-length
-//! histogram ([`UnitStats::batch_len_hist`]).
+//! [`UnitStats::max_batch_len`]), a power-of-two batch-length histogram
+//! ([`UnitStats::batch_len_hist`]) and, under `PayloadBeats`, the
+//! payload-beat bus occupancy ([`UnitStats::payload_beats`]).
 
 use crate::library::batched_handshake_unit;
-use crate::runtime::{CallerId, FsmUnitRuntime, PeekedCall, UnitStats, WireStore};
+use crate::runtime::{CallerId, FsmUnitRuntime, PeekDelta, PeekedCall, UnitStats, WireStore};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::PortId;
 use cosma_core::{Bit, DeferredCall, EvalError, ServiceOutcome, Type, Value};
@@ -43,6 +58,58 @@ use std::sync::Arc;
 const BUS_PRODUCER: CallerId = CallerId(u64::MAX);
 /// Internal caller draining the consumer side of the wire handshake.
 const BUS_CONSUMER: CallerId = CallerId(u64::MAX - 1);
+
+/// How a batch occupies the bus at the wire level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BusTiming {
+    /// One arbitration handshake moves the whole batch; `DATA` carries
+    /// only the batch *length*, so bus occupancy is independent of
+    /// payload size. The co-simulation fast path (default).
+    #[default]
+    LengthOnly,
+    /// After the arbitration handshake the link streams one wire word
+    /// per value per cycle on `DATA`: a length-`n` batch occupies the
+    /// bus for `n` beats, a cycle-accurate observer sees every word,
+    /// and [`UnitStats::payload_beats`] counts the occupancy. Delivered
+    /// values are bit-identical to [`BusTiming::LengthOnly`]; only
+    /// timing differs.
+    PayloadBeats,
+}
+
+/// One journaled queue operation recorded by [`BatchedLink::peek_call`]
+/// against the committed queues, installable at commit time by
+/// [`BatchedLink::commit_peeked`] without re-dispatching the call. Each
+/// variant carries its own validity fingerprint: the committed queues
+/// must still answer the call exactly as peeked (earlier same-cycle
+/// commits may have moved them — then the caller falls back to the full
+/// [`BatchedLink::call`] dispatch).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum QueueDelta {
+    /// `put` answered done: append this (already clamped) value. Valid
+    /// while occupancy is still below capacity.
+    Put(Value),
+    /// `put` answered pending (backpressure); the rejected value rides
+    /// along so the install can replay the exact call. Valid while
+    /// still at capacity.
+    PutFull(Value),
+    /// `get` answered done with the front value. Valid while the
+    /// delivered queue still fronts that exact value.
+    Get(Value),
+    /// `get` answered pending (nothing delivered). Valid while the
+    /// delivered queue is still empty.
+    GetEmpty,
+}
+
+/// Converts a payload value into the word driven onto the INT16 `DATA`
+/// wire during payload-beat streaming — the same 16-bit bus-word
+/// encoding every other wire write uses.
+fn wire_word(v: &Value) -> Value {
+    // Infallible for INT16 (only enum types can fail to decode); the
+    // expect states the invariant instead of masking a future
+    // wire-type change with a silently wrong-kind drive.
+    Value::from_bus_word(&Type::INT16, v.to_bus_word(16))
+        .expect("INT16 bus words decode infallibly")
+}
 
 /// A burst-capable channel: vec-backed payload queues on both ends of a
 /// single wire-level handshake that is run once per *batch*.
@@ -61,9 +128,10 @@ const BUS_CONSUMER: CallerId = CallerId(u64::MAX - 1);
 /// for i in 0..8 {
 ///     assert!(link.put(p, Value::Int(i), &mut wires)?.done);
 /// }
-/// // Pump until the batch crosses the bus (a few activations: the
-/// // handshake runs once, regardless of the batch size).
-/// for _ in 0..10 {
+/// // Pump until the batches cross the bus. The adaptive target ramps
+/// // from 1, so the burst still needs far fewer handshakes than
+/// // values.
+/// for _ in 0..40 {
 ///     link.pump(&mut wires, false)?;
 /// }
 /// let mut got = vec![];
@@ -71,7 +139,7 @@ const BUS_CONSUMER: CallerId = CallerId(u64::MAX - 1);
 ///     got.push(v);
 /// }
 /// assert_eq!(got, (0..8).map(Value::Int).collect::<Vec<_>>());
-/// assert_eq!(link.stats().batches, 1);
+/// assert!(link.stats().batches < 8, "fewer transactions than values");
 /// assert_eq!(link.stats().batched_values, 8);
 /// # Ok::<(), cosma_core::EvalError>(())
 /// ```
@@ -79,13 +147,18 @@ pub struct BatchedLink {
     inner: FsmUnitRuntime,
     data_ty: Type,
     pending_wire: PortId,
+    /// The `DATA` wire (payload beats stream over it under
+    /// [`BusTiming::PayloadBeats`]).
+    data_wire: PortId,
+    /// Wire-level timing model.
+    timing: BusTiming,
     /// Hard bound on values per bus transaction.
     max_batch: usize,
-    /// Adaptive batch target in `1..=max_batch`: doubled when the
-    /// outgoing queue is at least this deep at batch-load time (the bus
-    /// is falling behind — amortize more per arbitration), halved when
-    /// the queue is at a quarter or less (light traffic — don't hold
-    /// values back waiting for a big batch).
+    /// Adaptive batch target in `1..=max_batch`: starts at 1, doubled
+    /// when the outgoing queue is at least this deep at batch-load time
+    /// (the bus is falling behind — amortize more per arbitration),
+    /// halved when the queue is at a quarter or less (light traffic —
+    /// don't hold values back waiting for a big batch).
     batch_target: usize,
     /// Bound on total occupancy (outgoing + in flight + delivered).
     capacity: usize,
@@ -97,6 +170,11 @@ pub struct BatchedLink {
     delivered: VecDeque<Value>,
     /// Whether the producer-side wire handshake is in progress.
     sending: bool,
+    /// Whether payload beats are being streamed on `DATA`
+    /// ([`BusTiming::PayloadBeats`] only).
+    streaming: bool,
+    /// Next beat index into `in_flight` while streaming.
+    beat: usize,
     /// Whether the last `put`/`get` was a provable no-op (pending, no
     /// state change) — see [`BatchedLink::last_call_stable`].
     last_call_stable: bool,
@@ -115,36 +193,93 @@ impl fmt::Debug for BatchedLink {
 
 impl BatchedLink {
     /// Creates a batched link. `max_batch` bounds one bus transaction
-    /// (capped at `i16::MAX`, the largest length the INT16 `DATA` wire
-    /// can carry without wrapping), `capacity` bounds total occupancy
-    /// (producer backpressure).
+    /// and must fit the INT16 `DATA` wire (`<= i16::MAX` — the largest
+    /// length the wire can carry without wrapping); `capacity` bounds
+    /// total occupancy (producer backpressure).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_batch` or `capacity` is zero.
-    #[must_use]
-    pub fn new(name: &str, data_ty: Type, max_batch: usize, capacity: usize) -> Self {
-        assert!(max_batch > 0, "batch size must be nonzero");
-        assert!(capacity > 0, "link capacity must be nonzero");
-        let max_batch = max_batch.min(i16::MAX as usize);
+    /// Returns a typed [`EvalError::Service`] when `max_batch` or
+    /// `capacity` is zero, or when `max_batch` exceeds `i16::MAX` —
+    /// the requested batch ceiling is **never** silently shrunk.
+    pub fn try_new(
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+    ) -> Result<Self, EvalError> {
+        if max_batch == 0 {
+            return Err(EvalError::Service(format!(
+                "batched link {name}: batch size must be nonzero"
+            )));
+        }
+        if capacity == 0 {
+            return Err(EvalError::Service(format!(
+                "batched link {name}: link capacity must be nonzero"
+            )));
+        }
+        if max_batch > i16::MAX as usize {
+            return Err(EvalError::Service(format!(
+                "batched link {name}: max_batch {max_batch} exceeds the INT16 DATA \
+                 wire's largest representable batch length {}",
+                i16::MAX
+            )));
+        }
         let spec = batched_handshake_unit(name);
         let pending_wire = spec
             .wire_id("PENDING")
             .expect("batched handshake spec has a PENDING wire");
-        BatchedLink {
+        let data_wire = spec
+            .wire_id("DATA")
+            .expect("batched handshake spec has a DATA wire");
+        Ok(BatchedLink {
             inner: FsmUnitRuntime::new(spec),
             data_ty,
             pending_wire,
+            data_wire,
+            timing: BusTiming::LengthOnly,
             max_batch,
-            batch_target: max_batch,
+            batch_target: 1,
             capacity,
             outgoing: Vec::new(),
             in_flight: Vec::new(),
             delivered: VecDeque::new(),
             sending: false,
+            streaming: false,
+            beat: 0,
             last_call_stable: false,
             stats: UnitStats::default(),
+        })
+    }
+
+    /// Creates a batched link, panicking on invalid parameters — see
+    /// [`BatchedLink::try_new`] for the fallible variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `capacity` is zero, or if `max_batch`
+    /// exceeds `i16::MAX` (the INT16 `DATA` wire's largest
+    /// representable batch length).
+    #[must_use]
+    pub fn new(name: &str, data_ty: Type, max_batch: usize, capacity: usize) -> Self {
+        match Self::try_new(name, data_ty, max_batch, capacity) {
+            Ok(link) => link,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Selects the wire-level bus timing model (builder style;
+    /// [`BusTiming::LengthOnly`] is the default).
+    #[must_use]
+    pub fn with_timing(mut self, timing: BusTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The wire-level bus timing model.
+    #[must_use]
+    pub fn timing(&self) -> BusTiming {
+        self.timing
     }
 
     /// The wire-level spec (for declaring kernel signals / local wires).
@@ -250,9 +385,12 @@ impl BatchedLink {
 
     /// Speculative (read-only) variant of [`BatchedLink::call`]: answers
     /// the outcome the call would produce against the current committed
-    /// queue state, without mutating anything. Exact while no other
-    /// same-cycle call moves the shared queues — a two-phase scheduler
-    /// validates the answer again at commit time.
+    /// queue state, without mutating anything, and records the queue
+    /// operation as a journal entry ([`QueueDelta`]) that
+    /// [`BatchedLink::commit_peeked`] can install at commit time without
+    /// re-dispatching the call. Exact while no other same-cycle call
+    /// moves the shared queues — a two-phase scheduler validates the
+    /// answer again at commit time.
     ///
     /// # Errors
     ///
@@ -266,13 +404,17 @@ impl BatchedLink {
                     Ok(PeekedCall {
                         outcome: ServiceOutcome::pending(),
                         stable: true,
-                        delta: None,
+                        delta: Some(PeekDelta::Queue(QueueDelta::PutFull(
+                            self.data_ty.clamp(v.clone()),
+                        ))),
                     })
                 } else {
                     Ok(PeekedCall {
                         outcome: ServiceOutcome::done(),
                         stable: false,
-                        delta: None,
+                        delta: Some(PeekDelta::Queue(QueueDelta::Put(
+                            self.data_ty.clamp(v.clone()),
+                        ))),
                     })
                 }
             }
@@ -280,12 +422,12 @@ impl BatchedLink {
                 Some(v) => Ok(PeekedCall {
                     outcome: ServiceOutcome::done_with(v.clone()),
                     stable: false,
-                    delta: None,
+                    delta: Some(PeekDelta::Queue(QueueDelta::Get(v.clone()))),
                 }),
                 None => Ok(PeekedCall {
                     outcome: ServiceOutcome::pending(),
                     stable: true,
-                    delta: None,
+                    delta: Some(PeekDelta::Queue(QueueDelta::GetEmpty)),
                 }),
             },
             ("put" | "get", _) => Err(EvalError::Service(format!(
@@ -298,6 +440,57 @@ impl BatchedLink {
                 self.inner.spec().name()
             ))),
         }
+    }
+
+    /// Commits a [`BatchedLink::peek_call`] result without re-dispatching
+    /// the call: validates the journal entry's occupancy fingerprint —
+    /// the committed queues must still answer the call exactly as peeked
+    /// (a `put` still has room / is still rejected, a `get` still fronts
+    /// the peeked value / is still empty) — then installs the queue
+    /// operation and performs the bookkeeping [`BatchedLink::call`]
+    /// would have performed. Mirrors
+    /// [`FsmUnitRuntime::commit_peeked`](crate::FsmUnitRuntime::commit_peeked).
+    ///
+    /// Returns `false` (having changed nothing) when the fingerprint no
+    /// longer matches or the peek carries no queue journal — the caller
+    /// must fall back to a full [`BatchedLink::call`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-store errors from raising the `PENDING` wire.
+    pub fn commit_peeked(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        peeked: PeekedCall,
+        wires: &mut dyn WireStore,
+    ) -> Result<bool, EvalError> {
+        let Some(PeekDelta::Queue(delta)) = peeked.delta else {
+            return Ok(false);
+        };
+        let valid = match (&delta, service) {
+            (QueueDelta::Put(_), "put") => self.occupancy() < self.capacity,
+            (QueueDelta::PutFull(_), "put") => self.occupancy() >= self.capacity,
+            (QueueDelta::Get(v), "get") => self.delivered.front() == Some(v),
+            (QueueDelta::GetEmpty, "get") => self.delivered.is_empty(),
+            _ => false,
+        };
+        if !valid {
+            return Ok(false);
+        }
+        // The fingerprint proved the committed queues still answer the
+        // call exactly as peeked, so the install IS the real call —
+        // delegate to it, keeping every stat/wire side effect in one
+        // place instead of a second copy that can drift.
+        match delta {
+            QueueDelta::Put(v) | QueueDelta::PutFull(v) => {
+                self.put(caller, v, wires)?;
+            }
+            QueueDelta::Get(_) | QueueDelta::GetEmpty => {
+                self.get(caller, wires)?;
+            }
+        }
+        Ok(true)
     }
 
     /// Standalone commit entry point of the two-phase model: applies a
@@ -335,7 +528,7 @@ impl BatchedLink {
         wires: &mut dyn WireStore,
     ) -> Result<ServiceOutcome, EvalError> {
         let full = self.occupancy() >= self.capacity;
-        let stats = self.stats.services.entry("put".to_string()).or_default();
+        let stats = self.stats.service_mut("put");
         stats.calls += 1;
         if full {
             // Rejected by backpressure: nothing changed, so the call is
@@ -366,7 +559,7 @@ impl BatchedLink {
         _caller: CallerId,
         _wires: &mut dyn WireStore,
     ) -> Result<ServiceOutcome, EvalError> {
-        let stats = self.stats.services.entry("get".to_string()).or_default();
+        let stats = self.stats.service_mut("get");
         stats.calls += 1;
         match self.delivered.pop_front() {
             Some(v) => {
@@ -385,8 +578,9 @@ impl BatchedLink {
     }
 
     /// One clock activation of the link's bus machinery: loads a batch
-    /// onto the bus, advances the wire handshake, delivers completed
-    /// batches, steps the controller and manages the `PENDING` line.
+    /// onto the bus, advances the wire handshake, streams payload beats
+    /// (under [`BusTiming::PayloadBeats`]), delivers completed batches,
+    /// steps the controller and manages the `PENDING` line.
     ///
     /// Returns whether anything happened (or could happen next cycle) —
     /// `false` means the link is provably idle and need not be pumped
@@ -419,8 +613,8 @@ impl BatchedLink {
             active = true;
         }
         if self.sending {
-            // One wire handshake carries the whole batch; DATA holds the
-            // batch length (fits INT16: max_batch is capped at i16::MAX).
+            // The arbitration handshake; DATA holds the batch length
+            // (fits INT16: max_batch is bounded by i16::MAX).
             let len = self.in_flight.len() as i64;
             let out = self
                 .inner
@@ -430,13 +624,45 @@ impl BatchedLink {
                 self.sending = false;
             }
         }
-        if !self.in_flight.is_empty() && !self.sending {
+        if self.streaming && !self.sending {
+            // PayloadBeats: one wire word per value per cycle on DATA —
+            // the batch occupies the bus for as many beats as it
+            // carries values, and a cycle-accurate observer sees every
+            // word cross.
+            let word = wire_word(&self.in_flight[self.beat]);
+            wires.write_wire(self.data_wire, word)?;
+            self.beat += 1;
+            active = true;
+            if self.beat >= self.in_flight.len() {
+                self.streaming = false;
+                self.beat = 0;
+                let n = self.in_flight.len() as u64;
+                // Beats are recorded with the completed transaction
+                // (one per value), so `payload_beats ==
+                // batched_values` holds exactly even when a bounded
+                // run ends with a batch still mid-stream.
+                self.stats.payload_beats += n;
+                self.stats.record_batch(n);
+                self.delivered.extend(self.in_flight.drain(..));
+            }
+        } else if !self.in_flight.is_empty() && !self.sending {
             let out = self.inner.call(BUS_CONSUMER, "get", &[], wires)?;
             active = true;
             if out.done {
-                let n = self.in_flight.len() as u64;
-                self.stats.record_batch(n);
-                self.delivered.extend(self.in_flight.drain(..));
+                match self.timing {
+                    BusTiming::LengthOnly => {
+                        let n = self.in_flight.len() as u64;
+                        self.stats.record_batch(n);
+                        self.delivered.extend(self.in_flight.drain(..));
+                    }
+                    BusTiming::PayloadBeats => {
+                        // Arbitration granted: the payload itself still
+                        // has to cross, one beat per cycle, starting
+                        // next activation.
+                        self.streaming = true;
+                        self.beat = 0;
+                    }
+                }
             }
         }
         if self.outgoing.is_empty()
@@ -482,7 +708,7 @@ mod tests {
         for i in 0..5 {
             assert!(link.put(p, Value::Int(i), &mut wires).unwrap().done);
         }
-        for _ in 0..12 {
+        for _ in 0..40 {
             link.pump(&mut wires, false).unwrap();
         }
         let mut got = vec![];
@@ -491,9 +717,14 @@ mod tests {
         }
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
         let st = link.stats();
-        assert_eq!(st.batches, 1, "five values, one bus transaction");
+        assert!(
+            st.batches < 5,
+            "the adaptive target amortizes a queued burst into fewer \
+             transactions than values (got {})",
+            st.batches
+        );
         assert_eq!(st.batched_values, 5);
-        assert_eq!(st.max_batch_len, 5);
+        assert!(st.max_batch_len >= 2, "the target ramped past 1");
     }
 
     #[test]
@@ -513,9 +744,9 @@ mod tests {
         }
         assert_eq!(got, (0..7).collect::<Vec<_>>(), "order preserved");
         let st = link.stats();
-        assert_eq!(st.batches, 3, "7 values at max_batch 3 -> 3+3+1");
+        assert_eq!(st.batches, 3, "7 values ramping 2+3+2 at max_batch 3");
         assert_eq!(st.batched_values, 7);
-        assert_eq!(st.max_batch_len, 3);
+        assert_eq!(st.max_batch_len, 3, "the ceiling holds");
     }
 
     #[test]
@@ -603,44 +834,90 @@ mod tests {
         let mut link = BatchedLink::new("bus", Type::INT16, 8, 64);
         let mut wires = LocalWires::new(link.spec());
         let p = CallerId(1);
-        assert_eq!(link.batch_target(), 8, "starts at the ceiling");
-        // A single queued value is light traffic: the target halves.
-        link.put(p, Value::Int(0), &mut wires).unwrap();
+        assert_eq!(
+            link.batch_target(),
+            1,
+            "starts at 1 — light traffic ships immediately, never a \
+             max-sized first batch"
+        );
+        // A sustained backlog ramps the target up to the ceiling (the
+        // trailing small load halves it back — that's the adaptation
+        // working, so the proof of the ramp is the max batch shipped).
+        for i in 0..32 {
+            link.put(p, Value::Int(i), &mut wires).unwrap();
+        }
+        for _ in 0..120 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        assert_eq!(
+            link.stats().max_batch_len,
+            8,
+            "ceiling reached, not exceeded"
+        );
+        // Drain, then a single queued value halves it back down.
+        while link.get(CallerId(2), &mut wires).unwrap().result.is_some() {}
+        for _ in 0..3 {
+            link.put(p, Value::Int(0), &mut wires).unwrap();
+            for _ in 0..12 {
+                link.pump(&mut wires, false).unwrap();
+            }
+            while link.get(CallerId(2), &mut wires).unwrap().result.is_some() {}
+        }
+        assert!(
+            link.batch_target() <= 2,
+            "halved under light traffic (target {})",
+            link.batch_target()
+        );
+    }
+
+    #[test]
+    fn first_put_ships_immediately_as_a_small_batch() {
+        // Regression: the target used to start at max_batch, so the
+        // very first transaction shipped a maximal batch even under
+        // light traffic — a lone early value must not be held hostage
+        // to a huge first batch.
+        let mut link = BatchedLink::new("bus", Type::INT16, 512, 1024);
+        let mut wires = LocalWires::new(link.spec());
+        link.put(CallerId(1), Value::Int(7), &mut wires).unwrap();
         for _ in 0..12 {
             link.pump(&mut wires, false).unwrap();
         }
-        assert_eq!(link.batch_target(), 4, "halved under light traffic");
-        // A backlog at least one target deep doubles it back (capped).
-        for i in 0..8 {
-            link.put(p, Value::Int(i), &mut wires).unwrap();
-        }
-        for _ in 0..24 {
-            link.pump(&mut wires, false).unwrap();
-        }
-        assert_eq!(link.batch_target(), 8, "doubled back under backlog");
-        // Hard ceiling holds regardless of pressure.
-        assert!(link.stats().max_batch_len <= 8);
+        assert_eq!(
+            link.get(CallerId(2), &mut wires).unwrap().result,
+            Some(Value::Int(7)),
+            "the single value crossed within one short handshake"
+        );
+        let st = link.stats();
+        assert_eq!(st.batches, 1);
+        assert_eq!(
+            st.max_batch_len, 1,
+            "first transaction sized by traffic, not by the ceiling"
+        );
     }
 
     #[test]
     fn batch_length_histogram_buckets_by_power_of_two() {
         let (mut link, mut wires) = fresh(); // max_batch 8
         let p = CallerId(1);
-        // First transaction: 5 values (bucket 2: 4..=7).
+        // A queued burst of 5 ramps 2 + 3 (buckets 1 and 1).
         for i in 0..5 {
             link.put(p, Value::Int(i), &mut wires).unwrap();
         }
-        for _ in 0..12 {
+        for _ in 0..40 {
             link.pump(&mut wires, false).unwrap();
         }
-        // Second transaction: 1 value (bucket 0).
+        // Then a lone value: a 1-batch (bucket 0).
         link.put(p, Value::Int(9), &mut wires).unwrap();
         for _ in 0..12 {
             link.pump(&mut wires, false).unwrap();
         }
         let st = link.stats();
-        assert_eq!(st.batches, 2);
-        assert_eq!(st.batch_len_hist, vec![1, 0, 1], "one 1-batch, one 5-batch");
+        assert_eq!(st.batches, 3);
+        assert_eq!(
+            st.batch_len_hist,
+            vec![1, 2],
+            "one 1-batch, a 2-batch and a 3-batch"
+        );
         assert_eq!(
             st.batch_len_hist.iter().sum::<u64>(),
             st.batches,
@@ -691,14 +968,9 @@ mod tests {
         let p = CallerId(1);
         let c = CallerId(2);
         // Empty link: get peeks pending+stable; put peeks done.
-        assert_eq!(
-            link.peek_call("get", &[]).unwrap(),
-            PeekedCall {
-                outcome: ServiceOutcome::pending(),
-                stable: true,
-                delta: None
-            }
-        );
+        let peek = link.peek_call("get", &[]).unwrap();
+        assert_eq!(peek.outcome, ServiceOutcome::pending());
+        assert!(peek.stable);
         let peek = link.peek_call("put", &[Value::Int(5)]).unwrap();
         let real = link.put(p, Value::Int(5), &mut wires).unwrap();
         assert_eq!(peek.outcome, real);
@@ -714,13 +986,176 @@ mod tests {
         let mut tight = BatchedLink::new("bus", Type::INT16, 4, 1);
         let mut tw = LocalWires::new(tight.spec());
         tight.put(p, Value::Int(1), &mut tw).unwrap();
+        let peek = tight.peek_call("put", &[Value::Int(2)]).unwrap();
+        assert_eq!(peek.outcome, ServiceOutcome::pending());
+        assert!(peek.stable);
+    }
+
+    #[test]
+    fn queue_journal_installs_peeked_ops_without_redispatch() {
+        // The commit-phase journal: peeked put/get ops install directly
+        // after the occupancy fingerprint check, with bookkeeping
+        // identical to the full `call` dispatch.
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        let c = CallerId(2);
+        let peek = link.peek_call("put", &[Value::Int(42)]).unwrap();
+        assert!(
+            link.commit_peeked(p, "put", peek, &mut wires).unwrap(),
+            "fresh journal installs"
+        );
+        assert_eq!(link.occupancy(), 1, "value enqueued by the journal");
+        assert!(!link.last_call_stable());
+        assert_eq!(link.stats().services["put"].calls, 1);
+        assert_eq!(link.stats().services["put"].completions, 1);
         assert_eq!(
-            tight.peek_call("put", &[Value::Int(2)]).unwrap(),
-            PeekedCall {
-                outcome: ServiceOutcome::pending(),
-                stable: true,
-                delta: None
+            wires.value(link.spec().wire_id("PENDING").unwrap()),
+            &Value::Bit(Bit::One),
+            "journal install raises the bus request, like call"
+        );
+        for _ in 0..12 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        // A peeked get installs the pop.
+        let peek = link.peek_call("get", &[]).unwrap();
+        assert_eq!(peek.outcome, ServiceOutcome::done_with(Value::Int(42)));
+        assert!(link.commit_peeked(c, "get", peek, &mut wires).unwrap());
+        assert_eq!(link.occupancy(), 0, "journal popped the delivered value");
+        assert_eq!(link.stats().services["get"].completions, 1);
+        // A blocked-get journal entry installs as a no-op.
+        let peek = link.peek_call("get", &[]).unwrap();
+        assert!(link.commit_peeked(c, "get", peek, &mut wires).unwrap());
+        assert!(link.last_call_stable(), "no-op install parks the caller");
+    }
+
+    #[test]
+    fn stale_queue_journal_is_rejected() {
+        // The fingerprint check: a journal entry peeked against queue
+        // state that a same-cycle commit has since moved must NOT
+        // install — the caller falls back to the full dispatch.
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        let c = CallerId(2);
+        link.put(p, Value::Int(1), &mut wires).unwrap();
+        link.put(p, Value::Int(2), &mut wires).unwrap();
+        for _ in 0..40 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        // Both consumers peeked the same front value; the first commit
+        // pops it, so the second journal is stale.
+        let peek_a = link.peek_call("get", &[]).unwrap();
+        let peek_b = link.peek_call("get", &[]).unwrap();
+        assert!(link.commit_peeked(c, "get", peek_a, &mut wires).unwrap());
+        assert!(
+            !link.commit_peeked(c, "get", peek_b, &mut wires).unwrap(),
+            "front moved: stale journal rejected"
+        );
+        // A stale put journal: fill to capacity between peek and commit.
+        let mut tight = BatchedLink::new("bus", Type::INT16, 4, 1);
+        let mut tw = LocalWires::new(tight.spec());
+        let peek = tight.peek_call("put", &[Value::Int(9)]).unwrap();
+        tight.put(p, Value::Int(8), &mut tw).unwrap();
+        assert!(
+            !tight.commit_peeked(p, "put", peek, &mut tw).unwrap(),
+            "capacity verdict changed: stale journal rejected"
+        );
+    }
+
+    #[test]
+    fn max_batch_overflow_is_a_typed_error_not_a_silent_clamp() {
+        // Regression: `new` used to silently clamp max_batch to
+        // i16::MAX (the DATA wire width), shrinking the caller's
+        // requested ceiling without telling anyone.
+        let err = BatchedLink::try_new("bus", Type::INT16, i16::MAX as usize + 1, 64).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds"),
+            "typed, descriptive error: {err}"
+        );
+        assert!(BatchedLink::try_new("bus", Type::INT16, i16::MAX as usize, 64).is_ok());
+        assert!(BatchedLink::try_new("bus", Type::INT16, 0, 64).is_err());
+        assert!(BatchedLink::try_new("bus", Type::INT16, 4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn max_batch_overflow_panics_in_new() {
+        let _ = BatchedLink::new("bus", Type::INT16, i16::MAX as usize + 1, 64);
+    }
+
+    #[test]
+    fn payload_beats_streams_one_word_per_value_per_cycle() {
+        // PayloadBeats: after the arbitration handshake every value
+        // crosses the DATA wire, one beat per pump activation — a
+        // cycle-accurate observer sees each word, and bus occupancy
+        // (payload_beats) equals the value count.
+        let mut link =
+            BatchedLink::new("bus", Type::INT16, 8, 64).with_timing(BusTiming::PayloadBeats);
+        let mut wires = LocalWires::new(link.spec());
+        let data = link.spec().wire_id("DATA").unwrap();
+        let p = CallerId(1);
+        for v in [11, 22, 33] {
+            link.put(p, Value::Int(v), &mut wires).unwrap();
+        }
+        let mut seen = vec![];
+        for _ in 0..64 {
+            link.pump(&mut wires, false).unwrap();
+            if let Value::Int(v) = wires.value(data) {
+                seen.push(*v);
             }
+        }
+        // Every payload word was visible on DATA in order (interleaved
+        // with the handshake's batch-length words).
+        let mut idx = 0;
+        for want in [11i64, 22, 33] {
+            while idx < seen.len() && seen[idx] != want {
+                idx += 1;
+            }
+            assert!(
+                idx < seen.len(),
+                "word {want} never crossed the DATA wire: {seen:?}"
+            );
+        }
+        let mut got = vec![];
+        while let Some(v) = link.get(CallerId(2), &mut wires).unwrap().result {
+            got.push(v.as_int().unwrap());
+        }
+        assert_eq!(got, vec![11, 22, 33], "delivered values bit-identical");
+        let st = link.stats();
+        assert_eq!(
+            st.payload_beats, st.batched_values,
+            "one beat per value: occupancy scales linearly with batch length"
+        );
+        assert_eq!(st.batched_values, 3);
+    }
+
+    #[test]
+    fn payload_beats_and_length_only_deliver_identical_values() {
+        let mk = |timing| {
+            let mut link = BatchedLink::new("bus", Type::INT16, 4, 64).with_timing(timing);
+            let mut wires = LocalWires::new(link.spec());
+            let p = CallerId(1);
+            let c = CallerId(2);
+            let mut got = vec![];
+            let mut sent = 0i64;
+            for _ in 0..200 {
+                if sent < 13 && link.put(p, Value::Int(sent * 3), &mut wires).unwrap().done {
+                    sent += 1;
+                }
+                link.pump(&mut wires, false).unwrap();
+                if let Some(v) = link.get(c, &mut wires).unwrap().result {
+                    got.push(v.as_int().unwrap());
+                }
+            }
+            (got, link.stats())
+        };
+        let (fast, fast_stats) = mk(BusTiming::LengthOnly);
+        let (beats, beat_stats) = mk(BusTiming::PayloadBeats);
+        assert_eq!(fast, beats, "delivered-value semantics bit-identical");
+        assert_eq!(fast, (0..13).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(fast_stats.payload_beats, 0, "LengthOnly streams nothing");
+        assert_eq!(
+            beat_stats.payload_beats, beat_stats.batched_values,
+            "PayloadBeats pays one bus cycle per value"
         );
     }
 

@@ -24,7 +24,7 @@ mod native;
 mod runtime;
 mod standalone;
 
-pub use batch::BatchedLink;
+pub use batch::{BatchedLink, BusTiming};
 pub use library::{batched_handshake_unit, handshake_unit, register_bank_unit, shared_reg_unit};
 pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
 pub use runtime::{

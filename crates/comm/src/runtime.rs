@@ -82,6 +82,16 @@ impl WireStore for PeekWires<'_> {
     }
 }
 
+/// The buffered effects a peek computed, kept so a validated commit can
+/// *install* them instead of re-running the call.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PeekDelta {
+    /// An FSM-unit protocol step ([`FsmUnitRuntime::peek_call`]).
+    Session(SessionDelta),
+    /// A batched-link queue operation ([`crate::BatchedLink::peek_call`]).
+    Queue(crate::batch::QueueDelta),
+}
+
 /// The session effects a peek computed, kept so a validated commit can
 /// *install* them instead of re-running the protocol step.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,9 +118,10 @@ pub struct PeekedCall {
     /// nothing written) — the caller-parking signal, mirroring
     /// [`FsmUnitRuntime::last_call_stable`].
     pub stable: bool,
-    /// Buffered session effects, present for FSM-unit peeks so the
-    /// commit can install them without re-stepping the protocol.
-    pub(crate) delta: Option<SessionDelta>,
+    /// Buffered call effects — a session delta for FSM-unit peeks, a
+    /// queue-op journal entry for batched-link peeks — so the commit
+    /// can install them without re-dispatching the call.
+    pub(crate) delta: Option<PeekDelta>,
 }
 
 /// Plain in-memory wires initialized from a unit spec; writes are
@@ -248,6 +259,15 @@ pub struct UnitStats {
     /// `2^(i+1) - 1` values. Grown on demand; empty until the first
     /// batch completes.
     pub batch_len_hist: Vec<u64>,
+    /// Payload beats streamed on the `DATA` wire (batched links under
+    /// [`crate::BusTiming::PayloadBeats`] only): one beat per value per
+    /// cycle, so this is the bus occupancy in cycles attributable to
+    /// payload transport. Always zero under
+    /// [`crate::BusTiming::LengthOnly`], and exactly `batched_values`
+    /// under `PayloadBeats` (beats per batch == batch length; beats
+    /// are recorded with the completed transaction, so a batch still
+    /// mid-stream when a bounded run ends is not counted).
+    pub payload_beats: u64,
 }
 
 impl UnitStats {
@@ -262,6 +282,19 @@ impl UnitStats {
             self.batch_len_hist.resize(bucket + 1, 0);
         }
         self.batch_len_hist[bucket] += 1;
+    }
+
+    /// Mutable access to a service's stats row, allocating the map key
+    /// only on first use — hot paths (one bump per call) pay a lookup
+    /// but never a malloc once the row exists.
+    pub(crate) fn service_mut(&mut self, name: &str) -> &mut ServiceStats {
+        if !self.services.contains_key(name) {
+            self.services
+                .insert(name.to_string(), ServiceStats::default());
+        }
+        self.services
+            .get_mut(name)
+            .expect("service stats row just ensured")
     }
 }
 
@@ -370,7 +403,12 @@ impl Env for SessionEnv<'_> {
 pub struct FsmUnitRuntime {
     spec: Arc<CommUnitSpec>,
     controller: Option<(FsmExec, Vec<Value>)>,
-    sessions: HashMap<(CallerId, String), Session>,
+    /// Interned service names, parallel to `spec.services()`. Session
+    /// keys clone these `Arc`s (a refcount bump), so neither the
+    /// immediate nor the deferred call path allocates a `String` key
+    /// per call.
+    interned: Vec<Arc<str>>,
+    sessions: HashMap<(CallerId, Arc<str>), Session>,
     stats: UnitStats,
     /// Whether the last controller step provably changed nothing (same
     /// state, same vars, zero wire writes). While true, re-stepping with
@@ -404,9 +442,15 @@ impl FsmUnitRuntime {
                 c.vars.iter().map(|v| v.init().clone()).collect(),
             )
         });
+        let interned = spec
+            .services()
+            .iter()
+            .map(|s| Arc::<str>::from(s.name()))
+            .collect();
         FsmUnitRuntime {
             spec,
             controller,
+            interned,
             sessions: HashMap::new(),
             stats: UnitStats::default(),
             ctrl_stable: false,
@@ -418,6 +462,15 @@ impl FsmUnitRuntime {
     #[must_use]
     pub fn spec(&self) -> &Arc<CommUnitSpec> {
         &self.spec
+    }
+
+    /// Resolves a service name to its index in `spec.services()` (and
+    /// the parallel `interned` table) via the spec's own
+    /// exact-then-case-insensitive lookup, so VHDL-style upper-cased
+    /// callers share the session (and stats row) of the canonical name
+    /// instead of forking one keyed by their spelling.
+    fn resolve(&self, service: &str) -> Option<usize> {
+        self.spec.service_index(service)
     }
 
     /// Activates one step of `service` on behalf of `caller`.
@@ -436,12 +489,14 @@ impl FsmUnitRuntime {
         args: &[Value],
         wires: &mut dyn WireStore,
     ) -> Result<ServiceOutcome, EvalError> {
-        let Some(svc) = self.spec.service(service) else {
+        let Some(idx) = self.resolve(service) else {
             return Err(EvalError::Service(format!(
                 "unit {} has no service {service}",
                 self.spec.name()
             )));
         };
+        let spec = Arc::clone(&self.spec);
+        let svc = &spec.services()[idx];
         if svc.args().len() != args.len() {
             return Err(EvalError::Service(format!(
                 "service {service} expects {} argument(s), got {}",
@@ -449,14 +504,17 @@ impl FsmUnitRuntime {
                 args.len()
             )));
         }
-        let key = (caller, service.to_string());
+        let key = (caller, Arc::clone(&self.interned[idx]));
         let session = self.sessions.entry(key).or_insert_with(|| Session {
             exec: FsmExec::new(svc.fsm()),
             locals: svc.locals().iter().map(|v| v.init().clone()).collect(),
         });
         let (outcome, stable) = step_session(svc, session, args, wires)?;
         self.last_call_stable = stable;
-        let stats = self.stats.services.entry(service.to_string()).or_default();
+        // Stats rows key by the canonical service name too, so a
+        // case-insensitive spelling feeds the same row as the session
+        // it advances.
+        let stats = self.stats.service_mut(svc.name());
         stats.calls += 1;
         if outcome.done {
             stats.completions += 1;
@@ -488,12 +546,13 @@ impl FsmUnitRuntime {
         args: &[Value],
         wires: &dyn ReadWires,
     ) -> Result<PeekedCall, EvalError> {
-        let Some(svc) = self.spec.service(service) else {
+        let Some(idx) = self.resolve(service) else {
             return Err(EvalError::Service(format!(
                 "unit {} has no service {service}",
                 self.spec.name()
             )));
         };
+        let svc = &self.spec.services()[idx];
         if svc.args().len() != args.len() {
             return Err(EvalError::Service(format!(
                 "service {service} expects {} argument(s), got {}",
@@ -501,7 +560,8 @@ impl FsmUnitRuntime {
                 args.len()
             )));
         }
-        let mut session = match self.sessions.get(&(caller, service.to_string())) {
+        let key = (caller, Arc::clone(&self.interned[idx]));
+        let mut session = match self.sessions.get(&key) {
             Some(s) => s.clone(),
             None => Session {
                 exec: FsmExec::new(svc.fsm()),
@@ -518,12 +578,12 @@ impl FsmUnitRuntime {
         Ok(PeekedCall {
             outcome,
             stable,
-            delta: Some(SessionDelta {
+            delta: Some(PeekDelta::Session(SessionDelta {
                 pre_state,
                 pre_steps,
                 post: session,
                 writes: pw.writes,
-            }),
+            })),
         })
     }
 
@@ -549,13 +609,15 @@ impl FsmUnitRuntime {
         peeked: PeekedCall,
         wires: &mut dyn WireStore,
     ) -> Result<bool, EvalError> {
-        let Some(delta) = peeked.delta else {
+        let Some(PeekDelta::Session(delta)) = peeked.delta else {
             return Ok(false);
         };
-        let Some(svc) = self.spec.service(service) else {
+        let Some(idx) = self.resolve(service) else {
             return Ok(false);
         };
-        let key = (caller, service.to_string());
+        let spec = Arc::clone(&self.spec);
+        let svc = &spec.services()[idx];
+        let key = (caller, Arc::clone(&self.interned[idx]));
         let unchanged = match self.sessions.get(&key) {
             Some(s) => s.exec.current() == delta.pre_state && s.exec.steps() == delta.pre_steps,
             None => delta.pre_steps == 0 && delta.pre_state == svc.fsm().initial(),
@@ -577,7 +639,7 @@ impl FsmUnitRuntime {
         };
         self.sessions.insert(key, session);
         self.last_call_stable = peeked.stable;
-        let stats = self.stats.services.entry(service.to_string()).or_default();
+        let stats = self.stats.service_mut(svc.name());
         stats.calls += 1;
         if peeked.outcome.done {
             stats.completions += 1;
@@ -736,7 +798,10 @@ impl FsmUnitRuntime {
 
     /// Drops a caller's session for a service (e.g. on module reset).
     pub fn reset_session(&mut self, caller: CallerId, service: &str) {
-        self.sessions.remove(&(caller, service.to_string()));
+        if let Some(idx) = self.resolve(service) {
+            let key = (caller, Arc::clone(&self.interned[idx]));
+            self.sessions.remove(&key);
+        }
     }
 }
 
@@ -811,6 +876,38 @@ mod tests {
         assert!(gets >= 2, "two gets should complete, got {gets}");
         assert_eq!(unit.stats().services["put"].completions, puts);
         assert!(unit.stats().controller_steps > 0);
+    }
+
+    #[test]
+    fn sessions_key_by_interned_name() {
+        // The session map is keyed by (CallerId, Arc<str>) cloned from
+        // the spec's interned service names — so a case-insensitive
+        // spelling (the VHDL-caller path) resolves to the SAME session
+        // instead of forking a duplicate keyed by the caller's string.
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let p = CallerId(1);
+        unit.call(p, "put", &[Value::Int(1)], &mut wires).unwrap();
+        assert_eq!(unit.sessions.len(), 1);
+        unit.call(p, "PUT", &[Value::Int(1)], &mut wires).unwrap();
+        assert_eq!(
+            unit.sessions.len(),
+            1,
+            "upper-cased spelling advances the same session"
+        );
+        assert_eq!(
+            unit.stats().services.get("put").map(|s| s.calls),
+            Some(2),
+            "and feeds the same canonical stats row"
+        );
+        assert!(
+            !unit.stats().services.contains_key("PUT"),
+            "no stats row forked under the caller's spelling"
+        );
+        // reset_session drops it regardless of spelling.
+        unit.reset_session(p, "Put");
+        assert_eq!(unit.sessions.len(), 0);
     }
 
     #[test]

@@ -291,11 +291,24 @@ impl CommUnitSpec {
     /// case-insensitive (VHDL callers upper-case procedure names).
     #[must_use]
     pub fn service(&self, name: &str) -> Option<&ServiceSpec> {
-        self.services.iter().find(|s| s.name == name).or_else(|| {
-            self.services
-                .iter()
-                .find(|s| s.name.eq_ignore_ascii_case(name))
-        })
+        self.service_index(name).map(|i| &self.services[i])
+    }
+
+    /// Resolves a service name to its index in [`CommUnitSpec::services`],
+    /// under the same exact-then-case-insensitive policy as
+    /// [`CommUnitSpec::service`] — the single definition of name
+    /// resolution, shared by runtimes that keep per-service tables
+    /// parallel to the spec (session keys, interned names).
+    #[must_use]
+    pub fn service_index(&self, name: &str) -> Option<usize> {
+        self.services
+            .iter()
+            .position(|s| s.name == name)
+            .or_else(|| {
+                self.services
+                    .iter()
+                    .position(|s| s.name.eq_ignore_ascii_case(name))
+            })
     }
 
     /// Finds a wire id by name.

@@ -10,6 +10,7 @@
 //! prototype timing instead of just functionality.
 
 use crate::trace::TraceLog;
+use cosma_comm::UnitStats;
 use cosma_sim::Duration;
 use std::fmt;
 
@@ -72,18 +73,11 @@ fn span_fs(log: &TraceLog, label: &str, n: usize) -> u64 {
     }
 }
 
-/// Compares a co-simulation trace (run at `nominal_sw_cycle`) against a
-/// co-synthesis trace and derives corrected timing.
-///
-/// Labels with fewer than two events in either log are skipped. Returns
-/// `None` if no label yields a usable comparison.
-#[must_use]
-pub fn back_annotate(
-    reference: &TraceLog,
-    measured: &TraceLog,
-    labels: &[&str],
-    nominal_sw_cycle: Duration,
-) -> Option<BackAnnotation> {
+/// Builds the per-label timing rows shared by [`back_annotate`] and
+/// [`annotate_batch_latency`]: for every label with at least two events
+/// in both logs and nonzero spans, the reference/measured spans and
+/// their ratio.
+fn label_rows(reference: &TraceLog, measured: &TraceLog, labels: &[&str]) -> Vec<LabelTiming> {
     let mut rows = vec![];
     for &label in labels {
         let n = reference
@@ -106,16 +100,160 @@ pub fn back_annotate(
             scale: measured_fs as f64 / reference_fs as f64,
         });
     }
+    rows
+}
+
+/// Geometric mean of the rows' timing scales.
+fn geometric_scale(rows: &[LabelTiming]) -> f64 {
+    (rows.iter().map(|r| r.scale.ln()).sum::<f64>() / rows.len() as f64).exp()
+}
+
+/// Compares a co-simulation trace (run at `nominal_sw_cycle`) against a
+/// co-synthesis trace and derives corrected timing.
+///
+/// # Contract
+///
+/// A label contributes a [`LabelTiming`] row only when it has **at
+/// least two** occurrences in *both* logs (a span needs two endpoints)
+/// and both spans are nonzero; labels failing that are skipped, so a
+/// mixed label set degrades gracefully — the annotation is derived from
+/// the annotatable labels alone. Returns `None` only when **no** label
+/// yields a usable comparison.
+#[must_use]
+pub fn back_annotate(
+    reference: &TraceLog,
+    measured: &TraceLog,
+    labels: &[&str],
+    nominal_sw_cycle: Duration,
+) -> Option<BackAnnotation> {
+    let rows = label_rows(reference, measured, labels);
     if rows.is_empty() {
         return None;
     }
-    let scale = (rows.iter().map(|r| r.scale.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let scale = geometric_scale(&rows);
     let annotated =
         Duration::from_fs((nominal_sw_cycle.as_fs() as f64 * scale).round().max(1.0) as u64);
     Some(BackAnnotation {
         labels: rows,
         scale,
         annotated_sw_cycle: annotated,
+    })
+}
+
+/// Per-link bus-occupancy report of a batch-latency calibration
+/// ([`annotate_batch_latency`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLinkTiming {
+    /// Link instance name.
+    pub link: String,
+    /// Completed bus transactions in the calibration run.
+    pub batches: u64,
+    /// Values carried by those transactions.
+    pub values: u64,
+    /// Payload beats streamed on `DATA`
+    /// ([`UnitStats::payload_beats`]) — the payload-attributable bus
+    /// occupancy in cycles.
+    pub beats: u64,
+    /// Mean beats per bus transaction — the per-batch latency the
+    /// `LengthOnly` fast path leaves unmodelled.
+    pub beats_per_batch: f64,
+}
+
+/// The result of a batch-latency back-annotation pass
+/// ([`annotate_batch_latency`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAnnotation {
+    /// Per-label timing comparisons (reference = `LengthOnly` run,
+    /// measured = `PayloadBeats` calibration run).
+    pub labels: Vec<LabelTiming>,
+    /// Per-link bus-occupancy reports from the calibration run's
+    /// [`UnitStats`].
+    pub links: Vec<BatchLinkTiming>,
+    /// Geometric-mean timing scale across labels: how much slower the
+    /// payload-accurate bus makes the observed event streams.
+    pub scale: f64,
+    /// The hardware cycle to use for re-running the fast `LengthOnly`
+    /// co-simulation with batch latency folded in: label timelines of
+    /// the re-run then approximate the cycle-accurate `PayloadBeats`
+    /// run without paying per-beat simulation cost.
+    pub annotated_hw_cycle: Duration,
+}
+
+impl BatchAnnotation {
+    /// The report for one link, if present.
+    #[must_use]
+    pub fn link(&self, name: &str) -> Option<&BatchLinkTiming> {
+        self.links.iter().find(|l| l.link == name)
+    }
+}
+
+impl fmt::Display for BatchAnnotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "batch-latency annotation (scale {:.3}):", self.scale)?;
+        for l in &self.labels {
+            writeln!(
+                f,
+                "  {:<14} {:>4} events: {:>10} fs (length-only) vs {:>10} fs (beats) -> x{:.3}",
+                l.label, l.events, l.reference_fs, l.measured_fs, l.scale
+            )?;
+        }
+        for l in &self.links {
+            writeln!(
+                f,
+                "  link {:<10} {} values / {} batches -> {:.2} beats/batch",
+                l.link, l.values, l.batches, l.beats_per_batch
+            )?;
+        }
+        write!(f, "  annotated hw cycle: {}", self.annotated_hw_cycle)
+    }
+}
+
+/// Batch-latency back-annotation: compares a fast
+/// [`cosma_comm::BusTiming::LengthOnly`] co-simulation (`reference`)
+/// against a cycle-accurate [`cosma_comm::BusTiming::PayloadBeats`]
+/// calibration run (`calibration`) of the *same* system, mirroring how
+/// [`back_annotate`] corrects service-call timing from
+/// reference-vs-measured label timelines — here the "measured" timeline
+/// is the payload-accurate bus.
+///
+/// `links` supplies the calibration run's per-link [`UnitStats`] (from
+/// [`crate::Cosim::unit_stats`]), reported as per-batch bus occupancy;
+/// the label timelines drive the derived `annotated_hw_cycle` exactly
+/// like [`back_annotate`]'s SW cycle. Labels follow the same
+/// two-occurrence contract as [`back_annotate`]; links with zero
+/// completed batches are skipped. Returns `None` when no label yields a
+/// usable comparison.
+#[must_use]
+pub fn annotate_batch_latency(
+    reference: &TraceLog,
+    calibration: &TraceLog,
+    labels: &[&str],
+    links: &[(&str, &UnitStats)],
+    nominal_hw_cycle: Duration,
+) -> Option<BatchAnnotation> {
+    let rows = label_rows(reference, calibration, labels);
+    if rows.is_empty() {
+        return None;
+    }
+    let scale = geometric_scale(&rows);
+    let link_rows = links
+        .iter()
+        .filter(|(_, stats)| stats.batches > 0)
+        .map(|(name, stats)| BatchLinkTiming {
+            link: (*name).to_string(),
+            batches: stats.batches,
+            values: stats.batched_values,
+            beats: stats.payload_beats,
+            beats_per_batch: stats.payload_beats as f64 / stats.batches as f64,
+        })
+        .collect();
+    let annotated =
+        Duration::from_fs((nominal_hw_cycle.as_fs() as f64 * scale).round().max(1.0) as u64);
+    Some(BatchAnnotation {
+        labels: rows,
+        links: link_rows,
+        scale,
+        annotated_hw_cycle: annotated,
     })
 }
 
@@ -194,6 +332,79 @@ mod tests {
         let r = log_with(&[0], "once");
         let m = log_with(&[0], "once");
         assert!(back_annotate(&r, &m, &["once"], Duration::from_ns(100)).is_none());
+    }
+
+    #[test]
+    fn mixed_label_set_uses_only_annotatable_labels() {
+        // The contract, pinned: a label with fewer than two occurrences
+        // in either log contributes nothing — a mixed set (one
+        // annotatable label + one single-shot label) degrades to an
+        // annotation over the annotatable labels alone, not to None.
+        let mut r = log_with(&[0, 100], "hot");
+        let mut m = log_with(&[0, 200], "hot");
+        r.record(50, "m", "once", vec![]);
+        m.record(70, "m", "once", vec![]);
+        let ann =
+            back_annotate(&r, &m, &["hot", "once"], Duration::from_ns(100)).expect("annotates");
+        assert_eq!(ann.labels.len(), 1, "single-shot label skipped");
+        assert!(ann.label("once").is_none());
+        assert!(ann.label("hot").is_some());
+        assert!(
+            (ann.scale - 2.0).abs() < 1e-9,
+            "scale derived from the annotatable label alone"
+        );
+        // A single-shot label on only one side behaves the same.
+        let mut m2 = log_with(&[0, 200], "hot");
+        m2.record(70, "m", "solo", vec![]);
+        let ann = back_annotate(&r, &m2, &["hot", "solo"], Duration::from_ns(100)).unwrap();
+        assert_eq!(ann.labels.len(), 1);
+    }
+
+    #[test]
+    fn batch_latency_derives_scale_and_link_occupancy() {
+        // Reference (LengthOnly) events span 200 fs, calibration
+        // (PayloadBeats) 600 fs: the payload-accurate bus is 3x slower,
+        // and the link report carries beats-per-batch occupancy.
+        let r = log_with(&[0, 100, 200], "recv");
+        let m = log_with(&[0, 300, 600], "recv");
+        let mut stats = UnitStats::default();
+        stats.record_batch(4);
+        stats.record_batch(2);
+        stats.payload_beats = 6;
+        let ann = annotate_batch_latency(
+            &r,
+            &m,
+            &["recv"],
+            &[("bus", &stats), ("idle", &UnitStats::default())],
+            Duration::from_ns(100),
+        )
+        .expect("annotates");
+        assert!((ann.scale - 3.0).abs() < 1e-9);
+        assert_eq!(ann.annotated_hw_cycle, Duration::from_ns(300));
+        assert_eq!(ann.links.len(), 1, "batch-less links skipped");
+        let link = ann.link("bus").expect("bus reported");
+        assert_eq!(link.batches, 2);
+        assert_eq!(link.values, 6);
+        assert_eq!(link.beats, 6);
+        assert!((link.beats_per_batch - 3.0).abs() < 1e-9);
+        let text = ann.to_string();
+        assert!(text.contains("beats/batch"));
+        assert!(text.contains("annotated hw cycle"));
+    }
+
+    #[test]
+    fn batch_latency_requires_usable_labels() {
+        let r = log_with(&[0], "once");
+        let m = log_with(&[0], "once");
+        let stats = UnitStats::default();
+        assert!(annotate_batch_latency(
+            &r,
+            &m,
+            &["once"],
+            &[("bus", &stats)],
+            Duration::from_ns(100)
+        )
+        .is_none());
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //!   transfers into one wire handshake per (adaptively sized) batch.
 
 use crate::trace::TraceLog;
-use cosma_comm::{BatchedLink, CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore};
+use cosma_comm::{
+    BatchedLink, BusTiming, CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore,
+};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::{PortId, VarId};
 use cosma_core::{
@@ -187,6 +189,14 @@ pub struct SchedulingConfig {
     pub placement: ModulePlacement,
     /// Step-phase threading (deferred calls only; default off).
     pub parallelism: Parallelism,
+    /// Minimum stepping-set size before a deferred cycle speculates
+    /// (and, with [`Parallelism::Threads`], fans out to the worker
+    /// pool). Cycles below the threshold — or any cycle when no pool
+    /// exists — step directly in `(module id)` order instead: the
+    /// same deterministic semantics without the buffering cost.
+    /// Defaults to [`STEP_FANOUT_MIN`]; tests lower it to force the
+    /// speculative machinery onto small backplanes.
+    pub step_fanout_min: usize,
 }
 
 impl Default for SchedulingConfig {
@@ -208,6 +218,7 @@ impl SchedulingConfig {
             calls: CallApplication::Deferred,
             placement: ModulePlacement::Hashed,
             parallelism: Parallelism::Off,
+            step_fanout_min: STEP_FANOUT_MIN,
         }
     }
 
@@ -234,6 +245,7 @@ impl SchedulingConfig {
             calls: CallApplication::Immediate,
             placement: ModulePlacement::CreationOrder,
             parallelism: Parallelism::Off,
+            step_fanout_min: STEP_FANOUT_MIN,
         }
     }
 
@@ -256,6 +268,11 @@ impl SchedulingConfig {
         if matches!(self.parallelism, Parallelism::Threads(0)) {
             return Err(CosimError::Setup(
                 "parallelism: thread count must be nonzero".to_string(),
+            ));
+        }
+        if self.step_fanout_min == 0 {
+            return Err(CosimError::Setup(
+                "step_fanout_min must be nonzero".to_string(),
             ));
         }
         if self.calls == CallApplication::Immediate {
@@ -869,7 +886,11 @@ fn step_module(
             let changes = env.changes;
             let pending_stable = env.pending_stable;
             let mut watch = env.pending_watch;
-            status.state = fsm.state(exec.current()).name().to_string();
+            if report.from != report.to {
+                // The state name only changes on a real transition —
+                // skip the per-activation render for self-loops.
+                status.state = fsm.state(exec.current()).name().to_string();
+            }
             status.activations += 1;
             park.modules_stepped.set(park.modules_stepped.get() + 1);
             // Park verdict: the activation must be a provable fixed
@@ -928,9 +949,11 @@ impl cosma_comm::ReadWires for SnapWires<'_, '_> {
 /// outcomes against the real units) or discards it and re-executes the
 /// activation sequentially.
 struct SpecResult {
-    /// Post-activation variable values (cloned from the entry, mutated
-    /// locally).
-    vars: Vec<Value>,
+    /// Effective variable writes in execution order (a copy-on-write
+    /// overlay over the entry's committed vars — most activations
+    /// write zero or one variable, so buffering writes beats cloning
+    /// the whole vars vec per speculation).
+    var_writes: Vec<(VarId, Value)>,
     /// Post-activation executor (current state + step count).
     exec: FsmExec,
     /// The activation report, including the recorded call stream.
@@ -958,13 +981,20 @@ struct SpecResult {
 }
 
 /// The pure (read-only) speculation environment of the step phase.
-/// Variable writes land in a local clone, port drives and traces are
-/// buffered, and service calls answer unit *peeks* while being recorded
-/// for commit-time replay.
+/// Variable writes land in a copy-on-write overlay over the entry's
+/// committed vars, port drives and traces are buffered, and service
+/// calls answer unit *peeks* while being recorded for commit-time
+/// replay.
 struct SpecEnv<'a, 'b> {
     ctx: &'a ProcCtx<'b>,
     ports: &'a [SignalId],
-    vars: Vec<Value>,
+    /// The committed variable values (read-only; `var_writes` overlays
+    /// them).
+    vars: &'a [Value],
+    /// Effective writes in order; reads consult the latest overlay
+    /// entry first. Equal-value writes are dropped, exactly like the
+    /// immediate path's change counting.
+    var_writes: Vec<(VarId, Value)>,
     var_tys: &'a [Type],
     reg: &'a Registry,
     bindings: &'a [Handle],
@@ -979,12 +1009,22 @@ struct SpecEnv<'a, 'b> {
     fallback: bool,
 }
 
+impl SpecEnv<'_, '_> {
+    /// The activation-current value of a variable: the latest overlay
+    /// write, else the committed value.
+    fn var_now(&self, v: VarId) -> Option<&Value> {
+        self.var_writes
+            .iter()
+            .rev()
+            .find(|(id, _)| *id == v)
+            .map(|(_, val)| val)
+            .or_else(|| self.vars.get(v.index()))
+    }
+}
+
 impl ReadEnv for SpecEnv<'_, '_> {
     fn read_var(&self, v: VarId) -> Result<Value, EvalError> {
-        self.vars
-            .get(v.index())
-            .cloned()
-            .ok_or(EvalError::NoSuchVar(v))
+        self.var_now(v).cloned().ok_or(EvalError::NoSuchVar(v))
     }
     fn read_port(&self, p: PortId) -> Result<Value, EvalError> {
         match self.ports.get(p.index()) {
@@ -997,14 +1037,13 @@ impl ReadEnv for SpecEnv<'_, '_> {
 impl Env for SpecEnv<'_, '_> {
     fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
         let ty = self.var_tys.get(v.index()).ok_or(EvalError::NoSuchVar(v))?;
-        let slot = self
-            .vars
-            .get_mut(v.index())
-            .ok_or(EvalError::NoSuchVar(v))?;
+        if self.vars.get(v.index()).is_none() {
+            return Err(EvalError::NoSuchVar(v));
+        }
         let value = ty.clamp(value);
-        if *slot != value {
+        if self.var_now(v) != Some(&value) {
             self.changes += 1;
-            *slot = value;
+            self.var_writes.push((v, value));
         }
         Ok(())
     }
@@ -1083,10 +1122,13 @@ impl Env for SpecEnv<'_, '_> {
 
 /// Minimum stepping-set size before the driver fans the step phase out
 /// to the worker pool: below this, handing work over costs more than
-/// the speculation itself (a few µs of channel/futex latency), so small
-/// cycles always run inline — with identical results, since the step
-/// phase is pure.
-const STEP_FANOUT_MIN: usize = 64;
+/// the speculation itself (a few µs of channel/futex latency). Below
+/// the threshold (or with no pool at all) the driver skips speculation
+/// entirely and steps the cycle's set directly in `(module id)` order —
+/// the deterministic commit order with immediate semantics — since
+/// buffering deltas buys nothing when nothing runs in parallel. This is
+/// the default of [`SchedulingConfig::step_fanout_min`].
+pub const STEP_FANOUT_MIN: usize = 64;
 
 /// Everything a step-phase worker needs to speculate a range of the
 /// cycle's stepping set. All fields are shared read-only references —
@@ -1240,7 +1282,8 @@ fn speculate(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>) -> SpecResu
     let mut env = SpecEnv {
         ctx,
         ports: &entry.ports,
-        vars: entry.vars.clone(),
+        vars: &entry.vars,
+        var_writes: vec![],
         var_tys: &entry.var_tys,
         reg,
         bindings: &entry.bindings,
@@ -1256,7 +1299,7 @@ fn speculate(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>) -> SpecResu
     };
     match exec.step(fsm, &mut env) {
         Ok(report) => SpecResult {
-            vars: env.vars,
+            var_writes: env.var_writes,
             exec,
             report,
             call_stables: env.call_stables,
@@ -1272,7 +1315,7 @@ fn speculate(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>) -> SpecResu
         // placeholder outcomes; re-execute for real at commit (a genuine
         // error reproduces deterministically there).
         Err(_) => SpecResult {
-            vars: vec![],
+            var_writes: vec![],
             exec: entry.exec.clone(),
             report: cosma_core::StepReport {
                 from: entry.exec.current(),
@@ -1394,19 +1437,37 @@ fn commit_module(
                 break;
             };
             *commit_calls += 1;
-            // Fast path: an FSM-unit peek whose session is untouched
-            // since the step phase installs its buffered delta — no
-            // second protocol step, and validation holds by
-            // construction (the peek IS what was speculated).
+            // Fast path: a peek whose delta is still valid installs its
+            // buffered effects — no second dispatch, and validation
+            // holds by construction (the install IS what was
+            // speculated). FSM units install the peeked session delta
+            // after a (state, step-count) fingerprint check; batched
+            // links install the peeked queue-op journal entry after an
+            // occupancy fingerprint check.
             let peek = peeks.next().flatten();
-            if let (Handle::Fsm(i), Some(peeked)) = (handle, peek) {
-                let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
-                let mut ws = CtxWires { ctx, map: wires };
-                if matches!(
-                    runtime.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
-                    Ok(true)
-                ) {
-                    continue;
+            if let Some(peeked) = peek {
+                match handle {
+                    Handle::Fsm(i) => {
+                        let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
+                        let mut ws = CtxWires { ctx, map: wires };
+                        if matches!(
+                            runtime.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
+                            Ok(true)
+                        ) {
+                            continue;
+                        }
+                    }
+                    Handle::Batched(i) => {
+                        let BatchedUnitEntry { link, wires, .. } = &mut reg.batched[i];
+                        let mut ws = CtxWires { ctx, map: wires };
+                        if matches!(
+                            link.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
+                            Ok(true)
+                        ) {
+                            continue;
+                        }
+                    }
+                    Handle::Native(_) => {}
                 }
             }
             let (result, stable) = apply_deferred_call(&mut reg, handle, entry.caller, dc, ctx);
@@ -1444,7 +1505,9 @@ fn commit_module(
     let mut modules = modules.borrow_mut();
     let entry = &mut modules[idx];
     let fsm = entry.module.fsm();
-    entry.vars = spec.vars;
+    for (v, val) in spec.var_writes {
+        entry.vars[v.index()] = val;
+    }
     entry.exec = spec.exec;
     for (sig, v) in spec.drives {
         ctx.drive(sig, v);
@@ -1456,7 +1519,11 @@ fn commit_module(
             tlog.record(now, &entry.name, &label, values);
         }
     }
-    entry.status.state = fsm.state(entry.exec.current()).name().to_string();
+    if spec.report.from != spec.report.to {
+        // The state name only changes on a real transition — skip the
+        // per-activation render for self-loops and fixed points.
+        entry.status.state = fsm.state(entry.exec.current()).name().to_string();
+    }
     entry.status.activations += 1;
     park.modules_stepped.set(park.modules_stepped.get() + 1);
     let parkable = park_blocked
@@ -1668,6 +1735,7 @@ impl ActivationScheduler {
                     Rc::clone(&self.park),
                     self.cfg.park_blocked,
                     self.cfg.parallelism,
+                    self.cfg.step_fanout_min,
                 );
                 self.driver = Some(Rc::clone(&state));
                 state
@@ -1810,6 +1878,7 @@ impl ActivationScheduler {
         park: Rc<ParkCounters>,
         park_blocked: bool,
         parallelism: Parallelism,
+        step_fanout_min: usize,
     ) {
         let registry = Rc::clone(ctx.registry);
         let modules = Rc::clone(ctx.modules);
@@ -1871,69 +1940,102 @@ impl ActivationScheduler {
                 }
                 st.skipped += parked_skipped;
                 if !items.is_empty() {
-                    // STEP PHASE: pure speculation, snapshot-only reads.
-                    let mut specs: Vec<Option<SpecResult>> = {
-                        let modules_ref = modules.borrow();
-                        let reg_ref = registry.borrow();
-                        let entries: &[ModuleEntry] = &modules_ref;
-                        let reg: &Registry = &reg_ref;
-                        match &pool {
-                            Some(pool) if items.len() >= STEP_FANOUT_MIN => {
-                                if st.thread_runs.len() < pool_width {
-                                    st.thread_runs.resize(pool_width, 0);
-                                }
-                                let job = StepJobCtx {
-                                    entries,
-                                    reg,
-                                    snapshot: &*pctx,
-                                    items: &items,
-                                };
-                                pool.run(&job, &mut st.thread_runs)
-                                    .into_iter()
-                                    .map(Some)
-                                    .collect()
-                            }
-                            _ => items
-                                .iter()
-                                .map(|&(mi, _, _)| Some(speculate(&entries[mi], reg, pctx)))
-                                .collect(),
-                        }
-                    };
-                    // COMMIT PHASE: deterministic creation order.
-                    let mut order: Vec<usize> = (0..items.len()).collect();
-                    order.sort_unstable_by_key(|&i| items[i].0);
                     let mut to_park: Vec<(usize, u32, Vec<SignalId>)> = vec![];
-                    for &oi in &order {
-                        let (mi, si, ai) = items[oi];
-                        let spec = specs[oi].take().expect("spec consumed once");
-                        match commit_module(
-                            &modules,
-                            mi,
-                            spec,
-                            &registry,
-                            &trace,
-                            &park,
-                            park_blocked,
-                            pctx,
-                            &mut st.commit_calls,
-                            &mut st.fallbacks,
-                        ) {
-                            Ok(Some(watch)) => to_park.push((si, ai, watch)),
-                            Ok(None) => {}
-                            Err(msg) => {
-                                *error.borrow_mut() = Some(msg);
-                                if !halted {
-                                    halted = true;
-                                    let unparked: usize = st
-                                        .shards
-                                        .iter()
-                                        .map(|s| s.members.len() - s.parked.len())
-                                        .sum();
-                                    demand.park(unparked);
+                    let mut fatal: Option<String> = None;
+                    // The step/commit split exists to let the step phase
+                    // fan out over worker threads; when this cycle's
+                    // stepping set would run inline anyway (no pool, or
+                    // below the fan-out threshold), speculation is pure
+                    // overhead — the driver owns every module shard, so
+                    // stepping the set directly in `(module id)` order
+                    // IS the deterministic commit order, with immediate
+                    // semantics and none of the buffering cost.
+                    let speculative = pool.is_some() && items.len() >= step_fanout_min;
+                    if !speculative {
+                        items.sort_unstable_by_key(|&(mi, _, _)| mi);
+                        for &(mi, si, ai) in &items {
+                            match step_module(
+                                &modules,
+                                mi,
+                                &registry,
+                                &trace,
+                                &park,
+                                park_blocked,
+                                pctx,
+                                std::collections::VecDeque::new(),
+                            ) {
+                                Ok(Some(watch)) => to_park.push((si, ai, watch)),
+                                Ok(None) => {}
+                                Err(msg) => {
+                                    fatal = Some(msg);
+                                    break;
                                 }
-                                return Wait::Forever;
                             }
                         }
+                    } else {
+                        // STEP PHASE: pure speculation, snapshot-only
+                        // reads, fanned out over the worker pool (the
+                        // `speculative` gate guarantees the pool
+                        // exists).
+                        let mut specs: Vec<Option<SpecResult>> = {
+                            let modules_ref = modules.borrow();
+                            let reg_ref = registry.borrow();
+                            let entries: &[ModuleEntry] = &modules_ref;
+                            let reg: &Registry = &reg_ref;
+                            let pool = pool.as_ref().expect("speculative implies a pool");
+                            if st.thread_runs.len() < pool_width {
+                                st.thread_runs.resize(pool_width, 0);
+                            }
+                            let job = StepJobCtx {
+                                entries,
+                                reg,
+                                snapshot: &*pctx,
+                                items: &items,
+                            };
+                            pool.run(&job, &mut st.thread_runs)
+                                .into_iter()
+                                .map(Some)
+                                .collect()
+                        };
+                        // COMMIT PHASE: deterministic creation order.
+                        let mut order: Vec<usize> = (0..items.len()).collect();
+                        order.sort_unstable_by_key(|&i| items[i].0);
+                        for &oi in &order {
+                            let (mi, si, ai) = items[oi];
+                            let spec = specs[oi].take().expect("spec consumed once");
+                            match commit_module(
+                                &modules,
+                                mi,
+                                spec,
+                                &registry,
+                                &trace,
+                                &park,
+                                park_blocked,
+                                pctx,
+                                &mut st.commit_calls,
+                                &mut st.fallbacks,
+                            ) {
+                                Ok(Some(watch)) => to_park.push((si, ai, watch)),
+                                Ok(None) => {}
+                                Err(msg) => {
+                                    fatal = Some(msg);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some(msg) = fatal {
+                        *error.borrow_mut() = Some(msg);
+                        if !halted {
+                            halted = true;
+                            let unparked: usize = st
+                                .shards
+                                .iter()
+                                .map(|s| s.members.len() - s.parked.len())
+                                .sum();
+                            demand.park(unparked);
+                        }
+                        return Wait::Forever;
                     }
                     if !to_park.is_empty() {
                         demand.park(to_park.len());
@@ -2530,12 +2632,16 @@ impl Cosim {
     /// adapts to the observed queue depth, up to `max_batch`.
     ///
     /// `max_batch` bounds one bus transaction; `capacity` bounds total
-    /// link occupancy (producer backpressure).
+    /// link occupancy (producer backpressure). The bus timing model is
+    /// [`BusTiming::LengthOnly`]; use [`Cosim::add_batched_unit_with`]
+    /// for cycle-accurate payload beats.
     ///
     /// # Errors
     ///
     /// Returns [`CosimError::Setup`] if `max_batch` or `capacity` is
-    /// zero.
+    /// zero, or `max_batch` exceeds `i16::MAX` (the INT16 `DATA` wire's
+    /// largest representable batch length — the ceiling is never
+    /// silently shrunk).
     pub fn add_batched_unit(
         &mut self,
         name: &str,
@@ -2543,12 +2649,30 @@ impl Cosim {
         max_batch: usize,
         capacity: usize,
     ) -> Result<UnitId, CosimError> {
-        if max_batch == 0 || capacity == 0 {
-            return Err(CosimError::Setup(format!(
-                "batched link {name}: max_batch and capacity must be nonzero"
-            )));
-        }
-        let link = BatchedLink::new(name, data_ty, max_batch, capacity);
+        self.add_batched_unit_with(name, data_ty, max_batch, capacity, BusTiming::LengthOnly)
+    }
+
+    /// Installs a batched bus link with an explicit [`BusTiming`] model:
+    /// [`BusTiming::LengthOnly`] for the co-simulation fast path,
+    /// [`BusTiming::PayloadBeats`] for cycle-accurate bus occupancy
+    /// (one wire word per value per cycle on `DATA` after the
+    /// arbitration handshake) — the calibration side of
+    /// [`crate::annotate_batch_latency`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cosim::add_batched_unit`].
+    pub fn add_batched_unit_with(
+        &mut self,
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+        timing: BusTiming,
+    ) -> Result<UnitId, CosimError> {
+        let link = BatchedLink::try_new(name, data_ty, max_batch, capacity)
+            .map_err(|e| CosimError::Setup(e.to_string()))?
+            .with_timing(timing);
         let wires: Vec<SignalId> = link
             .spec()
             .wires()
@@ -3335,6 +3459,154 @@ mod tests {
             cosim.add_batched_unit("b", Type::INT16, 4, 0),
             Err(CosimError::Setup(_))
         ));
+        // A batch ceiling the INT16 DATA wire cannot carry is a typed
+        // setup error, never a silent clamp.
+        let err = cosim
+            .add_batched_unit("b", Type::INT16, i16::MAX as usize + 1, 4)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds"),
+            "overflow error is descriptive: {err}"
+        );
+    }
+
+    #[test]
+    fn deferred_batched_commit_installs_queue_journal() {
+        // A batched workload whose cycles carry a stepping set past the
+        // fan-out threshold (the regime where speculation actually
+        // runs): every speculated batched call must install through the
+        // BatchedLink queue-op journal — zero sequential fallbacks —
+        // while matching the immediate scheduler exactly. A Star of
+        // STEP_FANOUT_MIN+ producers keeps the early cycles' stepping
+        // sets above the threshold.
+        use crate::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+        fn run(scheduling: SchedulingConfig) -> (Vec<ModuleStatus>, ShardStats) {
+            let mut s = build_scenario(&ScenarioSpec {
+                units: STEP_FANOUT_MIN + 8,
+                topology: Topology::Star,
+                values_per_link: 4,
+                link: LinkKind::Batched {
+                    max_batch: 8,
+                    capacity: 32,
+                    timing: BusTiming::LengthOnly,
+                },
+                config: CosimConfig::default(),
+                scheduling,
+            })
+            .expect("scenario builds");
+            s.cosim.run_for(Duration::from_us(400)).expect("runs");
+            s.verify().expect("all traffic arrived");
+            let statuses = s
+                .modules
+                .iter()
+                .map(|&m| s.cosim.module_status(m))
+                .collect();
+            (statuses, s.cosim.shard_stats())
+        }
+        let deferred = run(SchedulingConfig::sharded().with_threads(2));
+        let immediate = run(SchedulingConfig::immediate());
+        assert_eq!(deferred.0, immediate.0, "module statuses identical");
+        assert!(
+            deferred.1.commit_calls > 0,
+            "large stepping sets flowed through commit phases: {:?}",
+            deferred.1
+        );
+        assert_eq!(
+            deferred.1.commit_fallbacks, 0,
+            "batched speculation installs via the queue journal, never \
+             the sequential fallback: {:?}",
+            deferred.1
+        );
+    }
+
+    #[test]
+    fn payload_beats_batched_unit_matches_length_only_in_backplane() {
+        // The timing knob end to end: a PayloadBeats link delivers the
+        // same values/states as LengthOnly, pays one DATA beat per
+        // value in UnitStats, and takes longer doing it.
+        fn run(timing: BusTiming) -> (Option<Value>, String, UnitStats, u64) {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            let link = cosim
+                .add_batched_unit_with("bus", Type::INT16, 8, 64, timing)
+                .unwrap();
+            let p = producer(&[10, 20, 30, 40]);
+            let c = consumer(4);
+            cosim.add_module(&p, &[("iface", link)]).unwrap();
+            let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+            cosim.run_for(Duration::from_us(50)).unwrap();
+            let last_recv = cosim
+                .trace_log()
+                .with_label("recv")
+                .last()
+                .map(|e| e.at)
+                .unwrap_or(0);
+            (
+                cosim.module_var(cid, "SUM"),
+                cosim.module_status(cid).state,
+                cosim.unit_stats("bus").unwrap(),
+                last_recv,
+            )
+        }
+        let (fast_sum, fast_state, fast_stats, fast_done) = run(BusTiming::LengthOnly);
+        let (beat_sum, beat_state, beat_stats, beat_done) = run(BusTiming::PayloadBeats);
+        assert_eq!(fast_sum, beat_sum);
+        assert_eq!(fast_sum, Some(Value::Int(100)));
+        assert_eq!(fast_state, "END");
+        assert_eq!(beat_state, "END");
+        assert_eq!(fast_stats.payload_beats, 0, "fast path streams nothing");
+        assert_eq!(
+            beat_stats.payload_beats, beat_stats.batched_values,
+            "one beat per value: occupancy linear in batch length"
+        );
+        assert_eq!(beat_stats.batched_values, 4);
+        assert!(
+            beat_done >= fast_done,
+            "payload beats never finish earlier ({beat_done} vs {fast_done})"
+        );
+    }
+
+    #[test]
+    fn batch_latency_back_annotation_end_to_end() {
+        // A LengthOnly reference run re-timed from a PayloadBeats
+        // calibration run: the derived scale folds the per-batch
+        // payload latency into the hw cycle, and the per-link report
+        // carries the calibration run's beat occupancy.
+        use crate::annotate::annotate_batch_latency;
+        fn run(timing: BusTiming) -> (TraceLog, UnitStats) {
+            let mut cosim = Cosim::new(CosimConfig::default());
+            let link = cosim
+                .add_batched_unit_with("bus", Type::INT16, 8, 64, timing)
+                .unwrap();
+            let p = producer(&[1, 2, 3, 4, 5, 6]);
+            let c = consumer(6);
+            cosim.add_module(&p, &[("iface", link)]).unwrap();
+            cosim.add_module(&c, &[("iface", link)]).unwrap();
+            cosim.run_for(Duration::from_us(100)).unwrap();
+            (cosim.trace_log(), cosim.unit_stats("bus").unwrap())
+        }
+        let (reference, _) = run(BusTiming::LengthOnly);
+        let (calibration, cal_stats) = run(BusTiming::PayloadBeats);
+        let nominal = CosimConfig::default().hw_cycle;
+        let ann = annotate_batch_latency(
+            &reference,
+            &calibration,
+            &["recv"],
+            &[("bus", &cal_stats)],
+            nominal,
+        )
+        .expect("recv label spans both runs");
+        assert!(
+            ann.scale >= 1.0,
+            "payload beats never make the bus faster (scale {})",
+            ann.scale
+        );
+        assert!(ann.annotated_hw_cycle >= nominal);
+        let link = ann.link("bus").expect("bus link reported");
+        assert_eq!(link.beats, cal_stats.payload_beats);
+        assert!(
+            (link.beats_per_batch - link.values as f64 / link.batches as f64).abs() < 1e-9,
+            "beats per batch == mean batch length (one beat per value)"
+        );
     }
 
     #[test]
@@ -3996,8 +4268,11 @@ mod tests {
 
     #[test]
     fn deferred_commit_stats_and_hashed_placement() {
-        // The two-phase scheduler reports commit-phase call counts, and
-        // modules spread over several shards under hashed placement.
+        // Modules spread over several shards under hashed placement,
+        // and sub-threshold cycles run the direct path (the step/commit
+        // machinery is reserved for stepping sets the worker pool can
+        // actually parallelize — zero commit calls here is the
+        // optimization working, not the scheduler idling).
         let mut cosim = Cosim::new(CosimConfig::default());
         cosim
             .set_scheduling(SchedulingConfig {
@@ -4020,13 +4295,15 @@ mod tests {
         cosim.run_for(Duration::from_us(50)).unwrap();
         assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(6)));
         let st = cosim.shard_stats();
-        assert!(
-            st.commit_calls > 0,
-            "deferred calls were applied in commit phases: {st:?}"
-        );
         assert_eq!(
-            st.commit_fallbacks, 0,
-            "FSM-unit speculation never needs the fallback: {st:?}"
+            st.commit_calls, 0,
+            "small unthreaded cycles step directly — no speculation to \
+             commit: {st:?}"
+        );
+        assert_eq!(st.commit_fallbacks, 0);
+        assert!(
+            st.modules_stepped > 0,
+            "modules still stepped through the driver: {st:?}"
         );
         assert!(
             cosim.sched.driver.as_ref().unwrap().borrow().shards.len() >= 2,

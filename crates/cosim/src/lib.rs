@@ -30,10 +30,14 @@ mod backplane;
 pub mod scenario;
 mod trace;
 
-pub use annotate::{back_annotate, timing_error, BackAnnotation, LabelTiming};
+pub use annotate::{
+    annotate_batch_latency, back_annotate, timing_error, BackAnnotation, BatchAnnotation,
+    BatchLinkTiming, LabelTiming,
+};
 pub use backplane::{
     CallApplication, Cosim, CosimConfig, CosimError, CosimModuleId, ModulePlacement,
     ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats, UnitId,
-    UnitScheduling, DEFAULT_SHARD_SIZE,
+    UnitScheduling, DEFAULT_SHARD_SIZE, STEP_FANOUT_MIN,
 };
+pub use cosma_comm::BusTiming;
 pub use trace::{TraceComparison, TraceEntry, TraceLog};

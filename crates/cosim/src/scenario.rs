@@ -29,7 +29,7 @@
 //! activation clocks are exercised.
 
 use crate::backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, SchedulingConfig, UnitId};
-use cosma_comm::handshake_unit;
+use cosma_comm::{handshake_unit, BusTiming};
 use cosma_core::{Expr, Module, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_sim::Duration;
 
@@ -66,6 +66,10 @@ pub enum LinkKind {
         max_batch: usize,
         /// Total link occupancy bound.
         capacity: usize,
+        /// Wire-level bus timing: [`BusTiming::LengthOnly`] for the
+        /// fast path, [`BusTiming::PayloadBeats`] for cycle-accurate
+        /// payload streaming on `DATA`.
+        timing: BusTiming,
     },
 }
 
@@ -467,7 +471,8 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
                 LinkKind::Batched {
                     max_batch,
                     capacity,
-                } => cosim.add_batched_unit(&name, Type::INT16, max_batch, capacity),
+                    timing,
+                } => cosim.add_batched_unit_with(&name, Type::INT16, max_batch, capacity, timing),
             }
         })
         .collect::<Result<_, _>>()?;
@@ -600,6 +605,12 @@ mod tests {
             LinkKind::Batched {
                 max_batch: 8,
                 capacity: 32,
+                timing: BusTiming::LengthOnly,
+            },
+            LinkKind::Batched {
+                max_batch: 8,
+                capacity: 32,
+                timing: BusTiming::PayloadBeats,
             },
         ] {
             check(
@@ -686,6 +697,12 @@ mod tests {
                 LinkKind::Batched {
                     max_batch: 4,
                     capacity: 16,
+                    timing: BusTiming::LengthOnly,
+                },
+                LinkKind::Batched {
+                    max_batch: 4,
+                    capacity: 16,
+                    timing: BusTiming::PayloadBeats,
                 },
             ] {
                 let mk = |scheduling| ScenarioSpec {
@@ -721,7 +738,16 @@ mod tests {
                             ..sharded4
                         },
                     ),
-                    ("deferred_threads2", sharded4.with_threads(2)),
+                    // Threshold 1 forces real speculation + commit
+                    // (journal installs, outcome validation) on this
+                    // small backplane instead of the direct path.
+                    (
+                        "deferred_threads2",
+                        SchedulingConfig {
+                            step_fanout_min: 1,
+                            ..sharded4.with_threads(2)
+                        },
+                    ),
                     (
                         "immediate_sharded",
                         SchedulingConfig {

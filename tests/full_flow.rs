@@ -117,7 +117,11 @@ fn c_and_vhdl_cosimulate_through_a_unit() {
 
     let stats = cosim.unit_stats("link").expect("unit exists");
     assert_eq!(stats.services["put"].completions, 5);
-    assert_eq!(stats.services["GET"].completions, 5);
+    // The VHDL receiver calls "GET"; stats land in the canonical
+    // lower-case row the spec declares (one session, one row — the
+    // upper-cased spelling no longer forks either).
+    assert_eq!(stats.services["get"].completions, 5);
+    assert!(!stats.services.contains_key("GET"));
 }
 
 #[test]

@@ -630,12 +630,13 @@ proptest! {
     fn backplane_schedulings_equivalent(
         units in 2usize..7,
         topo_sel in 0u8..5,
-        batched in any::<bool>(),
+        link_sel in 0u8..3,
         values in 1usize..4,
         seed in any::<u64>(),
         shard_size in 1usize..6,
         park in any::<bool>(),
     ) {
+        use cosma::comm::BusTiming;
         use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
         use cosma::cosim::{
             CallApplication, ModulePlacement, ModuleScheduling, Parallelism, SchedulingConfig,
@@ -650,10 +651,21 @@ proptest! {
             3 => Topology::Starved,
             _ => Topology::RandomDag { seed },
         };
-        let link = if batched {
-            LinkKind::Batched { max_batch: 4, capacity: 16 }
-        } else {
-            LinkKind::Handshake
+        // All three link flavours face every scheduler: the classic
+        // handshake, the batched fast path, and cycle-accurate payload
+        // beats (whose commit-phase queue journal must be invisible).
+        let link = match link_sel {
+            0 => LinkKind::Handshake,
+            1 => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::LengthOnly,
+            },
+            _ => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::PayloadBeats,
+            },
         };
         let mk = |scheduling| ScenarioSpec {
             units,
@@ -700,11 +712,18 @@ proptest! {
                 placement: ModulePlacement::CreationOrder,
                 ..SchedulingConfig::sharded()
             }),
+            // step_fanout_min: 1 forces the speculative step/commit
+            // machinery (FSM session deltas, the BatchedLink queue-op
+            // journal, outcome validation) onto every cycle of these
+            // small backplanes — without it the threaded variants
+            // would take the direct sub-threshold path and the
+            // commit-phase code would go untested here.
             ("deferred_threads2", SchedulingConfig {
                 units: UnitScheduling::Sharded { shard_size },
                 modules: shd(shard_size),
                 park_blocked: park,
                 parallelism: Parallelism::Threads(2),
+                step_fanout_min: 1,
                 ..SchedulingConfig::sharded()
             }),
             ("deferred_threads4", SchedulingConfig {
@@ -712,6 +731,7 @@ proptest! {
                 modules: shd(shard_size),
                 park_blocked: park,
                 parallelism: Parallelism::Threads(4),
+                step_fanout_min: 1,
                 ..SchedulingConfig::sharded()
             }),
         ];
@@ -747,6 +767,90 @@ proptest! {
             }
         }
         baseline.verify().map_err(TestCaseError::fail)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bus timing: cycle-accurate payload beats are a pure *timing* model —
+// delivered values, final module states and checksums are bit-identical
+// to the length-only fast path on randomized topologies, while the
+// PayloadBeats run's bus occupancy (UnitStats::payload_beats) scales
+// linearly with batch length (exactly one beat per value).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn payload_beats_preserves_delivered_semantics(
+        units in 2usize..7,
+        topo_sel in 0u8..4,
+        values in 1usize..4,
+        max_batch in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        use cosma::comm::BusTiming;
+        use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+        use cosma::sim::Duration;
+
+        let topology = match topo_sel {
+            0 => Topology::Pipeline,
+            1 => Topology::Star,
+            2 => Topology::Ring,
+            _ => Topology::RandomDag { seed },
+        };
+        let run = |timing| {
+            let mut s = build_scenario(&ScenarioSpec {
+                units,
+                topology,
+                link: LinkKind::Batched { max_batch, capacity: 16, timing },
+                values_per_link: values,
+                ..ScenarioSpec::default()
+            })
+            .expect("scenario builds");
+            let done = s
+                .run_to_completion(Duration::from_us(2_000))
+                .expect("scenario runs");
+            prop_assert!(done, "{timing:?} completes under {topology:?}");
+            Ok(s)
+        };
+        let fast = run(BusTiming::LengthOnly)?;
+        let beats = run(BusTiming::PayloadBeats)?;
+        // Identical delivered semantics: final states, errors and
+        // checksums (activation counts and trace *times* legitimately
+        // differ — payload beats add bus cycles).
+        for (&a, &b) in beats.modules.iter().zip(&fast.modules) {
+            let sa = beats.cosim.module_status(a);
+            let sb = fast.cosim.module_status(b);
+            prop_assert_eq!(&sa.state, &sb.state, "state diverged under {:?}", topology);
+            prop_assert_eq!(&sa.error, &sb.error);
+        }
+        fast.verify().map_err(TestCaseError::fail)?;
+        beats.verify().map_err(TestCaseError::fail)?;
+        let seq = |s: &cosma::cosim::scenario::Scenario| -> Vec<(String, String, Vec<cosma::core::Value>)> {
+            s.cosim
+                .trace_log()
+                .entries()
+                .iter()
+                .map(|e| (e.source.clone(), e.label.clone(), e.values.clone()))
+                .collect()
+        };
+        prop_assert_eq!(seq(&beats), seq(&fast), "trace sequences diverged");
+        // Beat linearity: every batched link paid exactly one DATA beat
+        // per value under PayloadBeats, and none under LengthOnly.
+        for (i, _) in beats.links.iter().enumerate() {
+            let name = format!("link{i}");
+            let b = beats.cosim.unit_stats(&name).expect("stats");
+            let f = fast.cosim.unit_stats(&name).expect("stats");
+            prop_assert_eq!(
+                b.payload_beats, b.batched_values,
+                "link{} beats must equal values carried", i
+            );
+            prop_assert_eq!(f.payload_beats, 0, "length-only streams nothing");
+            prop_assert_eq!(
+                b.batched_values, f.batched_values,
+                "same traffic volume either way"
+            );
+        }
     }
 }
 
