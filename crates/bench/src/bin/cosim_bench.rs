@@ -4,8 +4,11 @@
 //! topologies, legacy vs sharded scheduling, sequential vs threaded
 //! step phase, length-only vs payload-beat bus timing) and writes
 //! per-scenario timings to `BENCH_cosim.json` as a flat array of
-//! `{scenario, n, parallelism, bus_timing, ns_per_run, runs}` records,
-//! so CI can track the backplane's performance trajectory across PRs.
+//! `{scenario, n, parallelism, threads, bus_timing, ns_per_run, p50_ns,
+//! p99_ns, runs}` records, so CI can track the backplane's performance
+//! trajectory across PRs. The `step_scaling` rows sweep the worker
+//! count over a wide unparked pipeline (the allocation-free step
+//! phase's target regime) and assert nonzero scratch-arena reuse.
 //!
 //! The `parallelism` column compares [`Parallelism::Off`] against
 //! `Threads(4)` on the same scenario. NOTE: the threaded step phase
@@ -33,8 +36,13 @@ struct Record {
     scenario: &'static str,
     n: usize,
     parallelism: &'static str,
+    /// Explicit worker count for the `step_scaling` sweep rows; `None`
+    /// for the scenarios where `parallelism` already says it all.
+    threads: Option<usize>,
     bus_timing: &'static str,
     ns_per_run: u128,
+    p50_ns: u128,
+    p99_ns: u128,
     runs: u32,
 }
 
@@ -79,36 +87,46 @@ fn scenario(
 }
 
 /// Times `runs` fresh builds of one scenario, excluding setup, and
-/// returns the mean wall-clock nanoseconds per 200 µs simulated run.
+/// returns the mean/p50/p99 wall-clock nanoseconds per `sim_us` µs
+/// simulated run.
+#[allow(clippy::too_many_arguments)]
 fn measure(
     name: &'static str,
     n: usize,
     parallelism: &'static str,
+    threads: Option<usize>,
     bus_timing: &'static str,
     runs: u32,
+    sim_us: u64,
     build: impl Fn() -> Scenario,
 ) -> Record {
     // Warm-up.
     let mut s = build();
-    s.cosim.run_for(Duration::from_us(200)).expect("runs");
-    let mut total = std::time::Duration::ZERO;
+    s.cosim.run_for(Duration::from_us(sim_us)).expect("runs");
+    let mut samples: Vec<u128> = Vec::with_capacity(runs as usize);
     for _ in 0..runs {
         let mut s = build();
         let start = Instant::now();
-        s.cosim.run_for(Duration::from_us(200)).expect("runs");
-        total += start.elapsed();
+        s.cosim.run_for(Duration::from_us(sim_us)).expect("runs");
+        samples.push(start.elapsed().as_nanos());
     }
-    let ns_per_run = total.as_nanos() / u128::from(runs.max(1));
+    samples.sort_unstable();
+    let ns_per_run = samples.iter().sum::<u128>() / u128::from(runs.max(1));
+    let p50_ns = samples[samples.len() / 2];
+    let p99_ns = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
     println!(
-        "{name:<24} N={n:<4} par={parallelism:<8} bus={bus_timing:<13} {:>12} ns/run  ({runs} runs)",
-        ns_per_run
+        "{name:<24} N={n:<4} par={parallelism:<8} bus={bus_timing:<13} {ns_per_run:>12} ns/run  \
+         p50={p50_ns} p99={p99_ns}  ({runs} runs)"
     );
     Record {
         scenario: name,
         n,
         parallelism,
+        threads,
         bus_timing,
         ns_per_run,
+        p50_ns,
+        p99_ns,
         runs,
     }
 }
@@ -149,8 +167,10 @@ fn main() {
             "many_units_per_unit",
             n,
             "off",
+            None,
             timing_label(&LinkKind::Handshake),
             runs,
+            200,
             || {
                 scenario(
                     n,
@@ -164,8 +184,10 @@ fn main() {
             "many_units_immediate",
             n,
             "off",
+            None,
             timing_label(&batched),
             runs,
+            200,
             || {
                 scenario(
                     n,
@@ -179,8 +201,10 @@ fn main() {
             "many_units_sharded",
             n,
             "off",
+            None,
             timing_label(&batched),
             runs,
+            200,
             || scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched),
         ));
         // Cycle-accurate payload beats on the same scenario: the cost
@@ -189,8 +213,10 @@ fn main() {
             "many_units_sharded",
             n,
             "off",
+            None,
             timing_label(&beats),
             runs,
+            200,
             || scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), beats),
         ));
         // The threaded step phase on the same scenario. On multi-core
@@ -202,16 +228,20 @@ fn main() {
             "many_units_sharded",
             n,
             parallelism_label(&threaded),
+            None,
             timing_label(&batched),
             runs,
+            200,
             move || scenario(n, Topology::Pipeline, threaded, batched),
         ));
         records.push(measure(
             "blocked_per_unit",
             n,
             "off",
+            None,
             timing_label(&LinkKind::Handshake),
             runs,
+            200,
             || {
                 scenario(
                     n,
@@ -225,8 +255,10 @@ fn main() {
             "blocked_sharded",
             n,
             "off",
+            None,
             timing_label(&LinkKind::Handshake),
             runs,
+            200,
             || {
                 scenario(
                     n,
@@ -265,18 +297,74 @@ fn main() {
             "batched_heavy_immediate",
             n,
             "off",
+            None,
             timing_label(&heavy),
             runs,
+            200,
             move || build(SchedulingConfig::immediate()),
         ));
         records.push(measure(
             "batched_heavy_deferred",
             n,
             "off",
+            None,
             timing_label(&heavy),
             runs,
+            200,
             move || build(SchedulingConfig::sharded()),
         ));
+    }
+
+    // Thread-scaling sweep: a wide pipeline with parking off, so the
+    // whole module set speculates every cycle — the allocation-free
+    // step phase's target regime. `threads = 1` is the direct
+    // (non-speculative) baseline; on multi-core hosts the higher rows
+    // should beat it, on a single-CPU host they document the
+    // work-stealing overhead. The first threads >= 2 run doubles as the
+    // scratch-arena smoke gate: ScratchStats must report shell reuse,
+    // or speculation has silently fallen back to allocating.
+    {
+        let (sn, thread_counts, sruns): (usize, &[usize], u32) = if quick {
+            (256, &[1, 2], 2)
+        } else {
+            (1024, &[1, 2, 4, 8], 3)
+        };
+        let mut reuse_checked = false;
+        for &t in thread_counts {
+            let cfg = SchedulingConfig {
+                park_blocked: false,
+                ..SchedulingConfig::sharded().with_threads(t)
+            };
+            records.push(measure(
+                "step_scaling",
+                sn,
+                if t == 1 { "off" } else { "threads" },
+                Some(t),
+                timing_label(&batched),
+                sruns,
+                50,
+                move || scenario(sn, Topology::Pipeline, cfg, batched),
+            ));
+            if t >= 2 && !reuse_checked {
+                reuse_checked = true;
+                let mut s = scenario(sn, Topology::Pipeline, cfg, batched);
+                s.cosim.run_for(Duration::from_us(50)).expect("runs");
+                let stats = s.cosim.shard_stats();
+                assert!(
+                    stats.scratch.arena_reuses > 0,
+                    "speculative step phase must recycle scratch shells: {:?}",
+                    stats.scratch
+                );
+                println!(
+                    "arena check: {} acquires, {} reuses, {} chunks, {} steals, {} B high water",
+                    stats.scratch.arena_acquires,
+                    stats.scratch.arena_reuses,
+                    stats.scratch.chunks,
+                    stats.scratch.steals,
+                    stats.scratch.bytes_high_water
+                );
+            }
+        }
     }
 
     // Sanity gate for CI: parked consumers must contribute ~zero
@@ -300,14 +388,21 @@ fn main() {
 
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let threads = r
+            .threads
+            .map_or_else(|| "null".to_string(), |t| t.to_string());
         json.push_str(&format!(
-            "  {{\"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \
-             \"bus_timing\": \"{}\", \"ns_per_run\": {}, \"runs\": {}}}{}\n",
+            "  {{\"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \"threads\": {}, \
+             \"bus_timing\": \"{}\", \"ns_per_run\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"runs\": {}}}{}\n",
             r.scenario,
             r.n,
             r.parallelism,
+            threads,
             r.bus_timing,
             r.ns_per_run,
+            r.p50_ns,
+            r.p99_ns,
             r.runs,
             if i + 1 < records.len() { "," } else { "" }
         ));

@@ -150,6 +150,10 @@ pub struct BatchedLink {
     /// The `DATA` wire (payload beats stream over it under
     /// [`BusTiming::PayloadBeats`]).
     data_wire: PortId,
+    /// The `B_VALID` beat-boundary marker: One while payload words
+    /// occupy `DATA`, Zero during the arbitration length word. Driven
+    /// only under [`BusTiming::PayloadBeats`].
+    valid_wire: PortId,
     /// Wire-level timing model.
     timing: BusTiming,
     /// Hard bound on values per bus transaction.
@@ -232,11 +236,15 @@ impl BatchedLink {
         let data_wire = spec
             .wire_id("DATA")
             .expect("batched handshake spec has a DATA wire");
+        let valid_wire = spec
+            .wire_id("B_VALID")
+            .expect("batched handshake spec has a B_VALID wire");
         Ok(BatchedLink {
             inner: FsmUnitRuntime::new(spec),
             data_ty,
             pending_wire,
             data_wire,
+            valid_wire,
             timing: BusTiming::LengthOnly,
             max_batch,
             batch_target: 1,
@@ -624,13 +632,19 @@ impl BatchedLink {
                 self.sending = false;
             }
         }
+        let mut streamed = false;
         if self.streaming && !self.sending {
             // PayloadBeats: one wire word per value per cycle on DATA —
             // the batch occupies the bus for as many beats as it
             // carries values, and a cycle-accurate observer sees every
-            // word cross.
+            // word cross. B_VALID marks the beat cycles so the observer
+            // can delimit payload from the arbitration length word.
             let word = wire_word(&self.in_flight[self.beat]);
             wires.write_wire(self.data_wire, word)?;
+            if wires.read_wire(self.valid_wire)? != Value::Bit(Bit::One) {
+                wires.write_wire(self.valid_wire, Value::Bit(Bit::One))?;
+            }
+            streamed = true;
             self.beat += 1;
             active = true;
             if self.beat >= self.in_flight.len() {
@@ -664,6 +678,15 @@ impl BatchedLink {
                     }
                 }
             }
+        }
+        if !streamed && wires.read_wire(self.valid_wire)? == Value::Bit(Bit::One) {
+            // First beat-free cycle after a batch's last beat: the bus
+            // is back to (or about to carry) an arbitration length
+            // word, so the beat marker drops. The last beat's One thus
+            // stays observable for exactly one full cycle, like every
+            // other beat.
+            wires.write_wire(self.valid_wire, Value::Bit(Bit::Zero))?;
+            active = true;
         }
         if self.outgoing.is_empty()
             && self.in_flight.is_empty()
@@ -1126,6 +1149,51 @@ mod tests {
             "one beat per value: occupancy scales linearly with batch length"
         );
         assert_eq!(st.batched_values, 3);
+    }
+
+    #[test]
+    fn b_valid_marks_exactly_the_payload_beats() {
+        // Sampling B_VALID once per pump cycle, the number of cycles it
+        // reads One equals the payload beat count — the wire
+        // self-describes beat boundaries to a snooping observer. During
+        // every non-beat cycle (arbitration length word included) it
+        // reads Zero.
+        let mut link =
+            BatchedLink::new("bus", Type::INT16, 8, 64).with_timing(BusTiming::PayloadBeats);
+        let mut wires = LocalWires::new(link.spec());
+        let valid = link.spec().wire_id("B_VALID").unwrap();
+        let p = CallerId(1);
+        let c = CallerId(2);
+        let mut asserted = 0u64;
+        let mut sent = 0i64;
+        let mut got = 0;
+        for _ in 0..400 {
+            if sent < 11 && link.put(p, Value::Int(sent), &mut wires).unwrap().done {
+                sent += 1;
+            }
+            link.pump(&mut wires, false).unwrap();
+            if wires.value(valid) == &Value::Bit(Bit::One) {
+                asserted += 1;
+            }
+            if link.get(c, &mut wires).unwrap().done {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 11, "all values delivered");
+        let st = link.stats();
+        assert!(st.payload_beats > 0, "beats streamed");
+        assert_eq!(
+            asserted, st.payload_beats,
+            "B_VALID assertions count exactly the payload beats"
+        );
+        // LengthOnly never drives the marker.
+        let mut link = BatchedLink::new("bus", Type::INT16, 8, 64);
+        let mut wires = LocalWires::new(link.spec());
+        link.put(p, Value::Int(1), &mut wires).unwrap();
+        for _ in 0..40 {
+            link.pump(&mut wires, false).unwrap();
+            assert_eq!(wires.value(valid), &Value::Bit(Bit::Zero));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub use batch::{BatchedLink, BusTiming};
 pub use library::{batched_handshake_unit, handshake_unit, register_bank_unit, shared_reg_unit};
 pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
 pub use runtime::{
-    CallerId, FsmUnitRuntime, LocalWires, PeekedCall, ReadWires, ServiceStats, UnitStats, WireStore,
+    CallerId, FsmUnitRuntime, LocalWires, PeekScratch, PeekedCall, ReadWires, ServiceStats,
+    UnitStats, WireStore,
 };
 pub use standalone::StandaloneUnit;

@@ -69,6 +69,13 @@ fn build_handshake(name: &str, data_ty: Type, with_pending: bool) -> Arc<CommUni
         // FSMs; placed last so the classic handshake's wire ids are
         // unchanged.
         u.wire("PENDING", Type::Bit, Value::Bit(Bit::Zero));
+        // Beat-boundary marker under cycle-accurate payload streaming
+        // ([`crate::BusTiming::PayloadBeats`]): held One on every cycle
+        // a payload word occupies DATA, Zero during the arbitration
+        // length word — so a snooping observer can count payload beats
+        // without decoding the protocol. Never written under
+        // [`crate::BusTiming::LengthOnly`].
+        u.wire("B_VALID", Type::Bit, Value::Bit(Bit::Zero));
     }
 
     // --- put(REQUEST) ---------------------------------------------------

@@ -13,7 +13,7 @@
 use cosma_core::comm::{CommUnitSpec, ServiceSpec, SERVICE_DONE_VAR, SERVICE_RESULT_VAR};
 use cosma_core::ids::{PortId, VarId};
 use cosma_core::{
-    DeferredCall, Env, EvalError, FsmExec, ReadEnv, ServiceCall, ServiceOutcome, Value,
+    DeferredCall, Env, EvalError, FsmExec, ReadEnv, ServiceCall, ServiceOutcome, Value, Variable,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -79,6 +79,69 @@ impl WireStore for PeekWires<'_> {
     fn write_wire(&mut self, w: PortId, v: Value) -> Result<(), EvalError> {
         self.writes.push((w, v));
         Ok(())
+    }
+}
+
+/// Reusable buffer pools for the speculative peek path
+/// ([`FsmUnitRuntime::peek_call_scratch`] /
+/// [`FsmUnitRuntime::commit_peeked_reclaim`]). A two-phase scheduler
+/// keeps one per worker arena: peeked session clones borrow their
+/// locals vector and wire-write capture vector from the pools, and the
+/// commit (or an abandoned peek, via [`PeekScratch::reclaim`]) hands
+/// them back — so steady-state speculation peeks without heap
+/// allocation however many calls it evaluates.
+#[derive(Debug, Default)]
+pub struct PeekScratch {
+    /// Pooled local-variable vectors for peeked session clones.
+    locals: Vec<Vec<Value>>,
+    /// Pooled wire-write capture vectors for [`PeekWires`].
+    writes: Vec<Vec<(PortId, Value)>>,
+}
+
+impl PeekScratch {
+    fn take_locals(&mut self) -> Vec<Value> {
+        self.locals.pop().unwrap_or_default()
+    }
+
+    fn take_writes(&mut self) -> Vec<(PortId, Value)> {
+        self.writes.pop().unwrap_or_default()
+    }
+
+    fn put_locals(&mut self, mut v: Vec<Value>) {
+        v.clear();
+        self.locals.push(v);
+    }
+
+    fn put_writes(&mut self, mut v: Vec<(PortId, Value)>) {
+        v.clear();
+        self.writes.push(v);
+    }
+
+    /// Reclaims the buffers a no-longer-needed peek still owns (e.g. a
+    /// speculative result abandoned on divergence or fallback), so the
+    /// next peek reuses them instead of allocating.
+    pub fn reclaim(&mut self, peeked: PeekedCall) {
+        if let Some(PeekDelta::Session(delta)) = peeked.delta {
+            self.put_locals(delta.post.locals);
+            self.put_writes(delta.writes);
+        }
+    }
+
+    /// Approximate bytes retained across the pools (capacity-based),
+    /// for arena high-water accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let locals: usize = self
+            .locals
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<Value>())
+            .sum();
+        let writes: usize = self
+            .writes
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<(PortId, Value)>())
+            .sum();
+        locals + writes
     }
 }
 
@@ -188,7 +251,6 @@ fn step_session(
     args: &[Value],
     wires: &mut dyn WireStore,
 ) -> Result<(ServiceOutcome, bool), EvalError> {
-    let local_tys: Vec<_> = svc.locals().iter().map(|v| v.ty().clone()).collect();
     let state_before = session.exec.current();
     let mut counting = CountingWires {
         inner: wires,
@@ -196,7 +258,7 @@ fn step_session(
     };
     let mut env = SessionEnv {
         locals: &mut session.locals,
-        local_tys,
+        var_specs: svc.locals(),
         wires: &mut counting,
         args,
         var_writes: 0,
@@ -318,7 +380,9 @@ impl WireStore for CountingWires<'_> {
 /// Environment adapter: locals as vars, wires as ports, call args as args.
 struct SessionEnv<'a> {
     locals: &'a mut Vec<Value>,
-    local_tys: Vec<cosma_core::Type>,
+    /// Variable declarations (write clamping), borrowed straight from
+    /// the spec — no per-step type-table collection.
+    var_specs: &'a [Variable],
     wires: &'a mut dyn WireStore,
     args: &'a [Value],
     /// Local-variable writes performed during the step (no-op detection
@@ -348,8 +412,9 @@ impl Env for SessionEnv<'_> {
     fn write_var(&mut self, v: VarId, value: Value) -> Result<(), EvalError> {
         self.var_writes += 1;
         let ty = self
-            .local_tys
+            .var_specs
             .get(v.index())
+            .map(Variable::ty)
             .ok_or(EvalError::NoSuchVar(v))?;
         let slot = self
             .locals
@@ -518,9 +583,13 @@ impl FsmUnitRuntime {
         stats.calls += 1;
         if outcome.done {
             stats.completions += 1;
-            // Reset the session for the next transaction.
+            // Reset the session for the next transaction, reusing the
+            // locals buffer in place.
             session.exec = FsmExec::new(svc.fsm());
-            session.locals = svc.locals().iter().map(|v| v.init().clone()).collect();
+            session.locals.clear();
+            session
+                .locals
+                .extend(svc.locals().iter().map(|v| v.init().clone()));
         }
         Ok(outcome)
     }
@@ -546,6 +615,26 @@ impl FsmUnitRuntime {
         args: &[Value],
         wires: &dyn ReadWires,
     ) -> Result<PeekedCall, EvalError> {
+        self.peek_call_scratch(caller, service, args, wires, &mut PeekScratch::default())
+    }
+
+    /// [`FsmUnitRuntime::peek_call`] with caller-owned buffer pools: the
+    /// session clone's locals and the wire-write capture vector come
+    /// from `scratch` instead of fresh allocations, and return there
+    /// when the peek is committed ([`FsmUnitRuntime::commit_peeked_reclaim`])
+    /// or abandoned ([`PeekScratch::reclaim`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FsmUnitRuntime::call`].
+    pub fn peek_call_scratch(
+        &self,
+        caller: CallerId,
+        service: &str,
+        args: &[Value],
+        wires: &dyn ReadWires,
+        scratch: &mut PeekScratch,
+    ) -> Result<PeekedCall, EvalError> {
         let Some(idx) = self.resolve(service) else {
             return Err(EvalError::Service(format!(
                 "unit {} has no service {service}",
@@ -561,18 +650,28 @@ impl FsmUnitRuntime {
             )));
         }
         let key = (caller, Arc::clone(&self.interned[idx]));
+        let mut locals = scratch.take_locals();
         let mut session = match self.sessions.get(&key) {
-            Some(s) => s.clone(),
-            None => Session {
-                exec: FsmExec::new(svc.fsm()),
-                locals: svc.locals().iter().map(|v| v.init().clone()).collect(),
-            },
+            Some(s) => {
+                locals.extend_from_slice(&s.locals);
+                Session {
+                    exec: s.exec.clone(),
+                    locals,
+                }
+            }
+            None => {
+                locals.extend(svc.locals().iter().map(|v| v.init().clone()));
+                Session {
+                    exec: FsmExec::new(svc.fsm()),
+                    locals,
+                }
+            }
         };
         let pre_state = session.exec.current();
         let pre_steps = session.exec.steps();
         let mut pw = PeekWires {
             inner: wires,
-            writes: vec![],
+            writes: scratch.take_writes(),
         };
         let (outcome, stable) = step_session(svc, &mut session, args, &mut pw)?;
         Ok(PeekedCall {
@@ -609,10 +708,33 @@ impl FsmUnitRuntime {
         peeked: PeekedCall,
         wires: &mut dyn WireStore,
     ) -> Result<bool, EvalError> {
-        let Some(PeekDelta::Session(delta)) = peeked.delta else {
+        self.commit_peeked_reclaim(caller, service, peeked, wires, &mut PeekScratch::default())
+    }
+
+    /// [`FsmUnitRuntime::commit_peeked`] with buffer reclamation: every
+    /// pooled vector the peek borrowed — the captured writes after
+    /// re-issue, the displaced old session's locals, the post-session's
+    /// locals on a rejected fingerprint — is handed back to `scratch`
+    /// for the next peek, and completion resets reuse the session's
+    /// locals buffer in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-store errors from re-issuing the captured writes.
+    pub fn commit_peeked_reclaim(
+        &mut self,
+        caller: CallerId,
+        service: &str,
+        peeked: PeekedCall,
+        wires: &mut dyn WireStore,
+        scratch: &mut PeekScratch,
+    ) -> Result<bool, EvalError> {
+        let Some(PeekDelta::Session(mut delta)) = peeked.delta else {
             return Ok(false);
         };
         let Some(idx) = self.resolve(service) else {
+            scratch.put_locals(delta.post.locals);
+            scratch.put_writes(delta.writes);
             return Ok(false);
         };
         let spec = Arc::clone(&self.spec);
@@ -623,21 +745,27 @@ impl FsmUnitRuntime {
             None => delta.pre_steps == 0 && delta.pre_state == svc.fsm().initial(),
         };
         if !unchanged {
+            scratch.put_locals(delta.post.locals);
+            scratch.put_writes(delta.writes);
             return Ok(false);
         }
-        for (w, v) in delta.writes {
+        for (w, v) in delta.writes.drain(..) {
             wires.write_wire(w, v)?;
         }
-        let session = if peeked.outcome.done {
-            // Reset the session for the next transaction, like `call`.
-            Session {
-                exec: FsmExec::new(svc.fsm()),
-                locals: svc.locals().iter().map(|v| v.init().clone()).collect(),
-            }
-        } else {
-            delta.post
-        };
-        self.sessions.insert(key, session);
+        scratch.put_writes(delta.writes);
+        let mut session = delta.post;
+        if peeked.outcome.done {
+            // Reset the session for the next transaction, like `call`,
+            // reusing the pooled locals buffer in place.
+            session.exec = FsmExec::new(svc.fsm());
+            session.locals.clear();
+            session
+                .locals
+                .extend(svc.locals().iter().map(|v| v.init().clone()));
+        }
+        if let Some(old) = self.sessions.insert(key, session) {
+            scratch.put_locals(old.locals);
+        }
         self.last_call_stable = peeked.stable;
         let stats = self.stats.service_mut(svc.name());
         stats.calls += 1;
@@ -726,14 +854,13 @@ impl FsmUnitRuntime {
             ))
         })?;
         let state_before = exec.current();
-        let local_tys: Vec<_> = ctrl_spec.vars.iter().map(|v| v.ty().clone()).collect();
         let mut counting = CountingWires {
             inner: wires,
             writes: 0,
         };
         let mut env = SessionEnv {
             locals: vars,
-            local_tys,
+            var_specs: &ctrl_spec.vars,
             wires: &mut counting,
             args: &[],
             var_writes: 0,

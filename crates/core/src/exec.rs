@@ -94,6 +94,16 @@ pub trait Env: ReadEnv {
 
     /// Receives a diagnostic trace record. Default: ignored.
     fn trace(&mut self, _label: &str, _values: &[Value]) {}
+
+    /// Receives a diagnostic trace record whose label is already interned
+    /// ([`Stmt::Trace`] carries `Arc<str>` labels). Environments that
+    /// buffer or store trace records can clone the `Arc` (a refcount
+    /// bump) instead of allocating a fresh `String` per activation; the
+    /// default forwards to [`Env::trace`] so plain environments need not
+    /// care.
+    fn trace_interned(&mut self, label: &std::sync::Arc<str>, values: &[Value]) {
+        self.trace(label, values);
+    }
 }
 
 /// A service call that returned [`ServiceOutcome::pending`] during an
@@ -134,7 +144,16 @@ pub struct DeferredCall {
 
 /// Side effects of executing statements ([`exec_stmt`]), accumulated
 /// across one activation.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The struct doubles as a reusable scratch arena: a scheduler that
+/// keeps one `StepEffects` per worker and steps through
+/// [`FsmExec::step_with`] pays zero steady-state heap allocation for
+/// call-argument vectors and trace-value buffers — [`exec_stmt`] draws
+/// them from the internal pools, and [`StepEffects::recycle`] returns
+/// them after the effects have been consumed. Equality ignores the
+/// pools: two effects with the same calls/pending are equal however
+/// their arenas differ.
+#[derive(Debug, Clone, Default)]
 pub struct StepEffects {
     /// Number of service-call statements executed.
     pub service_calls: u32,
@@ -147,6 +166,77 @@ pub struct StepEffects {
     /// [`Env::record_calls`] is `true`, empty (and allocation-free)
     /// otherwise.
     pub calls: Vec<DeferredCall>,
+    /// Recycled call-argument vectors ([`DeferredCall::args`] buffers
+    /// given back by [`StepEffects::recycle`]); [`exec_stmt`] pops one
+    /// per call statement instead of allocating.
+    args_pool: Vec<Vec<Value>>,
+    /// Reusable evaluation buffer for trace-statement values, cleared
+    /// (not dropped) between trace statements.
+    trace_vals: Vec<Value>,
+}
+
+impl PartialEq for StepEffects {
+    fn eq(&self, other: &Self) -> bool {
+        self.service_calls == other.service_calls
+            && self.pending == other.pending
+            && self.calls == other.calls
+    }
+}
+
+impl StepEffects {
+    /// Clears the activation-visible effects while *keeping* the heap
+    /// buffers: recorded calls hand their argument vectors back to the
+    /// internal pool, so the next activation through
+    /// [`FsmExec::step_with`] reuses them instead of allocating. The
+    /// scratch-arena reset of the two-phase scheduler's steady state.
+    pub fn recycle(&mut self) {
+        self.service_calls = 0;
+        self.pending.clear();
+        for mut dc in self.calls.drain(..) {
+            dc.args.clear();
+            self.args_pool.push(std::mem::take(&mut dc.args));
+        }
+    }
+
+    /// Rough heap footprint of the effects and their pools, in bytes —
+    /// feeds the scheduler's arena high-water statistics.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let vecs = self
+            .args_pool
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<Value>())
+            .sum::<usize>();
+        self.pending.capacity() * std::mem::size_of::<PendingCall>()
+            + self.calls.capacity() * std::mem::size_of::<DeferredCall>()
+            + self.trace_vals.capacity() * std::mem::size_of::<Value>()
+            + vecs
+    }
+}
+
+/// The state-transition outcome of one activation through
+/// [`FsmExec::step_with`] — the [`StepReport`] minus the call stream,
+/// which stays in the caller's [`StepEffects`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepMeta {
+    /// State at the start of the activation.
+    pub from: StateId,
+    /// State after the activation.
+    pub to: StateId,
+    /// Whether a transition fired (self-loop transitions count).
+    pub transitioned: bool,
+}
+
+/// A placeholder at state 0 — lets reusable result shells derive
+/// `Default`; always overwritten before being read.
+impl Default for StepMeta {
+    fn default() -> Self {
+        StepMeta {
+            from: StateId::new(0),
+            to: StateId::new(0),
+            transitioned: false,
+        }
+    }
 }
 
 /// Report of a single FSM activation.
@@ -202,6 +292,18 @@ pub struct FsmExec {
     steps: u64,
 }
 
+/// A placeholder executor at state 0 — lets reusable result shells
+/// derive `Default`; always overwritten (via [`FsmExec::new`] or
+/// assignment) before driving an FSM.
+impl Default for FsmExec {
+    fn default() -> Self {
+        FsmExec {
+            current: StateId::new(0),
+            steps: 0,
+        }
+    }
+}
+
 impl FsmExec {
     /// Creates an executor positioned at the FSM's initial state.
     #[must_use]
@@ -237,11 +339,39 @@ impl FsmExec {
     /// Propagates [`EvalError`] from expression evaluation, statement
     /// execution, or an `X`/`Z` guard ([`EvalError::UnknownCondition`]).
     pub fn step(&mut self, fsm: &Fsm, env: &mut dyn Env) -> Result<StepReport, EvalError> {
+        let mut effects = StepEffects::default();
+        let meta = self.step_with(fsm, env, &mut effects)?;
+        Ok(StepReport {
+            from: meta.from,
+            to: meta.to,
+            transitioned: meta.transitioned,
+            service_calls: effects.service_calls,
+            pending: std::mem::take(&mut effects.pending),
+            calls: std::mem::take(&mut effects.calls),
+        })
+    }
+
+    /// Allocation-free variant of [`FsmExec::step`]: accumulates the call
+    /// stream into a caller-owned [`StepEffects`] arena instead of
+    /// building a fresh [`StepReport`]. A scheduler that recycles the
+    /// arena between activations ([`StepEffects::recycle`]) pays no
+    /// steady-state heap allocation for the effects bookkeeping.
+    ///
+    /// The effects are *appended to* — pass a recycled (or fresh) arena.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FsmExec::step`].
+    pub fn step_with(
+        &mut self,
+        fsm: &Fsm,
+        env: &mut dyn Env,
+        effects: &mut StepEffects,
+    ) -> Result<StepMeta, EvalError> {
         let from = self.current;
         let state = fsm.state(from);
-        let mut effects = StepEffects::default();
         for stmt in &state.actions {
-            exec_stmt(stmt, env, &mut effects)?;
+            exec_stmt(stmt, env, effects)?;
         }
         let mut to = from;
         let mut transitioned = false;
@@ -252,7 +382,7 @@ impl FsmExec {
             };
             if enabled {
                 for stmt in &t.actions {
-                    exec_stmt(stmt, env, &mut effects)?;
+                    exec_stmt(stmt, env, effects)?;
                 }
                 to = t.target;
                 transitioned = true;
@@ -261,13 +391,10 @@ impl FsmExec {
         }
         self.current = to;
         self.steps += 1;
-        Ok(StepReport {
+        Ok(StepMeta {
             from,
             to,
             transitioned,
-            service_calls: effects.service_calls,
-            pending: effects.pending,
-            calls: effects.calls,
         })
     }
 
@@ -336,7 +463,11 @@ pub fn exec_stmt(
         }
         Stmt::Call(call) => {
             effects.service_calls += 1;
-            let mut args = Vec::with_capacity(call.args.len());
+            // Argument vectors come from the effects' recycle pool, so a
+            // scheduler that recycles its arena steps without a malloc
+            // per call statement.
+            let mut args = effects.args_pool.pop().unwrap_or_default();
+            args.reserve(call.args.len());
             for a in &call.args {
                 args.push(a.eval(env)?);
             }
@@ -361,15 +492,22 @@ pub fn exec_stmt(
                     args,
                     outcome,
                 });
+            } else {
+                args.clear();
+                effects.args_pool.push(args);
             }
             Ok(())
         }
         Stmt::Trace(label, exprs) => {
-            let mut vals = Vec::with_capacity(exprs.len());
+            // The value buffer is reusable scratch: cleared, refilled,
+            // and handed to the environment as a slice. Environments
+            // that store trace records copy what they keep.
+            effects.trace_vals.clear();
             for e in exprs {
-                vals.push(e.eval(env)?);
+                let v = e.eval(env)?;
+                effects.trace_vals.push(v);
             }
-            env.trace(label, &vals);
+            env.trace_interned(label, &effects.trace_vals);
             Ok(())
         }
     }

@@ -52,8 +52,12 @@ pub enum Stmt {
     /// Invoke one activation of a communication-unit service.
     Call(ServiceCall),
     /// Diagnostic trace record (used by experiment harnesses; erased by
-    /// synthesis).
-    Trace(String, Vec<Expr>),
+    /// synthesis). The label is interned at statement construction
+    /// (`"label".into()`), so every runtime that records the trace —
+    /// including the co-simulation backplane's speculative step phase —
+    /// shares one refcounted string instead of re-allocating the label
+    /// per activation.
+    Trace(Arc<str>, Vec<Expr>),
 }
 
 impl Stmt {

@@ -347,6 +347,39 @@ pub struct ShardStats {
     /// empty under [`Parallelism::Off`]. `step_thread_runs[i]` is the
     /// number of module activations speculated on worker `i`.
     pub step_thread_runs: Vec<u64>,
+    /// Scratch-arena and work-stealing accounting of the threaded step
+    /// phase; all-zero outside the speculative regime.
+    pub scratch: ScratchStats,
+}
+
+/// Allocation-reuse and load-balance counters of the threaded step
+/// phase's per-worker scratch arenas ([`ShardStats::scratch`]).
+///
+/// In steady state `arena_reuses` dominates `arena_acquires`: every
+/// speculative activation runs inside a recycled result shell (pooled
+/// call-argument buffers, peek vectors, trace buffers, the
+/// copy-on-write var overlay), so the step phase stops allocating once
+/// the pools are warm. `steals` counts work chunks a worker claimed
+/// beyond its fair share of the cycle's stepping set — nonzero steals
+/// mean the shared-cursor chunking actually rebalanced skewed
+/// speculation costs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Shell acquisitions that had to allocate a fresh shell (cold
+    /// pool).
+    pub arena_acquires: u64,
+    /// Shell acquisitions served from a worker's free-list — the
+    /// allocation-free steady state.
+    pub arena_reuses: u64,
+    /// High-water mark of approximate bytes retained across all
+    /// recycled shells after a commit phase.
+    pub bytes_high_water: u64,
+    /// Work chunks claimed off the shared step-phase cursor.
+    pub chunks: u64,
+    /// Chunks claimed by a worker already past its fair share of the
+    /// stepping set (len / workers) — load actively rebalanced away
+    /// from a slow worker.
+    pub steals: u64,
 }
 
 /// Park/resume accounting shared by every scheduler path.
@@ -948,6 +981,18 @@ impl cosma_comm::ReadWires for SnapWires<'_, '_> {
 /// phase installs it wholesale (after validating the speculated call
 /// outcomes against the real units) or discards it and re-executes the
 /// activation sequentially.
+///
+/// A `SpecResult` doubles as the *scratch arena* of the threaded step
+/// phase: after its effects are installed, [`SpecResult::reset`]
+/// clears the activation-visible contents while keeping every heap
+/// buffer — the var-overlay, drive/trace/peek vectors, the
+/// [`StepEffects`](cosma_core::StepEffects) call-argument pools and
+/// the [`cosma_comm::PeekScratch`] session pools — and the shell goes
+/// back to the free-list of the worker that filled it. Steady-state
+/// speculation therefore performs zero heap allocation: every buffer
+/// an activation needs is popped from a pool and returned after
+/// commit.
+#[derive(Default)]
 struct SpecResult {
     /// Effective variable writes in execution order (a copy-on-write
     /// overlay over the entry's committed vars — most activations
@@ -956,11 +1001,14 @@ struct SpecResult {
     var_writes: Vec<(VarId, Value)>,
     /// Post-activation executor (current state + step count).
     exec: FsmExec,
-    /// The activation report, including the recorded call stream.
-    report: cosma_core::StepReport,
-    /// Per-call speculated stability flags, parallel to `report.calls`.
+    /// The activation's state-transition outcome.
+    meta: cosma_core::StepMeta,
+    /// The activation's call stream and pending set (with the internal
+    /// argument-buffer pools that make re-filling it allocation-free).
+    effects: cosma_core::StepEffects,
+    /// Per-call speculated stability flags, parallel to `effects.calls`.
     call_stables: Vec<bool>,
-    /// Per-call peek results, parallel to `report.calls`: FSM-unit
+    /// Per-call peek results, parallel to `effects.calls`: FSM-unit
     /// peeks carry a session delta the commit can install directly
     /// instead of re-running the protocol step (`None` for batched and
     /// native calls).
@@ -972,12 +1020,64 @@ struct SpecResult {
     pending_watch: Vec<SignalId>,
     /// Buffered module port drives, in execution order.
     drives: Vec<(SignalId, Value)>,
-    /// Buffered trace records, in execution order.
-    traces: Vec<(String, Vec<Value>)>,
+    /// Buffered trace records, in execution order. Labels are the IR's
+    /// interned `Arc<str>`s (a refcount bump per record, not a string
+    /// allocation); value vectors come from `vals_pool`.
+    traces: Vec<(Arc<str>, Vec<Value>)>,
     /// The speculation is unusable — it called a wire-invisible native
     /// unit or hit an evaluation error — and the activation must be
     /// re-executed sequentially at commit.
     fallback: bool,
+    /// Pooled buffers for peeked unit sessions (locals + captured wire
+    /// writes).
+    peek_scratch: cosma_comm::PeekScratch,
+    /// Pooled trace-value vectors, recycled by [`SpecResult::reset`].
+    vals_pool: Vec<Vec<Value>>,
+}
+
+impl SpecResult {
+    /// Clears the activation-visible contents while keeping (and
+    /// replenishing) the heap pools, readying the shell for the next
+    /// activation. Leftover peeks (a diverged or abandoned speculation)
+    /// and trace-value vectors are reclaimed into the pools.
+    fn reset(&mut self) {
+        self.var_writes.clear();
+        self.exec = FsmExec::default();
+        self.meta = cosma_core::StepMeta::default();
+        self.effects.recycle();
+        self.call_stables.clear();
+        for peek in self.peeks.drain(..).flatten() {
+            self.peek_scratch.reclaim(peek);
+        }
+        self.changes = 0;
+        self.pending_stable = true;
+        self.pending_watch.clear();
+        self.drives.clear();
+        for (_, mut vals) in self.traces.drain(..) {
+            vals.clear();
+            self.vals_pool.push(vals);
+        }
+        self.fallback = false;
+    }
+
+    /// Approximate bytes retained by the shell's buffers and pools
+    /// (capacity-based) — feeds [`ScratchStats::bytes_high_water`].
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.var_writes.capacity() * size_of::<(VarId, Value)>()
+            + self.effects.approx_bytes()
+            + self.call_stables.capacity()
+            + self.peeks.capacity() * size_of::<Option<cosma_comm::PeekedCall>>()
+            + self.pending_watch.capacity() * size_of::<SignalId>()
+            + self.drives.capacity() * size_of::<(SignalId, Value)>()
+            + self.traces.capacity() * size_of::<(Arc<str>, Vec<Value>)>()
+            + self
+                .vals_pool
+                .iter()
+                .map(|v| v.capacity() * size_of::<Value>())
+                .sum::<usize>()
+            + self.peek_scratch.approx_bytes()
+    }
 }
 
 /// The pure (read-only) speculation environment of the step phase.
@@ -985,6 +1085,10 @@ struct SpecResult {
 /// committed vars, port drives and traces are buffered, and service
 /// calls answer unit *peeks* while being recorded for commit-time
 /// replay.
+///
+/// Every buffer is borrowed from the worker's [`SpecResult`] shell —
+/// the environment itself owns nothing, so an activation through a
+/// warm shell allocates nothing.
 struct SpecEnv<'a, 'b> {
     ctx: &'a ProcCtx<'b>,
     ports: &'a [SignalId],
@@ -994,18 +1098,22 @@ struct SpecEnv<'a, 'b> {
     /// Effective writes in order; reads consult the latest overlay
     /// entry first. Equal-value writes are dropped, exactly like the
     /// immediate path's change counting.
-    var_writes: Vec<(VarId, Value)>,
+    var_writes: &'a mut Vec<(VarId, Value)>,
     var_tys: &'a [Type],
     reg: &'a Registry,
     bindings: &'a [Handle],
     caller: CallerId,
     changes: u32,
     pending_stable: bool,
-    pending_watch: Vec<SignalId>,
-    call_stables: Vec<bool>,
-    peeks: Vec<Option<cosma_comm::PeekedCall>>,
-    drives: Vec<(SignalId, Value)>,
-    traces: Vec<(String, Vec<Value>)>,
+    pending_watch: &'a mut Vec<SignalId>,
+    call_stables: &'a mut Vec<bool>,
+    peeks: &'a mut Vec<Option<cosma_comm::PeekedCall>>,
+    drives: &'a mut Vec<(SignalId, Value)>,
+    traces: &'a mut Vec<(Arc<str>, Vec<Value>)>,
+    /// Pooled trace-value vectors (popped per trace record).
+    vals_pool: &'a mut Vec<Vec<Value>>,
+    /// Pooled peek-session buffers.
+    peek_scratch: &'a mut cosma_comm::PeekScratch,
     fallback: bool,
 }
 
@@ -1077,7 +1185,13 @@ impl Env for SpecEnv<'_, '_> {
                     ctx: self.ctx,
                     map: &e.wires,
                 };
-                e.runtime.peek_call(self.caller, &call.service, args, &ws)?
+                e.runtime.peek_call_scratch(
+                    self.caller,
+                    &call.service,
+                    args,
+                    &ws,
+                    self.peek_scratch,
+                )?
             }
             Handle::Batched(i) => self.reg.batched[i].link.peek_call(&call.service, args)?,
             Handle::Native(_) => {
@@ -1115,8 +1229,15 @@ impl Env for SpecEnv<'_, '_> {
         true
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
+        // Non-interned entry point (not reached from IR statements,
+        // which carry interned labels): intern ad hoc.
+        self.trace_interned(&Arc::from(label), values);
+    }
+    fn trace_interned(&mut self, label: &Arc<str>, values: &[Value]) {
         self.changes += 1;
-        self.traces.push((label.to_string(), values.to_vec()));
+        let mut vals = self.vals_pool.pop().unwrap_or_default();
+        vals.extend_from_slice(values);
+        self.traces.push((Arc::clone(label), vals));
     }
 }
 
@@ -1130,35 +1251,56 @@ impl Env for SpecEnv<'_, '_> {
 /// the default of [`SchedulingConfig::step_fanout_min`].
 pub const STEP_FANOUT_MIN: usize = 64;
 
-/// Everything a step-phase worker needs to speculate a range of the
-/// cycle's stepping set. All fields are shared read-only references —
-/// the pool's blocking protocol guarantees they outlive the parallel
-/// region.
+/// Fixed work-stealing chunk size of the threaded step phase: workers
+/// claim items off a shared atomic cursor in chunks of this many, so a
+/// worker stuck on one expensive speculation simply stops claiming
+/// while the others drain the rest of the set. Small enough that a
+/// single heavy module cannot strand a long fixed partition behind it,
+/// large enough that the shared cursor is contended `len / 8` times
+/// per cycle rather than `len`.
+const STEP_CHUNK: usize = 8;
+
+/// Everything a step-phase worker needs to speculate its share of the
+/// cycle's stepping set. All fields are shared read-only references
+/// (plus the shared claim cursor) — the pool's blocking protocol
+/// guarantees they outlive the parallel region.
 struct StepJobCtx<'a, 'b> {
     entries: &'a [ModuleEntry],
     reg: &'a Registry,
     snapshot: &'a ProcCtx<'b>,
     items: &'a [(usize, usize, u32)],
+    /// Work-stealing cursor: the next unclaimed item index. Workers
+    /// `fetch_add` [`STEP_CHUNK`] to claim a chunk; `Relaxed` suffices
+    /// because the cursor orders nothing but itself (item data is
+    /// read-only and the done-channel handoff provides the
+    /// happens-before for the results).
+    cursor: std::sync::atomic::AtomicUsize,
+    /// Fair share per worker (`len / workers`, rounded up): chunks a
+    /// worker claims beyond it are counted as steals — work that a
+    /// fixed partition would have left serialized on another worker.
+    fair: usize,
 }
 
 /// One region assignment handed to a pooled worker: a type-erased
-/// pointer to the region's [`StepJobCtx`] plus the item range the
-/// worker owns. The pointer is only dereferenced between receiving the
-/// job and sending the results back, and the driver blocks on those
-/// results before releasing the borrows — the same happens-before
-/// protocol `std::thread::scope` provides, without re-paying thread
-/// spawn/join (~100µs) on every kernel delta.
+/// pointer to the region's [`StepJobCtx`] plus the worker's private
+/// scratch arena. Both pointers are only dereferenced between
+/// receiving the job and sending the done signal back, and the driver
+/// blocks on that signal before releasing the borrows — the same
+/// happens-before protocol `std::thread::scope` provides, without
+/// re-paying thread spawn/join (~100µs) on every kernel delta.
 struct StepJob {
     ctx: *const (),
-    lo: usize,
-    hi: usize,
+    scratch: *mut StepScratch,
 }
 
 // SAFETY: the raw context pointer is only dereferenced while the
 // issuing driver is blocked in `StepPool::run`, which keeps the
 // referenced borrows alive; `StepJobCtx`'s referents are all `Sync`
 // (machine-checked by `_assert_step_ctx_sync` below, so a future field
-// with interior mutability fails to compile instead of racing).
+// with interior mutability fails to compile instead of racing). The
+// scratch pointer is exclusive to one worker per region (each worker
+// gets a distinct arena, the kernel thread uses arena 0), so no two
+// threads alias it.
 unsafe impl Send for StepJob {}
 
 /// Compile-time guard for the `unsafe impl Send for StepJob`: sharing
@@ -1168,43 +1310,100 @@ fn _assert_step_ctx_sync<'a, 'b>(ctx: &'a StepJobCtx<'a, 'b>) -> &'a (dyn Sync +
     ctx
 }
 
+/// Per-worker scratch arena of the threaded step phase: the free-list
+/// of recycled [`SpecResult`] shells, the region's filled results, and
+/// the arena/steal counters folded into [`ScratchStats`] after each
+/// region.
+#[derive(Default)]
+struct StepScratch {
+    /// Recycled result shells; popped per activation, pushed back by
+    /// the commit loop after installing (warm pools, zero allocation).
+    shells: Vec<SpecResult>,
+    /// Filled results of the current region, tagged with the item index
+    /// they speculated.
+    results: Vec<(u32, SpecResult)>,
+    acquires: u64,
+    reuses: u64,
+    chunks: u64,
+    steals: u64,
+}
+
+/// One worker's share of a parallel step region: claim [`STEP_CHUNK`]d
+/// item ranges off the shared cursor until the set is drained,
+/// speculating each item into a recycled shell from this worker's
+/// arena. Runs identically on pooled workers and the kernel thread.
+fn run_step_region(ctx: &StepJobCtx<'_, '_>, scratch: &mut StepScratch) {
+    use std::sync::atomic::Ordering;
+    let len = ctx.items.len();
+    let mut taken = 0usize;
+    loop {
+        let lo = ctx.cursor.fetch_add(STEP_CHUNK, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = (lo + STEP_CHUNK).min(len);
+        scratch.chunks += 1;
+        if taken >= ctx.fair {
+            scratch.steals += 1;
+        }
+        for (off, &(mi, _, _)) in ctx.items[lo..hi].iter().enumerate() {
+            let mut shell = match scratch.shells.pop() {
+                Some(s) => {
+                    scratch.reuses += 1;
+                    s
+                }
+                None => {
+                    scratch.acquires += 1;
+                    SpecResult::default()
+                }
+            };
+            speculate_into(&ctx.entries[mi], ctx.reg, ctx.snapshot, &mut shell);
+            scratch.results.push(((lo + off) as u32, shell));
+        }
+        taken += hi - lo;
+    }
+}
+
 /// One persistent step-phase worker: parked on its job channel between
 /// parallel regions.
 struct StepWorker {
     job_tx: std::sync::mpsc::Sender<StepJob>,
-    done_rx: std::sync::mpsc::Receiver<Vec<SpecResult>>,
+    done_rx: std::sync::mpsc::Receiver<()>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The persistent worker pool of the threaded step phase
 /// ([`Parallelism::Threads`]): `n - 1` OS threads spawned once at
 /// driver registration (the kernel thread itself acts as the `n`-th
-/// worker on the first chunk).
+/// worker), plus one scratch arena per thread.
 struct StepPool {
     workers: Vec<StepWorker>,
+    /// Per-thread scratch arenas: index 0 belongs to the kernel thread,
+    /// index `i + 1` to worker `i`. The commit loop pushes each reset
+    /// shell back to the arena that filled it, so arena capacity
+    /// self-balances to each worker's actual throughput.
+    scratches: Vec<StepScratch>,
 }
 
 impl StepPool {
     fn new(workers: usize) -> Self {
+        let scratches = (0..=workers).map(|_| StepScratch::default()).collect();
         let workers = (0..workers)
             .map(|i| {
                 let (job_tx, job_rx) = std::sync::mpsc::channel::<StepJob>();
-                let (done_tx, done_rx) = std::sync::mpsc::channel::<Vec<SpecResult>>();
+                let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
                 let handle = std::thread::Builder::new()
                     .name(format!("cosim-step{i}"))
                     .spawn(move || {
                         while let Ok(job) = job_rx.recv() {
                             // SAFETY: see `StepJob` — the driver is
                             // blocked in `run` until we answer, so the
-                            // context outlives this dereference.
+                            // context outlives this dereference and the
+                            // scratch arena is ours alone this region.
                             let ctx = unsafe { &*(job.ctx as *const StepJobCtx<'_, '_>) };
-                            let out: Vec<SpecResult> = ctx.items[job.lo..job.hi]
-                                .iter()
-                                .map(|&(mi, _, _)| {
-                                    speculate(&ctx.entries[mi], ctx.reg, ctx.snapshot)
-                                })
-                                .collect();
-                            if done_tx.send(out).is_err() {
+                            let scratch = unsafe { &mut *job.scratch };
+                            run_step_region(ctx, scratch);
+                            if done_tx.send(()).is_err() {
                                 break;
                             }
                         }
@@ -1217,46 +1416,62 @@ impl StepPool {
                 }
             })
             .collect();
-        StepPool { workers }
+        StepPool { workers, scratches }
     }
 
-    /// Runs one parallel region: hands each worker its chunk, computes
-    /// the first chunk on the calling (kernel) thread, and blocks until
-    /// every worker answered. Results come back in item order.
-    /// `thread_runs[i]` is bumped by the number of items worker `i`
-    /// stepped (index 0 = the kernel thread).
-    fn run(&self, ctx: &StepJobCtx<'_, '_>, thread_runs: &mut [u64]) -> Vec<SpecResult> {
-        let n = self.workers.len() + 1;
+    /// Runs one parallel region over the shared work-stealing cursor:
+    /// wakes as many workers as the chunk count can occupy, joins in on
+    /// the kernel thread, and blocks until every woken worker answered.
+    /// Results land in `specs[item index]` with `origins[item index]`
+    /// recording which arena the shell came from (so the commit loop
+    /// can recycle it there); `thread_runs[i]` is bumped by the number
+    /// of items thread `i` stepped and the arena counters are folded
+    /// into `stats`.
+    fn run(
+        &mut self,
+        ctx: &StepJobCtx<'_, '_>,
+        specs: &mut Vec<Option<SpecResult>>,
+        origins: &mut Vec<u32>,
+        thread_runs: &mut [u64],
+        stats: &mut ScratchStats,
+    ) {
         let len = ctx.items.len();
-        let chunk = len.div_ceil(n);
+        specs.clear();
+        specs.resize_with(len, || None);
+        origins.clear();
+        origins.resize(len, 0);
         let erased = ctx as *const StepJobCtx<'_, '_> as *const ();
-        let mut issued = 0;
-        for (i, w) in self.workers.iter().enumerate() {
-            let lo = (i + 1) * chunk;
-            let hi = ((i + 2) * chunk).min(len);
-            if lo >= hi {
-                break;
-            }
+        // A worker can only help if there is a chunk beyond what the
+        // kernel thread will claim first — don't wake the rest.
+        let helpers = self
+            .workers
+            .len()
+            .min(len.div_ceil(STEP_CHUNK).saturating_sub(1));
+        let (kernel, rest) = self.scratches.split_at_mut(1);
+        for (i, w) in self.workers.iter().take(helpers).enumerate() {
+            let scratch: *mut StepScratch = &mut rest[i];
             w.job_tx
                 .send(StepJob {
                     ctx: erased,
-                    lo,
-                    hi,
+                    scratch,
                 })
                 .expect("step-phase worker alive");
-            thread_runs[i + 1] += (hi - lo) as u64;
-            issued += 1;
         }
-        let first = chunk.min(len);
-        thread_runs[0] += first as u64;
-        let mut out: Vec<SpecResult> = ctx.items[..first]
-            .iter()
-            .map(|&(mi, _, _)| speculate(&ctx.entries[mi], ctx.reg, ctx.snapshot))
-            .collect();
-        for w in self.workers.iter().take(issued) {
-            out.extend(w.done_rx.recv().expect("step-phase worker answered"));
+        run_step_region(ctx, &mut kernel[0]);
+        for w in self.workers.iter().take(helpers) {
+            w.done_rx.recv().expect("step-phase worker answered");
         }
-        out
+        for (wi, scratch) in self.scratches.iter_mut().enumerate() {
+            thread_runs[wi] += scratch.results.len() as u64;
+            for (idx, shell) in scratch.results.drain(..) {
+                origins[idx as usize] = wi as u32;
+                specs[idx as usize] = Some(shell);
+            }
+            stats.arena_acquires += std::mem::take(&mut scratch.acquires);
+            stats.arena_reuses += std::mem::take(&mut scratch.reuses);
+            stats.chunks += std::mem::take(&mut scratch.chunks);
+            stats.steals += std::mem::take(&mut scratch.steals);
+        }
     }
 }
 
@@ -1274,66 +1489,64 @@ impl Drop for StepPool {
 }
 
 /// The step phase of one module activation: pure speculation against
-/// the cycle-start snapshot. Thread-safe — takes only shared references
-/// and returns a self-contained [`SpecResult`].
-fn speculate(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>) -> SpecResult {
+/// the cycle-start snapshot, filled into a recycled [`SpecResult`]
+/// shell. Thread-safe — takes only shared references plus the
+/// worker-private shell, whose warm buffer pools make steady-state
+/// speculation allocation-free.
+fn speculate_into(entry: &ModuleEntry, reg: &Registry, ctx: &ProcCtx<'_>, buf: &mut SpecResult) {
+    buf.reset();
     let fsm = entry.module.fsm();
     let mut exec = entry.exec.clone();
+    // The effects block is threaded through the step as a separate
+    // value (its arg/trace pools live inside it) and handed back to the
+    // shell afterwards.
+    let mut effects = std::mem::take(&mut buf.effects);
     let mut env = SpecEnv {
         ctx,
         ports: &entry.ports,
         vars: &entry.vars,
-        var_writes: vec![],
+        var_writes: &mut buf.var_writes,
         var_tys: &entry.var_tys,
         reg,
         bindings: &entry.bindings,
         caller: entry.caller,
         changes: 0,
         pending_stable: true,
-        pending_watch: vec![],
-        call_stables: vec![],
-        peeks: vec![],
-        drives: vec![],
-        traces: vec![],
+        pending_watch: &mut buf.pending_watch,
+        call_stables: &mut buf.call_stables,
+        peeks: &mut buf.peeks,
+        drives: &mut buf.drives,
+        traces: &mut buf.traces,
+        vals_pool: &mut buf.vals_pool,
+        peek_scratch: &mut buf.peek_scratch,
         fallback: false,
     };
-    match exec.step(fsm, &mut env) {
-        Ok(report) => SpecResult {
-            var_writes: env.var_writes,
-            exec,
-            report,
-            call_stables: env.call_stables,
-            peeks: env.peeks,
-            changes: env.changes,
-            pending_stable: env.pending_stable,
-            pending_watch: env.pending_watch,
-            drives: env.drives,
-            traces: env.traces,
-            fallback: env.fallback,
-        },
+    match exec.step_with(fsm, &mut env, &mut effects) {
+        Ok(meta) => {
+            buf.changes = env.changes;
+            buf.pending_stable = env.pending_stable;
+            buf.fallback = env.fallback;
+            buf.exec = exec;
+            buf.meta = meta;
+            buf.effects = effects;
+        }
         // A speculative evaluation error may be an artifact of answered
         // placeholder outcomes; re-execute for real at commit (a genuine
         // error reproduces deterministically there).
-        Err(_) => SpecResult {
-            var_writes: vec![],
-            exec: entry.exec.clone(),
-            report: cosma_core::StepReport {
-                from: entry.exec.current(),
-                to: entry.exec.current(),
+        Err(_) => {
+            buf.reset();
+            buf.effects = effects;
+            buf.effects.recycle();
+            buf.exec = entry.exec.clone();
+            let cur = entry.exec.current();
+            buf.meta = cosma_core::StepMeta {
+                from: cur,
+                to: cur,
                 transitioned: false,
-                service_calls: 0,
-                pending: vec![],
-                calls: vec![],
-            },
-            call_stables: vec![],
-            peeks: vec![],
-            changes: 0,
-            pending_stable: false,
-            pending_watch: vec![],
-            drives: vec![],
-            traces: vec![],
-            fallback: true,
-        },
+            };
+            buf.pending_stable = false;
+            buf.fallback = true;
+        }
     }
 }
 
@@ -1388,7 +1601,7 @@ fn apply_deferred_call(
 fn commit_module(
     modules: &RefCell<Vec<ModuleEntry>>,
     idx: usize,
-    spec: SpecResult,
+    spec: &mut SpecResult,
     registry: &RefCell<Registry>,
     trace: &RefCell<TraceLog>,
     park: &ParkCounters,
@@ -1411,6 +1624,11 @@ fn commit_module(
             VecDeque::new(),
         );
     }
+    // The effects block is detached for the duration of the replay so
+    // its call stream can be iterated while the rest of the shell
+    // (peeks, peek scratch) is mutated; it is handed back before every
+    // return so the shell keeps its pools for recycling.
+    let effects = std::mem::take(&mut spec.effects);
     // Validate-and-apply: replay the recorded calls against the real
     // units. Calls are applied one by one so a divergence can hand the
     // already-applied prefix to the fallback as memoized outcomes.
@@ -1423,8 +1641,7 @@ fn commit_module(
         let modules_ref = modules.borrow();
         let entry = &modules_ref[idx];
         let mut reg = registry.borrow_mut();
-        let mut peeks = spec.peeks.into_iter();
-        for (k, dc) in spec.report.calls.iter().enumerate() {
+        for (k, dc) in effects.calls.iter().enumerate() {
             let Some(&handle) = entry.bindings.get(dc.binding.index()) else {
                 diverged = Some((
                     k,
@@ -1441,17 +1658,24 @@ fn commit_module(
             // buffered effects — no second dispatch, and validation
             // holds by construction (the install IS what was
             // speculated). FSM units install the peeked session delta
-            // after a (state, step-count) fingerprint check; batched
-            // links install the peeked queue-op journal entry after an
-            // occupancy fingerprint check.
-            let peek = peeks.next().flatten();
+            // after a (state, step-count) fingerprint check — returning
+            // the displaced buffers to this shell's peek scratch —
+            // batched links install the peeked queue-op journal entry
+            // after an occupancy fingerprint check.
+            let peek = spec.peeks.get_mut(k).and_then(Option::take);
             if let Some(peeked) = peek {
                 match handle {
                     Handle::Fsm(i) => {
                         let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
                         let mut ws = CtxWires { ctx, map: wires };
                         if matches!(
-                            runtime.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
+                            runtime.commit_peeked_reclaim(
+                                entry.caller,
+                                &dc.service,
+                                peeked,
+                                &mut ws,
+                                &mut spec.peek_scratch,
+                            ),
                             Ok(true)
                         ) {
                             continue;
@@ -1482,7 +1706,7 @@ fn commit_module(
     if let Some((k, result, stable)) = diverged {
         // Reconstruct the applied prefix: calls 0..k matched the
         // speculation exactly, call k answered `result`.
-        let mut memo: VecDeque<MemoCall> = spec.report.calls[..k]
+        let mut memo: VecDeque<MemoCall> = effects.calls[..k]
             .iter()
             .enumerate()
             .map(|(j, dc)| MemoCall {
@@ -1493,33 +1717,36 @@ fn commit_module(
             })
             .collect();
         memo.push_back(MemoCall {
-            binding: spec.report.calls[k].binding,
-            service: spec.report.calls[k].service.clone(),
+            binding: effects.calls[k].binding,
+            service: effects.calls[k].service.clone(),
             result,
             stable,
         });
+        spec.effects = effects;
         *fallbacks += 1;
         return step_module(modules, idx, registry, trace, park, park_blocked, ctx, memo);
     }
-    // Speculation validated: install the buffered effects.
+    // Speculation validated: install the buffered effects. Buffers are
+    // drained, not moved, so their capacity stays with the shell (trace
+    // value vectors are the exception — they become log storage).
     let mut modules = modules.borrow_mut();
     let entry = &mut modules[idx];
     let fsm = entry.module.fsm();
-    for (v, val) in spec.var_writes {
+    for (v, val) in spec.var_writes.drain(..) {
         entry.vars[v.index()] = val;
     }
-    entry.exec = spec.exec;
-    for (sig, v) in spec.drives {
+    entry.exec = spec.exec.clone();
+    for (sig, v) in spec.drives.drain(..) {
         ctx.drive(sig, v);
     }
     if !spec.traces.is_empty() {
         let now = ctx.now().as_fs();
         let mut tlog = trace.borrow_mut();
-        for (label, values) in spec.traces {
-            tlog.record(now, &entry.name, &label, values);
+        for (label, values) in spec.traces.drain(..) {
+            tlog.record(now, &entry.name, &*label, values);
         }
     }
-    if spec.report.from != spec.report.to {
+    if spec.meta.from != spec.meta.to {
         // The state name only changes on a real transition — skip the
         // per-activation render for self-loops and fixed points.
         entry.status.state = fsm.state(entry.exec.current()).name().to_string();
@@ -1527,12 +1754,13 @@ fn commit_module(
     entry.status.activations += 1;
     park.modules_stepped.set(park.modules_stepped.get() + 1);
     let parkable = park_blocked
-        && spec.report.from == spec.report.to
+        && spec.meta.from == spec.meta.to
         && spec.changes == 0
         && spec.pending_stable
-        && spec.report.pending.len() == spec.report.service_calls as usize;
+        && effects.pending.len() == effects.service_calls as usize;
+    spec.effects = effects;
     if parkable {
-        let mut watch = spec.pending_watch;
+        let mut watch = std::mem::take(&mut spec.pending_watch);
         watch.extend_from_slice(&entry.ports);
         watch.sort_unstable();
         watch.dedup();
@@ -1598,6 +1826,14 @@ struct DriverState {
     fallbacks: u64,
     /// Per-worker stepped-activation counts (threaded step phase).
     thread_runs: Vec<u64>,
+    /// Scratch-arena and work-stealing counters (threaded step phase).
+    scratch: ScratchStats,
+    /// Pooled commit-phase buffers, reused every cycle: the speculated
+    /// results indexed by stepping-set position, the arena each shell
+    /// came from, and the module-id commit order.
+    specs: Vec<Option<SpecResult>>,
+    origins: Vec<u32>,
+    order: Vec<usize>,
 }
 
 /// The backplane resources a scheduler registration needs.
@@ -1728,6 +1964,10 @@ impl ActivationScheduler {
                     commit_calls: 0,
                     fallbacks: 0,
                     thread_runs: vec![],
+                    scratch: ScratchStats::default(),
+                    specs: vec![],
+                    origins: vec![],
+                    order: vec![],
                 }));
                 Self::register_driver_process(
                     &mut ctx,
@@ -1887,7 +2127,7 @@ impl ActivationScheduler {
         let demand = Rc::clone(ctx.demand);
         let clocks = vec![ctx.hw_clk, ctx.sw_clk];
         // Persistent worker pool: n-1 OS threads plus the kernel thread.
-        let pool = match parallelism {
+        let mut pool = match parallelism {
             Parallelism::Threads(n) if n >= 2 => Some(StepPool::new(n - 1)),
             _ => None,
         };
@@ -1974,15 +2214,17 @@ impl ActivationScheduler {
                         }
                     } else {
                         // STEP PHASE: pure speculation, snapshot-only
-                        // reads, fanned out over the worker pool (the
-                        // `speculative` gate guarantees the pool
-                        // exists).
-                        let mut specs: Vec<Option<SpecResult>> = {
+                        // reads, fanned out over the worker pool via the
+                        // shared work-stealing cursor (the `speculative`
+                        // gate guarantees the pool exists). Each worker
+                        // fills recycled shells from its own scratch
+                        // arena, so the steady state allocates nothing.
+                        {
                             let modules_ref = modules.borrow();
                             let reg_ref = registry.borrow();
                             let entries: &[ModuleEntry] = &modules_ref;
                             let reg: &Registry = &reg_ref;
-                            let pool = pool.as_ref().expect("speculative implies a pool");
+                            let pool = pool.as_mut().expect("speculative implies a pool");
                             if st.thread_runs.len() < pool_width {
                                 st.thread_runs.resize(pool_width, 0);
                             }
@@ -1991,22 +2233,32 @@ impl ActivationScheduler {
                                 reg,
                                 snapshot: &*pctx,
                                 items: &items,
+                                cursor: std::sync::atomic::AtomicUsize::new(0),
+                                fair: items.len().div_ceil(pool.workers.len() + 1),
                             };
-                            pool.run(&job, &mut st.thread_runs)
-                                .into_iter()
-                                .map(Some)
-                                .collect()
-                        };
+                            pool.run(
+                                &job,
+                                &mut st.specs,
+                                &mut st.origins,
+                                &mut st.thread_runs,
+                                &mut st.scratch,
+                            );
+                        }
                         // COMMIT PHASE: deterministic creation order.
-                        let mut order: Vec<usize> = (0..items.len()).collect();
+                        // Each committed shell is reset and pushed back
+                        // to the arena that filled it.
+                        let mut order = std::mem::take(&mut st.order);
+                        order.clear();
+                        order.extend(0..items.len());
                         order.sort_unstable_by_key(|&i| items[i].0);
+                        let mut cycle_bytes = 0u64;
                         for &oi in &order {
                             let (mi, si, ai) = items[oi];
-                            let spec = specs[oi].take().expect("spec consumed once");
-                            match commit_module(
+                            let mut spec = st.specs[oi].take().expect("spec consumed once");
+                            let verdict = commit_module(
                                 &modules,
                                 mi,
-                                spec,
+                                &mut spec,
                                 &registry,
                                 &trace,
                                 &park,
@@ -2014,7 +2266,13 @@ impl ActivationScheduler {
                                 pctx,
                                 &mut st.commit_calls,
                                 &mut st.fallbacks,
-                            ) {
+                            );
+                            spec.reset();
+                            cycle_bytes += spec.approx_bytes() as u64;
+                            if let Some(pool) = pool.as_mut() {
+                                pool.scratches[st.origins[oi] as usize].shells.push(spec);
+                            }
+                            match verdict {
                                 Ok(Some(watch)) => to_park.push((si, ai, watch)),
                                 Ok(None) => {}
                                 Err(msg) => {
@@ -2023,6 +2281,8 @@ impl ActivationScheduler {
                                 }
                             }
                         }
+                        st.order = order;
+                        st.scratch.bytes_high_water = st.scratch.bytes_high_water.max(cycle_bytes);
                     }
                     if let Some(msg) = fatal {
                         *error.borrow_mut() = Some(msg);
@@ -2243,6 +2503,7 @@ impl ActivationScheduler {
             s.commit_calls = st.commit_calls;
             s.commit_fallbacks = st.fallbacks;
             s.step_thread_runs = st.thread_runs.clone();
+            s.scratch = st.scratch.clone();
         }
         s
     }

@@ -53,7 +53,18 @@ pub enum Topology {
     /// activation scheduler's parking showcase — without it, every
     /// starved consumer burns one no-op activation per clock edge.
     Starved,
+    /// The [`Starved`](Topology::Starved) wiring with deliberately
+    /// skewed step costs: link 0's producer burns [`HEAVY_WORK`]
+    /// chained arithmetic assignments per activation while the starved
+    /// consumers are near-free. One expensive speculation amid many
+    /// cheap ones — the shape a fixed per-worker partition serializes
+    /// on and work-stealing rebalances.
+    Skewed,
 }
+
+/// Per-activation arithmetic statements of the [`Topology::Skewed`]
+/// heavy producer.
+pub const HEAVY_WORK: usize = 96;
 
 /// Communication-unit flavour used for every link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,22 +202,36 @@ fn kind_for(index: usize) -> ModuleKind {
 
 /// A producer sending `base`, `base+1`, …, `base+n-1` on binding `out`.
 fn producer(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
+    producer_with_work(name, kind, base, n, 0)
+}
+
+/// [`producer`] with `work` extra arithmetic assignments per activation
+/// on a scratch variable — a knob for skewing per-module step cost.
+fn producer_with_work(name: &str, kind: ModuleKind, base: i64, n: usize, work: usize) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let idx = b.var("I", Type::INT16, Value::Int(0));
     let out = b.binding("out", "link");
     let put = b.state("PUT");
     let end = b.state("END");
-    b.actions(
-        put,
-        vec![Stmt::Call(ServiceCall {
-            binding: out,
-            service: "put".into(),
-            args: vec![Expr::int(base).add(Expr::var(idx))],
-            done: Some(done),
-            result: None,
-        })],
-    );
+    let mut acts = Vec::with_capacity(work + 1);
+    if work > 0 {
+        let w = b.var("W", Type::INT16, Value::Int(0));
+        for _ in 0..work {
+            acts.push(Stmt::assign(
+                w,
+                Expr::var(w).add(Expr::var(idx)).add(Expr::int(1)),
+            ));
+        }
+    }
+    acts.push(Stmt::Call(ServiceCall {
+        binding: out,
+        service: "put".into(),
+        args: vec![Expr::int(base).add(Expr::var(idx))],
+        done: Some(done),
+        result: None,
+    }));
+    b.actions(put, acts);
     b.transition_with(
         put,
         Some(Expr::var(done).and(Expr::var(idx).ge(Expr::int(n as i64 - 1)))),
@@ -534,10 +559,17 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
                 start += len;
             }
         }
-        Topology::Starved => {
+        Topology::Starved | Topology::Skewed => {
             // One consumer per link, but traffic only on link 0: the
-            // consumers on links 1..N block on `get` forever.
-            let p = producer("prod0", kind_for(0), 3, m);
+            // consumers on links 1..N block on `get` forever. Skewed
+            // additionally loads the producer with HEAVY_WORK dummy
+            // statements per activation.
+            let work = if spec.topology == Topology::Skewed {
+                HEAVY_WORK
+            } else {
+                0
+            };
+            let p = producer_with_work("prod0", kind_for(0), 3, m, work);
             modules.push(cosim.add_module(&p, &[("out", links[0])])?);
             for (i, &link) in links.iter().enumerate() {
                 let c = consumer(&format!("cons{i}"), kind_for(i + 1), m);
@@ -691,6 +723,7 @@ mod tests {
             Topology::Ring,
             Topology::RandomDag { seed: 99 },
             Topology::Starved,
+            Topology::Skewed,
         ] {
             for link in [
                 LinkKind::Handshake,
@@ -748,6 +781,15 @@ mod tests {
                             ..sharded4.with_threads(2)
                         },
                     ),
+                    // More workers than stepping-set items: exercises
+                    // the work-stealing cursor's idle-worker skip.
+                    (
+                        "deferred_threads8",
+                        SchedulingConfig {
+                            step_fanout_min: 1,
+                            ..sharded4.with_threads(8)
+                        },
+                    ),
                     (
                         "immediate_sharded",
                         SchedulingConfig {
@@ -779,6 +821,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn skewed_costs_steal_work_and_reuse_arenas_under_threads() {
+        // One heavy producer amid 48 near-free consumers, parking off so
+        // the whole set steps every cycle: the work-stealing cursor must
+        // rebalance chunks past the fair share at least once across the
+        // run, and the scratch arenas must hit their free-lists in the
+        // steady state (zero-allocation speculation).
+        use crate::backplane::{ModuleScheduling, UnitScheduling};
+        let mut s = build_scenario(&ScenarioSpec {
+            units: 48,
+            topology: Topology::Skewed,
+            values_per_link: 4,
+            scheduling: SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size: 16 },
+                modules: ModuleScheduling::Sharded { shard_size: 16 },
+                park_blocked: false,
+                step_fanout_min: 1,
+                ..SchedulingConfig::sharded().with_threads(2)
+            },
+            ..ScenarioSpec::default()
+        })
+        .expect("builds");
+        let done = s.run_to_completion(Duration::from_us(2_000)).expect("runs");
+        assert!(done, "skewed scenario completes");
+        s.verify().expect("checksum holds");
+        let st = s.cosim.shard_stats();
+        assert!(st.scratch.chunks > 0, "threaded step phase ran: {st:?}");
+        assert!(
+            st.scratch.steals > 0,
+            "skewed stepping set rebalanced via stealing: {:?}",
+            st.scratch
+        );
+        assert!(
+            st.scratch.arena_reuses > 0,
+            "speculation shells recycled: {:?}",
+            st.scratch
+        );
+        assert!(st.scratch.bytes_high_water > 0);
     }
 
     #[test]

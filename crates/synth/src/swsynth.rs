@@ -394,10 +394,10 @@ impl CodeGen<'_> {
                 self.label(&lend);
             }
             Stmt::Trace(label, values) => {
-                let idx = match self.trace_labels.iter().position(|(l, _)| l == label) {
+                let idx = match self.trace_labels.iter().position(|(l, _)| **l == **label) {
                     Some(i) => i,
                     None => {
-                        self.trace_labels.push((label.clone(), values.len()));
+                        self.trace_labels.push((label.to_string(), values.len()));
                         self.trace_labels.len() - 1
                     }
                 };

@@ -123,7 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = cosim.unit_stats("link").expect("unit exists");
     println!(
         "link saw {} put / {} get completions",
-        stats.services["put"].completions, stats.services["GET"].completions
+        stats.services["put"].completions, stats.services["get"].completions
     );
     Ok(())
 }

@@ -734,6 +734,17 @@ proptest! {
                 step_fanout_min: 1,
                 ..SchedulingConfig::sharded()
             }),
+            // Threads(8): more workers than most of these stepping sets
+            // have items, exercising the work-stealing cursor's
+            // empty-claim path and idle-worker skip.
+            ("deferred_threads8", SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size },
+                modules: shd(shard_size),
+                park_blocked: park,
+                parallelism: Parallelism::Threads(8),
+                step_fanout_min: 1,
+                ..SchedulingConfig::sharded()
+            }),
         ];
         for (name, cfg) in variants {
             prop_assert_eq!(cfg.calls == CallApplication::Immediate,
