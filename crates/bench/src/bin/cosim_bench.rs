@@ -367,6 +367,93 @@ fn main() {
         }
     }
 
+    // Checkpoint/restore vs re-run-from-zero: branching a what-if off a
+    // warm backplane must beat rebuilding it and replaying the prefix.
+    // One backplane is checkpointed mid-run; the `snapshot_restore`
+    // rows time restore + tail, the `snapshot_rerun` rows time the
+    // equivalent prefix + tail from a cold start. Each restored run is
+    // also checked trace-identical to the original continuation, so the
+    // speed-up is of a *bit-identical* replay, not an approximation.
+    {
+        let n = if quick { 64 } else { 256 };
+        let (mid_us, tail_us) = (150u64, 50u64);
+        let build = move || scenario(n, Topology::Pipeline, SchedulingConfig::sharded(), batched);
+        let mut warm = build();
+        warm.cosim.run_for(Duration::from_us(mid_us)).expect("runs");
+        let capture_start = Instant::now();
+        let snap = warm.cosim.snapshot();
+        let capture_ns = capture_start.elapsed().as_nanos();
+        warm.cosim
+            .run_for(Duration::from_us(tail_us))
+            .expect("runs");
+        let want_trace = warm.cosim.trace_log();
+        println!(
+            "snapshot capture: {capture_ns} ns for {} modules at t={:?}",
+            snap.module_count(),
+            snap.at()
+        );
+
+        let summarize = |mut samples: Vec<u128>| {
+            samples.sort_unstable();
+            let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+            let p50 = samples[samples.len() / 2];
+            let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+            (mean, p50, p99)
+        };
+        let mut restore_samples = Vec::with_capacity(runs as usize);
+        for _ in 0..runs {
+            let start = Instant::now();
+            warm.cosim.restore(&snap).expect("restore");
+            warm.cosim
+                .run_for(Duration::from_us(tail_us))
+                .expect("runs");
+            restore_samples.push(start.elapsed().as_nanos());
+            assert_eq!(
+                warm.cosim.trace_log(),
+                want_trace,
+                "restored replay must be bit-identical to the original run"
+            );
+        }
+        let mut rerun_samples = Vec::with_capacity(runs as usize);
+        for _ in 0..runs {
+            let mut s = build();
+            let start = Instant::now();
+            s.cosim
+                .run_for(Duration::from_us(mid_us + tail_us))
+                .expect("runs");
+            rerun_samples.push(start.elapsed().as_nanos());
+        }
+        let (restore_mean, restore_p50, restore_p99) = summarize(restore_samples);
+        let (rerun_mean, rerun_p50, rerun_p99) = summarize(rerun_samples);
+        for (name, mean, p50, p99) in [
+            ("snapshot_restore", restore_mean, restore_p50, restore_p99),
+            ("snapshot_rerun", rerun_mean, rerun_p50, rerun_p99),
+        ] {
+            println!(
+                "{name:<24} N={n:<4} par=off      bus={:<13} {mean:>12} ns/run  \
+                 p50={p50} p99={p99}  ({runs} runs)",
+                timing_label(&batched)
+            );
+            records.push(Record {
+                scenario: name,
+                n,
+                parallelism: "off",
+                threads: None,
+                bus_timing: timing_label(&batched),
+                ns_per_run: mean,
+                p50_ns: p50,
+                p99_ns: p99,
+                runs,
+            });
+        }
+        assert!(
+            restore_p50 < rerun_p50,
+            "restore + {tail_us}us tail ({restore_p50} ns p50) must beat re-running \
+             {}us from zero ({rerun_p50} ns p50)",
+            mid_us + tail_us
+        );
+    }
+
     // Sanity gate for CI: parked consumers must contribute ~zero
     // activations in the starved scenario.
     let mut s = scenario(

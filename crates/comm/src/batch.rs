@@ -46,7 +46,9 @@
 //! payload-beat bus occupancy ([`UnitStats::payload_beats`]).
 
 use crate::library::batched_handshake_unit;
-use crate::runtime::{CallerId, FsmUnitRuntime, PeekDelta, PeekedCall, UnitStats, WireStore};
+use crate::runtime::{
+    CallerId, FsmUnitRuntime, FsmUnitState, PeekDelta, PeekedCall, UnitStats, WireStore,
+};
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::PortId;
 use cosma_core::{Bit, DeferredCall, EvalError, ServiceOutcome, Type, Value};
@@ -98,6 +100,41 @@ pub(crate) enum QueueDelta {
     /// `get` answered pending (nothing delivered). Valid while the
     /// delivered queue is still empty.
     GetEmpty,
+}
+
+/// A point-in-time capture of all mutable [`BatchedLink`] state,
+/// produced by [`BatchedLink::capture_state`] and consumed by
+/// [`BatchedLink::restore_state`]: the inner bus-protocol runtime's
+/// state, all three payload queues, the handshake/streaming phase, and
+/// the adaptive batch target. Immutable link configuration (spec, data
+/// type, timing model, `max_batch`, capacity) is not captured — a
+/// capture restores into any link built with the same configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedLinkState {
+    inner: FsmUnitState,
+    batch_target: usize,
+    outgoing: Vec<Value>,
+    in_flight: Vec<Value>,
+    delivered: Vec<Value>,
+    sending: bool,
+    streaming: bool,
+    beat: usize,
+    last_call_stable: bool,
+    stats: UnitStats,
+}
+
+impl BatchedLinkState {
+    /// Captured total occupancy across all queues.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.outgoing.len() + self.in_flight.len() + self.delivered.len()
+    }
+
+    /// Captured adaptive batch target.
+    #[must_use]
+    pub fn batch_target(&self) -> usize {
+        self.batch_target
+    }
 }
 
 /// Converts a payload value into the word driven onto the INT16 `DATA`
@@ -711,6 +748,67 @@ impl BatchedLink {
         s.controller_skips = self.inner.stats().controller_skips;
         s
     }
+
+    /// Captures all mutable link state into a [`BatchedLinkState`]: the
+    /// inner bus-protocol runtime, the three payload queues, the
+    /// handshake/streaming phase and the adaptive batch target.
+    #[must_use]
+    pub fn capture_state(&self) -> BatchedLinkState {
+        BatchedLinkState {
+            inner: self.inner.capture_state(),
+            batch_target: self.batch_target,
+            outgoing: self.outgoing.clone(),
+            in_flight: self.in_flight.clone(),
+            delivered: self.delivered.iter().cloned().collect(),
+            sending: self.sending,
+            streaming: self.streaming,
+            beat: self.beat,
+            last_call_stable: self.last_call_stable,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores a previously captured [`BatchedLinkState`]. The target
+    /// must be configured identically to the link that produced the
+    /// capture (same spec, data type, timing, `max_batch`, capacity) —
+    /// only mutable state is restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Service`] (leaving this link untouched) if
+    /// the captured batch target exceeds this link's `max_batch` or the
+    /// captured occupancy exceeds its capacity — the signature of a
+    /// capture from a differently-configured link.
+    pub fn restore_state(&mut self, state: &BatchedLinkState) -> Result<(), EvalError> {
+        if state.batch_target > self.max_batch {
+            return Err(EvalError::Service(format!(
+                "batched link {}: snapshot batch target {} exceeds max_batch {}",
+                self.inner.spec().name(),
+                state.batch_target,
+                self.max_batch
+            )));
+        }
+        if state.occupancy() > self.capacity {
+            return Err(EvalError::Service(format!(
+                "batched link {}: snapshot occupancy {} exceeds capacity {}",
+                self.inner.spec().name(),
+                state.occupancy(),
+                self.capacity
+            )));
+        }
+        self.inner.restore_state(&state.inner)?;
+        self.batch_target = state.batch_target;
+        self.outgoing.clone_from(&state.outgoing);
+        self.in_flight.clone_from(&state.in_flight);
+        self.delivered.clear();
+        self.delivered.extend(state.delivered.iter().cloned());
+        self.sending = state.sending;
+        self.streaming = state.streaming;
+        self.beat = state.beat;
+        self.last_call_stable = state.last_call_stable;
+        self.stats.clone_from(&state.stats);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1239,5 +1337,77 @@ mod tests {
         }
         assert!(link.get(CallerId(2), &mut wires).unwrap().done);
         assert!(!link.last_call_stable(), "a completing get pops state");
+    }
+
+    #[test]
+    fn capture_restore_resumes_mid_batch() {
+        let (mut link, mut wires) = fresh();
+        let p = CallerId(1);
+        let c = CallerId(2);
+        // Queue a burst and pump it part-way: payload split across the
+        // outgoing queue and an in-flight bus transaction, with the
+        // adaptive target already ramped off its floor.
+        for i in 0..6 {
+            assert!(link.put(p, Value::Int(i), &mut wires).unwrap().done);
+        }
+        for _ in 0..7 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let snap = link.capture_state();
+        let wires_snap = wires.clone();
+        assert_eq!(snap.occupancy(), 6, "every queued value is captured");
+        assert_eq!(snap.batch_target(), link.batch_target());
+
+        // Drain the original to completion and log delivery order.
+        let drain = |link: &mut BatchedLink, wires: &mut LocalWires| {
+            let mut got = vec![];
+            for _ in 0..60 {
+                link.pump(wires, false).unwrap();
+                if let Some(v) = link.get(c, wires).unwrap().result {
+                    got.push(v.as_int().unwrap());
+                }
+            }
+            got
+        };
+        let first = drain(&mut link, &mut wires);
+        assert_eq!(first, vec![0, 1, 2, 3, 4, 5], "order preserved");
+        let end_stats = link.stats();
+
+        // Restore into a fresh identically-configured link and replay.
+        let (mut twin, _) = fresh();
+        let mut twin_wires = wires_snap;
+        twin.restore_state(&snap).unwrap();
+        assert_eq!(twin.capture_state(), snap, "captures are canonical");
+        let second = drain(&mut twin, &mut twin_wires);
+        assert_eq!(second, first, "replay delivers the same sequence");
+        assert_eq!(twin.stats(), end_stats, "stats land on the same totals");
+    }
+
+    #[test]
+    fn restore_refuses_misconfigured_target() {
+        let (mut link, mut wires) = fresh();
+        for i in 0..6 {
+            link.put(CallerId(1), Value::Int(i), &mut wires).unwrap();
+        }
+        for _ in 0..7 {
+            link.pump(&mut wires, false).unwrap();
+        }
+        let snap = link.capture_state();
+
+        // Capacity smaller than the captured occupancy: refused, and the
+        // target keeps its own state.
+        let mut tiny = BatchedLink::new("bus", Type::INT16, 8, 4);
+        let mut tiny_wires = LocalWires::new(tiny.spec());
+        tiny.put(CallerId(1), Value::Int(99), &mut tiny_wires)
+            .unwrap();
+        let before = tiny.capture_state();
+        let err = tiny.restore_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+        assert_eq!(tiny.capture_state(), before, "refused load is a no-op");
+
+        // max_batch below the captured adaptive target: refused too.
+        let mut narrow = BatchedLink::new("bus", Type::INT16, 1, 64);
+        let err = narrow.restore_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("batch target"));
     }
 }

@@ -15,6 +15,16 @@
 //! [`FsmUnitRuntime`] executes FSM units with one protocol session per
 //! caller (each module links "its own copy" of the procedure, as in the
 //! paper), and [`StandaloneUnit`] gives both flavours one interface.
+//!
+//! Every flavour is checkpointable: [`FsmUnitRuntime::capture_state`] /
+//! [`BatchedLink::capture_state`] produce canonical state values
+//! ([`FsmUnitState`], [`BatchedLinkState`]) that restore into any
+//! identically-configured instance, and native units implement
+//! [`NativeUnit::save_state`] / [`NativeUnit::load_state`] /
+//! [`NativeUnit::fork_fresh`] (or opt out, failing a whole-backplane
+//! restore cleanly by name). Units own only their *internal* state —
+//! wire values belong to whoever hosts them (kernel signals in the
+//! backplane, [`LocalWires`] standalone) and must be captured there.
 
 #![warn(missing_docs)]
 
@@ -24,11 +34,13 @@ mod native;
 mod runtime;
 mod standalone;
 
-pub use batch::{BatchedLink, BusTiming};
+pub use batch::{BatchedLink, BatchedLinkState, BusTiming};
 pub use library::{batched_handshake_unit, handshake_unit, register_bank_unit, shared_reg_unit};
-pub use native::{FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, SharedMemory};
+pub use native::{
+    FifoChannel, Mailbox, NativeServiceDesc, NativeUnit, NativeUnitState, SharedMemory,
+};
 pub use runtime::{
-    CallerId, FsmUnitRuntime, LocalWires, PeekScratch, PeekedCall, ReadWires, ServiceStats,
-    UnitStats, WireStore,
+    CallerId, FsmUnitRuntime, FsmUnitState, LocalWires, PeekScratch, PeekedCall, ReadWires,
+    ServiceStats, UnitStats, WireStore,
 };
 pub use standalone::StandaloneUnit;

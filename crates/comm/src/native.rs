@@ -23,6 +23,25 @@ pub struct NativeServiceDesc {
     pub returns: Option<Type>,
 }
 
+/// A value-bag capture of a native unit's mutable state, produced by
+/// [`NativeUnit::save_state`] and consumed by [`NativeUnit::load_state`].
+///
+/// Native units are arbitrary Rust, so the capture is generic: each
+/// implementation packs its state into the three buckets in a layout of
+/// its own choosing and unpacks the same layout on load. Statistics ride
+/// along so post-restore counter deltas match an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NativeUnitState {
+    /// Scalar state (flags, counters, ids), implementation-defined order.
+    pub ints: Vec<i64>,
+    /// Flat value state (e.g. memory cells).
+    pub values: Vec<Value>,
+    /// Queue contents, front first, implementation-defined order.
+    pub queues: Vec<Vec<Value>>,
+    /// Call statistics at capture time.
+    pub stats: UnitStats,
+}
+
 /// A communication unit implemented natively (an "existing platform").
 ///
 /// `Sync` is required so a two-phase scheduler can share the unit table
@@ -99,6 +118,36 @@ pub trait NativeUnit: fmt::Debug + Send + Sync {
 
     /// Call statistics.
     fn stats(&self) -> &UnitStats;
+
+    /// Captures the unit's mutable state as a [`NativeUnitState`] value
+    /// bag, or `None` if this unit does not support checkpointing (the
+    /// default). A whole-backplane snapshot fails cleanly on a `None`
+    /// rather than silently skipping the unit.
+    fn save_state(&self) -> Option<NativeUnitState> {
+        None
+    }
+
+    /// Restores a state previously produced by this implementation's
+    /// [`NativeUnit::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Service`] if the unit does not support
+    /// checkpointing (the default) or the bag's layout doesn't match.
+    fn load_state(&mut self, _state: &NativeUnitState) -> Result<(), EvalError> {
+        Err(EvalError::Service(format!(
+            "native unit {} does not support state restore",
+            self.name()
+        )))
+    }
+
+    /// Creates a fresh, state-empty unit of the same kind and
+    /// configuration (for [`NativeUnit::load_state`] by a backplane
+    /// fork), or `None` if this unit cannot be replicated (the
+    /// default) — forking a backplane containing it then fails cleanly.
+    fn fork_fresh(&self) -> Option<Box<dyn NativeUnit>> {
+        None
+    }
 }
 
 fn bump(stats: &mut UnitStats, service: &str, done: bool) {
@@ -260,6 +309,47 @@ impl NativeUnit for FifoChannel {
     fn stats(&self) -> &UnitStats {
         &self.stats
     }
+
+    fn save_state(&self) -> Option<NativeUnitState> {
+        Some(NativeUnitState {
+            ints: vec![
+                i64::from(self.stable),
+                self.rejected_puts as i64,
+                self.high_water as i64,
+            ],
+            values: vec![],
+            queues: vec![self.queue.iter().cloned().collect()],
+            stats: self.stats.clone(),
+        })
+    }
+
+    fn load_state(&mut self, state: &NativeUnitState) -> Result<(), EvalError> {
+        let ([stable, rejected, high_water], [queue]) = (&state.ints[..], &state.queues[..]) else {
+            return Err(EvalError::Service(format!(
+                "fifo {}: snapshot layout mismatch",
+                self.name
+            )));
+        };
+        if queue.len() > self.capacity {
+            return Err(EvalError::Service(format!(
+                "fifo {}: snapshot holds {} values, capacity is {}",
+                self.name,
+                queue.len(),
+                self.capacity
+            )));
+        }
+        self.queue.clear();
+        self.queue.extend(queue.iter().cloned());
+        self.stable = *stable != 0;
+        self.rejected_puts = *rejected as u64;
+        self.high_water = *high_water as usize;
+        self.stats.clone_from(&state.stats);
+        Ok(())
+    }
+
+    fn fork_fresh(&self) -> Option<Box<dyn NativeUnit>> {
+        Some(Box::new(FifoChannel::new(self.name.clone(), self.capacity)))
+    }
 }
 
 /// A bidirectional mailbox: two FIFO directions, `send_a`/`recv_a` for
@@ -408,6 +498,44 @@ impl NativeUnit for Mailbox {
     fn stats(&self) -> &UnitStats {
         &self.stats
     }
+
+    fn save_state(&self) -> Option<NativeUnitState> {
+        Some(NativeUnitState {
+            ints: vec![i64::from(self.stable)],
+            values: vec![],
+            queues: vec![
+                self.a_to_b.iter().cloned().collect(),
+                self.b_to_a.iter().cloned().collect(),
+            ],
+            stats: self.stats.clone(),
+        })
+    }
+
+    fn load_state(&mut self, state: &NativeUnitState) -> Result<(), EvalError> {
+        let ([stable], [a_to_b, b_to_a]) = (&state.ints[..], &state.queues[..]) else {
+            return Err(EvalError::Service(format!(
+                "mailbox {}: snapshot layout mismatch",
+                self.name
+            )));
+        };
+        if a_to_b.len() > self.capacity || b_to_a.len() > self.capacity {
+            return Err(EvalError::Service(format!(
+                "mailbox {}: snapshot exceeds per-direction capacity {}",
+                self.name, self.capacity
+            )));
+        }
+        self.a_to_b.clear();
+        self.a_to_b.extend(a_to_b.iter().cloned());
+        self.b_to_a.clear();
+        self.b_to_a.extend(b_to_a.iter().cloned());
+        self.stable = *stable != 0;
+        self.stats.clone_from(&state.stats);
+        Ok(())
+    }
+
+    fn fork_fresh(&self) -> Option<Box<dyn NativeUnit>> {
+        Some(Box::new(Mailbox::new(self.name.clone(), self.capacity)))
+    }
 }
 
 /// A lock-guarded shared memory with addressed `load(addr)` /
@@ -548,6 +676,49 @@ impl NativeUnit for SharedMemory {
     fn stats(&self) -> &UnitStats {
         &self.stats
     }
+
+    fn save_state(&self) -> Option<NativeUnitState> {
+        Some(NativeUnitState {
+            ints: vec![
+                i64::from(self.holder.is_some()),
+                // CallerId bits, cast-preserved through i64.
+                self.holder.map_or(0, |c| c.0 as i64),
+                self.unlocked_accesses as i64,
+            ],
+            values: self.cells.clone(),
+            queues: vec![],
+            stats: self.stats.clone(),
+        })
+    }
+
+    fn load_state(&mut self, state: &NativeUnitState) -> Result<(), EvalError> {
+        let [has_holder, holder_bits, unlocked] = state.ints[..] else {
+            return Err(EvalError::Service(format!(
+                "shared memory {}: snapshot layout mismatch",
+                self.name
+            )));
+        };
+        if state.values.len() != self.cells.len() {
+            return Err(EvalError::Service(format!(
+                "shared memory {}: snapshot has {} cells, memory has {}",
+                self.name,
+                state.values.len(),
+                self.cells.len()
+            )));
+        }
+        self.cells.clone_from(&state.values);
+        self.holder = (has_holder != 0).then_some(CallerId(holder_bits as u64));
+        self.unlocked_accesses = unlocked as u64;
+        self.stats.clone_from(&state.stats);
+        Ok(())
+    }
+
+    fn fork_fresh(&self) -> Option<Box<dyn NativeUnit>> {
+        Some(Box::new(SharedMemory::new(
+            self.name.clone(),
+            self.cells.len(),
+        )))
+    }
 }
 
 #[cfg(test)]
@@ -665,5 +836,79 @@ mod tests {
         assert_eq!(svcs[0].name, "put");
         assert_eq!(svcs[0].arity, 1);
         assert_eq!(svcs[1].returns, Some(Type::INT16));
+    }
+
+    #[test]
+    fn fifo_save_load_fork_round_trip() {
+        let mut ch = FifoChannel::new("q", 3);
+        for i in 0..3 {
+            ch.call(CallerId(0), "put", &[Value::Int(i)]).unwrap();
+        }
+        // One rejected put and one drained value: non-trivial counters.
+        ch.call(CallerId(0), "put", &[Value::Int(99)]).unwrap();
+        ch.call(CallerId(1), "get", &[]).unwrap();
+        let snap = ch.save_state().expect("fifo supports checkpointing");
+
+        // Fork an empty twin of the same configuration and load: every
+        // observable — contents, counters, stats — matches the original.
+        let mut twin = ch.fork_fresh().expect("fifo supports forking");
+        assert_eq!(twin.name(), ch.name());
+        assert!(twin.stats().services.is_empty(), "fork starts fresh");
+        twin.load_state(&snap).unwrap();
+        assert_eq!(twin.save_state(), Some(snap.clone()));
+        assert_eq!(twin.stats(), ch.stats());
+
+        // Both drain the same remaining sequence.
+        for want in [1, 2] {
+            let a = ch.call(CallerId(1), "get", &[]).unwrap();
+            let b = twin.call(CallerId(1), "get", &[]).unwrap();
+            assert_eq!(a.result, Some(Value::Int(want)));
+            assert_eq!(b.result, a.result);
+        }
+
+        // A smaller-capacity target refuses the snapshot untouched.
+        let mut tiny = FifoChannel::new("q", 1);
+        tiny.call(CallerId(0), "put", &[Value::Int(5)]).unwrap();
+        let before = tiny.save_state();
+        let err = tiny.load_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+        assert_eq!(tiny.save_state(), before, "refused load is a no-op");
+
+        // A malformed value bag is a typed error, not a panic.
+        let err = ch.load_state(&NativeUnitState::default()).unwrap_err();
+        assert!(err.to_string().contains("layout"));
+    }
+
+    #[test]
+    fn mailbox_and_shared_memory_round_trip() {
+        let mut mb = Mailbox::new("ipc", 4);
+        mb.call(CallerId(1), "send_a", &[Value::Int(10)]).unwrap();
+        mb.call(CallerId(2), "send_b", &[Value::Int(20)]).unwrap();
+        mb.call(CallerId(1), "send_a", &[Value::Int(11)]).unwrap();
+        let snap = mb.save_state().expect("mailbox supports checkpointing");
+        let mut twin = mb.fork_fresh().expect("mailbox supports forking");
+        twin.load_state(&snap).unwrap();
+        assert_eq!(twin.save_state(), Some(snap));
+        // Both directions survive with their order intact.
+        let b1 = twin.call(CallerId(2), "recv_b", &[]).unwrap();
+        let b2 = twin.call(CallerId(2), "recv_b", &[]).unwrap();
+        let a1 = twin.call(CallerId(1), "recv_a", &[]).unwrap();
+        assert_eq!(b1.result, Some(Value::Int(10)));
+        assert_eq!(b2.result, Some(Value::Int(11)));
+        assert_eq!(a1.result, Some(Value::Int(20)));
+
+        let mut sm = SharedMemory::new("mem", 8);
+        sm.call(CallerId(1), "acquire", &[]).unwrap();
+        sm.call(CallerId(1), "store", &[Value::Int(3), Value::Int(42)])
+            .unwrap();
+        let snap = sm.save_state().expect("shared memory checkpoints");
+        let mut twin = sm.fork_fresh().expect("shared memory forks");
+        twin.load_state(&snap).unwrap();
+        assert_eq!(twin.save_state(), Some(snap));
+        // The lock holder survives the restore: others still blocked,
+        // the holder still sees its store.
+        assert!(!twin.call(CallerId(2), "acquire", &[]).unwrap().done);
+        let v = twin.call(CallerId(1), "load", &[Value::Int(3)]).unwrap();
+        assert_eq!(v.result, Some(Value::Int(42)));
     }
 }

@@ -239,6 +239,39 @@ struct Session {
     locals: Vec<Value>,
 }
 
+/// A point-in-time capture of all mutable [`FsmUnitRuntime`] state,
+/// produced by [`FsmUnitRuntime::capture_state`] and consumed by
+/// [`FsmUnitRuntime::restore_state`].
+///
+/// The capture is canonical: sessions are stored sorted by `(caller,
+/// service)`, so two captures of identical logical states compare equal
+/// (`PartialEq`) regardless of hash-map iteration order. The unit
+/// *spec* is immutable and deliberately not part of the state — a
+/// capture restores into any runtime built from the same spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmUnitState {
+    controller: Option<(FsmExec, Vec<Value>)>,
+    /// `(caller, service, protocol executor, locals)`, sorted.
+    sessions: Vec<(CallerId, Arc<str>, FsmExec, Vec<Value>)>,
+    stats: UnitStats,
+    ctrl_stable: bool,
+    last_call_stable: bool,
+}
+
+impl FsmUnitState {
+    /// Number of captured live sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Captured statistics.
+    #[must_use]
+    pub fn stats(&self) -> &UnitStats {
+        &self.stats
+    }
+}
+
 /// One protocol-FSM activation of a service session against `wires`.
 /// Returns the outcome plus whether the step was a provable no-op (no
 /// wire writes, no local writes, same protocol state). Shared by the
@@ -930,12 +963,77 @@ impl FsmUnitRuntime {
             self.sessions.remove(&key);
         }
     }
+
+    /// Captures all mutable runtime state into a canonical
+    /// [`FsmUnitState`]: controller executor + vars, every live session
+    /// (sorted by caller and service), statistics, and the two
+    /// stability flags. The immutable spec is not captured.
+    #[must_use]
+    pub fn capture_state(&self) -> FsmUnitState {
+        let mut sessions: Vec<(CallerId, Arc<str>, FsmExec, Vec<Value>)> = self
+            .sessions
+            .iter()
+            .map(|((caller, name), s)| {
+                (*caller, Arc::clone(name), s.exec.clone(), s.locals.clone())
+            })
+            .collect();
+        sessions.sort_by(|a, b| (a.0, a.1.as_ref()).cmp(&(b.0, b.1.as_ref())));
+        FsmUnitState {
+            controller: self.controller.clone(),
+            sessions,
+            stats: self.stats.clone(),
+            ctrl_stable: self.ctrl_stable,
+            last_call_stable: self.last_call_stable,
+        }
+    }
+
+    /// Restores a previously captured [`FsmUnitState`]. The target must
+    /// be built from the same spec (or one declaring the same services
+    /// and controller); session keys are re-interned against this
+    /// runtime's own name table, so a capture taken from one instance
+    /// restores into another.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Service`] (leaving this runtime untouched)
+    /// if the capture references a service this spec doesn't declare,
+    /// or its controller shape doesn't match.
+    pub fn restore_state(&mut self, state: &FsmUnitState) -> Result<(), EvalError> {
+        if state.controller.is_some() != self.controller.is_some() {
+            return Err(EvalError::Service(format!(
+                "unit {}: snapshot controller shape does not match spec",
+                self.spec.name()
+            )));
+        }
+        let mut sessions = HashMap::with_capacity(state.sessions.len());
+        for (caller, name, exec, locals) in &state.sessions {
+            let idx = self.resolve(name).ok_or_else(|| {
+                EvalError::Service(format!(
+                    "unit {}: snapshot session for unknown service {name}",
+                    self.spec.name()
+                ))
+            })?;
+            sessions.insert(
+                (*caller, Arc::clone(&self.interned[idx])),
+                Session {
+                    exec: exec.clone(),
+                    locals: locals.clone(),
+                },
+            );
+        }
+        self.sessions = sessions;
+        self.controller.clone_from(&state.controller);
+        self.stats.clone_from(&state.stats);
+        self.ctrl_stable = state.ctrl_stable;
+        self.last_call_stable = state.last_call_stable;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::handshake_unit;
+    use crate::library::{handshake_unit, shared_reg_unit};
     use cosma_core::Type;
 
     #[test]
@@ -1223,5 +1321,63 @@ mod tests {
             .unwrap();
         assert!(!p.done);
         assert!(!unit.last_call_stable(), "put wrote wires");
+    }
+
+    #[test]
+    fn capture_restore_resumes_mid_protocol_sessions() {
+        let spec = handshake_unit("hs", Type::INT16);
+        let mut unit = FsmUnitRuntime::new(spec.clone());
+        let mut wires = LocalWires::new(&spec);
+        let p = CallerId(1);
+        let c = CallerId(2);
+        // Leave a put and a get parked mid-protocol, controller advanced.
+        unit.call(p, "put", &[Value::Int(7)], &mut wires).unwrap();
+        unit.call(c, "get", &[], &mut wires).unwrap();
+        unit.step_controller(&mut wires).unwrap();
+        let snap = unit.capture_state();
+        let wires_snap = wires.clone();
+        assert_eq!(snap.session_count(), 2, "both sessions live at capture");
+
+        // Drive the original to completion, logging every observable.
+        let run = |unit: &mut FsmUnitRuntime, wires: &mut LocalWires| {
+            let mut log = vec![];
+            for _ in 0..20 {
+                let pr = unit.call(p, "put", &[Value::Int(7)], wires).unwrap();
+                let gr = unit.call(c, "get", &[], wires).unwrap();
+                unit.step_controller(wires).unwrap();
+                log.push((pr.done, gr.done, gr.result));
+            }
+            log
+        };
+        let first = run(&mut unit, &mut wires);
+        let end_stats = unit.stats().clone();
+        assert!(
+            first.iter().any(|(pd, gd, _)| *pd && *gd),
+            "the handshake completed during the continuation"
+        );
+
+        // Restore into a *different* runtime built from the same spec
+        // (session keys re-intern against its name table) and replay:
+        // outcome-identical, stats land verbatim on the same totals.
+        let mut twin = FsmUnitRuntime::new(spec.clone());
+        let mut twin_wires = wires_snap;
+        twin.restore_state(&snap).unwrap();
+        assert_eq!(
+            twin.capture_state(),
+            snap,
+            "canonical captures of identical states compare equal"
+        );
+        let second = run(&mut twin, &mut twin_wires);
+        assert_eq!(second, first, "replay is outcome-identical");
+        assert_eq!(twin.stats(), &end_stats);
+
+        // A spec that doesn't declare the captured services refuses the
+        // snapshot and is left untouched.
+        let other_spec = shared_reg_unit("reg", Type::INT16);
+        let mut other = FsmUnitRuntime::new(other_spec);
+        let before = other.capture_state();
+        let err = other.restore_state(&snap).unwrap_err();
+        assert!(err.to_string().contains("snapshot"));
+        assert_eq!(other.capture_state(), before, "refused load is a no-op");
     }
 }

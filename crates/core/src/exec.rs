@@ -331,6 +331,17 @@ impl FsmExec {
         self.current = state;
     }
 
+    /// Reconstructs an executor from captured state — the restore side
+    /// of checkpointing. Unlike [`FsmExec::jump_to`] this also restores
+    /// the activation count, so a restored executor is bit-identical
+    /// (`PartialEq`) to the one that was captured: commit-time
+    /// fingerprints that compare `(current, steps)` keep working across
+    /// a snapshot/restore boundary.
+    #[must_use]
+    pub fn restored(current: StateId, steps: u64) -> Self {
+        FsmExec { current, steps }
+    }
+
     /// Performs one activation: execute the current state's actions, then
     /// take the first enabled transition (if any).
     ///

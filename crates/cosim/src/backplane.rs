@@ -32,7 +32,8 @@
 
 use crate::trace::TraceLog;
 use cosma_comm::{
-    BatchedLink, BusTiming, CallerId, FsmUnitRuntime, NativeUnit, UnitStats, WireStore,
+    BatchedLink, BatchedLinkState, BusTiming, CallerId, FsmUnitRuntime, FsmUnitState, NativeUnit,
+    NativeUnitState, UnitStats, WireStore,
 };
 use cosma_core::comm::CommUnitSpec;
 use cosma_core::ids::{PortId, VarId};
@@ -40,7 +41,8 @@ use cosma_core::{
     Env, EvalError, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type, Value,
 };
 use cosma_sim::{
-    ClockControl, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimTime, Simulator, Wait,
+    ClockControl, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimState, SimTime,
+    Simulator, Wait,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -380,6 +382,22 @@ pub struct ScratchStats {
     /// stepping set (len / workers) — load actively rebalanced away
     /// from a slow worker.
     pub steals: u64,
+    /// Current adaptive work-stealing chunk size (zero until the first
+    /// speculative cycle). Starts at [`STEP_CHUNK_INIT`], halves on a
+    /// cycle that had to steal (finer grains rebalance skew better) and
+    /// doubles on a steal-free cycle with plenty of chunks (coarser
+    /// grains contend the shared cursor less).
+    pub chunk_now: u64,
+    /// Cycles that shrank the chunk size (a steal was observed).
+    pub chunk_shrinks: u64,
+    /// Cycles that grew the chunk size (steal-free with spare chunks).
+    pub chunk_grows: u64,
+    /// Oversized speculation shells dropped back to the allocator after
+    /// commit instead of being recycled: a shell whose retained pools
+    /// grew far past the running per-shell average (a trace burst, a
+    /// pathological activation) is reclaimed so one outlier cannot pin
+    /// the arena's [`ScratchStats::bytes_high_water`] forever.
+    pub shells_shrunk: u64,
 }
 
 /// Park/resume accounting shared by every scheduler path.
@@ -600,6 +618,10 @@ struct ShardState {
     /// Whether the kernel sensitivity must be recomputed on the next
     /// run (membership changed).
     wait_dirty: bool,
+    /// Whether this shard's process already surrendered its members'
+    /// clock demand after a backplane error. Lives here (not in the
+    /// process closure) so snapshot/restore can carry it.
+    halted: bool,
     runs: u64,
     units_stepped: u64,
     units_skipped: u64,
@@ -613,6 +635,7 @@ impl ShardState {
             active: vec![],
             parked: vec![],
             wait_dirty: true,
+            halted: false,
             runs: 0,
             units_stepped: 0,
             units_skipped: 0,
@@ -1078,7 +1101,21 @@ impl SpecResult {
                 .sum::<usize>()
             + self.peek_scratch.approx_bytes()
     }
+
+    /// Returns every retained pool to the allocator. Used by the commit
+    /// loop to reclaim a shell whose buffers grew far past the running
+    /// per-shell average: pools are sized lazily, so the shell simply
+    /// re-grows to its *typical* working set instead of keeping one
+    /// outlier activation's worth of heap pinned in the arena.
+    fn shrink(&mut self) {
+        *self = SpecResult::default();
+    }
 }
+
+/// A reset shell retaining fewer bytes than this is never reclaimed,
+/// whatever the average says — re-growing small pools costs more than
+/// the memory is worth.
+const SHELL_SHRINK_FLOOR: u64 = 1024;
 
 /// The pure (read-only) speculation environment of the step phase.
 /// Variable writes land in a copy-on-write overlay over the entry's
@@ -1251,14 +1288,27 @@ impl Env for SpecEnv<'_, '_> {
 /// the default of [`SchedulingConfig::step_fanout_min`].
 pub const STEP_FANOUT_MIN: usize = 64;
 
-/// Fixed work-stealing chunk size of the threaded step phase: workers
-/// claim items off a shared atomic cursor in chunks of this many, so a
-/// worker stuck on one expensive speculation simply stops claiming
-/// while the others drain the rest of the set. Small enough that a
-/// single heavy module cannot strand a long fixed partition behind it,
-/// large enough that the shared cursor is contended `len / 8` times
-/// per cycle rather than `len`.
-const STEP_CHUNK: usize = 8;
+/// Initial work-stealing chunk size of the threaded step phase: workers
+/// claim items off a shared atomic cursor in chunks, so a worker stuck
+/// on one expensive speculation simply stops claiming while the others
+/// drain the rest of the set.
+///
+/// The size is **adaptive** per driver, bounded by [`STEP_CHUNK_MIN`]
+/// and [`STEP_CHUNK_MAX`]: a cycle that observed steals (a worker had
+/// to rebalance past its fair share — the per-item cost spread is wide)
+/// halves it so the tail behind a heavy item stays short; a steal-free
+/// cycle with at least four chunks per worker doubles it so the shared
+/// cursor is contended less. The current value is reported as
+/// [`ScratchStats::chunk_now`].
+const STEP_CHUNK_INIT: usize = 8;
+
+/// Lower bound of the adaptive step chunk (below this the shared-cursor
+/// `fetch_add` itself dominates a cheap speculation).
+const STEP_CHUNK_MIN: usize = 2;
+
+/// Upper bound of the adaptive step chunk (above this one chunk can
+/// strand most of a typical stepping set behind a single worker).
+const STEP_CHUNK_MAX: usize = 64;
 
 /// Everything a step-phase worker needs to speculate its share of the
 /// cycle's stepping set. All fields are shared read-only references
@@ -1269,8 +1319,11 @@ struct StepJobCtx<'a, 'b> {
     reg: &'a Registry,
     snapshot: &'a ProcCtx<'b>,
     items: &'a [(usize, usize, u32)],
+    /// This region's work-stealing chunk size (the driver's current
+    /// adaptive value).
+    chunk: usize,
     /// Work-stealing cursor: the next unclaimed item index. Workers
-    /// `fetch_add` [`STEP_CHUNK`] to claim a chunk; `Relaxed` suffices
+    /// `fetch_add` `chunk` to claim a chunk; `Relaxed` suffices
     /// because the cursor orders nothing but itself (item data is
     /// read-only and the done-channel handoff provides the
     /// happens-before for the results).
@@ -1328,20 +1381,20 @@ struct StepScratch {
     steals: u64,
 }
 
-/// One worker's share of a parallel step region: claim [`STEP_CHUNK`]d
-/// item ranges off the shared cursor until the set is drained,
-/// speculating each item into a recycled shell from this worker's
-/// arena. Runs identically on pooled workers and the kernel thread.
+/// One worker's share of a parallel step region: claim chunked item
+/// ranges off the shared cursor until the set is drained, speculating
+/// each item into a recycled shell from this worker's arena. Runs
+/// identically on pooled workers and the kernel thread.
 fn run_step_region(ctx: &StepJobCtx<'_, '_>, scratch: &mut StepScratch) {
     use std::sync::atomic::Ordering;
     let len = ctx.items.len();
     let mut taken = 0usize;
     loop {
-        let lo = ctx.cursor.fetch_add(STEP_CHUNK, Ordering::Relaxed);
+        let lo = ctx.cursor.fetch_add(ctx.chunk, Ordering::Relaxed);
         if lo >= len {
             break;
         }
-        let hi = (lo + STEP_CHUNK).min(len);
+        let hi = (lo + ctx.chunk).min(len);
         scratch.chunks += 1;
         if taken >= ctx.fair {
             scratch.steals += 1;
@@ -1446,7 +1499,7 @@ impl StepPool {
         let helpers = self
             .workers
             .len()
-            .min(len.div_ceil(STEP_CHUNK).saturating_sub(1));
+            .min(len.div_ceil(ctx.chunk).saturating_sub(1));
         let (kernel, rest) = self.scratches.split_at_mut(1);
         for (i, w) in self.workers.iter().take(helpers).enumerate() {
             let scratch: *mut StepScratch = &mut rest[i];
@@ -1784,7 +1837,30 @@ struct ActivationScheduler {
     /// one kernel process owning every module shard, running all step
     /// phases before a single commit phase.
     driver: Option<Rc<RefCell<DriverState>>>,
+    /// Per-process state of the legacy one-process-per-module path
+    /// ([`ModuleScheduling::PerModule`]), in module order. Shared with
+    /// the process closures so snapshot/restore can reach it.
+    per_module: Vec<Rc<RefCell<PerModuleProcState>>>,
+    /// Per-unit `seen_events` gates of the legacy
+    /// [`UnitScheduling::PerUnit`] path, in unit-registration order.
+    /// Shared with the clocked closures so snapshot/restore can reach
+    /// them.
+    per_unit_seen: Vec<Rc<RefCell<Vec<u64>>>>,
     park: Rc<ParkCounters>,
+}
+
+/// The mutable scheduling state of one legacy per-module process —
+/// everything its closure used to keep as captured locals, hoisted
+/// behind an `Rc` so whole-backplane snapshots can capture and restore
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PerModuleProcState {
+    /// Whether the process currently holds a clock-demand unit (true
+    /// while unparked and not halted).
+    counted: bool,
+    parked: bool,
+    watch: Vec<SignalId>,
+    wait_dirty: bool,
 }
 
 /// One member of the two-phase driver: a module, its activation clock,
@@ -1812,6 +1888,13 @@ struct DriverShard {
     poke: SignalId,
     /// Whether the watcher must recompute its sensitivity.
     watch_dirty: bool,
+    /// Whether the shard's watcher process performed its first
+    /// (elaboration) run and armed itself on the poke signal. Lives
+    /// here — not in the watcher's closure — so a forked backplane's
+    /// fresh watcher resumes mid-stream instead of re-running its
+    /// elaboration arm (which would clobber the restored watch
+    /// sensitivity).
+    watcher_armed: bool,
 }
 
 /// Shared state of the two-phase driver process.
@@ -1819,6 +1902,16 @@ struct DriverState {
     shards: Vec<DriverShard>,
     /// Members ever placed (drives hashed shard assignment).
     placed: usize,
+    /// Whether the driver surrendered its members' clock demand after a
+    /// backplane error (kept here so snapshot/restore can carry it).
+    halted: bool,
+    /// Adaptive work-stealing chunk size of the threaded step phase
+    /// (see [`STEP_CHUNK_INIT`]).
+    step_chunk: usize,
+    /// Exponential moving average (alpha 1/8) of bytes retained per
+    /// reset speculation shell — the baseline the commit loop compares
+    /// against when deciding to reclaim an oversized shell.
+    shell_ewma: u64,
     runs: u64,
     skipped: u64,
     wire_wakeups: u64,
@@ -1856,6 +1949,8 @@ impl ActivationScheduler {
             unit_shards: vec![],
             module_shards: vec![],
             driver: None,
+            per_module: vec![],
+            per_unit_seen: vec![],
             park: Rc::new(ParkCounters::default()),
         }
     }
@@ -1958,6 +2053,9 @@ impl ActivationScheduler {
                 let state = Rc::new(RefCell::new(DriverState {
                     shards: vec![],
                     placed: 0,
+                    halted: false,
+                    step_chunk: STEP_CHUNK_INIT,
+                    shell_ewma: 0,
                     runs: 0,
                     skipped: 0,
                     wire_wakeups: 0,
@@ -2016,6 +2114,7 @@ impl ActivationScheduler {
                 parked: vec![],
                 poke,
                 watch_dirty: false,
+                watcher_armed: false,
             });
         }
         let shard = &mut st.shards[target];
@@ -2041,7 +2140,6 @@ impl ActivationScheduler {
     ) {
         let error = Rc::clone(ctx.error);
         let demand = Rc::clone(ctx.demand);
-        let mut registered = false;
         ctx.sim.add_process(
             format!("module_shard{shard_idx}_watch"),
             FnProcess::new(move |pctx| {
@@ -2053,10 +2151,10 @@ impl ActivationScheduler {
                 let Some(shard) = st.shards.get_mut(shard_idx) else {
                     return Wait::Same;
                 };
-                if !registered {
+                if !shard.watcher_armed {
                     // First (elaboration) run: arm on the poke signal so
                     // the first park can hand over its watch set.
-                    registered = true;
+                    shard.watcher_armed = true;
                     shard.watch_dirty = false;
                     return Wait::Event(vec![shard.poke]);
                 }
@@ -2136,7 +2234,6 @@ impl ActivationScheduler {
             Parallelism::Off => 0,
         };
         let mut registered = false;
-        let mut halted = false;
         ctx.sim.add_process(
             "module_phase_driver",
             FnProcess::new(move |pctx| {
@@ -2147,9 +2244,9 @@ impl ActivationScheduler {
                     Wait::Event(clocks.clone())
                 };
                 if error.borrow().is_some() {
-                    if !halted {
-                        halted = true;
-                        let st = state.borrow();
+                    let mut st = state.borrow_mut();
+                    if !st.halted {
+                        st.halted = true;
                         let unparked: usize = st
                             .shards
                             .iter()
@@ -2219,6 +2316,7 @@ impl ActivationScheduler {
                         // gate guarantees the pool exists). Each worker
                         // fills recycled shells from its own scratch
                         // arena, so the steady state allocates nothing.
+                        let (chunks_before, steals_before) = (st.scratch.chunks, st.scratch.steals);
                         {
                             let modules_ref = modules.borrow();
                             let reg_ref = registry.borrow();
@@ -2233,6 +2331,7 @@ impl ActivationScheduler {
                                 reg,
                                 snapshot: &*pctx,
                                 items: &items,
+                                chunk: st.step_chunk,
                                 cursor: std::sync::atomic::AtomicUsize::new(0),
                                 fair: items.len().div_ceil(pool.workers.len() + 1),
                             };
@@ -2244,6 +2343,29 @@ impl ActivationScheduler {
                                 &mut st.scratch,
                             );
                         }
+                        // Adapt the chunk size to the observed cost
+                        // spread: steals mean a worker had to rebalance
+                        // past its fair share — shrink so the tail
+                        // behind a heavy item stays short; a steal-free
+                        // cycle with at least four chunks per worker
+                        // can afford coarser grains (less cursor
+                        // contention).
+                        let cycle_chunks = st.scratch.chunks - chunks_before;
+                        let cycle_steals = st.scratch.steals - steals_before;
+                        if cycle_steals > 0 {
+                            let next = (st.step_chunk / 2).max(STEP_CHUNK_MIN);
+                            if next != st.step_chunk {
+                                st.step_chunk = next;
+                                st.scratch.chunk_shrinks += 1;
+                            }
+                        } else if cycle_chunks >= 4 * pool_width as u64 {
+                            let next = (st.step_chunk * 2).min(STEP_CHUNK_MAX);
+                            if next != st.step_chunk {
+                                st.step_chunk = next;
+                                st.scratch.chunk_grows += 1;
+                            }
+                        }
+                        st.scratch.chunk_now = st.step_chunk as u64;
                         // COMMIT PHASE: deterministic creation order.
                         // Each committed shell is reset and pushed back
                         // to the arena that filled it.
@@ -2268,6 +2390,27 @@ impl ActivationScheduler {
                                 &mut st.fallbacks,
                             );
                             spec.reset();
+                            let bytes = spec.approx_bytes() as u64;
+                            // Track the typical per-shell working set
+                            // (EWMA, alpha 1/8) and reclaim outliers: a
+                            // shell retaining several times the average
+                            // (a trace burst, one pathological
+                            // activation) would otherwise pin that heap
+                            // in the arena forever. The comparison uses
+                            // the *pre-observation* average — folding
+                            // the outlier's own bytes in first would
+                            // raise the baseline by bytes/8 and let a
+                            // large-enough outlier mask itself.
+                            let typical = st.shell_ewma;
+                            st.shell_ewma = if typical == 0 {
+                                bytes
+                            } else {
+                                typical - typical / 8 + bytes / 8
+                            };
+                            if bytes > SHELL_SHRINK_FLOOR && typical > 0 && bytes / 4 > typical {
+                                spec.shrink();
+                                st.scratch.shells_shrunk += 1;
+                            }
                             cycle_bytes += spec.approx_bytes() as u64;
                             if let Some(pool) = pool.as_mut() {
                                 pool.scratches[st.origins[oi] as usize].shells.push(spec);
@@ -2286,8 +2429,8 @@ impl ActivationScheduler {
                     }
                     if let Some(msg) = fatal {
                         *error.borrow_mut() = Some(msg);
-                        if !halted {
-                            halted = true;
+                        if !st.halted {
+                            st.halted = true;
                             let unparked: usize = st
                                 .shards
                                 .iter()
@@ -2343,14 +2486,13 @@ impl ActivationScheduler {
         let error = Rc::clone(ctx.error);
         let trace = Rc::clone(ctx.trace);
         let demand = Rc::clone(ctx.demand);
-        let mut halted = false;
         ctx.sim.add_process(
             label,
             FnProcess::new(move |pctx| {
                 if error.borrow().is_some() {
-                    if !halted {
-                        halted = true;
-                        let st = state.borrow();
+                    let mut st = state.borrow_mut();
+                    if !st.halted {
+                        st.halted = true;
                         demand.park(st.members.len() - st.parked.len());
                     }
                     return Wait::Forever;
@@ -2389,6 +2531,7 @@ impl ActivationScheduler {
                     active,
                     parked,
                     wait_dirty,
+                    halted,
                     units_stepped,
                     units_skipped,
                     ..
@@ -2431,8 +2574,8 @@ impl ActivationScheduler {
                         Ok(None) => {}
                         Err(msg) => {
                             *error.borrow_mut() = Some(msg);
-                            if !halted {
-                                halted = true;
+                            if !*halted {
+                                *halted = true;
                                 demand.park(members.len() - parked.len());
                             }
                             return Wait::Forever;
@@ -2612,6 +2755,15 @@ pub struct Cosim {
     sw_clk: SignalId,
     modules: Rc<RefCell<Vec<ModuleEntry>>>,
     sched: ActivationScheduler,
+    /// The clocking configuration this backplane was built with, kept so
+    /// [`Cosim::fork`] can construct an identical twin.
+    config: CosimConfig,
+    /// Construction log: one entry per `add_*` call, in call order.
+    /// [`Cosim::fork`] replays the recipe onto a fresh backplane, which
+    /// deterministically rebuilds identical structure — same signal and
+    /// process ids, same hashed shard placement — before restoring the
+    /// snapshot's state onto it.
+    recipe: Vec<RecipeOp>,
     /// Clock-edge demand of the registered bodies (module activations,
     /// unit controllers, native steps). The activation clock generators
     /// idle whenever it reaches zero — on an empty backplane, after
@@ -2684,6 +2836,8 @@ impl Cosim {
             sw_clk,
             modules: Rc::new(RefCell::new(vec![])),
             sched: ActivationScheduler::new(SchedulingConfig::sharded()),
+            config,
+            recipe: vec![],
             demand,
         }
     }
@@ -2790,6 +2944,10 @@ impl Cosim {
     /// Instantiates an FSM communication unit: one kernel signal per wire
     /// (`<name>.<WIRE>`), plus a clocked controller process.
     pub fn add_fsm_unit(&mut self, name: &str, spec: Arc<CommUnitSpec>) -> UnitId {
+        self.recipe.push(RecipeOp::FsmUnit {
+            name: name.to_string(),
+            spec: Arc::clone(&spec),
+        });
         let wires: Vec<SignalId> = spec
             .wires()
             .iter()
@@ -2845,7 +3003,10 @@ impl Cosim {
                     // last activation; provably idle controllers are then
                     // skipped (see FsmUnitRuntime::step_controller_if_active).
                     let watched = wires;
-                    let mut seen_events: Vec<u64> = vec![0; watched.len()];
+                    // The gate state is shared with the scheduler so
+                    // snapshots can capture and restore it.
+                    let seen = Rc::new(RefCell::new(vec![0u64; watched.len()]));
+                    self.sched.per_unit_seen.push(Rc::clone(&seen));
                     let demand = Rc::clone(&self.demand);
                     demand.register(&mut self.sim);
                     self.sim.add_clocked(
@@ -2857,7 +3018,8 @@ impl Cosim {
                                 demand.park(1);
                                 return ClockControl::Halt;
                             }
-                            let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
+                            let inputs_changed =
+                                wires_changed(ctx, &watched, &mut seen.borrow_mut());
                             let mut reg = registry.borrow_mut();
                             let FsmUnitEntry {
                                 name,
@@ -2931,9 +3093,16 @@ impl Cosim {
         capacity: usize,
         timing: BusTiming,
     ) -> Result<UnitId, CosimError> {
-        let link = BatchedLink::try_new(name, data_ty, max_batch, capacity)
+        let link = BatchedLink::try_new(name, data_ty.clone(), max_batch, capacity)
             .map_err(|e| CosimError::Setup(e.to_string()))?
             .with_timing(timing);
+        self.recipe.push(RecipeOp::BatchedUnit {
+            name: name.to_string(),
+            data_ty,
+            max_batch,
+            capacity,
+            timing,
+        });
         let wires: Vec<SignalId> = link
             .spec()
             .wires()
@@ -2978,7 +3147,8 @@ impl Cosim {
                 let error = Rc::clone(&self.error);
                 let clk = self.hw_clk;
                 let watched = wires;
-                let mut seen_events: Vec<u64> = vec![0; watched.len()];
+                let seen = Rc::new(RefCell::new(vec![0u64; watched.len()]));
+                self.sched.per_unit_seen.push(Rc::clone(&seen));
                 let demand = Rc::clone(&self.demand);
                 demand.register(&mut self.sim);
                 self.sim
@@ -2987,7 +3157,7 @@ impl Cosim {
                             demand.park(1);
                             return ClockControl::Halt;
                         }
-                        let inputs_changed = wires_changed(ctx, &watched, &mut seen_events);
+                        let inputs_changed = wires_changed(ctx, &watched, &mut seen.borrow_mut());
                         let mut reg = registry.borrow_mut();
                         let BatchedUnitEntry {
                             name, link, wires, ..
@@ -3021,6 +3191,9 @@ impl Cosim {
     /// on occupancy events instead of burning one no-op activation per
     /// clock edge.
     pub fn add_native_unit(&mut self, name: &str, unit: Box<dyn NativeUnit>) -> UnitId {
+        self.recipe.push(RecipeOp::NativeUnit {
+            name: name.to_string(),
+        });
         let occ_init = unit.occupancy();
         let occ = occ_init.map(|v| {
             self.sim
@@ -3093,7 +3266,19 @@ impl Cosim {
                 )
             })
             .collect();
-        self.add_module_with_ports(module, bindings, ports)
+        let id = self.install_module(module, bindings, ports)?;
+        // Ports recorded as `None`: the fork replays by creating fresh
+        // port signals, which — replayed in call order — get the same
+        // ids the originals got.
+        self.recipe.push(RecipeOp::Module {
+            module: module.clone(),
+            bindings: bindings
+                .iter()
+                .map(|(n, u)| ((*n).to_string(), *u))
+                .collect(),
+            ports: None,
+        });
+        Ok(id)
     }
 
     /// Adds a module with an explicit port→signal map (used to share nets
@@ -3105,6 +3290,27 @@ impl Cosim {
     /// Returns [`CosimError::Setup`] on arity mismatch or unresolved
     /// bindings.
     pub fn add_module_with_ports(
+        &mut self,
+        module: &Module,
+        bindings: &[(&str, UnitId)],
+        ports: Vec<SignalId>,
+    ) -> Result<CosimModuleId, CosimError> {
+        let id = self.install_module(module, bindings, ports.clone())?;
+        self.recipe.push(RecipeOp::Module {
+            module: module.clone(),
+            bindings: bindings
+                .iter()
+                .map(|(n, u)| ((*n).to_string(), *u))
+                .collect(),
+            ports: Some(ports),
+        });
+        Ok(id)
+    }
+
+    /// Shared installation body behind [`Cosim::add_module`] and
+    /// [`Cosim::add_module_with_ports`], which differ only in port-signal
+    /// provenance and in what they record on the fork recipe.
+    fn install_module(
         &mut self,
         module: &Module,
         bindings: &[(&str, UnitId)],
@@ -3197,35 +3403,41 @@ impl Cosim {
         let park_blocked = self.sched.cfg.park_blocked;
         let name = modules.borrow()[idx].name.clone();
         demand.register(&mut self.sim);
-        // Whether this process currently holds a clock-demand unit
-        // (true while unparked and not halted).
-        let mut counted = true;
-        let mut parked = false;
-        let mut watch: Vec<SignalId> = vec![];
-        let mut wait_dirty = true;
+        // The scheduling state lives behind an Rc shared with the
+        // activation scheduler, so whole-backplane snapshots can
+        // capture and restore it.
+        let pstate = Rc::new(RefCell::new(PerModuleProcState {
+            counted: true,
+            parked: false,
+            watch: vec![],
+            wait_dirty: true,
+        }));
+        self.sched.per_module.push(Rc::clone(&pstate));
         self.sim.add_process(
             name,
             FnProcess::new(move |ctx| {
+                let mut ps = pstate.borrow_mut();
+                let ps = &mut *ps;
                 if error.borrow().is_some() {
-                    if counted {
-                        counted = false;
+                    if ps.counted {
+                        ps.counted = false;
                         demand.park(1);
                     }
                     return Wait::Forever;
                 }
-                if parked {
-                    if watch.iter().any(|&w| ctx.event(w)) {
-                        parked = false;
-                        wait_dirty = true;
+                if ps.parked {
+                    if ps.watch.iter().any(|&w| ctx.event(w)) {
+                        ps.parked = false;
+                        ps.wait_dirty = true;
                         park.resumed.set(park.resumed.get() + 1);
                         park.parked_now.set(park.parked_now.get() - 1);
                         demand.resume(1, ctx);
-                        counted = true;
-                    } else if !wait_dirty {
+                        ps.counted = true;
+                    } else if !ps.wait_dirty {
                         return Wait::Same;
                     }
                 }
-                if !parked && ctx.rose(clk) {
+                if !ps.parked && ctx.rose(clk) {
                     match step_module(
                         &modules,
                         idx,
@@ -3237,36 +3449,36 @@ impl Cosim {
                         std::collections::VecDeque::new(),
                     ) {
                         Ok(Some(w)) => {
-                            parked = true;
-                            watch = w;
-                            wait_dirty = true;
+                            ps.parked = true;
+                            ps.watch = w;
+                            ps.wait_dirty = true;
                             park.parked.set(park.parked.get() + 1);
                             park.parked_now.set(park.parked_now.get() + 1);
                             demand.park(1);
-                            counted = false;
+                            ps.counted = false;
                         }
                         Ok(None) => {}
                         Err(msg) => {
                             *error.borrow_mut() = Some(msg);
-                            if counted {
-                                counted = false;
+                            if ps.counted {
+                                ps.counted = false;
                                 demand.park(1);
                             }
                             return Wait::Forever;
                         }
                     }
                 }
-                if !wait_dirty {
+                if !ps.wait_dirty {
                     return Wait::Same;
                 }
-                wait_dirty = false;
-                if parked {
-                    if watch.is_empty() {
+                ps.wait_dirty = false;
+                if ps.parked {
+                    if ps.watch.is_empty() {
                         // A provably-halted module: nothing can ever
                         // re-arm it.
                         Wait::Forever
                     } else {
-                        Wait::Event(watch.clone())
+                        Wait::Event(ps.watch.clone())
                     }
                 } else {
                     Wait::Event(vec![clk])
@@ -3433,6 +3645,614 @@ fn wires_changed(ctx: &ProcCtx<'_>, watched: &[SignalId], seen: &mut [u64]) -> b
         *last = n;
     }
     changed
+}
+
+/// One construction step of a backplane, recorded by the `add_*`
+/// methods so [`Cosim::fork`] can replay it onto a fresh backplane.
+/// Replay is deterministic: ids (signals, processes, units, modules)
+/// and hashed shard placement depend only on call order, so the twin's
+/// structure is bit-identical to the original's.
+enum RecipeOp {
+    /// [`Cosim::add_fsm_unit`] — the spec is immutable and shared by
+    /// `Arc`, so recording (and replaying) it is a refcount bump.
+    FsmUnit {
+        name: String,
+        spec: Arc<CommUnitSpec>,
+    },
+    /// [`Cosim::add_batched_unit_with`] (and therefore also
+    /// [`Cosim::add_batched_unit`], which delegates with
+    /// [`BusTiming::LengthOnly`]).
+    BatchedUnit {
+        name: String,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+        timing: BusTiming,
+    },
+    /// [`Cosim::add_native_unit`]. The boxed unit itself cannot be
+    /// cloned; replay asks the *original* unit for a structural twin
+    /// via [`NativeUnit::fork_fresh`] and restores state on top.
+    NativeUnit { name: String },
+    /// [`Cosim::add_module`] (`ports: None` — replay creates fresh
+    /// port signals) or [`Cosim::add_module_with_ports`]
+    /// (`ports: Some` — replay reuses the recorded signal ids, which
+    /// resolve identically on the twin).
+    Module {
+        module: Module,
+        bindings: Vec<(String, UnitId)>,
+        ports: Option<Vec<SignalId>>,
+    },
+}
+
+/// Captured activation-gating state of one shard member.
+#[derive(Clone)]
+struct MemberSnap {
+    seen_events: Vec<u64>,
+    watch: Vec<SignalId>,
+}
+
+/// Captured state of one unit/module shard ([`ShardState`] minus its
+/// immutable member bodies).
+#[derive(Clone)]
+struct ShardSnap {
+    members: Vec<MemberSnap>,
+    active: Vec<u32>,
+    parked: Vec<u32>,
+    wait_dirty: bool,
+    halted: bool,
+    runs: u64,
+    units_stepped: u64,
+    units_skipped: u64,
+    wire_wakeups: u64,
+}
+
+fn snap_shard(st: &ShardState) -> ShardSnap {
+    ShardSnap {
+        members: st
+            .members
+            .iter()
+            .map(|m| MemberSnap {
+                seen_events: m.seen_events.clone(),
+                watch: m.watch.clone(),
+            })
+            .collect(),
+        active: st.active.clone(),
+        parked: st.parked.clone(),
+        wait_dirty: st.wait_dirty,
+        halted: st.halted,
+        runs: st.runs,
+        units_stepped: st.units_stepped,
+        units_skipped: st.units_skipped,
+        wire_wakeups: st.wire_wakeups,
+    }
+}
+
+fn apply_shard(st: &mut ShardState, snap: &ShardSnap) {
+    for (m, ms) in st.members.iter_mut().zip(&snap.members) {
+        m.seen_events.clone_from(&ms.seen_events);
+        m.watch.clone_from(&ms.watch);
+    }
+    st.active.clone_from(&snap.active);
+    st.parked.clone_from(&snap.parked);
+    st.wait_dirty = snap.wait_dirty;
+    st.halted = snap.halted;
+    st.runs = snap.runs;
+    st.units_stepped = snap.units_stepped;
+    st.units_skipped = snap.units_skipped;
+    st.wire_wakeups = snap.wire_wakeups;
+}
+
+/// Captured state of one two-phase driver shard.
+#[derive(Clone)]
+struct DriverShardSnap {
+    /// Per-member park watch sets, in member order.
+    watches: Vec<Vec<SignalId>>,
+    active: Vec<u32>,
+    parked: Vec<u32>,
+    watch_dirty: bool,
+    watcher_armed: bool,
+}
+
+/// Captured state of the two-phase driver ([`DriverState`] minus its
+/// per-cycle commit scratch, which is rebuilt from scratch each cycle).
+#[derive(Clone)]
+struct DriverSnap {
+    shards: Vec<DriverShardSnap>,
+    halted: bool,
+    step_chunk: usize,
+    shell_ewma: u64,
+    runs: u64,
+    skipped: u64,
+    wire_wakeups: u64,
+    commit_calls: u64,
+    fallbacks: u64,
+    thread_runs: Vec<u64>,
+    scratch: ScratchStats,
+}
+
+/// Captured park/resume accounting.
+#[derive(Clone)]
+struct ParkSnap {
+    parked: u64,
+    resumed: u64,
+    parked_now: usize,
+    modules_stepped: u64,
+}
+
+/// Captured execution state of one module.
+#[derive(Clone)]
+struct ModuleSnap {
+    exec: FsmExec,
+    vars: Vec<Value>,
+    status: ModuleStatus,
+}
+
+/// A whole-backplane checkpoint: everything that changes as the
+/// co-simulation runs, captured by [`Cosim::snapshot`].
+///
+/// Covers the kernel ([`cosma_sim::SimState`]: signal values, pending
+/// drives, timers, process schedule state, stats), every communication
+/// unit (FSM controller + protocol sessions, batched-link queues and
+/// adaptive batch target, native unit internals), every module (FSM
+/// state, variables, status), the activation scheduler (shard
+/// active/parked splits, watch sets, event-count gates, two-phase
+/// driver state including the adaptive step chunk and shell EWMA),
+/// park/demand accounting, the global error latch, and the trace log.
+///
+/// **Stats are captured and restored verbatim** — a restored run's
+/// counters continue from the snapshot's values, so its *deltas* match
+/// the uninterrupted run's deltas exactly. The one exception is
+/// allocation/load telemetry of the threaded step phase
+/// ([`ScratchStats`]' arena counters and [`ShardStats`]'
+/// `step_thread_runs`): these are restored too, but a *forked*
+/// backplane's thread pool starts cold, so they may diverge between a
+/// fork and its original afterwards. Functional state never does.
+///
+/// Not covered: VCD recording (a running waveform dump is an output
+/// stream, not simulation state) and processes registered directly on
+/// the kernel through [`Cosim::sim_mut`] — their closure-captured
+/// state is invisible to the backplane. Kernel-level schedule state of
+/// such processes *is* captured, and [`Cosim::restore`] rejects a
+/// snapshot whose process table does not match the target's.
+#[derive(Clone)]
+pub struct Snapshot {
+    sim: SimState,
+    fsm: Vec<FsmUnitState>,
+    batched: Vec<BatchedLinkState>,
+    /// Native unit states, paired with the entry's `occ_driven` mirror.
+    /// `None` when the unit does not implement
+    /// [`NativeUnit::save_state`] — detected at restore/fork time so
+    /// `snapshot()` itself stays infallible.
+    native: Vec<(Option<NativeUnitState>, i64)>,
+    modules: Vec<ModuleSnap>,
+    unit_shards: Vec<ShardSnap>,
+    module_shards: Vec<ShardSnap>,
+    driver: Option<DriverSnap>,
+    per_module: Vec<PerModuleProcState>,
+    per_unit_seen: Vec<Vec<u64>>,
+    park: ParkSnap,
+    demand: i64,
+    error: Option<String>,
+    trace: TraceLog,
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("at", &self.sim.now())
+            .field("signals", &self.sim.signal_count())
+            .field("processes", &self.sim.process_count())
+            .field("fsm_units", &self.fsm.len())
+            .field("batched_units", &self.batched.len())
+            .field("native_units", &self.native.len())
+            .field("modules", &self.modules.len())
+            .field("trace_entries", &self.trace.entries().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// Simulation time at which the snapshot was taken.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of module instances captured.
+    #[must_use]
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+}
+
+/// Checkpoint / restore / fork.
+///
+/// The state-ownership contract behind these: the kernel owns signal
+/// values and the event schedule ([`Simulator::save_state`]); each
+/// communication unit owns its protocol state
+/// (`FsmUnitRuntime::capture_state`, `BatchedLink::capture_state`,
+/// [`NativeUnit::save_state`]); the backplane owns module execution
+/// state and *all* scheduler state. Scheduler state that process
+/// closures would naturally capture as locals (park flags, event-count
+/// gates, elaboration latches) is deliberately hoisted into shared
+/// cells owned by the [`ActivationScheduler`], so a snapshot reaches
+/// every bit that influences future behaviour — the precondition for
+/// bit-identical replay.
+impl Cosim {
+    /// Captures the complete mutable state of the backplane.
+    ///
+    /// The snapshot is a plain value: clone it, keep several, restore
+    /// them in any order. Capturing is non-destructive and the
+    /// backplane can continue running afterwards.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let reg = self.registry.borrow();
+        Snapshot {
+            sim: self.sim.save_state(),
+            fsm: reg.fsm.iter().map(|e| e.runtime.capture_state()).collect(),
+            batched: reg.batched.iter().map(|e| e.link.capture_state()).collect(),
+            native: reg
+                .native
+                .iter()
+                .map(|e| (e.unit.save_state(), e.occ_driven))
+                .collect(),
+            modules: self
+                .modules
+                .borrow()
+                .iter()
+                .map(|e| ModuleSnap {
+                    exec: e.exec.clone(),
+                    vars: e.vars.clone(),
+                    status: e.status.clone(),
+                })
+                .collect(),
+            unit_shards: self
+                .sched
+                .unit_shards
+                .iter()
+                .map(|s| snap_shard(&s.borrow()))
+                .collect(),
+            module_shards: self
+                .sched
+                .module_shards
+                .iter()
+                .map(|s| snap_shard(&s.borrow()))
+                .collect(),
+            driver: self.sched.driver.as_ref().map(|d| {
+                let st = d.borrow();
+                DriverSnap {
+                    shards: st
+                        .shards
+                        .iter()
+                        .map(|sh| DriverShardSnap {
+                            watches: sh.members.iter().map(|m| m.watch.clone()).collect(),
+                            active: sh.active.clone(),
+                            parked: sh.parked.clone(),
+                            watch_dirty: sh.watch_dirty,
+                            watcher_armed: sh.watcher_armed,
+                        })
+                        .collect(),
+                    halted: st.halted,
+                    step_chunk: st.step_chunk,
+                    shell_ewma: st.shell_ewma,
+                    runs: st.runs,
+                    skipped: st.skipped,
+                    wire_wakeups: st.wire_wakeups,
+                    commit_calls: st.commit_calls,
+                    fallbacks: st.fallbacks,
+                    thread_runs: st.thread_runs.clone(),
+                    scratch: st.scratch.clone(),
+                }
+            }),
+            per_module: self
+                .sched
+                .per_module
+                .iter()
+                .map(|p| p.borrow().clone())
+                .collect(),
+            per_unit_seen: self
+                .sched
+                .per_unit_seen
+                .iter()
+                .map(|p| p.borrow().clone())
+                .collect(),
+            park: ParkSnap {
+                parked: self.sched.park.parked.get(),
+                resumed: self.sched.park.resumed.get(),
+                parked_now: self.sched.park.parked_now.get(),
+                modules_stepped: self.sched.park.modules_stepped.get(),
+            },
+            demand: self.demand.demand.get(),
+            error: self.error.borrow().clone(),
+            trace: self.trace.borrow().clone(),
+        }
+    }
+
+    /// Structural compatibility check between this backplane and a
+    /// snapshot, run *before* any state is mutated.
+    fn check_snapshot_shape(&self, snap: &Snapshot) -> Result<(), CosimError> {
+        fn ensure(ok: bool, msg: impl FnOnce() -> String) -> Result<(), CosimError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(CosimError::Setup(msg()))
+            }
+        }
+        let reg = self.registry.borrow();
+        ensure(reg.fsm.len() == snap.fsm.len(), || {
+            format!(
+                "snapshot has {} FSM units, backplane has {}",
+                snap.fsm.len(),
+                reg.fsm.len()
+            )
+        })?;
+        ensure(reg.batched.len() == snap.batched.len(), || {
+            format!(
+                "snapshot has {} batched units, backplane has {}",
+                snap.batched.len(),
+                reg.batched.len()
+            )
+        })?;
+        ensure(reg.native.len() == snap.native.len(), || {
+            format!(
+                "snapshot has {} native units, backplane has {}",
+                snap.native.len(),
+                reg.native.len()
+            )
+        })?;
+        for (entry, (st, _)) in reg.native.iter().zip(&snap.native) {
+            ensure(st.is_some(), || {
+                format!(
+                    "native unit {} was captured without state (no save_state support)",
+                    entry.name
+                )
+            })?;
+        }
+        ensure(self.modules.borrow().len() == snap.modules.len(), || {
+            format!(
+                "snapshot has {} modules, backplane has {}",
+                snap.modules.len(),
+                self.modules.borrow().len()
+            )
+        })?;
+        let shard_shape = |shards: &[Rc<RefCell<ShardState>>],
+                           snaps: &[ShardSnap],
+                           what: &str|
+         -> Result<(), CosimError> {
+            ensure(shards.len() == snaps.len(), || {
+                format!(
+                    "snapshot has {} {what} shards, backplane has {}",
+                    snaps.len(),
+                    shards.len()
+                )
+            })?;
+            for (i, (sh, sn)) in shards.iter().zip(snaps).enumerate() {
+                ensure(sh.borrow().members.len() == sn.members.len(), || {
+                    format!("{what} shard {i} member count differs from snapshot")
+                })?;
+            }
+            Ok(())
+        };
+        shard_shape(&self.sched.unit_shards, &snap.unit_shards, "unit")?;
+        shard_shape(&self.sched.module_shards, &snap.module_shards, "module")?;
+        ensure(self.sched.driver.is_some() == snap.driver.is_some(), || {
+            "two-phase driver presence differs from snapshot".to_string()
+        })?;
+        if let (Some(d), Some(ds)) = (&self.sched.driver, &snap.driver) {
+            let st = d.borrow();
+            ensure(st.shards.len() == ds.shards.len(), || {
+                format!(
+                    "snapshot has {} driver shards, backplane has {}",
+                    ds.shards.len(),
+                    st.shards.len()
+                )
+            })?;
+            for (i, (sh, sn)) in st.shards.iter().zip(&ds.shards).enumerate() {
+                ensure(sh.members.len() == sn.watches.len(), || {
+                    format!("driver shard {i} member count differs from snapshot")
+                })?;
+            }
+            // thread_runs is not shape-checked: its width is sized
+            // lazily on the first threaded cycle (mutable state, not
+            // structure) and restore overwrites it wholesale.
+        }
+        ensure(self.sched.per_module.len() == snap.per_module.len(), || {
+            "per-module process count differs from snapshot".to_string()
+        })?;
+        ensure(
+            self.sched.per_unit_seen.len() == snap.per_unit_seen.len(),
+            || "per-unit gate count differs from snapshot".to_string(),
+        )?;
+        for (i, (p, sn)) in self
+            .sched
+            .per_unit_seen
+            .iter()
+            .zip(&snap.per_unit_seen)
+            .enumerate()
+        {
+            ensure(p.borrow().len() == sn.len(), || {
+                format!("per-unit gate {i} wire count differs from snapshot")
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Restores the backplane to a previously captured [`Snapshot`].
+    ///
+    /// The snapshot must come from this backplane or a structurally
+    /// identical one (same construction sequence — e.g. a
+    /// [`Cosim::fork`] sibling). Restoring rewinds *everything*
+    /// [`Cosim::snapshot`] captures; a subsequent run replays the
+    /// original execution bit-identically — same traces, same module
+    /// states, same stat deltas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] when the snapshot's structure does
+    /// not match this backplane (unit/module/shard counts, driver
+    /// shape, native units without state support), or
+    /// [`CosimError::Sim`] when the kernel rejects the snapshot
+    /// (signal/process table mismatch — e.g. processes added through
+    /// [`Cosim::sim_mut`] after the snapshot was taken). All structural
+    /// checks run before any mutation, so on these errors the
+    /// backplane is left untouched. A failure *after* them (a unit
+    /// rejecting state it once produced) cannot happen between
+    /// structurally identical backplanes but would leave the state
+    /// partially applied; the error is surfaced either way.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CosimError> {
+        self.check_snapshot_shape(snap)?;
+        // The kernel validates its own table (names and counts) and is
+        // untouched on mismatch — it is the last fallible gate before
+        // mutation starts.
+        self.sim.load_state(&snap.sim)?;
+        {
+            let mut reg = self.registry.borrow_mut();
+            for (e, st) in reg.fsm.iter_mut().zip(&snap.fsm) {
+                e.runtime
+                    .restore_state(st)
+                    .map_err(|err| CosimError::Setup(format!("unit {}: {err}", e.name)))?;
+            }
+            for (e, st) in reg.batched.iter_mut().zip(&snap.batched) {
+                e.link
+                    .restore_state(st)
+                    .map_err(|err| CosimError::Setup(format!("batched link {}: {err}", e.name)))?;
+            }
+            for (e, (st, occ_driven)) in reg.native.iter_mut().zip(&snap.native) {
+                let st = st.as_ref().expect("checked by check_snapshot_shape");
+                e.unit
+                    .load_state(st)
+                    .map_err(|err| CosimError::Setup(format!("native unit {}: {err}", e.name)))?;
+                e.occ_driven = *occ_driven;
+            }
+        }
+        {
+            let mut modules = self.modules.borrow_mut();
+            for (e, ms) in modules.iter_mut().zip(&snap.modules) {
+                e.exec = ms.exec.clone();
+                e.vars.clone_from(&ms.vars);
+                e.status = ms.status.clone();
+            }
+        }
+        for (sh, sn) in self.sched.unit_shards.iter().zip(&snap.unit_shards) {
+            apply_shard(&mut sh.borrow_mut(), sn);
+        }
+        for (sh, sn) in self.sched.module_shards.iter().zip(&snap.module_shards) {
+            apply_shard(&mut sh.borrow_mut(), sn);
+        }
+        if let (Some(d), Some(ds)) = (&self.sched.driver, &snap.driver) {
+            let mut st = d.borrow_mut();
+            for (sh, sn) in st.shards.iter_mut().zip(&ds.shards) {
+                for (m, w) in sh.members.iter_mut().zip(&sn.watches) {
+                    m.watch.clone_from(w);
+                }
+                sh.active.clone_from(&sn.active);
+                sh.parked.clone_from(&sn.parked);
+                sh.watch_dirty = sn.watch_dirty;
+                sh.watcher_armed = sn.watcher_armed;
+            }
+            st.halted = ds.halted;
+            st.step_chunk = ds.step_chunk;
+            st.shell_ewma = ds.shell_ewma;
+            st.runs = ds.runs;
+            st.skipped = ds.skipped;
+            st.wire_wakeups = ds.wire_wakeups;
+            st.commit_calls = ds.commit_calls;
+            st.fallbacks = ds.fallbacks;
+            st.thread_runs.clone_from(&ds.thread_runs);
+            st.scratch = ds.scratch.clone();
+        }
+        for (p, sn) in self.sched.per_module.iter().zip(&snap.per_module) {
+            *p.borrow_mut() = sn.clone();
+        }
+        for (p, sn) in self.sched.per_unit_seen.iter().zip(&snap.per_unit_seen) {
+            p.borrow_mut().clone_from(sn);
+        }
+        self.sched.park.parked.set(snap.park.parked);
+        self.sched.park.resumed.set(snap.park.resumed);
+        self.sched.park.parked_now.set(snap.park.parked_now);
+        self.sched
+            .park
+            .modules_stepped
+            .set(snap.park.modules_stepped);
+        self.demand.demand.set(snap.demand);
+        *self.error.borrow_mut() = snap.error.clone();
+        *self.trace.borrow_mut() = snap.trace.clone();
+        Ok(())
+    }
+
+    /// Forks an independent backplane resuming from `snap`.
+    ///
+    /// Construction is replayed from the recorded recipe — immutable
+    /// specs ([`CommUnitSpec`], [`Module`] internals) are shared by
+    /// refcount, everything mutable is rebuilt — and the snapshot is
+    /// then restored onto the twin. The fork and the original share no
+    /// mutable state: running one never affects the other, and both
+    /// replay bit-identically from the snapshot point.
+    ///
+    /// `snap` may come from this backplane or any fork sibling. The
+    /// original is not modified (`&self`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] when a native unit does not
+    /// support forking ([`NativeUnit::fork_fresh`]), when processes
+    /// were registered directly through [`Cosim::sim_mut`] (the recipe
+    /// cannot replay them, so the kernel table mismatches), or any
+    /// error [`Cosim::restore`] reports.
+    pub fn fork(&self, snap: &Snapshot) -> Result<Cosim, CosimError> {
+        let mut twin = Cosim::new(self.config);
+        twin.set_scheduling(self.sched.cfg)?;
+        let reg = self.registry.borrow();
+        let mut native_i = 0;
+        for op in &self.recipe {
+            match op {
+                RecipeOp::FsmUnit { name, spec } => {
+                    twin.add_fsm_unit(name, Arc::clone(spec));
+                }
+                RecipeOp::BatchedUnit {
+                    name,
+                    data_ty,
+                    max_batch,
+                    capacity,
+                    timing,
+                } => {
+                    twin.add_batched_unit_with(
+                        name,
+                        data_ty.clone(),
+                        *max_batch,
+                        *capacity,
+                        *timing,
+                    )?;
+                }
+                RecipeOp::NativeUnit { name } => {
+                    let entry = &reg.native[native_i];
+                    native_i += 1;
+                    let fresh = entry.unit.fork_fresh().ok_or_else(|| {
+                        CosimError::Setup(format!(
+                            "native unit {} does not support forking",
+                            entry.name
+                        ))
+                    })?;
+                    twin.add_native_unit(name, fresh);
+                }
+                RecipeOp::Module {
+                    module,
+                    bindings,
+                    ports,
+                } => {
+                    let binds: Vec<(&str, UnitId)> =
+                        bindings.iter().map(|(n, u)| (n.as_str(), *u)).collect();
+                    match ports {
+                        None => twin.add_module(module, &binds)?,
+                        Some(p) => twin.add_module_with_ports(module, &binds, p.clone())?,
+                    };
+                }
+            }
+        }
+        drop(reg);
+        twin.restore(snap)?;
+        Ok(twin)
+    }
 }
 
 #[cfg(test)]
@@ -4015,6 +4835,99 @@ mod tests {
         let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
         cosim.run_for(Duration::from_us(20)).unwrap();
         assert_eq!(cosim.module_var(cid, "SUM"), Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn native_unit_snapshot_restore_and_fork() {
+        // The scenario-level replay property covers FSM and batched
+        // links; this pins the same contract for a native (platform)
+        // unit: fifo contents, counters and stats all travel with the
+        // snapshot, for both in-place restore and a forked twin.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        let link = cosim.add_native_unit("fifo", Box::new(FifoChannel::new("fifo", 8)));
+        let p = producer(&[5, 6, 7, 8]);
+        let c = consumer(4);
+        cosim.add_module(&p, &[("iface", link)]).unwrap();
+        let cid = cosim.add_module(&c, &[("iface", link)]).unwrap();
+
+        // Stop mid-exchange so the fifo queue is live in the snapshot.
+        cosim.run_for(Duration::from_ns(150)).unwrap();
+        let snap = cosim.snapshot();
+        let mid_sum = cosim.module_var(cid, "SUM");
+        let mid_stats = cosim.unit_stats("fifo").unwrap();
+
+        cosim.run_for(Duration::from_us(20)).unwrap();
+        let end_sum = cosim.module_var(cid, "SUM");
+        let end_state = cosim.module_status(cid).state.clone();
+        let end_trace = cosim.trace_log();
+        let end_stats = cosim.unit_stats("fifo").unwrap();
+        assert_eq!(end_sum, Some(Value::Int(26)));
+        assert_eq!(end_state, "END");
+        assert_ne!(mid_sum, end_sum, "the checkpoint really is mid-run");
+
+        // A forked twin starts at the snapshot instant and replays the
+        // tail bit-identically — including the unit's statistics.
+        let mut twin = cosim.fork(&snap).unwrap();
+        assert_eq!(twin.sim().now(), snap.at());
+        assert_eq!(twin.module_var(cid, "SUM"), mid_sum);
+        assert_eq!(twin.unit_stats("fifo").unwrap(), mid_stats);
+        twin.run_for(Duration::from_us(20)).unwrap();
+        assert_eq!(twin.module_var(cid, "SUM"), end_sum);
+        assert_eq!(twin.module_status(cid).state, end_state);
+        assert_eq!(twin.trace_log(), end_trace);
+        assert_eq!(twin.unit_stats("fifo").unwrap(), end_stats);
+
+        // The original rewinds in place and replays the same tail.
+        cosim.restore(&snap).unwrap();
+        assert_eq!(cosim.module_var(cid, "SUM"), mid_sum);
+        cosim.run_for(Duration::from_us(20)).unwrap();
+        assert_eq!(cosim.module_var(cid, "SUM"), end_sum);
+        assert_eq!(cosim.trace_log(), end_trace);
+        assert_eq!(cosim.unit_stats("fifo").unwrap(), end_stats);
+    }
+
+    #[test]
+    fn uncheckpointable_native_unit_fails_restore_cleanly() {
+        // A native unit that keeps the default save_state (None) still
+        // snapshots — the hole is detected at restore/fork time, with a
+        // named error instead of a silently skipped unit.
+        #[derive(Debug)]
+        struct Opaque(cosma_comm::UnitStats);
+        impl NativeUnit for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn services(&self) -> Vec<cosma_comm::NativeServiceDesc> {
+                vec![]
+            }
+            fn call(
+                &mut self,
+                _caller: cosma_comm::CallerId,
+                service: &str,
+                _args: &[Value],
+            ) -> Result<cosma_core::ServiceOutcome, cosma_core::EvalError> {
+                Err(cosma_core::EvalError::Service(format!(
+                    "opaque has no service {service}"
+                )))
+            }
+            fn stats(&self) -> &cosma_comm::UnitStats {
+                &self.0
+            }
+        }
+
+        let mut cosim = Cosim::new(CosimConfig::default());
+        cosim.add_native_unit("opaque", Box::new(Opaque(cosma_comm::UnitStats::default())));
+        cosim.run_for(Duration::from_ns(300)).unwrap();
+        let before = cosim.sim().now();
+        let snap = cosim.snapshot();
+        let err = cosim.restore(&snap).unwrap_err();
+        assert!(err.to_string().contains("opaque"), "names the unit: {err}");
+        assert!(err.to_string().contains("save_state"));
+        assert_eq!(cosim.sim().now(), before, "refused restore is a no-op");
+        let err = cosim.fork(&snap).unwrap_err();
+        assert!(err.to_string().contains("opaque"));
+        // The backplane itself keeps running fine.
+        cosim.run_for(Duration::from_ns(300)).unwrap();
     }
 
     #[test]

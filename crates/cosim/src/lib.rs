@@ -21,7 +21,13 @@
 //!   place by hashed id and the step phase can fan out over OS threads
 //!   ([`Parallelism::Threads`]) without changing a single trace,
 //! * every `Stmt::Trace` lands in a [`TraceLog`] that can be compared
-//!   event-for-event against a co-synthesis (board-level) run.
+//!   event-for-event against a co-synthesis (board-level) run,
+//! * the whole backplane checkpoints into a [`Snapshot`]
+//!   ([`Cosim::snapshot`] / [`Cosim::restore`] / [`Cosim::fork`]) with
+//!   bit-identical deterministic replay: every layer owns and captures
+//!   its mutable state (kernel schedule, unit internals, module
+//!   executors, scheduler gating), and the backplane externalizes all
+//!   of its process-closure state to make that possible.
 
 #![warn(missing_docs)]
 
@@ -36,7 +42,7 @@ pub use annotate::{
 };
 pub use backplane::{
     CallApplication, Cosim, CosimConfig, CosimError, CosimModuleId, ModulePlacement,
-    ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats, UnitId,
+    ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats, Snapshot, UnitId,
     UnitScheduling, DEFAULT_SHARD_SIZE, STEP_FANOUT_MIN,
 };
 pub use cosma_comm::BusTiming;

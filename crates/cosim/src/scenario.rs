@@ -985,4 +985,280 @@ mod tests {
             .collect();
         assert_eq!(starved, after, "parked consumers cost zero activations");
     }
+
+    /// Compares a backplane's observable state — per-module status
+    /// (FSM state, activation count, error) and full trace log —
+    /// against a recorded expectation.
+    fn assert_same(
+        c: &Cosim,
+        modules: &[CosimModuleId],
+        want_status: &[crate::ModuleStatus],
+        want_trace: &crate::TraceLog,
+        tag: &str,
+        what: &str,
+    ) {
+        for (&m, want) in modules.iter().zip(want_status) {
+            assert_eq!(
+                &c.module_status(m),
+                want,
+                "{tag}/{what}: module status diverged"
+            );
+        }
+        assert_eq!(
+            c.trace_log().entries(),
+            want_trace.entries(),
+            "{tag}/{what}: traces diverged"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_fork_replay_bit_identical() {
+        // The tentpole property: checkpoint at an arbitrary mid-run
+        // instant, then (a) keep running, (b) rewind and re-run, and
+        // (c) run forked twins — all must be bit-identical to an
+        // uninterrupted run: same traces, same FSM states, same
+        // activation counts. Pinned across the legacy per-unit/
+        // per-module path, immediate sharded, and the two-phase driver
+        // (sequential and threaded), on both link flavours.
+        use crate::backplane::{ModuleScheduling, UnitScheduling};
+        let sharded4 = SchedulingConfig {
+            units: UnitScheduling::Sharded { shard_size: 4 },
+            modules: ModuleScheduling::Sharded { shard_size: 4 },
+            park_blocked: true,
+            ..SchedulingConfig::sharded()
+        };
+        let variants = [
+            (
+                "legacy",
+                SchedulingConfig {
+                    units: UnitScheduling::PerUnit,
+                    modules: ModuleScheduling::PerModule,
+                    park_blocked: true,
+                    ..SchedulingConfig::legacy()
+                },
+            ),
+            ("deferred_hashed", sharded4),
+            // Threshold 1 forces real speculation + commit so the
+            // snapshot covers driver scratch, journals and the
+            // threaded step phase.
+            (
+                "deferred_threads2",
+                SchedulingConfig {
+                    step_fanout_min: 1,
+                    ..sharded4.with_threads(2)
+                },
+            ),
+            (
+                "immediate_sharded",
+                SchedulingConfig {
+                    units: UnitScheduling::Sharded { shard_size: 4 },
+                    modules: ModuleScheduling::Sharded { shard_size: 4 },
+                    park_blocked: true,
+                    ..SchedulingConfig::immediate()
+                },
+            ),
+        ];
+        for topology in [Topology::Pipeline, Topology::Ring, Topology::Skewed] {
+            for link in [
+                LinkKind::Handshake,
+                LinkKind::Batched {
+                    max_batch: 4,
+                    capacity: 16,
+                    timing: BusTiming::PayloadBeats,
+                },
+            ] {
+                for (name, cfg) in variants {
+                    let spec = ScenarioSpec {
+                        units: 6,
+                        topology,
+                        link,
+                        values_per_link: 2,
+                        scheduling: cfg,
+                        ..ScenarioSpec::default()
+                    };
+                    let tag = format!("{topology:?}/{link:?}/{name}");
+
+                    // Uninterrupted reference run.
+                    let mut r = build_scenario(&spec).expect("builds");
+                    r.cosim
+                        .run_for(Duration::from_us(400))
+                        .unwrap_or_else(|e| panic!("{tag}: reference runs: {e}"));
+                    let ref_status: Vec<_> = r
+                        .modules
+                        .iter()
+                        .map(|&m| r.cosim.module_status(m))
+                        .collect();
+                    let ref_trace = r.cosim.trace_log();
+                    r.verify().unwrap_or_else(|e| panic!("{tag}: {e}"));
+
+                    // Checkpointed run: snapshot mid-flight.
+                    let mut a = build_scenario(&spec).expect("builds");
+                    a.cosim
+                        .run_for(Duration::from_us(150))
+                        .expect("runs to mid");
+                    let snap = a.cosim.snapshot();
+                    assert_eq!(snap.at(), a.cosim.sim().now(), "{tag}: snapshot time");
+                    let mid_status: Vec<_> = a
+                        .modules
+                        .iter()
+                        .map(|&m| a.cosim.module_status(m))
+                        .collect();
+                    let mid_trace = a.cosim.trace_log();
+                    // Fork two twins before the original moves on.
+                    let mut f1 = a
+                        .cosim
+                        .fork(&snap)
+                        .unwrap_or_else(|e| panic!("{tag}: fork: {e}"));
+                    let mut f2 = a.cosim.fork(&snap).expect("second fork");
+
+                    // (a) Capturing is non-destructive: the original
+                    // continues to the same end state.
+                    a.cosim.run_for(Duration::from_us(250)).expect("continues");
+                    assert_same(
+                        &a.cosim,
+                        &r.modules,
+                        &ref_status,
+                        &ref_trace,
+                        &tag,
+                        "continue",
+                    );
+                    a.verify()
+                        .unwrap_or_else(|e| panic!("{tag}: continue: {e}"));
+
+                    // (b) Rewind in place and replay.
+                    a.cosim
+                        .restore(&snap)
+                        .unwrap_or_else(|e| panic!("{tag}: restore: {e}"));
+                    assert_same(
+                        &a.cosim,
+                        &r.modules,
+                        &mid_status,
+                        &mid_trace,
+                        &tag,
+                        "rewound",
+                    );
+                    a.cosim.run_for(Duration::from_us(250)).expect("replays");
+                    assert_same(
+                        &a.cosim,
+                        &r.modules,
+                        &ref_status,
+                        &ref_trace,
+                        &tag,
+                        "replay",
+                    );
+                    a.verify().unwrap_or_else(|e| panic!("{tag}: replay: {e}"));
+
+                    // (c) Forks replay identically and independently:
+                    // f1 runs to the end...
+                    f1.run_for(Duration::from_us(250)).expect("fork runs");
+                    assert_same(&f1, &r.modules, &ref_status, &ref_trace, &tag, "fork");
+                    // ...while sibling f2 — untouched by f1's run and
+                    // the original's — still sits at the snapshot
+                    // instant...
+                    assert_eq!(
+                        f2.sim().now(),
+                        snap.at(),
+                        "{tag}: idle sibling did not advance"
+                    );
+                    assert_same(
+                        &f2,
+                        &r.modules,
+                        &mid_status,
+                        &mid_trace,
+                        &tag,
+                        "idle sibling",
+                    );
+                    // ...and then replays to the same end state.
+                    f2.run_for(Duration::from_us(250)).expect("sibling runs");
+                    assert_same(&f2, &r.modules, &ref_status, &ref_trace, &tag, "sibling");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restored_stats_continue_verbatim() {
+        // The stats-coherence contract: counters are captured and
+        // restored verbatim, so a rewound run's final statistics —
+        // kernel, per-unit, and scheduler — are identical to the
+        // uninterrupted run's. (Allocation telemetry of the *threaded*
+        // step phase is the documented exception; this config is
+        // sequential, so the equality is exact and total.)
+        let spec = ScenarioSpec {
+            units: 6,
+            values_per_link: 3,
+            ..ScenarioSpec::default()
+        };
+        let mut r = build_scenario(&spec).expect("builds");
+        r.cosim.run_for(Duration::from_us(400)).expect("runs");
+
+        let mut a = build_scenario(&spec).expect("builds");
+        a.cosim.run_for(Duration::from_us(150)).expect("runs");
+        let snap = a.cosim.snapshot();
+        a.cosim.run_for(Duration::from_us(250)).expect("continues");
+        a.cosim.restore(&snap).expect("restores");
+        a.cosim.run_for(Duration::from_us(250)).expect("replays");
+
+        assert_eq!(
+            a.cosim.sim().stats(),
+            r.cosim.sim().stats(),
+            "kernel stats replay verbatim"
+        );
+        assert_eq!(
+            a.cosim.shard_stats(),
+            r.cosim.shard_stats(),
+            "scheduler stats replay verbatim"
+        );
+        for i in 0..r.links.len() {
+            let name = format!("link{i}");
+            assert_eq!(
+                a.cosim.unit_stats(&name),
+                r.cosim.unit_stats(&name),
+                "{name} stats replay verbatim"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_chunks_adapt_and_oversized_shells_reclaimed() {
+        // Adaptive work-stealing chunk sizing + oversized-shell
+        // reclamation, on the same skewed fleet as
+        // skewed_costs_steal_work_and_reuse_arenas_under_threads: the
+        // heavy producer's shell retains pools far past the per-shell
+        // EWMA once dozens of near-empty consumer shells have decayed
+        // it, and observed steals must shrink the chunk grain at least
+        // once.
+        use crate::backplane::{ModuleScheduling, UnitScheduling};
+        let mut s = build_scenario(&ScenarioSpec {
+            units: 48,
+            topology: Topology::Skewed,
+            values_per_link: 4,
+            scheduling: SchedulingConfig {
+                units: UnitScheduling::Sharded { shard_size: 16 },
+                modules: ModuleScheduling::Sharded { shard_size: 16 },
+                park_blocked: false,
+                step_fanout_min: 1,
+                ..SchedulingConfig::sharded().with_threads(2)
+            },
+            ..ScenarioSpec::default()
+        })
+        .expect("builds");
+        let done = s.run_to_completion(Duration::from_us(2_000)).expect("runs");
+        assert!(done, "skewed scenario completes");
+        s.verify().expect("checksum holds");
+        let st = s.cosim.shard_stats().scratch;
+        assert!(st.steals > 0, "skewed set rebalanced: {st:?}");
+        assert!(
+            st.chunk_shrinks > 0,
+            "a steal cycle shrank the chunk grain: {st:?}"
+        );
+        assert!(
+            (2..=64).contains(&st.chunk_now),
+            "adapted chunk stays within bounds: {st:?}"
+        );
+        assert!(
+            st.shells_shrunk > 0,
+            "the heavy producer's oversized shell was reclaimed: {st:?}"
+        );
+    }
 }

@@ -474,6 +474,13 @@ pub enum SimError {
         /// The configured bound.
         limit: u32,
     },
+    /// A [`Simulator::load_state`] target does not structurally match the
+    /// snapshot (different signal or process tables): restoring would
+    /// scramble ids, so nothing was changed.
+    StateMismatch {
+        /// What failed to line up.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -484,6 +491,9 @@ impl fmt::Display for SimError {
                     f,
                     "delta-cycle oscillation at {time} (more than {limit} deltas)"
                 )
+            }
+            SimError::StateMismatch { reason } => {
+                write!(f, "snapshot does not match this simulator: {reason}")
             }
         }
     }
@@ -519,6 +529,82 @@ pub struct SimStats {
     pub timer_queue_peak: u64,
     /// High-water mark of the timed-drive heap.
     pub drive_queue_peak: u64,
+}
+
+/// Captured scheduling state of one process. The process *body* (the
+/// closure or trait object) is deliberately excluded — see
+/// [`Simulator::save_state`] for the ownership contract.
+#[derive(Debug, Clone)]
+struct ProcState {
+    name: String,
+    sensitivity: Vec<SignalId>,
+    epoch: u64,
+    wake_at: Option<SimTime>,
+    timer_token: u64,
+    wake_stamp: u64,
+    runs: u64,
+}
+
+/// A point-in-time capture of all kernel-owned simulator state, produced
+/// by [`Simulator::save_state`] and consumed by [`Simulator::load_state`].
+///
+/// The capture is *canonical*: the timed-drive heap is stored sorted by
+/// `(time, sequence)` and lazily-cancelled timer entries are purged, so
+/// two captures of identical logical states compare and restore
+/// identically regardless of internal heap layout or how many dead
+/// entries each heap happened to carry.
+///
+/// What is **in** the state: signal values (with previous values, event
+/// marks and event counts), per-process sensitivity sets, epochs, timer
+/// tokens, wake stamps and run counts, pending same-instant drives,
+/// future timed drives, live timeouts, the sequence/stamp counters, the
+/// current time, the elaboration flag, the delta bound, and [`SimStats`].
+///
+/// What is **out**: process bodies (restored into the same simulator or
+/// a structurally identical clone, whose bodies stand in for the
+/// captured ones) and any active VCD recorder.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    signals: Vec<Signal>,
+    procs: Vec<ProcState>,
+    delta_drives: Vec<(SignalId, Value)>,
+    /// Future timed drives as `(at, seq, signal, value)`, sorted.
+    timed_drives: Vec<(SimTime, u64, SignalId, Value)>,
+    /// Live timeouts as `(at, seq, process, token)`, sorted.
+    timers: Vec<(SimTime, u64, ProcessId, u64)>,
+    fresh_events: Vec<SignalId>,
+    seq: u64,
+    stamp: u64,
+    now: SimTime,
+    initialized: bool,
+    max_deltas: u32,
+    stats: SimStats,
+}
+
+impl SimState {
+    /// Simulated time at which the state was captured.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel statistics at capture time.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of captured signals.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of captured processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
 }
 
 /// The discrete-event simulator.
@@ -1088,11 +1174,187 @@ impl Simulator {
     pub fn process_name(&self, p: ProcessId) -> &str {
         &self.processes[p.index()].name
     }
+
+    /// Captures all kernel-owned state into a [`SimState`].
+    ///
+    /// # State-ownership contract
+    ///
+    /// The kernel owns and captures everything needed to resume the
+    /// event schedule bit-identically: signals, per-process scheduling
+    /// state (sensitivity, epoch, timer token, wake stamp, run count),
+    /// both time heaps (canonicalized — drives sorted, dead timer
+    /// entries purged), pending delta drives, fresh-event marks, the
+    /// `seq`/`stamp` counters, time, the elaboration flag, the delta
+    /// bound, and statistics. It does **not** own process bodies:
+    /// any state a body keeps inside its closure is invisible here and
+    /// must be captured by whoever registered the process (the
+    /// backplane externalizes all such state for exactly this reason).
+    /// An active VCD recorder is likewise not part of the state;
+    /// recording across a restore that rewinds time produces a
+    /// non-monotone file.
+    #[must_use]
+    pub fn save_state(&self) -> SimState {
+        let procs = self
+            .processes
+            .iter()
+            .map(|p| ProcState {
+                name: p.name.clone(),
+                sensitivity: p.sensitivity.clone(),
+                epoch: p.epoch,
+                wake_at: p.wake_at,
+                timer_token: p.timer_token,
+                wake_stamp: p.wake_stamp,
+                runs: p.runs,
+            })
+            .collect();
+        let mut timed_drives: Vec<(SimTime, u64, SignalId, Value)> = self
+            .drive_heap
+            .iter()
+            .map(|Reverse(d)| (d.at, d.seq, d.sig, d.value.clone()))
+            .collect();
+        timed_drives.sort_unstable_by_key(|&(at, seq, ..)| (at, seq));
+        // Purge lazily-cancelled timers: keep an entry only if it is the
+        // one its process is actually waiting on.
+        let mut timers: Vec<(SimTime, u64, ProcessId, u64)> = self
+            .timer_heap
+            .iter()
+            .map(|Reverse(t)| *t)
+            .filter(|t| {
+                let slot = &self.processes[t.pid.index()];
+                slot.timer_token == t.token && slot.wake_at == Some(t.at)
+            })
+            .map(|t| (t.at, t.seq, t.pid, t.token))
+            .collect();
+        timers.sort_unstable_by_key(|&(at, seq, ..)| (at, seq));
+        debug_assert_eq!(timers.len(), self.armed_timers);
+        SimState {
+            signals: self.signals.clone(),
+            procs,
+            delta_drives: self.delta_drives.clone(),
+            timed_drives,
+            timers,
+            fresh_events: self.fresh_events.clone(),
+            seq: self.seq,
+            stamp: self.stamp,
+            now: self.now,
+            initialized: self.initialized,
+            max_deltas: self.max_deltas,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores a previously captured [`SimState`], making this
+    /// simulator resume bit-identically to the captured one (provided
+    /// its process bodies are in an equivalent state — see
+    /// [`Simulator::save_state`]). The inverted sensitivity index is
+    /// rebuilt from the captured sensitivity sets, so no stale watcher
+    /// entries survive a restore.
+    ///
+    /// The target must be structurally identical to the simulator that
+    /// produced the state: same signals (by name, in order) and same
+    /// processes (by name, in order). Signal *values* may differ — that
+    /// is the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StateMismatch`] (leaving this simulator
+    /// untouched) if the tables don't line up.
+    pub fn load_state(&mut self, state: &SimState) -> Result<(), SimError> {
+        if state.signals.len() != self.signals.len() {
+            return Err(SimError::StateMismatch {
+                reason: format!(
+                    "snapshot has {} signals, simulator has {}",
+                    state.signals.len(),
+                    self.signals.len()
+                ),
+            });
+        }
+        if state.procs.len() != self.processes.len() {
+            return Err(SimError::StateMismatch {
+                reason: format!(
+                    "snapshot has {} processes, simulator has {}",
+                    state.procs.len(),
+                    self.processes.len()
+                ),
+            });
+        }
+        for (i, (have, want)) in self.signals.iter().zip(&state.signals).enumerate() {
+            if have.name != want.name {
+                return Err(SimError::StateMismatch {
+                    reason: format!(
+                        "signal {i} is {:?}, snapshot expects {:?}",
+                        have.name, want.name
+                    ),
+                });
+            }
+        }
+        for (i, (have, want)) in self.processes.iter().zip(&state.procs).enumerate() {
+            if have.name != want.name {
+                return Err(SimError::StateMismatch {
+                    reason: format!(
+                        "process {i} is {:?}, snapshot expects {:?}",
+                        have.name, want.name
+                    ),
+                });
+            }
+        }
+
+        self.signals.clone_from(&state.signals);
+        for (slot, ps) in self.processes.iter_mut().zip(&state.procs) {
+            slot.sensitivity.clone_from(&ps.sensitivity);
+            slot.epoch = ps.epoch;
+            slot.wake_at = ps.wake_at;
+            slot.timer_token = ps.timer_token;
+            slot.wake_stamp = ps.wake_stamp;
+            slot.runs = ps.runs;
+        }
+        // Rebuild the inverted index from scratch: one live entry per
+        // (process, watched signal) under the restored epoch.
+        for wl in &mut self.watchers {
+            wl.entries.clear();
+            wl.stale = 0;
+        }
+        for (i, ps) in state.procs.iter().enumerate() {
+            let pid = ProcessId(i as u32);
+            for s in &ps.sensitivity {
+                self.watchers[s.index()].entries.push((pid, ps.epoch));
+            }
+        }
+        self.delta_drives.clone_from(&state.delta_drives);
+        self.fresh_events.clone_from(&state.fresh_events);
+        self.drive_heap.clear();
+        for (at, seq, sig, value) in &state.timed_drives {
+            self.drive_heap.push(Reverse(TimedDrive {
+                at: *at,
+                seq: *seq,
+                sig: *sig,
+                value: value.clone(),
+            }));
+        }
+        self.timer_heap.clear();
+        for &(at, seq, pid, token) in &state.timers {
+            self.timer_heap.push(Reverse(TimerEntry {
+                at,
+                seq,
+                pid,
+                token,
+            }));
+        }
+        self.armed_timers = state.timers.len();
+        self.seq = state.seq;
+        self.stamp = state.stamp;
+        self.now = state.now;
+        self.initialized = state.initialized;
+        self.max_deltas = state.max_deltas;
+        self.stats = state.stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::RefSimulator;
 
     #[test]
     fn clock_toggles_at_period() {
@@ -1660,5 +1922,163 @@ mod tests {
             sim.stats().stale_watchers_purged > 0,
             "stale watcher entries must be purged during wake traversal"
         );
+    }
+
+    /// Netlist used by the save/load round-trip tests. All process state
+    /// lives in signals (closures are stateless), so a kernel-level
+    /// [`SimState`] alone is enough to resume bit-identically.
+    fn checkpoint_netlist(sim: &mut Simulator) -> (SignalId, SignalId, SignalId, ProcessId) {
+        let clk = sim.add_bit("CLK");
+        let n = sim.add_signal("N", Type::INT16, Value::Int(0));
+        let d = sim.add_signal("D", Type::INT16, Value::Int(0));
+        sim.add_clock("gen", clk, Duration::from_ns(100));
+        let count = sim.add_process(
+            "count",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(n);
+                    ctx.drive(n, Value::Int(v + 1));
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+        sim.add_process(
+            "pulse",
+            FnProcess::new(move |ctx| {
+                let v = ctx.read_int(n);
+                ctx.drive_after(d, Value::Int(v + 100), Duration::from_ns(30));
+                Wait::Timeout(Duration::from_ns(70))
+            }),
+        );
+        (clk, n, d, count)
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        // Uninterrupted oracle run on the full-scan reference kernel.
+        let mut oracle = RefSimulator::new();
+        let oclk = oracle.add_bit("CLK");
+        let on = oracle.add_signal("N", Type::INT16, Value::Int(0));
+        let od = oracle.add_signal("D", Type::INT16, Value::Int(0));
+        oracle.add_clock(oclk, Duration::from_ns(100));
+        oracle.add_process(FnProcess::new(move |ctx| {
+            if ctx.rose(oclk) {
+                let v = ctx.read_int(on);
+                ctx.drive(on, Value::Int(v + 1));
+            }
+            Wait::Event(vec![oclk])
+        }));
+        oracle.add_process(FnProcess::new(move |ctx| {
+            let v = ctx.read_int(on);
+            ctx.drive_after(od, Value::Int(v + 100), Duration::from_ns(30));
+            Wait::Timeout(Duration::from_ns(70))
+        }));
+        oracle.run_until(SimTime::from_ns(1000)).unwrap();
+
+        let mut sim = Simulator::new();
+        let (clk, n, d, count) = checkpoint_netlist(&mut sim);
+        // Stop between the clock edge at 400 and the pulse timer at 420,
+        // so the saved state carries live heaps: an armed clock timer, an
+        // armed pulse timer, and an in-flight timed drive.
+        sim.run_until(SimTime::from_ns(415)).unwrap();
+        let saved = sim.save_state();
+        let mid = (
+            sim.value(n).clone(),
+            sim.value(d).clone(),
+            sim.process_runs(count),
+            sim.stats(),
+        );
+
+        sim.run_until(SimTime::from_ns(1000)).unwrap();
+        let first = (
+            sim.signal_info(clk),
+            sim.signal_info(n),
+            sim.signal_info(d),
+            sim.process_runs(count),
+            sim.stats(),
+        );
+        for (have, want) in [(clk, oclk), (n, on), (d, od)] {
+            assert_eq!(sim.signal_info(have).value, oracle.signal_info(want).value);
+            assert_eq!(
+                sim.signal_info(have).event_count,
+                oracle.signal_info(want).event_count
+            );
+            assert_eq!(
+                sim.signal_info(have).last_event,
+                oracle.signal_info(want).last_event
+            );
+        }
+
+        // Rewind and replay: every observable — values, event counts,
+        // process run counters, kernel statistics — must re-converge to
+        // the first continuation exactly.
+        sim.load_state(&saved).unwrap();
+        assert_eq!(sim.now(), SimTime::from_ns(415));
+        assert_eq!(sim.value(n), &mid.0);
+        assert_eq!(sim.value(d), &mid.1);
+        assert_eq!(sim.process_runs(count), mid.2);
+        assert_eq!(sim.stats(), mid.3, "stats restore verbatim");
+        sim.run_until(SimTime::from_ns(1000)).unwrap();
+        let second = (
+            sim.signal_info(clk),
+            sim.signal_info(n),
+            sim.signal_info(d),
+            sim.process_runs(count),
+            sim.stats(),
+        );
+        assert_eq!(second.0.value, first.0.value);
+        assert_eq!(second.0.event_count, first.0.event_count);
+        assert_eq!(second.1.value, first.1.value);
+        assert_eq!(second.1.event_count, first.1.event_count);
+        assert_eq!(second.1.last_event, first.1.last_event);
+        assert_eq!(second.2.value, first.2.value);
+        assert_eq!(second.2.event_count, first.2.event_count);
+        assert_eq!(second.2.last_event, first.2.last_event);
+        assert_eq!(second.3, first.3, "process run counts replay identically");
+        assert_eq!(second.4, first.4, "kernel stats replay identically");
+    }
+
+    #[test]
+    fn load_state_mismatch_leaves_target_untouched() {
+        let mut src = Simulator::new();
+        checkpoint_netlist(&mut src);
+        src.run_until(SimTime::from_ns(415)).unwrap();
+        let saved = src.save_state();
+
+        // Same shape, one renamed signal: rejected, target untouched.
+        let mut other = Simulator::new();
+        let clk = other.add_bit("CLK");
+        let n = other.add_signal("M", Type::INT16, Value::Int(0));
+        other.add_signal("D", Type::INT16, Value::Int(0));
+        other.add_clock("gen", clk, Duration::from_ns(100));
+        other.add_process(
+            "count",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(clk) {
+                    let v = ctx.read_int(n);
+                    ctx.drive(n, Value::Int(v + 1));
+                }
+                Wait::Event(vec![clk])
+            }),
+        );
+        other.add_process("pulse", FnProcess::new(move |_| Wait::Forever));
+        other.run_until(SimTime::from_ns(100)).unwrap();
+        let before = (other.now(), other.value(n).clone(), other.stats());
+        let err = other.load_state(&saved).unwrap_err();
+        assert!(matches!(err, SimError::StateMismatch { .. }));
+        assert!(err.to_string().contains("signal"), "names the mismatch");
+        assert_eq!(other.now(), before.0);
+        assert_eq!(other.value(n), &before.1);
+        assert_eq!(other.stats(), before.2);
+        // Still runnable after the refused load.
+        other.run_until(SimTime::from_ns(200)).unwrap();
+
+        // Different process count: also rejected.
+        let mut short = Simulator::new();
+        short.add_bit("CLK");
+        short.add_signal("N", Type::INT16, Value::Int(0));
+        short.add_signal("D", Type::INT16, Value::Int(0));
+        let err = short.load_state(&saved).unwrap_err();
+        assert!(matches!(err, SimError::StateMismatch { .. }));
     }
 }

@@ -9,6 +9,14 @@
 //! backplane (`cosma-cosim`) instantiates hardware modules and
 //! communication units as [`Process`]es over [`Simulator`] signals.
 //!
+//! The kernel is checkpointable: [`Simulator::save_state`] captures
+//! everything the kernel owns (signals, per-process scheduling state,
+//! event/timer heaps, time, statistics) into a [`SimState`] and
+//! [`Simulator::load_state`] resumes bit-identically. Process-*closure*
+//! state is deliberately outside the contract — whoever registers a
+//! process owns whatever its closure captures and must checkpoint it
+//! alongside the kernel state (as the co-simulation backplane does).
+//!
 //! ## Example
 //!
 //! ```
@@ -42,7 +50,7 @@ mod vcd;
 
 pub use kernel::{
     ClockControl, ClockProcess, ClockedProcess, Edge, FnProcess, ProcCtx, Process, ProcessId,
-    SimError, SimStats, Simulator, Wait,
+    SimError, SimState, SimStats, Simulator, Wait,
 };
 pub use signal::{SignalId, SignalInfo};
 pub use time::{Duration, SimTime};
