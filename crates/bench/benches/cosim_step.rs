@@ -111,6 +111,7 @@ fn bench_cosim(c: &mut Criterion) {
             link,
             config: CosimConfig::default(),
             scheduling,
+            trace: false,
         })
         .expect("scenario builds")
     }

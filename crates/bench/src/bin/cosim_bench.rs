@@ -60,12 +60,14 @@ fn timing_label(link: &LinkKind) -> &'static str {
     }
 }
 
-fn parallelism_label(cfg: &SchedulingConfig) -> &'static str {
+/// Splits a scheduling config into the JSON `parallelism` label and the
+/// explicit `threads` count, so every threaded row names its worker
+/// count the same way the `step_scaling` sweep does ("threads" +
+/// `threads: N`) instead of baking the count into the label.
+fn parallelism_fields(cfg: &SchedulingConfig) -> (&'static str, Option<usize>) {
     match cfg.parallelism {
-        Parallelism::Off => "off",
-        Parallelism::Threads(2) => "threads2",
-        Parallelism::Threads(4) => "threads4",
-        Parallelism::Threads(_) => "threads",
+        Parallelism::Off => ("off", None),
+        Parallelism::Threads(n) => ("threads", Some(n)),
     }
 }
 
@@ -82,6 +84,7 @@ fn scenario(
         link,
         config: CosimConfig::default(),
         scheduling,
+        trace: false,
     })
     .expect("scenario builds")
 }
@@ -224,11 +227,12 @@ fn main() {
         // worker pool; on a single-CPU host this row documents the
         // coordination overhead instead (workers time-slice one core).
         let threaded = SchedulingConfig::sharded().with_threads(4);
+        let (par, threads) = parallelism_fields(&threaded);
         records.push(measure(
             "many_units_sharded",
             n,
-            parallelism_label(&threaded),
-            None,
+            par,
+            threads,
             timing_label(&batched),
             runs,
             200,
@@ -290,6 +294,7 @@ fn main() {
                 link: heavy,
                 config: CosimConfig::default(),
                 scheduling,
+                trace: false,
             })
             .expect("scenario builds")
         };
@@ -312,6 +317,42 @@ fn main() {
             runs,
             200,
             move || build(SchedulingConfig::sharded()),
+        ));
+    }
+
+    // Trace-heavy ring: every module records an interned trace entry
+    // per activation (so nothing ever parks) and the columnar log
+    // spills full segments to a sink — the steady-state cost of the
+    // trace subsystem rides this row. Mirrors the counting-allocator
+    // gate's scenario (`tests/alloc.rs`), which pins the same regime
+    // to zero heap allocations per warm cycle.
+    {
+        let n = if quick { 8 } else { 16 };
+        records.push(measure(
+            "trace_heavy",
+            n,
+            "off",
+            None,
+            timing_label(&batched),
+            runs,
+            200,
+            move || {
+                let s = build_scenario(&ScenarioSpec {
+                    units: n,
+                    topology: Topology::Ring,
+                    values_per_link: 1_000_000,
+                    link: batched,
+                    config: CosimConfig::default(),
+                    scheduling: SchedulingConfig::sharded(),
+                    trace: true,
+                })
+                .expect("scenario builds");
+                s.cosim
+                    .trace_handle()
+                    .borrow_mut()
+                    .set_spill(Box::new(std::io::sink()));
+                s
+            },
         ));
     }
 

@@ -121,8 +121,7 @@ impl Env for IpcEnv<'_> {
         unit.call(caller, &call.service, args)
     }
     fn trace(&mut self, label: &str, values: &[Value]) {
-        self.trace
-            .record(self.now, self.source, label, values.to_vec());
+        self.trace.record(self.now, self.source, label, values);
     }
 }
 

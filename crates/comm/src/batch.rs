@@ -118,6 +118,7 @@ pub struct BatchedLinkState {
     delivered: Vec<Value>,
     sending: bool,
     streaming: bool,
+    scheduled: bool,
     beat: usize,
     last_call_stable: bool,
     stats: UnitStats,
@@ -191,6 +192,12 @@ pub struct BatchedLink {
     /// occupy `DATA`, Zero during the arbitration length word. Driven
     /// only under [`BusTiming::PayloadBeats`].
     valid_wire: PortId,
+    /// The `B_LAST` burst-completion strobe: One on the cycle the final
+    /// payload beat crosses `DATA` (the delivery cycle), Zero
+    /// otherwise. Parked consumers watch it instead of `DATA`, so a
+    /// burst wakes them once at delivery rather than once per beat.
+    /// Driven only under [`BusTiming::PayloadBeats`].
+    last_wire: PortId,
     /// Wire-level timing model.
     timing: BusTiming,
     /// Hard bound on values per bus transaction.
@@ -214,6 +221,12 @@ pub struct BatchedLink {
     /// Whether payload beats are being streamed on `DATA`
     /// ([`BusTiming::PayloadBeats`] only).
     streaming: bool,
+    /// Whether the current burst's beats were pre-scheduled as timed
+    /// drives ([`WireStore::write_wire_after`]) at arbitration time —
+    /// the pump then only counts beats down to the delivery cycle
+    /// instead of writing wires itself. `false` on stores without timed
+    /// writes (the cycle-by-cycle fallback).
+    scheduled: bool,
     /// Next beat index into `in_flight` while streaming.
     beat: usize,
     /// Whether the last `put`/`get` was a provable no-op (pending, no
@@ -276,12 +289,16 @@ impl BatchedLink {
         let valid_wire = spec
             .wire_id("B_VALID")
             .expect("batched handshake spec has a B_VALID wire");
+        let last_wire = spec
+            .wire_id("B_LAST")
+            .expect("batched handshake spec has a B_LAST wire");
         Ok(BatchedLink {
             inner: FsmUnitRuntime::new(spec),
             data_ty,
             pending_wire,
             data_wire,
             valid_wire,
+            last_wire,
             timing: BusTiming::LengthOnly,
             max_batch,
             batch_target: 1,
@@ -291,6 +308,7 @@ impl BatchedLink {
             delivered: VecDeque::new(),
             sending: false,
             streaming: false,
+            scheduled: false,
             beat: 0,
             last_call_stable: false,
             stats: UnitStats::default(),
@@ -357,10 +375,17 @@ impl BatchedLink {
 
     /// The wires whose events can unblock a pending caller of `service`.
     ///
-    /// * `get` — the inner bus protocol's consumer read-set plus the
-    ///   `PENDING` bus-request wire: delivery always rides on wire-level
-    ///   handshake activity, and `PENDING` rises the moment a producer
-    ///   enqueues, so a parked consumer cannot miss an incoming value.
+    /// * `get` — the inner bus protocol's consumer read-set minus the
+    ///   `DATA` wire, plus the `PENDING` bus-request and `B_LAST`
+    ///   burst-completion wires. Delivery is always flanked by a
+    ///   `B_FULL` event (the arbitration handshake completing) under
+    ///   [`BusTiming::LengthOnly`] and a `B_LAST` strobe (the final
+    ///   payload beat) under [`BusTiming::PayloadBeats`], and `PENDING`
+    ///   rises the moment a producer enqueues, so a parked consumer
+    ///   cannot miss an incoming value. `DATA` is deliberately *not*
+    ///   watched: under payload streaming it carries one event per
+    ///   beat, which would wake every parked consumer once per beat of
+    ///   a burst none of them can pop until the delivery cycle.
     /// * `put` — **empty**: a put blocks only on capacity, and capacity
     ///   is released by `get` popping the delivered queue, which is not
     ///   wire-visible. Producers blocked on backpressure must therefore
@@ -368,15 +393,45 @@ impl BatchedLink {
     #[must_use]
     pub fn completion_signals(&self, service: &str) -> Vec<PortId> {
         match service {
-            "get" => {
-                let mut wires = self.inner.completion_signals("get");
-                wires.push(self.pending_wire);
-                wires.sort_unstable();
-                wires.dedup();
-                wires
-            }
+            "get" => match self.timing {
+                // Every payload-beats delivery is marked by the B_LAST
+                // rise on its delivery cycle (hand-driven on the final
+                // beat, or pre-scheduled at burst start), so a starved
+                // consumer needs exactly that one wire — the B_FULL /
+                // PENDING churn of the arbitration phase carries no
+                // deliverable values and would only cost spurious
+                // wakeups mid-burst.
+                BusTiming::PayloadBeats => vec![self.last_wire],
+                // Length-only delivery completes with the arbitration
+                // handshake itself, whose B_FULL flanks are the only
+                // reliable delivery markers. DATA is deliberately not
+                // watched: the length word it carries always rides
+                // with a B_FULL flank, and payload beats don't exist
+                // in this mode.
+                BusTiming::LengthOnly => {
+                    let mut wires = self.inner.completion_signals("get");
+                    wires.retain(|w| *w != self.data_wire);
+                    wires.push(self.pending_wire);
+                    wires.sort_unstable();
+                    wires.dedup();
+                    wires
+                }
+            },
             _ => vec![],
         }
+    }
+
+    /// The wires whose events require pumping a quiescent link: only
+    /// the `PENDING` bus-request wire is written by anyone other than
+    /// the link itself (a producer's `put` raises it; every handshake,
+    /// beat and marker wire is driven by the link's own pump — or its
+    /// pre-scheduled burst drives — on cycles the link is already
+    /// active). Schedulers use this as the parked link's wake set — and
+    /// as the activation gate feeding [`BatchedLink::pump`]'s
+    /// `inputs_changed` — instead of watching the full wire table.
+    #[must_use]
+    pub fn pump_wake_signals(&self) -> Vec<PortId> {
+        vec![self.pending_wire]
     }
 
     /// Validates a `put` payload against the link's data type: the value
@@ -622,6 +677,21 @@ impl BatchedLink {
         }
     }
 
+    /// Completes the in-flight payload stream: retires the burst,
+    /// records its beats and delivers the values. Beats are recorded
+    /// with the completed transaction (one per value), so
+    /// `payload_beats == batched_values` holds exactly even when a
+    /// bounded run ends with a batch still mid-stream.
+    fn complete_stream(&mut self) {
+        self.streaming = false;
+        self.scheduled = false;
+        self.beat = 0;
+        let n = self.in_flight.len() as u64;
+        self.stats.payload_beats += n;
+        self.stats.record_batch(n);
+        self.delivered.extend(self.in_flight.drain(..));
+    }
+
     /// One clock activation of the link's bus machinery: loads a batch
     /// onto the bus, advances the wire handshake, streams payload beats
     /// (under [`BusTiming::PayloadBeats`]), delivers completed batches,
@@ -675,26 +745,39 @@ impl BatchedLink {
             // the batch occupies the bus for as many beats as it
             // carries values, and a cycle-accurate observer sees every
             // word cross. B_VALID marks the beat cycles so the observer
-            // can delimit payload from the arbitration length word.
-            let word = wire_word(&self.in_flight[self.beat]);
-            wires.write_wire(self.data_wire, word)?;
-            if wires.read_wire(self.valid_wire)? != Value::Bit(Bit::One) {
-                wires.write_wire(self.valid_wire, Value::Bit(Bit::One))?;
-            }
-            streamed = true;
-            self.beat += 1;
-            active = true;
-            if self.beat >= self.in_flight.len() {
-                self.streaming = false;
-                self.beat = 0;
-                let n = self.in_flight.len() as u64;
-                // Beats are recorded with the completed transaction
-                // (one per value), so `payload_beats ==
-                // batched_values` holds exactly even when a bounded
-                // run ends with a batch still mid-stream.
-                self.stats.payload_beats += n;
-                self.stats.record_batch(n);
-                self.delivered.extend(self.in_flight.drain(..));
+            // can delimit payload from the arbitration length word;
+            // B_LAST strobes the final beat (the delivery cycle).
+            if self.scheduled {
+                // Pre-scheduled burst: the kernel drives the beats, so
+                // the pump only counts the burst down — no wire I/O
+                // until the delivery cycle. (Staying *active* through
+                // the countdown is deliberate: parking per burst was
+                // measured slower — the shard watcher's sensitivity
+                // rebuild and clock-demand churn per park/resume cost
+                // more than the trivial countdown steps.)
+                streamed = true;
+                self.beat += 1;
+                active = true;
+                if self.beat >= self.in_flight.len() {
+                    self.complete_stream();
+                }
+            } else {
+                // Cycle-by-cycle fallback for stores without timed
+                // writes: drive this cycle's beat by hand.
+                let word = wire_word(&self.in_flight[self.beat]);
+                wires.write_wire(self.data_wire, word)?;
+                if wires.read_wire(self.valid_wire)? != Value::Bit(Bit::One) {
+                    wires.write_wire(self.valid_wire, Value::Bit(Bit::One))?;
+                }
+                if self.beat + 1 >= self.in_flight.len() {
+                    wires.write_wire(self.last_wire, Value::Bit(Bit::One))?;
+                }
+                streamed = true;
+                self.beat += 1;
+                active = true;
+                if self.beat >= self.in_flight.len() {
+                    self.complete_stream();
+                }
             }
         } else if !self.in_flight.is_empty() && !self.sending {
             let out = self.inner.call(BUS_CONSUMER, "get", &[], wires)?;
@@ -709,21 +792,56 @@ impl BatchedLink {
                     BusTiming::PayloadBeats => {
                         // Arbitration granted: the payload itself still
                         // has to cross, one beat per cycle, starting
-                        // next activation.
+                        // next activation. On a store with timed writes
+                        // the whole burst is pre-scheduled here — DATA
+                        // beat k lands k+1 cycles out, the B_VALID
+                        // window spans the beats, B_LAST rises on the
+                        // delivery cycle — and the link then parks
+                        // until the B_LAST wake; otherwise the beats
+                        // are driven cycle by cycle above. B_LAST's
+                        // fall is *not* scheduled: the pump drops it on
+                        // the step after delivery (same timing as the
+                        // fallback path), keeping it a level a late
+                        // wake cannot miss.
+                        let n = self.in_flight.len() as u64;
+                        self.scheduled =
+                            wires.write_wire_after(self.valid_wire, Value::Bit(Bit::One), 1)?;
+                        if self.scheduled {
+                            for (k, v) in self.in_flight.iter().enumerate() {
+                                wires.write_wire_after(
+                                    self.data_wire,
+                                    wire_word(v),
+                                    k as u64 + 1,
+                                )?;
+                            }
+                            wires.write_wire_after(
+                                self.valid_wire,
+                                Value::Bit(Bit::Zero),
+                                n + 1,
+                            )?;
+                            wires.write_wire_after(self.last_wire, Value::Bit(Bit::One), n)?;
+                        }
                         self.streaming = true;
                         self.beat = 0;
                     }
                 }
             }
         }
-        if !streamed && wires.read_wire(self.valid_wire)? == Value::Bit(Bit::One) {
-            // First beat-free cycle after a batch's last beat: the bus
-            // is back to (or about to carry) an arbitration length
-            // word, so the beat marker drops. The last beat's One thus
-            // stays observable for exactly one full cycle, like every
-            // other beat.
-            wires.write_wire(self.valid_wire, Value::Bit(Bit::Zero))?;
-            active = true;
+        if !streamed && !self.scheduled && self.timing == BusTiming::PayloadBeats {
+            if wires.read_wire(self.valid_wire)? == Value::Bit(Bit::One) {
+                // First beat-free cycle after a batch's last beat: the
+                // bus is back to (or about to carry) an arbitration
+                // length word, so the beat marker drops. The last
+                // beat's One thus stays observable for exactly one full
+                // cycle, like every other beat. (Pre-scheduled bursts
+                // schedule this drop themselves.)
+                wires.write_wire(self.valid_wire, Value::Bit(Bit::Zero))?;
+                active = true;
+            }
+            if wires.read_wire(self.last_wire)? == Value::Bit(Bit::One) {
+                wires.write_wire(self.last_wire, Value::Bit(Bit::Zero))?;
+                active = true;
+            }
         }
         if self.outgoing.is_empty()
             && self.in_flight.is_empty()
@@ -762,6 +880,7 @@ impl BatchedLink {
             delivered: self.delivered.iter().cloned().collect(),
             sending: self.sending,
             streaming: self.streaming,
+            scheduled: self.scheduled,
             beat: self.beat,
             last_call_stable: self.last_call_stable,
             stats: self.stats.clone(),
@@ -804,6 +923,7 @@ impl BatchedLink {
         self.delivered.extend(state.delivered.iter().cloned());
         self.sending = state.sending;
         self.streaming = state.streaming;
+        self.scheduled = state.scheduled;
         self.beat = state.beat;
         self.last_call_stable = state.last_call_stable;
         self.stats.clone_from(&state.stats);

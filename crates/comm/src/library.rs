@@ -76,6 +76,13 @@ fn build_handshake(name: &str, data_ty: Type, with_pending: bool) -> Arc<CommUni
         // without decoding the protocol. Never written under
         // [`crate::BusTiming::LengthOnly`].
         u.wire("B_VALID", Type::Bit, Value::Bit(Bit::Zero));
+        // Burst-completion strobe (AXI RLAST-style): One on the cycle
+        // the final payload beat of a batch crosses DATA (the cycle the
+        // batch is delivered), Zero otherwise. Parked consumers watch
+        // it instead of DATA, so a length-`n` burst wakes them once at
+        // delivery rather than once per beat. Never written under
+        // [`crate::BusTiming::LengthOnly`].
+        u.wire("B_LAST", Type::Bit, Value::Bit(Bit::Zero));
     }
 
     // --- put(REQUEST) ---------------------------------------------------

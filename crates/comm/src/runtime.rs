@@ -40,6 +40,28 @@ pub trait WireStore {
     ///
     /// Returns an error for unknown wire ids.
     fn write_wire(&mut self, w: PortId, v: Value) -> Result<(), EvalError>;
+
+    /// Schedules a wire write to take effect `cycles` clock cycles in
+    /// the future, returning `Ok(true)` when the store supports timed
+    /// writes and accepted the schedule, `Ok(false)` when it does not
+    /// (the default) — the caller then falls back to writing the value
+    /// cycle by cycle. Kernel-backed stores implement this over the
+    /// simulator's timed-drive queue, which lets a burst of known shape
+    /// (e.g. the payload beats of a batched bus transaction) be
+    /// scheduled once at transaction start instead of re-activating the
+    /// writer every cycle.
+    ///
+    /// Scheduled writes participate in simulator state capture exactly
+    /// like any other pending drive, so checkpoints taken between
+    /// scheduled beats restore and replay bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown wire ids.
+    fn write_wire_after(&mut self, w: PortId, v: Value, cycles: u64) -> Result<bool, EvalError> {
+        let _ = (w, v, cycles);
+        Ok(false)
+    }
 }
 
 /// A read-only view of a unit's wires: what a *speculative* call

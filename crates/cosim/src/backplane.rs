@@ -140,10 +140,15 @@ pub enum Parallelism {
     /// Step phase runs inline on the kernel thread (default).
     Off,
     /// Step phase fans the cycle's module activations out over up to `n`
-    /// scoped worker threads (`std::thread::scope`). Speculation is pure
-    /// (read-only against the snapshot), so threading cannot change
-    /// results — the sequential commit phase is the only mutator.
-    /// Requires [`CallApplication::Deferred`].
+    /// threads total: the kernel thread plus `n - 1` pooled workers.
+    /// Speculation is pure (read-only against the snapshot), so
+    /// threading cannot change results — the sequential commit phase is
+    /// the only mutator. Requires [`CallApplication::Deferred`].
+    ///
+    /// `Threads(1)` engages the speculative step/commit regime (scratch
+    /// arenas, work-stealing chunks) on the kernel thread alone, with
+    /// no worker handoff at all — useful for exercising or profiling
+    /// the two-phase machinery without OS-thread traffic.
     Threads(usize),
 }
 
@@ -518,6 +523,9 @@ struct BatchedUnitEntry {
     name: String,
     link: BatchedLink,
     wires: Vec<SignalId>,
+    /// One HW clock cycle — the scheduling unit for the link's
+    /// pre-scheduled payload bursts ([`WireStore::write_wire_after`]).
+    cycle: Duration,
     /// Per-service completion wires (see [`FsmUnitEntry::completion`]).
     completion: HashMap<String, Vec<SignalId>>,
 }
@@ -664,6 +672,13 @@ fn splitmix64(mut x: u64) -> u64 {
 struct CtxWires<'a, 'b> {
     ctx: &'a mut ProcCtx<'b>,
     map: &'a [SignalId],
+    /// One clock cycle of the owning unit's clock, the unit of
+    /// [`WireStore::write_wire_after`] scheduling. `Duration::ZERO` at
+    /// call sites that never schedule timed writes (service dispatch,
+    /// commit replay) — timed writes then report unsupported, which
+    /// keeps a mis-plumbed site on the cycle-by-cycle fallback instead
+    /// of silently collapsing a burst into one instant.
+    cycle: Duration,
 }
 
 impl WireStore for CtxWires<'_, '_> {
@@ -682,6 +697,18 @@ impl WireStore for CtxWires<'_, '_> {
             None => Err(EvalError::NoSuchPort(w)),
         }
     }
+    fn write_wire_after(&mut self, w: PortId, v: Value, cycles: u64) -> Result<bool, EvalError> {
+        if self.cycle == Duration::ZERO {
+            return Ok(false);
+        }
+        match self.map.get(w.index()) {
+            Some(&sig) => {
+                self.ctx.drive_after(sig, v, self.cycle.times(cycles));
+                Ok(true)
+            }
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
 }
 
 /// Outcome record of a call that was already applied to its unit during
@@ -692,6 +719,39 @@ struct MemoCall {
     service: Arc<str>,
     result: Result<ServiceOutcome, EvalError>,
     stable: bool,
+}
+
+/// Reusable arena for immediate-mode activations through
+/// [`step_module`]: the memoized-outcome deque and the
+/// [`StepEffects`](cosma_core::StepEffects) call-stream arena. Each
+/// inline scheduler process owns one, and every [`SpecResult`] shell
+/// carries one for the commit phase's divergence fallback — so the
+/// re-execution path draws its environment from the per-shard scratch
+/// (recycled through [`StepScratch`]) instead of building a fresh
+/// immediate env per fallback.
+#[derive(Default)]
+struct ImmScratch {
+    /// Already-applied call outcomes to serve before touching the
+    /// units again; cleared (capacity kept) after every activation.
+    memo: std::collections::VecDeque<MemoCall>,
+    /// Step-effects arena handed to
+    /// [`FsmExec::step_with`](cosma_core::FsmExec::step_with);
+    /// recycled (pools kept) at the start of every activation.
+    effects: cosma_core::StepEffects,
+    /// Pooled completion-wire watch list lent to the activation's
+    /// [`CosimEnv`]; returned cleared unless the module parks (the
+    /// rare case, where the buffer leaves as the park wait list).
+    watch: Vec<SignalId>,
+}
+
+impl ImmScratch {
+    /// Approximate bytes retained by the arena's buffers
+    /// (capacity-based) — feeds [`SpecResult::approx_bytes`].
+    fn approx_bytes(&self) -> usize {
+        self.memo.capacity() * std::mem::size_of::<MemoCall>()
+            + self.effects.approx_bytes()
+            + self.watch.capacity() * std::mem::size_of::<SignalId>()
+    }
 }
 
 /// The execution environment a module activation sees: ports are kernel
@@ -710,7 +770,9 @@ struct CosimEnv<'a, 'b> {
     source: &'a str,
     /// Already-applied call outcomes to serve before touching the units
     /// again (commit-phase fallback re-execution; empty otherwise).
-    memo: std::collections::VecDeque<MemoCall>,
+    /// Borrowed from the caller's [`ImmScratch`] so the deque's
+    /// capacity survives across activations.
+    memo: &'a mut std::collections::VecDeque<MemoCall>,
     /// Effective changes this activation: variable writes that changed
     /// a value, port drives that differ from the signal's current
     /// value, trace records, completed service calls. Zero means the
@@ -824,6 +886,7 @@ impl Env for CosimEnv<'_, '_> {
                     let mut ws = CtxWires {
                         ctx: self.ctx,
                         map: wires,
+                        cycle: Duration::ZERO,
                     };
                     let out = runtime.call(self.caller, &call.service, args, &mut ws)?;
                     let stable = runtime.last_call_stable();
@@ -846,6 +909,7 @@ impl Env for CosimEnv<'_, '_> {
                     let mut ws = CtxWires {
                         ctx: self.ctx,
                         map: wires,
+                        cycle: Duration::ZERO,
                     };
                     let out = link.call(self.caller, &call.service, args, &mut ws)?;
                     let stable = link.last_call_stable();
@@ -860,7 +924,13 @@ impl Env for CosimEnv<'_, '_> {
         self.changes += 1;
         self.trace
             .borrow_mut()
-            .record(self.ctx.now().as_fs(), self.source, label, values.to_vec());
+            .record(self.ctx.now().as_fs(), self.source, label, values);
+    }
+    fn trace_interned(&mut self, label: &Arc<str>, values: &[Value]) {
+        self.changes += 1;
+        self.trace
+            .borrow_mut()
+            .record_interned(self.ctx.now().as_fs(), self.source, label, values);
     }
 }
 
@@ -894,10 +964,15 @@ impl From<SimError> for CosimError {
 
 /// One module activation through the shared module table, with service
 /// calls applied immediately (and, during a commit-phase fallback,
-/// already-applied outcomes served from `memo` first). Returns
+/// already-applied outcomes served from `scratch.memo` first). Returns
 /// `Ok(Some(watch))` when the activation proved the module stable and
 /// it should be parked on `watch` (possibly empty: a halted module that
 /// nothing can ever re-arm), `Ok(None)` to stay clocked.
+///
+/// The execution environment is drawn from the caller's pooled
+/// [`ImmScratch`] — the memo deque and the [`StepEffects`] arena are
+/// recycled (capacity kept) across activations, so a warm immediate
+/// path or commit fallback allocates nothing for its bookkeeping.
 #[allow(clippy::too_many_arguments)]
 fn step_module(
     modules: &RefCell<Vec<ModuleEntry>>,
@@ -907,7 +982,7 @@ fn step_module(
     park: &ParkCounters,
     park_blocked: bool,
     ctx: &mut ProcCtx<'_>,
-    memo: std::collections::VecDeque<MemoCall>,
+    scratch: &mut ImmScratch,
 ) -> Result<Option<Vec<SignalId>>, String> {
     let mut modules = modules.borrow_mut();
     let ModuleEntry {
@@ -922,6 +997,7 @@ fn step_module(
         status,
     } = &mut modules[idx];
     let fsm = module.fsm();
+    scratch.effects.recycle();
     let mut env = CosimEnv {
         ctx,
         ports,
@@ -932,20 +1008,23 @@ fn step_module(
         caller: *caller,
         trace,
         source: name,
-        memo,
+        memo: &mut scratch.memo,
         changes: 0,
         pending_stable: true,
-        pending_watch: vec![],
+        pending_watch: std::mem::take(&mut scratch.watch),
     };
-    match exec.step(fsm, &mut env) {
-        Ok(report) => {
+    let stepped = exec.step_with(fsm, &mut env, &mut scratch.effects);
+    let verdict = match stepped {
+        Ok(meta) => {
             let changes = env.changes;
             let pending_stable = env.pending_stable;
             let mut watch = env.pending_watch;
-            if report.from != report.to {
+            if meta.from != meta.to {
                 // The state name only changes on a real transition —
-                // skip the per-activation render for self-loops.
-                status.state = fsm.state(exec.current()).name().to_string();
+                // skip the per-activation render for self-loops, and
+                // reuse the status String's buffer when it does.
+                status.state.clear();
+                status.state.push_str(fsm.state(exec.current()).name());
             }
             status.activations += 1;
             park.modules_stepped.set(park.modules_stepped.get() + 1);
@@ -957,28 +1036,39 @@ fn step_module(
             // to repeat it identically, so the module may sleep until
             // one of its ports or completion wires events.
             let parkable = park_blocked
-                && report.from == report.to
+                && meta.from == meta.to
                 && changes == 0
                 && pending_stable
-                && report.pending.len() == report.service_calls as usize;
+                && scratch.effects.pending.len() == scratch.effects.service_calls as usize;
             if parkable {
                 watch.extend_from_slice(ports);
                 watch.sort_unstable();
                 watch.dedup();
                 Ok(Some(watch))
             } else {
+                watch.clear();
+                scratch.watch = watch;
                 Ok(None)
             }
         }
         Err(e) => {
+            let mut watch = env.pending_watch;
+            watch.clear();
+            scratch.watch = watch;
             // Record the halting state and the error on the module
             // itself, not just in the backplane's global error slot.
             let msg = format!("module {name}: {e}");
-            status.state = fsm.state(exec.current()).name().to_string();
+            status.state.clear();
+            status.state.push_str(fsm.state(exec.current()).name());
             status.error = Some(msg.clone());
             Err(msg)
         }
-    }
+    };
+    // Any unserved memo entries (a diverged replay that erred early)
+    // are stale — clear them so the next activation through this
+    // scratch starts clean, keeping the deque's capacity.
+    scratch.memo.clear();
+    verdict
 }
 
 /// Read-only wire view over the cycle-start signal snapshot, for
@@ -1056,6 +1146,12 @@ struct SpecResult {
     peek_scratch: cosma_comm::PeekScratch,
     /// Pooled trace-value vectors, recycled by [`SpecResult::reset`].
     vals_pool: Vec<Vec<Value>>,
+    /// Pooled immediate-execution environment for the commit phase's
+    /// divergence/abandon fallback ([`step_module`] re-execution):
+    /// rides the shell through [`StepScratch`] recycling, so fallbacks
+    /// reuse the memo deque and effects arena instead of building a
+    /// fresh env each time.
+    fb: ImmScratch,
 }
 
 impl SpecResult {
@@ -1081,6 +1177,8 @@ impl SpecResult {
             self.vals_pool.push(vals);
         }
         self.fallback = false;
+        self.fb.memo.clear();
+        self.fb.effects.recycle();
     }
 
     /// Approximate bytes retained by the shell's buffers and pools
@@ -1100,6 +1198,7 @@ impl SpecResult {
                 .map(|v| v.capacity() * size_of::<Value>())
                 .sum::<usize>()
             + self.peek_scratch.approx_bytes()
+            + self.fb.approx_bytes()
     }
 
     /// Returns every retained pool to the allocator. Used by the commit
@@ -1615,14 +1714,22 @@ fn apply_deferred_call(
     match handle {
         Handle::Fsm(i) => {
             let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
-            let mut ws = CtxWires { ctx, map: wires };
+            let mut ws = CtxWires {
+                ctx,
+                map: wires,
+                cycle: Duration::ZERO,
+            };
             let r = runtime.call(caller, &dc.service, &dc.args, &mut ws);
             let stable = runtime.last_call_stable();
             (r, stable)
         }
         Handle::Batched(i) => {
             let BatchedUnitEntry { link, wires, .. } = &mut reg.batched[i];
-            let mut ws = CtxWires { ctx, map: wires };
+            let mut ws = CtxWires {
+                ctx,
+                map: wires,
+                cycle: Duration::ZERO,
+            };
             let r = link.call(caller, &dc.service, &dc.args, &mut ws);
             let stable = link.last_call_stable();
             (r, stable)
@@ -1663,7 +1770,6 @@ fn commit_module(
     commit_calls: &mut u64,
     fallbacks: &mut u64,
 ) -> Result<Option<Vec<SignalId>>, String> {
-    use std::collections::VecDeque;
     if spec.fallback {
         *fallbacks += 1;
         return step_module(
@@ -1674,7 +1780,7 @@ fn commit_module(
             park,
             park_blocked,
             ctx,
-            VecDeque::new(),
+            &mut spec.fb,
         );
     }
     // The effects block is detached for the duration of the replay so
@@ -1720,7 +1826,11 @@ fn commit_module(
                 match handle {
                     Handle::Fsm(i) => {
                         let FsmUnitEntry { runtime, wires, .. } = &mut reg.fsm[i];
-                        let mut ws = CtxWires { ctx, map: wires };
+                        let mut ws = CtxWires {
+                            ctx,
+                            map: wires,
+                            cycle: Duration::ZERO,
+                        };
                         if matches!(
                             runtime.commit_peeked_reclaim(
                                 entry.caller,
@@ -1736,7 +1846,11 @@ fn commit_module(
                     }
                     Handle::Batched(i) => {
                         let BatchedUnitEntry { link, wires, .. } = &mut reg.batched[i];
-                        let mut ws = CtxWires { ctx, map: wires };
+                        let mut ws = CtxWires {
+                            ctx,
+                            map: wires,
+                            cycle: Duration::ZERO,
+                        };
                         if matches!(
                             link.commit_peeked(entry.caller, &dc.service, peeked, &mut ws),
                             Ok(true)
@@ -1757,19 +1871,26 @@ fn commit_module(
         }
     }
     if let Some((k, result, stable)) = diverged {
-        // Reconstruct the applied prefix: calls 0..k matched the
-        // speculation exactly, call k answered `result`.
-        let mut memo: VecDeque<MemoCall> = effects.calls[..k]
-            .iter()
-            .enumerate()
-            .map(|(j, dc)| MemoCall {
-                binding: dc.binding,
-                service: dc.service.clone(),
-                result: Ok(dc.outcome.clone()),
-                stable: spec.call_stables[j],
-            })
-            .collect();
-        memo.push_back(MemoCall {
+        // Reconstruct the applied prefix into the shell's pooled memo
+        // deque: calls 0..k matched the speculation exactly, call k
+        // answered `result`. Service names are interned `Arc<str>`s, so
+        // the memo costs refcount bumps plus the outcome clones — no
+        // per-fallback deque or string allocation once the shell is
+        // warm.
+        let stables = &spec.call_stables;
+        spec.fb.memo.clear();
+        spec.fb.memo.extend(
+            effects.calls[..k]
+                .iter()
+                .enumerate()
+                .map(|(j, dc)| MemoCall {
+                    binding: dc.binding,
+                    service: dc.service.clone(),
+                    result: Ok(dc.outcome.clone()),
+                    stable: stables[j],
+                }),
+        );
+        spec.fb.memo.push_back(MemoCall {
             binding: effects.calls[k].binding,
             service: effects.calls[k].service.clone(),
             result,
@@ -1777,11 +1898,21 @@ fn commit_module(
         });
         spec.effects = effects;
         *fallbacks += 1;
-        return step_module(modules, idx, registry, trace, park, park_blocked, ctx, memo);
+        return step_module(
+            modules,
+            idx,
+            registry,
+            trace,
+            park,
+            park_blocked,
+            ctx,
+            &mut spec.fb,
+        );
     }
     // Speculation validated: install the buffered effects. Buffers are
-    // drained, not moved, so their capacity stays with the shell (trace
-    // value vectors are the exception — they become log storage).
+    // drained, not moved, so their capacity stays with the shell —
+    // including trace value vectors, which the columnar log copies out
+    // of and the shell's pool gets back.
     let mut modules = modules.borrow_mut();
     let entry = &mut modules[idx];
     let fsm = entry.module.fsm();
@@ -1795,14 +1926,21 @@ fn commit_module(
     if !spec.traces.is_empty() {
         let now = ctx.now().as_fs();
         let mut tlog = trace.borrow_mut();
-        for (label, values) in spec.traces.drain(..) {
-            tlog.record(now, &entry.name, &*label, values);
+        for (label, mut values) in spec.traces.drain(..) {
+            tlog.record_interned(now, &entry.name, &label, &values);
+            values.clear();
+            spec.vals_pool.push(values);
         }
     }
     if spec.meta.from != spec.meta.to {
         // The state name only changes on a real transition — skip the
-        // per-activation render for self-loops and fixed points.
-        entry.status.state = fsm.state(entry.exec.current()).name().to_string();
+        // per-activation render for self-loops and fixed points, and
+        // reuse the status String's buffer when it does.
+        entry.status.state.clear();
+        entry
+            .status
+            .state
+            .push_str(fsm.state(entry.exec.current()).name());
     }
     entry.status.activations += 1;
     park.modules_stepped.set(park.modules_stepped.get() + 1);
@@ -1927,6 +2065,12 @@ struct DriverState {
     specs: Vec<Option<SpecResult>>,
     origins: Vec<u32>,
     order: Vec<usize>,
+    /// Pooled per-cycle scratch: the stepping set and the park list,
+    /// taken at the start of each driver run and handed back (capacity
+    /// kept) at the end — the last per-cycle allocations of the
+    /// steady-state driver.
+    items: Vec<(usize, usize, u32)>,
+    to_park: Vec<(usize, u32, Vec<SignalId>)>,
 }
 
 /// The backplane resources a scheduler registration needs.
@@ -2066,6 +2210,8 @@ impl ActivationScheduler {
                     specs: vec![],
                     origins: vec![],
                     order: vec![],
+                    items: vec![],
+                    to_park: vec![],
                 }));
                 Self::register_driver_process(
                     &mut ctx,
@@ -2185,7 +2331,8 @@ impl ActivationScheduler {
                     return Wait::Same;
                 }
                 shard.watch_dirty = false;
-                let mut sens: Vec<SignalId> = vec![shard.poke];
+                let mut sens = pctx.wait_buf();
+                sens.push(shard.poke);
                 for &pi in &shard.parked {
                     sens.extend_from_slice(&shard.members[pi as usize].watch);
                 }
@@ -2226,7 +2373,7 @@ impl ActivationScheduler {
         let clocks = vec![ctx.hw_clk, ctx.sw_clk];
         // Persistent worker pool: n-1 OS threads plus the kernel thread.
         let mut pool = match parallelism {
-            Parallelism::Threads(n) if n >= 2 => Some(StepPool::new(n - 1)),
+            Parallelism::Threads(n) if n >= 1 => Some(StepPool::new(n - 1)),
             _ => None,
         };
         let pool_width = match parallelism {
@@ -2234,6 +2381,10 @@ impl ActivationScheduler {
             Parallelism::Off => 0,
         };
         let mut registered = false;
+        // Pooled immediate-execution env for the inline (non-speculative)
+        // path: pure scratch, owned by the process closure so it never
+        // enters a snapshot.
+        let mut imm = ImmScratch::default();
         ctx.sim.add_process(
             "module_phase_driver",
             FnProcess::new(move |pctx| {
@@ -2259,8 +2410,10 @@ impl ActivationScheduler {
                 let mut st = state.borrow_mut();
                 let st = &mut *st;
                 st.runs += 1;
-                // Collect this cycle's stepping set.
-                let mut items: Vec<(usize, usize, u32)> = vec![];
+                // Collect this cycle's stepping set into the pooled
+                // buffer (capacity kept across runs).
+                let mut items = std::mem::take(&mut st.items);
+                items.clear();
                 let mut parked_skipped = 0u64;
                 for (si, shard) in st.shards.iter().enumerate() {
                     let mut edge_seen = false;
@@ -2277,7 +2430,8 @@ impl ActivationScheduler {
                 }
                 st.skipped += parked_skipped;
                 if !items.is_empty() {
-                    let mut to_park: Vec<(usize, u32, Vec<SignalId>)> = vec![];
+                    let mut to_park = std::mem::take(&mut st.to_park);
+                    to_park.clear();
                     let mut fatal: Option<String> = None;
                     // The step/commit split exists to let the step phase
                     // fan out over worker threads; when this cycle's
@@ -2299,7 +2453,7 @@ impl ActivationScheduler {
                                 &park,
                                 park_blocked,
                                 pctx,
-                                std::collections::VecDeque::new(),
+                                &mut imm,
                             ) {
                                 Ok(Some(watch)) => to_park.push((si, ai, watch)),
                                 Ok(None) => {}
@@ -2444,7 +2598,7 @@ impl ActivationScheduler {
                         demand.park(to_park.len());
                         park.parked.set(park.parked.get() + to_park.len() as u64);
                         park.parked_now.set(park.parked_now.get() + to_park.len());
-                        for (si, ai, watch) in to_park {
+                        for (si, ai, watch) in to_park.drain(..) {
                             let shard = &mut st.shards[si];
                             shard.members[ai as usize].watch = watch;
                             shard.active.retain(|&a| a != ai);
@@ -2461,7 +2615,9 @@ impl ActivationScheduler {
                             }
                         }
                     }
+                    st.to_park = to_park;
                 }
+                st.items = items;
                 wait
             }),
         );
@@ -2486,6 +2642,11 @@ impl ActivationScheduler {
         let error = Rc::clone(ctx.error);
         let trace = Rc::clone(ctx.trace);
         let demand = Rc::clone(ctx.demand);
+        // Pooled immediate-execution env for this shard's module
+        // members, plus the per-run park list: pure scratch, owned by
+        // the process closure so it never enters a snapshot.
+        let mut imm = ImmScratch::default();
+        let mut to_park: Vec<u32> = vec![];
         ctx.sim.add_process(
             label,
             FnProcess::new(move |pctx| {
@@ -2537,7 +2698,7 @@ impl ActivationScheduler {
                     ..
                 } = st;
                 let mut edge_seen = false;
-                let mut to_park: Vec<u32> = vec![];
+                to_park.clear();
                 for &ai in active.iter() {
                     let member = &mut members[ai as usize];
                     if !pctx.rose(member.clk) {
@@ -2551,7 +2712,18 @@ impl ActivationScheduler {
                             *units_stepped += 1;
                             let mut reg = registry.borrow_mut();
                             match step_unit_member(&mut reg, handle, pctx, changed) {
-                                Ok(stable) => Ok(stable.then(|| member.wires.clone())),
+                                Ok(stable) => {
+                                    if stable {
+                                        // A stable unit watches its own
+                                        // wires — refill the member's
+                                        // buffer instead of cloning the
+                                        // wire list on every park.
+                                        member.watch.clear();
+                                        member.watch.extend_from_slice(&member.wires);
+                                        to_park.push(ai);
+                                    }
+                                    Ok(None)
+                                }
                                 Err(msg) => Err(msg),
                             }
                         }
@@ -2563,12 +2735,18 @@ impl ActivationScheduler {
                             &park,
                             park_blocked,
                             pctx,
-                            std::collections::VecDeque::new(),
+                            &mut imm,
                         ),
                     };
                     match verdict {
                         Ok(Some(watch)) => {
-                            member.watch = watch;
+                            // Hand the displaced buffer back to the
+                            // scratch the new watch list came from.
+                            let mut displaced = std::mem::replace(&mut member.watch, watch);
+                            if imm.watch.capacity() < displaced.capacity() {
+                                displaced.clear();
+                                imm.watch = displaced;
+                            }
                             to_park.push(ai);
                         }
                         Ok(None) => {}
@@ -2597,7 +2775,7 @@ impl ActivationScheduler {
                     return Wait::Same;
                 }
                 st.wait_dirty = false;
-                let mut sens: Vec<SignalId> = vec![];
+                let mut sens = pctx.wait_buf();
                 for &ai in &st.active {
                     sens.push(st.members[ai as usize].clk);
                 }
@@ -2668,7 +2846,11 @@ fn step_unit_member(
                 wires,
                 ..
             } = &mut reg.fsm[i];
-            let mut ws = CtxWires { ctx, map: wires };
+            let mut ws = CtxWires {
+                ctx,
+                map: wires,
+                cycle: Duration::ZERO,
+            };
             runtime
                 .step_controller_if_active(&mut ws, inputs_changed)
                 .map_err(|e| format!("unit {name} controller: {e}"))?;
@@ -2682,9 +2864,17 @@ fn step_unit_member(
         }
         Handle::Batched(i) => {
             let BatchedUnitEntry {
-                name, link, wires, ..
+                name,
+                link,
+                wires,
+                cycle,
+                ..
             } = &mut reg.batched[i];
-            let mut ws = CtxWires { ctx, map: wires };
+            let mut ws = CtxWires {
+                ctx,
+                map: wires,
+                cycle: *cycle,
+            };
             let active = link
                 .pump(&mut ws, inputs_changed)
                 .map_err(|e| format!("batched link {name}: {e}"))?;
@@ -2810,7 +3000,9 @@ impl Cosim {
                 name,
                 FnProcess::new(move |ctx| {
                     if demand.demand.get() <= 0 {
-                        return Wait::Event(vec![demand.kick]);
+                        let mut sens = ctx.wait_buf();
+                        sens.push(demand.kick);
+                        return Wait::Event(sens);
                     }
                     let next = match ctx.read(clk) {
                         cosma_core::Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
@@ -3027,7 +3219,11 @@ impl Cosim {
                                 wires,
                                 ..
                             } = &mut reg.fsm[idx];
-                            let mut ws = CtxWires { ctx, map: wires };
+                            let mut ws = CtxWires {
+                                ctx,
+                                map: wires,
+                                cycle: Duration::ZERO,
+                            };
                             if let Err(e) =
                                 runtime.step_controller_if_active(&mut ws, inputs_changed)
                             {
@@ -3127,12 +3323,23 @@ impl Cosim {
                 )
             })
             .collect();
+        // Activation gate and park watch: only the wires someone other
+        // than the link's own pump can event (`PENDING`, raised by a
+        // producer's `put`). Watching the full wire table would wake
+        // the parked link — and re-arm its controller gate — once per
+        // self-driven beat/handshake event for no behavioural gain.
+        let wake: Vec<SignalId> = link
+            .pump_wake_signals()
+            .iter()
+            .map(|p| wires[p.index()])
+            .collect();
         let idx = {
             let mut reg = self.registry.borrow_mut();
             reg.batched.push(BatchedUnitEntry {
                 name: name.to_string(),
                 link,
                 wires: wires.clone(),
+                cycle: self.config.hw_cycle,
                 completion,
             });
             reg.batched.len() - 1
@@ -3140,13 +3347,13 @@ impl Cosim {
         match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
                 let (sched, ctx) = self.sched_ctx();
-                sched.add_unit_member(ctx, Handle::Batched(idx), wires);
+                sched.add_unit_member(ctx, Handle::Batched(idx), wake);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
                 let error = Rc::clone(&self.error);
                 let clk = self.hw_clk;
-                let watched = wires;
+                let watched = wake;
                 let seen = Rc::new(RefCell::new(vec![0u64; watched.len()]));
                 self.sched.per_unit_seen.push(Rc::clone(&seen));
                 let demand = Rc::clone(&self.demand);
@@ -3160,9 +3367,17 @@ impl Cosim {
                         let inputs_changed = wires_changed(ctx, &watched, &mut seen.borrow_mut());
                         let mut reg = registry.borrow_mut();
                         let BatchedUnitEntry {
-                            name, link, wires, ..
+                            name,
+                            link,
+                            wires,
+                            cycle,
+                            ..
                         } = &mut reg.batched[idx];
-                        let mut ws = CtxWires { ctx, map: wires };
+                        let mut ws = CtxWires {
+                            ctx,
+                            map: wires,
+                            cycle: *cycle,
+                        };
                         if let Err(e) = link.pump(&mut ws, inputs_changed) {
                             *error.borrow_mut() = Some(format!("batched link {name}: {e}"));
                             demand.park(1);
@@ -3413,6 +3628,10 @@ impl Cosim {
             wait_dirty: true,
         }));
         self.sched.per_module.push(Rc::clone(&pstate));
+        // Pooled immediate-execution env for this module's activations:
+        // pure scratch, owned by the process closure so it never enters
+        // a snapshot.
+        let mut imm = ImmScratch::default();
         self.sim.add_process(
             name,
             FnProcess::new(move |ctx| {
@@ -3446,7 +3665,7 @@ impl Cosim {
                         &park,
                         park_blocked,
                         ctx,
-                        std::collections::VecDeque::new(),
+                        &mut imm,
                     ) {
                         Ok(Some(w)) => {
                             ps.parked = true;
@@ -3478,10 +3697,14 @@ impl Cosim {
                         // re-arm it.
                         Wait::Forever
                     } else {
-                        Wait::Event(ps.watch.clone())
+                        let mut sens = ctx.wait_buf();
+                        sens.extend_from_slice(&ps.watch);
+                        Wait::Event(sens)
                     }
                 } else {
-                    Wait::Event(vec![clk])
+                    let mut sens = ctx.wait_buf();
+                    sens.push(clk);
+                    Wait::Event(sens)
                 }
             }),
         );
@@ -3846,7 +4069,7 @@ impl fmt::Debug for Snapshot {
             .field("batched_units", &self.batched.len())
             .field("native_units", &self.native.len())
             .field("modules", &self.modules.len())
-            .field("trace_entries", &self.trace.entries().len())
+            .field("trace_entries", &self.trace.len())
             .finish_non_exhaustive()
     }
 }
@@ -4573,6 +4796,7 @@ mod tests {
                 },
                 config: CosimConfig::default(),
                 scheduling,
+                trace: false,
             })
             .expect("scenario builds");
             s.cosim.run_for(Duration::from_us(400)).expect("runs");

@@ -35,6 +35,7 @@ mod annotate;
 mod backplane;
 pub mod scenario;
 mod trace;
+pub mod tracebin;
 
 pub use annotate::{
     annotate_batch_latency, back_annotate, timing_error, BackAnnotation, BatchAnnotation,
@@ -46,4 +47,4 @@ pub use backplane::{
     UnitScheduling, DEFAULT_SHARD_SIZE, STEP_FANOUT_MIN,
 };
 pub use cosma_comm::BusTiming;
-pub use trace::{TraceComparison, TraceEntry, TraceLog};
+pub use trace::{TraceComparison, TraceEntry, TraceEntryRef, TraceLog};

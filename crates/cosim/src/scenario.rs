@@ -101,6 +101,12 @@ pub struct ScenarioSpec {
     /// Activation-scheduler configuration (unit dispatch, module
     /// dispatch, parking).
     pub scheduling: SchedulingConfig,
+    /// When set, every generated module emits a `Stmt::Trace` record on
+    /// every activation of its main loop state — the trace-heavy
+    /// regime. Tracing counts as an effective change, so traced
+    /// modules never park; use it to stress the trace log and the
+    /// steady-state allocation discipline, not the parking machinery.
+    pub trace: bool,
 }
 
 impl Default for ScenarioSpec {
@@ -112,6 +118,7 @@ impl Default for ScenarioSpec {
             link: LinkKind::Handshake,
             config: CosimConfig::default(),
             scheduling: SchedulingConfig::default(),
+            trace: false,
         }
     }
 }
@@ -200,21 +207,41 @@ fn kind_for(index: usize) -> ModuleKind {
     }
 }
 
+/// Prepends the trace-heavy marker record to a state's action list
+/// when the scenario's trace regime is on: one `Stmt::Trace` of `var`
+/// per activation of that state.
+fn traced(trace: bool, var: cosma_core::ids::VarId, mut acts: Vec<Stmt>) -> Vec<Stmt> {
+    if trace {
+        acts.insert(0, Stmt::Trace("tick".into(), vec![Expr::var(var)]));
+    }
+    acts
+}
+
 /// A producer sending `base`, `base+1`, …, `base+n-1` on binding `out`.
-fn producer(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
-    producer_with_work(name, kind, base, n, 0)
+fn producer(name: &str, kind: ModuleKind, base: i64, n: usize, trace: bool) -> Module {
+    producer_with_work(name, kind, base, n, 0, trace)
 }
 
 /// [`producer`] with `work` extra arithmetic assignments per activation
 /// on a scratch variable — a knob for skewing per-module step cost.
-fn producer_with_work(name: &str, kind: ModuleKind, base: i64, n: usize, work: usize) -> Module {
+fn producer_with_work(
+    name: &str,
+    kind: ModuleKind,
+    base: i64,
+    n: usize,
+    work: usize,
+    trace: bool,
+) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let idx = b.var("I", Type::INT16, Value::Int(0));
     let out = b.binding("out", "link");
     let put = b.state("PUT");
     let end = b.state("END");
-    let mut acts = Vec::with_capacity(work + 1);
+    let mut acts = Vec::with_capacity(work + 2);
+    if trace {
+        acts.push(Stmt::Trace("tick".into(), vec![Expr::var(idx)]));
+    }
     if work > 0 {
         let w = b.var("W", Type::INT16, Value::Int(0));
         for _ in 0..work {
@@ -251,7 +278,7 @@ fn producer_with_work(name: &str, kind: ModuleKind, base: i64, n: usize, work: u
 
 /// A relay forwarding values from binding `in` to binding `out`:
 /// `n` values then `END`, or forever when `n` is `None`.
-fn relay(name: &str, kind: ModuleKind, n: Option<usize>) -> Module {
+fn relay(name: &str, kind: ModuleKind, n: Option<usize>, trace: bool) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let val = b.var("V", Type::INT16, Value::Int(0));
@@ -262,24 +289,32 @@ fn relay(name: &str, kind: ModuleKind, n: Option<usize>) -> Module {
     let put = b.state("PUT");
     b.actions(
         get,
-        vec![Stmt::Call(ServiceCall {
-            binding: inb,
-            service: "get".into(),
-            args: vec![],
-            done: Some(done),
-            result: Some(val),
-        })],
+        traced(
+            trace,
+            cnt,
+            vec![Stmt::Call(ServiceCall {
+                binding: inb,
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(val),
+            })],
+        ),
     );
     b.transition(get, Some(Expr::var(done)), put);
     b.actions(
         put,
-        vec![Stmt::Call(ServiceCall {
-            binding: outb,
-            service: "put".into(),
-            args: vec![Expr::var(val)],
-            done: Some(done),
-            result: None,
-        })],
+        traced(
+            trace,
+            cnt,
+            vec![Stmt::Call(ServiceCall {
+                binding: outb,
+                service: "put".into(),
+                args: vec![Expr::var(val)],
+                done: Some(done),
+                result: None,
+            })],
+        ),
     );
     if let Some(n) = n {
         let end = b.state("END");
@@ -303,7 +338,7 @@ fn relay(name: &str, kind: ModuleKind, n: Option<usize>) -> Module {
 
 /// A consumer summing `n` values from binding `in` into `SUM`, then
 /// `END`.
-fn consumer(name: &str, kind: ModuleKind, n: usize) -> Module {
+fn consumer(name: &str, kind: ModuleKind, n: usize, trace: bool) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let val = b.var("V", Type::INT16, Value::Int(0));
@@ -314,13 +349,17 @@ fn consumer(name: &str, kind: ModuleKind, n: usize) -> Module {
     let end = b.state("END");
     b.actions(
         get,
-        vec![Stmt::Call(ServiceCall {
-            binding: inb,
-            service: "get".into(),
-            args: vec![],
-            done: Some(done),
-            result: Some(val),
-        })],
+        traced(
+            trace,
+            sum,
+            vec![Stmt::Call(ServiceCall {
+                binding: inb,
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(val),
+            })],
+        ),
     );
     b.transition_with(
         get,
@@ -344,7 +383,7 @@ fn consumer(name: &str, kind: ModuleKind, n: usize) -> Module {
 
 /// The round-robin hub of a Star: cycles over `links` inputs, `rounds`
 /// values from each, summing everything into `SUM`.
-fn hub(name: &str, kind: ModuleKind, links: usize, rounds: usize) -> Module {
+fn hub(name: &str, kind: ModuleKind, links: usize, rounds: usize, trace: bool) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let val = b.var("V", Type::INT16, Value::Int(0));
@@ -359,13 +398,17 @@ fn hub(name: &str, kind: ModuleKind, links: usize, rounds: usize) -> Module {
     for i in 0..links {
         b.actions(
             states[i],
-            vec![Stmt::Call(ServiceCall {
-                binding: bindings[i],
-                service: "get".into(),
-                args: vec![],
-                done: Some(done),
-                result: Some(val),
-            })],
+            traced(
+                trace,
+                sum,
+                vec![Stmt::Call(ServiceCall {
+                    binding: bindings[i],
+                    service: "get".into(),
+                    args: vec![],
+                    done: Some(done),
+                    result: Some(val),
+                })],
+            ),
         );
         b.transition_with(
             states[i],
@@ -390,7 +433,7 @@ fn hub(name: &str, kind: ModuleKind, links: usize, rounds: usize) -> Module {
 
 /// The Ring driver: sends `n` tokens on `out`, receives each back on
 /// `in`, sums them, then `END`.
-fn ring_driver(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
+fn ring_driver(name: &str, kind: ModuleKind, base: i64, n: usize, trace: bool) -> Module {
     let mut b = ModuleBuilder::new(name, kind);
     let done = b.var("D", Type::Bool, Value::Bool(false));
     let val = b.var("V", Type::INT16, Value::Int(0));
@@ -403,24 +446,32 @@ fn ring_driver(name: &str, kind: ModuleKind, base: i64, n: usize) -> Module {
     let end = b.state("END");
     b.actions(
         put,
-        vec![Stmt::Call(ServiceCall {
-            binding: outb,
-            service: "put".into(),
-            args: vec![Expr::int(base).add(Expr::var(cnt))],
-            done: Some(done),
-            result: None,
-        })],
+        traced(
+            trace,
+            cnt,
+            vec![Stmt::Call(ServiceCall {
+                binding: outb,
+                service: "put".into(),
+                args: vec![Expr::int(base).add(Expr::var(cnt))],
+                done: Some(done),
+                result: None,
+            })],
+        ),
     );
     b.transition(put, Some(Expr::var(done)), get);
     b.actions(
         get,
-        vec![Stmt::Call(ServiceCall {
-            binding: inb,
-            service: "get".into(),
-            args: vec![],
-            done: Some(done),
-            result: Some(val),
-        })],
+        traced(
+            trace,
+            cnt,
+            vec![Stmt::Call(ServiceCall {
+                binding: inb,
+                service: "get".into(),
+                args: vec![],
+                done: Some(done),
+                result: Some(val),
+            })],
+        ),
     );
     b.transition_with(
         get,
@@ -507,15 +558,23 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
     let mut checkers = vec![];
     match spec.topology {
         Topology::Pipeline => {
-            build_segment(&mut cosim, &links, 0, m, &mut modules, &mut checkers)?;
+            build_segment(
+                &mut cosim,
+                &links,
+                0,
+                m,
+                spec.trace,
+                &mut modules,
+                &mut checkers,
+            )?;
         }
         Topology::Star => {
             for (i, &link) in links.iter().enumerate() {
                 let base = (i as i64 * 7) % 50;
-                let p = producer(&format!("prod{i}"), kind_for(i), base, m);
+                let p = producer(&format!("prod{i}"), kind_for(i), base, m, spec.trace);
                 modules.push(cosim.add_module(&p, &[("out", link)])?);
             }
-            let h = hub("hub", kind_for(links.len()), links.len(), m);
+            let h = hub("hub", kind_for(links.len()), links.len(), m, spec.trace);
             let binds: Vec<(String, UnitId)> = links
                 .iter()
                 .enumerate()
@@ -533,11 +592,11 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
         }
         Topology::Ring => {
             let n = links.len();
-            let driver = ring_driver("driver", kind_for(0), 3, m);
+            let driver = ring_driver("driver", kind_for(0), 3, m, spec.trace);
             let did = cosim.add_module(&driver, &[("out", links[0]), ("in", links[n - 1])])?;
             modules.push(did);
             for i in 1..n {
-                let r = relay(&format!("relay{i}"), kind_for(i), None);
+                let r = relay(&format!("relay{i}"), kind_for(i), None, spec.trace);
                 modules.push(cosim.add_module(&r, &[("in", links[i - 1]), ("out", links[i])])?);
             }
             checkers.push((did, run_sum(3, m)));
@@ -553,6 +612,7 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
                     &links[start..start + len],
                     start,
                     m,
+                    spec.trace,
                     &mut modules,
                     &mut checkers,
                 )?;
@@ -569,10 +629,10 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
             } else {
                 0
             };
-            let p = producer_with_work("prod0", kind_for(0), 3, m, work);
+            let p = producer_with_work("prod0", kind_for(0), 3, m, work, spec.trace);
             modules.push(cosim.add_module(&p, &[("out", links[0])])?);
             for (i, &link) in links.iter().enumerate() {
-                let c = consumer(&format!("cons{i}"), kind_for(i + 1), m);
+                let c = consumer(&format!("cons{i}"), kind_for(i + 1), m, spec.trace);
                 let cid = cosim.add_module(&c, &[("in", link)])?;
                 modules.push(cid);
                 if i == 0 {
@@ -596,21 +656,28 @@ fn build_segment(
     links: &[UnitId],
     offset: usize,
     m: usize,
+    trace: bool,
     modules: &mut Vec<CosimModuleId>,
     checkers: &mut Vec<(CosimModuleId, i64)>,
 ) -> Result<(), CosimError> {
     let base = (offset as i64 * 11) % 40;
-    let p = producer(&format!("prod{offset}"), kind_for(offset), base, m);
+    let p = producer(&format!("prod{offset}"), kind_for(offset), base, m, trace);
     modules.push(cosim.add_module(&p, &[("out", links[0])])?);
     for (k, pair) in links.windows(2).enumerate() {
         let r = relay(
             &format!("relay{offset}_{k}"),
             kind_for(offset + k + 1),
             Some(m),
+            trace,
         );
         modules.push(cosim.add_module(&r, &[("in", pair[0]), ("out", pair[1])])?);
     }
-    let c = consumer(&format!("cons{offset}"), kind_for(offset + links.len()), m);
+    let c = consumer(
+        &format!("cons{offset}"),
+        kind_for(offset + links.len()),
+        m,
+        trace,
+    );
     let cid = cosim.add_module(&c, &[("in", links[links.len() - 1])])?;
     modules.push(cid);
     checkers.push((cid, run_sum(base, m)));

@@ -335,6 +335,9 @@ pub struct ProcCtx<'a> {
     delta: u32,
     /// Drives scheduled by the running process: (signal, value, delay).
     drives: Vec<(SignalId, Value, Duration)>,
+    /// Pooled buffer lent to the process for building a
+    /// [`Wait::Event`] list without allocating (see [`Self::wait_buf`]).
+    wait_buf: Vec<SignalId>,
 }
 
 impl<'a> ProcCtx<'a> {
@@ -345,12 +348,24 @@ impl<'a> ProcCtx<'a> {
             now,
             delta,
             drives: vec![],
+            wait_buf: vec![],
         }
     }
 
     /// Consumes the context, yielding the drives the process scheduled.
     pub(crate) fn into_drives(self) -> Vec<(SignalId, Value, Duration)> {
         self.drives
+    }
+
+    /// An empty, pooled buffer for building a [`Wait::Event`] (or
+    /// [`Wait::EventOrTimeout`]) wait list without allocating in the
+    /// steady state: the kernel recycles displaced sensitivity vectors
+    /// through a pool and lends one out per run. Call at most once per
+    /// activation — further calls return a fresh zero-capacity vector,
+    /// which is correct but allocates once pushed to.
+    #[must_use]
+    pub fn wait_buf(&mut self) -> Vec<SignalId> {
+        std::mem::take(&mut self.wait_buf)
     }
 
     /// Current signal value.
@@ -650,6 +665,17 @@ pub struct Simulator {
     /// Signals with `event_now` set, to be cleared before the next delta.
     fresh_events: Vec<SignalId>,
     vcd: Option<VcdRecorder>,
+    /// Pooled run-queue buffer recycled across deltas and instants, so a
+    /// warm steady state never reallocates the wake list. Pure scratch:
+    /// always empty between public calls, never enters a snapshot.
+    run_queue_pool: Vec<ProcessId>,
+    /// Pooled drive buffer threaded through each `ProcCtx`, recycled
+    /// across process runs. Same scratch discipline as `run_queue_pool`.
+    proc_drives_pool: Vec<(SignalId, Value, Duration)>,
+    /// Recycled sensitivity vectors: displaced wait lists come back
+    /// here and are lent out again via [`ProcCtx::wait_buf`]. Bounded,
+    /// so pathological churn cannot hoard memory.
+    sens_pool: Vec<Vec<SignalId>>,
 }
 
 impl fmt::Debug for Simulator {
@@ -688,6 +714,9 @@ impl Simulator {
             stats: SimStats::default(),
             fresh_events: vec![],
             vcd: None,
+            run_queue_pool: vec![],
+            proc_drives_pool: vec![],
+            sens_pool: vec![],
         }
     }
 
@@ -954,7 +983,8 @@ impl Simulator {
             let Reverse(td) = self.drive_heap.pop().expect("peeked entry exists");
             self.delta_drives.push((td.sig, td.value));
         }
-        let mut woken = vec![];
+        let mut woken = std::mem::take(&mut self.run_queue_pool);
+        woken.clear();
         while let Some(Reverse(te)) = self.timer_heap.peek() {
             if te.at > self.now {
                 break;
@@ -977,6 +1007,12 @@ impl Simulator {
     /// Delta loop at the current instant until quiescent. `pending` are
     /// the timer-woken processes to run in the first delta.
     fn settle(&mut self, mut pending: Vec<ProcessId>) -> Result<(), SimError> {
+        // Callers that have no first-delta wake list pass `vec![]`; adopt
+        // the pooled buffer so the loop below runs allocation-free.
+        if pending.capacity() == 0 {
+            pending = std::mem::take(&mut self.run_queue_pool);
+            pending.clear();
+        }
         let mut delta: u32 = 0;
         loop {
             // Clear last delta's event marks.
@@ -986,8 +1022,8 @@ impl Simulator {
             // Apply pending drives in one pass; last writer wins within a
             // delta (sequential overwrite, like a VHDL driver updated
             // twice). The old value moves into `prev` — no clones.
-            let drives = std::mem::take(&mut self.delta_drives);
-            for (sid, v) in drives {
+            let mut drives = std::mem::take(&mut self.delta_drives);
+            for (sid, v) in drives.drain(..) {
                 let sig = &mut self.signals[sid.index()];
                 if sig.value != v {
                     sig.prev = std::mem::replace(&mut sig.value, v);
@@ -1003,6 +1039,9 @@ impl Simulator {
                     }
                 }
             }
+            // Return the drained buffer so its capacity survives the
+            // delta (nothing pushed `delta_drives` during the loop).
+            self.delta_drives = drives;
 
             // Wake the watchers of this delta's events through the
             // inverted index, purging stale entries as we pass.
@@ -1039,6 +1078,7 @@ impl Simulator {
                 self.stats.scans_avoided += (self.processes.len() as u64).saturating_sub(inspected);
             }
             if to_run.is_empty() {
+                self.run_queue_pool = to_run;
                 return Ok(());
             }
             // Deterministic activation order: ascending process id, the
@@ -1062,26 +1102,36 @@ impl Simulator {
                 });
             }
             self.run_processes_delta(&to_run, delta);
+            // Recycle the wake list for the next delta's watcher sweep.
+            to_run.clear();
+            pending = to_run;
         }
     }
 
     fn run_processes_delta(&mut self, list: &[ProcessId], delta: u32) {
+        let mut drives = std::mem::take(&mut self.proc_drives_pool);
         for &pid in list {
             let mut body = match self.processes[pid.index()].body.take() {
                 Some(b) => b,
                 None => continue,
             };
+            drives.clear();
             let mut ctx = ProcCtx {
                 signals: &self.signals,
                 now: self.now,
                 delta,
-                drives: vec![],
+                drives,
+                wait_buf: self.sens_pool.pop().unwrap_or_default(),
             };
             let wait = body.run(&mut ctx);
-            let drives = ctx.drives;
+            drives = ctx.drives;
+            // Reclaim the lent wait buffer if the process didn't take
+            // it; taken buffers come home through `set_sensitivity`.
+            let lent = ctx.wait_buf;
+            self.recycle_sens(lent);
             self.processes[pid.index()].runs += 1;
             self.stats.process_runs += 1;
-            for (sid, v, d) in drives {
+            for (sid, v, d) in drives.drain(..) {
                 if d == Duration::ZERO {
                     self.delta_drives.push((sid, v));
                 } else {
@@ -1113,6 +1163,7 @@ impl Simulator {
             }
             self.processes[pid.index()].body = Some(body);
         }
+        self.proc_drives_pool = drives;
     }
 
     /// Replaces a process's event sensitivity, maintaining the inverted
@@ -1122,12 +1173,13 @@ impl Simulator {
     fn set_sensitivity(&mut self, pid: ProcessId, sigs: Vec<SignalId>) {
         let slot = &mut self.processes[pid.index()];
         if slot.sensitivity == sigs {
+            self.recycle_sens(sigs);
             return;
         }
         let old = std::mem::replace(&mut slot.sensitivity, sigs);
         slot.epoch += 1;
         let epoch = slot.epoch;
-        for s in old {
+        for &s in &old {
             let wl = &mut self.watchers[s.index()];
             wl.stale += 1;
             if wl.entries.len() >= 16 && wl.stale as usize * 2 >= wl.entries.len() {
@@ -1139,9 +1191,19 @@ impl Simulator {
                 wl.stale = 0;
             }
         }
+        self.recycle_sens(old);
         let slot = &self.processes[pid.index()];
         for &s in &slot.sensitivity {
             self.watchers[s.index()].entries.push((pid, epoch));
+        }
+    }
+
+    /// Returns a displaced or unused wait-list buffer to the bounded
+    /// sensitivity pool feeding [`ProcCtx::wait_buf`].
+    fn recycle_sens(&mut self, mut v: Vec<SignalId>) {
+        if v.capacity() > 0 && self.sens_pool.len() < 32 {
+            v.clear();
+            self.sens_pool.push(v);
         }
     }
 

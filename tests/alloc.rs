@@ -1,0 +1,106 @@
+//! Steady-state allocation regression gate (behind the test-only
+//! `count-allocs` feature): a counting global allocator pins a *warm*
+//! trace-heavy pipeline in the speculative regime to **zero** heap
+//! allocations per cycle.
+//!
+//! The scenario is chosen to cross every pooled hot path at once:
+//!
+//! * trace-heavy (`ScenarioSpec::trace`): every module records a trace
+//!   entry per activation, so nothing parks and the columnar log's
+//!   segment pool and spill recycling are exercised each cycle;
+//! * speculative (`Parallelism::Threads(1)` + `step_fanout_min: 1`):
+//!   the two-phase step/commit driver runs with scratch arenas and
+//!   work-stealing chunks on the kernel thread alone — no worker
+//!   channel traffic to muddy the count;
+//! * adjacent relays share links, so commit-phase divergences occur and
+//!   the pooled fallback re-execution path is measured too.
+//!
+//! Run with: `cargo test --features count-allocs --test alloc`
+#![cfg(feature = "count-allocs")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+use cosma::cosim::{BusTiming, Parallelism, SchedulingConfig};
+use cosma::sim::Duration;
+
+/// Counts every heap acquisition (alloc, zeroed alloc, realloc) while
+/// delegating to the system allocator. Deallocations are not counted:
+/// the gate is about *acquiring* memory in the steady state.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_trace_heavy_speculative_cycles_do_not_allocate() {
+    // A Ring keeps every module stepping for the whole run: the driver
+    // circulates values_per_link tokens (far more than the run needs),
+    // the relays forward forever, and tracing keeps everyone unparked.
+    let spec = ScenarioSpec {
+        units: 8,
+        topology: Topology::Ring,
+        values_per_link: 1_000_000,
+        link: LinkKind::Batched {
+            max_batch: 8,
+            capacity: 32,
+            timing: BusTiming::LengthOnly,
+        },
+        scheduling: SchedulingConfig {
+            parallelism: Parallelism::Threads(1),
+            step_fanout_min: 1,
+            ..SchedulingConfig::sharded()
+        },
+        trace: true,
+        ..ScenarioSpec::default()
+    };
+    let mut s = build_scenario(&spec).expect("scenario builds");
+    // Spill the trace log so recording runs in bounded memory: full
+    // segments are encoded to the sink and their shells recycled, so a
+    // warm log never grows.
+    s.cosim
+        .trace_handle()
+        .borrow_mut()
+        .set_spill(Box::new(std::io::sink()));
+    // Warm-up: grow every pool to its working set — scratch shells,
+    // effects arenas, kernel queues, trace segments, interner.
+    s.cosim
+        .run_for(Duration::from_us(60))
+        .expect("warm-up runs");
+    assert!(
+        s.cosim.trace_handle().borrow().spilled() > 0,
+        "warm-up must already spill trace segments (trace-heavy regime)"
+    );
+    let before = allocs();
+    s.cosim.run_for(Duration::from_us(60)).expect("window runs");
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "warm steady-state cycles must not allocate, saw {grew} allocations"
+    );
+}

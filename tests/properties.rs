@@ -865,6 +865,174 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Mid-burst checkpoints: under burst-scheduled payload beats every DATA
+// beat of an in-flight batch is a pre-scheduled future drive in the
+// kernel's drive heap, so an arbitrary cut usually lands *inside* a
+// burst. Snapshotting there and restoring must replay the remaining
+// beats — and everything after them — bit-identically, across the
+// schedulers (including the speculative step/commit regime).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn mid_burst_checkpoint_replays_bit_identically(
+        units in 2usize..6,
+        topo_sel in 0u8..4,
+        values in 1usize..4,
+        max_batch in 2usize..6,
+        cut_ns in 2_000u64..120_000,
+        sched_sel in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        use cosma::comm::BusTiming;
+        use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+        use cosma::cosim::{Parallelism, SchedulingConfig};
+        use cosma::sim::Duration;
+
+        let topology = match topo_sel {
+            0 => Topology::Pipeline,
+            1 => Topology::Star,
+            2 => Topology::Ring,
+            _ => Topology::RandomDag { seed },
+        };
+        let scheduling = match sched_sel {
+            0 => SchedulingConfig::immediate(),
+            1 => SchedulingConfig::sharded(),
+            // The speculative step/commit driver: its scratch arenas
+            // and queue journal are pure per-cycle state, so a restored
+            // backplane must reproduce the same commits regardless.
+            _ => SchedulingConfig {
+                parallelism: Parallelism::Threads(2),
+                step_fanout_min: 1,
+                ..SchedulingConfig::sharded()
+            },
+        };
+        let mut s = build_scenario(&ScenarioSpec {
+            units,
+            topology,
+            link: LinkKind::Batched {
+                max_batch,
+                capacity: 16,
+                timing: BusTiming::PayloadBeats,
+            },
+            values_per_link: values,
+            scheduling,
+            ..ScenarioSpec::default()
+        })
+        .expect("scenario builds");
+        // Run to an arbitrary cut point, then checkpoint. The cut is in
+        // raw nanoseconds (not cycle-aligned) precisely so it can land
+        // between the beats of a scheduled burst.
+        s.cosim.run_for(Duration::from_ns(cut_ns)).expect("prefix runs");
+        let snap = s.cosim.snapshot();
+        s.cosim.run_for(Duration::from_us(400)).expect("tail runs");
+        let want_trace = s.cosim.trace_log();
+        let want_status: Vec<_> =
+            s.modules.iter().map(|&m| s.cosim.module_status(m)).collect();
+        // Restore twice: the second round proves restore itself leaves
+        // no residue (a restored backplane is a valid checkpoint base).
+        for round in 0..2 {
+            s.cosim.restore(&snap).expect("restore");
+            s.cosim.run_for(Duration::from_us(400)).expect("replay runs");
+            prop_assert_eq!(
+                s.cosim.trace_log(),
+                want_trace.clone(),
+                "round {}: replayed trace diverged under {:?}", round, topology
+            );
+            for (&m, want) in s.modules.iter().zip(&want_status) {
+                prop_assert_eq!(
+                    &s.cosim.module_status(m),
+                    want,
+                    "round {}: module status diverged under {:?}", round, topology
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary trace codec: encoding a live run's columnar trace log and
+// decoding it back must reproduce the exact entry stream, whatever
+// scheduler and link flavour produced it. The scenario modules emit an
+// interned trace record per activation (`trace: true`), so the interner
+// table, the varint-packed columns and the segment framing all carry
+// real traffic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn binary_trace_round_trips_across_schedulers(
+        units in 2usize..6,
+        topo_sel in 0u8..4,
+        link_sel in 0u8..3,
+        values in 1usize..4,
+        sched_sel in 0u8..4,
+        seed in any::<u64>(),
+    ) {
+        use cosma::comm::BusTiming;
+        use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+        use cosma::cosim::{tracebin, Parallelism, SchedulingConfig};
+        use cosma::sim::Duration;
+
+        let topology = match topo_sel {
+            0 => Topology::Pipeline,
+            1 => Topology::Star,
+            2 => Topology::Ring,
+            _ => Topology::RandomDag { seed },
+        };
+        let link = match link_sel {
+            0 => LinkKind::Handshake,
+            1 => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::LengthOnly,
+            },
+            _ => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::PayloadBeats,
+            },
+        };
+        let scheduling = match sched_sel {
+            0 => SchedulingConfig::legacy(),
+            1 => SchedulingConfig::immediate(),
+            2 => SchedulingConfig::sharded(),
+            _ => SchedulingConfig {
+                parallelism: Parallelism::Threads(2),
+                step_fanout_min: 1,
+                ..SchedulingConfig::sharded()
+            },
+        };
+        let mut s = build_scenario(&ScenarioSpec {
+            units,
+            topology,
+            link,
+            values_per_link: values,
+            scheduling,
+            trace: true,
+            ..ScenarioSpec::default()
+        })
+        .expect("scenario builds");
+        s.cosim.run_for(Duration::from_us(120)).expect("runs");
+        let log = s.cosim.trace_log();
+        prop_assert!(
+            !log.entries().is_empty(),
+            "traced modules must have recorded entries"
+        );
+        let mut buf: Vec<u8> = vec![];
+        tracebin::write_log(&log, &mut buf).expect("encode");
+        let back = tracebin::read_log(buf.as_slice()).expect("decode");
+        prop_assert_eq!(
+            back.entries(),
+            log.entries(),
+            "decoded entry stream diverged under {:?}/{:?}", topology, link
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
