@@ -22,7 +22,22 @@
 //! queue-op journal against immediate call application on a
 //! batched-heavy workload — the journal must hold parity or better.
 //!
-//! Usage: `cosim_bench [--quick] [--out PATH]`
+//! The `beat_storm` rows are the timer-wheel stress case: every unit of
+//! a ring streams `PayloadBeats` bursts concurrently, so the kernel's
+//! time queues absorb one pre-scheduled beat train per link per
+//! transaction. Each size is measured twice — `queue = "wheel"` (the
+//! shipping hierarchical timer wheel) and `queue = "heap"` (the retired
+//! binary-heap backend, swapped in via the kernel's ablation hook) —
+//! and the full (non-quick) run asserts the wheel beats the heap
+//! baseline at the largest N.
+//!
+//! Every row carries provenance for cross-machine trajectory
+//! comparisons: a `schema` version, the `git_rev` the binary was run
+//! against, the host's `cpus`, and a `timestamp` string passed in by
+//! the harness via `--timestamp` (never computed ad hoc in the loop;
+//! `null` when the harness does not pass one).
+//!
+//! Usage: `cosim_bench [--quick] [--out PATH] [--timestamp TS]`
 //!
 //! `--quick` shrinks the size sweep and sample count for CI smoke runs;
 //! the default sweep matches the criterion bench (N = 16/64/256).
@@ -32,6 +47,9 @@ use cosma_cosim::{BusTiming, CosimConfig, Parallelism, SchedulingConfig};
 use cosma_sim::Duration;
 use std::time::Instant;
 
+/// Bump when row fields change meaning or shape.
+const SCHEMA_VERSION: u32 = 2;
+
 struct Record {
     scenario: &'static str,
     n: usize,
@@ -40,10 +58,26 @@ struct Record {
     /// for the scenarios where `parallelism` already says it all.
     threads: Option<usize>,
     bus_timing: &'static str,
+    /// Time-queue backend under test: `Some("wheel" | "heap")` for the
+    /// `beat_storm` ablation rows, `None` elsewhere (implicitly the
+    /// shipping wheel).
+    queue: Option<&'static str>,
     ns_per_run: u128,
     p50_ns: u128,
     p99_ns: u128,
     runs: u32,
+}
+
+/// Short git revision of the working tree, for row provenance.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn timing_label(link: &LinkKind) -> &'static str {
@@ -127,11 +161,45 @@ fn measure(
         parallelism,
         threads,
         bus_timing,
+        queue: None,
         ns_per_run,
         p50_ns,
         p99_ns,
         runs,
     }
+}
+
+/// One 100 µs beat-storm run: `n` generator processes each keep a
+/// 63-beat drive train in flight on a private signal (8 phase groups,
+/// 64 ns beat stride) and re-arm on drain — the kernel-level
+/// distillation of `n` PayloadBeats links streaming concurrently.
+/// Returns wall-clock nanoseconds for the run, setup excluded.
+fn beat_storm(n: usize, heap: bool) -> u128 {
+    use cosma_core::{Bit, Value};
+    use cosma_sim::{FnProcess, SimTime, Simulator, Wait};
+    const BEATS: usize = 63;
+    let mut sim = Simulator::new();
+    if heap {
+        sim.use_heap_queues();
+    }
+    let stride = Duration::from_ns(64);
+    for i in 0..n {
+        let sig = sim.add_bit(format!("beat{i}"));
+        let phase = Duration::from_ns(8 * (i as u64 % 8));
+        let values: Vec<Value> = (0..BEATS)
+            .map(|k| Value::Bit(if k % 2 == 0 { Bit::One } else { Bit::Zero }))
+            .collect();
+        sim.add_process(
+            format!("gen{i}"),
+            FnProcess::new(move |ctx: &mut cosma_sim::ProcCtx| {
+                ctx.drive_train(sig, phase + stride, stride, &values);
+                Wait::Timeout(stride.times(values.len() as u64 + 1))
+            }),
+        );
+    }
+    let start = Instant::now();
+    sim.run_until(SimTime::from_ns(100_000)).expect("runs");
+    start.elapsed().as_nanos()
 }
 
 fn main() {
@@ -142,6 +210,17 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_cosim.json", |s| s.as_str());
+    // Row provenance: harness-supplied timestamp (never computed here),
+    // git revision and host cpu count.
+    let timestamp = args
+        .iter()
+        .position(|a| a == "--timestamp")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let rev = git_rev();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let (sizes, runs): (&[usize], u32) = if quick {
         (&[16, 64], 2)
     } else {
@@ -158,12 +237,7 @@ fn main() {
         capacity: 32,
         timing: BusTiming::PayloadBeats,
     };
-    println!(
-        "host available parallelism: {}",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    );
+    println!("host available parallelism: {cpus} (rev {rev})");
     let mut records = vec![];
     for &n in sizes {
         records.push(measure(
@@ -318,6 +392,71 @@ fn main() {
             200,
             move || build(SchedulingConfig::sharded()),
         ));
+    }
+
+    // Beat storm: N PayloadBeats links all streaming concurrently,
+    // distilled to the bus traffic the link units emit — every link
+    // keeps a full pre-scheduled DATA beat train in flight (exactly the
+    // timed drives `complete_stream` lands per winning batch) and
+    // re-arms the moment it drains. The steady state holds N × 63 live
+    // entries, the worst case for the retired binary heaps (O(log H)
+    // sifts over a spilled-out-of-cache arena) and the timer wheel's
+    // target regime (O(1) slot filings, whole-slot drains). Module
+    // bodies are deliberately trivial so queue operations dominate the
+    // wall clock and the backend ablation is signal, not noise. Each
+    // size runs on both queue backends; the ablation swaps the kernel's
+    // backend through the canonical-capture migration hook, so the two
+    // rows simulate the identical schedule.
+    for &n in sizes {
+        let mut largest: Option<(u128, u128)> = None;
+        let mut pair = vec![];
+        for queue in ["wheel", "heap"] {
+            let heap = queue == "heap";
+            // Warm-up.
+            beat_storm(n, heap);
+            let mut samples: Vec<u128> = (0..runs).map(|_| beat_storm(n, heap)).collect();
+            samples.sort_unstable();
+            let ns_per_run = samples.iter().sum::<u128>() / u128::from(runs.max(1));
+            let p50_ns = samples[samples.len() / 2];
+            let p99_ns = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+            println!(
+                "{:<24} N={n:<4} par={:<8} bus={:<13} {ns_per_run:>12} ns/run  \
+                 p50={p50_ns} p99={p99_ns}  ({runs} runs, {queue})",
+                "beat_storm", "off", "payload_beats",
+            );
+            pair.push(p50_ns);
+            records.push(Record {
+                scenario: "beat_storm",
+                n,
+                parallelism: "off",
+                threads: None,
+                bus_timing: "payload_beats",
+                queue: Some(queue),
+                ns_per_run,
+                p50_ns,
+                p99_ns,
+                runs,
+            });
+        }
+        if n == sizes[sizes.len() - 1] {
+            largest = Some((pair[0], pair[1]));
+        }
+        if let Some((wheel_p50, heap_p50)) = largest {
+            println!(
+                "beat_storm N={n}: wheel p50 {wheel_p50} ns vs heap p50 {heap_p50} ns ({:+.1}%)",
+                (wheel_p50 as f64 / heap_p50 as f64 - 1.0) * 100.0
+            );
+            // Quick CI smoke runs on tiny sizes where noise can
+            // dominate; the full sweep gates the wheel's win at the
+            // largest N.
+            if !quick {
+                assert!(
+                    wheel_p50 < heap_p50,
+                    "the timer wheel must beat the heap baseline at the largest beat_storm \
+                     size: wheel p50 {wheel_p50} ns vs heap p50 {heap_p50} ns"
+                );
+            }
+        }
     }
 
     // Trace-heavy ring: every module records an interned trace entry
@@ -481,6 +620,7 @@ fn main() {
                 parallelism: "off",
                 threads: None,
                 bus_timing: timing_label(&batched),
+                queue: None,
                 ns_per_run: mean,
                 p50_ns: p50,
                 p99_ns: p99,
@@ -515,23 +655,35 @@ fn main() {
     );
 
     let mut json = String::from("[\n");
+    let timestamp_json = timestamp
+        .as_deref()
+        .map_or_else(|| "null".to_string(), |t| format!("\"{t}\""));
     for (i, r) in records.iter().enumerate() {
         let threads = r
             .threads
             .map_or_else(|| "null".to_string(), |t| t.to_string());
+        let queue = r
+            .queue
+            .map_or_else(|| "null".to_string(), |q| format!("\"{q}\""));
         json.push_str(&format!(
-            "  {{\"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \"threads\": {}, \
-             \"bus_timing\": \"{}\", \"ns_per_run\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
-             \"runs\": {}}}{}\n",
+            "  {{\"schema\": {}, \"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \
+             \"threads\": {}, \"bus_timing\": \"{}\", \"queue\": {}, \"ns_per_run\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"runs\": {}, \"git_rev\": \"{}\", \"cpus\": {}, \
+             \"timestamp\": {}}}{}\n",
+            SCHEMA_VERSION,
             r.scenario,
             r.n,
             r.parallelism,
             threads,
             r.bus_timing,
+            queue,
             r.ns_per_run,
             r.p50_ns,
             r.p99_ns,
             r.runs,
+            rev,
+            cpus,
+            timestamp_json,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

@@ -232,6 +232,10 @@ pub struct BatchedLink {
     /// Whether the last `put`/`get` was a provable no-op (pending, no
     /// state change) — see [`BatchedLink::last_call_stable`].
     last_call_stable: bool,
+    /// Recycled scratch holding one burst's wire words for the bulk
+    /// schedule ([`WireStore::write_wire_train`]). Always drained back
+    /// to empty within `pump`, so it is derived state and not captured.
+    beat_words: Vec<Value>,
     stats: UnitStats,
 }
 
@@ -311,6 +315,7 @@ impl BatchedLink {
             scheduled: false,
             beat: 0,
             last_call_stable: false,
+            beat_words: Vec::new(),
             stats: UnitStats::default(),
         })
     }
@@ -807,13 +812,28 @@ impl BatchedLink {
                         self.scheduled =
                             wires.write_wire_after(self.valid_wire, Value::Bit(Bit::One), 1)?;
                         if self.scheduled {
-                            for (k, v) in self.in_flight.iter().enumerate() {
-                                wires.write_wire_after(
-                                    self.data_wire,
-                                    wire_word(v),
-                                    k as u64 + 1,
-                                )?;
+                            // Land the DATA beats as one train — a
+                            // single bulk pass over the kernel's timer
+                            // wheel instead of n separate schedules.
+                            // The scratch is recycled across bursts so
+                            // a warm streaming link allocates nothing.
+                            debug_assert!(self.beat_words.is_empty());
+                            self.beat_words.extend(self.in_flight.iter().map(wire_word));
+                            let bulk =
+                                wires.write_wire_train(self.data_wire, 1, 1, &self.beat_words)?;
+                            if !bulk {
+                                // Train-less store (but timed writes
+                                // work, per the probe above): schedule
+                                // the beats one by one.
+                                for (k, v) in self.beat_words.iter().enumerate() {
+                                    wires.write_wire_after(
+                                        self.data_wire,
+                                        v.clone(),
+                                        k as u64 + 1,
+                                    )?;
+                                }
                             }
+                            self.beat_words.clear();
                             wires.write_wire_after(
                                 self.valid_wire,
                                 Value::Bit(Bit::Zero),

@@ -62,6 +62,35 @@ pub trait WireStore {
         let _ = (w, v, cycles);
         Ok(false)
     }
+
+    /// Schedules a whole pre-computed value *train* onto a wire in one
+    /// pass: `values[k]` takes effect `start_cycles + k·stride_cycles`
+    /// clock cycles in the future. Returns `Ok(true)` when the store
+    /// supports bulk timed writes and accepted the schedule, `Ok(false)`
+    /// when it does not (the default) — the caller then falls back to
+    /// [`WireStore::write_wire_after`] per beat or to cycle-by-cycle
+    /// writes. Kernel-backed stores implement this over the simulator's
+    /// bulk burst-insert API, which lands every beat of a batched bus
+    /// transaction into the timer wheel in a single amortized-O(1)-per-
+    /// beat pass.
+    ///
+    /// Like single scheduled writes, train beats participate in
+    /// simulator state capture as ordinary pending drives, so mid-train
+    /// checkpoints restore and replay bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown wire ids.
+    fn write_wire_train(
+        &mut self,
+        w: PortId,
+        start_cycles: u64,
+        stride_cycles: u64,
+        values: &[Value],
+    ) -> Result<bool, EvalError> {
+        let _ = (w, start_cycles, stride_cycles, values);
+        Ok(false)
+    }
 }
 
 /// A read-only view of a unit's wires: what a *speculative* call

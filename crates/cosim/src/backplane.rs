@@ -332,6 +332,9 @@ pub struct ShardStats {
     pub units_skipped: u64,
     /// Dormant-shard wakeups caused by a member watch-wire event.
     pub wire_wakeups: u64,
+    /// Watch-wire event probes spent re-arming parked members on shard
+    /// wakeups — the cost of the parked rescan loop.
+    pub watch_probes: u64,
     /// Module activations executed through the scheduler (both paths).
     pub modules_stepped: u64,
     /// Park transitions: members (modules or units) removed from their
@@ -634,6 +637,7 @@ struct ShardState {
     units_stepped: u64,
     units_skipped: u64,
     wire_wakeups: u64,
+    watch_probes: u64,
 }
 
 impl ShardState {
@@ -648,6 +652,7 @@ impl ShardState {
             units_stepped: 0,
             units_skipped: 0,
             wire_wakeups: 0,
+            watch_probes: 0,
         }
     }
 
@@ -704,6 +709,29 @@ impl WireStore for CtxWires<'_, '_> {
         match self.map.get(w.index()) {
             Some(&sig) => {
                 self.ctx.drive_after(sig, v, self.cycle.times(cycles));
+                Ok(true)
+            }
+            None => Err(EvalError::NoSuchPort(w)),
+        }
+    }
+    fn write_wire_train(
+        &mut self,
+        w: PortId,
+        start_cycles: u64,
+        stride_cycles: u64,
+        values: &[Value],
+    ) -> Result<bool, EvalError> {
+        if self.cycle == Duration::ZERO {
+            return Ok(false);
+        }
+        match self.map.get(w.index()) {
+            Some(&sig) => {
+                self.ctx.drive_train(
+                    sig,
+                    self.cycle.times(start_cycles),
+                    self.cycle.times(stride_cycles),
+                    values,
+                );
                 Ok(true)
             }
             None => Err(EvalError::NoSuchPort(w)),
@@ -2392,7 +2420,10 @@ impl ActivationScheduler {
                     Wait::Same
                 } else {
                     registered = true;
-                    Wait::Event(clocks.clone())
+                    // Members only ever step on a *rising* edge of their
+                    // clock, so falling edges need not wake the driver
+                    // at all — half the wake traffic gone.
+                    Wait::Rising(clocks.clone())
                 };
                 if error.borrow().is_some() {
                     let mut st = state.borrow_mut();
@@ -2600,7 +2631,15 @@ impl ActivationScheduler {
                         park.parked_now.set(park.parked_now.get() + to_park.len());
                         for (si, ai, watch) in to_park.drain(..) {
                             let shard = &mut st.shards[si];
-                            shard.members[ai as usize].watch = watch;
+                            let member = &mut shard.members[ai as usize];
+                            // Hand the displaced buffer back to the
+                            // scratch pool so the next park's watch
+                            // list builds in recycled capacity.
+                            let mut displaced = std::mem::replace(&mut member.watch, watch);
+                            if imm.watch.capacity() < displaced.capacity() {
+                                displaced.clear();
+                                imm.watch = displaced;
+                            }
                             shard.active.retain(|&a| a != ai);
                             shard.parked.push(ai);
                             // Hand the new watch set to the shard's
@@ -2669,6 +2708,7 @@ impl ActivationScheduler {
                     let mut i = 0;
                     while i < st.parked.len() {
                         let mi = st.parked[i] as usize;
+                        st.watch_probes += st.members[mi].watch.len() as u64;
                         if st.members[mi].watch.iter().any(|&w| pctx.event(w)) {
                             let idx = st.parked.swap_remove(i);
                             let pos = st.active.partition_point(|&a| a < idx);
@@ -2784,7 +2824,15 @@ impl ActivationScheduler {
                 }
                 sens.sort_unstable();
                 sens.dedup();
-                Wait::Event(sens)
+                if st.parked.is_empty() {
+                    // Pure clock sensitivity: members only step on
+                    // rising edges, so skip falling-edge wakes. With
+                    // parked members the watch wires need any-edge
+                    // wakes and the mixed list stays unfiltered.
+                    Wait::Rising(sens)
+                } else {
+                    Wait::Event(sens)
+                }
             }),
         );
     }
@@ -2809,6 +2857,7 @@ impl ActivationScheduler {
             s.units_stepped += st.units_stepped;
             s.units_skipped += st.units_skipped;
             s.wire_wakeups += st.wire_wakeups;
+            s.watch_probes += st.watch_probes;
         }
         if let Some(driver) = &self.driver {
             let st = driver.borrow();
@@ -2994,6 +3043,14 @@ impl Cosim {
             // no clocked body demands edges (all halted OR all parked)
             // and is re-armed through the CLK_KICK signal when a parked
             // body resumes.
+            //
+            // Edges stay per-run *process* drives on purpose: a
+            // pre-scheduled timed-drive train would make clock events
+            // visible in delta 0 of their instant (a process drive
+            // lands in delta 1), merging same-instant clock/completion
+            // interactions that the scheduler variants resolve through
+            // different wake paths — which breaks their delta-level
+            // equivalence.
             let demand = Rc::clone(&demand);
             let half = period.halved();
             sim.add_process(
@@ -3669,7 +3726,14 @@ impl Cosim {
                     ) {
                         Ok(Some(w)) => {
                             ps.parked = true;
-                            ps.watch = w;
+                            // Hand the displaced buffer back to the
+                            // scratch pool so the next park's watch
+                            // list builds in recycled capacity.
+                            let mut displaced = std::mem::replace(&mut ps.watch, w);
+                            if imm.watch.capacity() < displaced.capacity() {
+                                displaced.clear();
+                                imm.watch = displaced;
+                            }
                             ps.wait_dirty = true;
                             park.parked.set(park.parked.get() + 1);
                             park.parked_now.set(park.parked_now.get() + 1);
@@ -3927,6 +3991,7 @@ struct ShardSnap {
     units_stepped: u64,
     units_skipped: u64,
     wire_wakeups: u64,
+    watch_probes: u64,
 }
 
 fn snap_shard(st: &ShardState) -> ShardSnap {
@@ -3947,6 +4012,7 @@ fn snap_shard(st: &ShardState) -> ShardSnap {
         units_stepped: st.units_stepped,
         units_skipped: st.units_skipped,
         wire_wakeups: st.wire_wakeups,
+        watch_probes: st.watch_probes,
     }
 }
 
@@ -3963,6 +4029,7 @@ fn apply_shard(st: &mut ShardState, snap: &ShardSnap) {
     st.units_stepped = snap.units_stepped;
     st.units_skipped = snap.units_skipped;
     st.wire_wakeups = snap.wire_wakeups;
+    st.watch_probes = snap.watch_probes;
 }
 
 /// Captured state of one two-phase driver shard.

@@ -35,29 +35,42 @@
 //!   therefore costs `O(watchers of signals with events)`, not
 //!   `O(processes)`. Clocked processes that return [`Wait::Same`] (or an
 //!   equal wait set) never touch the index at all.
-//! * **Heap-based time queues** — timed drives (`sig <= v after d`) and
-//!   process timeouts (`wait for d`) live in binary min-heaps keyed by
-//!   `(time, sequence)`, so the next-activity query is an `O(1)`/`O(log
-//!   n)` peek and insertion is `O(log n)`. Cancelled timeouts are removed
-//!   *lazily*: cancellation bumps the process's timer token, and stale
-//!   heap entries are discarded when they surface at the top.
+//! * **Hierarchical timer-wheel time queues** — timed drives (`sig <= v
+//!   after d`) and process timeouts (`wait for d`) live in one unified
+//!   hierarchical timer wheel: 4 levels of 64 power-of-two slots each
+//!   (level-0 slot width 2^23 fs ≈ 8.4 ns, each level 64× coarser, a
+//!   wheel horizon of ≈ 141 ms), with a far-future overflow list beyond
+//!   the horizon. Insertion and timeout cancellation are `O(1)` (the
+//!   wheel records each timer's slot index, so cancellation removes the
+//!   entry eagerly — no tombstones, no lazy purges), the next-activity
+//!   query reads per-level occupancy bitmaps and cached slot minima,
+//!   and advancing time cascades at most one coarse slot per level into
+//!   finer slots — amortized `O(1)` per entry. Entries stay keyed by
+//!   `(time, sequence)` and due entries are drained per instant in that
+//!   order, so pop order is bit-identical to the retired binary-heap
+//!   queues (which survive privately as a differential test oracle and
+//!   the benchmark ablation behind [`Simulator::use_heap_queues`]).
+//! * **Bulk burst insertion** — a pre-computed beat train (the payload
+//!   beats of a batched bus transaction) lands in the wheel in one pass
+//!   through [`Simulator::schedule_drive_train`] / [`ProcCtx::drive_train`]
+//!   instead of one scheduling call per beat.
 //! * **Batched drive application** — pending drives are applied in one
 //!   pass with no value clones (the old value is moved into the signal's
 //!   `prev` slot as the new one moves in).
 //!
 //! [`SimStats`] exposes counters for all of this — wakeups by kind, the
-//! scans avoided versus a full-scan kernel, lazily purged queue entries,
-//! and queue high-water marks — so schedulers regressions are measurable.
-//! The pre-index full-scan kernel survives as
-//! [`reference::RefSimulator`](crate::reference::RefSimulator) and the
-//! two are held equivalent by randomized property tests.
+//! scans avoided versus a full-scan kernel, per-structure queue
+//! high-water marks, wheel cascades and bulk-insert volumes — so
+//! scheduler regressions are measurable. The pre-index full-scan kernel
+//! survives as [`reference::RefSimulator`](crate::reference::RefSimulator)
+//! and the two are held equivalent by randomized property tests.
+
+use crate::queue::{EntryKind, QueueEntry, TimeQueues};
 
 use crate::signal::{Signal, SignalId, SignalInfo};
 use crate::time::{Duration, SimTime};
 use crate::vcd::VcdRecorder;
 use cosma_core::{Bit, Type, Value};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Identifies a process within a [`Simulator`].
@@ -83,6 +96,12 @@ impl fmt::Display for ProcessId {
 pub enum Wait {
     /// Resume when any listed signal has an event (`wait on a, b;`).
     Event(Vec<SignalId>),
+    /// Resume when any listed signal has a *rising* event: an event
+    /// whose new value is `Bit::One` (`wait until rising_edge(clk);`).
+    /// The filter applies to the whole list; falling edges leave the
+    /// process asleep without an activation, which halves the wake
+    /// traffic of purely clock-driven processes.
+    Rising(Vec<SignalId>),
     /// Resume after a span (`wait for 10 ns;`).
     Timeout(Duration),
     /// Resume on event or after the span, whichever first.
@@ -272,6 +291,10 @@ struct ProcSlot {
     body: Option<Box<dyn Process>>,
     /// Current event sensitivity (mirrored in the watcher lists).
     sensitivity: Vec<SignalId>,
+    /// Whether `sensitivity` is rising-edge filtered ([`Wait::Rising`]):
+    /// events that leave the signal at anything but `Bit::One` do not
+    /// wake this process.
+    rising: bool,
     /// Bumped whenever `sensitivity` is replaced; watcher-list entries
     /// recorded under older epochs are dead. `u64` so it cannot wrap
     /// into a stale entry's epoch within any realistic run.
@@ -286,44 +309,19 @@ struct ProcSlot {
     runs: u64,
 }
 
-/// A future drive in the timed-drive heap, ordered by `(at, seq)` so
-/// same-instant drives pop in schedule order (last-writer-wins is
-/// preserved exactly).
-struct TimedDrive {
-    at: SimTime,
-    seq: u64,
-    sig: SignalId,
-    value: Value,
-}
-
-impl PartialEq for TimedDrive {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for TimedDrive {}
-
-impl PartialOrd for TimedDrive {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for TimedDrive {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// A pending timeout in the timer heap. Stale entries (token mismatch)
-/// are discarded lazily when they reach the top.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    pid: ProcessId,
-    token: u64,
+/// A buffered drive train recorded by [`ProcCtx::drive_train`]: `values`
+/// land on `sig` at `start`, `start + stride`, `start + 2·stride`, …
+/// relative to the activation instant. Expanded into ordinary timed
+/// drives by the kernel (bulk wheel insert) and by the reference kernel
+/// (per-beat map inserts), in recording order after the activation's
+/// individual drives — the shared sequence counter keeps pop order
+/// identical between the two.
+#[derive(Debug)]
+pub(crate) struct DriveTrain {
+    pub(crate) sig: SignalId,
+    pub(crate) start: Duration,
+    pub(crate) stride: Duration,
+    pub(crate) values: Vec<Value>,
 }
 
 /// Execution context passed to processes: read signals, schedule drives,
@@ -331,10 +329,22 @@ struct TimerEntry {
 #[derive(Debug)]
 pub struct ProcCtx<'a> {
     signals: &'a [Signal],
+    /// Packed one-bit-per-signal mirror of the `event_now` flags, so
+    /// event probes ([`Self::event`] / [`Self::rose`] / [`Self::fell`])
+    /// hit a dense bitmap instead of pulling a whole [`Signal`] cache
+    /// line per query — backplane schedulers probe thousands of watch
+    /// wires per wake.
+    event_bits: &'a [u64],
     now: SimTime,
     delta: u32,
     /// Drives scheduled by the running process: (signal, value, delay).
     drives: Vec<(SignalId, Value, Duration)>,
+    /// Bulk drive trains scheduled by the running process (see
+    /// [`Self::drive_train`]); pooled like `drives`.
+    trains: Vec<DriveTrain>,
+    /// Pooled empty value buffers backing `trains`, lent by the kernel
+    /// so a warm steady state records trains without allocating.
+    train_shells: Vec<Vec<Value>>,
     /// Pooled buffer lent to the process for building a
     /// [`Wait::Event`] list without allocating (see [`Self::wait_buf`]).
     wait_buf: Vec<SignalId>,
@@ -342,19 +352,29 @@ pub struct ProcCtx<'a> {
 
 impl<'a> ProcCtx<'a> {
     /// Kernel-internal constructor, shared with the reference kernel.
-    pub(crate) fn new(signals: &'a [Signal], now: SimTime, delta: u32) -> Self {
+    pub(crate) fn new(
+        signals: &'a [Signal],
+        event_bits: &'a [u64],
+        now: SimTime,
+        delta: u32,
+    ) -> Self {
         ProcCtx {
             signals,
+            event_bits,
             now,
             delta,
             drives: vec![],
+            trains: vec![],
+            train_shells: vec![],
             wait_buf: vec![],
         }
     }
 
-    /// Consumes the context, yielding the drives the process scheduled.
-    pub(crate) fn into_drives(self) -> Vec<(SignalId, Value, Duration)> {
-        self.drives
+    /// Consumes the context, yielding the individual drives and the
+    /// drive trains the process scheduled.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(self) -> (Vec<(SignalId, Value, Duration)>, Vec<DriveTrain>) {
+        (self.drives, self.trains)
     }
 
     /// An empty, pooled buffer for building a [`Wait::Event`] (or
@@ -437,10 +457,59 @@ impl<'a> ProcCtx<'a> {
         self.drives.push((s, v, d));
     }
 
+    /// Schedules a whole drive train in one call: `values[k]` lands on
+    /// `s` at `start + k·stride` after the current instant. The kernel
+    /// bulk-inserts the train into its timer wheel in one pass, so a
+    /// pre-computed burst of known shape (e.g. the payload beats of a
+    /// batched bus transaction) costs O(1) per beat instead of one
+    /// scheduling call each.
+    ///
+    /// Train entries are ordered after this activation's individual
+    /// drives; within the train, beats keep slice order. Offsets of
+    /// `Duration::ZERO` schedule at the current instant (processed at
+    /// the next instant boundary, like any timed drive), **not** in the
+    /// current delta — use [`ProcCtx::drive`] for delta-cycle drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type mismatch of any value (see [`ProcCtx::drive`]).
+    pub fn drive_train(
+        &mut self,
+        s: SignalId,
+        start: Duration,
+        stride: Duration,
+        values: &[Value],
+    ) {
+        if values.is_empty() {
+            return;
+        }
+        let sig = &self.signals[s.index()];
+        let mut buf = self.train_shells.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        buf.reserve(values.len());
+        for v in values {
+            let v = sig.ty.clamp(v.clone());
+            assert!(
+                sig.ty.admits(&v),
+                "drive train on signal {} ({}) with incompatible value {v:?}",
+                sig.name,
+                sig.ty
+            );
+            buf.push(v);
+        }
+        self.trains.push(DriveTrain {
+            sig: s,
+            start,
+            stride,
+            values: buf,
+        });
+    }
+
     /// Whether the signal had an event in the delta that woke this run.
     #[must_use]
     pub fn event(&self, s: SignalId) -> bool {
-        self.signals[s.index()].event_now
+        let i = s.index();
+        self.event_bits[i >> 6] & (1u64 << (i & 63)) != 0
     }
 
     /// Rising-edge detector: event in this delta and the new value is
@@ -538,12 +607,37 @@ pub struct SimStats {
     /// Dead watcher-list entries dropped during wake traversal or
     /// compaction.
     pub stale_watchers_purged: u64,
-    /// Cancelled timeouts discarded lazily from the timer heap.
+    /// Timeouts cancelled before firing (event wake of a
+    /// [`Wait::EventOrTimeout`] process). On the shipping wheel path
+    /// each cancellation removes its entry in O(1) via the recorded
+    /// slot index.
+    pub timers_cancelled: u64,
+    /// Stale (lazily cancelled) entries discarded from the *timer*
+    /// structure. Only the retired heap backend
+    /// ([`Simulator::use_heap_queues`]) produces these; the wheel
+    /// removes cancelled timers eagerly, so this stays 0 on the
+    /// shipping path.
     pub stale_timers_skipped: u64,
-    /// High-water mark of the timer heap.
+    /// High-water mark of live armed timeouts (the *timer* structure
+    /// only; timed drives are counted by
+    /// [`drive_queue_peak`](Self::drive_queue_peak)).
     pub timer_queue_peak: u64,
-    /// High-water mark of the timed-drive heap.
+    /// High-water mark of live future timed drives (the *drive*
+    /// structure only).
     pub drive_queue_peak: u64,
+    /// Wheel entries re-filed into a finer level (or re-ingested from
+    /// the overflow list) as time advanced.
+    pub wheel_cascades: u64,
+    /// High-water mark of entries sharing one wheel slot.
+    pub wheel_slot_peak: u64,
+    /// Entries parked in the far-future overflow list (scheduled beyond
+    /// the wheel horizon of ≈ 141 ms ahead of the wheel origin).
+    pub overflow_parked: u64,
+    /// Bulk drive-train insertions ([`Simulator::schedule_drive_train`]
+    /// / [`ProcCtx::drive_train`] calls that landed at least one entry).
+    pub bulk_inserts: u64,
+    /// Total entries landed by bulk drive-train insertions.
+    pub bulk_entries: u64,
 }
 
 /// Captured scheduling state of one process. The process *body* (the
@@ -553,6 +647,9 @@ pub struct SimStats {
 struct ProcState {
     name: String,
     sensitivity: Vec<SignalId>,
+    /// Rising-edge filter flag of the captured sensitivity
+    /// ([`Wait::Rising`]).
+    rising: bool,
     epoch: u64,
     wake_at: Option<SimTime>,
     timer_token: u64,
@@ -647,13 +744,16 @@ pub struct Simulator {
     processes: Vec<ProcSlot>,
     /// Drives awaiting the next delta at the current instant.
     delta_drives: Vec<(SignalId, Value)>,
-    /// Drives scheduled for future instants (min-heap on `(at, seq)`).
-    drive_heap: BinaryHeap<Reverse<TimedDrive>>,
-    /// Pending `wait for` timeouts (min-heap on `(at, seq)`), with lazy
-    /// cancellation via per-process timer tokens.
-    timer_heap: BinaryHeap<Reverse<TimerEntry>>,
-    /// Monotone sequence for heap tie-breaking (FIFO within an instant).
+    /// Timed drives and `wait for` timeouts, keyed `(at, seq)`. The
+    /// shipping backend is the hierarchical timer wheel; the retired
+    /// heaps remain selectable as a test oracle / ablation baseline.
+    queues: TimeQueues,
+    /// Monotone sequence for `(at, seq)` tie-breaking (FIFO within an
+    /// instant).
     seq: u64,
+    /// Number of live future timed drives (backend-independent; backs
+    /// [`Simulator::pending_activity`] exactly).
+    live_drives: usize,
     /// Number of *live* (non-cancelled) timer entries.
     armed_timers: usize,
     /// Delta-global wake-dedup stamp.
@@ -664,6 +764,10 @@ pub struct Simulator {
     stats: SimStats,
     /// Signals with `event_now` set, to be cleared before the next delta.
     fresh_events: Vec<SignalId>,
+    /// Packed mirror of the signals' `event_now` flags (one bit per
+    /// signal), lent to [`ProcCtx`] so event probes stay cache-dense.
+    /// Maintained in lockstep with `fresh_events`; rebuilt on restore.
+    event_bits: Vec<u64>,
     vcd: Option<VcdRecorder>,
     /// Pooled run-queue buffer recycled across deltas and instants, so a
     /// warm steady state never reallocates the wake list. Pure scratch:
@@ -676,6 +780,15 @@ pub struct Simulator {
     /// here and are lent out again via [`ProcCtx::wait_buf`]. Bounded,
     /// so pathological churn cannot hoard memory.
     sens_pool: Vec<Vec<SignalId>>,
+    /// Pooled due-entry buffer recycled across instants. Pure scratch.
+    due_buf: Vec<QueueEntry>,
+    /// Pooled drive-train buffer threaded through each `ProcCtx`,
+    /// recycled across process runs. Pure scratch.
+    proc_trains_pool: Vec<DriveTrain>,
+    /// Recycled drive-train value buffers lent out through
+    /// [`ProcCtx::drive_train`] and reclaimed after bulk insertion.
+    /// Bounded, like `sens_pool`.
+    train_shell_pool: Vec<Vec<Value>>,
 }
 
 impl fmt::Debug for Simulator {
@@ -703,9 +816,9 @@ impl Simulator {
             watchers: vec![],
             processes: vec![],
             delta_drives: vec![],
-            drive_heap: BinaryHeap::new(),
-            timer_heap: BinaryHeap::new(),
+            queues: TimeQueues::new_wheel(),
             seq: 0,
+            live_drives: 0,
             armed_timers: 0,
             stamp: 0,
             now: SimTime::ZERO,
@@ -713,10 +826,14 @@ impl Simulator {
             max_deltas: 1000,
             stats: SimStats::default(),
             fresh_events: vec![],
+            event_bits: vec![],
             vcd: None,
             run_queue_pool: vec![],
             proc_drives_pool: vec![],
             sens_pool: vec![],
+            due_buf: vec![],
+            proc_trains_pool: vec![],
+            train_shell_pool: vec![],
         }
     }
 
@@ -730,6 +847,7 @@ impl Simulator {
         let id = SignalId(self.signals.len() as u32);
         self.signals.push(Signal::new(name.into(), ty, init));
         self.watchers.push(WatchList::default());
+        self.event_bits.resize(self.signals.len().div_ceil(64), 0);
         id
     }
 
@@ -745,6 +863,7 @@ impl Simulator {
             name: name.into(),
             body: Some(Box::new(p)),
             sensitivity: vec![],
+            rising: false,
             epoch: 0,
             wake_at: None,
             timer_token: 0,
@@ -894,8 +1013,8 @@ impl Simulator {
 
     /// Whether any activity is scheduled: elaboration still owed to
     /// registered processes, pending same-instant drives, future timed
-    /// drives, or armed timeouts. `O(1)` and exact (lazily cancelled
-    /// heap entries are not counted).
+    /// drives, or armed timeouts. `O(1)` and exact (the kernel counts
+    /// live entries per structure, independent of queue backend).
     ///
     /// A `false` answer means further [`Simulator::run_for`] calls can
     /// never change any signal — used by run-to-quiescence loops.
@@ -903,7 +1022,7 @@ impl Simulator {
     pub fn pending_activity(&self) -> bool {
         (!self.initialized && !self.processes.is_empty())
             || !self.delta_drives.is_empty()
-            || !self.drive_heap.is_empty()
+            || self.live_drives > 0
             || self.armed_timers > 0
     }
 
@@ -944,25 +1063,19 @@ impl Simulator {
         self.run_until(deadline)
     }
 
-    /// The next instant with scheduled activity, if any: an `O(log n)`
-    /// peek that discards lazily cancelled timer entries from the top of
-    /// the heap as a side effect.
+    /// The next instant with scheduled activity, if any. On the wheel
+    /// this reads per-level occupancy bitmaps and cached slot minima;
+    /// on the heap oracle it is the classic peek that discards lazily
+    /// cancelled timer entries from the top as a side effect.
     pub fn next_instant(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(e)) = self.timer_heap.peek() {
-            let slot = &self.processes[e.pid.index()];
-            if slot.timer_token == e.token && slot.wake_at == Some(e.at) {
-                break;
-            }
-            self.timer_heap.pop();
-            self.stats.stale_timers_skipped += 1;
-        }
-        let a = self.drive_heap.peek().map(|Reverse(d)| d.at);
-        let b = self.timer_heap.peek().map(|Reverse(t)| t.at);
-        match (a, b) {
-            (Some(x), Some(y)) => Some(x.min(y)),
-            (x, None) => x,
-            (None, y) => y,
-        }
+        let processes = &self.processes;
+        self.queues.next_at(
+            |pid, token, at| {
+                let slot = &processes[pid.index()];
+                slot.timer_token == token && slot.wake_at == Some(at)
+            },
+            &mut self.stats,
+        )
     }
 
     /// Elaboration: every process runs once at time zero.
@@ -974,33 +1087,48 @@ impl Simulator {
     }
 
     /// At a new instant: move due timed drives into the delta queue and
-    /// collect timer-woken processes in schedule order.
+    /// collect timer-woken processes in schedule order. Due entries pop
+    /// from the active queue backend and are re-sorted by `(at, seq)`,
+    /// reproducing the heaps' exact ascending pop order.
     fn begin_instant(&mut self) -> Vec<ProcessId> {
-        while let Some(Reverse(td)) = self.drive_heap.peek() {
-            if td.at > self.now {
-                break;
-            }
-            let Reverse(td) = self.drive_heap.pop().expect("peeked entry exists");
-            self.delta_drives.push((td.sig, td.value));
+        let mut due = std::mem::take(&mut self.due_buf);
+        debug_assert!(due.is_empty());
+        self.queues.advance(self.now, &mut self.stats);
+        {
+            let processes = &self.processes;
+            self.queues.take_due(
+                self.now,
+                &mut due,
+                |pid, token, at| {
+                    let slot = &processes[pid.index()];
+                    slot.timer_token == token && slot.wake_at == Some(at)
+                },
+                &mut self.stats,
+            );
         }
+        due.sort_unstable_by_key(|e| (e.at, e.seq));
         let mut woken = std::mem::take(&mut self.run_queue_pool);
         woken.clear();
-        while let Some(Reverse(te)) = self.timer_heap.peek() {
-            if te.at > self.now {
-                break;
-            }
-            let Reverse(te) = self.timer_heap.pop().expect("peeked entry exists");
-            let slot = &mut self.processes[te.pid.index()];
-            if slot.timer_token == te.token && slot.wake_at == Some(te.at) {
-                slot.wake_at = None;
-                slot.timer_token += 1;
-                self.armed_timers -= 1;
-                self.stats.timer_wakeups += 1;
-                woken.push(te.pid);
-            } else {
-                self.stats.stale_timers_skipped += 1;
+        for e in due.drain(..) {
+            debug_assert!(e.at <= self.now);
+            match e.kind {
+                EntryKind::Drive { sig, value } => {
+                    self.live_drives -= 1;
+                    self.delta_drives.push((sig, value));
+                }
+                EntryKind::Timer { pid, .. } => {
+                    // `take_due` already validated liveness; dead
+                    // entries never reach this loop on either backend.
+                    let slot = &mut self.processes[pid.index()];
+                    slot.wake_at = None;
+                    slot.timer_token += 1;
+                    self.armed_timers -= 1;
+                    self.stats.timer_wakeups += 1;
+                    woken.push(pid);
+                }
             }
         }
+        self.due_buf = due;
         woken
     }
 
@@ -1015,9 +1143,10 @@ impl Simulator {
         }
         let mut delta: u32 = 0;
         loop {
-            // Clear last delta's event marks.
+            // Clear last delta's event marks (flag and packed bit).
             for s in self.fresh_events.drain(..) {
                 self.signals[s.index()].event_now = false;
+                self.event_bits[s.index() >> 6] &= !(1u64 << (s.index() & 63));
             }
             // Apply pending drives in one pass; last writer wins within a
             // delta (sequential overwrite, like a VHDL driver updated
@@ -1034,6 +1163,7 @@ impl Simulator {
                     }
                     if !sig.event_now {
                         sig.event_now = true;
+                        self.event_bits[sid.index() >> 6] |= 1u64 << (sid.index() & 63);
                         self.stats.events += 1;
                         self.fresh_events.push(sid);
                     }
@@ -1057,6 +1187,9 @@ impl Simulator {
                 }
                 let mut inspected = 0u64;
                 for &sid in &self.fresh_events {
+                    // A rising-filtered watcher only wakes when the event
+                    // left the signal at `Bit::One`.
+                    let is_one = matches!(self.signals[sid.index()].value, Value::Bit(Bit::One));
                     let wl = &mut watchers[sid.index()];
                     let before = wl.entries.len();
                     wl.entries.retain(|&(pid, epoch)| {
@@ -1064,7 +1197,7 @@ impl Simulator {
                         if slot.epoch != epoch {
                             return false;
                         }
-                        if slot.wake_stamp != stamp {
+                        if (!slot.rising || is_one) && slot.wake_stamp != stamp {
                             slot.wake_stamp = stamp;
                             to_run.push(pid);
                         }
@@ -1084,13 +1217,16 @@ impl Simulator {
             // Deterministic activation order: ascending process id, the
             // same order the reference full-scan kernel produces.
             to_run.sort_unstable();
-            // Cancel pending timeouts of woken processes (lazy: the heap
-            // entry dies by token, no heap surgery).
+            // Cancel pending timeouts of woken processes. The wheel
+            // removes the entry in O(1) via its recorded slot location;
+            // the heap oracle's entry dies lazily by token.
             for &p in &to_run {
                 let slot = &mut self.processes[p.index()];
                 if slot.wake_at.take().is_some() {
                     slot.timer_token += 1;
                     self.armed_timers -= 1;
+                    self.stats.timers_cancelled += 1;
+                    self.queues.cancel_timer(p);
                 }
             }
             self.stats.deltas += 1;
@@ -1110,21 +1246,28 @@ impl Simulator {
 
     fn run_processes_delta(&mut self, list: &[ProcessId], delta: u32) {
         let mut drives = std::mem::take(&mut self.proc_drives_pool);
+        let mut trains = std::mem::take(&mut self.proc_trains_pool);
         for &pid in list {
             let mut body = match self.processes[pid.index()].body.take() {
                 Some(b) => b,
                 None => continue,
             };
             drives.clear();
+            trains.clear();
             let mut ctx = ProcCtx {
                 signals: &self.signals,
+                event_bits: &self.event_bits,
                 now: self.now,
                 delta,
                 drives,
+                trains,
+                train_shells: std::mem::take(&mut self.train_shell_pool),
                 wait_buf: self.sens_pool.pop().unwrap_or_default(),
             };
             let wait = body.run(&mut ctx);
             drives = ctx.drives;
+            trains = ctx.trains;
+            self.train_shell_pool = ctx.train_shells;
             // Reclaim the lent wait buffer if the process didn't take
             // it; taken buffers come home through `set_sensitivity`.
             let lent = ctx.wait_buf;
@@ -1136,46 +1279,89 @@ impl Simulator {
                     self.delta_drives.push((sid, v));
                 } else {
                     self.seq += 1;
-                    self.drive_heap.push(Reverse(TimedDrive {
-                        at: self.now + d,
-                        seq: self.seq,
-                        sig: sid,
-                        value: v,
-                    }));
-                    self.stats.drive_queue_peak = self
-                        .stats
-                        .drive_queue_peak
-                        .max(self.drive_heap.len() as u64);
+                    self.queues
+                        .insert_drive(self.now + d, self.seq, sid, v, &mut self.stats);
+                    self.live_drives += 1;
+                    self.stats.drive_queue_peak =
+                        self.stats.drive_queue_peak.max(self.live_drives as u64);
                 }
             }
+            // Trains expand after the individual drives of the same
+            // activation, beats in order — the shared `seq` counter
+            // makes this ordering part of the determinism contract
+            // (mirrored by `RefSimulator`).
+            for train in trains.drain(..) {
+                self.insert_train(train);
+            }
             match wait {
-                Wait::Event(sigs) => self.set_sensitivity(pid, sigs),
+                Wait::Event(sigs) => self.set_sensitivity(pid, sigs, false),
+                Wait::Rising(sigs) => self.set_sensitivity(pid, sigs, true),
                 Wait::Timeout(d) => {
-                    self.set_sensitivity(pid, vec![]);
+                    self.set_sensitivity(pid, vec![], false);
                     self.arm_timer(pid, d);
                 }
                 Wait::EventOrTimeout(sigs, d) => {
-                    self.set_sensitivity(pid, sigs);
+                    self.set_sensitivity(pid, sigs, false);
                     self.arm_timer(pid, d);
                 }
-                Wait::Forever => self.set_sensitivity(pid, vec![]),
+                Wait::Forever => self.set_sensitivity(pid, vec![], false),
                 Wait::Same => {}
             }
             self.processes[pid.index()].body = Some(body);
         }
         self.proc_drives_pool = drives;
+        self.proc_trains_pool = trains;
+    }
+
+    /// Lands a whole pre-computed drive train in one pass: beat `k`
+    /// (0-based) schedules at `now + start + k·stride`, each beat taking
+    /// the next `seq`, so the expansion is observationally identical to
+    /// scheduling the beats one by one — at amortized O(1) per beat on
+    /// the wheel instead of O(log n) heap sifts. A `start` of zero
+    /// schedules the first beat at the current instant's boundary (it
+    /// applies on a same-time queue iteration, not in the current
+    /// delta — unlike a zero-delay [`ProcCtx::drive`]).
+    fn insert_train(&mut self, train: DriveTrain) {
+        let DriveTrain {
+            sig,
+            start,
+            stride,
+            mut values,
+        } = train;
+        self.stats.bulk_inserts += 1;
+        self.stats.bulk_entries += values.len() as u64;
+        let mut at = self.now + start;
+        for v in values.drain(..) {
+            self.seq += 1;
+            self.queues
+                .insert_drive(at, self.seq, sig, v, &mut self.stats);
+            self.live_drives += 1;
+            at += stride;
+        }
+        self.stats.drive_queue_peak = self.stats.drive_queue_peak.max(self.live_drives as u64);
+        self.recycle_train_shell(values);
+    }
+
+    /// Returns a drained train-value buffer to the bounded shell pool
+    /// feeding [`ProcCtx::drive_train`].
+    fn recycle_train_shell(&mut self, v: Vec<Value>) {
+        debug_assert!(v.is_empty());
+        if v.capacity() > 0 && self.train_shell_pool.len() < 32 {
+            self.train_shell_pool.push(v);
+        }
     }
 
     /// Replaces a process's event sensitivity, maintaining the inverted
     /// index incrementally. Equal wait sets (the clocked-process steady
     /// state) are a no-op; otherwise old entries are invalidated by an
     /// epoch bump and mostly-stale lists are compacted.
-    fn set_sensitivity(&mut self, pid: ProcessId, sigs: Vec<SignalId>) {
+    fn set_sensitivity(&mut self, pid: ProcessId, sigs: Vec<SignalId>, rising: bool) {
         let slot = &mut self.processes[pid.index()];
-        if slot.sensitivity == sigs {
+        if slot.sensitivity == sigs && slot.rising == rising {
             self.recycle_sens(sigs);
             return;
         }
+        slot.rising = rising;
         let old = std::mem::replace(&mut slot.sensitivity, sigs);
         slot.epoch += 1;
         let epoch = slot.epoch;
@@ -1211,20 +1397,96 @@ impl Simulator {
     fn arm_timer(&mut self, pid: ProcessId, d: Duration) {
         let at = self.now + d;
         let slot = &mut self.processes[pid.index()];
+        // The kernel never re-arms over a live timer: `begin_instant`
+        // and the settle cancel path both clear `wake_at` (and remove
+        // the queue entry) before the process runs again.
+        debug_assert!(slot.wake_at.is_none(), "re-arming a live timer");
         slot.timer_token += 1;
         slot.wake_at = Some(at);
+        let token = slot.timer_token;
         self.seq += 1;
-        self.timer_heap.push(Reverse(TimerEntry {
-            at,
-            seq: self.seq,
-            pid,
-            token: slot.timer_token,
-        }));
+        self.queues
+            .insert_timer(at, self.seq, pid, token, &mut self.stats);
         self.armed_timers += 1;
-        self.stats.timer_queue_peak = self
-            .stats
-            .timer_queue_peak
-            .max(self.timer_heap.len() as u64);
+        self.stats.timer_queue_peak = self.stats.timer_queue_peak.max(self.armed_timers as u64);
+    }
+
+    /// Schedules a pre-computed value train onto a signal from outside
+    /// any process (testbench-level, like [`Simulator::poke`]): beat `k`
+    /// (0-based) applies at `now + start + k·stride`. One bulk pass over
+    /// the time wheel — amortized O(1) per beat. A zero `start` (or
+    /// stride) is legal; such beats apply at the current instant's
+    /// boundary rather than in the current delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is incompatible with the signal's type.
+    pub fn schedule_drive_train(
+        &mut self,
+        s: SignalId,
+        start: Duration,
+        stride: Duration,
+        values: &[Value],
+    ) {
+        if values.is_empty() {
+            return;
+        }
+        let sig = &self.signals[s.index()];
+        let mut buf = self.train_shell_pool.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        buf.reserve(values.len());
+        for v in values {
+            let v = sig.ty.clamp(v.clone());
+            assert!(
+                sig.ty.admits(&v),
+                "drive train on {} with incompatible {v:?}",
+                sig.name
+            );
+            buf.push(v);
+        }
+        self.insert_train(DriveTrain {
+            sig: s,
+            start,
+            stride,
+            values: buf,
+        });
+    }
+
+    /// Swaps the time-queue backend to the retired binary heaps,
+    /// migrating all live entries through the canonical capture form.
+    /// Test/benchmark ablation only — the wheel is the shipping path.
+    #[doc(hidden)]
+    pub fn use_heap_queues(&mut self) {
+        if !self.queues.is_wheel() {
+            return;
+        }
+        self.swap_backend(TimeQueues::new_heaps());
+    }
+
+    /// Swaps the time-queue backend back to the hierarchical timer
+    /// wheel (see [`Simulator::use_heap_queues`]).
+    #[doc(hidden)]
+    pub fn use_wheel_queues(&mut self) {
+        if self.queues.is_wheel() {
+            return;
+        }
+        self.swap_backend(TimeQueues::new_wheel());
+    }
+
+    fn swap_backend(&mut self, mut next: TimeQueues) {
+        let processes = &self.processes;
+        let (drives, timers) = self.queues.canonical(|pid, token, at| {
+            let slot = &processes[pid.index()];
+            slot.timer_token == token && slot.wake_at == Some(at)
+        });
+        debug_assert_eq!(drives.len(), self.live_drives);
+        debug_assert_eq!(timers.len(), self.armed_timers);
+        // Migration inserts must not perturb the observable counters:
+        // stash and restore stats around the rebuild.
+        let stats = self.stats;
+        next.rebuild(self.now, &drives, &timers, &mut self.stats);
+        self.stats = stats;
+        self.queues = next;
     }
 
     /// Name of a process (for reports).
@@ -1244,8 +1506,10 @@ impl Simulator {
     /// The kernel owns and captures everything needed to resume the
     /// event schedule bit-identically: signals, per-process scheduling
     /// state (sensitivity, epoch, timer token, wake stamp, run count),
-    /// both time heaps (canonicalized — drives sorted, dead timer
-    /// entries purged), pending delta drives, fresh-event marks, the
+    /// the time queues (canonicalized — drives and timers each sorted by
+    /// `(at, seq)`, dead timer entries purged — so the serialized form
+    /// is identical whichever queue backend produced it and the wheel is
+    /// simply rebuilt on load), pending delta drives, fresh-event marks, the
     /// `seq`/`stamp` counters, time, the elaboration flag, the delta
     /// bound, and statistics. It does **not** own process bodies:
     /// any state a body keeps inside its closure is invisible here and
@@ -1262,6 +1526,7 @@ impl Simulator {
             .map(|p| ProcState {
                 name: p.name.clone(),
                 sensitivity: p.sensitivity.clone(),
+                rising: p.rising,
                 epoch: p.epoch,
                 wake_at: p.wake_at,
                 timer_token: p.timer_token,
@@ -1269,25 +1534,14 @@ impl Simulator {
                 runs: p.runs,
             })
             .collect();
-        let mut timed_drives: Vec<(SimTime, u64, SignalId, Value)> = self
-            .drive_heap
-            .iter()
-            .map(|Reverse(d)| (d.at, d.seq, d.sig, d.value.clone()))
-            .collect();
-        timed_drives.sort_unstable_by_key(|&(at, seq, ..)| (at, seq));
-        // Purge lazily-cancelled timers: keep an entry only if it is the
-        // one its process is actually waiting on.
-        let mut timers: Vec<(SimTime, u64, ProcessId, u64)> = self
-            .timer_heap
-            .iter()
-            .map(|Reverse(t)| *t)
-            .filter(|t| {
-                let slot = &self.processes[t.pid.index()];
-                slot.timer_token == t.token && slot.wake_at == Some(t.at)
-            })
-            .map(|t| (t.at, t.seq, t.pid, t.token))
-            .collect();
-        timers.sort_unstable_by_key(|&(at, seq, ..)| (at, seq));
+        // Canonical queue capture: live entries only, each kind sorted
+        // by `(at, seq)` — dead heap-oracle timers are purged here, and
+        // the wheel never holds any.
+        let (timed_drives, timers) = self.queues.canonical(|pid, token, at| {
+            let slot = &self.processes[pid.index()];
+            slot.timer_token == token && slot.wake_at == Some(at)
+        });
+        debug_assert_eq!(timed_drives.len(), self.live_drives);
         debug_assert_eq!(timers.len(), self.armed_timers);
         SimState {
             signals: self.signals.clone(),
@@ -1316,6 +1570,18 @@ impl Simulator {
     /// produced the state: same signals (by name, in order) and same
     /// processes (by name, in order). Signal *values* may differ — that
     /// is the point.
+    ///
+    /// The snapshot is backend-portable: the canonical `(at, seq)`
+    /// capture re-files into whichever queue backend this simulator
+    /// uses (wheel or heap oracle), and the replay is bit-identical
+    /// either way. One caveat follows from the re-filing: the wheel's
+    /// *filing* telemetry ([`SimStats::wheel_cascades`],
+    /// [`SimStats::wheel_slot_peak`], [`SimStats::overflow_parked`])
+    /// is path-dependent — an entry originally filed at a coarse level
+    /// (paying cascades on the way down) may file directly at a fine
+    /// level relative to the restore-time cursor — so those three
+    /// counters may diverge from an uninterrupted run even though
+    /// every observable event does not.
     ///
     /// # Errors
     ///
@@ -1362,8 +1628,16 @@ impl Simulator {
         }
 
         self.signals.clone_from(&state.signals);
+        // Rebuild the packed event mirror from the restored flags.
+        self.event_bits.iter_mut().for_each(|w| *w = 0);
+        for (i, sig) in self.signals.iter().enumerate() {
+            if sig.event_now {
+                self.event_bits[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
         for (slot, ps) in self.processes.iter_mut().zip(&state.procs) {
             slot.sensitivity.clone_from(&ps.sensitivity);
+            slot.rising = ps.rising;
             slot.epoch = ps.epoch;
             slot.wake_at = ps.wake_at;
             slot.timer_token = ps.timer_token;
@@ -1384,24 +1658,17 @@ impl Simulator {
         }
         self.delta_drives.clone_from(&state.delta_drives);
         self.fresh_events.clone_from(&state.fresh_events);
-        self.drive_heap.clear();
-        for (at, seq, sig, value) in &state.timed_drives {
-            self.drive_heap.push(Reverse(TimedDrive {
-                at: *at,
-                seq: *seq,
-                sig: *sig,
-                value: value.clone(),
-            }));
-        }
-        self.timer_heap.clear();
-        for &(at, seq, pid, token) in &state.timers {
-            self.timer_heap.push(Reverse(TimerEntry {
-                at,
-                seq,
-                pid,
-                token,
-            }));
-        }
+        // Rebuild the active queue backend from the canonical capture
+        // (the wheel re-bases its origin at the restored time; every
+        // captured entry satisfies `at >= now`). The stats overwrite
+        // below erases the rebuild's insert side effects.
+        self.queues.rebuild(
+            state.now,
+            &state.timed_drives,
+            &state.timers,
+            &mut self.stats,
+        );
+        self.live_drives = state.timed_drives.len();
         self.armed_timers = state.timers.len();
         self.seq = state.seq;
         self.stamp = state.stamp;
@@ -1570,8 +1837,13 @@ mod tests {
         // next wake is at ~100ns after the event wake (time 0) -> at 100.
         sim.run_until(SimTime::from_ns(120)).unwrap();
         assert_eq!(sim.value(n), &Value::Int(2), "woken once more by timeout");
-        // The cancelled entry was discarded lazily from the heap.
-        assert!(sim.stats().stale_timers_skipped >= 1);
+        // The cancelled entry was removed from the wheel in O(1).
+        assert!(sim.stats().timers_cancelled >= 1);
+        assert_eq!(
+            sim.stats().stale_timers_skipped,
+            0,
+            "the wheel never holds tombstones"
+        );
     }
 
     #[test]
@@ -1597,7 +1869,7 @@ mod tests {
         assert!(st.instants >= 20);
         assert!(
             st.timer_wakeups >= 20,
-            "clock reschedules via the timer heap"
+            "clock reschedules via the timer queue"
         );
         assert!(st.timer_queue_peak >= 1);
     }
@@ -1868,10 +2140,10 @@ mod tests {
     #[test]
     fn cancelled_last_timer_reports_no_phantom_pending_work() {
         // A process holds the ONLY live timer (EventOrTimeout). An event
-        // wake cancels that timer lazily — the heap entry stays behind —
-        // and the process parks forever. The dead entry must not make
+        // wake cancels that timer — the wheel removes the entry eagerly
+        // in O(1) — and the process parks forever. Nothing must make
         // pending_activity report phantom work, and next_instant must
-        // discard it rather than returning a bogus instant.
+        // report no scheduled instant.
         let mut sim = Simulator::new();
         let kick = sim.add_bit("KICK");
         let mut woken = false;
@@ -1893,18 +2165,18 @@ mod tests {
         assert_eq!(sim.next_instant(), Some(SimTime::from_ns(500)));
         sim.poke(kick, Value::Bit(Bit::One));
         sim.run_for(Duration::from_ns(1)).unwrap();
-        // The 500ns entry is now dead. No live timers, no drives, nothing
-        // pending — even though the heap still holds the stale entry.
+        // The 500ns entry is gone. No live timers, no drives, nothing
+        // pending anywhere in the wheel.
         assert!(
             !sim.pending_activity(),
-            "a lazily-cancelled timer must not count as pending work"
+            "a cancelled timer must not count as pending work"
         );
         assert_eq!(
             sim.next_instant(),
             None,
-            "next_instant must purge the stale entry, not report it"
+            "next_instant must not report the cancelled entry"
         );
-        assert!(sim.stats().stale_timers_skipped >= 1);
+        assert!(sim.stats().timers_cancelled >= 1);
         // And running past the dead deadline changes nothing.
         let events_before = sim.stats().events;
         sim.run_until(SimTime::from_ns(1000)).unwrap();
@@ -1913,7 +2185,7 @@ mod tests {
 
     #[test]
     fn repeated_cancellations_keep_armed_timer_count_exact() {
-        // Ten event wakes leave ten dead heap entries; the live-timer
+        // Ten event wakes cancel ten armed timers; the live-timer
         // count backing pending_activity must stay exact throughout.
         let mut sim = Simulator::new();
         let kick = sim.add_bit("KICK");
@@ -1931,9 +2203,9 @@ mod tests {
                 "re-armed timer after wake {i} is live"
             );
         }
-        // Only the most recent re-arm is live: next_instant must skip all
-        // dead entries and land on the latest deadline — the last wake
-        // happened at 9ns (just before the final 1ns advance to 10ns).
+        // Only the most recent re-arm is live: next_instant must land on
+        // the latest deadline — the last wake happened at 9ns (just
+        // before the final 1ns advance to 10ns).
         let next = sim.next_instant().expect("one live timer");
         assert_eq!(next, SimTime::from_ns(9) + Duration::from_us(10));
     }

@@ -9,9 +9,15 @@
 //! backplane (`cosma-cosim`) instantiates hardware modules and
 //! communication units as [`Process`]es over [`Simulator`] signals.
 //!
+//! Future activity lives in a hierarchical timer wheel (64 power-of-two
+//! slots per level, four levels, far-future overflow list) keyed by
+//! `(time, sequence)`, giving O(1) insertion, O(1) timer cancellation
+//! and an amortized-O(1) bulk path for pre-computed beat trains
+//! ([`Simulator::schedule_drive_train`] / [`ProcCtx::drive_train`]).
+//!
 //! The kernel is checkpointable: [`Simulator::save_state`] captures
 //! everything the kernel owns (signals, per-process scheduling state,
-//! event/timer heaps, time, statistics) into a [`SimState`] and
+//! time queues, time, statistics) into a [`SimState`] and
 //! [`Simulator::load_state`] resumes bit-identically. Process-*closure*
 //! state is deliberately outside the contract — whoever registers a
 //! process owns whatever its closure captures and must checkpoint it
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod kernel;
+mod queue;
 pub mod reference;
 mod signal;
 mod time;

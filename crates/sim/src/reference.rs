@@ -8,7 +8,7 @@
 //! exported through the `cosma` facade's hot paths. Its one job is to
 //! define the observable VHDL semantics that the production
 //! [`Simulator`](crate::Simulator) (inverted sensitivity index +
-//! heap-based queues) must reproduce exactly: property tests in
+//! timer-wheel queues) must reproduce exactly: property tests in
 //! `tests/properties.rs` run randomized clock/process mixes through both
 //! kernels and require identical signal traces, event counts and delta
 //! counts.
@@ -36,6 +36,8 @@ impl RefProcessId {
 struct ProcSlot {
     body: Option<Box<dyn Process>>,
     sensitivity: Vec<SignalId>,
+    /// Rising-edge filter of the sensitivity ([`Wait::Rising`]).
+    rising: bool,
     wake_at: Option<SimTime>,
     runs: u64,
 }
@@ -53,6 +55,11 @@ pub struct RefSimulator {
     max_deltas: u32,
     stats: SimStats,
     fresh_events: Vec<SignalId>,
+    /// Packed mirror of the signals' `event_now` flags, kept in
+    /// lockstep with the fast kernel's (see `Simulator::event_bits`) so
+    /// the shared [`ProcCtx`](crate::kernel::ProcCtx) event probes read
+    /// identical state on both kernels.
+    event_bits: Vec<u64>,
 }
 
 impl fmt::Debug for RefSimulator {
@@ -86,6 +93,7 @@ impl RefSimulator {
             max_deltas: 1000,
             stats: SimStats::default(),
             fresh_events: vec![],
+            event_bits: vec![],
         }
     }
 
@@ -98,6 +106,7 @@ impl RefSimulator {
     pub fn add_signal(&mut self, name: impl Into<String>, ty: Type, init: Value) -> SignalId {
         let id = SignalId(self.signals.len() as u32);
         self.signals.push(Signal::new(name.into(), ty, init));
+        self.event_bits.resize(self.signals.len().div_ceil(64), 0);
         id
     }
 
@@ -112,6 +121,7 @@ impl RefSimulator {
         self.processes.push(ProcSlot {
             body: Some(Box::new(p)),
             sensitivity: vec![],
+            rising: false,
             wake_at: None,
             runs: 0,
         });
@@ -269,6 +279,7 @@ impl RefSimulator {
         loop {
             for s in self.fresh_events.drain(..) {
                 self.signals[s.index()].event_now = false;
+                self.event_bits[s.index() >> 6] &= !(1u64 << (s.index() & 63));
             }
             let drives = std::mem::take(&mut self.delta_drives);
             let mut event_set: BTreeSet<SignalId> = BTreeSet::new();
@@ -278,6 +289,7 @@ impl RefSimulator {
                     sig.prev = sig.value.clone();
                     sig.value = v.clone();
                     sig.event_now = true;
+                    self.event_bits[sid.index() >> 6] |= 1u64 << (sid.index() & 63);
                     sig.last_event = Some(self.now);
                     sig.event_count += 1;
                     event_set.insert(sid);
@@ -289,7 +301,16 @@ impl RefSimulator {
             let mut to_run: BTreeSet<RefProcessId> = woken.drain(..).collect();
             if !event_set.is_empty() {
                 for (i, p) in self.processes.iter().enumerate() {
-                    if p.body.is_some() && p.sensitivity.iter().any(|s| event_set.contains(s)) {
+                    let signals = &self.signals;
+                    // Mirror the fast kernel's rising filter: a
+                    // rising-sensitive process only wakes when the
+                    // evented signal's new value is `Bit::One`.
+                    let wakes = |s: &SignalId| {
+                        event_set.contains(s)
+                            && (!p.rising
+                                || matches!(signals[s.index()].value, Value::Bit(Bit::One)))
+                    };
+                    if p.body.is_some() && p.sensitivity.iter().any(wakes) {
                         to_run.insert(RefProcessId(i as u32));
                     }
                 }
@@ -326,9 +347,10 @@ impl RefSimulator {
                 Some(b) => b,
                 None => continue,
             };
-            let mut ctx = crate::kernel::ProcCtx::new(&self.signals, self.now, delta);
+            let mut ctx =
+                crate::kernel::ProcCtx::new(&self.signals, &self.event_bits, self.now, delta);
             let wait = body.run(&mut ctx);
-            let drives = ctx.into_drives();
+            let (drives, trains) = ctx.into_parts();
             self.processes[pid.index()].runs += 1;
             self.stats.process_runs += 1;
             for (sid, v, d) in drives {
@@ -341,22 +363,44 @@ impl RefSimulator {
                         .push((sid, v));
                 }
             }
+            // Drive trains expand after the activation's individual
+            // drives, beats in order — the same sequence the kernel
+            // assigns, so pop order matches bit-for-bit.
+            for t in trains {
+                let mut at = self.now + t.start;
+                for v in t.values {
+                    self.timed_drives.entry(at).or_default().push((t.sig, v));
+                    at += t.stride;
+                }
+            }
             let slot = &mut self.processes[pid.index()];
             match wait {
-                Wait::Event(sigs) => slot.sensitivity = sigs,
+                Wait::Event(sigs) => {
+                    slot.sensitivity = sigs;
+                    slot.rising = false;
+                }
+                Wait::Rising(sigs) => {
+                    slot.sensitivity = sigs;
+                    slot.rising = true;
+                }
                 Wait::Timeout(d) => {
                     slot.sensitivity.clear();
+                    slot.rising = false;
                     let at = self.now + d;
                     slot.wake_at = Some(at);
                     self.timer_queue.entry(at).or_default().push(pid);
                 }
                 Wait::EventOrTimeout(sigs, d) => {
                     slot.sensitivity = sigs;
+                    slot.rising = false;
                     let at = self.now + d;
                     slot.wake_at = Some(at);
                     self.timer_queue.entry(at).or_default().push(pid);
                 }
-                Wait::Forever => slot.sensitivity.clear(),
+                Wait::Forever => {
+                    slot.sensitivity.clear();
+                    slot.rising = false;
+                }
                 Wait::Same => {}
             }
             self.processes[pid.index()].body = Some(body);

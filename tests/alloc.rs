@@ -57,8 +57,13 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
+/// The counting allocator is process-global, so gate tests must not
+/// overlap: each takes this lock for its warm-up + window.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn warm_trace_heavy_speculative_cycles_do_not_allocate() {
+    let _serial = GATE.lock().unwrap();
     // A Ring keeps every module stepping for the whole run: the driver
     // circulates values_per_link tokens (far more than the run needs),
     // the relays forward forever, and tracing keeps everyone unparked.
@@ -102,5 +107,47 @@ fn warm_trace_heavy_speculative_cycles_do_not_allocate() {
     assert_eq!(
         grew, 0,
         "warm steady-state cycles must not allocate, saw {grew} allocations"
+    );
+}
+
+#[test]
+fn warm_streaming_payload_beats_do_not_allocate() {
+    let _serial = GATE.lock().unwrap();
+    // A Ring of batched PayloadBeats links: every transaction that wins
+    // arbitration burst-schedules its remaining DATA/B_VALID beats as a
+    // drive train, so the warm window continuously exercises the timer
+    // wheel's bulk-insert shells, slot-vector recycling and the
+    // `take_due` compaction swap alongside the streaming link pumps.
+    // The warm-up is long enough for every level-0 and level-1 slot the
+    // traffic touches to have been occupied (and its vector retained)
+    // at least once.
+    let spec = ScenarioSpec {
+        units: 8,
+        topology: Topology::Ring,
+        values_per_link: 1_000_000,
+        link: LinkKind::Batched {
+            max_batch: 8,
+            capacity: 32,
+            timing: BusTiming::PayloadBeats,
+        },
+        scheduling: SchedulingConfig::sharded(),
+        trace: false,
+        ..ScenarioSpec::default()
+    };
+    let mut s = build_scenario(&spec).expect("scenario builds");
+    s.cosim
+        .run_for(Duration::from_us(100))
+        .expect("warm-up runs");
+    let stats = s.cosim.sim().stats();
+    assert!(
+        stats.bulk_inserts > 0,
+        "payload-beat bursts must bulk-insert into the wheel: {stats:?}"
+    );
+    let before = allocs();
+    s.cosim.run_for(Duration::from_us(60)).expect("window runs");
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "warm streaming payload-beat cycles must not allocate, saw {grew} allocations"
     );
 }

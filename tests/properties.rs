@@ -1033,6 +1033,373 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Timer wheel: the hierarchical wheel, the binary-heap oracle and the
+// full-scan reference kernel are observationally equivalent on
+// randomized schedules whose entries live across every wheel level —
+// single delayed drives from nanoseconds to beyond the 141 ms horizon
+// (overflow), burst trains whose strides walk entries over the
+// 2^29/2^35/2^41 fs level boundaries, periodic tickers, and
+// event-or-timeout waiters whose timers are cancelled by clock events
+// (exercising O(1) wheel cancellation at every level).
+// ---------------------------------------------------------------------
+
+/// A randomized wheel-stressing design. Delay classes are chosen so the
+/// wheel files entries at level 0 (< 537 ns), level 1 (< 34.4 us),
+/// level 2 (< 2.2 ms), level 3 (< 141 ms) and the overflow list.
+#[derive(Debug, Clone)]
+struct WheelMix {
+    /// Fast clock period in ns (events + canceller wakeups).
+    clock_ns: u64,
+    /// Looping burst trains: (start_ns, stride_ns, beats). A process
+    /// re-issues its train whenever the previous one drains, so trains
+    /// are in flight (and crossing level boundaries) for the whole run.
+    trains: Vec<(u64, u64, usize)>,
+    /// One-shot `drive_after` delays in ns, spanning all levels.
+    drives: Vec<u64>,
+    /// Event-or-timeout waiters: timeout in ns. Whenever the clock
+    /// event arrives first the pending timer is cancelled.
+    cancellers: Vec<u64>,
+    /// Periodic `wait for` tickers in ns.
+    tickers: Vec<u64>,
+    /// Run length in ns.
+    run_ns: u64,
+}
+
+/// A delay spanning the wheel's level structure: class picks the level,
+/// `frac` the position inside it.
+fn arb_level_delay() -> impl Strategy<Value = u64> {
+    (0u8..5, 1u64..1000).prop_map(|(class, frac)| match class {
+        0 => frac / 2 + 1,                 // level 0: 1..501 ns
+        1 => 600 + frac * 33,              // level 1: 0.6..34 us
+        2 => 40_000 + frac * 2_000,        // level 2: 40 us..2 ms
+        3 => 3_000_000 + frac * 100_000,   // level 3: 3..103 ms
+        _ => 150_000_000 + frac * 250_000, // overflow: > 141 ms horizon
+    })
+}
+
+fn arb_wheel_mix() -> impl Strategy<Value = WheelMix> {
+    (
+        1_000u64..8_000,
+        proptest::collection::vec((0u64..40_000, 100u64..30_000, 2usize..24), 0..4),
+        proptest::collection::vec(arb_level_delay(), 1..8),
+        proptest::collection::vec(arb_level_delay(), 0..4),
+        proptest::collection::vec(2_000u64..60_000, 0..4),
+        100_000u64..4_000_000,
+    )
+        .prop_map(
+            |(clock_ns, trains, drives, cancellers, tickers, run_ns)| WheelMix {
+                clock_ns,
+                trains,
+                drives,
+                cancellers,
+                tickers,
+                run_ns,
+            },
+        )
+}
+
+/// Builds the wheel mix through the shared registration closures
+/// (same trick as [`build_mix`]); returns the observable signals.
+fn build_wheel_mix(
+    mix: &WheelMix,
+    mut add_sig: impl FnMut(&str, Type, Value) -> cosma::sim::SignalId,
+    mut add_clock: impl FnMut(cosma::sim::SignalId, cosma::sim::Duration),
+    mut add_proc: impl FnMut(Box<dyn cosma::sim::Process>),
+) -> Vec<cosma::sim::SignalId> {
+    use cosma::core::Bit;
+    use cosma::sim::{Duration, FnProcess, Wait};
+    let mut observed = vec![];
+    let clk = add_sig("CLK", Type::Bit, Value::Bit(Bit::Zero));
+    add_clock(clk, Duration::from_ns(mix.clock_ns));
+    observed.push(clk);
+    // Looping burst trains: one signal each, re-armed on drain.
+    for (j, &(start, stride, beats)) in mix.trains.iter().enumerate() {
+        let sig = add_sig(&format!("TR{j}"), Type::Bit, Value::Bit(Bit::Zero));
+        observed.push(sig);
+        let start = Duration::from_ns(start);
+        let stride = Duration::from_ns(stride);
+        let values: Vec<Value> = (0..beats)
+            .map(|k| Value::Bit(if k % 2 == 0 { Bit::One } else { Bit::Zero }))
+            .collect();
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                ctx.drive_train(sig, start + stride, stride, &values);
+                Wait::Timeout(start + stride.times(values.len() as u64 + 1))
+            },
+        )));
+    }
+    // One-shot far drives: a single process scatters them at t=0 and
+    // then sleeps forever. Distinct values so last-writer order shows.
+    {
+        let far = add_sig("FAR", Type::INT16, Value::Int(0));
+        observed.push(far);
+        let delays = mix.drives.clone();
+        let mut fired = false;
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                if !fired {
+                    fired = true;
+                    for (i, &d) in delays.iter().enumerate() {
+                        ctx.drive_after(far, Value::Int(i as i64 + 1), Duration::from_ns(d));
+                    }
+                }
+                Wait::Forever
+            },
+        )));
+    }
+    // Cancellers: the clock edge usually lands before the timeout, so
+    // every wakeup cancels a pending timer parked at a random level.
+    for (m, &tmo) in mix.cancellers.iter().enumerate() {
+        let c = add_sig(&format!("CAN{m}"), Type::INT16, Value::Int(0));
+        observed.push(c);
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                let v = ctx.read_int(c);
+                ctx.drive(c, Value::Int((v + 1) & 0x3FFF));
+                Wait::EventOrTimeout(vec![clk], Duration::from_ns(tmo))
+            },
+        )));
+    }
+    for (k, &p) in mix.tickers.iter().enumerate() {
+        let t = add_sig(&format!("TK{k}"), Type::INT16, Value::Int(0));
+        observed.push(t);
+        add_proc(Box::new(FnProcess::new(
+            move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                let v = ctx.read_int(t);
+                ctx.drive(t, Value::Int((v + 1) & 0x3FFF));
+                Wait::Timeout(Duration::from_ns(p))
+            },
+        )));
+    }
+    observed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn wheel_matches_heap_and_reference_across_levels(mix in arb_wheel_mix()) {
+        use cosma::sim::reference::RefSimulator;
+        use cosma::sim::{Duration, Simulator};
+
+        let build_fast = |heap: bool| {
+            let mut sim = Simulator::new();
+            if heap {
+                sim.use_heap_queues();
+            }
+            let sigs;
+            {
+                let cell = std::cell::RefCell::new(&mut sim);
+                sigs = build_wheel_mix(
+                    &mix,
+                    |n, ty, v| cell.borrow_mut().add_signal(n, ty, v),
+                    |s, p| { cell.borrow_mut().add_clock("clk", s, p); },
+                    |p| { cell.borrow_mut().add_process("p", p); },
+                );
+            }
+            (sim, sigs)
+        };
+        let (mut wheel, wheel_sigs) = build_fast(false);
+        let (mut heap, heap_sigs) = build_fast(true);
+        let mut oracle = RefSimulator::new();
+        let oracle_sigs;
+        {
+            let cell = std::cell::RefCell::new(&mut oracle);
+            oracle_sigs = build_wheel_mix(
+                &mix,
+                |n, ty, v| cell.borrow_mut().add_signal(n, ty, v),
+                |s, p| { cell.borrow_mut().add_clock(s, p); },
+                |p| { cell.borrow_mut().add_process(p); },
+            );
+        }
+        wheel.run_for(Duration::from_ns(mix.run_ns)).unwrap();
+        heap.run_for(Duration::from_ns(mix.run_ns)).unwrap();
+        oracle.run_for(Duration::from_ns(mix.run_ns)).unwrap();
+
+        for (&w, (&h, &o)) in wheel_sigs.iter().zip(heap_sigs.iter().zip(&oracle_sigs)) {
+            let wi = wheel.signal_info(w);
+            let hi = heap.signal_info(h);
+            let oi = oracle.signal_info(o);
+            prop_assert_eq!(&wi.value, &hi.value, "wheel vs heap: value of {}", wi.name);
+            prop_assert_eq!(&wi.value, &oi.value, "wheel vs ref: value of {}", wi.name);
+            prop_assert_eq!(wi.event_count, hi.event_count, "wheel vs heap: events of {}", wi.name);
+            prop_assert_eq!(wi.event_count, oi.event_count, "wheel vs ref: events of {}", wi.name);
+            prop_assert_eq!(wi.last_event, hi.last_event, "wheel vs heap: last event of {}", wi.name);
+            prop_assert_eq!(wi.last_event, oi.last_event, "wheel vs ref: last event of {}", wi.name);
+        }
+        // Identical schedule shape across all three queue disciplines.
+        let ws = wheel.stats();
+        let hs = heap.stats();
+        let os = oracle.stats();
+        for (name, w, h, o) in [
+            ("process_runs", ws.process_runs, hs.process_runs, os.process_runs),
+            ("events", ws.events, hs.events, os.events),
+            ("deltas", ws.deltas, hs.deltas, os.deltas),
+            ("instants", ws.instants, hs.instants, os.instants),
+        ] {
+            prop_assert_eq!(w, h, "wheel vs heap: {}", name);
+            prop_assert_eq!(w, o, "wheel vs ref: {}", name);
+        }
+        // Wakeup accounting is backend-independent (cancellation
+        // bookkeeping differs: the wheel removes eagerly, the heap
+        // skips stale entries lazily — but who woke and why must not).
+        prop_assert_eq!(ws.timer_wakeups, hs.timer_wakeups);
+        prop_assert_eq!(ws.event_wakeups, hs.event_wakeups);
+        prop_assert_eq!(wheel.now(), heap.now());
+        prop_assert_eq!(wheel.now(), oracle.now());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wheel snapshots: `save_state` canonicalizes the wheel into the
+// `(at, seq)` contract, so a snapshot taken with live entries in EVERY
+// wheel level (and the overflow list), cut in raw nanoseconds so it
+// lands mid-train between scheduled beats, must restore into a fresh
+// simulator — and rewind the original — bit-identically: same signal
+// traces, same final time, same stats to the counter.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn wheel_state_round_trips_with_live_levels_and_mid_train_cuts(
+        cut_ns in 60_000u64..1_200_000,
+        stride_ns in 150u64..2_500,
+        beats in 8usize..48,
+        clock_ns in 400u64..3_000,
+    ) {
+        use cosma::core::Bit;
+        use cosma::sim::{Duration, FnProcess, Simulator, Wait};
+
+        // Every level stays populated: a re-seeding process refreshes
+        // far drives at level-spanning delays every 50 us, a looping
+        // train keeps beats in flight (the raw-ns cut lands between
+        // them), and the clock cancels an EventOrTimeout timer parked
+        // out at level 2 on every edge.
+        let build = |heap: bool| {
+            let mut sim = Simulator::new();
+            if heap {
+                sim.use_heap_queues();
+            }
+            let clk = sim.add_bit("CLK");
+            sim.add_clock("gen", clk, Duration::from_ns(clock_ns));
+            let tr = sim.add_bit("TR");
+            let stride = Duration::from_ns(stride_ns);
+            let values: Vec<Value> = (0..beats)
+                .map(|k| Value::Bit(if k % 2 == 0 { Bit::One } else { Bit::Zero }))
+                .collect();
+            sim.add_process(
+                "train",
+                FnProcess::new(move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                    ctx.drive_train(tr, stride, stride, &values);
+                    Wait::Timeout(stride.times(values.len() as u64 + 1))
+                }),
+            );
+            let far = sim.add_signal("FAR", Type::INT16, Value::Int(0));
+            sim.add_process(
+                "seeder",
+                FnProcess::new(move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                    // Stateless on purpose: `save_state` does not own
+                    // closure state, so the round derives from sim time
+                    // and survives restore/rewind bit-identically.
+                    let round = (ctx.now().as_ns() / 50_000) as i64 + 1;
+                    // Level 0 / 1 / 2 / 3 / overflow respectively.
+                    for (i, d) in [200u64, 5_000, 600_000, 5_000_000, 250_000_000]
+                        .into_iter()
+                        .enumerate()
+                    {
+                        ctx.drive_after(
+                            far,
+                            Value::Int((round * 8 + i as i64) & 0x3FFF),
+                            Duration::from_ns(d),
+                        );
+                    }
+                    Wait::Timeout(Duration::from_us(50))
+                }),
+            );
+            let can = sim.add_signal("CAN", Type::INT16, Value::Int(0));
+            sim.add_process(
+                "canceller",
+                FnProcess::new(move |ctx: &mut cosma::sim::ProcCtx<'_>| {
+                    let v = ctx.read_int(can);
+                    ctx.drive(can, Value::Int((v + 1) & 0x3FFF));
+                    Wait::EventOrTimeout(vec![clk], Duration::from_ms(1))
+                }),
+            );
+            (sim, vec![clk, tr, far, can])
+        };
+
+        let tail = Duration::from_ns(1_500_000);
+        let (mut a, a_sigs) = build(false);
+        a.run_until(cosma::sim::SimTime::from_ns(cut_ns)).unwrap();
+        let snap = a.save_state();
+        a.run_for(tail).unwrap();
+        let want: Vec<_> = a_sigs.iter().map(|&s| a.signal_info(s)).collect();
+        let want_now = a.now();
+        let want_stats = a.stats();
+        // The construction really does exercise the whole structure.
+        prop_assert!(want_stats.bulk_inserts > 0, "trains must bulk-insert");
+        prop_assert!(want_stats.wheel_cascades > 0, "levels must cascade");
+        prop_assert!(want_stats.overflow_parked > 0, "horizon must overflow");
+        prop_assert!(want_stats.timers_cancelled > 0, "cancellation must hit the wheel");
+
+        // Restore into a FRESH simulator (structural twin, never run).
+        let (mut b, b_sigs) = build(false);
+        b.load_state(&snap).unwrap();
+        b.run_for(tail).unwrap();
+        for (&bs, w) in b_sigs.iter().zip(&want) {
+            let bi = b.signal_info(bs);
+            prop_assert_eq!(&bi.value, &w.value, "restored value of {}", w.name);
+            prop_assert_eq!(bi.event_count, w.event_count, "restored events of {}", w.name);
+            prop_assert_eq!(bi.last_event, w.last_event, "restored last event of {}", w.name);
+        }
+        prop_assert_eq!(b.now(), want_now);
+        // Stats continue verbatim — except the wheel's own filing
+        // telemetry: `load_state` re-files pending entries relative to
+        // the restore-time cursor, so an entry the original run filed
+        // high and cascaded down may be filed directly low after a
+        // restore (fewer cascades, different slot peaks). Everything
+        // observable (wakeups, events, deltas, cancellations) must
+        // still match to the counter.
+        let scrub = |mut s: cosma::sim::SimStats| {
+            s.wheel_cascades = 0;
+            s.wheel_slot_peak = 0;
+            s.overflow_parked = 0;
+            s
+        };
+        prop_assert_eq!(
+            scrub(b.stats()),
+            scrub(want_stats),
+            "restored stats must continue verbatim"
+        );
+
+        // Rewind the original: restoring over a further-run simulator
+        // must leave no residue either.
+        a.load_state(&snap).unwrap();
+        a.run_for(tail).unwrap();
+        for (&s, w) in a_sigs.iter().zip(&want) {
+            let ai = a.signal_info(s);
+            prop_assert_eq!(&ai.value, &w.value, "rewound value of {}", w.name);
+            prop_assert_eq!(ai.event_count, w.event_count, "rewound events of {}", w.name);
+        }
+        prop_assert_eq!(a.now(), want_now);
+        prop_assert_eq!(scrub(a.stats()), scrub(want_stats));
+
+        // And the canonical snapshot is backend-portable: a HEAP twin
+        // restored from the wheel's snapshot replays the same tail (the
+        // `(at, seq)` pop-order contract, end to end).
+        let (mut h, h_sigs) = build(true);
+        h.load_state(&snap).unwrap();
+        h.run_for(tail).unwrap();
+        for (&s, w) in h_sigs.iter().zip(&want) {
+            let hi = h.signal_info(s);
+            prop_assert_eq!(&hi.value, &w.value, "heap-restored value of {}", w.name);
+            prop_assert_eq!(hi.event_count, w.event_count, "heap-restored events of {}", w.name);
+        }
+        prop_assert_eq!(h.now(), want_now);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
