@@ -112,6 +112,7 @@ fn bench_cosim(c: &mut Criterion) {
             config: CosimConfig::default(),
             scheduling,
             trace: false,
+            domains: Default::default(),
         })
         .expect("scenario builds")
     }

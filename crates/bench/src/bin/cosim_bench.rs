@@ -31,6 +31,17 @@
 //! and the full (non-quick) run asserts the wheel beats the heap
 //! baseline at the largest N.
 //!
+//! The `multi_rate` rows compare a uniform-clock batched ring against
+//! the same ring with half its links (and their modules) in a 1:4
+//! clock domain — the full run asserts the rate split is measurably
+//! cheaper. The `partitioned` rows compare the collapsed
+//! single-backplane elaboration of a cut scenario against the same cut
+//! run as two optimistically-synchronized partitions
+//! (`cosim::partition::Orchestrator`), with a `rollback_rate` column
+//! (rollbacks per committed sync quantum) tracking how often
+//! speculation loses; the `variant` column names each side of both
+//! comparisons.
+//!
 //! Every row carries provenance for cross-machine trajectory
 //! comparisons: a `schema` version, the `git_rev` the binary was run
 //! against, the host's `cpus`, and a `timestamp` string passed in by
@@ -48,7 +59,7 @@ use cosma_sim::Duration;
 use std::time::Instant;
 
 /// Bump when row fields change meaning or shape.
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 struct Record {
     scenario: &'static str,
@@ -62,6 +73,13 @@ struct Record {
     /// `beat_storm` ablation rows, `None` elsewhere (implicitly the
     /// shipping wheel).
     queue: Option<&'static str>,
+    /// Within-scenario variant for the `multi_rate` (uniform vs
+    /// quarter-rate domain) and `partitioned` (collapsed vs split)
+    /// comparison rows; `None` elsewhere.
+    variant: Option<&'static str>,
+    /// Rollbacks per committed sync quantum — only meaningful for the
+    /// `partitioned` orchestrator row.
+    rollback_rate: Option<f64>,
     ns_per_run: u128,
     p50_ns: u128,
     p99_ns: u128,
@@ -119,6 +137,7 @@ fn scenario(
         config: CosimConfig::default(),
         scheduling,
         trace: false,
+        domains: Default::default(),
     })
     .expect("scenario builds")
 }
@@ -162,11 +181,22 @@ fn measure(
         threads,
         bus_timing,
         queue: None,
+        variant: None,
+        rollback_rate: None,
         ns_per_run,
         p50_ns,
         p99_ns,
         runs,
     }
+}
+
+/// Mean/p50/p99 of sorted-in-place samples.
+fn summarize3(mut samples: Vec<u128>) -> (u128, u128, u128) {
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+    (mean, p50, p99)
 }
 
 /// One 100 µs beat-storm run: `n` generator processes each keep a
@@ -369,6 +399,7 @@ fn main() {
                 config: CosimConfig::default(),
                 scheduling,
                 trace: false,
+                domains: Default::default(),
             })
             .expect("scenario builds")
         };
@@ -432,6 +463,8 @@ fn main() {
                 threads: None,
                 bus_timing: "payload_beats",
                 queue: Some(queue),
+                variant: None,
+                rollback_rate: None,
                 ns_per_run,
                 p50_ns,
                 p99_ns,
@@ -484,6 +517,7 @@ fn main() {
                     config: CosimConfig::default(),
                     scheduling: SchedulingConfig::sharded(),
                     trace: true,
+                    domains: Default::default(),
                 })
                 .expect("scenario builds");
                 s.cosim
@@ -573,13 +607,6 @@ fn main() {
             snap.at()
         );
 
-        let summarize = |mut samples: Vec<u128>| {
-            samples.sort_unstable();
-            let mean = samples.iter().sum::<u128>() / samples.len() as u128;
-            let p50 = samples[samples.len() / 2];
-            let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
-            (mean, p50, p99)
-        };
         let mut restore_samples = Vec::with_capacity(runs as usize);
         for _ in 0..runs {
             let start = Instant::now();
@@ -603,8 +630,8 @@ fn main() {
                 .expect("runs");
             rerun_samples.push(start.elapsed().as_nanos());
         }
-        let (restore_mean, restore_p50, restore_p99) = summarize(restore_samples);
-        let (rerun_mean, rerun_p50, rerun_p99) = summarize(rerun_samples);
+        let (restore_mean, restore_p50, restore_p99) = summarize3(restore_samples);
+        let (rerun_mean, rerun_p50, rerun_p99) = summarize3(rerun_samples);
         for (name, mean, p50, p99) in [
             ("snapshot_restore", restore_mean, restore_p50, restore_p99),
             ("snapshot_rerun", rerun_mean, rerun_p50, rerun_p99),
@@ -621,6 +648,8 @@ fn main() {
                 threads: None,
                 bus_timing: timing_label(&batched),
                 queue: None,
+                variant: None,
+                rollback_rate: None,
                 ns_per_run: mean,
                 p50_ns: p50,
                 p99_ns: p99,
@@ -633,6 +662,170 @@ fn main() {
              {}us from zero ({rerun_p50} ns p50)",
             mid_us + tail_us
         );
+    }
+
+    // Multi-rate clock domains: the same batched ring, uniform vs half
+    // of it in a quarter-rate domain. Slow-domain members take one
+    // activation edge per four base edges (and the units they feed
+    // pump accordingly), so the rate split must be measurably cheaper
+    // than the uniform run — the whole point of domain-aware clocking.
+    {
+        use cosma_cosim::scenario::DomainsSpec;
+        let n = if quick { 8 } else { 16 };
+        let build = move |domains| {
+            build_scenario(&ScenarioSpec {
+                units: n,
+                topology: Topology::Ring,
+                values_per_link: 1_000_000,
+                link: batched,
+                config: CosimConfig::default(),
+                scheduling: SchedulingConfig::sharded(),
+                trace: false,
+                domains,
+            })
+            .expect("scenario builds")
+        };
+        let mut pair = vec![];
+        for (variant, domains) in [
+            ("uniform", DomainsSpec::default()),
+            (
+                "slow_1_4",
+                DomainsSpec {
+                    ratio: (4, 1),
+                    slow_links: n / 2,
+                },
+            ),
+        ] {
+            let mut warm = build(domains);
+            warm.cosim.run_for(Duration::from_us(200)).expect("runs");
+            let samples: Vec<u128> = (0..runs)
+                .map(|_| {
+                    let mut s = build(domains);
+                    let start = Instant::now();
+                    s.cosim.run_for(Duration::from_us(200)).expect("runs");
+                    start.elapsed().as_nanos()
+                })
+                .collect();
+            let (mean, p50, p99) = summarize3(samples);
+            println!(
+                "{:<24} N={n:<4} par=off      bus={:<13} {mean:>12} ns/run  \
+                 p50={p50} p99={p99}  ({runs} runs, {variant})",
+                "multi_rate",
+                timing_label(&batched)
+            );
+            pair.push(p50);
+            records.push(Record {
+                scenario: "multi_rate",
+                n,
+                parallelism: "off",
+                threads: None,
+                bus_timing: timing_label(&batched),
+                queue: None,
+                variant: Some(variant),
+                rollback_rate: None,
+                ns_per_run: mean,
+                p50_ns: p50,
+                p99_ns: p99,
+                runs,
+            });
+        }
+        let (uniform_p50, slow_p50) = (pair[0], pair[1]);
+        println!(
+            "multi_rate N={n}: uniform p50 {uniform_p50} ns vs slow_1_4 p50 {slow_p50} ns \
+             ({:+.1}%)",
+            (slow_p50 as f64 / uniform_p50 as f64 - 1.0) * 100.0
+        );
+        // Quick CI smoke runs on tiny sizes where noise can dominate;
+        // the full sweep gates the rate split's win.
+        if !quick {
+            assert!(
+                slow_p50 < uniform_p50,
+                "a quarter-rate half of the ring must be measurably cheaper than the \
+                 uniform run: slow p50 {slow_p50} ns vs uniform p50 {uniform_p50} ns"
+            );
+        }
+    }
+
+    // Partitioned co-simulation: the same scenario run collapsed in one
+    // backplane vs cut into two optimistically-synchronized partitions.
+    // The split row pays snapshotting, staleness scans and occasional
+    // rollbacks per quantum; its `rollback_rate` column (rollbacks per
+    // committed quantum) tracks how often speculation loses.
+    {
+        use cosma_cosim::scenario::{build_collapsed, build_partitioned, PartitionsSpec};
+        let n = if quick { 8 } else { 16 };
+        let spec = ScenarioSpec {
+            units: n,
+            topology: Topology::Ring,
+            values_per_link: 1_000_000,
+            link: batched,
+            config: CosimConfig::default(),
+            scheduling: SchedulingConfig::sharded(),
+            trace: false,
+            domains: Default::default(),
+        };
+        let pspec = PartitionsSpec {
+            count: 2,
+            latency: Duration::from_ns(200),
+        };
+        let quantum = Duration::from_us(2);
+        let sim_us = 200u64;
+        let collapsed: Vec<u128> = {
+            let mut warm = build_collapsed(&spec, &pspec).expect("collapsed builds");
+            warm.cosim.run_for(Duration::from_us(sim_us)).expect("runs");
+            (0..runs)
+                .map(|_| {
+                    let mut s = build_collapsed(&spec, &pspec).expect("collapsed builds");
+                    let start = Instant::now();
+                    s.cosim.run_for(Duration::from_us(sim_us)).expect("runs");
+                    start.elapsed().as_nanos()
+                })
+                .collect()
+        };
+        let mut rollback_rate = 0.0;
+        let split: Vec<u128> = {
+            let mut warm = build_partitioned(&spec, &pspec).expect("partitioned builds");
+            warm.run_for(Duration::from_us(sim_us), quantum)
+                .expect("runs");
+            (0..runs)
+                .map(|_| {
+                    let mut s = build_partitioned(&spec, &pspec).expect("partitioned builds");
+                    let start = Instant::now();
+                    s.run_for(Duration::from_us(sim_us), quantum).expect("runs");
+                    let ns = start.elapsed().as_nanos();
+                    let stats = s.orch.stats();
+                    rollback_rate = stats.rollbacks as f64 / stats.quanta_committed.max(1) as f64;
+                    ns
+                })
+                .collect()
+        };
+        for (variant, samples, rate) in [
+            ("collapsed", collapsed, None),
+            ("split_2", split, Some(rollback_rate)),
+        ] {
+            let (mean, p50, p99) = summarize3(samples);
+            println!(
+                "{:<24} N={n:<4} par=off      bus={:<13} {mean:>12} ns/run  \
+                 p50={p50} p99={p99}  ({runs} runs, {variant}, rollback rate {:.3})",
+                "partitioned",
+                timing_label(&batched),
+                rate.unwrap_or(0.0)
+            );
+            records.push(Record {
+                scenario: "partitioned",
+                n,
+                parallelism: "off",
+                threads: None,
+                bus_timing: timing_label(&batched),
+                queue: None,
+                variant: Some(variant),
+                rollback_rate: rate,
+                ns_per_run: mean,
+                p50_ns: p50,
+                p99_ns: p99,
+                runs,
+            });
+        }
     }
 
     // Sanity gate for CI: parked consumers must contribute ~zero
@@ -665,9 +858,16 @@ fn main() {
         let queue = r
             .queue
             .map_or_else(|| "null".to_string(), |q| format!("\"{q}\""));
+        let variant = r
+            .variant
+            .map_or_else(|| "null".to_string(), |v| format!("\"{v}\""));
+        let rollback_rate = r
+            .rollback_rate
+            .map_or_else(|| "null".to_string(), |x| format!("{x:.6}"));
         json.push_str(&format!(
             "  {{\"schema\": {}, \"scenario\": \"{}\", \"n\": {}, \"parallelism\": \"{}\", \
-             \"threads\": {}, \"bus_timing\": \"{}\", \"queue\": {}, \"ns_per_run\": {}, \
+             \"threads\": {}, \"bus_timing\": \"{}\", \"queue\": {}, \"variant\": {}, \
+             \"rollback_rate\": {}, \"ns_per_run\": {}, \
              \"p50_ns\": {}, \"p99_ns\": {}, \"runs\": {}, \"git_rev\": \"{}\", \"cpus\": {}, \
              \"timestamp\": {}}}{}\n",
             SCHEMA_VERSION,
@@ -677,6 +877,8 @@ fn main() {
             threads,
             r.bus_timing,
             queue,
+            variant,
+            rollback_rate,
             r.ns_per_run,
             r.p50_ns,
             r.p99_ns,

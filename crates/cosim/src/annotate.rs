@@ -140,6 +140,26 @@ pub fn back_annotate(
     })
 }
 
+/// One link's inputs to a batch-latency calibration
+/// ([`annotate_batch_latency`]): the calibration run's [`UnitStats`],
+/// the trace labels whose events ride this link, and the link's
+/// nominal hardware cycle — its *domain's* (ratio-scaled) cycle, so
+/// links in different clock domains calibrate against their own rate.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCalibration<'a> {
+    /// Link instance name.
+    pub link: &'a str,
+    /// The calibration run's stats for this link
+    /// (from [`crate::Cosim::unit_stats`]).
+    pub stats: &'a UnitStats,
+    /// Trace labels attributable to this link. Labels failing the
+    /// two-occurrence contract are skipped; when none survive, the
+    /// link falls back to the run-global scale.
+    pub labels: &'a [&'a str],
+    /// The link's nominal (domain-scaled) hardware cycle.
+    pub nominal_hw_cycle: Duration,
+}
+
 /// Per-link bus-occupancy report of a batch-latency calibration
 /// ([`annotate_batch_latency`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +177,13 @@ pub struct BatchLinkTiming {
     /// Mean beats per bus transaction — the per-batch latency the
     /// `LengthOnly` fast path leaves unmodelled.
     pub beats_per_batch: f64,
+    /// This link's own timing scale, derived from its attributed
+    /// labels alone (geometric mean); the run-global scale when none
+    /// of its labels yields a usable comparison.
+    pub scale: f64,
+    /// The link's domain-scaled nominal cycle stretched by its own
+    /// scale — the per-link (per-domain) corrected hardware cycle.
+    pub annotated_hw_cycle: Duration,
 }
 
 /// The result of a batch-latency back-annotation pass
@@ -200,8 +227,9 @@ impl fmt::Display for BatchAnnotation {
         for l in &self.links {
             writeln!(
                 f,
-                "  link {:<10} {} values / {} batches -> {:.2} beats/batch",
-                l.link, l.values, l.batches, l.beats_per_batch
+                "  link {:<10} {} values / {} batches -> {:.2} beats/batch, \
+                 x{:.3} -> {}",
+                l.link, l.values, l.batches, l.beats_per_batch, l.scale, l.annotated_hw_cycle
             )?;
         }
         write!(f, "  annotated hw cycle: {}", self.annotated_hw_cycle)
@@ -216,19 +244,22 @@ impl fmt::Display for BatchAnnotation {
 /// reference-vs-measured label timelines — here the "measured" timeline
 /// is the payload-accurate bus.
 ///
-/// `links` supplies the calibration run's per-link [`UnitStats`] (from
-/// [`crate::Cosim::unit_stats`]), reported as per-batch bus occupancy;
-/// the label timelines drive the derived `annotated_hw_cycle` exactly
-/// like [`back_annotate`]'s SW cycle. Labels follow the same
-/// two-occurrence contract as [`back_annotate`]; links with zero
-/// completed batches are skipped. Returns `None` when no label yields a
-/// usable comparison.
+/// `links` supplies one [`LinkCalibration`] per link: the calibration
+/// run's [`UnitStats`] (reported as per-batch bus occupancy), the
+/// labels attributable to the link, and the link's domain-scaled
+/// nominal cycle. Each link derives its *own* timing scale from its
+/// attributed labels — so a fast link and a slow link in one run get
+/// separate corrected cycles instead of one global average — falling
+/// back to the run-global scale when none of its labels is usable.
+/// Labels follow the same two-occurrence contract as
+/// [`back_annotate`]; links with zero completed batches are skipped.
+/// Returns `None` when no label yields a usable comparison.
 #[must_use]
 pub fn annotate_batch_latency(
     reference: &TraceLog,
     calibration: &TraceLog,
     labels: &[&str],
-    links: &[(&str, &UnitStats)],
+    links: &[LinkCalibration<'_>],
     nominal_hw_cycle: Duration,
 ) -> Option<BatchAnnotation> {
     let rows = label_rows(reference, calibration, labels);
@@ -236,24 +267,35 @@ pub fn annotate_batch_latency(
         return None;
     }
     let scale = geometric_scale(&rows);
+    let stretch = |cycle: Duration, s: f64| {
+        Duration::from_fs((cycle.as_fs() as f64 * s).round().max(1.0) as u64)
+    };
     let link_rows = links
         .iter()
-        .filter(|(_, stats)| stats.batches > 0)
-        .map(|(name, stats)| BatchLinkTiming {
-            link: (*name).to_string(),
-            batches: stats.batches,
-            values: stats.batched_values,
-            beats: stats.payload_beats,
-            beats_per_batch: stats.payload_beats as f64 / stats.batches as f64,
+        .filter(|l| l.stats.batches > 0)
+        .map(|l| {
+            let own = label_rows(reference, calibration, l.labels);
+            let link_scale = if own.is_empty() {
+                scale
+            } else {
+                geometric_scale(&own)
+            };
+            BatchLinkTiming {
+                link: l.link.to_string(),
+                batches: l.stats.batches,
+                values: l.stats.batched_values,
+                beats: l.stats.payload_beats,
+                beats_per_batch: l.stats.payload_beats as f64 / l.stats.batches as f64,
+                scale: link_scale,
+                annotated_hw_cycle: stretch(l.nominal_hw_cycle, link_scale),
+            }
         })
         .collect();
-    let annotated =
-        Duration::from_fs((nominal_hw_cycle.as_fs() as f64 * scale).round().max(1.0) as u64);
     Some(BatchAnnotation {
         labels: rows,
         links: link_rows,
         scale,
-        annotated_hw_cycle: annotated,
+        annotated_hw_cycle: stretch(nominal_hw_cycle, scale),
     })
 }
 
@@ -371,11 +413,25 @@ mod tests {
         stats.record_batch(4);
         stats.record_batch(2);
         stats.payload_beats = 6;
+        let idle = UnitStats::default();
         let ann = annotate_batch_latency(
             &r,
             &m,
             &["recv"],
-            &[("bus", &stats), ("idle", &UnitStats::default())],
+            &[
+                LinkCalibration {
+                    link: "bus",
+                    stats: &stats,
+                    labels: &["recv"],
+                    nominal_hw_cycle: Duration::from_ns(100),
+                },
+                LinkCalibration {
+                    link: "idle",
+                    stats: &idle,
+                    labels: &[],
+                    nominal_hw_cycle: Duration::from_ns(100),
+                },
+            ],
             Duration::from_ns(100),
         )
         .expect("annotates");
@@ -387,6 +443,8 @@ mod tests {
         assert_eq!(link.values, 6);
         assert_eq!(link.beats, 6);
         assert!((link.beats_per_batch - 3.0).abs() < 1e-9);
+        assert!((link.scale - 3.0).abs() < 1e-9);
+        assert_eq!(link.annotated_hw_cycle, Duration::from_ns(300));
         let text = ann.to_string();
         assert!(text.contains("beats/batch"));
         assert!(text.contains("annotated hw cycle"));
@@ -401,10 +459,86 @@ mod tests {
             &r,
             &m,
             &["once"],
-            &[("bus", &stats)],
+            &[LinkCalibration {
+                link: "bus",
+                stats: &stats,
+                labels: &["once"],
+                nominal_hw_cycle: Duration::from_ns(100),
+            }],
             Duration::from_ns(100)
         )
         .is_none());
+    }
+
+    #[test]
+    fn per_link_scales_mix_fast_and_slow_links() {
+        // One run, two links: the "fast" link's events stretch x2 under
+        // the payload-accurate bus, the "slow" link's x4 — and the slow
+        // link lives in a quarter-rate clock domain, so its nominal
+        // cycle is already 4x the base. Per-link annotation must keep
+        // the two corrections separate; the old single global scale
+        // (geometric mean sqrt(8)) was wrong for both.
+        let mut r = log_with(&[0, 100], "fast.recv");
+        let mut m = log_with(&[0, 200], "fast.recv");
+        for t in [0u64, 100] {
+            r.record(t, "m", "slow.recv", vec![]);
+        }
+        for t in [0u64, 400] {
+            m.record(t, "m", "slow.recv", vec![]);
+        }
+        let mut fast_stats = UnitStats::default();
+        fast_stats.record_batch(2);
+        fast_stats.payload_beats = 2;
+        let mut slow_stats = UnitStats::default();
+        slow_stats.record_batch(2);
+        slow_stats.payload_beats = 8;
+        let base = Duration::from_ns(100);
+        let ann = annotate_batch_latency(
+            &r,
+            &m,
+            &["fast.recv", "slow.recv"],
+            &[
+                LinkCalibration {
+                    link: "fast",
+                    stats: &fast_stats,
+                    labels: &["fast.recv"],
+                    nominal_hw_cycle: base,
+                },
+                LinkCalibration {
+                    link: "slow",
+                    stats: &slow_stats,
+                    labels: &["slow.recv"],
+                    nominal_hw_cycle: Duration::from_ns(400),
+                },
+            ],
+            base,
+        )
+        .expect("annotates");
+        // Global scale remains the geometric mean across all labels.
+        assert!((ann.scale - 8f64.sqrt()).abs() < 1e-9, "{}", ann.scale);
+        let fast = ann.link("fast").expect("fast reported");
+        assert!((fast.scale - 2.0).abs() < 1e-9, "{}", fast.scale);
+        assert_eq!(fast.annotated_hw_cycle, Duration::from_ns(200));
+        let slow = ann.link("slow").expect("slow reported");
+        assert!((slow.scale - 4.0).abs() < 1e-9, "{}", slow.scale);
+        assert_eq!(slow.annotated_hw_cycle, Duration::from_ns(1600));
+        // A link whose labels are all unusable falls back to the
+        // global scale rather than dropping out.
+        let ann2 = annotate_batch_latency(
+            &r,
+            &m,
+            &["fast.recv", "slow.recv"],
+            &[LinkCalibration {
+                link: "blind",
+                stats: &fast_stats,
+                labels: &[],
+                nominal_hw_cycle: base,
+            }],
+            base,
+        )
+        .expect("annotates");
+        let blind = ann2.link("blind").unwrap();
+        assert!((blind.scale - ann2.scale).abs() < 1e-9);
     }
 
     #[test]

@@ -41,14 +41,20 @@ use cosma_core::{
     Env, EvalError, FsmExec, Module, ModuleKind, ReadEnv, ServiceCall, ServiceOutcome, Type, Value,
 };
 use cosma_sim::{
-    ClockControl, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimState, SimTime,
-    Simulator, Wait,
+    ClockControl, ClockRatio, Duration, Edge, FnProcess, ProcCtx, SignalId, SimError, SimState,
+    SimTime, Simulator, Wait,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// Caller identity used by boundary exporter/injector processes when
+/// calling `get`/`put` on their half-link. Distinct from any module's
+/// caller id (modules use small indices) so per-caller link accounting
+/// never conflates a boundary with a real module.
+pub(crate) const BOUNDARY_CALLER: CallerId = CallerId(u64::MAX);
 
 /// How communication-unit bookkeeping (controller steps, native steps,
 /// batched-link pumping) is scheduled on the kernel.
@@ -166,6 +172,26 @@ pub enum ModulePlacement {
     Hashed,
 }
 
+/// How shard members of different clock domains may be placed relative
+/// to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainPlacement {
+    /// Shards never mix clock domains (the only supported placement):
+    /// every shard pool — unit shards, immediate module shards, the
+    /// two-phase driver's shards — is split per domain, so a shard's
+    /// members always share one activation clock pair and one
+    /// [`ClockDemand`] ledger.
+    #[default]
+    Isolated,
+    /// Request mixed-domain shards. Unsupported: a shard's park/demand
+    /// accounting is keyed to one domain's clock generators, so
+    /// [`Cosim::add_clock_domain`] rejects this placement with a typed
+    /// [`CosimError::Setup`] as soon as a second domain would exist.
+    /// Kept as an explicit knob (rather than silently ignoring the
+    /// request) so configuration intent always round-trips.
+    Mixed,
+}
+
 /// The activation scheduler's configuration: how units and modules are
 /// dispatched, how service calls are applied, and whether
 /// provably-stable FSMs are parked.
@@ -204,6 +230,11 @@ pub struct SchedulingConfig {
     /// Defaults to [`STEP_FANOUT_MIN`]; tests lower it to force the
     /// speculative machinery onto small backplanes.
     pub step_fanout_min: usize,
+    /// Clock-domain shard placement (see [`DomainPlacement`]). Only
+    /// [`DomainPlacement::Isolated`] is supported with more than one
+    /// domain; [`DomainPlacement::Mixed`] makes
+    /// [`Cosim::add_clock_domain`] fail with a typed setup error.
+    pub domains: DomainPlacement,
 }
 
 impl Default for SchedulingConfig {
@@ -226,6 +257,7 @@ impl SchedulingConfig {
             placement: ModulePlacement::Hashed,
             parallelism: Parallelism::Off,
             step_fanout_min: STEP_FANOUT_MIN,
+            domains: DomainPlacement::Isolated,
         }
     }
 
@@ -253,6 +285,7 @@ impl SchedulingConfig {
             placement: ModulePlacement::CreationOrder,
             parallelism: Parallelism::Off,
             step_fanout_min: STEP_FANOUT_MIN,
+            domains: DomainPlacement::Isolated,
         }
     }
 
@@ -489,6 +522,58 @@ impl Default for CosimConfig {
             sw_cycle: c,
         }
     }
+}
+
+/// Identifies a clock domain of a backplane.
+///
+/// Every backplane starts with one *base* domain ([`DomainId::BASE`])
+/// running at the configured [`CosimConfig`] rates; further domains are
+/// created with [`Cosim::add_clock_domain`] at a rational period ratio
+/// versus the base. Units and modules are placed into a domain with the
+/// `*_in` constructors ([`Cosim::add_fsm_unit_in`],
+/// [`Cosim::add_module_in`], ...); the domain decides which activation
+/// clock pair drives them and which [`ClockDemand`] ledger accounts for
+/// their parking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainId(usize);
+
+impl DomainId {
+    /// The base clock domain every backplane is created with.
+    pub const BASE: DomainId = DomainId(0);
+
+    /// Index of this domain in the backplane's domain table.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The message channel shared by the two halves of a boundary link
+/// (partitioned co-simulation, [`crate::partition`]). The *out* half's
+/// exporter appends latency-stamped `(arrival_time, value)` entries;
+/// the *in* half's injector consumes the prefix whose arrival time has
+/// been reached, tracked by `cursor`. Entries are appended in
+/// nondecreasing arrival order (one exporter, constant latency), so the
+/// injector never reorders. The orchestrator snapshots `(len, cursor)`
+/// per quantum and rolls either side back by truncating/rewinding.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryQueue {
+    /// Latency-stamped messages: `(arrival_time, value)`.
+    pub(crate) entries: Vec<(SimTime, Value)>,
+    /// Index of the first entry the injector has not yet delivered.
+    pub(crate) cursor: usize,
+}
+
+/// One clock domain: its activation clock pair, its period ratio versus
+/// the base domain, and its clock-demand ledger. All domains share the
+/// global femtosecond time axis — a 4:1 domain's members simply see a
+/// rising edge every fourth base period.
+struct ClockDomainEntry {
+    name: String,
+    ratio: ClockRatio,
+    hw_clk: SignalId,
+    sw_clk: SignalId,
+    demand: Rc<ClockDemand>,
 }
 
 /// Identifies a communication-unit instance in the backplane.
@@ -1995,8 +2080,18 @@ fn commit_module(
 /// activation-gating architecture.
 struct ActivationScheduler {
     cfg: SchedulingConfig,
-    /// Units ever placed (drives hashed shard assignment).
-    unit_members: usize,
+    /// Per-domain unit shard pool: shards never mix clock domains
+    /// ([`DomainPlacement::Isolated`]), so hashed placement runs inside
+    /// the member's domain pool. Entry `d` indexes
+    /// [`ActivationScheduler::unit_shards`] for domain `d`.
+    unit_pools: Vec<PoolState>,
+    /// Per-domain module shard pool (creation-order fill inside the
+    /// domain). Entry `d` holds indices into
+    /// [`ActivationScheduler::module_shards`].
+    module_pools: Vec<Vec<usize>>,
+    /// Per-domain shard pool of the two-phase driver. Entry `d` holds
+    /// indices into [`DriverState::shards`].
+    driver_pools: Vec<PoolState>,
     unit_shards: Vec<Rc<RefCell<ShardState>>>,
     module_shards: Vec<Rc<RefCell<ShardState>>>,
     /// The two-phase module scheduler ([`CallApplication::Deferred`]):
@@ -2013,6 +2108,15 @@ struct ActivationScheduler {
     /// them.
     per_unit_seen: Vec<Rc<RefCell<Vec<u64>>>>,
     park: Rc<ParkCounters>,
+}
+
+/// One clock domain's shard pool: how many members were ever placed in
+/// it (drives hashed shard assignment *within* the pool) and which
+/// global shards belong to it.
+#[derive(Debug, Default)]
+struct PoolState {
+    members: usize,
+    shards: Vec<usize>,
 }
 
 /// The mutable scheduling state of one legacy per-module process —
@@ -2049,6 +2153,10 @@ struct DriverShard {
     members: Vec<DriverMember>,
     active: Vec<u32>,
     parked: Vec<u32>,
+    /// The clock-demand ledger of this shard's domain (shards never mix
+    /// domains, so parking a member surrenders demand on exactly one
+    /// domain's generators).
+    demand: Rc<ClockDemand>,
     /// Toggled by the driver when it parks members of this shard, so
     /// the watcher re-arms on the new watch set.
     poke: SignalId,
@@ -2108,16 +2216,24 @@ struct SchedCtx<'a> {
     modules: &'a Rc<RefCell<Vec<ModuleEntry>>>,
     error: &'a Rc<RefCell<Option<String>>>,
     trace: &'a Rc<RefCell<TraceLog>>,
+    /// The target clock domain's demand ledger.
     demand: &'a Rc<ClockDemand>,
+    /// The target domain's hardware activation clock.
     hw_clk: SignalId,
-    sw_clk: SignalId,
+    /// Index of the target domain (selects the per-domain shard pools).
+    domain: usize,
+    /// Every domain's activation clocks, in domain order — the
+    /// two-phase driver's clock sensitivity.
+    clocks: &'a [SignalId],
 }
 
 impl ActivationScheduler {
     fn new(cfg: SchedulingConfig) -> Self {
         ActivationScheduler {
             cfg,
-            unit_members: 0,
+            unit_pools: vec![PoolState::default()],
+            module_pools: vec![vec![]],
+            driver_pools: vec![PoolState::default()],
             unit_shards: vec![],
             module_shards: vec![],
             driver: None,
@@ -2127,23 +2243,39 @@ impl ActivationScheduler {
         }
     }
 
+    /// Opens the shard pools of a freshly created clock domain
+    /// ([`Cosim::add_clock_domain`]).
+    fn add_domain_pool(&mut self) {
+        self.unit_pools.push(PoolState::default());
+        self.module_pools.push(vec![]);
+        self.driver_pools.push(PoolState::default());
+    }
+
     /// Places a unit member into a shard chosen by hashing its id over
     /// the shards allowed so far (one more per `shard_size` members).
     /// A hash landing past the open shards creates the next one, so
     /// shard count still tracks `members / shard_size` while
-    /// creation-order runs are scattered.
+    /// creation-order runs are scattered. Placement runs inside the
+    /// member's clock-domain pool: shards never mix domains, so every
+    /// member of a shard shares one activation clock and one
+    /// [`ClockDemand`] ledger.
     fn add_unit_member(&mut self, ctx: SchedCtx<'_>, handle: Handle, wires: Vec<SignalId>) {
         let shard_size = match self.cfg.units {
             UnitScheduling::Sharded { shard_size } => shard_size.max(1),
             UnitScheduling::PerUnit => unreachable!("shard members only exist when sharded"),
         };
-        let k = self.unit_members;
-        self.unit_members += 1;
+        let domain = ctx.domain;
+        let (k, pool_len) = {
+            let pool = &mut self.unit_pools[domain];
+            let k = pool.members;
+            pool.members += 1;
+            (k, pool.shards.len())
+        };
         let allowed = k / shard_size + 1;
         let hashed = (splitmix64(k as u64) % allowed as u64) as usize;
         let clk = ctx.hw_clk;
         ctx.demand.register(ctx.sim);
-        let target = if hashed >= self.unit_shards.len() {
+        let target = if hashed >= pool_len {
             let state = Rc::new(RefCell::new(ShardState::new()));
             let label = format!("unit_shard{}", self.unit_shards.len());
             Self::register_shard_process(
@@ -2154,9 +2286,11 @@ impl ActivationScheduler {
                 label,
             );
             self.unit_shards.push(state);
-            self.unit_shards.len() - 1
+            let global = self.unit_shards.len() - 1;
+            self.unit_pools[domain].shards.push(global);
+            global
         } else {
-            hashed
+            self.unit_pools[domain].shards[hashed]
         };
         self.unit_shards[target]
             .borrow_mut()
@@ -2178,10 +2312,15 @@ impl ActivationScheduler {
             ModuleScheduling::Sharded { shard_size } => shard_size.max(1),
             ModuleScheduling::PerModule => unreachable!("shard members only exist when sharded"),
         };
+        let domain = ctx.domain;
         ctx.demand.register(ctx.sim);
-        let state = match self.module_shards.last() {
-            Some(s) if s.borrow().members.len() < shard_size => Rc::clone(s),
-            _ => {
+        let open = self.module_pools[domain]
+            .last()
+            .copied()
+            .filter(|&gi| self.module_shards[gi].borrow().members.len() < shard_size);
+        let state = match open {
+            Some(gi) => Rc::clone(&self.module_shards[gi]),
+            None => {
                 let state = Rc::new(RefCell::new(ShardState::new()));
                 let label = format!("module_shard{}", self.module_shards.len());
                 Self::register_shard_process(
@@ -2192,6 +2331,7 @@ impl ActivationScheduler {
                     label,
                 );
                 self.module_shards.push(Rc::clone(&state));
+                self.module_pools[domain].push(self.module_shards.len() - 1);
                 state
             }
         };
@@ -2253,22 +2393,25 @@ impl ActivationScheduler {
                 state
             }
         };
+        let domain = ctx.domain;
         let mut st = driver.borrow_mut();
-        let k = st.placed;
         st.placed += 1;
+        let k = self.driver_pools[domain].members;
+        self.driver_pools[domain].members += 1;
         let open = st.shards.len();
+        let pool = &self.driver_pools[domain];
         let target = match self.cfg.placement {
             ModulePlacement::Hashed => {
                 let allowed = k / shard_size + 1;
                 let hashed = (splitmix64(k as u64) % allowed as u64) as usize;
-                if hashed >= open {
+                if hashed >= pool.shards.len() {
                     open
                 } else {
-                    hashed
+                    pool.shards[hashed]
                 }
             }
-            ModulePlacement::CreationOrder => match st.shards.last() {
-                Some(s) if s.members.len() < shard_size => open - 1,
+            ModulePlacement::CreationOrder => match pool.shards.last() {
+                Some(&gi) if st.shards[gi].members.len() < shard_size => gi,
                 _ => open,
             },
         };
@@ -2286,10 +2429,12 @@ impl ActivationScheduler {
                 members: vec![],
                 active: vec![],
                 parked: vec![],
+                demand: Rc::clone(ctx.demand),
                 poke,
                 watch_dirty: false,
                 watcher_armed: false,
             });
+            self.driver_pools[domain].shards.push(open);
         }
         let shard = &mut st.shards[target];
         let mi = shard.members.len() as u32;
@@ -2397,8 +2542,10 @@ impl ActivationScheduler {
         let modules = Rc::clone(ctx.modules);
         let error = Rc::clone(ctx.error);
         let trace = Rc::clone(ctx.trace);
-        let demand = Rc::clone(ctx.demand);
-        let clocks = vec![ctx.hw_clk, ctx.sw_clk];
+        // Every domain's activation clocks: the driver owns deferred
+        // module shards of all domains, and each member still steps
+        // only on rising edges of its own domain's clock.
+        let clocks = ctx.clocks.to_vec();
         // Persistent worker pool: n-1 OS threads plus the kernel thread.
         let mut pool = match parallelism {
             Parallelism::Threads(n) if n >= 1 => Some(StepPool::new(n - 1)),
@@ -2429,12 +2576,9 @@ impl ActivationScheduler {
                     let mut st = state.borrow_mut();
                     if !st.halted {
                         st.halted = true;
-                        let unparked: usize = st
-                            .shards
-                            .iter()
-                            .map(|s| s.members.len() - s.parked.len())
-                            .sum();
-                        demand.park(unparked);
+                        for s in &st.shards {
+                            s.demand.park(s.members.len() - s.parked.len());
+                        }
                     }
                     return Wait::Forever;
                 }
@@ -2616,21 +2760,18 @@ impl ActivationScheduler {
                         *error.borrow_mut() = Some(msg);
                         if !st.halted {
                             st.halted = true;
-                            let unparked: usize = st
-                                .shards
-                                .iter()
-                                .map(|s| s.members.len() - s.parked.len())
-                                .sum();
-                            demand.park(unparked);
+                            for s in &st.shards {
+                                s.demand.park(s.members.len() - s.parked.len());
+                            }
                         }
                         return Wait::Forever;
                     }
                     if !to_park.is_empty() {
-                        demand.park(to_park.len());
                         park.parked.set(park.parked.get() + to_park.len() as u64);
                         park.parked_now.set(park.parked_now.get() + to_park.len());
                         for (si, ai, watch) in to_park.drain(..) {
                             let shard = &mut st.shards[si];
+                            shard.demand.park(1);
                             let member = &mut shard.members[ai as usize];
                             // Hand the displaced buffer back to the
                             // scratch pool so the next park's watch
@@ -2990,8 +3131,6 @@ pub struct Cosim {
     unit_names: HashMap<String, UnitId>,
     error: Rc<RefCell<Option<String>>>,
     trace: Rc<RefCell<TraceLog>>,
-    hw_clk: SignalId,
-    sw_clk: SignalId,
     modules: Rc<RefCell<Vec<ModuleEntry>>>,
     sched: ActivationScheduler,
     /// The clocking configuration this backplane was built with, kept so
@@ -3003,15 +3142,24 @@ pub struct Cosim {
     /// process ids, same hashed shard placement — before restoring the
     /// snapshot's state onto it.
     recipe: Vec<RecipeOp>,
-    /// Clock-edge demand of the registered bodies (module activations,
-    /// unit controllers, native steps). The activation clock generators
-    /// idle whenever it reaches zero — on an empty backplane, after
-    /// every body halted, **and while every body is parked** — so a
-    /// deadlocked or finished system truly goes quiescent
-    /// ([`Cosim::run_to_quiescence`]) instead of toggling its activation
-    /// clocks forever. A parked body re-armed by a wire event bumps the
-    /// demand back and kicks the generators awake.
-    demand: Rc<ClockDemand>,
+    /// Clock domains, base domain first. Each carries its activation
+    /// clock pair and its clock-edge demand ledger: the domain's
+    /// generators idle whenever its demand reaches zero — on an empty
+    /// backplane, after every body halted, **and while every body is
+    /// parked** — so a deadlocked or finished system truly goes
+    /// quiescent ([`Cosim::run_to_quiescence`]) instead of toggling its
+    /// activation clocks forever. A parked body re-armed by a wire
+    /// event bumps the demand back and kicks the generators awake.
+    domains: Vec<ClockDomainEntry>,
+    /// Every domain's activation clocks in domain order
+    /// (`[hw0, sw0, hw1, sw1, ...]`) — the two-phase driver's clock
+    /// sensitivity.
+    clock_list: Vec<SignalId>,
+    /// Boundary half-links installed on this backplane (partitioned
+    /// co-simulation). Boundary closures reach state the fork recipe
+    /// cannot replay (queues shared with another backplane), so
+    /// [`Cosim::fork`] is rejected while any exist.
+    boundaries: usize,
 }
 
 impl fmt::Debug for Cosim {
@@ -3035,41 +3183,13 @@ impl Cosim {
             demand: Cell::new(0),
             kick,
         });
-        for (name, clk, period) in [
-            ("hw_clkgen", hw_clk, config.hw_cycle),
-            ("sw_clkgen", sw_clk, config.sw_cycle),
-        ] {
-            // Like Simulator::add_clock, but the generator idles while
-            // no clocked body demands edges (all halted OR all parked)
-            // and is re-armed through the CLK_KICK signal when a parked
-            // body resumes.
-            //
-            // Edges stay per-run *process* drives on purpose: a
-            // pre-scheduled timed-drive train would make clock events
-            // visible in delta 0 of their instant (a process drive
-            // lands in delta 1), merging same-instant clock/completion
-            // interactions that the scheduler variants resolve through
-            // different wake paths — which breaks their delta-level
-            // equivalence.
-            let demand = Rc::clone(&demand);
-            let half = period.halved();
-            sim.add_process(
-                name,
-                FnProcess::new(move |ctx| {
-                    if demand.demand.get() <= 0 {
-                        let mut sens = ctx.wait_buf();
-                        sens.push(demand.kick);
-                        return Wait::Event(sens);
-                    }
-                    let next = match ctx.read(clk) {
-                        cosma_core::Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
-                        _ => cosma_core::Bit::One,
-                    };
-                    ctx.drive(clk, cosma_core::Value::Bit(next));
-                    Wait::Timeout(half)
-                }),
-            );
-        }
+        install_clock_generators(
+            &mut sim,
+            "",
+            (hw_clk, config.hw_cycle),
+            (sw_clk, config.sw_cycle),
+            &demand,
+        );
         Cosim {
             sim,
             registry: Rc::new(RefCell::new(Registry {
@@ -3081,13 +3201,152 @@ impl Cosim {
             unit_names: HashMap::new(),
             error: Rc::new(RefCell::new(None)),
             trace: Rc::new(RefCell::new(TraceLog::new())),
-            hw_clk,
-            sw_clk,
             modules: Rc::new(RefCell::new(vec![])),
             sched: ActivationScheduler::new(SchedulingConfig::sharded()),
             config,
             recipe: vec![],
+            domains: vec![ClockDomainEntry {
+                name: String::new(),
+                ratio: ClockRatio::UNIT,
+                hw_clk,
+                sw_clk,
+                demand,
+            }],
+            clock_list: vec![hw_clk, sw_clk],
+            boundaries: 0,
+        }
+    }
+
+    /// Creates a clock domain running at `num:den` times the base
+    /// domain's *period* — `add_clock_domain("slow", 4, 1)` gives a
+    /// domain whose members see one rising edge for every four base
+    /// edges (a quarter-rate domain). All domains share the global
+    /// femtosecond time axis; only the activation-clock periods differ.
+    ///
+    /// Domains must be created while the backplane is empty (before any
+    /// unit or module), so the two-phase driver's clock sensitivity and
+    /// the per-domain shard pools are complete before placement starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] when units or modules were already
+    /// added, when the configuration requests mixed-domain shards
+    /// ([`DomainPlacement::Mixed`]), when either ratio component is
+    /// zero, when the scaled period would truncate to zero, or when
+    /// `name` is empty or already taken.
+    pub fn add_clock_domain(
+        &mut self,
+        name: &str,
+        num: u64,
+        den: u64,
+    ) -> Result<DomainId, CosimError> {
+        if !self.handles.is_empty() || !self.modules.borrow().is_empty() {
+            return Err(CosimError::Setup(
+                "clock domains must be created before units or modules".to_string(),
+            ));
+        }
+        if self.sched.cfg.domains == DomainPlacement::Mixed {
+            return Err(CosimError::Setup(
+                "mixed-domain shards are unsupported: a shard's park/demand accounting \
+                 is keyed to one domain's clock generators (use DomainPlacement::Isolated)"
+                    .to_string(),
+            ));
+        }
+        let Some(ratio) = ClockRatio::try_new(num, den) else {
+            return Err(CosimError::Setup(format!(
+                "clock domain {name}: rate ratio components must be nonzero (got {num}:{den})"
+            )));
+        };
+        let hw_cycle = ratio.scale(self.config.hw_cycle);
+        let sw_cycle = ratio.scale(self.config.sw_cycle);
+        if hw_cycle.halved() == Duration::ZERO || sw_cycle.halved() == Duration::ZERO {
+            return Err(CosimError::Setup(format!(
+                "clock domain {name}: ratio {ratio} scales the activation period to zero"
+            )));
+        }
+        if name.is_empty() {
+            return Err(CosimError::Setup(
+                "clock domain name must be non-empty (the base domain is unnamed)".to_string(),
+            ));
+        }
+        if self.domains.iter().any(|d| d.name == name) {
+            return Err(CosimError::Setup(format!(
+                "clock domain {name} already exists"
+            )));
+        }
+        self.recipe.push(RecipeOp::ClockDomain {
+            name: name.to_string(),
+            num,
+            den,
+        });
+        let hw_clk = self.sim.add_bit(format!("{name}.HW_CLK"));
+        let sw_clk = self.sim.add_bit(format!("{name}.SW_CLK"));
+        let kick = self.sim.add_bit(format!("{name}.CLK_KICK"));
+        let demand = Rc::new(ClockDemand {
+            demand: Cell::new(0),
+            kick,
+        });
+        install_clock_generators(
+            &mut self.sim,
+            &format!("{name}."),
+            (hw_clk, hw_cycle),
+            (sw_clk, sw_cycle),
+            &demand,
+        );
+        self.clock_list.push(hw_clk);
+        self.clock_list.push(sw_clk);
+        self.domains.push(ClockDomainEntry {
+            name: name.to_string(),
+            ratio,
+            hw_clk,
+            sw_clk,
             demand,
+        });
+        self.sched.add_domain_pool();
+        Ok(DomainId(self.domains.len() - 1))
+    }
+
+    /// Looks up a clock domain by name (the base domain is unnamed —
+    /// use [`DomainId::BASE`]).
+    #[must_use]
+    pub fn find_domain(&self, name: &str) -> Option<DomainId> {
+        self.domains
+            .iter()
+            .position(|d| d.name == name)
+            .map(DomainId)
+    }
+
+    /// Number of clock domains (at least one: the base domain).
+    #[must_use]
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Period ratio of a domain versus the base domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this backplane.
+    #[must_use]
+    pub fn domain_ratio(&self, d: DomainId) -> ClockRatio {
+        self.domains[d.0].ratio
+    }
+
+    /// Pins every clock domain's activation-clock generators awake by
+    /// registering one permanent unit of clock demand per domain.
+    ///
+    /// A pinned backplane's clock edges stay on the exact
+    /// `k · period/2` grid forever — the generators never idle, so a
+    /// resumed body always waits for the next grid edge instead of
+    /// seeing a kick-aligned edge at its resume instant. Partitioned
+    /// runs require this: every partition (and the monolithic oracle it
+    /// is compared against) must produce the same edge grid regardless
+    /// of how the cut distributes demand. The price is that a pinned
+    /// backplane never goes quiescent on its own
+    /// ([`Cosim::run_to_quiescence`] will always hit its limit).
+    pub fn pin_clock_domains(&mut self) {
+        for d in &self.domains {
+            d.demand.register(&mut self.sim);
         }
     }
 
@@ -3106,6 +3365,13 @@ impl Cosim {
             ));
         }
         cfg.validate()?;
+        if cfg.domains == DomainPlacement::Mixed && self.domains.len() > 1 {
+            return Err(CosimError::Setup(
+                "mixed-domain shards are unsupported: a shard's park/demand accounting \
+                 is keyed to one domain's clock generators (use DomainPlacement::Isolated)"
+                    .to_string(),
+            ));
+        }
         self.sched.cfg = cfg;
         Ok(())
     }
@@ -3151,7 +3417,8 @@ impl Cosim {
         self.sched.stats()
     }
 
-    fn sched_ctx(&mut self) -> (&mut ActivationScheduler, SchedCtx<'_>) {
+    fn sched_ctx(&mut self, domain: usize) -> (&mut ActivationScheduler, SchedCtx<'_>) {
+        let d = &self.domains[domain];
         (
             &mut self.sched,
             SchedCtx {
@@ -3160,9 +3427,10 @@ impl Cosim {
                 modules: &self.modules,
                 error: &self.error,
                 trace: &self.trace,
-                demand: &self.demand,
-                hw_clk: self.hw_clk,
-                sw_clk: self.sw_clk,
+                demand: &d.demand,
+                hw_clk: d.hw_clk,
+                domain,
+                clocks: &self.clock_list,
             },
         )
     }
@@ -3178,24 +3446,66 @@ impl Cosim {
         &mut self.sim
     }
 
-    /// The hardware clock signal.
+    /// The base domain's hardware clock signal.
     #[must_use]
     pub fn hw_clk(&self) -> SignalId {
-        self.hw_clk
+        self.domains[0].hw_clk
     }
 
-    /// The software activation clock signal.
+    /// The base domain's software activation clock signal.
     #[must_use]
     pub fn sw_clk(&self) -> SignalId {
-        self.sw_clk
+        self.domains[0].sw_clk
+    }
+
+    /// A domain's hardware clock signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this backplane.
+    #[must_use]
+    pub fn domain_hw_clk(&self, d: DomainId) -> SignalId {
+        self.domains[d.0].hw_clk
     }
 
     /// Instantiates an FSM communication unit: one kernel signal per wire
     /// (`<name>.<WIRE>`), plus a clocked controller process.
     pub fn add_fsm_unit(&mut self, name: &str, spec: Arc<CommUnitSpec>) -> UnitId {
+        self.add_fsm_unit_in(DomainId::BASE, name, spec)
+            .expect("the base domain always exists")
+    }
+
+    /// Checks that a caller-supplied domain id belongs to this
+    /// backplane.
+    fn check_domain(&self, domain: DomainId, what: &str) -> Result<(), CosimError> {
+        if domain.0 >= self.domains.len() {
+            return Err(CosimError::Setup(format!(
+                "{what}: clock domain #{} does not exist (this backplane has {})",
+                domain.0,
+                self.domains.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// [`Cosim::add_fsm_unit`] into an explicit clock domain: the
+    /// unit's controller steps on that domain's HW clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if the domain id does not belong
+    /// to this backplane.
+    pub fn add_fsm_unit_in(
+        &mut self,
+        domain: DomainId,
+        name: &str,
+        spec: Arc<CommUnitSpec>,
+    ) -> Result<UnitId, CosimError> {
+        self.check_domain(domain, name)?;
         self.recipe.push(RecipeOp::FsmUnit {
             name: name.to_string(),
             spec: Arc::clone(&spec),
+            domain: domain.0,
         });
         let wires: Vec<SignalId> = spec
             .wires()
@@ -3240,13 +3550,13 @@ impl Cosim {
         if has_controller {
             match self.sched.cfg.units {
                 UnitScheduling::Sharded { .. } => {
-                    let (sched, ctx) = self.sched_ctx();
+                    let (sched, ctx) = self.sched_ctx(domain.0);
                     sched.add_unit_member(ctx, Handle::Fsm(idx), wires);
                 }
                 UnitScheduling::PerUnit => {
                     let registry = Rc::clone(&self.registry);
                     let error = Rc::clone(&self.error);
-                    let clk = self.hw_clk;
+                    let clk = self.domains[domain.0].hw_clk;
                     // The kernel's monotone per-signal event counts tell the
                     // controller whether any of its wires changed since its
                     // last activation; provably idle controllers are then
@@ -3256,7 +3566,7 @@ impl Cosim {
                     // snapshots can capture and restore it.
                     let seen = Rc::new(RefCell::new(vec![0u64; watched.len()]));
                     self.sched.per_unit_seen.push(Rc::clone(&seen));
-                    let demand = Rc::clone(&self.demand);
+                    let demand = Rc::clone(&self.domains[domain.0].demand);
                     demand.register(&mut self.sim);
                     self.sim.add_clocked(
                         format!("{name}.controller"),
@@ -3297,7 +3607,7 @@ impl Cosim {
         let id = UnitId(self.handles.len());
         self.handles.push(Handle::Fsm(idx));
         self.unit_names.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Installs a batched bus link ([`BatchedLink`]): producer `put`
@@ -3346,6 +3656,28 @@ impl Cosim {
         capacity: usize,
         timing: BusTiming,
     ) -> Result<UnitId, CosimError> {
+        self.add_batched_unit_in_with(DomainId::BASE, name, data_ty, max_batch, capacity, timing)
+    }
+
+    /// [`Cosim::add_batched_unit_with`] into an explicit clock domain:
+    /// the link pumps on that domain's HW clock, and its pre-scheduled
+    /// payload beats ride the domain's (ratio-scaled) cycle — a 4:1
+    /// domain's bus moves one word every fourth base period.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cosim::add_batched_unit`], plus [`CosimError::Setup`]
+    /// if the domain id does not belong to this backplane.
+    pub fn add_batched_unit_in_with(
+        &mut self,
+        domain: DomainId,
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+        timing: BusTiming,
+    ) -> Result<UnitId, CosimError> {
+        self.check_domain(domain, name)?;
         let link = BatchedLink::try_new(name, data_ty.clone(), max_batch, capacity)
             .map_err(|e| CosimError::Setup(e.to_string()))?
             .with_timing(timing);
@@ -3355,6 +3687,7 @@ impl Cosim {
             max_batch,
             capacity,
             timing,
+            domain: domain.0,
         });
         let wires: Vec<SignalId> = link
             .spec()
@@ -3396,24 +3729,24 @@ impl Cosim {
                 name: name.to_string(),
                 link,
                 wires: wires.clone(),
-                cycle: self.config.hw_cycle,
+                cycle: self.domains[domain.0].ratio.scale(self.config.hw_cycle),
                 completion,
             });
             reg.batched.len() - 1
         };
         match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
-                let (sched, ctx) = self.sched_ctx();
+                let (sched, ctx) = self.sched_ctx(domain.0);
                 sched.add_unit_member(ctx, Handle::Batched(idx), wake);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
                 let error = Rc::clone(&self.error);
-                let clk = self.hw_clk;
+                let clk = self.domains[domain.0].hw_clk;
                 let watched = wake;
                 let seen = Rc::new(RefCell::new(vec![0u64; watched.len()]));
                 self.sched.per_unit_seen.push(Rc::clone(&seen));
-                let demand = Rc::clone(&self.demand);
+                let demand = Rc::clone(&self.domains[domain.0].demand);
                 demand.register(&mut self.sim);
                 self.sim
                     .add_clocked(format!("{name}.pump"), clk, Edge::Rising, move |ctx| {
@@ -3450,6 +3783,164 @@ impl Cosim {
         Ok(id)
     }
 
+    /// Installs the *sending* half of a boundary link: a regular batched
+    /// unit whose delivered values are exported — stamped with
+    /// `now + latency` — into the shared [`BoundaryQueue`] on every
+    /// rising edge of the domain's HW clock. Producers in this
+    /// partition `put` into it exactly as they would into a local
+    /// [`BatchedLink`]; the matching *in* half
+    /// ([`Cosim::add_boundary_in`]) on the other partition re-injects
+    /// the values after the annotated latency.
+    ///
+    /// The exporter holds one permanent unit of clock demand (a
+    /// boundary must keep observing its clock even when the rest of the
+    /// partition is parked), and the backplane refuses [`Cosim::fork`]
+    /// while boundary halves exist — their closures reach a queue the
+    /// construction recipe cannot replay.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add_boundary_out(
+        &mut self,
+        domain: DomainId,
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+        timing: BusTiming,
+        latency: Duration,
+        queue: Rc<RefCell<BoundaryQueue>>,
+    ) -> Result<UnitId, CosimError> {
+        if latency == Duration::ZERO {
+            return Err(CosimError::Setup(format!(
+                "boundary link {name}: latency must be positive (zero-latency coupling \
+                 would need same-instant cross-partition delivery, which the optimistic \
+                 sync cannot order deterministically)"
+            )));
+        }
+        let id =
+            self.add_batched_unit_in_with(domain, name, data_ty, max_batch, capacity, timing)?;
+        let Handle::Batched(idx) = self.handles[id.0] else {
+            unreachable!("add_batched_unit_in_with returns a batched handle");
+        };
+        let registry = Rc::clone(&self.registry);
+        let error = Rc::clone(&self.error);
+        let demand = Rc::clone(&self.domains[domain.0].demand);
+        demand.register(&mut self.sim);
+        let clk = self.domains[domain.0].hw_clk;
+        self.sim
+            .add_clocked(format!("{name}.export"), clk, Edge::Rising, move |ctx| {
+                if error.borrow().is_some() {
+                    demand.park(1);
+                    return ClockControl::Halt;
+                }
+                let now = ctx.now();
+                let mut reg = registry.borrow_mut();
+                let BatchedUnitEntry {
+                    name,
+                    link,
+                    wires,
+                    cycle,
+                    ..
+                } = &mut reg.batched[idx];
+                loop {
+                    let mut ws = CtxWires {
+                        ctx,
+                        map: wires,
+                        cycle: *cycle,
+                    };
+                    match link.get(BOUNDARY_CALLER, &mut ws) {
+                        Ok(out) if out.done => {
+                            let v = out.result.expect("done get always carries a value");
+                            queue.borrow_mut().entries.push((now + latency, v));
+                        }
+                        Ok(_) => break,
+                        Err(e) => {
+                            *error.borrow_mut() = Some(format!("boundary link {name}: {e}"));
+                            demand.park(1);
+                            return ClockControl::Halt;
+                        }
+                    }
+                }
+                ClockControl::Continue
+            });
+        self.boundaries += 1;
+        Ok(id)
+    }
+
+    /// Installs the *receiving* half of a boundary link: a regular
+    /// batched unit into which queue entries whose arrival time has
+    /// been reached are injected (`put`) on every rising edge of the
+    /// domain's HW clock. Consumers in this partition `get` from it
+    /// exactly as from a local [`BatchedLink`]. A `put` rejected by
+    /// backpressure leaves the cursor in place and retries next edge.
+    ///
+    /// Holds one permanent unit of clock demand, like
+    /// [`Cosim::add_boundary_out`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn add_boundary_in(
+        &mut self,
+        domain: DomainId,
+        name: &str,
+        data_ty: Type,
+        max_batch: usize,
+        capacity: usize,
+        timing: BusTiming,
+        queue: Rc<RefCell<BoundaryQueue>>,
+    ) -> Result<UnitId, CosimError> {
+        let id =
+            self.add_batched_unit_in_with(domain, name, data_ty, max_batch, capacity, timing)?;
+        let Handle::Batched(idx) = self.handles[id.0] else {
+            unreachable!("add_batched_unit_in_with returns a batched handle");
+        };
+        let registry = Rc::clone(&self.registry);
+        let error = Rc::clone(&self.error);
+        let demand = Rc::clone(&self.domains[domain.0].demand);
+        demand.register(&mut self.sim);
+        let clk = self.domains[domain.0].hw_clk;
+        self.sim
+            .add_clocked(format!("{name}.inject"), clk, Edge::Rising, move |ctx| {
+                if error.borrow().is_some() {
+                    demand.park(1);
+                    return ClockControl::Halt;
+                }
+                let now = ctx.now();
+                let mut reg = registry.borrow_mut();
+                let BatchedUnitEntry {
+                    name,
+                    link,
+                    wires,
+                    cycle,
+                    ..
+                } = &mut reg.batched[idx];
+                loop {
+                    let next = {
+                        let q = queue.borrow();
+                        q.entries.get(q.cursor).cloned()
+                    };
+                    let Some((t_arr, v)) = next else { break };
+                    if t_arr > now {
+                        break;
+                    }
+                    let mut ws = CtxWires {
+                        ctx,
+                        map: wires,
+                        cycle: *cycle,
+                    };
+                    match link.put(BOUNDARY_CALLER, v, &mut ws) {
+                        Ok(out) if out.done => queue.borrow_mut().cursor += 1,
+                        Ok(_) => break,
+                        Err(e) => {
+                            *error.borrow_mut() = Some(format!("boundary link {name}: {e}"));
+                            demand.park(1);
+                            return ClockControl::Halt;
+                        }
+                    }
+                }
+                ClockControl::Continue
+            });
+        self.boundaries += 1;
+        Ok(id)
+    }
+
     /// Installs a native (platform) unit. Units with real background
     /// activity ([`NativeUnit::needs_step`]) are stepped once per HW
     /// cycle; purely call-driven units cost nothing per cycle under
@@ -3463,8 +3954,27 @@ impl Cosim {
     /// on occupancy events instead of burning one no-op activation per
     /// clock edge.
     pub fn add_native_unit(&mut self, name: &str, unit: Box<dyn NativeUnit>) -> UnitId {
+        self.add_native_unit_in(DomainId::BASE, name, unit)
+            .expect("the base domain always exists")
+    }
+
+    /// [`Cosim::add_native_unit`] into an explicit clock domain: the
+    /// unit's background steps run on that domain's HW clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CosimError::Setup`] if the domain id does not belong
+    /// to this backplane.
+    pub fn add_native_unit_in(
+        &mut self,
+        domain: DomainId,
+        name: &str,
+        unit: Box<dyn NativeUnit>,
+    ) -> Result<UnitId, CosimError> {
+        self.check_domain(domain, name)?;
         self.recipe.push(RecipeOp::NativeUnit {
             name: name.to_string(),
+            domain: domain.0,
         });
         let occ_init = unit.occupancy();
         let occ = occ_init.map(|v| {
@@ -3485,13 +3995,13 @@ impl Cosim {
         };
         match self.sched.cfg.units {
             UnitScheduling::Sharded { .. } => {
-                let (sched, ctx) = self.sched_ctx();
+                let (sched, ctx) = self.sched_ctx(domain.0);
                 sched.add_unit_member(ctx, Handle::Native(idx), completion);
             }
             UnitScheduling::PerUnit => {
                 let registry = Rc::clone(&self.registry);
-                let clk = self.hw_clk;
-                let demand = Rc::clone(&self.demand);
+                let clk = self.domains[domain.0].hw_clk;
+                let demand = Rc::clone(&self.domains[domain.0].demand);
                 demand.register(&mut self.sim);
                 self.sim
                     .add_clocked(format!("{name}.step"), clk, Edge::Rising, move |ctx| {
@@ -3506,7 +4016,7 @@ impl Cosim {
         let id = UnitId(self.handles.len());
         self.handles.push(Handle::Native(idx));
         self.unit_names.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Looks up a unit by instance name.
@@ -3527,6 +4037,25 @@ impl Cosim {
         module: &Module,
         bindings: &[(&str, UnitId)],
     ) -> Result<CosimModuleId, CosimError> {
+        self.add_module_in(DomainId::BASE, module, bindings)
+    }
+
+    /// [`Cosim::add_module`] into an explicit clock domain: the module
+    /// activates on that domain's HW or SW clock (by
+    /// [`ModuleKind`]), so a 4:1 domain's module performs one FSM
+    /// transition for every four base-domain activations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cosim::add_module`], plus [`CosimError::Setup`] if the
+    /// domain id does not belong to this backplane.
+    pub fn add_module_in(
+        &mut self,
+        domain: DomainId,
+        module: &Module,
+        bindings: &[(&str, UnitId)],
+    ) -> Result<CosimModuleId, CosimError> {
+        self.check_domain(domain, module.name())?;
         let ports: Vec<SignalId> = module
             .ports()
             .iter()
@@ -3538,7 +4067,7 @@ impl Cosim {
                 )
             })
             .collect();
-        let id = self.install_module(module, bindings, ports)?;
+        let id = self.install_module(domain, module, bindings, ports)?;
         // Ports recorded as `None`: the fork replays by creating fresh
         // port signals, which — replayed in call order — get the same
         // ids the originals got.
@@ -3549,6 +4078,7 @@ impl Cosim {
                 .map(|(n, u)| ((*n).to_string(), *u))
                 .collect(),
             ports: None,
+            domain: domain.0,
         });
         Ok(id)
     }
@@ -3567,7 +4097,7 @@ impl Cosim {
         bindings: &[(&str, UnitId)],
         ports: Vec<SignalId>,
     ) -> Result<CosimModuleId, CosimError> {
-        let id = self.install_module(module, bindings, ports.clone())?;
+        let id = self.install_module(DomainId::BASE, module, bindings, ports.clone())?;
         self.recipe.push(RecipeOp::Module {
             module: module.clone(),
             bindings: bindings
@@ -3575,6 +4105,7 @@ impl Cosim {
                 .map(|(n, u)| ((*n).to_string(), *u))
                 .collect(),
             ports: Some(ports),
+            domain: 0,
         });
         Ok(id)
     }
@@ -3584,6 +4115,7 @@ impl Cosim {
     /// provenance and in what they record on the fork recipe.
     fn install_module(
         &mut self,
+        domain: DomainId,
         module: &Module,
         bindings: &[(&str, UnitId)],
         ports: Vec<SignalId>,
@@ -3623,8 +4155,8 @@ impl Cosim {
         let idx = self.modules.borrow().len();
         let caller = CallerId(idx as u64);
         let clk = match module.kind() {
-            ModuleKind::Hardware => self.hw_clk,
-            ModuleKind::Software => self.sw_clk,
+            ModuleKind::Hardware => self.domains[domain.0].hw_clk,
+            ModuleKind::Software => self.domains[domain.0].sw_clk,
         };
         let exec = FsmExec::new(module.fsm());
         let status = ModuleStatus {
@@ -3649,14 +4181,17 @@ impl Cosim {
         });
         match (self.sched.cfg.modules, self.sched.cfg.calls) {
             (ModuleScheduling::Sharded { .. }, CallApplication::Deferred) => {
-                let (sched, ctx) = self.sched_ctx();
+                let (sched, ctx) = self.sched_ctx(domain.0);
                 sched.add_deferred_module(ctx, idx, clk);
             }
             (ModuleScheduling::Sharded { .. }, CallApplication::Immediate) => {
-                let (sched, ctx) = self.sched_ctx();
+                let (sched, ctx) = self.sched_ctx(domain.0);
                 sched.add_module_member(ctx, idx, clk);
             }
-            (ModuleScheduling::PerModule, _) => self.register_per_module_process(idx, clk),
+            (ModuleScheduling::PerModule, _) => {
+                let demand = Rc::clone(&self.domains[domain.0].demand);
+                self.register_per_module_process(idx, clk, demand);
+            }
         }
         Ok(CosimModuleId(idx))
     }
@@ -3665,12 +4200,11 @@ impl Cosim {
     /// steps its module on every rising clock edge; when the module
     /// proves stable it *parks* — swapping its clock sensitivity for
     /// the module's watch wires — unless parking is disabled.
-    fn register_per_module_process(&mut self, idx: usize, clk: SignalId) {
+    fn register_per_module_process(&mut self, idx: usize, clk: SignalId, demand: Rc<ClockDemand>) {
         let modules = Rc::clone(&self.modules);
         let registry = Rc::clone(&self.registry);
         let error = Rc::clone(&self.error);
         let trace = Rc::clone(&self.trace);
-        let demand = Rc::clone(&self.demand);
         let park = Rc::clone(&self.sched.park);
         let park_blocked = self.sched.cfg.park_blocked;
         let name = modules.borrow()[idx].name.clone();
@@ -3920,6 +4454,50 @@ impl Cosim {
     }
 }
 
+/// Installs one clock domain's demand-gated activation-clock generator
+/// pair. Like `Simulator::add_clock`, but each generator idles while no
+/// clocked body of its domain demands edges (all halted OR all parked)
+/// and is re-armed through the domain's kick signal when a parked body
+/// resumes.
+///
+/// Edges stay per-run *process* drives on purpose: a pre-scheduled
+/// timed-drive train would make clock events visible in delta 0 of
+/// their instant (a process drive lands in delta 1), merging
+/// same-instant clock/completion interactions that the scheduler
+/// variants resolve through different wake paths — which breaks their
+/// delta-level equivalence.
+fn install_clock_generators(
+    sim: &mut Simulator,
+    prefix: &str,
+    hw: (SignalId, Duration),
+    sw: (SignalId, Duration),
+    demand: &Rc<ClockDemand>,
+) {
+    for (name, clk, period) in [
+        (format!("{prefix}hw_clkgen"), hw.0, hw.1),
+        (format!("{prefix}sw_clkgen"), sw.0, sw.1),
+    ] {
+        let demand = Rc::clone(demand);
+        let half = period.halved();
+        sim.add_process(
+            name,
+            FnProcess::new(move |ctx| {
+                if demand.demand.get() <= 0 {
+                    let mut sens = ctx.wait_buf();
+                    sens.push(demand.kick);
+                    return Wait::Event(sens);
+                }
+                let next = match ctx.read(clk) {
+                    cosma_core::Value::Bit(cosma_core::Bit::One) => cosma_core::Bit::Zero,
+                    _ => cosma_core::Bit::One,
+                };
+                ctx.drive(clk, cosma_core::Value::Bit(next));
+                Wait::Timeout(half)
+            }),
+        );
+    }
+}
+
 /// Diffs a wire set's monotone kernel event counts against the last
 /// observation (updating it in place); `true` when any wire changed
 /// since the previous call. This is the activation gate shared by the
@@ -3940,11 +4518,16 @@ fn wires_changed(ctx: &ProcCtx<'_>, watched: &[SignalId], seen: &mut [u64]) -> b
 /// and hashed shard placement depend only on call order, so the twin's
 /// structure is bit-identical to the original's.
 enum RecipeOp {
+    /// [`Cosim::add_clock_domain`] — domains precede every unit and
+    /// module, so replay rebuilds the same clock/kick signals and
+    /// generator processes before placement starts.
+    ClockDomain { name: String, num: u64, den: u64 },
     /// [`Cosim::add_fsm_unit`] — the spec is immutable and shared by
     /// `Arc`, so recording (and replaying) it is a refcount bump.
     FsmUnit {
         name: String,
         spec: Arc<CommUnitSpec>,
+        domain: usize,
     },
     /// [`Cosim::add_batched_unit_with`] (and therefore also
     /// [`Cosim::add_batched_unit`], which delegates with
@@ -3955,11 +4538,12 @@ enum RecipeOp {
         max_batch: usize,
         capacity: usize,
         timing: BusTiming,
+        domain: usize,
     },
     /// [`Cosim::add_native_unit`]. The boxed unit itself cannot be
     /// cloned; replay asks the *original* unit for a structural twin
     /// via [`NativeUnit::fork_fresh`] and restores state on top.
-    NativeUnit { name: String },
+    NativeUnit { name: String, domain: usize },
     /// [`Cosim::add_module`] (`ports: None` — replay creates fresh
     /// port signals) or [`Cosim::add_module_with_ports`]
     /// (`ports: Some` — replay reuses the recorded signal ids, which
@@ -3968,6 +4552,7 @@ enum RecipeOp {
         module: Module,
         bindings: Vec<(String, UnitId)>,
         ports: Option<Vec<SignalId>>,
+        domain: usize,
     },
 }
 
@@ -4121,7 +4706,8 @@ pub struct Snapshot {
     per_module: Vec<PerModuleProcState>,
     per_unit_seen: Vec<Vec<u64>>,
     park: ParkSnap,
-    demand: i64,
+    /// Per-domain clock-edge demand, in domain order.
+    demand: Vec<i64>,
     error: Option<String>,
     trace: TraceLog,
 }
@@ -4252,7 +4838,7 @@ impl Cosim {
                 parked_now: self.sched.park.parked_now.get(),
                 modules_stepped: self.sched.park.modules_stepped.get(),
             },
-            demand: self.demand.demand.get(),
+            demand: self.domains.iter().map(|d| d.demand.demand.get()).collect(),
             error: self.error.borrow().clone(),
             trace: self.trace.borrow().clone(),
         }
@@ -4346,6 +4932,13 @@ impl Cosim {
             // lazily on the first threaded cycle (mutable state, not
             // structure) and restore overwrites it wholesale.
         }
+        ensure(self.domains.len() == snap.demand.len(), || {
+            format!(
+                "snapshot has {} clock domains, backplane has {}",
+                snap.demand.len(),
+                self.domains.len()
+            )
+        })?;
         ensure(self.sched.per_module.len() == snap.per_module.len(), || {
             "per-module process count differs from snapshot".to_string()
         })?;
@@ -4464,7 +5057,9 @@ impl Cosim {
             .park
             .modules_stepped
             .set(snap.park.modules_stepped);
-        self.demand.demand.set(snap.demand);
+        for (d, v) in self.domains.iter().zip(&snap.demand) {
+            d.demand.demand.set(*v);
+        }
         *self.error.borrow_mut() = snap.error.clone();
         *self.trace.borrow_mut() = snap.trace.clone();
         Ok(())
@@ -4490,14 +5085,25 @@ impl Cosim {
     /// cannot replay them, so the kernel table mismatches), or any
     /// error [`Cosim::restore`] reports.
     pub fn fork(&self, snap: &Snapshot) -> Result<Cosim, CosimError> {
+        if self.boundaries > 0 {
+            return Err(CosimError::Setup(
+                "forking is unsupported while boundary links are installed: boundary \
+                 processes reach queues shared with another backplane, which the \
+                 construction recipe cannot replay"
+                    .to_string(),
+            ));
+        }
         let mut twin = Cosim::new(self.config);
         twin.set_scheduling(self.sched.cfg)?;
         let reg = self.registry.borrow();
         let mut native_i = 0;
         for op in &self.recipe {
             match op {
-                RecipeOp::FsmUnit { name, spec } => {
-                    twin.add_fsm_unit(name, Arc::clone(spec));
+                RecipeOp::ClockDomain { name, num, den } => {
+                    twin.add_clock_domain(name, *num, *den)?;
+                }
+                RecipeOp::FsmUnit { name, spec, domain } => {
+                    twin.add_fsm_unit_in(DomainId(*domain), name, Arc::clone(spec))?;
                 }
                 RecipeOp::BatchedUnit {
                     name,
@@ -4505,8 +5111,10 @@ impl Cosim {
                     max_batch,
                     capacity,
                     timing,
+                    domain,
                 } => {
-                    twin.add_batched_unit_with(
+                    twin.add_batched_unit_in_with(
+                        DomainId(*domain),
                         name,
                         data_ty.clone(),
                         *max_batch,
@@ -4514,7 +5122,7 @@ impl Cosim {
                         *timing,
                     )?;
                 }
-                RecipeOp::NativeUnit { name } => {
+                RecipeOp::NativeUnit { name, domain } => {
                     let entry = &reg.native[native_i];
                     native_i += 1;
                     let fresh = entry.unit.fork_fresh().ok_or_else(|| {
@@ -4523,17 +5131,18 @@ impl Cosim {
                             entry.name
                         ))
                     })?;
-                    twin.add_native_unit(name, fresh);
+                    twin.add_native_unit_in(DomainId(*domain), name, fresh)?;
                 }
                 RecipeOp::Module {
                     module,
                     bindings,
                     ports,
+                    domain,
                 } => {
                     let binds: Vec<(&str, UnitId)> =
                         bindings.iter().map(|(n, u)| (n.as_str(), *u)).collect();
                     match ports {
-                        None => twin.add_module(module, &binds)?,
+                        None => twin.add_module_in(DomainId(*domain), module, &binds)?,
                         Some(p) => twin.add_module_with_ports(module, &binds, p.clone())?,
                     };
                 }
@@ -4864,6 +5473,7 @@ mod tests {
                 config: CosimConfig::default(),
                 scheduling,
                 trace: false,
+                domains: Default::default(),
             })
             .expect("scenario builds");
             s.cosim.run_for(Duration::from_us(400)).expect("runs");
@@ -4963,7 +5573,12 @@ mod tests {
             &reference,
             &calibration,
             &["recv"],
-            &[("bus", &cal_stats)],
+            &[crate::annotate::LinkCalibration {
+                link: "bus",
+                stats: &cal_stats,
+                labels: &["recv"],
+                nominal_hw_cycle: nominal,
+            }],
             nominal,
         )
         .expect("recv label spans both runs");
@@ -5853,6 +6468,64 @@ mod tests {
             cosim.set_scheduling(SchedulingConfig {
                 modules: ModuleScheduling::PerModule,
                 placement: ModulePlacement::CreationOrder,
+                ..SchedulingConfig::sharded()
+            }),
+            Err(CosimError::Setup(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_clock_domain_configs_rejected() {
+        // Zero ratio components.
+        let mut cosim = Cosim::new(CosimConfig::default());
+        assert!(matches!(
+            cosim.add_clock_domain("z", 0, 1),
+            Err(CosimError::Setup(_))
+        ));
+        assert!(matches!(
+            cosim.add_clock_domain("z", 1, 0),
+            Err(CosimError::Setup(_))
+        ));
+        // A ratio that scales the activation period to zero.
+        assert!(matches!(
+            cosim.add_clock_domain("z", 1, u64::MAX),
+            Err(CosimError::Setup(_))
+        ));
+        // Empty and duplicate names.
+        assert!(matches!(
+            cosim.add_clock_domain("", 2, 1),
+            Err(CosimError::Setup(_))
+        ));
+        cosim.add_clock_domain("slow", 2, 1).unwrap();
+        assert!(matches!(
+            cosim.add_clock_domain("slow", 4, 1),
+            Err(CosimError::Setup(_))
+        ));
+        // Domains must precede units and modules.
+        cosim.add_fsm_unit("u0", handshake_unit("hs", Type::INT16));
+        assert!(matches!(
+            cosim.add_clock_domain("late", 2, 1),
+            Err(CosimError::Setup(_))
+        ));
+        // Mixed-domain shards are rejected from both directions: a
+        // domain added under Mixed placement, and Mixed placement
+        // selected once a second domain exists.
+        let mut mixed = Cosim::new(CosimConfig::default());
+        mixed
+            .set_scheduling(SchedulingConfig {
+                domains: DomainPlacement::Mixed,
+                ..SchedulingConfig::sharded()
+            })
+            .unwrap();
+        assert!(matches!(
+            mixed.add_clock_domain("slow", 2, 1),
+            Err(CosimError::Setup(_))
+        ));
+        let mut two = Cosim::new(CosimConfig::default());
+        two.add_clock_domain("slow", 2, 1).unwrap();
+        assert!(matches!(
+            two.set_scheduling(SchedulingConfig {
+                domains: DomainPlacement::Mixed,
                 ..SchedulingConfig::sharded()
             }),
             Err(CosimError::Setup(_))

@@ -33,18 +33,21 @@
 
 mod annotate;
 mod backplane;
+pub mod partition;
 pub mod scenario;
 mod trace;
 pub mod tracebin;
 
 pub use annotate::{
     annotate_batch_latency, back_annotate, timing_error, BackAnnotation, BatchAnnotation,
-    BatchLinkTiming, LabelTiming,
+    BatchLinkTiming, LabelTiming, LinkCalibration,
 };
 pub use backplane::{
-    CallApplication, Cosim, CosimConfig, CosimError, CosimModuleId, ModulePlacement,
-    ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats, Snapshot, UnitId,
-    UnitScheduling, DEFAULT_SHARD_SIZE, STEP_FANOUT_MIN,
+    CallApplication, Cosim, CosimConfig, CosimError, CosimModuleId, DomainId, DomainPlacement,
+    ModulePlacement, ModuleScheduling, ModuleStatus, Parallelism, SchedulingConfig, ShardStats,
+    Snapshot, UnitId, UnitScheduling, DEFAULT_SHARD_SIZE, STEP_FANOUT_MIN,
 };
 pub use cosma_comm::BusTiming;
+pub use cosma_sim::ClockRatio;
+pub use partition::{BoundarySpec, Orchestrator, OrchestratorStats, Partition, PartitionId};
 pub use trace::{TraceComparison, TraceEntry, TraceEntryRef, TraceLog};

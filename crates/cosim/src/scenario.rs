@@ -28,10 +28,16 @@
 //! Module kinds alternate between hardware and software so both
 //! activation clocks are exercised.
 
-use crate::backplane::{Cosim, CosimConfig, CosimError, CosimModuleId, SchedulingConfig, UnitId};
+use crate::backplane::{
+    BoundaryQueue, Cosim, CosimConfig, CosimError, CosimModuleId, DomainId, ModuleStatus,
+    SchedulingConfig, UnitId,
+};
+use crate::partition::{BoundarySpec, Orchestrator, PartitionId};
 use cosma_comm::{handshake_unit, BusTiming};
 use cosma_core::{Expr, Module, ModuleBuilder, ModuleKind, ServiceCall, Stmt, Type, Value};
 use cosma_sim::Duration;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Wiring shape of a generated scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +90,55 @@ pub enum LinkKind {
     },
 }
 
+/// Clock-domain knob: carves a "slow" (or fast) second clock domain
+/// out of a scenario. The first [`DomainsSpec::slow_links`] links —
+/// and every module whose *input* binding targets one of them — are
+/// placed in a domain running at [`DomainsSpec::ratio`] (period
+/// `num:den`) versus the base domain. `slow_links == 0` leaves the
+/// whole scenario in the base domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainsSpec {
+    /// Period ratio `(num, den)` of the second domain versus the base:
+    /// `(4, 1)` gives a quarter-rate domain (members see one rising
+    /// edge for every four base edges). `(1, 1)` creates a distinct
+    /// domain at the same rate — useful for exercising multi-domain
+    /// machinery without a rate skew.
+    pub ratio: (u64, u64),
+    /// Number of links, from link 0 upward, placed in the second
+    /// domain.
+    pub slow_links: usize,
+}
+
+impl Default for DomainsSpec {
+    fn default() -> Self {
+        DomainsSpec {
+            ratio: (1, 1),
+            slow_links: 0,
+        }
+    }
+}
+
+/// Partitioning knob: how a scenario is cut across coupled backplane
+/// instances ([`build_partitioned`] / [`build_collapsed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionsSpec {
+    /// Number of partitions. Modules are assigned in contiguous
+    /// creation-order chunks; links whose producer and consumer land
+    /// in different partitions become boundary links.
+    pub count: usize,
+    /// Transport latency of every boundary link. Must be positive.
+    pub latency: Duration,
+}
+
+impl Default for PartitionsSpec {
+    fn default() -> Self {
+        PartitionsSpec {
+            count: 2,
+            latency: Duration::from_ns(200),
+        }
+    }
+}
+
 /// Everything needed to elaborate a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScenarioSpec {
@@ -107,6 +162,9 @@ pub struct ScenarioSpec {
     /// modules never park; use it to stress the trace log and the
     /// steady-state allocation discipline, not the parking machinery.
     pub trace: bool,
+    /// Clock-domain layout (defaults to everything in the base
+    /// domain).
+    pub domains: DomainsSpec,
 }
 
 impl Default for ScenarioSpec {
@@ -119,6 +177,7 @@ impl Default for ScenarioSpec {
             config: CosimConfig::default(),
             scheduling: SchedulingConfig::default(),
             trace: false,
+            domains: DomainsSpec::default(),
         }
     }
 }
@@ -517,16 +576,28 @@ impl XorShift64 {
     }
 }
 
-/// Elaborates a spec into a runnable scenario. All links are created
-/// before any module, so link/shard process ids precede module process
-/// ids regardless of topology — the per-unit and sharded schedulings
-/// then produce identical traces.
-///
-/// # Errors
-///
-/// Returns [`CosimError::Setup`] for empty specs or invalid link
-/// parameters.
-pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
+/// A planned module: its FSM description plus `(binding name, link
+/// index)` pairs, resolved to concrete unit ids at elaboration time.
+/// Producer-side bindings are named `out`; consumer-side bindings
+/// start with `in` — the partitioner relies on this convention to
+/// orient boundary links.
+struct PlannedModule {
+    module: Module,
+    bindings: Vec<(String, usize)>,
+}
+
+/// A topology plan: pure data, shared by every elaboration flavour
+/// (monolithic, multi-rate, partitioned, collapsed oracle). Link `i`
+/// is named `link{i}`; checker expectations reference modules by plan
+/// index.
+struct ScenarioPlan {
+    n_links: usize,
+    modules: Vec<PlannedModule>,
+    checkers: Vec<(usize, i64)>,
+}
+
+/// Plans a spec's topology without touching a backplane.
+fn plan_scenario(spec: &ScenarioSpec) -> Result<ScenarioPlan, CosimError> {
     if spec.units == 0 {
         return Err(CosimError::Setup("scenario needs at least one unit".into()));
     }
@@ -535,87 +606,54 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
             "scenario needs at least one value per link".into(),
         ));
     }
-    let mut cosim = Cosim::new(spec.config);
-    cosim.set_scheduling(spec.scheduling)?;
-    let links: Vec<UnitId> = (0..spec.units)
-        .map(|i| {
-            let name = format!("link{i}");
-            match spec.link {
-                LinkKind::Handshake => {
-                    Ok(cosim.add_fsm_unit(&name, handshake_unit("hs", Type::INT16)))
-                }
-                LinkKind::Batched {
-                    max_batch,
-                    capacity,
-                    timing,
-                } => cosim.add_batched_unit_with(&name, Type::INT16, max_batch, capacity, timing),
-            }
-        })
-        .collect::<Result<_, _>>()?;
-
     let m = spec.values_per_link;
-    let mut modules = vec![];
-    let mut checkers = vec![];
+    let mut plan = ScenarioPlan {
+        n_links: spec.units,
+        modules: vec![],
+        checkers: vec![],
+    };
     match spec.topology {
-        Topology::Pipeline => {
-            build_segment(
-                &mut cosim,
-                &links,
-                0,
-                m,
-                spec.trace,
-                &mut modules,
-                &mut checkers,
-            )?;
-        }
+        Topology::Pipeline => plan_segment(&mut plan, 0, spec.units, m, spec.trace),
         Topology::Star => {
-            for (i, &link) in links.iter().enumerate() {
+            for i in 0..spec.units {
                 let base = (i as i64 * 7) % 50;
-                let p = producer(&format!("prod{i}"), kind_for(i), base, m, spec.trace);
-                modules.push(cosim.add_module(&p, &[("out", link)])?);
+                plan.modules.push(PlannedModule {
+                    module: producer(&format!("prod{i}"), kind_for(i), base, m, spec.trace),
+                    bindings: vec![("out".into(), i)],
+                });
             }
-            let h = hub("hub", kind_for(links.len()), links.len(), m, spec.trace);
-            let binds: Vec<(String, UnitId)> = links
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| (format!("in{i}"), l))
-                .collect();
-            let bind_refs: Vec<(&str, UnitId)> =
-                binds.iter().map(|(n, l)| (n.as_str(), *l)).collect();
-            let hid = cosim.add_module(&h, &bind_refs)?;
-            modules.push(hid);
-            let expect = links.iter().enumerate().fold(0i64, |acc, (i, _)| {
+            let h = hub("hub", kind_for(spec.units), spec.units, m, spec.trace);
+            plan.modules.push(PlannedModule {
+                module: h,
+                bindings: (0..spec.units).map(|i| (format!("in{i}"), i)).collect(),
+            });
+            let expect = (0..spec.units).fold(0i64, |acc, i| {
                 let base = (i as i64 * 7) % 50;
                 ((acc + run_sum(base, m)) as i16) as i64
             });
-            checkers.push((hid, expect));
+            plan.checkers.push((plan.modules.len() - 1, expect));
         }
         Topology::Ring => {
-            let n = links.len();
-            let driver = ring_driver("driver", kind_for(0), 3, m, spec.trace);
-            let did = cosim.add_module(&driver, &[("out", links[0]), ("in", links[n - 1])])?;
-            modules.push(did);
+            let n = spec.units;
+            plan.modules.push(PlannedModule {
+                module: ring_driver("driver", kind_for(0), 3, m, spec.trace),
+                bindings: vec![("out".into(), 0), ("in".into(), n - 1)],
+            });
             for i in 1..n {
-                let r = relay(&format!("relay{i}"), kind_for(i), None, spec.trace);
-                modules.push(cosim.add_module(&r, &[("in", links[i - 1]), ("out", links[i])])?);
+                plan.modules.push(PlannedModule {
+                    module: relay(&format!("relay{i}"), kind_for(i), None, spec.trace),
+                    bindings: vec![("in".into(), i - 1), ("out".into(), i)],
+                });
             }
-            checkers.push((did, run_sum(3, m)));
+            plan.checkers.push((0, run_sum(3, m)));
         }
         Topology::RandomDag { seed } => {
             let mut rng = XorShift64(seed ^ 0x9E37_79B9_7F4A_7C15);
             let mut start = 0usize;
-            while start < links.len() {
-                let remaining = links.len() - start;
+            while start < spec.units {
+                let remaining = spec.units - start;
                 let len = 1 + (rng.next() as usize) % remaining.min(4);
-                build_segment(
-                    &mut cosim,
-                    &links[start..start + len],
-                    start,
-                    m,
-                    spec.trace,
-                    &mut modules,
-                    &mut checkers,
-                )?;
+                plan_segment(&mut plan, start, len, m, spec.trace);
                 start += len;
             }
         }
@@ -629,18 +667,135 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
             } else {
                 0
             };
-            let p = producer_with_work("prod0", kind_for(0), 3, m, work, spec.trace);
-            modules.push(cosim.add_module(&p, &[("out", links[0])])?);
-            for (i, &link) in links.iter().enumerate() {
-                let c = consumer(&format!("cons{i}"), kind_for(i + 1), m, spec.trace);
-                let cid = cosim.add_module(&c, &[("in", link)])?;
-                modules.push(cid);
+            plan.modules.push(PlannedModule {
+                module: producer_with_work("prod0", kind_for(0), 3, m, work, spec.trace),
+                bindings: vec![("out".into(), 0)],
+            });
+            for i in 0..spec.units {
+                plan.modules.push(PlannedModule {
+                    module: consumer(&format!("cons{i}"), kind_for(i + 1), m, spec.trace),
+                    bindings: vec![("in".into(), i)],
+                });
                 if i == 0 {
-                    checkers.push((cid, run_sum(3, m)));
+                    plan.checkers.push((plan.modules.len() - 1, run_sum(3, m)));
                 }
             }
         }
     }
+    Ok(plan)
+}
+
+/// Plans one producer→relay*→consumer pipeline over links
+/// `[start, start+len)`; `start` decorrelates names and value bases
+/// across segments.
+fn plan_segment(plan: &mut ScenarioPlan, start: usize, len: usize, m: usize, trace: bool) {
+    let base = (start as i64 * 11) % 40;
+    plan.modules.push(PlannedModule {
+        module: producer(&format!("prod{start}"), kind_for(start), base, m, trace),
+        bindings: vec![("out".into(), start)],
+    });
+    for k in 0..len - 1 {
+        plan.modules.push(PlannedModule {
+            module: relay(
+                &format!("relay{start}_{k}"),
+                kind_for(start + k + 1),
+                Some(m),
+                trace,
+            ),
+            bindings: vec![("in".into(), start + k), ("out".into(), start + k + 1)],
+        });
+    }
+    plan.modules.push(PlannedModule {
+        module: consumer(&format!("cons{start}"), kind_for(start + len), m, trace),
+        bindings: vec![("in".into(), start + len - 1)],
+    });
+    plan.checkers
+        .push((plan.modules.len() - 1, run_sum(base, m)));
+}
+
+/// Creates the spec's second clock domain on a backplane, when the
+/// spec asks for one (`slow_links > 0`). Must run before any unit is
+/// added.
+fn scenario_domains(
+    cosim: &mut Cosim,
+    spec: &ScenarioSpec,
+) -> Result<Option<DomainId>, CosimError> {
+    if spec.domains.slow_links == 0 {
+        return Ok(None);
+    }
+    let (num, den) = spec.domains.ratio;
+    Ok(Some(cosim.add_clock_domain("slow", num, den)?))
+}
+
+/// The domain link `i` lives in.
+fn link_domain(spec: &ScenarioSpec, slow: Option<DomainId>, i: usize) -> DomainId {
+    match slow {
+        Some(d) if i < spec.domains.slow_links => d,
+        _ => DomainId::BASE,
+    }
+}
+
+/// The domain a planned module lives in: that of its input link (a
+/// module's activation rate is governed by its input side), falling
+/// back to its first binding.
+fn module_domain(spec: &ScenarioSpec, slow: Option<DomainId>, pm: &PlannedModule) -> DomainId {
+    pm.bindings
+        .iter()
+        .find(|(n, _)| n.starts_with("in"))
+        .or_else(|| pm.bindings.first())
+        .map_or(DomainId::BASE, |&(_, li)| link_domain(spec, slow, li))
+}
+
+/// Adds link `i` to a backplane in domain `d`, with the spec's link
+/// flavour.
+fn add_link(
+    cosim: &mut Cosim,
+    spec: &ScenarioSpec,
+    i: usize,
+    d: DomainId,
+) -> Result<UnitId, CosimError> {
+    let name = format!("link{i}");
+    match spec.link {
+        LinkKind::Handshake => cosim.add_fsm_unit_in(d, &name, handshake_unit("hs", Type::INT16)),
+        LinkKind::Batched {
+            max_batch,
+            capacity,
+            timing,
+        } => cosim.add_batched_unit_in_with(d, &name, Type::INT16, max_batch, capacity, timing),
+    }
+}
+
+/// Elaborates a spec into a runnable scenario. All links are created
+/// before any module, so link/shard process ids precede module process
+/// ids regardless of topology — the per-unit and sharded schedulings
+/// then produce identical traces.
+///
+/// # Errors
+///
+/// Returns [`CosimError::Setup`] for empty specs or invalid link
+/// parameters.
+pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
+    let plan = plan_scenario(spec)?;
+    let mut cosim = Cosim::new(spec.config);
+    cosim.set_scheduling(spec.scheduling)?;
+    let slow = scenario_domains(&mut cosim, spec)?;
+    let links: Vec<UnitId> = (0..plan.n_links)
+        .map(|i| add_link(&mut cosim, spec, i, link_domain(spec, slow, i)))
+        .collect::<Result<_, _>>()?;
+    let mut modules = vec![];
+    for pm in &plan.modules {
+        let binds: Vec<(&str, UnitId)> = pm
+            .bindings
+            .iter()
+            .map(|(n, li)| (n.as_str(), links[*li]))
+            .collect();
+        modules.push(cosim.add_module_in(module_domain(spec, slow, pm), &pm.module, &binds)?);
+    }
+    let checkers = plan
+        .checkers
+        .iter()
+        .map(|&(j, expect)| (modules[j], expect))
+        .collect();
     Ok(Scenario {
         cosim,
         modules,
@@ -649,44 +804,357 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Scenario, CosimError> {
     })
 }
 
-/// Builds one producer→relay*→consumer pipeline over `links`; `offset`
-/// decorrelates names and value bases across segments.
-fn build_segment(
-    cosim: &mut Cosim,
-    links: &[UnitId],
-    offset: usize,
-    m: usize,
-    trace: bool,
-    modules: &mut Vec<CosimModuleId>,
-    checkers: &mut Vec<(CosimModuleId, i64)>,
-) -> Result<(), CosimError> {
-    let base = (offset as i64 * 11) % 40;
-    let p = producer(&format!("prod{offset}"), kind_for(offset), base, m, trace);
-    modules.push(cosim.add_module(&p, &[("out", links[0])])?);
-    for (k, pair) in links.windows(2).enumerate() {
-        let r = relay(
-            &format!("relay{offset}_{k}"),
-            kind_for(offset + k + 1),
-            Some(m),
-            trace,
-        );
-        modules.push(cosim.add_module(&r, &[("in", pair[0]), ("out", pair[1])])?);
+/// Where each link's unit(s) landed in a partitioned elaboration.
+enum LinkSite {
+    /// Producer and consumer share a partition (or the link is
+    /// single-sided): one ordinary link there.
+    Local { part: usize, unit: UnitId },
+    /// The cut severs the link: an *out* half on the producer's
+    /// partition, an *in* half on the consumer's.
+    Cross {
+        out: (usize, UnitId),
+        inb: (usize, UnitId),
+    },
+}
+
+/// Contiguous-chunk partition assignment of `n` modules over `count`
+/// partitions.
+fn chunked(n: usize, count: usize) -> Vec<usize> {
+    (0..n).map(|j| j * count / n).collect()
+}
+
+/// Per-link producer/consumer partitions, derived from the binding
+/// naming convention (`out` puts, `in*` gets).
+fn link_endpoints(
+    plan: &ScenarioPlan,
+    part_of: &[usize],
+) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    let mut producer = vec![None; plan.n_links];
+    let mut consumer = vec![None; plan.n_links];
+    for (j, pm) in plan.modules.iter().enumerate() {
+        for (name, li) in &pm.bindings {
+            if name == "out" {
+                producer[*li] = Some(part_of[j]);
+            } else {
+                consumer[*li] = Some(part_of[j]);
+            }
+        }
     }
-    let c = consumer(
-        &format!("cons{offset}"),
-        kind_for(offset + links.len()),
-        m,
-        trace,
-    );
-    let cid = cosim.add_module(&c, &[("in", links[links.len() - 1])])?;
-    modules.push(cid);
-    checkers.push((cid, run_sum(base, m)));
-    Ok(())
+    (producer, consumer)
+}
+
+/// The boundary contract used for every severed link of a spec.
+fn boundary_spec(spec: &ScenarioSpec, latency: Duration) -> BoundarySpec {
+    match spec.link {
+        LinkKind::Handshake => BoundarySpec {
+            data_ty: Type::INT16,
+            max_batch: 1,
+            capacity: 4,
+            timing: BusTiming::LengthOnly,
+            latency,
+        },
+        LinkKind::Batched {
+            max_batch,
+            capacity,
+            timing,
+        } => BoundarySpec {
+            data_ty: Type::INT16,
+            max_batch,
+            capacity,
+            timing,
+            latency,
+        },
+    }
+}
+
+/// A scenario cut across coupled backplane partitions, ready to run
+/// under the optimistic [`Orchestrator`].
+pub struct PartitionedScenario {
+    /// The orchestrator owning every partition.
+    pub orch: Orchestrator,
+    /// Partition ids, in partition order.
+    pub parts: Vec<PartitionId>,
+    /// Where each planned module landed, in plan (creation) order —
+    /// index-compatible with the monolithic [`Scenario::modules`].
+    pub modules: Vec<(PartitionId, CosimModuleId)>,
+    /// Checker plan indices and expected SUMs.
+    checkers: Vec<(usize, i64)>,
+}
+
+impl std::fmt::Debug for PartitionedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedScenario")
+            .field("partitions", &self.parts.len())
+            .field("modules", &self.modules.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartitionedScenario {
+    /// Advances every partition by `total` in quanta of `quantum`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates orchestrator errors.
+    pub fn run_for(&mut self, total: Duration, quantum: Duration) -> Result<(), CosimError> {
+        self.orch.run_for(total, quantum)
+    }
+
+    /// Status of the `j`-th planned module (plan order, matching the
+    /// monolithic scenario's module order).
+    #[must_use]
+    pub fn module_status(&self, j: usize) -> ModuleStatus {
+        let (p, m) = self.modules[j];
+        self.orch.partition(p).cosim().module_status(m)
+    }
+
+    /// A module variable of the `j`-th planned module.
+    #[must_use]
+    pub fn module_var(&self, j: usize, var: &str) -> Option<Value> {
+        let (p, m) = self.modules[j];
+        self.orch.partition(p).cosim().module_var(m, var)
+    }
+
+    /// Checks every checker reached `END` with the expected checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, &(j, expect)) in self.checkers.iter().enumerate() {
+            let status = self.module_status(j);
+            if status.state != "END" {
+                return Err(format!(
+                    "checker {i}: stuck in {} after {} activations",
+                    status.state, status.activations
+                ));
+            }
+            let got = self.module_var(j, "SUM");
+            if got != Some(Value::Int(expect)) {
+                return Err(format!("checker {i}: SUM {got:?}, expected {expect}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Elaborates a spec cut into [`PartitionsSpec::count`] coupled
+/// backplane partitions: modules are chunked contiguously in creation
+/// order, links whose producer and consumer land on different chunks
+/// become latency-annotated boundary links, and every partition gets
+/// the same clock-domain layout. The bit-identical reference for a
+/// partitioned run is [`build_collapsed`] with the same specs.
+///
+/// # Errors
+///
+/// Returns [`CosimError::Setup`] for invalid specs (empty scenario,
+/// zero partitions, more partitions than modules, zero boundary
+/// latency).
+pub fn build_partitioned(
+    spec: &ScenarioSpec,
+    pspec: &PartitionsSpec,
+) -> Result<PartitionedScenario, CosimError> {
+    let plan = plan_scenario(spec)?;
+    if pspec.count == 0 || pspec.count > plan.modules.len() {
+        return Err(CosimError::Setup(format!(
+            "cannot cut {} modules into {} partitions",
+            plan.modules.len(),
+            pspec.count
+        )));
+    }
+    let part_of = chunked(plan.modules.len(), pspec.count);
+    let (producer, consumer) = link_endpoints(&plan, &part_of);
+    let mut orch = Orchestrator::new();
+    let mut parts = vec![];
+    let mut slow = None;
+    for _ in 0..pspec.count {
+        let mut c = Cosim::new(spec.config);
+        c.set_scheduling(spec.scheduling)?;
+        slow = scenario_domains(&mut c, spec)?;
+        parts.push(orch.add_partition(c));
+    }
+    let bspec = boundary_spec(spec, pspec.latency);
+    let mut sites = Vec::with_capacity(plan.n_links);
+    for i in 0..plan.n_links {
+        let d = link_domain(spec, slow, i);
+        match (producer[i], consumer[i]) {
+            (Some(p), Some(c)) if p != c => {
+                let (ou, iu) = orch.add_boundary(
+                    &format!("link{i}"),
+                    parts[p],
+                    d,
+                    &bspec,
+                    parts[c],
+                    d,
+                    &bspec,
+                )?;
+                sites.push(LinkSite::Cross {
+                    out: (p, ou),
+                    inb: (c, iu),
+                });
+            }
+            (p, c) => {
+                let home = p.or(c).unwrap_or(0);
+                let unit = add_link(orch.partition_mut(parts[home]).cosim_mut(), spec, i, d)?;
+                sites.push(LinkSite::Local { part: home, unit });
+            }
+        }
+    }
+    let mut modules = vec![];
+    for (j, pm) in plan.modules.iter().enumerate() {
+        let home = part_of[j];
+        let binds: Vec<(&str, UnitId)> = pm
+            .bindings
+            .iter()
+            .map(|(n, li)| {
+                let unit = match &sites[*li] {
+                    LinkSite::Local { part, unit } => {
+                        debug_assert_eq!(*part, home, "local link in the module's partition");
+                        *unit
+                    }
+                    LinkSite::Cross { out, inb } => {
+                        if n == "out" {
+                            debug_assert_eq!(out.0, home);
+                            out.1
+                        } else {
+                            debug_assert_eq!(inb.0, home);
+                            inb.1
+                        }
+                    }
+                };
+                (n.as_str(), unit)
+            })
+            .collect();
+        let d = module_domain(spec, slow, pm);
+        let id = orch
+            .partition_mut(parts[home])
+            .cosim_mut()
+            .add_module_in(d, &pm.module, &binds)?;
+        modules.push((parts[home], id));
+    }
+    Ok(PartitionedScenario {
+        orch,
+        parts,
+        modules,
+        checkers: plan.checkers,
+    })
+}
+
+/// The *collapsed oracle*: the exact coupled structure
+/// [`build_partitioned`] produces — same boundary half-units, same
+/// latency-stamped queues, same pinned clock domains — but elaborated
+/// into ONE backplane, where the queues fill and drain inline and no
+/// orchestration is needed. A partitioned run is correct iff it is
+/// bit-identical (module statuses, traces, SUMs) to this oracle; the
+/// comparison isolates exactly the cut — speculation, rollback, queue
+/// commit — because everything else is structurally the same.
+///
+/// The returned scenario's `links` vector holds the ordinary unit for
+/// local links and the *out* half for severed ones.
+///
+/// # Errors
+///
+/// Same as [`build_partitioned`].
+pub fn build_collapsed(
+    spec: &ScenarioSpec,
+    pspec: &PartitionsSpec,
+) -> Result<Scenario, CosimError> {
+    let plan = plan_scenario(spec)?;
+    if pspec.count == 0 || pspec.count > plan.modules.len() {
+        return Err(CosimError::Setup(format!(
+            "cannot cut {} modules into {} partitions",
+            plan.modules.len(),
+            pspec.count
+        )));
+    }
+    let part_of = chunked(plan.modules.len(), pspec.count);
+    let (producer, consumer) = link_endpoints(&plan, &part_of);
+    let mut cosim = Cosim::new(spec.config);
+    cosim.set_scheduling(spec.scheduling)?;
+    let slow = scenario_domains(&mut cosim, spec)?;
+    let bspec = boundary_spec(spec, pspec.latency);
+    let mut links = vec![];
+    let mut sites = Vec::with_capacity(plan.n_links);
+    for i in 0..plan.n_links {
+        let d = link_domain(spec, slow, i);
+        match (producer[i], consumer[i]) {
+            (Some(p), Some(c)) if p != c => {
+                let queue = Rc::new(RefCell::new(BoundaryQueue::default()));
+                let ou = cosim.add_boundary_out(
+                    d,
+                    &format!("link{i}.bo"),
+                    bspec.data_ty.clone(),
+                    bspec.max_batch,
+                    bspec.capacity,
+                    bspec.timing,
+                    bspec.latency,
+                    Rc::clone(&queue),
+                )?;
+                let iu = cosim.add_boundary_in(
+                    d,
+                    &format!("link{i}.bi"),
+                    bspec.data_ty.clone(),
+                    bspec.max_batch,
+                    bspec.capacity,
+                    bspec.timing,
+                    queue,
+                )?;
+                links.push(ou);
+                sites.push(LinkSite::Cross {
+                    out: (p, ou),
+                    inb: (c, iu),
+                });
+            }
+            (p, c) => {
+                let home = p.or(c).unwrap_or(0);
+                let unit = add_link(&mut cosim, spec, i, d)?;
+                links.push(unit);
+                sites.push(LinkSite::Local { part: home, unit });
+            }
+        }
+    }
+    let mut modules = vec![];
+    for pm in &plan.modules {
+        let binds: Vec<(&str, UnitId)> = pm
+            .bindings
+            .iter()
+            .map(|(n, li)| {
+                let unit = match &sites[*li] {
+                    LinkSite::Local { unit, .. } => *unit,
+                    LinkSite::Cross { out, inb } => {
+                        if n == "out" {
+                            out.1
+                        } else {
+                            inb.1
+                        }
+                    }
+                };
+                (n.as_str(), unit)
+            })
+            .collect();
+        modules.push(cosim.add_module_in(module_domain(spec, slow, pm), &pm.module, &binds)?);
+    }
+    // Partitioned backplanes run with their domains pinned (the edge
+    // grid must not depend on how the cut distributes clock demand);
+    // the oracle must match.
+    cosim.pin_clock_domains();
+    let checkers = plan
+        .checkers
+        .iter()
+        .map(|&(j, expect)| (modules[j], expect))
+        .collect();
+    Ok(Scenario {
+        cosim,
+        modules,
+        links,
+        checkers,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TraceEntry;
 
     fn check(spec: ScenarioSpec, budget_us: u64) {
         let mut s = build_scenario(&spec).expect("builds");
@@ -1327,5 +1795,128 @@ mod tests {
             st.shells_shrunk > 0,
             "the heavy producer's oversized shell was reclaimed: {st:?}"
         );
+    }
+
+    /// Runs `spec` both partitioned (under the orchestrator, in quanta
+    /// of `quantum`) and through the collapsed single-backplane oracle,
+    /// and asserts bit-identical module statuses, checksums and
+    /// per-source trace streams. Returns the orchestrator stats so
+    /// callers can assert on the sync machinery itself.
+    fn partitioned_vs_collapsed(
+        spec: &ScenarioSpec,
+        pspec: &PartitionsSpec,
+        total: Duration,
+        quantum: Duration,
+    ) -> crate::partition::OrchestratorStats {
+        let mut mono = build_collapsed(spec, pspec).expect("collapsed oracle builds");
+        mono.cosim.run_for(total).expect("collapsed oracle runs");
+        let mut part = build_partitioned(spec, pspec).expect("partitioned builds");
+        part.run_for(total, quantum).expect("partitioned runs");
+        assert_eq!(part.modules.len(), mono.modules.len());
+        for j in 0..part.modules.len() {
+            assert_eq!(
+                part.module_status(j),
+                mono.cosim.module_status(mono.modules[j]),
+                "module {j} status diverged under {spec:?} / {pspec:?}"
+            );
+        }
+        mono.verify()
+            .unwrap_or_else(|e| panic!("collapsed oracle checksum: {e}"));
+        part.verify()
+            .unwrap_or_else(|e| panic!("partitioned checksum: {e}"));
+        // Trace equivalence, compared per source: cross-partition
+        // modules interleave arbitrarily in a merged view, but each
+        // module's own event stream (labels, payloads AND timestamps)
+        // must be bit-identical to the oracle's.
+        let want = mono.cosim.trace_log().entries();
+        let got: Vec<TraceEntry> = part
+            .parts
+            .iter()
+            .flat_map(|&p| part.orch.partition(p).cosim().trace_log().entries())
+            .collect();
+        let sources: std::collections::BTreeSet<&str> =
+            want.iter().map(|e| e.source.as_str()).collect();
+        let by_source = |entries: &[TraceEntry], src: &str| -> Vec<TraceEntry> {
+            entries
+                .iter()
+                .filter(|e| e.source == src)
+                .cloned()
+                .collect()
+        };
+        for src in sources {
+            assert_eq!(
+                by_source(&got, src),
+                by_source(&want, src),
+                "trace stream of {src} diverged under {spec:?} / {pspec:?}"
+            );
+        }
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "partitioned run recorded extra trace sources"
+        );
+        part.orch.stats()
+    }
+
+    #[test]
+    fn partitioned_pipeline_matches_collapsed_oracle() {
+        let spec = ScenarioSpec {
+            units: 6,
+            values_per_link: 3,
+            trace: true,
+            ..ScenarioSpec::default()
+        };
+        let stats = partitioned_vs_collapsed(
+            &spec,
+            &PartitionsSpec::default(),
+            Duration::from_us(300),
+            Duration::from_us(5),
+        );
+        assert!(stats.quanta_committed >= 60, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn partitioned_batched_ring_matches_collapsed_oracle() {
+        let spec = ScenarioSpec {
+            units: 5,
+            topology: Topology::Ring,
+            values_per_link: 4,
+            link: LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::LengthOnly,
+            },
+            trace: true,
+            ..ScenarioSpec::default()
+        };
+        let stats = partitioned_vs_collapsed(
+            &spec,
+            &PartitionsSpec {
+                count: 2,
+                latency: Duration::from_ns(200),
+            },
+            Duration::from_us(400),
+            Duration::from_us(4),
+        );
+        assert!(stats.boundary_messages > 0, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn partition_count_must_fit_module_count() {
+        let spec = ScenarioSpec {
+            units: 4,
+            ..ScenarioSpec::default()
+        };
+        for count in [0, 100] {
+            let err = build_partitioned(
+                &spec,
+                &PartitionsSpec {
+                    count,
+                    ..PartitionsSpec::default()
+                },
+            )
+            .unwrap_err();
+            assert!(matches!(err, CosimError::Setup(_)), "{err}");
+        }
     }
 }

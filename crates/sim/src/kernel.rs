@@ -2138,6 +2138,57 @@ mod tests {
     }
 
     #[test]
+    fn next_instant_interleaves_rational_ratio_clock_domains() {
+        // Two clock domains on one global femtosecond axis: a base
+        // 10ns-period clock and a slow domain at ClockRatio 5:2 (25ns
+        // period). next_instant must walk the union of both half-period
+        // toggle streams — 5ns, 10ns, 12.5ns(=12500ps), 15ns, ... — and
+        // the timer wheel must deliver every edge of both periods, so a
+        // slow domain takes proportionally fewer edges with no kernel
+        // special-casing.
+        use crate::time::ClockRatio;
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mut sim = Simulator::new();
+        let base_period = Duration::from_ns(10);
+        let slow_period = ClockRatio::new(5, 2).scale(base_period);
+        assert_eq!(slow_period, Duration::from_ps(25_000));
+        let fast = sim.add_bit("FAST_CLK");
+        let slow = sim.add_bit("SLOW_CLK");
+        sim.add_clock("fast_gen", fast, base_period);
+        sim.add_clock("slow_gen", slow, slow_period);
+        let fast_rises = Rc::new(Cell::new(0u64));
+        let slow_rises = Rc::new(Cell::new(0u64));
+        let (fr, sr) = (Rc::clone(&fast_rises), Rc::clone(&slow_rises));
+        sim.add_process(
+            "edge_counter",
+            FnProcess::new(move |ctx| {
+                if ctx.rose(fast) {
+                    fr.set(fr.get() + 1);
+                }
+                if ctx.rose(slow) {
+                    sr.set(sr.get() + 1);
+                }
+                Wait::Event(vec![fast, slow])
+            }),
+        );
+        sim.run_until(SimTime::ZERO).unwrap();
+        // The next instants are the interleaved half-period toggles.
+        for expect_fs in [5_000_000u64, 10_000_000, 12_500_000, 15_000_000] {
+            let next = sim.next_instant().expect("clock toggle scheduled");
+            assert_eq!(next, SimTime::from_fs(expect_fs));
+            sim.run_until(next).unwrap();
+        }
+        // Through 495ns: the fast clock rose 50 times (t = 0, 10, ...,
+        // 490), the slow clock exactly 2/5 as often (t = 0, 25, ...,
+        // 475) — proportionally fewer edges at the rational ratio.
+        sim.run_until(SimTime::from_ns(495)).unwrap();
+        assert_eq!(fast_rises.get(), 50);
+        assert_eq!(slow_rises.get(), 20);
+        assert_eq!(fast_rises.get() * 2, slow_rises.get() * 5);
+    }
+
+    #[test]
     fn cancelled_last_timer_reports_no_phantom_pending_work() {
         // A process holds the ONLY live timer (EventOrTimeout). An event
         // wake cancels that timer — the wheel removes the entry eagerly

@@ -60,5 +60,5 @@ pub use kernel::{
     SimError, SimState, SimStats, Simulator, Wait,
 };
 pub use signal::{SignalId, SignalInfo};
-pub use time::{Duration, SimTime};
+pub use time::{ClockRatio, Duration, SimTime};
 pub use vcd::VcdRecorder;

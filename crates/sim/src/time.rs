@@ -95,6 +95,92 @@ impl fmt::Display for Duration {
     }
 }
 
+/// A rational period ratio between a clock domain and the base domain.
+///
+/// A domain with ratio `num/den` has a period `num/den` times the base
+/// period: `ClockRatio::new(4, 1)` is a domain running at one quarter
+/// of the base rate (period 4× the base), `ClockRatio::new(1, 2)` runs
+/// at twice the base rate. All domain clocks remain ordinary timeout
+/// streams on the one global femtosecond axis — the kernel's
+/// [`next_instant`](crate::Simulator::next_instant) walk and its timer
+/// wheel interleave edges of arbitrarily-related periods without any
+/// special casing, which is exactly why a rational ratio (rather than
+/// an integer divider) is safe at this layer.
+///
+/// # Examples
+///
+/// ```
+/// use cosma_sim::{ClockRatio, Duration};
+/// let slow = ClockRatio::new(4, 1);
+/// assert_eq!(slow.scale(Duration::from_ns(100)), Duration::from_ns(400));
+/// let fast = ClockRatio::new(1, 2);
+/// assert_eq!(fast.scale(Duration::from_ns(100)), Duration::from_ns(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockRatio {
+    num: u64,
+    den: u64,
+}
+
+impl ClockRatio {
+    /// The identity ratio (the base domain itself).
+    pub const UNIT: ClockRatio = ClockRatio { num: 1, den: 1 };
+
+    /// A ratio of `num/den`; both components must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component is zero. Use [`ClockRatio::try_new`]
+    /// for fallible construction.
+    #[must_use]
+    pub fn new(num: u64, den: u64) -> Self {
+        Self::try_new(num, den).expect("clock ratio components must be nonzero")
+    }
+
+    /// A ratio of `num/den`, or `None` if either component is zero (the
+    /// unsigned types already exclude negative rates).
+    #[must_use]
+    pub const fn try_new(num: u64, den: u64) -> Option<Self> {
+        if num == 0 || den == 0 {
+            None
+        } else {
+            Some(ClockRatio { num, den })
+        }
+    }
+
+    /// The numerator (period multiplier).
+    #[must_use]
+    pub const fn num(self) -> u64 {
+        self.num
+    }
+
+    /// The denominator (period divisor).
+    #[must_use]
+    pub const fn den(self) -> u64 {
+        self.den
+    }
+
+    /// Whether this is the identity ratio.
+    #[must_use]
+    pub const fn is_unit(self) -> bool {
+        self.num == self.den
+    }
+
+    /// Scales a base-domain span into this domain: `d * num / den`,
+    /// computed in 128-bit so large femtosecond counts cannot overflow
+    /// mid-product.
+    #[must_use]
+    pub const fn scale(self, d: Duration) -> Duration {
+        Duration(((d.0 as u128 * self.num as u128) / self.den as u128) as u64)
+    }
+}
+
+impl fmt::Display for ClockRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.num, self.den)
+    }
+}
+
 /// An absolute instant of simulated time (femtoseconds since start).
 ///
 /// # Examples
@@ -267,5 +353,43 @@ mod tests {
     #[test]
     fn times_scales() {
         assert_eq!(Duration::from_ns(100).times(3), Duration::from_ns(300));
+    }
+
+    #[test]
+    fn clock_ratio_scales_periods() {
+        let base = Duration::from_ns(100);
+        assert_eq!(ClockRatio::UNIT.scale(base), base);
+        assert!(ClockRatio::UNIT.is_unit());
+        assert!(ClockRatio::new(3, 3).is_unit());
+        assert_eq!(ClockRatio::new(4, 1).scale(base), Duration::from_ns(400));
+        assert_eq!(ClockRatio::new(1, 4).scale(base), Duration::from_ns(25));
+        assert_eq!(ClockRatio::new(3, 2).scale(base), Duration::from_ns(150));
+        assert_eq!(ClockRatio::new(3, 2).to_string(), "3:2");
+    }
+
+    #[test]
+    fn clock_ratio_rejects_zero_components() {
+        assert_eq!(ClockRatio::try_new(0, 1), None);
+        assert_eq!(ClockRatio::try_new(1, 0), None);
+        assert_eq!(ClockRatio::try_new(0, 0), None);
+        assert!(ClockRatio::try_new(7, 2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn clock_ratio_new_panics_on_zero() {
+        let _ = ClockRatio::new(0, 5);
+    }
+
+    #[test]
+    fn clock_ratio_scale_avoids_overflow() {
+        // A span near u64::MAX femtoseconds times 3/3 must round-trip:
+        // the 128-bit intermediate keeps the product from wrapping.
+        let big = Duration::from_fs(u64::MAX / 2);
+        assert_eq!(ClockRatio::new(3, 3).scale(big), big);
+        assert_eq!(
+            ClockRatio::new(2, 1).scale(big),
+            Duration::from_fs(u64::MAX - 1)
+        );
     }
 }

@@ -21,7 +21,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cosma::cosim::scenario::{build_scenario, LinkKind, ScenarioSpec, Topology};
+use cosma::cosim::scenario::{build_scenario, DomainsSpec, LinkKind, ScenarioSpec, Topology};
 use cosma::cosim::{BusTiming, Parallelism, SchedulingConfig};
 use cosma::sim::Duration;
 
@@ -149,5 +149,48 @@ fn warm_streaming_payload_beats_do_not_allocate() {
     assert_eq!(
         grew, 0,
         "warm streaming payload-beat cycles must not allocate, saw {grew} allocations"
+    );
+}
+
+#[test]
+fn warm_multi_rate_ring_cycles_do_not_allocate() {
+    let _serial = GATE.lock().unwrap();
+    // A multi-rate Ring: the first link and the modules touching it run
+    // in a quarter-rate clock domain, so the warm window exercises the
+    // per-domain clock generators, the domain-keyed shard park/demand
+    // accounting, and cross-rate link pumps — none of which may
+    // allocate once the pools are warm.
+    let spec = ScenarioSpec {
+        units: 8,
+        topology: Topology::Ring,
+        values_per_link: 1_000_000,
+        link: LinkKind::Batched {
+            max_batch: 8,
+            capacity: 32,
+            timing: BusTiming::LengthOnly,
+        },
+        scheduling: SchedulingConfig::sharded(),
+        trace: true,
+        domains: DomainsSpec {
+            ratio: (4, 1),
+            slow_links: 1,
+        },
+        ..ScenarioSpec::default()
+    };
+    let mut s = build_scenario(&spec).expect("scenario builds");
+    s.cosim
+        .trace_handle()
+        .borrow_mut()
+        .set_spill(Box::new(std::io::sink()));
+    assert!(s.cosim.domain_count() > 1, "second clock domain installed");
+    s.cosim
+        .run_for(Duration::from_us(100))
+        .expect("warm-up runs");
+    let before = allocs();
+    s.cosim.run_for(Duration::from_us(60)).expect("window runs");
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "warm multi-rate ring cycles must not allocate, saw {grew} allocations"
     );
 }

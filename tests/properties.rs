@@ -1400,6 +1400,239 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Partitioned co-simulation: cutting a scenario across coupled
+// backplane partitions under the optimistic orchestrator (speculation,
+// staleness detection, snapshot rollback) is bit-identical — module
+// statuses, SUMs, per-source trace streams — to the collapsed
+// single-backplane oracle, across topologies, link kinds, clock-domain
+// ratios, partition counts and sync quanta.
+// ---------------------------------------------------------------------
+
+/// Runs `spec` partitioned (sync quanta of `quantum`) and through the
+/// collapsed oracle, asserting bit-identical observables. Returns the
+/// orchestrator stats so callers can gate on the sync machinery.
+fn assert_partitioned_matches_collapsed(
+    spec: &cosma::cosim::scenario::ScenarioSpec,
+    pspec: &cosma::cosim::scenario::PartitionsSpec,
+    total: cosma::sim::Duration,
+    quantum: cosma::sim::Duration,
+) -> cosma::cosim::OrchestratorStats {
+    use cosma::cosim::scenario::{build_collapsed, build_partitioned};
+    use cosma::cosim::TraceEntry;
+
+    let mut mono = build_collapsed(spec, pspec).expect("collapsed oracle builds");
+    mono.cosim.run_for(total).expect("collapsed oracle runs");
+    let mut part = build_partitioned(spec, pspec).expect("partitioned builds");
+    part.run_for(total, quantum).expect("partitioned runs");
+    assert_eq!(part.modules.len(), mono.modules.len());
+    for j in 0..part.modules.len() {
+        assert_eq!(
+            part.module_status(j),
+            mono.cosim.module_status(mono.modules[j]),
+            "module {j} status diverged under {spec:?} / {pspec:?} / quantum {quantum:?}"
+        );
+    }
+    mono.verify()
+        .unwrap_or_else(|e| panic!("collapsed oracle checksum: {e}"));
+    part.verify()
+        .unwrap_or_else(|e| panic!("partitioned checksum: {e}"));
+    // Trace streams compared per source: cross-partition modules
+    // interleave arbitrarily in a merged view, but each module's own
+    // event stream (labels, payloads AND timestamps) must be
+    // bit-identical to the oracle's.
+    let want = mono.cosim.trace_log().entries();
+    let got: Vec<TraceEntry> = part
+        .parts
+        .iter()
+        .flat_map(|&p| part.orch.partition(p).cosim().trace_log().entries())
+        .collect();
+    let sources: std::collections::BTreeSet<&str> =
+        want.iter().map(|e| e.source.as_str()).collect();
+    for src in &sources {
+        let by = |entries: &[TraceEntry]| -> Vec<TraceEntry> {
+            entries
+                .iter()
+                .filter(|e| &e.source == src)
+                .cloned()
+                .collect()
+        };
+        assert_eq!(
+            by(&got),
+            by(&want),
+            "trace stream of {src} diverged under {spec:?} / {pspec:?}"
+        );
+    }
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "partitioned run recorded extra trace sources"
+    );
+    part.orch.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn partitioned_matches_monolithic(
+        units in 3usize..7,
+        topo_sel in 0u8..4,
+        link_sel in 0u8..3,
+        ratio_sel in 0u8..4,
+        parts in 2usize..4,
+        values in 1usize..4,
+        quantum_us in 1u64..9,
+        seed in any::<u64>(),
+    ) {
+        use cosma::comm::BusTiming;
+        use cosma::cosim::scenario::{
+            DomainsSpec, LinkKind, PartitionsSpec, ScenarioSpec, Topology,
+        };
+        use cosma::sim::Duration;
+
+        let topology = match topo_sel {
+            0 => Topology::Pipeline,
+            1 => Topology::Star,
+            2 => Topology::Ring,
+            _ => Topology::RandomDag { seed },
+        };
+        let link = match link_sel {
+            0 => LinkKind::Handshake,
+            1 => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::LengthOnly,
+            },
+            _ => LinkKind::Batched {
+                max_batch: 4,
+                capacity: 16,
+                timing: BusTiming::PayloadBeats,
+            },
+        };
+        // Clock-domain layouts: uniform, a distinct same-rate domain
+        // (multi-domain machinery without rate skew), half rate and
+        // quarter rate.
+        let domains = match ratio_sel {
+            0 => DomainsSpec::default(),
+            1 => DomainsSpec { ratio: (1, 1), slow_links: 1 },
+            2 => DomainsSpec { ratio: (2, 1), slow_links: 1 },
+            _ => DomainsSpec { ratio: (4, 1), slow_links: 1 },
+        };
+        let spec = ScenarioSpec {
+            units,
+            topology,
+            link,
+            values_per_link: values,
+            trace: true,
+            domains,
+            ..ScenarioSpec::default()
+        };
+        let pspec = PartitionsSpec {
+            count: parts,
+            latency: Duration::from_ns(200),
+        };
+        let stats = assert_partitioned_matches_collapsed(
+            &spec,
+            &pspec,
+            Duration::from_us(600),
+            Duration::from_us(quantum_us),
+        );
+        prop_assert!(stats.quanta_committed > 0, "stats: {stats:?}");
+    }
+}
+
+/// A schedule that *forces* the optimistic sync to roll back — a ring
+/// cut across two partitions with a sync quantum 20× the boundary
+/// latency, so speculated quanta are guaranteed to see late
+/// cross-partition traffic — must still be bit-identical to the
+/// collapsed oracle, and must actually exercise the rollback path.
+#[test]
+fn partitioned_forced_rollback_schedule_matches_oracle() {
+    use cosma::comm::BusTiming;
+    use cosma::cosim::scenario::{LinkKind, PartitionsSpec, ScenarioSpec, Topology};
+    use cosma::sim::Duration;
+
+    let spec = ScenarioSpec {
+        units: 5,
+        topology: Topology::Ring,
+        link: LinkKind::Batched {
+            max_batch: 4,
+            capacity: 16,
+            timing: BusTiming::LengthOnly,
+        },
+        values_per_link: 4,
+        trace: true,
+        ..ScenarioSpec::default()
+    };
+    let pspec = PartitionsSpec {
+        count: 2,
+        latency: Duration::from_ns(200),
+    };
+    let stats = assert_partitioned_matches_collapsed(
+        &spec,
+        &pspec,
+        Duration::from_us(400),
+        Duration::from_us(4),
+    );
+    assert!(
+        stats.rollbacks > 0,
+        "quantum 20x the boundary latency on a cyclic cut must speculate \
+         past late traffic and roll back: {stats:?}"
+    );
+    assert!(stats.boundary_messages > 0, "stats: {stats:?}");
+}
+
+/// Multi-rate pinning: with tracing on (traced modules never park, so
+/// activations count their domain's clock edges exactly), a module in
+/// a 1:4 slow domain records exactly a quarter of the activations its
+/// uniform-clock twin records over the same wall-clock run.
+#[test]
+fn multi_rate_slow_domain_quarters_activations() {
+    use cosma::cosim::scenario::{build_scenario, DomainsSpec, ScenarioSpec};
+    use cosma::sim::Duration;
+
+    // Enough traffic that no module reaches END (and parks) inside the
+    // window, and a window whose edge counts divide exactly: 4000 base
+    // edges, 1000 quarter-rate edges.
+    let total = Duration::from_ns(399_900);
+    let base = ScenarioSpec {
+        units: 4,
+        values_per_link: 100_000,
+        trace: true,
+        ..ScenarioSpec::default()
+    };
+    let slow_spec = ScenarioSpec {
+        domains: DomainsSpec {
+            ratio: (4, 1),
+            slow_links: 1,
+        },
+        ..base
+    };
+    let mut uniform = build_scenario(&base).expect("uniform scenario builds");
+    uniform.cosim.run_for(total).expect("uniform run");
+    let mut slow = build_scenario(&slow_spec).expect("multi-rate scenario builds");
+    slow.cosim.run_for(total).expect("multi-rate run");
+
+    // Link 0 and both modules touching it (producer 0, stage 1) land
+    // in the quarter-rate domain; module 2 onward stay in the base
+    // domain.
+    let uni_acts = |j: usize| uniform.cosim.module_status(uniform.modules[j]).activations;
+    let slow_acts = |j: usize| slow.cosim.module_status(slow.modules[j]).activations;
+    assert_eq!(
+        slow_acts(2),
+        uni_acts(2),
+        "base-domain stage keeps the uniform activation count"
+    );
+    assert_eq!(
+        slow_acts(1) * 4,
+        uni_acts(1),
+        "quarter-rate module must record exactly 1/4 the activations \
+         ({} vs {})",
+        slow_acts(1),
+        uni_acts(1)
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
